@@ -1,0 +1,80 @@
+// Ablation — coherence-check placement (paper §III-B's optimizations).
+// Compares the naive scheme (a runtime check around every tracked access)
+// against the optimized placements (first-read/first-write only, kernel-
+// boundary GPU checks, loop hoisting): static checks inserted, dynamic
+// checks executed, and virtual check overhead.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "verify/transfer_verifier.h"
+
+using namespace miniarc;
+using namespace miniarc::bench;
+
+namespace {
+
+struct Measurement {
+  int static_checks = 0;
+  int hoisted = 0;
+  long dynamic_checks = 0;
+  double check_seconds = 0.0;
+  std::size_t findings = 0;
+};
+
+Measurement measure(const BenchmarkDef& benchmark, bool optimize_placement) {
+  DiagnosticEngine diags;
+  ProgramPtr source =
+      parse_or_die(benchmark.unoptimized_source, benchmark.name);
+  InstrumentationOptions options;
+  options.optimize_placement = optimize_placement;
+  TransferVerifier verifier(options);
+  TransferVerifier::Prepared prepared = verifier.prepare(*source, diags);
+  Measurement m;
+  if (prepared.program == nullptr) return m;
+  m.static_checks = prepared.instrumentation.static_checks;
+  m.hoisted = prepared.instrumentation.hoisted_checks;
+
+  AccRuntime runtime;
+  runtime.checker().set_enabled(true);
+  InterpOptions interp_options;
+  interp_options.enable_checker = true;
+  Interpreter interp(*prepared.program, prepared.sema, runtime,
+                     interp_options);
+  benchmark.bind_inputs(interp);
+  interp.run();
+  m.dynamic_checks = runtime.checker().dynamic_check_count();
+  m.check_seconds = runtime.profiler().seconds(ProfileCategory::kRuntimeCheck);
+  m.findings = runtime.checker().findings().size();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: naive per-access checks vs optimized placement "
+              "(first-access + kernel-boundary + hoisting)\n");
+  print_rule('=');
+  std::printf("%-10s | %8s %8s %10s | %8s %8s %10s %8s | %9s\n", "benchmark",
+              "static", "dynamic", "naive-cost", "static", "dynamic",
+              "opt-cost", "hoisted", "dyn-ratio");
+  print_rule();
+
+  for (const auto& benchmark : benchmark_suite()) {
+    Measurement naive = measure(benchmark, false);
+    Measurement opt = measure(benchmark, true);
+    double ratio = opt.dynamic_checks > 0
+                       ? static_cast<double>(naive.dynamic_checks) /
+                             static_cast<double>(opt.dynamic_checks)
+                       : 0.0;
+    std::printf("%-10s | %8d %8ld %10.2e | %8d %8ld %10.2e %8d | %8.1fx\n",
+                benchmark.name.c_str(), naive.static_checks,
+                naive.dynamic_checks, naive.check_seconds, opt.static_checks,
+                opt.dynamic_checks, opt.check_seconds, opt.hoisted, ratio);
+  }
+  print_rule();
+  std::printf(
+      "The optimized placement executes far fewer dynamic checks for the\n"
+      "same coherence coverage — the reason the paper's Figure-4 overheads\n"
+      "stay in the low single digits.\n");
+  return 0;
+}

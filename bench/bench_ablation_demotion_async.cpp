@@ -1,0 +1,78 @@
+// Ablation — asynchronous overlap in kernel verification (paper §III-A:
+// demotion converts transfers and launches to async so the device work
+// overlaps the sequential CPU reference execution). Compares total
+// verification time with overlap against a fully synchronous variant
+// (async clauses stripped from the prepared program).
+#include <cstdio>
+
+#include "ast/visitor.h"
+#include "bench/bench_common.h"
+#include "verify/kernel_verifier.h"
+
+using namespace miniarc;
+using namespace miniarc::bench;
+
+namespace {
+
+/// Remove async queues from every lowered statement (synchronous variant).
+void strip_async(Program& lowered) {
+  for (auto& func : lowered.functions) {
+    walk_stmts(func->body(), [](Stmt& stmt) {
+      switch (stmt.kind()) {
+        case StmtKind::kKernelLaunch:
+          stmt.as<KernelLaunchStmt>().config.async_queue.reset();
+          break;
+        case StmtKind::kMemTransfer:
+          stmt.as<MemTransferStmt>().async_queue.reset();
+          break;
+        default:
+          break;
+      }
+    });
+  }
+}
+
+double run_verification(const BenchmarkDef& benchmark, bool async) {
+  DiagnosticEngine diags;
+  ProgramPtr source =
+      parse_or_die(benchmark.optimized_source, benchmark.name);
+  KernelVerifier verifier;
+  KernelVerifier::Prepared prepared = verifier.prepare(*source, diags);
+  if (prepared.program == nullptr) return -1.0;
+  if (!async) strip_async(*prepared.program);
+
+  AccRuntime runtime;
+  runtime.set_allocation_pooling(false);
+  Interpreter interp(*prepared.program, prepared.sema, runtime);
+  interp.set_compare_hook(&verifier);
+  benchmark.bind_inputs(interp);
+  interp.run();
+  return runtime.clock().now();  // timeline time (overlap visible here)
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: asynchronous demotion overlap vs synchronous "
+              "verification (host-timeline seconds)\n");
+  print_rule('=');
+  std::printf("%-10s %14s %14s %10s\n", "benchmark", "sync (s)", "async (s)",
+              "speedup");
+  print_rule();
+  for (const auto& benchmark : benchmark_suite()) {
+    double sync_time = run_verification(benchmark, false);
+    double async_time = run_verification(benchmark, true);
+    if (sync_time < 0 || async_time < 0) {
+      std::printf("%-10s failed\n", benchmark.name.c_str());
+      continue;
+    }
+    std::printf("%-10s %14.6f %14.6f %9.2fx\n", benchmark.name.c_str(),
+                sync_time, async_time, sync_time / async_time);
+  }
+  print_rule();
+  std::printf(
+      "Overlapping device work with the sequential reference execution\n"
+      "recovers part of the verification cost — the reason §III-A makes\n"
+      "demoted transfers and launches asynchronous.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Shared helpers for the figure/table regeneration harnesses.
+#pragma once
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "benchsuite/benchmark_registry.h"
+#include "parser/parser.h"
+#include "translate/pipeline.h"
+#include "verify/interactive_optimizer.h"
+
+namespace miniarc::bench {
+
+inline ProgramPtr parse_or_die(const std::string& source,
+                               const std::string& what) {
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_mini_c(source, diags);
+  if (diags.has_errors()) {
+    throw std::runtime_error("parse failed for " + what + ":\n" +
+                             diags.dump());
+  }
+  return program;
+}
+
+inline LoweredProgram lower_or_die(const Program& source,
+                                   const std::string& what,
+                                   const LoweringOptions& options = {}) {
+  DiagnosticEngine diags;
+  LoweredProgram lowered = lower_program(source, diags, options);
+  if (lowered.program == nullptr) {
+    throw std::runtime_error("lowering failed for " + what + ":\n" +
+                             diags.dump());
+  }
+  return lowered;
+}
+
+inline RunResult run_or_die(const LoweredProgram& lowered,
+                            const InputBinder& bind, bool checker,
+                            const std::string& what,
+                            CompareHook* hook = nullptr) {
+  RunResult result =
+      run_lowered(*lowered.program, lowered.sema, bind, checker, hook);
+  if (!result.ok) {
+    throw std::runtime_error("run failed for " + what + ": " + result.error);
+  }
+  return result;
+}
+
+inline void print_rule(char c = '-', int width = 98) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace miniarc::bench

@@ -1,0 +1,69 @@
+// Figure 4 — "Memory-transfer-verification overhead normalized to no
+// verification versions." The instrumented (coherence-checked) run of each
+// optimized benchmark is compared against the plain run. The paper reports
+// near-zero overheads with small negatives caused by PCIe timing variance;
+// the same deterministic-seeded variance model is applied here.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "verify/transfer_verifier.h"
+
+using namespace miniarc;
+using namespace miniarc::bench;
+
+int main() {
+  std::printf("Figure 4: memory-transfer-verification overhead (%%, "
+              "normalized to no-verification runs)\n");
+  print_rule('=');
+  std::printf("%-10s %14s %14s %12s %10s\n", "benchmark", "plain time(s)",
+              "verified (s)", "overhead %", "checks");
+  print_rule();
+
+  constexpr double kJitter = 0.04;  // ±4% PCIe transfer-time variance
+
+  for (const auto& benchmark : benchmark_suite()) {
+    DiagnosticEngine diags;
+    ProgramPtr source =
+        parse_or_die(benchmark.optimized_source, benchmark.name);
+
+    // Plain run (no instrumentation), with its own jitter seed — the two
+    // runs see different bus behaviour, like two real executions.
+    LoweredProgram plain = lower_or_die(*source, benchmark.name);
+    AccRuntime plain_runtime;
+    plain_runtime.set_transfer_jitter(kJitter, 0x1111);
+    Interpreter plain_interp(*plain.program, plain.sema, plain_runtime);
+    benchmark.bind_inputs(plain_interp);
+    plain_interp.run();
+    double plain_time = plain_runtime.total_time();
+
+    // Instrumented run with the runtime checker enabled.
+    TransferVerifier verifier;
+    TransferVerifier::Prepared prepared = verifier.prepare(*source, diags);
+    if (prepared.program == nullptr) {
+      std::printf("%-10s prepare failed\n", benchmark.name.c_str());
+      continue;
+    }
+    AccRuntime checked_runtime;
+    checked_runtime.set_transfer_jitter(kJitter, 0x2222);
+    checked_runtime.checker().set_enabled(true);
+    InterpOptions options;
+    options.enable_checker = true;
+    Interpreter checked_interp(*prepared.program, prepared.sema,
+                               checked_runtime, options);
+    benchmark.bind_inputs(checked_interp);
+    checked_interp.run();
+    double checked_time = checked_runtime.total_time();
+
+    double overhead = (checked_time - plain_time) / plain_time * 100.0;
+    std::printf("%-10s %14.6f %14.6f %12.2f %10ld\n", benchmark.name.c_str(),
+                plain_time, checked_time, overhead,
+                checked_runtime.checker().dynamic_check_count());
+  }
+  print_rule();
+  std::printf(
+      "Paper shape: the optimized check placement keeps runtime overhead in\n"
+      "the low single-digit percents; benchmarks with very short runtimes\n"
+      "can show small negative overheads from transfer-time variance on the\n"
+      "PCIe bus (paper §IV-C).\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Microbenchmarks of the compiler/runtime substrate (google-benchmark):
+// lexing, parsing, lowering, dataflow analysis, instrumentation, and
+// end-to-end interpretation throughput on the JACOBI benchmark.
+#include <benchmark/benchmark.h>
+
+#include "benchsuite/benchmark_registry.h"
+#include "cfg/cfg_builder.h"
+#include "dataflow/dead_variable_analysis.h"
+#include "dataflow/first_access_analysis.h"
+#include "lexer/lexer.h"
+#include "parser/parser.h"
+#include "translate/instrumentation.h"
+#include "translate/pipeline.h"
+#include "verify/interactive_optimizer.h"
+
+namespace {
+
+using namespace miniarc;
+
+const BenchmarkDef& jacobi() { return *find_benchmark("JACOBI"); }
+
+void BM_Lex(benchmark::State& state) {
+  const std::string& source = jacobi().unoptimized_source;
+  for (auto _ : state) {
+    DiagnosticEngine diags;
+    Lexer lexer(source, diags);
+    benchmark::DoNotOptimize(lexer.lex_all());
+  }
+}
+BENCHMARK(BM_Lex);
+
+void BM_Parse(benchmark::State& state) {
+  const std::string& source = jacobi().unoptimized_source;
+  for (auto _ : state) {
+    DiagnosticEngine diags;
+    benchmark::DoNotOptimize(parse_mini_c(source, diags));
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_Lower(benchmark::State& state) {
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_mini_c(jacobi().unoptimized_source, diags);
+  for (auto _ : state) {
+    DiagnosticEngine d;
+    benchmark::DoNotOptimize(lower_program(*program, d));
+  }
+}
+BENCHMARK(BM_Lower);
+
+void BM_CfgAndDeadness(benchmark::State& state) {
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_mini_c(jacobi().unoptimized_source, diags);
+  LoweredProgram lowered = lower_program(*program, diags);
+  for (auto _ : state) {
+    auto cfg = build_cfg(lowered.program->main().body());
+    benchmark::DoNotOptimize(
+        analyze_deadness(*cfg, lowered.sema, DeviceSide::kHost));
+    benchmark::DoNotOptimize(analyze_first_accesses(*cfg, lowered.sema));
+  }
+}
+BENCHMARK(BM_CfgAndDeadness);
+
+void BM_Instrument(benchmark::State& state) {
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_mini_c(jacobi().unoptimized_source, diags);
+  for (auto _ : state) {
+    DiagnosticEngine d;
+    LoweredProgram lowered = lower_program(*program, d);
+    benchmark::DoNotOptimize(
+        insert_coherence_checks(*lowered.program, lowered.sema));
+  }
+}
+BENCHMARK(BM_Instrument);
+
+void BM_InterpretJacobi(benchmark::State& state) {
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_mini_c(jacobi().optimized_source, diags);
+  LoweredProgram lowered = lower_program(*program, diags);
+  for (auto _ : state) {
+    AccRuntime runtime;
+    Interpreter interp(*lowered.program, lowered.sema, runtime);
+    jacobi().bind_inputs(interp);
+    interp.run();
+    benchmark::DoNotOptimize(runtime.total_time());
+  }
+}
+BENCHMARK(BM_InterpretJacobi);
+
+}  // namespace
+
+BENCHMARK_MAIN();

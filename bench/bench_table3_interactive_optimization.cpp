@@ -1,0 +1,120 @@
+// Table III — "Memory-transfer-verification performance": for every
+// benchmark, starting from the unoptimized variant, iterate the Figure-2
+// loop (verify → suggest → edit → validate) until no suggestions remain.
+// Reported per benchmark:
+//   # total iterations    — verification rounds used,
+//   # incorrect iterations — rounds whose edits corrupted the program (the
+//                            may-alias limitation; caught by the inter-round
+//                            kernel verification and reverted),
+//   # uncaught redundancy  — transfer sites the converged program still
+//                            executes that the hand-optimized version does
+//                            not (redundancies the tool cannot see).
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_common.h"
+#include "runtime/runtime_checker.h"
+
+using namespace miniarc;
+using namespace miniarc::bench;
+
+namespace {
+
+/// Distinct transfer sites that actually fired during a run.
+std::set<std::string> active_sites(const Program& lowered,
+                                   const SemaInfo& sema,
+                                   const InputBinder& bind) {
+  RunResult run = run_lowered(lowered, sema, bind, /*enable_checker=*/true);
+  std::set<std::string> sites;
+  if (!run.ok) return sites;
+  for (const SiteStats& s : run.runtime->checker().site_stats()) {
+    if (s.occurrences > 0) sites.insert(s.label + "/" + s.var);
+  }
+  return sites;
+}
+
+struct PaperRow {
+  const char* name;
+  int total;
+  int incorrect;
+  int uncaught;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"BACKPROP", 3, 1, 0}, {"BFS", 3, 0, 0},   {"CFD", 4, 0, 1},
+    {"CG", 2, 0, 0},       {"EP", 2, 0, 0},    {"HOTSPOT", 2, 0, 0},
+    {"JACOBI", 3, 0, 0},   {"KMEANS", 2, 0, 0}, {"LUD", 4, 3, 0},
+    {"NW", 2, 0, 0},       {"SPMUL", 3, 0, 0}, {"SRAD", 2, 0, 0},
+};
+
+const PaperRow* paper_row(const std::string& name) {
+  for (const auto& row : kPaper) {
+    if (name == row.name) return &row;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table III: memory-transfer verification & interactive "
+              "optimization performance\n");
+  print_rule('=');
+  std::printf("%-10s | %10s %10s | %10s %10s | %10s %10s | %14s\n",
+              "benchmark", "iters", "(paper)", "incorrect", "(paper)",
+              "uncaught", "(paper)", "final-vs-manual");
+  print_rule();
+
+  for (const auto& benchmark : benchmark_suite()) {
+    DiagnosticEngine diags;
+    ProgramPtr unopt =
+        parse_or_die(benchmark.unoptimized_source, benchmark.name);
+
+    InteractiveOptimizer optimizer;
+    OptimizationOutcome outcome = optimizer.optimize(
+        *unopt, benchmark.bind_inputs, benchmark.check_output, diags);
+
+    // Uncaught redundancy: active transfer sites of the converged program
+    // beyond those of the hand-optimized variant.
+    ProgramPtr manual =
+        parse_or_die(benchmark.optimized_source, benchmark.name);
+    LoweredProgram lowered_final =
+        lower_or_die(*outcome.final_program, benchmark.name);
+    LoweredProgram lowered_manual = lower_or_die(*manual, benchmark.name);
+    std::set<std::string> final_sites = active_sites(
+        *lowered_final.program, lowered_final.sema, benchmark.bind_inputs);
+    std::set<std::string> manual_sites = active_sites(
+        *lowered_manual.program, lowered_manual.sema, benchmark.bind_inputs);
+    int uncaught =
+        static_cast<int>(final_sites.size()) > static_cast<int>(manual_sites.size())
+            ? static_cast<int>(final_sites.size() - manual_sites.size())
+            : 0;
+
+    // Transfer volume of final vs manual, as a sanity ratio.
+    RunResult final_run = run_or_die(lowered_final, benchmark.bind_inputs,
+                                     false, benchmark.name);
+    RunResult manual_run = run_or_die(lowered_manual, benchmark.bind_inputs,
+                                      false, benchmark.name);
+    bool final_ok = benchmark.check_output(*final_run.interp);
+    auto fb = final_run.runtime->profiler().transfers().total_bytes();
+    auto mb = manual_run.runtime->profiler().transfers().total_bytes();
+    double vs = mb > 0 ? static_cast<double>(fb) / static_cast<double>(mb)
+                       : 1.0;
+
+    const PaperRow* paper = paper_row(benchmark.name);
+    std::printf("%-10s | %10d %10d | %10d %10d | %10d %10d | %10.2fx %s\n",
+                benchmark.name.c_str(), outcome.total_iterations(),
+                paper != nullptr ? paper->total : -1,
+                outcome.incorrect_iterations(),
+                paper != nullptr ? paper->incorrect : -1, uncaught,
+                paper != nullptr ? paper->uncaught : -1, vs,
+                final_ok ? "" : "(OUTPUT WRONG!)");
+  }
+  print_rule();
+  std::printf(
+      "Paper shape: optimal transfer patterns are reached within a handful\n"
+      "of verification rounds; (may-)aliased pointers produce incorrect\n"
+      "suggestions on BACKPROP and LUD that the next kernel-verification\n"
+      "round catches; CFD retains one redundancy the checker cannot see.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "acc/directive_rewriter.h"
+
+#include "ast/visitor.h"
+
+namespace miniarc {
+
+bool set_data_clause(Directive& directive, const std::string& var,
+                     ClauseKind target) {
+  const Clause* existing = directive.data_clause_for(var);
+  if (existing != nullptr && existing->kind == target) return false;
+  directive.remove_var_from_data_clauses(var);
+  directive.add_var_to_clause(target, var);
+  directive.prune_empty_clauses();
+  return true;
+}
+
+bool drop_data_clause(Directive& directive, const std::string& var) {
+  bool removed = directive.remove_var_from_data_clauses(var);
+  directive.prune_empty_clauses();
+  return removed;
+}
+
+bool drop_update_var(Directive& directive, const std::string& var) {
+  bool removed = false;
+  for (auto& clause : directive.clauses) {
+    if (clause.kind != ClauseKind::kUpdateHost &&
+        clause.kind != ClauseKind::kUpdateDevice) {
+      continue;
+    }
+    auto it = std::find(clause.vars.begin(), clause.vars.end(), var);
+    if (it != clause.vars.end()) {
+      clause.vars.erase(it);
+      removed = true;
+    }
+  }
+  directive.prune_empty_clauses();
+  return removed;
+}
+
+int prune_empty_updates(Stmt& body) {
+  int removed = 0;
+  walk_stmts(body, [&](Stmt& stmt) {
+    if (stmt.kind() != StmtKind::kCompound) return;
+    auto& stmts = stmt.as<CompoundStmt>().stmts();
+    std::erase_if(stmts, [&](const StmtPtr& s) {
+      if (s->kind() != StmtKind::kAccStandalone) return false;
+      const Directive& d = s->as<AccStandaloneStmt>().directive();
+      if (d.kind != DirectiveKind::kUpdate) return false;
+      for (const auto& clause : d.clauses) {
+        if ((clause.kind == ClauseKind::kUpdateHost ||
+             clause.kind == ClauseKind::kUpdateDevice) &&
+            !clause.vars.empty()) {
+          return false;
+        }
+      }
+      ++removed;
+      return true;
+    });
+  });
+  return removed;
+}
+
+StmtPosition find_stmt_position(Stmt& body, const Stmt* target) {
+  StmtPosition result;
+  walk_stmts(body, [&](Stmt& stmt) {
+    if (result.parent != nullptr || stmt.kind() != StmtKind::kCompound) return;
+    auto& stmts = stmt.as<CompoundStmt>().stmts();
+    for (std::size_t i = 0; i < stmts.size(); ++i) {
+      if (stmts[i].get() == target) {
+        result.parent = &stmt.as<CompoundStmt>();
+        result.index = i;
+        return;
+      }
+    }
+  });
+  return result;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,39 @@
+// Primitive directive edits used by the interactive optimizer when applying
+// tool suggestions back into the input program (the programmer's half of the
+// Figure-2 loop).
+#pragma once
+
+#include <string>
+
+#include "ast/decl.h"
+#include "ast/directive.h"
+
+namespace miniarc {
+
+/// Move `var` to the data clause `target` on `directive`, removing it from
+/// any other data clause first. Returns true if the directive changed.
+bool set_data_clause(Directive& directive, const std::string& var,
+                     ClauseKind target);
+
+/// Remove `var` from every data clause of `directive` (the variable becomes
+/// implicitly managed / not transferred here). Returns true if removed.
+bool drop_data_clause(Directive& directive, const std::string& var);
+
+/// Remove `var` from update host/device clauses. If the update directive
+/// ends up with no variables, the caller should delete the statement.
+bool drop_update_var(Directive& directive, const std::string& var);
+
+/// Delete AccStandaloneStmt update statements whose directives no longer
+/// name any variable. Walks the whole function body. Returns count removed.
+int prune_empty_updates(Stmt& body);
+
+/// Find the statement list position of `target` inside `body`'s compound
+/// statements; used for hoisting edits. Returns the owning CompoundStmt and
+/// index, or {nullptr, 0}.
+struct StmtPosition {
+  CompoundStmt* parent = nullptr;
+  std::size_t index = 0;
+};
+[[nodiscard]] StmtPosition find_stmt_position(Stmt& body, const Stmt* target);
+
+}  // namespace miniarc

@@ -1,0 +1,45 @@
+#include "acc/region_builder.h"
+
+namespace miniarc {
+
+DirectiveBuilder& DirectiveBuilder::add_vars(ClauseKind kind,
+                                             std::vector<std::string> vars) {
+  for (auto& v : vars) directive_.add_var_to_clause(kind, v);
+  return *this;
+}
+
+DirectiveBuilder& DirectiveBuilder::bare(ClauseKind kind) {
+  if (!directive_.has_clause(kind)) directive_.clauses.emplace_back(kind);
+  return *this;
+}
+
+DirectiveBuilder& DirectiveBuilder::reduction(ReductionOp op,
+                                              std::vector<std::string> vars) {
+  Clause clause(ClauseKind::kReduction, std::move(vars));
+  clause.reduction_op = op;
+  directive_.clauses.push_back(std::move(clause));
+  return *this;
+}
+
+DirectiveBuilder& DirectiveBuilder::async(int queue) {
+  Clause clause(ClauseKind::kAsync);
+  clause.arg = make_int(queue);
+  directive_.clauses.push_back(std::move(clause));
+  return *this;
+}
+
+DirectiveBuilder& DirectiveBuilder::num_gangs(int n) {
+  Clause clause(ClauseKind::kNumGangs);
+  clause.arg = make_int(n);
+  directive_.clauses.push_back(std::move(clause));
+  return *this;
+}
+
+DirectiveBuilder& DirectiveBuilder::num_workers(int n) {
+  Clause clause(ClauseKind::kNumWorkers);
+  clause.arg = make_int(n);
+  directive_.clauses.push_back(std::move(clause));
+  return *this;
+}
+
+}  // namespace miniarc

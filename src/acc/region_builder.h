@@ -1,0 +1,70 @@
+// Fluent builders for constructing directives programmatically — used by
+// examples and tests to assemble OpenACC programs without going through the
+// parser, and by the compiler passes when they synthesize directives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ast/directive.h"
+
+namespace miniarc {
+
+class DirectiveBuilder {
+ public:
+  explicit DirectiveBuilder(DirectiveKind kind) : directive_(kind) {}
+
+  static DirectiveBuilder data() {
+    return DirectiveBuilder(DirectiveKind::kData);
+  }
+  static DirectiveBuilder kernels_loop() {
+    return DirectiveBuilder(DirectiveKind::kKernelsLoop);
+  }
+  static DirectiveBuilder parallel_loop() {
+    return DirectiveBuilder(DirectiveKind::kParallelLoop);
+  }
+  static DirectiveBuilder update() {
+    return DirectiveBuilder(DirectiveKind::kUpdate);
+  }
+
+  DirectiveBuilder& copy(std::vector<std::string> vars) {
+    return add_vars(ClauseKind::kCopy, std::move(vars));
+  }
+  DirectiveBuilder& copyin(std::vector<std::string> vars) {
+    return add_vars(ClauseKind::kCopyin, std::move(vars));
+  }
+  DirectiveBuilder& copyout(std::vector<std::string> vars) {
+    return add_vars(ClauseKind::kCopyout, std::move(vars));
+  }
+  DirectiveBuilder& create(std::vector<std::string> vars) {
+    return add_vars(ClauseKind::kCreate, std::move(vars));
+  }
+  DirectiveBuilder& present(std::vector<std::string> vars) {
+    return add_vars(ClauseKind::kPresent, std::move(vars));
+  }
+  DirectiveBuilder& update_host(std::vector<std::string> vars) {
+    return add_vars(ClauseKind::kUpdateHost, std::move(vars));
+  }
+  DirectiveBuilder& update_device(std::vector<std::string> vars) {
+    return add_vars(ClauseKind::kUpdateDevice, std::move(vars));
+  }
+  DirectiveBuilder& priv(std::vector<std::string> vars) {
+    return add_vars(ClauseKind::kPrivate, std::move(vars));
+  }
+  DirectiveBuilder& reduction(ReductionOp op, std::vector<std::string> vars);
+  DirectiveBuilder& gang() { return bare(ClauseKind::kGang); }
+  DirectiveBuilder& worker() { return bare(ClauseKind::kWorker); }
+  DirectiveBuilder& async(int queue);
+  DirectiveBuilder& num_gangs(int n);
+  DirectiveBuilder& num_workers(int n);
+
+  [[nodiscard]] Directive build() { return std::move(directive_); }
+
+ private:
+  DirectiveBuilder& add_vars(ClauseKind kind, std::vector<std::string> vars);
+  DirectiveBuilder& bare(ClauseKind kind);
+
+  Directive directive_;
+};
+
+}  // namespace miniarc

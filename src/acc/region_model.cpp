@@ -1,0 +1,150 @@
+#include "acc/region_model.h"
+
+#include "ast/visitor.h"
+
+namespace miniarc {
+namespace {
+
+class RegionCollector {
+ public:
+  RegionCollector(RegionModel& model, const SemaInfo& sema,
+                  const std::string& func_name)
+      : model_(model), sema_(sema), func_name_(func_name) {}
+
+  void visit(Stmt& stmt) {
+    switch (stmt.kind()) {
+      case StmtKind::kAcc: {
+        auto& acc = stmt.as<AccStmt>();
+        if (is_compute_construct(acc.directive().kind)) {
+          ComputeRegionInfo info;
+          info.stmt = &acc;
+          info.kernel_name =
+              func_name_ + "_kernel" + std::to_string(kernel_counter_++);
+          info.enclosing_data = data_stack_;
+          info.accesses = summarize_accesses(acc.body(), sema_);
+          info.inside_loop = loop_depth_ > 0;
+          model_.compute_regions.push_back(std::move(info));
+          // Do not recurse: nested `acc loop` directives belong to this
+          // kernel, not to the host region structure.
+          return;
+        }
+        if (acc.directive().kind == DirectiveKind::kData) {
+          model_.data_regions.push_back(&acc);
+          data_stack_.push_back(&acc);
+          visit(acc.body());
+          data_stack_.pop_back();
+          return;
+        }
+        visit(acc.body());
+        return;
+      }
+      case StmtKind::kCompound:
+        for (auto& s : stmt.as<CompoundStmt>().stmts()) visit(*s);
+        return;
+      case StmtKind::kIf: {
+        auto& if_stmt = stmt.as<IfStmt>();
+        visit(if_stmt.then_body());
+        if (if_stmt.else_body() != nullptr) visit(*if_stmt.else_body());
+        return;
+      }
+      case StmtKind::kFor: {
+        ++loop_depth_;
+        visit(stmt.as<ForStmt>().body());
+        --loop_depth_;
+        return;
+      }
+      case StmtKind::kWhile: {
+        ++loop_depth_;
+        visit(stmt.as<WhileStmt>().body());
+        --loop_depth_;
+        return;
+      }
+      case StmtKind::kHostExec:
+        visit(stmt.as<HostExecStmt>().body());
+        return;
+      default:
+        return;
+    }
+  }
+
+ private:
+  RegionModel& model_;
+  const SemaInfo& sema_;
+  std::string func_name_;
+  std::vector<AccStmt*> data_stack_;
+  int kernel_counter_ = 0;
+  int loop_depth_ = 0;
+};
+
+}  // namespace
+
+const ComputeRegionInfo* RegionModel::find_kernel(
+    const std::string& kernel_name) const {
+  for (const auto& region : compute_regions) {
+    if (region.kernel_name == kernel_name) return &region;
+  }
+  return nullptr;
+}
+
+RegionModel build_region_model(Program& program, const SemaInfo& sema) {
+  RegionModel model;
+  for (auto& func : program.functions) {
+    RegionCollector collector(model, sema, func->name());
+    collector.visit(func->body());
+  }
+  return model;
+}
+
+LaunchConfig launch_config_of(const Directive& directive) {
+  LaunchConfig config;
+  if (const Clause* c = directive.find_clause(ClauseKind::kNumGangs);
+      c != nullptr && c->arg != nullptr &&
+      c->arg->kind() == ExprKind::kIntLit) {
+    config.num_gangs = static_cast<int>(c->arg->as<IntLit>().value());
+  }
+  if (const Clause* c = directive.find_clause(ClauseKind::kNumWorkers);
+      c != nullptr && c->arg != nullptr &&
+      c->arg->kind() == ExprKind::kIntLit) {
+    config.num_workers = static_cast<int>(c->arg->as<IntLit>().value());
+  }
+  config.async_queue = directive.async_queue();
+  return config;
+}
+
+ParallelismSpec parallelism_spec_of(const AccStmt& region) {
+  ParallelismSpec spec;
+  auto collect = [&](const Directive& directive) {
+    for (const auto& clause : directive.clauses) {
+      switch (clause.kind) {
+        case ClauseKind::kPrivate:
+          for (const auto& v : clause.vars) spec.private_vars.push_back(v);
+          break;
+        case ClauseKind::kFirstprivate:
+          for (const auto& v : clause.vars) {
+            spec.firstprivate_vars.push_back(v);
+          }
+          break;
+        case ClauseKind::kReduction:
+          for (const auto& v : clause.vars) {
+            spec.reductions.push_back(
+                {clause.reduction_op.value_or(ReductionOp::kSum), v});
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  };
+
+  collect(region.directive());
+  // Nested `#pragma acc loop` directives contribute too.
+  walk_stmts(region.body(), [&](const Stmt& s) {
+    if (s.kind() == StmtKind::kAcc &&
+        s.as<AccStmt>().directive().kind == DirectiveKind::kLoop) {
+      collect(s.as<AccStmt>().directive());
+    }
+  });
+  return spec;
+}
+
+}  // namespace miniarc

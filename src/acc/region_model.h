@@ -1,0 +1,56 @@
+// Semantic model of the OpenACC regions in a parsed program: every compute
+// region (kernels/parallel construct), its stable kernel name, its enclosing
+// data regions, and its variable access summary. This is the structure the
+// verification tools navigate when they attribute findings back to
+// directives — the traceability layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ast/decl.h"
+#include "sema/access_summary.h"
+
+namespace miniarc {
+
+struct ComputeRegionInfo {
+  /// The compute-construct AccStmt (owned by the program tree).
+  AccStmt* stmt = nullptr;
+  /// Stable kernel name: "<function>_kernel<N>" in lexical order, matching
+  /// the paper's naming ("main_kernel0").
+  std::string kernel_name;
+  /// Enclosing data-region AccStmts, outermost first.
+  std::vector<AccStmt*> enclosing_data;
+  /// Buffer/scalar accesses of the region body.
+  AccessMap accesses;
+  /// True if the region sits inside at least one host loop.
+  bool inside_loop = false;
+};
+
+struct RegionModel {
+  std::vector<ComputeRegionInfo> compute_regions;
+  std::vector<AccStmt*> data_regions;
+
+  [[nodiscard]] const ComputeRegionInfo* find_kernel(
+      const std::string& kernel_name) const;
+};
+
+/// Walks `program` and builds the region model. Kernel numbering restarts
+/// per function.
+[[nodiscard]] RegionModel build_region_model(Program& program,
+                                             const SemaInfo& sema);
+
+/// The launch configuration implied by a compute directive's clauses
+/// (num_gangs/num_workers, async), with miniARC defaults.
+[[nodiscard]] LaunchConfig launch_config_of(const Directive& directive);
+
+/// Private / firstprivate / reduction specs collected from the directive
+/// (including nested `#pragma acc loop` directives in the body).
+struct ParallelismSpec {
+  std::vector<std::string> private_vars;
+  std::vector<std::string> firstprivate_vars;
+  std::vector<ReductionSpec> reductions;
+};
+[[nodiscard]] ParallelismSpec parallelism_spec_of(const AccStmt& region);
+
+}  // namespace miniarc

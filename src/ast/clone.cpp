@@ -1,0 +1,239 @@
+#include "ast/clone.h"
+
+#include <stdexcept>
+
+namespace miniarc {
+namespace {
+
+std::vector<ExprPtr> clone_exprs(const std::vector<ExprPtr>& exprs) {
+  std::vector<ExprPtr> out;
+  out.reserve(exprs.size());
+  for (const auto& e : exprs) out.push_back(clone_expr(*e));
+  return out;
+}
+
+ExprPtr clone_opt(const Expr* expr) {
+  return expr == nullptr ? nullptr : clone_expr(*expr);
+}
+
+StmtPtr clone_opt(const Stmt* stmt) {
+  return stmt == nullptr ? nullptr : clone_stmt(*stmt);
+}
+
+}  // namespace
+
+ExprPtr clone_expr(const Expr& expr) {
+  ExprPtr out;
+  switch (expr.kind()) {
+    case ExprKind::kIntLit:
+      out = std::make_unique<IntLit>(expr.as<IntLit>().value(),
+                                     expr.location());
+      break;
+    case ExprKind::kFloatLit:
+      out = std::make_unique<FloatLit>(expr.as<FloatLit>().value(),
+                                       expr.location());
+      break;
+    case ExprKind::kVarRef:
+      out = std::make_unique<VarRef>(expr.as<VarRef>().name(),
+                                     expr.location());
+      break;
+    case ExprKind::kArrayIndex: {
+      const auto& ai = expr.as<ArrayIndex>();
+      out = std::make_unique<ArrayIndex>(clone_expr(ai.base()),
+                                         clone_exprs(ai.indices()),
+                                         expr.location());
+      break;
+    }
+    case ExprKind::kUnary: {
+      const auto& u = expr.as<Unary>();
+      out = std::make_unique<Unary>(u.op(), clone_expr(u.operand()),
+                                    expr.location());
+      break;
+    }
+    case ExprKind::kBinary: {
+      const auto& b = expr.as<Binary>();
+      out = std::make_unique<Binary>(b.op(), clone_expr(b.lhs()),
+                                     clone_expr(b.rhs()), expr.location());
+      break;
+    }
+    case ExprKind::kCall: {
+      const auto& c = expr.as<Call>();
+      out = std::make_unique<Call>(c.callee(), clone_exprs(c.args()),
+                                   expr.location());
+      break;
+    }
+    case ExprKind::kCast: {
+      const auto& c = expr.as<Cast>();
+      out = std::make_unique<Cast>(c.target(), clone_expr(c.operand()),
+                                   expr.location());
+      break;
+    }
+    case ExprKind::kTernary: {
+      const auto& t = expr.as<Ternary>();
+      out = std::make_unique<Ternary>(clone_expr(t.cond()),
+                                      clone_expr(t.then_value()),
+                                      clone_expr(t.else_value()),
+                                      expr.location());
+      break;
+    }
+    case ExprKind::kSizeof:
+      out = std::make_unique<SizeofExpr>(expr.as<SizeofExpr>().target(),
+                                         expr.location());
+      break;
+  }
+  if (out == nullptr) throw std::logic_error("clone_expr: unhandled kind");
+  out->set_type(expr.type());
+  return out;
+}
+
+std::unique_ptr<VarDecl> clone_var_decl(const VarDecl& decl) {
+  auto out = std::make_unique<VarDecl>(decl.name(), decl.type(),
+                                       decl.storage(), decl.location());
+  out->is_extern = decl.is_extern;
+  out->is_const = decl.is_const;
+  if (decl.init() != nullptr) out->set_init(clone_expr(*decl.init()));
+  return out;
+}
+
+StmtPtr clone_stmt(const Stmt& stmt) {
+  switch (stmt.kind()) {
+    case StmtKind::kDecl:
+      return std::make_unique<DeclStmt>(
+          clone_var_decl(stmt.as<DeclStmt>().decl()), stmt.location());
+    case StmtKind::kAssign: {
+      const auto& a = stmt.as<AssignStmt>();
+      return std::make_unique<AssignStmt>(clone_expr(a.lhs()), a.op(),
+                                          clone_expr(a.rhs()),
+                                          stmt.location());
+    }
+    case StmtKind::kIncDec: {
+      const auto& i = stmt.as<IncDecStmt>();
+      return std::make_unique<IncDecStmt>(clone_expr(i.target()),
+                                          i.is_increment(), stmt.location());
+    }
+    case StmtKind::kExpr:
+      return std::make_unique<ExprStmt>(clone_expr(stmt.as<ExprStmt>().expr()),
+                                        stmt.location());
+    case StmtKind::kIf: {
+      const auto& i = stmt.as<IfStmt>();
+      return std::make_unique<IfStmt>(clone_expr(i.cond()),
+                                      clone_stmt(i.then_body()),
+                                      clone_opt(i.else_body()),
+                                      stmt.location());
+    }
+    case StmtKind::kFor: {
+      const auto& f = stmt.as<ForStmt>();
+      return std::make_unique<ForStmt>(clone_opt(f.init()),
+                                       clone_opt(f.cond()),
+                                       clone_opt(f.step()),
+                                       clone_stmt(f.body()), stmt.location());
+    }
+    case StmtKind::kWhile: {
+      const auto& w = stmt.as<WhileStmt>();
+      return std::make_unique<WhileStmt>(clone_expr(w.cond()),
+                                         clone_stmt(w.body()),
+                                         stmt.location());
+    }
+    case StmtKind::kCompound: {
+      const auto& c = stmt.as<CompoundStmt>();
+      std::vector<StmtPtr> stmts;
+      stmts.reserve(c.stmts().size());
+      for (const auto& s : c.stmts()) stmts.push_back(clone_stmt(*s));
+      return std::make_unique<CompoundStmt>(std::move(stmts), stmt.location());
+    }
+    case StmtKind::kReturn: {
+      const auto& r = stmt.as<ReturnStmt>();
+      return std::make_unique<ReturnStmt>(clone_opt(r.value()),
+                                          stmt.location());
+    }
+    case StmtKind::kBreak:
+      return std::make_unique<BreakStmt>(stmt.location());
+    case StmtKind::kContinue:
+      return std::make_unique<ContinueStmt>(stmt.location());
+    case StmtKind::kAcc: {
+      const auto& a = stmt.as<AccStmt>();
+      return std::make_unique<AccStmt>(a.directive().clone(),
+                                       clone_stmt(a.body()), stmt.location());
+    }
+    case StmtKind::kAccStandalone:
+      return std::make_unique<AccStandaloneStmt>(
+          stmt.as<AccStandaloneStmt>().directive().clone(), stmt.location());
+    case StmtKind::kKernelLaunch: {
+      const auto& k = stmt.as<KernelLaunchStmt>();
+      auto out = std::make_unique<KernelLaunchStmt>(
+          k.kernel_name(), clone_stmt(k.body()), stmt.location());
+      out->config = k.config;
+      out->accesses = k.accesses;
+      out->private_vars = k.private_vars;
+      out->firstprivate_vars = k.firstprivate_vars;
+      out->reductions = k.reductions;
+      out->scalar_args = k.scalar_args;
+      out->falsely_shared = k.falsely_shared;
+      out->stash_scalar_results = k.stash_scalar_results;
+      return out;
+    }
+    case StmtKind::kMemTransfer: {
+      const auto& m = stmt.as<MemTransferStmt>();
+      auto out = std::make_unique<MemTransferStmt>(m.var(), m.direction(),
+                                                   m.cause(), stmt.location());
+      out->label = m.label;
+      out->async_queue = m.async_queue;
+      out->condition = m.condition;
+      out->to_scratch = m.to_scratch;
+      return out;
+    }
+    case StmtKind::kDevAlloc: {
+      auto out = std::make_unique<DevAllocStmt>(stmt.as<DevAllocStmt>().var(),
+                                                stmt.location());
+      out->expects_entry_transfer =
+          stmt.as<DevAllocStmt>().expects_entry_transfer;
+      return out;
+    }
+    case StmtKind::kDevFree:
+      return std::make_unique<DevFreeStmt>(stmt.as<DevFreeStmt>().var(),
+                                           stmt.location());
+    case StmtKind::kWait:
+      return std::make_unique<WaitStmt>(stmt.as<WaitStmt>().queue(),
+                                        stmt.location());
+    case StmtKind::kRuntimeCheck: {
+      const auto& r = stmt.as<RuntimeCheckStmt>();
+      auto out = std::make_unique<RuntimeCheckStmt>(r.op(), r.var(), r.side(),
+                                                    stmt.location());
+      out->new_state = r.new_state;
+      out->may_dead = r.may_dead;
+      out->label = r.label;
+      return out;
+    }
+    case StmtKind::kResultCompare: {
+      const auto& r = stmt.as<ResultCompareStmt>();
+      return std::make_unique<ResultCompareStmt>(r.kernel_name(), r.vars(),
+                                                 stmt.location());
+    }
+    case StmtKind::kHostExec:
+      return std::make_unique<HostExecStmt>(
+          clone_stmt(stmt.as<HostExecStmt>().body()), stmt.location());
+  }
+  throw std::logic_error("clone_stmt: unhandled kind");
+}
+
+std::unique_ptr<FuncDecl> clone_func_decl(const FuncDecl& decl) {
+  std::vector<std::unique_ptr<VarDecl>> params;
+  params.reserve(decl.params().size());
+  for (const auto& p : decl.params()) params.push_back(clone_var_decl(*p));
+  return std::make_unique<FuncDecl>(decl.name(), decl.return_type(),
+                                    std::move(params),
+                                    clone_stmt(decl.body()), decl.location());
+}
+
+ProgramPtr clone_program(const Program& program) {
+  auto out = std::make_unique<Program>();
+  out->globals.reserve(program.globals.size());
+  for (const auto& g : program.globals) out->globals.push_back(clone_var_decl(*g));
+  out->functions.reserve(program.functions.size());
+  for (const auto& f : program.functions) {
+    out->functions.push_back(clone_func_decl(*f));
+  }
+  return out;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,20 @@
+// Deep cloning of AST subtrees. The translation passes clone region bodies
+// (e.g. the sequential reference copy used by kernel verification) and whole
+// programs (the interactive optimizer re-lowers a fresh copy each iteration).
+#pragma once
+
+#include <memory>
+
+#include "ast/decl.h"
+#include "ast/expr.h"
+#include "ast/stmt.h"
+
+namespace miniarc {
+
+[[nodiscard]] ExprPtr clone_expr(const Expr& expr);
+[[nodiscard]] StmtPtr clone_stmt(const Stmt& stmt);
+[[nodiscard]] std::unique_ptr<VarDecl> clone_var_decl(const VarDecl& decl);
+[[nodiscard]] std::unique_ptr<FuncDecl> clone_func_decl(const FuncDecl& decl);
+[[nodiscard]] ProgramPtr clone_program(const Program& program);
+
+}  // namespace miniarc

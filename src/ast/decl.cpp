@@ -1,0 +1,47 @@
+#include "ast/decl.h"
+
+#include <stdexcept>
+
+namespace miniarc {
+
+FuncDecl* Program::find_function(const std::string& name) {
+  for (auto& f : functions) {
+    if (f->name() == name) return f.get();
+  }
+  return nullptr;
+}
+
+const FuncDecl* Program::find_function(const std::string& name) const {
+  for (const auto& f : functions) {
+    if (f->name() == name) return f.get();
+  }
+  return nullptr;
+}
+
+VarDecl* Program::find_global(const std::string& name) {
+  for (auto& g : globals) {
+    if (g->name() == name) return g.get();
+  }
+  return nullptr;
+}
+
+const VarDecl* Program::find_global(const std::string& name) const {
+  for (const auto& g : globals) {
+    if (g->name() == name) return g.get();
+  }
+  return nullptr;
+}
+
+FuncDecl& Program::main() {
+  FuncDecl* f = find_function("main");
+  if (f == nullptr) throw std::logic_error("program has no main function");
+  return *f;
+}
+
+const FuncDecl& Program::main() const {
+  const FuncDecl* f = find_function("main");
+  if (f == nullptr) throw std::logic_error("program has no main function");
+  return *f;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,93 @@
+// Declarations: variables, functions, and the translation unit (Program).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/stmt.h"
+#include "ast/type.h"
+
+namespace miniarc {
+
+enum class Storage : std::uint8_t { kGlobal, kLocal, kParam };
+
+class VarDecl {
+ public:
+  VarDecl(std::string name, Type type, Storage storage,
+          SourceLocation loc = {})
+      : name_(std::move(name)),
+        type_(std::move(type)),
+        storage_(storage),
+        location_(loc) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Type& type() const { return type_; }
+  [[nodiscard]] Storage storage() const { return storage_; }
+  [[nodiscard]] SourceLocation location() const { return location_; }
+
+  [[nodiscard]] Expr* init() { return init_.get(); }
+  [[nodiscard]] const Expr* init() const { return init_.get(); }
+  void set_init(ExprPtr init) { init_ = std::move(init); }
+
+  bool is_extern = false;  // bound by the host harness before execution
+  bool is_const = false;
+
+ private:
+  std::string name_;
+  Type type_;
+  Storage storage_;
+  SourceLocation location_;
+  ExprPtr init_;
+};
+
+class FuncDecl {
+ public:
+  FuncDecl(std::string name, Type return_type,
+           std::vector<std::unique_ptr<VarDecl>> params, StmtPtr body,
+           SourceLocation loc = {})
+      : name_(std::move(name)),
+        return_type_(std::move(return_type)),
+        params_(std::move(params)),
+        body_(std::move(body)),
+        location_(loc) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Type& return_type() const { return return_type_; }
+  [[nodiscard]] std::vector<std::unique_ptr<VarDecl>>& params() {
+    return params_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<VarDecl>>& params() const {
+    return params_;
+  }
+  [[nodiscard]] Stmt& body() { return *body_; }
+  [[nodiscard]] const Stmt& body() const { return *body_; }
+  [[nodiscard]] StmtPtr& body_ptr() { return body_; }
+  [[nodiscard]] SourceLocation location() const { return location_; }
+
+ private:
+  std::string name_;
+  Type return_type_;
+  std::vector<std::unique_ptr<VarDecl>> params_;
+  StmtPtr body_;
+  SourceLocation location_;
+};
+
+/// A parsed translation unit.
+class Program {
+ public:
+  std::vector<std::unique_ptr<VarDecl>> globals;
+  std::vector<std::unique_ptr<FuncDecl>> functions;
+
+  [[nodiscard]] FuncDecl* find_function(const std::string& name);
+  [[nodiscard]] const FuncDecl* find_function(const std::string& name) const;
+  [[nodiscard]] VarDecl* find_global(const std::string& name);
+  [[nodiscard]] const VarDecl* find_global(const std::string& name) const;
+  /// `main` is where execution and all analyses start.
+  [[nodiscard]] FuncDecl& main();
+  [[nodiscard]] const FuncDecl& main() const;
+};
+
+using ProgramPtr = std::unique_ptr<Program>;
+
+}  // namespace miniarc

@@ -1,0 +1,242 @@
+#include "ast/directive.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ast/clone.h"
+
+namespace miniarc {
+
+const char* to_string(DirectiveKind kind) {
+  switch (kind) {
+    case DirectiveKind::kData: return "data";
+    case DirectiveKind::kKernels: return "kernels";
+    case DirectiveKind::kKernelsLoop: return "kernels loop";
+    case DirectiveKind::kParallel: return "parallel";
+    case DirectiveKind::kParallelLoop: return "parallel loop";
+    case DirectiveKind::kLoop: return "loop";
+    case DirectiveKind::kUpdate: return "update";
+    case DirectiveKind::kWait: return "wait";
+    case DirectiveKind::kDeclare: return "declare";
+    case DirectiveKind::kArcBound: return "openarc bound";
+    case DirectiveKind::kArcAssert: return "openarc assert";
+  }
+  return "<invalid>";
+}
+
+bool is_compute_construct(DirectiveKind kind) {
+  switch (kind) {
+    case DirectiveKind::kKernels:
+    case DirectiveKind::kKernelsLoop:
+    case DirectiveKind::kParallel:
+    case DirectiveKind::kParallelLoop:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* to_string(ClauseKind kind) {
+  switch (kind) {
+    case ClauseKind::kCopy: return "copy";
+    case ClauseKind::kCopyin: return "copyin";
+    case ClauseKind::kCopyout: return "copyout";
+    case ClauseKind::kCreate: return "create";
+    case ClauseKind::kPresent: return "present";
+    case ClauseKind::kPresentOrCopy: return "pcopy";
+    case ClauseKind::kPresentOrCopyin: return "pcopyin";
+    case ClauseKind::kPresentOrCopyout: return "pcopyout";
+    case ClauseKind::kPresentOrCreate: return "pcreate";
+    case ClauseKind::kDeviceptr: return "deviceptr";
+    case ClauseKind::kUpdateHost: return "host";
+    case ClauseKind::kUpdateDevice: return "device";
+    case ClauseKind::kPrivate: return "private";
+    case ClauseKind::kFirstprivate: return "firstprivate";
+    case ClauseKind::kReduction: return "reduction";
+    case ClauseKind::kGang: return "gang";
+    case ClauseKind::kWorker: return "worker";
+    case ClauseKind::kVector: return "vector";
+    case ClauseKind::kSeq: return "seq";
+    case ClauseKind::kIndependent: return "independent";
+    case ClauseKind::kCollapse: return "collapse";
+    case ClauseKind::kNumGangs: return "num_gangs";
+    case ClauseKind::kNumWorkers: return "num_workers";
+    case ClauseKind::kVectorLength: return "vector_length";
+    case ClauseKind::kAsync: return "async";
+    case ClauseKind::kWaitArg: return "wait";
+    case ClauseKind::kIf: return "if";
+  }
+  return "<invalid>";
+}
+
+bool is_data_clause(ClauseKind kind) {
+  switch (kind) {
+    case ClauseKind::kCopy:
+    case ClauseKind::kCopyin:
+    case ClauseKind::kCopyout:
+    case ClauseKind::kCreate:
+    case ClauseKind::kPresent:
+    case ClauseKind::kPresentOrCopy:
+    case ClauseKind::kPresentOrCopyin:
+    case ClauseKind::kPresentOrCopyout:
+    case ClauseKind::kPresentOrCreate:
+    case ClauseKind::kDeviceptr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool transfers_in(ClauseKind kind) {
+  switch (kind) {
+    case ClauseKind::kCopy:
+    case ClauseKind::kCopyin:
+    case ClauseKind::kPresentOrCopy:
+    case ClauseKind::kPresentOrCopyin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool transfers_out(ClauseKind kind) {
+  switch (kind) {
+    case ClauseKind::kCopy:
+    case ClauseKind::kCopyout:
+    case ClauseKind::kPresentOrCopy:
+    case ClauseKind::kPresentOrCopyout:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* to_string(ReductionOp op) {
+  switch (op) {
+    case ReductionOp::kSum: return "+";
+    case ReductionOp::kProd: return "*";
+    case ReductionOp::kMax: return "max";
+    case ReductionOp::kMin: return "min";
+  }
+  return "?";
+}
+
+bool Clause::names_var(const std::string& name) const {
+  return std::find(vars.begin(), vars.end(), name) != vars.end();
+}
+
+Clause Clause::clone() const {
+  Clause copy(kind);
+  copy.vars = vars;
+  copy.reduction_op = reduction_op;
+  copy.location = location;
+  if (arg != nullptr) copy.arg = clone_expr(*arg);
+  if (arg2 != nullptr) copy.arg2 = clone_expr(*arg2);
+  return copy;
+}
+
+std::string Clause::str() const {
+  std::ostringstream os;
+  os << to_string(kind);
+  if (!vars.empty() || reduction_op.has_value()) {
+    os << '(';
+    if (reduction_op.has_value()) os << to_string(*reduction_op) << ':';
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      if (i != 0) os << ',';
+      os << vars[i];
+    }
+    os << ')';
+  } else if (arg != nullptr) {
+    os << "(...)";
+  }
+  return os.str();
+}
+
+const Clause* Directive::find_clause(ClauseKind k) const {
+  for (const auto& c : clauses) {
+    if (c.kind == k) return &c;
+  }
+  return nullptr;
+}
+
+Clause* Directive::find_clause(ClauseKind k) {
+  for (auto& c : clauses) {
+    if (c.kind == k) return &c;
+  }
+  return nullptr;
+}
+
+const Clause* Directive::data_clause_for(const std::string& var) const {
+  for (const auto& c : clauses) {
+    if (is_data_clause(c.kind) && c.names_var(var)) return &c;
+  }
+  return nullptr;
+}
+
+Clause* Directive::data_clause_for(const std::string& var) {
+  for (auto& c : clauses) {
+    if (is_data_clause(c.kind) && c.names_var(var)) return &c;
+  }
+  return nullptr;
+}
+
+void Directive::add_var_to_clause(ClauseKind k, const std::string& var) {
+  Clause* clause = find_clause(k);
+  if (clause == nullptr) {
+    clauses.emplace_back(k);
+    clause = &clauses.back();
+  }
+  if (!clause->names_var(var)) clause->vars.push_back(var);
+}
+
+bool Directive::remove_var_from_data_clauses(const std::string& var) {
+  bool removed = false;
+  for (auto& c : clauses) {
+    if (!is_data_clause(c.kind)) continue;
+    auto it = std::find(c.vars.begin(), c.vars.end(), var);
+    if (it != c.vars.end()) {
+      c.vars.erase(it);
+      removed = true;
+    }
+  }
+  return removed;
+}
+
+void Directive::prune_empty_clauses() {
+  std::erase_if(clauses, [](const Clause& c) {
+    return (is_data_clause(c.kind) || c.kind == ClauseKind::kUpdateHost ||
+            c.kind == ClauseKind::kUpdateDevice ||
+            c.kind == ClauseKind::kPrivate ||
+            c.kind == ClauseKind::kFirstprivate ||
+            c.kind == ClauseKind::kReduction) &&
+           c.vars.empty();
+  });
+}
+
+std::optional<int> Directive::async_queue() const {
+  const Clause* clause = find_clause(ClauseKind::kAsync);
+  if (clause == nullptr) return std::nullopt;
+  if (clause->arg != nullptr && clause->arg->kind() == ExprKind::kIntLit) {
+    return static_cast<int>(clause->arg->as<IntLit>().value());
+  }
+  return -1;  // bare `async`
+}
+
+Directive Directive::clone() const {
+  Directive copy(kind);
+  copy.location = location;
+  copy.clauses.reserve(clauses.size());
+  for (const auto& c : clauses) copy.clauses.push_back(c.clone());
+  return copy;
+}
+
+std::string Directive::str() const {
+  std::ostringstream os;
+  bool openarc = kind == DirectiveKind::kArcBound ||
+                 kind == DirectiveKind::kArcAssert;
+  os << "#pragma " << (openarc ? "" : "acc ") << to_string(kind);
+  for (const auto& c : clauses) os << ' ' << c.str();
+  return os.str();
+}
+
+}  // namespace miniarc

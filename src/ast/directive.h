@@ -1,0 +1,132 @@
+// OpenACC (and `openarc` extension) directive representation.
+//
+// A Directive is the parsed form of one `#pragma acc ...` line: a construct
+// kind plus a list of clauses. Clauses that name variables (copy, copyin,
+// private, reduction, ...) carry the variable list; clauses with an argument
+// expression (async, num_gangs, collapse, if, ...) carry an owned Expr.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/expr.h"
+#include "support/source_location.h"
+
+namespace miniarc {
+
+enum class DirectiveKind : std::uint8_t {
+  kData,          // #pragma acc data
+  kKernels,       // #pragma acc kernels
+  kKernelsLoop,   // #pragma acc kernels loop
+  kParallel,      // #pragma acc parallel
+  kParallelLoop,  // #pragma acc parallel loop
+  kLoop,          // #pragma acc loop (inside a compute construct)
+  kUpdate,        // #pragma acc update host(...) device(...)
+  kWait,          // #pragma acc wait [(n)]
+  kDeclare,       // #pragma acc declare
+  kArcBound,      // #pragma openarc bound(var, lo, hi)   (paper §III-C)
+  kArcAssert,     // #pragma openarc assert checksum(var, expected, tol)
+};
+
+[[nodiscard]] const char* to_string(DirectiveKind kind);
+/// True for constructs that mark a compute region (kernels/parallel forms).
+[[nodiscard]] bool is_compute_construct(DirectiveKind kind);
+
+enum class ClauseKind : std::uint8_t {
+  // Data clauses (carry variable lists).
+  kCopy,
+  kCopyin,
+  kCopyout,
+  kCreate,
+  kPresent,
+  kPresentOrCopy,    // pcopy
+  kPresentOrCopyin,  // pcopyin
+  kPresentOrCopyout, // pcopyout
+  kPresentOrCreate,  // pcreate
+  kDeviceptr,
+  // update clauses.
+  kUpdateHost,    // update host(...)
+  kUpdateDevice,  // update device(...)
+  // Compute clauses.
+  kPrivate,
+  kFirstprivate,
+  kReduction,  // reduction(op: vars)
+  kGang,
+  kWorker,
+  kVector,
+  kSeq,
+  kIndependent,
+  kCollapse,      // collapse(n)
+  kNumGangs,      // num_gangs(n)
+  kNumWorkers,    // num_workers(n)
+  kVectorLength,  // vector_length(n)
+  kAsync,         // async[(n)]
+  kWaitArg,       // wait(n) argument form on compute constructs
+  kIf,            // if(cond)
+};
+
+[[nodiscard]] const char* to_string(ClauseKind kind);
+/// True for clauses whose variables get device storage (copy/create family).
+[[nodiscard]] bool is_data_clause(ClauseKind kind);
+/// True if the clause implies a host-to-device transfer at region entry.
+[[nodiscard]] bool transfers_in(ClauseKind kind);
+/// True if the clause implies a device-to-host transfer at region exit.
+[[nodiscard]] bool transfers_out(ClauseKind kind);
+
+enum class ReductionOp : std::uint8_t { kSum, kProd, kMax, kMin };
+
+[[nodiscard]] const char* to_string(ReductionOp op);
+
+struct Clause {
+  ClauseKind kind;
+  std::vector<std::string> vars;  // variable names, if any
+  ExprPtr arg;                    // async(n), collapse(n), if(c), ...
+  ExprPtr arg2;                   // second argument (openarc bound/assert)
+  std::optional<ReductionOp> reduction_op;
+  SourceLocation location;
+
+  Clause() : kind(ClauseKind::kCopy) {}
+  explicit Clause(ClauseKind k) : kind(k) {}
+  Clause(ClauseKind k, std::vector<std::string> v)
+      : kind(k), vars(std::move(v)) {}
+
+  [[nodiscard]] bool names_var(const std::string& name) const;
+  [[nodiscard]] Clause clone() const;
+  [[nodiscard]] std::string str() const;
+};
+
+struct Directive {
+  DirectiveKind kind = DirectiveKind::kData;
+  std::vector<Clause> clauses;
+  SourceLocation location;
+
+  Directive() = default;
+  explicit Directive(DirectiveKind k) : kind(k) {}
+
+  [[nodiscard]] const Clause* find_clause(ClauseKind kind) const;
+  [[nodiscard]] Clause* find_clause(ClauseKind kind);
+  [[nodiscard]] bool has_clause(ClauseKind kind) const {
+    return find_clause(kind) != nullptr;
+  }
+  /// The clause (if any) that names `var` among the data clauses.
+  [[nodiscard]] const Clause* data_clause_for(const std::string& var) const;
+  [[nodiscard]] Clause* data_clause_for(const std::string& var);
+
+  /// Appends `var` to the clause of kind `kind`, creating the clause if
+  /// needed. No-op if the variable is already listed there.
+  void add_var_to_clause(ClauseKind kind, const std::string& var);
+  /// Removes `var` from any data clause; returns true if found.
+  bool remove_var_from_data_clauses(const std::string& var);
+  /// Removes clauses left empty of variables (keeps non-variable clauses).
+  void prune_empty_clauses();
+
+  /// The async queue id: nullopt if no async clause, -1 for bare `async`.
+  [[nodiscard]] std::optional<int> async_queue() const;
+
+  [[nodiscard]] Directive clone() const;
+  [[nodiscard]] std::string str() const;
+};
+
+}  // namespace miniarc

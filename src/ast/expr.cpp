@@ -1,0 +1,69 @@
+#include "ast/expr.h"
+
+#include <cassert>
+
+namespace miniarc {
+
+const char* to_string(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNeg: return "-";
+    case UnaryOp::kNot: return "!";
+    case UnaryOp::kBitNot: return "~";
+  }
+  return "?";
+}
+
+const char* to_string(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kRem: return "%";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kAnd: return "&&";
+    case BinaryOp::kOr: return "||";
+    case BinaryOp::kBitAnd: return "&";
+    case BinaryOp::kBitOr: return "|";
+    case BinaryOp::kBitXor: return "^";
+    case BinaryOp::kShl: return "<<";
+    case BinaryOp::kShr: return ">>";
+  }
+  return "?";
+}
+
+const std::string& ArrayIndex::base_name() const {
+  assert(base_->kind() == ExprKind::kVarRef &&
+         "array base must be a variable reference");
+  return base_->as<VarRef>().name();
+}
+
+ExprPtr make_int(std::int64_t value) { return std::make_unique<IntLit>(value); }
+
+ExprPtr make_float(double value) { return std::make_unique<FloatLit>(value); }
+
+ExprPtr make_var(std::string name) {
+  return std::make_unique<VarRef>(std::move(name));
+}
+
+ExprPtr make_index(std::string base, ExprPtr index) {
+  std::vector<ExprPtr> indices;
+  indices.push_back(std::move(index));
+  return std::make_unique<ArrayIndex>(make_var(std::move(base)),
+                                      std::move(indices));
+}
+
+ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<Binary>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr make_call(std::string callee, std::vector<ExprPtr> args) {
+  return std::make_unique<Call>(std::move(callee), std::move(args));
+}
+
+}  // namespace miniarc

@@ -1,0 +1,230 @@
+// Expression nodes for mini-C. Ownership is by unique_ptr throughout the
+// tree; nodes carry their source location and, after sema, their type.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/type.h"
+#include "support/source_location.h"
+
+namespace miniarc {
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : std::uint8_t {
+  kIntLit,
+  kFloatLit,
+  kVarRef,
+  kArrayIndex,
+  kUnary,
+  kBinary,
+  kCall,
+  kCast,
+  kTernary,
+  kSizeof,
+};
+
+enum class UnaryOp : std::uint8_t { kNeg, kNot, kBitNot };
+enum class BinaryOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAnd, kOr, kBitAnd, kBitOr, kBitXor, kShl, kShr,
+};
+
+[[nodiscard]] const char* to_string(UnaryOp op);
+[[nodiscard]] const char* to_string(BinaryOp op);
+
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  [[nodiscard]] ExprKind kind() const { return kind_; }
+  [[nodiscard]] SourceLocation location() const { return location_; }
+  void set_location(SourceLocation loc) { location_ = loc; }
+
+  [[nodiscard]] const Type& type() const { return type_; }
+  void set_type(Type t) { type_ = std::move(t); }
+
+  /// Checked downcast: asserts the kind matches in debug builds.
+  template <typename T>
+  [[nodiscard]] T& as() {
+    return static_cast<T&>(*this);
+  }
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    return static_cast<const T&>(*this);
+  }
+
+ protected:
+  Expr(ExprKind kind, SourceLocation loc) : kind_(kind), location_(loc) {}
+
+ private:
+  ExprKind kind_;
+  SourceLocation location_;
+  Type type_;
+};
+
+class IntLit final : public Expr {
+ public:
+  IntLit(std::int64_t value, SourceLocation loc = {})
+      : Expr(ExprKind::kIntLit, loc), value_(value) {}
+  [[nodiscard]] std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_;
+};
+
+class FloatLit final : public Expr {
+ public:
+  FloatLit(double value, SourceLocation loc = {})
+      : Expr(ExprKind::kFloatLit, loc), value_(value) {}
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_;
+};
+
+class VarRef final : public Expr {
+ public:
+  explicit VarRef(std::string name, SourceLocation loc = {})
+      : Expr(ExprKind::kVarRef, loc), name_(std::move(name)) {}
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// `base[i]` or `base[i][j]`. The base is always a VarRef in well-formed
+/// mini-C (no nested pointer expressions), but stored as Expr for generality.
+class ArrayIndex final : public Expr {
+ public:
+  ArrayIndex(ExprPtr base, std::vector<ExprPtr> indices,
+             SourceLocation loc = {})
+      : Expr(ExprKind::kArrayIndex, loc),
+        base_(std::move(base)),
+        indices_(std::move(indices)) {}
+
+  [[nodiscard]] Expr& base() { return *base_; }
+  [[nodiscard]] const Expr& base() const { return *base_; }
+  [[nodiscard]] std::vector<ExprPtr>& indices() { return indices_; }
+  [[nodiscard]] const std::vector<ExprPtr>& indices() const { return indices_; }
+
+  /// Name of the indexed variable (requires a VarRef base).
+  [[nodiscard]] const std::string& base_name() const;
+
+ private:
+  ExprPtr base_;
+  std::vector<ExprPtr> indices_;
+};
+
+class Unary final : public Expr {
+ public:
+  Unary(UnaryOp op, ExprPtr operand, SourceLocation loc = {})
+      : Expr(ExprKind::kUnary, loc), op_(op), operand_(std::move(operand)) {}
+  [[nodiscard]] UnaryOp op() const { return op_; }
+  [[nodiscard]] Expr& operand() { return *operand_; }
+  [[nodiscard]] const Expr& operand() const { return *operand_; }
+
+ private:
+  UnaryOp op_;
+  ExprPtr operand_;
+};
+
+class Binary final : public Expr {
+ public:
+  Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs, SourceLocation loc = {})
+      : Expr(ExprKind::kBinary, loc),
+        op_(op),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+  [[nodiscard]] BinaryOp op() const { return op_; }
+  [[nodiscard]] Expr& lhs() { return *lhs_; }
+  [[nodiscard]] const Expr& lhs() const { return *lhs_; }
+  [[nodiscard]] Expr& rhs() { return *rhs_; }
+  [[nodiscard]] const Expr& rhs() const { return *rhs_; }
+
+ private:
+  BinaryOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+/// Calls either a math intrinsic (sqrt, exp, ...), `malloc`, or a
+/// user-defined function.
+class Call final : public Expr {
+ public:
+  Call(std::string callee, std::vector<ExprPtr> args, SourceLocation loc = {})
+      : Expr(ExprKind::kCall, loc),
+        callee_(std::move(callee)),
+        args_(std::move(args)) {}
+  [[nodiscard]] const std::string& callee() const { return callee_; }
+  [[nodiscard]] std::vector<ExprPtr>& args() { return args_; }
+  [[nodiscard]] const std::vector<ExprPtr>& args() const { return args_; }
+
+ private:
+  std::string callee_;
+  std::vector<ExprPtr> args_;
+};
+
+class Cast final : public Expr {
+ public:
+  Cast(Type target, ExprPtr operand, SourceLocation loc = {})
+      : Expr(ExprKind::kCast, loc),
+        target_(std::move(target)),
+        operand_(std::move(operand)) {}
+  [[nodiscard]] const Type& target() const { return target_; }
+  [[nodiscard]] Expr& operand() { return *operand_; }
+  [[nodiscard]] const Expr& operand() const { return *operand_; }
+
+ private:
+  Type target_;
+  ExprPtr operand_;
+};
+
+class Ternary final : public Expr {
+ public:
+  Ternary(ExprPtr cond, ExprPtr then_value, ExprPtr else_value,
+          SourceLocation loc = {})
+      : Expr(ExprKind::kTernary, loc),
+        cond_(std::move(cond)),
+        then_(std::move(then_value)),
+        else_(std::move(else_value)) {}
+  [[nodiscard]] Expr& cond() { return *cond_; }
+  [[nodiscard]] const Expr& cond() const { return *cond_; }
+  [[nodiscard]] Expr& then_value() { return *then_; }
+  [[nodiscard]] const Expr& then_value() const { return *then_; }
+  [[nodiscard]] Expr& else_value() { return *else_; }
+  [[nodiscard]] const Expr& else_value() const { return *else_; }
+
+ private:
+  ExprPtr cond_;
+  ExprPtr then_;
+  ExprPtr else_;
+};
+
+class SizeofExpr final : public Expr {
+ public:
+  SizeofExpr(Type target, SourceLocation loc = {})
+      : Expr(ExprKind::kSizeof, loc), target_(std::move(target)) {}
+  [[nodiscard]] const Type& target() const { return target_; }
+
+ private:
+  Type target_;
+};
+
+// ---- Construction helpers (used heavily by the compiler passes). ----
+
+[[nodiscard]] ExprPtr make_int(std::int64_t value);
+[[nodiscard]] ExprPtr make_float(double value);
+[[nodiscard]] ExprPtr make_var(std::string name);
+[[nodiscard]] ExprPtr make_index(std::string base, ExprPtr index);
+[[nodiscard]] ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+[[nodiscard]] ExprPtr make_call(std::string callee, std::vector<ExprPtr> args);
+
+}  // namespace miniarc

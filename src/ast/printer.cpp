@@ -1,0 +1,379 @@
+#include "ast/printer.h"
+
+#include <sstream>
+
+namespace miniarc {
+namespace {
+
+// Operator precedence for minimal parenthesization.
+int precedence(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kRem: return 10;
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub: return 9;
+    case BinaryOp::kShl:
+    case BinaryOp::kShr: return 8;
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: return 7;
+    case BinaryOp::kEq:
+    case BinaryOp::kNe: return 6;
+    case BinaryOp::kBitAnd: return 5;
+    case BinaryOp::kBitXor: return 4;
+    case BinaryOp::kBitOr: return 3;
+    case BinaryOp::kAnd: return 2;
+    case BinaryOp::kOr: return 1;
+  }
+  return 0;
+}
+
+void print_expr_to(std::ostringstream& os, const Expr& expr, int parent_prec);
+
+/// Effective precedence of an operand: binary operators use their table
+/// entry; every other expression binds tighter than any binary operator.
+int operand_precedence(const Expr& expr) {
+  if (expr.kind() == ExprKind::kBinary) {
+    return precedence(expr.as<Binary>().op());
+  }
+  if (expr.kind() == ExprKind::kTernary) return 0;
+  return 100;
+}
+
+/// Print `expr` wrapped in parentheses iff its precedence is below
+/// `min_prec`.
+void print_paren(std::ostringstream& os, const Expr& expr, int min_prec) {
+  if (operand_precedence(expr) < min_prec) {
+    os << '(';
+    print_expr_to(os, expr, 0);
+    os << ')';
+  } else {
+    print_expr_to(os, expr, 0);
+  }
+}
+
+void print_expr_to(std::ostringstream& os, const Expr& expr, int parent_prec) {
+  switch (expr.kind()) {
+    case ExprKind::kIntLit:
+      os << expr.as<IntLit>().value();
+      break;
+    case ExprKind::kFloatLit: {
+      std::ostringstream tmp;
+      tmp.precision(17);
+      tmp << expr.as<FloatLit>().value();
+      std::string text = tmp.str();
+      os << text;
+      // Make sure it round-trips as a float literal.
+      if (text.find('.') == std::string::npos &&
+          text.find('e') == std::string::npos &&
+          text.find("inf") == std::string::npos &&
+          text.find("nan") == std::string::npos) {
+        os << ".0";
+      }
+      break;
+    }
+    case ExprKind::kVarRef:
+      os << expr.as<VarRef>().name();
+      break;
+    case ExprKind::kArrayIndex: {
+      const auto& ai = expr.as<ArrayIndex>();
+      print_expr_to(os, ai.base(), 100);
+      for (const auto& idx : ai.indices()) {
+        os << '[';
+        print_expr_to(os, *idx, 0);
+        os << ']';
+      }
+      break;
+    }
+    case ExprKind::kUnary: {
+      const auto& u = expr.as<Unary>();
+      os << to_string(u.op());
+      os << '(';
+      print_expr_to(os, u.operand(), 0);
+      os << ')';
+      break;
+    }
+    case ExprKind::kBinary: {
+      const auto& b = expr.as<Binary>();
+      int prec = precedence(b.op());
+      if (prec < parent_prec) os << '(';
+      print_paren(os, b.lhs(), prec);
+      os << ' ' << to_string(b.op()) << ' ';
+      // Right operand needs parens at equal precedence (left-assoc).
+      print_paren(os, b.rhs(), prec + 1);
+      if (prec < parent_prec) os << ')';
+      break;
+    }
+    case ExprKind::kCall: {
+      const auto& c = expr.as<Call>();
+      os << c.callee() << '(';
+      for (std::size_t i = 0; i < c.args().size(); ++i) {
+        if (i != 0) os << ", ";
+        print_expr_to(os, *c.args()[i], 0);
+      }
+      os << ')';
+      break;
+    }
+    case ExprKind::kCast: {
+      const auto& c = expr.as<Cast>();
+      os << '(' << c.target().str() << ')';
+      print_paren(os, c.operand(), 100);
+      break;
+    }
+    case ExprKind::kTernary: {
+      const auto& t = expr.as<Ternary>();
+      os << '(';
+      print_expr_to(os, t.cond(), 0);
+      os << " ? ";
+      print_expr_to(os, t.then_value(), 0);
+      os << " : ";
+      print_expr_to(os, t.else_value(), 0);
+      os << ')';
+      break;
+    }
+    case ExprKind::kSizeof:
+      os << "sizeof(" << expr.as<SizeofExpr>().target().str() << ')';
+      break;
+  }
+}
+
+std::string decl_str(const VarDecl& decl) {
+  std::ostringstream os;
+  if (decl.is_extern) os << "extern ";
+  if (decl.is_const) os << "const ";
+  os << to_string(decl.type().scalar());
+  for (int i = 0; i < decl.type().pointer_depth(); ++i) os << '*';
+  os << ' ' << decl.name();
+  for (std::int64_t d : decl.type().array_dims()) os << '[' << d << ']';
+  if (decl.init() != nullptr) os << " = " << print_expr(*decl.init());
+  return os.str();
+}
+
+class StmtPrinter {
+ public:
+  explicit StmtPrinter(int indent) : indent_(indent) {}
+
+  void print(const Stmt& stmt) {
+    switch (stmt.kind()) {
+      case StmtKind::kDecl:
+        line(decl_str(stmt.as<DeclStmt>().decl()) + ";");
+        break;
+      case StmtKind::kAssign: {
+        const auto& a = stmt.as<AssignStmt>();
+        line(print_expr(a.lhs()) + " " + to_string(a.op()) + " " +
+             print_expr(a.rhs()) + ";");
+        break;
+      }
+      case StmtKind::kIncDec: {
+        const auto& i = stmt.as<IncDecStmt>();
+        line(print_expr(i.target()) + (i.is_increment() ? "++" : "--") + ";");
+        break;
+      }
+      case StmtKind::kExpr:
+        line(print_expr(stmt.as<ExprStmt>().expr()) + ";");
+        break;
+      case StmtKind::kIf: {
+        const auto& i = stmt.as<IfStmt>();
+        line("if (" + print_expr(i.cond()) + ")");
+        print_block(i.then_body());
+        if (i.else_body() != nullptr) {
+          line("else");
+          print_block(*i.else_body());
+        }
+        break;
+      }
+      case StmtKind::kFor: {
+        const auto& f = stmt.as<ForStmt>();
+        std::string init = f.init() != nullptr ? inline_stmt(*f.init()) : "";
+        std::string cond = f.cond() != nullptr ? print_expr(*f.cond()) : "";
+        std::string step = f.step() != nullptr ? inline_stmt(*f.step()) : "";
+        line("for (" + init + "; " + cond + "; " + step + ")");
+        print_block(f.body());
+        break;
+      }
+      case StmtKind::kWhile: {
+        const auto& w = stmt.as<WhileStmt>();
+        line("while (" + print_expr(w.cond()) + ")");
+        print_block(w.body());
+        break;
+      }
+      case StmtKind::kCompound: {
+        line("{");
+        ++indent_;
+        for (const auto& s : stmt.as<CompoundStmt>().stmts()) print(*s);
+        --indent_;
+        line("}");
+        break;
+      }
+      case StmtKind::kReturn: {
+        const auto& r = stmt.as<ReturnStmt>();
+        line(r.value() != nullptr ? "return " + print_expr(*r.value()) + ";"
+                                  : "return;");
+        break;
+      }
+      case StmtKind::kBreak:
+        line("break;");
+        break;
+      case StmtKind::kContinue:
+        line("continue;");
+        break;
+      case StmtKind::kAcc: {
+        const auto& a = stmt.as<AccStmt>();
+        line(a.directive().str());
+        print_block(a.body());
+        break;
+      }
+      case StmtKind::kAccStandalone:
+        line(stmt.as<AccStandaloneStmt>().directive().str());
+        break;
+      case StmtKind::kKernelLaunch: {
+        const auto& k = stmt.as<KernelLaunchStmt>();
+        std::ostringstream os;
+        os << k.kernel_name() << "<<<" << k.config.num_gangs << ", "
+           << k.config.num_workers;
+        if (k.config.async_queue.has_value()) {
+          os << ", stream" << *k.config.async_queue;
+        }
+        os << ">>>(";
+        bool first = true;
+        for (const auto& acc : k.accesses) {
+          if (!acc.is_buffer) continue;
+          if (!first) os << ", ";
+          os << "d_" << acc.name;
+          first = false;
+        }
+        for (const auto& s : k.scalar_args) {
+          if (!first) os << ", ";
+          os << s;
+          first = false;
+        }
+        os << ");";
+        line(os.str());
+        line("/* kernel body of " + k.kernel_name() + ": */");
+        print_block(k.body());
+        break;
+      }
+      case StmtKind::kMemTransfer: {
+        const auto& m = stmt.as<MemTransferStmt>();
+        std::ostringstream os;
+        os << (m.direction() == TransferDirection::kHostToDevice
+                   ? "acc_memcpy_to_device"
+                   : "acc_memcpy_from_device")
+           << "(" << m.var();
+        if (m.async_queue.has_value()) os << ", async=" << *m.async_queue;
+        os << "); /* " << to_string(m.cause());
+        if (!m.label.empty()) os << " " << m.label;
+        os << " */";
+        line(os.str());
+        break;
+      }
+      case StmtKind::kDevAlloc:
+        line("acc_malloc(" + stmt.as<DevAllocStmt>().var() + ");");
+        break;
+      case StmtKind::kDevFree:
+        line("acc_free(" + stmt.as<DevFreeStmt>().var() + ");");
+        break;
+      case StmtKind::kWait: {
+        const auto& w = stmt.as<WaitStmt>();
+        line(w.queue().has_value()
+                 ? "acc_wait(" + std::to_string(*w.queue()) + ");"
+                 : "acc_wait_all();");
+        break;
+      }
+      case StmtKind::kRuntimeCheck: {
+        const auto& r = stmt.as<RuntimeCheckStmt>();
+        std::ostringstream os;
+        os << to_string(r.op()) << '(' << r.var() << ", "
+           << to_string(r.side());
+        if (r.op() == RuntimeCheckOp::kSetStatus ||
+            r.op() == RuntimeCheckOp::kResetStatus) {
+          os << ", " << to_string(r.new_state);
+        }
+        os << ");";
+        line(os.str());
+        break;
+      }
+      case StmtKind::kResultCompare: {
+        const auto& r = stmt.as<ResultCompareStmt>();
+        std::string vars;
+        for (std::size_t i = 0; i < r.vars().size(); ++i) {
+          if (i != 0) vars += ", ";
+          vars += r.vars()[i];
+        }
+        line("compare_results(" + r.kernel_name() + ", {" + vars + "});");
+        break;
+      }
+      case StmtKind::kHostExec:
+        line("/* sequential host execution */");
+        print_block(stmt.as<HostExecStmt>().body());
+        break;
+    }
+  }
+
+  [[nodiscard]] std::string str() const { return os_.str(); }
+
+ private:
+  void line(const std::string& text) {
+    for (int i = 0; i < indent_; ++i) os_ << "  ";
+    os_ << text << '\n';
+  }
+
+  void print_block(const Stmt& body) {
+    if (body.kind() == StmtKind::kCompound) {
+      print(body);
+    } else {
+      ++indent_;
+      print(body);
+      --indent_;
+    }
+  }
+
+  // For-loop init/step rendered without trailing semicolon/newline.
+  static std::string inline_stmt(const Stmt& stmt) {
+    StmtPrinter printer(0);
+    printer.print(stmt);
+    std::string text = printer.str();
+    while (!text.empty() && (text.back() == '\n' || text.back() == ';')) {
+      text.pop_back();
+    }
+    return text;
+  }
+
+  std::ostringstream os_;
+  int indent_;
+};
+
+}  // namespace
+
+std::string print_expr(const Expr& expr) {
+  std::ostringstream os;
+  print_expr_to(os, expr, 0);
+  return os.str();
+}
+
+std::string print_stmt(const Stmt& stmt, int indent) {
+  StmtPrinter printer(indent);
+  printer.print(stmt);
+  return printer.str();
+}
+
+std::string print_program(const Program& program) {
+  std::ostringstream os;
+  for (const auto& g : program.globals) os << decl_str(*g) << ";\n";
+  if (!program.globals.empty()) os << '\n';
+  for (const auto& f : program.functions) {
+    os << to_string(f->return_type().scalar()) << ' ' << f->name() << '(';
+    for (std::size_t i = 0; i < f->params().size(); ++i) {
+      if (i != 0) os << ", ";
+      os << decl_str(*f->params()[i]);
+    }
+    os << ")\n";
+    os << print_stmt(f->body());
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace miniarc

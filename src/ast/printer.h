@@ -1,0 +1,19 @@
+// Pretty-printer: emits mini-C source (directives included) from an AST.
+// Lowered statements print as the runtime calls the translated CUDA program
+// would contain (acc_memcpy_to_device(...), check_read(...), ...), which is
+// what the examples show users and what the round-trip tests compare.
+#pragma once
+
+#include <string>
+
+#include "ast/decl.h"
+#include "ast/expr.h"
+#include "ast/stmt.h"
+
+namespace miniarc {
+
+[[nodiscard]] std::string print_expr(const Expr& expr);
+[[nodiscard]] std::string print_stmt(const Stmt& stmt, int indent = 0);
+[[nodiscard]] std::string print_program(const Program& program);
+
+}  // namespace miniarc

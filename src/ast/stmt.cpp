@@ -1,0 +1,125 @@
+#include "ast/stmt.h"
+
+#include <algorithm>
+
+#include "ast/decl.h"
+
+namespace miniarc {
+
+const char* to_string(StmtKind kind) {
+  switch (kind) {
+    case StmtKind::kDecl: return "decl";
+    case StmtKind::kAssign: return "assign";
+    case StmtKind::kIncDec: return "incdec";
+    case StmtKind::kExpr: return "expr";
+    case StmtKind::kIf: return "if";
+    case StmtKind::kFor: return "for";
+    case StmtKind::kWhile: return "while";
+    case StmtKind::kCompound: return "compound";
+    case StmtKind::kReturn: return "return";
+    case StmtKind::kBreak: return "break";
+    case StmtKind::kContinue: return "continue";
+    case StmtKind::kAcc: return "acc";
+    case StmtKind::kAccStandalone: return "acc-standalone";
+    case StmtKind::kKernelLaunch: return "kernel-launch";
+    case StmtKind::kMemTransfer: return "mem-transfer";
+    case StmtKind::kDevAlloc: return "dev-alloc";
+    case StmtKind::kDevFree: return "dev-free";
+    case StmtKind::kWait: return "wait";
+    case StmtKind::kRuntimeCheck: return "runtime-check";
+    case StmtKind::kResultCompare: return "result-compare";
+    case StmtKind::kHostExec: return "host-exec";
+  }
+  return "<invalid>";
+}
+
+const char* to_string(AssignOp op) {
+  switch (op) {
+    case AssignOp::kAssign: return "=";
+    case AssignOp::kAdd: return "+=";
+    case AssignOp::kSub: return "-=";
+    case AssignOp::kMul: return "*=";
+    case AssignOp::kDiv: return "/=";
+  }
+  return "?";
+}
+
+const char* to_string(TransferDirection dir) {
+  return dir == TransferDirection::kHostToDevice ? "host-to-device"
+                                                 : "device-to-host";
+}
+
+const char* to_string(TransferCause cause) {
+  switch (cause) {
+    case TransferCause::kRegionEntry: return "region-entry";
+    case TransferCause::kRegionExit: return "region-exit";
+    case TransferCause::kUpdate: return "update";
+    case TransferCause::kDefaultScheme: return "default-scheme";
+    case TransferCause::kDemoted: return "demoted";
+  }
+  return "?";
+}
+
+const char* to_string(RuntimeCheckOp op) {
+  switch (op) {
+    case RuntimeCheckOp::kCheckRead: return "check_read";
+    case RuntimeCheckOp::kCheckWrite: return "check_write";
+    case RuntimeCheckOp::kSetStatus: return "set_status";
+    case RuntimeCheckOp::kResetStatus: return "reset_status";
+  }
+  return "?";
+}
+
+const char* to_string(DeviceSide side) {
+  return side == DeviceSide::kHost ? "CPU" : "GPU";
+}
+
+const char* to_string(CoherenceState state) {
+  switch (state) {
+    case CoherenceState::kNotStale: return "notstale";
+    case CoherenceState::kMayStale: return "maystale";
+    case CoherenceState::kStale: return "stale";
+  }
+  return "?";
+}
+
+DeclStmt::DeclStmt(std::unique_ptr<VarDecl> decl, SourceLocation loc)
+    : Stmt(StmtKind::kDecl, loc), decl_(std::move(decl)) {}
+
+DeclStmt::~DeclStmt() = default;
+
+std::string ForStmt::induction_var() const {
+  if (init_ == nullptr) return {};
+  if (init_->kind() == StmtKind::kAssign) {
+    const auto& assign = init_->as<AssignStmt>();
+    if (assign.lhs().kind() == ExprKind::kVarRef &&
+        assign.op() == AssignOp::kAssign) {
+      return assign.lhs().as<VarRef>().name();
+    }
+  } else if (init_->kind() == StmtKind::kDecl) {
+    return init_->as<DeclStmt>().decl().name();
+  }
+  return {};
+}
+
+const KernelAccess* KernelLaunchStmt::access_for(
+    const std::string& name) const {
+  auto it = std::find_if(accesses.begin(), accesses.end(),
+                         [&](const KernelAccess& a) { return a.name == name; });
+  return it == accesses.end() ? nullptr : &*it;
+}
+
+bool KernelLaunchStmt::is_private(const std::string& name) const {
+  return std::find(private_vars.begin(), private_vars.end(), name) !=
+             private_vars.end() ||
+         std::find(firstprivate_vars.begin(), firstprivate_vars.end(), name) !=
+             firstprivate_vars.end();
+}
+
+bool KernelLaunchStmt::is_reduction(const std::string& name) const {
+  return std::any_of(
+      reductions.begin(), reductions.end(),
+      [&](const ReductionSpec& r) { return r.var == name; });
+}
+
+}  // namespace miniarc

@@ -1,0 +1,509 @@
+// Statement nodes for mini-C, including the *lowered* statements produced by
+// the translation pipeline (kernel launches, memory transfers, runtime
+// coherence checks, result comparisons). Keeping source and lowered forms in
+// one tree lets every pass and the interpreter work on a single
+// representation, which is how the traceability story stays simple.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/directive.h"
+#include "ast/expr.h"
+#include "support/source_location.h"
+
+namespace miniarc {
+
+class Stmt;
+class VarDecl;  // defined in ast/decl.h
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : std::uint8_t {
+  // Source-level statements.
+  kDecl,
+  kAssign,
+  kIncDec,
+  kExpr,
+  kIf,
+  kFor,
+  kWhile,
+  kCompound,
+  kReturn,
+  kBreak,
+  kContinue,
+  kAcc,            // directive construct with a body (data/kernels/parallel)
+  kAccStandalone,  // update / wait / openarc extension directives
+  // Lowered statements (produced by translate/).
+  kKernelLaunch,
+  kMemTransfer,
+  kDevAlloc,
+  kDevFree,
+  kWait,
+  kRuntimeCheck,
+  kResultCompare,
+  kHostExec,
+};
+
+[[nodiscard]] const char* to_string(StmtKind kind);
+
+class Stmt {
+ public:
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  [[nodiscard]] StmtKind kind() const { return kind_; }
+  [[nodiscard]] SourceLocation location() const { return location_; }
+  void set_location(SourceLocation loc) { location_ = loc; }
+
+  template <typename T>
+  [[nodiscard]] T& as() {
+    return static_cast<T&>(*this);
+  }
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    return static_cast<const T&>(*this);
+  }
+
+ protected:
+  Stmt(StmtKind kind, SourceLocation loc) : kind_(kind), location_(loc) {}
+
+ private:
+  StmtKind kind_;
+  SourceLocation location_;
+};
+
+/// Local variable declaration. Owns its VarDecl.
+class DeclStmt final : public Stmt {
+ public:
+  explicit DeclStmt(std::unique_ptr<VarDecl> decl, SourceLocation loc = {});
+  ~DeclStmt() override;
+
+  [[nodiscard]] VarDecl& decl() { return *decl_; }
+  [[nodiscard]] const VarDecl& decl() const { return *decl_; }
+
+ private:
+  std::unique_ptr<VarDecl> decl_;
+};
+
+enum class AssignOp : std::uint8_t { kAssign, kAdd, kSub, kMul, kDiv };
+[[nodiscard]] const char* to_string(AssignOp op);
+
+class AssignStmt final : public Stmt {
+ public:
+  AssignStmt(ExprPtr lhs, AssignOp op, ExprPtr rhs, SourceLocation loc = {})
+      : Stmt(StmtKind::kAssign, loc),
+        lhs_(std::move(lhs)),
+        op_(op),
+        rhs_(std::move(rhs)) {}
+
+  [[nodiscard]] Expr& lhs() { return *lhs_; }
+  [[nodiscard]] const Expr& lhs() const { return *lhs_; }
+  [[nodiscard]] AssignOp op() const { return op_; }
+  [[nodiscard]] Expr& rhs() { return *rhs_; }
+  [[nodiscard]] const Expr& rhs() const { return *rhs_; }
+
+ private:
+  ExprPtr lhs_;
+  AssignOp op_;
+  ExprPtr rhs_;
+};
+
+class IncDecStmt final : public Stmt {
+ public:
+  IncDecStmt(ExprPtr target, bool is_increment, SourceLocation loc = {})
+      : Stmt(StmtKind::kIncDec, loc),
+        target_(std::move(target)),
+        is_increment_(is_increment) {}
+  [[nodiscard]] Expr& target() { return *target_; }
+  [[nodiscard]] const Expr& target() const { return *target_; }
+  [[nodiscard]] bool is_increment() const { return is_increment_; }
+
+ private:
+  ExprPtr target_;
+  bool is_increment_;
+};
+
+class ExprStmt final : public Stmt {
+ public:
+  explicit ExprStmt(ExprPtr expr, SourceLocation loc = {})
+      : Stmt(StmtKind::kExpr, loc), expr_(std::move(expr)) {}
+  [[nodiscard]] Expr& expr() { return *expr_; }
+  [[nodiscard]] const Expr& expr() const { return *expr_; }
+
+ private:
+  ExprPtr expr_;
+};
+
+class IfStmt final : public Stmt {
+ public:
+  IfStmt(ExprPtr cond, StmtPtr then_body, StmtPtr else_body,
+         SourceLocation loc = {})
+      : Stmt(StmtKind::kIf, loc),
+        cond_(std::move(cond)),
+        then_(std::move(then_body)),
+        else_(std::move(else_body)) {}
+  [[nodiscard]] Expr& cond() { return *cond_; }
+  [[nodiscard]] const Expr& cond() const { return *cond_; }
+  [[nodiscard]] Stmt& then_body() { return *then_; }
+  [[nodiscard]] const Stmt& then_body() const { return *then_; }
+  [[nodiscard]] Stmt* else_body() { return else_.get(); }
+  [[nodiscard]] const Stmt* else_body() const { return else_.get(); }
+  [[nodiscard]] StmtPtr& then_slot() { return then_; }
+  [[nodiscard]] StmtPtr& else_slot() { return else_; }
+
+ private:
+  ExprPtr cond_;
+  StmtPtr then_;
+  StmtPtr else_;
+};
+
+class ForStmt final : public Stmt {
+ public:
+  ForStmt(StmtPtr init, ExprPtr cond, StmtPtr step, StmtPtr body,
+          SourceLocation loc = {})
+      : Stmt(StmtKind::kFor, loc),
+        init_(std::move(init)),
+        cond_(std::move(cond)),
+        step_(std::move(step)),
+        body_(std::move(body)) {}
+
+  [[nodiscard]] Stmt* init() { return init_.get(); }
+  [[nodiscard]] const Stmt* init() const { return init_.get(); }
+  [[nodiscard]] Expr* cond() { return cond_.get(); }
+  [[nodiscard]] const Expr* cond() const { return cond_.get(); }
+  [[nodiscard]] Stmt* step() { return step_.get(); }
+  [[nodiscard]] const Stmt* step() const { return step_.get(); }
+  [[nodiscard]] Stmt& body() { return *body_; }
+  [[nodiscard]] const Stmt& body() const { return *body_; }
+
+  /// Name of the induction variable if the loop has canonical form
+  /// `for (i = lo; i < hi; i++)` (or decl-init); empty otherwise.
+  [[nodiscard]] std::string induction_var() const;
+
+  [[nodiscard]] StmtPtr& init_slot() { return init_; }
+  [[nodiscard]] StmtPtr& step_slot() { return step_; }
+  [[nodiscard]] StmtPtr& body_slot() { return body_; }
+
+ private:
+  StmtPtr init_;
+  ExprPtr cond_;
+  StmtPtr step_;
+  StmtPtr body_;
+};
+
+class WhileStmt final : public Stmt {
+ public:
+  WhileStmt(ExprPtr cond, StmtPtr body, SourceLocation loc = {})
+      : Stmt(StmtKind::kWhile, loc),
+        cond_(std::move(cond)),
+        body_(std::move(body)) {}
+  [[nodiscard]] Expr& cond() { return *cond_; }
+  [[nodiscard]] const Expr& cond() const { return *cond_; }
+  [[nodiscard]] Stmt& body() { return *body_; }
+  [[nodiscard]] const Stmt& body() const { return *body_; }
+  [[nodiscard]] StmtPtr& body_slot() { return body_; }
+
+ private:
+  ExprPtr cond_;
+  StmtPtr body_;
+};
+
+class CompoundStmt final : public Stmt {
+ public:
+  explicit CompoundStmt(std::vector<StmtPtr> stmts = {},
+                        SourceLocation loc = {})
+      : Stmt(StmtKind::kCompound, loc), stmts_(std::move(stmts)) {}
+  [[nodiscard]] std::vector<StmtPtr>& stmts() { return stmts_; }
+  [[nodiscard]] const std::vector<StmtPtr>& stmts() const { return stmts_; }
+
+ private:
+  std::vector<StmtPtr> stmts_;
+};
+
+class ReturnStmt final : public Stmt {
+ public:
+  explicit ReturnStmt(ExprPtr value, SourceLocation loc = {})
+      : Stmt(StmtKind::kReturn, loc), value_(std::move(value)) {}
+  [[nodiscard]] Expr* value() { return value_.get(); }
+  [[nodiscard]] const Expr* value() const { return value_.get(); }
+
+ private:
+  ExprPtr value_;
+};
+
+class BreakStmt final : public Stmt {
+ public:
+  explicit BreakStmt(SourceLocation loc = {}) : Stmt(StmtKind::kBreak, loc) {}
+};
+
+class ContinueStmt final : public Stmt {
+ public:
+  explicit ContinueStmt(SourceLocation loc = {})
+      : Stmt(StmtKind::kContinue, loc) {}
+};
+
+/// A directive construct with a body: `#pragma acc data { ... }`,
+/// `#pragma acc kernels loop for(...)`, nested `#pragma acc loop`.
+class AccStmt final : public Stmt {
+ public:
+  AccStmt(Directive directive, StmtPtr body, SourceLocation loc = {})
+      : Stmt(StmtKind::kAcc, loc),
+        directive_(std::move(directive)),
+        body_(std::move(body)) {}
+  [[nodiscard]] Directive& directive() { return directive_; }
+  [[nodiscard]] const Directive& directive() const { return directive_; }
+  [[nodiscard]] Stmt& body() { return *body_; }
+  [[nodiscard]] const Stmt& body() const { return *body_; }
+  [[nodiscard]] StmtPtr take_body() { return std::move(body_); }
+  void set_body(StmtPtr body) { body_ = std::move(body); }
+  [[nodiscard]] StmtPtr& body_slot() { return body_; }
+
+ private:
+  Directive directive_;
+  StmtPtr body_;
+};
+
+/// A standalone directive: `#pragma acc update ...`, `#pragma acc wait`.
+class AccStandaloneStmt final : public Stmt {
+ public:
+  explicit AccStandaloneStmt(Directive directive, SourceLocation loc = {})
+      : Stmt(StmtKind::kAccStandalone, loc), directive_(std::move(directive)) {}
+  [[nodiscard]] Directive& directive() { return directive_; }
+  [[nodiscard]] const Directive& directive() const { return directive_; }
+
+ private:
+  Directive directive_;
+};
+
+// --------------------------------------------------------------------------
+// Lowered statements.
+// --------------------------------------------------------------------------
+
+/// Per-variable access classification inside a compute region, computed by
+/// sema/access_summary and consumed by the memory-management passes.
+struct KernelAccess {
+  std::string name;
+  bool read = false;
+  bool written = false;
+  bool is_buffer = false;  // array/pointer (tracked by the coherence runtime)
+
+  [[nodiscard]] bool read_only() const { return read && !written; }
+  [[nodiscard]] bool write_only() const { return written && !read; }
+};
+
+struct ReductionSpec {
+  ReductionOp op = ReductionOp::kSum;
+  std::string var;
+};
+
+/// Execution configuration of a lowered kernel.
+struct LaunchConfig {
+  int num_gangs = 32;
+  int num_workers = 8;
+  std::optional<int> async_queue;
+};
+
+/// A compute region lowered to a device kernel launch. The body is the
+/// original region loop nest; the executor partitions the outermost
+/// partitionable loop over gangs×workers.
+class KernelLaunchStmt final : public Stmt {
+ public:
+  KernelLaunchStmt(std::string kernel_name, StmtPtr body,
+                   SourceLocation loc = {})
+      : Stmt(StmtKind::kKernelLaunch, loc),
+        kernel_name_(std::move(kernel_name)),
+        body_(std::move(body)) {}
+
+  [[nodiscard]] const std::string& kernel_name() const { return kernel_name_; }
+  [[nodiscard]] Stmt& body() { return *body_; }
+  [[nodiscard]] const Stmt& body() const { return *body_; }
+  [[nodiscard]] StmtPtr& body_slot() { return body_; }
+
+  LaunchConfig config;
+  std::vector<KernelAccess> accesses;
+  std::vector<std::string> private_vars;
+  std::vector<std::string> firstprivate_vars;
+  std::vector<ReductionSpec> reductions;
+  /// Scalars read by the kernel that live on the host (passed by value at
+  /// launch, like CUDA kernel arguments).
+  std::vector<std::string> scalar_args;
+  /// Scalars the kernel writes that are neither private nor reduction — the
+  /// race the fault injector creates by stripping clauses. The device
+  /// executes these with per-worker register caches and dumps them back in
+  /// reverse worker order at kernel end (§IV-B's latent/active error model).
+  std::vector<std::string> falsely_shared;
+  /// Kernel verification mode: scalar results are stashed for comparison
+  /// instead of overwriting the host's (reference) values.
+  bool stash_scalar_results = false;
+
+  [[nodiscard]] const KernelAccess* access_for(const std::string& name) const;
+  [[nodiscard]] bool is_private(const std::string& name) const;
+  [[nodiscard]] bool is_reduction(const std::string& name) const;
+
+ private:
+  std::string kernel_name_;
+  StmtPtr body_;
+};
+
+enum class TransferDirection : std::uint8_t { kHostToDevice, kDeviceToHost };
+[[nodiscard]] const char* to_string(TransferDirection dir);
+
+/// Why a transfer statement exists — reported back to the user verbatim so
+/// suggestions are actionable at the directive level.
+enum class TransferCause : std::uint8_t {
+  kRegionEntry,   // data/compute region entry data clause
+  kRegionExit,    // data/compute region exit data clause
+  kUpdate,        // explicit `#pragma acc update`
+  kDefaultScheme, // OpenACC default memory management (no explicit clause)
+  kDemoted,       // inserted by memory-transfer demotion (verification mode)
+};
+[[nodiscard]] const char* to_string(TransferCause cause);
+
+class MemTransferStmt final : public Stmt {
+ public:
+  MemTransferStmt(std::string var, TransferDirection direction,
+                  TransferCause cause, SourceLocation loc = {})
+      : Stmt(StmtKind::kMemTransfer, loc),
+        var_(std::move(var)),
+        direction_(direction),
+        cause_(cause) {}
+
+  [[nodiscard]] const std::string& var() const { return var_; }
+  [[nodiscard]] TransferDirection direction() const { return direction_; }
+  [[nodiscard]] TransferCause cause() const { return cause_; }
+
+  /// Stable id used in tool reports, e.g. "update0".
+  std::string label;
+  std::optional<int> async_queue;
+  /// OpenACC structured-data semantics: region-entry copies fire only when
+  /// this region allocated the device copy; region-exit copies only when the
+  /// region releases the last reference. `update` and demoted transfers are
+  /// unconditional.
+  enum class Condition : std::uint8_t { kAlways, kIfFreshAlloc, kIfLastRef };
+  Condition condition = Condition::kAlways;
+  /// Demoted verification copy-back: the transfer is billed (time + bytes)
+  /// but lands in a scratch buffer so the host keeps its reference data.
+  bool to_scratch = false;
+
+ private:
+  std::string var_;
+  TransferDirection direction_;
+  TransferCause cause_;
+};
+
+class DevAllocStmt final : public Stmt {
+ public:
+  explicit DevAllocStmt(std::string var, SourceLocation loc = {})
+      : Stmt(StmtKind::kDevAlloc, loc), var_(std::move(var)) {}
+  [[nodiscard]] const std::string& var() const { return var_; }
+
+  /// True when a conditional region-entry transfer follows this allocation
+  /// (it consumes the brought-in flag). When false — create/present
+  /// clauses — the runtime clears the flag immediately, so inner regions
+  /// treat the data as present.
+  bool expects_entry_transfer = false;
+
+ private:
+  std::string var_;
+};
+
+class DevFreeStmt final : public Stmt {
+ public:
+  explicit DevFreeStmt(std::string var, SourceLocation loc = {})
+      : Stmt(StmtKind::kDevFree, loc), var_(std::move(var)) {}
+  [[nodiscard]] const std::string& var() const { return var_; }
+
+ private:
+  std::string var_;
+};
+
+/// Wait on one async queue (or all if no queue given).
+class WaitStmt final : public Stmt {
+ public:
+  explicit WaitStmt(std::optional<int> queue, SourceLocation loc = {})
+      : Stmt(StmtKind::kWait, loc), queue_(queue) {}
+  [[nodiscard]] std::optional<int> queue() const { return queue_; }
+
+ private:
+  std::optional<int> queue_;
+};
+
+enum class RuntimeCheckOp : std::uint8_t {
+  kCheckRead,
+  kCheckWrite,
+  kSetStatus,
+  kResetStatus,
+};
+[[nodiscard]] const char* to_string(RuntimeCheckOp op);
+
+enum class DeviceSide : std::uint8_t { kHost, kDevice };
+[[nodiscard]] const char* to_string(DeviceSide side);
+
+enum class CoherenceState : std::uint8_t { kNotStale, kMayStale, kStale };
+[[nodiscard]] const char* to_string(CoherenceState state);
+
+/// A coherence-protocol call inserted by the instrumentation pass:
+/// check_read(), check_write(), set_status(), reset_status() of §III-B.
+class RuntimeCheckStmt final : public Stmt {
+ public:
+  RuntimeCheckStmt(RuntimeCheckOp op, std::string var, DeviceSide side,
+                   SourceLocation loc = {})
+      : Stmt(StmtKind::kRuntimeCheck, loc),
+        op_(op),
+        var_(std::move(var)),
+        side_(side) {}
+
+  [[nodiscard]] RuntimeCheckOp op() const { return op_; }
+  [[nodiscard]] const std::string& var() const { return var_; }
+  [[nodiscard]] DeviceSide side() const { return side_; }
+
+  /// Target state for kSetStatus / kResetStatus.
+  CoherenceState new_state = CoherenceState::kNotStale;
+  /// For check_write on a may-dead variable: downgrade missing → may-missing.
+  bool may_dead = false;
+  /// Label of the transfer this status call is attached to (reporting).
+  std::string label;
+
+ private:
+  RuntimeCheckOp op_;
+  std::string var_;
+  DeviceSide side_;
+};
+
+/// Compare device results of `kernel` against the host (reference) values of
+/// the named variables; emitted by the result-comparison transformation.
+class ResultCompareStmt final : public Stmt {
+ public:
+  ResultCompareStmt(std::string kernel_name, std::vector<std::string> vars,
+                    SourceLocation loc = {})
+      : Stmt(StmtKind::kResultCompare, loc),
+        kernel_name_(std::move(kernel_name)),
+        vars_(std::move(vars)) {}
+  [[nodiscard]] const std::string& kernel_name() const { return kernel_name_; }
+  [[nodiscard]] const std::vector<std::string>& vars() const { return vars_; }
+
+ private:
+  std::string kernel_name_;
+  std::vector<std::string> vars_;
+};
+
+/// Force sequential host execution of a (cloned) region body — used by the
+/// kernel-verification transform for the reference run and for regions that
+/// are not under verification.
+class HostExecStmt final : public Stmt {
+ public:
+  explicit HostExecStmt(StmtPtr body, SourceLocation loc = {})
+      : Stmt(StmtKind::kHostExec, loc), body_(std::move(body)) {}
+  [[nodiscard]] Stmt& body() { return *body_; }
+  [[nodiscard]] const Stmt& body() const { return *body_; }
+  [[nodiscard]] StmtPtr& body_slot() { return body_; }
+
+ private:
+  StmtPtr body_;
+};
+
+}  // namespace miniarc

@@ -1,0 +1,61 @@
+#include "ast/type.h"
+
+#include <sstream>
+
+namespace miniarc {
+
+const char* to_string(ScalarKind kind) {
+  switch (kind) {
+    case ScalarKind::kVoid: return "void";
+    case ScalarKind::kInt: return "int";
+    case ScalarKind::kLong: return "long";
+    case ScalarKind::kFloat: return "float";
+    case ScalarKind::kDouble: return "double";
+  }
+  return "<invalid>";
+}
+
+bool is_floating(ScalarKind kind) {
+  return kind == ScalarKind::kFloat || kind == ScalarKind::kDouble;
+}
+
+bool is_integral(ScalarKind kind) {
+  return kind == ScalarKind::kInt || kind == ScalarKind::kLong;
+}
+
+std::size_t scalar_size(ScalarKind kind) {
+  switch (kind) {
+    case ScalarKind::kVoid: return 0;
+    case ScalarKind::kInt: return 4;
+    case ScalarKind::kLong: return 8;
+    case ScalarKind::kFloat: return 4;
+    case ScalarKind::kDouble: return 8;
+  }
+  return 0;
+}
+
+std::int64_t Type::static_element_count() const {
+  if (!is_array()) return 0;
+  std::int64_t count = 1;
+  for (std::int64_t d : array_dims_) count *= d;
+  return count;
+}
+
+Type Type::element_type() const {
+  if (is_array()) {
+    std::vector<std::int64_t> dims(array_dims_.begin() + 1, array_dims_.end());
+    return Type(scalar_, 0, std::move(dims));
+  }
+  if (is_pointer()) return Type(scalar_, pointer_depth_ - 1);
+  return *this;
+}
+
+std::string Type::str() const {
+  std::ostringstream os;
+  os << to_string(scalar_);
+  for (int i = 0; i < pointer_depth_; ++i) os << '*';
+  for (std::int64_t d : array_dims_) os << '[' << d << ']';
+  return os.str();
+}
+
+}  // namespace miniarc

@@ -1,0 +1,83 @@
+// Type model for mini-C: scalar kinds, pointers, and statically-sized arrays.
+// Deliberately small — the benchmarks need numeric scalars, 1-D/2-D arrays,
+// and malloc'd pointer buffers, nothing more.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace miniarc {
+
+enum class ScalarKind : std::uint8_t {
+  kVoid,
+  kInt,     // 32-bit signed (stored as 64-bit in the interpreter)
+  kLong,    // 64-bit signed
+  kFloat,   // stored/computed at float precision
+  kDouble,
+};
+
+[[nodiscard]] const char* to_string(ScalarKind kind);
+[[nodiscard]] bool is_floating(ScalarKind kind);
+[[nodiscard]] bool is_integral(ScalarKind kind);
+/// sizeof() in bytes for the on-device representation.
+[[nodiscard]] std::size_t scalar_size(ScalarKind kind);
+
+/// A value type describing mini-C types: `scalar`, `scalar*`, `scalar[N]`,
+/// `scalar[N][M]`. Pointer depth and array dims are mutually exclusive in
+/// well-formed programs (a pointer is an unsized buffer handle).
+class Type {
+ public:
+  Type() = default;
+  explicit Type(ScalarKind scalar, int pointer_depth = 0,
+                std::vector<std::int64_t> array_dims = {})
+      : scalar_(scalar),
+        pointer_depth_(pointer_depth),
+        array_dims_(std::move(array_dims)) {}
+
+  static Type void_type() { return Type(ScalarKind::kVoid); }
+  static Type int_type() { return Type(ScalarKind::kInt); }
+  static Type long_type() { return Type(ScalarKind::kLong); }
+  static Type float_type() { return Type(ScalarKind::kFloat); }
+  static Type double_type() { return Type(ScalarKind::kDouble); }
+  static Type pointer_to(ScalarKind scalar) { return Type(scalar, 1); }
+  static Type array_of(ScalarKind scalar, std::vector<std::int64_t> dims) {
+    return Type(scalar, 0, std::move(dims));
+  }
+
+  [[nodiscard]] ScalarKind scalar() const { return scalar_; }
+  [[nodiscard]] int pointer_depth() const { return pointer_depth_; }
+  [[nodiscard]] const std::vector<std::int64_t>& array_dims() const {
+    return array_dims_;
+  }
+
+  [[nodiscard]] bool is_void() const { return scalar_ == ScalarKind::kVoid; }
+  [[nodiscard]] bool is_scalar() const {
+    return pointer_depth_ == 0 && array_dims_.empty() && !is_void();
+  }
+  [[nodiscard]] bool is_pointer() const { return pointer_depth_ > 0; }
+  [[nodiscard]] bool is_array() const { return !array_dims_.empty(); }
+  /// Arrays and pointers both denote buffers in the interpreter.
+  [[nodiscard]] bool is_buffer() const { return is_pointer() || is_array(); }
+  [[nodiscard]] bool is_floating_scalar() const {
+    return is_scalar() && is_floating(scalar_);
+  }
+
+  /// Total element count for a static array (product of dims); 0 for
+  /// pointers (size known only at runtime).
+  [[nodiscard]] std::int64_t static_element_count() const;
+
+  /// The type of `this[index]`: drops one array dimension or the pointer.
+  [[nodiscard]] Type element_type() const;
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Type&, const Type&) = default;
+
+ private:
+  ScalarKind scalar_ = ScalarKind::kVoid;
+  int pointer_depth_ = 0;
+  std::vector<std::int64_t> array_dims_;
+};
+
+}  // namespace miniarc

@@ -1,0 +1,200 @@
+#include "ast/visitor.h"
+
+namespace miniarc {
+namespace {
+
+template <typename E, typename Fn>
+void walk_exprs_impl(E& expr, const Fn& fn) {
+  fn(expr);
+  switch (expr.kind()) {
+    case ExprKind::kIntLit:
+    case ExprKind::kFloatLit:
+    case ExprKind::kVarRef:
+    case ExprKind::kSizeof:
+      break;
+    case ExprKind::kArrayIndex: {
+      auto& ai = expr.template as<ArrayIndex>();
+      walk_exprs_impl(ai.base(), fn);
+      for (auto& idx : ai.indices()) walk_exprs_impl(*idx, fn);
+      break;
+    }
+    case ExprKind::kUnary:
+      walk_exprs_impl(expr.template as<Unary>().operand(), fn);
+      break;
+    case ExprKind::kBinary: {
+      auto& b = expr.template as<Binary>();
+      walk_exprs_impl(b.lhs(), fn);
+      walk_exprs_impl(b.rhs(), fn);
+      break;
+    }
+    case ExprKind::kCall:
+      for (auto& arg : expr.template as<Call>().args()) {
+        walk_exprs_impl(*arg, fn);
+      }
+      break;
+    case ExprKind::kCast:
+      walk_exprs_impl(expr.template as<Cast>().operand(), fn);
+      break;
+    case ExprKind::kTernary: {
+      auto& t = expr.template as<Ternary>();
+      walk_exprs_impl(t.cond(), fn);
+      walk_exprs_impl(t.then_value(), fn);
+      walk_exprs_impl(t.else_value(), fn);
+      break;
+    }
+  }
+}
+
+template <typename S, typename StmtFn, typename ExprFn>
+void walk_stmts_impl(S& stmt, const StmtFn& stmt_fn, const ExprFn& expr_fn) {
+  stmt_fn(stmt);
+  auto visit_expr = [&](auto& e) {
+    if (expr_fn) walk_exprs_impl(e, expr_fn);
+  };
+  switch (stmt.kind()) {
+    case StmtKind::kDecl: {
+      auto& d = stmt.template as<DeclStmt>().decl();
+      if (d.init() != nullptr) visit_expr(*d.init());
+      break;
+    }
+    case StmtKind::kAssign: {
+      auto& a = stmt.template as<AssignStmt>();
+      visit_expr(a.lhs());
+      visit_expr(a.rhs());
+      break;
+    }
+    case StmtKind::kIncDec:
+      visit_expr(stmt.template as<IncDecStmt>().target());
+      break;
+    case StmtKind::kExpr:
+      visit_expr(stmt.template as<ExprStmt>().expr());
+      break;
+    case StmtKind::kIf: {
+      auto& i = stmt.template as<IfStmt>();
+      visit_expr(i.cond());
+      walk_stmts_impl(i.then_body(), stmt_fn, expr_fn);
+      if (i.else_body() != nullptr) {
+        walk_stmts_impl(*i.else_body(), stmt_fn, expr_fn);
+      }
+      break;
+    }
+    case StmtKind::kFor: {
+      auto& f = stmt.template as<ForStmt>();
+      if (f.init() != nullptr) walk_stmts_impl(*f.init(), stmt_fn, expr_fn);
+      if (f.cond() != nullptr) visit_expr(*f.cond());
+      if (f.step() != nullptr) walk_stmts_impl(*f.step(), stmt_fn, expr_fn);
+      walk_stmts_impl(f.body(), stmt_fn, expr_fn);
+      break;
+    }
+    case StmtKind::kWhile: {
+      auto& w = stmt.template as<WhileStmt>();
+      visit_expr(w.cond());
+      walk_stmts_impl(w.body(), stmt_fn, expr_fn);
+      break;
+    }
+    case StmtKind::kCompound:
+      for (auto& s : stmt.template as<CompoundStmt>().stmts()) {
+        walk_stmts_impl(*s, stmt_fn, expr_fn);
+      }
+      break;
+    case StmtKind::kReturn: {
+      auto& r = stmt.template as<ReturnStmt>();
+      if (r.value() != nullptr) visit_expr(*r.value());
+      break;
+    }
+    case StmtKind::kAcc:
+      walk_stmts_impl(stmt.template as<AccStmt>().body(), stmt_fn, expr_fn);
+      break;
+    case StmtKind::kKernelLaunch:
+      walk_stmts_impl(stmt.template as<KernelLaunchStmt>().body(), stmt_fn,
+                      expr_fn);
+      break;
+    case StmtKind::kHostExec:
+      walk_stmts_impl(stmt.template as<HostExecStmt>().body(), stmt_fn,
+                      expr_fn);
+      break;
+    case StmtKind::kBreak:
+    case StmtKind::kContinue:
+    case StmtKind::kAccStandalone:
+    case StmtKind::kMemTransfer:
+    case StmtKind::kDevAlloc:
+    case StmtKind::kDevFree:
+    case StmtKind::kWait:
+    case StmtKind::kRuntimeCheck:
+    case StmtKind::kResultCompare:
+      break;
+  }
+}
+
+}  // namespace
+
+void walk_exprs(Expr& expr, const std::function<void(Expr&)>& fn) {
+  walk_exprs_impl(expr, fn);
+}
+
+void walk_exprs(const Expr& expr,
+                const std::function<void(const Expr&)>& fn) {
+  walk_exprs_impl(expr, fn);
+}
+
+void walk_stmts(Stmt& stmt, const std::function<void(Stmt&)>& stmt_fn,
+                const std::function<void(Expr&)>& expr_fn) {
+  walk_stmts_impl(stmt, stmt_fn, expr_fn);
+}
+
+void walk_stmts(const Stmt& stmt,
+                const std::function<void(const Stmt&)>& stmt_fn,
+                const std::function<void(const Expr&)>& expr_fn) {
+  walk_stmts_impl(stmt, stmt_fn, expr_fn);
+}
+
+StmtPtr rewrite_stmts(StmtPtr stmt, const StmtRewriteFn& fn) {
+  if (stmt == nullptr) return nullptr;
+  // Rewrite children first (bottom-up).
+  switch (stmt->kind()) {
+    case StmtKind::kIf: {
+      auto& i = stmt->as<IfStmt>();
+      i.then_slot() = rewrite_stmts(std::move(i.then_slot()), fn);
+      i.else_slot() = rewrite_stmts(std::move(i.else_slot()), fn);
+      break;
+    }
+    case StmtKind::kFor: {
+      auto& f = stmt->as<ForStmt>();
+      f.init_slot() = rewrite_stmts(std::move(f.init_slot()), fn);
+      f.step_slot() = rewrite_stmts(std::move(f.step_slot()), fn);
+      f.body_slot() = rewrite_stmts(std::move(f.body_slot()), fn);
+      break;
+    }
+    case StmtKind::kWhile: {
+      auto& w = stmt->as<WhileStmt>();
+      w.body_slot() = rewrite_stmts(std::move(w.body_slot()), fn);
+      break;
+    }
+    case StmtKind::kCompound: {
+      auto& stmts = stmt->as<CompoundStmt>().stmts();
+      for (auto& s : stmts) s = rewrite_stmts(std::move(s), fn);
+      std::erase_if(stmts, [](const StmtPtr& s) { return s == nullptr; });
+      break;
+    }
+    case StmtKind::kAcc: {
+      auto& a = stmt->as<AccStmt>();
+      a.body_slot() = rewrite_stmts(std::move(a.body_slot()), fn);
+      break;
+    }
+    case StmtKind::kKernelLaunch: {
+      auto& k = stmt->as<KernelLaunchStmt>();
+      k.body_slot() = rewrite_stmts(std::move(k.body_slot()), fn);
+      break;
+    }
+    case StmtKind::kHostExec: {
+      auto& h = stmt->as<HostExecStmt>();
+      h.body_slot() = rewrite_stmts(std::move(h.body_slot()), fn);
+      break;
+    }
+    default:
+      break;
+  }
+  return fn(std::move(stmt));
+}
+
+}  // namespace miniarc

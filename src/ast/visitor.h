@@ -1,0 +1,32 @@
+// Generic AST walkers. Passes that only need to observe or locally mutate
+// nodes use these instead of re-implementing recursion.
+#pragma once
+
+#include <functional>
+
+#include "ast/decl.h"
+#include "ast/expr.h"
+#include "ast/stmt.h"
+
+namespace miniarc {
+
+/// Calls `fn` on `expr` and every sub-expression, preorder.
+void walk_exprs(Expr& expr, const std::function<void(Expr&)>& fn);
+void walk_exprs(const Expr& expr, const std::function<void(const Expr&)>& fn);
+
+/// Calls `stmt_fn` on `stmt` and every nested statement, preorder, and
+/// `expr_fn` (if non-null) on every expression found along the way.
+/// Recurses into AccStmt / KernelLaunchStmt / HostExecStmt bodies.
+void walk_stmts(Stmt& stmt, const std::function<void(Stmt&)>& stmt_fn,
+                const std::function<void(Expr&)>& expr_fn = nullptr);
+void walk_stmts(const Stmt& stmt,
+                const std::function<void(const Stmt&)>& stmt_fn,
+                const std::function<void(const Expr&)>& expr_fn = nullptr);
+
+/// Rewrites a statement tree bottom-up: `fn` is offered each statement (after
+/// its children were rewritten) and may return a replacement (or nullptr to
+/// keep the original). Used by the lowering passes.
+using StmtRewriteFn = std::function<StmtPtr(StmtPtr)>;
+[[nodiscard]] StmtPtr rewrite_stmts(StmtPtr stmt, const StmtRewriteFn& fn);
+
+}  // namespace miniarc

@@ -1,0 +1,32 @@
+#include "benchsuite/benchmark_registry.h"
+
+namespace miniarc {
+
+const std::vector<BenchmarkDef>& benchmark_suite() {
+  static const std::vector<BenchmarkDef> suite = [] {
+    std::vector<BenchmarkDef> all;
+    all.push_back(make_backprop());
+    all.push_back(make_bfs());
+    all.push_back(make_cfd());
+    all.push_back(make_cg());
+    all.push_back(make_ep());
+    all.push_back(make_hotspot());
+    all.push_back(make_jacobi());
+    all.push_back(make_kmeans());
+    all.push_back(make_lud());
+    all.push_back(make_nw());
+    all.push_back(make_spmul());
+    all.push_back(make_srad());
+    return all;
+  }();
+  return suite;
+}
+
+const BenchmarkDef* find_benchmark(const std::string& name) {
+  for (const auto& bench : benchmark_suite()) {
+    if (bench.name == name) return &bench;
+  }
+  return nullptr;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,48 @@
+// The twelve OpenACC benchmarks of the paper's evaluation (§IV-A), ported to
+// mini-C: two kernel benchmarks (JACOBI, SPMUL), two NAS Parallel Benchmarks
+// (EP, CG), and eight Rodinia benchmarks (BACKPROP, BFS, CFD, SRAD, HOTSPOT,
+// KMEANS, LUD, NW). Each comes in an *unoptimized* variant (bare compute
+// regions → OpenACC default memory management) and a *manually optimized*
+// variant (data regions + update directives), plus a deterministic input
+// binder and a native C++ reference checker.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/interactive_optimizer.h"
+
+namespace miniarc {
+
+struct BenchmarkDef {
+  std::string name;
+  /// Default-memory-management variant (Figure 1's measured scheme).
+  std::string unoptimized_source;
+  /// Hand-tuned variant (Figure 1's normalization baseline).
+  std::string optimized_source;
+  InputBinder bind_inputs;
+  /// Validates final host state against a native C++ reference run.
+  OutputChecker check_output;
+  /// Kernels per variant (identical in both), for Table II accounting.
+  int expected_kernel_count = 0;
+};
+
+/// All twelve benchmarks, in the paper's alphabetical order.
+[[nodiscard]] const std::vector<BenchmarkDef>& benchmark_suite();
+[[nodiscard]] const BenchmarkDef* find_benchmark(const std::string& name);
+
+// Per-benchmark factories (one translation unit each).
+[[nodiscard]] BenchmarkDef make_backprop();
+[[nodiscard]] BenchmarkDef make_bfs();
+[[nodiscard]] BenchmarkDef make_cfd();
+[[nodiscard]] BenchmarkDef make_cg();
+[[nodiscard]] BenchmarkDef make_ep();
+[[nodiscard]] BenchmarkDef make_hotspot();
+[[nodiscard]] BenchmarkDef make_jacobi();
+[[nodiscard]] BenchmarkDef make_kmeans();
+[[nodiscard]] BenchmarkDef make_lud();
+[[nodiscard]] BenchmarkDef make_nw();
+[[nodiscard]] BenchmarkDef make_spmul();
+[[nodiscard]] BenchmarkDef make_srad();
+
+}  // namespace miniarc

@@ -1,0 +1,87 @@
+#include "benchsuite/inputs.h"
+
+namespace miniarc {
+
+double InputRng::uniform() {
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  std::uint64_t r = state_ * 0x2545F4914F6CDD1DULL;
+  return static_cast<double>(r >> 11) / 9007199254740992.0;
+}
+
+std::int64_t InputRng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(uniform() *
+                                        static_cast<double>(hi - lo + 1));
+}
+
+void fill_uniform(TypedBuffer& buffer, std::uint64_t seed, double lo,
+                  double hi) {
+  InputRng rng(seed);
+  for (std::size_t i = 0; i < buffer.count(); ++i) {
+    buffer.set(i, lo + (hi - lo) * rng.uniform());
+  }
+}
+
+bool value_close(double actual, double expected, double tolerance) {
+  double diff = actual - expected;
+  if (diff < 0) diff = -diff;
+  double scale = expected < 0 ? -expected : expected;
+  if (scale < 1.0) scale = 1.0;
+  return diff <= tolerance * scale;
+}
+
+bool buffer_close(const TypedBuffer& actual,
+                  const std::vector<double>& expected, double tolerance) {
+  if (actual.count() != expected.size()) return false;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (!value_close(actual.get(i), expected[i], tolerance)) return false;
+  }
+  return true;
+}
+
+CsrMatrix make_csr(std::int64_t rows, std::int64_t per_row,
+                   std::uint64_t seed, bool diagonally_dominant) {
+  InputRng rng(seed);
+  CsrMatrix csr;
+  csr.row_ptr.reserve(static_cast<std::size_t>(rows) + 1);
+  csr.row_ptr.push_back(0);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    // Diagonal first, then off-diagonals at random columns.
+    csr.col_idx.push_back(r);
+    double row_sum = 0.0;
+    std::size_t diag_index = csr.values.size();
+    csr.values.push_back(0.0);
+    for (std::int64_t k = 1; k < per_row; ++k) {
+      std::int64_t c = rng.uniform_int(0, rows - 1);
+      if (c == r) continue;
+      double v = rng.uniform() - 0.5;
+      csr.col_idx.push_back(c);
+      csr.values.push_back(v);
+      row_sum += v < 0 ? -v : v;
+    }
+    csr.values[diag_index] =
+        diagonally_dominant ? row_sum + 1.0 + rng.uniform() : rng.uniform();
+    csr.row_ptr.push_back(static_cast<std::int64_t>(csr.col_idx.size()));
+  }
+  return csr;
+}
+
+CsrGraph make_graph(std::int64_t nodes, std::int64_t degree,
+                    std::uint64_t seed) {
+  InputRng rng(seed);
+  CsrGraph graph;
+  graph.row_ptr.reserve(static_cast<std::size_t>(nodes) + 1);
+  graph.row_ptr.push_back(0);
+  for (std::int64_t n = 0; n < nodes; ++n) {
+    // A ring edge keeps the graph connected; the rest are random.
+    graph.edges.push_back((n + 1) % nodes);
+    for (std::int64_t k = 1; k < degree; ++k) {
+      graph.edges.push_back(rng.uniform_int(0, nodes - 1));
+    }
+    graph.row_ptr.push_back(static_cast<std::int64_t>(graph.edges.size()));
+  }
+  return graph;
+}
+
+}  // namespace miniarc

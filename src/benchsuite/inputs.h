@@ -1,0 +1,60 @@
+// Deterministic input generation for the benchmark suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/buffer.h"
+
+namespace miniarc {
+
+/// Small, fast, seedable generator (xorshift64*). All benchmark inputs come
+/// from here so every run — reference, verification, optimization rounds —
+/// sees identical data.
+class InputRng {
+ public:
+  explicit InputRng(std::uint64_t seed)
+      : state_(seed == 0 ? 0x853c49e6748fea9bULL : seed) {}
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform();
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Fill `buffer` with uniform values in [lo, hi).
+void fill_uniform(TypedBuffer& buffer, std::uint64_t seed, double lo,
+                  double hi);
+
+/// Build a deterministic sparse pattern in CSR form: `rows` rows with about
+/// `per_row` entries each (diagonal always included so matrices are
+/// reasonably conditioned). Returns {row_ptr, col_idx, values}.
+struct CsrMatrix {
+  std::vector<std::int64_t> row_ptr;
+  std::vector<std::int64_t> col_idx;
+  std::vector<double> values;
+};
+[[nodiscard]] CsrMatrix make_csr(std::int64_t rows, std::int64_t per_row,
+                                 std::uint64_t seed,
+                                 bool diagonally_dominant = true);
+
+/// Compare an interpreter-produced buffer against native reference values
+/// (mixed relative/absolute tolerance).
+[[nodiscard]] bool buffer_close(const TypedBuffer& actual,
+                                const std::vector<double>& expected,
+                                double tolerance = 1e-6);
+[[nodiscard]] bool value_close(double actual, double expected,
+                               double tolerance = 1e-6);
+
+/// Random graph in CSR adjacency form (used by BFS).
+struct CsrGraph {
+  std::vector<std::int64_t> row_ptr;
+  std::vector<std::int64_t> edges;
+};
+[[nodiscard]] CsrGraph make_graph(std::int64_t nodes, std::int64_t degree,
+                                  std::uint64_t seed);
+
+}  // namespace miniarc

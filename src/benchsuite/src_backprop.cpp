@@ -1,0 +1,251 @@
+// BACKPROP — Rodinia two-layer neural network trainer: forward pass (hidden
+// and output layers with sigmoid squashing), output/hidden deltas, and two
+// weight-update kernels, repeated over epochs.
+//
+// The first-layer weights are read on the host only through a pointer alias
+// (`w1_a`), reproducing the paper's BACKPROP incorrect suggestion (Table
+// III: 1 incorrect iteration): the aggressive analysis treats the CPU copy
+// of w1 as dead, flags its copy-out redundant, and the removal corrupts the
+// final weight checksum until the round is reverted.
+#include "benchsuite/benchmark_registry.h"
+#include "benchsuite/inputs.h"
+
+#include <cmath>
+
+namespace miniarc {
+namespace {
+
+constexpr std::int64_t kIn = 32;
+constexpr std::int64_t kHid = 12;
+constexpr std::int64_t kOut = 4;
+constexpr int kEpochs = 4;
+constexpr double kEta = 0.3;
+constexpr std::uint64_t kSeed = 0xbac;
+
+constexpr const char* kKernels = R"(
+    #pragma acc kernels loop gang worker
+    for (h = 0; h < NHID; h++) {
+      sumh = 0.0;
+      for (ii = 0; ii < NIN; ii++) {
+        sumh += input[ii] * w1[ii * NHID + h];
+      }
+      hidden[h] = 1.0 / (1.0 + exp(0.0 - sumh));
+    }
+    #pragma acc kernels loop gang worker
+    for (o = 0; o < NOUT; o++) {
+      sumo = 0.0;
+      for (h2 = 0; h2 < NHID; h2++) {
+        sumo += hidden[h2] * w2[h2 * NOUT + o];
+      }
+      outv[o] = 1.0 / (1.0 + exp(0.0 - sumo));
+    }
+    #pragma acc kernels loop gang worker
+    for (o2 = 0; o2 < NOUT; o2++) {
+      delta_o[o2] = (target[o2] - outv[o2]) * outv[o2] * (1.0 - outv[o2]);
+    }
+    #pragma acc kernels loop gang worker
+    for (h3 = 0; h3 < NHID; h3++) {
+      sumdh = 0.0;
+      for (o3 = 0; o3 < NOUT; o3++) {
+        sumdh += delta_o[o3] * w2[h3 * NOUT + o3];
+      }
+      delta_h[h3] = hidden[h3] * (1.0 - hidden[h3]) * sumdh;
+    }
+    #pragma acc kernels loop gang worker
+    for (h4 = 0; h4 < NHID; h4++) {
+      for (o4 = 0; o4 < NOUT; o4++) {
+        w2[h4 * NOUT + o4] = w2[h4 * NOUT + o4] +
+                             ETA * delta_o[o4] * hidden[h4];
+      }
+    }
+    #pragma acc kernels loop gang worker
+    for (i5 = 0; i5 < NIN; i5++) {
+      for (h5 = 0; h5 < NHID; h5++) {
+        w1[i5 * NHID + h5] = w1[i5 * NHID + h5] +
+                             ETA * delta_h[h5] * input[i5];
+      }
+    }
+)";
+
+constexpr const char* kPrologue = R"(
+extern int NIN;
+extern int NHID;
+extern int NOUT;
+extern int EPOCHS;
+extern double ETA;
+extern double input[];
+extern double target[];
+extern double w2[];
+extern double checks[];
+
+void main(void) {
+  int e;
+  int h;
+  int ii;
+  int o;
+  int h2;
+  int o2;
+  int h3;
+  int o3;
+  int h4;
+  int o4;
+  int i5;
+  int h5;
+  int t;
+  double sumh;
+  double sumo;
+  double sumdh;
+  double wsum;
+  double* w1 = (double*)malloc(NIN * NHID * sizeof(double));
+  double* hidden = (double*)malloc(NHID * sizeof(double));
+  double* outv = (double*)malloc(NOUT * sizeof(double));
+  double* delta_o = (double*)malloc(NOUT * sizeof(double));
+  double* delta_h = (double*)malloc(NHID * sizeof(double));
+  double* w1_a = w1;
+
+  for (t = 0; t < NIN * NHID; t++) {
+    w1[t] = 0.4 * ((t * 37) % 100) / 100.0 - 0.2;
+  }
+)";
+
+constexpr const char* kEpilogue = R"(
+  wsum = 0.0;
+  for (t = 0; t < NIN * NHID; t++) {
+    wsum += w1_a[t];
+  }
+  checks[0] = wsum;
+  checks[1] = outv[0];
+}
+)";
+
+std::string unoptimized() {
+  std::string src = kPrologue;
+  src += "\n  for (e = 0; e < EPOCHS; e++) {\n";
+  src += kKernels;
+  src += "  }\n";
+  src += kEpilogue;
+  return src;
+}
+
+std::string optimized() {
+  std::string src = kPrologue;
+  src += R"(
+  #pragma acc data copyin(input, target) copy(w2, w1) copyout(outv) create(hidden, delta_o, delta_h)
+  {
+    for (e = 0; e < EPOCHS; e++) {
+)";
+  src += kKernels;
+  src += "    }\n  }\n";
+  src += kEpilogue;
+  return src;
+}
+
+struct Reference {
+  std::vector<double> w2;
+  double wsum = 0.0;
+  double out0 = 0.0;
+};
+
+const Reference& reference_result() {
+  static const Reference ref = [] {
+    auto nin = static_cast<std::size_t>(kIn);
+    auto nhid = static_cast<std::size_t>(kHid);
+    auto nout = static_cast<std::size_t>(kOut);
+    std::vector<double> input(nin), target(nout);
+    Reference r;
+    r.w2.resize(nhid * nout);
+    {
+      TypedBuffer in(ScalarKind::kDouble, nin);
+      fill_uniform(in, kSeed, 0.0, 1.0);
+      for (std::size_t i = 0; i < nin; ++i) input[i] = in.get(i);
+      TypedBuffer tg(ScalarKind::kDouble, nout);
+      fill_uniform(tg, kSeed + 1, 0.0, 1.0);
+      for (std::size_t i = 0; i < nout; ++i) target[i] = tg.get(i);
+      TypedBuffer w(ScalarKind::kDouble, nhid * nout);
+      fill_uniform(w, kSeed + 2, -0.5, 0.5);
+      for (std::size_t i = 0; i < r.w2.size(); ++i) r.w2[i] = w.get(i);
+    }
+    std::vector<double> w1(nin * nhid);
+    for (std::size_t t = 0; t < w1.size(); ++t) {
+      w1[t] = 0.4 * static_cast<double>((t * 37) % 100) / 100.0 - 0.2;
+    }
+    std::vector<double> hidden(nhid), outv(nout), delta_o(nout),
+        delta_h(nhid);
+    for (int e = 0; e < kEpochs; ++e) {
+      for (std::size_t h = 0; h < nhid; ++h) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < nin; ++i) sum += input[i] * w1[i * nhid + h];
+        hidden[h] = 1.0 / (1.0 + std::exp(-sum));
+      }
+      for (std::size_t o = 0; o < nout; ++o) {
+        double sum = 0.0;
+        for (std::size_t h = 0; h < nhid; ++h) {
+          sum += hidden[h] * r.w2[h * nout + o];
+        }
+        outv[o] = 1.0 / (1.0 + std::exp(-sum));
+      }
+      for (std::size_t o = 0; o < nout; ++o) {
+        delta_o[o] = (target[o] - outv[o]) * outv[o] * (1.0 - outv[o]);
+      }
+      for (std::size_t h = 0; h < nhid; ++h) {
+        double sum = 0.0;
+        for (std::size_t o = 0; o < nout; ++o) {
+          sum += delta_o[o] * r.w2[h * nout + o];
+        }
+        delta_h[h] = hidden[h] * (1.0 - hidden[h]) * sum;
+      }
+      for (std::size_t h = 0; h < nhid; ++h) {
+        for (std::size_t o = 0; o < nout; ++o) {
+          r.w2[h * nout + o] += kEta * delta_o[o] * hidden[h];
+        }
+      }
+      for (std::size_t i = 0; i < nin; ++i) {
+        for (std::size_t h = 0; h < nhid; ++h) {
+          w1[i * nhid + h] += kEta * delta_h[h] * input[i];
+        }
+      }
+    }
+    r.wsum = 0.0;
+    for (double w : w1) r.wsum += w;
+    r.out0 = outv[0];
+    return r;
+  }();
+  return ref;
+}
+
+}  // namespace
+
+BenchmarkDef make_backprop() {
+  BenchmarkDef def;
+  def.name = "BACKPROP";
+  def.unoptimized_source = unoptimized();
+  def.optimized_source = optimized();
+  def.expected_kernel_count = 6;
+  def.bind_inputs = [](Interpreter& interp) {
+    interp.bind_scalar("NIN", Value::of_int(kIn));
+    interp.bind_scalar("NHID", Value::of_int(kHid));
+    interp.bind_scalar("NOUT", Value::of_int(kOut));
+    interp.bind_scalar("EPOCHS", Value::of_int(kEpochs));
+    interp.bind_scalar("ETA", Value::of_double(kEta));
+    BufferPtr input = interp.bind_buffer("input", ScalarKind::kDouble,
+                                         static_cast<std::size_t>(kIn));
+    fill_uniform(*input, kSeed, 0.0, 1.0);
+    BufferPtr target = interp.bind_buffer("target", ScalarKind::kDouble,
+                                          static_cast<std::size_t>(kOut));
+    fill_uniform(*target, kSeed + 1, 0.0, 1.0);
+    BufferPtr w2 = interp.bind_buffer(
+        "w2", ScalarKind::kDouble,
+        static_cast<std::size_t>(kHid) * static_cast<std::size_t>(kOut));
+    fill_uniform(*w2, kSeed + 2, -0.5, 0.5);
+    interp.bind_buffer("checks", ScalarKind::kDouble, 2);
+  };
+  def.check_output = [](Interpreter& interp) {
+    const Reference& expected = reference_result();
+    return buffer_close(*interp.buffer("w2"), expected.w2) &&
+           value_close(interp.buffer("checks")->get(0), expected.wsum) &&
+           value_close(interp.buffer("checks")->get(1), expected.out0);
+  };
+  return def;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,186 @@
+// BFS — Rodinia breadth-first search, level-synchronous formulation: a
+// frontier-expansion kernel plus a frontier-commit kernel inside a host
+// `while` loop driven by a one-element continuation flag. The flag's
+// per-level device-to-host copy is *genuinely required* — BFS is the
+// benchmark that exercises the not-redundant classification and the
+// missing-transfer detector when the flag copy is removed.
+#include "benchsuite/benchmark_registry.h"
+#include "benchsuite/inputs.h"
+
+namespace miniarc {
+namespace {
+
+constexpr std::int64_t kNodes = 600;
+constexpr std::int64_t kDegree = 5;
+constexpr std::uint64_t kSeed = 0xbf5;
+
+// The unoptimized variant has no data region: the continuation flag rides
+// the default scheme (copied in before and out after the expansion kernel),
+// which is exactly the per-level traffic BFS really needs.
+constexpr const char* kAlgorithm = R"(
+  cost[0] = 0;
+  frontier[0] = 1;
+  cont[0] = 1;
+  while (cont[0] > 0) {
+    cont[0] = 0;
+    #pragma acc kernels loop gang worker
+    for (n = 0; n < NODES; n++) {
+      if (frontier[n] == 1) {
+        for (e = rowptr[n]; e < rowptr[n + 1]; e++) {
+          nb = edges[e];
+          if (cost[nb] < 0) {
+            cost[nb] = cost[n] + 1;
+            newfrontier[nb] = 1;
+            cont[0] = 1;
+          }
+        }
+      }
+    }
+    #pragma acc kernels loop gang worker
+    for (n2 = 0; n2 < NODES; n2++) {
+      frontier[n2] = newfrontier[n2];
+      newfrontier[n2] = 0;
+    }
+  }
+)";
+
+std::string unoptimized() {
+  std::string src = R"(
+extern int NODES;
+extern int rowptr[];
+extern int edges[];
+extern int cost[];
+
+void main(void) {
+  int n;
+  int e;
+  int nb;
+  int n2;
+  int* frontier = (int*)malloc(NODES * sizeof(int));
+  int* newfrontier = (int*)malloc(NODES * sizeof(int));
+  int* cont = (int*)malloc(1 * sizeof(int));
+)";
+  src += kAlgorithm;
+  src += R"(
+}
+)";
+  return src;
+}
+
+std::string optimized() {
+  std::string src = R"(
+extern int NODES;
+extern int rowptr[];
+extern int edges[];
+extern int cost[];
+
+void main(void) {
+  int n;
+  int e;
+  int nb;
+  int n2;
+  int* frontier = (int*)malloc(NODES * sizeof(int));
+  int* newfrontier = (int*)malloc(NODES * sizeof(int));
+  int* cont = (int*)malloc(1 * sizeof(int));
+
+  cost[0] = 0;
+  frontier[0] = 1;
+  cont[0] = 1;
+  #pragma acc data copyin(rowptr, edges) copy(cost) copyin(frontier) create(newfrontier, cont)
+  {
+    while (cont[0] > 0) {
+      cont[0] = 0;
+      #pragma acc update device(cont)
+      #pragma acc kernels loop gang worker
+      for (n = 0; n < NODES; n++) {
+        if (frontier[n] == 1) {
+          for (e = rowptr[n]; e < rowptr[n + 1]; e++) {
+            nb = edges[e];
+            if (cost[nb] < 0) {
+              cost[nb] = cost[n] + 1;
+              newfrontier[nb] = 1;
+              cont[0] = 1;
+            }
+          }
+        }
+      }
+      #pragma acc kernels loop gang worker
+      for (n2 = 0; n2 < NODES; n2++) {
+        frontier[n2] = newfrontier[n2];
+        newfrontier[n2] = 0;
+      }
+      #pragma acc update host(cont)
+    }
+    #pragma acc update host(cost)
+  }
+}
+)";
+  return src;
+}
+
+const std::vector<double>& reference_result() {
+  static const std::vector<double> ref = [] {
+    CsrGraph graph = make_graph(kNodes, kDegree, kSeed);
+    auto n = static_cast<std::size_t>(kNodes);
+    std::vector<int> cost(n, -1);
+    std::vector<int> frontier(n, 0), next(n, 0);
+    cost[0] = 0;
+    frontier[0] = 1;
+    bool cont = true;
+    while (cont) {
+      cont = false;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (frontier[v] != 1) continue;
+        for (std::int64_t e = graph.row_ptr[v]; e < graph.row_ptr[v + 1];
+             ++e) {
+          auto nb = static_cast<std::size_t>(
+              graph.edges[static_cast<std::size_t>(e)]);
+          if (cost[nb] < 0) {
+            cost[nb] = cost[v] + 1;
+            next[nb] = 1;
+            cont = true;
+          }
+        }
+      }
+      frontier = next;
+      std::fill(next.begin(), next.end(), 0);
+    }
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = cost[i];
+    return out;
+  }();
+  return ref;
+}
+
+}  // namespace
+
+BenchmarkDef make_bfs() {
+  BenchmarkDef def;
+  def.name = "BFS";
+  def.unoptimized_source = unoptimized();
+  def.optimized_source = optimized();
+  def.expected_kernel_count = 2;
+  def.bind_inputs = [](Interpreter& interp) {
+    CsrGraph graph = make_graph(kNodes, kDegree, kSeed);
+    interp.bind_scalar("NODES", Value::of_int(kNodes));
+    BufferPtr rowptr =
+        interp.bind_buffer("rowptr", ScalarKind::kInt, graph.row_ptr.size());
+    for (std::size_t i = 0; i < graph.row_ptr.size(); ++i) {
+      rowptr->set(i, static_cast<double>(graph.row_ptr[i]));
+    }
+    BufferPtr edges =
+        interp.bind_buffer("edges", ScalarKind::kInt, graph.edges.size());
+    for (std::size_t i = 0; i < graph.edges.size(); ++i) {
+      edges->set(i, static_cast<double>(graph.edges[i]));
+    }
+    BufferPtr cost = interp.bind_buffer("cost", ScalarKind::kInt,
+                                        static_cast<std::size_t>(kNodes));
+    for (std::size_t i = 0; i < cost->count(); ++i) cost->set(i, -1.0);
+  };
+  def.check_output = [](Interpreter& interp) {
+    return buffer_close(*interp.buffer("cost"), reference_result());
+  };
+  return def;
+}
+
+}  // namespace miniarc

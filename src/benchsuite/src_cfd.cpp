@@ -1,0 +1,201 @@
+// CFD — Rodinia euler3d reduced to a 1-D finite-volume solver: per RK step a
+// step-factor kernel, a flux kernel over cell neighbors, and a time-step
+// update kernel over three conserved variables.
+//
+// CFD carries the paper's *uncaught redundancy* (Table III): the host has a
+// never-taken debug branch that would read the step factors, so the static
+// may-live analysis keeps the CPU copy live, no reset_status is installed,
+// and the per-iteration copy-out of `stepf` is never flagged — even though
+// it is redundant in every execution. The hand-optimized variant simply
+// omits it ("current implementation locally optimizes the memory-transfer-
+// checking mechanism", §IV-C).
+#include "benchsuite/benchmark_registry.h"
+#include "benchsuite/inputs.h"
+
+#include <cmath>
+
+namespace miniarc {
+namespace {
+
+constexpr std::int64_t kCells = 240;
+constexpr int kSteps = 6;
+constexpr std::uint64_t kSeed = 0xcfd;
+
+constexpr const char* kKernels = R"(
+    #pragma acc kernels loop gang worker
+    for (c = 0; c < NCELLS; c++) {
+      vel = mom[c] / dens[c];
+      pres = 0.4 * (ener[c] - 0.5 * mom[c] * vel);
+      if (pres < 0.001) {
+        pres = 0.001;
+      }
+      sspeed = sqrt(1.4 * pres / dens[c]);
+      stepf[c] = 0.4 / (fabs(vel) + sspeed);
+    }
+    #pragma acc kernels loop gang worker
+    for (c2 = 1; c2 < NCELLS - 1; c2++) {
+      vleft = mom[c2 - 1] / dens[c2 - 1];
+      vright = mom[c2 + 1] / dens[c2 + 1];
+      fdens[c2] = 0.5 * (mom[c2 - 1] + mom[c2 + 1]) -
+                  0.5 * (dens[c2 + 1] - dens[c2 - 1]);
+      fmom[c2] = 0.5 * (mom[c2 - 1] * vleft + mom[c2 + 1] * vright) -
+                 0.5 * (mom[c2 + 1] - mom[c2 - 1]);
+      fener[c2] = 0.5 * (ener[c2 - 1] * vleft + ener[c2 + 1] * vright) -
+                  0.5 * (ener[c2 + 1] - ener[c2 - 1]);
+    }
+    #pragma acc kernels loop gang worker
+    for (c3 = 1; c3 < NCELLS - 1; c3++) {
+      dens[c3] = dens[c3] + stepf[c3] * 0.05 *
+                 (fdens[c3 - 1] - fdens[c3]);
+      mom[c3] = mom[c3] + stepf[c3] * 0.05 * (fmom[c3 - 1] - fmom[c3]);
+      ener[c3] = ener[c3] + stepf[c3] * 0.05 *
+                 (fener[c3 - 1] - fener[c3]);
+    }
+)";
+
+// The never-taken debug branch: `residual` is a sum of squares, so the
+// condition is statically plausible but dynamically false — the read of
+// stepf[0] keeps the CPU copy may-live forever.
+constexpr const char* kDebugTail = R"(
+    if (residual < 0.0) {
+      dbgval = stepf[0];
+      dbg[0] = dbgval;
+    }
+)";
+
+constexpr const char* kPrologue = R"(
+extern int NCELLS;
+extern int NSTEPS;
+extern double dens[];
+extern double mom[];
+extern double ener[];
+extern double dbg[];
+
+void main(void) {
+  int s;
+  int c;
+  int c2;
+  int c3;
+  double vel;
+  double pres;
+  double sspeed;
+  double vleft;
+  double vright;
+  double residual;
+  double dbgval;
+  double* stepf = (double*)malloc(NCELLS * sizeof(double));
+  double* fdens = (double*)malloc(NCELLS * sizeof(double));
+  double* fmom = (double*)malloc(NCELLS * sizeof(double));
+  double* fener = (double*)malloc(NCELLS * sizeof(double));
+
+  residual = 0.0;
+)";
+
+std::string unoptimized() {
+  std::string src = kPrologue;
+  src += "\n  for (s = 0; s < NSTEPS; s++) {\n";
+  src += kKernels;
+  src += kDebugTail;
+  src += "  }\n}\n";
+  return src;
+}
+
+std::string optimized() {
+  std::string src = kPrologue;
+  src += R"(
+  #pragma acc data copy(dens, mom, ener) create(stepf, fdens, fmom, fener)
+  {
+    for (s = 0; s < NSTEPS; s++) {
+)";
+  src += kKernels;
+  src += kDebugTail;
+  src += "    }\n  }\n}\n";
+  return src;
+}
+
+struct Reference {
+  std::vector<double> dens;
+  std::vector<double> mom;
+  std::vector<double> ener;
+};
+
+const Reference& reference_result() {
+  static const Reference ref = [] {
+    auto n = static_cast<std::size_t>(kCells);
+    Reference r;
+    r.dens.resize(n);
+    r.mom.resize(n);
+    r.ener.resize(n);
+    {
+      TypedBuffer d(ScalarKind::kDouble, n);
+      fill_uniform(d, kSeed, 0.8, 1.2);
+      TypedBuffer m(ScalarKind::kDouble, n);
+      fill_uniform(m, kSeed + 1, -0.2, 0.2);
+      TypedBuffer e(ScalarKind::kDouble, n);
+      fill_uniform(e, kSeed + 2, 2.0, 3.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        r.dens[i] = d.get(i);
+        r.mom[i] = m.get(i);
+        r.ener[i] = e.get(i);
+      }
+    }
+    std::vector<double> stepf(n), fdens(n), fmom(n), fener(n);
+    for (int s = 0; s < kSteps; ++s) {
+      for (std::size_t c = 0; c < n; ++c) {
+        double vel = r.mom[c] / r.dens[c];
+        double pres = 0.4 * (r.ener[c] - 0.5 * r.mom[c] * vel);
+        if (pres < 0.001) pres = 0.001;
+        double sspeed = std::sqrt(1.4 * pres / r.dens[c]);
+        stepf[c] = 0.4 / (std::fabs(vel) + sspeed);
+      }
+      for (std::size_t c = 1; c < n - 1; ++c) {
+        double vleft = r.mom[c - 1] / r.dens[c - 1];
+        double vright = r.mom[c + 1] / r.dens[c + 1];
+        fdens[c] = 0.5 * (r.mom[c - 1] + r.mom[c + 1]) -
+                   0.5 * (r.dens[c + 1] - r.dens[c - 1]);
+        fmom[c] = 0.5 * (r.mom[c - 1] * vleft + r.mom[c + 1] * vright) -
+                  0.5 * (r.mom[c + 1] - r.mom[c - 1]);
+        fener[c] = 0.5 * (r.ener[c - 1] * vleft + r.ener[c + 1] * vright) -
+                   0.5 * (r.ener[c + 1] - r.ener[c - 1]);
+      }
+      for (std::size_t c = 1; c < n - 1; ++c) {
+        r.dens[c] += stepf[c] * 0.05 * (fdens[c - 1] - fdens[c]);
+        r.mom[c] += stepf[c] * 0.05 * (fmom[c - 1] - fmom[c]);
+        r.ener[c] += stepf[c] * 0.05 * (fener[c - 1] - fener[c]);
+      }
+    }
+    return r;
+  }();
+  return ref;
+}
+
+}  // namespace
+
+BenchmarkDef make_cfd() {
+  BenchmarkDef def;
+  def.name = "CFD";
+  def.unoptimized_source = unoptimized();
+  def.optimized_source = optimized();
+  def.expected_kernel_count = 3;
+  def.bind_inputs = [](Interpreter& interp) {
+    auto n = static_cast<std::size_t>(kCells);
+    interp.bind_scalar("NCELLS", Value::of_int(kCells));
+    interp.bind_scalar("NSTEPS", Value::of_int(kSteps));
+    BufferPtr dens = interp.bind_buffer("dens", ScalarKind::kDouble, n);
+    fill_uniform(*dens, kSeed, 0.8, 1.2);
+    BufferPtr mom = interp.bind_buffer("mom", ScalarKind::kDouble, n);
+    fill_uniform(*mom, kSeed + 1, -0.2, 0.2);
+    BufferPtr ener = interp.bind_buffer("ener", ScalarKind::kDouble, n);
+    fill_uniform(*ener, kSeed + 2, 2.0, 3.0);
+    interp.bind_buffer("dbg", ScalarKind::kDouble, 1);
+  };
+  def.check_output = [](Interpreter& interp) {
+    const Reference& expected = reference_result();
+    return buffer_close(*interp.buffer("dens"), expected.dens) &&
+           buffer_close(*interp.buffer("mom"), expected.mom) &&
+           buffer_close(*interp.buffer("ener"), expected.ener);
+  };
+  return def;
+}
+
+}  // namespace miniarc

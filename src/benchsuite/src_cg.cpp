@@ -1,0 +1,241 @@
+// CG — NAS Parallel Benchmarks conjugate gradient (structure of the paper's
+// Listing 1): an outer NITER loop around an inner cgit loop of sparse
+// matrix–vector products, dot-product reductions, and vector updates —
+// including the `q[j] = w[j]` copy kernel the paper excerpts. All CG work
+// vectors are GPU-only data: the hand-tuned variant keeps them in a
+// `create` clause with no transfers at all, exactly the §II-C example.
+#include "benchsuite/benchmark_registry.h"
+#include "benchsuite/inputs.h"
+
+namespace miniarc {
+namespace {
+
+constexpr std::int64_t kN = 256;
+constexpr std::int64_t kPerRow = 6;
+constexpr int kNiter = 2;
+constexpr int kCgitmax = 4;
+constexpr std::uint64_t kSeed = 0xc6c6;
+
+constexpr const char* kAlgorithm = R"(
+    #pragma acc kernels loop gang worker
+    for (j0 = 0; j0 < N; j0++) {
+      r[j0] = xvec[j0];
+      p[j0] = r[j0];
+      z[j0] = 0.0;
+    }
+    rho = 0.0;
+    #pragma acc kernels loop gang worker reduction(+:rho)
+    for (j1 = 0; j1 < N; j1++) {
+      rho += r[j1] * r[j1];
+    }
+    for (cgit = 1; cgit <= CGITMAX; cgit++) {
+      #pragma acc kernels loop gang worker
+      for (j2 = 0; j2 < N; j2++) {
+        sum = 0.0;
+        for (k2 = rowptr[j2]; k2 < rowptr[j2 + 1]; k2++) {
+          sum += aval[k2] * p[colidx[k2]];
+        }
+        w[j2] = sum;
+      }
+      #pragma acc kernels loop gang worker
+      for (j3 = 0; j3 < N; j3++) {
+        q[j3] = w[j3];
+      }
+      d = 0.0;
+      #pragma acc kernels loop gang worker reduction(+:d)
+      for (j4 = 0; j4 < N; j4++) {
+        d += p[j4] * q[j4];
+      }
+      alpha = rho / d;
+      rho0 = rho;
+      #pragma acc kernels loop gang worker
+      for (j5 = 0; j5 < N; j5++) {
+        z[j5] = z[j5] + alpha * p[j5];
+        r[j5] = r[j5] - alpha * q[j5];
+      }
+      rho = 0.0;
+      #pragma acc kernels loop gang worker reduction(+:rho)
+      for (j6 = 0; j6 < N; j6++) {
+        rho += r[j6] * r[j6];
+      }
+      beta = rho / rho0;
+      #pragma acc kernels loop gang worker
+      for (j7 = 0; j7 < N; j7++) {
+        p[j7] = r[j7] + beta * p[j7];
+      }
+    }
+    #pragma acc kernels loop gang worker
+    for (j8 = 0; j8 < N; j8++) {
+      xvec[j8] = 0.9 * xvec[j8] + 0.1 * z[j8];
+    }
+)";
+
+constexpr const char* kPrologue = R"(
+extern int N;
+extern int NITER;
+extern int CGITMAX;
+extern int rowptr[];
+extern int colidx[];
+extern double aval[];
+extern double xvec[];
+extern double znorm[];
+
+void main(void) {
+  int it;
+  int cgit;
+  int j0;
+  int j1;
+  int j2;
+  int k2;
+  int j3;
+  int j4;
+  int j5;
+  int j6;
+  int j7;
+  int j8;
+  double rho;
+  double rho0;
+  double alpha;
+  double beta;
+  double d;
+  double sum;
+  double* p = (double*)malloc(N * sizeof(double));
+  double* q = (double*)malloc(N * sizeof(double));
+  double* r = (double*)malloc(N * sizeof(double));
+  double* z = (double*)malloc(N * sizeof(double));
+  double* w = (double*)malloc(N * sizeof(double));
+)";
+
+std::string unoptimized() {
+  std::string src = kPrologue;
+  src += R"(
+  for (it = 1; it <= NITER; it++) {
+)";
+  src += kAlgorithm;
+  src += R"(
+  }
+  znorm[0] = rho;
+}
+)";
+  return src;
+}
+
+std::string optimized() {
+  std::string src = kPrologue;
+  src += R"(
+  #pragma acc data copyin(rowptr, colidx, aval) copy(xvec) create(p, q, r, z, w)
+  {
+    for (it = 1; it <= NITER; it++) {
+)";
+  src += kAlgorithm;
+  src += R"(
+    }
+  }
+  znorm[0] = rho;
+}
+)";
+  return src;
+}
+
+struct Reference {
+  std::vector<double> xvec;
+  double rho = 0.0;
+};
+
+const Reference& reference_result() {
+  static const Reference ref = [] {
+    CsrMatrix csr = make_csr(kN, kPerRow, kSeed);
+    Reference result;
+    auto n = static_cast<std::size_t>(kN);
+    result.xvec.resize(n);
+    {
+      TypedBuffer x(ScalarKind::kDouble, n);
+      fill_uniform(x, kSeed + 1, 0.0, 1.0);
+      for (std::size_t i = 0; i < n; ++i) result.xvec[i] = x.get(i);
+    }
+    std::vector<double> p(n), q(n), r(n), z(n), w(n);
+    double rho = 0.0;
+    for (int it = 1; it <= kNiter; ++it) {
+      for (std::size_t j = 0; j < n; ++j) {
+        r[j] = result.xvec[j];
+        p[j] = r[j];
+        z[j] = 0.0;
+      }
+      rho = 0.0;
+      for (std::size_t j = 0; j < n; ++j) rho += r[j] * r[j];
+      for (int cgit = 1; cgit <= kCgitmax; ++cgit) {
+        for (std::size_t j = 0; j < n; ++j) {
+          double sum = 0.0;
+          for (std::int64_t k = csr.row_ptr[j]; k < csr.row_ptr[j + 1]; ++k) {
+            sum += csr.values[static_cast<std::size_t>(k)] *
+                   p[static_cast<std::size_t>(
+                       csr.col_idx[static_cast<std::size_t>(k)])];
+          }
+          w[j] = sum;
+        }
+        for (std::size_t j = 0; j < n; ++j) q[j] = w[j];
+        double d = 0.0;
+        for (std::size_t j = 0; j < n; ++j) d += p[j] * q[j];
+        double alpha = rho / d;
+        double rho0 = rho;
+        for (std::size_t j = 0; j < n; ++j) {
+          z[j] = z[j] + alpha * p[j];
+          r[j] = r[j] - alpha * q[j];
+        }
+        rho = 0.0;
+        for (std::size_t j = 0; j < n; ++j) rho += r[j] * r[j];
+        double beta = rho / rho0;
+        for (std::size_t j = 0; j < n; ++j) p[j] = r[j] + beta * p[j];
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        result.xvec[j] = 0.9 * result.xvec[j] + 0.1 * z[j];
+      }
+    }
+    result.rho = rho;
+    return result;
+  }();
+  return ref;
+}
+
+}  // namespace
+
+BenchmarkDef make_cg() {
+  BenchmarkDef def;
+  def.name = "CG";
+  def.unoptimized_source = unoptimized();
+  def.optimized_source = optimized();
+  def.expected_kernel_count = 9;
+  def.bind_inputs = [](Interpreter& interp) {
+    CsrMatrix csr = make_csr(kN, kPerRow, kSeed);
+    interp.bind_scalar("N", Value::of_int(kN));
+    interp.bind_scalar("NITER", Value::of_int(kNiter));
+    interp.bind_scalar("CGITMAX", Value::of_int(kCgitmax));
+    BufferPtr rowptr =
+        interp.bind_buffer("rowptr", ScalarKind::kInt, csr.row_ptr.size());
+    for (std::size_t i = 0; i < csr.row_ptr.size(); ++i) {
+      rowptr->set(i, static_cast<double>(csr.row_ptr[i]));
+    }
+    BufferPtr colidx =
+        interp.bind_buffer("colidx", ScalarKind::kInt, csr.col_idx.size());
+    for (std::size_t i = 0; i < csr.col_idx.size(); ++i) {
+      colidx->set(i, static_cast<double>(csr.col_idx[i]));
+    }
+    BufferPtr aval =
+        interp.bind_buffer("aval", ScalarKind::kDouble, csr.values.size());
+    for (std::size_t i = 0; i < csr.values.size(); ++i) {
+      aval->set(i, csr.values[i]);
+    }
+    BufferPtr xvec = interp.bind_buffer("xvec", ScalarKind::kDouble,
+                                        static_cast<std::size_t>(kN));
+    fill_uniform(*xvec, kSeed + 1, 0.0, 1.0);
+    interp.bind_buffer("znorm", ScalarKind::kDouble, 1);
+  };
+  def.check_output = [](Interpreter& interp) {
+    const Reference& expected = reference_result();
+    return buffer_close(*interp.buffer("xvec"), expected.xvec, 1e-6) &&
+           value_close(interp.buffer("znorm")->get(0), expected.rho, 1e-6);
+  };
+  return def;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,107 @@
+// EP — NAS Parallel Benchmarks "Embarrassingly Parallel": per-sample
+// pseudo-random pair generation (inline LCG) with Box–Muller-style rejection
+// and three sum reductions. The one compute-bound benchmark in the suite:
+// almost no CPU–GPU traffic, so the default memory-management penalty is
+// near 1× (the small bar in Figure 1).
+#include "benchsuite/benchmark_registry.h"
+#include "benchsuite/inputs.h"
+
+#include <cmath>
+
+namespace miniarc {
+namespace {
+
+constexpr std::int64_t kSamples = 3000;
+
+constexpr const char* kSource = R"(
+extern int NSAMPLES;
+extern double results[];
+
+void main(void) {
+  int i;
+  long s1;
+  long s2;
+  double u1;
+  double u2;
+  double ex;
+  double ey;
+  double t;
+  double f;
+  double sx;
+  double sy;
+  double cnt;
+
+  sx = 0.0;
+  sy = 0.0;
+  cnt = 0.0;
+  #pragma acc kernels loop gang worker reduction(+:sx) reduction(+:sy) reduction(+:cnt)
+  for (i = 0; i < NSAMPLES; i++) {
+    s1 = (i * 1103515245 + 12345) % 2147483648;
+    s2 = (s1 * 1103515245 + 12345) % 2147483648;
+    u1 = s1 / 2147483648.0;
+    u2 = s2 / 2147483648.0;
+    ex = 2.0 * u1 - 1.0;
+    ey = 2.0 * u2 - 1.0;
+    t = ex * ex + ey * ey;
+    if (t <= 1.0 && t > 0.000000000001) {
+      f = sqrt(-2.0 * log(t) / t);
+      sx += ex * f;
+      sy += ey * f;
+      cnt += 1.0;
+    }
+  }
+  results[0] = sx;
+  results[1] = sy;
+  results[2] = cnt;
+}
+)";
+
+const std::vector<double>& reference_result() {
+  static const std::vector<double> ref = [] {
+    double sx = 0.0;
+    double sy = 0.0;
+    double cnt = 0.0;
+    for (std::int64_t i = 0; i < kSamples; ++i) {
+      std::int64_t s1 = (i * 1103515245 + 12345) % 2147483648LL;
+      std::int64_t s2 = (s1 * 1103515245 + 12345) % 2147483648LL;
+      double u1 = static_cast<double>(s1) / 2147483648.0;
+      double u2 = static_cast<double>(s2) / 2147483648.0;
+      double ex = 2.0 * u1 - 1.0;
+      double ey = 2.0 * u2 - 1.0;
+      double t = ex * ex + ey * ey;
+      if (t <= 1.0 && t > 1e-12) {
+        double f = std::sqrt(-2.0 * std::log(t) / t);
+        sx += ex * f;
+        sy += ey * f;
+        cnt += 1.0;
+      }
+    }
+    return std::vector<double>{sx, sy, cnt};
+  }();
+  return ref;
+}
+
+}  // namespace
+
+BenchmarkDef make_ep() {
+  BenchmarkDef def;
+  def.name = "EP";
+  // EP has no inter-kernel data reuse to optimize: both variants coincide
+  // (the paper's Figure 1 shows a near-1× ratio for EP).
+  def.unoptimized_source = kSource;
+  def.optimized_source = kSource;
+  def.expected_kernel_count = 1;
+  def.bind_inputs = [](Interpreter& interp) {
+    interp.bind_scalar("NSAMPLES", Value::of_int(kSamples));
+    interp.bind_buffer("results", ScalarKind::kDouble, 3);
+  };
+  def.check_output = [](Interpreter& interp) {
+    const std::vector<double>& expected = reference_result();
+    // Reduction order differs between gang/worker partials and the
+    // sequential loop; allow for floating-point reassociation.
+    return buffer_close(*interp.buffer("results"), expected, 1e-7);
+  };
+  return def;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,156 @@
+// HOTSPOT — Rodinia thermal simulation: iterative 5-point stencil combining
+// a temperature grid with a static power map. Two kernels per step (stencil
+// into scratch, commit back), with the power map read-only on the device —
+// its per-kernel default copies are pure overhead the tool eliminates.
+#include "benchsuite/benchmark_registry.h"
+#include "benchsuite/inputs.h"
+
+namespace miniarc {
+namespace {
+
+constexpr int kGrid = 32;
+constexpr int kSteps = 8;
+constexpr std::uint64_t kSeed = 0x407507;
+
+// Model constants (flattened from the Rodinia configuration).
+constexpr const char* kBody = R"(
+    #pragma acc kernels loop gang worker
+    for (r = 1; r < GRID - 1; r++) {
+      for (c = 1; c < GRID - 1; c++) {
+        tnew = temp[r * GRID + c] +
+               0.001 * power[r * GRID + c] +
+               0.1 * (temp[(r - 1) * GRID + c] + temp[(r + 1) * GRID + c] -
+                      2.0 * temp[r * GRID + c]) +
+               0.1 * (temp[r * GRID + c - 1] + temp[r * GRID + c + 1] -
+                      2.0 * temp[r * GRID + c]) +
+               0.05 * (80.0 - temp[r * GRID + c]);
+        scratch[r * GRID + c] = tnew;
+      }
+    }
+    #pragma acc kernels loop gang worker
+    for (r2 = 1; r2 < GRID - 1; r2++) {
+      for (c2 = 1; c2 < GRID - 1; c2++) {
+        temp[r2 * GRID + c2] = scratch[r2 * GRID + c2];
+      }
+    }
+)";
+
+std::string unoptimized() {
+  std::string src = R"(
+extern int GRID;
+extern int STEPS;
+extern double temp[];
+extern double power[];
+
+void main(void) {
+  int s;
+  int r;
+  int c;
+  int r2;
+  int c2;
+  double tnew;
+  double* scratch = (double*)malloc(GRID * GRID * sizeof(double));
+
+  for (s = 0; s < STEPS; s++) {
+)";
+  src += kBody;
+  src += R"(
+  }
+}
+)";
+  return src;
+}
+
+std::string optimized() {
+  std::string src = R"(
+extern int GRID;
+extern int STEPS;
+extern double temp[];
+extern double power[];
+
+void main(void) {
+  int s;
+  int r;
+  int c;
+  int r2;
+  int c2;
+  double tnew;
+  double* scratch = (double*)malloc(GRID * GRID * sizeof(double));
+
+  #pragma acc data copy(temp) copyin(power) create(scratch)
+  {
+    for (s = 0; s < STEPS; s++) {
+)";
+  src += kBody;
+  src += R"(
+    }
+  }
+}
+)";
+  return src;
+}
+
+const std::vector<double>& reference_result() {
+  static const std::vector<double> ref = [] {
+    std::size_t n = static_cast<std::size_t>(kGrid) * kGrid;
+    std::vector<double> temp(n);
+    std::vector<double> power(n);
+    {
+      TypedBuffer t(ScalarKind::kDouble, n);
+      fill_uniform(t, kSeed, 60.0, 90.0);
+      TypedBuffer p(ScalarKind::kDouble, n);
+      fill_uniform(p, kSeed + 1, 0.0, 8.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        temp[i] = t.get(i);
+        power[i] = p.get(i);
+      }
+    }
+    std::vector<double> scratch(n, 0.0);
+    for (int s = 0; s < kSteps; ++s) {
+      for (int r = 1; r < kGrid - 1; ++r) {
+        for (int c = 1; c < kGrid - 1; ++c) {
+          std::size_t idx = static_cast<std::size_t>(r) * kGrid + c;
+          double tnew =
+              temp[idx] + 0.001 * power[idx] +
+              0.1 * (temp[idx - kGrid] + temp[idx + kGrid] - 2.0 * temp[idx]) +
+              0.1 * (temp[idx - 1] + temp[idx + 1] - 2.0 * temp[idx]) +
+              0.05 * (80.0 - temp[idx]);
+          scratch[idx] = tnew;
+        }
+      }
+      for (int r = 1; r < kGrid - 1; ++r) {
+        for (int c = 1; c < kGrid - 1; ++c) {
+          std::size_t idx = static_cast<std::size_t>(r) * kGrid + c;
+          temp[idx] = scratch[idx];
+        }
+      }
+    }
+    return temp;
+  }();
+  return ref;
+}
+
+}  // namespace
+
+BenchmarkDef make_hotspot() {
+  BenchmarkDef def;
+  def.name = "HOTSPOT";
+  def.unoptimized_source = unoptimized();
+  def.optimized_source = optimized();
+  def.expected_kernel_count = 2;
+  def.bind_inputs = [](Interpreter& interp) {
+    std::size_t n = static_cast<std::size_t>(kGrid) * kGrid;
+    interp.bind_scalar("GRID", Value::of_int(kGrid));
+    interp.bind_scalar("STEPS", Value::of_int(kSteps));
+    BufferPtr temp = interp.bind_buffer("temp", ScalarKind::kDouble, n);
+    fill_uniform(*temp, kSeed, 60.0, 90.0);
+    BufferPtr power = interp.bind_buffer("power", ScalarKind::kDouble, n);
+    fill_uniform(*power, kSeed + 1, 0.0, 8.0);
+  };
+  def.check_output = [](Interpreter& interp) {
+    return buffer_close(*interp.buffer("temp"), reference_result());
+  };
+  return def;
+}
+
+}  // namespace miniarc

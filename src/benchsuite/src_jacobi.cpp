@@ -1,0 +1,131 @@
+// JACOBI — 2-D 5-point Jacobi iteration, the paper's running example
+// (Listings 3 and 4). Two kernels per sweep: stencil into the scratch grid,
+// copy back into the main grid. The scratch grid is GPU-only data
+// (malloc'd, never read on the host) — the private-GPU-data class whose
+// transfers the coherence tool flags as redundant.
+#include "benchsuite/benchmark_registry.h"
+#include "benchsuite/inputs.h"
+
+namespace miniarc {
+namespace {
+
+constexpr int kN = 32;
+constexpr int kIter = 10;
+constexpr std::uint64_t kSeed = 0x1acb001;
+
+constexpr const char* kUnoptimized = R"(
+extern int N;
+extern int ITER;
+extern double a[];
+
+void main(void) {
+  int k;
+  int i;
+  int j;
+  double tj;
+  double* b = (double*)malloc(N * N * sizeof(double));
+
+  for (k = 0; k < ITER; k++) {
+    #pragma acc kernels loop gang worker
+    for (i = 1; i < N - 1; i++) {
+      for (j = 1; j < N - 1; j++) {
+        tj = a[(i - 1) * N + j] + a[(i + 1) * N + j] +
+             a[i * N + j - 1] + a[i * N + j + 1];
+        b[i * N + j] = 0.25 * tj;
+      }
+    }
+    #pragma acc kernels loop gang worker
+    for (i = 1; i < N - 1; i++) {
+      for (j = 1; j < N - 1; j++) {
+        a[i * N + j] = b[i * N + j];
+      }
+    }
+  }
+}
+)";
+
+constexpr const char* kOptimized = R"(
+extern int N;
+extern int ITER;
+extern double a[];
+
+void main(void) {
+  int k;
+  int i;
+  int j;
+  double tj;
+  double* b = (double*)malloc(N * N * sizeof(double));
+
+  #pragma acc data copy(a) create(b)
+  {
+    for (k = 0; k < ITER; k++) {
+      #pragma acc kernels loop gang worker
+      for (i = 1; i < N - 1; i++) {
+        for (j = 1; j < N - 1; j++) {
+          tj = a[(i - 1) * N + j] + a[(i + 1) * N + j] +
+               a[i * N + j - 1] + a[i * N + j + 1];
+          b[i * N + j] = 0.25 * tj;
+        }
+      }
+      #pragma acc kernels loop gang worker
+      for (i = 1; i < N - 1; i++) {
+        for (j = 1; j < N - 1; j++) {
+          a[i * N + j] = b[i * N + j];
+        }
+      }
+    }
+  }
+}
+)";
+
+std::vector<double> reference_result() {
+  std::vector<double> a(static_cast<std::size_t>(kN) * kN);
+  {
+    TypedBuffer seed_buffer(ScalarKind::kDouble, a.size());
+    fill_uniform(seed_buffer, kSeed, 0.0, 1.0);
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = seed_buffer.get(i);
+  }
+  std::vector<double> b(a.size(), 0.0);
+  for (int k = 0; k < kIter; ++k) {
+    for (int i = 1; i < kN - 1; ++i) {
+      for (int j = 1; j < kN - 1; ++j) {
+        b[static_cast<std::size_t>(i) * kN + j] =
+            0.25 * (a[static_cast<std::size_t>(i - 1) * kN + j] +
+                    a[static_cast<std::size_t>(i + 1) * kN + j] +
+                    a[static_cast<std::size_t>(i) * kN + j - 1] +
+                    a[static_cast<std::size_t>(i) * kN + j + 1]);
+      }
+    }
+    for (int i = 1; i < kN - 1; ++i) {
+      for (int j = 1; j < kN - 1; ++j) {
+        a[static_cast<std::size_t>(i) * kN + j] =
+            b[static_cast<std::size_t>(i) * kN + j];
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+BenchmarkDef make_jacobi() {
+  BenchmarkDef def;
+  def.name = "JACOBI";
+  def.unoptimized_source = kUnoptimized;
+  def.optimized_source = kOptimized;
+  def.expected_kernel_count = 2;
+  def.bind_inputs = [](Interpreter& interp) {
+    interp.bind_scalar("N", Value::of_int(kN));
+    interp.bind_scalar("ITER", Value::of_int(kIter));
+    BufferPtr a = interp.bind_buffer("a", ScalarKind::kDouble,
+                                     static_cast<std::size_t>(kN) * kN);
+    fill_uniform(*a, kSeed, 0.0, 1.0);
+  };
+  def.check_output = [](Interpreter& interp) {
+    static const std::vector<double> expected = reference_result();
+    return buffer_close(*interp.buffer("a"), expected);
+  };
+  return def;
+}
+
+}  // namespace miniarc

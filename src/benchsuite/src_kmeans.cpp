@@ -1,0 +1,223 @@
+// KMEANS — Rodinia k-means clustering: a device kernel assigns each point to
+// its nearest centroid (private distance temporaries); the host recomputes
+// centroids from the memberships each iteration. Genuine per-iteration
+// bidirectional traffic (memberships out, centroids in) that must survive
+// optimization — the benchmark that keeps the optimizer honest about
+// transfers it must NOT remove.
+#include "benchsuite/benchmark_registry.h"
+#include "benchsuite/inputs.h"
+
+#include <vector>
+
+namespace miniarc {
+namespace {
+
+constexpr std::int64_t kPoints = 300;
+constexpr std::int64_t kFeatures = 4;
+constexpr std::int64_t kClusters = 5;
+constexpr int kIters = 5;
+constexpr std::uint64_t kSeed = 0x73ea25;
+
+constexpr const char* kAlgorithm = R"(
+    #pragma acc kernels loop gang worker
+    for (p = 0; p < NPOINTS; p++) {
+      best = 0;
+      bestdist = 1000000000.0;
+      for (c = 0; c < NCLUSTERS; c++) {
+        dist = 0.0;
+        for (f = 0; f < NFEATURES; f++) {
+          diff = points[p * NFEATURES + f] - centroids[c * NFEATURES + f];
+          dist += diff * diff;
+        }
+        if (dist < bestdist) {
+          bestdist = dist;
+          best = c;
+        }
+      }
+      membership[p] = best;
+    }
+)";
+
+constexpr const char* kHostUpdate = R"(
+    for (c2 = 0; c2 < NCLUSTERS * NFEATURES; c2++) {
+      newcent[c2] = 0.0;
+    }
+    for (c3 = 0; c3 < NCLUSTERS; c3++) {
+      counts[c3] = 0.0;
+    }
+    for (p2 = 0; p2 < NPOINTS; p2++) {
+      m = membership[p2];
+      counts[m] = counts[m] + 1.0;
+      for (f2 = 0; f2 < NFEATURES; f2++) {
+        newcent[m * NFEATURES + f2] = newcent[m * NFEATURES + f2] +
+                                      points[p2 * NFEATURES + f2];
+      }
+    }
+    for (c4 = 0; c4 < NCLUSTERS; c4++) {
+      if (counts[c4] > 0.0) {
+        for (f3 = 0; f3 < NFEATURES; f3++) {
+          centroids[c4 * NFEATURES + f3] =
+              newcent[c4 * NFEATURES + f3] / counts[c4];
+        }
+      }
+    }
+)";
+
+constexpr const char* kPrologue = R"(
+extern int NPOINTS;
+extern int NFEATURES;
+extern int NCLUSTERS;
+extern int NITERS;
+extern double points[];
+extern double centroids[];
+extern int membership[];
+
+void main(void) {
+  int it;
+  int p;
+  int c;
+  int f;
+  int best;
+  double bestdist;
+  double dist;
+  double diff;
+  int c2;
+  int c3;
+  int p2;
+  int m;
+  int f2;
+  int c4;
+  int f3;
+  double* newcent = (double*)malloc(NCLUSTERS * NFEATURES * sizeof(double));
+  double* counts = (double*)malloc(NCLUSTERS * sizeof(double));
+)";
+
+std::string unoptimized() {
+  std::string src = kPrologue;
+  src += "\n  for (it = 0; it < NITERS; it++) {\n";
+  src += kAlgorithm;
+  src += kHostUpdate;
+  src += "  }\n}\n";
+  return src;
+}
+
+std::string optimized() {
+  std::string src = kPrologue;
+  src += R"(
+  #pragma acc data copyin(points) copyin(centroids) copyout(membership)
+  {
+    for (it = 0; it < NITERS; it++) {
+)";
+  src += kAlgorithm;
+  src += R"(
+      #pragma acc update host(membership)
+)";
+  src += kHostUpdate;
+  src += R"(
+      #pragma acc update device(centroids)
+    }
+  }
+}
+)";
+  return src;
+}
+
+struct Reference {
+  std::vector<double> centroids;
+  std::vector<double> membership;
+};
+
+const Reference& reference_result() {
+  static const Reference ref = [] {
+    auto np = static_cast<std::size_t>(kPoints);
+    auto nf = static_cast<std::size_t>(kFeatures);
+    auto nc = static_cast<std::size_t>(kClusters);
+    std::vector<double> points(np * nf);
+    Reference result;
+    result.centroids.resize(nc * nf);
+    result.membership.assign(np, 0.0);
+    {
+      TypedBuffer pts(ScalarKind::kDouble, points.size());
+      fill_uniform(pts, kSeed, 0.0, 10.0);
+      for (std::size_t i = 0; i < points.size(); ++i) points[i] = pts.get(i);
+      TypedBuffer cent(ScalarKind::kDouble, result.centroids.size());
+      fill_uniform(cent, kSeed + 1, 0.0, 10.0);
+      for (std::size_t i = 0; i < result.centroids.size(); ++i) {
+        result.centroids[i] = cent.get(i);
+      }
+    }
+    std::vector<double> newcent(nc * nf);
+    std::vector<double> counts(nc);
+    for (int it = 0; it < kIters; ++it) {
+      for (std::size_t p = 0; p < np; ++p) {
+        int best = 0;
+        double bestdist = 1e9;
+        for (std::size_t c = 0; c < nc; ++c) {
+          double dist = 0.0;
+          for (std::size_t f = 0; f < nf; ++f) {
+            double diff =
+                points[p * nf + f] - result.centroids[c * nf + f];
+            dist += diff * diff;
+          }
+          if (dist < bestdist) {
+            bestdist = dist;
+            best = static_cast<int>(c);
+          }
+        }
+        result.membership[p] = best;
+      }
+      std::fill(newcent.begin(), newcent.end(), 0.0);
+      std::fill(counts.begin(), counts.end(), 0.0);
+      for (std::size_t p = 0; p < np; ++p) {
+        auto m = static_cast<std::size_t>(result.membership[p]);
+        counts[m] += 1.0;
+        for (std::size_t f = 0; f < nf; ++f) {
+          newcent[m * nf + f] += points[p * nf + f];
+        }
+      }
+      for (std::size_t c = 0; c < nc; ++c) {
+        if (counts[c] > 0.0) {
+          for (std::size_t f = 0; f < nf; ++f) {
+            result.centroids[c * nf + f] = newcent[c * nf + f] / counts[c];
+          }
+        }
+      }
+    }
+    return result;
+  }();
+  return ref;
+}
+
+}  // namespace
+
+BenchmarkDef make_kmeans() {
+  BenchmarkDef def;
+  def.name = "KMEANS";
+  def.unoptimized_source = unoptimized();
+  def.optimized_source = optimized();
+  def.expected_kernel_count = 1;
+  def.bind_inputs = [](Interpreter& interp) {
+    auto np = static_cast<std::size_t>(kPoints);
+    auto nf = static_cast<std::size_t>(kFeatures);
+    auto nc = static_cast<std::size_t>(kClusters);
+    interp.bind_scalar("NPOINTS", Value::of_int(kPoints));
+    interp.bind_scalar("NFEATURES", Value::of_int(kFeatures));
+    interp.bind_scalar("NCLUSTERS", Value::of_int(kClusters));
+    interp.bind_scalar("NITERS", Value::of_int(kIters));
+    BufferPtr points =
+        interp.bind_buffer("points", ScalarKind::kDouble, np * nf);
+    fill_uniform(*points, kSeed, 0.0, 10.0);
+    BufferPtr centroids =
+        interp.bind_buffer("centroids", ScalarKind::kDouble, nc * nf);
+    fill_uniform(*centroids, kSeed + 1, 0.0, 10.0);
+    interp.bind_buffer("membership", ScalarKind::kInt, np);
+  };
+  def.check_output = [](Interpreter& interp) {
+    const Reference& expected = reference_result();
+    return buffer_close(*interp.buffer("centroids"), expected.centroids) &&
+           buffer_close(*interp.buffer("membership"), expected.membership);
+  };
+  return def;
+}
+
+}  // namespace miniarc

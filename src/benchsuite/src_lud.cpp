@@ -1,0 +1,181 @@
+// LUD — Rodinia in-place LU decomposition (Doolittle, no pivoting): per
+// diagonal step a column-scaling kernel, a row/diagonal recording kernel,
+// and a trailing-submatrix update kernel.
+//
+// LUD is the suite's worst case for the paper's may-alias limitation
+// (Table III: 3 incorrect iterations): three device-written work arrays
+// (lcol, lrow, ldia) are read on the host *only through pointer aliases*.
+// The aggressive dead-variable analysis misses those reads, declares the
+// CPU copies dead, and the tool wrongly reports their copy-outs redundant —
+// once per array, across three optimization rounds, each caught by the
+// output validation and reverted.
+#include "benchsuite/benchmark_registry.h"
+#include "benchsuite/inputs.h"
+
+namespace miniarc {
+namespace {
+
+constexpr int kDim = 28;
+constexpr std::uint64_t kSeed = 0x10d;
+
+constexpr const char* kKernels = R"(
+    #pragma acc kernels loop gang worker
+    for (i = k + 1; i < NDIM; i++) {
+      mat[i * NDIM + k] = mat[i * NDIM + k] / mat[k * NDIM + k];
+      lcol[i] = mat[i * NDIM + k];
+    }
+    #pragma acc kernels loop gang worker
+    for (j = k; j < NDIM; j++) {
+      lrow[j] = mat[k * NDIM + j];
+      ldia[k] = mat[k * NDIM + k];
+    }
+    #pragma acc kernels loop gang worker
+    for (i2 = k + 1; i2 < NDIM; i2++) {
+      for (j2 = k + 1; j2 < NDIM; j2++) {
+        tprod = mat[i2 * NDIM + k] * mat[k * NDIM + j2];
+        mat[i2 * NDIM + j2] = mat[i2 * NDIM + j2] - tprod;
+      }
+    }
+)";
+
+constexpr const char* kPrologue = R"(
+extern int NDIM;
+extern double mat[];
+extern double sums[];
+
+void main(void) {
+  int k;
+  int i;
+  int j;
+  int i2;
+  int j2;
+  int t;
+  double tprod;
+  double s1;
+  double s2;
+  double s3;
+  double* lcol = (double*)malloc(NDIM * sizeof(double));
+  double* lrow = (double*)malloc(NDIM * sizeof(double));
+  double* ldia = (double*)malloc(NDIM * sizeof(double));
+  double* lcol_a = lcol;
+  double* lrow_a = lrow;
+  double* ldia_a = ldia;
+)";
+
+constexpr const char* kEpilogue = R"(
+  s1 = 0.0;
+  s2 = 0.0;
+  s3 = 0.0;
+  for (t = 0; t < NDIM; t++) {
+    s1 += lcol_a[t];
+    s2 += lrow_a[t];
+    s3 += ldia_a[t];
+  }
+  sums[0] = s1;
+  sums[1] = s2;
+  sums[2] = s3;
+}
+)";
+
+std::string unoptimized() {
+  std::string src = kPrologue;
+  src += "\n  for (k = 0; k < NDIM - 1; k++) {\n";
+  src += kKernels;
+  src += "  }\n";
+  src += kEpilogue;
+  return src;
+}
+
+std::string optimized() {
+  std::string src = kPrologue;
+  src += R"(
+  #pragma acc data copy(mat) copyout(lcol, lrow, ldia)
+  {
+    for (k = 0; k < NDIM - 1; k++) {
+)";
+  src += kKernels;
+  src += "    }\n  }\n";
+  src += kEpilogue;
+  return src;
+}
+
+struct Reference {
+  std::vector<double> mat;
+  std::vector<double> sums;
+};
+
+const Reference& reference_result() {
+  static const Reference ref = [] {
+    auto n = static_cast<std::size_t>(kDim);
+    Reference r;
+    r.mat.resize(n * n);
+    {
+      // Diagonally dominant for a stable pivot-free factorization.
+      TypedBuffer m(ScalarKind::kDouble, n * n);
+      fill_uniform(m, kSeed, -1.0, 1.0);
+      for (std::size_t i = 0; i < n * n; ++i) r.mat[i] = m.get(i);
+      for (std::size_t i = 0; i < n; ++i) {
+        r.mat[i * n + i] = static_cast<double>(kDim) + 1.0;
+      }
+    }
+    std::vector<double> lcol(n, 0.0), lrow(n, 0.0), ldia(n, 0.0);
+    for (int k = 0; k < kDim - 1; ++k) {
+      auto uk = static_cast<std::size_t>(k);
+      double pivot = r.mat[uk * n + uk];
+      for (int i = k + 1; i < kDim; ++i) {
+        auto ui = static_cast<std::size_t>(i);
+        r.mat[ui * n + uk] /= pivot;
+        lcol[ui] = r.mat[ui * n + uk];
+      }
+      for (int j = k; j < kDim; ++j) {
+        auto uj = static_cast<std::size_t>(j);
+        lrow[uj] = r.mat[uk * n + uj];
+        ldia[uk] = r.mat[uk * n + uk];
+      }
+      for (int i = k + 1; i < kDim; ++i) {
+        for (int j = k + 1; j < kDim; ++j) {
+          auto ui = static_cast<std::size_t>(i);
+          auto uj = static_cast<std::size_t>(j);
+          r.mat[ui * n + uj] -= r.mat[ui * n + uk] * r.mat[uk * n + uj];
+        }
+      }
+    }
+    double s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      s1 += lcol[t];
+      s2 += lrow[t];
+      s3 += ldia[t];
+    }
+    r.sums = {s1, s2, s3};
+    return r;
+  }();
+  return ref;
+}
+
+}  // namespace
+
+BenchmarkDef make_lud() {
+  BenchmarkDef def;
+  def.name = "LUD";
+  def.unoptimized_source = unoptimized();
+  def.optimized_source = optimized();
+  def.expected_kernel_count = 3;
+  def.bind_inputs = [](Interpreter& interp) {
+    auto n = static_cast<std::size_t>(kDim);
+    interp.bind_scalar("NDIM", Value::of_int(kDim));
+    BufferPtr mat = interp.bind_buffer("mat", ScalarKind::kDouble, n * n);
+    fill_uniform(*mat, kSeed, -1.0, 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      mat->set(i * n + i, static_cast<double>(kDim) + 1.0);
+    }
+    interp.bind_buffer("sums", ScalarKind::kDouble, 3);
+  };
+  def.check_output = [](Interpreter& interp) {
+    const Reference& expected = reference_result();
+    return buffer_close(*interp.buffer("mat"), expected.mat, 1e-6) &&
+           buffer_close(*interp.buffer("sums"), expected.sums, 1e-6);
+  };
+  return def;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,139 @@
+// NW — Rodinia Needleman-Wunsch sequence alignment: the DP score matrix is
+// filled along anti-diagonal wavefronts, one kernel launch per diagonal
+// inside a host loop. The naive scheme re-copies the whole score matrix
+// around every tiny diagonal kernel — the worst transfer amplification in
+// the suite (the tall bars of Figure 1).
+#include "benchsuite/benchmark_registry.h"
+#include "benchsuite/inputs.h"
+
+namespace miniarc {
+namespace {
+
+constexpr int kSeqLen = 40;  // score matrix is (kSeqLen+1)^2
+constexpr int kPenalty = 2;
+constexpr std::uint64_t kSeed = 0x0a11;
+
+constexpr const char* kAlgorithm = R"(
+  for (d = 2; d <= 2 * SLEN; d++) {
+    dlo = max(1, d - SLEN);
+    dhi = min(SLEN, d - 1);
+    #pragma acc kernels loop gang worker
+    for (i = dlo; i <= dhi; i++) {
+      jj = d - i;
+      m1 = score[(i - 1) * (SLEN + 1) + jj - 1] + simm[(i - 1) * SLEN + jj - 1];
+      m2 = score[(i - 1) * (SLEN + 1) + jj] - PEN;
+      m3 = score[i * (SLEN + 1) + jj - 1] - PEN;
+      best = m1;
+      if (m2 > best) {
+        best = m2;
+      }
+      if (m3 > best) {
+        best = m3;
+      }
+      score[i * (SLEN + 1) + jj] = best;
+    }
+  }
+)";
+
+constexpr const char* kPrologue = R"(
+extern int SLEN;
+extern int PEN;
+extern double simm[];
+extern double score[];
+
+void main(void) {
+  int d;
+  int i;
+  int jj;
+  int dlo;
+  int dhi;
+  double m1;
+  double m2;
+  double m3;
+  double best;
+)";
+
+std::string unoptimized() {
+  std::string src = kPrologue;
+  src += kAlgorithm;
+  src += "}\n";
+  return src;
+}
+
+std::string optimized() {
+  std::string src = kPrologue;
+  src += "\n  #pragma acc data copy(score) copyin(simm)\n  {\n";
+  src += kAlgorithm;
+  src += "  }\n}\n";
+  return src;
+}
+
+const std::vector<double>& reference_result() {
+  static const std::vector<double> ref = [] {
+    auto n = static_cast<std::size_t>(kSeqLen);
+    std::vector<double> simm(n * n);
+    {
+      TypedBuffer s(ScalarKind::kDouble, simm.size());
+      fill_uniform(s, kSeed, -3.0, 3.0);
+      for (std::size_t i = 0; i < simm.size(); ++i) {
+        simm[i] = static_cast<double>(static_cast<int>(s.get(i)));
+      }
+    }
+    std::vector<double> score((n + 1) * (n + 1), 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      score[i * (n + 1)] = -static_cast<double>(i) * kPenalty;
+      score[i] = -static_cast<double>(i) * kPenalty;
+    }
+    for (int d = 2; d <= 2 * kSeqLen; ++d) {
+      int dlo = std::max(1, d - kSeqLen);
+      int dhi = std::min(kSeqLen, d - 1);
+      for (int i = dlo; i <= dhi; ++i) {
+        int j = d - i;
+        auto ui = static_cast<std::size_t>(i);
+        auto uj = static_cast<std::size_t>(j);
+        double m1 = score[(ui - 1) * (n + 1) + uj - 1] +
+                    simm[(ui - 1) * n + uj - 1];
+        double m2 = score[(ui - 1) * (n + 1) + uj] - kPenalty;
+        double m3 = score[ui * (n + 1) + uj - 1] - kPenalty;
+        score[ui * (n + 1) + uj] = std::max(m1, std::max(m2, m3));
+      }
+    }
+    return score;
+  }();
+  return ref;
+}
+
+}  // namespace
+
+BenchmarkDef make_nw() {
+  BenchmarkDef def;
+  def.name = "NW";
+  def.unoptimized_source = unoptimized();
+  def.optimized_source = optimized();
+  def.expected_kernel_count = 1;
+  def.bind_inputs = [](Interpreter& interp) {
+    auto n = static_cast<std::size_t>(kSeqLen);
+    interp.bind_scalar("SLEN", Value::of_int(kSeqLen));
+    interp.bind_scalar("PEN", Value::of_int(kPenalty));
+    BufferPtr simm = interp.bind_buffer("simm", ScalarKind::kDouble, n * n);
+    {
+      TypedBuffer s(ScalarKind::kDouble, n * n);
+      fill_uniform(s, kSeed, -3.0, 3.0);
+      for (std::size_t i = 0; i < n * n; ++i) {
+        simm->set(i, static_cast<double>(static_cast<int>(s.get(i))));
+      }
+    }
+    BufferPtr score =
+        interp.bind_buffer("score", ScalarKind::kDouble, (n + 1) * (n + 1));
+    for (std::size_t i = 0; i <= n; ++i) {
+      score->set(i * (n + 1), -static_cast<double>(i) * kPenalty);
+      score->set(i, -static_cast<double>(i) * kPenalty);
+    }
+  };
+  def.check_output = [](Interpreter& interp) {
+    return buffer_close(*interp.buffer("score"), reference_result());
+  };
+  return def;
+}
+
+}  // namespace miniarc

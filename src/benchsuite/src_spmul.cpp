@@ -1,0 +1,162 @@
+// SPMUL — iterated sparse matrix–vector product (CSR), one of the paper's
+// two kernel benchmarks. Kernel 0 computes y = A·x with a per-row
+// accumulator (auto-privatized temporary); kernel 1 rescales x from y for
+// the next iteration. The CSR arrays are read-only device data whose
+// repeated default-scheme copies the coherence tool flags.
+#include "benchsuite/benchmark_registry.h"
+#include "benchsuite/inputs.h"
+
+namespace miniarc {
+namespace {
+
+constexpr std::int64_t kRows = 400;
+constexpr std::int64_t kPerRow = 8;
+constexpr int kIters = 8;
+constexpr std::uint64_t kSeed = 0x59311;
+
+constexpr const char* kUnoptimized = R"(
+extern int NROWS;
+extern int NITERS;
+extern int rowptr[];
+extern int colidx[];
+extern double vals[];
+extern double x[];
+extern double y[];
+
+void main(void) {
+  int it;
+  int i;
+  int jj;
+  int i2;
+  double sum;
+
+  for (it = 0; it < NITERS; it++) {
+    #pragma acc kernels loop gang worker
+    for (i = 0; i < NROWS; i++) {
+      sum = 0.0;
+      for (jj = rowptr[i]; jj < rowptr[i + 1]; jj++) {
+        sum += vals[jj] * x[colidx[jj]];
+      }
+      y[i] = sum;
+    }
+    #pragma acc kernels loop gang worker
+    for (i2 = 0; i2 < NROWS; i2++) {
+      x[i2] = 0.5 * y[i2];
+    }
+  }
+}
+)";
+
+constexpr const char* kOptimized = R"(
+extern int NROWS;
+extern int NITERS;
+extern int rowptr[];
+extern int colidx[];
+extern double vals[];
+extern double x[];
+extern double y[];
+
+void main(void) {
+  int it;
+  int i;
+  int jj;
+  int i2;
+  double sum;
+
+  #pragma acc data copyin(rowptr, colidx, vals) copy(x) copyout(y)
+  {
+    for (it = 0; it < NITERS; it++) {
+      #pragma acc kernels loop gang worker
+      for (i = 0; i < NROWS; i++) {
+        sum = 0.0;
+        for (jj = rowptr[i]; jj < rowptr[i + 1]; jj++) {
+          sum += vals[jj] * x[colidx[jj]];
+        }
+        y[i] = sum;
+      }
+      #pragma acc kernels loop gang worker
+      for (i2 = 0; i2 < NROWS; i2++) {
+        x[i2] = 0.5 * y[i2];
+      }
+    }
+  }
+}
+)";
+
+struct Reference {
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+const Reference& reference_result() {
+  static const Reference ref = [] {
+    CsrMatrix csr = make_csr(kRows, kPerRow, kSeed);
+    Reference r;
+    r.x.resize(static_cast<std::size_t>(kRows));
+    r.y.assign(static_cast<std::size_t>(kRows), 0.0);
+    TypedBuffer seed_buffer(ScalarKind::kDouble, r.x.size());
+    fill_uniform(seed_buffer, kSeed + 1, 0.5, 1.5);
+    for (std::size_t i = 0; i < r.x.size(); ++i) r.x[i] = seed_buffer.get(i);
+    for (int it = 0; it < kIters; ++it) {
+      for (std::int64_t i = 0; i < kRows; ++i) {
+        double sum = 0.0;
+        for (std::int64_t jj = csr.row_ptr[static_cast<std::size_t>(i)];
+             jj < csr.row_ptr[static_cast<std::size_t>(i) + 1]; ++jj) {
+          sum += csr.values[static_cast<std::size_t>(jj)] *
+                 r.x[static_cast<std::size_t>(
+                     csr.col_idx[static_cast<std::size_t>(jj)])];
+        }
+        r.y[static_cast<std::size_t>(i)] = sum;
+      }
+      for (std::int64_t i = 0; i < kRows; ++i) {
+        r.x[static_cast<std::size_t>(i)] =
+            0.5 * r.y[static_cast<std::size_t>(i)];
+      }
+    }
+    return r;
+  }();
+  return ref;
+}
+
+}  // namespace
+
+BenchmarkDef make_spmul() {
+  BenchmarkDef def;
+  def.name = "SPMUL";
+  def.unoptimized_source = kUnoptimized;
+  def.optimized_source = kOptimized;
+  def.expected_kernel_count = 2;
+  def.bind_inputs = [](Interpreter& interp) {
+    CsrMatrix csr = make_csr(kRows, kPerRow, kSeed);
+    interp.bind_scalar("NROWS", Value::of_int(kRows));
+    interp.bind_scalar("NITERS", Value::of_int(kIters));
+    BufferPtr rowptr =
+        interp.bind_buffer("rowptr", ScalarKind::kInt, csr.row_ptr.size());
+    for (std::size_t i = 0; i < csr.row_ptr.size(); ++i) {
+      rowptr->set(i, static_cast<double>(csr.row_ptr[i]));
+    }
+    BufferPtr colidx =
+        interp.bind_buffer("colidx", ScalarKind::kInt, csr.col_idx.size());
+    for (std::size_t i = 0; i < csr.col_idx.size(); ++i) {
+      colidx->set(i, static_cast<double>(csr.col_idx[i]));
+    }
+    BufferPtr vals =
+        interp.bind_buffer("vals", ScalarKind::kDouble, csr.values.size());
+    for (std::size_t i = 0; i < csr.values.size(); ++i) {
+      vals->set(i, csr.values[i]);
+    }
+    BufferPtr x = interp.bind_buffer("x", ScalarKind::kDouble,
+                                     static_cast<std::size_t>(kRows));
+    fill_uniform(*x, kSeed + 1, 0.5, 1.5);
+    interp.bind_buffer("y", ScalarKind::kDouble,
+                       static_cast<std::size_t>(kRows));
+  };
+  def.check_output = [](Interpreter& interp) {
+    const Reference& expected = reference_result();
+    return buffer_close(*interp.buffer("x"), expected.x) &&
+           buffer_close(*interp.buffer("y"), expected.y);
+  };
+  return def;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,219 @@
+// SRAD — Rodinia speckle-reducing anisotropic diffusion: per iteration the
+// host derives the diffusion coefficient scale (q0sqr) from ROI statistics
+// of the image, a first kernel computes directional derivatives and the
+// diffusion coefficient, and a second kernel applies the divergence update.
+// The host-side statistics force one image download per iteration even in
+// the hand-tuned version — SRAD is the benchmark with legitimate
+// per-iteration device-to-host traffic.
+#include "benchsuite/benchmark_registry.h"
+#include "benchsuite/inputs.h"
+
+namespace miniarc {
+namespace {
+
+constexpr int kSize = 24;    // image is kSize x kSize
+constexpr int kRoi = 8;      // ROI is the top-left kRoi x kRoi corner
+constexpr int kIters = 6;
+constexpr double kLambda = 0.5;
+constexpr std::uint64_t kSeed = 0x55ad;
+
+constexpr const char* kStats = R"(
+    roisum = 0.0;
+    roisum2 = 0.0;
+    for (ri = 0; ri < ROI; ri++) {
+      for (rj = 0; rj < ROI; rj++) {
+        roisum += img[ri * SIZE + rj];
+        roisum2 += img[ri * SIZE + rj] * img[ri * SIZE + rj];
+      }
+    }
+    roimean = roisum / (ROI * ROI);
+    roivar = roisum2 / (ROI * ROI) - roimean * roimean;
+    q0sqr = roivar / (roimean * roimean + 0.000001);
+)";
+
+constexpr const char* kKernels = R"(
+    #pragma acc kernels loop gang worker
+    for (i = 1; i < SIZE - 1; i++) {
+      for (j = 1; j < SIZE - 1; j++) {
+        dn[i * SIZE + j] = img[(i - 1) * SIZE + j] - img[i * SIZE + j];
+        ds[i * SIZE + j] = img[(i + 1) * SIZE + j] - img[i * SIZE + j];
+        dw[i * SIZE + j] = img[i * SIZE + j - 1] - img[i * SIZE + j];
+        de[i * SIZE + j] = img[i * SIZE + j + 1] - img[i * SIZE + j];
+        g2 = (dn[i * SIZE + j] * dn[i * SIZE + j] +
+              ds[i * SIZE + j] * ds[i * SIZE + j] +
+              dw[i * SIZE + j] * dw[i * SIZE + j] +
+              de[i * SIZE + j] * de[i * SIZE + j]) /
+             (img[i * SIZE + j] * img[i * SIZE + j] + 0.000001);
+        l2 = (dn[i * SIZE + j] + ds[i * SIZE + j] + dw[i * SIZE + j] +
+              de[i * SIZE + j]) /
+             (img[i * SIZE + j] + 0.000001);
+        num = 0.5 * g2 - 0.0625 * l2 * l2;
+        den = 1.0 + 0.25 * l2;
+        qsqr = num / (den * den + 0.000001);
+        cden = (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr) + 0.000001);
+        cval = 1.0 / (1.0 + cden);
+        if (cval < 0.0) {
+          cval = 0.0;
+        }
+        if (cval > 1.0) {
+          cval = 1.0;
+        }
+        cc[i * SIZE + j] = cval;
+      }
+    }
+    #pragma acc kernels loop gang worker
+    for (i2 = 1; i2 < SIZE - 2; i2++) {
+      for (j2 = 1; j2 < SIZE - 2; j2++) {
+        dval = cc[(i2 + 1) * SIZE + j2] * ds[i2 * SIZE + j2] +
+               cc[i2 * SIZE + j2] * dn[i2 * SIZE + j2] +
+               cc[i2 * SIZE + j2 + 1] * de[i2 * SIZE + j2] +
+               cc[i2 * SIZE + j2] * dw[i2 * SIZE + j2];
+        img[i2 * SIZE + j2] = img[i2 * SIZE + j2] + 0.25 * LAMBDA * dval;
+      }
+    }
+)";
+
+constexpr const char* kPrologue = R"(
+extern int SIZE;
+extern int ROI;
+extern int NITERS;
+extern double LAMBDA;
+extern double img[];
+
+void main(void) {
+  int it;
+  int ri;
+  int rj;
+  int i;
+  int j;
+  int i2;
+  int j2;
+  double roisum;
+  double roisum2;
+  double roimean;
+  double roivar;
+  double q0sqr;
+  double g2;
+  double l2;
+  double num;
+  double den;
+  double qsqr;
+  double cden;
+  double cval;
+  double dval;
+  double* dn = (double*)malloc(SIZE * SIZE * sizeof(double));
+  double* ds = (double*)malloc(SIZE * SIZE * sizeof(double));
+  double* dw = (double*)malloc(SIZE * SIZE * sizeof(double));
+  double* de = (double*)malloc(SIZE * SIZE * sizeof(double));
+  double* cc = (double*)malloc(SIZE * SIZE * sizeof(double));
+)";
+
+std::string unoptimized() {
+  std::string src = kPrologue;
+  src += "\n  for (it = 0; it < NITERS; it++) {\n";
+  src += kStats;
+  src += kKernels;
+  src += "  }\n}\n";
+  return src;
+}
+
+std::string optimized() {
+  std::string src = kPrologue;
+  src += R"(
+  #pragma acc data copy(img) create(dn, ds, dw, de, cc)
+  {
+    for (it = 0; it < NITERS; it++) {
+)";
+  src += kStats;
+  src += kKernels;
+  src += R"(
+      #pragma acc update host(img)
+    }
+  }
+}
+)";
+  return src;
+}
+
+const std::vector<double>& reference_result() {
+  static const std::vector<double> ref = [] {
+    auto n = static_cast<std::size_t>(kSize);
+    std::vector<double> img(n * n);
+    {
+      TypedBuffer buf(ScalarKind::kDouble, img.size());
+      fill_uniform(buf, kSeed, 0.2, 1.0);
+      for (std::size_t i = 0; i < img.size(); ++i) img[i] = buf.get(i);
+    }
+    std::vector<double> dn(n * n), ds(n * n), dw(n * n), de(n * n), cc(n * n);
+    for (int it = 0; it < kIters; ++it) {
+      double sum = 0.0, sum2 = 0.0;
+      for (int ri = 0; ri < kRoi; ++ri) {
+        for (int rj = 0; rj < kRoi; ++rj) {
+          double v = img[static_cast<std::size_t>(ri) * n + rj];
+          sum += v;
+          sum2 += v * v;
+        }
+      }
+      double mean = sum / (kRoi * kRoi);
+      double var = sum2 / (kRoi * kRoi) - mean * mean;
+      double q0sqr = var / (mean * mean + 1e-6);
+      for (int i = 1; i < kSize - 1; ++i) {
+        for (int j = 1; j < kSize - 1; ++j) {
+          std::size_t idx = static_cast<std::size_t>(i) * n + j;
+          dn[idx] = img[idx - n] - img[idx];
+          ds[idx] = img[idx + n] - img[idx];
+          dw[idx] = img[idx - 1] - img[idx];
+          de[idx] = img[idx + 1] - img[idx];
+          double g2 = (dn[idx] * dn[idx] + ds[idx] * ds[idx] +
+                       dw[idx] * dw[idx] + de[idx] * de[idx]) /
+                      (img[idx] * img[idx] + 1e-6);
+          double l2 = (dn[idx] + ds[idx] + dw[idx] + de[idx]) /
+                      (img[idx] + 1e-6);
+          double num = 0.5 * g2 - 0.0625 * l2 * l2;
+          double den = 1.0 + 0.25 * l2;
+          double qsqr = num / (den * den + 1e-6);
+          double cden = (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr) + 1e-6);
+          double cval = 1.0 / (1.0 + cden);
+          if (cval < 0.0) cval = 0.0;
+          if (cval > 1.0) cval = 1.0;
+          cc[idx] = cval;
+        }
+      }
+      for (int i = 1; i < kSize - 2; ++i) {
+        for (int j = 1; j < kSize - 2; ++j) {
+          std::size_t idx = static_cast<std::size_t>(i) * n + j;
+          double dval = cc[idx + n] * ds[idx] + cc[idx] * dn[idx] +
+                        cc[idx + 1] * de[idx] + cc[idx] * dw[idx];
+          img[idx] = img[idx] + 0.25 * kLambda * dval;
+        }
+      }
+    }
+    return img;
+  }();
+  return ref;
+}
+
+}  // namespace
+
+BenchmarkDef make_srad() {
+  BenchmarkDef def;
+  def.name = "SRAD";
+  def.unoptimized_source = unoptimized();
+  def.optimized_source = optimized();
+  def.expected_kernel_count = 2;
+  def.bind_inputs = [](Interpreter& interp) {
+    interp.bind_scalar("SIZE", Value::of_int(kSize));
+    interp.bind_scalar("ROI", Value::of_int(kRoi));
+    interp.bind_scalar("NITERS", Value::of_int(kIters));
+    interp.bind_scalar("LAMBDA", Value::of_double(kLambda));
+    BufferPtr img = interp.bind_buffer(
+        "img", ScalarKind::kDouble, static_cast<std::size_t>(kSize) * kSize);
+    fill_uniform(*img, kSeed, 0.2, 1.0);
+  };
+  def.check_output = [](Interpreter& interp) {
+    return buffer_close(*interp.buffer("img"), reference_result());
+  };
+  return def;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,85 @@
+#include "cfg/cfg.h"
+
+#include <sstream>
+
+namespace miniarc {
+
+int Cfg::add_node(CfgNodeKind kind, const Stmt* stmt) {
+  CfgNode node;
+  node.id = static_cast<int>(nodes_.size());
+  node.kind = kind;
+  node.stmt = stmt;
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+void Cfg::add_edge(int from, int to) {
+  if (from < 0 || to < 0) return;
+  nodes_[from].succs.push_back(to);
+  nodes_[to].preds.push_back(from);
+}
+
+int Cfg::add_loop(const Stmt* stmt, int parent) {
+  CfgLoop loop;
+  loop.stmt = stmt;
+  loop.parent = parent;
+  loops_.push_back(std::move(loop));
+  return static_cast<int>(loops_.size()) - 1;
+}
+
+void Cfg::assign_loop(int node, int loop) {
+  nodes_[node].loop = loop;
+  // Register the node with the loop and all enclosing loops.
+  for (int l = loop; l != -1; l = loops_[l].parent) {
+    loops_[l].nodes.push_back(node);
+  }
+}
+
+int Cfg::node_for(const Stmt* stmt) const {
+  for (const auto& node : nodes_) {
+    if (node.stmt == stmt &&
+        (node.kind == CfgNodeKind::kStatement ||
+         node.kind == CfgNodeKind::kBranch)) {
+      return node.id;
+    }
+  }
+  return -1;
+}
+
+void Cfg::finalize() {
+  for (auto& loop : loops_) {
+    for (int id : loop.nodes) {
+      const Stmt* stmt = nodes_[id].stmt;
+      if (stmt == nullptr) continue;
+      if (stmt->kind() == StmtKind::kKernelLaunch) loop.contains_kernel = true;
+      if (stmt->kind() == StmtKind::kAcc &&
+          is_compute_construct(stmt->as<AccStmt>().directive().kind)) {
+        loop.contains_kernel = true;
+      }
+      if (stmt->kind() == StmtKind::kMemTransfer) loop.contains_transfer = true;
+    }
+  }
+}
+
+std::string Cfg::dump() const {
+  std::ostringstream os;
+  for (const auto& node : nodes_) {
+    os << node.id << " [";
+    switch (node.kind) {
+      case CfgNodeKind::kEntry: os << "entry"; break;
+      case CfgNodeKind::kExit: os << "exit"; break;
+      case CfgNodeKind::kStatement:
+        os << to_string(node.stmt->kind());
+        break;
+      case CfgNodeKind::kBranch: os << "branch"; break;
+      case CfgNodeKind::kJoin: os << "join"; break;
+    }
+    os << "] ->";
+    for (int succ : node.succs) os << ' ' << succ;
+    if (node.loop != -1) os << "  (loop " << node.loop << ')';
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace miniarc

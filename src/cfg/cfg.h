@@ -1,0 +1,83 @@
+// Control-flow graph over (possibly lowered) function bodies.
+//
+// Nodes are atomic statements; control statements contribute branch/join
+// structure. Kernel launches, memory transfers, and runtime checks are atomic
+// nodes, which is the granularity the paper's analyses need: CPU-side
+// dataflow treats a GPU kernel call as a single statement that kills the CPU
+// coherence state of the buffers it writes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/stmt.h"
+
+namespace miniarc {
+
+enum class CfgNodeKind : std::uint8_t {
+  kEntry,
+  kExit,
+  kStatement,  // an atomic statement (stmt() non-null)
+  kBranch,     // condition evaluation of if/for/while (stmt() = the control stmt)
+  kJoin,       // synthetic merge point
+};
+
+struct CfgNode {
+  int id = -1;
+  CfgNodeKind kind = CfgNodeKind::kStatement;
+  const Stmt* stmt = nullptr;
+  std::vector<int> succs;
+  std::vector<int> preds;
+  /// Innermost enclosing loop (index into Cfg::loops), or -1.
+  int loop = -1;
+};
+
+struct CfgLoop {
+  /// The ForStmt / WhileStmt this loop came from.
+  const Stmt* stmt = nullptr;
+  /// Node evaluating the loop condition.
+  int head = -1;
+  /// Enclosing loop index, or -1.
+  int parent = -1;
+  /// All node ids inside the loop (body + head + step).
+  std::vector<int> nodes;
+  /// True if any node in the loop (or nested loops) launches a GPU kernel.
+  bool contains_kernel = false;
+  /// True if any node in the loop is a memory transfer.
+  bool contains_transfer = false;
+};
+
+class Cfg {
+ public:
+  [[nodiscard]] const std::vector<CfgNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const CfgNode& node(int id) const { return nodes_[id]; }
+  [[nodiscard]] int entry() const { return entry_; }
+  [[nodiscard]] int exit() const { return exit_; }
+  [[nodiscard]] const std::vector<CfgLoop>& loops() const { return loops_; }
+
+  /// The node for a given statement, or -1 (statements appear at most once).
+  [[nodiscard]] int node_for(const Stmt* stmt) const;
+
+  /// Human-readable dump for tests/debugging.
+  [[nodiscard]] std::string dump() const;
+
+  // Construction interface (used by CfgBuilder).
+  int add_node(CfgNodeKind kind, const Stmt* stmt);
+  void add_edge(int from, int to);
+  void set_entry(int id) { entry_ = id; }
+  void set_exit(int id) { exit_ = id; }
+  int add_loop(const Stmt* stmt, int parent);
+  void assign_loop(int node, int loop);
+  [[nodiscard]] CfgLoop& loop(int index) { return loops_[index]; }
+  [[nodiscard]] const CfgLoop& loop(int index) const { return loops_[index]; }
+  void finalize();
+
+ private:
+  std::vector<CfgNode> nodes_;
+  std::vector<CfgLoop> loops_;
+  int entry_ = -1;
+  int exit_ = -1;
+};
+
+}  // namespace miniarc

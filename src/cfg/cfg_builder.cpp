@@ -1,0 +1,176 @@
+#include "cfg/cfg_builder.h"
+
+#include <vector>
+
+namespace miniarc {
+namespace {
+
+class CfgBuilder {
+ public:
+  CfgBuilder() : cfg_(std::make_unique<Cfg>()) {}
+
+  std::unique_ptr<Cfg> build(const Stmt& body) {
+    int entry = cfg_->add_node(CfgNodeKind::kEntry, nullptr);
+    int exit = cfg_->add_node(CfgNodeKind::kExit, nullptr);
+    cfg_->set_entry(entry);
+    cfg_->set_exit(exit);
+    exit_ = exit;
+
+    int last = visit(body, entry);
+    if (last != -1) cfg_->add_edge(last, exit);
+    cfg_->finalize();
+    return std::move(cfg_);
+  }
+
+ private:
+  struct LoopContext {
+    int continue_target;
+    std::vector<int>* break_sources;
+  };
+
+  int new_node(CfgNodeKind kind, const Stmt* stmt, int pred) {
+    int id = cfg_->add_node(kind, stmt);
+    if (current_loop_ != -1) cfg_->assign_loop(id, current_loop_);
+    if (pred != -1) cfg_->add_edge(pred, id);
+    return id;
+  }
+
+  /// Wires `stmt` after node `pred`; returns the node every successor should
+  /// hang off, or -1 if control never falls through (return/break/continue).
+  int visit(const Stmt& stmt, int pred) {
+    if (pred == -1) return -1;  // unreachable code
+    switch (stmt.kind()) {
+      case StmtKind::kCompound: {
+        int current = pred;
+        for (const auto& s : stmt.as<CompoundStmt>().stmts()) {
+          current = visit(*s, current);
+          if (current == -1) return -1;
+        }
+        return current;
+      }
+      case StmtKind::kIf: {
+        const auto& if_stmt = stmt.as<IfStmt>();
+        int branch = new_node(CfgNodeKind::kBranch, &stmt, pred);
+        int join = cfg_->add_node(CfgNodeKind::kJoin, nullptr);
+        if (current_loop_ != -1) cfg_->assign_loop(join, current_loop_);
+        int then_end = visit(if_stmt.then_body(), branch);
+        if (then_end != -1) cfg_->add_edge(then_end, join);
+        if (if_stmt.else_body() != nullptr) {
+          int else_end = visit(*if_stmt.else_body(), branch);
+          if (else_end != -1) cfg_->add_edge(else_end, join);
+        } else {
+          cfg_->add_edge(branch, join);
+        }
+        return cfg_->node(join).preds.empty() ? -1 : join;
+      }
+      case StmtKind::kFor: {
+        const auto& for_stmt = stmt.as<ForStmt>();
+        int current = pred;
+        if (for_stmt.init() != nullptr) {
+          current = visit(*for_stmt.init(), current);
+        }
+        int loop = cfg_->add_loop(&stmt, current_loop_);
+        int saved_loop = current_loop_;
+        current_loop_ = loop;
+        int head = new_node(CfgNodeKind::kBranch, &stmt, current);
+        cfg_->loop(loop).head = head;
+
+        std::vector<int> breaks;
+        LoopContext ctx{-1, &breaks};
+        // Continue target is the step node; create it lazily after the body
+        // by using a join placeholder.
+        int continue_join = cfg_->add_node(CfgNodeKind::kJoin, nullptr);
+        cfg_->assign_loop(continue_join, loop);
+        ctx.continue_target = continue_join;
+        loop_stack_.push_back(ctx);
+
+        int body_end = visit(for_stmt.body(), head);
+        if (body_end != -1) cfg_->add_edge(body_end, continue_join);
+
+        int step_end = continue_join;
+        if (for_stmt.step() != nullptr) {
+          step_end = visit(*for_stmt.step(), continue_join);
+        }
+        if (step_end != -1) cfg_->add_edge(step_end, head);
+
+        loop_stack_.pop_back();
+        current_loop_ = saved_loop;
+
+        // Loop exit: fall out of the head plus any breaks.
+        int after = cfg_->add_node(CfgNodeKind::kJoin, nullptr);
+        if (current_loop_ != -1) cfg_->assign_loop(after, current_loop_);
+        cfg_->add_edge(head, after);
+        for (int b : breaks) cfg_->add_edge(b, after);
+        return after;
+      }
+      case StmtKind::kWhile: {
+        const auto& while_stmt = stmt.as<WhileStmt>();
+        int loop = cfg_->add_loop(&stmt, current_loop_);
+        int saved_loop = current_loop_;
+        current_loop_ = loop;
+        int head = new_node(CfgNodeKind::kBranch, &stmt, pred);
+        cfg_->loop(loop).head = head;
+
+        std::vector<int> breaks;
+        loop_stack_.push_back(LoopContext{head, &breaks});
+        int body_end = visit(while_stmt.body(), head);
+        if (body_end != -1) cfg_->add_edge(body_end, head);
+        loop_stack_.pop_back();
+        current_loop_ = saved_loop;
+
+        int after = cfg_->add_node(CfgNodeKind::kJoin, nullptr);
+        if (current_loop_ != -1) cfg_->assign_loop(after, current_loop_);
+        cfg_->add_edge(head, after);
+        for (int b : breaks) cfg_->add_edge(b, after);
+        return after;
+      }
+      case StmtKind::kReturn: {
+        int node = new_node(CfgNodeKind::kStatement, &stmt, pred);
+        cfg_->add_edge(node, exit_);
+        return -1;
+      }
+      case StmtKind::kBreak: {
+        int node = new_node(CfgNodeKind::kStatement, &stmt, pred);
+        if (!loop_stack_.empty()) {
+          loop_stack_.back().break_sources->push_back(node);
+        }
+        return -1;
+      }
+      case StmtKind::kContinue: {
+        int node = new_node(CfgNodeKind::kStatement, &stmt, pred);
+        if (!loop_stack_.empty()) {
+          cfg_->add_edge(node, loop_stack_.back().continue_target);
+        }
+        return -1;
+      }
+      case StmtKind::kAcc: {
+        const auto& acc = stmt.as<AccStmt>();
+        if (is_compute_construct(acc.directive().kind)) {
+          // Pre-lowering compute region: atomic.
+          return new_node(CfgNodeKind::kStatement, &stmt, pred);
+        }
+        // Data region: structural, body inline.
+        return visit(acc.body(), pred);
+      }
+      case StmtKind::kHostExec:
+        return visit(stmt.as<HostExecStmt>().body(), pred);
+      default:
+        // Atomic statement (including KernelLaunch, MemTransfer, checks…).
+        return new_node(CfgNodeKind::kStatement, &stmt, pred);
+    }
+  }
+
+  std::unique_ptr<Cfg> cfg_;
+  std::vector<LoopContext> loop_stack_;
+  int current_loop_ = -1;
+  int exit_ = -1;
+};
+
+}  // namespace
+
+std::unique_ptr<Cfg> build_cfg(const Stmt& body) {
+  CfgBuilder builder;
+  return builder.build(body);
+}
+
+}  // namespace miniarc

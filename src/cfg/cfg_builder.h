@@ -1,0 +1,16 @@
+// Builds a Cfg from a (possibly lowered) statement tree.
+#pragma once
+
+#include <memory>
+
+#include "cfg/cfg.h"
+
+namespace miniarc {
+
+/// Build the CFG of `body` (typically FuncDecl::body after lowering).
+/// AccStmt data regions and HostExec wrappers contribute their bodies
+/// inline; compute-construct AccStmts (pre-lowering) are treated as atomic
+/// statements, matching how the analyses see kernel launches.
+[[nodiscard]] std::unique_ptr<Cfg> build_cfg(const Stmt& body);
+
+}  // namespace miniarc

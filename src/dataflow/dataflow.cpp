@@ -1,0 +1,253 @@
+#include "dataflow/dataflow.h"
+
+#include <bit>
+#include <deque>
+
+#include "sema/access_summary.h"
+
+namespace miniarc {
+
+int VarIndex::add(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  int id = static_cast<int>(names_.size());
+  index_.emplace(name, id);
+  names_.push_back(name);
+  return id;
+}
+
+int VarIndex::index_of(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+VarIndex VarIndex::buffers_of(const SemaInfo& sema) {
+  VarIndex vars;
+  for (const auto& name : sema.buffers) vars.add(name);
+  return vars;
+}
+
+BitSet& BitSet::operator|=(const BitSet& other) {
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+BitSet& BitSet::operator&=(const BitSet& other) {
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+BitSet& BitSet::subtract(const BitSet& other) {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= ~other.words_[i];
+  }
+  return *this;
+}
+
+int BitSet::count() const {
+  int total = 0;
+  for (std::uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+bool BitSet::any() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+void BitSet::for_each(const std::function<void(int)>& fn) const {
+  for (int i = 0; i < size_; ++i) {
+    if (test(i)) fn(i);
+  }
+}
+
+DataflowResult solve_dataflow(
+    const Cfg& cfg, Direction direction, MeetOp meet, int num_vars,
+    const BitSet& boundary,
+    const std::function<BitSet(const CfgNode&, const BitSet&)>& transfer) {
+  const auto& nodes = cfg.nodes();
+  std::size_t n = nodes.size();
+  BitSet init = meet == MeetOp::kUnion ? BitSet(num_vars)
+                                       : BitSet::universe(num_vars);
+
+  DataflowResult result;
+  result.in.assign(n, init);
+  result.out.assign(n, init);
+
+  bool forward = direction == Direction::kForward;
+  int boundary_node = forward ? cfg.entry() : cfg.exit();
+  if (forward) {
+    result.in[static_cast<std::size_t>(boundary_node)] = boundary;
+    result.out[static_cast<std::size_t>(boundary_node)] = boundary;
+  } else {
+    result.out[static_cast<std::size_t>(boundary_node)] = boundary;
+    result.in[static_cast<std::size_t>(boundary_node)] = boundary;
+  }
+
+  std::deque<int> worklist;
+  std::vector<bool> queued(n, true);
+  for (std::size_t i = 0; i < n; ++i) worklist.push_back(static_cast<int>(i));
+
+  while (!worklist.empty()) {
+    int id = worklist.front();
+    worklist.pop_front();
+    queued[static_cast<std::size_t>(id)] = false;
+    const CfgNode& node = nodes[static_cast<std::size_t>(id)];
+    if (id == boundary_node) continue;
+
+    const std::vector<int>& sources = forward ? node.preds : node.succs;
+    BitSet meet_value;
+    if (sources.empty()) {
+      // Unreachable (forward) or non-exiting (backward) node.
+      meet_value = meet == MeetOp::kUnion ? BitSet(num_vars)
+                                          : BitSet::universe(num_vars);
+    } else {
+      const auto& source_values = forward ? result.out : result.in;
+      meet_value = source_values[static_cast<std::size_t>(sources[0])];
+      for (std::size_t i = 1; i < sources.size(); ++i) {
+        const BitSet& v = source_values[static_cast<std::size_t>(sources[i])];
+        if (meet == MeetOp::kUnion) {
+          meet_value |= v;
+        } else {
+          meet_value &= v;
+        }
+      }
+    }
+
+    BitSet new_value = transfer(node, meet_value);
+    auto& pre = forward ? result.in : result.out;
+    auto& post = forward ? result.out : result.in;
+    bool changed = post[static_cast<std::size_t>(id)] != new_value;
+    pre[static_cast<std::size_t>(id)] = std::move(meet_value);
+    if (changed) {
+      post[static_cast<std::size_t>(id)] = std::move(new_value);
+      const std::vector<int>& targets = forward ? node.succs : node.preds;
+      for (int t : targets) {
+        if (!queued[static_cast<std::size_t>(t)]) {
+          queued[static_cast<std::size_t>(t)] = true;
+          worklist.push_back(t);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_kernel_node(const CfgNode& node) {
+  if (node.stmt == nullptr) return false;
+  if (node.stmt->kind() == StmtKind::kKernelLaunch) return true;
+  return node.stmt->kind() == StmtKind::kAcc &&
+         is_compute_construct(node.stmt->as<AccStmt>().directive().kind);
+}
+
+namespace {
+
+/// Set bit for `name` — and, under the sound alias policy, for every member
+/// of its alias set.
+void set_var(BitSet& set, const VarIndex& vars, const SemaInfo& sema,
+             const std::string& name, bool respect_aliases) {
+  int idx = vars.index_of(name);
+  if (idx >= 0) set.set(idx);
+  if (!respect_aliases) return;
+  auto it = sema.alias_sets.find(name);
+  if (it == sema.alias_sets.end()) return;
+  for (const auto& alias : it->second) {
+    int alias_idx = vars.index_of(alias);
+    if (alias_idx >= 0) set.set(alias_idx);
+  }
+}
+
+/// Kernel buffer accesses, with private/firstprivate/reduction variables
+/// removed (they have per-worker storage, not coherence-tracked state).
+AccessMap kernel_access_map(const Stmt& stmt, const SemaInfo& sema) {
+  AccessMap map;
+  if (stmt.kind() == StmtKind::kKernelLaunch) {
+    const auto& launch = stmt.as<KernelLaunchStmt>();
+    for (const auto& access : launch.accesses) {
+      if (!access.is_buffer) continue;
+      if (launch.is_private(access.name) || launch.is_reduction(access.name)) {
+        continue;
+      }
+      auto& info = map[access.name];
+      info.read = access.read;
+      info.written = access.written;
+      info.is_buffer = true;
+    }
+    return map;
+  }
+  // Pre-lowering compute construct: summarize the body, drop private vars.
+  const auto& acc = stmt.as<AccStmt>();
+  AccessMap body = summarize_accesses(acc.body(), sema);
+  const Directive& dir = acc.directive();
+  for (auto& [name, info] : body) {
+    if (!info.is_buffer) continue;
+    bool excluded = false;
+    for (const auto& clause : dir.clauses) {
+      if ((clause.kind == ClauseKind::kPrivate ||
+           clause.kind == ClauseKind::kFirstprivate ||
+           clause.kind == ClauseKind::kReduction) &&
+          clause.names_var(name)) {
+        excluded = true;
+      }
+    }
+    if (!excluded) map[name] = info;
+  }
+  return map;
+}
+
+}  // namespace
+
+std::vector<NodeAccessSets> compute_access_sets(
+    const Cfg& cfg, const SemaInfo& sema, const VarIndex& vars,
+    DeviceSide side, const AccessSetOptions& options) {
+  std::vector<NodeAccessSets> result;
+  result.reserve(cfg.nodes().size());
+  int n = vars.size();
+
+  for (const CfgNode& node : cfg.nodes()) {
+    NodeAccessSets sets{BitSet(n), BitSet(n), BitSet(n)};
+    if (node.stmt == nullptr) {
+      result.push_back(std::move(sets));
+      continue;
+    }
+
+    if (is_kernel_node(node)) {
+      AccessMap map = kernel_access_map(*node.stmt, sema);
+      for (const auto& [name, info] : map) {
+        if (side == DeviceSide::kDevice) {
+          if (info.read) {
+            // Reads expand across alias sets under the sound policy: a read
+            // through any alias keeps every member's data live.
+            set_var(sets.use, vars, sema, name, options.respect_aliases);
+          }
+          // Writes never expand: a may-alias write is not a must-write.
+          if (info.written) set_var(sets.def, vars, sema, name, false);
+        } else if (info.written) {
+          // GPU wrote it: the CPU copy went stale.
+          set_var(sets.kill, vars, sema, name, false);
+        }
+      }
+    } else {
+      // CPU statement. Shallow summary: control statements contribute their
+      // condition reads, atomic statements their direct accesses.
+      AccessMap map = summarize_shallow(*node.stmt, sema);
+      for (const auto& [name, info] : map) {
+        if (!info.is_buffer) continue;
+        if (side == DeviceSide::kHost) {
+          if (info.read) {
+            set_var(sets.use, vars, sema, name, options.respect_aliases);
+          }
+          if (info.written) set_var(sets.def, vars, sema, name, false);
+        } else if (info.written) {
+          set_var(sets.kill, vars, sema, name, false);
+        }
+      }
+    }
+    result.push_back(std::move(sets));
+  }
+  return result;
+}
+
+}  // namespace miniarc

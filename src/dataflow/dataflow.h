@@ -1,0 +1,121 @@
+// Generic iterative dataflow framework over the CFG, plus the side-specific
+// USE/DEF/KILL set computation shared by the coherence analyses.
+//
+// The paper's analyses (Algorithms 1 and 2, first-read/first-write placement)
+// all track *buffer* variables — coherence is maintained per array / malloc
+// region (§III-B) — so the variable universe here is SemaInfo::buffers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/stmt.h"
+#include "cfg/cfg.h"
+#include "sema/sema.h"
+
+namespace miniarc {
+
+/// Dense name <-> index mapping for bitset-based dataflow.
+class VarIndex {
+ public:
+  int add(const std::string& name);
+  [[nodiscard]] int index_of(const std::string& name) const;
+  [[nodiscard]] const std::string& name(int index) const {
+    return names_[static_cast<std::size_t>(index)];
+  }
+  [[nodiscard]] int size() const { return static_cast<int>(names_.size()); }
+
+  /// Index every buffer variable in `sema`.
+  static VarIndex buffers_of(const SemaInfo& sema);
+
+ private:
+  std::unordered_map<std::string, int> index_;
+  std::vector<std::string> names_;
+};
+
+/// Fixed-size bitset sized at runtime.
+class BitSet {
+ public:
+  BitSet() = default;
+  explicit BitSet(int size) : size_(size), words_((size + 63) / 64, 0) {}
+  static BitSet universe(int size) {
+    BitSet set(size);
+    for (int i = 0; i < size; ++i) set.set(i);
+    return set;
+  }
+
+  void set(int i) { words_[static_cast<std::size_t>(i) / 64] |= 1ULL << (i % 64); }
+  void reset(int i) { words_[static_cast<std::size_t>(i) / 64] &= ~(1ULL << (i % 64)); }
+  [[nodiscard]] bool test(int i) const {
+    return (words_[static_cast<std::size_t>(i) / 64] >> (i % 64)) & 1ULL;
+  }
+  void clear() { for (auto& w : words_) w = 0; }
+
+  BitSet& operator|=(const BitSet& other);
+  BitSet& operator&=(const BitSet& other);
+  /// Set subtraction: this \ other.
+  BitSet& subtract(const BitSet& other);
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] int count() const;
+  [[nodiscard]] bool any() const;
+  void for_each(const std::function<void(int)>& fn) const;
+
+  friend bool operator==(const BitSet&, const BitSet&) = default;
+
+ private:
+  int size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+enum class Direction : std::uint8_t { kForward, kBackward };
+enum class MeetOp : std::uint8_t { kUnion, kIntersect };
+
+struct DataflowResult {
+  /// in[n]: value at node entry (before the statement executes).
+  std::vector<BitSet> in;
+  /// out[n]: value at node exit.
+  std::vector<BitSet> out;
+};
+
+/// Solve an iterative dataflow problem to fixpoint.
+///   forward : in(n)  = meet over preds of out(p);   out(n) = transfer(n, in)
+///   backward: out(n) = meet over succs of in(s);    in(n)  = transfer(n, out)
+/// `boundary` seeds the entry node (forward) or exit node (backward).
+[[nodiscard]] DataflowResult solve_dataflow(
+    const Cfg& cfg, Direction direction, MeetOp meet, int num_vars,
+    const BitSet& boundary,
+    const std::function<BitSet(const CfgNode&, const BitSet&)>& transfer);
+
+/// Per-node coherence access sets for one side of the machine.
+/// For `side == kHost`:  use/def = CPU accesses; kill = buffers a GPU kernel
+/// at this node writes (CPU copy goes stale).
+/// For `side == kDevice`: use/def = kernel accesses at launch nodes (private/
+/// reduction variables excluded); kill = buffers a CPU statement writes.
+struct NodeAccessSets {
+  BitSet use;
+  BitSet def;
+  BitSet kill;
+};
+
+struct AccessSetOptions {
+  /// When true (the sound setting, an extension over the paper), a read
+  /// through any member of an alias set counts for every member. The
+  /// default is false — the paper's aggressive behaviour, whose wrong
+  /// must-dead conclusions on may-aliased programs produce the incorrect
+  /// suggestions of Table III (BACKPROP, LUD).
+  bool respect_aliases = false;
+};
+
+[[nodiscard]] std::vector<NodeAccessSets> compute_access_sets(
+    const Cfg& cfg, const SemaInfo& sema, const VarIndex& vars,
+    DeviceSide side, const AccessSetOptions& options = {});
+
+/// Is this CFG node a GPU kernel call (lowered launch or pre-lowering
+/// compute-construct AccStmt)?
+[[nodiscard]] bool is_kernel_node(const CfgNode& node);
+
+}  // namespace miniarc

@@ -1,0 +1,95 @@
+#include "dataflow/dead_variable_analysis.h"
+
+namespace miniarc {
+
+const char* to_string(Deadness deadness) {
+  switch (deadness) {
+    case Deadness::kLive: return "live";
+    case Deadness::kMayDead: return "may-dead";
+    case Deadness::kMustDead: return "must-dead";
+  }
+  return "?";
+}
+
+Deadness DeadnessResult::classify(const BitSet& live_set,
+                                  const BitSet& dead_set, int idx) const {
+  if (idx < 0) return Deadness::kLive;
+  bool in_dead = dead_set.test(idx);
+  bool in_live = live_set.test(idx);
+  if (in_dead) {
+    // Written-first on all paths. Aliasing makes even this uncertain, but
+    // may-dead is already the "user must verify" class.
+    return Deadness::kMayDead;
+  }
+  if (!in_live) {
+    // Never accessed again.
+    if (aliases_demoted && aliased.test(idx)) return Deadness::kMayDead;
+    return Deadness::kMustDead;
+  }
+  return Deadness::kLive;
+}
+
+Deadness DeadnessResult::at_entry(int node, const std::string& var) const {
+  int idx = vars.index_of(var);
+  auto n = static_cast<std::size_t>(node);
+  return classify(live.in[n], dead.in[n], idx);
+}
+
+Deadness DeadnessResult::at_exit(int node, const std::string& var) const {
+  int idx = vars.index_of(var);
+  auto n = static_cast<std::size_t>(node);
+  return classify(live.out[n], dead.out[n], idx);
+}
+
+DeadnessResult analyze_deadness(const Cfg& cfg, const SemaInfo& sema,
+                                DeviceSide side,
+                                const AccessSetOptions& options) {
+  DeadnessResult result;
+  result.vars = VarIndex::buffers_of(sema);
+  int n = result.vars.size();
+  std::vector<NodeAccessSets> sets =
+      compute_access_sets(cfg, sema, result.vars, side, options);
+
+  result.aliased = BitSet(n);
+  for (int i = 0; i < n; ++i) {
+    if (sema.has_aliases(result.vars.name(i))) result.aliased.set(i);
+  }
+  result.aliases_demoted = options.respect_aliases;
+
+  // Extern buffers are the program's observable inputs/outputs: they are
+  // live-out at the program exit on the host side (the harness reads them),
+  // so copies into them near the end are never dead.
+  BitSet live_boundary(n);
+  if (side == DeviceSide::kHost) {
+    for (const auto& name : sema.extern_vars) {
+      int idx = result.vars.index_of(name);
+      if (idx >= 0) live_boundary.set(idx);
+    }
+  }
+
+  result.live = solve_dataflow(
+      cfg, Direction::kBackward, MeetOp::kUnion, n, live_boundary,
+      [&](const CfgNode& node, const BitSet& out) {
+        const auto& s = sets[static_cast<std::size_t>(node.id)];
+        BitSet in = out;
+        in.subtract(s.kill);
+        in.subtract(s.def);
+        in |= s.use;
+        return in;
+      });
+
+  result.dead = solve_dataflow(
+      cfg, Direction::kBackward, MeetOp::kIntersect, n, BitSet(n),
+      [&](const CfgNode& node, const BitSet& out) {
+        const auto& s = sets[static_cast<std::size_t>(node.id)];
+        BitSet in = out;
+        in.subtract(s.kill);
+        in |= s.def;
+        in.subtract(s.use);
+        return in;
+      });
+
+  return result;
+}
+
+}  // namespace miniarc

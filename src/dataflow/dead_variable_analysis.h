@@ -1,0 +1,46 @@
+// May-dead / must-dead / may-live analysis — the paper's Algorithm 1.
+//
+// Backward over the CFG, per machine side:
+//   OUTLive(n) = ∪ INLive(s)          OUTDead(n) = ∩ INDead(s)
+//   INLive(n)  = OUTLive − KILL − DEF + USE
+//   INDead(n)  = OUTDead − KILL + DEF − USE
+//
+// A variable written-first on every following path is may-dead; read-first
+// on some path is may-live; neither means it is never accessed again —
+// must-dead. The runtime turns must-dead into "notstale" (transfers into it
+// are redundant) and may-dead into "maystale" (may-redundant, user verifies).
+#pragma once
+
+#include "dataflow/dataflow.h"
+
+namespace miniarc {
+
+enum class Deadness : std::uint8_t { kLive, kMayDead, kMustDead };
+
+[[nodiscard]] const char* to_string(Deadness deadness);
+
+struct DeadnessResult {
+  VarIndex vars;
+  DataflowResult live;  // in/out of the may-live set
+  DataflowResult dead;  // in/out of the may-dead set
+  /// Variables whose alias set is non-singleton (candidates for demotion
+  /// under the sound policy, and for wrong suggestions under the aggressive
+  /// one).
+  BitSet aliased;
+  /// True if must-dead was demoted to may-dead for aliased variables.
+  bool aliases_demoted = false;
+
+  /// Classification immediately before / after node `n` executes.
+  [[nodiscard]] Deadness at_entry(int node, const std::string& var) const;
+  [[nodiscard]] Deadness at_exit(int node, const std::string& var) const;
+
+ private:
+  [[nodiscard]] Deadness classify(const BitSet& live_set,
+                                  const BitSet& dead_set, int idx) const;
+};
+
+[[nodiscard]] DeadnessResult analyze_deadness(
+    const Cfg& cfg, const SemaInfo& sema, DeviceSide side,
+    const AccessSetOptions& options = {});
+
+}  // namespace miniarc

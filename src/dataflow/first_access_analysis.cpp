@@ -1,0 +1,56 @@
+#include "dataflow/first_access_analysis.h"
+
+namespace miniarc {
+namespace {
+
+/// Forward "seen" analysis: OUT = IN + accessed, reset to ∅ at kernel calls.
+/// With intersect meet, IN(n) holds vars already accessed on *all* paths; an
+/// access at n of a var not in IN(n) is a first access on some path.
+std::vector<BitSet> first_accesses(
+    const Cfg& cfg, int num_vars,
+    const std::vector<NodeAccessSets>& sets,
+    const std::function<const BitSet&(const NodeAccessSets&)>& pick) {
+  DataflowResult seen = solve_dataflow(
+      cfg, Direction::kForward, MeetOp::kIntersect, num_vars,
+      BitSet(num_vars),
+      [&](const CfgNode& node, const BitSet& in) {
+        if (is_kernel_node(node)) return BitSet(num_vars);
+        BitSet out = in;
+        out |= pick(sets[static_cast<std::size_t>(node.id)]);
+        return out;
+      });
+
+  std::vector<BitSet> first;
+  first.reserve(cfg.nodes().size());
+  for (const CfgNode& node : cfg.nodes()) {
+    auto id = static_cast<std::size_t>(node.id);
+    BitSet f = pick(sets[id]);
+    f.subtract(seen.in[id]);
+    if (is_kernel_node(node)) f = BitSet(num_vars);
+    first.push_back(std::move(f));
+  }
+  return first;
+}
+
+}  // namespace
+
+FirstAccessResult analyze_first_accesses(const Cfg& cfg, const SemaInfo& sema,
+                                         const AccessSetOptions& options) {
+  FirstAccessResult result;
+  result.vars = VarIndex::buffers_of(sema);
+  int n = result.vars.size();
+  std::vector<NodeAccessSets> sets =
+      compute_access_sets(cfg, sema, result.vars, DeviceSide::kHost, options);
+
+  result.first_read = first_accesses(
+      cfg, n, sets, [](const NodeAccessSets& s) -> const BitSet& {
+        return s.use;
+      });
+  result.first_write = first_accesses(
+      cfg, n, sets, [](const NodeAccessSets& s) -> const BitSet& {
+        return s.def;
+      });
+  return result;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,40 @@
+// First-read / first-write placement analysis (after Pai et al. [23],
+// referenced by the paper §III-B).
+//
+// Forward must-analysis of "already checked" sets: a CPU access of v at node
+// n needs a runtime coherence check only if some path from the program entry
+// or from a GPU kernel call reaches n without an earlier access of the same
+// kind — kernels invalidate previous checks because they can change CPU-side
+// coherence states.
+//
+// Also computes the loop-hoisting opportunities of §III-B: a first-access
+// check inside a kernel-free loop moves to the loop preheader.
+#pragma once
+
+#include "dataflow/dataflow.h"
+
+namespace miniarc {
+
+struct FirstAccessResult {
+  VarIndex vars;
+  /// first_read[n] / first_write[n]: variables whose CPU access at node n is
+  /// a first access along some path (⇒ needs check_read / check_write).
+  std::vector<BitSet> first_read;
+  std::vector<BitSet> first_write;
+
+  [[nodiscard]] bool needs_read_check(int node, const std::string& var) const {
+    int idx = vars.index_of(var);
+    return idx >= 0 && first_read[static_cast<std::size_t>(node)].test(idx);
+  }
+  [[nodiscard]] bool needs_write_check(int node,
+                                       const std::string& var) const {
+    int idx = vars.index_of(var);
+    return idx >= 0 && first_write[static_cast<std::size_t>(node)].test(idx);
+  }
+};
+
+[[nodiscard]] FirstAccessResult analyze_first_accesses(
+    const Cfg& cfg, const SemaInfo& sema,
+    const AccessSetOptions& options = {});
+
+}  // namespace miniarc

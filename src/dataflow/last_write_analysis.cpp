@@ -1,0 +1,43 @@
+#include "dataflow/last_write_analysis.h"
+
+namespace miniarc {
+
+LastWriteResult analyze_last_writes(const Cfg& cfg, const SemaInfo& sema,
+                                    DeviceSide side,
+                                    const AccessSetOptions& options) {
+  LastWriteResult result;
+  result.vars = VarIndex::buffers_of(sema);
+  int n = result.vars.size();
+  std::vector<NodeAccessSets> sets =
+      compute_access_sets(cfg, sema, result.vars, side, options);
+
+  result.write = solve_dataflow(
+      cfg, Direction::kBackward, MeetOp::kIntersect, n, BitSet(n),
+      [&](const CfgNode& node, const BitSet& out) {
+        // For CPU-side analysis, a GPU kernel call restarts the walk: writes
+        // after the kernel must not mask the pre-kernel last write, because
+        // the remote-deadness info must be installed before the kernel runs.
+        if (side == DeviceSide::kHost && is_kernel_node(node)) {
+          return BitSet(n);
+        }
+        const auto& s = sets[static_cast<std::size_t>(node.id)];
+        BitSet in = out;
+        in |= s.def;
+        in.subtract(s.kill);
+        return in;
+      });
+
+  result.last.reserve(cfg.nodes().size());
+  for (const CfgNode& node : cfg.nodes()) {
+    auto id = static_cast<std::size_t>(node.id);
+    // LASTWrite(n) = INWrite(n) − OUTWrite(n), restricted to vars this node
+    // actually writes.
+    BitSet last = result.write.in[id];
+    last.subtract(result.write.out[id]);
+    last &= sets[id].def;
+    result.last.push_back(std::move(last));
+  }
+  return result;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,37 @@
+// Last-write analysis — the paper's Algorithm 2.
+//
+// Backward all-paths analysis from program exits and from GPU kernel calls:
+//   OUTWrite(n) = ∩ INWrite(s)
+//   INWrite(n)  = OUTWrite + DEF − KILL
+//   LASTWrite(n) = INWrite(n) − OUTWrite(n)
+//
+// A node is a last-write of v if it writes v and no later write of v happens
+// before the next kernel call / program exit. The instrumentation pass
+// places reset_status() calls (for dead remote copies) at exactly these
+// nodes.
+#pragma once
+
+#include "dataflow/dataflow.h"
+
+namespace miniarc {
+
+struct LastWriteResult {
+  VarIndex vars;
+  DataflowResult write;  // in/out of the write sets
+  /// last[n] = variables whose last write (before next kernel/exit) is n.
+  std::vector<BitSet> last;
+
+  [[nodiscard]] bool is_last_write(int node, const std::string& var) const {
+    int idx = vars.index_of(var);
+    return idx >= 0 && last[static_cast<std::size_t>(node)].test(idx);
+  }
+};
+
+/// `side` selects whose writes are analyzed (kHost: CPU statements write,
+/// kernel calls reset the walk; kDevice: kernel launches write, CPU writes
+/// kill).
+[[nodiscard]] LastWriteResult analyze_last_writes(
+    const Cfg& cfg, const SemaInfo& sema, DeviceSide side,
+    const AccessSetOptions& options = {});
+
+}  // namespace miniarc

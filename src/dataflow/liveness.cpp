@@ -1,0 +1,35 @@
+#include "dataflow/liveness.h"
+
+namespace miniarc {
+
+LivenessResult analyze_liveness(const Cfg& cfg, const SemaInfo& sema,
+                                DeviceSide side) {
+  LivenessResult result;
+  result.vars = VarIndex::buffers_of(sema);
+  int n = result.vars.size();
+  std::vector<NodeAccessSets> sets =
+      compute_access_sets(cfg, sema, result.vars, side);
+
+  // Extern buffers are live-out on the host (the harness reads them).
+  BitSet boundary(n);
+  if (side == DeviceSide::kHost) {
+    for (const auto& name : sema.extern_vars) {
+      int idx = result.vars.index_of(name);
+      if (idx >= 0) boundary.set(idx);
+    }
+  }
+  result.flow = solve_dataflow(
+      cfg, Direction::kBackward, MeetOp::kUnion, n, boundary,
+      [&](const CfgNode& node, const BitSet& out) {
+        // in = (out - def) + use. Partial (array-element) writes do not kill
+        // liveness, but at whole-buffer granularity DEF subtraction is the
+        // standard approximation; USE re-adds read-modify-write vars.
+        BitSet in = out;
+        in.subtract(sets[static_cast<std::size_t>(node.id)].def);
+        in |= sets[static_cast<std::size_t>(node.id)].use;
+        return in;
+      });
+  return result;
+}
+
+}  // namespace miniarc

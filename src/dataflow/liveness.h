@@ -1,0 +1,24 @@
+// Classic backward liveness over buffer variables, for one machine side.
+// Used by tests as a cross-check of the framework and by the suggestion
+// engine to rank findings.
+#pragma once
+
+#include "dataflow/dataflow.h"
+
+namespace miniarc {
+
+struct LivenessResult {
+  VarIndex vars;
+  DataflowResult flow;  // in[n] = live before node n
+
+  [[nodiscard]] bool live_in(int node, const std::string& var) const {
+    int idx = vars.index_of(var);
+    return idx >= 0 && flow.in[static_cast<std::size_t>(node)].test(idx);
+  }
+};
+
+[[nodiscard]] LivenessResult analyze_liveness(const Cfg& cfg,
+                                              const SemaInfo& sema,
+                                              DeviceSide side);
+
+}  // namespace miniarc

@@ -1,0 +1,79 @@
+// TypedBuffer: contiguous numeric storage with a runtime element kind.
+// Host memory and device memory are *distinct* TypedBuffer instances — the
+// simulated machine has separate address spaces, and every byte that crosses
+// between them goes through the TransferEngine, which is what makes the
+// transfer accounting in the benchmarks exact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ast/type.h"
+
+namespace miniarc {
+
+class TypedBuffer {
+ public:
+  TypedBuffer(ScalarKind kind, std::size_t count)
+      : kind_(kind),
+        count_(count),
+        bytes_(count * scalar_size(kind), std::byte{0}) {}
+
+  [[nodiscard]] ScalarKind kind() const { return kind_; }
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] std::size_t size_bytes() const { return bytes_.size(); }
+
+  /// Element access through a double lens (exact for int32 and for the
+  /// integer magnitudes mini-C programs use).
+  [[nodiscard]] double get(std::size_t i) const {
+    switch (kind_) {
+      case ScalarKind::kInt:
+        return static_cast<double>(
+            reinterpret_cast<const std::int32_t*>(bytes_.data())[i]);
+      case ScalarKind::kLong:
+        return static_cast<double>(
+            reinterpret_cast<const std::int64_t*>(bytes_.data())[i]);
+      case ScalarKind::kFloat:
+        return static_cast<double>(
+            reinterpret_cast<const float*>(bytes_.data())[i]);
+      default:
+        return reinterpret_cast<const double*>(bytes_.data())[i];
+    }
+  }
+
+  void set(std::size_t i, double value) {
+    switch (kind_) {
+      case ScalarKind::kInt:
+        reinterpret_cast<std::int32_t*>(bytes_.data())[i] =
+            static_cast<std::int32_t>(value);
+        break;
+      case ScalarKind::kLong:
+        reinterpret_cast<std::int64_t*>(bytes_.data())[i] =
+            static_cast<std::int64_t>(value);
+        break;
+      case ScalarKind::kFloat:
+        reinterpret_cast<float*>(bytes_.data())[i] = static_cast<float>(value);
+        break;
+      default:
+        reinterpret_cast<double*>(bytes_.data())[i] = value;
+        break;
+    }
+  }
+
+  [[nodiscard]] std::byte* data() { return bytes_.data(); }
+  [[nodiscard]] const std::byte* data() const { return bytes_.data(); }
+
+  /// Byte-wise copy from a same-shape buffer (the "DMA" path).
+  void copy_from(const TypedBuffer& other) { bytes_ = other.bytes_; }
+
+ private:
+  ScalarKind kind_;
+  std::size_t count_;
+  std::vector<std::byte> bytes_;
+};
+
+using BufferPtr = std::shared_ptr<TypedBuffer>;
+
+}  // namespace miniarc

@@ -1,0 +1,15 @@
+#include "device/cost_model.h"
+
+namespace miniarc {
+
+MachineModel MachineModel::m2090() { return MachineModel{}; }
+
+MachineModel MachineModel::fused() {
+  MachineModel model;
+  model.pcie.latency_seconds = 0.5e-6;
+  model.pcie.bandwidth_bytes_per_s = 30e9;  // shared-memory copy bandwidth
+  model.dev_mem.alloc_latency_seconds = 2e-6;
+  return model;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,91 @@
+// Cost models for the simulated accelerator platform. Defaults are shaped
+// after the paper's testbed (Intel Xeon X5660 host + NVIDIA Tesla M2090 over
+// PCIe 2.0 x16): ~6 GB/s effective PCIe bandwidth, microsecond-scale launch
+// and transfer latencies, and a device whose aggregate arithmetic throughput
+// is roughly an order of magnitude above one CPU core.
+//
+// Absolute values are not the point (DESIGN.md §1) — the models exist so the
+// benchmark harnesses reproduce the paper's *shapes*: transfer-bound naive
+// schedules losing to transfer-minimal ones by large factors, verification
+// overhead dominated by result comparison and transfers, etc.
+#pragma once
+
+#include <cstddef>
+
+namespace miniarc {
+
+struct PcieCostModel {
+  double latency_seconds = 8e-6;        // per-transfer setup cost
+  double bandwidth_bytes_per_s = 6e9;   // effective PCIe 2.0 x16
+
+  [[nodiscard]] double transfer_seconds(std::size_t bytes) const {
+    return latency_seconds +
+           static_cast<double>(bytes) / bandwidth_bytes_per_s;
+  }
+};
+
+struct KernelCostModel {
+  double launch_overhead_seconds = 7e-6;
+  /// Cost of one interpreted statement on one device worker.
+  double per_statement_seconds = 2.0e-9;
+  /// Fraction of ideal gang×worker scaling actually achieved.
+  double parallel_efficiency = 0.7;
+
+  [[nodiscard]] double kernel_seconds(std::size_t device_statements,
+                                      int num_gangs, int num_workers) const {
+    double width = static_cast<double>(num_gangs) *
+                   static_cast<double>(num_workers) * parallel_efficiency;
+    if (width < 1.0) width = 1.0;
+    return launch_overhead_seconds +
+           static_cast<double>(device_statements) * per_statement_seconds *
+               32.0 / width;
+  }
+};
+
+struct HostCostModel {
+  /// Cost of one interpreted statement on the host CPU.
+  double per_statement_seconds = 2.0e-9;
+
+  [[nodiscard]] double host_seconds(std::size_t statements) const {
+    return static_cast<double>(statements) * per_statement_seconds;
+  }
+};
+
+struct DeviceMemCostModel {
+  double alloc_latency_seconds = 12e-6;
+  double free_latency_seconds = 6e-6;
+  double alloc_per_byte_seconds = 2e-12;
+
+  [[nodiscard]] double alloc_seconds(std::size_t bytes) const {
+    return alloc_latency_seconds +
+           static_cast<double>(bytes) * alloc_per_byte_seconds;
+  }
+  [[nodiscard]] double free_seconds() const { return free_latency_seconds; }
+};
+
+/// Per-element cost of the host-side result comparison (kernel
+/// verification): two loads, a subtract, fabs, margin logic and branching
+/// per element — an unvectorized dozen-or-so nanoseconds.
+struct CompareCostModel {
+  double per_element_seconds = 12e-9;
+
+  [[nodiscard]] double compare_seconds(std::size_t elements) const {
+    return static_cast<double>(elements) * per_element_seconds;
+  }
+};
+
+/// Bundle of all cost models describing one simulated platform.
+struct MachineModel {
+  PcieCostModel pcie;
+  KernelCostModel kernel;
+  HostCostModel host;
+  DeviceMemCostModel dev_mem;
+  CompareCostModel compare;
+
+  /// The paper-testbed-shaped default platform.
+  static MachineModel m2090();
+  /// A fused-memory platform (no PCIe penalty) for ablation benches.
+  static MachineModel fused();
+};
+
+}  // namespace miniarc

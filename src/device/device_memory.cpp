@@ -1,0 +1,30 @@
+#include "device/device_memory.h"
+
+#include <new>
+
+namespace miniarc {
+
+BufferPtr DeviceMemoryManager::allocate(ScalarKind kind, std::size_t count) {
+  std::size_t bytes = count * scalar_size(kind);
+  if (bytes_in_use_ + bytes > capacity_) throw std::bad_alloc();
+  auto buffer = std::make_shared<TypedBuffer>(kind, count);
+  bytes_in_use_ += bytes;
+  if (bytes_in_use_ > peak_bytes_) peak_bytes_ = bytes_in_use_;
+  ++alloc_count_;
+  return buffer;
+}
+
+void DeviceMemoryManager::release(const TypedBuffer& buffer) {
+  std::size_t bytes = buffer.size_bytes();
+  bytes_in_use_ = bytes_in_use_ >= bytes ? bytes_in_use_ - bytes : 0;
+  ++free_count_;
+}
+
+void DeviceMemoryManager::reset_stats() {
+  bytes_in_use_ = 0;
+  peak_bytes_ = 0;
+  alloc_count_ = 0;
+  free_count_ = 0;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,39 @@
+// Device memory manager: allocation accounting for the simulated GPU.
+#pragma once
+
+#include <cstddef>
+
+#include "device/buffer.h"
+
+namespace miniarc {
+
+class DeviceMemoryManager {
+ public:
+  /// Allocate a device buffer (zero-initialized, like cudaMalloc+memset in
+  /// debug flows). Throws std::bad_alloc on exhaustion of the configured
+  /// capacity.
+  [[nodiscard]] BufferPtr allocate(ScalarKind kind, std::size_t count);
+
+  /// Release accounting for a buffer obtained from allocate().
+  void release(const TypedBuffer& buffer);
+
+  [[nodiscard]] std::size_t bytes_in_use() const { return bytes_in_use_; }
+  [[nodiscard]] std::size_t peak_bytes() const { return peak_bytes_; }
+  [[nodiscard]] std::size_t alloc_count() const { return alloc_count_; }
+  [[nodiscard]] std::size_t free_count() const { return free_count_; }
+
+  /// Device memory capacity (default: 6 GB, the Tesla M2090 size).
+  void set_capacity(std::size_t bytes) { capacity_ = bytes; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void reset_stats();
+
+ private:
+  std::size_t capacity_ = 6ULL * 1024 * 1024 * 1024;
+  std::size_t bytes_in_use_ = 0;
+  std::size_t peak_bytes_ = 0;
+  std::size_t alloc_count_ = 0;
+  std::size_t free_count_ = 0;
+};
+
+}  // namespace miniarc

@@ -1,0 +1,55 @@
+#include "device/gang_worker_executor.h"
+
+#include <atomic>
+#include <thread>
+
+namespace miniarc {
+
+std::vector<WorkerChunk> partition_iterations(long begin, long end,
+                                              int workers) {
+  std::vector<WorkerChunk> chunks;
+  if (end <= begin || workers <= 0) return chunks;
+  long total = end - begin;
+  long per_worker = total / workers;
+  long remainder = total % workers;
+  long cursor = begin;
+  for (int w = 0; w < workers && cursor < end; ++w) {
+    long size = per_worker + (w < remainder ? 1 : 0);
+    if (size == 0) continue;
+    chunks.push_back(WorkerChunk{w, cursor, cursor + size});
+    cursor += size;
+  }
+  return chunks;
+}
+
+void GangWorkerExecutor::execute(
+    long begin, long end, int num_gangs, int num_workers, bool allow_parallel,
+    const std::function<void(const WorkerChunk&)>& chunk_fn) const {
+  std::vector<WorkerChunk> chunks =
+      partition_iterations(begin, end, num_gangs * num_workers);
+
+  if (!allow_parallel || options_.threads <= 1 || chunks.size() <= 1) {
+    for (const WorkerChunk& chunk : chunks) chunk_fn(chunk);
+    return;
+  }
+
+  int pool_size = options_.threads;
+  if (pool_size > static_cast<int>(chunks.size())) {
+    pool_size = static_cast<int>(chunks.size());
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(pool_size));
+  for (int t = 0; t < pool_size; ++t) {
+    pool.emplace_back([&]() {
+      for (;;) {
+        std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= chunks.size()) return;
+        chunk_fn(chunks[index]);
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+}
+
+}  // namespace miniarc

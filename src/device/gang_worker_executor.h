@@ -1,0 +1,61 @@
+// Gang/worker execution scheduling for the simulated GPU.
+//
+// A lowered kernel's outermost partitionable loop is split into contiguous
+// chunks, one per (gang, worker) pair, mirroring how OpenACC maps gang/worker
+// parallelism onto CUDA blocks/threads. Chunk execution itself is driven by
+// the interpreter (interp/kernel_exec.cpp); this class owns the schedule and
+// the optional host-thread pool used to run independent chunks in parallel.
+//
+// Race semantics live with the interpreter (interp/kernel_exec.cpp): when
+// the fault injector marks a variable falsely shared (a missing `private`
+// clause the compiler failed to recover), each worker caches it like a
+// register; at kernel end the caches dump back racily — write-first
+// temporaries resolve to the sequential value (latent errors), accumulators
+// keep only the first worker's partial (active errors), the paper's §IV-B
+// decomposition.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace miniarc {
+
+struct WorkerChunk {
+  int worker_id = 0;   // linearized gang*num_workers + worker
+  long begin = 0;      // first iteration (inclusive)
+  long end = 0;        // last iteration (exclusive)
+};
+
+/// Split iterations [begin, end) into at most `workers` contiguous chunks.
+/// Chunks are balanced to within one iteration; empty chunks are omitted.
+[[nodiscard]] std::vector<WorkerChunk> partition_iterations(long begin,
+                                                            long end,
+                                                            int workers);
+
+struct ExecutorOptions {
+  /// Host threads used to run independent chunks concurrently. 1 = fully
+  /// sequential (deterministic, and required when a kernel carries
+  /// falsely-shared state whose dump-back order matters).
+  int threads = 1;
+};
+
+class GangWorkerExecutor {
+ public:
+  explicit GangWorkerExecutor(ExecutorOptions options = {})
+      : options_(options) {}
+
+  /// Run `chunk_fn` for every chunk of [begin, end) across
+  /// `num_gangs * num_workers` workers. When options.threads > 1 and
+  /// `allow_parallel`, chunks run on a pool of host threads; the chunk
+  /// function must then only touch disjoint data (the interpreter guarantees
+  /// this for race-free kernels).
+  void execute(long begin, long end, int num_gangs, int num_workers,
+               bool allow_parallel,
+               const std::function<void(const WorkerChunk&)>& chunk_fn) const;
+
+ private:
+  ExecutorOptions options_;
+};
+
+}  // namespace miniarc

@@ -1,0 +1,25 @@
+#include "device/stream.h"
+
+#include <algorithm>
+
+namespace miniarc {
+
+double StreamSet::enqueue(int queue, double issue_time, double duration) {
+  double start = std::max(issue_time, ready_time(queue));
+  double done = start + duration;
+  ready_[queue] = done;
+  return done;
+}
+
+double StreamSet::ready_time(int queue) const {
+  auto it = ready_.find(queue);
+  return it == ready_.end() ? 0.0 : it->second;
+}
+
+double StreamSet::max_ready_time() const {
+  double max = 0.0;
+  for (const auto& [queue, time] : ready_) max = std::max(max, time);
+  return max;
+}
+
+}  // namespace miniarc

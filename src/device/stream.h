@@ -1,0 +1,32 @@
+// Async queues (OpenACC `async(n)` / CUDA streams) on the virtual timeline.
+//
+// An async operation enqueued on stream q begins when both the host has
+// issued it and the stream's previous work has drained; the host continues
+// immediately. wait(q) advances the host clock to the stream's drain time —
+// the Async-Wait component of the paper's Figure 3 breakdown.
+#pragma once
+
+#include <map>
+#include <optional>
+
+namespace miniarc {
+
+class StreamSet {
+ public:
+  /// Enqueue an operation of `duration` seconds on stream `queue`, issued at
+  /// host time `issue_time`. Returns the operation's completion time.
+  double enqueue(int queue, double issue_time, double duration);
+
+  /// Completion time of all work on `queue` (0 if idle).
+  [[nodiscard]] double ready_time(int queue) const;
+
+  /// Completion time across all streams.
+  [[nodiscard]] double max_ready_time() const;
+
+  void reset() { ready_.clear(); }
+
+ private:
+  std::map<int, double> ready_;
+};
+
+}  // namespace miniarc

@@ -1,0 +1,16 @@
+#include "device/virtual_clock.h"
+
+namespace miniarc {
+
+void VirtualClock::advance(double seconds) {
+  if (seconds > 0.0) now_ += seconds;
+}
+
+double VirtualClock::advance_to(double time) {
+  if (time <= now_) return 0.0;
+  double wait = time - now_;
+  now_ = time;
+  return wait;
+}
+
+}  // namespace miniarc

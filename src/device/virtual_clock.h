@@ -1,0 +1,27 @@
+// Virtual time. All reported execution times in miniARC come from this clock,
+// advanced by the cost models — never from wall-clock timing of the
+// interpreter (which would measure the interpreter, not the simulated
+// system). See DESIGN.md §4.
+#pragma once
+
+namespace miniarc {
+
+class VirtualClock {
+ public:
+  /// Current host-timeline time in seconds.
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Advance the host timeline by `seconds` (>= 0).
+  void advance(double seconds);
+
+  /// Jump the host timeline forward to `time` if it is in the future;
+  /// returns the wait amount (0 if already past). Used by wait()/sync.
+  double advance_to(double time);
+
+  void reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace miniarc

@@ -1,0 +1,87 @@
+#include "faults/fault_injector.h"
+
+#include "acc/region_model.h"
+#include "ast/visitor.h"
+#include "translate/default_memory.h"
+
+namespace miniarc {
+
+KernelFaultCensus census_kernels(Program& program, DiagnosticEngine& diags) {
+  KernelFaultCensus census;
+  SemaInfo sema = analyze_program(program, diags);
+  RegionModel model = build_region_model(program, sema);
+
+  for (const auto& region : model.compute_regions) {
+    ++census.kernels_total;
+    ParallelismSpec spec = parallelism_spec_of(*region.stmt);
+
+    bool has_private = !spec.private_vars.empty();
+    bool has_reduction = !spec.reductions.empty();
+
+    // Auto-recognized cases: written shared scalars the compiler would
+    // privatize or treat as reductions.
+    const Stmt& body = region.stmt->body();
+    std::set<std::string> induction = loop_induction_vars(body);
+    for (const auto& [name, info] : region.accesses) {
+      if (info.is_buffer || !info.written) continue;
+      if (induction.contains(name)) continue;
+      if (recognize_reduction(body, name).has_value()) {
+        has_reduction = true;
+      } else if (first_scalar_access(body, name) == FirstAccess::kWrite) {
+        has_private = true;
+      }
+    }
+
+    if (has_private) {
+      ++census.kernels_with_private;
+      census.private_kernels.insert(region.kernel_name);
+    }
+    if (has_reduction) {
+      ++census.kernels_with_reduction;
+      census.reduction_kernels.insert(region.kernel_name);
+    }
+  }
+  return census;
+}
+
+FaultInjectionResult strip_parallelism_clauses(Program& program,
+                                               DiagnosticEngine& diags) {
+  FaultInjectionResult result;
+  SemaInfo sema = analyze_program(program, diags);
+  RegionModel model = build_region_model(program, sema);
+
+  for (const auto& region : model.compute_regions) {
+    auto strip = [&](Directive& directive) {
+      int removed_private = 0;
+      int removed_reduction = 0;
+      std::erase_if(directive.clauses, [&](const Clause& clause) {
+        if (clause.kind == ClauseKind::kPrivate ||
+            clause.kind == ClauseKind::kFirstprivate) {
+          ++removed_private;
+          return true;
+        }
+        if (clause.kind == ClauseKind::kReduction) {
+          ++removed_reduction;
+          return true;
+        }
+        return false;
+      });
+      result.private_clauses_removed += removed_private;
+      result.reduction_clauses_removed += removed_reduction;
+      if (removed_private + removed_reduction > 0) {
+        result.affected_kernels.insert(region.kernel_name);
+      }
+    };
+
+    strip(region.stmt->directive());
+    walk_stmts(region.stmt->body(), [&](Stmt& stmt) {
+      if (stmt.kind() == StmtKind::kAcc &&
+          stmt.as<AccStmt>().directive().kind == DirectiveKind::kLoop) {
+        strip(stmt.as<AccStmt>().directive());
+      }
+    });
+  }
+  return result;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,44 @@
+// Fault injection for the kernel-verification evaluation (paper §IV-B,
+// Table II): remove private/reduction clauses from the directive program and
+// disable the compiler's automatic privatization/reduction recognition, so
+// the affected variables become falsely shared on the device.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "ast/decl.h"
+#include "sema/sema.h"
+
+namespace miniarc {
+
+struct KernelFaultCensus {
+  int kernels_total = 0;
+  /// Kernels whose correctness depends on privatization (explicit private
+  /// clauses or compiler auto-privatized temporaries).
+  int kernels_with_private = 0;
+  /// Kernels containing reductions (explicit or auto-recognized).
+  int kernels_with_reduction = 0;
+  std::set<std::string> private_kernels;
+  std::set<std::string> reduction_kernels;
+};
+
+/// Count private/reduction kernels in `program` (before injection).
+[[nodiscard]] KernelFaultCensus census_kernels(Program& program,
+                                               DiagnosticEngine& diags);
+
+struct FaultInjectionResult {
+  int private_clauses_removed = 0;
+  int reduction_clauses_removed = 0;
+  /// Kernels whose directives were changed.
+  std::set<std::string> affected_kernels;
+};
+
+/// Strip private/firstprivate/reduction clauses from every compute and loop
+/// directive in `program` (in place). Combine with
+/// LoweringOptions{auto_privatize=false, auto_reduction=false} to reproduce
+/// the paper's race-condition injection.
+FaultInjectionResult strip_parallelism_clauses(Program& program,
+                                               DiagnosticEngine& diags);
+
+}  // namespace miniarc

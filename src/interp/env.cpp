@@ -1,0 +1,52 @@
+#include "interp/env.h"
+
+#include <stdexcept>
+
+namespace miniarc {
+
+void Env::set(const std::string& name, Value value) {
+  if (frames_.empty()) {
+    base_[name] = std::move(value);
+  } else {
+    frames_.back()[name] = std::move(value);
+  }
+}
+
+void Env::assign(const std::string& name, Value value) {
+  for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+    auto found = it->find(name);
+    if (found != it->end()) {
+      found->second = std::move(value);
+      return;
+    }
+  }
+  base_[name] = std::move(value);
+}
+
+const Value& Env::get(const std::string& name) const {
+  for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+    auto found = it->find(name);
+    if (found != it->end()) return found->second;
+  }
+  auto found = base_.find(name);
+  if (found == base_.end()) {
+    throw std::runtime_error("use of unbound variable '" + name + "'");
+  }
+  return found->second;
+}
+
+bool Env::has(const std::string& name) const {
+  for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+    if (it->contains(name)) return true;
+  }
+  return base_.contains(name);
+}
+
+void Env::push_frame() { frames_.emplace_back(); }
+
+void Env::pop_frame() {
+  if (frames_.empty()) throw std::logic_error("pop_frame on empty stack");
+  frames_.pop_back();
+}
+
+}  // namespace miniarc

@@ -1,0 +1,35 @@
+// Execution environments. Variable names are unique program-wide (enforced
+// by sema), so the host environment is a flat name → Value map with a frame
+// stack only for user-function calls. Kernel workers get overlay frames that
+// redirect private / falsely-shared / device-buffer names (interp/kernel_exec).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/value.h"
+
+namespace miniarc {
+
+class Env {
+ public:
+  /// Define or overwrite `name` in the current frame (innermost).
+  void set(const std::string& name, Value value);
+  /// Assign to an existing variable, searching frames innermost-out;
+  /// defines in the base frame if absent (extern bindings, globals).
+  void assign(const std::string& name, Value value);
+  [[nodiscard]] const Value& get(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Function-call frames.
+  void push_frame();
+  void pop_frame();
+
+ private:
+  using Frame = std::unordered_map<std::string, Value>;
+  Frame base_;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace miniarc

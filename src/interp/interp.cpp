@@ -1,0 +1,643 @@
+#include "interp/interp.h"
+
+#include <cmath>
+
+#include "interp/intrinsics.h"
+
+namespace miniarc {
+namespace {
+
+Value binary_op(BinaryOp op, const Value& lhs, const Value& rhs,
+                SourceLocation loc) {
+  bool int_mode = lhs.is_int() && rhs.is_int();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return int_mode ? Value::of_int(lhs.as_int() + rhs.as_int())
+                      : Value::of_double(lhs.as_double() + rhs.as_double());
+    case BinaryOp::kSub:
+      return int_mode ? Value::of_int(lhs.as_int() - rhs.as_int())
+                      : Value::of_double(lhs.as_double() - rhs.as_double());
+    case BinaryOp::kMul:
+      return int_mode ? Value::of_int(lhs.as_int() * rhs.as_int())
+                      : Value::of_double(lhs.as_double() * rhs.as_double());
+    case BinaryOp::kDiv:
+      if (int_mode) {
+        if (rhs.as_int() == 0) {
+          throw InterpError("integer division by zero at " + loc.str());
+        }
+        return Value::of_int(lhs.as_int() / rhs.as_int());
+      }
+      return Value::of_double(lhs.as_double() / rhs.as_double());
+    case BinaryOp::kRem:
+      if (rhs.as_int() == 0) {
+        throw InterpError("remainder by zero at " + loc.str());
+      }
+      return Value::of_int(lhs.as_int() % rhs.as_int());
+    case BinaryOp::kLt:
+      return Value::of_int(int_mode ? lhs.as_int() < rhs.as_int()
+                                    : lhs.as_double() < rhs.as_double());
+    case BinaryOp::kLe:
+      return Value::of_int(int_mode ? lhs.as_int() <= rhs.as_int()
+                                    : lhs.as_double() <= rhs.as_double());
+    case BinaryOp::kGt:
+      return Value::of_int(int_mode ? lhs.as_int() > rhs.as_int()
+                                    : lhs.as_double() > rhs.as_double());
+    case BinaryOp::kGe:
+      return Value::of_int(int_mode ? lhs.as_int() >= rhs.as_int()
+                                    : lhs.as_double() >= rhs.as_double());
+    case BinaryOp::kEq:
+      return Value::of_int(int_mode ? lhs.as_int() == rhs.as_int()
+                                    : lhs.as_double() == rhs.as_double());
+    case BinaryOp::kNe:
+      return Value::of_int(int_mode ? lhs.as_int() != rhs.as_int()
+                                    : lhs.as_double() != rhs.as_double());
+    case BinaryOp::kAnd:
+      return Value::of_int(lhs.truthy() && rhs.truthy());
+    case BinaryOp::kOr:
+      return Value::of_int(lhs.truthy() || rhs.truthy());
+    case BinaryOp::kBitAnd:
+      return Value::of_int(lhs.as_int() & rhs.as_int());
+    case BinaryOp::kBitOr:
+      return Value::of_int(lhs.as_int() | rhs.as_int());
+    case BinaryOp::kBitXor:
+      return Value::of_int(lhs.as_int() ^ rhs.as_int());
+    case BinaryOp::kShl:
+      return Value::of_int(lhs.as_int() << rhs.as_int());
+    case BinaryOp::kShr:
+      return Value::of_int(lhs.as_int() >> rhs.as_int());
+  }
+  throw InterpError("unhandled binary operator");
+}
+
+Value element_value(const TypedBuffer& buffer, std::size_t index) {
+  if (is_integral(buffer.kind())) {
+    return Value::of_int(static_cast<std::int64_t>(buffer.get(index)));
+  }
+  return Value::of_double(buffer.get(index));
+}
+
+}  // namespace
+
+Interpreter::Interpreter(const Program& program, const SemaInfo& sema,
+                         AccRuntime& runtime, InterpOptions options)
+    : program_(program), sema_(sema), runtime_(runtime), options_(options) {}
+
+void Interpreter::bind_scalar(const std::string& name, Value value) {
+  env_.set(name, std::move(value));
+}
+
+BufferPtr Interpreter::bind_buffer(const std::string& name, ScalarKind kind,
+                                   std::size_t count) {
+  auto buffer = std::make_shared<TypedBuffer>(kind, count);
+  env_.set(name, Value::of_buffer(buffer));
+  return buffer;
+}
+
+void Interpreter::bind_buffer(const std::string& name, BufferPtr buffer) {
+  env_.set(name, Value::of_buffer(std::move(buffer)));
+}
+
+Value Interpreter::scalar(const std::string& name) const {
+  return env_.get(name);
+}
+
+BufferPtr Interpreter::buffer(const std::string& name) const {
+  return env_.get(name).as_buffer();
+}
+
+ExecContext Interpreter::context() const {
+  return ExecContext{loop_iterations_};
+}
+
+void Interpreter::count_statement() {
+  if (kernel_ctx_ != nullptr) {
+    ++device_statements_;
+  } else {
+    ++pending_host_statements_;
+  }
+  if (++total_budget_used_ > options_.max_statements) {
+    throw InterpError("statement budget exhausted (possible runaway loop)");
+  }
+}
+
+void Interpreter::flush_host_billing() {
+  if (pending_host_statements_ == 0) return;
+  runtime_.bill_host_statements(
+      static_cast<std::size_t>(pending_host_statements_));
+  host_statements_ += pending_host_statements_;
+  pending_host_statements_ = 0;
+}
+
+void Interpreter::run() {
+  // Initialize globals (extern ones must already be bound).
+  for (const auto& global : program_.globals) {
+    if (global->is_extern) {
+      if (!env_.has(global->name())) {
+        throw InterpError("extern variable '" + global->name() +
+                          "' was not bound before run()");
+      }
+      continue;
+    }
+    if (global->init() != nullptr) {
+      env_.set(global->name(), eval(*global->init()));
+    } else if (global->type().is_array()) {
+      env_.set(global->name(),
+               Value::of_buffer(std::make_shared<TypedBuffer>(
+                   global->type().scalar(),
+                   static_cast<std::size_t>(
+                       global->type().static_element_count()))));
+    } else {
+      env_.set(global->name(), Value::of_int(0));
+    }
+  }
+
+  const FuncDecl& main = program_.main();
+  Flow flow = exec(main.body());
+  (void)flow;
+  flush_host_billing();
+}
+
+// --------------------------------------------------------------------------
+// Statements
+// --------------------------------------------------------------------------
+
+Interpreter::Flow Interpreter::exec(const Stmt& stmt) {
+  count_statement();
+  switch (stmt.kind()) {
+    case StmtKind::kDecl: {
+      const auto& decl = stmt.as<DeclStmt>().decl();
+      if (decl.init() != nullptr) {
+        Value v = eval(*decl.init());
+        if (kernel_ctx_ != nullptr) {
+          (*kernel_ctx_->worker_scalars)[decl.name()] = std::move(v);
+        } else {
+          env_.set(decl.name(), std::move(v));
+        }
+      } else if (decl.type().is_array()) {
+        auto buffer = std::make_shared<TypedBuffer>(
+            decl.type().scalar(),
+            static_cast<std::size_t>(decl.type().static_element_count()));
+        if (kernel_ctx_ != nullptr) {
+          (*kernel_ctx_->worker_buffers)[decl.name()] = std::move(buffer);
+        } else {
+          env_.set(decl.name(), Value::of_buffer(std::move(buffer)));
+        }
+      } else {
+        Value zero = is_floating(decl.type().scalar()) ? Value::of_double(0.0)
+                                                       : Value::of_int(0);
+        if (kernel_ctx_ != nullptr) {
+          (*kernel_ctx_->worker_scalars)[decl.name()] = zero;
+        } else {
+          env_.set(decl.name(), zero);
+        }
+      }
+      return Flow::kNormal;
+    }
+    case StmtKind::kAssign: {
+      const auto& assign = stmt.as<AssignStmt>();
+      do_assign(assign.lhs(), assign.op(), eval(assign.rhs()),
+                stmt.location());
+      return Flow::kNormal;
+    }
+    case StmtKind::kIncDec: {
+      const auto& inc = stmt.as<IncDecStmt>();
+      do_assign(inc.target(), inc.is_increment() ? AssignOp::kAdd
+                                                 : AssignOp::kSub,
+                Value::of_int(1), stmt.location());
+      return Flow::kNormal;
+    }
+    case StmtKind::kExpr:
+      (void)eval(stmt.as<ExprStmt>().expr());
+      return Flow::kNormal;
+    case StmtKind::kIf: {
+      const auto& if_stmt = stmt.as<IfStmt>();
+      if (eval(if_stmt.cond()).truthy()) return exec(if_stmt.then_body());
+      if (if_stmt.else_body() != nullptr) return exec(*if_stmt.else_body());
+      return Flow::kNormal;
+    }
+    case StmtKind::kFor:
+      return exec_for(stmt.as<ForStmt>());
+    case StmtKind::kWhile: {
+      const auto& while_stmt = stmt.as<WhileStmt>();
+      bool host_loop = kernel_ctx_ == nullptr;
+      if (host_loop) loop_iterations_.push_back(0);
+      Flow flow = Flow::kNormal;
+      while (eval(while_stmt.cond()).truthy()) {
+        flow = exec(while_stmt.body());
+        if (flow == Flow::kBreak) {
+          flow = Flow::kNormal;
+          break;
+        }
+        if (flow == Flow::kReturn) break;
+        flow = Flow::kNormal;
+        if (host_loop) ++loop_iterations_.back();
+      }
+      if (host_loop) loop_iterations_.pop_back();
+      return flow;
+    }
+    case StmtKind::kCompound: {
+      for (const auto& s : stmt.as<CompoundStmt>().stmts()) {
+        Flow flow = exec(*s);
+        if (flow != Flow::kNormal) return flow;
+      }
+      return Flow::kNormal;
+    }
+    case StmtKind::kReturn: {
+      const auto& ret = stmt.as<ReturnStmt>();
+      return_value_ = ret.value() != nullptr ? eval(*ret.value()) : Value();
+      return Flow::kReturn;
+    }
+    case StmtKind::kBreak:
+      return Flow::kBreak;
+    case StmtKind::kContinue:
+      return Flow::kContinue;
+    case StmtKind::kAcc:
+      // In a source (non-lowered) run — or for nested loop directives inside
+      // lowered kernel bodies — directives don't change sequential
+      // semantics; execute the body.
+      return exec(stmt.as<AccStmt>().body());
+    case StmtKind::kAccStandalone:
+      // update/wait in a pure sequential run, or openarc annotations: no-op.
+      return Flow::kNormal;
+    case StmtKind::kHostExec:
+      return exec(stmt.as<HostExecStmt>().body());
+    case StmtKind::kDevAlloc: {
+      flush_host_billing();
+      const auto& alloc = stmt.as<DevAllocStmt>();
+      BufferPtr host = resolve_buffer(alloc.var(), stmt.location());
+      runtime_.data_enter(*host, alloc.expects_entry_transfer);
+      return Flow::kNormal;
+    }
+    case StmtKind::kDevFree: {
+      flush_host_billing();
+      BufferPtr host =
+          resolve_buffer(stmt.as<DevFreeStmt>().var(), stmt.location());
+      runtime_.data_exit(*host);
+      return Flow::kNormal;
+    }
+    case StmtKind::kMemTransfer:
+      exec_mem_transfer(stmt.as<MemTransferStmt>());
+      return Flow::kNormal;
+    case StmtKind::kWait:
+      flush_host_billing();
+      runtime_.wait(stmt.as<WaitStmt>().queue());
+      return Flow::kNormal;
+    case StmtKind::kRuntimeCheck:
+      exec_runtime_check(stmt.as<RuntimeCheckStmt>());
+      return Flow::kNormal;
+    case StmtKind::kResultCompare:
+      flush_host_billing();
+      if (compare_hook_ != nullptr) {
+        compare_hook_->on_compare(stmt.as<ResultCompareStmt>(), *this);
+      }
+      return Flow::kNormal;
+    case StmtKind::kKernelLaunch:
+      flush_host_billing();
+      exec_kernel(stmt.as<KernelLaunchStmt>());
+      return Flow::kNormal;
+  }
+  throw InterpError("unhandled statement kind");
+}
+
+Interpreter::Flow Interpreter::exec_for(const ForStmt& stmt) {
+  if (stmt.init() != nullptr) {
+    Flow flow = exec(*stmt.init());
+    if (flow != Flow::kNormal) return flow;
+  }
+  bool host_loop = kernel_ctx_ == nullptr;
+  if (host_loop) loop_iterations_.push_back(0);
+  Flow result = Flow::kNormal;
+  for (;;) {
+    if (stmt.cond() != nullptr && !eval(*stmt.cond()).truthy()) break;
+    Flow flow = exec(stmt.body());
+    if (flow == Flow::kBreak) break;
+    if (flow == Flow::kReturn) {
+      result = flow;
+      break;
+    }
+    if (stmt.step() != nullptr) {
+      Flow step_flow = exec(*stmt.step());
+      if (step_flow == Flow::kReturn) {
+        result = step_flow;
+        break;
+      }
+    }
+    if (host_loop) ++loop_iterations_.back();
+  }
+  if (host_loop) loop_iterations_.pop_back();
+  return result;
+}
+
+// --------------------------------------------------------------------------
+// Lowered statements
+// --------------------------------------------------------------------------
+
+void Interpreter::exec_mem_transfer(const MemTransferStmt& stmt) {
+  flush_host_billing();
+  BufferPtr host = resolve_buffer(stmt.var(), stmt.location());
+  if (stmt.to_scratch) {
+    runtime_.scratch_transfer(*host, stmt.direction(), stmt.async_queue);
+    return;
+  }
+  runtime_.transfer(*host, stmt.var(), stmt.direction(), stmt.condition,
+                    stmt.async_queue, stmt.label, context(), stmt.location());
+}
+
+void Interpreter::exec_runtime_check(const RuntimeCheckStmt& stmt) {
+  if (!options_.enable_checker) return;
+  flush_host_billing();
+  // Hoisted checks can precede the first binding of a malloc'd buffer (the
+  // real tool registers buffers lazily); skip until the buffer exists.
+  if (!env_.has(stmt.var()) || !env_.get(stmt.var()).is_buffer() ||
+      env_.get(stmt.var()).as_buffer() == nullptr) {
+    return;
+  }
+  BufferPtr host = resolve_buffer(stmt.var(), stmt.location());
+  runtime_.bill_runtime_check();
+  RuntimeChecker& checker = runtime_.checker();
+  switch (stmt.op()) {
+    case RuntimeCheckOp::kCheckRead:
+      checker.check_read(*host, stmt.var(), stmt.side(), context(),
+                         stmt.location());
+      break;
+    case RuntimeCheckOp::kCheckWrite:
+      checker.check_write(*host, stmt.var(), stmt.side(), stmt.may_dead,
+                          context(), stmt.location());
+      break;
+    case RuntimeCheckOp::kSetStatus:
+      checker.set_status(*host, stmt.side(), stmt.new_state);
+      break;
+    case RuntimeCheckOp::kResetStatus:
+      checker.reset_status(*host, stmt.side(), stmt.new_state);
+      break;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Variable resolution
+// --------------------------------------------------------------------------
+
+Value Interpreter::read_scalar(const std::string& name, SourceLocation loc) {
+  if (kernel_ctx_ != nullptr) {
+    auto local = kernel_ctx_->worker_scalars->find(name);
+    if (local != kernel_ctx_->worker_scalars->end()) return local->second;
+    auto arg = kernel_ctx_->scalar_args.find(name);
+    if (arg != kernel_ctx_->scalar_args.end()) return arg->second;
+    // A falsely-shared scalar read before this worker wrote it: the
+    // register cache loads from the shared device global (whose initial
+    // value came from the host).
+    if (kernel_ctx_->falsely_shared.contains(name) && env_.has(name)) {
+      return env_.get(name);
+    }
+    throw InterpError("kernel " + kernel_ctx_->launch->kernel_name() +
+                      " reads unbound scalar '" + name + "' at " + loc.str());
+  }
+  if (!env_.has(name)) {
+    throw InterpError("use of unbound variable '" + name + "' at " +
+                      loc.str());
+  }
+  return env_.get(name);
+}
+
+void Interpreter::write_scalar(const std::string& name, Value value) {
+  if (kernel_ctx_ != nullptr) {
+    (*kernel_ctx_->worker_scalars)[name] = std::move(value);
+    return;
+  }
+  env_.assign(name, std::move(value));
+}
+
+BufferPtr Interpreter::resolve_buffer(const std::string& name,
+                                      SourceLocation loc) {
+  if (kernel_ctx_ != nullptr) {
+    auto local = kernel_ctx_->worker_buffers->find(name);
+    if (local != kernel_ctx_->worker_buffers->end()) return local->second;
+    auto device = kernel_ctx_->device_buffers.find(name);
+    if (device != kernel_ctx_->device_buffers.end()) return device->second;
+    throw InterpError("kernel " + kernel_ctx_->launch->kernel_name() +
+                      " accesses buffer '" + name +
+                      "' with no device copy at " + loc.str());
+  }
+  Value v = env_.has(name) ? env_.get(name) : Value();
+  if (!v.is_buffer() || v.as_buffer() == nullptr) {
+    throw InterpError("'" + name + "' is not a live buffer at " + loc.str());
+  }
+  return v.as_buffer();
+}
+
+std::size_t Interpreter::flat_index(const ArrayIndex& index,
+                                    const TypedBuffer& buffer,
+                                    SourceLocation loc) {
+  const Type& base_type = index.base().type();
+  std::size_t flat = 0;
+  const auto& dims = base_type.array_dims();
+  for (std::size_t d = 0; d < index.indices().size(); ++d) {
+    std::int64_t i = eval(*index.indices()[d]).as_int();
+    std::size_t stride = 1;
+    for (std::size_t rest = d + 1; rest < dims.size(); ++rest) {
+      stride *= static_cast<std::size_t>(dims[rest]);
+    }
+    flat += static_cast<std::size_t>(i) * stride;
+    if (i < 0) {
+      throw InterpError("negative index on '" + index.base_name() + "' at " +
+                        loc.str());
+    }
+  }
+  if (flat >= buffer.count()) {
+    throw InterpError("index " + std::to_string(flat) + " out of bounds for '"
+                      + index.base_name() + "' (" +
+                      std::to_string(buffer.count()) + " elements) at " +
+                      loc.str());
+  }
+  return flat;
+}
+
+void Interpreter::do_assign(const Expr& lhs, AssignOp op, Value rhs,
+                            SourceLocation loc) {
+  auto combine = [&](const Value& old) -> Value {
+    switch (op) {
+      case AssignOp::kAssign: return rhs;
+      case AssignOp::kAdd: return binary_op(BinaryOp::kAdd, old, rhs, loc);
+      case AssignOp::kSub: return binary_op(BinaryOp::kSub, old, rhs, loc);
+      case AssignOp::kMul: return binary_op(BinaryOp::kMul, old, rhs, loc);
+      case AssignOp::kDiv: return binary_op(BinaryOp::kDiv, old, rhs, loc);
+    }
+    return rhs;
+  };
+
+  if (lhs.kind() == ExprKind::kVarRef) {
+    const std::string& name = lhs.as<VarRef>().name();
+    if (rhs.is_buffer() && op == AssignOp::kAssign) {
+      // Pointer assignment (aliasing) — host side only.
+      env_.assign(name, std::move(rhs));
+      return;
+    }
+    Value result = op == AssignOp::kAssign
+                       ? std::move(rhs)
+                       : combine(read_scalar(name, loc));
+    // Keep declared floating variables floating (so comparisons behave).
+    auto type = sema_.var_types.find(name);
+    if (type != sema_.var_types.end() &&
+        type->second.is_floating_scalar() && result.is_int()) {
+      result = Value::of_double(result.as_double());
+    }
+    write_scalar(name, std::move(result));
+    return;
+  }
+
+  if (lhs.kind() == ExprKind::kArrayIndex) {
+    const auto& index = lhs.as<ArrayIndex>();
+    BufferPtr buffer = resolve_buffer(index.base_name(), loc);
+    std::size_t flat = flat_index(index, *buffer, loc);
+    Value result = op == AssignOp::kAssign
+                       ? std::move(rhs)
+                       : combine(element_value(*buffer, flat));
+    buffer->set(flat, result.as_double());
+    return;
+  }
+  throw InterpError("invalid assignment target at " + loc.str());
+}
+
+// --------------------------------------------------------------------------
+// Expressions
+// --------------------------------------------------------------------------
+
+Value Interpreter::eval(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kIntLit:
+      return Value::of_int(expr.as<IntLit>().value());
+    case ExprKind::kFloatLit:
+      return Value::of_double(expr.as<FloatLit>().value());
+    case ExprKind::kVarRef: {
+      const std::string& name = expr.as<VarRef>().name();
+      if (expr.type().is_buffer()) {
+        return Value::of_buffer(resolve_buffer(name, expr.location()));
+      }
+      return read_scalar(name, expr.location());
+    }
+    case ExprKind::kArrayIndex: {
+      const auto& index = expr.as<ArrayIndex>();
+      BufferPtr buffer = resolve_buffer(index.base_name(), expr.location());
+      std::size_t flat = flat_index(index, *buffer, expr.location());
+      return element_value(*buffer, flat);
+    }
+    case ExprKind::kUnary: {
+      const auto& unary = expr.as<Unary>();
+      Value v = eval(unary.operand());
+      switch (unary.op()) {
+        case UnaryOp::kNeg:
+          return v.is_int() ? Value::of_int(-v.as_int())
+                            : Value::of_double(-v.as_double());
+        case UnaryOp::kNot:
+          return Value::of_int(v.truthy() ? 0 : 1);
+        case UnaryOp::kBitNot:
+          return Value::of_int(~v.as_int());
+      }
+      throw InterpError("unhandled unary operator");
+    }
+    case ExprKind::kBinary: {
+      const auto& binary = expr.as<Binary>();
+      // Short-circuit && and ||.
+      if (binary.op() == BinaryOp::kAnd) {
+        if (!eval(binary.lhs()).truthy()) return Value::of_int(0);
+        return Value::of_int(eval(binary.rhs()).truthy() ? 1 : 0);
+      }
+      if (binary.op() == BinaryOp::kOr) {
+        if (eval(binary.lhs()).truthy()) return Value::of_int(1);
+        return Value::of_int(eval(binary.rhs()).truthy() ? 1 : 0);
+      }
+      Value lhs = eval(binary.lhs());
+      Value rhs = eval(binary.rhs());
+      return binary_op(binary.op(), lhs, rhs, expr.location());
+    }
+    case ExprKind::kCall:
+      return eval_call(expr.as<Call>());
+    case ExprKind::kCast: {
+      const auto& cast = expr.as<Cast>();
+      // `(T*)malloc(bytes)` — the only pointer-producing cast.
+      if (cast.target().is_pointer() &&
+          cast.operand().kind() == ExprKind::kCall &&
+          cast.operand().as<Call>().callee() == "malloc") {
+        const auto& call = cast.operand().as<Call>();
+        if (call.args().size() != 1) {
+          throw InterpError("malloc expects one argument at " +
+                            expr.location().str());
+        }
+        auto bytes =
+            static_cast<std::size_t>(eval(*call.args()[0]).as_int());
+        std::size_t elem = scalar_size(cast.target().scalar());
+        if (elem == 0) elem = 8;
+        return Value::of_buffer(std::make_shared<TypedBuffer>(
+            cast.target().scalar(), bytes / elem));
+      }
+      Value v = eval(cast.operand());
+      if (v.is_buffer()) return v;  // pointer-to-pointer cast
+      switch (cast.target().scalar()) {
+        case ScalarKind::kInt:
+          return Value::of_int(static_cast<std::int32_t>(v.as_int()));
+        case ScalarKind::kLong:
+          return Value::of_int(v.as_int());
+        case ScalarKind::kFloat:
+          return Value::of_double(static_cast<float>(v.as_double()));
+        default:
+          return Value::of_double(v.as_double());
+      }
+    }
+    case ExprKind::kTernary: {
+      const auto& ternary = expr.as<Ternary>();
+      return eval(ternary.cond()).truthy() ? eval(ternary.then_value())
+                                           : eval(ternary.else_value());
+    }
+    case ExprKind::kSizeof:
+      return Value::of_int(static_cast<std::int64_t>(
+          scalar_size(expr.as<SizeofExpr>().target().scalar())));
+  }
+  throw InterpError("unhandled expression kind");
+}
+
+Value Interpreter::eval_call(const Call& call) {
+  if (call.callee() == "malloc") {
+    throw InterpError("malloc must be cast to a pointer type at " +
+                      call.location().str());
+  }
+  if (call.callee() == "free") {
+    if (call.args().size() == 1 &&
+        call.args()[0]->kind() == ExprKind::kVarRef) {
+      env_.assign(call.args()[0]->as<VarRef>().name(),
+                  Value::of_buffer(nullptr));
+    }
+    return Value();
+  }
+
+  std::vector<Value> args;
+  args.reserve(call.args().size());
+  for (const auto& arg : call.args()) args.push_back(eval(*arg));
+
+  if (is_intrinsic(call.callee())) return eval_intrinsic(call.callee(), args);
+
+  const FuncDecl* func = program_.find_function(call.callee());
+  if (func == nullptr) {
+    throw InterpError("call to unknown function '" + call.callee() + "' at " +
+                      call.location().str());
+  }
+  if (kernel_ctx_ != nullptr) {
+    throw InterpError("user function calls are not supported inside kernels ("
+                      + call.callee() + ")");
+  }
+  return call_function(*func, std::move(args));
+}
+
+Value Interpreter::call_function(const FuncDecl& func,
+                                 std::vector<Value> args) {
+  env_.push_frame();
+  for (std::size_t i = 0; i < func.params().size() && i < args.size(); ++i) {
+    env_.set(func.params()[i]->name(), std::move(args[i]));
+  }
+  return_value_ = Value();
+  Flow flow = exec(func.body());
+  (void)flow;
+  env_.pop_frame();
+  return return_value_;
+}
+
+}  // namespace miniarc

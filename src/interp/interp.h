@@ -1,0 +1,153 @@
+// The mini-C interpreter. Executes both source programs (pure sequential CPU
+// reference runs) and lowered programs (kernel launches dispatched to the
+// simulated device, transfers/waits/checks dispatched to the AccRuntime).
+#pragma once
+
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "ast/decl.h"
+#include "device/gang_worker_executor.h"
+#include "interp/env.h"
+#include "runtime/acc_runtime.h"
+#include "sema/sema.h"
+
+namespace miniarc {
+
+class Interpreter;
+
+/// Raised on runtime errors in the interpreted program (out-of-bounds
+/// access, unbound variable, missing device copy, statement budget blown).
+class InterpError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Implemented by the kernel verifier: invoked when a ResultCompareStmt
+/// executes. The hook reads device/host/stashed state through the
+/// interpreter and records its own findings.
+class CompareHook {
+ public:
+  virtual ~CompareHook() = default;
+  virtual void on_compare(const ResultCompareStmt& stmt,
+                          Interpreter& interp) = 0;
+};
+
+struct InterpOptions {
+  /// Feed RuntimeCheckStmts and transfer classifications to the checker and
+  /// bill their virtual cost.
+  bool enable_checker = false;
+  /// Runaway guard: total executed statements (host + device). The suite's
+  /// largest run uses a few million; a broken optimization candidate that
+  /// loops forever (e.g. a BFS whose continuation-flag copy was removed)
+  /// must fail fast during validation.
+  long max_statements = 50'000'000L;
+};
+
+class Interpreter {
+ public:
+  Interpreter(const Program& program, const SemaInfo& sema,
+              AccRuntime& runtime, InterpOptions options = {});
+
+  // ---- extern bindings (inputs) ----
+  void bind_scalar(const std::string& name, Value value);
+  /// Create and bind a zeroed host buffer; returns it for initialization.
+  BufferPtr bind_buffer(const std::string& name, ScalarKind kind,
+                        std::size_t count);
+  void bind_buffer(const std::string& name, BufferPtr buffer);
+
+  /// Execute main(). Throws InterpError on program errors.
+  void run();
+
+  // ---- state inspection ----
+  [[nodiscard]] Value scalar(const std::string& name) const;
+  [[nodiscard]] BufferPtr buffer(const std::string& name) const;
+  [[nodiscard]] Env& env() { return env_; }
+  [[nodiscard]] AccRuntime& runtime() { return runtime_; }
+  [[nodiscard]] const SemaInfo& sema() const { return sema_; }
+
+  /// Scalar results a verified kernel produced (stash_scalar_results mode):
+  /// kernel name → (var → value).
+  [[nodiscard]] const std::map<std::string, std::map<std::string, Value>>&
+  stashed_scalars() const {
+    return stashed_scalars_;
+  }
+
+  /// openarc bound/assert directives encountered inside the named kernel's
+  /// body (collected at launch for the verifier).
+  [[nodiscard]] const std::map<std::string, std::vector<const Directive*>>&
+  kernel_annotations() const {
+    return kernel_annotations_;
+  }
+
+  void set_compare_hook(CompareHook* hook) { compare_hook_ = hook; }
+
+  [[nodiscard]] ExecContext context() const;
+  [[nodiscard]] long host_statements() const { return host_statements_; }
+  [[nodiscard]] long device_statements() const { return device_statements_; }
+
+ private:
+  enum class Flow : std::uint8_t { kNormal, kBreak, kContinue, kReturn };
+
+  Flow exec(const Stmt& stmt);
+  Flow exec_for(const ForStmt& stmt);
+  Value eval(const Expr& expr);
+  Value eval_call(const Call& call);
+  Value call_function(const FuncDecl& func, std::vector<Value> args);
+  void do_assign(const Expr& lhs, AssignOp op, Value rhs,
+                 SourceLocation loc);
+  void write_scalar(const std::string& name, Value value);
+  [[nodiscard]] Value read_scalar(const std::string& name,
+                                  SourceLocation loc);
+  [[nodiscard]] BufferPtr resolve_buffer(const std::string& name,
+                                         SourceLocation loc);
+  [[nodiscard]] std::size_t flat_index(const ArrayIndex& index,
+                                       const TypedBuffer& buffer,
+                                       SourceLocation loc);
+  void count_statement();
+  void flush_host_billing();
+
+  // Lowered statement handlers.
+  void exec_mem_transfer(const MemTransferStmt& stmt);
+  void exec_runtime_check(const RuntimeCheckStmt& stmt);
+  void exec_kernel(const KernelLaunchStmt& stmt);  // interp/kernel_exec.cpp
+
+  // Kernel execution context (set while a kernel body runs).
+  struct KernelCtx {
+    const KernelLaunchStmt* launch = nullptr;
+    /// By-value scalar arguments (snapshot of host values).
+    std::unordered_map<std::string, Value> scalar_args;
+    /// Falsely-shared scalars (fault-injection mode): they live in the
+    /// per-worker register caches; reads before the first write load the
+    /// shared device global, i.e. the host value (see kernel_exec.cpp).
+    std::set<std::string> falsely_shared;
+    /// Device images of the kernel's buffers.
+    std::unordered_map<std::string, BufferPtr> device_buffers;
+    /// Worker-local state (swapped per worker).
+    std::unordered_map<std::string, Value>* worker_scalars = nullptr;
+    std::unordered_map<std::string, BufferPtr>* worker_buffers = nullptr;
+  };
+  KernelCtx* kernel_ctx_ = nullptr;
+
+  const Program& program_;
+  const SemaInfo& sema_;
+  AccRuntime& runtime_;
+  InterpOptions options_;
+  Env env_;
+  Value return_value_;
+  CompareHook* compare_hook_ = nullptr;
+
+  std::vector<long> loop_iterations_;
+  long host_statements_ = 0;
+  long device_statements_ = 0;
+  long pending_host_statements_ = 0;
+  long total_budget_used_ = 0;
+
+  std::map<std::string, std::map<std::string, Value>> stashed_scalars_;
+  std::map<std::string, std::vector<const Directive*>> kernel_annotations_;
+};
+
+}  // namespace miniarc

@@ -1,0 +1,63 @@
+#include "interp/intrinsics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace miniarc {
+namespace {
+
+void require_arity(const std::string& name, const std::vector<Value>& args,
+                   std::size_t arity) {
+  if (args.size() != arity) {
+    throw std::runtime_error("intrinsic '" + name + "' expects " +
+                             std::to_string(arity) + " argument(s), got " +
+                             std::to_string(args.size()));
+  }
+}
+
+}  // namespace
+
+Value eval_intrinsic(const std::string& name,
+                     const std::vector<Value>& args) {
+  auto unary = [&](double (*fn)(double)) {
+    require_arity(name, args, 1);
+    return Value::of_double(fn(args[0].as_double()));
+  };
+  auto binary = [&](double (*fn)(double, double)) {
+    require_arity(name, args, 2);
+    return Value::of_double(fn(args[0].as_double(), args[1].as_double()));
+  };
+
+  if (name == "sqrt") return unary(std::sqrt);
+  if (name == "fabs") return unary(std::fabs);
+  if (name == "exp") return unary(std::exp);
+  if (name == "exp2") return unary(std::exp2);
+  if (name == "log") return unary(std::log);
+  if (name == "log2") return unary(std::log2);
+  if (name == "sin") return unary(std::sin);
+  if (name == "cos") return unary(std::cos);
+  if (name == "tan") return unary(std::tan);
+  if (name == "atan") return unary(std::atan);
+  if (name == "floor") return unary(std::floor);
+  if (name == "ceil") return unary(std::ceil);
+  if (name == "pow") return binary(std::pow);
+  if (name == "fmin") return binary(std::fmin);
+  if (name == "fmax") return binary(std::fmax);
+  if (name == "fmod") return binary(std::fmod);
+  if (name == "abs") {
+    require_arity(name, args, 1);
+    std::int64_t v = args[0].as_int();
+    return Value::of_int(v < 0 ? -v : v);
+  }
+  if (name == "min") {
+    require_arity(name, args, 2);
+    return Value::of_int(std::min(args[0].as_int(), args[1].as_int()));
+  }
+  if (name == "max") {
+    require_arity(name, args, 2);
+    return Value::of_int(std::max(args[0].as_int(), args[1].as_int()));
+  }
+  throw std::runtime_error("unknown intrinsic '" + name + "'");
+}
+
+}  // namespace miniarc

@@ -1,0 +1,17 @@
+// Math intrinsics callable from mini-C (device- and host-side).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "interp/value.h"
+
+namespace miniarc {
+
+/// Evaluate intrinsic `name` on `args`. malloc/free are handled by the
+/// interpreter itself (they touch the environment); this covers the pure
+/// math set. Throws on unknown names or arity mismatches.
+[[nodiscard]] Value eval_intrinsic(const std::string& name,
+                                   const std::vector<Value>& args);
+
+}  // namespace miniarc

@@ -1,0 +1,294 @@
+// Kernel dispatch: partitions the outermost loop over gang×worker chunks,
+// executes iterations against device memory, applies reduction combining and
+// the register-cache/dump-back race semantics for falsely-shared scalars
+// (DESIGN.md §4, paper §IV-B's latent/active error model):
+//
+//  - A falsely-shared scalar that is written-before-read in each iteration
+//    (a stripped `private`) is register-cached per worker, so every
+//    iteration still computes correct values; the racy dump-back at kernel
+//    end resolves to the last worker's last iteration — the same value the
+//    sequential reference produces. The error is LATENT: invisible in all
+//    outputs, exactly the class the paper's verification cannot detect.
+//
+//  - A falsely-shared scalar with a cross-iteration carried dependence (a
+//    stripped `reduction`) loses updates: each worker accumulates from the
+//    initial value in its register cache, and the dump-back keeps only the
+//    first worker's partial. The scalar (and anything computed from it)
+//    diverges from the reference — an ACTIVE error the verifier detects.
+#include <algorithm>
+#include <limits>
+
+#include "ast/visitor.h"
+#include "interp/interp.h"
+#include "translate/default_memory.h"
+
+namespace miniarc {
+namespace {
+
+/// Canonical partitionable loop: `for (i = lo; i < hi; i++)` (or `<=`,
+/// or decl-init). Returns nullptr when the body has no such shape.
+const ForStmt* find_partition_loop(const Stmt& body) {
+  const Stmt* stmt = &body;
+  // Unwrap compounds holding a single statement and loop-directive wrappers.
+  for (;;) {
+    if (stmt->kind() == StmtKind::kCompound) {
+      const auto& stmts = stmt->as<CompoundStmt>().stmts();
+      if (stmts.size() != 1) return nullptr;
+      stmt = stmts[0].get();
+      continue;
+    }
+    if (stmt->kind() == StmtKind::kAcc) {
+      stmt = &stmt->as<AccStmt>().body();
+      continue;
+    }
+    break;
+  }
+  if (stmt->kind() != StmtKind::kFor) return nullptr;
+  const auto& loop = stmt->as<ForStmt>();
+  if (loop.induction_var().empty() || loop.cond() == nullptr) return nullptr;
+  if (loop.cond()->kind() != ExprKind::kBinary) return nullptr;
+  const auto& cond = loop.cond()->as<Binary>();
+  if (cond.op() != BinaryOp::kLt && cond.op() != BinaryOp::kLe) return nullptr;
+  if (cond.lhs().kind() != ExprKind::kVarRef ||
+      cond.lhs().as<VarRef>().name() != loop.induction_var()) {
+    return nullptr;
+  }
+  // Step must be i++ / i += 1.
+  if (loop.step() == nullptr) return nullptr;
+  if (loop.step()->kind() == StmtKind::kIncDec) {
+    if (!loop.step()->as<IncDecStmt>().is_increment()) return nullptr;
+  } else if (loop.step()->kind() == StmtKind::kAssign) {
+    const auto& step = loop.step()->as<AssignStmt>();
+    if (step.op() != AssignOp::kAdd ||
+        step.rhs().kind() != ExprKind::kIntLit ||
+        step.rhs().as<IntLit>().value() != 1) {
+      return nullptr;
+    }
+  } else {
+    return nullptr;
+  }
+  return &loop;
+}
+
+Value reduction_identity(ReductionOp op) {
+  switch (op) {
+    case ReductionOp::kSum: return Value::of_double(0.0);
+    case ReductionOp::kProd: return Value::of_double(1.0);
+    case ReductionOp::kMax:
+      return Value::of_double(-std::numeric_limits<double>::infinity());
+    case ReductionOp::kMin:
+      return Value::of_double(std::numeric_limits<double>::infinity());
+  }
+  return Value::of_double(0.0);
+}
+
+Value reduce(ReductionOp op, const Value& a, const Value& b) {
+  switch (op) {
+    case ReductionOp::kSum: return Value::of_double(a.as_double() + b.as_double());
+    case ReductionOp::kProd: return Value::of_double(a.as_double() * b.as_double());
+    case ReductionOp::kMax:
+      return Value::of_double(std::max(a.as_double(), b.as_double()));
+    case ReductionOp::kMin:
+      return Value::of_double(std::min(a.as_double(), b.as_double()));
+  }
+  return a;
+}
+
+}  // namespace
+
+void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
+  // ---- collect openarc annotations for the verifier ----
+  auto& annotations = kernel_annotations_[stmt.kernel_name()];
+  annotations.clear();
+  walk_stmts(stmt.body(), [&](const Stmt& s) {
+    if (s.kind() == StmtKind::kAccStandalone) {
+      const Directive& d = s.as<AccStandaloneStmt>().directive();
+      if (d.kind == DirectiveKind::kArcBound ||
+          d.kind == DirectiveKind::kArcAssert) {
+        annotations.push_back(&d);
+      }
+    }
+  });
+
+  // ---- set up the kernel context ----
+  KernelCtx ctx;
+  ctx.launch = &stmt;
+  ctx.falsely_shared.insert(stmt.falsely_shared.begin(),
+                            stmt.falsely_shared.end());
+  // Falsely-shared scalars execute as per-worker register caches (see the
+  // file comment); classify each by its first access in the body.
+  std::vector<std::string> cached_shared;       // write-first: latent class
+  std::vector<std::string> accumulator_shared;  // read-first: active class
+  for (const auto& name : stmt.falsely_shared) {
+    if (first_scalar_access(stmt.body(), name) == FirstAccess::kWrite) {
+      cached_shared.push_back(name);
+    } else {
+      accumulator_shared.push_back(name);
+    }
+  }
+
+  for (const auto& access : stmt.accesses) {
+    if (access.is_buffer) {
+      if (stmt.is_private(access.name)) continue;  // worker-local below
+      BufferPtr host = resolve_buffer(access.name, stmt.location());
+      BufferPtr device = runtime_.device_buffer(*host);
+      if (device == nullptr) {
+        throw InterpError("kernel " + stmt.kernel_name() + " accesses '" +
+                          access.name + "' with no device copy");
+      }
+      ctx.device_buffers.emplace(access.name, std::move(device));
+    }
+  }
+  for (const auto& name : stmt.scalar_args) {
+    if (env_.has(name)) ctx.scalar_args.emplace(name, env_.get(name));
+  }
+
+  const ForStmt* loop = find_partition_loop(stmt.body());
+  long lo = 0;
+  long hi = 1;
+  if (loop != nullptr) {
+    // Evaluate bounds on the host (they read host scalars).
+    if (loop->init()->kind() == StmtKind::kAssign) {
+      lo = eval(loop->init()->as<AssignStmt>().rhs()).as_int();
+    } else {
+      const auto& decl = loop->init()->as<DeclStmt>().decl();
+      lo = decl.init() != nullptr ? eval(*decl.init()).as_int() : 0;
+    }
+    const auto& cond = loop->cond()->as<Binary>();
+    hi = eval(cond.rhs()).as_int();
+    if (cond.op() == BinaryOp::kLe) ++hi;
+  }
+  if (hi < lo) hi = lo;
+
+  int total_workers = stmt.config.num_gangs * stmt.config.num_workers;
+  if (total_workers < 1) total_workers = 1;
+
+  long device_stmts_before = device_statements_;
+  std::string induction = loop != nullptr ? loop->induction_var() : "";
+
+  // Per-worker execution state.
+  struct WorkerState {
+    std::unordered_map<std::string, Value> scalars;
+    std::unordered_map<std::string, BufferPtr> buffers;
+  };
+
+  auto init_worker = [&](WorkerState& worker) {
+    for (const auto& name : stmt.firstprivate_vars) {
+      if (env_.has(name)) worker.scalars[name] = env_.get(name);
+    }
+    // Accumulator-class register caches load the pre-kernel value (the
+    // first += reads the shared global once). Cached-class temporaries stay
+    // unseeded: their cache entry appears at the first write, so the
+    // dump-back below finds the last worker that actually wrote.
+    for (const auto& name : accumulator_shared) {
+      if (env_.has(name)) worker.scalars[name] = env_.get(name);
+    }
+    for (const auto& red : stmt.reductions) {
+      worker.scalars[red.var] = reduction_identity(red.op);
+    }
+    for (const auto& name : stmt.private_vars) {
+      auto type = sema_.var_types.find(name);
+      if (type != sema_.var_types.end() && type->second.is_buffer()) {
+        std::size_t count = 0;
+        if (type->second.is_array()) {
+          count =
+              static_cast<std::size_t>(type->second.static_element_count());
+        } else if (env_.has(name) && env_.get(name).is_buffer() &&
+                   env_.get(name).as_buffer() != nullptr) {
+          count = env_.get(name).as_buffer()->count();
+        }
+        worker.buffers[name] = std::make_shared<TypedBuffer>(
+            type->second.scalar(), count);
+      }
+    }
+  };
+
+  auto run_iteration = [&](WorkerState& worker, long i) {
+    ctx.worker_scalars = &worker.scalars;
+    ctx.worker_buffers = &worker.buffers;
+    if (loop != nullptr) {
+      worker.scalars[induction] = Value::of_int(i);
+      (void)exec(loop->body());
+    } else {
+      (void)exec(stmt.body());
+    }
+  };
+
+  kernel_ctx_ = &ctx;
+  std::vector<WorkerState> workers;
+  try {
+    // Contiguous chunks, one worker state each (falsely-shared scalars live
+    // in the per-worker register caches).
+    std::vector<WorkerChunk> chunks =
+        partition_iterations(lo, hi, total_workers);
+    workers.resize(chunks.size());
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      init_worker(workers[c]);
+      for (long i = chunks[c].begin; i < chunks[c].end; ++i) {
+        run_iteration(workers[c], i);
+      }
+    }
+  } catch (...) {
+    kernel_ctx_ = nullptr;
+    throw;
+  }
+  kernel_ctx_ = nullptr;
+
+  // ---- reduction combining (worker order) ----
+  for (const auto& red : stmt.reductions) {
+    Value combined = env_.has(red.var) ? env_.get(red.var)
+                                       : reduction_identity(red.op);
+    for (const auto& worker : workers) {
+      auto partial = worker.scalars.find(red.var);
+      if (partial != worker.scalars.end()) {
+        combined = reduce(red.op, combined, partial->second);
+      }
+    }
+    if (stmt.stash_scalar_results) {
+      stashed_scalars_[stmt.kernel_name()][red.var] = combined;
+    } else {
+      env_.assign(red.var, combined);
+    }
+  }
+  // Racy dump-back of falsely-shared scalars (the translated code keeps
+  // them in a shared device global and copies the final value out).
+  auto dump_back = [&](const std::string& name, bool from_first_worker) {
+    const Value* value = nullptr;
+    if (from_first_worker) {
+      for (const auto& worker : workers) {
+        auto it = worker.scalars.find(name);
+        if (it != worker.scalars.end()) {
+          value = &it->second;
+          break;
+        }
+      }
+    } else {
+      for (auto it = workers.rbegin(); it != workers.rend(); ++it) {
+        auto found = it->scalars.find(name);
+        if (found != it->scalars.end()) {
+          value = &found->second;
+          break;
+        }
+      }
+    }
+    if (value == nullptr) return;
+    if (stmt.stash_scalar_results) {
+      stashed_scalars_[stmt.kernel_name()][name] = *value;
+    } else {
+      env_.assign(name, *value);
+      stashed_scalars_[stmt.kernel_name()][name] = *value;
+    }
+  };
+  // Write-first (stripped private): last worker's value wins — identical to
+  // the sequential result, so the race stays latent.
+  for (const auto& name : cached_shared) dump_back(name, false);
+  // Read-first (stripped reduction): lost updates — only the first worker's
+  // partial survives, an active error.
+  for (const auto& name : accumulator_shared) dump_back(name, true);
+
+  // ---- billing ----
+  long executed = device_statements_ - device_stmts_before;
+  runtime_.bill_kernel(static_cast<std::size_t>(executed), stmt.config);
+}
+
+}  // namespace miniarc

@@ -1,0 +1,25 @@
+#include "interp/value.h"
+
+#include <sstream>
+
+namespace miniarc {
+
+std::string Value::str() const {
+  std::ostringstream os;
+  if (is_int()) {
+    os << as_int();
+  } else if (is_double()) {
+    os << as_double();
+  } else {
+    const BufferPtr& buffer = as_buffer();
+    if (buffer == nullptr) {
+      os << "<null buffer>";
+    } else {
+      os << "<buffer " << to_string(buffer->kind()) << '[' << buffer->count()
+         << "]>";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace miniarc

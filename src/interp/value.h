@@ -1,0 +1,63 @@
+// Runtime value model for the mini-C interpreter: 64-bit integers, doubles,
+// and buffer handles (host or worker-local arrays).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <variant>
+
+#include "device/buffer.h"
+
+namespace miniarc {
+
+class Value {
+ public:
+  Value() : data_(std::int64_t{0}) {}
+
+  static Value of_int(std::int64_t v) { return Value(v); }
+  static Value of_double(double v) { return Value(v); }
+  static Value of_buffer(BufferPtr v) { return Value(std::move(v)); }
+
+  [[nodiscard]] bool is_int() const {
+    return std::holds_alternative<std::int64_t>(data_);
+  }
+  [[nodiscard]] bool is_double() const {
+    return std::holds_alternative<double>(data_);
+  }
+  [[nodiscard]] bool is_buffer() const {
+    return std::holds_alternative<BufferPtr>(data_);
+  }
+
+  [[nodiscard]] std::int64_t as_int() const {
+    if (is_int()) return std::get<std::int64_t>(data_);
+    if (is_double()) return static_cast<std::int64_t>(std::get<double>(data_));
+    throw std::runtime_error("buffer value used as integer");
+  }
+  [[nodiscard]] double as_double() const {
+    if (is_double()) return std::get<double>(data_);
+    if (is_int()) return static_cast<double>(std::get<std::int64_t>(data_));
+    throw std::runtime_error("buffer value used as number");
+  }
+  [[nodiscard]] const BufferPtr& as_buffer() const {
+    if (!is_buffer()) throw std::runtime_error("scalar value used as buffer");
+    return std::get<BufferPtr>(data_);
+  }
+
+  [[nodiscard]] bool truthy() const {
+    if (is_int()) return std::get<std::int64_t>(data_) != 0;
+    if (is_double()) return std::get<double>(data_) != 0.0;
+    return std::get<BufferPtr>(data_) != nullptr;
+  }
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  explicit Value(std::int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(BufferPtr v) : data_(std::move(v)) {}
+
+  std::variant<std::int64_t, double, BufferPtr> data_;
+};
+
+}  // namespace miniarc

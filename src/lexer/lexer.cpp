@@ -1,0 +1,228 @@
+#include "lexer/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "support/str.h"
+
+namespace miniarc {
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keyword_table() {
+  static const std::unordered_map<std::string_view, TokenKind> table = {
+      {"int", TokenKind::kKwInt},         {"long", TokenKind::kKwLong},
+      {"float", TokenKind::kKwFloat},     {"double", TokenKind::kKwDouble},
+      {"void", TokenKind::kKwVoid},       {"const", TokenKind::kKwConst},
+      {"extern", TokenKind::kKwExtern},   {"if", TokenKind::kKwIf},
+      {"else", TokenKind::kKwElse},       {"for", TokenKind::kKwFor},
+      {"while", TokenKind::kKwWhile},     {"do", TokenKind::kKwDo},
+      {"return", TokenKind::kKwReturn},   {"break", TokenKind::kKwBreak},
+      {"continue", TokenKind::kKwContinue}, {"sizeof", TokenKind::kKwSizeof},
+  };
+  return table;
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string_view source, DiagnosticEngine& diags)
+    : source_(source), diags_(diags) {}
+
+char Lexer::peek(std::size_t ahead) const {
+  return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (at_end() || peek() != expected) return false;
+  advance();
+  return true;
+}
+
+Token Lexer::make(TokenKind kind, SourceLocation loc, std::string text) const {
+  return Token{kind, std::move(text), loc};
+}
+
+void Lexer::skip_whitespace_and_comments() {
+  for (;;) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (!at_end()) {
+        advance();
+        advance();
+      }
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::lex_identifier_or_keyword() {
+  SourceLocation loc = location();
+  std::size_t start = pos_;
+  while (!at_end() &&
+         (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
+    advance();
+  }
+  std::string_view text = source_.substr(start, pos_ - start);
+  auto it = keyword_table().find(text);
+  if (it != keyword_table().end()) return make(it->second, loc, std::string(text));
+  return make(TokenKind::kIdentifier, loc, std::string(text));
+}
+
+Token Lexer::lex_number() {
+  SourceLocation loc = location();
+  std::size_t start = pos_;
+  bool is_float = false;
+  while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    is_float = true;
+    advance();
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    std::size_t look = 1;
+    if (peek(1) == '+' || peek(1) == '-') look = 2;
+    if (std::isdigit(static_cast<unsigned char>(peek(look)))) {
+      is_float = true;
+      for (std::size_t i = 0; i < look; ++i) advance();
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    }
+  }
+  // Literal suffixes (f, F, l, L) are accepted and dropped.
+  if (peek() == 'f' || peek() == 'F') {
+    is_float = true;
+    std::string text(source_.substr(start, pos_ - start));
+    advance();
+    return make(TokenKind::kFloatLiteral, loc, std::move(text));
+  }
+  if (peek() == 'l' || peek() == 'L') {
+    std::string text(source_.substr(start, pos_ - start));
+    advance();
+    return make(is_float ? TokenKind::kFloatLiteral : TokenKind::kIntLiteral,
+                loc, std::move(text));
+  }
+  return make(is_float ? TokenKind::kFloatLiteral : TokenKind::kIntLiteral, loc,
+              std::string(source_.substr(start, pos_ - start)));
+}
+
+Token Lexer::lex_pragma() {
+  SourceLocation loc = location();
+  // Consume '#'.
+  advance();
+  // Collect the logical line, honoring backslash-newline continuations.
+  std::string body;
+  while (!at_end() && peek() != '\n') {
+    if (peek() == '\\' && peek(1) == '\n') {
+      advance();
+      advance();
+      body += ' ';
+      continue;
+    }
+    body += advance();
+  }
+  std::string_view trimmed = trim(body);
+  constexpr std::string_view kPragmaWord = "pragma";
+  if (!starts_with(trimmed, kPragmaWord)) {
+    diags_.error(loc, "unsupported preprocessor directive '#" +
+                          std::string(trimmed) + "'");
+    return make(TokenKind::kPragma, loc, "");
+  }
+  trimmed.remove_prefix(kPragmaWord.size());
+  return make(TokenKind::kPragma, loc, std::string(trim(trimmed)));
+}
+
+Token Lexer::next() {
+  skip_whitespace_and_comments();
+  SourceLocation loc = location();
+  if (at_end()) return make(TokenKind::kEof, loc);
+
+  char c = peek();
+  if (c == '#') return lex_pragma();
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    return lex_identifier_or_keyword();
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) return lex_number();
+
+  advance();
+  switch (c) {
+    case '(': return make(TokenKind::kLParen, loc);
+    case ')': return make(TokenKind::kRParen, loc);
+    case '{': return make(TokenKind::kLBrace, loc);
+    case '}': return make(TokenKind::kRBrace, loc);
+    case '[': return make(TokenKind::kLBracket, loc);
+    case ']': return make(TokenKind::kRBracket, loc);
+    case ';': return make(TokenKind::kSemi, loc);
+    case ',': return make(TokenKind::kComma, loc);
+    case ':': return make(TokenKind::kColon, loc);
+    case '?': return make(TokenKind::kQuestion, loc);
+    case '~': return make(TokenKind::kTilde, loc);
+    case '^': return make(TokenKind::kCaret, loc);
+    case '+':
+      if (match('+')) return make(TokenKind::kPlusPlus, loc);
+      if (match('=')) return make(TokenKind::kPlusAssign, loc);
+      return make(TokenKind::kPlus, loc);
+    case '-':
+      if (match('-')) return make(TokenKind::kMinusMinus, loc);
+      if (match('=')) return make(TokenKind::kMinusAssign, loc);
+      return make(TokenKind::kMinus, loc);
+    case '*':
+      if (match('=')) return make(TokenKind::kStarAssign, loc);
+      return make(TokenKind::kStar, loc);
+    case '/':
+      if (match('=')) return make(TokenKind::kSlashAssign, loc);
+      return make(TokenKind::kSlash, loc);
+    case '%': return make(TokenKind::kPercent, loc);
+    case '<':
+      if (match('=')) return make(TokenKind::kLessEqual, loc);
+      if (match('<')) return make(TokenKind::kShl, loc);
+      return make(TokenKind::kLess, loc);
+    case '>':
+      if (match('=')) return make(TokenKind::kGreaterEqual, loc);
+      if (match('>')) return make(TokenKind::kShr, loc);
+      return make(TokenKind::kGreater, loc);
+    case '=':
+      if (match('=')) return make(TokenKind::kEqualEqual, loc);
+      return make(TokenKind::kAssign, loc);
+    case '!':
+      if (match('=')) return make(TokenKind::kBangEqual, loc);
+      return make(TokenKind::kBang, loc);
+    case '&':
+      if (match('&')) return make(TokenKind::kAmpAmp, loc);
+      return make(TokenKind::kAmp, loc);
+    case '|':
+      if (match('|')) return make(TokenKind::kPipePipe, loc);
+      return make(TokenKind::kPipe, loc);
+    default:
+      diags_.error(loc, std::string("unexpected character '") + c + "'");
+      return next();
+  }
+}
+
+std::vector<Token> Lexer::lex_all() {
+  std::vector<Token> tokens;
+  for (;;) {
+    Token tok = next();
+    bool done = tok.is(TokenKind::kEof);
+    tokens.push_back(std::move(tok));
+    if (done) return tokens;
+  }
+}
+
+}  // namespace miniarc

@@ -1,0 +1,45 @@
+// Hand-written lexer for mini-C. Produces the token stream consumed by the
+// recursive-descent parser. `#pragma` lines (with backslash continuations)
+// are folded into single kPragma tokens whose text is re-lexed by the
+// directive parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer/token.h"
+#include "support/diagnostics.h"
+
+namespace miniarc {
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, DiagnosticEngine& diags);
+
+  /// Lex the entire buffer. The last token is always kEof.
+  [[nodiscard]] std::vector<Token> lex_all();
+
+ private:
+  [[nodiscard]] Token next();
+  [[nodiscard]] Token lex_identifier_or_keyword();
+  [[nodiscard]] Token lex_number();
+  [[nodiscard]] Token lex_pragma();
+  void skip_whitespace_and_comments();
+
+  [[nodiscard]] char peek(std::size_t ahead = 0) const;
+  char advance();
+  [[nodiscard]] bool match(char expected);
+  [[nodiscard]] bool at_end() const { return pos_ >= source_.size(); }
+  [[nodiscard]] SourceLocation location() const { return {line_, column_}; }
+
+  Token make(TokenKind kind, SourceLocation loc, std::string text = {}) const;
+
+  std::string_view source_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+};
+
+}  // namespace miniarc

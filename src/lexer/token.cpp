@@ -1,0 +1,78 @@
+#include "lexer/token.h"
+
+#include <sstream>
+
+namespace miniarc {
+
+const char* to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "<eof>";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kIntLiteral: return "integer literal";
+    case TokenKind::kFloatLiteral: return "float literal";
+    case TokenKind::kPragma: return "#pragma";
+    case TokenKind::kKwInt: return "int";
+    case TokenKind::kKwLong: return "long";
+    case TokenKind::kKwFloat: return "float";
+    case TokenKind::kKwDouble: return "double";
+    case TokenKind::kKwVoid: return "void";
+    case TokenKind::kKwConst: return "const";
+    case TokenKind::kKwExtern: return "extern";
+    case TokenKind::kKwIf: return "if";
+    case TokenKind::kKwElse: return "else";
+    case TokenKind::kKwFor: return "for";
+    case TokenKind::kKwWhile: return "while";
+    case TokenKind::kKwDo: return "do";
+    case TokenKind::kKwReturn: return "return";
+    case TokenKind::kKwBreak: return "break";
+    case TokenKind::kKwContinue: return "continue";
+    case TokenKind::kKwSizeof: return "sizeof";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kLBrace: return "{";
+    case TokenKind::kRBrace: return "}";
+    case TokenKind::kLBracket: return "[";
+    case TokenKind::kRBracket: return "]";
+    case TokenKind::kSemi: return ";";
+    case TokenKind::kComma: return ",";
+    case TokenKind::kColon: return ":";
+    case TokenKind::kQuestion: return "?";
+    case TokenKind::kAssign: return "=";
+    case TokenKind::kPlusAssign: return "+=";
+    case TokenKind::kMinusAssign: return "-=";
+    case TokenKind::kStarAssign: return "*=";
+    case TokenKind::kSlashAssign: return "/=";
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kPercent: return "%";
+    case TokenKind::kPlusPlus: return "++";
+    case TokenKind::kMinusMinus: return "--";
+    case TokenKind::kLess: return "<";
+    case TokenKind::kLessEqual: return "<=";
+    case TokenKind::kGreater: return ">";
+    case TokenKind::kGreaterEqual: return ">=";
+    case TokenKind::kEqualEqual: return "==";
+    case TokenKind::kBangEqual: return "!=";
+    case TokenKind::kAmpAmp: return "&&";
+    case TokenKind::kPipePipe: return "||";
+    case TokenKind::kBang: return "!";
+    case TokenKind::kAmp: return "&";
+    case TokenKind::kPipe: return "|";
+    case TokenKind::kCaret: return "^";
+    case TokenKind::kTilde: return "~";
+    case TokenKind::kShl: return "<<";
+    case TokenKind::kShr: return ">>";
+  }
+  return "<invalid>";
+}
+
+std::string Token::str() const {
+  std::ostringstream os;
+  os << to_string(kind);
+  if (!text.empty() && kind != TokenKind::kEof) os << " '" << text << "'";
+  return os.str();
+}
+
+}  // namespace miniarc

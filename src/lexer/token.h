@@ -1,0 +1,88 @@
+// Token model for the mini-C front end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/source_location.h"
+
+namespace miniarc {
+
+enum class TokenKind {
+  kEof,
+  kIdentifier,
+  kIntLiteral,
+  kFloatLiteral,
+  // A full `#pragma ...` line; `text` holds everything after "#pragma".
+  kPragma,
+
+  // Keywords.
+  kKwInt,
+  kKwLong,
+  kKwFloat,
+  kKwDouble,
+  kKwVoid,
+  kKwConst,
+  kKwExtern,
+  kKwIf,
+  kKwElse,
+  kKwFor,
+  kKwWhile,
+  kKwDo,
+  kKwReturn,
+  kKwBreak,
+  kKwContinue,
+  kKwSizeof,
+
+  // Punctuation and operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kSemi,
+  kComma,
+  kColon,
+  kQuestion,
+  kAssign,
+  kPlusAssign,
+  kMinusAssign,
+  kStarAssign,
+  kSlashAssign,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kPlusPlus,
+  kMinusMinus,
+  kLess,
+  kLessEqual,
+  kGreater,
+  kGreaterEqual,
+  kEqualEqual,
+  kBangEqual,
+  kAmpAmp,
+  kPipePipe,
+  kBang,
+  kAmp,
+  kPipe,
+  kCaret,
+  kTilde,
+  kShl,
+  kShr,
+};
+
+[[nodiscard]] const char* to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;   // Spelling (identifier name, literal text, pragma body).
+  SourceLocation location;
+
+  [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
+  [[nodiscard]] std::string str() const;
+};
+
+}  // namespace miniarc

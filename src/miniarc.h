@@ -1,0 +1,69 @@
+// miniARC — umbrella header: the full public API of the directive compiler,
+// the simulated accelerator platform, and the interactive debugging /
+// optimization tools. Include this (or the individual subsystem headers)
+// from downstream code.
+#pragma once
+
+// Front end: mini-C with OpenACC directives.
+#include "ast/clone.h"
+#include "ast/decl.h"
+#include "ast/directive.h"
+#include "ast/expr.h"
+#include "ast/printer.h"
+#include "ast/stmt.h"
+#include "ast/type.h"
+#include "ast/visitor.h"
+#include "lexer/lexer.h"
+#include "parser/directive_parser.h"
+#include "parser/parser.h"
+#include "sema/access_summary.h"
+#include "sema/sema.h"
+
+// Analyses.
+#include "cfg/cfg.h"
+#include "cfg/cfg_builder.h"
+#include "dataflow/dataflow.h"
+#include "dataflow/dead_variable_analysis.h"
+#include "dataflow/first_access_analysis.h"
+#include "dataflow/last_write_analysis.h"
+#include "dataflow/liveness.h"
+
+// OpenACC semantic model and the lowering pipeline.
+#include "acc/directive_rewriter.h"
+#include "acc/region_builder.h"
+#include "acc/region_model.h"
+#include "translate/default_memory.h"
+#include "translate/demotion.h"
+#include "translate/instrumentation.h"
+#include "translate/pipeline.h"
+#include "translate/result_comparison.h"
+
+// Simulated accelerator platform + OpenACC-style runtime.
+#include "device/buffer.h"
+#include "device/cost_model.h"
+#include "device/device_memory.h"
+#include "device/gang_worker_executor.h"
+#include "device/stream.h"
+#include "device/virtual_clock.h"
+#include "runtime/acc_runtime.h"
+#include "runtime/coherence.h"
+#include "runtime/present_table.h"
+#include "runtime/profiler.h"
+#include "runtime/runtime_checker.h"
+#include "runtime/transfer_engine.h"
+
+// Execution.
+#include "interp/interp.h"
+
+// Interactive debugging & optimization (the paper's contribution).
+#include "faults/fault_injector.h"
+#include "verify/auto_programmer.h"
+#include "verify/interactive_optimizer.h"
+#include "verify/kernel_verifier.h"
+#include "verify/suggestion.h"
+#include "verify/transfer_verifier.h"
+#include "verify/verification_config.h"
+
+// Benchmark suite (the paper's twelve OpenACC programs).
+#include "benchsuite/benchmark_registry.h"
+#include "benchsuite/inputs.h"

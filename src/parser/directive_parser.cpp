@@ -1,0 +1,338 @@
+#include "parser/directive_parser.h"
+
+#include <unordered_map>
+
+#include "lexer/lexer.h"
+#include "parser/parser.h"
+
+namespace miniarc {
+namespace {
+
+const std::unordered_map<std::string_view, ClauseKind>& clause_table() {
+  static const std::unordered_map<std::string_view, ClauseKind> table = {
+      {"copy", ClauseKind::kCopy},
+      {"copyin", ClauseKind::kCopyin},
+      {"copyout", ClauseKind::kCopyout},
+      {"create", ClauseKind::kCreate},
+      {"present", ClauseKind::kPresent},
+      {"pcopy", ClauseKind::kPresentOrCopy},
+      {"present_or_copy", ClauseKind::kPresentOrCopy},
+      {"pcopyin", ClauseKind::kPresentOrCopyin},
+      {"present_or_copyin", ClauseKind::kPresentOrCopyin},
+      {"pcopyout", ClauseKind::kPresentOrCopyout},
+      {"present_or_copyout", ClauseKind::kPresentOrCopyout},
+      {"pcreate", ClauseKind::kPresentOrCreate},
+      {"present_or_create", ClauseKind::kPresentOrCreate},
+      {"deviceptr", ClauseKind::kDeviceptr},
+      {"host", ClauseKind::kUpdateHost},
+      {"device", ClauseKind::kUpdateDevice},
+      {"private", ClauseKind::kPrivate},
+      {"firstprivate", ClauseKind::kFirstprivate},
+      {"reduction", ClauseKind::kReduction},
+      {"gang", ClauseKind::kGang},
+      {"worker", ClauseKind::kWorker},
+      {"vector", ClauseKind::kVector},
+      {"seq", ClauseKind::kSeq},
+      {"independent", ClauseKind::kIndependent},
+      {"collapse", ClauseKind::kCollapse},
+      {"num_gangs", ClauseKind::kNumGangs},
+      {"num_workers", ClauseKind::kNumWorkers},
+      {"vector_length", ClauseKind::kVectorLength},
+      {"async", ClauseKind::kAsync},
+      {"wait", ClauseKind::kWaitArg},
+      {"if", ClauseKind::kIf},
+  };
+  return table;
+}
+
+/// Clauses whose parenthesized payload is a variable list.
+bool has_var_list(ClauseKind kind) {
+  switch (kind) {
+    case ClauseKind::kCopy:
+    case ClauseKind::kCopyin:
+    case ClauseKind::kCopyout:
+    case ClauseKind::kCreate:
+    case ClauseKind::kPresent:
+    case ClauseKind::kPresentOrCopy:
+    case ClauseKind::kPresentOrCopyin:
+    case ClauseKind::kPresentOrCopyout:
+    case ClauseKind::kPresentOrCreate:
+    case ClauseKind::kDeviceptr:
+    case ClauseKind::kUpdateHost:
+    case ClauseKind::kUpdateDevice:
+    case ClauseKind::kPrivate:
+    case ClauseKind::kFirstprivate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Clauses whose parenthesized payload is an expression argument.
+bool has_expr_arg(ClauseKind kind) {
+  switch (kind) {
+    case ClauseKind::kCollapse:
+    case ClauseKind::kNumGangs:
+    case ClauseKind::kNumWorkers:
+    case ClauseKind::kVectorLength:
+    case ClauseKind::kAsync:
+    case ClauseKind::kWaitArg:
+    case ClauseKind::kIf:
+    case ClauseKind::kGang:    // gang(n) allowed
+    case ClauseKind::kWorker:  // worker(n) allowed
+    case ClauseKind::kVector:  // vector(n) allowed
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+DirectiveParser::DirectiveParser(std::string_view text, SourceLocation loc,
+                                 DiagnosticEngine& diags)
+    : loc_(loc), diags_(diags) {
+  Lexer lexer(text, diags);
+  tokens_ = lexer.lex_all();
+}
+
+const Token& DirectiveParser::peek(std::size_t ahead) const {
+  std::size_t index = pos_ + ahead;
+  if (index >= tokens_.size()) return tokens_.back();
+  return tokens_[index];
+}
+
+const Token& DirectiveParser::advance() {
+  const Token& tok = peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return tok;
+}
+
+bool DirectiveParser::match(TokenKind kind) {
+  if (!peek().is(kind)) return false;
+  advance();
+  return true;
+}
+
+std::optional<DirectiveKind> DirectiveParser::parse_construct(
+    bool is_openarc) {
+  if (!peek().is(TokenKind::kIdentifier)) {
+    diags_.error(loc_, "expected directive name after '#pragma acc'");
+    return std::nullopt;
+  }
+  std::string name = advance().text;
+
+  if (is_openarc) {
+    if (name == "bound") return DirectiveKind::kArcBound;
+    if (name == "assert") return DirectiveKind::kArcAssert;
+    diags_.error(loc_, "unknown openarc directive '" + name + "'");
+    return std::nullopt;
+  }
+
+  if (name == "data") return DirectiveKind::kData;
+  if (name == "update") return DirectiveKind::kUpdate;
+  if (name == "wait") return DirectiveKind::kWait;
+  if (name == "declare") return DirectiveKind::kDeclare;
+  if (name == "loop") return DirectiveKind::kLoop;
+  if (name == "kernels") {
+    if (peek().is(TokenKind::kIdentifier) && peek().text == "loop") {
+      advance();
+      return DirectiveKind::kKernelsLoop;
+    }
+    return DirectiveKind::kKernels;
+  }
+  if (name == "parallel") {
+    if (peek().is(TokenKind::kIdentifier) && peek().text == "loop") {
+      advance();
+      return DirectiveKind::kParallelLoop;
+    }
+    return DirectiveKind::kParallel;
+  }
+  diags_.error(loc_, "unknown acc directive '" + name + "'");
+  return std::nullopt;
+}
+
+std::vector<std::string> DirectiveParser::parse_var_list() {
+  std::vector<std::string> vars;
+  do {
+    if (!peek().is(TokenKind::kIdentifier)) {
+      diags_.error(loc_, "expected variable name in clause, found " +
+                             peek().str());
+      break;
+    }
+    vars.push_back(advance().text);
+    // Accept and ignore subarray bounds `a[lo:hi]` (coherence is tracked at
+    // whole-array granularity, matching the paper).
+    if (match(TokenKind::kLBracket)) {
+      int depth = 1;
+      while (depth > 0 && !at_end()) {
+        if (peek().is(TokenKind::kLBracket)) ++depth;
+        if (peek().is(TokenKind::kRBracket)) --depth;
+        advance();
+      }
+    }
+  } while (match(TokenKind::kComma));
+  return vars;
+}
+
+std::optional<Clause> DirectiveParser::parse_clause() {
+  if (!peek().is(TokenKind::kIdentifier)) {
+    diags_.error(loc_, "expected clause name, found " + peek().str());
+    advance();
+    return std::nullopt;
+  }
+  std::string name = advance().text;
+  auto it = clause_table().find(name);
+  if (it == clause_table().end()) {
+    diags_.error(loc_, "unknown clause '" + name + "'");
+    return std::nullopt;
+  }
+
+  Clause clause(it->second);
+  clause.location = loc_;
+
+  if (!peek().is(TokenKind::kLParen)) {
+    // Bare clause (gang, worker, vector, seq, independent, async).
+    return clause;
+  }
+  advance();  // '('
+
+  if (clause.kind == ClauseKind::kReduction) {
+    // reduction(op : var, var, ...)
+    switch (peek().kind) {
+      case TokenKind::kPlus: clause.reduction_op = ReductionOp::kSum; break;
+      case TokenKind::kStar: clause.reduction_op = ReductionOp::kProd; break;
+      case TokenKind::kIdentifier:
+        if (peek().text == "max") {
+          clause.reduction_op = ReductionOp::kMax;
+        } else if (peek().text == "min") {
+          clause.reduction_op = ReductionOp::kMin;
+        } else {
+          diags_.error(loc_, "unknown reduction operator '" + peek().text + "'");
+        }
+        break;
+      default:
+        diags_.error(loc_, "expected reduction operator");
+        break;
+    }
+    advance();
+    if (!match(TokenKind::kColon)) {
+      diags_.error(loc_, "expected ':' in reduction clause");
+    }
+    clause.vars = parse_var_list();
+  } else if (has_var_list(clause.kind)) {
+    clause.vars = parse_var_list();
+  } else if (has_expr_arg(clause.kind)) {
+    // Collect the argument tokens up to the matching ')' and parse them as a
+    // standalone expression with the main parser.
+    std::vector<Token> arg_tokens;
+    int depth = 1;
+    while (!at_end()) {
+      if (peek().is(TokenKind::kLParen)) ++depth;
+      if (peek().is(TokenKind::kRParen)) {
+        --depth;
+        if (depth == 0) break;
+      }
+      arg_tokens.push_back(advance());
+    }
+    arg_tokens.push_back(Token{TokenKind::kEof, "", loc_});
+    Parser expr_parser(std::move(arg_tokens), diags_);
+    clause.arg = expr_parser.parse_standalone_expr();
+  } else {
+    diags_.error(loc_, "clause '" + name + "' does not take arguments");
+  }
+
+  if (!match(TokenKind::kRParen)) {
+    diags_.error(loc_, "expected ')' to close clause '" + name + "'");
+  }
+  return clause;
+}
+
+void DirectiveParser::parse_clauses(Directive& directive) {
+  while (!at_end()) {
+    // Clauses may be separated by optional commas.
+    if (match(TokenKind::kComma)) continue;
+    std::optional<Clause> clause = parse_clause();
+    if (clause.has_value()) directive.clauses.push_back(std::move(*clause));
+    if (diags_.error_count() > 20) return;
+  }
+}
+
+std::optional<Directive> DirectiveParser::parse() {
+  if (!peek().is(TokenKind::kIdentifier)) {
+    diags_.error(loc_, "expected 'acc' or 'openarc' after #pragma");
+    return std::nullopt;
+  }
+  std::string prefix = advance().text;
+  bool is_openarc = prefix == "openarc";
+  if (!is_openarc && prefix != "acc") {
+    diags_.error(loc_, "unsupported pragma namespace '" + prefix + "'");
+    return std::nullopt;
+  }
+
+  std::optional<DirectiveKind> kind = parse_construct(is_openarc);
+  if (!kind.has_value()) return std::nullopt;
+
+  Directive directive(*kind);
+  directive.location = loc_;
+
+  // `wait (n)` — argument directly after the construct name.
+  if (*kind == DirectiveKind::kWait && peek().is(TokenKind::kLParen)) {
+    advance();
+    std::vector<Token> arg_tokens;
+    while (!at_end() && !peek().is(TokenKind::kRParen)) {
+      arg_tokens.push_back(advance());
+    }
+    match(TokenKind::kRParen);
+    arg_tokens.push_back(Token{TokenKind::kEof, "", loc_});
+    Parser expr_parser(std::move(arg_tokens), diags_);
+    Clause clause(ClauseKind::kWaitArg);
+    clause.arg = expr_parser.parse_standalone_expr();
+    directive.clauses.push_back(std::move(clause));
+    return directive;
+  }
+
+  // `openarc bound(var, lo, hi)` / `openarc assert checksum(var, expected,
+  // tol)`: a variable followed by one or two expression arguments.
+  if (*kind == DirectiveKind::kArcBound || *kind == DirectiveKind::kArcAssert) {
+    if (*kind == DirectiveKind::kArcAssert) {
+      // Skip the assertion flavor word (e.g. "checksum").
+      if (peek().is(TokenKind::kIdentifier)) advance();
+    }
+    if (match(TokenKind::kLParen)) {
+      Clause clause(ClauseKind::kIf);
+      if (peek().is(TokenKind::kIdentifier)) {
+        clause.vars.push_back(advance().text);
+      } else {
+        diags_.error(loc_, "expected variable name in openarc directive");
+      }
+      auto parse_arg = [&]() -> ExprPtr {
+        std::vector<Token> arg_tokens;
+        int depth = 1;
+        while (!at_end()) {
+          if (peek().is(TokenKind::kLParen)) ++depth;
+          if (peek().is(TokenKind::kRParen) && --depth == 0) break;
+          if (depth == 1 && peek().is(TokenKind::kComma)) break;
+          if (peek().is(TokenKind::kRParen)) {
+            arg_tokens.push_back(advance());
+            continue;
+          }
+          arg_tokens.push_back(advance());
+        }
+        arg_tokens.push_back(Token{TokenKind::kEof, "", loc_});
+        Parser expr_parser(std::move(arg_tokens), diags_);
+        return expr_parser.parse_standalone_expr();
+      };
+      if (match(TokenKind::kComma)) clause.arg = parse_arg();
+      if (match(TokenKind::kComma)) clause.arg2 = parse_arg();
+      match(TokenKind::kRParen);
+      directive.clauses.push_back(std::move(clause));
+    }
+    return directive;
+  }
+
+  parse_clauses(directive);
+  return directive;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,41 @@
+// Parses the text of one `#pragma` line into a Directive. Handles the
+// OpenACC V1.0 constructs/clauses used by the benchmarks plus the `openarc`
+// extension directives for application-knowledge-guided debugging (§III-C).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "ast/directive.h"
+#include "lexer/token.h"
+#include "support/diagnostics.h"
+
+namespace miniarc {
+
+class DirectiveParser {
+ public:
+  /// `text` is everything after "#pragma"; `loc` is the pragma location.
+  DirectiveParser(std::string_view text, SourceLocation loc,
+                  DiagnosticEngine& diags);
+
+  /// Returns nullopt (with a diagnostic) on malformed directives.
+  [[nodiscard]] std::optional<Directive> parse();
+
+ private:
+  [[nodiscard]] std::optional<DirectiveKind> parse_construct(bool is_openarc);
+  void parse_clauses(Directive& directive);
+  [[nodiscard]] std::optional<Clause> parse_clause();
+  std::vector<std::string> parse_var_list();
+
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const;
+  const Token& advance();
+  bool match(TokenKind kind);
+  [[nodiscard]] bool at_end() const { return peek().is(TokenKind::kEof); }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  SourceLocation loc_;
+  DiagnosticEngine& diags_;
+};
+
+}  // namespace miniarc

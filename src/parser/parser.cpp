@@ -1,0 +1,536 @@
+#include "parser/parser.h"
+
+#include <cstdlib>
+
+#include "ast/clone.h"
+#include "lexer/lexer.h"
+#include "parser/directive_parser.h"
+
+namespace miniarc {
+namespace {
+
+bool is_type_keyword(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kKwInt:
+    case TokenKind::kKwLong:
+    case TokenKind::kKwFloat:
+    case TokenKind::kKwDouble:
+    case TokenKind::kKwVoid:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ScalarKind scalar_for(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kKwInt: return ScalarKind::kInt;
+    case TokenKind::kKwLong: return ScalarKind::kLong;
+    case TokenKind::kKwFloat: return ScalarKind::kFloat;
+    case TokenKind::kKwDouble: return ScalarKind::kDouble;
+    default: return ScalarKind::kVoid;
+  }
+}
+
+// Binary operator precedence (must agree with the printer).
+int binary_prec(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kStar:
+    case TokenKind::kSlash:
+    case TokenKind::kPercent: return 10;
+    case TokenKind::kPlus:
+    case TokenKind::kMinus: return 9;
+    case TokenKind::kShl:
+    case TokenKind::kShr: return 8;
+    case TokenKind::kLess:
+    case TokenKind::kLessEqual:
+    case TokenKind::kGreater:
+    case TokenKind::kGreaterEqual: return 7;
+    case TokenKind::kEqualEqual:
+    case TokenKind::kBangEqual: return 6;
+    case TokenKind::kAmp: return 5;
+    case TokenKind::kCaret: return 4;
+    case TokenKind::kPipe: return 3;
+    case TokenKind::kAmpAmp: return 2;
+    case TokenKind::kPipePipe: return 1;
+    default: return 0;
+  }
+}
+
+BinaryOp binary_op_for(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kStar: return BinaryOp::kMul;
+    case TokenKind::kSlash: return BinaryOp::kDiv;
+    case TokenKind::kPercent: return BinaryOp::kRem;
+    case TokenKind::kPlus: return BinaryOp::kAdd;
+    case TokenKind::kMinus: return BinaryOp::kSub;
+    case TokenKind::kShl: return BinaryOp::kShl;
+    case TokenKind::kShr: return BinaryOp::kShr;
+    case TokenKind::kLess: return BinaryOp::kLt;
+    case TokenKind::kLessEqual: return BinaryOp::kLe;
+    case TokenKind::kGreater: return BinaryOp::kGt;
+    case TokenKind::kGreaterEqual: return BinaryOp::kGe;
+    case TokenKind::kEqualEqual: return BinaryOp::kEq;
+    case TokenKind::kBangEqual: return BinaryOp::kNe;
+    case TokenKind::kAmp: return BinaryOp::kBitAnd;
+    case TokenKind::kCaret: return BinaryOp::kBitXor;
+    case TokenKind::kPipe: return BinaryOp::kBitOr;
+    case TokenKind::kAmpAmp: return BinaryOp::kAnd;
+    case TokenKind::kPipePipe: return BinaryOp::kOr;
+    default: return BinaryOp::kAdd;
+  }
+}
+
+}  // namespace
+
+Parser::Parser(std::vector<Token> tokens, DiagnosticEngine& diags)
+    : tokens_(std::move(tokens)), diags_(diags) {
+  if (tokens_.empty()) tokens_.push_back(Token{TokenKind::kEof, "", {}});
+}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  std::size_t index = pos_ + ahead;
+  if (index >= tokens_.size()) return tokens_.back();
+  return tokens_[index];
+}
+
+const Token& Parser::advance() {
+  const Token& tok = peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return tok;
+}
+
+bool Parser::match(TokenKind kind) {
+  if (!check(kind)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(TokenKind kind, std::string_view context) {
+  if (check(kind)) return advance();
+  diags_.error(peek().location,
+               "expected " + std::string(to_string(kind)) + " " +
+                   std::string(context) + ", found " + peek().str());
+  return peek();
+}
+
+bool Parser::looks_like_type() const {
+  TokenKind k = peek().kind;
+  if (is_type_keyword(k)) return true;
+  if (k == TokenKind::kKwConst || k == TokenKind::kKwExtern) return true;
+  return false;
+}
+
+Type Parser::parse_type_prefix() {
+  ScalarKind scalar = scalar_for(peek().kind);
+  advance();
+  int pointer_depth = 0;
+  while (match(TokenKind::kStar)) ++pointer_depth;
+  return Type(scalar, pointer_depth);
+}
+
+std::unique_ptr<VarDecl> Parser::parse_var_decl(Storage storage,
+                                                bool is_extern,
+                                                bool is_const) {
+  SourceLocation loc = peek().location;
+  Type base = parse_type_prefix();
+  const Token& name_tok = expect(TokenKind::kIdentifier, "in declaration");
+  std::string name = name_tok.text;
+
+  // Array dimensions: constant integer expressions only. `extern T a[]`
+  // (unsized) marks a host-bound buffer.
+  std::vector<std::int64_t> dims;
+  bool unsized_extern_array = false;
+  while (match(TokenKind::kLBracket)) {
+    if (check(TokenKind::kRBracket)) {
+      unsized_extern_array = true;
+      advance();
+      continue;
+    }
+    ExprPtr dim_expr = parse_expr();
+    expect(TokenKind::kRBracket, "after array dimension");
+    if (dim_expr->kind() == ExprKind::kIntLit) {
+      dims.push_back(dim_expr->as<IntLit>().value());
+    } else {
+      diags_.error(loc, "array dimension must be an integer constant");
+      dims.push_back(1);
+    }
+  }
+
+  Type type = base;
+  if (!dims.empty()) {
+    type = Type::array_of(base.scalar(), std::move(dims));
+  } else if (unsized_extern_array) {
+    type = Type::pointer_to(base.scalar());
+  }
+
+  auto decl = std::make_unique<VarDecl>(std::move(name), std::move(type),
+                                        storage, loc);
+  decl->is_extern = is_extern;
+  decl->is_const = is_const;
+  if (match(TokenKind::kAssign)) decl->set_init(parse_expr());
+  return decl;
+}
+
+void Parser::parse_top_level(Program& program) {
+  bool is_extern = match(TokenKind::kKwExtern);
+  bool is_const = match(TokenKind::kKwConst);
+
+  if (!is_type_keyword(peek().kind)) {
+    diags_.error(peek().location,
+                 "expected declaration at top level, found " + peek().str());
+    advance();
+    return;
+  }
+
+  // Function: `type name (` — lookahead past pointer stars.
+  std::size_t look = 1;
+  while (peek(look).is(TokenKind::kStar)) ++look;
+  bool is_function = peek(look).is(TokenKind::kIdentifier) &&
+                     peek(look + 1).is(TokenKind::kLParen);
+
+  if (is_function) {
+    SourceLocation loc = peek().location;
+    Type ret = parse_type_prefix();
+    std::string name = expect(TokenKind::kIdentifier, "in function").text;
+    expect(TokenKind::kLParen, "after function name");
+    std::vector<std::unique_ptr<VarDecl>> params;
+    if (!check(TokenKind::kRParen)) {
+      do {
+        if (check(TokenKind::kKwVoid) && peek(1).is(TokenKind::kRParen)) {
+          advance();
+          break;
+        }
+        params.push_back(parse_var_decl(Storage::kParam, false, false));
+      } while (match(TokenKind::kComma));
+    }
+    expect(TokenKind::kRParen, "after parameters");
+    StmtPtr body = parse_compound();
+    program.functions.push_back(std::make_unique<FuncDecl>(
+        std::move(name), std::move(ret), std::move(params), std::move(body),
+        loc));
+    return;
+  }
+
+  program.globals.push_back(
+      parse_var_decl(Storage::kGlobal, is_extern, is_const));
+  expect(TokenKind::kSemi, "after global declaration");
+}
+
+ProgramPtr Parser::parse_program() {
+  auto program = std::make_unique<Program>();
+  while (!at_end()) {
+    if (check(TokenKind::kPragma)) {
+      diags_.error(peek().location, "directive not attached to a statement");
+      advance();
+      continue;
+    }
+    parse_top_level(*program);
+    if (diags_.error_count() > 20) break;  // bail out of error cascades
+  }
+  return program;
+}
+
+StmtPtr Parser::parse_compound() {
+  SourceLocation loc = peek().location;
+  expect(TokenKind::kLBrace, "to open block");
+  std::vector<StmtPtr> stmts;
+  while (!check(TokenKind::kRBrace) && !at_end()) {
+    StmtPtr s = parse_stmt();
+    if (s != nullptr) stmts.push_back(std::move(s));
+    if (diags_.error_count() > 20) break;
+  }
+  expect(TokenKind::kRBrace, "to close block");
+  return std::make_unique<CompoundStmt>(std::move(stmts), loc);
+}
+
+StmtPtr Parser::parse_if() {
+  SourceLocation loc = advance().location;  // 'if'
+  expect(TokenKind::kLParen, "after if");
+  ExprPtr cond = parse_expr();
+  expect(TokenKind::kRParen, "after if condition");
+  StmtPtr then_body = parse_stmt();
+  StmtPtr else_body;
+  if (match(TokenKind::kKwElse)) else_body = parse_stmt();
+  return std::make_unique<IfStmt>(std::move(cond), std::move(then_body),
+                                  std::move(else_body), loc);
+}
+
+StmtPtr Parser::parse_for() {
+  SourceLocation loc = advance().location;  // 'for'
+  expect(TokenKind::kLParen, "after for");
+  StmtPtr init;
+  if (!check(TokenKind::kSemi)) {
+    init = looks_like_type() ? parse_decl_stmt() : parse_simple_stmt();
+  }
+  expect(TokenKind::kSemi, "after for-init");
+  ExprPtr cond;
+  if (!check(TokenKind::kSemi)) cond = parse_expr();
+  expect(TokenKind::kSemi, "after for-condition");
+  StmtPtr step;
+  if (!check(TokenKind::kRParen)) step = parse_simple_stmt();
+  expect(TokenKind::kRParen, "after for-step");
+  StmtPtr body = parse_stmt();
+  return std::make_unique<ForStmt>(std::move(init), std::move(cond),
+                                   std::move(step), std::move(body), loc);
+}
+
+StmtPtr Parser::parse_while() {
+  SourceLocation loc = advance().location;  // 'while'
+  expect(TokenKind::kLParen, "after while");
+  ExprPtr cond = parse_expr();
+  expect(TokenKind::kRParen, "after while condition");
+  StmtPtr body = parse_stmt();
+  return std::make_unique<WhileStmt>(std::move(cond), std::move(body), loc);
+}
+
+StmtPtr Parser::parse_do_while() {
+  // `do { body } while (cond);` desugars to `body; while (cond) body;` is
+  // wrong in general; we keep a faithful form by lowering to:
+  // `{ body; while (cond) body_clone; }` — mini-C benchmarks don't use
+  // do-while, but the construct is accepted for completeness.
+  SourceLocation loc = advance().location;  // 'do'
+  StmtPtr body = parse_stmt();
+  expect(TokenKind::kKwWhile, "after do-body");
+  expect(TokenKind::kLParen, "after while");
+  ExprPtr cond = parse_expr();
+  expect(TokenKind::kRParen, "after do-while condition");
+  expect(TokenKind::kSemi, "after do-while");
+  std::vector<StmtPtr> stmts;
+  StmtPtr body_clone = clone_stmt(*body);
+  stmts.push_back(std::move(body));
+  stmts.push_back(std::make_unique<WhileStmt>(std::move(cond),
+                                              std::move(body_clone), loc));
+  return std::make_unique<CompoundStmt>(std::move(stmts), loc);
+}
+
+StmtPtr Parser::parse_decl_stmt() {
+  SourceLocation loc = peek().location;
+  bool is_extern = match(TokenKind::kKwExtern);
+  bool is_const = match(TokenKind::kKwConst);
+  auto decl = parse_var_decl(Storage::kLocal, is_extern, is_const);
+  return std::make_unique<DeclStmt>(std::move(decl), loc);
+}
+
+StmtPtr Parser::parse_simple_stmt() {
+  SourceLocation loc = peek().location;
+  ExprPtr lhs = parse_expr();
+
+  if (check(TokenKind::kPlusPlus) || check(TokenKind::kMinusMinus)) {
+    bool inc = advance().kind == TokenKind::kPlusPlus;
+    return std::make_unique<IncDecStmt>(std::move(lhs), inc, loc);
+  }
+
+  AssignOp op;
+  switch (peek().kind) {
+    case TokenKind::kAssign: op = AssignOp::kAssign; break;
+    case TokenKind::kPlusAssign: op = AssignOp::kAdd; break;
+    case TokenKind::kMinusAssign: op = AssignOp::kSub; break;
+    case TokenKind::kStarAssign: op = AssignOp::kMul; break;
+    case TokenKind::kSlashAssign: op = AssignOp::kDiv; break;
+    default:
+      // A bare expression statement (function call).
+      return std::make_unique<ExprStmt>(std::move(lhs), loc);
+  }
+  advance();
+  ExprPtr rhs = parse_expr();
+  if (lhs->kind() != ExprKind::kVarRef &&
+      lhs->kind() != ExprKind::kArrayIndex) {
+    diags_.error(loc, "assignment target must be a variable or array element");
+  }
+  return std::make_unique<AssignStmt>(std::move(lhs), op, std::move(rhs), loc);
+}
+
+StmtPtr Parser::parse_pragma_stmt() {
+  const Token& pragma = advance();
+  DirectiveParser dp(pragma.text, pragma.location, diags_);
+  std::optional<Directive> directive = dp.parse();
+  if (!directive.has_value()) return nullptr;
+
+  switch (directive->kind) {
+    case DirectiveKind::kUpdate:
+    case DirectiveKind::kWait:
+    case DirectiveKind::kDeclare:
+    case DirectiveKind::kArcBound:
+    case DirectiveKind::kArcAssert:
+      return std::make_unique<AccStandaloneStmt>(std::move(*directive),
+                                                 pragma.location);
+    default: {
+      StmtPtr body = parse_stmt();
+      if (body == nullptr) {
+        diags_.error(pragma.location, "directive requires a following statement");
+        return nullptr;
+      }
+      if ((directive->kind == DirectiveKind::kKernelsLoop ||
+           directive->kind == DirectiveKind::kParallelLoop ||
+           directive->kind == DirectiveKind::kLoop) &&
+          body->kind() != StmtKind::kFor) {
+        diags_.error(pragma.location,
+                     "loop directive must be followed by a for statement");
+      }
+      return std::make_unique<AccStmt>(std::move(*directive), std::move(body),
+                                       pragma.location);
+    }
+  }
+}
+
+StmtPtr Parser::parse_stmt() {
+  switch (peek().kind) {
+    case TokenKind::kLBrace: return parse_compound();
+    case TokenKind::kKwIf: return parse_if();
+    case TokenKind::kKwFor: return parse_for();
+    case TokenKind::kKwWhile: return parse_while();
+    case TokenKind::kKwDo: return parse_do_while();
+    case TokenKind::kPragma: return parse_pragma_stmt();
+    case TokenKind::kKwReturn: {
+      SourceLocation loc = advance().location;
+      ExprPtr value;
+      if (!check(TokenKind::kSemi)) value = parse_expr();
+      expect(TokenKind::kSemi, "after return");
+      return std::make_unique<ReturnStmt>(std::move(value), loc);
+    }
+    case TokenKind::kKwBreak: {
+      SourceLocation loc = advance().location;
+      expect(TokenKind::kSemi, "after break");
+      return std::make_unique<BreakStmt>(loc);
+    }
+    case TokenKind::kKwContinue: {
+      SourceLocation loc = advance().location;
+      expect(TokenKind::kSemi, "after continue");
+      return std::make_unique<ContinueStmt>(loc);
+    }
+    case TokenKind::kSemi:
+      advance();
+      return std::make_unique<CompoundStmt>();
+    default: {
+      StmtPtr stmt;
+      if (looks_like_type()) {
+        stmt = parse_decl_stmt();
+      } else {
+        stmt = parse_simple_stmt();
+      }
+      expect(TokenKind::kSemi, "after statement");
+      return stmt;
+    }
+  }
+}
+
+ExprPtr Parser::parse_expr() { return parse_ternary(); }
+
+ExprPtr Parser::parse_standalone_expr() { return parse_expr(); }
+
+ExprPtr Parser::parse_ternary() {
+  ExprPtr cond = parse_binary(1);
+  if (!match(TokenKind::kQuestion)) return cond;
+  SourceLocation loc = peek().location;
+  ExprPtr then_value = parse_ternary();
+  expect(TokenKind::kColon, "in ternary expression");
+  ExprPtr else_value = parse_ternary();
+  return std::make_unique<Ternary>(std::move(cond), std::move(then_value),
+                                   std::move(else_value), loc);
+}
+
+ExprPtr Parser::parse_binary(int min_prec) {
+  ExprPtr lhs = parse_unary();
+  for (;;) {
+    int prec = binary_prec(peek().kind);
+    if (prec < min_prec || prec == 0) return lhs;
+    TokenKind op_tok = peek().kind;
+    SourceLocation loc = advance().location;
+    ExprPtr rhs = parse_binary(prec + 1);
+    lhs = std::make_unique<Binary>(binary_op_for(op_tok), std::move(lhs),
+                                   std::move(rhs), loc);
+  }
+}
+
+ExprPtr Parser::parse_unary() {
+  SourceLocation loc = peek().location;
+  if (match(TokenKind::kMinus)) {
+    return std::make_unique<Unary>(UnaryOp::kNeg, parse_unary(), loc);
+  }
+  if (match(TokenKind::kBang)) {
+    return std::make_unique<Unary>(UnaryOp::kNot, parse_unary(), loc);
+  }
+  if (match(TokenKind::kTilde)) {
+    return std::make_unique<Unary>(UnaryOp::kBitNot, parse_unary(), loc);
+  }
+  if (match(TokenKind::kPlus)) return parse_unary();
+  return parse_postfix();
+}
+
+ExprPtr Parser::parse_postfix() {
+  ExprPtr expr = parse_primary();
+  while (check(TokenKind::kLBracket)) {
+    SourceLocation loc = peek().location;
+    std::vector<ExprPtr> indices;
+    while (match(TokenKind::kLBracket)) {
+      indices.push_back(parse_expr());
+      expect(TokenKind::kRBracket, "after array index");
+    }
+    expr = std::make_unique<ArrayIndex>(std::move(expr), std::move(indices),
+                                        loc);
+  }
+  return expr;
+}
+
+ExprPtr Parser::parse_primary() {
+  SourceLocation loc = peek().location;
+  switch (peek().kind) {
+    case TokenKind::kIntLiteral: {
+      const Token& tok = advance();
+      return std::make_unique<IntLit>(std::strtoll(tok.text.c_str(), nullptr, 10),
+                                      loc);
+    }
+    case TokenKind::kFloatLiteral: {
+      const Token& tok = advance();
+      return std::make_unique<FloatLit>(std::strtod(tok.text.c_str(), nullptr),
+                                        loc);
+    }
+    case TokenKind::kKwSizeof: {
+      advance();
+      expect(TokenKind::kLParen, "after sizeof");
+      Type type = parse_type_prefix();
+      expect(TokenKind::kRParen, "after sizeof type");
+      return std::make_unique<SizeofExpr>(std::move(type), loc);
+    }
+    case TokenKind::kIdentifier: {
+      std::string name = advance().text;
+      if (match(TokenKind::kLParen)) {
+        std::vector<ExprPtr> args;
+        if (!check(TokenKind::kRParen)) {
+          do {
+            args.push_back(parse_expr());
+          } while (match(TokenKind::kComma));
+        }
+        expect(TokenKind::kRParen, "after call arguments");
+        return std::make_unique<Call>(std::move(name), std::move(args), loc);
+      }
+      return std::make_unique<VarRef>(std::move(name), loc);
+    }
+    case TokenKind::kLParen: {
+      // Cast or parenthesized expression.
+      if (is_type_keyword(peek(1).kind)) {
+        advance();  // '('
+        Type type = parse_type_prefix();
+        expect(TokenKind::kRParen, "after cast type");
+        return std::make_unique<Cast>(std::move(type), parse_unary(), loc);
+      }
+      advance();  // '('
+      ExprPtr expr = parse_expr();
+      expect(TokenKind::kRParen, "after expression");
+      return expr;
+    }
+    default:
+      diags_.error(loc, "expected expression, found " + peek().str());
+      advance();
+      return std::make_unique<IntLit>(0, loc);
+  }
+}
+
+ProgramPtr parse_mini_c(std::string_view source, DiagnosticEngine& diags) {
+  Lexer lexer(source, diags);
+  Parser parser(lexer.lex_all(), diags);
+  return parser.parse_program();
+}
+
+}  // namespace miniarc

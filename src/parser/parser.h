@@ -1,0 +1,70 @@
+// Recursive-descent parser for mini-C with OpenACC directives.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "ast/decl.h"
+#include "lexer/token.h"
+#include "support/diagnostics.h"
+
+namespace miniarc {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticEngine& diags);
+
+  /// Parse a full translation unit. Returns nullptr (with diagnostics) on
+  /// unrecoverable errors.
+  [[nodiscard]] ProgramPtr parse_program();
+
+  /// Parse a single expression from the token stream (used by the directive
+  /// parser for clause arguments).
+  [[nodiscard]] ExprPtr parse_standalone_expr();
+
+ private:
+  // Token stream helpers.
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const;
+  [[nodiscard]] bool check(TokenKind kind) const { return peek().is(kind); }
+  const Token& advance();
+  bool match(TokenKind kind);
+  const Token& expect(TokenKind kind, std::string_view context);
+  [[nodiscard]] bool at_end() const { return peek().is(TokenKind::kEof); }
+
+  // Declarations.
+  [[nodiscard]] bool looks_like_type() const;
+  [[nodiscard]] Type parse_type_prefix();  // scalar keyword + '*'*
+  std::unique_ptr<VarDecl> parse_var_decl(Storage storage, bool is_extern,
+                                          bool is_const);
+  void parse_top_level(Program& program);
+
+  // Statements.
+  [[nodiscard]] StmtPtr parse_stmt();
+  [[nodiscard]] StmtPtr parse_compound();
+  [[nodiscard]] StmtPtr parse_if();
+  [[nodiscard]] StmtPtr parse_for();
+  [[nodiscard]] StmtPtr parse_while();
+  [[nodiscard]] StmtPtr parse_do_while();
+  [[nodiscard]] StmtPtr parse_decl_stmt();
+  [[nodiscard]] StmtPtr parse_simple_stmt();  // assignment / incdec / call
+  [[nodiscard]] StmtPtr parse_pragma_stmt();
+
+  // Expressions (precedence climbing).
+  [[nodiscard]] ExprPtr parse_expr();
+  [[nodiscard]] ExprPtr parse_ternary();
+  [[nodiscard]] ExprPtr parse_binary(int min_prec);
+  [[nodiscard]] ExprPtr parse_unary();
+  [[nodiscard]] ExprPtr parse_postfix();
+  [[nodiscard]] ExprPtr parse_primary();
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  DiagnosticEngine& diags_;
+};
+
+/// Convenience entry point: lex + parse `source`.
+[[nodiscard]] ProgramPtr parse_mini_c(std::string_view source,
+                                      DiagnosticEngine& diags);
+
+}  // namespace miniarc

@@ -1,0 +1,174 @@
+#include "runtime/acc_runtime.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "runtime/transfer_engine.h"
+
+namespace miniarc {
+
+BufferPtr AccRuntime::data_enter(const TypedBuffer& host,
+                                 bool expects_entry_transfer) {
+  PresentTable::EnterResult result = present_.enter(host, dev_mem_);
+  if (!expects_entry_transfer) present_.clear_fresh(host);
+  if (result.newly_allocated) {
+    double cost = model_.dev_mem.alloc_seconds(host.size_bytes());
+    clock_.advance(cost);
+    profiler_.add(ProfileCategory::kGpuMemAlloc, cost);
+    // A fresh device allocation holds garbage: its copy is stale until the
+    // first host-to-device transfer.
+    checker_.tracker().set_state(host, DeviceSide::kDevice,
+                                 CoherenceState::kStale);
+  }
+  return result.device;
+}
+
+void AccRuntime::data_exit(const TypedBuffer& host) {
+  if (!present_.is_present(host)) return;
+  bool freed = present_.exit(host, dev_mem_);
+  if (freed) {
+    double cost = model_.dev_mem.free_seconds();
+    clock_.advance(cost);
+    profiler_.add(ProfileCategory::kGpuMemFree, cost);
+    checker_.on_device_dealloc(host);
+  }
+}
+
+double AccRuntime::jittered(double seconds) {
+  if (jitter_amplitude_ <= 0.0) return seconds;
+  // xorshift64* — deterministic, seedable, good enough for ±few-percent
+  // timing noise.
+  jitter_state_ ^= jitter_state_ >> 12;
+  jitter_state_ ^= jitter_state_ << 25;
+  jitter_state_ ^= jitter_state_ >> 27;
+  std::uint64_t r = jitter_state_ * 0x2545F4914F6CDD1DULL;
+  double unit = static_cast<double>(r >> 11) / 9007199254740992.0;  // [0,1)
+  return seconds * (1.0 + jitter_amplitude_ * (2.0 * unit - 1.0));
+}
+
+void AccRuntime::bill(ProfileCategory category, double seconds,
+                      std::optional<int> async_queue) {
+  profiler_.add(category, seconds);
+  if (async_queue.has_value()) {
+    streams_.enqueue(*async_queue, clock_.now(), seconds);
+    pending_async_work_[*async_queue] += seconds;
+  } else {
+    clock_.advance(seconds);
+  }
+}
+
+TransferResult AccRuntime::transfer(TypedBuffer& host, const std::string& var,
+                                    TransferDirection direction,
+                                    MemTransferStmt::Condition condition,
+                                    std::optional<int> async_queue,
+                                    const std::string& label,
+                                    const ExecContext& ctx,
+                                    SourceLocation loc) {
+  switch (condition) {
+    case MemTransferStmt::Condition::kIfFreshAlloc:
+      if (!present_.fresh_alloc(host)) return {};
+      present_.clear_fresh(host);
+      break;
+    case MemTransferStmt::Condition::kIfLastRef:
+      if (!present_.last_reference(host)) return {};
+      break;
+    case MemTransferStmt::Condition::kAlways:
+      break;
+  }
+
+  BufferPtr device = present_.find(host);
+  if (device == nullptr) {
+    throw std::runtime_error("transfer of '" + var +
+                             "' which has no device copy (no enclosing data "
+                             "region or create clause)");
+  }
+
+  // Classification must see the pre-transfer coherence states.
+  checker_.on_transfer(host, var, direction, label, ctx, loc);
+
+  std::size_t bytes = TransferEngine::copy(host, *device, direction);
+  profiler_.add_transfer(direction, bytes);
+  double cost = jittered(model_.pcie.transfer_seconds(bytes));
+  bill(ProfileCategory::kMemTransfer, cost, async_queue);
+  return {true, bytes};
+}
+
+TransferResult AccRuntime::scratch_transfer(const TypedBuffer& host,
+                                            TransferDirection direction,
+                                            std::optional<int> async_queue) {
+  BufferPtr device = present_.find(host);
+  if (device == nullptr) return {};
+  TypedBuffer scratch(host.kind(), host.count());
+  std::size_t bytes = direction == TransferDirection::kDeviceToHost
+                          ? TransferEngine::copy(scratch, *device, direction)
+                          : scratch.size_bytes();
+  profiler_.add_transfer(direction, bytes);
+  double cost = jittered(model_.pcie.transfer_seconds(bytes));
+  bill(ProfileCategory::kMemTransfer, cost, async_queue);
+  return {true, bytes};
+}
+
+void AccRuntime::wait(std::optional<int> queue) {
+  double target = queue.has_value() ? streams_.ready_time(*queue)
+                                    : streams_.max_ready_time();
+  double raw_wait = clock_.advance_to(target);
+
+  // Residual attribution: the stream's own work was already billed to its
+  // category at enqueue; only waiting beyond that (queueing delay) counts as
+  // Async-Wait, so the per-category components remain a partition of the
+  // reported total.
+  double pending = 0.0;
+  if (queue.has_value()) {
+    pending = pending_async_work_[*queue];
+    pending_async_work_[*queue] = 0.0;
+  } else {
+    for (auto& [q, work] : pending_async_work_) {
+      pending += work;
+      work = 0.0;
+    }
+  }
+  profiler_.add(ProfileCategory::kAsyncWait, std::max(0.0, raw_wait - pending));
+}
+
+void AccRuntime::bill_kernel(std::size_t device_statements,
+                             const LaunchConfig& config) {
+  double cost = model_.kernel.kernel_seconds(device_statements,
+                                             config.num_gangs,
+                                             config.num_workers);
+  bill(ProfileCategory::kKernelExec, cost, config.async_queue);
+}
+
+void AccRuntime::bill_host_statements(std::size_t count) {
+  double cost = model_.host.host_seconds(count);
+  clock_.advance(cost);
+  profiler_.add(ProfileCategory::kCpuTime, cost);
+}
+
+void AccRuntime::bill_compare(std::size_t elements) {
+  double cost = model_.compare.compare_seconds(elements);
+  clock_.advance(cost);
+  profiler_.add(ProfileCategory::kResultComp, cost);
+}
+
+void AccRuntime::bill_runtime_check() {
+  constexpr double kCheckCost = 40e-9;  // one hash-table lookup + branch
+  clock_.advance(kCheckCost);
+  profiler_.add(ProfileCategory::kRuntimeCheck, kCheckCost);
+}
+
+void AccRuntime::set_transfer_jitter(double amplitude, std::uint64_t seed) {
+  jitter_amplitude_ = amplitude;
+  jitter_state_ = seed == 0 ? 0x9e3779b97f4a7c15ULL : seed;
+}
+
+void AccRuntime::reset() {
+  clock_.reset();
+  streams_.reset();
+  dev_mem_.reset_stats();
+  present_.clear();
+  profiler_.reset();
+  checker_.clear();
+  pending_async_work_.clear();
+}
+
+}  // namespace miniarc

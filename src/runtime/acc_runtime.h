@@ -1,0 +1,124 @@
+// AccRuntime: the host-side OpenACC-style runtime facade the interpreter
+// drives. Owns the simulated device (memory manager, streams, cost models,
+// virtual clock), the present table, the profiler, and the runtime checker.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ast/stmt.h"
+#include "device/buffer.h"
+#include "device/cost_model.h"
+#include "device/device_memory.h"
+#include "device/stream.h"
+#include "device/virtual_clock.h"
+#include "runtime/present_table.h"
+#include "runtime/profiler.h"
+#include "runtime/runtime_checker.h"
+
+namespace miniarc {
+
+struct TransferResult {
+  bool performed = false;
+  std::size_t bytes = 0;
+};
+
+class AccRuntime {
+ public:
+  explicit AccRuntime(MachineModel model = MachineModel::m2090())
+      : model_(model) {}
+
+  // ---- structured data management (DevAlloc / DevFree statements) ----
+  /// present_or_create semantics; bills allocation time if a device copy was
+  /// created. When `expects_entry_transfer` is false the brought-in flag is
+  /// consumed immediately (create/present clauses). Returns the device
+  /// buffer.
+  BufferPtr data_enter(const TypedBuffer& host,
+                       bool expects_entry_transfer = true);
+  /// Drops one reference; bills the free and marks the device copy stale
+  /// when actually released.
+  void data_exit(const TypedBuffer& host);
+
+  [[nodiscard]] bool is_present(const TypedBuffer& host) const {
+    return present_.is_present(host);
+  }
+  [[nodiscard]] BufferPtr device_buffer(const TypedBuffer& host) const {
+    return present_.find(host);
+  }
+
+  // ---- transfers ----
+  /// Executes a whole-buffer transfer subject to `condition`
+  /// (see MemTransferStmt::Condition). Performs the copy eagerly (the
+  /// virtual timeline models overlap), bills time/bytes, and feeds the
+  /// runtime checker. Throws if the buffer has no device copy.
+  TransferResult transfer(TypedBuffer& host, const std::string& var,
+                          TransferDirection direction,
+                          MemTransferStmt::Condition condition,
+                          std::optional<int> async_queue,
+                          const std::string& label, const ExecContext& ctx,
+                          SourceLocation loc);
+
+  /// Demoted verification copy-back: device data → scratch space. Billed
+  /// like a real transfer (time + bytes) but never touches host state and is
+  /// invisible to the checker.
+  TransferResult scratch_transfer(const TypedBuffer& host,
+                                  TransferDirection direction,
+                                  std::optional<int> async_queue);
+
+  // ---- synchronization ----
+  /// Wait on one queue (or all). Bills the unexplained residual wait time to
+  /// Async-Wait (see DESIGN.md on component accounting).
+  void wait(std::optional<int> queue);
+
+  // ---- billing ----
+  void bill_kernel(std::size_t device_statements, const LaunchConfig& config);
+  void bill_host_statements(std::size_t count);
+  void bill_compare(std::size_t elements);
+  void bill_runtime_check();
+
+  // ---- configuration ----
+  /// Device allocation pooling (default on; the kernel verifier turns it off
+  /// so per-kernel alloc/free costs appear in the Figure-3 breakdown).
+  void set_allocation_pooling(bool pooling) { present_.set_pooling(pooling); }
+
+  /// Deterministic pseudo-random multiplicative jitter on PCIe transfer
+  /// times, amplitude a ⇒ factor in [1-a, 1+a]. Models the bus variance the
+  /// paper cites for Figure 4's negative overheads.
+  void set_transfer_jitter(double amplitude, std::uint64_t seed);
+
+  [[nodiscard]] const MachineModel& model() const { return model_; }
+  [[nodiscard]] VirtualClock& clock() { return clock_; }
+  [[nodiscard]] Profiler& profiler() { return profiler_; }
+  [[nodiscard]] RuntimeChecker& checker() { return checker_; }
+  [[nodiscard]] DeviceMemoryManager& device_memory() { return dev_mem_; }
+  [[nodiscard]] PresentTable& present_table() { return present_; }
+  [[nodiscard]] StreamSet& streams() { return streams_; }
+
+  /// Total virtual execution time (component accounting: the sum of billed
+  /// categories; see DESIGN.md §4).
+  [[nodiscard]] double total_time() const { return profiler_.total_seconds(); }
+
+  void reset();
+
+ private:
+  [[nodiscard]] double jittered(double seconds);
+  void bill(ProfileCategory category, double seconds,
+            std::optional<int> async_queue);
+
+  MachineModel model_;
+  VirtualClock clock_;
+  StreamSet streams_;
+  DeviceMemoryManager dev_mem_;
+  PresentTable present_;
+  Profiler profiler_;
+  RuntimeChecker checker_;
+
+  double jitter_amplitude_ = 0.0;
+  std::uint64_t jitter_state_ = 0x9e3779b97f4a7c15ULL;
+  /// Per-queue pending billed work since the last wait (for residual
+  /// Async-Wait attribution).
+  std::map<int, double> pending_async_work_;
+};
+
+}  // namespace miniarc

@@ -1,0 +1,42 @@
+#include "runtime/coherence.h"
+
+namespace miniarc {
+
+CoherenceState CoherenceTracker::state(const TypedBuffer& buffer,
+                                       DeviceSide side) const {
+  auto it = states_.find(&buffer);
+  if (it == states_.end()) return CoherenceState::kNotStale;
+  return it->second.get(side);
+}
+
+void CoherenceTracker::set_state(const TypedBuffer& buffer, DeviceSide side,
+                                 CoherenceState state) {
+  states_[&buffer].set(side, state);
+}
+
+void CoherenceTracker::on_local_write(const TypedBuffer& buffer,
+                                      DeviceSide side) {
+  auto& entry = states_[&buffer];
+  entry.set(side, CoherenceState::kNotStale);
+  entry.set(side == DeviceSide::kHost ? DeviceSide::kDevice
+                                      : DeviceSide::kHost,
+            CoherenceState::kStale);
+}
+
+void CoherenceTracker::on_transfer(const TypedBuffer& buffer,
+                                   TransferDirection direction) {
+  auto& entry = states_[&buffer];
+  DeviceSide target = direction == TransferDirection::kHostToDevice
+                          ? DeviceSide::kDevice
+                          : DeviceSide::kHost;
+  // The target now holds the up-to-date value (even if the source was stale
+  // the protocol treats the copy as completed; the checker has already
+  // reported the incorrect transfer).
+  entry.set(target, CoherenceState::kNotStale);
+}
+
+void CoherenceTracker::on_device_dealloc(const TypedBuffer& buffer) {
+  states_[&buffer].set(DeviceSide::kDevice, CoherenceState::kStale);
+}
+
+}  // namespace miniarc

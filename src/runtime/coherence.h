@@ -1,0 +1,58 @@
+// CPU–GPU coherence state machine — the runtime half of §III-B.
+//
+// Each coherence-tracked buffer carries one of {notstale, maystale, stale}
+// per side, at whole-array granularity (the paper's granularity choice).
+// Transitions:
+//   - both sides start notstale;
+//   - a local write sets the local side notstale and the remote side stale
+//     (unless deadness info installs maystale/notstale via reset_status);
+//   - a transfer makes the target side notstale (it now holds the up-to-date
+//     value) — unless the source itself was stale, which the checker reports
+//     as an incorrect transfer;
+//   - deallocating the device copy sets the device side stale;
+//   - a reduction kernel whose final value materializes on the host sets the
+//     device-side reduction state stale.
+#pragma once
+
+#include <unordered_map>
+
+#include "ast/stmt.h"
+#include "device/buffer.h"
+
+namespace miniarc {
+
+struct VarCoherence {
+  CoherenceState host = CoherenceState::kNotStale;
+  CoherenceState device = CoherenceState::kNotStale;
+
+  [[nodiscard]] CoherenceState get(DeviceSide side) const {
+    return side == DeviceSide::kHost ? host : device;
+  }
+  void set(DeviceSide side, CoherenceState state) {
+    (side == DeviceSide::kHost ? host : device) = state;
+  }
+};
+
+class CoherenceTracker {
+ public:
+  [[nodiscard]] CoherenceState state(const TypedBuffer& buffer,
+                                     DeviceSide side) const;
+  void set_state(const TypedBuffer& buffer, DeviceSide side,
+                 CoherenceState state);
+
+  /// Local write on `side`: local notstale, remote stale.
+  void on_local_write(const TypedBuffer& buffer, DeviceSide side);
+
+  /// Transfer completed: the target now holds the source's data.
+  void on_transfer(const TypedBuffer& buffer, TransferDirection direction);
+
+  /// Device copy deallocated.
+  void on_device_dealloc(const TypedBuffer& buffer);
+
+  void clear() { states_.clear(); }
+
+ private:
+  std::unordered_map<const TypedBuffer*, VarCoherence> states_;
+};
+
+}  // namespace miniarc

@@ -1,0 +1,56 @@
+#include "runtime/present_table.h"
+
+namespace miniarc {
+
+PresentTable::EnterResult PresentTable::enter(const TypedBuffer& host,
+                                              DeviceMemoryManager& memory) {
+  auto it = entries_.find(&host);
+  if (it != entries_.end()) {
+    bool revival = it->second.refcount == 0;
+    ++it->second.refcount;
+    if (revival) it->second.fresh = true;
+    return {it->second.device, false, revival};
+  }
+  BufferPtr device = memory.allocate(host.kind(), host.count());
+  entries_.emplace(&host, Entry{device, 1, true});
+  return {std::move(device), true, true};
+}
+
+bool PresentTable::exit(const TypedBuffer& host, DeviceMemoryManager& memory) {
+  auto it = entries_.find(&host);
+  if (it == entries_.end() || it->second.refcount == 0) return false;
+  if (--it->second.refcount > 0) return false;
+  if (pooling_) return false;  // parked: contents and state preserved
+  memory.release(*it->second.device);
+  entries_.erase(it);
+  return true;
+}
+
+bool PresentTable::is_present(const TypedBuffer& host) const {
+  auto it = entries_.find(&host);
+  return it != entries_.end() && it->second.refcount > 0;
+}
+
+bool PresentTable::fresh_alloc(const TypedBuffer& host) const {
+  auto it = entries_.find(&host);
+  return it != entries_.end() && it->second.fresh;
+}
+
+void PresentTable::clear_fresh(const TypedBuffer& host) {
+  auto it = entries_.find(&host);
+  if (it != entries_.end()) it->second.fresh = false;
+}
+
+bool PresentTable::last_reference(const TypedBuffer& host) const {
+  auto it = entries_.find(&host);
+  return it != entries_.end() && it->second.refcount == 1;
+}
+
+BufferPtr PresentTable::find(const TypedBuffer& host) const {
+  // Parked buffers remain addressable: the pool preserves contents, and the
+  // kernel verifier reads device results after the region released them.
+  auto it = entries_.find(&host);
+  return it == entries_.end() ? nullptr : it->second.device;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,72 @@
+// Present table: host buffer → device buffer mapping with structured
+// reference counting, implementing OpenACC data-region semantics
+// (present_or_create on entry, release when the outermost region exits).
+//
+// Allocation pooling (default on, like OpenARC's device memory pool): when
+// the last region reference drops, the device buffer is *parked* — contents
+// and coherence state preserved — instead of freed. A later region entry
+// revives it without a cudaMalloc. Pooling is what lets the runtime checker
+// observe that a region-entry copy of unchanged data is redundant across
+// kernel invocations (paper §II-C class (i): transfers of non-stale data).
+#pragma once
+
+#include <unordered_map>
+#include <utility>
+
+#include "device/buffer.h"
+#include "device/device_memory.h"
+
+namespace miniarc {
+
+class PresentTable {
+ public:
+  struct EnterResult {
+    BufferPtr device;
+    /// A real device allocation happened (bill cudaMalloc).
+    bool newly_allocated = false;
+    /// This region brought the data in (fresh allocation or revival):
+    /// region-entry conditional transfers fire.
+    bool brought_in = false;
+  };
+
+  /// Region entry for `host`: allocate a device copy if absent, otherwise
+  /// bump the reference count.
+  [[nodiscard]] EnterResult enter(const TypedBuffer& host,
+                                  DeviceMemoryManager& memory);
+
+  /// Region exit: drop one reference. At zero references the buffer is
+  /// parked (pooling on) or freed (pooling off). Returns true if the device
+  /// buffer was actually freed.
+  bool exit(const TypedBuffer& host, DeviceMemoryManager& memory);
+
+  /// Enable/disable allocation pooling (default on).
+  void set_pooling(bool pooling) { pooling_ = pooling; }
+  [[nodiscard]] bool pooling() const { return pooling_; }
+
+  /// Structurally present: at least one active region reference.
+  [[nodiscard]] bool is_present(const TypedBuffer& host) const;
+  /// True while the most recent enter() brought the data in (fresh alloc or
+  /// pool revival) and no conditional region-entry transfer consumed the
+  /// flag yet.
+  [[nodiscard]] bool fresh_alloc(const TypedBuffer& host) const;
+  void clear_fresh(const TypedBuffer& host);
+  /// True if exactly one region reference remains (a region-exit copyout
+  /// should fire).
+  [[nodiscard]] bool last_reference(const TypedBuffer& host) const;
+  /// Device buffer for `host`, or nullptr.
+  [[nodiscard]] BufferPtr find(const TypedBuffer& host) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    BufferPtr device;
+    int refcount = 0;   // 0 = parked in the pool
+    bool fresh = false;
+  };
+  std::unordered_map<const TypedBuffer*, Entry> entries_;
+  bool pooling_ = true;
+};
+
+}  // namespace miniarc

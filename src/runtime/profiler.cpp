@@ -1,0 +1,54 @@
+#include "runtime/profiler.h"
+
+#include <sstream>
+
+namespace miniarc {
+
+const char* to_string(ProfileCategory category) {
+  switch (category) {
+    case ProfileCategory::kGpuMemAlloc: return "GPU Mem Alloc";
+    case ProfileCategory::kGpuMemFree: return "GPU Mem Free";
+    case ProfileCategory::kMemTransfer: return "Mem Transfer";
+    case ProfileCategory::kAsyncWait: return "Async-Wait";
+    case ProfileCategory::kResultComp: return "Result-Comp";
+    case ProfileCategory::kCpuTime: return "CPU Time";
+    case ProfileCategory::kKernelExec: return "Kernel Exec";
+    case ProfileCategory::kRuntimeCheck: return "Runtime Check";
+  }
+  return "?";
+}
+
+void Profiler::add_transfer(TransferDirection direction, std::size_t bytes) {
+  if (direction == TransferDirection::kHostToDevice) {
+    transfers_.h2d_bytes += bytes;
+    ++transfers_.h2d_count;
+  } else {
+    transfers_.d2h_bytes += bytes;
+    ++transfers_.d2h_count;
+  }
+}
+
+double Profiler::total_seconds() const {
+  double total = 0.0;
+  for (double s : seconds_) total += s;
+  return total;
+}
+
+std::string Profiler::breakdown() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < kProfileCategoryCount; ++i) {
+    os << to_string(static_cast<ProfileCategory>(i)) << ": " << seconds_[i]
+       << " s\n";
+  }
+  os << "H2D: " << transfers_.h2d_bytes << " B in " << transfers_.h2d_count
+     << " ops; D2H: " << transfers_.d2h_bytes << " B in "
+     << transfers_.d2h_count << " ops\n";
+  return os.str();
+}
+
+void Profiler::reset() {
+  seconds_.fill(0.0);
+  transfers_ = {};
+}
+
+}  // namespace miniarc

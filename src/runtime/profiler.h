@@ -1,0 +1,68 @@
+// Virtual-time profiler. Accumulates per-category time (the Figure 3
+// breakdown categories) and exact transfer byte/operation counts (the
+// Figure 1 transferred-data series).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "ast/stmt.h"
+
+namespace miniarc {
+
+enum class ProfileCategory : std::uint8_t {
+  kGpuMemAlloc,
+  kGpuMemFree,
+  kMemTransfer,
+  kAsyncWait,
+  kResultComp,
+  kCpuTime,
+  kKernelExec,
+  kRuntimeCheck,
+};
+inline constexpr std::size_t kProfileCategoryCount = 8;
+
+[[nodiscard]] const char* to_string(ProfileCategory category);
+
+struct TransferTotals {
+  std::size_t h2d_bytes = 0;
+  std::size_t d2h_bytes = 0;
+  std::size_t h2d_count = 0;
+  std::size_t d2h_count = 0;
+
+  [[nodiscard]] std::size_t total_bytes() const {
+    return h2d_bytes + d2h_bytes;
+  }
+  [[nodiscard]] std::size_t total_count() const {
+    return h2d_count + d2h_count;
+  }
+};
+
+class Profiler {
+ public:
+  void add(ProfileCategory category, double seconds) {
+    seconds_[static_cast<std::size_t>(category)] += seconds;
+  }
+  void add_transfer(TransferDirection direction, std::size_t bytes);
+
+  [[nodiscard]] double seconds(ProfileCategory category) const {
+    return seconds_[static_cast<std::size_t>(category)];
+  }
+  /// Sum across all categories (the program's virtual execution time when
+  /// each category is billed on the host timeline).
+  [[nodiscard]] double total_seconds() const;
+  [[nodiscard]] const TransferTotals& transfers() const { return transfers_; }
+
+  /// Multi-line human-readable breakdown.
+  [[nodiscard]] std::string breakdown() const;
+
+  void reset();
+
+ private:
+  std::array<double, kProfileCategoryCount> seconds_{};
+  TransferTotals transfers_;
+};
+
+}  // namespace miniarc

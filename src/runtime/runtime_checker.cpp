@@ -1,0 +1,194 @@
+#include "runtime/runtime_checker.h"
+
+#include <sstream>
+
+namespace miniarc {
+
+const char* to_string(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kMissingTransfer: return "missing";
+    case FindingKind::kMayMissingTransfer: return "may-missing";
+    case FindingKind::kIncorrectTransfer: return "incorrect";
+    case FindingKind::kRedundantTransfer: return "redundant";
+    case FindingKind::kMayRedundantTransfer: return "may-redundant";
+  }
+  return "?";
+}
+
+std::string Finding::message() const {
+  std::ostringstream os;
+  switch (kind) {
+    case FindingKind::kMissingTransfer:
+      os << "Reading " << var << " on " << to_string(side)
+         << " requires a memory transfer from the other device (missing "
+            "transfer)";
+      break;
+    case FindingKind::kMayMissingTransfer:
+      os << "Writing " << var << " on " << to_string(side)
+         << " over stale data; a transfer is required unless the written "
+            "data fully covers later reads (may-missing transfer)";
+      break;
+    case FindingKind::kIncorrectTransfer:
+      os << "Copying " << var << ' '
+         << (direction == TransferDirection::kHostToDevice
+                 ? "from host to device"
+                 : "from device to host")
+         << " in " << label << " copies outdated data (incorrect transfer)";
+      break;
+    case FindingKind::kRedundantTransfer:
+    case FindingKind::kMayRedundantTransfer:
+      os << "Copying " << var << ' '
+         << (direction == TransferDirection::kHostToDevice
+                 ? "from host to device"
+                 : "from device to host")
+         << " in " << label;
+      break;
+  }
+  if (!loop_iterations.empty()) {
+    os << " (enclosing loop index =";
+    for (long i : loop_iterations) os << ' ' << i;
+    os << ')';
+  }
+  if (kind == FindingKind::kRedundantTransfer) os << " is redundant.";
+  if (kind == FindingKind::kMayRedundantTransfer) {
+    os << " is may-redundant (target may be dead; verify before removing).";
+  }
+  if (kind != FindingKind::kRedundantTransfer &&
+      kind != FindingKind::kMayRedundantTransfer) {
+    os << '.';
+  }
+  return os.str();
+}
+
+void RuntimeChecker::record(FindingKind kind, const std::string& var,
+                            const std::string& label, DeviceSide side,
+                            TransferDirection direction,
+                            const ExecContext& ctx, SourceLocation loc) {
+  if (findings_.size() >= max_findings_) return;
+  Finding finding;
+  finding.kind = kind;
+  finding.var = var;
+  finding.label = label;
+  finding.side = side;
+  finding.direction = direction;
+  finding.loop_iterations = ctx.loop_iterations;
+  finding.location = loc;
+  findings_.push_back(std::move(finding));
+}
+
+SiteStats& RuntimeChecker::site(const std::string& label,
+                                const std::string& var,
+                                TransferDirection direction) {
+  for (auto& s : sites_) {
+    if (s.label == label && s.var == var) return s;
+  }
+  SiteStats stats;
+  stats.label = label;
+  stats.var = var;
+  stats.direction = direction;
+  sites_.push_back(std::move(stats));
+  return sites_.back();
+}
+
+void RuntimeChecker::check_read(const TypedBuffer& buffer,
+                                const std::string& var, DeviceSide side,
+                                const ExecContext& ctx, SourceLocation loc) {
+  if (!enabled_) return;
+  ++check_count_;
+  CoherenceState state = tracker_.state(buffer, side);
+  if (state == CoherenceState::kStale) {
+    record(FindingKind::kMissingTransfer, var, "read@" + loc.str(), side,
+           TransferDirection::kHostToDevice, ctx, loc);
+    // Pretend the user fixed it so one bug does not cascade into a flood of
+    // secondary reports: treat the value as refreshed.
+    tracker_.set_state(buffer, side, CoherenceState::kNotStale);
+  } else if (state == CoherenceState::kMayStale) {
+    record(FindingKind::kMayMissingTransfer, var, "read@" + loc.str(), side,
+           TransferDirection::kHostToDevice, ctx, loc);
+    tracker_.set_state(buffer, side, CoherenceState::kNotStale);
+  }
+}
+
+void RuntimeChecker::check_write(const TypedBuffer& buffer,
+                                 const std::string& var, DeviceSide side,
+                                 bool may_dead, const ExecContext& ctx,
+                                 SourceLocation loc) {
+  if (enabled_) {
+    ++check_count_;
+    CoherenceState state = tracker_.state(buffer, side);
+    if (state == CoherenceState::kStale) {
+      // Stale but written before read: a transfer is needed only if the
+      // write does not cover all the data read later (§III-B may-missing).
+      record(FindingKind::kMayMissingTransfer, var, "write@" + loc.str(),
+             side, TransferDirection::kHostToDevice, ctx, loc);
+    }
+    (void)may_dead;
+  }
+  tracker_.on_local_write(buffer, side);
+}
+
+void RuntimeChecker::reset_status(const TypedBuffer& buffer, DeviceSide side,
+                                  CoherenceState state) {
+  if (enabled_) ++check_count_;
+  tracker_.set_state(buffer, side, state);
+}
+
+void RuntimeChecker::set_status(const TypedBuffer& buffer, DeviceSide side,
+                                CoherenceState state) {
+  if (enabled_) ++check_count_;
+  tracker_.set_state(buffer, side, state);
+}
+
+void RuntimeChecker::on_transfer(const TypedBuffer& buffer,
+                                 const std::string& var,
+                                 TransferDirection direction,
+                                 const std::string& label,
+                                 const ExecContext& ctx, SourceLocation loc) {
+  if (enabled_) {
+    DeviceSide source = direction == TransferDirection::kHostToDevice
+                            ? DeviceSide::kHost
+                            : DeviceSide::kDevice;
+    DeviceSide target = direction == TransferDirection::kHostToDevice
+                            ? DeviceSide::kDevice
+                            : DeviceSide::kHost;
+    SiteStats& stats = site(label, var, direction);
+    bool first = stats.occurrences == 0;
+    ++stats.occurrences;
+
+    if (tracker_.state(buffer, source) == CoherenceState::kStale) {
+      ++stats.incorrect;
+      record(FindingKind::kIncorrectTransfer, var, label, source, direction,
+             ctx, loc);
+    } else {
+      CoherenceState target_state = tracker_.state(buffer, target);
+      if (target_state == CoherenceState::kNotStale) {
+        ++stats.redundant;
+        if (first) stats.first_occurrence_redundant = true;
+        record(FindingKind::kRedundantTransfer, var, label, target, direction,
+               ctx, loc);
+      } else if (target_state == CoherenceState::kMayStale) {
+        ++stats.may_redundant;
+        record(FindingKind::kMayRedundantTransfer, var, label, target,
+               direction, ctx, loc);
+      }
+    }
+  }
+  tracker_.on_transfer(buffer, direction);
+}
+
+void RuntimeChecker::on_device_dealloc(const TypedBuffer& buffer) {
+  tracker_.on_device_dealloc(buffer);
+}
+
+void RuntimeChecker::on_host_reduction(const TypedBuffer& buffer) {
+  tracker_.set_state(buffer, DeviceSide::kDevice, CoherenceState::kStale);
+}
+
+void RuntimeChecker::clear() {
+  tracker_.clear();
+  findings_.clear();
+  sites_.clear();
+  check_count_ = 0;
+}
+
+}  // namespace miniarc

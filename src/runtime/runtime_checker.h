@@ -1,0 +1,126 @@
+// Runtime memory-transfer checker — the offline profiling tool of §III-B.
+//
+// The instrumented program drives this class through check_read /
+// check_write / reset_status events and through every memory transfer. The
+// checker classifies transfers against the coherence protocol:
+//   - transfer whose *source* is stale            → incorrect transfer
+//   - transfer whose *target* is notstale         → redundant transfer
+//   - transfer whose *target* is maystale         → may-redundant transfer
+//   - read of a stale local copy (check_read)     → missing transfer
+//   - write over a stale local copy (check_write) → may-missing transfer
+// and accumulates both individual findings (with enclosing-loop iteration
+// context, like the paper's Listing 4 messages) and per-site statistics the
+// suggestion engine consumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/coherence.h"
+#include "support/source_location.h"
+
+namespace miniarc {
+
+enum class FindingKind : std::uint8_t {
+  kMissingTransfer,
+  kMayMissingTransfer,
+  kIncorrectTransfer,
+  kRedundantTransfer,
+  kMayRedundantTransfer,
+};
+
+[[nodiscard]] const char* to_string(FindingKind kind);
+
+/// Snapshot of the interpreter's enclosing-loop iteration counters at the
+/// moment an event fired (outermost first).
+struct ExecContext {
+  std::vector<long> loop_iterations;
+};
+
+struct Finding {
+  FindingKind kind;
+  std::string var;
+  /// Stable site label ("update0", "main_kernel0:q:in", ...).
+  std::string label;
+  DeviceSide side = DeviceSide::kHost;
+  TransferDirection direction = TransferDirection::kHostToDevice;
+  std::vector<long> loop_iterations;
+  SourceLocation location;
+
+  /// Paper-style message, e.g. "Copying b from device to host in update0
+  /// (enclosing loop index = 1) is redundant."
+  [[nodiscard]] std::string message() const;
+};
+
+/// Aggregated behaviour of one transfer site across the whole run.
+struct SiteStats {
+  std::string label;
+  std::string var;
+  TransferDirection direction = TransferDirection::kHostToDevice;
+  int occurrences = 0;
+  int redundant = 0;
+  int may_redundant = 0;
+  int incorrect = 0;
+  /// Was the site's first dynamic execution redundant? (If not, but all
+  /// later ones were, the transfer wants to be *deferred*, not deleted.)
+  bool first_occurrence_redundant = false;
+};
+
+class RuntimeChecker {
+ public:
+  /// When disabled, every event is a no-op except coherence bookkeeping.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  // ---- events from the instrumented program ----
+  void check_read(const TypedBuffer& buffer, const std::string& var,
+                  DeviceSide side, const ExecContext& ctx,
+                  SourceLocation loc);
+  void check_write(const TypedBuffer& buffer, const std::string& var,
+                   DeviceSide side, bool may_dead, const ExecContext& ctx,
+                   SourceLocation loc);
+  void reset_status(const TypedBuffer& buffer, DeviceSide side,
+                    CoherenceState state);
+  void set_status(const TypedBuffer& buffer, DeviceSide side,
+                  CoherenceState state);
+
+  // ---- events from the runtime itself ----
+  /// Called for every executed memory transfer (before the copy): performs
+  /// classification, then applies the coherence transition.
+  void on_transfer(const TypedBuffer& buffer, const std::string& var,
+                   TransferDirection direction, const std::string& label,
+                   const ExecContext& ctx, SourceLocation loc);
+  void on_device_dealloc(const TypedBuffer& buffer);
+  /// Reduction finished with the final value on the host only.
+  void on_host_reduction(const TypedBuffer& buffer);
+
+  // ---- results ----
+  [[nodiscard]] const std::vector<Finding>& findings() const {
+    return findings_;
+  }
+  [[nodiscard]] const std::vector<SiteStats>& site_stats() const {
+    return sites_;
+  }
+  [[nodiscard]] long dynamic_check_count() const { return check_count_; }
+  [[nodiscard]] CoherenceTracker& tracker() { return tracker_; }
+
+  void clear();
+
+ private:
+  void record(FindingKind kind, const std::string& var,
+              const std::string& label, DeviceSide side,
+              TransferDirection direction, const ExecContext& ctx,
+              SourceLocation loc);
+  SiteStats& site(const std::string& label, const std::string& var,
+                  TransferDirection direction);
+
+  bool enabled_ = false;
+  CoherenceTracker tracker_;
+  std::vector<Finding> findings_;
+  std::vector<SiteStats> sites_;
+  long check_count_ = 0;
+  /// Cap on stored findings (stats keep full counts beyond it).
+  std::size_t max_findings_ = 10000;
+};
+
+}  // namespace miniarc

@@ -1,0 +1,21 @@
+#include "runtime/transfer_engine.h"
+
+#include <stdexcept>
+
+namespace miniarc {
+
+std::size_t TransferEngine::copy(TypedBuffer& host, TypedBuffer& device,
+                                 TransferDirection direction) {
+  if (host.size_bytes() != device.size_bytes()) {
+    throw std::logic_error(
+        "transfer between mismatched host/device buffer shapes");
+  }
+  if (direction == TransferDirection::kHostToDevice) {
+    device.copy_from(host);
+  } else {
+    host.copy_from(device);
+  }
+  return host.size_bytes();
+}
+
+}  // namespace miniarc

@@ -1,0 +1,23 @@
+// The DMA path: byte-wise copies between host and device buffer images.
+// Every CPU–GPU byte in the system flows through here, which is what makes
+// the transferred-data accounting in the benchmarks exact rather than
+// modeled.
+#pragma once
+
+#include <cstddef>
+
+#include "ast/stmt.h"
+#include "device/buffer.h"
+
+namespace miniarc {
+
+class TransferEngine {
+ public:
+  /// Copy the whole buffer in the given direction. Returns bytes moved.
+  /// Host and device images must have identical shape (they were created as
+  /// mirror allocations by the present table).
+  static std::size_t copy(TypedBuffer& host, TypedBuffer& device,
+                          TransferDirection direction);
+};
+
+}  // namespace miniarc

@@ -1,0 +1,163 @@
+#include "sema/access_summary.h"
+
+#include "ast/visitor.h"
+
+namespace miniarc {
+namespace {
+
+bool is_buffer_var(const SemaInfo& sema, const std::string& name) {
+  return sema.is_buffer(name);
+}
+
+void note_read(AccessMap& map, const SemaInfo& sema, const std::string& name) {
+  auto& info = map[name];
+  info.read = true;
+  info.is_buffer = is_buffer_var(sema, name);
+}
+
+void note_write(AccessMap& map, const SemaInfo& sema, const std::string& name,
+                bool partial) {
+  auto& info = map[name];
+  if (!info.written) {
+    info.partial_write = partial;
+  } else {
+    info.partial_write = info.partial_write && partial;
+  }
+  info.written = true;
+  info.is_buffer = is_buffer_var(sema, name);
+}
+
+/// Record the accesses of an assignment target: the base variable is
+/// written; index expressions are read.
+void note_lvalue(const Expr& lhs, const SemaInfo& sema, AccessMap& out,
+                 bool also_reads) {
+  if (lhs.kind() == ExprKind::kVarRef) {
+    const auto& name = lhs.as<VarRef>().name();
+    note_write(out, sema, name, /*partial=*/false);
+    if (also_reads) note_read(out, sema, name);
+    return;
+  }
+  if (lhs.kind() == ExprKind::kArrayIndex) {
+    const auto& index = lhs.as<ArrayIndex>();
+    const auto& name = index.base_name();
+    note_write(out, sema, name, /*partial=*/true);
+    if (also_reads) note_read(out, sema, name);
+    for (const auto& idx : index.indices()) {
+      accumulate_expr_reads(*idx, sema, out);
+    }
+  }
+}
+
+void summarize_stmt_shallow(const Stmt& stmt, const SemaInfo& sema,
+                            AccessMap& out) {
+  switch (stmt.kind()) {
+    case StmtKind::kDecl: {
+      const auto& decl = stmt.as<DeclStmt>().decl();
+      if (decl.init() != nullptr) {
+        accumulate_expr_reads(*decl.init(), sema, out);
+        note_write(out, sema, decl.name(), /*partial=*/false);
+      }
+      break;
+    }
+    case StmtKind::kAssign: {
+      const auto& assign = stmt.as<AssignStmt>();
+      note_lvalue(assign.lhs(), sema, out,
+                  /*also_reads=*/assign.op() != AssignOp::kAssign);
+      accumulate_expr_reads(assign.rhs(), sema, out);
+      break;
+    }
+    case StmtKind::kIncDec:
+      note_lvalue(stmt.as<IncDecStmt>().target(), sema, out,
+                  /*also_reads=*/true);
+      break;
+    case StmtKind::kExpr:
+      accumulate_expr_reads(stmt.as<ExprStmt>().expr(), sema, out);
+      break;
+    case StmtKind::kIf:
+      accumulate_expr_reads(stmt.as<IfStmt>().cond(), sema, out);
+      break;
+    case StmtKind::kWhile:
+      accumulate_expr_reads(stmt.as<WhileStmt>().cond(), sema, out);
+      break;
+    case StmtKind::kFor:
+      if (stmt.as<ForStmt>().cond() != nullptr) {
+        accumulate_expr_reads(*stmt.as<ForStmt>().cond(), sema, out);
+      }
+      break;
+    case StmtKind::kReturn:
+      if (stmt.as<ReturnStmt>().value() != nullptr) {
+        accumulate_expr_reads(*stmt.as<ReturnStmt>().value(), sema, out);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+void accumulate_expr_reads(const Expr& expr, const SemaInfo& sema,
+                           AccessMap& out) {
+  walk_exprs(expr, [&](const Expr& e) {
+    if (e.kind() == ExprKind::kVarRef) {
+      note_read(out, sema, e.as<VarRef>().name());
+    } else if (e.kind() == ExprKind::kCall) {
+      const auto& call = e.as<Call>();
+      // Conservative interprocedural handling: buffers passed to a
+      // non-intrinsic function may be both read and partially written.
+      if (!is_intrinsic(call.callee())) {
+        for (const auto& arg : call.args()) {
+          if (arg->kind() == ExprKind::kVarRef &&
+              is_buffer_var(sema, arg->as<VarRef>().name())) {
+            note_write(out, sema, arg->as<VarRef>().name(), /*partial=*/true);
+          }
+        }
+      }
+    }
+  });
+}
+
+AccessMap summarize_shallow(const Stmt& stmt, const SemaInfo& sema) {
+  AccessMap out;
+  summarize_stmt_shallow(stmt, sema, out);
+  return out;
+}
+
+AccessMap summarize_accesses(const Stmt& stmt, const SemaInfo& sema) {
+  AccessMap out;
+  walk_stmts(stmt,
+             [&](const Stmt& s) { summarize_stmt_shallow(s, sema, out); });
+  return out;
+}
+
+std::vector<KernelAccess> to_kernel_accesses(const AccessMap& map) {
+  std::vector<KernelAccess> out;
+  out.reserve(map.size());
+  for (const auto& [name, info] : map) {
+    KernelAccess access;
+    access.name = name;
+    access.read = info.read;
+    access.written = info.written;
+    access.is_buffer = info.is_buffer;
+    out.push_back(std::move(access));
+  }
+  return out;
+}
+
+void merge_access(AccessMap& into, const AccessMap& from) {
+  for (const auto& [name, info] : from) {
+    auto& target = into[name];
+    target.read = target.read || info.read;
+    if (info.written) {
+      if (!target.written) {
+        target.partial_write = info.partial_write;
+      } else {
+        target.partial_write = target.partial_write && info.partial_write;
+      }
+      target.written = true;
+    }
+    target.is_buffer = target.is_buffer || info.is_buffer;
+  }
+}
+
+}  // namespace miniarc

@@ -1,0 +1,54 @@
+// Variable access summaries: which variables a statement subtree reads and
+// writes, and whether writes are partial (single array elements) or full
+// (scalar assignment). The translation passes use summaries to classify
+// compute-region data (read-only → copyin, modified → copy, paper §III-A);
+// the dataflow analyses use per-statement summaries as USE/DEF/KILL sets
+// (paper Algorithms 1 and 2).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ast/stmt.h"
+#include "sema/sema.h"
+
+namespace miniarc {
+
+struct VarAccessInfo {
+  bool read = false;
+  bool written = false;
+  /// True if every observed write is partial (array element). Partial writes
+  /// are what make dead-variable detection need the may-dead class: a
+  /// partially-written array may still carry live data (paper §II-C, CG's q).
+  bool partial_write = false;
+  bool is_buffer = false;
+};
+
+using AccessMap = std::map<std::string, VarAccessInfo>;
+
+/// Record a read of every variable appearing in `expr`.
+void accumulate_expr_reads(const Expr& expr, const SemaInfo& sema,
+                           AccessMap& out);
+
+/// Summarize all accesses in `stmt` (recursing into nested statements,
+/// directives, and lowered kernel bodies). Transfers/runtime checks do not
+/// count as accesses.
+[[nodiscard]] AccessMap summarize_accesses(const Stmt& stmt,
+                                           const SemaInfo& sema);
+
+/// Shallow summary of a single statement: expressions it evaluates directly
+/// (no recursion into child statements). For control statements this covers
+/// the condition only. Used for CFG-node USE/DEF sets.
+[[nodiscard]] AccessMap summarize_shallow(const Stmt& stmt,
+                                          const SemaInfo& sema);
+
+/// Convert a summary to the KernelAccess list stored on lowered kernels.
+[[nodiscard]] std::vector<KernelAccess> to_kernel_accesses(
+    const AccessMap& map);
+
+/// Merge `from` into `into` (union of reads/writes; partial_write stays true
+/// only while all writes are partial).
+void merge_access(AccessMap& into, const AccessMap& from);
+
+}  // namespace miniarc

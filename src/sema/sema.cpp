@@ -1,0 +1,426 @@
+#include "sema/sema.h"
+
+#include <array>
+
+namespace miniarc {
+namespace {
+
+struct Intrinsic {
+  const char* name;
+  ScalarKind result;
+};
+
+constexpr std::array<Intrinsic, 21> kIntrinsics = {{
+    {"sqrt", ScalarKind::kDouble},  {"fabs", ScalarKind::kDouble},
+    {"exp", ScalarKind::kDouble},   {"log", ScalarKind::kDouble},
+    {"pow", ScalarKind::kDouble},   {"sin", ScalarKind::kDouble},
+    {"cos", ScalarKind::kDouble},   {"tan", ScalarKind::kDouble},
+    {"floor", ScalarKind::kDouble}, {"ceil", ScalarKind::kDouble},
+    {"fmin", ScalarKind::kDouble},  {"fmax", ScalarKind::kDouble},
+    {"fmod", ScalarKind::kDouble},  {"atan", ScalarKind::kDouble},
+    {"abs", ScalarKind::kLong},     {"min", ScalarKind::kLong},
+    {"max", ScalarKind::kLong},     {"malloc", ScalarKind::kVoid},
+    {"free", ScalarKind::kVoid},    {"exp2", ScalarKind::kDouble},
+    {"log2", ScalarKind::kDouble},
+}};
+
+Type promote(const Type& a, const Type& b) {
+  if (a.is_buffer()) return a;  // pointer arithmetic-ish; keep buffer type
+  if (b.is_buffer()) return b;
+  if (a.scalar() == ScalarKind::kDouble || b.scalar() == ScalarKind::kDouble) {
+    return Type::double_type();
+  }
+  if (a.scalar() == ScalarKind::kFloat || b.scalar() == ScalarKind::kFloat) {
+    return Type::float_type();
+  }
+  if (a.scalar() == ScalarKind::kLong || b.scalar() == ScalarKind::kLong) {
+    return Type::long_type();
+  }
+  return Type::int_type();
+}
+
+}  // namespace
+
+bool is_intrinsic(const std::string& name) {
+  for (const auto& i : kIntrinsics) {
+    if (name == i.name) return true;
+  }
+  return false;
+}
+
+ScalarKind intrinsic_result(const std::string& name) {
+  for (const auto& i : kIntrinsics) {
+    if (name == i.name) return i.result;
+  }
+  return ScalarKind::kVoid;
+}
+
+bool SemaInfo::may_alias(const std::string& a, const std::string& b) const {
+  if (a == b) return true;
+  auto it = alias_sets.find(a);
+  return it != alias_sets.end() && it->second.contains(b);
+}
+
+bool SemaInfo::has_aliases(const std::string& name) const {
+  auto it = alias_sets.find(name);
+  if (it == alias_sets.end()) return false;
+  return it->second.size() > 1;
+}
+
+Sema::Sema(Program& program, DiagnosticEngine& diags)
+    : program_(program), diags_(diags) {}
+
+bool Sema::run() {
+  std::size_t initial_errors = diags_.error_count();
+  symbols_.push_scope();
+
+  for (auto& global : program_.globals) {
+    if (!symbols_.declare(*global)) {
+      diags_.error(global->location(),
+                   "redefinition of global '" + global->name() + "'");
+      continue;
+    }
+    info_.var_types[global->name()] = global->type();
+    if (global->type().is_buffer()) {
+      info_.buffers.insert(global->name());
+      info_.alias_sets[global->name()].insert(global->name());
+    }
+    if (global->is_extern) info_.extern_vars.insert(global->name());
+    if (global->init() != nullptr) check_expr(*global->init());
+  }
+
+  if (program_.find_function("main") == nullptr) {
+    diags_.error({}, "program must define a main function");
+  }
+
+  for (auto& func : program_.functions) check_function(*func);
+
+  symbols_.pop_scope();
+  return diags_.error_count() == initial_errors;
+}
+
+void Sema::check_function(FuncDecl& func) {
+  symbols_.push_scope();
+  for (auto& param : func.params()) {
+    if (!symbols_.declare(*param)) {
+      diags_.error(param->location(), "parameter '" + param->name() +
+                                          "' shadows an existing name");
+    }
+    info_.var_types[param->name()] = param->type();
+    if (param->type().is_buffer()) {
+      info_.buffers.insert(param->name());
+      info_.alias_sets[param->name()].insert(param->name());
+    }
+  }
+  check_stmt(func.body());
+  symbols_.pop_scope();
+}
+
+void Sema::note_alias(const std::string& pointer, const Expr& source) {
+  // `p = q;` where both are buffers ⇒ p and q may alias. malloc() results
+  // are fresh, so no alias edge. The closure is symmetric and transitive.
+  if (source.kind() != ExprKind::kVarRef) return;
+  const std::string& other = source.as<VarRef>().name();
+  VarDecl* other_decl = symbols_.lookup(other);
+  if (other_decl == nullptr || !other_decl->type().is_buffer()) return;
+
+  auto& set_a = info_.alias_sets[pointer];
+  auto& set_b = info_.alias_sets[other];
+  std::set<std::string> merged;
+  merged.insert(set_a.begin(), set_a.end());
+  merged.insert(set_b.begin(), set_b.end());
+  merged.insert(pointer);
+  merged.insert(other);
+  for (const std::string& member : merged) info_.alias_sets[member] = merged;
+}
+
+void Sema::check_lvalue(Expr& expr) {
+  if (expr.kind() == ExprKind::kVarRef) {
+    const auto& name = expr.as<VarRef>().name();
+    VarDecl* decl = symbols_.lookup(name);
+    if (decl != nullptr && decl->is_const) {
+      diags_.error(expr.location(), "cannot assign to const '" + name + "'");
+    }
+    return;
+  }
+  if (expr.kind() == ExprKind::kArrayIndex) return;
+  diags_.error(expr.location(), "expression is not assignable");
+}
+
+void Sema::check_stmt(Stmt& stmt) {
+  switch (stmt.kind()) {
+    case StmtKind::kDecl: {
+      auto& decl = stmt.as<DeclStmt>().decl();
+      if (!symbols_.declare(decl)) {
+        diags_.error(decl.location(), "'" + decl.name() +
+                                          "' shadows or redefines an existing "
+                                          "name (miniARC requires unique "
+                                          "variable names)");
+      }
+      info_.var_types[decl.name()] = decl.type();
+      if (decl.type().is_buffer()) {
+        info_.buffers.insert(decl.name());
+        info_.alias_sets[decl.name()].insert(decl.name());
+      }
+      if (decl.init() != nullptr) {
+        check_expr(*decl.init());
+        if (decl.type().is_pointer()) note_alias(decl.name(), *decl.init());
+      }
+      break;
+    }
+    case StmtKind::kAssign: {
+      auto& assign = stmt.as<AssignStmt>();
+      check_lvalue(assign.lhs());
+      check_expr(assign.lhs());
+      check_expr(assign.rhs());
+      if (assign.lhs().kind() == ExprKind::kVarRef &&
+          assign.lhs().type().is_pointer() &&
+          assign.op() == AssignOp::kAssign) {
+        note_alias(assign.lhs().as<VarRef>().name(), assign.rhs());
+      }
+      break;
+    }
+    case StmtKind::kIncDec:
+      check_lvalue(stmt.as<IncDecStmt>().target());
+      check_expr(stmt.as<IncDecStmt>().target());
+      break;
+    case StmtKind::kExpr:
+      check_expr(stmt.as<ExprStmt>().expr());
+      break;
+    case StmtKind::kIf: {
+      auto& if_stmt = stmt.as<IfStmt>();
+      check_expr(if_stmt.cond());
+      check_stmt(if_stmt.then_body());
+      if (if_stmt.else_body() != nullptr) check_stmt(*if_stmt.else_body());
+      break;
+    }
+    case StmtKind::kFor: {
+      auto& for_stmt = stmt.as<ForStmt>();
+      symbols_.push_scope();
+      if (for_stmt.init() != nullptr) check_stmt(*for_stmt.init());
+      if (for_stmt.cond() != nullptr) check_expr(*for_stmt.cond());
+      if (for_stmt.step() != nullptr) check_stmt(*for_stmt.step());
+      ++loop_depth_;
+      check_stmt(for_stmt.body());
+      --loop_depth_;
+      symbols_.pop_scope();
+      break;
+    }
+    case StmtKind::kWhile: {
+      auto& while_stmt = stmt.as<WhileStmt>();
+      check_expr(while_stmt.cond());
+      ++loop_depth_;
+      check_stmt(while_stmt.body());
+      --loop_depth_;
+      break;
+    }
+    case StmtKind::kCompound:
+      symbols_.push_scope();
+      for (auto& s : stmt.as<CompoundStmt>().stmts()) check_stmt(*s);
+      symbols_.pop_scope();
+      break;
+    case StmtKind::kReturn:
+      if (stmt.as<ReturnStmt>().value() != nullptr) {
+        check_expr(*stmt.as<ReturnStmt>().value());
+      }
+      break;
+    case StmtKind::kBreak:
+    case StmtKind::kContinue:
+      if (loop_depth_ == 0) {
+        diags_.error(stmt.location(), "break/continue outside of a loop");
+      }
+      break;
+    case StmtKind::kAcc: {
+      auto& acc = stmt.as<AccStmt>();
+      check_directive(acc.directive(), is_compute_construct(acc.directive().kind));
+      check_stmt(acc.body());
+      break;
+    }
+    case StmtKind::kAccStandalone:
+      check_directive(stmt.as<AccStandaloneStmt>().directive(), false);
+      break;
+    case StmtKind::kHostExec:
+      // Produced by memory-transfer demotion for unselected compute regions
+      // (they execute sequentially on the host) before the program is
+      // re-analyzed.
+      check_stmt(stmt.as<HostExecStmt>().body());
+      break;
+    default:
+      // Lowered statements are produced by translate/ after sema; they are
+      // not expected in source programs.
+      diags_.error(stmt.location(), "lowered statement in source program");
+      break;
+  }
+}
+
+void Sema::check_directive(Directive& directive, bool is_compute) {
+  for (auto& clause : directive.clauses) {
+    for (const std::string& var : clause.vars) {
+      VarDecl* decl = symbols_.lookup(var);
+      if (decl == nullptr) {
+        diags_.error(clause.location.valid() ? clause.location
+                                             : directive.location,
+                     "clause " + std::string(to_string(clause.kind)) +
+                         " names unknown variable '" + var + "'");
+        continue;
+      }
+      if (is_data_clause(clause.kind) || clause.kind == ClauseKind::kUpdateHost ||
+          clause.kind == ClauseKind::kUpdateDevice) {
+        if (!decl->type().is_buffer()) {
+          diags_.error(directive.location,
+                       "data clause " + std::string(to_string(clause.kind)) +
+                           " requires an array or pointer, but '" + var +
+                           "' is " + decl->type().str());
+        }
+      }
+    }
+    if (clause.arg != nullptr) check_expr(*clause.arg);
+    if (clause.arg2 != nullptr) check_expr(*clause.arg2);
+    if (clause.kind == ClauseKind::kReduction && !is_compute &&
+        directive.kind != DirectiveKind::kLoop) {
+      diags_.error(directive.location,
+                   "reduction clause requires a compute or loop construct");
+    }
+  }
+}
+
+Type Sema::check_expr(Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kIntLit:
+      expr.set_type(Type::long_type());
+      break;
+    case ExprKind::kFloatLit:
+      expr.set_type(Type::double_type());
+      break;
+    case ExprKind::kVarRef: {
+      const auto& name = expr.as<VarRef>().name();
+      VarDecl* decl = symbols_.lookup(name);
+      if (decl == nullptr) {
+        diags_.error(expr.location(), "use of undeclared variable '" + name +
+                                          "'");
+        expr.set_type(Type::long_type());
+      } else {
+        expr.set_type(decl->type());
+      }
+      break;
+    }
+    case ExprKind::kArrayIndex: {
+      auto& index = expr.as<ArrayIndex>();
+      Type base = check_expr(index.base());
+      for (auto& idx : index.indices()) {
+        Type t = check_expr(*idx);
+        if (!t.is_scalar() || is_floating(t.scalar())) {
+          diags_.error(idx->location(), "array index must be integral");
+        }
+      }
+      if (!base.is_buffer()) {
+        diags_.error(expr.location(), "subscripted value is not a buffer");
+        expr.set_type(Type::double_type());
+      } else {
+        Type t = base;
+        for (std::size_t i = 0; i < index.indices().size(); ++i) {
+          t = t.element_type();
+        }
+        expr.set_type(t);
+      }
+      if (index.base().kind() != ExprKind::kVarRef) {
+        diags_.error(expr.location(),
+                     "array base must be a variable reference");
+      }
+      break;
+    }
+    case ExprKind::kUnary: {
+      auto& unary = expr.as<Unary>();
+      Type t = check_expr(unary.operand());
+      expr.set_type(unary.op() == UnaryOp::kNeg ? t : Type::long_type());
+      break;
+    }
+    case ExprKind::kBinary: {
+      auto& binary = expr.as<Binary>();
+      Type lhs = check_expr(binary.lhs());
+      Type rhs = check_expr(binary.rhs());
+      switch (binary.op()) {
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          expr.set_type(Type::int_type());
+          break;
+        case BinaryOp::kRem:
+        case BinaryOp::kShl:
+        case BinaryOp::kShr:
+        case BinaryOp::kBitAnd:
+        case BinaryOp::kBitOr:
+        case BinaryOp::kBitXor:
+          if (is_floating(lhs.scalar()) || is_floating(rhs.scalar())) {
+            diags_.error(expr.location(),
+                         "integer operator applied to floating operand");
+          }
+          expr.set_type(Type::long_type());
+          break;
+        default:
+          expr.set_type(promote(lhs, rhs));
+          break;
+      }
+      break;
+    }
+    case ExprKind::kCall: {
+      auto& call = expr.as<Call>();
+      for (auto& arg : call.args()) check_expr(*arg);
+      if (is_intrinsic(call.callee())) {
+        if (call.callee() == "malloc") {
+          expr.set_type(Type::pointer_to(ScalarKind::kVoid));
+        } else {
+          expr.set_type(Type(intrinsic_result(call.callee())));
+        }
+      } else {
+        const FuncDecl* func = program_.find_function(call.callee());
+        if (func == nullptr) {
+          diags_.error(expr.location(),
+                       "call to unknown function '" + call.callee() + "'");
+          expr.set_type(Type::double_type());
+        } else {
+          if (func->params().size() != call.args().size()) {
+            diags_.error(expr.location(),
+                         "wrong number of arguments to '" + call.callee() +
+                             "': expected " +
+                             std::to_string(func->params().size()) + ", got " +
+                             std::to_string(call.args().size()));
+          }
+          expr.set_type(func->return_type());
+        }
+      }
+      break;
+    }
+    case ExprKind::kCast: {
+      auto& cast = expr.as<Cast>();
+      check_expr(cast.operand());
+      expr.set_type(cast.target());
+      break;
+    }
+    case ExprKind::kTernary: {
+      auto& ternary = expr.as<Ternary>();
+      check_expr(ternary.cond());
+      Type a = check_expr(ternary.then_value());
+      Type b = check_expr(ternary.else_value());
+      expr.set_type(promote(a, b));
+      break;
+    }
+    case ExprKind::kSizeof:
+      expr.set_type(Type::long_type());
+      break;
+  }
+  return expr.type();
+}
+
+SemaInfo analyze_program(Program& program, DiagnosticEngine& diags) {
+  Sema sema(program, diags);
+  if (!sema.run()) return {};
+  return sema.take_info();
+}
+
+}  // namespace miniarc

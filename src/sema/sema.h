@@ -1,0 +1,71 @@
+// Semantic analysis: name resolution, type checking, directive validation,
+// and may-alias information for pointer variables.
+#pragma once
+
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "ast/decl.h"
+#include "sema/symbol_table.h"
+#include "support/diagnostics.h"
+
+namespace miniarc {
+
+/// Names of the built-in math/runtime intrinsics callable from mini-C.
+[[nodiscard]] bool is_intrinsic(const std::string& name);
+/// Result scalar kind of an intrinsic (kVoid for free()).
+[[nodiscard]] ScalarKind intrinsic_result(const std::string& name);
+
+/// Semantic information produced by Sema::run and consumed by every later
+/// stage (translation, dataflow, interpretation).
+struct SemaInfo {
+  /// Every variable in the program (globals + all locals/params), by name.
+  std::unordered_map<std::string, Type> var_types;
+  /// Buffer variables (arrays and pointers) — the coherence-tracked set.
+  std::set<std::string> buffers;
+  /// May-alias sets: for each pointer name, the set of names it may share a
+  /// buffer with (including itself). Non-pointer buffers map to themselves.
+  std::unordered_map<std::string, std::set<std::string>> alias_sets;
+  /// Extern variables that the host harness must bind before execution.
+  std::set<std::string> extern_vars;
+
+  [[nodiscard]] bool is_buffer(const std::string& name) const {
+    return buffers.contains(name);
+  }
+  [[nodiscard]] bool may_alias(const std::string& a,
+                               const std::string& b) const;
+  /// True if `name` may alias anything other than itself.
+  [[nodiscard]] bool has_aliases(const std::string& name) const;
+};
+
+class Sema {
+ public:
+  Sema(Program& program, DiagnosticEngine& diags);
+
+  /// Runs all checks. Returns false if any error diagnostic was emitted.
+  [[nodiscard]] bool run();
+
+  [[nodiscard]] const SemaInfo& info() const { return info_; }
+  [[nodiscard]] SemaInfo take_info() { return std::move(info_); }
+
+ private:
+  void check_function(FuncDecl& func);
+  void check_stmt(Stmt& stmt);
+  void check_directive(Directive& directive, bool is_compute);
+  Type check_expr(Expr& expr);
+  void check_lvalue(Expr& expr);
+  void note_alias(const std::string& pointer, const Expr& source);
+
+  Program& program_;
+  DiagnosticEngine& diags_;
+  SymbolTable symbols_;
+  SemaInfo info_;
+  int loop_depth_ = 0;
+};
+
+/// Convenience: run sema, returning the info (empty on failure).
+[[nodiscard]] SemaInfo analyze_program(Program& program,
+                                       DiagnosticEngine& diags);
+
+}  // namespace miniarc

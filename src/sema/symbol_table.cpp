@@ -1,0 +1,24 @@
+#include "sema/symbol_table.h"
+
+namespace miniarc {
+
+void SymbolTable::push_scope() { scopes_.emplace_back(); }
+
+void SymbolTable::pop_scope() {
+  for (const std::string& name : scopes_.back()) visible_.erase(name);
+  scopes_.pop_back();
+}
+
+bool SymbolTable::declare(VarDecl& decl) {
+  if (visible_.contains(decl.name())) return false;
+  visible_.emplace(decl.name(), &decl);
+  scopes_.back().push_back(decl.name());
+  return true;
+}
+
+VarDecl* SymbolTable::lookup(const std::string& name) const {
+  auto it = visible_.find(name);
+  return it == visible_.end() ? nullptr : it->second;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,37 @@
+// Scoped symbol table used by semantic analysis.
+//
+// miniARC enforces program-wide unique variable names (shadowing is a sema
+// error). The dataflow analyses, the coherence runtime, and the tool reports
+// all key variables by name; uniqueness keeps that mapping unambiguous and
+// matches how the paper reports findings ("Copying b from device to host in
+// update0 is redundant").
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/decl.h"
+
+namespace miniarc {
+
+class SymbolTable {
+ public:
+  void push_scope();
+  void pop_scope();
+
+  /// Declares `decl` in the innermost scope. Returns false if the name is
+  /// already visible anywhere (shadowing or redefinition).
+  [[nodiscard]] bool declare(VarDecl& decl);
+
+  /// Looks a name up through all scopes; nullptr if not found.
+  [[nodiscard]] VarDecl* lookup(const std::string& name) const;
+
+  [[nodiscard]] std::size_t depth() const { return scopes_.size(); }
+
+ private:
+  std::vector<std::vector<std::string>> scopes_;
+  std::unordered_map<std::string, VarDecl*> visible_;
+};
+
+}  // namespace miniarc

@@ -1,0 +1,39 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace miniarc {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream os;
+  os << location.str() << ": " << to_string(severity) << ": " << message;
+  return os.str();
+}
+
+void DiagnosticEngine::report(Severity severity, SourceLocation loc,
+                              std::string message) {
+  if (severity == Severity::kError) ++error_count_;
+  diagnostics_.push_back({severity, loc, std::move(message)});
+}
+
+std::string DiagnosticEngine::dump() const {
+  std::ostringstream os;
+  for (const auto& d : diagnostics_) os << d.str() << '\n';
+  return os.str();
+}
+
+void DiagnosticEngine::clear() {
+  diagnostics_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace miniarc

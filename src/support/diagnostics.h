@@ -1,0 +1,56 @@
+// Diagnostics engine shared by the lexer, parser, sema, and the verification
+// tools. Collects diagnostics instead of printing eagerly so tests can assert
+// on exact messages and the interactive optimizer can consume tool reports
+// programmatically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/source_location.h"
+
+namespace miniarc {
+
+enum class Severity { kNote, kWarning, kError };
+
+[[nodiscard]] const char* to_string(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLocation location;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Accumulates diagnostics for one front-end run.
+class DiagnosticEngine {
+ public:
+  void report(Severity severity, SourceLocation loc, std::string message);
+  void error(SourceLocation loc, std::string message) {
+    report(Severity::kError, loc, std::move(message));
+  }
+  void warning(SourceLocation loc, std::string message) {
+    report(Severity::kWarning, loc, std::move(message));
+  }
+  void note(SourceLocation loc, std::string message) {
+    report(Severity::kNote, loc, std::move(message));
+  }
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+
+  /// All diagnostics joined by newlines — convenient for test failure output.
+  [[nodiscard]] std::string dump() const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace miniarc

@@ -1,0 +1,21 @@
+#include "support/source_location.h"
+
+#include <sstream>
+
+namespace miniarc {
+
+std::string SourceLocation::str() const {
+  if (!valid()) return "<unknown>";
+  std::ostringstream os;
+  os << line << ':' << column;
+  return os.str();
+}
+
+std::string SourceRange::str() const {
+  if (!valid()) return "<unknown>";
+  std::ostringstream os;
+  os << begin.str() << '-' << end.str();
+  return os.str();
+}
+
+}  // namespace miniarc

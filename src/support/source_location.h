@@ -1,0 +1,37 @@
+// Source locations and ranges for the mini-C front end.
+//
+// Every token, AST node, and diagnostic carries a SourceLocation so that
+// findings produced by the verification tools can be attributed back to the
+// directive-annotated input program — the traceability property the paper
+// identifies as missing from low-level GPU tools.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace miniarc {
+
+/// A (line, column) position within a named source buffer. Lines and columns
+/// are 1-based; a zero line marks an invalid/unknown location.
+struct SourceLocation {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const SourceLocation&, const SourceLocation&) = default;
+};
+
+/// A half-open range [begin, end) in the same buffer.
+struct SourceRange {
+  SourceLocation begin;
+  SourceLocation end;
+
+  [[nodiscard]] bool valid() const { return begin.valid(); }
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const SourceRange&, const SourceRange&) = default;
+};
+
+}  // namespace miniarc

@@ -1,0 +1,25 @@
+// Small string helpers used across the project.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace miniarc {
+
+/// Split `text` on `sep`, trimming surrounding whitespace from each piece and
+/// dropping empty pieces.
+[[nodiscard]] std::vector<std::string> split_trimmed(std::string_view text,
+                                                     char sep);
+
+/// Trim ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Join `parts` with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace miniarc

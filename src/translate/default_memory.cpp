@@ -1,0 +1,286 @@
+#include "translate/default_memory.h"
+
+#include "ast/visitor.h"
+
+namespace miniarc {
+namespace {
+
+/// Visit accesses of `name` in lexical order; `fn(is_write, stmt)` returns
+/// true to stop the walk.
+class AccessScanner {
+ public:
+  AccessScanner(const std::string& name,
+                std::function<bool(bool, const Stmt&)> fn)
+      : name_(name), fn_(std::move(fn)) {}
+
+  void scan(const Stmt& stmt) {
+    if (done_) return;
+    switch (stmt.kind()) {
+      case StmtKind::kDecl: {
+        const auto& decl = stmt.as<DeclStmt>().decl();
+        if (decl.init() != nullptr) scan_expr(*decl.init(), stmt);
+        if (decl.name() == name_ && decl.init() != nullptr)
+
+          emit(true, stmt);
+        break;
+      }
+      case StmtKind::kAssign: {
+        const auto& assign = stmt.as<AssignStmt>();
+        // RHS and index expressions read first, then the target is written.
+        scan_expr(assign.rhs(), stmt);
+        if (assign.lhs().kind() == ExprKind::kArrayIndex) {
+          for (const auto& idx :
+               assign.lhs().as<ArrayIndex>().indices()) {
+            scan_expr(*idx, stmt);
+          }
+        }
+        if (assign.op() != AssignOp::kAssign) scan_lvalue_read(assign.lhs(), stmt);
+        scan_lvalue_write(assign.lhs(), stmt);
+        break;
+      }
+      case StmtKind::kIncDec: {
+        const auto& inc = stmt.as<IncDecStmt>();
+        scan_lvalue_read(inc.target(), stmt);
+        scan_lvalue_write(inc.target(), stmt);
+        break;
+      }
+      case StmtKind::kExpr:
+        scan_expr(stmt.as<ExprStmt>().expr(), stmt);
+        break;
+      case StmtKind::kIf: {
+        const auto& if_stmt = stmt.as<IfStmt>();
+        scan_expr(if_stmt.cond(), stmt);
+        scan(if_stmt.then_body());
+        if (if_stmt.else_body() != nullptr) scan(*if_stmt.else_body());
+        break;
+      }
+      case StmtKind::kFor: {
+        const auto& for_stmt = stmt.as<ForStmt>();
+        if (for_stmt.init() != nullptr) scan(*for_stmt.init());
+        if (for_stmt.cond() != nullptr) scan_expr(*for_stmt.cond(), stmt);
+        scan(for_stmt.body());
+        if (for_stmt.step() != nullptr) scan(*for_stmt.step());
+        break;
+      }
+      case StmtKind::kWhile: {
+        const auto& while_stmt = stmt.as<WhileStmt>();
+        scan_expr(while_stmt.cond(), stmt);
+        scan(while_stmt.body());
+        break;
+      }
+      case StmtKind::kCompound:
+        for (const auto& s : stmt.as<CompoundStmt>().stmts()) scan(*s);
+        break;
+      case StmtKind::kReturn:
+        if (stmt.as<ReturnStmt>().value() != nullptr) {
+          scan_expr(*stmt.as<ReturnStmt>().value(), stmt);
+        }
+        break;
+      case StmtKind::kAcc:
+        scan(stmt.as<AccStmt>().body());
+        break;
+      case StmtKind::kHostExec:
+        scan(stmt.as<HostExecStmt>().body());
+        break;
+      default:
+        break;
+    }
+  }
+
+ private:
+  void emit(bool is_write, const Stmt& stmt) {
+    if (done_) return;
+    if (fn_(is_write, stmt)) done_ = true;
+  }
+
+  void scan_expr(const Expr& expr, const Stmt& stmt) {
+    if (done_) return;
+    walk_exprs(expr, [&](const Expr& e) {
+      if (e.kind() == ExprKind::kVarRef && e.as<VarRef>().name() == name_) {
+        emit(false, stmt);
+      }
+    });
+  }
+
+  void scan_lvalue_read(const Expr& lhs, const Stmt& stmt) {
+    if (lhs.kind() == ExprKind::kVarRef &&
+        lhs.as<VarRef>().name() == name_) {
+      emit(false, stmt);
+    }
+    if (lhs.kind() == ExprKind::kArrayIndex &&
+        lhs.as<ArrayIndex>().base_name() == name_) {
+      emit(false, stmt);
+    }
+  }
+
+  void scan_lvalue_write(const Expr& lhs, const Stmt& stmt) {
+    if (lhs.kind() == ExprKind::kVarRef &&
+        lhs.as<VarRef>().name() == name_) {
+      emit(true, stmt);
+    }
+    if (lhs.kind() == ExprKind::kArrayIndex &&
+        lhs.as<ArrayIndex>().base_name() == name_) {
+      emit(true, stmt);
+    }
+  }
+
+  const std::string& name_;
+  std::function<bool(bool, const Stmt&)> fn_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+FirstAccess first_scalar_access(const Stmt& body, const std::string& name) {
+  FirstAccess result = FirstAccess::kNone;
+  AccessScanner scanner(name, [&](bool is_write, const Stmt&) {
+    result = is_write ? FirstAccess::kWrite : FirstAccess::kRead;
+    return true;  // stop at the first access
+  });
+  scanner.scan(body);
+  return result;
+}
+
+std::set<std::string> auto_private_scalars(
+    const Stmt& body, const std::set<std::string>& candidates) {
+  std::set<std::string> result;
+  for (const auto& name : candidates) {
+    if (first_scalar_access(body, name) == FirstAccess::kWrite) {
+      result.insert(name);
+    }
+  }
+  return result;
+}
+
+std::optional<ReductionOp> recognize_reduction(const Stmt& body,
+                                               const std::string& name) {
+  bool all_accumulations = true;
+  bool any_access = false;
+  std::optional<ReductionOp> op;
+
+  // Every statement touching `name` must be `name (+|*)= e` or
+  // `name = name (+|*) e` with no other reads of `name` in e.
+  std::function<void(const Stmt&)> visit = [&](const Stmt& stmt) {
+    if (!all_accumulations) return;
+    bool touches = false;
+    AccessScanner scanner(name, [&](bool, const Stmt&) {
+      touches = true;
+      return true;
+    });
+    scanner.scan(stmt);
+    if (!touches) return;
+
+    switch (stmt.kind()) {
+      case StmtKind::kCompound:
+        for (const auto& s : stmt.as<CompoundStmt>().stmts()) visit(*s);
+        return;
+      case StmtKind::kIf: {
+        const auto& if_stmt = stmt.as<IfStmt>();
+        // `name` must not appear in the condition.
+        bool in_cond = false;
+        walk_exprs(if_stmt.cond(), [&](const Expr& e) {
+          if (e.kind() == ExprKind::kVarRef &&
+              e.as<VarRef>().name() == name) {
+            in_cond = true;
+          }
+        });
+        if (in_cond) {
+          all_accumulations = false;
+          return;
+        }
+        visit(if_stmt.then_body());
+        if (if_stmt.else_body() != nullptr) visit(*if_stmt.else_body());
+        return;
+      }
+      case StmtKind::kFor:
+        visit(stmt.as<ForStmt>().body());
+        // `name` in the loop header would have tripped `touches` handling
+        // below via the default case; approximate by checking init/step.
+        if (stmt.as<ForStmt>().induction_var() == name) {
+          all_accumulations = false;
+        }
+        return;
+      case StmtKind::kWhile:
+        visit(stmt.as<WhileStmt>().body());
+        return;
+      case StmtKind::kAcc:
+        visit(stmt.as<AccStmt>().body());
+        return;
+      case StmtKind::kAssign: {
+        const auto& assign = stmt.as<AssignStmt>();
+        if (assign.lhs().kind() != ExprKind::kVarRef ||
+            assign.lhs().as<VarRef>().name() != name) {
+          all_accumulations = false;  // read of `name` somewhere else
+          return;
+        }
+        ReductionOp this_op;
+        const Expr* addend = nullptr;
+        if (assign.op() == AssignOp::kAdd) {
+          this_op = ReductionOp::kSum;
+          addend = &assign.rhs();
+        } else if (assign.op() == AssignOp::kMul) {
+          this_op = ReductionOp::kProd;
+          addend = &assign.rhs();
+        } else if (assign.op() == AssignOp::kAssign &&
+                   assign.rhs().kind() == ExprKind::kBinary) {
+          const auto& bin = assign.rhs().as<Binary>();
+          if (bin.op() != BinaryOp::kAdd && bin.op() != BinaryOp::kMul) {
+            all_accumulations = false;
+            return;
+          }
+          this_op = bin.op() == BinaryOp::kAdd ? ReductionOp::kSum
+                                               : ReductionOp::kProd;
+          if (bin.lhs().kind() == ExprKind::kVarRef &&
+              bin.lhs().as<VarRef>().name() == name) {
+            addend = &bin.rhs();
+          } else if (bin.rhs().kind() == ExprKind::kVarRef &&
+                     bin.rhs().as<VarRef>().name() == name) {
+            addend = &bin.lhs();
+          } else {
+            all_accumulations = false;
+            return;
+          }
+        } else {
+          all_accumulations = false;
+          return;
+        }
+        // `name` must not appear inside the addend.
+        walk_exprs(*addend, [&](const Expr& e) {
+          if (e.kind() == ExprKind::kVarRef &&
+              e.as<VarRef>().name() == name) {
+            all_accumulations = false;
+          }
+        });
+        if (!all_accumulations) return;
+        any_access = true;
+        if (op.has_value() && *op != this_op) {
+          all_accumulations = false;
+        } else {
+          op = this_op;
+        }
+        return;
+      }
+      default:
+        // Any other statement touching `name` breaks the pattern.
+        all_accumulations = false;
+        return;
+    }
+  };
+  visit(body);
+
+  if (!all_accumulations || !any_access) return std::nullopt;
+  return op;
+}
+
+std::set<std::string> loop_induction_vars(const Stmt& body) {
+  std::set<std::string> result;
+  walk_stmts(body, [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::kFor) {
+      std::string var = stmt.as<ForStmt>().induction_var();
+      if (!var.empty()) result.insert(var);
+    }
+  });
+  return result;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,38 @@
+// Compute-region variable classification helpers:
+//  - automatic privatization (scalar written before read in each iteration),
+//  - automatic sum/product reduction recognition,
+//  - the OpenACC default memory-management classification for buffers with
+//    no explicit data clause (the naive scheme Figure 1 measures).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "ast/stmt.h"
+#include "sema/sema.h"
+
+namespace miniarc {
+
+/// Lexically-first access kind of scalar `name` inside `body`.
+enum class FirstAccess { kNone, kRead, kWrite };
+[[nodiscard]] FirstAccess first_scalar_access(const Stmt& body,
+                                              const std::string& name);
+
+/// Scalars in `candidates` that the compiler can prove private: their first
+/// access in the region body is a write (so each iteration produces its own
+/// value before consuming it).
+[[nodiscard]] std::set<std::string> auto_private_scalars(
+    const Stmt& body, const std::set<std::string>& candidates);
+
+/// If every access to scalar `name` in `body` has the shape of a sum or
+/// product accumulation (`v += e`, `v = v + e`, `v *= e`, ...), returns the
+/// recognized reduction operator.
+[[nodiscard]] std::optional<ReductionOp> recognize_reduction(
+    const Stmt& body, const std::string& name);
+
+/// Induction variables of every for-loop inside `body` (always private on
+/// the device, like CUDA thread-local loop counters).
+[[nodiscard]] std::set<std::string> loop_induction_vars(const Stmt& body);
+
+}  // namespace miniarc

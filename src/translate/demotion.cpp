@@ -1,0 +1,130 @@
+#include "translate/demotion.h"
+
+#include "acc/region_model.h"
+#include "ast/visitor.h"
+#include "sema/sema.h"
+
+namespace miniarc {
+namespace {
+
+/// Rewrite the directive of a verified compute region: data clauses become
+/// the demoted per-access set; an async(1) clause is added.
+void demote_directive(AccStmt& region, const AccessMap& accesses) {
+  Directive& directive = region.directive();
+
+  // Drop existing data clauses (they are superseded by the demoted set).
+  std::erase_if(directive.clauses,
+                [](const Clause& c) { return is_data_clause(c.kind); });
+
+  Clause copyin(ClauseKind::kCopyin);
+  Clause copy(ClauseKind::kCopy);
+  for (const auto& [name, info] : accesses) {
+    if (!info.is_buffer) continue;
+    // Private buffers keep worker-local storage; no transfers.
+    bool is_private = false;
+    for (const auto& clause : directive.clauses) {
+      if ((clause.kind == ClauseKind::kPrivate ||
+           clause.kind == ClauseKind::kFirstprivate) &&
+          clause.names_var(name)) {
+        is_private = true;
+      }
+    }
+    if (is_private) continue;
+    if (info.written) {
+      copy.vars.push_back(name);
+    } else {
+      copyin.vars.push_back(name);
+    }
+  }
+  if (!copyin.vars.empty()) directive.clauses.push_back(std::move(copyin));
+  if (!copy.vars.empty()) directive.clauses.push_back(std::move(copy));
+
+  if (!directive.has_clause(ClauseKind::kAsync)) {
+    Clause async(ClauseKind::kAsync);
+    async.arg = make_int(1);
+    directive.clauses.push_back(std::move(async));
+  }
+}
+
+class DemotionRewriter {
+ public:
+  DemotionRewriter(const std::set<std::string>& kernels,
+                   const RegionModel& model)
+      : kernels_(kernels), model_(model) {}
+
+  StmtPtr rewrite(StmtPtr stmt) {
+    return rewrite_stmts(std::move(stmt), [&](StmtPtr s) {
+      return visit(std::move(s));
+    });
+  }
+
+  [[nodiscard]] const std::set<std::string>& demoted() const {
+    return demoted_;
+  }
+
+ private:
+  [[nodiscard]] bool selected(const std::string& kernel) const {
+    return kernels_.empty() || kernels_.contains(kernel);
+  }
+
+  StmtPtr visit(StmtPtr stmt) {
+    switch (stmt->kind()) {
+      case StmtKind::kAcc: {
+        auto& acc = stmt->as<AccStmt>();
+        if (acc.directive().kind == DirectiveKind::kData) {
+          // Enclosing data regions are removed entirely; the demoted compute
+          // regions carry their own clauses now.
+          return acc.take_body();
+        }
+        if (!is_compute_construct(acc.directive().kind)) return stmt;
+        const ComputeRegionInfo* info = find_region(acc);
+        if (info == nullptr) return stmt;
+        if (!selected(info->kernel_name)) {
+          // Not under verification: execute sequentially on the host.
+          return std::make_unique<HostExecStmt>(acc.take_body(),
+                                                stmt->location());
+        }
+        demoted_.insert(info->kernel_name);
+        demote_directive(acc, info->accesses);
+        return stmt;
+      }
+      case StmtKind::kAccStandalone: {
+        DirectiveKind kind = stmt->as<AccStandaloneStmt>().directive().kind;
+        if (kind == DirectiveKind::kUpdate || kind == DirectiveKind::kWait) {
+          return nullptr;  // stripped (deleted from the enclosing compound)
+        }
+        return stmt;
+      }
+      default:
+        return stmt;
+    }
+  }
+
+  [[nodiscard]] const ComputeRegionInfo* find_region(const AccStmt& acc) const {
+    for (const auto& region : model_.compute_regions) {
+      if (region.stmt == &acc) return &region;
+    }
+    return nullptr;
+  }
+
+  const std::set<std::string>& kernels_;
+  const RegionModel& model_;
+  std::set<std::string> demoted_;
+};
+
+}  // namespace
+
+DemotionResult apply_memory_transfer_demotion(
+    Program& program, const std::set<std::string>& kernels_to_verify,
+    DiagnosticEngine& diags) {
+  SemaInfo sema = analyze_program(program, diags);
+  RegionModel model = build_region_model(program, sema);
+
+  DemotionRewriter rewriter(kernels_to_verify, model);
+  for (auto& func : program.functions) {
+    func->body_ptr() = rewriter.rewrite(std::move(func->body_ptr()));
+  }
+  return DemotionResult{rewriter.demoted()};
+}
+
+}  // namespace miniarc

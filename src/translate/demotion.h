@@ -1,0 +1,35 @@
+// Memory-transfer demotion — the first half of the kernel-verification
+// transformation (paper §III-A, Listing 1 → Listing 2).
+//
+// For every kernel under verification:
+//   - data clauses from enclosing data regions are demoted onto the compute
+//     region itself, refined by access kind (read-only → copyin, modified →
+//     copy), so the kernel always consumes fresh host (reference) data;
+//   - the region becomes asynchronous (async(1)) to overlap with the
+//     sequential reference execution;
+// and everything unrelated is stripped: enclosing data regions, update and
+// wait directives, and non-verified compute regions (which then execute
+// sequentially on the host) — ruling out error propagation between kernels.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "ast/decl.h"
+#include "support/diagnostics.h"
+
+namespace miniarc {
+
+struct DemotionResult {
+  /// Kernels actually found and demoted.
+  std::set<std::string> demoted;
+};
+
+/// Applies demotion to `program` (a clone of the source) in place.
+/// `kernels_to_verify` uses the region-model kernel names ("main_kernel0");
+/// an empty set means verify every kernel.
+DemotionResult apply_memory_transfer_demotion(
+    Program& program, const std::set<std::string>& kernels_to_verify,
+    DiagnosticEngine& diags);
+
+}  // namespace miniarc

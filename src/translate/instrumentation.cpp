@@ -1,0 +1,382 @@
+#include "translate/instrumentation.h"
+
+#include <map>
+#include <memory>
+
+#include "acc/directive_rewriter.h"
+#include "ast/visitor.h"
+#include "cfg/cfg_builder.h"
+#include "dataflow/dead_variable_analysis.h"
+#include "dataflow/first_access_analysis.h"
+#include "dataflow/last_write_analysis.h"
+#include "translate/default_memory.h"
+
+namespace miniarc {
+namespace {
+
+void wrap_if_needed(StmtPtr& slot) {
+  if (slot == nullptr || slot->kind() == StmtKind::kCompound) return;
+  SourceLocation loc = slot->location();
+  std::vector<StmtPtr> stmts;
+  stmts.push_back(std::move(slot));
+  slot = std::make_unique<CompoundStmt>(std::move(stmts), loc);
+}
+
+struct Insertion {
+  const Stmt* anchor = nullptr;
+  bool before = true;
+  StmtPtr stmt;
+};
+
+std::unique_ptr<RuntimeCheckStmt> make_check(RuntimeCheckOp op,
+                                             const std::string& var,
+                                             DeviceSide side,
+                                             SourceLocation loc) {
+  return std::make_unique<RuntimeCheckStmt>(op, var, side, loc);
+}
+
+class FunctionInstrumenter {
+ public:
+  FunctionInstrumenter(FuncDecl& func, const SemaInfo& sema,
+                       const InstrumentationOptions& options,
+                       InstrumentationStats& stats)
+      : func_(func), sema_(sema), options_(options), stats_(stats) {}
+
+  void run() {
+    cfg_ = build_cfg(func_.body());
+    vars_ = VarIndex::buffers_of(sema_);
+    sets_ = compute_access_sets(*cfg_, sema_, vars_, DeviceSide::kHost,
+                                options_.access);
+    gpu_sets_ = compute_access_sets(*cfg_, sema_, vars_, DeviceSide::kDevice,
+                                    options_.access);
+
+    if (options_.optimize_placement) {
+      place_optimized();
+    } else {
+      place_naive();
+    }
+    apply_insertions();
+  }
+
+ private:
+  // ---- placement strategies ----
+
+  void place_naive() {
+    // A check around every access, GPU checks at every kernel launch, reset
+    // after every CPU write with a dead remote copy.
+    DeadnessResult gpu_dead =
+        analyze_deadness(*cfg_, sema_, DeviceSide::kDevice, options_.access);
+    DeadnessResult cpu_dead =
+        analyze_deadness(*cfg_, sema_, DeviceSide::kHost, options_.access);
+
+    for (const CfgNode& node : cfg_->nodes()) {
+      if (node.stmt == nullptr) continue;
+      auto id = static_cast<std::size_t>(node.id);
+      if (is_kernel_node(node)) {
+        emit_kernel_checks(node, gpu_dead, cpu_dead, /*allow_hoist=*/false);
+        continue;
+      }
+      if (node.stmt->kind() == StmtKind::kDecl) continue;
+      sets_[id].use.for_each([&](int v) {
+        add(node.stmt, true,
+            make_check(RuntimeCheckOp::kCheckRead, vars_.name(v),
+                       DeviceSide::kHost, node.stmt->location()));
+      });
+      sets_[id].def.for_each([&](int v) {
+        add(node.stmt, true,
+            make_check(RuntimeCheckOp::kCheckWrite, vars_.name(v),
+                       DeviceSide::kHost, node.stmt->location()));
+        emit_remote_dead_reset(node, vars_.name(v), gpu_dead);
+      });
+    }
+  }
+
+  void place_optimized() {
+    FirstAccessResult first =
+        analyze_first_accesses(*cfg_, sema_, options_.access);
+    LastWriteResult last_write =
+        analyze_last_writes(*cfg_, sema_, DeviceSide::kHost, options_.access);
+    DeadnessResult gpu_dead =
+        analyze_deadness(*cfg_, sema_, DeviceSide::kDevice, options_.access);
+    DeadnessResult cpu_dead =
+        analyze_deadness(*cfg_, sema_, DeviceSide::kHost, options_.access);
+
+    for (const CfgNode& node : cfg_->nodes()) {
+      if (node.stmt == nullptr) continue;
+      auto id = static_cast<std::size_t>(node.id);
+
+      if (is_kernel_node(node)) {
+        emit_kernel_checks(node, gpu_dead, cpu_dead, /*allow_hoist=*/true);
+        continue;
+      }
+
+      // No coherence check at a declaration: the variable is born there,
+      // and its initializer (e.g. malloc) is not a tracked access.
+      if (node.stmt->kind() == StmtKind::kDecl) continue;
+
+      // CPU-side first accesses, hoisted out of kernel-free loops.
+      first.first_read[id].for_each([&](int v) {
+        const Stmt* anchor = hoist_anchor_cpu(node);
+        add(anchor, true,
+            make_check(RuntimeCheckOp::kCheckRead, vars_.name(v),
+                       DeviceSide::kHost, node.stmt->location()));
+        if (anchor != node.stmt) ++stats_.hoisted_checks;
+      });
+      first.first_write[id].for_each([&](int v) {
+        const Stmt* anchor = hoist_anchor_cpu(node);
+        add(anchor, true,
+            make_check(RuntimeCheckOp::kCheckWrite, vars_.name(v),
+                       DeviceSide::kHost, node.stmt->location()));
+        if (anchor != node.stmt) ++stats_.hoisted_checks;
+      });
+
+      // reset_status at last CPU writes whose GPU copy is dead there.
+      last_write.last[id].for_each([&](int v) {
+        emit_remote_dead_reset(node, vars_.name(v), gpu_dead);
+      });
+    }
+  }
+
+  /// GPU-side checks for one kernel launch, plus post-kernel CPU resets.
+  void emit_kernel_checks(const CfgNode& node, const DeadnessResult& gpu_dead,
+                          const DeadnessResult& cpu_dead, bool allow_hoist) {
+    auto id = static_cast<std::size_t>(node.id);
+    // Buffers the kernel writes before reading get only the check_write
+    // (whose may-missing semantics covers the write-before-read case,
+    // §III-B); a check_read would report a false missing transfer for
+    // GPU-only data that is produced on the device every launch.
+    const Stmt* body = nullptr;
+    if (node.stmt->kind() == StmtKind::kKernelLaunch) {
+      body = &node.stmt->as<KernelLaunchStmt>().body();
+    } else if (node.stmt->kind() == StmtKind::kAcc) {
+      body = &node.stmt->as<AccStmt>().body();
+    }
+    gpu_sets_[id].use.for_each([&](int v) {
+      if (body != nullptr && gpu_sets_[id].def.test(v) &&
+          first_scalar_access(*body, vars_.name(v)) == FirstAccess::kWrite) {
+        return;
+      }
+      const Stmt* anchor =
+          allow_hoist ? hoist_anchor_gpu(node, v) : node.stmt;
+      add(anchor, true,
+          make_check(RuntimeCheckOp::kCheckRead, vars_.name(v),
+                     DeviceSide::kDevice, node.stmt->location()));
+      if (anchor != node.stmt) ++stats_.hoisted_checks;
+    });
+    gpu_sets_[id].def.for_each([&](int v) {
+      const Stmt* anchor =
+          allow_hoist ? hoist_anchor_gpu(node, v) : node.stmt;
+      auto check = make_check(RuntimeCheckOp::kCheckWrite, vars_.name(v),
+                              DeviceSide::kDevice, node.stmt->location());
+      check->may_dead =
+          gpu_dead.at_exit(node.id, vars_.name(v)) == Deadness::kMayDead;
+      add(anchor, true, std::move(check));
+      if (anchor != node.stmt) ++stats_.hoisted_checks;
+
+      // Kernel wrote v: normally the CPU copy goes stale, but if the CPU
+      // copy is dead here, install maystale/notstale instead so redundant
+      // copies *to the CPU* get flagged. Extern variables are exempt: their
+      // host copy is the program's observable output, so a copy into it is
+      // never dead no matter what the kill-crossing analysis concludes.
+      Deadness deadness = cpu_dead.at_exit(node.id, vars_.name(v));
+      if (deadness != Deadness::kLive &&
+          !sema_.extern_vars.contains(vars_.name(v))) {
+        auto reset = make_check(RuntimeCheckOp::kResetStatus, vars_.name(v),
+                                DeviceSide::kHost, node.stmt->location());
+        reset->new_state = deadness == Deadness::kMustDead
+                               ? CoherenceState::kNotStale
+                               : CoherenceState::kMayStale;
+        add(node.stmt, false, std::move(reset));
+      }
+    });
+  }
+
+  /// After a CPU write to `var` (node), if the GPU copy is dead there,
+  /// install its maystale/notstale state. Element-wise writes inside
+  /// kernel-free loops hoist the reset to after the loop (one status update
+  /// instead of one per element — the same optimization §III-B applies to
+  /// first-access checks).
+  void emit_remote_dead_reset(const CfgNode& node, const std::string& var,
+                              const DeadnessResult& gpu_dead) {
+    Deadness deadness = gpu_dead.at_exit(node.id, var);
+    if (deadness == Deadness::kLive) return;
+    if (!sema_.is_buffer(var)) return;
+    const Stmt* anchor = node.stmt;
+    if (options_.optimize_placement) {
+      for (int l = node.loop; l != -1; l = cfg_->loop(l).parent) {
+        const CfgLoop& loop = cfg_->loop(l);
+        if (loop.contains_kernel || loop.contains_transfer) break;
+        anchor = loop.stmt;
+      }
+      if (anchor != node.stmt) ++stats_.hoisted_checks;
+    }
+    auto reset = make_check(RuntimeCheckOp::kResetStatus, var,
+                            DeviceSide::kDevice, node.stmt->location());
+    reset->new_state = deadness == Deadness::kMustDead
+                           ? CoherenceState::kNotStale
+                           : CoherenceState::kMayStale;
+    add(anchor, false, std::move(reset));
+  }
+
+  // ---- hoisting ----
+
+  /// Outermost enclosing kernel-free loop of `node`, as an insertion anchor
+  /// (the loop statement itself), or the node's own statement.
+  [[nodiscard]] const Stmt* hoist_anchor_cpu(const CfgNode& node) const {
+    const Stmt* anchor = node.stmt;
+    for (int l = node.loop; l != -1; l = cfg_->loop(l).parent) {
+      const CfgLoop& loop = cfg_->loop(l);
+      if (loop.contains_kernel) break;
+      anchor = loop.stmt;
+    }
+    return anchor;
+  }
+
+  /// Listing-3 hoisting for a GPU-side check at kernel `node` for var `v`:
+  /// move before the enclosing loop while (i) the loop contains no CPU
+  /// access of v and (ii) no transfer of v precedes the kernel within the
+  /// loop (lexically, approximated by CFG node order).
+  [[nodiscard]] const Stmt* hoist_anchor_gpu(const CfgNode& node,
+                                             int v) const {
+    const Stmt* anchor = node.stmt;
+    for (int l = node.loop; l != -1; l = cfg_->loop(l).parent) {
+      const CfgLoop& loop = cfg_->loop(l);
+      bool ok = true;
+      for (int member : loop.nodes) {
+        const CfgNode& m = cfg_->node(member);
+        if (m.stmt == nullptr) continue;
+        if (!is_kernel_node(m)) {
+          const auto& s = sets_[static_cast<std::size_t>(member)];
+          if (s.use.test(v) || s.def.test(v)) {
+            ok = false;  // condition (i): CPU access inside the loop
+            break;
+          }
+        }
+        if (m.stmt->kind() == StmtKind::kMemTransfer &&
+            m.stmt->as<MemTransferStmt>().var() == vars_.name(v) &&
+            m.id < node.id) {
+          ok = false;  // condition (ii): transfer before the check
+          break;
+        }
+      }
+      if (!ok) break;
+      anchor = loop.stmt;
+    }
+    return anchor;
+  }
+
+  // ---- insertion mechanics ----
+
+  void add(const Stmt* anchor, bool before, StmtPtr stmt) {
+    ++stats_.static_checks;
+    insertions_.push_back(Insertion{anchor, before, std::move(stmt)});
+  }
+
+  void apply_insertions() {
+    // Group by anchor, preserving emission order.
+    std::map<const Stmt*, std::vector<Insertion*>> by_anchor;
+    for (auto& ins : insertions_) by_anchor[ins.anchor].push_back(&ins);
+
+    // De-duplicate identical checks at the same anchor (hoisting several
+    // per-iteration checks to one loop preheader collapses them).
+    for (auto& [anchor, list] : by_anchor) {
+      std::vector<Insertion*> unique;
+      for (Insertion* ins : list) {
+        bool duplicate = false;
+        for (Insertion* seen : unique) {
+          const auto& a = ins->stmt->as<RuntimeCheckStmt>();
+          const auto& b = seen->stmt->as<RuntimeCheckStmt>();
+          if (a.op() == b.op() && a.var() == b.var() && a.side() == b.side() &&
+              a.new_state == b.new_state && ins->before == seen->before) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) {
+          ins->stmt.reset();
+          --stats_.static_checks;
+        } else {
+          unique.push_back(ins);
+        }
+      }
+      list = std::move(unique);
+    }
+
+    walk_stmts(func_.body(), [&](Stmt& stmt) {
+      if (stmt.kind() != StmtKind::kCompound) return;
+      auto& stmts = stmt.as<CompoundStmt>().stmts();
+      for (std::size_t i = 0; i < stmts.size(); ++i) {
+        auto it = by_anchor.find(stmts[i].get());
+        if (it == by_anchor.end()) continue;
+        std::vector<StmtPtr> befores;
+        std::vector<StmtPtr> afters;
+        for (Insertion* ins : it->second) {
+          if (ins->stmt == nullptr) continue;
+          (ins->before ? befores : afters).push_back(std::move(ins->stmt));
+        }
+        std::size_t inserted_before = befores.size();
+        std::size_t pos = i;
+        for (auto& s : befores) {
+          stmts.insert(stmts.begin() + static_cast<std::ptrdiff_t>(pos++),
+                       std::move(s));
+        }
+        pos = i + inserted_before + 1;
+        for (auto& s : afters) {
+          stmts.insert(stmts.begin() + static_cast<std::ptrdiff_t>(pos++),
+                       std::move(s));
+        }
+        i += inserted_before + afters.size();
+        by_anchor.erase(it);
+      }
+    });
+  }
+
+  FuncDecl& func_;
+  const SemaInfo& sema_;
+  const InstrumentationOptions& options_;
+  InstrumentationStats& stats_;
+  std::unique_ptr<Cfg> cfg_;
+  VarIndex vars_;
+  std::vector<NodeAccessSets> sets_;
+  std::vector<NodeAccessSets> gpu_sets_;
+  std::vector<Insertion> insertions_;
+};
+
+}  // namespace
+
+void normalize_bodies(Program& program) {
+  for (auto& func : program.functions) {
+    walk_stmts(func.get()->body(), [&](Stmt& stmt) {
+      switch (stmt.kind()) {
+        case StmtKind::kIf: {
+          auto& if_stmt = stmt.as<IfStmt>();
+          wrap_if_needed(if_stmt.then_slot());
+          wrap_if_needed(if_stmt.else_slot());
+          break;
+        }
+        case StmtKind::kFor:
+          wrap_if_needed(stmt.as<ForStmt>().body_slot());
+          break;
+        case StmtKind::kWhile:
+          wrap_if_needed(stmt.as<WhileStmt>().body_slot());
+          break;
+        default:
+          break;
+      }
+    });
+  }
+}
+
+InstrumentationStats insert_coherence_checks(
+    Program& lowered, const SemaInfo& sema,
+    const InstrumentationOptions& options) {
+  normalize_bodies(lowered);
+  InstrumentationStats stats;
+  for (auto& func : lowered.functions) {
+    FunctionInstrumenter instrumenter(*func, sema, options, stats);
+    instrumenter.run();
+  }
+  return stats;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,45 @@
+// Coherence-check instrumentation — the compiler half of the
+// memory-transfer verification scheme (paper §III-B).
+//
+// Inserts RuntimeCheckStmts into the lowered program at the optimized
+// placements:
+//   - GPU-side check_read/check_write at kernel boundaries only, with the
+//     Listing-3 hoisting: a kernel's write check moves before its enclosing
+//     loop when the loop has no CPU accesses of the variable and no transfer
+//     of it before the check;
+//   - CPU-side check_read/check_write only at first accesses along some path
+//     from the program entry or from a kernel call, hoisted out of
+//     kernel-free loops;
+//   - reset_status at the last CPU write before the next kernel/exit when
+//     the GPU copy is may-/must-dead there (→ maystale / notstale), and at
+//     kernel boundaries for may-/must-dead CPU copies.
+// The naive placement (a check around every access) is kept as an option for
+// the ablation benchmark.
+#pragma once
+
+#include "dataflow/dataflow.h"
+#include "sema/sema.h"
+
+namespace miniarc {
+
+struct InstrumentationOptions {
+  AccessSetOptions access;
+  /// false = naive per-access placement (ablation baseline).
+  bool optimize_placement = true;
+};
+
+struct InstrumentationStats {
+  int static_checks = 0;   // RuntimeCheckStmts inserted
+  int hoisted_checks = 0;  // of which were moved out of a loop
+};
+
+InstrumentationStats insert_coherence_checks(
+    Program& lowered, const SemaInfo& sema,
+    const InstrumentationOptions& options = {});
+
+/// Wrap every if/for/while body in a CompoundStmt so checks can always be
+/// inserted adjacent to their anchor statement. Idempotent; called by
+/// insert_coherence_checks but exposed for tests.
+void normalize_bodies(Program& program);
+
+}  // namespace miniarc

@@ -1,0 +1,401 @@
+#include "translate/outliner.h"
+
+#include <map>
+#include <set>
+
+#include "acc/region_model.h"
+#include "ast/visitor.h"
+#include "sema/access_summary.h"
+#include "translate/default_memory.h"
+
+namespace miniarc {
+namespace {
+
+/// Replace nested `#pragma acc loop` wrappers with their loops (their
+/// clauses were already folded into the kernel's parallelism spec).
+StmtPtr strip_loop_directives(StmtPtr body) {
+  return rewrite_stmts(std::move(body), [](StmtPtr stmt) -> StmtPtr {
+    if (stmt->kind() == StmtKind::kAcc &&
+        stmt->as<AccStmt>().directive().kind == DirectiveKind::kLoop) {
+      return stmt->as<AccStmt>().take_body();
+    }
+    return stmt;
+  });
+}
+
+class Outliner {
+ public:
+  Outliner(Program& program, const SemaInfo& sema,
+           const LoweringOptions& options)
+      : program_(program), sema_(sema), options_(options) {}
+
+  OutlineResult run() {
+    assign_labels();
+    for (auto& func : program_.functions) {
+      func->body_ptr() =
+          rewrite_stmts(std::move(func->body_ptr()), [&](StmtPtr stmt) {
+            return lower(std::move(stmt));
+          });
+    }
+    return std::move(result_);
+  }
+
+ private:
+  /// Pre-assign kernel names and update labels in lexical order, so they
+  /// match the region model and the paper's numbering (main_kernel0,
+  /// update0, …).
+  void assign_labels() {
+    for (auto& func : program_.functions) {
+      int kernel_counter = 0;
+      std::vector<const Directive*> data_stack;
+      collect_labels(func->body(), func->name(), kernel_counter, data_stack);
+    }
+  }
+
+  void collect_labels(const Stmt& stmt, const std::string& func_name,
+                      int& kernel_counter,
+                      std::vector<const Directive*>& data_stack) {
+    switch (stmt.kind()) {
+      case StmtKind::kAcc: {
+        const auto& acc = stmt.as<AccStmt>();
+        if (is_compute_construct(acc.directive().kind)) {
+          kernel_names_[&stmt] =
+              func_name + "_kernel" + std::to_string(kernel_counter++);
+          // Variables that an enclosing data region's clauses cover are
+          // known present at compile time: the compute region emits no
+          // transfer code for them (OpenARC-style suppression — this is
+          // what makes the Listing-3 GPU-check hoisting applicable).
+          auto& present = present_vars_[&stmt];
+          for (const Directive* d : data_stack) {
+            for (const auto& clause : d->clauses) {
+              if (!is_data_clause(clause.kind)) continue;
+              present.insert(clause.vars.begin(), clause.vars.end());
+            }
+          }
+          // Fall through into the body only for label consistency of nested
+          // constructs (none are legal inside compute regions).
+          return;
+        }
+        if (acc.directive().kind == DirectiveKind::kData) {
+          data_stack.push_back(&acc.directive());
+          collect_labels(acc.body(), func_name, kernel_counter, data_stack);
+          data_stack.pop_back();
+          return;
+        }
+        collect_labels(acc.body(), func_name, kernel_counter, data_stack);
+        return;
+      }
+      case StmtKind::kAccStandalone:
+        if (stmt.as<AccStandaloneStmt>().directive().kind ==
+            DirectiveKind::kUpdate) {
+          update_labels_[&stmt] = "update" + std::to_string(update_counter_++);
+        }
+        return;
+      case StmtKind::kCompound:
+        for (const auto& s : stmt.as<CompoundStmt>().stmts()) {
+          collect_labels(*s, func_name, kernel_counter, data_stack);
+        }
+        return;
+      case StmtKind::kIf: {
+        const auto& if_stmt = stmt.as<IfStmt>();
+        collect_labels(if_stmt.then_body(), func_name, kernel_counter,
+                       data_stack);
+        if (if_stmt.else_body() != nullptr) {
+          collect_labels(*if_stmt.else_body(), func_name, kernel_counter,
+                         data_stack);
+        }
+        return;
+      }
+      case StmtKind::kFor:
+        collect_labels(stmt.as<ForStmt>().body(), func_name, kernel_counter,
+                       data_stack);
+        return;
+      case StmtKind::kWhile:
+        collect_labels(stmt.as<WhileStmt>().body(), func_name, kernel_counter,
+                       data_stack);
+        return;
+      case StmtKind::kHostExec:
+        collect_labels(stmt.as<HostExecStmt>().body(), func_name,
+                       kernel_counter, data_stack);
+        return;
+      default:
+        return;
+    }
+  }
+
+  StmtPtr lower(StmtPtr stmt) {
+    switch (stmt->kind()) {
+      case StmtKind::kAcc: {
+        auto& acc = stmt->as<AccStmt>();
+        if (is_compute_construct(acc.directive().kind)) {
+          return lower_compute(std::move(stmt));
+        }
+        if (acc.directive().kind == DirectiveKind::kData) {
+          return lower_data(std::move(stmt));
+        }
+        // `acc loop`: leave untouched here — the rewrite is bottom-up, so
+        // these are visited *before* their enclosing compute construct,
+        // whose lowering both harvests their clauses and strips them.
+        return stmt;
+      }
+      case StmtKind::kAccStandalone: {
+        const Directive& directive =
+            stmt->as<AccStandaloneStmt>().directive();
+        if (directive.kind == DirectiveKind::kUpdate) {
+          return lower_update(std::move(stmt));
+        }
+        if (directive.kind == DirectiveKind::kWait) {
+          std::optional<int> queue;
+          if (const Clause* c = directive.find_clause(ClauseKind::kWaitArg);
+              c != nullptr && c->arg != nullptr &&
+              c->arg->kind() == ExprKind::kIntLit) {
+            queue = static_cast<int>(c->arg->as<IntLit>().value());
+          }
+          return std::make_unique<WaitStmt>(queue, stmt->location());
+        }
+        // openarc bound/assert directives stay in the tree for the verifier.
+        return stmt;
+      }
+      default:
+        return stmt;
+    }
+  }
+
+  StmtPtr lower_update(StmtPtr stmt) {
+    const Directive& directive = stmt->as<AccStandaloneStmt>().directive();
+    std::string label = update_labels_[stmt.get()];
+    auto block = std::make_unique<CompoundStmt>(std::vector<StmtPtr>{},
+                                                stmt->location());
+    std::optional<int> async = directive.async_queue();
+    for (const auto& clause : directive.clauses) {
+      TransferDirection dir;
+      if (clause.kind == ClauseKind::kUpdateHost) {
+        dir = TransferDirection::kDeviceToHost;
+      } else if (clause.kind == ClauseKind::kUpdateDevice) {
+        dir = TransferDirection::kHostToDevice;
+      } else {
+        continue;
+      }
+      for (const auto& var : clause.vars) {
+        auto transfer = std::make_unique<MemTransferStmt>(
+            var, dir, TransferCause::kUpdate, stmt->location());
+        transfer->label = label;
+        transfer->async_queue = async;
+        transfer->condition = MemTransferStmt::Condition::kAlways;
+        block->stmts().push_back(std::move(transfer));
+      }
+    }
+    return block;
+  }
+
+  StmtPtr lower_data(StmtPtr stmt) {
+    auto& acc = stmt->as<AccStmt>();
+    const Directive& directive = acc.directive();
+    std::string label = "data@" + stmt->location().str();
+
+    std::vector<StmtPtr> out;
+    std::vector<std::string> owned;  // vars this region allocated, in order
+
+    for (const auto& clause : directive.clauses) {
+      if (!is_data_clause(clause.kind)) continue;
+      for (const auto& var : clause.vars) {
+        auto alloc = std::make_unique<DevAllocStmt>(var, stmt->location());
+        alloc->expects_entry_transfer = transfers_in(clause.kind);
+        out.push_back(std::move(alloc));
+        owned.push_back(var);
+        if (transfers_in(clause.kind)) {
+          auto transfer = std::make_unique<MemTransferStmt>(
+              var, TransferDirection::kHostToDevice,
+              TransferCause::kRegionEntry, stmt->location());
+          transfer->label = label + ":" + var + ":in";
+          transfer->condition = MemTransferStmt::Condition::kIfFreshAlloc;
+          out.push_back(std::move(transfer));
+        }
+      }
+    }
+
+    out.push_back(acc.take_body());
+
+    for (const auto& clause : directive.clauses) {
+      if (!is_data_clause(clause.kind) || !transfers_out(clause.kind)) {
+        continue;
+      }
+      for (const auto& var : clause.vars) {
+        auto transfer = std::make_unique<MemTransferStmt>(
+            var, TransferDirection::kDeviceToHost, TransferCause::kRegionExit,
+            stmt->location());
+        transfer->label = label + ":" + var + ":out";
+        transfer->condition = MemTransferStmt::Condition::kIfLastRef;
+        out.push_back(std::move(transfer));
+      }
+    }
+    for (const auto& var : owned) {
+      out.push_back(std::make_unique<DevFreeStmt>(var, stmt->location()));
+    }
+    return std::make_unique<CompoundStmt>(std::move(out), stmt->location());
+  }
+
+  StmtPtr lower_compute(StmtPtr stmt) {
+    auto& acc = stmt->as<AccStmt>();
+    Directive directive = acc.directive().clone();
+    std::string kernel = kernel_names_[stmt.get()];
+    result_.kernel_names.push_back(kernel);
+
+    // Collect the parallelism spec before stripping inner loop directives.
+    ParallelismSpec spec = parallelism_spec_of(acc);
+    StmtPtr body = strip_loop_directives(acc.take_body());
+
+    AccessMap accesses = summarize_accesses(*body, sema_);
+    std::set<std::string> induction = loop_induction_vars(*body);
+
+    // ---- scalar classification ----
+    std::set<std::string> private_set(spec.private_vars.begin(),
+                                      spec.private_vars.end());
+    std::set<std::string> firstprivate_set(spec.firstprivate_vars.begin(),
+                                           spec.firstprivate_vars.end());
+    std::vector<ReductionSpec> reductions = spec.reductions;
+    auto is_reduction = [&](const std::string& name) {
+      for (const auto& r : reductions) {
+        if (r.var == name) return true;
+      }
+      return false;
+    };
+
+    std::vector<std::string> scalar_args;
+    std::vector<std::string> falsely_shared;
+    for (const auto& [name, info] : accesses) {
+      if (info.is_buffer) continue;
+      if (induction.contains(name)) continue;  // always worker-local
+      if (private_set.contains(name) || firstprivate_set.contains(name) ||
+          is_reduction(name)) {
+        continue;
+      }
+      if (!info.written) {
+        scalar_args.push_back(name);
+        continue;
+      }
+      // Written shared scalar: try the automatic compiler techniques.
+      if (options_.auto_reduction) {
+        if (auto op = recognize_reduction(*body, name); op.has_value()) {
+          reductions.push_back({*op, name});
+          continue;
+        }
+      }
+      if (options_.auto_privatize &&
+          first_scalar_access(*body, name) == FirstAccess::kWrite) {
+        private_set.insert(name);
+        continue;
+      }
+      // The race the paper's §IV-B fault injection provokes.
+      falsely_shared.push_back(name);
+    }
+
+    // ---- build the launch ----
+    auto launch = std::make_unique<KernelLaunchStmt>(kernel, std::move(body),
+                                                     stmt->location());
+    launch->config = launch_config_of(directive);
+    if (launch->config.num_gangs == 32) {
+      launch->config.num_gangs = options_.default_num_gangs;
+    }
+    if (launch->config.num_workers == 8) {
+      launch->config.num_workers = options_.default_num_workers;
+    }
+    launch->accesses = to_kernel_accesses(accesses);
+    launch->private_vars.assign(private_set.begin(), private_set.end());
+    launch->firstprivate_vars.assign(firstprivate_set.begin(),
+                                     firstprivate_set.end());
+    launch->reductions = std::move(reductions);
+    launch->scalar_args = std::move(scalar_args);
+    launch->falsely_shared = std::move(falsely_shared);
+
+    // ---- device data management around the launch ----
+    const std::set<std::string>& present = present_vars_[stmt.get()];
+    std::optional<int> async = directive.async_queue();
+    std::vector<StmtPtr> out;
+    std::vector<std::string> owned;
+
+    for (const auto& access : launch->accesses) {
+      if (!access.is_buffer) continue;
+      if (launch->is_private(access.name)) continue;  // worker-local storage
+      if (present.contains(access.name)) continue;    // compile-time present
+      const Clause* clause = directive.data_clause_for(access.name);
+      ClauseKind kind;
+      TransferCause cause;
+      if (clause != nullptr) {
+        kind = clause->kind;
+        cause = TransferCause::kRegionEntry;
+      } else {
+        // OpenACC default: present-or-copy everything the kernel touches.
+        kind = ClauseKind::kPresentOrCopy;
+        cause = TransferCause::kDefaultScheme;
+      }
+
+      auto alloc =
+          std::make_unique<DevAllocStmt>(access.name, stmt->location());
+      alloc->expects_entry_transfer = transfers_in(kind);
+      out.push_back(std::move(alloc));
+      owned.push_back(access.name);
+      if (transfers_in(kind)) {
+        auto transfer = std::make_unique<MemTransferStmt>(
+            access.name, TransferDirection::kHostToDevice, cause,
+            stmt->location());
+        transfer->label = kernel + ":" + access.name + ":in";
+        transfer->condition = MemTransferStmt::Condition::kIfFreshAlloc;
+        transfer->async_queue = async;
+        out.push_back(std::move(transfer));
+      }
+    }
+
+    // Exit transfers: copy/copyout clauses, or written buffers under the
+    // default scheme.
+    std::vector<StmtPtr> exits;
+    for (const auto& access : launch->accesses) {
+      if (!access.is_buffer || launch->is_private(access.name)) continue;
+      if (present.contains(access.name)) continue;
+      const Clause* clause = directive.data_clause_for(access.name);
+      bool transfer_out;
+      TransferCause cause;
+      if (clause != nullptr) {
+        transfer_out = transfers_out(clause->kind);
+        cause = TransferCause::kRegionExit;
+      } else {
+        transfer_out = access.written;
+        cause = TransferCause::kDefaultScheme;
+      }
+      if (!transfer_out) continue;
+      auto transfer = std::make_unique<MemTransferStmt>(
+          access.name, TransferDirection::kDeviceToHost, cause,
+          stmt->location());
+      transfer->label = kernel + ":" + access.name + ":out";
+      transfer->condition = MemTransferStmt::Condition::kIfLastRef;
+      transfer->async_queue = async;
+      exits.push_back(std::move(transfer));
+    }
+
+    out.push_back(std::move(launch));
+    for (auto& e : exits) out.push_back(std::move(e));
+    for (const auto& var : owned) {
+      out.push_back(std::make_unique<DevFreeStmt>(var, stmt->location()));
+    }
+    return std::make_unique<CompoundStmt>(std::move(out), stmt->location());
+  }
+
+  Program& program_;
+  const SemaInfo& sema_;
+  const LoweringOptions& options_;
+  OutlineResult result_;
+  std::map<const Stmt*, std::string> kernel_names_;
+  std::map<const Stmt*, std::string> update_labels_;
+  std::map<const Stmt*, std::set<std::string>> present_vars_;
+  int update_counter_ = 0;
+};
+
+}  // namespace
+
+OutlineResult outline_regions(Program& program, const SemaInfo& sema,
+                              const LoweringOptions& options) {
+  Outliner outliner(program, sema, options);
+  return outliner.run();
+}
+
+}  // namespace miniarc

@@ -1,0 +1,30 @@
+// Region outlining: rewrites directive constructs into lowered statements.
+//   compute region → [DevAlloc…, entry MemTransfer…, KernelLaunch,
+//                     exit MemTransfer…, DevFree…]
+//   data region    → [DevAlloc…, entry MemTransfer…, body,
+//                     exit MemTransfer…, DevFree…]
+//   update         → MemTransfer(kAlways)
+//   wait           → WaitStmt
+// Buffers a compute region touches without any data clause get the OpenACC
+// default treatment (present-or-copy around the kernel — the naive scheme of
+// Figure 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ast/decl.h"
+#include "sema/sema.h"
+#include "translate/pipeline.h"
+
+namespace miniarc {
+
+struct OutlineResult {
+  std::vector<std::string> kernel_names;
+};
+
+/// Rewrites `program` (a clone of the source) in place.
+OutlineResult outline_regions(Program& program, const SemaInfo& sema,
+                              const LoweringOptions& options);
+
+}  // namespace miniarc

@@ -1,0 +1,26 @@
+#include "translate/pipeline.h"
+
+#include "ast/clone.h"
+#include "translate/outliner.h"
+
+namespace miniarc {
+
+LoweredProgram lower_program(const Program& source, DiagnosticEngine& diags,
+                             const LoweringOptions& options) {
+  LoweredProgram result;
+  result.program = clone_program(source);
+
+  Sema sema(*result.program, diags);
+  if (!sema.run()) {
+    result.program.reset();
+    return result;
+  }
+  result.sema = sema.take_info();
+
+  OutlineResult outlined =
+      outline_regions(*result.program, result.sema, options);
+  result.kernel_names = std::move(outlined.kernel_names);
+  return result;
+}
+
+}  // namespace miniarc

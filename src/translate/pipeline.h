@@ -1,0 +1,40 @@
+// The lowering pipeline: source program with OpenACC directives → lowered
+// program with kernel launches, device data management, and memory
+// transfers. This is miniARC's analogue of OpenARC's OpenACC-to-CUDA
+// translation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ast/decl.h"
+#include "sema/sema.h"
+#include "support/diagnostics.h"
+
+namespace miniarc {
+
+struct LoweringOptions {
+  /// Automatic privatization of scalars that are written before read in
+  /// every iteration (one of the two compiler techniques whose failure the
+  /// paper's fault injection exercises, §IV-B).
+  bool auto_privatize = true;
+  /// Automatic reduction recognition (the other §IV-B technique).
+  bool auto_reduction = true;
+  /// Launch shape used when the directive does not specify one.
+  int default_num_gangs = 32;
+  int default_num_workers = 8;
+};
+
+struct LoweredProgram {
+  ProgramPtr program;
+  SemaInfo sema;
+  std::vector<std::string> kernel_names;
+};
+
+/// Clone `source`, run sema, outline all regions. Returns an empty program
+/// pointer if sema fails (diagnostics explain why).
+[[nodiscard]] LoweredProgram lower_program(const Program& source,
+                                           DiagnosticEngine& diags,
+                                           const LoweringOptions& options = {});
+
+}  // namespace miniarc

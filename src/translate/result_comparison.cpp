@@ -1,0 +1,120 @@
+#include "translate/result_comparison.h"
+
+#include "ast/clone.h"
+#include "ast/visitor.h"
+
+namespace miniarc {
+namespace {
+
+constexpr int kVerifyQueue = 1;
+
+/// Rebuild the lowered compute-region block around `launch_index` in
+/// `block`. The outliner's shape is [DevAlloc*, MemTransfer(in)*,
+/// KernelLaunch, MemTransfer(out)*, DevFree*].
+StmtPtr rebuild_region(std::unique_ptr<CompoundStmt> block) {
+  std::vector<StmtPtr> allocs;
+  std::vector<StmtPtr> ins;
+  StmtPtr launch;
+  std::vector<StmtPtr> outs;
+  std::vector<StmtPtr> frees;
+  std::vector<StmtPtr> other;
+
+  for (auto& stmt : block->stmts()) {
+    switch (stmt->kind()) {
+      case StmtKind::kDevAlloc: allocs.push_back(std::move(stmt)); break;
+      case StmtKind::kMemTransfer: {
+        auto& transfer = stmt->as<MemTransferStmt>();
+        if (transfer.direction() == TransferDirection::kHostToDevice) {
+          ins.push_back(std::move(stmt));
+        } else {
+          outs.push_back(std::move(stmt));
+        }
+        break;
+      }
+      case StmtKind::kKernelLaunch: launch = std::move(stmt); break;
+      case StmtKind::kDevFree: frees.push_back(std::move(stmt)); break;
+      default: other.push_back(std::move(stmt)); break;
+    }
+  }
+
+  auto& kernel = launch->as<KernelLaunchStmt>();
+  kernel.config.async_queue = kVerifyQueue;
+  kernel.stash_scalar_results = true;
+
+  // Inputs: always copy fresh reference data, asynchronously.
+  for (auto& stmt : ins) {
+    auto& transfer = stmt->as<MemTransferStmt>();
+    transfer.condition = MemTransferStmt::Condition::kAlways;
+    transfer.async_queue = kVerifyQueue;
+  }
+
+  // Outputs: copy back to temporary CPU space (billed, never visible).
+  std::vector<std::string> compare_vars;
+  for (auto& stmt : outs) {
+    auto& transfer = stmt->as<MemTransferStmt>();
+    transfer.condition = MemTransferStmt::Condition::kAlways;
+    transfer.async_queue = kVerifyQueue;
+    transfer.to_scratch = true;
+    compare_vars.push_back(transfer.var());
+  }
+  // Reduction results are compared too (they come back by value), as are
+  // falsely-shared scalars: the translated kernel keeps them in a shared
+  // device global and dumps the final value back (paper §IV-B) — this is
+  // where stripped-reduction races become visible as active errors.
+  for (const auto& red : kernel.reductions) compare_vars.push_back(red.var);
+  for (const auto& shared : kernel.falsely_shared) {
+    compare_vars.push_back(shared);
+  }
+
+  std::string kernel_name = kernel.kernel_name();
+  StmtPtr reference_body = clone_stmt(kernel.body());
+  SourceLocation loc = launch->location();
+
+  std::vector<StmtPtr> result;
+  for (auto& s : allocs) result.push_back(std::move(s));
+  for (auto& s : ins) result.push_back(std::move(s));
+  result.push_back(std::move(launch));
+  for (auto& s : outs) result.push_back(std::move(s));
+  result.push_back(
+      std::make_unique<HostExecStmt>(std::move(reference_body), loc));
+  result.push_back(std::make_unique<WaitStmt>(kVerifyQueue, loc));
+  result.push_back(std::make_unique<ResultCompareStmt>(
+      kernel_name, std::move(compare_vars), loc));
+  for (auto& s : frees) result.push_back(std::move(s));
+  for (auto& s : other) result.push_back(std::move(s));
+  return std::make_unique<CompoundStmt>(std::move(result), loc);
+}
+
+}  // namespace
+
+std::set<std::string> attach_result_comparison(
+    Program& lowered, const std::set<std::string>& kernels_to_verify) {
+  std::set<std::string> transformed;
+  for (auto& func : lowered.functions) {
+    func->body_ptr() = rewrite_stmts(
+        std::move(func->body_ptr()), [&](StmtPtr stmt) -> StmtPtr {
+          if (stmt->kind() != StmtKind::kCompound) return stmt;
+          // A lowered compute region is a compound directly containing a
+          // KernelLaunch.
+          bool has_launch = false;
+          std::string name;
+          for (const auto& s : stmt->as<CompoundStmt>().stmts()) {
+            if (s->kind() == StmtKind::kKernelLaunch) {
+              has_launch = true;
+              name = s->as<KernelLaunchStmt>().kernel_name();
+            }
+          }
+          if (!has_launch) return stmt;
+          if (!kernels_to_verify.empty() && !kernels_to_verify.contains(name)) {
+            return stmt;
+          }
+          transformed.insert(name);
+          std::unique_ptr<CompoundStmt> block(
+              static_cast<CompoundStmt*>(stmt.release()));
+          return rebuild_region(std::move(block));
+        });
+  }
+  return transformed;
+}
+
+}  // namespace miniarc

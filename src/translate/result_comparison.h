@@ -1,0 +1,32 @@
+// Result-comparison transformation — the second half of kernel verification
+// (paper §III-A, the "line 9 / line 11" harness of Listing 2).
+//
+// Runs on the *lowered* program (after demotion + outlining). For every
+// kernel under verification it rebuilds the region's lowered block as:
+//
+//   DevAlloc…                         (scratch device copies)
+//   MemTransfer(h2d, async, always)   (fresh reference inputs)
+//   KernelLaunch(async, stash-scalars)
+//   MemTransfer(d2h, async, scratch)  (outputs → temporary CPU space)
+//   HostExec(reference body clone)    (sequential CPU version, overlapped)
+//   Wait(queue)
+//   ResultCompare(kernel, outputs)
+//   DevFree…
+//
+// The host executes the reference body while the device works, and the
+// comparison never feeds device results back into host state, so later
+// kernels always consume reference data (no error propagation).
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "ast/decl.h"
+
+namespace miniarc {
+
+/// Rewrites `lowered` in place. Returns the kernels transformed.
+std::set<std::string> attach_result_comparison(
+    Program& lowered, const std::set<std::string>& kernels_to_verify);
+
+}  // namespace miniarc

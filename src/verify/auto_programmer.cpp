@@ -1,0 +1,425 @@
+#include "verify/auto_programmer.h"
+
+#include <map>
+
+#include "acc/directive_rewriter.h"
+#include "acc/region_builder.h"
+#include "acc/region_model.h"
+#include "ast/visitor.h"
+#include "sema/sema.h"
+#include "translate/instrumentation.h"
+#include "support/str.h"
+#include "translate/default_memory.h"
+
+namespace miniarc {
+namespace {
+
+/// DFS path from `node` to `target` (inclusive at both ends).
+bool path_to(Stmt& node, const Stmt* target, std::vector<Stmt*>& path) {
+  path.push_back(&node);
+  if (&node == target) return true;
+  bool found = false;
+  switch (node.kind()) {
+    case StmtKind::kCompound:
+      for (auto& s : node.as<CompoundStmt>().stmts()) {
+        if (path_to(*s, target, path)) {
+          found = true;
+          break;
+        }
+      }
+      break;
+    case StmtKind::kIf: {
+      auto& if_stmt = node.as<IfStmt>();
+      found = path_to(if_stmt.then_body(), target, path) ||
+              (if_stmt.else_body() != nullptr &&
+               path_to(*if_stmt.else_body(), target, path));
+      break;
+    }
+    case StmtKind::kFor:
+      found = path_to(node.as<ForStmt>().body(), target, path);
+      break;
+    case StmtKind::kWhile:
+      found = path_to(node.as<WhileStmt>().body(), target, path);
+      break;
+    case StmtKind::kAcc:
+      found = path_to(node.as<AccStmt>().body(), target, path);
+      break;
+    case StmtKind::kHostExec:
+      found = path_to(node.as<HostExecStmt>().body(), target, path);
+      break;
+    default:
+      break;
+  }
+  if (!found) path.pop_back();
+  return found;
+}
+
+struct Site {
+  std::vector<Stmt*> path;  // root … target
+
+  [[nodiscard]] bool valid() const { return !path.empty(); }
+  [[nodiscard]] Stmt* target() const { return path.back(); }
+  [[nodiscard]] Stmt* outermost_loop() const {
+    for (Stmt* s : path) {
+      if ((s->kind() == StmtKind::kFor || s->kind() == StmtKind::kWhile) &&
+          s != path.back()) {
+        return s;
+      }
+    }
+    return nullptr;
+  }
+  [[nodiscard]] AccStmt* enclosing_data() const {
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      if ((*it)->kind() == StmtKind::kAcc && *it != path.back() &&
+          (*it)->as<AccStmt>().directive().kind == DirectiveKind::kData) {
+        return &(*it)->as<AccStmt>();
+      }
+    }
+    return nullptr;
+  }
+  [[nodiscard]] CompoundStmt* parent_compound(const Stmt* stmt) const {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (path[i + 1] == stmt && path[i]->kind() == StmtKind::kCompound) {
+        return &path[i]->as<CompoundStmt>();
+      }
+    }
+    return nullptr;
+  }
+};
+
+std::size_t index_in(CompoundStmt& parent, const Stmt* stmt) {
+  for (std::size_t i = 0; i < parent.stmts().size(); ++i) {
+    if (parent.stmts()[i].get() == stmt) return i;
+  }
+  return parent.stmts().size();
+}
+
+void insert_at(CompoundStmt& parent, std::size_t index, StmtPtr stmt) {
+  parent.stmts().insert(
+      parent.stmts().begin() + static_cast<std::ptrdiff_t>(index),
+      std::move(stmt));
+}
+
+StmtPtr make_update(ClauseKind direction, const std::string& var) {
+  Directive update(DirectiveKind::kUpdate);
+  update.add_var_to_clause(direction, var);
+  return std::make_unique<AccStandaloneStmt>(std::move(update));
+}
+
+/// One transfer site of a variable at a compute region, joined with the
+/// suggestion (if any) that covers it.
+struct RegionSite {
+  std::string kernel;
+  bool is_in = false;
+  const Suggestion* suggestion = nullptr;  // null = transfer stays needed
+};
+
+/// Accumulated intent for one variable across all its region sites.
+struct VarPlan {
+  std::vector<RegionSite> sites;
+  bool any_suggestion = false;
+  bool from_may_dead = false;
+};
+
+}  // namespace
+
+std::vector<AppliedEdit> AutoProgrammer::apply(
+    Program& source, const std::vector<Suggestion>& suggestions,
+    const std::vector<SiteStats>& sites, DiagnosticEngine& diags) {
+  std::vector<AppliedEdit> edits;
+  // Normalize loop/branch bodies into compounds so edits always have an
+  // insertion point adjacent to their anchor.
+  normalize_bodies(source);
+  SemaInfo sema = analyze_program(source, diags);
+  if (diags.has_errors()) return edits;
+  RegionModel model = build_region_model(source, sema);
+
+  std::vector<AccStandaloneStmt*> updates;
+  for (auto& func : source.functions) {
+    walk_stmts(func->body(), [&](Stmt& stmt) {
+      if (stmt.kind() == StmtKind::kAccStandalone &&
+          stmt.as<AccStandaloneStmt>().directive().kind ==
+              DirectiveKind::kUpdate) {
+        updates.push_back(&stmt.as<AccStandaloneStmt>());
+      }
+    });
+  }
+
+  auto locate = [&](const Stmt* target) -> Site {
+    Site site;
+    for (auto& func : source.functions) {
+      site.path.clear();
+      if (path_to(func->body(), target, site.path)) return site;
+    }
+    site.path.clear();
+    return site;
+  };
+
+  auto suggestion_for = [&](const std::string& label,
+                            const std::string& var) -> const Suggestion* {
+    for (const Suggestion& s : suggestions) {
+      if (s.label == label && s.var == var) return &s;
+    }
+    return nullptr;
+  };
+
+  auto actionable = [&](const Suggestion* s) -> bool {
+    if (s == nullptr) return false;
+    switch (s->kind) {
+      case SuggestionKind::kRemoveTransfer:
+      case SuggestionKind::kHoistBeforeLoop:
+      case SuggestionKind::kDeferAfterLoop:
+        return true;
+      case SuggestionKind::kVerifyMayRedundant:
+        return policy_.trust_may_dead;
+      default:
+        return false;
+    }
+  };
+
+  // ---- 1. build per-variable plans from the region transfer sites ----
+  std::map<std::string, VarPlan> plans;
+  std::vector<const Suggestion*> update_suggestions;
+  std::vector<const Suggestion*> missing_suggestions;
+
+  for (const Suggestion& s : suggestions) {
+    if (locked_.contains(s.var)) continue;
+    if (s.kind == SuggestionKind::kInvestigateMissing) {
+      missing_suggestions.push_back(&s);
+    } else if (starts_with(s.label, "update") && actionable(&s)) {
+      update_suggestions.push_back(&s);
+    }
+  }
+
+  for (const SiteStats& stats : sites) {
+    if (stats.occurrences == 0) continue;
+    if (starts_with(stats.label, "update")) continue;
+    std::vector<std::string> parts = split_trimmed(stats.label, ':');
+    if (parts.size() < 3) continue;  // data-region label or malformed
+    if (locked_.contains(stats.var)) continue;
+
+    RegionSite site;
+    site.kernel = parts[0];
+    site.is_in = parts.back() == "in";
+    const Suggestion* s = suggestion_for(stats.label, stats.var);
+    if (actionable(s)) site.suggestion = s;
+
+    VarPlan& plan = plans[stats.var];
+    plan.any_suggestion = plan.any_suggestion || site.suggestion != nullptr;
+    plan.from_may_dead =
+        plan.from_may_dead ||
+        (site.suggestion != nullptr && site.suggestion->from_may_dead);
+    plan.sites.push_back(site);
+  }
+
+  // ---- 2. apply variable plans ----
+  for (auto& [var, plan] : plans) {
+    if (!plan.any_suggestion) continue;
+
+    // Anchor everything at the first affected kernel.
+    const ComputeRegionInfo* anchor_region = nullptr;
+    for (const RegionSite& site : plan.sites) {
+      if (site.suggestion != nullptr) {
+        anchor_region = model.find_kernel(site.kernel);
+        if (anchor_region != nullptr) break;
+      }
+    }
+    if (anchor_region == nullptr) continue;
+    Site anchor = locate(anchor_region->stmt);
+    if (!anchor.valid()) continue;
+
+    // Ensure a data region around the outermost enclosing loop (or around
+    // the region itself when there is none).
+    AccStmt* data_region = anchor.enclosing_data();
+    if (data_region == nullptr) {
+      Stmt* wrap_target = anchor.outermost_loop() != nullptr
+                              ? anchor.outermost_loop()
+                              : anchor.target();
+      CompoundStmt* parent = anchor.parent_compound(wrap_target);
+      if (parent == nullptr) continue;
+      std::size_t index = index_in(*parent, wrap_target);
+      if (index >= parent->stmts().size()) continue;
+      StmtPtr wrapped = std::move(parent->stmts()[index]);
+      SourceLocation loc = wrapped->location();
+      // Body becomes a compound so later edits can insert updates next to
+      // the wrapped loop.
+      std::vector<StmtPtr> body_stmts;
+      body_stmts.push_back(std::move(wrapped));
+      auto acc = std::make_unique<AccStmt>(
+          DirectiveBuilder::data().build(),
+          std::make_unique<CompoundStmt>(std::move(body_stmts), loc), loc);
+      acc->directive().location = loc;
+      data_region = acc.get();
+      parent->stmts()[index] = std::move(acc);
+    }
+
+    // Classify the variable's needs across all its sites.
+    bool in_once = false;       // one h2d before the loop suffices
+    bool out_once = false;      // one d2h after the loop suffices
+    std::vector<std::string> in_keep;   // kernels still needing per-iter h2d
+    std::vector<std::string> out_keep;  // kernels still needing per-iter d2h
+    for (const RegionSite& site : plan.sites) {
+      if (site.suggestion == nullptr) {
+        (site.is_in ? in_keep : out_keep).push_back(site.kernel);
+        continue;
+      }
+      switch (site.suggestion->kind) {
+        case SuggestionKind::kHoistBeforeLoop:
+          in_once = true;
+          break;
+        case SuggestionKind::kDeferAfterLoop:
+          out_once = true;
+          break;
+        default:
+          break;  // remove / trusted may-redundant: drop entirely
+      }
+    }
+
+    // Device-write-first refinement: if the device writes the variable
+    // before ever reading it (first access in the lexically first touching
+    // region is a write), the device never consumes host data — `create`
+    // beats `copyin` (the GPU-only-data class of §II-C).
+    if (in_once) {
+      for (const auto& region : model.compute_regions) {
+        auto access = region.accesses.find(var);
+        if (access == region.accesses.end()) continue;
+        if (first_scalar_access(region.stmt->body(), var) ==
+            FirstAccess::kWrite) {
+          in_once = false;
+        }
+        break;  // first touching region decides
+      }
+    }
+
+    // An extern variable is the program's observable output: deleting its
+    // copy-outs would leave the host with stale data at exit, and the
+    // programmer knows it. When every out-site was flagged, materialize one
+    // copy at the data-region exit instead of deleting the transfers.
+    bool had_out_site = false;
+    for (const RegionSite& site : plan.sites) {
+      had_out_site = had_out_site || !site.is_in;
+    }
+    if (sema.extern_vars.contains(var) && had_out_site && out_keep.empty()) {
+      out_once = true;
+    }
+
+    ClauseKind clause = ClauseKind::kCreate;
+    if (in_once && out_once) {
+      clause = ClauseKind::kCopy;
+    } else if (in_once) {
+      clause = ClauseKind::kCopyin;
+    } else if (out_once) {
+      clause = ClauseKind::kCopyout;
+    }
+    Directive& data_dir = data_region->directive();
+    data_dir.remove_var_from_data_clauses(var);
+    data_dir.add_var_to_clause(clause, var);
+    data_dir.prune_empty_clauses();
+    edits.push_back({var,
+                     "data region: " + std::string(to_string(clause)) + "(" +
+                         var + ")",
+                     plan.from_may_dead});
+
+    // Per-iteration transfers that stay needed become explicit updates next
+    // to their kernels (the data region swallowed the implicit ones).
+    for (const std::string& kernel : in_keep) {
+      const ComputeRegionInfo* region = model.find_kernel(kernel);
+      if (region == nullptr) continue;
+      Site site = locate(region->stmt);
+      CompoundStmt* parent =
+          site.valid() ? site.parent_compound(site.target()) : nullptr;
+      if (parent == nullptr) continue;
+      insert_at(*parent, index_in(*parent, site.target()),
+                make_update(ClauseKind::kUpdateDevice, var));
+      edits.push_back({var, "update device(" + var + ") before " + kernel,
+                       plan.from_may_dead});
+    }
+    for (const std::string& kernel : out_keep) {
+      const ComputeRegionInfo* region = model.find_kernel(kernel);
+      if (region == nullptr) continue;
+      Site site = locate(region->stmt);
+      CompoundStmt* parent =
+          site.valid() ? site.parent_compound(site.target()) : nullptr;
+      if (parent == nullptr) continue;
+      insert_at(*parent, index_in(*parent, site.target()) + 1,
+                make_update(ClauseKind::kUpdateHost, var));
+      edits.push_back({var, "update host(" + var + ") after " + kernel,
+                       plan.from_may_dead});
+    }
+  }
+
+  // ---- 3. update-directive suggestions ----
+  for (const Suggestion* s : update_suggestions) {
+    int index = std::atoi(s->label.c_str() + 6);
+    if (index < 0 || index >= static_cast<int>(updates.size())) continue;
+    AccStandaloneStmt* update = updates[static_cast<std::size_t>(index)];
+    Site site = locate(update);
+    if (!site.valid()) continue;
+
+    Directive& directive = update->directive();
+    bool removed = false;
+    for (auto& clause : directive.clauses) {
+      if ((clause.kind == ClauseKind::kUpdateHost ||
+           clause.kind == ClauseKind::kUpdateDevice) &&
+          clause.names_var(s->var)) {
+        std::erase(clause.vars, s->var);
+        removed = true;
+      }
+    }
+    directive.prune_empty_clauses();
+    if (!removed) continue;
+
+    bool defer_like = s->kind == SuggestionKind::kDeferAfterLoop ||
+                      s->kind == SuggestionKind::kHoistBeforeLoop;
+    // Deleting the update of an extern (output) variable inside a loop
+    // would drop its final value; the programmer defers it instead.
+    if (!defer_like && sema.extern_vars.contains(s->var) &&
+        s->direction == TransferDirection::kDeviceToHost &&
+        site.outermost_loop() != nullptr) {
+      defer_like = true;
+    }
+    if (defer_like) {
+      Stmt* loop = site.outermost_loop();
+      CompoundStmt* parent =
+          loop != nullptr ? site.parent_compound(loop) : nullptr;
+      if (loop != nullptr && parent != nullptr) {
+        bool after = s->direction == TransferDirection::kDeviceToHost;
+        ClauseKind dir = s->direction == TransferDirection::kDeviceToHost
+                             ? ClauseKind::kUpdateHost
+                             : ClauseKind::kUpdateDevice;
+        insert_at(*parent, index_in(*parent, loop) + (after ? 1 : 0),
+                  make_update(dir, s->var));
+      }
+    }
+    edits.push_back({s->var,
+                     std::string(to_string(s->kind)) + " on " + s->label +
+                         " (" + s->var + ")",
+                     s->kind == SuggestionKind::kVerifyMayRedundant});
+  }
+
+  // ---- 4. missing transfers: restore data flow and lock the variable ----
+  for (const Suggestion* s : missing_suggestions) {
+    for (const auto& region : model.compute_regions) {
+      if (!region.accesses.contains(s->var)) continue;
+      Site site = locate(region.stmt);
+      AccStmt* data_region = site.valid() ? site.enclosing_data() : nullptr;
+      if (data_region != nullptr) {
+        data_region->directive().remove_var_from_data_clauses(s->var);
+        data_region->directive().add_var_to_clause(ClauseKind::kCopy, s->var);
+        edits.push_back({s->var,
+                         "restore copy(" + s->var +
+                             ") after missing-transfer report",
+                         false});
+      }
+      lock_var(s->var);
+      break;
+    }
+  }
+
+  // Drop update directives left without any variables.
+  for (auto& func : source.functions) prune_empty_updates(func->body());
+
+  return edits;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,57 @@
+// AutoProgrammer: the simulated human in the paper's Figure-2 loop. Takes
+// the tool's suggestions and edits the *source* directive program the way a
+// programmer would: wrapping hot loops in data regions, switching clause
+// kinds, deleting redundant updates, and deferring/hoisting transfers as
+// `update` directives outside loops. A trust policy controls whether
+// may-redundant suggestions are applied without manual deadness
+// verification — trusting them on (may-)aliased programs is precisely what
+// produces the paper's incorrect iterations (BACKPROP, LUD).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/decl.h"
+#include "support/diagnostics.h"
+#include "verify/suggestion.h"
+
+namespace miniarc {
+
+struct AutoProgrammerPolicy {
+  /// Apply kVerifyMayRedundant edits as if the user confirmed deadness.
+  bool trust_may_dead = true;
+};
+
+struct AppliedEdit {
+  std::string var;
+  std::string description;
+  bool from_may_dead = false;
+};
+
+class AutoProgrammer {
+ public:
+  explicit AutoProgrammer(AutoProgrammerPolicy policy = {})
+      : policy_(policy) {}
+
+  /// Apply `suggestions` to `source` in place, using the full per-site
+  /// statistics to preserve transfers the tool did not flag (they become
+  /// explicit update directives once a data region swallows the implicit
+  /// ones). Variables in the lock set are never touched again.
+  std::vector<AppliedEdit> apply(Program& source,
+                                 const std::vector<Suggestion>& suggestions,
+                                 const std::vector<SiteStats>& sites,
+                                 DiagnosticEngine& diags);
+
+  /// Forbid further edits for `var` (called after a round was reverted).
+  void lock_var(const std::string& var) { locked_.insert(var); }
+  [[nodiscard]] const std::set<std::string>& locked_vars() const {
+    return locked_;
+  }
+
+ private:
+  AutoProgrammerPolicy policy_;
+  std::set<std::string> locked_;
+};
+
+}  // namespace miniarc

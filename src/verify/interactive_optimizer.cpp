@@ -1,0 +1,248 @@
+#include "verify/interactive_optimizer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ast/clone.h"
+
+namespace miniarc {
+
+int OptimizationOutcome::incorrect_iterations() const {
+  int count = 0;
+  for (const auto& round : rounds) {
+    if (round.reverted) ++count;
+  }
+  return count;
+}
+
+RunResult run_lowered(const Program& lowered, const SemaInfo& sema,
+                      const InputBinder& bind_inputs, bool enable_checker,
+                      CompareHook* hook) {
+  RunResult result;
+  result.runtime = std::make_unique<AccRuntime>();
+  InterpOptions options;
+  options.enable_checker = enable_checker;
+  result.runtime->checker().set_enabled(enable_checker);
+  result.interp = std::make_unique<Interpreter>(lowered, sema,
+                                                *result.runtime, options);
+  if (hook != nullptr) result.interp->set_compare_hook(hook);
+  try {
+    if (bind_inputs) bind_inputs(*result.interp);
+    result.interp->run();
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.error = e.what();
+  }
+  return result;
+}
+
+OptimizationOutcome InteractiveOptimizer::optimize(
+    const Program& source, const InputBinder& bind_inputs,
+    const OutputChecker& check_output, DiagnosticEngine& diags) {
+  OptimizationOutcome outcome;
+  ProgramPtr current = clone_program(source);
+  AutoProgrammer programmer(options_.programmer);
+  TransferVerifier verifier(options_.instrumentation);
+  // may-redundant suggestions the (simulated) user inspected and declined.
+  std::set<std::string> declined;
+
+  for (int round_index = 0; round_index < options_.max_rounds;
+       ++round_index) {
+    OptimizationRound round;
+    round.index = round_index;
+
+    // 1. Verification run (instrumented, checker on).
+    TransferVerifier::Prepared prepared =
+        verifier.prepare(*current, diags, options_.lowering);
+    if (prepared.program == nullptr) break;
+    RunResult verification = run_lowered(*prepared.program, prepared.sema,
+                                         bind_inputs, /*enable_checker=*/true);
+    if (!verification.ok) {
+      // The current program itself is broken; stop.
+      outcome.rounds.push_back(round);
+      break;
+    }
+    const RuntimeChecker& checker = verification.runtime->checker();
+    round.findings = static_cast<int>(checker.findings().size());
+
+    // 2. Suggestions.
+    std::vector<Suggestion> suggestions =
+        derive_suggestions(checker.site_stats(), checker.findings());
+    // Drop suggestions for locked variables up front so convergence is
+    // detected correctly.
+    std::erase_if(suggestions, [&](const Suggestion& s) {
+      return programmer.locked_vars().contains(s.var) ||
+             declined.contains(s.var) ||
+             s.kind == SuggestionKind::kInvestigateIncorrect;
+    });
+
+    // May-redundant warnings carry the tool's own uncertainty, and the
+    // paper's user *verifies deadness by inspection* before applying them
+    // (§IV-C). For plain variables that inspection is reliable — model it
+    // by trialing the single edit and silently declining it if it breaks
+    // the program. For (may-)aliased variables the inspection itself is
+    // what the paper says goes wrong, so those suggestions pass through
+    // and become the incorrect iterations of Table III.
+    std::erase_if(suggestions, [&](const Suggestion& s) {
+      if (!s.from_may_dead) return false;
+      if (prepared.sema.has_aliases(s.var)) return false;  // user is fooled
+      ProgramPtr trial = clone_program(*current);
+      AutoProgrammer trial_user(options_.programmer);
+      std::vector<Suggestion> only{s.clone()};
+      std::vector<AppliedEdit> trial_edits =
+          trial_user.apply(*trial, only, checker.site_stats(), diags);
+      if (trial_edits.empty()) return false;
+      LoweredProgram lowered_trial =
+          lower_program(*trial, diags, options_.lowering);
+      bool ok = false;
+      if (lowered_trial.program != nullptr) {
+        RunResult trial_run =
+            run_lowered(*lowered_trial.program, lowered_trial.sema,
+                        bind_inputs, /*enable_checker=*/false);
+        ok = trial_run.ok &&
+             (!check_output || check_output(*trial_run.interp));
+      }
+      if (!ok) declined.insert(s.var);
+      return !ok;
+    });
+    round.suggestions = static_cast<int>(suggestions.size());
+    for (const Suggestion& s : suggestions) {
+      round.suggestion_log.push_back(s.message());
+    }
+    if (suggestions.empty()) {
+      outcome.rounds.push_back(round);
+      break;  // fixpoint: nothing left to do
+    }
+
+    // 3. Apply edits to a candidate program.
+    ProgramPtr candidate = clone_program(*current);
+    std::vector<AppliedEdit> edits = programmer.apply(
+        *candidate, suggestions, checker.site_stats(), diags);
+    round.edits_applied = static_cast<int>(edits.size());
+    for (const AppliedEdit& e : edits) round.edit_log.push_back(e.description);
+    if (edits.empty()) {
+      outcome.rounds.push_back(round);
+      break;  // suggestions exist but none were applicable
+    }
+
+    // 4. Validate the candidate (the paper's kernel-verification safety
+    // net between optimization rounds).
+    LoweredProgram lowered_candidate =
+        lower_program(*candidate, diags, options_.lowering);
+    bool correct = false;
+    if (lowered_candidate.program != nullptr) {
+      RunResult validation =
+          run_lowered(*lowered_candidate.program, lowered_candidate.sema,
+                      bind_inputs, /*enable_checker=*/false);
+      correct = validation.ok &&
+                (!check_output || check_output(*validation.interp));
+    }
+    round.output_correct = correct;
+
+    if (correct) {
+      current = std::move(candidate);
+    } else {
+      // 5. Incorrect suggestion round: revert, then find the offending
+      // variable the way a programmer would — re-apply each variable's
+      // edits in isolation until one reproduces the corruption — and lock
+      // it. One bad variable surfaces per failing round, matching the
+      // paper's LUD behaviour (one incorrect iteration per bad alias).
+      round.reverted = true;
+      std::vector<std::string> edited_vars;
+      for (const AppliedEdit& edit : edits) {
+        if (std::find(edited_vars.begin(), edited_vars.end(), edit.var) ==
+            edited_vars.end()) {
+          edited_vars.push_back(edit.var);
+        }
+      }
+      std::string offender;
+      for (const std::string& var : edited_vars) {
+        ProgramPtr trial = clone_program(*current);
+        AutoProgrammer trial_user(options_.programmer);
+        std::vector<Suggestion> subset;
+        for (const Suggestion& s : suggestions) {
+          if (s.var == var) subset.push_back(s.clone());
+        }
+        if (subset.empty()) continue;
+        if (trial_user.apply(*trial, subset, checker.site_stats(), diags)
+                .empty()) {
+          continue;
+        }
+        LoweredProgram lowered_trial =
+            lower_program(*trial, diags, options_.lowering);
+        bool ok = false;
+        if (lowered_trial.program != nullptr) {
+          RunResult trial_run =
+              run_lowered(*lowered_trial.program, lowered_trial.sema,
+                          bind_inputs, /*enable_checker=*/false);
+          ok = trial_run.ok &&
+               (!check_output || check_output(*trial_run.interp));
+        }
+        if (!ok) {
+          offender = var;
+          break;
+        }
+      }
+      if (offender.empty() && !edits.empty()) offender = edits.front().var;
+      if (!offender.empty()) {
+        // The corruption taught the user that the offender's data IS
+        // consumed. The safe correction keeps the data on the device but
+        // materializes it once: hoist the in-copies, defer the out-copies
+        // (§IV-C: "the user is still able to find optimal memory transfer
+        // patterns, even though intermediate wrong suggestions may
+        // unnecessarily prolong the iteration steps").
+        std::vector<Suggestion> fallback;
+        for (const SiteStats& st : checker.site_stats()) {
+          if (st.var != offender || st.occurrences == 0) continue;
+          Suggestion s;
+          s.var = offender;
+          s.label = st.label;
+          s.direction = st.direction;
+          s.kind = st.direction == TransferDirection::kHostToDevice
+                       ? SuggestionKind::kHoistBeforeLoop
+                       : SuggestionKind::kDeferAfterLoop;
+          fallback.push_back(std::move(s));
+        }
+        if (!fallback.empty()) {
+          ProgramPtr corrected = clone_program(*current);
+          AutoProgrammer fallback_user(options_.programmer);
+          if (!fallback_user
+                   .apply(*corrected, fallback, checker.site_stats(), diags)
+                   .empty()) {
+            LoweredProgram lowered_corrected =
+                lower_program(*corrected, diags, options_.lowering);
+            if (lowered_corrected.program != nullptr) {
+              RunResult corrected_run = run_lowered(
+                  *lowered_corrected.program, lowered_corrected.sema,
+                  bind_inputs, /*enable_checker=*/false);
+              if (corrected_run.ok &&
+                  (!check_output || check_output(*corrected_run.interp))) {
+                current = std::move(corrected);
+              }
+            }
+          }
+        }
+        programmer.lock_var(offender);
+        round.locked_var = offender;
+      }
+    }
+    outcome.rounds.push_back(round);
+  }
+
+  // Final program statistics.
+  LoweredProgram final_lowered =
+      lower_program(*current, diags, options_.lowering);
+  if (final_lowered.program != nullptr) {
+    RunResult final_run =
+        run_lowered(*final_lowered.program, final_lowered.sema, bind_inputs,
+                    /*enable_checker=*/false);
+    if (final_run.ok) {
+      outcome.final_transfers = final_run.runtime->profiler().transfers();
+      outcome.final_time = final_run.runtime->total_time();
+    }
+  }
+  outcome.final_program = std::move(current);
+  return outcome;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,97 @@
+// InteractiveOptimizer — the full Figure-2 loop, with the AutoProgrammer
+// standing in for the human:
+//
+//   repeat:
+//     1. instrument + run the current program with the runtime checker
+//     2. derive suggestions from the findings
+//     3. AutoProgrammer edits the directive program
+//     4. run the edited program and validate its output against the
+//        sequential reference (the paper's "next verification step" —
+//        kernel verification — which catches corruption introduced by
+//        incorrect suggestions)
+//     5. on corruption: revert the round, lock the offending variables,
+//        count an incorrect iteration
+//   until no suggestions remain (or the round cap).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "interp/interp.h"
+#include "verify/auto_programmer.h"
+#include "verify/transfer_verifier.h"
+
+namespace miniarc {
+
+/// How a program instance gets its inputs: called after the Interpreter is
+/// constructed, before run().
+using InputBinder = std::function<void(Interpreter&)>;
+
+/// Ground-truth check: inspects final state, returns true if correct.
+using OutputChecker = std::function<bool(Interpreter&)>;
+
+struct OptimizationRound {
+  int index = 0;
+  int findings = 0;
+  int suggestions = 0;
+  int edits_applied = 0;
+  bool output_correct = true;
+  bool reverted = false;
+  /// Human-readable trail of what the tool said and the user did.
+  std::vector<std::string> suggestion_log;
+  std::vector<std::string> edit_log;
+  std::string locked_var;  // variable locked when the round was reverted
+};
+
+struct OptimizationOutcome {
+  ProgramPtr final_program;
+  std::vector<OptimizationRound> rounds;
+  /// Transfer statistics of the final program (for uncaught-redundancy
+  /// comparison against the hand-optimized variant).
+  TransferTotals final_transfers;
+  double final_time = 0.0;
+
+  /// Paper Table III columns.
+  [[nodiscard]] int total_iterations() const {
+    return static_cast<int>(rounds.size());
+  }
+  [[nodiscard]] int incorrect_iterations() const;
+};
+
+struct OptimizerOptions {
+  InstrumentationOptions instrumentation;
+  AutoProgrammerPolicy programmer;
+  LoweringOptions lowering;
+  int max_rounds = 8;
+};
+
+class InteractiveOptimizer {
+ public:
+  explicit InteractiveOptimizer(OptimizerOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] OptimizationOutcome optimize(const Program& source,
+                                             const InputBinder& bind_inputs,
+                                             const OutputChecker& check_output,
+                                             DiagnosticEngine& diags);
+
+ private:
+  OptimizerOptions options_;
+};
+
+/// Run a lowered program with inputs bound; returns the interpreter for
+/// inspection. `enable_checker` feeds the runtime checker.
+struct RunResult {
+  std::unique_ptr<AccRuntime> runtime;
+  std::unique_ptr<Interpreter> interp;
+  bool ok = true;
+  std::string error;
+};
+[[nodiscard]] RunResult run_lowered(const Program& lowered,
+                                    const SemaInfo& sema,
+                                    const InputBinder& bind_inputs,
+                                    bool enable_checker,
+                                    CompareHook* hook = nullptr);
+
+}  // namespace miniarc

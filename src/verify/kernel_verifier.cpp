@@ -1,0 +1,237 @@
+#include "verify/kernel_verifier.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "acc/region_model.h"
+#include "ast/clone.h"
+#include "translate/demotion.h"
+#include "translate/result_comparison.h"
+
+namespace miniarc {
+namespace {
+
+/// Evaluate a constant annotation argument (int/float literal, possibly
+/// negated). Returns nullopt for anything non-constant.
+std::optional<double> const_value(const Expr* expr) {
+  if (expr == nullptr) return std::nullopt;
+  switch (expr->kind()) {
+    case ExprKind::kIntLit:
+      return static_cast<double>(expr->as<IntLit>().value());
+    case ExprKind::kFloatLit:
+      return expr->as<FloatLit>().value();
+    case ExprKind::kUnary: {
+      const auto& unary = expr->as<Unary>();
+      if (unary.op() != UnaryOp::kNeg) return std::nullopt;
+      auto inner = const_value(&unary.operand());
+      if (!inner.has_value()) return std::nullopt;
+      return -*inner;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::string KernelMismatch::message() const {
+  std::ostringstream os;
+  os << "kernel " << kernel << ": '" << var << '\'';
+  if (index >= 0) os << '[' << index << ']';
+  os << " reference=" << reference << " device=" << device;
+  return os.str();
+}
+
+bool KernelVerificationReport::all_passed() const {
+  for (const auto& v : verdicts) {
+    if (!v.passed()) return false;
+  }
+  return true;
+}
+
+const KernelVerdict* KernelVerificationReport::verdict_for(
+    const std::string& kernel) const {
+  for (const auto& v : verdicts) {
+    if (v.kernel == kernel) return &v;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> KernelVerificationReport::failing_kernels() const {
+  std::vector<std::string> out;
+  for (const auto& v : verdicts) {
+    if (!v.passed()) out.push_back(v.kernel);
+  }
+  return out;
+}
+
+KernelVerifier::Prepared KernelVerifier::prepare(
+    const Program& source, DiagnosticEngine& diags,
+    const LoweringOptions& lowering) {
+  Prepared prepared;
+  ProgramPtr working = clone_program(source);
+
+  // Resolve the verification set against the program's kernels.
+  SemaInfo sema = analyze_program(*working, diags);
+  if (diags.has_errors()) return prepared;
+  RegionModel model = build_region_model(*working, sema);
+  std::set<std::string> all_kernels;
+  for (const auto& region : model.compute_regions) {
+    all_kernels.insert(region.kernel_name);
+  }
+  std::set<std::string> selected = config_.effective_kernels(all_kernels);
+
+  apply_memory_transfer_demotion(*working, selected, diags);
+  if (diags.has_errors()) return prepared;
+
+  LoweredProgram lowered = lower_program(*working, diags, lowering);
+  if (lowered.program == nullptr) return prepared;
+
+  attach_result_comparison(*lowered.program, selected);
+
+  prepared.program = std::move(lowered.program);
+  prepared.sema = std::move(lowered.sema);
+  prepared.kernel_names = std::move(lowered.kernel_names);
+  return prepared;
+}
+
+bool KernelVerifier::within_margin(double reference, double device) const {
+  double difference = std::fabs(reference - device);
+  double scale = std::fmax(1.0, std::fabs(reference));
+  return difference <= config_.error_margin * scale;
+}
+
+void KernelVerifier::compare_buffer(
+    const std::string& kernel, const std::string& var,
+    const TypedBuffer& reference, const TypedBuffer& device,
+    const std::vector<const Directive*>& annotations,
+    KernelVerdict& verdict) {
+  // Collect bound annotations targeting this variable.
+  std::optional<double> bound_lo;
+  std::optional<double> bound_hi;
+  for (const Directive* d : annotations) {
+    if (d->kind != DirectiveKind::kArcBound || d->clauses.empty()) continue;
+    const Clause& clause = d->clauses.front();
+    if (clause.vars.empty() || clause.vars.front() != var) continue;
+    bound_lo = const_value(clause.arg.get());
+    bound_hi = const_value(clause.arg2.get());
+  }
+
+  for (std::size_t i = 0; i < reference.count(); ++i) {
+    double ref = reference.get(i);
+    double dev = device.get(i);
+    if (std::fabs(ref) <= config_.min_value_to_check && ref != dev) {
+      ++verdict.skipped_below_threshold;
+      continue;
+    }
+    ++verdict.elements_compared;
+    if (within_margin(ref, dev)) continue;
+    if (bound_lo.has_value() && bound_hi.has_value() && dev >= *bound_lo &&
+        dev <= *bound_hi) {
+      ++verdict.ignored_by_bounds;
+      continue;
+    }
+    ++verdict.mismatches;
+    if (static_cast<int>(report_.samples.size()) <
+        config_.max_reported_mismatches) {
+      report_.samples.push_back(
+          {kernel, var, static_cast<long>(i), ref, dev});
+    }
+  }
+}
+
+void KernelVerifier::compare_scalar(const std::string& kernel,
+                                    const std::string& var, double reference,
+                                    double device, KernelVerdict& verdict) {
+  if (std::fabs(reference) <= config_.min_value_to_check &&
+      reference != device) {
+    ++verdict.skipped_below_threshold;
+    return;
+  }
+  ++verdict.elements_compared;
+  if (within_margin(reference, device)) return;
+  ++verdict.mismatches;
+  if (static_cast<int>(report_.samples.size()) <
+      config_.max_reported_mismatches) {
+    report_.samples.push_back({kernel, var, -1, reference, device});
+  }
+}
+
+void KernelVerifier::on_compare(const ResultCompareStmt& stmt,
+                                Interpreter& interp) {
+  KernelVerdict verdict;
+  verdict.kernel = stmt.kernel_name();
+
+  const std::vector<const Directive*>* annotations = nullptr;
+  auto found = interp.kernel_annotations().find(stmt.kernel_name());
+  static const std::vector<const Directive*> kNone;
+  annotations = found != interp.kernel_annotations().end() ? &found->second
+                                                           : &kNone;
+
+  std::size_t compare_elements = 0;
+  for (const std::string& var : stmt.vars()) {
+    if (interp.sema().is_buffer(var)) {
+      BufferPtr host = interp.buffer(var);
+      BufferPtr device = interp.runtime().device_buffer(*host);
+      if (device == nullptr) continue;
+      compare_elements += host->count();
+      compare_buffer(stmt.kernel_name(), var, *host, *device, *annotations,
+                     verdict);
+    } else {
+      // Scalar (reduction) result: stashed device value vs host reference.
+      auto kernel_stash = interp.stashed_scalars().find(stmt.kernel_name());
+      if (kernel_stash == interp.stashed_scalars().end()) continue;
+      auto value = kernel_stash->second.find(var);
+      if (value == kernel_stash->second.end()) continue;
+      ++compare_elements;
+      compare_scalar(stmt.kernel_name(), var,
+                     interp.scalar(var).as_double(),
+                     value->second.as_double(), verdict);
+    }
+  }
+
+  // `openarc assert checksum(var, expected, tol)` — §III-C invariant-based
+  // automatic detection, independent of the reference comparison.
+  for (const Directive* d : *annotations) {
+    if (d->kind != DirectiveKind::kArcAssert || d->clauses.empty()) continue;
+    const Clause& clause = d->clauses.front();
+    if (clause.vars.empty()) continue;
+    const std::string& var = clause.vars.front();
+    if (!interp.sema().is_buffer(var)) continue;
+    BufferPtr host = interp.buffer(var);
+    BufferPtr device = interp.runtime().device_buffer(*host);
+    if (device == nullptr) continue;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < device->count(); ++i) sum += device->get(i);
+    compare_elements += device->count();
+    std::optional<double> expected = const_value(clause.arg.get());
+    double tolerance = const_value(clause.arg2.get()).value_or(1e-6);
+    if (expected.has_value() && std::fabs(sum - *expected) > tolerance) {
+      verdict.checksum_failed = true;
+      if (static_cast<int>(report_.samples.size()) <
+          config_.max_reported_mismatches) {
+        report_.samples.push_back(
+            {stmt.kernel_name(), var + " (checksum)", -1, *expected, sum});
+      }
+    }
+  }
+
+  interp.runtime().bill_compare(compare_elements);
+
+  // A kernel inside a host loop is compared once per invocation; aggregate
+  // into one verdict per kernel.
+  for (auto& existing : report_.verdicts) {
+    if (existing.kernel == verdict.kernel) {
+      existing.elements_compared += verdict.elements_compared;
+      existing.mismatches += verdict.mismatches;
+      existing.ignored_by_bounds += verdict.ignored_by_bounds;
+      existing.skipped_below_threshold += verdict.skipped_below_threshold;
+      existing.checksum_failed =
+          existing.checksum_failed || verdict.checksum_failed;
+      return;
+    }
+  }
+  report_.verdicts.push_back(std::move(verdict));
+}
+
+}  // namespace miniarc

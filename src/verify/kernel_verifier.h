@@ -1,0 +1,91 @@
+// GPU kernel verification — the user-assisted automatic mechanism of §III-A.
+//
+// prepare() builds the verification executable: clone the source, apply
+// memory-transfer demotion, lower, attach the result-comparison harness.
+// The caller then runs the prepared program through an Interpreter with this
+// verifier installed as the CompareHook; every verified kernel's device
+// results are compared against the sequential reference values with the
+// configured error margin / minValueToCheck, honoring `openarc bound`
+// annotations and evaluating `openarc assert checksum` assertions (§III-C).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "interp/interp.h"
+#include "translate/pipeline.h"
+#include "verify/verification_config.h"
+
+namespace miniarc {
+
+struct KernelMismatch {
+  std::string kernel;
+  std::string var;
+  long index = -1;  // -1 for scalars
+  double reference = 0.0;
+  double device = 0.0;
+
+  [[nodiscard]] std::string message() const;
+};
+
+struct KernelVerdict {
+  std::string kernel;
+  long elements_compared = 0;
+  long mismatches = 0;
+  long ignored_by_bounds = 0;
+  long skipped_below_threshold = 0;
+  bool checksum_failed = false;
+
+  [[nodiscard]] bool passed() const {
+    return mismatches == 0 && !checksum_failed;
+  }
+};
+
+struct KernelVerificationReport {
+  std::vector<KernelVerdict> verdicts;
+  std::vector<KernelMismatch> samples;  // first max_reported_mismatches
+
+  [[nodiscard]] bool all_passed() const;
+  [[nodiscard]] const KernelVerdict* verdict_for(
+      const std::string& kernel) const;
+  [[nodiscard]] std::vector<std::string> failing_kernels() const;
+};
+
+class KernelVerifier : public CompareHook {
+ public:
+  explicit KernelVerifier(VerificationConfig config = {})
+      : config_(std::move(config)) {}
+
+  struct Prepared {
+    ProgramPtr program;
+    SemaInfo sema;
+    std::vector<std::string> kernel_names;
+  };
+
+  /// Build the verification program. Empty `program` on sema failure.
+  [[nodiscard]] Prepared prepare(const Program& source,
+                                 DiagnosticEngine& diags,
+                                 const LoweringOptions& lowering = {});
+
+  // CompareHook:
+  void on_compare(const ResultCompareStmt& stmt, Interpreter& interp) override;
+
+  [[nodiscard]] const KernelVerificationReport& report() const {
+    return report_;
+  }
+  void clear() { report_ = {}; }
+
+ private:
+  void compare_buffer(const std::string& kernel, const std::string& var,
+                      const TypedBuffer& reference, const TypedBuffer& device,
+                      const std::vector<const Directive*>& annotations,
+                      KernelVerdict& verdict);
+  void compare_scalar(const std::string& kernel, const std::string& var,
+                      double reference, double device, KernelVerdict& verdict);
+  [[nodiscard]] bool within_margin(double reference, double device) const;
+
+  VerificationConfig config_;
+  KernelVerificationReport report_;
+};
+
+}  // namespace miniarc

@@ -1,0 +1,120 @@
+#include "verify/suggestion.h"
+
+#include <set>
+#include <sstream>
+
+namespace miniarc {
+
+const char* to_string(SuggestionKind kind) {
+  switch (kind) {
+    case SuggestionKind::kRemoveTransfer: return "remove-transfer";
+    case SuggestionKind::kHoistBeforeLoop: return "hoist-before-loop";
+    case SuggestionKind::kDeferAfterLoop: return "defer-after-loop";
+    case SuggestionKind::kVerifyMayRedundant: return "verify-may-redundant";
+    case SuggestionKind::kInvestigateIncorrect: return "investigate-incorrect";
+    case SuggestionKind::kInvestigateMissing: return "investigate-missing";
+  }
+  return "?";
+}
+
+std::string Suggestion::message() const {
+  std::ostringstream os;
+  switch (kind) {
+    case SuggestionKind::kRemoveTransfer:
+      os << "Every execution of " << label << " (variable " << var
+         << ") was redundant; delete the transfer.";
+      break;
+    case SuggestionKind::kHoistBeforeLoop:
+      os << "Transfers of " << var << " in " << label
+         << " are redundant after the first; one `update device(" << var
+         << ")` before the enclosing loop suffices.";
+      break;
+    case SuggestionKind::kDeferAfterLoop:
+      os << "Copying " << var << " to the host in " << label
+         << " is redundant in every iteration after the first; the transfer "
+            "can be deferred until the enclosing loop finishes.";
+      break;
+    case SuggestionKind::kVerifyMayRedundant:
+      os << "Transfers of " << var << " in " << label
+         << " target may-dead data; verify that the copied values are never "
+            "read before removing the transfer.";
+      break;
+    case SuggestionKind::kInvestigateIncorrect:
+      os << "Transfer " << label << " copies outdated data of " << var
+         << "; a transfer in the opposite direction is missing earlier.";
+      break;
+    case SuggestionKind::kInvestigateMissing:
+      os << "Accesses of " << var
+         << " observed stale data; a memory transfer is missing before them.";
+      break;
+  }
+  if (from_may_dead) os << " [may-dead: needs user verification]";
+  return os.str();
+}
+
+std::vector<Suggestion> derive_suggestions(
+    const std::vector<SiteStats>& sites,
+    const std::vector<Finding>& findings) {
+  std::vector<Suggestion> out;
+
+  for (const SiteStats& site : sites) {
+    if (site.occurrences == 0) continue;
+    Suggestion s;
+    s.var = site.var;
+    s.label = site.label;
+    s.direction = site.direction;
+
+    if (site.incorrect > 0) {
+      s.kind = SuggestionKind::kInvestigateIncorrect;
+      out.push_back(std::move(s));
+      continue;
+    }
+
+    int flagged = site.redundant + site.may_redundant;
+    if (flagged == 0) continue;
+    s.from_may_dead = site.may_redundant > 0;
+
+    if (site.redundant == site.occurrences ||
+        (s.from_may_dead && flagged == site.occurrences &&
+         site.occurrences == 1)) {
+      s.kind = s.from_may_dead ? SuggestionKind::kVerifyMayRedundant
+                               : SuggestionKind::kRemoveTransfer;
+      out.push_back(std::move(s));
+      continue;
+    }
+    if (flagged == site.occurrences && s.from_may_dead) {
+      // Every execution flagged, some only may-redundant.
+      s.kind = SuggestionKind::kVerifyMayRedundant;
+      out.push_back(std::move(s));
+      continue;
+    }
+    if (flagged >= site.occurrences - 1 && site.occurrences > 1 &&
+        !site.first_occurrence_redundant) {
+      s.kind = site.direction == TransferDirection::kHostToDevice
+                   ? SuggestionKind::kHoistBeforeLoop
+                   : SuggestionKind::kDeferAfterLoop;
+      out.push_back(std::move(s));
+      continue;
+    }
+    // Partially redundant with no clean pattern: surface as may-redundant so
+    // the user inspects it.
+    s.kind = SuggestionKind::kVerifyMayRedundant;
+    s.from_may_dead = true;
+    out.push_back(std::move(s));
+  }
+
+  // Missing / may-missing accesses (recorded as findings, not sites).
+  std::set<std::string> missing_vars;
+  for (const Finding& finding : findings) {
+    if (finding.kind != FindingKind::kMissingTransfer) continue;
+    if (!missing_vars.insert(finding.var).second) continue;
+    Suggestion s;
+    s.kind = SuggestionKind::kInvestigateMissing;
+    s.var = finding.var;
+    s.label = finding.label;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace miniarc

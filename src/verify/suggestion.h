@@ -1,0 +1,52 @@
+// Suggestion engine: turns runtime-checker findings and per-site statistics
+// into actionable directive-level edits — the tool half of the paper's
+// Figure-2 interactive loop ("Report missing/incorrect/redundant transfers"
+// → "Exam and correct").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/runtime_checker.h"
+
+namespace miniarc {
+
+enum class SuggestionKind : std::uint8_t {
+  /// Every dynamic execution of the transfer was redundant: delete it.
+  kRemoveTransfer,
+  /// All executions after the first were redundant (h2d): one transfer
+  /// before the enclosing loop suffices.
+  kHoistBeforeLoop,
+  /// All executions except possibly trailing ones were redundant (d2h):
+  /// defer a single transfer to after the enclosing loop.
+  kDeferAfterLoop,
+  /// Transfer targets may-dead data (alias/partial-write uncertainty): the
+  /// user must verify deadness before the edit is safe.
+  kVerifyMayRedundant,
+  /// The source of the transfer was stale: the program (or a previous edit)
+  /// is wrong.
+  kInvestigateIncorrect,
+  /// A read/write observed stale data: a transfer is missing.
+  kInvestigateMissing,
+};
+
+[[nodiscard]] const char* to_string(SuggestionKind kind);
+
+struct Suggestion {
+  SuggestionKind kind;
+  std::string var;
+  std::string label;  // transfer site ("update0", "main_kernel0:q:in", ...)
+  TransferDirection direction = TransferDirection::kHostToDevice;
+  /// Derived from may-dead state rather than certain redundancy.
+  bool from_may_dead = false;
+
+  [[nodiscard]] std::string message() const;
+  [[nodiscard]] Suggestion clone() const { return *this; }
+};
+
+/// Derive suggestions from one verification run.
+[[nodiscard]] std::vector<Suggestion> derive_suggestions(
+    const std::vector<SiteStats>& sites,
+    const std::vector<Finding>& findings);
+
+}  // namespace miniarc

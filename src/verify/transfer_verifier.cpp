@@ -1,0 +1,36 @@
+#include "verify/transfer_verifier.h"
+
+#include <sstream>
+
+namespace miniarc {
+
+TransferVerifier::Prepared TransferVerifier::prepare(
+    const Program& source, DiagnosticEngine& diags,
+    const LoweringOptions& lowering) const {
+  Prepared prepared;
+  LoweredProgram lowered = lower_program(source, diags, lowering);
+  if (lowered.program == nullptr) return prepared;
+
+  prepared.instrumentation =
+      insert_coherence_checks(*lowered.program, lowered.sema, options_);
+  prepared.program = std::move(lowered.program);
+  prepared.sema = std::move(lowered.sema);
+  prepared.kernel_names = std::move(lowered.kernel_names);
+  return prepared;
+}
+
+std::string render_findings(const std::vector<Finding>& findings,
+                            std::size_t limit) {
+  std::ostringstream os;
+  std::size_t count = 0;
+  for (const auto& finding : findings) {
+    if (count++ >= limit) {
+      os << "... (" << findings.size() - limit << " more)\n";
+      break;
+    }
+    os << "- " << finding.message() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace miniarc

@@ -1,0 +1,38 @@
+// Memory-transfer verification — orchestrates §III-B: lower the program,
+// insert the optimized coherence instrumentation, and (after the caller runs
+// it with the checker enabled) expose findings and per-site statistics.
+#pragma once
+
+#include "runtime/runtime_checker.h"
+#include "translate/instrumentation.h"
+#include "translate/pipeline.h"
+
+namespace miniarc {
+
+class TransferVerifier {
+ public:
+  explicit TransferVerifier(InstrumentationOptions options = {})
+      : options_(options) {}
+
+  struct Prepared {
+    ProgramPtr program;
+    SemaInfo sema;
+    std::vector<std::string> kernel_names;
+    InstrumentationStats instrumentation;
+  };
+
+  /// Lower `source` and insert coherence checks. Empty program on sema
+  /// failure (see diags).
+  [[nodiscard]] Prepared prepare(const Program& source,
+                                 DiagnosticEngine& diags,
+                                 const LoweringOptions& lowering = {}) const;
+
+ private:
+  InstrumentationOptions options_;
+};
+
+/// Render all findings as paper-style messages, one per line.
+[[nodiscard]] std::string render_findings(const std::vector<Finding>& findings,
+                                          std::size_t limit = 50);
+
+}  // namespace miniarc

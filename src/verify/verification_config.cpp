@@ -1,0 +1,52 @@
+#include "verify/verification_config.h"
+
+#include <cstdlib>
+
+#include "support/str.h"
+
+namespace miniarc {
+
+std::set<std::string> VerificationConfig::effective_kernels(
+    const std::set<std::string>& all_kernels) const {
+  if (!complement) {
+    if (kernels.empty()) return all_kernels;
+    return kernels;
+  }
+  std::set<std::string> result;
+  for (const auto& k : all_kernels) {
+    if (!kernels.contains(k)) result.insert(k);
+  }
+  return result;
+}
+
+std::optional<VerificationConfig> VerificationConfig::parse(
+    std::string_view text) {
+  VerificationConfig config;
+  // Accept an optional "verificationOptions=" prefix.
+  constexpr std::string_view kPrefix = "verificationOptions=";
+  if (starts_with(text, kPrefix)) text.remove_prefix(kPrefix.size());
+
+  for (const std::string& piece : split_trimmed(text, ',')) {
+    std::size_t eq = piece.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = std::string(trim(std::string_view(piece).substr(0, eq)));
+    std::string value =
+        std::string(trim(std::string_view(piece).substr(eq + 1)));
+    if (key == "complement") {
+      config.complement = value != "0";
+    } else if (key == "kernels") {
+      for (const std::string& k : split_trimmed(value, ':')) {
+        config.kernels.insert(k);
+      }
+    } else if (key == "errorMargin" || key == "minValueToCheck") {
+      char* end = nullptr;
+      double parsed = std::strtod(value.c_str(), &end);
+      if (end == value.c_str()) return std::nullopt;
+      (key == "errorMargin" ? config.error_margin
+                            : config.min_value_to_check) = parsed;
+    }
+  }
+  return config;
+}
+
+}  // namespace miniarc

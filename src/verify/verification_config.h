@@ -1,0 +1,36 @@
+// User-facing verification configuration, settable programmatically or via
+// the paper's environment-variable syntax, e.g.
+//   "verificationOptions=complement=0,kernels=main_kernel0"
+//   "errorMargin=1e-6"  "minValueToCheck=1e-32"
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace miniarc {
+
+struct VerificationConfig {
+  /// Kernels named in the option string. Empty + !complement ⇒ verify all.
+  std::set<std::string> kernels;
+  /// complement=1: verify every kernel EXCEPT those listed.
+  bool complement = false;
+  /// Allowed |host − device| error, relative to max(1, |host|).
+  double error_margin = 1e-9;
+  /// Results are compared only when |reference| exceeds this threshold.
+  double min_value_to_check = 0.0;
+  /// Stop reporting per-element mismatches after this many (stats continue).
+  int max_reported_mismatches = 16;
+
+  /// The effective set of kernels to verify given the full kernel list.
+  [[nodiscard]] std::set<std::string> effective_kernels(
+      const std::set<std::string>& all_kernels) const;
+
+  /// Parse "key=value,key=value" option text (keys: complement, kernels —
+  /// ':'-separated, errorMargin, minValueToCheck). Unknown keys are ignored;
+  /// returns nullopt on malformed numbers.
+  static std::optional<VerificationConfig> parse(std::string_view text);
+};
+
+}  // namespace miniarc

@@ -1,0 +1,94 @@
+// Parameterized integration tests over the full 12-benchmark suite: both
+// variants must parse, lower, run, and reproduce the native C++ reference
+// results; the optimized variant must transfer no more data than the naive
+// one; and kernel verification must pass on every healthy program.
+#include <gtest/gtest.h>
+
+#include "acc/region_model.h"
+#include "benchsuite/benchmark_registry.h"
+#include "tests/test_util.h"
+#include "verify/kernel_verifier.h"
+
+namespace miniarc {
+namespace {
+
+class BenchmarkSuiteTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  const BenchmarkDef& benchmark() const {
+    const BenchmarkDef* def = find_benchmark(GetParam());
+    EXPECT_NE(def, nullptr);
+    return *def;
+  }
+};
+
+TEST_P(BenchmarkSuiteTest, UnoptimizedVariantIsCorrect) {
+  const BenchmarkDef& def = benchmark();
+  RunResult run =
+      test::run_source(def.unoptimized_source, def.bind_inputs);
+  EXPECT_TRUE(def.check_output(*run.interp));
+}
+
+TEST_P(BenchmarkSuiteTest, OptimizedVariantIsCorrect) {
+  const BenchmarkDef& def = benchmark();
+  RunResult run = test::run_source(def.optimized_source, def.bind_inputs);
+  EXPECT_TRUE(def.check_output(*run.interp));
+}
+
+TEST_P(BenchmarkSuiteTest, SequentialExecutionIsCorrect) {
+  // Ignoring every directive must still compute the reference results — the
+  // property kernel verification relies on.
+  const BenchmarkDef& def = benchmark();
+  auto [program, info] = test::analyzed(def.unoptimized_source);
+  AccRuntime runtime;
+  Interpreter interp(*program, info, runtime);
+  def.bind_inputs(interp);
+  interp.run();
+  EXPECT_TRUE(def.check_output(interp));
+}
+
+TEST_P(BenchmarkSuiteTest, OptimizedTransfersNoMoreThanNaive) {
+  const BenchmarkDef& def = benchmark();
+  RunResult naive = test::run_source(def.unoptimized_source, def.bind_inputs);
+  RunResult tuned = test::run_source(def.optimized_source, def.bind_inputs);
+  EXPECT_LE(tuned.runtime->profiler().transfers().total_bytes(),
+            naive.runtime->profiler().transfers().total_bytes());
+  EXPECT_LE(tuned.runtime->total_time(), naive.runtime->total_time());
+}
+
+TEST_P(BenchmarkSuiteTest, KernelCountMatchesRegistry) {
+  const BenchmarkDef& def = benchmark();
+  auto [program, info] = test::analyzed(def.optimized_source);
+  RegionModel model = build_region_model(*program, info);
+  EXPECT_EQ(static_cast<int>(model.compute_regions.size()),
+            def.expected_kernel_count);
+}
+
+TEST_P(BenchmarkSuiteTest, KernelVerificationPassesOnHealthyCode) {
+  const BenchmarkDef& def = benchmark();
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_mini_c(def.optimized_source, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.dump();
+  KernelVerifier verifier;
+  auto prepared = verifier.prepare(*program, diags);
+  ASSERT_NE(prepared.program, nullptr) << diags.dump();
+  RunResult run = run_lowered(*prepared.program, prepared.sema,
+                              def.bind_inputs, false, &verifier);
+  ASSERT_TRUE(run.ok) << run.error;
+  EXPECT_TRUE(verifier.report().all_passed());
+  EXPECT_EQ(static_cast<int>(verifier.report().verdicts.size()),
+            def.expected_kernel_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkSuiteTest,
+                         ::testing::Values("BACKPROP", "BFS", "CFD", "CG",
+                                           "EP", "HOTSPOT", "JACOBI",
+                                           "KMEANS", "LUD", "NW", "SPMUL",
+                                           "SRAD"));
+
+TEST(BenchmarkRegistryTest, TwelveBenchmarksRegistered) {
+  EXPECT_EQ(benchmark_suite().size(), 12u);
+  EXPECT_EQ(find_benchmark("NOSUCH"), nullptr);
+}
+
+}  // namespace
+}  // namespace miniarc

@@ -1,0 +1,444 @@
+#include <gtest/gtest.h>
+
+#include "cfg/cfg_builder.h"
+#include "dataflow/dead_variable_analysis.h"
+#include "dataflow/first_access_analysis.h"
+#include "dataflow/last_write_analysis.h"
+#include "dataflow/liveness.h"
+#include "tests/test_util.h"
+
+namespace miniarc {
+namespace {
+
+using test::analyzed;
+
+// ---- BitSet ----
+
+TEST(BitSetTest, SetTestReset) {
+  BitSet set(130);
+  EXPECT_FALSE(set.any());
+  set.set(0);
+  set.set(64);
+  set.set(129);
+  EXPECT_TRUE(set.test(0));
+  EXPECT_TRUE(set.test(64));
+  EXPECT_TRUE(set.test(129));
+  EXPECT_FALSE(set.test(1));
+  EXPECT_EQ(set.count(), 3);
+  set.reset(64);
+  EXPECT_FALSE(set.test(64));
+  EXPECT_EQ(set.count(), 2);
+}
+
+TEST(BitSetTest, UnionIntersectSubtract) {
+  BitSet a(8), b(8);
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  BitSet u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3);
+  BitSet i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1);
+  EXPECT_TRUE(i.test(2));
+  BitSet d = a;
+  d.subtract(b);
+  EXPECT_EQ(d.count(), 1);
+  EXPECT_TRUE(d.test(1));
+}
+
+TEST(BitSetTest, UniverseAndEquality) {
+  BitSet u = BitSet::universe(5);
+  EXPECT_EQ(u.count(), 5);
+  BitSet v(5);
+  for (int i = 0; i < 5; ++i) v.set(i);
+  EXPECT_EQ(u, v);
+}
+
+// ---- CFG structure ----
+
+TEST(CfgTest, StraightLine) {
+  auto [program, info] = analyzed("void main(void) { int x; x = 1; x = 2; }");
+  auto cfg = build_cfg(program->main().body());
+  // entry + 3 statements + exit
+  EXPECT_EQ(cfg->nodes().size(), 5u);
+  EXPECT_TRUE(cfg->loops().empty());
+}
+
+TEST(CfgTest, IfElseBranchesAndJoin) {
+  auto [program, info] = analyzed(R"(
+void main(void) {
+  int x;
+  x = 0;
+  if (x > 0) { x = 1; } else { x = 2; }
+  x = 3;
+}
+)");
+  auto cfg = build_cfg(program->main().body());
+  int branches = 0;
+  int joins = 0;
+  for (const auto& node : cfg->nodes()) {
+    if (node.kind == CfgNodeKind::kBranch) ++branches;
+    if (node.kind == CfgNodeKind::kJoin) ++joins;
+  }
+  EXPECT_EQ(branches, 1);
+  EXPECT_EQ(joins, 1);
+}
+
+TEST(CfgTest, ForLoopHasBackEdgeAndLoopInfo) {
+  auto [program, info] = analyzed(R"(
+void main(void) {
+  int i;
+  for (i = 0; i < 3; i++) { i = i; }
+}
+)");
+  auto cfg = build_cfg(program->main().body());
+  ASSERT_EQ(cfg->loops().size(), 1u);
+  const CfgLoop& loop = cfg->loop(0);
+  EXPECT_GE(loop.head, 0);
+  EXPECT_FALSE(loop.contains_kernel);
+  // The head must have two predecessors: preheader and back edge.
+  EXPECT_GE(cfg->node(loop.head).preds.size(), 2u);
+}
+
+TEST(CfgTest, NestedLoopsTrackParents) {
+  auto [program, info] = analyzed(R"(
+void main(void) {
+  int i;
+  int j;
+  for (i = 0; i < 3; i++) {
+    for (j = 0; j < 3; j++) { j = j; }
+  }
+}
+)");
+  auto cfg = build_cfg(program->main().body());
+  ASSERT_EQ(cfg->loops().size(), 2u);
+  EXPECT_EQ(cfg->loop(0).parent, -1);
+  EXPECT_EQ(cfg->loop(1).parent, 0);
+}
+
+TEST(CfgTest, ComputeRegionIsAtomicAndMarksLoop) {
+  auto [program, info] = analyzed(R"(
+extern double a[];
+void main(void) {
+  int k;
+  int i;
+  for (k = 0; k < 3; k++) {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 4; i++) { a[i] = 1.0; }
+  }
+}
+)");
+  auto cfg = build_cfg(program->main().body());
+  ASSERT_EQ(cfg->loops().size(), 1u);  // the kernel's loop is inside the region
+  EXPECT_TRUE(cfg->loop(0).contains_kernel);
+}
+
+TEST(CfgTest, BreakExitsLoop) {
+  auto [program, info] = analyzed(R"(
+void main(void) {
+  int i;
+  for (i = 0; i < 10; i++) {
+    if (i == 3) { break; }
+  }
+  i = 99;
+}
+)");
+  auto cfg = build_cfg(program->main().body());
+  // Must terminate and keep the post-loop statement reachable from entry.
+  int reachable = 0;
+  std::vector<int> stack{cfg->entry()};
+  std::vector<bool> seen(cfg->nodes().size(), false);
+  while (!stack.empty()) {
+    int n = stack.back();
+    stack.pop_back();
+    if (seen[static_cast<std::size_t>(n)]) continue;
+    seen[static_cast<std::size_t>(n)] = true;
+    ++reachable;
+    for (int s : cfg->node(n).succs) stack.push_back(s);
+  }
+  EXPECT_TRUE(seen[static_cast<std::size_t>(cfg->exit())]);
+  EXPECT_EQ(reachable, static_cast<int>(cfg->nodes().size()));
+}
+
+// ---- liveness ----
+
+TEST(LivenessTest, ExternBuffersLiveOut) {
+  auto [program, info] = analyzed(R"(
+extern double a[];
+void main(void) {
+  a[0] = 1.0;
+}
+)");
+  auto cfg = build_cfg(program->main().body());
+  LivenessResult live = analyze_liveness(*cfg, info, DeviceSide::kHost);
+  // At exit, extern a is live.
+  int idx = live.vars.index_of("a");
+  ASSERT_GE(idx, 0);
+  EXPECT_TRUE(live.flow.out[static_cast<std::size_t>(cfg->exit())].test(idx));
+}
+
+TEST(LivenessTest, LocalScratchDeadAtExit) {
+  auto [program, info] = analyzed(R"(
+void main(void) {
+  double* b = (double*)malloc(8 * sizeof(double));
+  b[0] = 1.0;
+}
+)");
+  auto cfg = build_cfg(program->main().body());
+  LivenessResult live = analyze_liveness(*cfg, info, DeviceSide::kHost);
+  int idx = live.vars.index_of("b");
+  ASSERT_GE(idx, 0);
+  EXPECT_FALSE(live.flow.out[static_cast<std::size_t>(cfg->exit())].test(idx));
+}
+
+// ---- may-dead / must-dead (paper Algorithm 1) ----
+
+struct DeadCase {
+  const char* name;
+  const char* source;
+  const char* var;
+  Deadness expected_at_entry;  // at the first statement of main
+};
+
+class DeadnessTest : public ::testing::TestWithParam<DeadCase> {};
+
+TEST_P(DeadnessTest, ClassifiesAtFirstStatement) {
+  auto [program, info] = analyzed(GetParam().source);
+  auto cfg = build_cfg(program->main().body());
+  DeadnessResult result =
+      analyze_deadness(*cfg, info, DeviceSide::kHost);
+  // First real statement node.
+  int first = -1;
+  for (const auto& node : cfg->nodes()) {
+    if (node.kind == CfgNodeKind::kStatement ||
+        node.kind == CfgNodeKind::kBranch) {
+      first = node.id;
+      break;
+    }
+  }
+  ASSERT_GE(first, 0);
+  EXPECT_EQ(result.at_entry(first, GetParam().var),
+            GetParam().expected_at_entry)
+      << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DeadnessTest,
+    ::testing::Values(
+        // Read later without a prior write: live.
+        DeadCase{"read-later", R"(
+extern double s[];
+extern double out[];
+void main(void) {
+  out[0] = s[0];
+}
+)",
+                 "s", Deadness::kLive},
+        // Partially written first on every path: may-dead (the CG `q` case,
+        // paper §II-C).
+        DeadCase{"partial-write-first", R"(
+extern double q[];
+extern double out[];
+void main(void) {
+  q[0] = 1.0;
+  q[1] = 2.0;
+  out[0] = q[0];
+}
+)",
+                 "q", Deadness::kMayDead}),
+    [](const ::testing::TestParamInfo<DeadCase>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(DeadnessTest, NeverAccessedScratchIsMustDead) {
+  auto [program, info] = analyzed(R"(
+void main(void) {
+  double* unused = (double*)malloc(8 * sizeof(double));
+  int x;
+  x = 1;
+}
+)");
+  auto cfg = build_cfg(program->main().body());
+  DeadnessResult result = analyze_deadness(*cfg, info, DeviceSide::kHost);
+  // At the assignment (after the declaration), the scratch buffer is never
+  // accessed again on any path: must-dead.
+  int assign_node = -1;
+  for (const auto& node : cfg->nodes()) {
+    if (node.stmt != nullptr && node.stmt->kind() == StmtKind::kAssign) {
+      assign_node = node.id;
+    }
+  }
+  ASSERT_GE(assign_node, 0);
+  EXPECT_EQ(result.at_entry(assign_node, "unused"), Deadness::kMustDead);
+}
+
+TEST(DeadnessTest, LoopMayBeSkippedKeepsVarLive) {
+  // A possibly-zero-trip loop writing q does not make q dead at entry: the
+  // skip path reads it first (the all-paths requirement of Algorithm 1).
+  auto [program, info] = analyzed(R"(
+extern double q[];
+extern double out[];
+void main(void) {
+  int j;
+  for (j = 0; j < 4; j++) { q[j] = 1.0; }
+  out[0] = q[0];
+}
+)");
+  auto cfg = build_cfg(program->main().body());
+  DeadnessResult result = analyze_deadness(*cfg, info, DeviceSide::kHost);
+  int first = -1;
+  for (const auto& node : cfg->nodes()) {
+    if (node.kind == CfgNodeKind::kStatement ||
+        node.kind == CfgNodeKind::kBranch) {
+      first = node.id;
+      break;
+    }
+  }
+  ASSERT_GE(first, 0);
+  EXPECT_EQ(result.at_entry(first, "q"), Deadness::kLive);
+}
+
+TEST(DeadnessTest, KernelWriteKillsCpuLiveness) {
+  // A GPU kernel overwriting `a` kills the CPU copy: the CPU value before
+  // the kernel is neither live nor dead (Algorithm 1's KILL handling).
+  auto [program, info] = analyzed(R"(
+extern double a[];
+void main(void) {
+  int i;
+  a[0] = 1.0;
+#pragma acc kernels loop gang worker
+  for (i = 0; i < 4; i++) { a[i] = 2.0; }
+}
+)");
+  auto cfg = build_cfg(program->main().body());
+  DeadnessResult result = analyze_deadness(*cfg, info, DeviceSide::kHost);
+  // Find the host assignment node (a[0] = 1.0).
+  int assign_node = -1;
+  for (const auto& node : cfg->nodes()) {
+    if (node.stmt != nullptr && node.stmt->kind() == StmtKind::kAssign) {
+      assign_node = node.id;
+      break;
+    }
+  }
+  ASSERT_GE(assign_node, 0);
+  EXPECT_EQ(result.at_exit(assign_node, "a"), Deadness::kMustDead);
+}
+
+// ---- last-write (paper Algorithm 2) ----
+
+TEST(LastWriteTest, LastWriteBeforeKernelIdentified) {
+  auto [program, info] = analyzed(R"(
+extern double a[];
+extern double b[];
+void main(void) {
+  int i;
+  a[0] = 1.0;
+  a[1] = 2.0;
+#pragma acc kernels loop gang worker
+  for (i = 0; i < 4; i++) { b[i] = a[i]; }
+}
+)");
+  auto cfg = build_cfg(program->main().body());
+  LastWriteResult result =
+      analyze_last_writes(*cfg, info, DeviceSide::kHost);
+  std::vector<int> writes;
+  for (const auto& node : cfg->nodes()) {
+    if (node.stmt != nullptr && node.stmt->kind() == StmtKind::kAssign) {
+      writes.push_back(node.id);
+    }
+  }
+  ASSERT_EQ(writes.size(), 2u);
+  EXPECT_FALSE(result.is_last_write(writes[0], "a"));
+  EXPECT_TRUE(result.is_last_write(writes[1], "a"));
+}
+
+// ---- first-access (placement analysis) ----
+
+TEST(FirstAccessTest, SecondReadNeedsNoCheck) {
+  auto [program, info] = analyzed(R"(
+extern double a[];
+extern double out[];
+void main(void) {
+  out[0] = a[0];
+  out[1] = a[1];
+}
+)");
+  auto cfg = build_cfg(program->main().body());
+  FirstAccessResult result = analyze_first_accesses(*cfg, info);
+  std::vector<int> reads;
+  for (const auto& node : cfg->nodes()) {
+    if (node.stmt != nullptr && node.stmt->kind() == StmtKind::kAssign) {
+      reads.push_back(node.id);
+    }
+  }
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_TRUE(result.needs_read_check(reads[0], "a"));
+  EXPECT_FALSE(result.needs_read_check(reads[1], "a"));
+}
+
+TEST(FirstAccessTest, KernelCallResetsChecks) {
+  auto [program, info] = analyzed(R"(
+extern double a[];
+extern double out[];
+void main(void) {
+  int i;
+  out[0] = a[0];
+#pragma acc kernels loop gang worker
+  for (i = 0; i < 4; i++) { a[i] = 1.0; }
+  out[1] = a[1];
+}
+)");
+  auto cfg = build_cfg(program->main().body());
+  FirstAccessResult result = analyze_first_accesses(*cfg, info);
+  std::vector<int> reads;
+  for (const auto& node : cfg->nodes()) {
+    if (node.stmt != nullptr && node.stmt->kind() == StmtKind::kAssign) {
+      reads.push_back(node.id);
+    }
+  }
+  ASSERT_EQ(reads.size(), 2u);
+  // The read after the kernel is a first read again.
+  EXPECT_TRUE(result.needs_read_check(reads[1], "a"));
+}
+
+// ---- generic solver sanity on a diamond ----
+
+TEST(SolverTest, ForwardIntersectOnDiamond) {
+  auto [program, info] = analyzed(R"(
+extern double a[];
+extern double out[];
+void main(void) {
+  int x;
+  x = 0;
+  if (x > 0) {
+    out[0] = a[0];
+  } else {
+    x = 1;
+  }
+  out[1] = a[1];
+}
+)");
+  auto cfg = build_cfg(program->main().body());
+  FirstAccessResult result = analyze_first_accesses(*cfg, info);
+  // The read of `a` after the diamond is only covered on one path, so it
+  // still needs a check (meet is intersection).
+  std::vector<int> reads;
+  for (const auto& node : cfg->nodes()) {
+    if (node.stmt != nullptr && node.stmt->kind() == StmtKind::kAssign &&
+        node.loop == -1) {
+      reads.push_back(node.id);
+    }
+  }
+  ASSERT_FALSE(reads.empty());
+  EXPECT_TRUE(result.needs_read_check(reads.back(), "a"));
+}
+
+}  // namespace
+}  // namespace miniarc

@@ -1,0 +1,454 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/test_util.h"
+
+namespace miniarc {
+namespace {
+
+using test::lowered;
+using test::run_source;
+
+// ---- expression & statement semantics ----
+
+TEST(InterpTest, ArithmeticAndPrecedence) {
+  RunResult run = run_source(R"(
+extern double out[];
+void main(void) {
+  out[0] = 1.0 + 2.0 * 3.0;
+  out[1] = (1.0 + 2.0) * 3.0;
+  out[2] = 7.0 / 2.0;
+  out[3] = 1.0 - 2.0 - 3.0;
+}
+)",
+                             [](Interpreter& interp) {
+                               interp.bind_buffer("out", ScalarKind::kDouble,
+                                                  4);
+                             });
+  BufferPtr out = run.interp->buffer("out");
+  EXPECT_DOUBLE_EQ(out->get(0), 7.0);
+  EXPECT_DOUBLE_EQ(out->get(1), 9.0);
+  EXPECT_DOUBLE_EQ(out->get(2), 3.5);
+  EXPECT_DOUBLE_EQ(out->get(3), -4.0);
+}
+
+TEST(InterpTest, IntegerSemantics) {
+  RunResult run = run_source(R"(
+extern int out[];
+void main(void) {
+  out[0] = 7 / 2;
+  out[1] = 7 % 3;
+  out[2] = 1 << 4;
+  out[3] = 255 >> 2;
+  out[4] = 12 & 10;
+  out[5] = 12 | 10;
+  out[6] = 12 ^ 10;
+  out[7] = ~0 & 255;
+}
+)",
+                             [](Interpreter& interp) {
+                               interp.bind_buffer("out", ScalarKind::kInt, 8);
+                             });
+  BufferPtr out = run.interp->buffer("out");
+  EXPECT_EQ(out->get(0), 3.0);
+  EXPECT_EQ(out->get(1), 1.0);
+  EXPECT_EQ(out->get(2), 16.0);
+  EXPECT_EQ(out->get(3), 63.0);
+  EXPECT_EQ(out->get(4), 8.0);
+  EXPECT_EQ(out->get(5), 14.0);
+  EXPECT_EQ(out->get(6), 6.0);
+  EXPECT_EQ(out->get(7), 255.0);
+}
+
+TEST(InterpTest, ControlFlow) {
+  RunResult run = run_source(R"(
+extern int out[];
+void main(void) {
+  int i;
+  int total;
+  total = 0;
+  for (i = 0; i < 10; i++) {
+    if (i == 3) { continue; }
+    if (i == 7) { break; }
+    total += i;
+  }
+  out[0] = total;
+  while (total > 10) {
+    total -= 10;
+  }
+  out[1] = total;
+}
+)",
+                             [](Interpreter& interp) {
+                               interp.bind_buffer("out", ScalarKind::kInt, 2);
+                             });
+  // 0+1+2+4+5+6 = 18, then 18-10 = 8.
+  EXPECT_EQ(run.interp->buffer("out")->get(0), 18.0);
+  EXPECT_EQ(run.interp->buffer("out")->get(1), 8.0);
+}
+
+TEST(InterpTest, UserFunctionsAndIntrinsics) {
+  RunResult run = run_source(R"(
+extern double out[];
+double hypot2(double x, double y) {
+  return sqrt(x * x + y * y);
+}
+void main(void) {
+  out[0] = hypot2(3.0, 4.0);
+  out[1] = fmax(2.0, exp(0.0));
+  out[2] = max(3, 9);
+}
+)",
+                             [](Interpreter& interp) {
+                               interp.bind_buffer("out", ScalarKind::kDouble,
+                                                  3);
+                             });
+  EXPECT_DOUBLE_EQ(run.interp->buffer("out")->get(0), 5.0);
+  EXPECT_DOUBLE_EQ(run.interp->buffer("out")->get(1), 2.0);
+  EXPECT_DOUBLE_EQ(run.interp->buffer("out")->get(2), 9.0);
+}
+
+TEST(InterpTest, MallocFreeAndAliasing) {
+  RunResult run = run_source(R"(
+extern double out[];
+void main(void) {
+  double* p = (double*)malloc(4 * sizeof(double));
+  double* alias = p;
+  p[0] = 41.0;
+  alias[0] = alias[0] + 1.0;
+  out[0] = p[0];
+  free(p);
+}
+)",
+                             [](Interpreter& interp) {
+                               interp.bind_buffer("out", ScalarKind::kDouble,
+                                                  1);
+                             });
+  EXPECT_DOUBLE_EQ(run.interp->buffer("out")->get(0), 42.0);
+}
+
+TEST(InterpTest, MultiDimArrayIndexing) {
+  RunResult run = run_source(R"(
+extern double out[];
+void main(void) {
+  double grid[3][4];
+  int r;
+  int c;
+  for (r = 0; r < 3; r++) {
+    for (c = 0; c < 4; c++) {
+      grid[r][c] = r * 10.0 + c;
+    }
+  }
+  out[0] = grid[2][3];
+  out[1] = grid[0][1];
+}
+)",
+                             [](Interpreter& interp) {
+                               interp.bind_buffer("out", ScalarKind::kDouble,
+                                                  2);
+                             });
+  EXPECT_DOUBLE_EQ(run.interp->buffer("out")->get(0), 23.0);
+  EXPECT_DOUBLE_EQ(run.interp->buffer("out")->get(1), 1.0);
+}
+
+// ---- runtime error detection ----
+
+TEST(InterpTest, OutOfBoundsThrows) {
+  LoweredProgram low = lowered(R"(
+extern double a[];
+void main(void) {
+  a[10] = 1.0;
+}
+)");
+  RunResult run = run_lowered(*low.program, low.sema,
+                              [](Interpreter& interp) {
+                                interp.bind_buffer("a", ScalarKind::kDouble,
+                                                   4);
+                              },
+                              false);
+  EXPECT_FALSE(run.ok);
+  EXPECT_NE(run.error.find("out of bounds"), std::string::npos);
+}
+
+TEST(InterpTest, DivisionByZeroThrows) {
+  LoweredProgram low = lowered(R"(
+extern int out[];
+void main(void) {
+  int z;
+  z = 0;
+  out[0] = 5 / z;
+}
+)");
+  RunResult run = run_lowered(*low.program, low.sema,
+                              [](Interpreter& interp) {
+                                interp.bind_buffer("out", ScalarKind::kInt, 1);
+                              },
+                              false);
+  EXPECT_FALSE(run.ok);
+  EXPECT_NE(run.error.find("division by zero"), std::string::npos);
+}
+
+TEST(InterpTest, UnboundExternThrows) {
+  LoweredProgram low = lowered(R"(
+extern int N;
+void main(void) {
+  int x;
+  x = N;
+}
+)");
+  RunResult run = run_lowered(*low.program, low.sema, nullptr, false);
+  EXPECT_FALSE(run.ok);
+  EXPECT_NE(run.error.find("was not bound"), std::string::npos);
+}
+
+TEST(InterpTest, StatementBudgetGuards) {
+  LoweredProgram low = lowered(R"(
+void main(void) {
+  int x;
+  x = 0;
+  while (x < 2) {
+    x = 0;
+  }
+}
+)");
+  AccRuntime runtime;
+  InterpOptions options;
+  options.max_statements = 10'000;
+  Interpreter interp(*low.program, low.sema, runtime, options);
+  EXPECT_THROW(interp.run(), InterpError);
+}
+
+// ---- kernel execution on the simulated device ----
+
+TEST(KernelExecTest, KernelWritesDeviceNotHost) {
+  // Without a copy-out, host data stays untouched — separate address spaces.
+  RunResult run = run_source(R"(
+extern double a[];
+void main(void) {
+  int i;
+#pragma acc data copyin(a)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 4; i++) { a[i] = 99.0; }
+  }
+}
+)",
+                             [](Interpreter& interp) {
+                               BufferPtr a = interp.bind_buffer(
+                                   "a", ScalarKind::kDouble, 4);
+                               for (int i = 0; i < 4; ++i) a->set(i, 1.0);
+                             });
+  EXPECT_DOUBLE_EQ(run.interp->buffer("a")->get(0), 1.0);  // host unchanged
+  EXPECT_DOUBLE_EQ(
+      run.runtime->device_buffer(*run.interp->buffer("a"))->get(0), 99.0);
+}
+
+TEST(KernelExecTest, DefaultSchemeRoundTrips) {
+  RunResult run = run_source(R"(
+extern double a[];
+void main(void) {
+  int i;
+#pragma acc kernels loop gang worker
+  for (i = 0; i < 8; i++) { a[i] = a[i] * 2.0; }
+}
+)",
+                             [](Interpreter& interp) {
+                               BufferPtr a = interp.bind_buffer(
+                                   "a", ScalarKind::kDouble, 8);
+                               for (int i = 0; i < 8; ++i) a->set(i, i);
+                             });
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(run.interp->buffer("a")->get(i), 2.0 * i);
+  }
+}
+
+TEST(KernelExecTest, ReductionMatchesSequential) {
+  RunResult run = run_source(R"(
+extern double a[];
+extern double out[];
+void main(void) {
+  int i;
+  double s;
+  s = 100.0;
+#pragma acc kernels loop gang worker reduction(+:s)
+  for (i = 0; i < 64; i++) { s += a[i]; }
+  out[0] = s;
+}
+)",
+                             [](Interpreter& interp) {
+                               BufferPtr a = interp.bind_buffer(
+                                   "a", ScalarKind::kDouble, 64);
+                               for (int i = 0; i < 64; ++i) a->set(i, 0.5);
+                               interp.bind_buffer("out", ScalarKind::kDouble,
+                                                  1);
+                             });
+  EXPECT_NEAR(run.interp->buffer("out")->get(0), 132.0, 1e-9);
+}
+
+TEST(KernelExecTest, MaxReduction) {
+  RunResult run = run_source(R"(
+extern double a[];
+extern double out[];
+void main(void) {
+  int i;
+  double m;
+  m = -1000.0;
+#pragma acc kernels loop gang worker reduction(max:m)
+  for (i = 0; i < 32; i++) {
+    if (a[i] > m) { m = a[i]; }
+  }
+  out[0] = m;
+}
+)",
+                             [](Interpreter& interp) {
+                               BufferPtr a = interp.bind_buffer(
+                                   "a", ScalarKind::kDouble, 32);
+                               for (int i = 0; i < 32; ++i) {
+                                 a->set(i, i == 17 ? 500.0 : i);
+                               }
+                               interp.bind_buffer("out", ScalarKind::kDouble,
+                                                  1);
+                             });
+  EXPECT_DOUBLE_EQ(run.interp->buffer("out")->get(0), 500.0);
+}
+
+TEST(KernelExecTest, PrivateArraysPerWorker) {
+  RunResult run = run_source(R"(
+extern double out[];
+void main(void) {
+  int i;
+  int k2;
+  double scratch[4];
+#pragma acc kernels loop gang worker private(scratch)
+  for (i = 0; i < 16; i++) {
+    for (k2 = 0; k2 < 4; k2++) { scratch[k2] = i * 1.0; }
+    out[i] = scratch[3];
+  }
+}
+)",
+                             [](Interpreter& interp) {
+                               interp.bind_buffer("out", ScalarKind::kDouble,
+                                                  16);
+                             });
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(run.interp->buffer("out")->get(i), i);
+  }
+}
+
+TEST(KernelExecTest, StrippedReductionLosesUpdates) {
+  // Fault model: reduction clause removed and recognition disabled — the
+  // falsely-shared accumulator keeps only the first worker's partial
+  // (an active error).
+  LoweringOptions no_auto;
+  no_auto.auto_privatize = false;
+  no_auto.auto_reduction = false;
+  RunResult run = run_source(R"(
+extern double a[];
+extern double out[];
+void main(void) {
+  int i;
+  double s;
+  s = 0.0;
+#pragma acc kernels loop gang worker
+  for (i = 0; i < 256; i++) { s = s + a[i]; }
+  out[0] = s;
+}
+)",
+                             [](Interpreter& interp) {
+                               BufferPtr a = interp.bind_buffer(
+                                   "a", ScalarKind::kDouble, 256);
+                               for (int i = 0; i < 256; ++i) a->set(i, 1.0);
+                               interp.bind_buffer("out", ScalarKind::kDouble,
+                                                  1);
+                             },
+                             false, no_auto);
+  EXPECT_LT(run.interp->buffer("out")->get(0), 256.0);  // updates lost
+  EXPECT_GT(run.interp->buffer("out")->get(0), 0.0);
+}
+
+TEST(KernelExecTest, StrippedPrivateTempStaysLatent) {
+  // Fault model: private clause removed — register caching keeps the array
+  // results correct; the dump-back equals the sequential value.
+  LoweringOptions no_auto;
+  no_auto.auto_privatize = false;
+  no_auto.auto_reduction = false;
+  RunResult run = run_source(R"(
+extern double a[];
+void main(void) {
+  int i;
+  double t;
+#pragma acc kernels loop gang worker
+  for (i = 0; i < 32; i++) {
+    t = a[i] * 2.0;
+    a[i] = t;
+  }
+}
+)",
+                             [](Interpreter& interp) {
+                               BufferPtr a = interp.bind_buffer(
+                                   "a", ScalarKind::kDouble, 32);
+                               for (int i = 0; i < 32; ++i) a->set(i, i);
+                             },
+                             false, no_auto);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(run.interp->buffer("a")->get(i), 2.0 * i);
+  }
+  // Dump-back equals the sequential final value (last iteration).
+  EXPECT_DOUBLE_EQ(run.interp->scalar("t").as_double(), 62.0);
+}
+
+TEST(KernelExecTest, UpdateDirectivesMoveData) {
+  RunResult run = run_source(R"(
+extern double a[];
+extern double out[];
+void main(void) {
+  int i;
+  int j;
+#pragma acc data copyin(a)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 4; i++) { a[i] = a[i] + 5.0; }
+#pragma acc update host(a)
+    out[0] = a[0];
+    a[1] = 100.0;
+#pragma acc update device(a)
+#pragma acc kernels loop gang worker
+    for (j = 0; j < 4; j++) { a[j] = a[j] * 2.0; }
+#pragma acc update host(a)
+  }
+  out[1] = a[1];
+}
+)",
+                             [](Interpreter& interp) {
+                               BufferPtr a = interp.bind_buffer(
+                                   "a", ScalarKind::kDouble, 4);
+                               for (int i = 0; i < 4; ++i) a->set(i, 1.0);
+                               interp.bind_buffer("out", ScalarKind::kDouble,
+                                                  2);
+                             });
+  EXPECT_DOUBLE_EQ(run.interp->buffer("out")->get(0), 6.0);
+  EXPECT_DOUBLE_EQ(run.interp->buffer("out")->get(1), 200.0);
+}
+
+TEST(KernelExecTest, DeviceStatementsBilled) {
+  RunResult run = run_source(R"(
+extern double a[];
+void main(void) {
+  int i;
+#pragma acc kernels loop gang worker
+  for (i = 0; i < 100; i++) { a[i] = 1.0; }
+}
+)",
+                             [](Interpreter& interp) {
+                               interp.bind_buffer("a", ScalarKind::kDouble,
+                                                  100);
+                             });
+  EXPECT_GE(run.interp->device_statements(), 100);
+  EXPECT_GT(run.runtime->profiler().seconds(ProfileCategory::kKernelExec),
+            0.0);
+  EXPECT_GT(run.interp->host_statements(), 0);
+}
+
+}  // namespace
+}  // namespace miniarc

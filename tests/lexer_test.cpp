@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "lexer/lexer.h"
+
+namespace miniarc {
+namespace {
+
+std::vector<Token> lex(const std::string& source) {
+  DiagnosticEngine diags;
+  Lexer lexer(source, diags);
+  auto tokens = lexer.lex_all();
+  EXPECT_FALSE(diags.has_errors()) << diags.dump();
+  return tokens;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].is(TokenKind::kEof));
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto tokens = lex("int foo while whilex _bar");
+  EXPECT_TRUE(tokens[0].is(TokenKind::kKwInt));
+  EXPECT_TRUE(tokens[1].is(TokenKind::kIdentifier));
+  EXPECT_EQ(tokens[1].text, "foo");
+  EXPECT_TRUE(tokens[2].is(TokenKind::kKwWhile));
+  EXPECT_TRUE(tokens[3].is(TokenKind::kIdentifier));  // not a keyword
+  EXPECT_TRUE(tokens[4].is(TokenKind::kIdentifier));
+}
+
+TEST(LexerTest, IntegerAndFloatLiterals) {
+  auto tokens = lex("42 3.5 1e9 2.5e-3 7f 9L");
+  EXPECT_TRUE(tokens[0].is(TokenKind::kIntLiteral));
+  EXPECT_TRUE(tokens[1].is(TokenKind::kFloatLiteral));
+  EXPECT_TRUE(tokens[2].is(TokenKind::kFloatLiteral));
+  EXPECT_TRUE(tokens[3].is(TokenKind::kFloatLiteral));
+  EXPECT_TRUE(tokens[4].is(TokenKind::kFloatLiteral));  // f suffix
+  EXPECT_TRUE(tokens[5].is(TokenKind::kIntLiteral));    // L suffix
+}
+
+struct OperatorCase {
+  const char* text;
+  TokenKind kind;
+};
+
+class LexerOperatorTest : public ::testing::TestWithParam<OperatorCase> {};
+
+TEST_P(LexerOperatorTest, LexesOperator) {
+  auto tokens = lex(GetParam().text);
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, GetParam().kind)
+      << "for operator " << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperators, LexerOperatorTest,
+    ::testing::Values(
+        OperatorCase{"+", TokenKind::kPlus}, OperatorCase{"-", TokenKind::kMinus},
+        OperatorCase{"*", TokenKind::kStar}, OperatorCase{"/", TokenKind::kSlash},
+        OperatorCase{"%", TokenKind::kPercent},
+        OperatorCase{"++", TokenKind::kPlusPlus},
+        OperatorCase{"--", TokenKind::kMinusMinus},
+        OperatorCase{"+=", TokenKind::kPlusAssign},
+        OperatorCase{"-=", TokenKind::kMinusAssign},
+        OperatorCase{"*=", TokenKind::kStarAssign},
+        OperatorCase{"/=", TokenKind::kSlashAssign},
+        OperatorCase{"<", TokenKind::kLess},
+        OperatorCase{"<=", TokenKind::kLessEqual},
+        OperatorCase{">", TokenKind::kGreater},
+        OperatorCase{">=", TokenKind::kGreaterEqual},
+        OperatorCase{"==", TokenKind::kEqualEqual},
+        OperatorCase{"!=", TokenKind::kBangEqual},
+        OperatorCase{"&&", TokenKind::kAmpAmp},
+        OperatorCase{"||", TokenKind::kPipePipe},
+        OperatorCase{"<<", TokenKind::kShl},
+        OperatorCase{">>", TokenKind::kShr},
+        OperatorCase{"&", TokenKind::kAmp},
+        OperatorCase{"|", TokenKind::kPipe},
+        OperatorCase{"^", TokenKind::kCaret},
+        OperatorCase{"~", TokenKind::kTilde},
+        OperatorCase{"!", TokenKind::kBang}));
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = lex("a // line comment\n b /* block\ncomment */ c");
+  ASSERT_EQ(tokens.size(), 4u);  // a b c eof
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[2].text, "c");
+}
+
+TEST(LexerTest, PragmaCapturesWholeLine) {
+  auto tokens = lex("#pragma acc kernels loop gang worker copy(q)\nint x;");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_TRUE(tokens[0].is(TokenKind::kPragma));
+  EXPECT_EQ(tokens[0].text, "acc kernels loop gang worker copy(q)");
+  EXPECT_TRUE(tokens[1].is(TokenKind::kKwInt));
+}
+
+TEST(LexerTest, PragmaBackslashContinuation) {
+  auto tokens = lex("#pragma acc kernels loop \\\n gang worker\nint x;");
+  EXPECT_TRUE(tokens[0].is(TokenKind::kPragma));
+  EXPECT_NE(tokens[0].text.find("gang worker"), std::string::npos);
+  EXPECT_TRUE(tokens[1].is(TokenKind::kKwInt));
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  auto tokens = lex("a\nbb\n  c");
+  EXPECT_EQ(tokens[0].location.line, 1u);
+  EXPECT_EQ(tokens[1].location.line, 2u);
+  EXPECT_EQ(tokens[2].location.line, 3u);
+  EXPECT_EQ(tokens[2].location.column, 3u);
+}
+
+TEST(LexerTest, UnknownCharacterIsError) {
+  DiagnosticEngine diags;
+  Lexer lexer("a $ b", diags);
+  (void)lexer.lex_all();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(LexerTest, NonPragmaPreprocessorIsError) {
+  DiagnosticEngine diags;
+  Lexer lexer("#include <stdio.h>\n", diags);
+  (void)lexer.lex_all();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+}  // namespace
+}  // namespace miniarc

@@ -1,0 +1,250 @@
+// Unit coverage for the smaller public APIs: the directive model, the
+// DirectiveBuilder, directive rewriting primitives, the interpreter value/
+// environment types, intrinsics, printer edge cases, and the profiler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "acc/directive_rewriter.h"
+#include "acc/region_builder.h"
+#include "acc/region_model.h"
+#include "ast/visitor.h"
+#include "ast/printer.h"
+#include "interp/env.h"
+#include "interp/intrinsics.h"
+#include "runtime/profiler.h"
+#include "tests/test_util.h"
+
+namespace miniarc {
+namespace {
+
+// ---- Directive model ----
+
+TEST(DirectiveModelTest, AddRemovePruneVars) {
+  Directive d(DirectiveKind::kData);
+  d.add_var_to_clause(ClauseKind::kCopy, "a");
+  d.add_var_to_clause(ClauseKind::kCopy, "b");
+  d.add_var_to_clause(ClauseKind::kCopy, "a");  // duplicate ignored
+  ASSERT_NE(d.find_clause(ClauseKind::kCopy), nullptr);
+  EXPECT_EQ(d.find_clause(ClauseKind::kCopy)->vars.size(), 2u);
+
+  EXPECT_TRUE(d.remove_var_from_data_clauses("a"));
+  EXPECT_FALSE(d.remove_var_from_data_clauses("a"));
+  EXPECT_TRUE(d.remove_var_from_data_clauses("b"));
+  d.prune_empty_clauses();
+  EXPECT_FALSE(d.has_clause(ClauseKind::kCopy));
+}
+
+TEST(DirectiveModelTest, TransferDirectionPredicates) {
+  EXPECT_TRUE(transfers_in(ClauseKind::kCopy));
+  EXPECT_TRUE(transfers_out(ClauseKind::kCopy));
+  EXPECT_TRUE(transfers_in(ClauseKind::kCopyin));
+  EXPECT_FALSE(transfers_out(ClauseKind::kCopyin));
+  EXPECT_FALSE(transfers_in(ClauseKind::kCreate));
+  EXPECT_FALSE(transfers_out(ClauseKind::kCreate));
+  EXPECT_FALSE(transfers_in(ClauseKind::kPresent));
+  EXPECT_TRUE(is_data_clause(ClauseKind::kPresentOrCopy));
+  EXPECT_FALSE(is_data_clause(ClauseKind::kGang));
+}
+
+TEST(DirectiveModelTest, StrRendersPragma) {
+  Directive d = DirectiveBuilder::data().copyin({"a", "b"}).create({"c"}).build();
+  std::string text = d.str();
+  EXPECT_NE(text.find("#pragma acc data"), std::string::npos);
+  EXPECT_NE(text.find("copyin(a,b)"), std::string::npos);
+  EXPECT_NE(text.find("create(c)"), std::string::npos);
+}
+
+TEST(DirectiveBuilderTest, KernelsLoopWithEverything) {
+  Directive d = DirectiveBuilder::kernels_loop()
+                    .gang()
+                    .worker()
+                    .copy({"q"})
+                    .priv({"t"})
+                    .reduction(ReductionOp::kSum, {"s"})
+                    .async(2)
+                    .num_gangs(16)
+                    .num_workers(4)
+                    .build();
+  EXPECT_EQ(d.kind, DirectiveKind::kKernelsLoop);
+  EXPECT_TRUE(d.has_clause(ClauseKind::kGang));
+  EXPECT_TRUE(d.find_clause(ClauseKind::kPrivate)->names_var("t"));
+  EXPECT_EQ(d.find_clause(ClauseKind::kReduction)->reduction_op,
+            ReductionOp::kSum);
+  EXPECT_EQ(*d.async_queue(), 2);
+  LaunchConfig config = launch_config_of(d);
+  EXPECT_EQ(config.num_gangs, 16);
+  EXPECT_EQ(config.num_workers, 4);
+}
+
+TEST(DirectiveRewriterTest, SetAndDropDataClause) {
+  Directive d = DirectiveBuilder::data().copy({"a"}).build();
+  EXPECT_TRUE(set_data_clause(d, "a", ClauseKind::kCopyin));
+  EXPECT_EQ(d.data_clause_for("a")->kind, ClauseKind::kCopyin);
+  EXPECT_FALSE(set_data_clause(d, "a", ClauseKind::kCopyin));  // no change
+  EXPECT_TRUE(drop_data_clause(d, "a"));
+  EXPECT_EQ(d.data_clause_for("a"), nullptr);
+}
+
+TEST(DirectiveRewriterTest, PruneEmptyUpdates) {
+  auto program = test::parse_ok(R"(
+extern double a[];
+void main(void) {
+#pragma acc update host(a)
+}
+)");
+  // Empty the update's variable list, then prune.
+  walk_stmts(program->main().body(), [&](Stmt& stmt) {
+    if (stmt.kind() == StmtKind::kAccStandalone) {
+      drop_update_var(stmt.as<AccStandaloneStmt>().directive(), "a");
+    }
+  });
+  EXPECT_EQ(prune_empty_updates(program->main().body()), 1);
+}
+
+// ---- Value / Env ----
+
+TEST(ValueTest, KindsAndConversions) {
+  Value i = Value::of_int(42);
+  EXPECT_TRUE(i.is_int());
+  EXPECT_EQ(i.as_int(), 42);
+  EXPECT_DOUBLE_EQ(i.as_double(), 42.0);
+  EXPECT_TRUE(i.truthy());
+  EXPECT_FALSE(Value::of_int(0).truthy());
+
+  Value d = Value::of_double(2.5);
+  EXPECT_TRUE(d.is_double());
+  EXPECT_EQ(d.as_int(), 2);  // truncation
+
+  Value b = Value::of_buffer(std::make_shared<TypedBuffer>(
+      ScalarKind::kDouble, 4));
+  EXPECT_TRUE(b.is_buffer());
+  EXPECT_THROW((void)b.as_double(), std::runtime_error);
+  EXPECT_THROW((void)d.as_buffer(), std::runtime_error);
+  EXPECT_NE(b.str().find("buffer"), std::string::npos);
+}
+
+TEST(EnvTest, FramesShadowBase) {
+  Env env;
+  env.set("x", Value::of_int(1));
+  env.push_frame();
+  env.set("x", Value::of_int(2));
+  EXPECT_EQ(env.get("x").as_int(), 2);
+  env.pop_frame();
+  EXPECT_EQ(env.get("x").as_int(), 1);
+  EXPECT_THROW((void)env.get("nosuch"), std::runtime_error);
+}
+
+TEST(EnvTest, AssignWritesInnermostBinding) {
+  Env env;
+  env.set("x", Value::of_int(1));
+  env.push_frame();
+  env.set("x", Value::of_int(2));
+  env.assign("x", Value::of_int(3));
+  EXPECT_EQ(env.get("x").as_int(), 3);
+  env.pop_frame();
+  EXPECT_EQ(env.get("x").as_int(), 1);  // base untouched
+}
+
+// ---- intrinsics ----
+
+TEST(IntrinsicsTest, MathFunctions) {
+  EXPECT_DOUBLE_EQ(
+      eval_intrinsic("sqrt", {Value::of_double(16.0)}).as_double(), 4.0);
+  EXPECT_DOUBLE_EQ(
+      eval_intrinsic("pow", {Value::of_double(2.0), Value::of_double(10.0)})
+          .as_double(),
+      1024.0);
+  EXPECT_DOUBLE_EQ(
+      eval_intrinsic("fabs", {Value::of_double(-3.0)}).as_double(), 3.0);
+  EXPECT_EQ(eval_intrinsic("abs", {Value::of_int(-5)}).as_int(), 5);
+  EXPECT_EQ(
+      eval_intrinsic("min", {Value::of_int(3), Value::of_int(7)}).as_int(), 3);
+}
+
+TEST(IntrinsicsTest, ArityAndUnknownErrors) {
+  EXPECT_THROW((void)eval_intrinsic("sqrt", {}), std::runtime_error);
+  EXPECT_THROW((void)eval_intrinsic("frobnicate", {Value::of_int(1)}),
+               std::runtime_error);
+}
+
+// ---- printer edge cases ----
+
+TEST(PrinterTest, ParenthesizationPreservesSemantics) {
+  auto program = test::parse_ok(
+      "void main(void) { int x; x = (1 + 2) * (3 - 4) / (5 % 3); }");
+  std::string text = print_program(*program);
+  EXPECT_NE(text.find("(1 + 2)"), std::string::npos);
+  // Re-parse and evaluate: the reproduced expression must still be
+  // structurally a division at the top.
+  DiagnosticEngine diags;
+  ProgramPtr reparsed = parse_mini_c(text, diags);
+  ASSERT_FALSE(diags.has_errors());
+  const auto& assign =
+      reparsed->main().body().as<CompoundStmt>().stmts()[1]->as<AssignStmt>();
+  EXPECT_EQ(assign.rhs().as<Binary>().op(), BinaryOp::kDiv);
+}
+
+TEST(PrinterTest, FloatLiteralsRoundTrip) {
+  auto program =
+      test::parse_ok("void main(void) { double x; x = 3.0; x = 0.125; }");
+  std::string text = print_program(*program);
+  DiagnosticEngine diags;
+  ProgramPtr reparsed = parse_mini_c(text, diags);
+  ASSERT_FALSE(diags.has_errors()) << text;
+  EXPECT_EQ(print_program(*reparsed), text);
+}
+
+TEST(PrinterTest, LoweredStatementsPrintAsRuntimeCalls) {
+  LoweredProgram low = test::lowered(R"(
+extern double a[];
+void main(void) {
+  int i;
+#pragma acc kernels loop gang worker async(1)
+  for (i = 0; i < 4; i++) { a[i] = 1.0; }
+#pragma acc wait(1)
+}
+)");
+  std::string text = print_program(*low.program);
+  EXPECT_NE(text.find("acc_malloc(a)"), std::string::npos);
+  EXPECT_NE(text.find("acc_memcpy_to_device(a"), std::string::npos);
+  EXPECT_NE(text.find("main_kernel0<<<"), std::string::npos);
+  EXPECT_NE(text.find("acc_wait(1)"), std::string::npos);
+  EXPECT_NE(text.find("acc_free(a)"), std::string::npos);
+}
+
+// ---- profiler ----
+
+TEST(ProfilerTest, AccumulatesAndResets) {
+  Profiler profiler;
+  profiler.add(ProfileCategory::kMemTransfer, 1.0);
+  profiler.add(ProfileCategory::kMemTransfer, 0.5);
+  profiler.add(ProfileCategory::kCpuTime, 2.0);
+  profiler.add_transfer(TransferDirection::kHostToDevice, 100);
+  profiler.add_transfer(TransferDirection::kDeviceToHost, 50);
+  EXPECT_DOUBLE_EQ(profiler.seconds(ProfileCategory::kMemTransfer), 1.5);
+  EXPECT_DOUBLE_EQ(profiler.total_seconds(), 3.5);
+  EXPECT_EQ(profiler.transfers().total_bytes(), 150u);
+  EXPECT_EQ(profiler.transfers().h2d_count, 1u);
+  EXPECT_NE(profiler.breakdown().find("Mem Transfer"), std::string::npos);
+  profiler.reset();
+  EXPECT_DOUBLE_EQ(profiler.total_seconds(), 0.0);
+  EXPECT_EQ(profiler.transfers().total_count(), 0u);
+}
+
+// ---- type model ----
+
+TEST(TypeTest, Predicates) {
+  EXPECT_TRUE(Type::double_type().is_scalar());
+  EXPECT_TRUE(Type::pointer_to(ScalarKind::kDouble).is_buffer());
+  Type array = Type::array_of(ScalarKind::kFloat, {3, 4});
+  EXPECT_TRUE(array.is_array());
+  EXPECT_EQ(array.static_element_count(), 12);
+  EXPECT_EQ(array.element_type().array_dims().size(), 1u);
+  EXPECT_EQ(array.str(), "float[3][4]");
+  EXPECT_EQ(scalar_size(ScalarKind::kInt), 4u);
+  EXPECT_EQ(scalar_size(ScalarKind::kDouble), 8u);
+}
+
+}  // namespace
+}  // namespace miniarc

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "ast/clone.h"
+#include "ast/visitor.h"
+#include "ast/printer.h"
+#include "tests/test_util.h"
+
+namespace miniarc {
+namespace {
+
+using test::parse_ok;
+
+const Stmt& first_stmt(const Program& program) {
+  return *program.main().body().as<CompoundStmt>().stmts().front();
+}
+
+TEST(ParserTest, GlobalsAndMain) {
+  auto program = parse_ok(R"(
+extern int N;
+extern double a[];
+const double PI = 3.14;
+
+void main(void) {
+  int x;
+  x = 1;
+}
+)");
+  ASSERT_EQ(program->globals.size(), 3u);
+  EXPECT_TRUE(program->globals[0]->is_extern);
+  EXPECT_TRUE(program->globals[1]->type().is_pointer());
+  EXPECT_TRUE(program->globals[2]->is_const);
+  EXPECT_NE(program->find_function("main"), nullptr);
+}
+
+TEST(ParserTest, StaticArrayDeclaration) {
+  auto program = parse_ok("void main(void) { double grid[4][8]; }");
+  const auto& decl = first_stmt(*program).as<DeclStmt>().decl();
+  ASSERT_TRUE(decl.type().is_array());
+  EXPECT_EQ(decl.type().array_dims().size(), 2u);
+  EXPECT_EQ(decl.type().static_element_count(), 32);
+}
+
+TEST(ParserTest, MallocWithCast) {
+  auto program = parse_ok(
+      "void main(void) { double* p = (double*)malloc(8 * sizeof(double)); }");
+  const auto& decl = first_stmt(*program).as<DeclStmt>().decl();
+  EXPECT_TRUE(decl.type().is_pointer());
+  ASSERT_NE(decl.init(), nullptr);
+  EXPECT_EQ(decl.init()->kind(), ExprKind::kCast);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto program = parse_ok("void main(void) { int x; x = 1 + 2 * 3; }");
+  const auto& assign =
+      program->main().body().as<CompoundStmt>().stmts()[1]->as<AssignStmt>();
+  const auto& rhs = assign.rhs().as<Binary>();
+  EXPECT_EQ(rhs.op(), BinaryOp::kAdd);
+  EXPECT_EQ(rhs.rhs().as<Binary>().op(), BinaryOp::kMul);
+}
+
+TEST(ParserTest, TernaryAndComparison) {
+  auto program =
+      parse_ok("void main(void) { double x; x = 1 < 2 ? 3.0 : 4.0; }");
+  const auto& assign =
+      program->main().body().as<CompoundStmt>().stmts()[1]->as<AssignStmt>();
+  EXPECT_EQ(assign.rhs().kind(), ExprKind::kTernary);
+}
+
+TEST(ParserTest, ForLoopCanonicalForm) {
+  auto program = parse_ok(
+      "void main(void) { int i; for (i = 0; i < 10; i++) { i = i; } }");
+  const auto& loop =
+      program->main().body().as<CompoundStmt>().stmts()[1]->as<ForStmt>();
+  EXPECT_EQ(loop.induction_var(), "i");
+}
+
+TEST(ParserTest, BreakContinueReturn) {
+  auto program = parse_ok(R"(
+int helper(int v) {
+  return v + 1;
+}
+void main(void) {
+  int i;
+  for (i = 0; i < 10; i++) {
+    if (i == 3) { continue; }
+    if (i == 7) { break; }
+  }
+  i = helper(i);
+}
+)");
+  EXPECT_NE(program->find_function("helper"), nullptr);
+}
+
+TEST(ParserTest, DoWhileDesugars) {
+  auto program = parse_ok(
+      "void main(void) { int i; i = 0; do { i++; } while (i < 3); }");
+  // Desugared form: { body; while (cond) body; }
+  const auto& stmts = program->main().body().as<CompoundStmt>().stmts();
+  EXPECT_EQ(stmts.back()->kind(), StmtKind::kCompound);
+}
+
+TEST(ParserTest, MissingSemicolonIsError) {
+  DiagnosticEngine diags;
+  (void)parse_mini_c("void main(void) { int x x = 1; }", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(ParserTest, LoopDirectiveRequiresFor) {
+  DiagnosticEngine diags;
+  (void)parse_mini_c(
+      "void main(void) {\n#pragma acc kernels loop\n{ int x; } }", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+// ---- directive parsing ----
+
+Directive parse_directive(const std::string& body_source) {
+  auto program = parse_ok(body_source);
+  Directive result;
+  bool found = false;
+  walk_stmts(program->main().body(), [&](const Stmt& stmt) {
+    if (found) return;
+    if (stmt.kind() == StmtKind::kAcc) {
+      result = stmt.as<AccStmt>().directive().clone();
+      found = true;
+    } else if (stmt.kind() == StmtKind::kAccStandalone) {
+      result = stmt.as<AccStandaloneStmt>().directive().clone();
+      found = true;
+    }
+  });
+  EXPECT_TRUE(found);
+  return result;
+}
+
+TEST(DirectiveParserTest, DataClausesWithVarLists) {
+  Directive d = parse_directive(R"(
+extern double a[];
+extern double b[];
+extern double c[];
+void main(void) {
+#pragma acc data copy(a) copyin(b) create(c)
+  { int x; }
+}
+)");
+  EXPECT_EQ(d.kind, DirectiveKind::kData);
+  EXPECT_TRUE(d.data_clause_for("a") != nullptr);
+  EXPECT_EQ(d.data_clause_for("a")->kind, ClauseKind::kCopy);
+  EXPECT_EQ(d.data_clause_for("b")->kind, ClauseKind::kCopyin);
+  EXPECT_EQ(d.data_clause_for("c")->kind, ClauseKind::kCreate);
+}
+
+TEST(DirectiveParserTest, KernelsLoopWithGangWorkerAsync) {
+  Directive d = parse_directive(R"(
+extern double q[];
+void main(void) {
+  int j;
+#pragma acc kernels loop gang worker async(1) copy(q)
+  for (j = 0; j < 4; j++) { q[j] = 0.0; }
+}
+)");
+  EXPECT_EQ(d.kind, DirectiveKind::kKernelsLoop);
+  EXPECT_TRUE(d.has_clause(ClauseKind::kGang));
+  EXPECT_TRUE(d.has_clause(ClauseKind::kWorker));
+  ASSERT_TRUE(d.async_queue().has_value());
+  EXPECT_EQ(*d.async_queue(), 1);
+}
+
+TEST(DirectiveParserTest, ReductionClause) {
+  Directive d = parse_directive(R"(
+void main(void) {
+  int i;
+  double sum;
+  sum = 0.0;
+#pragma acc kernels loop reduction(+:sum)
+  for (i = 0; i < 4; i++) { sum += 1.0; }
+}
+)");
+  const Clause* red = d.find_clause(ClauseKind::kReduction);
+  ASSERT_NE(red, nullptr);
+  EXPECT_EQ(red->reduction_op, ReductionOp::kSum);
+  EXPECT_TRUE(red->names_var("sum"));
+}
+
+TEST(DirectiveParserTest, UpdateHostDevice) {
+  Directive d = parse_directive(R"(
+extern double a[];
+extern double b[];
+void main(void) {
+#pragma acc update host(a) device(b)
+}
+)");
+  EXPECT_EQ(d.kind, DirectiveKind::kUpdate);
+  EXPECT_TRUE(d.find_clause(ClauseKind::kUpdateHost)->names_var("a"));
+  EXPECT_TRUE(d.find_clause(ClauseKind::kUpdateDevice)->names_var("b"));
+}
+
+TEST(DirectiveParserTest, WaitWithQueue) {
+  Directive d = parse_directive(R"(
+void main(void) {
+#pragma acc wait(1)
+}
+)");
+  EXPECT_EQ(d.kind, DirectiveKind::kWait);
+  const Clause* arg = d.find_clause(ClauseKind::kWaitArg);
+  ASSERT_NE(arg, nullptr);
+  ASSERT_NE(arg->arg, nullptr);
+  EXPECT_EQ(arg->arg->as<IntLit>().value(), 1);
+}
+
+TEST(DirectiveParserTest, SubarrayBoundsAccepted) {
+  Directive d = parse_directive(R"(
+extern double a[];
+void main(void) {
+#pragma acc data copy(a[0:100])
+  { int x; }
+}
+)");
+  EXPECT_TRUE(d.data_clause_for("a") != nullptr);
+}
+
+TEST(DirectiveParserTest, OpenarcBound) {
+  auto program = parse_ok(R"(
+extern double a[];
+void main(void) {
+  int i;
+#pragma acc kernels loop
+  for (i = 0; i < 4; i++) {
+#pragma openarc bound(a, 0.0, 1.0)
+    a[i] = 0.5;
+  }
+}
+)");
+  (void)program;
+}
+
+TEST(DirectiveParserTest, UnknownClauseIsError) {
+  DiagnosticEngine diags;
+  (void)parse_mini_c(
+      "void main(void) {\n#pragma acc data frobnicate(x)\n{ int y; } }",
+      diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+// ---- clone + printer round trips ----
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, PrintParsePrintIsStable) {
+  auto program = parse_ok(GetParam());
+  std::string once = print_program(*program);
+  DiagnosticEngine diags;
+  ProgramPtr reparsed = parse_mini_c(once, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.dump() << "\nsource:\n" << once;
+  EXPECT_EQ(print_program(*reparsed), once);
+}
+
+TEST_P(RoundTripTest, ClonePrintsIdentically) {
+  auto program = parse_ok(GetParam());
+  ProgramPtr copy = clone_program(*program);
+  EXPECT_EQ(print_program(*program), print_program(*copy));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, RoundTripTest,
+    ::testing::Values(
+        "void main(void) { int x; x = 1 + 2 * 3; }",
+        "extern double a[];\nvoid main(void) { int i;\n#pragma acc kernels "
+        "loop gang worker\nfor (i = 0; i < 4; i++) { a[i] = 2.0 * a[i]; } }",
+        "void main(void) { int i; double s; s = 0.0; for (i = 0; i < 3; i++) "
+        "{ s += 1.5; } }",
+        "void main(void) { double* p = (double*)malloc(4 * sizeof(double)); "
+        "p[0] = 1.0; free(p); }",
+        "extern double q[];\nextern double w[];\nvoid main(void) { int j;\n"
+        "#pragma acc data create(q,w)\n{\n#pragma acc kernels loop gang "
+        "worker\nfor (j = 0; j < 8; j++) { q[j] = w[j]; }\n} }"));
+
+}  // namespace
+}  // namespace miniarc

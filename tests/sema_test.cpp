@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "sema/access_summary.h"
+#include "tests/test_util.h"
+
+namespace miniarc {
+namespace {
+
+using test::analyzed;
+using test::expect_frontend_error;
+
+TEST(SemaTest, BuffersAndExternsCollected) {
+  auto [program, info] = analyzed(R"(
+extern int N;
+extern double a[];
+void main(void) {
+  double grid[4];
+  double* p = (double*)malloc(8 * sizeof(double));
+  int x;
+  x = 0;
+}
+)");
+  EXPECT_TRUE(info.is_buffer("a"));
+  EXPECT_TRUE(info.is_buffer("grid"));
+  EXPECT_TRUE(info.is_buffer("p"));
+  EXPECT_FALSE(info.is_buffer("x"));
+  EXPECT_FALSE(info.is_buffer("N"));
+  EXPECT_TRUE(info.extern_vars.contains("a"));
+  EXPECT_TRUE(info.extern_vars.contains("N"));
+  EXPECT_FALSE(info.extern_vars.contains("p"));
+}
+
+TEST(SemaTest, PointerAliasSetsAreTransitive) {
+  auto [program, info] = analyzed(R"(
+void main(void) {
+  double* a = (double*)malloc(8 * sizeof(double));
+  double* b = a;
+  double* c = b;
+  double* d = (double*)malloc(8 * sizeof(double));
+}
+)");
+  EXPECT_TRUE(info.may_alias("a", "c"));
+  EXPECT_TRUE(info.may_alias("b", "a"));
+  EXPECT_TRUE(info.has_aliases("a"));
+  EXPECT_FALSE(info.has_aliases("d"));
+  EXPECT_FALSE(info.may_alias("a", "d"));
+}
+
+TEST(SemaTest, ShadowingIsRejected) {
+  expect_frontend_error(
+      "void main(void) { int x; { int x; } }", "shadows");
+}
+
+TEST(SemaTest, UndeclaredVariableIsRejected) {
+  expect_frontend_error("void main(void) { y = 1; }", "undeclared");
+}
+
+TEST(SemaTest, ConstAssignmentIsRejected) {
+  expect_frontend_error(
+      "const int K = 3;\nvoid main(void) { K = 4; }", "const");
+}
+
+TEST(SemaTest, MissingMainIsRejected) {
+  expect_frontend_error("int foo(void) { return 1; }", "main");
+}
+
+TEST(SemaTest, DataClauseRequiresBuffer) {
+  expect_frontend_error(R"(
+void main(void) {
+  int x;
+  x = 0;
+#pragma acc data copy(x)
+  { int y; }
+}
+)",
+                        "requires an array or pointer");
+}
+
+TEST(SemaTest, UnknownClauseVariableIsRejected) {
+  expect_frontend_error(R"(
+void main(void) {
+#pragma acc data copy(nosuch)
+  { int y; }
+}
+)",
+                        "unknown variable");
+}
+
+TEST(SemaTest, WrongArityCallIsRejected) {
+  expect_frontend_error(R"(
+double f(double x) { return x; }
+void main(void) { double y; y = f(1.0, 2.0); }
+)",
+                        "wrong number of arguments");
+}
+
+TEST(SemaTest, IntrinsicsAreKnown) {
+  EXPECT_TRUE(is_intrinsic("sqrt"));
+  EXPECT_TRUE(is_intrinsic("malloc"));
+  EXPECT_TRUE(is_intrinsic("max"));
+  EXPECT_FALSE(is_intrinsic("printf"));
+  EXPECT_EQ(intrinsic_result("sqrt"), ScalarKind::kDouble);
+  EXPECT_EQ(intrinsic_result("max"), ScalarKind::kLong);
+}
+
+// ---- access summaries ----
+
+TEST(AccessSummaryTest, ReadWriteClassification) {
+  auto [program, info] = analyzed(R"(
+extern double a[];
+extern double b[];
+void main(void) {
+  int i;
+  for (i = 0; i < 4; i++) {
+    b[i] = 2.0 * a[i];
+  }
+}
+)");
+  AccessMap map = summarize_accesses(program->main().body(), info);
+  EXPECT_TRUE(map.at("a").read);
+  EXPECT_FALSE(map.at("a").written);
+  EXPECT_TRUE(map.at("b").written);
+  EXPECT_FALSE(map.at("b").read);
+  EXPECT_TRUE(map.at("b").partial_write);
+  EXPECT_TRUE(map.at("i").written);
+  EXPECT_TRUE(map.at("i").read);
+  EXPECT_FALSE(map.at("i").is_buffer);
+}
+
+TEST(AccessSummaryTest, CompoundAssignmentReadsAndWrites) {
+  auto [program, info] = analyzed(R"(
+extern double a[];
+void main(void) {
+  a[0] += 1.0;
+}
+)");
+  AccessMap map = summarize_accesses(program->main().body(), info);
+  EXPECT_TRUE(map.at("a").read);
+  EXPECT_TRUE(map.at("a").written);
+}
+
+TEST(AccessSummaryTest, ScalarAssignmentIsFullWrite) {
+  auto [program, info] = analyzed(R"(
+void main(void) {
+  double t;
+  t = 1.0;
+}
+)");
+  AccessMap map = summarize_accesses(program->main().body(), info);
+  EXPECT_TRUE(map.at("t").written);
+  EXPECT_FALSE(map.at("t").partial_write);
+}
+
+TEST(AccessSummaryTest, ShallowSummaryOnlyCoversCondition) {
+  auto [program, info] = analyzed(R"(
+extern double a[];
+extern double b[];
+void main(void) {
+  int i;
+  i = 0;
+  while (a[0] > 0.0) {
+    b[i] = 1.0;
+  }
+}
+)");
+  const auto& stmts = program->main().body().as<CompoundStmt>().stmts();
+  const Stmt& loop = *stmts.back();
+  AccessMap shallow = summarize_shallow(loop, info);
+  EXPECT_TRUE(shallow.contains("a"));   // condition read
+  EXPECT_FALSE(shallow.contains("b"));  // body not included
+}
+
+}  // namespace
+}  // namespace miniarc

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+#include "support/source_location.h"
+#include "support/str.h"
+
+namespace miniarc {
+namespace {
+
+TEST(SourceLocationTest, InvalidByDefault) {
+  SourceLocation loc;
+  EXPECT_FALSE(loc.valid());
+  EXPECT_EQ(loc.str(), "<unknown>");
+}
+
+TEST(SourceLocationTest, FormatsLineColumn) {
+  SourceLocation loc{12, 7};
+  EXPECT_TRUE(loc.valid());
+  EXPECT_EQ(loc.str(), "12:7");
+}
+
+TEST(SourceRangeTest, FormatsRange) {
+  SourceRange range{{1, 2}, {3, 4}};
+  EXPECT_EQ(range.str(), "1:2-3:4");
+}
+
+TEST(DiagnosticsTest, CountsErrorsOnly) {
+  DiagnosticEngine diags;
+  diags.warning({1, 1}, "w");
+  diags.note({1, 2}, "n");
+  EXPECT_FALSE(diags.has_errors());
+  diags.error({2, 1}, "e");
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 1u);
+  EXPECT_EQ(diags.diagnostics().size(), 3u);
+}
+
+TEST(DiagnosticsTest, DumpContainsSeverityAndMessage) {
+  DiagnosticEngine diags;
+  diags.error({3, 4}, "something bad");
+  std::string dump = diags.dump();
+  EXPECT_NE(dump.find("3:4"), std::string::npos);
+  EXPECT_NE(dump.find("error"), std::string::npos);
+  EXPECT_NE(dump.find("something bad"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, ClearResets) {
+  DiagnosticEngine diags;
+  diags.error({1, 1}, "x");
+  diags.clear();
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_TRUE(diags.diagnostics().empty());
+}
+
+TEST(StrTest, TrimBothEnds) {
+  EXPECT_EQ(trim("  abc \t"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \n "), "");
+}
+
+TEST(StrTest, SplitTrimmedDropsEmpties) {
+  auto parts = split_trimmed("a, b ,, c ", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrTest, JoinRoundTrips) {
+  EXPECT_EQ(join({"x", "y", "z"}, "::"), "x::y::z");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StrTest, StartsWith) {
+  EXPECT_TRUE(starts_with("update0", "update"));
+  EXPECT_FALSE(starts_with("upd", "update"));
+}
+
+}  // namespace
+}  // namespace miniarc

@@ -1,0 +1,66 @@
+// Shared helpers for the miniARC test suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "parser/parser.h"
+#include "sema/sema.h"
+#include "translate/pipeline.h"
+#include "verify/interactive_optimizer.h"
+
+namespace miniarc::test {
+
+/// Parse, failing the test on diagnostics.
+inline ProgramPtr parse_ok(const std::string& source) {
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_mini_c(source, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.dump();
+  return program;
+}
+
+/// Parse + sema and expect at least one error mentioning `needle`.
+inline void expect_frontend_error(const std::string& source,
+                                  const std::string& needle) {
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_mini_c(source, diags);
+  if (!diags.has_errors() && program != nullptr) {
+    (void)analyze_program(*program, diags);
+  }
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.dump().find(needle), std::string::npos) << diags.dump();
+}
+
+/// Parse + sema, failing the test on diagnostics.
+inline std::pair<ProgramPtr, SemaInfo> analyzed(const std::string& source) {
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_mini_c(source, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.dump();
+  SemaInfo info = analyze_program(*program, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.dump();
+  return {std::move(program), std::move(info)};
+}
+
+/// Parse + lower, failing the test on diagnostics.
+inline LoweredProgram lowered(const std::string& source,
+                              const LoweringOptions& options = {}) {
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_mini_c(source, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.dump();
+  LoweredProgram result = lower_program(*program, diags, options);
+  EXPECT_NE(result.program, nullptr) << diags.dump();
+  return result;
+}
+
+/// Lower and run with `bind`; fails the test if execution errors.
+inline RunResult run_source(const std::string& source, const InputBinder& bind,
+                            bool checker = false,
+                            const LoweringOptions& options = {}) {
+  LoweredProgram low = lowered(source, options);
+  RunResult result = run_lowered(*low.program, low.sema, bind, checker);
+  EXPECT_TRUE(result.ok) << result.error;
+  return result;
+}
+
+}  // namespace miniarc::test

@@ -1,0 +1,517 @@
+#include <gtest/gtest.h>
+
+#include "acc/region_model.h"
+#include "ast/visitor.h"
+#include "faults/fault_injector.h"
+#include "tests/test_util.h"
+#include "translate/default_memory.h"
+#include "translate/demotion.h"
+#include "translate/instrumentation.h"
+#include "translate/result_comparison.h"
+
+namespace miniarc {
+namespace {
+
+using test::analyzed;
+using test::lowered;
+using test::parse_ok;
+
+constexpr const char* kTwoKernelLoop = R"(
+extern int N;
+extern double a[];
+void main(void) {
+  int k;
+  int i;
+  int j;
+  double* b = (double*)malloc(N * sizeof(double));
+  for (k = 0; k < 3; k++) {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < N; i++) { b[i] = a[i] + 1.0; }
+#pragma acc kernels loop gang worker
+    for (j = 0; j < N; j++) { a[j] = b[j]; }
+  }
+}
+)";
+
+template <StmtKind Kind>
+int count_kind(const Stmt& body) {
+  int count = 0;
+  walk_stmts(body, [&](const Stmt& stmt) {
+    if (stmt.kind() == Kind) ++count;
+  });
+  return count;
+}
+
+// ---- region model ----
+
+TEST(RegionModelTest, KernelNamingAndNesting) {
+  auto [program, info] = analyzed(kTwoKernelLoop);
+  RegionModel model = build_region_model(*program, info);
+  ASSERT_EQ(model.compute_regions.size(), 2u);
+  EXPECT_EQ(model.compute_regions[0].kernel_name, "main_kernel0");
+  EXPECT_EQ(model.compute_regions[1].kernel_name, "main_kernel1");
+  EXPECT_TRUE(model.compute_regions[0].inside_loop);
+  EXPECT_NE(model.find_kernel("main_kernel1"), nullptr);
+  EXPECT_EQ(model.find_kernel("main_kernel9"), nullptr);
+}
+
+TEST(RegionModelTest, EnclosingDataRegionsTracked) {
+  auto [program, info] = analyzed(R"(
+extern double a[];
+void main(void) {
+  int i;
+#pragma acc data copy(a)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 4; i++) { a[i] = 1.0; }
+  }
+}
+)");
+  RegionModel model = build_region_model(*program, info);
+  ASSERT_EQ(model.compute_regions.size(), 1u);
+  EXPECT_EQ(model.compute_regions[0].enclosing_data.size(), 1u);
+  EXPECT_EQ(model.data_regions.size(), 1u);
+}
+
+// ---- auto privatization / reduction recognition ----
+
+TEST(RecognitionTest, WriteFirstScalarIsPrivate) {
+  auto program = parse_ok(R"(
+void main(void) {
+  double t;
+  int i;
+  for (i = 0; i < 4; i++) {
+    t = 1.0 * i;
+    t = t + 1.0;
+  }
+}
+)");
+  const Stmt& body = program->main().body();
+  EXPECT_EQ(first_scalar_access(body, "t"), FirstAccess::kWrite);
+  EXPECT_EQ(auto_private_scalars(body, {"t"}).count("t"), 1u);
+}
+
+TEST(RecognitionTest, SumReductionRecognized) {
+  auto program = parse_ok(R"(
+extern double a[];
+void main(void) {
+  double s;
+  int i;
+  for (i = 0; i < 4; i++) {
+    s += a[i];
+    s = s + 1.0;
+  }
+}
+)");
+  auto op = recognize_reduction(program->main().body(), "s");
+  ASSERT_TRUE(op.has_value());
+  EXPECT_EQ(*op, ReductionOp::kSum);
+}
+
+TEST(RecognitionTest, MixedUseBlocksReduction) {
+  auto program = parse_ok(R"(
+extern double a[];
+void main(void) {
+  double s;
+  int i;
+  for (i = 0; i < 4; i++) {
+    s += a[i];
+    a[i] = s;
+  }
+}
+)");
+  EXPECT_FALSE(recognize_reduction(program->main().body(), "s").has_value());
+}
+
+TEST(RecognitionTest, InductionVarsCollected) {
+  auto program = parse_ok(R"(
+void main(void) {
+  int i;
+  int j;
+  for (i = 0; i < 2; i++) {
+    for (j = 0; j < 2; j++) { j = j; }
+  }
+}
+)");
+  auto vars = loop_induction_vars(program->main().body());
+  EXPECT_TRUE(vars.contains("i"));
+  EXPECT_TRUE(vars.contains("j"));
+}
+
+// ---- outlining ----
+
+TEST(OutlinerTest, ComputeRegionLowersToLaunchWithDataManagement) {
+  LoweredProgram low = lowered(kTwoKernelLoop);
+  const Stmt& body = low.program->main().body();
+  EXPECT_EQ(count_kind<StmtKind::kKernelLaunch>(body), 2);
+  EXPECT_GT(count_kind<StmtKind::kMemTransfer>(body), 0);
+  EXPECT_GT(count_kind<StmtKind::kDevAlloc>(body), 0);
+  EXPECT_EQ(count_kind<StmtKind::kAcc>(body), 0);  // all directives lowered
+  ASSERT_EQ(low.kernel_names.size(), 2u);
+  EXPECT_EQ(low.kernel_names[0], "main_kernel0");
+}
+
+TEST(OutlinerTest, ScalarClassification) {
+  LoweredProgram low = lowered(R"(
+extern int N;
+extern double a[];
+void main(void) {
+  int i;
+  double t;
+  double s;
+  s = 0.0;
+#pragma acc kernels loop gang worker reduction(+:s)
+  for (i = 0; i < N; i++) {
+    t = a[i] * 2.0;
+    s += t;
+  }
+}
+)");
+  const KernelLaunchStmt* launch = nullptr;
+  walk_stmts(low.program->main().body(), [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::kKernelLaunch) {
+      launch = &stmt.as<KernelLaunchStmt>();
+    }
+  });
+  ASSERT_NE(launch, nullptr);
+  EXPECT_TRUE(launch->is_private("t"));     // auto-privatized
+  EXPECT_TRUE(launch->is_reduction("s"));   // explicit clause
+  EXPECT_FALSE(launch->is_private("i"));    // induction, handled separately
+  EXPECT_TRUE(launch->falsely_shared.empty());
+  // N is a by-value scalar argument.
+  EXPECT_NE(std::find(launch->scalar_args.begin(), launch->scalar_args.end(),
+                      "N"),
+            launch->scalar_args.end());
+}
+
+TEST(OutlinerTest, FaultModeCreatesFalselyShared) {
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_ok(R"(
+extern int N;
+extern double a[];
+void main(void) {
+  int i;
+  double t;
+#pragma acc kernels loop gang worker private(t)
+  for (i = 0; i < N; i++) {
+    t = a[i];
+    a[i] = t * 2.0;
+  }
+}
+)");
+  strip_parallelism_clauses(*program, diags);
+  LoweringOptions no_auto;
+  no_auto.auto_privatize = false;
+  no_auto.auto_reduction = false;
+  LoweredProgram low = lower_program(*program, diags, no_auto);
+  ASSERT_NE(low.program, nullptr) << diags.dump();
+  const KernelLaunchStmt* launch = nullptr;
+  walk_stmts(low.program->main().body(), [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::kKernelLaunch) {
+      launch = &stmt.as<KernelLaunchStmt>();
+    }
+  });
+  ASSERT_NE(launch, nullptr);
+  ASSERT_EQ(launch->falsely_shared.size(), 1u);
+  EXPECT_EQ(launch->falsely_shared[0], "t");
+}
+
+TEST(OutlinerTest, DataRegionSuppressesComputeTransfers) {
+  LoweredProgram low = lowered(R"(
+extern double a[];
+void main(void) {
+  int i;
+#pragma acc data copy(a)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 4; i++) { a[i] = 1.0; }
+  }
+}
+)");
+  // Only the data region's entry/exit transfers remain: compile-time-present
+  // suppression removed the compute region's conditional copies.
+  EXPECT_EQ(count_kind<StmtKind::kMemTransfer>(low.program->main().body()), 2);
+}
+
+TEST(OutlinerTest, UpdateDirectiveLabelsNumberLexically) {
+  LoweredProgram low = lowered(R"(
+extern double a[];
+extern double b[];
+void main(void) {
+  int i;
+#pragma acc data copy(a, b)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 4; i++) { a[i] = b[i]; }
+#pragma acc update host(a)
+#pragma acc update device(b)
+  }
+}
+)");
+  std::vector<std::string> labels;
+  walk_stmts(low.program->main().body(), [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::kMemTransfer &&
+        stmt.as<MemTransferStmt>().cause() == TransferCause::kUpdate) {
+      labels.push_back(stmt.as<MemTransferStmt>().label);
+    }
+  });
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], "update0");
+  EXPECT_EQ(labels[1], "update1");
+}
+
+// ---- demotion (§III-A) ----
+
+TEST(DemotionTest, DemotesEnclosingClausesAndAddsAsync) {
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_ok(R"(
+extern double q[];
+extern double w[];
+void main(void) {
+  int j;
+#pragma acc data create(q, w)
+  {
+#pragma acc kernels loop gang worker
+    for (j = 0; j < 8; j++) { q[j] = w[j]; }
+  }
+}
+)");
+  DemotionResult result =
+      apply_memory_transfer_demotion(*program, {}, diags);
+  EXPECT_TRUE(result.demoted.contains("main_kernel0"));
+
+  // The data region is gone; the compute region now carries copyin(w),
+  // copy(q), async(1) — the paper's Listing 2.
+  const AccStmt* region = nullptr;
+  walk_stmts(program->main().body(), [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::kAcc &&
+        is_compute_construct(stmt.as<AccStmt>().directive().kind)) {
+      region = &stmt.as<AccStmt>();
+    }
+  });
+  ASSERT_NE(region, nullptr);
+  const Directive& d = region->directive();
+  ASSERT_NE(d.data_clause_for("w"), nullptr);
+  EXPECT_EQ(d.data_clause_for("w")->kind, ClauseKind::kCopyin);
+  ASSERT_NE(d.data_clause_for("q"), nullptr);
+  EXPECT_EQ(d.data_clause_for("q")->kind, ClauseKind::kCopy);
+  ASSERT_TRUE(d.async_queue().has_value());
+  EXPECT_EQ(count_kind<StmtKind::kAcc>(program->main().body()), 1);
+}
+
+TEST(DemotionTest, UnselectedKernelsBecomeHostExec) {
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_ok(kTwoKernelLoop);
+  apply_memory_transfer_demotion(*program, {"main_kernel1"}, diags);
+  int host_exec = count_kind<StmtKind::kHostExec>(program->main().body());
+  EXPECT_EQ(host_exec, 1);  // kernel0 runs sequentially on the host
+}
+
+TEST(DemotionTest, UpdatesAndWaitsStripped) {
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_ok(R"(
+extern double a[];
+void main(void) {
+  int i;
+#pragma acc data copy(a)
+  {
+#pragma acc kernels loop gang worker async(1)
+    for (i = 0; i < 4; i++) { a[i] = 1.0; }
+#pragma acc wait(1)
+#pragma acc update host(a)
+  }
+}
+)");
+  apply_memory_transfer_demotion(*program, {}, diags);
+  int standalone = count_kind<StmtKind::kAccStandalone>(program->main().body());
+  EXPECT_EQ(standalone, 0);
+}
+
+// ---- result comparison transform ----
+
+TEST(ResultComparisonTest, EmitsHarnessInOrder) {
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_ok(kTwoKernelLoop);
+  apply_memory_transfer_demotion(*program, {}, diags);
+  LoweredProgram low = lower_program(*program, diags, {});
+  ASSERT_NE(low.program, nullptr) << diags.dump();
+  auto verified = attach_result_comparison(*low.program, {});
+  EXPECT_EQ(verified.size(), 2u);
+
+  const Stmt& body = low.program->main().body();
+  EXPECT_EQ(count_kind<StmtKind::kResultCompare>(body), 2);
+  EXPECT_EQ(count_kind<StmtKind::kHostExec>(body), 2);
+  EXPECT_EQ(count_kind<StmtKind::kWait>(body), 2);
+
+  // Output copies go to scratch; launches stash scalars.
+  walk_stmts(body, [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::kMemTransfer) {
+      const auto& transfer = stmt.as<MemTransferStmt>();
+      if (transfer.direction() == TransferDirection::kDeviceToHost) {
+        EXPECT_TRUE(transfer.to_scratch);
+      }
+      EXPECT_EQ(transfer.condition, MemTransferStmt::Condition::kAlways);
+    }
+    if (stmt.kind() == StmtKind::kKernelLaunch) {
+      EXPECT_TRUE(stmt.as<KernelLaunchStmt>().stash_scalar_results);
+      EXPECT_TRUE(stmt.as<KernelLaunchStmt>().config.async_queue.has_value());
+    }
+  });
+}
+
+// ---- instrumentation (§III-B placements) ----
+
+int count_checks(const Stmt& body, RuntimeCheckOp op) {
+  int count = 0;
+  walk_stmts(body, [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::kRuntimeCheck &&
+        stmt.as<RuntimeCheckStmt>().op() == op) {
+      ++count;
+    }
+  });
+  return count;
+}
+
+TEST(InstrumentationTest, GpuChecksAtKernelBoundary) {
+  LoweredProgram low = lowered(R"(
+extern double a[];
+extern double b[];
+void main(void) {
+  int i;
+#pragma acc kernels loop gang worker
+  for (i = 0; i < 4; i++) { b[i] = a[i]; }
+}
+)");
+  InstrumentationStats stats =
+      insert_coherence_checks(*low.program, low.sema);
+  EXPECT_GE(stats.static_checks, 2);
+  EXPECT_GE(count_checks(low.program->main().body(),
+                         RuntimeCheckOp::kCheckRead),
+            1);
+  EXPECT_GE(count_checks(low.program->main().body(),
+                         RuntimeCheckOp::kCheckWrite),
+            1);
+}
+
+TEST(InstrumentationTest, CpuFirstAccessChecksHoistOutOfLoops) {
+  LoweredProgram low = lowered(R"(
+extern double a[];
+extern double out[];
+void main(void) {
+  int i;
+  int t;
+#pragma acc kernels loop gang worker
+  for (i = 0; i < 8; i++) { a[i] = 1.0; }
+  for (t = 0; t < 8; t++) {
+    out[t] = a[t];
+  }
+}
+)");
+  InstrumentationStats stats =
+      insert_coherence_checks(*low.program, low.sema);
+  EXPECT_GT(stats.hoisted_checks, 0);
+  // The hoisted check for `a` sits before the host loop, not inside it:
+  // count occurrences of check_read inside any loop body.
+  int checks_in_loops = 0;
+  walk_stmts(low.program->main().body(), [&](const Stmt& stmt) {
+    if (stmt.kind() != StmtKind::kFor) return;
+    walk_stmts(stmt.as<ForStmt>().body(), [&](const Stmt& inner) {
+      if (inner.kind() == StmtKind::kRuntimeCheck &&
+          inner.as<RuntimeCheckStmt>().side() == DeviceSide::kHost) {
+        ++checks_in_loops;
+      }
+    });
+  });
+  EXPECT_EQ(checks_in_loops, 0);
+}
+
+TEST(InstrumentationTest, NaivePlacementEmitsMoreChecks) {
+  auto count_static = [&](bool optimize) {
+    LoweredProgram low = lowered(R"(
+extern double a[];
+extern double out[];
+void main(void) {
+  int i;
+#pragma acc kernels loop gang worker
+  for (i = 0; i < 8; i++) { a[i] = 1.0; }
+  out[0] = a[0];
+  out[1] = a[1];
+  out[2] = a[2];
+}
+)");
+    InstrumentationOptions options;
+    options.optimize_placement = optimize;
+    return insert_coherence_checks(*low.program, low.sema, options)
+        .static_checks;
+  };
+  EXPECT_GT(count_static(false), count_static(true));
+}
+
+TEST(InstrumentationTest, WriteFirstKernelBufferSkipsReadCheck) {
+  // b is written before read inside the kernel: only check_write is placed
+  // for it (the §III-B may-missing semantics).
+  LoweredProgram low = lowered(R"(
+extern double a[];
+void main(void) {
+  int i;
+  double* b = (double*)malloc(32 * sizeof(double));
+#pragma acc kernels loop gang worker
+  for (i = 1; i < 4; i++) {
+    b[i] = a[i];
+    a[i] = b[i] + b[i - 1];
+  }
+}
+)");
+  insert_coherence_checks(*low.program, low.sema);
+  bool read_check_for_b = false;
+  walk_stmts(low.program->main().body(), [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::kRuntimeCheck &&
+        stmt.as<RuntimeCheckStmt>().op() == RuntimeCheckOp::kCheckRead &&
+        stmt.as<RuntimeCheckStmt>().var() == "b") {
+      read_check_for_b = true;
+    }
+  });
+  EXPECT_FALSE(read_check_for_b);
+}
+
+// ---- fault injector ----
+
+TEST(FaultInjectorTest, CensusAndStrip) {
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_ok(R"(
+extern int N;
+extern double a[];
+void main(void) {
+  int i;
+  double t;
+  double s;
+  s = 0.0;
+#pragma acc kernels loop gang worker private(t) reduction(+:s)
+  for (i = 0; i < N; i++) {
+    t = a[i];
+    s += t;
+  }
+}
+)");
+  KernelFaultCensus census = census_kernels(*program, diags);
+  EXPECT_EQ(census.kernels_total, 1);
+  EXPECT_EQ(census.kernels_with_private, 1);
+  EXPECT_EQ(census.kernels_with_reduction, 1);
+
+  FaultInjectionResult result = strip_parallelism_clauses(*program, diags);
+  EXPECT_EQ(result.private_clauses_removed, 1);
+  EXPECT_EQ(result.reduction_clauses_removed, 1);
+  EXPECT_TRUE(result.affected_kernels.contains("main_kernel0"));
+
+  // Clauses are gone from the tree.
+  walk_stmts(program->main().body(), [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::kAcc) {
+      const Directive& d = stmt.as<AccStmt>().directive();
+      EXPECT_FALSE(d.has_clause(ClauseKind::kPrivate));
+      EXPECT_FALSE(d.has_clause(ClauseKind::kReduction));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace miniarc

@@ -1,0 +1,286 @@
+// miniarc — command-line driver for the compiler and the interactive tools.
+//
+//   miniarc translate FILE.c            show the lowered (CUDA-style) program
+//   miniarc run FILE.c                  run on the simulated GPU, print profile
+//   miniarc verify FILE.c [OPTS]        kernel verification (§III-A)
+//   miniarc check FILE.c                memory-transfer verification (§III-B)
+//   miniarc bench NAME                  run one suite benchmark by name
+//
+// Programs use `extern` declarations for inputs/outputs; the CLI binds every
+// extern scalar to a value from `--set NAME=VALUE` (default 64) and every
+// extern buffer to a zero-or-ramp-initialized array sized `--size N`
+// (default 256). For curated inputs, use the library API instead.
+//
+// verify options: --options "verificationOptions=complement=0,kernels=..."
+//                 --margin 1e-6   --min-check 1e-32
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "miniarc.h"
+
+namespace {
+
+using namespace miniarc;
+
+struct CliOptions {
+  std::string command;
+  std::string file;
+  std::vector<std::pair<std::string, double>> sets;
+  std::size_t buffer_size = 256;
+  VerificationConfig verification;
+  bool naive_checks = false;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: miniarc <translate|run|verify|check|bench> FILE "
+               "[--set NAME=VALUE]... [--size N]\n"
+               "               [--options verificationOptions=...] "
+               "[--margin X] [--min-check X] [--naive-checks]\n");
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "miniarc: cannot open '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions options;
+  if (argc < 3) usage();
+  options.command = argv[1];
+  options.file = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--set") {
+      std::string kv = next();
+      std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) usage();
+      options.sets.emplace_back(kv.substr(0, eq),
+                                std::strtod(kv.c_str() + eq + 1, nullptr));
+    } else if (arg == "--size") {
+      options.buffer_size =
+          static_cast<std::size_t>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (arg == "--options") {
+      auto parsed = VerificationConfig::parse(next());
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "miniarc: malformed --options string\n");
+        std::exit(2);
+      }
+      options.verification = *parsed;
+    } else if (arg == "--margin") {
+      options.verification.error_margin = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--min-check") {
+      options.verification.min_value_to_check =
+          std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--naive-checks") {
+      options.naive_checks = true;
+    } else {
+      usage();
+    }
+  }
+  return options;
+}
+
+/// Bind every extern declaration: scalars from --set (default 64), buffers
+/// as ramps of length --size.
+void bind_externs(Interpreter& interp, const Program& program,
+                  const CliOptions& options) {
+  for (const auto& global : program.globals) {
+    if (!global->is_extern) continue;
+    double value = 64.0;
+    for (const auto& [name, v] : options.sets) {
+      if (name == global->name()) value = v;
+    }
+    if (global->type().is_buffer()) {
+      BufferPtr buffer = interp.bind_buffer(
+          global->name(), global->type().scalar(), options.buffer_size);
+      for (std::size_t i = 0; i < buffer->count(); ++i) {
+        buffer->set(i, static_cast<double>(i % 17) * 0.25);
+      }
+    } else if (is_floating(global->type().scalar())) {
+      interp.bind_scalar(global->name(), Value::of_double(value));
+    } else {
+      interp.bind_scalar(global->name(),
+                         Value::of_int(static_cast<std::int64_t>(value)));
+    }
+  }
+}
+
+int cmd_translate(const CliOptions&, Program& program,
+                  DiagnosticEngine& diags) {
+  LoweredProgram lowered = lower_program(program, diags);
+  if (lowered.program == nullptr) {
+    std::fprintf(stderr, "%s", diags.dump().c_str());
+    return 1;
+  }
+  std::printf("%s", print_program(*lowered.program).c_str());
+  return 0;
+}
+
+int cmd_run(const CliOptions& options, Program& program,
+            DiagnosticEngine& diags) {
+  LoweredProgram lowered = lower_program(program, diags);
+  if (lowered.program == nullptr) {
+    std::fprintf(stderr, "%s", diags.dump().c_str());
+    return 1;
+  }
+  AccRuntime runtime;
+  Interpreter interp(*lowered.program, lowered.sema, runtime);
+  bind_externs(interp, *lowered.program, options);
+  try {
+    interp.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "miniarc: runtime error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("kernels: %zu   host statements: %ld   device statements: %ld\n",
+              lowered.kernel_names.size(), interp.host_statements(),
+              interp.device_statements());
+  std::printf("virtual time: %.3f us\n%s", runtime.total_time() * 1e6,
+              runtime.profiler().breakdown().c_str());
+  return 0;
+}
+
+int cmd_verify(const CliOptions& options, Program& program,
+               DiagnosticEngine& diags) {
+  KernelVerifier verifier(options.verification);
+  auto prepared = verifier.prepare(program, diags);
+  if (prepared.program == nullptr) {
+    std::fprintf(stderr, "%s", diags.dump().c_str());
+    return 1;
+  }
+  AccRuntime runtime;
+  runtime.set_allocation_pooling(false);
+  Interpreter interp(*prepared.program, prepared.sema, runtime);
+  interp.set_compare_hook(&verifier);
+  bind_externs(interp, *prepared.program, options);
+  try {
+    interp.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "miniarc: runtime error: %s\n", e.what());
+    return 1;
+  }
+  for (const auto& verdict : verifier.report().verdicts) {
+    std::printf("%-20s %-6s compared=%ld mismatches=%ld%s\n",
+                verdict.kernel.c_str(), verdict.passed() ? "PASS" : "FAIL",
+                verdict.elements_compared, verdict.mismatches,
+                verdict.checksum_failed ? " [checksum failed]" : "");
+  }
+  for (const auto& sample : verifier.report().samples) {
+    std::printf("  %s\n", sample.message().c_str());
+  }
+  return verifier.report().all_passed() ? 0 : 1;
+}
+
+int cmd_check(const CliOptions& options, Program& program,
+              DiagnosticEngine& diags) {
+  InstrumentationOptions instrumentation;
+  instrumentation.optimize_placement = !options.naive_checks;
+  TransferVerifier verifier(instrumentation);
+  auto prepared = verifier.prepare(program, diags);
+  if (prepared.program == nullptr) {
+    std::fprintf(stderr, "%s", diags.dump().c_str());
+    return 1;
+  }
+  AccRuntime runtime;
+  runtime.checker().set_enabled(true);
+  InterpOptions interp_options;
+  interp_options.enable_checker = true;
+  Interpreter interp(*prepared.program, prepared.sema, runtime,
+                     interp_options);
+  bind_externs(interp, *prepared.program, options);
+  try {
+    interp.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "miniarc: runtime error: %s\n", e.what());
+    return 1;
+  }
+
+  const RuntimeChecker& checker = runtime.checker();
+  std::printf("%d static checks (%d hoisted), %ld dynamic checks\n",
+              prepared.instrumentation.static_checks,
+              prepared.instrumentation.hoisted_checks,
+              checker.dynamic_check_count());
+  std::printf("%s", render_findings(checker.findings()).c_str());
+  std::printf("\nsuggestions:\n");
+  for (const Suggestion& s :
+       derive_suggestions(checker.site_stats(), checker.findings())) {
+    std::printf("- %s\n", s.message().c_str());
+  }
+  return 0;
+}
+
+int cmd_bench(const CliOptions& options) {
+  const BenchmarkDef* benchmark = find_benchmark(options.file);
+  if (benchmark == nullptr) {
+    std::fprintf(stderr, "miniarc: unknown benchmark '%s'; options:",
+                 options.file.c_str());
+    for (const auto& def : benchmark_suite()) {
+      std::fprintf(stderr, " %s", def.name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  DiagnosticEngine diags;
+  for (bool optimized : {false, true}) {
+    ProgramPtr program = parse_mini_c(optimized ? benchmark->optimized_source
+                                                : benchmark->unoptimized_source,
+                                      diags);
+    LoweredProgram lowered = lower_program(*program, diags);
+    if (lowered.program == nullptr) {
+      std::fprintf(stderr, "%s", diags.dump().c_str());
+      return 1;
+    }
+    RunResult run = run_lowered(*lowered.program, lowered.sema,
+                                benchmark->bind_inputs, false);
+    if (!run.ok) {
+      std::fprintf(stderr, "miniarc: %s\n", run.error.c_str());
+      return 1;
+    }
+    std::printf("%s %-11s correct=%s time=%.3f us transfers=%zu B (%zu ops)\n",
+                benchmark->name.c_str(),
+                optimized ? "(optimized)" : "(naive)",
+                benchmark->check_output(*run.interp) ? "yes" : "NO",
+                run.runtime->total_time() * 1e6,
+                run.runtime->profiler().transfers().total_bytes(),
+                run.runtime->profiler().transfers().total_count());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options = parse_args(argc, argv);
+  if (options.command == "bench") return cmd_bench(options);
+
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_mini_c(read_file(options.file), diags);
+  if (diags.has_errors()) {
+    std::fprintf(stderr, "%s", diags.dump().c_str());
+    return 1;
+  }
+
+  if (options.command == "translate") {
+    return cmd_translate(options, *program, diags);
+  }
+  if (options.command == "run") return cmd_run(options, *program, diags);
+  if (options.command == "verify") return cmd_verify(options, *program, diags);
+  if (options.command == "check") return cmd_check(options, *program, diags);
+  usage();
+}
