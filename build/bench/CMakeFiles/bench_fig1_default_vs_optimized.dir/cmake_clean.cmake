@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_default_vs_optimized.dir/bench_fig1_default_vs_optimized.cpp.o"
+  "CMakeFiles/bench_fig1_default_vs_optimized.dir/bench_fig1_default_vs_optimized.cpp.o.d"
+  "bench_fig1_default_vs_optimized"
+  "bench_fig1_default_vs_optimized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_default_vs_optimized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_interactive_optimization.dir/bench_table3_interactive_optimization.cpp.o"
+  "CMakeFiles/bench_table3_interactive_optimization.dir/bench_table3_interactive_optimization.cpp.o.d"
+  "bench_table3_interactive_optimization"
+  "bench_table3_interactive_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_interactive_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

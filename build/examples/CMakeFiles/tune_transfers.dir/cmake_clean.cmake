@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_transfers.dir/tune_transfers.cpp.o"
+  "CMakeFiles/tune_transfers.dir/tune_transfers.cpp.o.d"
+  "tune_transfers"
+  "tune_transfers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_kernels.dir/verify_kernels.cpp.o"
+  "CMakeFiles/verify_kernels.dir/verify_kernels.cpp.o.d"
+  "verify_kernels"
+  "verify_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,89 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acc/directive_rewriter.cpp" "src/CMakeFiles/miniarc.dir/acc/directive_rewriter.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/acc/directive_rewriter.cpp.o.d"
+  "/root/repo/src/acc/region_builder.cpp" "src/CMakeFiles/miniarc.dir/acc/region_builder.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/acc/region_builder.cpp.o.d"
+  "/root/repo/src/acc/region_model.cpp" "src/CMakeFiles/miniarc.dir/acc/region_model.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/acc/region_model.cpp.o.d"
+  "/root/repo/src/ast/clone.cpp" "src/CMakeFiles/miniarc.dir/ast/clone.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/ast/clone.cpp.o.d"
+  "/root/repo/src/ast/decl.cpp" "src/CMakeFiles/miniarc.dir/ast/decl.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/ast/decl.cpp.o.d"
+  "/root/repo/src/ast/directive.cpp" "src/CMakeFiles/miniarc.dir/ast/directive.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/ast/directive.cpp.o.d"
+  "/root/repo/src/ast/expr.cpp" "src/CMakeFiles/miniarc.dir/ast/expr.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/ast/expr.cpp.o.d"
+  "/root/repo/src/ast/printer.cpp" "src/CMakeFiles/miniarc.dir/ast/printer.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/ast/printer.cpp.o.d"
+  "/root/repo/src/ast/stmt.cpp" "src/CMakeFiles/miniarc.dir/ast/stmt.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/ast/stmt.cpp.o.d"
+  "/root/repo/src/ast/type.cpp" "src/CMakeFiles/miniarc.dir/ast/type.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/ast/type.cpp.o.d"
+  "/root/repo/src/ast/visitor.cpp" "src/CMakeFiles/miniarc.dir/ast/visitor.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/ast/visitor.cpp.o.d"
+  "/root/repo/src/benchsuite/benchmark_registry.cpp" "src/CMakeFiles/miniarc.dir/benchsuite/benchmark_registry.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/benchsuite/benchmark_registry.cpp.o.d"
+  "/root/repo/src/benchsuite/inputs.cpp" "src/CMakeFiles/miniarc.dir/benchsuite/inputs.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/benchsuite/inputs.cpp.o.d"
+  "/root/repo/src/benchsuite/src_backprop.cpp" "src/CMakeFiles/miniarc.dir/benchsuite/src_backprop.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/benchsuite/src_backprop.cpp.o.d"
+  "/root/repo/src/benchsuite/src_bfs.cpp" "src/CMakeFiles/miniarc.dir/benchsuite/src_bfs.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/benchsuite/src_bfs.cpp.o.d"
+  "/root/repo/src/benchsuite/src_cfd.cpp" "src/CMakeFiles/miniarc.dir/benchsuite/src_cfd.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/benchsuite/src_cfd.cpp.o.d"
+  "/root/repo/src/benchsuite/src_cg.cpp" "src/CMakeFiles/miniarc.dir/benchsuite/src_cg.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/benchsuite/src_cg.cpp.o.d"
+  "/root/repo/src/benchsuite/src_ep.cpp" "src/CMakeFiles/miniarc.dir/benchsuite/src_ep.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/benchsuite/src_ep.cpp.o.d"
+  "/root/repo/src/benchsuite/src_hotspot.cpp" "src/CMakeFiles/miniarc.dir/benchsuite/src_hotspot.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/benchsuite/src_hotspot.cpp.o.d"
+  "/root/repo/src/benchsuite/src_jacobi.cpp" "src/CMakeFiles/miniarc.dir/benchsuite/src_jacobi.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/benchsuite/src_jacobi.cpp.o.d"
+  "/root/repo/src/benchsuite/src_kmeans.cpp" "src/CMakeFiles/miniarc.dir/benchsuite/src_kmeans.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/benchsuite/src_kmeans.cpp.o.d"
+  "/root/repo/src/benchsuite/src_lud.cpp" "src/CMakeFiles/miniarc.dir/benchsuite/src_lud.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/benchsuite/src_lud.cpp.o.d"
+  "/root/repo/src/benchsuite/src_nw.cpp" "src/CMakeFiles/miniarc.dir/benchsuite/src_nw.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/benchsuite/src_nw.cpp.o.d"
+  "/root/repo/src/benchsuite/src_spmul.cpp" "src/CMakeFiles/miniarc.dir/benchsuite/src_spmul.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/benchsuite/src_spmul.cpp.o.d"
+  "/root/repo/src/benchsuite/src_srad.cpp" "src/CMakeFiles/miniarc.dir/benchsuite/src_srad.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/benchsuite/src_srad.cpp.o.d"
+  "/root/repo/src/cfg/cfg.cpp" "src/CMakeFiles/miniarc.dir/cfg/cfg.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/cfg/cfg.cpp.o.d"
+  "/root/repo/src/cfg/cfg_builder.cpp" "src/CMakeFiles/miniarc.dir/cfg/cfg_builder.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/cfg/cfg_builder.cpp.o.d"
+  "/root/repo/src/dataflow/dataflow.cpp" "src/CMakeFiles/miniarc.dir/dataflow/dataflow.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/dataflow/dataflow.cpp.o.d"
+  "/root/repo/src/dataflow/dead_variable_analysis.cpp" "src/CMakeFiles/miniarc.dir/dataflow/dead_variable_analysis.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/dataflow/dead_variable_analysis.cpp.o.d"
+  "/root/repo/src/dataflow/first_access_analysis.cpp" "src/CMakeFiles/miniarc.dir/dataflow/first_access_analysis.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/dataflow/first_access_analysis.cpp.o.d"
+  "/root/repo/src/dataflow/last_write_analysis.cpp" "src/CMakeFiles/miniarc.dir/dataflow/last_write_analysis.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/dataflow/last_write_analysis.cpp.o.d"
+  "/root/repo/src/dataflow/liveness.cpp" "src/CMakeFiles/miniarc.dir/dataflow/liveness.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/dataflow/liveness.cpp.o.d"
+  "/root/repo/src/device/cost_model.cpp" "src/CMakeFiles/miniarc.dir/device/cost_model.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/device/cost_model.cpp.o.d"
+  "/root/repo/src/device/device_memory.cpp" "src/CMakeFiles/miniarc.dir/device/device_memory.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/device/device_memory.cpp.o.d"
+  "/root/repo/src/device/gang_worker_executor.cpp" "src/CMakeFiles/miniarc.dir/device/gang_worker_executor.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/device/gang_worker_executor.cpp.o.d"
+  "/root/repo/src/device/stream.cpp" "src/CMakeFiles/miniarc.dir/device/stream.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/device/stream.cpp.o.d"
+  "/root/repo/src/device/virtual_clock.cpp" "src/CMakeFiles/miniarc.dir/device/virtual_clock.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/device/virtual_clock.cpp.o.d"
+  "/root/repo/src/faults/fault_injector.cpp" "src/CMakeFiles/miniarc.dir/faults/fault_injector.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/faults/fault_injector.cpp.o.d"
+  "/root/repo/src/interp/env.cpp" "src/CMakeFiles/miniarc.dir/interp/env.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/interp/env.cpp.o.d"
+  "/root/repo/src/interp/interp.cpp" "src/CMakeFiles/miniarc.dir/interp/interp.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/interp/interp.cpp.o.d"
+  "/root/repo/src/interp/intrinsics.cpp" "src/CMakeFiles/miniarc.dir/interp/intrinsics.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/interp/intrinsics.cpp.o.d"
+  "/root/repo/src/interp/kernel_exec.cpp" "src/CMakeFiles/miniarc.dir/interp/kernel_exec.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/interp/kernel_exec.cpp.o.d"
+  "/root/repo/src/interp/value.cpp" "src/CMakeFiles/miniarc.dir/interp/value.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/interp/value.cpp.o.d"
+  "/root/repo/src/lexer/lexer.cpp" "src/CMakeFiles/miniarc.dir/lexer/lexer.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/lexer/lexer.cpp.o.d"
+  "/root/repo/src/lexer/token.cpp" "src/CMakeFiles/miniarc.dir/lexer/token.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/lexer/token.cpp.o.d"
+  "/root/repo/src/parser/directive_parser.cpp" "src/CMakeFiles/miniarc.dir/parser/directive_parser.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/parser/directive_parser.cpp.o.d"
+  "/root/repo/src/parser/parser.cpp" "src/CMakeFiles/miniarc.dir/parser/parser.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/parser/parser.cpp.o.d"
+  "/root/repo/src/runtime/acc_runtime.cpp" "src/CMakeFiles/miniarc.dir/runtime/acc_runtime.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/runtime/acc_runtime.cpp.o.d"
+  "/root/repo/src/runtime/coherence.cpp" "src/CMakeFiles/miniarc.dir/runtime/coherence.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/runtime/coherence.cpp.o.d"
+  "/root/repo/src/runtime/present_table.cpp" "src/CMakeFiles/miniarc.dir/runtime/present_table.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/runtime/present_table.cpp.o.d"
+  "/root/repo/src/runtime/profiler.cpp" "src/CMakeFiles/miniarc.dir/runtime/profiler.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/runtime/profiler.cpp.o.d"
+  "/root/repo/src/runtime/runtime_checker.cpp" "src/CMakeFiles/miniarc.dir/runtime/runtime_checker.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/runtime/runtime_checker.cpp.o.d"
+  "/root/repo/src/runtime/transfer_engine.cpp" "src/CMakeFiles/miniarc.dir/runtime/transfer_engine.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/runtime/transfer_engine.cpp.o.d"
+  "/root/repo/src/sema/access_summary.cpp" "src/CMakeFiles/miniarc.dir/sema/access_summary.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/sema/access_summary.cpp.o.d"
+  "/root/repo/src/sema/sema.cpp" "src/CMakeFiles/miniarc.dir/sema/sema.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/sema/sema.cpp.o.d"
+  "/root/repo/src/sema/symbol_table.cpp" "src/CMakeFiles/miniarc.dir/sema/symbol_table.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/sema/symbol_table.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/miniarc.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/support/diagnostics.cpp.o.d"
+  "/root/repo/src/support/source_location.cpp" "src/CMakeFiles/miniarc.dir/support/source_location.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/support/source_location.cpp.o.d"
+  "/root/repo/src/support/str.cpp" "src/CMakeFiles/miniarc.dir/support/str.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/support/str.cpp.o.d"
+  "/root/repo/src/translate/default_memory.cpp" "src/CMakeFiles/miniarc.dir/translate/default_memory.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/translate/default_memory.cpp.o.d"
+  "/root/repo/src/translate/demotion.cpp" "src/CMakeFiles/miniarc.dir/translate/demotion.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/translate/demotion.cpp.o.d"
+  "/root/repo/src/translate/instrumentation.cpp" "src/CMakeFiles/miniarc.dir/translate/instrumentation.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/translate/instrumentation.cpp.o.d"
+  "/root/repo/src/translate/outliner.cpp" "src/CMakeFiles/miniarc.dir/translate/outliner.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/translate/outliner.cpp.o.d"
+  "/root/repo/src/translate/pipeline.cpp" "src/CMakeFiles/miniarc.dir/translate/pipeline.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/translate/pipeline.cpp.o.d"
+  "/root/repo/src/translate/result_comparison.cpp" "src/CMakeFiles/miniarc.dir/translate/result_comparison.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/translate/result_comparison.cpp.o.d"
+  "/root/repo/src/verify/auto_programmer.cpp" "src/CMakeFiles/miniarc.dir/verify/auto_programmer.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/verify/auto_programmer.cpp.o.d"
+  "/root/repo/src/verify/interactive_optimizer.cpp" "src/CMakeFiles/miniarc.dir/verify/interactive_optimizer.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/verify/interactive_optimizer.cpp.o.d"
+  "/root/repo/src/verify/kernel_verifier.cpp" "src/CMakeFiles/miniarc.dir/verify/kernel_verifier.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/verify/kernel_verifier.cpp.o.d"
+  "/root/repo/src/verify/suggestion.cpp" "src/CMakeFiles/miniarc.dir/verify/suggestion.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/verify/suggestion.cpp.o.d"
+  "/root/repo/src/verify/transfer_verifier.cpp" "src/CMakeFiles/miniarc.dir/verify/transfer_verifier.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/verify/transfer_verifier.cpp.o.d"
+  "/root/repo/src/verify/verification_config.cpp" "src/CMakeFiles/miniarc.dir/verify/verification_config.cpp.o" "gcc" "src/CMakeFiles/miniarc.dir/verify/verification_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

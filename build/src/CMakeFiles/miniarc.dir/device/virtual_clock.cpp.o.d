@@ -1,0 +1,3 @@
+src/CMakeFiles/miniarc.dir/device/virtual_clock.cpp.o: \
+ /root/repo/src/device/virtual_clock.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/device/virtual_clock.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_dataflow_test.dir/cfg_dataflow_test.cpp.o"
+  "CMakeFiles/cfg_dataflow_test.dir/cfg_dataflow_test.cpp.o.d"
+  "cfg_dataflow_test"
+  "cfg_dataflow_test.pdb"
+  "cfg_dataflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_dataflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniarc_cli.dir/miniarc_cli.cpp.o"
+  "CMakeFiles/miniarc_cli.dir/miniarc_cli.cpp.o.d"
+  "miniarc"
+  "miniarc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniarc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
