@@ -1,0 +1,132 @@
+// Microbenchmarks of kernel-body execution (google-benchmark): the
+// interpreter's hot path. Measures, on one compute-dense synthetic kernel:
+//   - serial execution with slot-resolved scalar access (the default),
+//   - serial execution with name-map scalar access (the pre-slot baseline,
+//     InterpOptions::kernel_slot_resolution = false),
+//   - parallel execution across 2/4/8 executor threads.
+// Every variant's output buffer is checked bit-identical against the serial
+// slot-mode reference — the determinism contract the executor guarantees.
+//
+// Reference numbers live in bench/baselines/bench_micro_kernel_exec.json
+// (regenerate with --benchmark_format=json).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "parser/parser.h"
+#include "translate/pipeline.h"
+#include "verify/interactive_optimizer.h"
+
+namespace {
+
+using namespace miniarc;
+
+constexpr long kIterations = 8192;
+constexpr const char* kSource = R"(
+extern double a[];
+extern double b[];
+void main(void) {
+  int i;
+#pragma acc data copy(a) copyin(b)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 8192; i++) {
+      double acc;
+      double scale;
+      int k;
+      acc = 0.0;
+      scale = 0.5;
+      for (k = 0; k < 24; k++) {
+        acc = acc + b[i] * scale + k * 0.25;
+        scale = scale * 1.0009765625 + 0.0001220703125;
+      }
+      a[i] = acc;
+    }
+  }
+}
+)";
+
+const LoweredProgram& lowered_kernel() {
+  static DiagnosticEngine diags;
+  static ProgramPtr program = parse_mini_c(kSource, diags);
+  static LoweredProgram lowered = [] {
+    LoweringOptions options;
+    options.default_num_gangs = 64;
+    options.default_num_workers = 16;
+    return lower_program(*program, diags, options);
+  }();
+  return lowered;
+}
+
+void bind_inputs(Interpreter& interp) {
+  interp.bind_buffer("a", ScalarKind::kDouble, kIterations);
+  BufferPtr b = interp.bind_buffer("b", ScalarKind::kDouble, kIterations);
+  for (long i = 0; i < kIterations; ++i) {
+    b->set(static_cast<std::size_t>(i), 0.125 * static_cast<double>(i % 97));
+  }
+}
+
+std::vector<double> run_once(int threads, bool slot_resolution) {
+  const LoweredProgram& low = lowered_kernel();
+  AccRuntime runtime(MachineModel::m2090(), ExecutorOptions{threads});
+  InterpOptions options;
+  options.kernel_slot_resolution = slot_resolution;
+  Interpreter interp(*low.program, low.sema, runtime, options);
+  bind_inputs(interp);
+  interp.run();
+  BufferPtr a = interp.buffer("a");
+  std::vector<double> out(a->count());
+  for (std::size_t i = 0; i < a->count(); ++i) out[i] = a->get(i);
+  return out;
+}
+
+const std::vector<double>& serial_reference() {
+  static std::vector<double> reference = run_once(1, true);
+  return reference;
+}
+
+/// Bit-identical-to-serial assertion; benchmarks are only meaningful if the
+/// variant computes the same result.
+void check_reference(const std::vector<double>& got, const char* what) {
+  const std::vector<double>& want = serial_reference();
+  if (got != want) {
+    std::fprintf(stderr, "%s diverged from the serial reference\n", what);
+    std::abort();
+  }
+}
+
+void run_benchmark(benchmark::State& state, int threads,
+                   bool slot_resolution, const char* what) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_once(threads, slot_resolution));
+  }
+  check_reference(run_once(threads, slot_resolution), what);
+  state.SetItemsProcessed(state.iterations() * kIterations);
+}
+
+void BM_KernelExec_Serial_Slots(benchmark::State& state) {
+  run_benchmark(state, 1, true, "serial/slots");
+}
+BENCHMARK(BM_KernelExec_Serial_Slots)->Unit(benchmark::kMillisecond);
+
+void BM_KernelExec_Serial_NameMap(benchmark::State& state) {
+  run_benchmark(state, 1, false, "serial/name-map");
+}
+BENCHMARK(BM_KernelExec_Serial_NameMap)->Unit(benchmark::kMillisecond);
+
+void BM_KernelExec_Parallel_Slots(benchmark::State& state) {
+  run_benchmark(state, static_cast<int>(state.range(0)), true,
+                "parallel/slots");
+}
+BENCHMARK(BM_KernelExec_Parallel_Slots)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -36,6 +36,7 @@ ExprPtr clone_expr(const Expr& expr) {
     case ExprKind::kVarRef:
       out = std::make_unique<VarRef>(expr.as<VarRef>().name(),
                                      expr.location());
+      out->as<VarRef>().set_slot(expr.as<VarRef>().slot());
       break;
     case ExprKind::kArrayIndex: {
       const auto& ai = expr.as<ArrayIndex>();
@@ -91,6 +92,7 @@ std::unique_ptr<VarDecl> clone_var_decl(const VarDecl& decl) {
                                        decl.storage(), decl.location());
   out->is_extern = decl.is_extern;
   out->is_const = decl.is_const;
+  out->set_slot(decl.slot());
   if (decl.init() != nullptr) out->set_init(clone_expr(*decl.init()));
   return out;
 }

@@ -33,12 +33,18 @@ class VarDecl {
   bool is_extern = false;  // bound by the host harness before execution
   bool is_const = false;
 
+  /// Dense per-program variable index assigned by slot resolution
+  /// (sema/slot_resolution). -1 until the pass has run.
+  [[nodiscard]] int slot() const { return slot_; }
+  void set_slot(int slot) { slot_ = slot; }
+
  private:
   std::string name_;
   Type type_;
   Storage storage_;
   SourceLocation location_;
   ExprPtr init_;
+  int slot_ = -1;
 };
 
 class FuncDecl {

@@ -96,8 +96,14 @@ class VarRef final : public Expr {
       : Expr(ExprKind::kVarRef, loc), name_(std::move(name)) {}
   [[nodiscard]] const std::string& name() const { return name_; }
 
+  /// Dense per-program variable index assigned by slot resolution
+  /// (sema/slot_resolution). -1 until the pass has run.
+  [[nodiscard]] int slot() const { return slot_; }
+  void set_slot(int slot) { slot_ = slot; }
+
  private:
   std::string name_;
+  int slot_ = -1;
 };
 
 /// `base[i]` or `base[i][j]`. The base is always a VarRef in well-formed

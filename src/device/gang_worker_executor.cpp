@@ -1,7 +1,7 @@
 #include "device/gang_worker_executor.h"
 
-#include <atomic>
-#include <thread>
+#include <cstdlib>
+#include <string>
 
 namespace miniarc {
 
@@ -22,34 +22,151 @@ std::vector<WorkerChunk> partition_iterations(long begin, long end,
   return chunks;
 }
 
-void GangWorkerExecutor::execute(
-    long begin, long end, int num_gangs, int num_workers, bool allow_parallel,
-    const std::function<void(const WorkerChunk&)>& chunk_fn) const {
-  std::vector<WorkerChunk> chunks =
-      partition_iterations(begin, end, num_gangs * num_workers);
+int resolve_executor_threads(int threads) {
+  if (threads > 0) return threads;
+  static const int env_threads = [] {
+    const char* env = std::getenv("MINIARC_THREADS");
+    if (env == nullptr) return 1;
+    int parsed = std::atoi(env);
+    return parsed > 0 ? parsed : 1;
+  }();
+  return env_threads;
+}
 
-  if (!allow_parallel || options_.threads <= 1 || chunks.size() <= 1) {
-    for (const WorkerChunk& chunk : chunks) chunk_fn(chunk);
+GangWorkerExecutor::GangWorkerExecutor(ExecutorOptions options)
+    : options_(options) {}
+
+GangWorkerExecutor::~GangWorkerExecutor() { stop_pool(); }
+
+int GangWorkerExecutor::threads() const {
+  return resolve_executor_threads(options_.threads);
+}
+
+void GangWorkerExecutor::set_threads(int threads) {
+  stop_pool();
+  options_.threads = threads;
+}
+
+void GangWorkerExecutor::execute_chunks(
+    const std::vector<WorkerChunk>& chunks, bool allow_parallel,
+    const ChunkFn& fn) {
+  int pool_threads = threads();
+  if (!allow_parallel || pool_threads <= 1 || chunks.size() <= 1) {
+    for (std::size_t i = 0; i < chunks.size(); ++i) fn(i, chunks[i]);
     return;
   }
 
-  int pool_size = options_.threads;
-  if (pool_size > static_cast<int>(chunks.size())) {
-    pool_size = static_cast<int>(chunks.size());
+  auto job = std::make_shared<Job>();
+  job->chunks = chunks.data();
+  job->size = chunks.size();
+  job->fn = fn;
+  job->outstanding.store(static_cast<long>(chunks.size()),
+                         std::memory_order_relaxed);
+  job->errors.assign(chunks.size(), nullptr);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Helper threads beyond the dispatching thread, capped by chunk count.
+    int helpers = pool_threads - 1;
+    if (helpers > static_cast<int>(chunks.size()) - 1) {
+      helpers = static_cast<int>(chunks.size()) - 1;
+    }
+    if (static_cast<int>(pool_.size()) < helpers) start_pool_locked(helpers);
+    job_ = job;
+    ++job_epoch_;
   }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(pool_size));
-  for (int t = 0; t < pool_size; ++t) {
-    pool.emplace_back([&]() {
-      for (;;) {
-        std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
-        if (index >= chunks.size()) return;
-        chunk_fn(chunks[index]);
-      }
+  work_cv_.notify_all();
+  parallel_dispatches_.fetch_add(1, std::memory_order_relaxed);
+
+  run_job(*job);  // the dispatching thread works too
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return job->outstanding.load(std::memory_order_acquire) == 0;
     });
+    job_.reset();
   }
-  for (auto& thread : pool) thread.join();
+  for (auto& error : job->errors) {
+    if (error != nullptr) std::rethrow_exception(error);
+  }
+}
+
+void GangWorkerExecutor::execute(
+    long begin, long end, int num_gangs, int num_workers, bool allow_parallel,
+    const std::function<void(const WorkerChunk&)>& chunk_fn) {
+  std::vector<WorkerChunk> chunks =
+      partition_iterations(begin, end, num_gangs * num_workers);
+  execute_chunks(chunks, allow_parallel,
+                 [&](std::size_t, const WorkerChunk& chunk) {
+                   chunk_fn(chunk);
+                 });
+}
+
+void GangWorkerExecutor::start_pool_locked(int pool_threads) {
+  while (static_cast<int>(pool_.size()) < pool_threads) {
+    pool_.emplace_back([this] { worker_main(); });
+    threads_spawned_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void GangWorkerExecutor::stop_pool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& thread : pool_) thread.join();
+  pool_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = false;
+    job_.reset();
+  }
+}
+
+void GangWorkerExecutor::worker_main() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && job_epoch_ != seen_epoch);
+      });
+      if (shutdown_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+    }
+    run_job(*job);
+  }
+}
+
+void GangWorkerExecutor::run_job(Job& job) {
+  for (;;) {
+    std::size_t index = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= job.size) return;
+    if (job.failed.load(std::memory_order_relaxed)) {
+      // A chunk already failed: skip the remaining queued chunks, mirroring
+      // the sequential schedule's abort-on-first-error.
+      finish_chunk(job);
+      continue;
+    }
+    try {
+      job.fn(index, job.chunks[index]);
+    } catch (...) {
+      job.errors[index] = std::current_exception();
+      job.failed.store(true, std::memory_order_relaxed);
+    }
+    finish_chunk(job);
+  }
+}
+
+void GangWorkerExecutor::finish_chunk(Job& job) {
+  if (job.outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_cv_.notify_all();
+  }
 }
 
 }  // namespace miniarc

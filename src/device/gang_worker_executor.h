@@ -4,7 +4,11 @@
 // chunks, one per (gang, worker) pair, mirroring how OpenACC maps gang/worker
 // parallelism onto CUDA blocks/threads. Chunk execution itself is driven by
 // the interpreter (interp/kernel_exec.cpp); this class owns the schedule and
-// the optional host-thread pool used to run independent chunks in parallel.
+// a *persistent* host-thread pool used to run independent chunks in
+// parallel. Benchmarks launch thousands of small kernels, so the pool is
+// created once (lazily, on the first parallel dispatch) and reused across
+// every `execute` call — dispatch is a condition-variable wakeup, not a
+// thread spawn.
 //
 // Race semantics live with the interpreter (interp/kernel_exec.cpp): when
 // the fault injector marks a variable falsely shared (a missing `private`
@@ -12,11 +16,19 @@
 // register; at kernel end the caches dump back racily — write-first
 // temporaries resolve to the sequential value (latent errors), accumulators
 // keep only the first worker's partial (active errors), the paper's §IV-B
-// decomposition.
+// decomposition. Kernels carrying falsely-shared state are dispatched with
+// allow_parallel=false so the race model's serial chunk schedule is
+// preserved exactly.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 namespace miniarc {
@@ -35,27 +47,90 @@ struct WorkerChunk {
 
 struct ExecutorOptions {
   /// Host threads used to run independent chunks concurrently. 1 = fully
-  /// sequential (deterministic, and required when a kernel carries
-  /// falsely-shared state whose dump-back order matters).
-  int threads = 1;
+  /// sequential (the default). 0 = resolve from the MINIARC_THREADS
+  /// environment variable (falling back to 1 when unset). Kernels carrying
+  /// falsely-shared state always run sequentially regardless of this value.
+  int threads = 0;
 };
+
+/// `threads` if positive, else the MINIARC_THREADS environment variable,
+/// else 1.
+[[nodiscard]] int resolve_executor_threads(int threads);
 
 class GangWorkerExecutor {
  public:
-  explicit GangWorkerExecutor(ExecutorOptions options = {})
-      : options_(options) {}
+  explicit GangWorkerExecutor(ExecutorOptions options = {});
+  ~GangWorkerExecutor();
+  GangWorkerExecutor(const GangWorkerExecutor&) = delete;
+  GangWorkerExecutor& operator=(const GangWorkerExecutor&) = delete;
 
-  /// Run `chunk_fn` for every chunk of [begin, end) across
-  /// `num_gangs * num_workers` workers. When options.threads > 1 and
-  /// `allow_parallel`, chunks run on a pool of host threads; the chunk
-  /// function must then only touch disjoint data (the interpreter guarantees
-  /// this for race-free kernels).
+  using ChunkFn = std::function<void(std::size_t index,
+                                     const WorkerChunk& chunk)>;
+
+  /// Run `fn` for every chunk, in index order when sequential, work-stealing
+  /// across the persistent pool when `allow_parallel` and threads > 1. The
+  /// chunk function must only touch per-chunk data plus read-only shared
+  /// state (the interpreter guarantees this for race-free kernels). Blocks
+  /// until every chunk finished; if chunk functions threw, the exception of
+  /// the lowest-index failed chunk is rethrown (remaining queued chunks are
+  /// skipped once a failure is observed, matching the sequential abort).
+  void execute_chunks(const std::vector<WorkerChunk>& chunks,
+                      bool allow_parallel, const ChunkFn& fn);
+
+  /// Convenience wrapper: partition [begin, end) over num_gangs*num_workers
+  /// and run every chunk.
   void execute(long begin, long end, int num_gangs, int num_workers,
                bool allow_parallel,
-               const std::function<void(const WorkerChunk&)>& chunk_fn) const;
+               const std::function<void(const WorkerChunk&)>& chunk_fn);
+
+  /// Effective thread count (after MINIARC_THREADS resolution).
+  [[nodiscard]] int threads() const;
+  /// Reconfigure the thread count; tears down the existing pool (it respawns
+  /// lazily on the next parallel dispatch).
+  void set_threads(int threads);
+
+  /// Lifetime number of pool threads spawned — stays flat across repeated
+  /// `execute` calls, which is what makes small-kernel launch storms cheap.
+  [[nodiscard]] std::size_t threads_spawned() const {
+    return threads_spawned_.load(std::memory_order_relaxed);
+  }
+  /// Number of parallel (pool) dispatches performed.
+  [[nodiscard]] std::size_t parallel_dispatches() const {
+    return parallel_dispatches_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// One parallel dispatch. Self-contained so a pool thread that observes a
+  /// job late (after execute_chunks returned) only ever touches memory kept
+  /// alive by the shared_ptr.
+  struct Job {
+    const WorkerChunk* chunks = nullptr;  // caller-owned, valid while any
+    std::size_t size = 0;                 // chunk is still outstanding
+    ChunkFn fn;
+    std::atomic<std::size_t> next{0};
+    std::atomic<long> outstanding{0};
+    std::atomic<bool> failed{false};
+    std::vector<std::exception_ptr> errors;
+  };
+
+  void start_pool_locked(int pool_threads);
+  void stop_pool();
+  void worker_main();
+  void run_job(Job& job);
+  void finish_chunk(Job& job);
+
   ExecutorOptions options_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> pool_;
+  std::shared_ptr<Job> job_;      // guarded by mutex_
+  std::uint64_t job_epoch_ = 0;   // guarded by mutex_
+  bool shutdown_ = false;         // guarded by mutex_
+
+  std::atomic<std::size_t> threads_spawned_{0};
+  std::atomic<std::size_t> parallel_dispatches_{0};
 };
 
 }  // namespace miniarc

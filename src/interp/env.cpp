@@ -23,24 +23,24 @@ void Env::assign(const std::string& name, Value value) {
   base_[name] = std::move(value);
 }
 
-const Value& Env::get(const std::string& name) const {
+const Value* Env::find(const std::string& name) const {
   for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
     auto found = it->find(name);
-    if (found != it->end()) return found->second;
+    if (found != it->end()) return &found->second;
   }
   auto found = base_.find(name);
-  if (found == base_.end()) {
-    throw std::runtime_error("use of unbound variable '" + name + "'");
-  }
-  return found->second;
+  return found == base_.end() ? nullptr : &found->second;
 }
 
-bool Env::has(const std::string& name) const {
-  for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
-    if (it->contains(name)) return true;
+const Value& Env::get(const std::string& name) const {
+  const Value* value = find(name);
+  if (value == nullptr) {
+    throw std::runtime_error("use of unbound variable '" + name + "'");
   }
-  return base_.contains(name);
+  return *value;
 }
+
+bool Env::has(const std::string& name) const { return find(name) != nullptr; }
 
 void Env::push_frame() { frames_.emplace_back(); }
 

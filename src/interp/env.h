@@ -21,6 +21,9 @@ class Env {
   void assign(const std::string& name, Value value);
   [[nodiscard]] const Value& get(const std::string& name) const;
   [[nodiscard]] bool has(const std::string& name) const;
+  /// Single-lookup variant of has+get: innermost binding of `name`, or
+  /// nullptr when unbound.
+  [[nodiscard]] const Value* find(const std::string& name) const;
 
   /// Function-call frames.
   void push_frame();

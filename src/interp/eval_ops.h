@@ -1,0 +1,85 @@
+// Value-level operator semantics shared by the host interpreter
+// (interp/interp.cpp) and the per-worker kernel evaluator
+// (interp/kernel_eval.cpp). Pure functions of their inputs — safe to call
+// concurrently from worker threads.
+#pragma once
+
+#include <algorithm>
+
+#include "ast/expr.h"
+#include "interp/interp.h"
+#include "interp/value.h"
+
+namespace miniarc {
+
+inline Value eval_binary_op(BinaryOp op, const Value& lhs, const Value& rhs,
+                            SourceLocation loc) {
+  bool int_mode = lhs.is_int() && rhs.is_int();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return int_mode ? Value::of_int(lhs.as_int() + rhs.as_int())
+                      : Value::of_double(lhs.as_double() + rhs.as_double());
+    case BinaryOp::kSub:
+      return int_mode ? Value::of_int(lhs.as_int() - rhs.as_int())
+                      : Value::of_double(lhs.as_double() - rhs.as_double());
+    case BinaryOp::kMul:
+      return int_mode ? Value::of_int(lhs.as_int() * rhs.as_int())
+                      : Value::of_double(lhs.as_double() * rhs.as_double());
+    case BinaryOp::kDiv:
+      if (int_mode) {
+        if (rhs.as_int() == 0) {
+          throw InterpError("integer division by zero at " + loc.str());
+        }
+        return Value::of_int(lhs.as_int() / rhs.as_int());
+      }
+      return Value::of_double(lhs.as_double() / rhs.as_double());
+    case BinaryOp::kRem:
+      if (rhs.as_int() == 0) {
+        throw InterpError("remainder by zero at " + loc.str());
+      }
+      return Value::of_int(lhs.as_int() % rhs.as_int());
+    case BinaryOp::kLt:
+      return Value::of_int(int_mode ? lhs.as_int() < rhs.as_int()
+                                    : lhs.as_double() < rhs.as_double());
+    case BinaryOp::kLe:
+      return Value::of_int(int_mode ? lhs.as_int() <= rhs.as_int()
+                                    : lhs.as_double() <= rhs.as_double());
+    case BinaryOp::kGt:
+      return Value::of_int(int_mode ? lhs.as_int() > rhs.as_int()
+                                    : lhs.as_double() > rhs.as_double());
+    case BinaryOp::kGe:
+      return Value::of_int(int_mode ? lhs.as_int() >= rhs.as_int()
+                                    : lhs.as_double() >= rhs.as_double());
+    case BinaryOp::kEq:
+      return Value::of_int(int_mode ? lhs.as_int() == rhs.as_int()
+                                    : lhs.as_double() == rhs.as_double());
+    case BinaryOp::kNe:
+      return Value::of_int(int_mode ? lhs.as_int() != rhs.as_int()
+                                    : lhs.as_double() != rhs.as_double());
+    case BinaryOp::kAnd:
+      return Value::of_int(lhs.truthy() && rhs.truthy());
+    case BinaryOp::kOr:
+      return Value::of_int(lhs.truthy() || rhs.truthy());
+    case BinaryOp::kBitAnd:
+      return Value::of_int(lhs.as_int() & rhs.as_int());
+    case BinaryOp::kBitOr:
+      return Value::of_int(lhs.as_int() | rhs.as_int());
+    case BinaryOp::kBitXor:
+      return Value::of_int(lhs.as_int() ^ rhs.as_int());
+    case BinaryOp::kShl:
+      return Value::of_int(lhs.as_int() << rhs.as_int());
+    case BinaryOp::kShr:
+      return Value::of_int(lhs.as_int() >> rhs.as_int());
+  }
+  throw InterpError("unhandled binary operator");
+}
+
+inline Value buffer_element_value(const TypedBuffer& buffer,
+                                  std::size_t index) {
+  if (is_integral(buffer.kind())) {
+    return Value::of_int(static_cast<std::int64_t>(buffer.get(index)));
+  }
+  return Value::of_double(buffer.get(index));
+}
+
+}  // namespace miniarc

@@ -2,85 +2,28 @@
 
 #include <cmath>
 
+#include "interp/eval_ops.h"
 #include "interp/intrinsics.h"
 
 namespace miniarc {
-namespace {
-
-Value binary_op(BinaryOp op, const Value& lhs, const Value& rhs,
-                SourceLocation loc) {
-  bool int_mode = lhs.is_int() && rhs.is_int();
-  switch (op) {
-    case BinaryOp::kAdd:
-      return int_mode ? Value::of_int(lhs.as_int() + rhs.as_int())
-                      : Value::of_double(lhs.as_double() + rhs.as_double());
-    case BinaryOp::kSub:
-      return int_mode ? Value::of_int(lhs.as_int() - rhs.as_int())
-                      : Value::of_double(lhs.as_double() - rhs.as_double());
-    case BinaryOp::kMul:
-      return int_mode ? Value::of_int(lhs.as_int() * rhs.as_int())
-                      : Value::of_double(lhs.as_double() * rhs.as_double());
-    case BinaryOp::kDiv:
-      if (int_mode) {
-        if (rhs.as_int() == 0) {
-          throw InterpError("integer division by zero at " + loc.str());
-        }
-        return Value::of_int(lhs.as_int() / rhs.as_int());
-      }
-      return Value::of_double(lhs.as_double() / rhs.as_double());
-    case BinaryOp::kRem:
-      if (rhs.as_int() == 0) {
-        throw InterpError("remainder by zero at " + loc.str());
-      }
-      return Value::of_int(lhs.as_int() % rhs.as_int());
-    case BinaryOp::kLt:
-      return Value::of_int(int_mode ? lhs.as_int() < rhs.as_int()
-                                    : lhs.as_double() < rhs.as_double());
-    case BinaryOp::kLe:
-      return Value::of_int(int_mode ? lhs.as_int() <= rhs.as_int()
-                                    : lhs.as_double() <= rhs.as_double());
-    case BinaryOp::kGt:
-      return Value::of_int(int_mode ? lhs.as_int() > rhs.as_int()
-                                    : lhs.as_double() > rhs.as_double());
-    case BinaryOp::kGe:
-      return Value::of_int(int_mode ? lhs.as_int() >= rhs.as_int()
-                                    : lhs.as_double() >= rhs.as_double());
-    case BinaryOp::kEq:
-      return Value::of_int(int_mode ? lhs.as_int() == rhs.as_int()
-                                    : lhs.as_double() == rhs.as_double());
-    case BinaryOp::kNe:
-      return Value::of_int(int_mode ? lhs.as_int() != rhs.as_int()
-                                    : lhs.as_double() != rhs.as_double());
-    case BinaryOp::kAnd:
-      return Value::of_int(lhs.truthy() && rhs.truthy());
-    case BinaryOp::kOr:
-      return Value::of_int(lhs.truthy() || rhs.truthy());
-    case BinaryOp::kBitAnd:
-      return Value::of_int(lhs.as_int() & rhs.as_int());
-    case BinaryOp::kBitOr:
-      return Value::of_int(lhs.as_int() | rhs.as_int());
-    case BinaryOp::kBitXor:
-      return Value::of_int(lhs.as_int() ^ rhs.as_int());
-    case BinaryOp::kShl:
-      return Value::of_int(lhs.as_int() << rhs.as_int());
-    case BinaryOp::kShr:
-      return Value::of_int(lhs.as_int() >> rhs.as_int());
-  }
-  throw InterpError("unhandled binary operator");
-}
-
-Value element_value(const TypedBuffer& buffer, std::size_t index) {
-  if (is_integral(buffer.kind())) {
-    return Value::of_int(static_cast<std::int64_t>(buffer.get(index)));
-  }
-  return Value::of_double(buffer.get(index));
-}
-
-}  // namespace
 
 Interpreter::Interpreter(const Program& program, const SemaInfo& sema,
                          AccRuntime& runtime, InterpOptions options)
-    : program_(program), sema_(sema), runtime_(runtime), options_(options) {}
+    : program_(program), sema_(sema), runtime_(runtime), options_(options) {
+  // Annotate the AST with dense variable slots (the kernel hot path indexes
+  // vectors instead of hashing names). The pass is deterministic and
+  // idempotent, so re-annotating a shared program is safe; it runs here so
+  // every construction path — tests, tools, the optimizer loop — gets slots
+  // without threading a pass through each call site.
+  slots_ = resolve_slots(const_cast<Program&>(program_));
+  slot_is_float_.assign(static_cast<std::size_t>(slots_.count()), 0);
+  for (int slot = 0; slot < slots_.count(); ++slot) {
+    auto type = sema_.var_types.find(slots_.names[static_cast<std::size_t>(slot)]);
+    if (type != sema_.var_types.end() && type->second.is_floating_scalar()) {
+      slot_is_float_[static_cast<std::size_t>(slot)] = 1;
+    }
+  }
+}
 
 void Interpreter::bind_scalar(const std::string& name, Value value) {
   env_.set(name, std::move(value));
@@ -110,11 +53,9 @@ ExecContext Interpreter::context() const {
 }
 
 void Interpreter::count_statement() {
-  if (kernel_ctx_ != nullptr) {
-    ++device_statements_;
-  } else {
-    ++pending_host_statements_;
-  }
+  // Host statements only — kernel-body statements are counted per worker by
+  // KernelEval and merged in exec_kernel after the join.
+  ++pending_host_statements_;
   if (++total_budget_used_ > options_.max_statements) {
     throw InterpError("statement budget exhausted (possible runaway loop)");
   }
@@ -167,29 +108,17 @@ Interpreter::Flow Interpreter::exec(const Stmt& stmt) {
     case StmtKind::kDecl: {
       const auto& decl = stmt.as<DeclStmt>().decl();
       if (decl.init() != nullptr) {
-        Value v = eval(*decl.init());
-        if (kernel_ctx_ != nullptr) {
-          (*kernel_ctx_->worker_scalars)[decl.name()] = std::move(v);
-        } else {
-          env_.set(decl.name(), std::move(v));
-        }
+        env_.set(decl.name(), eval(*decl.init()));
       } else if (decl.type().is_array()) {
-        auto buffer = std::make_shared<TypedBuffer>(
-            decl.type().scalar(),
-            static_cast<std::size_t>(decl.type().static_element_count()));
-        if (kernel_ctx_ != nullptr) {
-          (*kernel_ctx_->worker_buffers)[decl.name()] = std::move(buffer);
-        } else {
-          env_.set(decl.name(), Value::of_buffer(std::move(buffer)));
-        }
+        env_.set(decl.name(),
+                 Value::of_buffer(std::make_shared<TypedBuffer>(
+                     decl.type().scalar(),
+                     static_cast<std::size_t>(
+                         decl.type().static_element_count()))));
       } else {
-        Value zero = is_floating(decl.type().scalar()) ? Value::of_double(0.0)
-                                                       : Value::of_int(0);
-        if (kernel_ctx_ != nullptr) {
-          (*kernel_ctx_->worker_scalars)[decl.name()] = zero;
-        } else {
-          env_.set(decl.name(), zero);
-        }
+        env_.set(decl.name(), is_floating(decl.type().scalar())
+                                  ? Value::of_double(0.0)
+                                  : Value::of_int(0));
       }
       return Flow::kNormal;
     }
@@ -219,8 +148,7 @@ Interpreter::Flow Interpreter::exec(const Stmt& stmt) {
       return exec_for(stmt.as<ForStmt>());
     case StmtKind::kWhile: {
       const auto& while_stmt = stmt.as<WhileStmt>();
-      bool host_loop = kernel_ctx_ == nullptr;
-      if (host_loop) loop_iterations_.push_back(0);
+      loop_iterations_.push_back(0);
       Flow flow = Flow::kNormal;
       while (eval(while_stmt.cond()).truthy()) {
         flow = exec(while_stmt.body());
@@ -230,9 +158,9 @@ Interpreter::Flow Interpreter::exec(const Stmt& stmt) {
         }
         if (flow == Flow::kReturn) break;
         flow = Flow::kNormal;
-        if (host_loop) ++loop_iterations_.back();
+        ++loop_iterations_.back();
       }
-      if (host_loop) loop_iterations_.pop_back();
+      loop_iterations_.pop_back();
       return flow;
     }
     case StmtKind::kCompound: {
@@ -304,8 +232,7 @@ Interpreter::Flow Interpreter::exec_for(const ForStmt& stmt) {
     Flow flow = exec(*stmt.init());
     if (flow != Flow::kNormal) return flow;
   }
-  bool host_loop = kernel_ctx_ == nullptr;
-  if (host_loop) loop_iterations_.push_back(0);
+  loop_iterations_.push_back(0);
   Flow result = Flow::kNormal;
   for (;;) {
     if (stmt.cond() != nullptr && !eval(*stmt.cond()).truthy()) break;
@@ -322,9 +249,9 @@ Interpreter::Flow Interpreter::exec_for(const ForStmt& stmt) {
         break;
       }
     }
-    if (host_loop) ++loop_iterations_.back();
+    ++loop_iterations_.back();
   }
-  if (host_loop) loop_iterations_.pop_back();
+  loop_iterations_.pop_back();
   return result;
 }
 
@@ -378,51 +305,25 @@ void Interpreter::exec_runtime_check(const RuntimeCheckStmt& stmt) {
 // --------------------------------------------------------------------------
 
 Value Interpreter::read_scalar(const std::string& name, SourceLocation loc) {
-  if (kernel_ctx_ != nullptr) {
-    auto local = kernel_ctx_->worker_scalars->find(name);
-    if (local != kernel_ctx_->worker_scalars->end()) return local->second;
-    auto arg = kernel_ctx_->scalar_args.find(name);
-    if (arg != kernel_ctx_->scalar_args.end()) return arg->second;
-    // A falsely-shared scalar read before this worker wrote it: the
-    // register cache loads from the shared device global (whose initial
-    // value came from the host).
-    if (kernel_ctx_->falsely_shared.contains(name) && env_.has(name)) {
-      return env_.get(name);
-    }
-    throw InterpError("kernel " + kernel_ctx_->launch->kernel_name() +
-                      " reads unbound scalar '" + name + "' at " + loc.str());
-  }
-  if (!env_.has(name)) {
+  const Value* found = env_.find(name);
+  if (found == nullptr) {
     throw InterpError("use of unbound variable '" + name + "' at " +
                       loc.str());
   }
-  return env_.get(name);
+  return *found;
 }
 
 void Interpreter::write_scalar(const std::string& name, Value value) {
-  if (kernel_ctx_ != nullptr) {
-    (*kernel_ctx_->worker_scalars)[name] = std::move(value);
-    return;
-  }
   env_.assign(name, std::move(value));
 }
 
 BufferPtr Interpreter::resolve_buffer(const std::string& name,
                                       SourceLocation loc) {
-  if (kernel_ctx_ != nullptr) {
-    auto local = kernel_ctx_->worker_buffers->find(name);
-    if (local != kernel_ctx_->worker_buffers->end()) return local->second;
-    auto device = kernel_ctx_->device_buffers.find(name);
-    if (device != kernel_ctx_->device_buffers.end()) return device->second;
-    throw InterpError("kernel " + kernel_ctx_->launch->kernel_name() +
-                      " accesses buffer '" + name +
-                      "' with no device copy at " + loc.str());
-  }
-  Value v = env_.has(name) ? env_.get(name) : Value();
-  if (!v.is_buffer() || v.as_buffer() == nullptr) {
+  const Value* v = env_.find(name);
+  if (v == nullptr || !v->is_buffer() || v->as_buffer() == nullptr) {
     throw InterpError("'" + name + "' is not a live buffer at " + loc.str());
   }
-  return v.as_buffer();
+  return v->as_buffer();
 }
 
 std::size_t Interpreter::flat_index(const ArrayIndex& index,
@@ -457,10 +358,10 @@ void Interpreter::do_assign(const Expr& lhs, AssignOp op, Value rhs,
   auto combine = [&](const Value& old) -> Value {
     switch (op) {
       case AssignOp::kAssign: return rhs;
-      case AssignOp::kAdd: return binary_op(BinaryOp::kAdd, old, rhs, loc);
-      case AssignOp::kSub: return binary_op(BinaryOp::kSub, old, rhs, loc);
-      case AssignOp::kMul: return binary_op(BinaryOp::kMul, old, rhs, loc);
-      case AssignOp::kDiv: return binary_op(BinaryOp::kDiv, old, rhs, loc);
+      case AssignOp::kAdd: return eval_binary_op(BinaryOp::kAdd, old, rhs, loc);
+      case AssignOp::kSub: return eval_binary_op(BinaryOp::kSub, old, rhs, loc);
+      case AssignOp::kMul: return eval_binary_op(BinaryOp::kMul, old, rhs, loc);
+      case AssignOp::kDiv: return eval_binary_op(BinaryOp::kDiv, old, rhs, loc);
     }
     return rhs;
   };
@@ -491,7 +392,7 @@ void Interpreter::do_assign(const Expr& lhs, AssignOp op, Value rhs,
     std::size_t flat = flat_index(index, *buffer, loc);
     Value result = op == AssignOp::kAssign
                        ? std::move(rhs)
-                       : combine(element_value(*buffer, flat));
+                       : combine(buffer_element_value(*buffer, flat));
     buffer->set(flat, result.as_double());
     return;
   }
@@ -519,7 +420,7 @@ Value Interpreter::eval(const Expr& expr) {
       const auto& index = expr.as<ArrayIndex>();
       BufferPtr buffer = resolve_buffer(index.base_name(), expr.location());
       std::size_t flat = flat_index(index, *buffer, expr.location());
-      return element_value(*buffer, flat);
+      return buffer_element_value(*buffer, flat);
     }
     case ExprKind::kUnary: {
       const auto& unary = expr.as<Unary>();
@@ -548,7 +449,7 @@ Value Interpreter::eval(const Expr& expr) {
       }
       Value lhs = eval(binary.lhs());
       Value rhs = eval(binary.rhs());
-      return binary_op(binary.op(), lhs, rhs, expr.location());
+      return eval_binary_op(binary.op(), lhs, rhs, expr.location());
     }
     case ExprKind::kCall:
       return eval_call(expr.as<Call>());
@@ -619,10 +520,6 @@ Value Interpreter::eval_call(const Call& call) {
   if (func == nullptr) {
     throw InterpError("call to unknown function '" + call.callee() + "' at " +
                       call.location().str());
-  }
-  if (kernel_ctx_ != nullptr) {
-    throw InterpError("user function calls are not supported inside kernels ("
-                      + call.callee() + ")");
   }
   return call_function(*func, std::move(args));
 }

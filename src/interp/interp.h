@@ -3,17 +3,20 @@
 // simulated device, transfers/waits/checks dispatched to the AccRuntime).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "ast/decl.h"
 #include "device/gang_worker_executor.h"
 #include "interp/env.h"
 #include "runtime/acc_runtime.h"
 #include "sema/sema.h"
+#include "sema/slot_resolution.h"
 
 namespace miniarc {
 
@@ -43,8 +46,14 @@ struct InterpOptions {
   /// Runaway guard: total executed statements (host + device). The suite's
   /// largest run uses a few million; a broken optimization candidate that
   /// loops forever (e.g. a BFS whose continuation-flag copy was removed)
-  /// must fail fast during validation.
+  /// must fail fast during validation. Inside a kernel each worker chunk is
+  /// additionally capped at the budget remaining at launch, so a runaway
+  /// kernel loop fails fast even when chunks run on pool threads.
   long max_statements = 50'000'000L;
+  /// Kernel-body scalar access through dense slots (vector indexing) instead
+  /// of name-keyed hashing. Off only for the bench_micro_kernel_exec
+  /// baseline — results are identical either way.
+  bool kernel_slot_resolution = true;
 };
 
 class Interpreter {
@@ -88,6 +97,8 @@ class Interpreter {
   [[nodiscard]] ExecContext context() const;
   [[nodiscard]] long host_statements() const { return host_statements_; }
   [[nodiscard]] long device_statements() const { return device_statements_; }
+  /// Slot numbering assigned at construction (sema/slot_resolution).
+  [[nodiscard]] const SlotTable& slots() const { return slots_; }
 
  private:
   enum class Flow : std::uint8_t { kNormal, kBreak, kContinue, kReturn };
@@ -113,29 +124,20 @@ class Interpreter {
   // Lowered statement handlers.
   void exec_mem_transfer(const MemTransferStmt& stmt);
   void exec_runtime_check(const RuntimeCheckStmt& stmt);
+  // Kernel launch: builds a read-only launch context and per-worker states,
+  // dispatches chunks through the runtime's persistent GangWorkerExecutor
+  // (each chunk evaluated by a re-entrant KernelEval), then merges worker
+  // statement counters and combines reductions/dump-backs in chunk order.
   void exec_kernel(const KernelLaunchStmt& stmt);  // interp/kernel_exec.cpp
-
-  // Kernel execution context (set while a kernel body runs).
-  struct KernelCtx {
-    const KernelLaunchStmt* launch = nullptr;
-    /// By-value scalar arguments (snapshot of host values).
-    std::unordered_map<std::string, Value> scalar_args;
-    /// Falsely-shared scalars (fault-injection mode): they live in the
-    /// per-worker register caches; reads before the first write load the
-    /// shared device global, i.e. the host value (see kernel_exec.cpp).
-    std::set<std::string> falsely_shared;
-    /// Device images of the kernel's buffers.
-    std::unordered_map<std::string, BufferPtr> device_buffers;
-    /// Worker-local state (swapped per worker).
-    std::unordered_map<std::string, Value>* worker_scalars = nullptr;
-    std::unordered_map<std::string, BufferPtr>* worker_buffers = nullptr;
-  };
-  KernelCtx* kernel_ctx_ = nullptr;
 
   const Program& program_;
   const SemaInfo& sema_;
   AccRuntime& runtime_;
   InterpOptions options_;
+  SlotTable slots_;
+  /// Slot → declared-as-floating-scalar (assignment coercion on the kernel
+  /// hot path without a var_types hash lookup).
+  std::vector<std::uint8_t> slot_is_float_;
   Env env_;
   Value return_value_;
   CompareHook* compare_hook_ = nullptr;
@@ -148,6 +150,10 @@ class Interpreter {
 
   std::map<std::string, std::map<std::string, Value>> stashed_scalars_;
   std::map<std::string, std::vector<const Directive*>> kernel_annotations_;
+  /// Per-launch-site result of the chunk-disjointness analysis
+  /// (interp/partition_safety.h); AST nodes are stable for the
+  /// interpreter's lifetime.
+  std::unordered_map<const KernelLaunchStmt*, bool> partition_safe_;
 };
 
 }  // namespace miniarc

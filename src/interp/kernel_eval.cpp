@@ -1,0 +1,440 @@
+#include "interp/kernel_eval.h"
+
+#include "interp/eval_ops.h"
+#include "interp/interp.h"
+#include "interp/intrinsics.h"
+#include "sema/sema.h"
+
+namespace miniarc {
+
+void KernelLaunchCtx::prepare_slots() {
+  scalar_args.assign(static_cast<std::size_t>(slot_count), Value());
+  has_scalar_arg.assign(static_cast<std::size_t>(slot_count), 0);
+  device_buffers.assign(static_cast<std::size_t>(slot_count), nullptr);
+  falsely_shared_slots.assign(static_cast<std::size_t>(slot_count), 0);
+}
+
+void KernelWorkerState::prepare(const KernelLaunchCtx& ctx) {
+  statements = 0;
+  if (ctx.use_slots) {
+    scalars.assign(static_cast<std::size_t>(ctx.slot_count), Value());
+    bound.assign(static_cast<std::size_t>(ctx.slot_count), 0);
+    buffers.assign(static_cast<std::size_t>(ctx.slot_count), nullptr);
+  } else {
+    scalars_by_name.clear();
+    buffers_by_name.clear();
+  }
+}
+
+void KernelWorkerState::set_scalar(const KernelLaunchCtx& ctx, int slot,
+                                   const std::string& name, Value value) {
+  if (ctx.use_slots) {
+    if (slot < 0) {
+      throw InterpError("variable '" + name + "' has no resolved slot");
+    }
+    scalars[static_cast<std::size_t>(slot)] = std::move(value);
+    bound[static_cast<std::size_t>(slot)] = 1;
+  } else {
+    scalars_by_name[name] = std::move(value);
+  }
+}
+
+const Value* KernelWorkerState::find_scalar(const KernelLaunchCtx& ctx,
+                                            int slot,
+                                            const std::string& name) const {
+  if (ctx.use_slots) {
+    if (slot < 0 || bound[static_cast<std::size_t>(slot)] == 0) {
+      return nullptr;
+    }
+    return &scalars[static_cast<std::size_t>(slot)];
+  }
+  auto it = scalars_by_name.find(name);
+  return it == scalars_by_name.end() ? nullptr : &it->second;
+}
+
+void KernelWorkerState::set_buffer(const KernelLaunchCtx& ctx, int slot,
+                                   const std::string& name,
+                                   BufferPtr buffer) {
+  if (ctx.use_slots) {
+    if (slot < 0) {
+      throw InterpError("variable '" + name + "' has no resolved slot");
+    }
+    buffers[static_cast<std::size_t>(slot)] = std::move(buffer);
+  } else {
+    buffers_by_name[name] = std::move(buffer);
+  }
+}
+
+void KernelEval::run_chunk(const Stmt& body, int induction_slot,
+                           const std::string& induction_name, long begin,
+                           long end) {
+  for (long i = begin; i < end; ++i) {
+    if (!induction_name.empty()) {
+      worker_.set_scalar(ctx_, induction_slot, induction_name,
+                         Value::of_int(i));
+    }
+    (void)exec(body);
+  }
+}
+
+void KernelEval::count_statement() {
+  if (++worker_.statements > ctx_.worker_statement_limit) {
+    throw InterpError("statement budget exhausted (possible runaway loop)");
+  }
+}
+
+void KernelEval::unsupported(const char* what, SourceLocation loc) {
+  throw InterpError(std::string(what) + " is not supported inside kernel " +
+                    ctx_.launch->kernel_name() + " at " + loc.str());
+}
+
+// --------------------------------------------------------------------------
+// Statements
+// --------------------------------------------------------------------------
+
+KernelEval::Flow KernelEval::exec(const Stmt& stmt) {
+  count_statement();
+  switch (stmt.kind()) {
+    case StmtKind::kDecl: {
+      const auto& decl = stmt.as<DeclStmt>().decl();
+      if (decl.init() != nullptr) {
+        worker_.set_scalar(ctx_, decl.slot(), decl.name(),
+                           eval(*decl.init()));
+      } else if (decl.type().is_array()) {
+        worker_.set_buffer(
+            ctx_, decl.slot(), decl.name(),
+            std::make_shared<TypedBuffer>(
+                decl.type().scalar(),
+                static_cast<std::size_t>(
+                    decl.type().static_element_count())));
+      } else {
+        Value zero = is_floating(decl.type().scalar()) ? Value::of_double(0.0)
+                                                       : Value::of_int(0);
+        worker_.set_scalar(ctx_, decl.slot(), decl.name(), std::move(zero));
+      }
+      return Flow::kNormal;
+    }
+    case StmtKind::kAssign: {
+      const auto& assign = stmt.as<AssignStmt>();
+      do_assign(assign.lhs(), assign.op(), eval(assign.rhs()),
+                stmt.location());
+      return Flow::kNormal;
+    }
+    case StmtKind::kIncDec: {
+      const auto& inc = stmt.as<IncDecStmt>();
+      do_assign(inc.target(),
+                inc.is_increment() ? AssignOp::kAdd : AssignOp::kSub,
+                Value::of_int(1), stmt.location());
+      return Flow::kNormal;
+    }
+    case StmtKind::kExpr:
+      (void)eval(stmt.as<ExprStmt>().expr());
+      return Flow::kNormal;
+    case StmtKind::kIf: {
+      const auto& if_stmt = stmt.as<IfStmt>();
+      if (eval(if_stmt.cond()).truthy()) return exec(if_stmt.then_body());
+      if (if_stmt.else_body() != nullptr) return exec(*if_stmt.else_body());
+      return Flow::kNormal;
+    }
+    case StmtKind::kFor:
+      return exec_for(stmt.as<ForStmt>());
+    case StmtKind::kWhile: {
+      const auto& while_stmt = stmt.as<WhileStmt>();
+      Flow flow = Flow::kNormal;
+      while (eval(while_stmt.cond()).truthy()) {
+        flow = exec(while_stmt.body());
+        if (flow == Flow::kBreak) {
+          flow = Flow::kNormal;
+          break;
+        }
+        if (flow == Flow::kReturn) break;
+        flow = Flow::kNormal;
+      }
+      return flow;
+    }
+    case StmtKind::kCompound: {
+      for (const auto& s : stmt.as<CompoundStmt>().stmts()) {
+        Flow flow = exec(*s);
+        if (flow != Flow::kNormal) return flow;
+      }
+      return Flow::kNormal;
+    }
+    case StmtKind::kReturn:
+      // A return in a kernel body ends the current iteration's work (any
+      // value is discarded) — the chunk loop continues with the next
+      // iteration, matching sequential semantics.
+      return Flow::kReturn;
+    case StmtKind::kBreak:
+      return Flow::kBreak;
+    case StmtKind::kContinue:
+      return Flow::kContinue;
+    case StmtKind::kAcc:
+      // Nested loop directives inside lowered kernel bodies don't change
+      // sequential semantics; execute the body.
+      return exec(stmt.as<AccStmt>().body());
+    case StmtKind::kAccStandalone:
+      // openarc annotations (bound/assert): no-op at execution time.
+      return Flow::kNormal;
+    default:
+      unsupported(to_string(stmt.kind()), stmt.location());
+  }
+}
+
+KernelEval::Flow KernelEval::exec_for(const ForStmt& stmt) {
+  if (stmt.init() != nullptr) {
+    Flow flow = exec(*stmt.init());
+    if (flow != Flow::kNormal) return flow;
+  }
+  Flow result = Flow::kNormal;
+  for (;;) {
+    if (stmt.cond() != nullptr && !eval(*stmt.cond()).truthy()) break;
+    Flow flow = exec(stmt.body());
+    if (flow == Flow::kBreak) break;
+    if (flow == Flow::kReturn) {
+      result = flow;
+      break;
+    }
+    if (stmt.step() != nullptr) {
+      Flow step_flow = exec(*stmt.step());
+      if (step_flow == Flow::kReturn) {
+        result = step_flow;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+// --------------------------------------------------------------------------
+// Variable resolution
+// --------------------------------------------------------------------------
+
+Value KernelEval::read_scalar(const VarRef& ref) {
+  const Value* local = worker_.find_scalar(ctx_, ref.slot(), ref.name());
+  if (local != nullptr) return *local;
+  if (ctx_.use_slots) {
+    int slot = ref.slot();
+    if (slot >= 0 &&
+        ctx_.has_scalar_arg[static_cast<std::size_t>(slot)] != 0) {
+      return ctx_.scalar_args[static_cast<std::size_t>(slot)];
+    }
+    // A falsely-shared scalar read before this worker wrote it: the register
+    // cache loads from the shared device global (whose initial value came
+    // from the host).
+    if (slot >= 0 &&
+        ctx_.falsely_shared_slots[static_cast<std::size_t>(slot)] != 0) {
+      const Value* host = ctx_.host_env->find(ref.name());
+      if (host != nullptr) return *host;
+    }
+  } else {
+    auto arg = ctx_.scalar_args_by_name.find(ref.name());
+    if (arg != ctx_.scalar_args_by_name.end()) return arg->second;
+    if (ctx_.falsely_shared_names.contains(ref.name())) {
+      const Value* host = ctx_.host_env->find(ref.name());
+      if (host != nullptr) return *host;
+    }
+  }
+  throw InterpError("kernel " + ctx_.launch->kernel_name() +
+                    " reads unbound scalar '" + ref.name() + "' at " +
+                    ref.location().str());
+}
+
+void KernelEval::write_scalar(const VarRef& ref, Value value) {
+  worker_.set_scalar(ctx_, ref.slot(), ref.name(), std::move(value));
+}
+
+const BufferPtr& KernelEval::resolve_buffer(const Expr& base,
+                                            SourceLocation loc) {
+  if (base.kind() != ExprKind::kVarRef) {
+    throw InterpError("buffer access through a non-variable expression at " +
+                      loc.str());
+  }
+  const auto& ref = base.as<VarRef>();
+  if (ctx_.use_slots) {
+    int slot = ref.slot();
+    if (slot >= 0) {
+      const BufferPtr& local = worker_.buffers[static_cast<std::size_t>(slot)];
+      if (local != nullptr) return local;
+      const BufferPtr& device =
+          ctx_.device_buffers[static_cast<std::size_t>(slot)];
+      if (device != nullptr) return device;
+    }
+  } else {
+    auto local = worker_.buffers_by_name.find(ref.name());
+    if (local != worker_.buffers_by_name.end()) return local->second;
+    auto device = ctx_.device_buffers_by_name.find(ref.name());
+    if (device != ctx_.device_buffers_by_name.end()) return device->second;
+  }
+  throw InterpError("kernel " + ctx_.launch->kernel_name() +
+                    " accesses buffer '" + ref.name() +
+                    "' with no device copy at " + loc.str());
+}
+
+std::size_t KernelEval::flat_index(const ArrayIndex& index,
+                                   const TypedBuffer& buffer,
+                                   SourceLocation loc) {
+  const Type& base_type = index.base().type();
+  std::size_t flat = 0;
+  const auto& dims = base_type.array_dims();
+  for (std::size_t d = 0; d < index.indices().size(); ++d) {
+    std::int64_t i = eval(*index.indices()[d]).as_int();
+    std::size_t stride = 1;
+    for (std::size_t rest = d + 1; rest < dims.size(); ++rest) {
+      stride *= static_cast<std::size_t>(dims[rest]);
+    }
+    flat += static_cast<std::size_t>(i) * stride;
+    if (i < 0) {
+      throw InterpError("negative index on '" + index.base_name() + "' at " +
+                        loc.str());
+    }
+  }
+  if (flat >= buffer.count()) {
+    throw InterpError("index " + std::to_string(flat) + " out of bounds for '"
+                      + index.base_name() + "' (" +
+                      std::to_string(buffer.count()) + " elements) at " +
+                      loc.str());
+  }
+  return flat;
+}
+
+void KernelEval::do_assign(const Expr& lhs, AssignOp op, Value rhs,
+                           SourceLocation loc) {
+  auto combine = [&](const Value& old) -> Value {
+    switch (op) {
+      case AssignOp::kAssign: return rhs;
+      case AssignOp::kAdd: return eval_binary_op(BinaryOp::kAdd, old, rhs, loc);
+      case AssignOp::kSub: return eval_binary_op(BinaryOp::kSub, old, rhs, loc);
+      case AssignOp::kMul: return eval_binary_op(BinaryOp::kMul, old, rhs, loc);
+      case AssignOp::kDiv: return eval_binary_op(BinaryOp::kDiv, old, rhs, loc);
+    }
+    return rhs;
+  };
+
+  if (lhs.kind() == ExprKind::kVarRef) {
+    const auto& ref = lhs.as<VarRef>();
+    if (rhs.is_buffer() && op == AssignOp::kAssign) {
+      unsupported("pointer assignment", loc);
+    }
+    Value result = op == AssignOp::kAssign ? std::move(rhs)
+                                           : combine(read_scalar(ref));
+    // Keep declared floating variables floating (so comparisons behave).
+    int slot = ref.slot();
+    if (slot >= 0 &&
+        (*ctx_.slot_is_float)[static_cast<std::size_t>(slot)] != 0 &&
+        result.is_int()) {
+      result = Value::of_double(result.as_double());
+    }
+    write_scalar(ref, std::move(result));
+    return;
+  }
+
+  if (lhs.kind() == ExprKind::kArrayIndex) {
+    const auto& index = lhs.as<ArrayIndex>();
+    const BufferPtr& buffer = resolve_buffer(index.base(), loc);
+    std::size_t flat = flat_index(index, *buffer, loc);
+    Value result = op == AssignOp::kAssign
+                       ? std::move(rhs)
+                       : combine(buffer_element_value(*buffer, flat));
+    buffer->set(flat, result.as_double());
+    return;
+  }
+  throw InterpError("invalid assignment target at " + loc.str());
+}
+
+// --------------------------------------------------------------------------
+// Expressions
+// --------------------------------------------------------------------------
+
+Value KernelEval::eval(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kIntLit:
+      return Value::of_int(expr.as<IntLit>().value());
+    case ExprKind::kFloatLit:
+      return Value::of_double(expr.as<FloatLit>().value());
+    case ExprKind::kVarRef: {
+      if (expr.type().is_buffer()) {
+        return Value::of_buffer(resolve_buffer(expr, expr.location()));
+      }
+      return read_scalar(expr.as<VarRef>());
+    }
+    case ExprKind::kArrayIndex: {
+      const auto& index = expr.as<ArrayIndex>();
+      const BufferPtr& buffer =
+          resolve_buffer(index.base(), expr.location());
+      std::size_t flat = flat_index(index, *buffer, expr.location());
+      return buffer_element_value(*buffer, flat);
+    }
+    case ExprKind::kUnary: {
+      const auto& unary = expr.as<Unary>();
+      Value v = eval(unary.operand());
+      switch (unary.op()) {
+        case UnaryOp::kNeg:
+          return v.is_int() ? Value::of_int(-v.as_int())
+                            : Value::of_double(-v.as_double());
+        case UnaryOp::kNot:
+          return Value::of_int(v.truthy() ? 0 : 1);
+        case UnaryOp::kBitNot:
+          return Value::of_int(~v.as_int());
+      }
+      throw InterpError("unhandled unary operator");
+    }
+    case ExprKind::kBinary: {
+      const auto& binary = expr.as<Binary>();
+      // Short-circuit && and ||.
+      if (binary.op() == BinaryOp::kAnd) {
+        if (!eval(binary.lhs()).truthy()) return Value::of_int(0);
+        return Value::of_int(eval(binary.rhs()).truthy() ? 1 : 0);
+      }
+      if (binary.op() == BinaryOp::kOr) {
+        if (eval(binary.lhs()).truthy()) return Value::of_int(1);
+        return Value::of_int(eval(binary.rhs()).truthy() ? 1 : 0);
+      }
+      Value lhs = eval(binary.lhs());
+      Value rhs = eval(binary.rhs());
+      return eval_binary_op(binary.op(), lhs, rhs, expr.location());
+    }
+    case ExprKind::kCall:
+      return eval_call(expr.as<Call>());
+    case ExprKind::kCast: {
+      const auto& cast = expr.as<Cast>();
+      if (cast.target().is_pointer()) {
+        unsupported("pointer cast", expr.location());
+      }
+      Value v = eval(cast.operand());
+      if (v.is_buffer()) return v;  // pointer-to-pointer cast
+      switch (cast.target().scalar()) {
+        case ScalarKind::kInt:
+          return Value::of_int(static_cast<std::int32_t>(v.as_int()));
+        case ScalarKind::kLong:
+          return Value::of_int(v.as_int());
+        case ScalarKind::kFloat:
+          return Value::of_double(static_cast<float>(v.as_double()));
+        default:
+          return Value::of_double(v.as_double());
+      }
+    }
+    case ExprKind::kTernary: {
+      const auto& ternary = expr.as<Ternary>();
+      return eval(ternary.cond()).truthy() ? eval(ternary.then_value())
+                                           : eval(ternary.else_value());
+    }
+    case ExprKind::kSizeof:
+      return Value::of_int(static_cast<std::int64_t>(
+          scalar_size(expr.as<SizeofExpr>().target().scalar())));
+  }
+  throw InterpError("unhandled expression kind");
+}
+
+Value KernelEval::eval_call(const Call& call) {
+  if (call.callee() == "malloc" || call.callee() == "free") {
+    unsupported("heap management", call.location());
+  }
+  std::vector<Value> args;
+  args.reserve(call.args().size());
+  for (const auto& arg : call.args()) args.push_back(eval(*arg));
+  if (is_intrinsic(call.callee())) return eval_intrinsic(call.callee(), args);
+  throw InterpError("user function calls are not supported inside kernels (" +
+                    call.callee() + ")");
+}
+
+}  // namespace miniarc

@@ -1,0 +1,128 @@
+// Re-entrant kernel-body evaluator: one KernelEval per (gang, worker) chunk,
+// evaluating the kernel body against per-worker state only. Nothing here
+// mutates interpreter- or runtime-owned state, which is what lets
+// Interpreter::exec_kernel run chunks concurrently on the
+// GangWorkerExecutor's persistent thread pool.
+//
+// Shared state during a launch is read-only: the launch context (by-value
+// scalar arguments, device buffer handles, the falsely-shared set), sema's
+// per-slot float classification, and — only for falsely-shared reads — the
+// host environment. Per-worker state (scalars, private buffers, statement
+// counter) is exclusive to one chunk, so race-free kernels execute with no
+// synchronization at all; bit-identical results then follow from combining
+// reductions and dump-backs in chunk order after the join (kernel_exec.cpp).
+//
+// Scalar storage comes in two flavors, chosen by KernelLaunchCtx::use_slots:
+//   - slot mode (default): dense std::vector<Value> indexed by the slot the
+//     resolution pass assigned (sema/slot_resolution) — the hot path;
+//   - name mode: unordered_map<string, Value> string hashing per access,
+//     kept as the measurable baseline for bench_micro_kernel_exec and as a
+//     fallback for ASTs that skipped slot resolution.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/stmt.h"
+#include "interp/env.h"
+#include "interp/value.h"
+
+namespace miniarc {
+
+/// Launch-wide kernel execution context. Built once per kernel launch by
+/// Interpreter::exec_kernel; read-only while worker chunks run.
+struct KernelLaunchCtx {
+  const KernelLaunchStmt* launch = nullptr;
+  int slot_count = 0;
+  bool use_slots = true;
+  /// Per-worker runaway guard: remaining statement budget at launch. A
+  /// worker whose own statement count exceeds this throws InterpError.
+  long worker_statement_limit = 0;
+  /// Host environment, consulted (read-only) when a falsely-shared scalar is
+  /// read before the worker's first write — the register cache loading the
+  /// shared device global.
+  const Env* host_env = nullptr;
+  /// Slot → declared-as-floating-scalar (assignment coercion), slot → name.
+  const std::vector<std::uint8_t>* slot_is_float = nullptr;
+  const std::vector<std::string>* slot_names = nullptr;
+
+  // ---- slot-indexed launch state (use_slots) ----
+  std::vector<Value> scalar_args;
+  std::vector<std::uint8_t> has_scalar_arg;
+  std::vector<BufferPtr> device_buffers;
+  std::vector<std::uint8_t> falsely_shared_slots;
+
+  // ---- name-indexed launch state (fallback path) ----
+  std::unordered_map<std::string, Value> scalar_args_by_name;
+  std::unordered_map<std::string, BufferPtr> device_buffers_by_name;
+  std::set<std::string> falsely_shared_names;
+
+  /// Size the slot-indexed vectors (call once slot_count is known).
+  void prepare_slots();
+};
+
+/// Execution state of one (gang, worker) chunk.
+struct KernelWorkerState {
+  // Slot mode: dense storage plus a bound bit (map-presence semantics —
+  // reduction combining and the racy dump-back need to know which workers
+  // actually wrote a scalar).
+  std::vector<Value> scalars;
+  std::vector<std::uint8_t> bound;
+  std::vector<BufferPtr> buffers;
+  // Name mode.
+  std::unordered_map<std::string, Value> scalars_by_name;
+  std::unordered_map<std::string, BufferPtr> buffers_by_name;
+  /// Statements this worker executed (merged into the interpreter's device
+  /// counter after the join, keeping billing exact).
+  long statements = 0;
+
+  void prepare(const KernelLaunchCtx& ctx);
+  void set_scalar(const KernelLaunchCtx& ctx, int slot,
+                  const std::string& name, Value value);
+  /// Worker-local value of a scalar, or nullptr if this worker never wrote
+  /// it. `slot` may be -1 (never-referenced name) in slot mode.
+  [[nodiscard]] const Value* find_scalar(const KernelLaunchCtx& ctx, int slot,
+                                         const std::string& name) const;
+  void set_buffer(const KernelLaunchCtx& ctx, int slot,
+                  const std::string& name, BufferPtr buffer);
+};
+
+class KernelEval {
+ public:
+  KernelEval(const KernelLaunchCtx& ctx, KernelWorkerState& worker)
+      : ctx_(ctx), worker_(worker) {}
+
+  /// Run iterations [begin, end) of the partitioned loop: per iteration the
+  /// induction scalar is set and `body` (the loop body) executed. When
+  /// `induction_slot` is -1 and `induction_name` empty, the kernel had no
+  /// partitionable loop and `body` is the whole kernel body, executed once
+  /// per "iteration" (the caller passes a single-iteration range).
+  void run_chunk(const Stmt& body, int induction_slot,
+                 const std::string& induction_name, long begin, long end);
+
+ private:
+  enum class Flow : std::uint8_t { kNormal, kBreak, kContinue, kReturn };
+
+  Flow exec(const Stmt& stmt);
+  Flow exec_for(const ForStmt& stmt);
+  Value eval(const Expr& expr);
+  Value eval_call(const Call& call);
+  void do_assign(const Expr& lhs, AssignOp op, Value rhs, SourceLocation loc);
+  [[nodiscard]] Value read_scalar(const VarRef& ref);
+  void write_scalar(const VarRef& ref, Value value);
+  [[nodiscard]] const BufferPtr& resolve_buffer(const Expr& base,
+                                                SourceLocation loc);
+  [[nodiscard]] std::size_t flat_index(const ArrayIndex& index,
+                                       const TypedBuffer& buffer,
+                                       SourceLocation loc);
+  void count_statement();
+  [[noreturn]] void unsupported(const char* what, SourceLocation loc);
+
+  const KernelLaunchCtx& ctx_;
+  KernelWorkerState& worker_;
+};
+
+}  // namespace miniarc

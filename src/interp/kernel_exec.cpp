@@ -1,6 +1,7 @@
 // Kernel dispatch: partitions the outermost loop over gang×worker chunks,
-// executes iterations against device memory, applies reduction combining and
-// the register-cache/dump-back race semantics for falsely-shared scalars
+// executes chunks through the runtime's persistent GangWorkerExecutor (one
+// re-entrant KernelEval per chunk), then applies reduction combining and the
+// register-cache/dump-back race semantics for falsely-shared scalars
 // (DESIGN.md §4, paper §IV-B's latent/active error model):
 //
 //  - A falsely-shared scalar that is written-before-read in each iteration
@@ -15,11 +16,24 @@
 //    initial value in its register cache, and the dump-back keeps only the
 //    first worker's partial. The scalar (and anything computed from it)
 //    diverges from the reference — an ACTIVE error the verifier detects.
+//
+// Determinism under parallel chunk execution: chunks only fan out across
+// threads when interp/partition_safety.h proves every access to a written
+// buffer disjoint across iterations (otherwise the serial chunk schedule
+// runs). Worker chunks then touch disjoint per-chunk state and buffers, and
+// everything order-sensitive — reduction combining, dump-backs, statement
+// billing — happens here after the join, iterating workers in chunk order.
+// Results are therefore bit-identical for any thread count. Kernels carrying
+// falsely-shared state are dispatched with allow_parallel=false: their whole
+// point is modeling a *serial-schedule* race resolution (last/first worker
+// wins deterministically), which a real thread interleaving would destroy.
 #include <algorithm>
 #include <limits>
 
 #include "ast/visitor.h"
 #include "interp/interp.h"
+#include "interp/kernel_eval.h"
+#include "interp/partition_safety.h"
 #include "translate/default_memory.h"
 
 namespace miniarc {
@@ -110,11 +124,28 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
     }
   });
 
-  // ---- set up the kernel context ----
-  KernelCtx ctx;
+  // ---- build the read-only launch context ----
+  KernelLaunchCtx ctx;
   ctx.launch = &stmt;
-  ctx.falsely_shared.insert(stmt.falsely_shared.begin(),
-                            stmt.falsely_shared.end());
+  ctx.slot_count = slots_.count();
+  ctx.use_slots = options_.kernel_slot_resolution && slots_.count() > 0;
+  ctx.host_env = &env_;
+  ctx.slot_is_float = &slot_is_float_;
+  ctx.slot_names = &slots_.names;
+  long remaining_budget = options_.max_statements - total_budget_used_;
+  ctx.worker_statement_limit = remaining_budget > 0 ? remaining_budget : 0;
+  if (ctx.use_slots) ctx.prepare_slots();
+
+  for (const auto& name : stmt.falsely_shared) {
+    if (ctx.use_slots) {
+      int slot = slots_.lookup(name);
+      if (slot >= 0) {
+        ctx.falsely_shared_slots[static_cast<std::size_t>(slot)] = 1;
+      }
+    } else {
+      ctx.falsely_shared_names.insert(name);
+    }
+  }
   // Falsely-shared scalars execute as per-worker register caches (see the
   // file comment); classify each by its first access in the body.
   std::vector<std::string> cached_shared;       // write-first: latent class
@@ -136,11 +167,29 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
         throw InterpError("kernel " + stmt.kernel_name() + " accesses '" +
                           access.name + "' with no device copy");
       }
-      ctx.device_buffers.emplace(access.name, std::move(device));
+      if (ctx.use_slots) {
+        int slot = slots_.lookup(access.name);
+        if (slot >= 0) {
+          ctx.device_buffers[static_cast<std::size_t>(slot)] =
+              std::move(device);
+        }
+      } else {
+        ctx.device_buffers_by_name.emplace(access.name, std::move(device));
+      }
     }
   }
   for (const auto& name : stmt.scalar_args) {
-    if (env_.has(name)) ctx.scalar_args.emplace(name, env_.get(name));
+    const Value* bound = env_.find(name);
+    if (bound == nullptr) continue;
+    if (ctx.use_slots) {
+      int slot = slots_.lookup(name);
+      if (slot >= 0) {
+        ctx.scalar_args[static_cast<std::size_t>(slot)] = *bound;
+        ctx.has_scalar_arg[static_cast<std::size_t>(slot)] = 1;
+      }
+    } else {
+      ctx.scalar_args_by_name.emplace(name, *bound);
+    }
   }
 
   const ForStmt* loop = find_partition_loop(stmt.body());
@@ -163,28 +212,28 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
   int total_workers = stmt.config.num_gangs * stmt.config.num_workers;
   if (total_workers < 1) total_workers = 1;
 
-  long device_stmts_before = device_statements_;
   std::string induction = loop != nullptr ? loop->induction_var() : "";
+  int induction_slot =
+      induction.empty() ? -1 : slots_.lookup(induction);
+  const Stmt& chunk_body = loop != nullptr ? loop->body() : stmt.body();
 
-  // Per-worker execution state.
-  struct WorkerState {
-    std::unordered_map<std::string, Value> scalars;
-    std::unordered_map<std::string, BufferPtr> buffers;
-  };
-
-  auto init_worker = [&](WorkerState& worker) {
-    for (const auto& name : stmt.firstprivate_vars) {
-      if (env_.has(name)) worker.scalars[name] = env_.get(name);
-    }
+  auto init_worker = [&](KernelWorkerState& worker) {
+    worker.prepare(ctx);
+    auto seed_scalar = [&](const std::string& name) {
+      const Value* bound = env_.find(name);
+      if (bound != nullptr) {
+        worker.set_scalar(ctx, slots_.lookup(name), name, *bound);
+      }
+    };
+    for (const auto& name : stmt.firstprivate_vars) seed_scalar(name);
     // Accumulator-class register caches load the pre-kernel value (the
     // first += reads the shared global once). Cached-class temporaries stay
     // unseeded: their cache entry appears at the first write, so the
     // dump-back below finds the last worker that actually wrote.
-    for (const auto& name : accumulator_shared) {
-      if (env_.has(name)) worker.scalars[name] = env_.get(name);
-    }
+    for (const auto& name : accumulator_shared) seed_scalar(name);
     for (const auto& red : stmt.reductions) {
-      worker.scalars[red.var] = reduction_identity(red.op);
+      worker.set_scalar(ctx, slots_.lookup(red.var), red.var,
+                        reduction_identity(red.op));
     }
     for (const auto& name : stmt.private_vars) {
       auto type = sema_.var_types.find(name);
@@ -193,55 +242,68 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
         if (type->second.is_array()) {
           count =
               static_cast<std::size_t>(type->second.static_element_count());
-        } else if (env_.has(name) && env_.get(name).is_buffer() &&
-                   env_.get(name).as_buffer() != nullptr) {
-          count = env_.get(name).as_buffer()->count();
+        } else if (const Value* bound = env_.find(name);
+                   bound != nullptr && bound->is_buffer() &&
+                   bound->as_buffer() != nullptr) {
+          count = bound->as_buffer()->count();
         }
-        worker.buffers[name] = std::make_shared<TypedBuffer>(
-            type->second.scalar(), count);
+        worker.set_buffer(ctx, slots_.lookup(name), name,
+                          std::make_shared<TypedBuffer>(
+                              type->second.scalar(), count));
       }
     }
   };
 
-  auto run_iteration = [&](WorkerState& worker, long i) {
-    ctx.worker_scalars = &worker.scalars;
-    ctx.worker_buffers = &worker.buffers;
-    if (loop != nullptr) {
-      worker.scalars[induction] = Value::of_int(i);
-      (void)exec(loop->body());
-    } else {
-      (void)exec(stmt.body());
-    }
-  };
+  // Contiguous chunks, one worker state each (falsely-shared scalars live in
+  // the per-worker register caches). Worker states are initialized serially
+  // on the host thread — they read the host env — so chunk functions only
+  // ever touch their own state plus the read-only launch context.
+  std::vector<WorkerChunk> chunks = partition_iterations(lo, hi, total_workers);
+  std::vector<KernelWorkerState> workers(chunks.size());
+  for (auto& worker : workers) init_worker(worker);
 
-  kernel_ctx_ = &ctx;
-  std::vector<WorkerState> workers;
-  try {
-    // Contiguous chunks, one worker state each (falsely-shared scalars live
-    // in the per-worker register caches).
-    std::vector<WorkerChunk> chunks =
-        partition_iterations(lo, hi, total_workers);
-    workers.resize(chunks.size());
-    for (std::size_t c = 0; c < chunks.size(); ++c) {
-      init_worker(workers[c]);
-      for (long i = chunks[c].begin; i < chunks[c].end; ++i) {
-        run_iteration(workers[c], i);
-      }
+  // Falsely-shared kernels require the serial chunk schedule (see the file
+  // comment). Everything else may fan out across the persistent pool — but
+  // only when the chunk-disjointness analysis proves that no two chunks
+  // touch the same buffer element (computed-index kernels like BFS fall
+  // back to serial, where the chunk order resolves overlaps
+  // deterministically).
+  bool allow_parallel = false;
+  if (stmt.falsely_shared.empty() && loop != nullptr && chunks.size() > 1 &&
+      runtime_.executor().threads() > 1) {
+    auto [it, inserted] = partition_safe_.try_emplace(&stmt, false);
+    if (inserted) {
+      it->second = partition_accesses_disjoint(stmt, *loop, sema_);
     }
-  } catch (...) {
-    kernel_ctx_ = nullptr;
-    throw;
+    allow_parallel = it->second;
   }
-  kernel_ctx_ = nullptr;
+  runtime_.executor().execute_chunks(
+      chunks, allow_parallel,
+      [&](std::size_t index, const WorkerChunk& chunk) {
+        KernelEval eval(ctx, workers[index]);
+        eval.run_chunk(chunk_body, induction_slot, induction, chunk.begin,
+                       chunk.end);
+      });
 
-  // ---- reduction combining (worker order) ----
+  // ---- merge per-worker statement counters (exact billing) ----
+  long executed = 0;
+  for (const auto& worker : workers) executed += worker.statements;
+  device_statements_ += executed;
+  total_budget_used_ += executed;
+  if (total_budget_used_ > options_.max_statements) {
+    throw InterpError("statement budget exhausted (possible runaway loop)");
+  }
+
+  // ---- reduction combining (chunk order ⇒ deterministic) ----
   for (const auto& red : stmt.reductions) {
-    Value combined = env_.has(red.var) ? env_.get(red.var)
-                                       : reduction_identity(red.op);
+    int slot = slots_.lookup(red.var);
+    const Value* initial = env_.find(red.var);
+    Value combined = initial != nullptr ? *initial
+                                        : reduction_identity(red.op);
     for (const auto& worker : workers) {
-      auto partial = worker.scalars.find(red.var);
-      if (partial != worker.scalars.end()) {
-        combined = reduce(red.op, combined, partial->second);
+      const Value* partial = worker.find_scalar(ctx, slot, red.var);
+      if (partial != nullptr) {
+        combined = reduce(red.op, combined, *partial);
       }
     }
     if (stmt.stash_scalar_results) {
@@ -253,22 +315,17 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
   // Racy dump-back of falsely-shared scalars (the translated code keeps
   // them in a shared device global and copies the final value out).
   auto dump_back = [&](const std::string& name, bool from_first_worker) {
+    int slot = slots_.lookup(name);
     const Value* value = nullptr;
     if (from_first_worker) {
       for (const auto& worker : workers) {
-        auto it = worker.scalars.find(name);
-        if (it != worker.scalars.end()) {
-          value = &it->second;
-          break;
-        }
+        value = worker.find_scalar(ctx, slot, name);
+        if (value != nullptr) break;
       }
     } else {
       for (auto it = workers.rbegin(); it != workers.rend(); ++it) {
-        auto found = it->scalars.find(name);
-        if (found != it->scalars.end()) {
-          value = &found->second;
-          break;
-        }
+        value = it->find_scalar(ctx, slot, name);
+        if (value != nullptr) break;
       }
     }
     if (value == nullptr) return;
@@ -287,7 +344,6 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
   for (const auto& name : accumulator_shared) dump_back(name, true);
 
   // ---- billing ----
-  long executed = device_statements_ - device_stmts_before;
   runtime_.bill_kernel(static_cast<std::size_t>(executed), stmt.config);
 }
 

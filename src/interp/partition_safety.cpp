@@ -1,0 +1,455 @@
+#include "interp/partition_safety.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ast/decl.h"
+#include "ast/expr.h"
+#include "ast/stmt.h"
+#include "ast/visitor.h"
+#include "sema/sema.h"
+
+namespace miniarc {
+namespace {
+
+/// Bounds of a canonical inner loop `for (j = lo; j < hi; j++)`, normalized
+/// to an exclusive upper bound: an int literal, or `sym + off` with `sym` a
+/// plain variable reference.
+struct LoopBounds {
+  long lo = 0;
+  bool hi_is_int = false;
+  long hi_int = 0;    // exclusive, when hi_is_int
+  std::string hi_sym; // when !hi_is_int
+  long hi_off = 0;    // exclusive offset added to hi_sym
+};
+
+bool decompose_bound(const Expr& expr, LoopBounds& out) {
+  switch (expr.kind()) {
+    case ExprKind::kIntLit:
+      out.hi_is_int = true;
+      out.hi_int = expr.as<IntLit>().value();
+      return true;
+    case ExprKind::kVarRef:
+      out.hi_sym = expr.as<VarRef>().name();
+      out.hi_off = 0;
+      return true;
+    case ExprKind::kBinary: {
+      const auto& bin = expr.as<Binary>();
+      if (bin.op() != BinaryOp::kAdd && bin.op() != BinaryOp::kSub) {
+        return false;
+      }
+      if (bin.lhs().kind() != ExprKind::kVarRef ||
+          bin.rhs().kind() != ExprKind::kIntLit) {
+        return false;
+      }
+      out.hi_sym = bin.lhs().as<VarRef>().name();
+      long off = bin.rhs().as<IntLit>().value();
+      out.hi_off = bin.op() == BinaryOp::kAdd ? off : -off;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+/// Extracts `var`, `lo`, and the exclusive upper bound of a canonical loop
+/// `for (var = <intlit>; var < / <= <bound>; var++)`.
+bool canonical_loop(const ForStmt& loop, std::string& var, LoopBounds& out) {
+  var = loop.induction_var();
+  if (var.empty() || loop.cond() == nullptr) return false;
+  if (loop.cond()->kind() != ExprKind::kBinary) return false;
+  const auto& cond = loop.cond()->as<Binary>();
+  if (cond.op() != BinaryOp::kLt && cond.op() != BinaryOp::kLe) return false;
+  if (cond.lhs().kind() != ExprKind::kVarRef ||
+      cond.lhs().as<VarRef>().name() != var) {
+    return false;
+  }
+  if (!decompose_bound(cond.rhs(), out)) return false;
+  if (cond.op() == BinaryOp::kLe) {
+    ++(out.hi_is_int ? out.hi_int : out.hi_off);
+  }
+
+  const Stmt* step = loop.step();
+  if (step == nullptr) return false;
+  if (step->kind() == StmtKind::kIncDec) {
+    const auto& inc = step->as<IncDecStmt>();
+    if (!inc.is_increment() || inc.target().kind() != ExprKind::kVarRef ||
+        inc.target().as<VarRef>().name() != var) {
+      return false;
+    }
+  } else if (step->kind() == StmtKind::kAssign) {
+    const auto& s = step->as<AssignStmt>();
+    if (s.op() != AssignOp::kAdd || s.lhs().kind() != ExprKind::kVarRef ||
+        s.lhs().as<VarRef>().name() != var ||
+        s.rhs().kind() != ExprKind::kIntLit ||
+        s.rhs().as<IntLit>().value() != 1) {
+      return false;
+    }
+  } else {
+    return false;
+  }
+
+  const Stmt* init = loop.init();
+  if (init == nullptr) return false;
+  const Expr* lo = nullptr;
+  if (init->kind() == StmtKind::kAssign) {
+    const auto& assign = init->as<AssignStmt>();
+    if (assign.op() != AssignOp::kAssign ||
+        assign.lhs().kind() != ExprKind::kVarRef ||
+        assign.lhs().as<VarRef>().name() != var) {
+      return false;
+    }
+    lo = &assign.rhs();
+  } else if (init->kind() == StmtKind::kDecl) {
+    const auto& decl = init->as<DeclStmt>().decl();
+    if (decl.name() != var) return false;
+    lo = decl.init();
+  }
+  if (lo == nullptr || lo->kind() != ExprKind::kIntLit) return false;
+  out.lo = lo->as<IntLit>().value();
+  return true;
+}
+
+struct BodyInfo {
+  /// Canonical inner-loop bounds by induction variable (widened to the
+  /// union of ranges when the same variable drives several loops).
+  std::unordered_map<std::string, LoopBounds> loops;
+  /// Scalars assigned outside a canonical loop's own init/step — their
+  /// value is not bound by any loop proof, so they cannot serve as
+  /// remainder variables (and conflicting loop forms land here too).
+  std::unordered_set<std::string> assigned;
+};
+
+void merge_bounds(const std::string& var, const LoopBounds& bounds,
+                  BodyInfo& info) {
+  auto [it, inserted] = info.loops.try_emplace(var, bounds);
+  if (inserted) return;
+  LoopBounds& have = it->second;
+  if (have.hi_is_int != bounds.hi_is_int ||
+      (!have.hi_is_int && have.hi_sym != bounds.hi_sym)) {
+    info.assigned.insert(var);  // incompatible bound forms: disqualify
+    return;
+  }
+  have.lo = std::min(have.lo, bounds.lo);
+  if (have.hi_is_int) {
+    have.hi_int = std::max(have.hi_int, bounds.hi_int);
+  } else {
+    have.hi_off = std::max(have.hi_off, bounds.hi_off);
+  }
+}
+
+void note_assign_target(const Expr& lhs, BodyInfo& info) {
+  if (lhs.kind() == ExprKind::kVarRef) {
+    info.assigned.insert(lhs.as<VarRef>().name());
+  }
+}
+
+void scan_stmt(const Stmt& stmt, BodyInfo& info) {
+  switch (stmt.kind()) {
+    case StmtKind::kCompound:
+      for (const auto& child : stmt.as<CompoundStmt>().stmts()) {
+        scan_stmt(*child, info);
+      }
+      return;
+    case StmtKind::kIf: {
+      const auto& s = stmt.as<IfStmt>();
+      scan_stmt(s.then_body(), info);
+      if (s.else_body() != nullptr) scan_stmt(*s.else_body(), info);
+      return;
+    }
+    case StmtKind::kWhile:
+      scan_stmt(stmt.as<WhileStmt>().body(), info);
+      return;
+    case StmtKind::kAcc:
+      scan_stmt(stmt.as<AccStmt>().body(), info);
+      return;
+    case StmtKind::kFor: {
+      const auto& loop = stmt.as<ForStmt>();
+      std::string var;
+      LoopBounds bounds;
+      if (canonical_loop(loop, var, bounds)) {
+        // The canonical init/step assignments are the loop protocol itself,
+        // covered by the bound proof — they do not disqualify `var`.
+        merge_bounds(var, bounds, info);
+      } else {
+        if (loop.init() != nullptr) scan_stmt(*loop.init(), info);
+        if (loop.step() != nullptr) scan_stmt(*loop.step(), info);
+      }
+      scan_stmt(loop.body(), info);
+      return;
+    }
+    case StmtKind::kAssign:
+      note_assign_target(stmt.as<AssignStmt>().lhs(), info);
+      return;
+    case StmtKind::kIncDec:
+      note_assign_target(stmt.as<IncDecStmt>().target(), info);
+      return;
+    case StmtKind::kDecl:
+      info.assigned.insert(stmt.as<DeclStmt>().decl().name());
+      return;
+    default:
+      return;
+  }
+}
+
+/// One flat index decomposed as `i*M + rem_var + rem_const` where `i` is the
+/// partition induction variable, M an int literal or a symbol, and rem_var
+/// at most one variable with coefficient +1.
+struct AffineIndex {
+  bool has_induction = false;
+  bool m_is_int = true;
+  long m_int = 1;
+  std::string m_sym;
+  std::string rem_var;
+  long rem_const = 0;
+};
+
+bool accumulate(const Expr& expr, int sign, const std::string& induction,
+                AffineIndex& out) {
+  switch (expr.kind()) {
+    case ExprKind::kIntLit:
+      out.rem_const += sign * expr.as<IntLit>().value();
+      return true;
+    case ExprKind::kVarRef: {
+      const std::string& name = expr.as<VarRef>().name();
+      if (name == induction) {
+        if (out.has_induction || sign < 0) return false;
+        out.has_induction = true;
+        out.m_is_int = true;
+        out.m_int = 1;
+        return true;
+      }
+      if (sign < 0 || !out.rem_var.empty()) return false;
+      out.rem_var = name;
+      return true;
+    }
+    case ExprKind::kCast:
+      return accumulate(expr.as<Cast>().operand(), sign, induction, out);
+    case ExprKind::kBinary: {
+      const auto& bin = expr.as<Binary>();
+      switch (bin.op()) {
+        case BinaryOp::kAdd:
+          return accumulate(bin.lhs(), sign, induction, out) &&
+                 accumulate(bin.rhs(), sign, induction, out);
+        case BinaryOp::kSub:
+          return accumulate(bin.lhs(), sign, induction, out) &&
+                 accumulate(bin.rhs(), -sign, induction, out);
+        case BinaryOp::kMul: {
+          const Expr* lhs = &bin.lhs();
+          const Expr* rhs = &bin.rhs();
+          if (lhs->kind() == ExprKind::kIntLit &&
+              rhs->kind() == ExprKind::kIntLit) {
+            out.rem_const +=
+                sign * lhs->as<IntLit>().value() * rhs->as<IntLit>().value();
+            return true;
+          }
+          if (rhs->kind() == ExprKind::kVarRef &&
+              rhs->as<VarRef>().name() == induction) {
+            std::swap(lhs, rhs);
+          }
+          if (lhs->kind() != ExprKind::kVarRef ||
+              lhs->as<VarRef>().name() != induction) {
+            return false;
+          }
+          if (out.has_induction || sign < 0) return false;
+          if (rhs->kind() == ExprKind::kIntLit) {
+            long m = rhs->as<IntLit>().value();
+            if (m < 1) return false;
+            out.has_induction = true;
+            out.m_is_int = true;
+            out.m_int = m;
+            return true;
+          }
+          if (rhs->kind() == ExprKind::kVarRef) {
+            const std::string& sym = rhs->as<VarRef>().name();
+            if (sym == induction) return false;
+            out.has_induction = true;
+            out.m_is_int = false;
+            out.m_sym = sym;
+            return true;
+          }
+          return false;
+        }
+        default:
+          return false;
+      }
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool partition_accesses_disjoint(const KernelLaunchStmt& stmt,
+                                 const ForStmt& loop, const SemaInfo& sema) {
+  const std::string induction = loop.induction_var();
+  if (induction.empty()) return false;
+  const Stmt& body = loop.body();
+
+  BodyInfo info;
+  scan_stmt(body, info);
+  if (info.assigned.contains(induction)) return false;
+
+  // Buffers the kernel writes (assignment or ++/-- on an element),
+  // excluding per-worker privates. A write through a non-VarRef base is
+  // unanalyzable.
+  std::unordered_set<std::string> written;
+  bool analyzable = true;
+  auto note_write = [&](const Expr& target) {
+    if (target.kind() != ExprKind::kArrayIndex) return;
+    const Expr& base = target.as<ArrayIndex>().base();
+    if (base.kind() != ExprKind::kVarRef) {
+      analyzable = false;
+      return;
+    }
+    const std::string& name = base.as<VarRef>().name();
+    if (!stmt.is_private(name)) written.insert(name);
+  };
+  walk_stmts(body, [&](const Stmt& s) {
+    if (s.kind() == StmtKind::kAssign) {
+      note_write(s.as<AssignStmt>().lhs());
+    } else if (s.kind() == StmtKind::kIncDec) {
+      note_write(s.as<IncDecStmt>().target());
+    }
+  });
+  if (!analyzable) return false;
+  if (written.empty()) return true;  // nothing shared is mutated
+
+  auto is_constrained = [&](const std::string& name) {
+    if (written.contains(name)) return true;
+    return std::any_of(written.begin(), written.end(),
+                       [&](const std::string& w) {
+                         return sema.may_alias(name, w);
+                       });
+  };
+
+  /// A symbolic stride/bound symbol is launch-invariant only if it is a
+  /// host scalar passed by value at launch and never assigned in the body.
+  auto launch_invariant = [&](const std::string& sym) {
+    if (sym == induction || info.assigned.contains(sym) ||
+        info.loops.contains(sym)) {
+      return false;
+    }
+    return std::find(stmt.scalar_args.begin(), stmt.scalar_args.end(), sym) !=
+           stmt.scalar_args.end();
+  };
+
+  /// Remainder `rem_var + rem_const` provably in [0, M)?
+  auto remainder_in_stride = [&](const AffineIndex& ix) {
+    if (ix.rem_var.empty()) {
+      // Constant remainder. With symbolic M only 0 is provably below M.
+      if (ix.m_is_int) {
+        return ix.rem_const >= 0 && ix.rem_const < ix.m_int;
+      }
+      return ix.rem_const == 0;
+    }
+    if (ix.rem_var == induction || info.assigned.contains(ix.rem_var)) {
+      return false;
+    }
+    auto bounds = info.loops.find(ix.rem_var);
+    if (bounds == info.loops.end()) return false;
+    const LoopBounds& b = bounds->second;
+    if (b.lo + ix.rem_const < 0) return false;
+    if (ix.m_is_int) {
+      // max index = hi_excl - 1 + c  ≤  M - 1.
+      return b.hi_is_int && b.hi_int + ix.rem_const <= ix.m_int;
+    }
+    // Symbolic M: the loop bound must be the same symbol, e.g.
+    // `for (j = 1; j < M - 1; j++)` accessing `b[i*M + j + 1]`.
+    return !b.hi_is_int && b.hi_sym == ix.m_sym &&
+           b.hi_off + ix.rem_const <= 0;
+  };
+
+  // One uniform stride per buffer across every access: footprints are then
+  // per-iteration sub-ranges of [i*M, (i+1)*M), disjoint across chunks.
+  struct Stride {
+    bool is_int;
+    long m;
+    std::string sym;
+  };
+  std::unordered_map<std::string, Stride> strides;
+  auto stride_uniform = [&](const std::string& name, const AffineIndex& ix) {
+    Stride stride{ix.m_is_int, ix.m_int, ix.m_sym};
+    auto [it, inserted] = strides.try_emplace(name, stride);
+    if (inserted) return true;
+    return it->second.is_int == stride.is_int &&
+           (stride.is_int ? it->second.m == stride.m
+                          : it->second.sym == stride.sym);
+  };
+
+  bool safe = true;
+  walk_stmts(body, [](const Stmt&) {}, [&](const Expr& expr) {
+    if (!safe || expr.kind() != ExprKind::kArrayIndex) return;
+    const auto& access = expr.as<ArrayIndex>();
+    if (access.base().kind() != ExprKind::kVarRef) {
+      safe = false;
+      return;
+    }
+    const std::string& name = access.base().as<VarRef>().name();
+    if (stmt.is_private(name) || !is_constrained(name)) return;
+
+    const auto& indices = access.indices();
+    if (indices.size() > 1) {
+      // Multi-dimensional: the first index must be exactly the induction
+      // variable and every trailing index bounded within its static dim.
+      AffineIndex first;
+      if (!accumulate(*indices[0], 1, induction, first) ||
+          !first.has_induction || !first.m_is_int || first.m_int != 1 ||
+          !first.rem_var.empty() || first.rem_const != 0) {
+        safe = false;
+        return;
+      }
+      const auto& dims = access.base().type().array_dims();
+      if (dims.size() != indices.size()) {
+        safe = false;
+        return;
+      }
+      long row = 1;
+      for (std::size_t d = 1; d < indices.size(); ++d) {
+        AffineIndex trailing;
+        if (!accumulate(*indices[d], 1, induction, trailing) ||
+            trailing.has_induction) {
+          safe = false;
+          return;
+        }
+        AffineIndex in_dim = trailing;
+        in_dim.m_is_int = true;
+        in_dim.m_int = dims[d];
+        if (!remainder_in_stride(in_dim)) {
+          safe = false;
+          return;
+        }
+        row *= dims[d];
+      }
+      // The footprint is (a subset of) row i; enforce consistency with any
+      // flat `b[i*M + …]` access to the same buffer.
+      AffineIndex as_flat;
+      as_flat.has_induction = true;
+      as_flat.m_int = row;
+      if (!stride_uniform(name, as_flat)) safe = false;
+      return;
+    }
+
+    AffineIndex ix;
+    if (!accumulate(*indices[0], 1, induction, ix) || !ix.has_induction) {
+      safe = false;
+      return;
+    }
+    if (ix.m_is_int && ix.m_int == 1) {
+      // Stride-1: `b[i + c]` — distinct iterations, distinct elements; a
+      // remainder variable would let iterations collide.
+      if (!ix.rem_var.empty()) safe = false;
+    } else if (!remainder_in_stride(ix)) {
+      safe = false;
+    }
+    if (safe && !ix.m_is_int && !launch_invariant(ix.m_sym)) safe = false;
+    if (safe && !stride_uniform(name, ix)) safe = false;
+  });
+  return safe;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,41 @@
+// Static chunk-disjointness analysis for parallel kernel dispatch.
+//
+// The gang/worker executor may run a kernel's iteration chunks on real
+// threads only when the serial chunk schedule and every thread interleaving
+// are observably identical. Per-worker state (privates, firstprivates,
+// reductions, locally declared scalars) is disjoint by construction; the one
+// shared mutable surface is the device buffers. This analysis proves, per
+// launch site, that every access to a buffer the kernel writes is confined
+// to the accessing iteration's own elements — so chunks touch disjoint
+// buffer regions and parallel execution is bit-identical to serial.
+#pragma once
+
+namespace miniarc {
+
+class ForStmt;
+class KernelLaunchStmt;
+struct SemaInfo;
+
+/// True if every access to a buffer the kernel body writes (or to any
+/// may-alias of one) is provably disjoint across iterations of the
+/// partitioned loop. Accepted index forms, with `i` the partition induction
+/// variable:
+///
+///   - `b[i]` / `b[i + c]`            (stride-1: distinct i, distinct slot)
+///   - `b[i][j]...`                    (first index is exactly `i`, trailing
+///                                      indices bounded within static dims)
+///   - `b[i*M + j + c]`                (M a positive int literal or a
+///                                      launch-invariant scalar argument;
+///                                      the remainder provably in [0, M)
+///                                      via the inner canonical loop bounds
+///                                      of `j`, or a constant)
+///
+/// Every written buffer must use one uniform stride M across all of its
+/// accesses. Anything unprovable — computed indices (BFS's `cost[nb]`),
+/// anti-diagonal arithmetic (NW), remainder variables reassigned in the
+/// body, symbolic strides that are not scalar kernel arguments — returns
+/// false, and the launch falls back to the serial chunk schedule.
+bool partition_accesses_disjoint(const KernelLaunchStmt& stmt,
+                                 const ForStmt& loop, const SemaInfo& sema);
+
+}  // namespace miniarc

@@ -11,6 +11,7 @@
 #include "device/buffer.h"
 #include "device/cost_model.h"
 #include "device/device_memory.h"
+#include "device/gang_worker_executor.h"
 #include "device/stream.h"
 #include "device/virtual_clock.h"
 #include "runtime/present_table.h"
@@ -26,8 +27,9 @@ struct TransferResult {
 
 class AccRuntime {
  public:
-  explicit AccRuntime(MachineModel model = MachineModel::m2090())
-      : model_(model) {}
+  explicit AccRuntime(MachineModel model = MachineModel::m2090(),
+                      ExecutorOptions executor_options = {})
+      : model_(model), executor_(executor_options) {}
 
   // ---- structured data management (DevAlloc / DevFree statements) ----
   /// present_or_create semantics; bills allocation time if a device copy was
@@ -94,6 +96,9 @@ class AccRuntime {
   [[nodiscard]] DeviceMemoryManager& device_memory() { return dev_mem_; }
   [[nodiscard]] PresentTable& present_table() { return present_; }
   [[nodiscard]] StreamSet& streams() { return streams_; }
+  /// Persistent gang/worker chunk executor (one thread pool per runtime,
+  /// reused across every kernel launch).
+  [[nodiscard]] GangWorkerExecutor& executor() { return executor_; }
 
   /// Total virtual execution time (component accounting: the sum of billed
   /// categories; see DESIGN.md §4).
@@ -107,6 +112,7 @@ class AccRuntime {
             std::optional<int> async_queue);
 
   MachineModel model_;
+  GangWorkerExecutor executor_;
   VirtualClock clock_;
   StreamSet streams_;
   DeviceMemoryManager dev_mem_;

@@ -1,0 +1,44 @@
+#include "sema/slot_resolution.h"
+
+#include "ast/visitor.h"
+
+namespace miniarc {
+namespace {
+
+int intern(SlotTable& table, const std::string& name) {
+  auto [it, inserted] =
+      table.slots.emplace(name, static_cast<int>(table.names.size()));
+  if (inserted) table.names.push_back(name);
+  return it->second;
+}
+
+}  // namespace
+
+SlotTable resolve_slots(Program& program) {
+  SlotTable table;
+  for (auto& global : program.globals) {
+    global->set_slot(intern(table, global->name()));
+  }
+  for (auto& func : program.functions) {
+    for (auto& param : func->params()) {
+      param->set_slot(intern(table, param->name()));
+    }
+    walk_stmts(
+        func->body(),
+        [&](Stmt& stmt) {
+          if (stmt.kind() == StmtKind::kDecl) {
+            VarDecl& decl = stmt.as<DeclStmt>().decl();
+            decl.set_slot(intern(table, decl.name()));
+          }
+        },
+        [&](Expr& expr) {
+          if (expr.kind() == ExprKind::kVarRef) {
+            auto& ref = expr.as<VarRef>();
+            ref.set_slot(intern(table, ref.name()));
+          }
+        });
+  }
+  return table;
+}
+
+}  // namespace miniarc

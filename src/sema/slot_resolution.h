@@ -1,0 +1,40 @@
+// Slot resolution: assigns every variable name a dense per-program index
+// ("slot") and annotates each VarRef / VarDecl node with it. Variable names
+// are unique program-wide (enforced by sema), so one flat numbering covers
+// globals, locals, and params alike.
+//
+// The interpreter's kernel hot path uses slots to replace
+// unordered_map<string, Value> scalar lookups with direct vector indexing
+// (interp/kernel_eval). The pass is deterministic — slots are assigned in
+// declaration-then-reference walk order — and idempotent, so re-running it
+// on an already-annotated program reproduces the same numbering.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/decl.h"
+
+namespace miniarc {
+
+/// Name ↔ slot mapping produced by resolve_slots.
+struct SlotTable {
+  std::unordered_map<std::string, int> slots;
+  /// Slot → name (for diagnostics).
+  std::vector<std::string> names;
+
+  [[nodiscard]] int count() const { return static_cast<int>(names.size()); }
+  /// Slot of `name`, or -1 when the name never appears in the program.
+  [[nodiscard]] int lookup(const std::string& name) const {
+    auto it = slots.find(name);
+    return it == slots.end() ? -1 : it->second;
+  }
+};
+
+/// Walk `program` (globals, params, every function body, including lowered
+/// kernel bodies) and annotate every VarRef and VarDecl with its slot.
+/// Returns the table used for by-name lookups at kernel setup.
+[[nodiscard]] SlotTable resolve_slots(Program& program);
+
+}  // namespace miniarc

@@ -17,9 +17,10 @@ int OptimizationOutcome::incorrect_iterations() const {
 
 RunResult run_lowered(const Program& lowered, const SemaInfo& sema,
                       const InputBinder& bind_inputs, bool enable_checker,
-                      CompareHook* hook) {
+                      CompareHook* hook, int threads) {
   RunResult result;
-  result.runtime = std::make_unique<AccRuntime>();
+  result.runtime = std::make_unique<AccRuntime>(MachineModel::m2090(),
+                                                ExecutorOptions{threads});
   InterpOptions options;
   options.enable_checker = enable_checker;
   result.runtime->checker().set_enabled(enable_checker);

@@ -81,7 +81,9 @@ class InteractiveOptimizer {
 };
 
 /// Run a lowered program with inputs bound; returns the interpreter for
-/// inspection. `enable_checker` feeds the runtime checker.
+/// inspection. `enable_checker` feeds the runtime checker. `threads`
+/// configures the runtime's gang/worker executor (0 = MINIARC_THREADS env
+/// var, falling back to 1).
 struct RunResult {
   std::unique_ptr<AccRuntime> runtime;
   std::unique_ptr<Interpreter> interp;
@@ -92,6 +94,7 @@ struct RunResult {
                                     const SemaInfo& sema,
                                     const InputBinder& bind_inputs,
                                     bool enable_checker,
-                                    CompareHook* hook = nullptr);
+                                    CompareHook* hook = nullptr,
+                                    int threads = 0);
 
 }  // namespace miniarc

@@ -1,0 +1,303 @@
+// Parallel gang/worker execution: determinism across thread counts,
+// partition edge cases, persistent-pool reuse, and the runaway guard under
+// parallel dispatch.
+//
+// The core contract (DESIGN.md §4a): kernel results are bit-identical for
+// any executor thread count, because worker chunks touch disjoint state and
+// every order-sensitive step (reduction combining, dump-backs, statement
+// billing) happens on the host thread in chunk order after the join.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "benchsuite/benchmark_registry.h"
+#include "tests/test_util.h"
+#include "verify/transfer_verifier.h"
+
+namespace miniarc {
+namespace {
+
+using test::lowered;
+
+// ---- determinism: serial vs parallel runs of full benchmarks ----
+
+/// Lower + instrument `source` and run it with the checker enabled on an
+/// executor configured for `threads` host threads.
+RunResult run_instrumented(const std::string& source, const InputBinder& bind,
+                           int threads, SemaInfo* sema_out = nullptr) {
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_mini_c(source, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.dump();
+  TransferVerifier verifier;
+  auto prepared = verifier.prepare(*program, diags);
+  EXPECT_NE(prepared.program, nullptr) << diags.dump();
+  if (sema_out != nullptr) *sema_out = prepared.sema;
+  RunResult run = run_lowered(*prepared.program, prepared.sema, bind,
+                              /*enable_checker=*/true, /*hook=*/nullptr,
+                              threads);
+  EXPECT_TRUE(run.ok) << run.error;
+  return run;
+}
+
+void expect_identical_state(const SemaInfo& sema, RunResult& serial,
+                            RunResult& parallel, const std::string& name) {
+  // Every coherence-tracked buffer must be bit-identical.
+  for (const std::string& var : sema.buffers) {
+    const Value* a = serial.interp->env().find(var);
+    const Value* b = parallel.interp->env().find(var);
+    ASSERT_EQ(a != nullptr, b != nullptr) << name << ": binding of " << var;
+    if (a == nullptr || !a->is_buffer() || a->as_buffer() == nullptr) continue;
+    ASSERT_TRUE(b->is_buffer() && b->as_buffer() != nullptr)
+        << name << ": " << var;
+    const TypedBuffer& lhs = *a->as_buffer();
+    const TypedBuffer& rhs = *b->as_buffer();
+    ASSERT_EQ(lhs.count(), rhs.count()) << name << ": " << var;
+    for (std::size_t i = 0; i < lhs.count(); ++i) {
+      ASSERT_EQ(lhs.get(i), rhs.get(i))
+          << name << ": " << var << "[" << i << "]";
+    }
+  }
+
+  // Stashed kernel scalar results (reductions, falsely-shared dump-backs).
+  const auto& stash_a = serial.interp->stashed_scalars();
+  const auto& stash_b = parallel.interp->stashed_scalars();
+  ASSERT_EQ(stash_a.size(), stash_b.size()) << name;
+  for (const auto& [kernel, scalars] : stash_a) {
+    auto other = stash_b.find(kernel);
+    ASSERT_NE(other, stash_b.end()) << name << ": " << kernel;
+    ASSERT_EQ(scalars.size(), other->second.size()) << name << ": " << kernel;
+    for (const auto& [var, value] : scalars) {
+      auto other_value = other->second.find(var);
+      ASSERT_NE(other_value, other->second.end())
+          << name << ": " << kernel << "." << var;
+      EXPECT_EQ(value.is_int(), other_value->second.is_int())
+          << name << ": " << kernel << "." << var;
+      EXPECT_EQ(value.as_double(), other_value->second.as_double())
+          << name << ": " << kernel << "." << var;
+    }
+  }
+
+  // Transfer-checker classifications must match finding-for-finding.
+  const auto& findings_a = serial.runtime->checker().findings();
+  const auto& findings_b = parallel.runtime->checker().findings();
+  ASSERT_EQ(findings_a.size(), findings_b.size()) << name;
+  for (std::size_t i = 0; i < findings_a.size(); ++i) {
+    EXPECT_EQ(findings_a[i].kind, findings_b[i].kind) << name << " #" << i;
+    EXPECT_EQ(findings_a[i].var, findings_b[i].var) << name << " #" << i;
+    EXPECT_EQ(findings_a[i].label, findings_b[i].label) << name << " #" << i;
+    EXPECT_EQ(findings_a[i].loop_iterations, findings_b[i].loop_iterations)
+        << name << " #" << i;
+  }
+
+  // Statement billing is merged exactly, not approximately.
+  EXPECT_EQ(serial.interp->device_statements(),
+            parallel.interp->device_statements())
+      << name;
+  EXPECT_EQ(serial.runtime->total_time(), parallel.runtime->total_time())
+      << name;
+}
+
+class ParallelDeterminismTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(ParallelDeterminismTest, ThreadCountDoesNotChangeResults) {
+  const BenchmarkDef* def = find_benchmark(GetParam());
+  ASSERT_NE(def, nullptr);
+  SemaInfo sema;
+  RunResult serial =
+      run_instrumented(def->unoptimized_source, def->bind_inputs, 1, &sema);
+  RunResult parallel =
+      run_instrumented(def->unoptimized_source, def->bind_inputs, 8);
+  EXPECT_TRUE(def->check_output(*serial.interp)) << GetParam();
+  EXPECT_TRUE(def->check_output(*parallel.interp)) << GetParam();
+  // These benchmarks carry provably chunk-disjoint kernels — the
+  // disjointness gate must not have serialized everything (which would make
+  // this determinism check vacuous).
+  EXPECT_GT(parallel.runtime->executor().parallel_dispatches(), 0u)
+      << GetParam();
+  expect_identical_state(sema, serial, parallel, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, ParallelDeterminismTest,
+                         ::testing::Values("JACOBI", "CG", "SRAD", "SPMUL"));
+
+// ---- the chunk-disjointness gate (interp/partition_safety.h) ----
+
+constexpr const char* kAffineKernel = R"(
+extern double src[];
+extern double dst[];
+void main(void) {
+  int i;
+  int j;
+#pragma acc data copyin(src) copy(dst)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 64; i++) {
+      for (j = 0; j < 8; j++) {
+        dst[i * 8 + j] = src[i * 8 + j] * 2.0 + j;
+      }
+    }
+  }
+}
+)";
+
+constexpr const char* kIndirectKernel = R"(
+extern int map[];
+extern double dst[];
+void main(void) {
+  int i;
+#pragma acc data copyin(map) copy(dst)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 64; i++) {
+      dst[map[i]] = dst[map[i]] + 1.0;
+    }
+  }
+}
+)";
+
+void bind_gate_inputs(Interpreter& interp) {
+  BufferPtr src = interp.bind_buffer("src", ScalarKind::kDouble, 512);
+  interp.bind_buffer("dst", ScalarKind::kDouble, 512);
+  for (std::size_t i = 0; i < 512; ++i) {
+    src->set(i, 0.25 * static_cast<double>(i % 31));
+  }
+}
+
+void bind_indirect_inputs(Interpreter& interp) {
+  BufferPtr map = interp.bind_buffer("map", ScalarKind::kInt, 64);
+  interp.bind_buffer("dst", ScalarKind::kDouble, 64);
+  // Colliding targets: several iterations hit the same element, so chunks
+  // genuinely overlap and only the serial schedule is deterministic.
+  for (std::size_t i = 0; i < 64; ++i) {
+    map->set(i, static_cast<double>(i % 7));
+  }
+}
+
+TEST(DisjointnessGateTest, AffineWritesFanOutAcrossThreads) {
+  RunResult run = run_instrumented(kAffineKernel, bind_gate_inputs, 8);
+  EXPECT_GT(run.runtime->executor().parallel_dispatches(), 0u);
+}
+
+TEST(DisjointnessGateTest, IndirectWritesSerializeAndStayCorrect) {
+  SemaInfo sema;
+  RunResult serial =
+      run_instrumented(kIndirectKernel, bind_indirect_inputs, 1, &sema);
+  RunResult parallel =
+      run_instrumented(kIndirectKernel, bind_indirect_inputs, 8);
+  // The analysis cannot prove dst[map[i]] disjoint, so every launch must
+  // take the serial chunk schedule even on an 8-thread executor...
+  EXPECT_EQ(parallel.runtime->executor().parallel_dispatches(), 0u);
+  // ...which keeps the colliding updates bit-identical to the serial run.
+  expect_identical_state(sema, serial, parallel, "indirect");
+}
+
+// ---- partition_iterations edge cases ----
+
+TEST(PartitionEdgeTest, EmptyRangeYieldsNoChunks) {
+  EXPECT_TRUE(partition_iterations(5, 5, 4).empty());
+  EXPECT_TRUE(partition_iterations(9, 3, 4).empty());  // end < begin
+  EXPECT_TRUE(partition_iterations(0, 10, 0).empty());
+}
+
+TEST(PartitionEdgeTest, MoreWorkersThanIterations) {
+  auto chunks = partition_iterations(0, 3, 8);
+  ASSERT_EQ(chunks.size(), 3u);  // empty chunks are omitted
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    EXPECT_EQ(chunks[c].begin, static_cast<long>(c));
+    EXPECT_EQ(chunks[c].end, static_cast<long>(c) + 1);
+  }
+}
+
+TEST(PartitionEdgeTest, RemainderSpreadOverLeadingChunks) {
+  auto chunks = partition_iterations(0, 10, 3);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].end - chunks[0].begin, 4);
+  EXPECT_EQ(chunks[1].end - chunks[1].begin, 3);
+  EXPECT_EQ(chunks[2].end - chunks[2].begin, 3);
+  // Contiguous, in order, covering the whole range.
+  EXPECT_EQ(chunks[0].begin, 0);
+  EXPECT_EQ(chunks[1].begin, chunks[0].end);
+  EXPECT_EQ(chunks[2].begin, chunks[1].end);
+  EXPECT_EQ(chunks[2].end, 10);
+}
+
+// ---- persistent pool reuse ----
+
+TEST(PersistentPoolTest, ThreadsSpawnedOnceAcrossManyDispatches) {
+  GangWorkerExecutor executor(ExecutorOptions{4});
+  std::atomic<long> total{0};
+  auto chunk_fn = [&](const WorkerChunk& chunk) {
+    total.fetch_add(chunk.end - chunk.begin, std::memory_order_relaxed);
+  };
+  for (int round = 0; round < 20; ++round) {
+    executor.execute(0, 1000, 2, 4, /*allow_parallel=*/true, chunk_fn);
+  }
+  EXPECT_EQ(total.load(), 20'000);
+  // Pool threads are spawned lazily on the first parallel dispatch and then
+  // reused — never one pool per kernel launch.
+  EXPECT_EQ(executor.threads_spawned(), 3u);  // 4 threads = caller + 3 helpers
+  EXPECT_EQ(executor.parallel_dispatches(), 20u);
+}
+
+TEST(PersistentPoolTest, SerialDispatchSpawnsNothing) {
+  GangWorkerExecutor executor(ExecutorOptions{4});
+  long total = 0;
+  executor.execute(0, 100, 2, 4, /*allow_parallel=*/false,
+                   [&](const WorkerChunk& chunk) {
+                     total += chunk.end - chunk.begin;
+                   });
+  EXPECT_EQ(total, 100);
+  EXPECT_EQ(executor.threads_spawned(), 0u);
+  EXPECT_EQ(executor.parallel_dispatches(), 0u);
+}
+
+TEST(PersistentPoolTest, ChunkErrorIsRethrownAndPoolSurvives) {
+  GangWorkerExecutor executor(ExecutorOptions{4});
+  EXPECT_THROW(
+      executor.execute(0, 1000, 2, 4, /*allow_parallel=*/true,
+                       [&](const WorkerChunk& chunk) {
+                         if (chunk.begin >= 500) {
+                           throw std::runtime_error("chunk failed");
+                         }
+                       }),
+      std::runtime_error);
+  // The pool is still usable after a failed dispatch.
+  std::atomic<long> total{0};
+  executor.execute(0, 100, 2, 4, /*allow_parallel=*/true,
+                   [&](const WorkerChunk& chunk) {
+                     total.fetch_add(chunk.end - chunk.begin,
+                                     std::memory_order_relaxed);
+                   });
+  EXPECT_EQ(total.load(), 100);
+}
+
+// ---- runaway guard under parallel dispatch ----
+
+TEST(ParallelBudgetTest, RunawayKernelLoopFailsFastOnPoolThreads) {
+  LoweredProgram low = lowered(R"(
+extern double a[];
+void main(void) {
+  int i;
+#pragma acc data copy(a)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 64; i++) {
+      double x;
+      x = 0.0;
+      while (x < 1.0) { a[i] = a[i] + 0.0; }
+    }
+  }
+}
+)");
+  AccRuntime runtime(MachineModel::m2090(), ExecutorOptions{4});
+  InterpOptions options;
+  options.max_statements = 10'000;
+  Interpreter interp(*low.program, low.sema, runtime, options);
+  interp.bind_buffer("a", ScalarKind::kDouble, 64);
+  EXPECT_THROW(interp.run(), InterpError);
+}
+
+}  // namespace
+}  // namespace miniarc
