@@ -1,0 +1,52 @@
+#include "device/acc_error.h"
+
+namespace miniarc {
+
+const char* to_string(AccErrorCode code) {
+  switch (code) {
+    case AccErrorCode::kDeviceAllocFailed: return "Device-Alloc-Failed";
+    case AccErrorCode::kMissingDeviceCopy: return "Missing-Device-Copy";
+    case AccErrorCode::kTransferFailed: return "Transfer-Failed";
+    case AccErrorCode::kKernelTimeout: return "Kernel-Timeout";
+    case AccErrorCode::kKernelFault: return "Kernel-Fault";
+  }
+  return "?";
+}
+
+AccError::AccError(AccErrorCode code, std::string message,
+                   SourceLocation location, std::string var,
+                   std::optional<int> queue)
+    : std::runtime_error(std::move(message)),
+      code_(code),
+      location_(location),
+      var_(std::move(var)),
+      queue_(queue) {}
+
+std::string AccError::describe() const {
+  std::string out = "acc error [";
+  out += to_string(code_);
+  out += ']';
+  if (location_.valid()) {
+    out += " at ";
+    out += location_.str();
+  }
+  if (!var_.empty() || queue_.has_value()) {
+    out += " (";
+    if (!var_.empty()) {
+      out += "var '";
+      out += var_;
+      out += '\'';
+    }
+    if (queue_.has_value()) {
+      if (!var_.empty()) out += ", ";
+      out += "queue ";
+      out += std::to_string(*queue_);
+    }
+    out += ')';
+  }
+  out += ": ";
+  out += what();
+  return out;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,66 @@
+// Structured runtime errors for the simulated device.
+//
+// Every failure the device runtime can raise — allocation exhaustion,
+// missing device copies, unrecoverable transfers, watchdog timeouts,
+// faulting kernels — carries a machine-readable code plus the source
+// location, variable, and async queue it is attributable to. AccError
+// derives from std::runtime_error so callers that only know how to catch
+// the old ad-hoc exceptions keep working, while the interpreter, verifier,
+// and CLI can switch on code() and render a proper diagnostic instead of an
+// opaque what() string.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "support/source_location.h"
+
+namespace miniarc {
+
+enum class AccErrorCode : std::uint8_t {
+  /// Device allocation failed (capacity exhausted or injected OOM) and
+  /// graceful degradation could not absorb it.
+  kDeviceAllocFailed,
+  /// A transfer or kernel referenced a buffer with no device copy.
+  kMissingDeviceCopy,
+  /// A transfer failed on every attempt (permanent fault, or retries
+  /// exhausted on a transient/corrupting one).
+  kTransferFailed,
+  /// The watchdog killed a kernel chunk that exceeded its statement budget.
+  kKernelTimeout,
+  /// A kernel chunk raised a device fault.
+  kKernelFault,
+};
+
+[[nodiscard]] const char* to_string(AccErrorCode code);
+
+/// A structured device-runtime error. what() is a complete human-readable
+/// message; the accessors expose the pieces for programmatic handling.
+class AccError : public std::runtime_error {
+ public:
+  AccError(AccErrorCode code, std::string message,
+           SourceLocation location = {}, std::string var = {},
+           std::optional<int> queue = std::nullopt);
+
+  [[nodiscard]] AccErrorCode code() const { return code_; }
+  [[nodiscard]] const SourceLocation& location() const { return location_; }
+  /// Variable / buffer / kernel name the failure is attributable to (may be
+  /// empty).
+  [[nodiscard]] const std::string& var() const { return var_; }
+  /// Async queue involved, if any.
+  [[nodiscard]] const std::optional<int>& queue() const { return queue_; }
+
+  /// "acc error [Transfer-Failed] at 12:3 (var 'a', queue 2): ..." — the
+  /// one-line rendering used by the CLI and diagnostics.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  AccErrorCode code_;
+  SourceLocation location_;
+  std::string var_;
+  std::optional<int> queue_;
+};
+
+}  // namespace miniarc

@@ -1,12 +1,26 @@
 #include "device/device_memory.h"
 
-#include <new>
+#include <string>
+
+#include "device/acc_error.h"
+#include "faults/fault_plan.h"
 
 namespace miniarc {
 
 BufferPtr DeviceMemoryManager::allocate(ScalarKind kind, std::size_t count) {
   std::size_t bytes = count * scalar_size(kind);
-  if (bytes_in_use_ + bytes > capacity_) throw std::bad_alloc();
+  if (bytes_in_use_ + bytes > capacity_) {
+    throw AccError(AccErrorCode::kDeviceAllocFailed,
+                   "device memory exhausted: " + std::to_string(bytes) +
+                       " bytes requested, " +
+                       std::to_string(capacity_ - bytes_in_use_) +
+                       " of " + std::to_string(capacity_) + " available");
+  }
+  if (faults_ != nullptr && faults_->should_fail_alloc()) {
+    throw AccError(AccErrorCode::kDeviceAllocFailed,
+                   "device allocation of " + std::to_string(bytes) +
+                       " bytes failed (injected fault)");
+  }
   auto buffer = std::make_shared<TypedBuffer>(kind, count);
   bytes_in_use_ += bytes;
   if (bytes_in_use_ > peak_bytes_) peak_bytes_ = bytes_in_use_;

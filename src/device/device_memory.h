@@ -7,11 +7,13 @@
 
 namespace miniarc {
 
+class FaultInjector;
+
 class DeviceMemoryManager {
  public:
   /// Allocate a device buffer (zero-initialized, like cudaMalloc+memset in
-  /// debug flows). Throws std::bad_alloc on exhaustion of the configured
-  /// capacity.
+  /// debug flows). Throws AccError{kDeviceAllocFailed} when the configured
+  /// capacity is exhausted or an armed fault injector fails the allocation.
   [[nodiscard]] BufferPtr allocate(ScalarKind kind, std::size_t count);
 
   /// Release accounting for a buffer obtained from allocate().
@@ -26,6 +28,10 @@ class DeviceMemoryManager {
   void set_capacity(std::size_t bytes) { capacity_ = bytes; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
+  /// Optional seeded fault source (non-owning; may be null). When armed,
+  /// allocations can fail even below capacity, modelling real device OOM.
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+
   void reset_stats();
 
  private:
@@ -34,6 +40,7 @@ class DeviceMemoryManager {
   std::size_t peak_bytes_ = 0;
   std::size_t alloc_count_ = 0;
   std::size_t free_count_ = 0;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace miniarc

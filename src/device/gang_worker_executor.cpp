@@ -1,7 +1,8 @@
 #include "device/gang_worker_executor.h"
 
-#include <cstdlib>
 #include <string>
+
+#include "support/env.h"
 
 namespace miniarc {
 
@@ -24,12 +25,10 @@ std::vector<WorkerChunk> partition_iterations(long begin, long end,
 
 int resolve_executor_threads(int threads) {
   if (threads > 0) return threads;
-  static const int env_threads = [] {
-    const char* env = std::getenv("MINIARC_THREADS");
-    if (env == nullptr) return 1;
-    int parsed = std::atoi(env);
-    return parsed > 0 ? parsed : 1;
-  }();
+  // Validated once per process: garbage or out-of-range MINIARC_THREADS
+  // values warn and fall back to sequential execution instead of silently
+  // running with whatever atoi would have produced.
+  static const int env_threads = env_int_or("MINIARC_THREADS", 1, 1, 1024);
   return env_threads;
 }
 
@@ -80,14 +79,19 @@ void GangWorkerExecutor::execute_chunks(
 
   run_job(*job);  // the dispatching thread works too
 
+  std::vector<std::exception_ptr> errors;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [&] {
       return job->outstanding.load(std::memory_order_acquire) == 0;
     });
     job_.reset();
+    // Move captured errors out of the Job before rethrowing: a pool thread
+    // may drop the last Job reference at any point after finishing, and the
+    // exception must be released on this thread, not a worker.
+    errors.swap(job->errors);
   }
-  for (auto& error : job->errors) {
+  for (auto& error : errors) {
     if (error != nullptr) std::rethrow_exception(error);
   }
 }

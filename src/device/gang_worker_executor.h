@@ -28,8 +28,11 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
+
+#include "faults/fault_plan.h"
 
 namespace miniarc {
 
@@ -51,6 +54,9 @@ struct ExecutorOptions {
   /// environment variable (falling back to 1 when unset). Kernels carrying
   /// falsely-shared state always run sequentially regardless of this value.
   int threads = 0;
+  /// Fault plan for the runtime built on this executor. nullopt = resolve
+  /// from MINIARC_FAULTS / MINIARC_FAULT_SEED (unset ⇒ injection disabled).
+  std::optional<FaultPlan> faults;
 };
 
 /// `threads` if positive, else the MINIARC_THREADS environment variable,

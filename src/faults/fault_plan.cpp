@@ -1,0 +1,201 @@
+#include "faults/fault_plan.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/env.h"
+#include "support/str.h"
+
+namespace miniarc {
+
+bool FaultPlan::any() const {
+  return alloc_fail > 0.0 || transfer_transient > 0.0 ||
+         transfer_permanent > 0.0 || transfer_corrupt > 0.0 ||
+         queue_stall > 0.0 || kernel_hang > 0.0 || kernel_fault > 0.0;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& spec,
+                                          std::string* error) {
+  auto fail = [&](std::string message) -> std::optional<FaultPlan> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+
+  FaultPlan plan;
+  for (const std::string& entry : split_trimmed(spec, ',')) {
+    std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return fail("expected key=value, got '" + entry + "'");
+    }
+    std::string key(trim(entry.substr(0, eq)));
+    std::string value(trim(entry.substr(eq + 1)));
+
+    if (key == "seed") {
+      std::optional<long> seed = parse_env_long(value);
+      if (!seed.has_value() || *seed < 0) {
+        return fail("seed must be a non-negative integer, got '" + value +
+                    "'");
+      }
+      plan.seed = static_cast<std::uint64_t>(*seed);
+      continue;
+    }
+
+    char* end = nullptr;
+    double rate = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      return fail("rate for '" + key + "' is not a number: '" + value + "'");
+    }
+    if (rate < 0.0 || rate > 1.0) {
+      return fail("rate for '" + key + "' must be in [0, 1], got '" + value +
+                  "'");
+    }
+
+    if (key == "alloc") {
+      plan.alloc_fail = rate;
+    } else if (key == "transient") {
+      plan.transfer_transient = rate;
+    } else if (key == "permanent") {
+      plan.transfer_permanent = rate;
+    } else if (key == "corrupt") {
+      plan.transfer_corrupt = rate;
+    } else if (key == "stall") {
+      plan.queue_stall = rate;
+    } else if (key == "hang") {
+      plan.kernel_hang = rate;
+    } else if (key == "fault") {
+      plan.kernel_fault = rate;
+    } else {
+      return fail("unknown fault key '" + key +
+                  "' (expected alloc, transient, permanent, corrupt, stall, "
+                  "hang, fault, or seed)");
+    }
+  }
+  return plan;
+}
+
+const FaultPlan& fault_plan_from_env() {
+  static const FaultPlan plan = [] {
+    FaultPlan resolved;
+    const char* spec = std::getenv("MINIARC_FAULTS");
+    if (spec != nullptr && spec[0] != '\0') {
+      std::string error;
+      std::optional<FaultPlan> parsed = FaultPlan::parse(spec, &error);
+      if (parsed.has_value()) {
+        resolved = *parsed;
+      } else {
+        std::fprintf(stderr,
+                     "miniarc: ignoring invalid MINIARC_FAULTS='%s' (%s); "
+                     "fault injection disabled\n",
+                     spec, error.c_str());
+      }
+    }
+    resolved.seed = static_cast<std::uint64_t>(env_int_or(
+        "MINIARC_FAULT_SEED", static_cast<int>(resolved.seed), 0, 1 << 30));
+    return resolved;
+  }();
+  return plan;
+}
+
+const char* to_string(TransferFaultKind kind) {
+  switch (kind) {
+    case TransferFaultKind::kNone: return "none";
+    case TransferFaultKind::kTransient: return "transient";
+    case TransferFaultKind::kPermanent: return "permanent";
+    case TransferFaultKind::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {
+  enabled_ = plan_.any();
+  reset();
+}
+
+void FaultInjector::reset() {
+  // Same golden-ratio seeding as the runtime's transfer jitter: seed 0 is
+  // remapped so the stream never degenerates to all-zero.
+  state_ = plan_.seed == 0 ? 0x9e3779b97f4a7c15ULL : plan_.seed;
+  stats_ = {};
+}
+
+std::uint64_t FaultInjector::next_u64() {
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  return state_ * 0x2545F4914F6CDD1DULL;
+}
+
+double FaultInjector::next_unit() {
+  return static_cast<double>(next_u64() >> 11) / 9007199254740992.0;
+}
+
+bool FaultInjector::draw(double rate) {
+  if (rate <= 0.0) return false;
+  return next_unit() < rate;
+}
+
+bool FaultInjector::should_fail_alloc() {
+  if (!enabled_) return false;
+  if (!draw(plan_.alloc_fail)) return false;
+  ++stats_.allocs_failed;
+  return true;
+}
+
+TransferFaultKind FaultInjector::next_transfer_fault() {
+  if (!enabled_) return TransferFaultKind::kNone;
+  if (draw(plan_.transfer_permanent)) {
+    ++stats_.transfers_permanent;
+    return TransferFaultKind::kPermanent;
+  }
+  if (draw(plan_.transfer_corrupt)) {
+    ++stats_.transfers_corrupted;
+    return TransferFaultKind::kCorrupt;
+  }
+  if (draw(plan_.transfer_transient)) {
+    ++stats_.transfers_transient;
+    return TransferFaultKind::kTransient;
+  }
+  return TransferFaultKind::kNone;
+}
+
+TransferFaultKind FaultInjector::retry_fault(TransferFaultKind kind) {
+  double rate = kind == TransferFaultKind::kCorrupt ? plan_.transfer_corrupt
+                                                    : plan_.transfer_transient;
+  return draw(rate) ? kind : TransferFaultKind::kNone;
+}
+
+double FaultInjector::stall_seconds(double base_seconds) {
+  if (!enabled_ || !draw(plan_.queue_stall)) return 0.0;
+  ++stats_.queue_stalls;
+  // A stalled queue drains several operation-times late, plus a fixed
+  // scheduling hiccup — large enough to be visible in the Async-Wait
+  // component, small enough not to dominate a run.
+  return 3.0 * base_seconds + 20e-6;
+}
+
+KernelFaultDecision FaultInjector::next_kernel_fault(
+    std::size_t chunk_count) {
+  KernelFaultDecision decision;
+  if (!enabled_ || chunk_count == 0) return decision;
+  if (draw(plan_.kernel_hang)) {
+    decision.kind = KernelFaultDecision::Kind::kHang;
+    ++stats_.kernels_hung;
+  } else if (draw(plan_.kernel_fault)) {
+    decision.kind = KernelFaultDecision::Kind::kFault;
+    ++stats_.kernels_faulted;
+  } else {
+    return decision;
+  }
+  decision.chunk = static_cast<std::size_t>(next_u64() % chunk_count);
+  return decision;
+}
+
+void FaultInjector::corrupt_bytes(std::byte* data, std::size_t size) {
+  if (data == nullptr || size == 0) return;
+  // One flipped byte: guaranteed to differ from the source image, so the
+  // engine's integrity check always detects the damage.
+  std::size_t offset = static_cast<std::size_t>(next_u64() % size);
+  data[offset] ^= std::byte{0xA5};
+}
+
+}  // namespace miniarc

@@ -1,0 +1,135 @@
+// Runtime fault injection for the simulated device (the resilience
+// counterpart of faults/fault_injector.h, which covers the paper's
+// *compile-time* clause-stripping experiment).
+//
+// A FaultPlan is a set of seeded, deterministic injection rates for the
+// failure modes a real CPU–GPU runtime must survive: device allocation
+// failure, transient / permanent / image-corrupting transfer faults, async
+// queue stalls, and runaway or faulting kernel chunks. The FaultInjector
+// draws every decision from one xorshift64* stream advanced in host program
+// order, so a (plan, seed) pair reproduces the exact same fault schedule for
+// any executor thread count — the property the fault soak suite relies on.
+//
+// Configuration surfaces: `ExecutorOptions::faults` (programmatic), the
+// MINIARC_FAULTS / MINIARC_FAULT_SEED environment variables, and the CLI's
+// `--faults=<spec> --fault-seed=<n>` flags. All fault hooks compile down to a
+// branch on FaultInjector::enabled() when no plan is armed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace miniarc {
+
+/// Injection rates (each a probability in [0, 1]) plus the stream seed.
+/// A default-constructed plan is fully disabled.
+struct FaultPlan {
+  /// DeviceMemoryManager::allocate fails (device OOM even below capacity).
+  double alloc_fail = 0.0;
+  /// A transfer attempt fails in flight; retries may succeed.
+  double transfer_transient = 0.0;
+  /// A transfer fails on every attempt (dead link / poisoned page).
+  double transfer_permanent = 0.0;
+  /// The DMA completes but the destination image is byte-corrupted; the
+  /// engine's integrity check catches it and the runtime re-copies.
+  double transfer_corrupt = 0.0;
+  /// An async queue stalls: the enqueued operation drains late, surfacing as
+  /// extra Async-Wait at the next wait().
+  double queue_stall = 0.0;
+  /// One kernel chunk spins forever; the watchdog kills it.
+  double kernel_hang = 0.0;
+  /// One kernel chunk raises a device fault immediately.
+  double kernel_fault = 0.0;
+  std::uint64_t seed = 1;
+
+  /// True if any injection rate is positive.
+  [[nodiscard]] bool any() const;
+
+  /// Parse "alloc=0.1,transient=0.05,permanent=0,corrupt=0.02,stall=0.1,"
+  /// "hang=0.01,fault=0.01,seed=42" (any subset of keys, any order).
+  /// Returns nullopt — and sets `*error` when given — on unknown keys,
+  /// malformed numbers, or rates outside [0, 1].
+  static std::optional<FaultPlan> parse(const std::string& spec,
+                                        std::string* error = nullptr);
+};
+
+/// Plan from the MINIARC_FAULTS spec + MINIARC_FAULT_SEED environment
+/// variables. Unset ⇒ disabled plan; malformed values ⇒ one stderr warning
+/// and the disabled default (never UB, never a crash). Read once per
+/// process, like MINIARC_THREADS.
+[[nodiscard]] const FaultPlan& fault_plan_from_env();
+
+enum class TransferFaultKind : std::uint8_t {
+  kNone,
+  kTransient,
+  kPermanent,
+  kCorrupt,
+};
+
+[[nodiscard]] const char* to_string(TransferFaultKind kind);
+
+struct KernelFaultDecision {
+  enum class Kind : std::uint8_t { kNone, kHang, kFault };
+  Kind kind = Kind::kNone;
+  /// Chunk index the fault lands on (decided on the host thread before
+  /// dispatch, so the schedule is identical for every thread count).
+  std::size_t chunk = 0;
+};
+
+/// Injection counters (what was *injected*; AccRuntime::resilience() counts
+/// what was *recovered*).
+struct FaultStats {
+  long allocs_failed = 0;
+  long transfers_transient = 0;
+  long transfers_permanent = 0;
+  long transfers_corrupted = 0;
+  long queue_stalls = 0;
+  long kernels_hung = 0;
+  long kernels_faulted = 0;
+};
+
+/// Deterministic per-runtime fault source. Every decision advances one
+/// seeded PRNG stream on the host thread; `reset()` re-arms it from the
+/// plan's seed so repeated runs of one runtime see the same schedule.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Should the next device allocation fail?
+  [[nodiscard]] bool should_fail_alloc();
+  /// Fault classification for the next transfer's first attempt.
+  [[nodiscard]] TransferFaultKind next_transfer_fault();
+  /// Does a retry of `kind` fail the same way again? (Permanent faults never
+  /// reach here — they are fatal on the first attempt.)
+  [[nodiscard]] TransferFaultKind retry_fault(TransferFaultKind kind);
+  /// Extra drain time injected into an async operation of `base_seconds`
+  /// (0.0 when this operation does not stall).
+  [[nodiscard]] double stall_seconds(double base_seconds);
+  /// Fault decision for a kernel launch of `chunk_count` chunks.
+  [[nodiscard]] KernelFaultDecision next_kernel_fault(std::size_t chunk_count);
+  /// Flip one seeded byte of a DMA destination image (guaranteed to differ
+  /// from the source, so the integrity check always detects it).
+  void corrupt_bytes(std::byte* data, std::size_t size);
+
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+  /// Re-arm the stream from the plan's seed and clear the counters.
+  void reset();
+
+ private:
+  [[nodiscard]] std::uint64_t next_u64();
+  [[nodiscard]] double next_unit();  // [0, 1)
+  [[nodiscard]] bool draw(double rate);
+
+  FaultPlan plan_;
+  bool enabled_ = false;
+  std::uint64_t state_ = 0;
+  FaultStats stats_;
+};
+
+}  // namespace miniarc

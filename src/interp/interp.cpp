@@ -193,14 +193,15 @@ Interpreter::Flow Interpreter::exec(const Stmt& stmt) {
       flush_host_billing();
       const auto& alloc = stmt.as<DevAllocStmt>();
       BufferPtr host = resolve_buffer(alloc.var(), stmt.location());
-      runtime_.data_enter(*host, alloc.expects_entry_transfer);
+      runtime_.data_enter(*host, alloc.expects_entry_transfer, alloc.var(),
+                          stmt.location());
       return Flow::kNormal;
     }
     case StmtKind::kDevFree: {
       flush_host_billing();
-      BufferPtr host =
-          resolve_buffer(stmt.as<DevFreeStmt>().var(), stmt.location());
-      runtime_.data_exit(*host);
+      const auto& free = stmt.as<DevFreeStmt>();
+      BufferPtr host = resolve_buffer(free.var(), stmt.location());
+      runtime_.data_exit(*host, free.var(), stmt.location());
       return Flow::kNormal;
     }
     case StmtKind::kMemTransfer:

@@ -54,6 +54,11 @@ struct InterpOptions {
   /// of name-keyed hashing. Off only for the bench_micro_kernel_exec
   /// baseline — results are identical either way.
   bool kernel_slot_resolution = true;
+  /// Watchdog: per-chunk statement budget for one kernel launch. A chunk
+  /// exceeding it is killed with a structured AccError{kKernelTimeout}
+  /// naming the kernel. 0 = inherit whatever remains of `max_statements`
+  /// at launch (the pre-watchdog behavior).
+  long watchdog_chunk_statements = 0;
 };
 
 class Interpreter {

@@ -1,5 +1,6 @@
 #include "interp/kernel_eval.h"
 
+#include "device/acc_error.h"
 #include "interp/eval_ops.h"
 #include "interp/interp.h"
 #include "interp/intrinsics.h"
@@ -79,7 +80,15 @@ void KernelEval::run_chunk(const Stmt& body, int induction_slot,
 
 void KernelEval::count_statement() {
   if (++worker_.statements > ctx_.worker_statement_limit) {
-    throw InterpError("statement budget exhausted (possible runaway loop)");
+    // Watchdog: the chunk blew its statement budget — kill it with a
+    // structured timeout naming the kernel, so the failure is reportable
+    // instead of an opaque abort.
+    throw AccError(AccErrorCode::kKernelTimeout,
+                   "kernel '" + ctx_.launch->kernel_name() +
+                       "' exceeded the watchdog budget of " +
+                       std::to_string(ctx_.worker_statement_limit) +
+                       " statements per chunk (runaway loop?)",
+                   ctx_.launch->location(), ctx_.launch->kernel_name());
   }
 }
 

@@ -31,6 +31,7 @@
 #include <limits>
 
 #include "ast/visitor.h"
+#include "device/acc_error.h"
 #include "interp/interp.h"
 #include "interp/kernel_eval.h"
 #include "interp/partition_safety.h"
@@ -133,7 +134,13 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
   ctx.slot_is_float = &slot_is_float_;
   ctx.slot_names = &slots_.names;
   long remaining_budget = options_.max_statements - total_budget_used_;
-  ctx.worker_statement_limit = remaining_budget > 0 ? remaining_budget : 0;
+  if (remaining_budget < 0) remaining_budget = 0;
+  // Watchdog: an explicit per-chunk budget tightens the inherited global
+  // remainder; chunks exceeding it die with AccError{kKernelTimeout}.
+  ctx.worker_statement_limit =
+      options_.watchdog_chunk_statements > 0
+          ? std::min(remaining_budget, options_.watchdog_chunk_statements)
+          : remaining_budget;
   if (ctx.use_slots) ctx.prepare_slots();
 
   for (const auto& name : stmt.falsely_shared) {
@@ -158,6 +165,7 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
     }
   }
 
+  bool host_fallback = false;
   for (const auto& access : stmt.accesses) {
     if (access.is_buffer) {
       if (stmt.is_private(access.name)) continue;  // worker-local below
@@ -167,6 +175,9 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
         throw InterpError("kernel " + stmt.kernel_name() + " accesses '" +
                           access.name + "' with no device copy");
       }
+      // OOM degradation: a kernel touching a host-fallback alias reads and
+      // writes host memory directly and is billed at host speed.
+      if (runtime_.is_host_fallback(*host)) host_fallback = true;
       if (ctx.use_slots) {
         int slot = slots_.lookup(access.name);
         if (slot >= 0) {
@@ -277,19 +288,67 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
     }
     allow_parallel = it->second;
   }
-  runtime_.executor().execute_chunks(
-      chunks, allow_parallel,
-      [&](std::size_t index, const WorkerChunk& chunk) {
-        KernelEval eval(ctx, workers[index]);
-        eval.run_chunk(chunk_body, induction_slot, induction, chunk.begin,
-                       chunk.end);
-      });
+  // Injected kernel faults are decided on the host thread before dispatch,
+  // so the fault schedule is identical for every executor thread count.
+  KernelFaultDecision injected;
+  if (runtime_.fault_injector().enabled()) {
+    injected = runtime_.fault_injector().next_kernel_fault(chunks.size());
+  }
 
   // ---- merge per-worker statement counters (exact billing) ----
-  long executed = 0;
-  for (const auto& worker : workers) executed += worker.statements;
-  device_statements_ += executed;
-  total_budget_used_ += executed;
+  // Runs on the failure path too: partial work a dying launch performed is
+  // real device time and must stay visible to the profiler.
+  auto merge_and_bill = [&] {
+    long executed = 0;
+    for (const auto& worker : workers) executed += worker.statements;
+    device_statements_ += executed;
+    total_budget_used_ += executed;
+    if (host_fallback) {
+      // Degraded launch: the "device" buffers alias host memory, so the
+      // statements ran at host speed on the CPU timeline.
+      runtime_.bill_host_statements(static_cast<std::size_t>(executed));
+    } else {
+      runtime_.bill_kernel(static_cast<std::size_t>(executed), stmt.config);
+    }
+    return executed;
+  };
+
+  try {
+    runtime_.executor().execute_chunks(
+        chunks, allow_parallel,
+        [&](std::size_t index, const WorkerChunk& chunk) {
+          if (injected.kind != KernelFaultDecision::Kind::kNone &&
+              index == injected.chunk) {
+            if (injected.kind == KernelFaultDecision::Kind::kFault) {
+              throw AccError(AccErrorCode::kKernelFault,
+                             "kernel '" + stmt.kernel_name() + "' chunk " +
+                                 std::to_string(index) +
+                                 " raised a device fault (injected)",
+                             stmt.location(), stmt.kernel_name(),
+                             stmt.config.async_queue);
+            }
+            // Injected hang: the chunk burns its whole statement budget
+            // before the watchdog kills it.
+            workers[index].statements = ctx.worker_statement_limit;
+            throw AccError(AccErrorCode::kKernelTimeout,
+                           "kernel '" + stmt.kernel_name() + "' chunk " +
+                               std::to_string(index) +
+                               " exceeded the watchdog budget of " +
+                               std::to_string(ctx.worker_statement_limit) +
+                               " statements (injected hang)",
+                           stmt.location(), stmt.kernel_name(),
+                           stmt.config.async_queue);
+          }
+          KernelEval eval(ctx, workers[index]);
+          eval.run_chunk(chunk_body, induction_slot, induction, chunk.begin,
+                         chunk.end);
+        });
+  } catch (...) {
+    merge_and_bill();
+    throw;
+  }
+
+  merge_and_bill();
   if (total_budget_used_ > options_.max_statements) {
     throw InterpError("statement budget exhausted (possible runaway loop)");
   }
@@ -342,9 +401,6 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
   // Read-first (stripped reduction): lost updates — only the first worker's
   // partial survives, an active error.
   for (const auto& name : accumulator_shared) dump_back(name, true);
-
-  // ---- billing ----
-  runtime_.bill_kernel(static_cast<std::size_t>(executed), stmt.config);
 }
 
 }  // namespace miniarc

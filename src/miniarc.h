@@ -39,6 +39,7 @@
 #include "translate/result_comparison.h"
 
 // Simulated accelerator platform + OpenACC-style runtime.
+#include "device/acc_error.h"
 #include "device/buffer.h"
 #include "device/cost_model.h"
 #include "device/device_memory.h"
@@ -55,8 +56,13 @@
 // Execution.
 #include "interp/interp.h"
 
-// Interactive debugging & optimization (the paper's contribution).
+// Fault injection: compile-time clause stripping (the paper's experiment)
+// and the runtime fault/resilience plan.
 #include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
+#include "support/env.h"
+
+// Interactive debugging & optimization (the paper's contribution).
 #include "verify/auto_programmer.h"
 #include "verify/interactive_optimizer.h"
 #include "verify/kernel_verifier.h"

@@ -3,13 +3,35 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "device/acc_error.h"
 #include "runtime/transfer_engine.h"
 
 namespace miniarc {
 
+namespace {
+/// Bounded retry budget for transient/corrupting transfer faults.
+constexpr int kMaxTransferAttempts = 4;
+/// First backoff interval; doubles per retry (10 µs, 20 µs, 40 µs).
+constexpr double kBackoffBaseSeconds = 10e-6;
+}  // namespace
+
+AccRuntime::AccRuntime(MachineModel model, ExecutorOptions executor_options)
+    : model_(model),
+      executor_(executor_options),
+      faults_(executor_options.faults.has_value() ? *executor_options.faults
+                                                  : fault_plan_from_env()) {
+  dev_mem_.set_fault_injector(&faults_);
+}
+
 BufferPtr AccRuntime::data_enter(const TypedBuffer& host,
-                                 bool expects_entry_transfer) {
-  PresentTable::EnterResult result = present_.enter(host, dev_mem_);
+                                 bool expects_entry_transfer,
+                                 const std::string& var, SourceLocation loc) {
+  PresentTable::EnterResult result;
+  try {
+    result = present_.enter(host, dev_mem_);
+  } catch (const AccError& oom) {
+    result = degraded_enter(host, var, loc, oom.what());
+  }
   if (!expects_entry_transfer) present_.clear_fresh(host);
   if (result.newly_allocated) {
     double cost = model_.dev_mem.alloc_seconds(host.size_bytes());
@@ -20,18 +42,69 @@ BufferPtr AccRuntime::data_enter(const TypedBuffer& host,
     checker_.tracker().set_state(host, DeviceSide::kDevice,
                                  CoherenceState::kStale);
   }
+  if (result.host_fallback) {
+    // The "device" copy aliases host memory, so both sides are trivially
+    // coherent for the lifetime of the mapping.
+    checker_.tracker().set_state(host, DeviceSide::kDevice,
+                                 CoherenceState::kNotStale);
+  }
   return result.device;
 }
 
-void AccRuntime::data_exit(const TypedBuffer& host) {
-  if (!present_.is_present(host)) return;
-  bool freed = present_.exit(host, dev_mem_);
-  if (freed) {
-    double cost = model_.dev_mem.free_seconds();
-    clock_.advance(cost);
-    profiler_.add(ProfileCategory::kGpuMemFree, cost);
-    checker_.on_device_dealloc(host);
+void AccRuntime::data_exit(const TypedBuffer& host, const std::string& var,
+                           SourceLocation loc) {
+  bool fallback = present_.is_host_fallback(host);
+  switch (present_.exit(host, dev_mem_)) {
+    case PresentTable::ExitResult::kUnderflow:
+      ++resilience_.refcount_underflows;
+      diags_.warning(loc, "data exit for '" + (var.empty() ? "?" : var) +
+                              "' without a matching data enter (reference "
+                              "count underflow; exit ignored)");
+      return;
+    case PresentTable::ExitResult::kFreed:
+      if (!fallback) {
+        double cost = model_.dev_mem.free_seconds();
+        clock_.advance(cost);
+        profiler_.add(ProfileCategory::kGpuMemFree, cost);
+        checker_.on_device_dealloc(host);
+      }
+      return;
+    case PresentTable::ExitResult::kStillReferenced:
+    case PresentTable::ExitResult::kParked:
+      return;
   }
+}
+
+PresentTable::EnterResult AccRuntime::degraded_enter(const TypedBuffer& host,
+                                                     const std::string& var,
+                                                     SourceLocation loc,
+                                                     const std::string& reason) {
+  std::string name = var.empty() ? "?" : var;
+  // First line of defense: the pool holds parked, semantically dead device
+  // buffers (host is authoritative after region exit) — free them and retry.
+  PresentTable::EvictStats evicted = present_.evict_parked(dev_mem_);
+  if (evicted.buffers > 0) {
+    ++resilience_.oom_evictions;
+    resilience_.oom_evicted_bytes += static_cast<long>(evicted.bytes);
+    double cost = static_cast<double>(evicted.buffers) *
+                  model_.dev_mem.free_seconds();
+    bill(ProfileCategory::kFaultRecovery, cost, std::nullopt);
+    diags_.note(loc, "device OOM allocating '" + name + "': evicted " +
+                         std::to_string(evicted.buffers) +
+                         " pooled buffer(s), " +
+                         std::to_string(evicted.bytes) + " bytes");
+    try {
+      return present_.enter(host, dev_mem_);
+    } catch (const AccError&) {
+      // Eviction was not enough; degrade to host execution below.
+    }
+  }
+  ++resilience_.host_fallbacks;
+  diags_.warning(loc, "device OOM allocating '" + name +
+                          "' (" + reason +
+                          "); falling back to host memory — kernels touching "
+                          "'" + name + "' run at host speed");
+  return present_.enter_host_fallback(host);
 }
 
 double AccRuntime::jittered(double seconds) {
@@ -50,7 +123,12 @@ void AccRuntime::bill(ProfileCategory category, double seconds,
                       std::optional<int> async_queue) {
   profiler_.add(category, seconds);
   if (async_queue.has_value()) {
-    streams_.enqueue(*async_queue, clock_.now(), seconds);
+    // An injected queue stall delays the stream's drain without being billed
+    // work: the extra time surfaces as Async-Wait residual at the next
+    // wait(), keeping the per-category components a partition of the total.
+    double stall = faults_.enabled() ? faults_.stall_seconds(seconds) : 0.0;
+    if (stall > 0.0) ++resilience_.queue_stalls;
+    streams_.enqueue(*async_queue, clock_.now(), seconds + stall);
     pending_async_work_[*async_queue] += seconds;
   } else {
     clock_.advance(seconds);
@@ -78,19 +156,84 @@ TransferResult AccRuntime::transfer(TypedBuffer& host, const std::string& var,
 
   BufferPtr device = present_.find(host);
   if (device == nullptr) {
-    throw std::runtime_error("transfer of '" + var +
-                             "' which has no device copy (no enclosing data "
-                             "region or create clause)");
+    std::string message = "transfer of '" + var +
+                          "' which has no device copy (no enclosing data "
+                          "region or create clause)";
+    diags_.error(loc, message);
+    throw AccError(AccErrorCode::kMissingDeviceCopy, std::move(message), loc,
+                   var, async_queue);
+  }
+
+  if (present_.is_host_fallback(host)) {
+    // Degraded mapping: host and "device" are the same bytes. Keep the
+    // coherence protocol satisfied, move nothing, bill nothing.
+    checker_.tracker().on_transfer(host, direction);
+    return {};
   }
 
   // Classification must see the pre-transfer coherence states.
   checker_.on_transfer(host, var, direction, label, ctx, loc);
 
-  std::size_t bytes = TransferEngine::copy(host, *device, direction);
-  profiler_.add_transfer(direction, bytes);
-  double cost = jittered(model_.pcie.transfer_seconds(bytes));
-  bill(ProfileCategory::kMemTransfer, cost, async_queue);
-  return {true, bytes};
+  return resilient_copy(host, *device, var, direction, async_queue, loc);
+}
+
+TransferResult AccRuntime::resilient_copy(TypedBuffer& host,
+                                          TypedBuffer& device,
+                                          const std::string& var,
+                                          TransferDirection direction,
+                                          std::optional<int> async_queue,
+                                          SourceLocation loc) {
+  TransferFaultKind fault = faults_.enabled() ? faults_.next_transfer_fault()
+                                              : TransferFaultKind::kNone;
+  double wire = model_.pcie.transfer_seconds(host.size_bytes());
+  for (int attempt = 1; attempt <= kMaxTransferAttempts; ++attempt) {
+    if (fault == TransferFaultKind::kNone) {
+      TransferEngine::CopyOutcome ok =
+          TransferEngine::copy_verified(host, device, direction, nullptr);
+      profiler_.add_transfer(direction, ok.bytes);
+      bill(ProfileCategory::kMemTransfer, jittered(wire), async_queue);
+      if (attempt > 1) {
+        ++resilience_.transfers_recovered;
+        diags_.note(loc, "transfer of '" + var + "' recovered after " +
+                             std::to_string(attempt - 1) +
+                             " faulted attempt(s)");
+      }
+      return {true, ok.bytes};
+    }
+    if (fault == TransferFaultKind::kPermanent) break;
+
+    // Faulted attempt. A corrupting fault completes the DMA (full wire time,
+    // damaged destination image — left in place, as real hardware would,
+    // so the retry must genuinely re-copy); a transient fault dies partway
+    // (half the wire time, destination untouched). Either way the consumed
+    // time is recovery overhead, not useful transfer work.
+    if (fault == TransferFaultKind::kCorrupt) {
+      TransferEngine::CopyOutcome bad =
+          TransferEngine::copy_verified(host, device, direction, &faults_);
+      (void)bad;  // bad.verified is false by construction (one flipped byte)
+      bill(ProfileCategory::kFaultRecovery, jittered(wire), async_queue);
+    } else {
+      bill(ProfileCategory::kFaultRecovery, jittered(0.5 * wire), async_queue);
+    }
+    if (attempt == kMaxTransferAttempts) break;
+
+    ++resilience_.transfer_retries;
+    double backoff = kBackoffBaseSeconds * static_cast<double>(1 << (attempt - 1));
+    bill(ProfileCategory::kFaultRecovery, backoff, async_queue);
+    fault = faults_.retry_fault(fault);
+  }
+
+  ++resilience_.transfers_failed;
+  std::string reason =
+      fault == TransferFaultKind::kPermanent
+          ? "permanent fault on the link"
+          : std::to_string(kMaxTransferAttempts) + " attempts all hit " +
+                std::string(to_string(fault)) + " faults";
+  std::string message = "transfer of '" + var + "' failed: " + reason +
+                        " (injected fault schedule)";
+  diags_.error(loc, message);
+  throw AccError(AccErrorCode::kTransferFailed, std::move(message), loc, var,
+                 async_queue);
 }
 
 TransferResult AccRuntime::scratch_transfer(const TypedBuffer& host,
@@ -98,6 +241,7 @@ TransferResult AccRuntime::scratch_transfer(const TypedBuffer& host,
                                             std::optional<int> async_queue) {
   BufferPtr device = present_.find(host);
   if (device == nullptr) return {};
+  if (present_.is_host_fallback(host)) return {};
   TypedBuffer scratch(host.kind(), host.count());
   std::size_t bytes = direction == TransferDirection::kDeviceToHost
                           ? TransferEngine::copy(scratch, *device, direction)
@@ -114,9 +258,9 @@ void AccRuntime::wait(std::optional<int> queue) {
   double raw_wait = clock_.advance_to(target);
 
   // Residual attribution: the stream's own work was already billed to its
-  // category at enqueue; only waiting beyond that (queueing delay) counts as
-  // Async-Wait, so the per-category components remain a partition of the
-  // reported total.
+  // category at enqueue; only waiting beyond that (queueing delay, injected
+  // stalls) counts as Async-Wait, so the per-category components remain a
+  // partition of the reported total.
   double pending = 0.0;
   if (queue.has_value()) {
     pending = pending_async_work_[*queue];
@@ -168,6 +312,9 @@ void AccRuntime::reset() {
   present_.clear();
   profiler_.reset();
   checker_.clear();
+  faults_.reset();
+  diags_.clear();
+  resilience_ = {};
   pending_async_work_.clear();
 }
 

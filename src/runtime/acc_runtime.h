@@ -1,6 +1,9 @@
 // AccRuntime: the host-side OpenACC-style runtime facade the interpreter
 // drives. Owns the simulated device (memory manager, streams, cost models,
-// virtual clock), the present table, the profiler, and the runtime checker.
+// virtual clock), the present table, the profiler, the runtime checker, and
+// the fault-injection / resilience machinery (seeded FaultInjector, bounded
+// transfer retry with billed backoff, OOM degradation, structured AccError
+// diagnostics).
 #pragma once
 
 #include <cstdint>
@@ -14,9 +17,11 @@
 #include "device/gang_worker_executor.h"
 #include "device/stream.h"
 #include "device/virtual_clock.h"
+#include "faults/fault_plan.h"
 #include "runtime/present_table.h"
 #include "runtime/profiler.h"
 #include "runtime/runtime_checker.h"
+#include "support/diagnostics.h"
 
 namespace miniarc {
 
@@ -25,22 +30,47 @@ struct TransferResult {
   std::size_t bytes = 0;
 };
 
+/// What the runtime *recovered from* (the FaultInjector's FaultStats count
+/// what was injected).
+struct ResilienceStats {
+  /// Transfer retry attempts performed after a transient/corrupting fault.
+  long transfer_retries = 0;
+  /// Transfers that ultimately succeeded after at least one faulted attempt.
+  long transfers_recovered = 0;
+  /// Transfers that raised AccError (permanent fault or retries exhausted).
+  long transfers_failed = 0;
+  /// OOM eviction passes over the present-table pool.
+  long oom_evictions = 0;
+  long oom_evicted_bytes = 0;
+  /// Buffers degraded to host-fallback aliases after eviction still could
+  /// not satisfy the allocation.
+  long host_fallbacks = 0;
+  /// Async operations that drew an injected queue stall.
+  long queue_stalls = 0;
+  /// data_exit calls without a matching data_enter (diagnosed, not fatal).
+  long refcount_underflows = 0;
+};
+
 class AccRuntime {
  public:
   explicit AccRuntime(MachineModel model = MachineModel::m2090(),
-                      ExecutorOptions executor_options = {})
-      : model_(model), executor_(executor_options) {}
+                      ExecutorOptions executor_options = {});
 
   // ---- structured data management (DevAlloc / DevFree statements) ----
   /// present_or_create semantics; bills allocation time if a device copy was
   /// created. When `expects_entry_transfer` is false the brought-in flag is
-  /// consumed immediately (create/present clauses). Returns the device
-  /// buffer.
+  /// consumed immediately (create/present clauses). On device OOM the
+  /// runtime degrades instead of failing: parked pool entries are evicted
+  /// and the allocation retried; if that still fails the buffer is mapped as
+  /// a host-fallback alias with a warning. Returns the device buffer.
   BufferPtr data_enter(const TypedBuffer& host,
-                       bool expects_entry_transfer = true);
+                       bool expects_entry_transfer = true,
+                       const std::string& var = {}, SourceLocation loc = {});
   /// Drops one reference; bills the free and marks the device copy stale
-  /// when actually released.
-  void data_exit(const TypedBuffer& host);
+  /// when actually released. A data_exit without a matching data_enter is
+  /// diagnosed as a refcount underflow (warning) and otherwise ignored.
+  void data_exit(const TypedBuffer& host, const std::string& var = {},
+                 SourceLocation loc = {});
 
   [[nodiscard]] bool is_present(const TypedBuffer& host) const {
     return present_.is_present(host);
@@ -48,12 +78,21 @@ class AccRuntime {
   [[nodiscard]] BufferPtr device_buffer(const TypedBuffer& host) const {
     return present_.find(host);
   }
+  /// True if `host` runs degraded (device copy is a host alias).
+  [[nodiscard]] bool is_host_fallback(const TypedBuffer& host) const {
+    return present_.is_host_fallback(host);
+  }
 
   // ---- transfers ----
   /// Executes a whole-buffer transfer subject to `condition`
   /// (see MemTransferStmt::Condition). Performs the copy eagerly (the
   /// virtual timeline models overlap), bills time/bytes, and feeds the
-  /// runtime checker. Throws if the buffer has no device copy.
+  /// runtime checker. Transient and corrupting injected faults are retried
+  /// (bounded, with backoff billed to Fault-Recovery); permanent faults and
+  /// exhausted retries raise AccError{kTransferFailed}. A buffer with no
+  /// device copy raises AccError{kMissingDeviceCopy} after reporting a
+  /// diagnostic with the statement's location and variable name. Transfers
+  /// of host-fallback buffers are coherence-preserving no-ops.
   TransferResult transfer(TypedBuffer& host, const std::string& var,
                           TransferDirection direction,
                           MemTransferStmt::Condition condition,
@@ -70,7 +109,8 @@ class AccRuntime {
 
   // ---- synchronization ----
   /// Wait on one queue (or all). Bills the unexplained residual wait time to
-  /// Async-Wait (see DESIGN.md on component accounting).
+  /// Async-Wait (see DESIGN.md on component accounting). Injected queue
+  /// stalls surface here as extra residual.
   void wait(std::optional<int> queue);
 
   // ---- billing ----
@@ -99,6 +139,15 @@ class AccRuntime {
   /// Persistent gang/worker chunk executor (one thread pool per runtime,
   /// reused across every kernel launch).
   [[nodiscard]] GangWorkerExecutor& executor() { return executor_; }
+  /// Seeded fault source (disabled unless a plan was armed via
+  /// ExecutorOptions::faults or MINIARC_FAULTS).
+  [[nodiscard]] FaultInjector& fault_injector() { return faults_; }
+  /// Runtime diagnostics: structured failures, degradation warnings,
+  /// recovery notes.
+  [[nodiscard]] DiagnosticEngine& diags() { return diags_; }
+  [[nodiscard]] const ResilienceStats& resilience() const {
+    return resilience_;
+  }
 
   /// Total virtual execution time (component accounting: the sum of billed
   /// categories; see DESIGN.md §4).
@@ -110,6 +159,17 @@ class AccRuntime {
   [[nodiscard]] double jittered(double seconds);
   void bill(ProfileCategory category, double seconds,
             std::optional<int> async_queue);
+  /// Copy with bounded retry/backoff against injected transfer faults.
+  TransferResult resilient_copy(TypedBuffer& host, TypedBuffer& device,
+                                const std::string& var,
+                                TransferDirection direction,
+                                std::optional<int> async_queue,
+                                SourceLocation loc);
+  /// OOM degradation: evict the pool and retry, then host fallback.
+  PresentTable::EnterResult degraded_enter(const TypedBuffer& host,
+                                           const std::string& var,
+                                           SourceLocation loc,
+                                           const std::string& reason);
 
   MachineModel model_;
   GangWorkerExecutor executor_;
@@ -119,6 +179,9 @@ class AccRuntime {
   PresentTable present_;
   Profiler profiler_;
   RuntimeChecker checker_;
+  FaultInjector faults_;
+  DiagnosticEngine diags_;
+  ResilienceStats resilience_;
 
   double jitter_amplitude_ = 0.0;
   std::uint64_t jitter_state_ = 0x9e3779b97f4a7c15ULL;

@@ -9,21 +9,60 @@ PresentTable::EnterResult PresentTable::enter(const TypedBuffer& host,
     bool revival = it->second.refcount == 0;
     ++it->second.refcount;
     if (revival) it->second.fresh = true;
-    return {it->second.device, false, revival};
+    return {it->second.device, false, revival, it->second.host_fallback};
   }
   BufferPtr device = memory.allocate(host.kind(), host.count());
-  entries_.emplace(&host, Entry{device, 1, true});
-  return {std::move(device), true, true};
+  entries_.emplace(&host, Entry{device, 1, true, false});
+  return {std::move(device), true, true, false};
 }
 
-bool PresentTable::exit(const TypedBuffer& host, DeviceMemoryManager& memory) {
+PresentTable::EnterResult PresentTable::enter_host_fallback(
+    const TypedBuffer& host) {
   auto it = entries_.find(&host);
-  if (it == entries_.end() || it->second.refcount == 0) return false;
-  if (--it->second.refcount > 0) return false;
-  if (pooling_) return false;  // parked: contents and state preserved
+  if (it != entries_.end()) {
+    ++it->second.refcount;
+    return {it->second.device, false, false, it->second.host_fallback};
+  }
+  // Non-owning alias: the "device" pointer is the host buffer itself, so
+  // kernels read and write host memory directly and transfers are no-ops.
+  BufferPtr alias(BufferPtr{}, const_cast<TypedBuffer*>(&host));
+  entries_.emplace(&host, Entry{alias, 1, false, true});
+  return {std::move(alias), false, false, true};
+}
+
+PresentTable::ExitResult PresentTable::exit(const TypedBuffer& host,
+                                            DeviceMemoryManager& memory) {
+  auto it = entries_.find(&host);
+  if (it == entries_.end() || it->second.refcount == 0) {
+    return ExitResult::kUnderflow;
+  }
+  if (--it->second.refcount > 0) return ExitResult::kStillReferenced;
+  if (it->second.host_fallback) {
+    // Nothing device-side to park or free: drop the alias entirely so a
+    // later region can attempt a real device allocation again.
+    entries_.erase(it);
+    return ExitResult::kFreed;
+  }
+  if (pooling_) return ExitResult::kParked;  // contents and state preserved
   memory.release(*it->second.device);
   entries_.erase(it);
-  return true;
+  return ExitResult::kFreed;
+}
+
+PresentTable::EvictStats PresentTable::evict_parked(
+    DeviceMemoryManager& memory) {
+  EvictStats stats;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.refcount == 0 && !it->second.host_fallback) {
+      stats.bytes += it->second.device->size_bytes();
+      ++stats.buffers;
+      memory.release(*it->second.device);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return stats;
 }
 
 bool PresentTable::is_present(const TypedBuffer& host) const {
@@ -51,6 +90,11 @@ BufferPtr PresentTable::find(const TypedBuffer& host) const {
   // kernel verifier reads device results after the region released them.
   auto it = entries_.find(&host);
   return it == entries_.end() ? nullptr : it->second.device;
+}
+
+bool PresentTable::is_host_fallback(const TypedBuffer& host) const {
+  auto it = entries_.find(&host);
+  return it != entries_.end() && it->second.host_fallback;
 }
 
 }  // namespace miniarc

@@ -27,6 +27,21 @@ class PresentTable {
     /// This region brought the data in (fresh allocation or revival):
     /// region-entry conditional transfers fire.
     bool brought_in = false;
+    /// The entry is a host-fallback alias (device OOM degradation): `device`
+    /// points at the host buffer itself and transfers are no-ops.
+    bool host_fallback = false;
+  };
+
+  enum class ExitResult {
+    /// Other regions still reference the buffer; nothing released.
+    kStillReferenced,
+    /// Last reference dropped; buffer parked in the pool (pooling on).
+    kParked,
+    /// Last reference dropped; device buffer freed (pooling off).
+    kFreed,
+    /// data_exit without a matching data_enter — a refcount underflow the
+    /// caller must diagnose. Table state is left untouched.
+    kUnderflow,
   };
 
   /// Region entry for `host`: allocate a device copy if absent, otherwise
@@ -34,10 +49,27 @@ class PresentTable {
   [[nodiscard]] EnterResult enter(const TypedBuffer& host,
                                   DeviceMemoryManager& memory);
 
+  /// Register `host` as its own "device" copy (OOM degradation: the device
+  /// allocation failed and the region runs against host memory). The entry
+  /// participates in refcounting like any other but is never billed, never
+  /// evicted, and transfers against it are no-ops.
+  [[nodiscard]] EnterResult enter_host_fallback(const TypedBuffer& host);
+
   /// Region exit: drop one reference. At zero references the buffer is
-  /// parked (pooling on) or freed (pooling off). Returns true if the device
-  /// buffer was actually freed.
-  bool exit(const TypedBuffer& host, DeviceMemoryManager& memory);
+  /// parked (pooling on) or freed (pooling off).
+  [[nodiscard]] ExitResult exit(const TypedBuffer& host,
+                                DeviceMemoryManager& memory);
+
+  struct EvictStats {
+    std::size_t buffers = 0;
+    std::size_t bytes = 0;
+  };
+
+  /// Free every parked (refcount-zero, pooled) device buffer to make room —
+  /// the OOM degradation's first line of defense. Host-fallback entries are
+  /// never touched. Parked buffers are semantically dead (the host copy is
+  /// authoritative after region exit), so no writeback is needed.
+  EvictStats evict_parked(DeviceMemoryManager& memory);
 
   /// Enable/disable allocation pooling (default on).
   void set_pooling(bool pooling) { pooling_ = pooling; }
@@ -55,6 +87,8 @@ class PresentTable {
   [[nodiscard]] bool last_reference(const TypedBuffer& host) const;
   /// Device buffer for `host`, or nullptr.
   [[nodiscard]] BufferPtr find(const TypedBuffer& host) const;
+  /// True if `host` is mapped as a host-fallback alias.
+  [[nodiscard]] bool is_host_fallback(const TypedBuffer& host) const;
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   void clear() { entries_.clear(); }
@@ -64,6 +98,7 @@ class PresentTable {
     BufferPtr device;
     int refcount = 0;   // 0 = parked in the pool
     bool fresh = false;
+    bool host_fallback = false;
   };
   std::unordered_map<const TypedBuffer*, Entry> entries_;
   bool pooling_ = true;

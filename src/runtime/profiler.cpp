@@ -14,6 +14,7 @@ const char* to_string(ProfileCategory category) {
     case ProfileCategory::kCpuTime: return "CPU Time";
     case ProfileCategory::kKernelExec: return "Kernel Exec";
     case ProfileCategory::kRuntimeCheck: return "Runtime Check";
+    case ProfileCategory::kFaultRecovery: return "Fault-Recovery";
   }
   return "?";
 }

@@ -21,8 +21,11 @@ enum class ProfileCategory : std::uint8_t {
   kCpuTime,
   kKernelExec,
   kRuntimeCheck,
+  /// Time spent recovering from injected/real faults: transfer retries with
+  /// backoff, re-copies after corruption, OOM eviction passes.
+  kFaultRecovery,
 };
-inline constexpr std::size_t kProfileCategoryCount = 8;
+inline constexpr std::size_t kProfileCategoryCount = 9;
 
 [[nodiscard]] const char* to_string(ProfileCategory category);
 

@@ -1,21 +1,38 @@
 #include "runtime/transfer_engine.h"
 
+#include <cstring>
 #include <stdexcept>
+
+#include "faults/fault_plan.h"
 
 namespace miniarc {
 
 std::size_t TransferEngine::copy(TypedBuffer& host, TypedBuffer& device,
                                  TransferDirection direction) {
+  return copy_verified(host, device, direction, nullptr).bytes;
+}
+
+TransferEngine::CopyOutcome TransferEngine::copy_verified(
+    TypedBuffer& host, TypedBuffer& device, TransferDirection direction,
+    FaultInjector* corruptor) {
   if (host.size_bytes() != device.size_bytes()) {
     throw std::logic_error(
         "transfer between mismatched host/device buffer shapes");
   }
-  if (direction == TransferDirection::kHostToDevice) {
-    device.copy_from(host);
-  } else {
-    host.copy_from(device);
+  TypedBuffer& src =
+      direction == TransferDirection::kHostToDevice ? host : device;
+  TypedBuffer& dst =
+      direction == TransferDirection::kHostToDevice ? device : host;
+  // Aliased images (host-fallback entries) have nothing to move or verify.
+  if (&src == &dst) return {0, true};
+  dst.copy_from(src);
+  if (corruptor != nullptr) {
+    corruptor->corrupt_bytes(dst.data(), dst.size_bytes());
   }
-  return host.size_bytes();
+  CopyOutcome outcome;
+  outcome.bytes = host.size_bytes();
+  outcome.verified = std::memcmp(src.data(), dst.data(), dst.size_bytes()) == 0;
+  return outcome;
 }
 
 }  // namespace miniarc

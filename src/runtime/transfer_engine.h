@@ -11,6 +11,8 @@
 
 namespace miniarc {
 
+class FaultInjector;
+
 class TransferEngine {
  public:
   /// Copy the whole buffer in the given direction. Returns bytes moved.
@@ -18,6 +20,23 @@ class TransferEngine {
   /// mirror allocations by the present table).
   static std::size_t copy(TypedBuffer& host, TypedBuffer& device,
                           TransferDirection direction);
+
+  struct CopyOutcome {
+    std::size_t bytes = 0;
+    /// Destination image matches the source after the copy. False only when
+    /// a corrupting fault was injected — the runtime's integrity check
+    /// ("CRC") caught the damage and the caller must re-copy.
+    bool verified = true;
+  };
+
+  /// Copy + integrity verification. When `corruptor` is non-null the
+  /// destination image is byte-corrupted after the DMA (modelling a flaky
+  /// link); the post-copy compare then reports verified=false. The corrupted
+  /// image is left in place — exactly what a real device would hold — so a
+  /// retry must actually re-copy.
+  static CopyOutcome copy_verified(TypedBuffer& host, TypedBuffer& device,
+                                   TransferDirection direction,
+                                   FaultInjector* corruptor);
 };
 
 }  // namespace miniarc

@@ -1,0 +1,36 @@
+#include "support/env.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace miniarc {
+
+std::optional<long> parse_env_long(const std::string& text) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  long value = std::strtol(begin, &end, 10);
+  if (end == begin || errno == ERANGE) return std::nullopt;
+  // Accept trailing whitespace only — anything else is garbage.
+  while (*end == ' ' || *end == '\t' || *end == '\n' || *end == '\r') ++end;
+  if (*end != '\0') return std::nullopt;
+  return value;
+}
+
+int env_int_or(const char* name, int fallback, long min_value,
+               long max_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  std::optional<long> parsed = parse_env_long(raw);
+  if (!parsed.has_value() || *parsed < min_value || *parsed > max_value) {
+    std::fprintf(stderr,
+                 "miniarc: ignoring invalid %s='%s' (expected an integer in "
+                 "[%ld, %ld]); using default %d\n",
+                 name, raw, min_value, max_value, fallback);
+    return fallback;
+  }
+  return static_cast<int>(*parsed);
+}
+
+}  // namespace miniarc

@@ -1,0 +1,25 @@
+// Validated environment-variable parsing. The runtime knobs
+// (MINIARC_THREADS, MINIARC_FAULTS, MINIARC_FAULT_SEED) are read through
+// these helpers so garbage or out-of-range values produce one clear stderr
+// diagnostic and fall back to a safe default, instead of whatever an
+// unchecked atoi would yield.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace miniarc {
+
+/// Strict full-string integer parse: the entire string must be one decimal
+/// integer (optional sign, surrounding whitespace allowed). Empty strings,
+/// trailing garbage, and out-of-range magnitudes all yield nullopt.
+[[nodiscard]] std::optional<long> parse_env_long(const std::string& text);
+
+/// Read environment variable `name` as an integer clamped-checked against
+/// [min_value, max_value]. Unset ⇒ `fallback`. Malformed or out-of-range ⇒
+/// a one-line stderr warning naming the variable and the accepted range,
+/// then `fallback`.
+[[nodiscard]] int env_int_or(const char* name, int fallback, long min_value,
+                             long max_value);
+
+}  // namespace miniarc

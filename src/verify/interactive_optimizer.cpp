@@ -17,10 +17,10 @@ int OptimizationOutcome::incorrect_iterations() const {
 
 RunResult run_lowered(const Program& lowered, const SemaInfo& sema,
                       const InputBinder& bind_inputs, bool enable_checker,
-                      CompareHook* hook, int threads) {
+                      CompareHook* hook, ExecutorOptions exec_options) {
   RunResult result;
-  result.runtime = std::make_unique<AccRuntime>(MachineModel::m2090(),
-                                                ExecutorOptions{threads});
+  result.runtime =
+      std::make_unique<AccRuntime>(MachineModel::m2090(), exec_options);
   InterpOptions options;
   options.enable_checker = enable_checker;
   result.runtime->checker().set_enabled(enable_checker);
@@ -30,6 +30,10 @@ RunResult run_lowered(const Program& lowered, const SemaInfo& sema,
   try {
     if (bind_inputs) bind_inputs(*result.interp);
     result.interp->run();
+  } catch (const AccError& e) {
+    result.ok = false;
+    result.error = e.describe();
+    result.error_code = e.code();
   } catch (const std::exception& e) {
     result.ok = false;
     result.error = e.what();

@@ -15,9 +15,11 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "device/acc_error.h"
 #include "interp/interp.h"
 #include "verify/auto_programmer.h"
 #include "verify/transfer_verifier.h"
@@ -81,20 +83,24 @@ class InteractiveOptimizer {
 };
 
 /// Run a lowered program with inputs bound; returns the interpreter for
-/// inspection. `enable_checker` feeds the runtime checker. `threads`
-/// configures the runtime's gang/worker executor (0 = MINIARC_THREADS env
-/// var, falling back to 1).
+/// inspection. `enable_checker` feeds the runtime checker. `exec_options`
+/// configures the runtime's gang/worker executor (threads: 0 =
+/// MINIARC_THREADS env var falling back to 1) and optional fault plan
+/// (nullopt = MINIARC_FAULTS env var falling back to disabled).
 struct RunResult {
   std::unique_ptr<AccRuntime> runtime;
   std::unique_ptr<Interpreter> interp;
   bool ok = true;
   std::string error;
+  /// Set when the run failed with a structured device-runtime error; the
+  /// runtime's DiagnosticEngine holds the full report.
+  std::optional<AccErrorCode> error_code;
 };
 [[nodiscard]] RunResult run_lowered(const Program& lowered,
                                     const SemaInfo& sema,
                                     const InputBinder& bind_inputs,
                                     bool enable_checker,
                                     CompareHook* hook = nullptr,
-                                    int threads = 0);
+                                    ExecutorOptions exec_options = {});
 
 }  // namespace miniarc

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <numeric>
 
+#include "device/acc_error.h"
 #include "device/cost_model.h"
 #include "device/gang_worker_executor.h"
 #include "device/stream.h"
@@ -108,8 +109,12 @@ TEST(DeviceMemoryTest, TracksUsageAndPeak) {
 TEST(DeviceMemoryTest, CapacityEnforced) {
   DeviceMemoryManager memory;
   memory.set_capacity(64);
-  EXPECT_THROW((void)memory.allocate(ScalarKind::kDouble, 100),
-               std::bad_alloc);
+  try {
+    (void)memory.allocate(ScalarKind::kDouble, 100);
+    FAIL() << "expected AccError";
+  } catch (const AccError& e) {
+    EXPECT_EQ(e.code(), AccErrorCode::kDeviceAllocFailed);
+  }
 }
 
 // ---- present table (structured refcounts + pooling) ----
@@ -128,10 +133,13 @@ TEST(PresentTableTest, EnterExitRefcounting) {
   EXPECT_FALSE(second.brought_in);
   EXPECT_EQ(first.device.get(), second.device.get());
 
-  EXPECT_FALSE(table.exit(host, memory));  // refcount 2 → 1
+  EXPECT_EQ(table.exit(host, memory),
+            PresentTable::ExitResult::kStillReferenced);  // refcount 2 → 1
   EXPECT_TRUE(table.last_reference(host));
-  EXPECT_TRUE(table.exit(host, memory));   // freed
+  EXPECT_EQ(table.exit(host, memory), PresentTable::ExitResult::kFreed);
   EXPECT_FALSE(table.is_present(host));
+  // A further exit has no matching enter: reported, state untouched.
+  EXPECT_EQ(table.exit(host, memory), PresentTable::ExitResult::kUnderflow);
 }
 
 TEST(PresentTableTest, PoolingParksAndRevives) {
@@ -141,9 +149,10 @@ TEST(PresentTableTest, PoolingParksAndRevives) {
 
   auto first = table.enter(host, memory);
   first.device->set(3, 42.0);
-  EXPECT_FALSE(table.exit(host, memory));  // parked, not freed
-  EXPECT_FALSE(table.is_present(host));    // structurally absent
-  EXPECT_NE(table.find(host), nullptr);    // but still addressable
+  EXPECT_EQ(table.exit(host, memory),
+            PresentTable::ExitResult::kParked);  // parked, not freed
+  EXPECT_FALSE(table.is_present(host));          // structurally absent
+  EXPECT_NE(table.find(host), nullptr);          // but still addressable
 
   auto revived = table.enter(host, memory);
   EXPECT_FALSE(revived.newly_allocated);  // no cudaMalloc

@@ -1,0 +1,628 @@
+// Fault injection and resilience: seeded FaultPlan/FaultInjector behavior,
+// structured AccError propagation, transfer retry/backoff, OOM degradation
+// (pool eviction + host fallback), queue stalls, the kernel watchdog, and a
+// soak suite running benchmarks under randomized fault schedules (`ctest -L
+// faults`).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "miniarc.h"
+#include "tests/test_util.h"
+
+namespace miniarc {
+namespace {
+
+using test::lowered;
+
+ExecutorOptions with_plan(FaultPlan plan, int threads = 0) {
+  ExecutorOptions options;
+  options.threads = threads;
+  options.faults = plan;
+  return options;
+}
+
+/// Explicitly disabled injection (independent of MINIARC_FAULTS).
+ExecutorOptions no_faults() { return with_plan(FaultPlan{}); }
+
+// ---- FaultPlan parsing ----
+
+TEST(FaultPlanTest, ParsesFullSpec) {
+  std::string error;
+  auto plan = FaultPlan::parse(
+      "alloc=0.1, transient=0.05,permanent=0.01,corrupt=0.02, stall=0.3,"
+      "hang=0.001,fault=0.002,seed=42",
+      &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_DOUBLE_EQ(plan->alloc_fail, 0.1);
+  EXPECT_DOUBLE_EQ(plan->transfer_transient, 0.05);
+  EXPECT_DOUBLE_EQ(plan->transfer_permanent, 0.01);
+  EXPECT_DOUBLE_EQ(plan->transfer_corrupt, 0.02);
+  EXPECT_DOUBLE_EQ(plan->queue_stall, 0.3);
+  EXPECT_DOUBLE_EQ(plan->kernel_hang, 0.001);
+  EXPECT_DOUBLE_EQ(plan->kernel_fault, 0.002);
+  EXPECT_EQ(plan->seed, 42u);
+  EXPECT_TRUE(plan->any());
+}
+
+TEST(FaultPlanTest, DefaultPlanDisabled) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.any());
+  FaultInjector injector(plan);
+  EXPECT_FALSE(injector.enabled());
+}
+
+TEST(FaultPlanTest, RejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(FaultPlan::parse("bogus=0.5", &error).has_value());
+  EXPECT_NE(error.find("unknown fault key"), std::string::npos) << error;
+  EXPECT_FALSE(FaultPlan::parse("transient=1.5", &error).has_value());
+  EXPECT_NE(error.find("[0, 1]"), std::string::npos) << error;
+  EXPECT_FALSE(FaultPlan::parse("transient=abc", &error).has_value());
+  EXPECT_FALSE(FaultPlan::parse("transient", &error).has_value());
+  EXPECT_NE(error.find("key=value"), std::string::npos) << error;
+  EXPECT_FALSE(FaultPlan::parse("seed=-1", &error).has_value());
+  EXPECT_FALSE(FaultPlan::parse("seed=1x", &error).has_value());
+}
+
+// ---- env validation (satellite: MINIARC_THREADS / MINIARC_FAULTS) ----
+
+TEST(EnvParseTest, StrictLongParsing) {
+  EXPECT_EQ(parse_env_long("42"), 42);
+  EXPECT_EQ(parse_env_long("-3"), -3);
+  EXPECT_EQ(parse_env_long("  8  "), 8);
+  EXPECT_FALSE(parse_env_long("").has_value());
+  EXPECT_FALSE(parse_env_long("abc").has_value());
+  EXPECT_FALSE(parse_env_long("12abc").has_value());
+  EXPECT_FALSE(parse_env_long("4.5").has_value());
+  EXPECT_FALSE(parse_env_long("999999999999999999999999").has_value());
+}
+
+TEST(EnvParseTest, EnvIntOrFallsBackOnGarbage) {
+  ::setenv("MINIARC_TEST_KNOB", "16", 1);
+  EXPECT_EQ(env_int_or("MINIARC_TEST_KNOB", 1, 1, 1024), 16);
+  ::setenv("MINIARC_TEST_KNOB", "zebra", 1);
+  EXPECT_EQ(env_int_or("MINIARC_TEST_KNOB", 1, 1, 1024), 1);
+  ::setenv("MINIARC_TEST_KNOB", "0", 1);  // below range
+  EXPECT_EQ(env_int_or("MINIARC_TEST_KNOB", 7, 1, 1024), 7);
+  ::setenv("MINIARC_TEST_KNOB", "4096", 1);  // above range
+  EXPECT_EQ(env_int_or("MINIARC_TEST_KNOB", 7, 1, 1024), 7);
+  ::unsetenv("MINIARC_TEST_KNOB");
+  EXPECT_EQ(env_int_or("MINIARC_TEST_KNOB", 3, 1, 1024), 3);
+}
+
+// ---- FaultInjector determinism ----
+
+TEST(FaultInjectorTest, SeededStreamIsDeterministic) {
+  FaultPlan plan;
+  plan.alloc_fail = 0.3;
+  plan.transfer_transient = 0.4;
+  plan.queue_stall = 0.5;
+  plan.kernel_hang = 0.2;
+  plan.seed = 99;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.should_fail_alloc(), b.should_fail_alloc()) << i;
+    EXPECT_EQ(a.next_transfer_fault(), b.next_transfer_fault()) << i;
+    EXPECT_DOUBLE_EQ(a.stall_seconds(1e-6), b.stall_seconds(1e-6)) << i;
+    KernelFaultDecision da = a.next_kernel_fault(8);
+    KernelFaultDecision db = b.next_kernel_fault(8);
+    EXPECT_EQ(da.kind, db.kind) << i;
+    EXPECT_EQ(da.chunk, db.chunk) << i;
+  }
+
+  // reset() re-arms the same schedule.
+  std::vector<bool> first;
+  for (int i = 0; i < 50; ++i) first.push_back(a.should_fail_alloc());
+  a.reset();
+  // Drain the draws the loop above consumed before the recording started.
+  FaultInjector fresh(plan);
+  for (int i = 0; i < 200; ++i) {
+    (void)fresh.should_fail_alloc();
+    (void)fresh.next_transfer_fault();
+    (void)fresh.stall_seconds(1e-6);
+    (void)fresh.next_kernel_fault(8);
+  }
+  a = fresh;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.should_fail_alloc(), first[static_cast<std::size_t>(i)]) << i;
+  }
+}
+
+TEST(FaultInjectorTest, DisabledInjectorNeverFires) {
+  FaultInjector injector;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.should_fail_alloc());
+    EXPECT_EQ(injector.next_transfer_fault(), TransferFaultKind::kNone);
+    EXPECT_DOUBLE_EQ(injector.stall_seconds(1e-3), 0.0);
+    EXPECT_EQ(injector.next_kernel_fault(4).kind,
+              KernelFaultDecision::Kind::kNone);
+  }
+  EXPECT_EQ(injector.stats().allocs_failed, 0);
+}
+
+// ---- structured errors (satellite: missing device copy; underflow) ----
+
+TEST(AccErrorTest, DescribeCarriesStructure) {
+  AccError error(AccErrorCode::kTransferFailed, "link died",
+                 SourceLocation{12, 3}, "a", 2);
+  EXPECT_EQ(error.code(), AccErrorCode::kTransferFailed);
+  EXPECT_EQ(error.var(), "a");
+  EXPECT_EQ(error.queue(), std::optional<int>(2));
+  std::string text = error.describe();
+  EXPECT_NE(text.find("Transfer-Failed"), std::string::npos) << text;
+  EXPECT_NE(text.find("12:3"), std::string::npos) << text;
+  EXPECT_NE(text.find("var 'a'"), std::string::npos) << text;
+  EXPECT_NE(text.find("queue 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("link died"), std::string::npos) << text;
+}
+
+TEST(AccRuntimeResilience, MissingDeviceCopyIsStructuredDiagnostic) {
+  AccRuntime runtime(MachineModel::m2090(), no_faults());
+  TypedBuffer host(ScalarKind::kDouble, 16);
+  ExecContext ctx;
+  try {
+    (void)runtime.transfer(host, "a", TransferDirection::kHostToDevice,
+                           MemTransferStmt::Condition::kAlways, std::nullopt,
+                           "t0", ctx, SourceLocation{7, 1});
+    FAIL() << "expected AccError";
+  } catch (const AccError& e) {
+    EXPECT_EQ(e.code(), AccErrorCode::kMissingDeviceCopy);
+    EXPECT_EQ(e.var(), "a");
+    EXPECT_EQ(e.location().line, 7u);
+  }
+  ASSERT_TRUE(runtime.diags().has_errors());
+  EXPECT_NE(runtime.diags().dump().find("no device copy"), std::string::npos)
+      << runtime.diags().dump();
+  EXPECT_EQ(runtime.diags().diagnostics()[0].location.line, 7u);
+}
+
+TEST(AccRuntimeResilience, RefcountUnderflowDiagnosedNotSilent) {
+  AccRuntime runtime(MachineModel::m2090(), no_faults());
+  TypedBuffer host(ScalarKind::kDouble, 16);
+  runtime.data_exit(host, "a", SourceLocation{9, 2});  // never entered
+  EXPECT_EQ(runtime.resilience().refcount_underflows, 1);
+  ASSERT_EQ(runtime.diags().diagnostics().size(), 1u);
+  EXPECT_EQ(runtime.diags().diagnostics()[0].severity, Severity::kWarning);
+  EXPECT_NE(runtime.diags().dump().find("without a matching data enter"),
+            std::string::npos)
+      << runtime.diags().dump();
+
+  // Balanced enter/exit still works and reports nothing new.
+  runtime.data_enter(host, true, "a");
+  runtime.data_exit(host, "a");
+  EXPECT_EQ(runtime.resilience().refcount_underflows, 1);
+}
+
+// ---- transfer retry / backoff ----
+
+TEST(AccRuntimeResilience, TransientFaultsExhaustRetriesStructurally) {
+  FaultPlan plan;
+  plan.transfer_transient = 1.0;  // every attempt dies
+  plan.seed = 5;
+  AccRuntime runtime(MachineModel::m2090(), with_plan(plan));
+  TypedBuffer host(ScalarKind::kDouble, 64);
+  runtime.data_enter(host, true, "a");
+  ExecContext ctx;
+  try {
+    (void)runtime.transfer(host, "a", TransferDirection::kHostToDevice,
+                           MemTransferStmt::Condition::kAlways, std::nullopt,
+                           "t0", ctx, {});
+    FAIL() << "expected AccError";
+  } catch (const AccError& e) {
+    EXPECT_EQ(e.code(), AccErrorCode::kTransferFailed);
+  }
+  EXPECT_EQ(runtime.resilience().transfer_retries, 3);  // 4 attempts
+  EXPECT_EQ(runtime.resilience().transfers_failed, 1);
+  EXPECT_GT(runtime.profiler().seconds(ProfileCategory::kFaultRecovery), 0.0);
+  // No useful bytes were accounted: all attempts failed.
+  EXPECT_EQ(runtime.profiler().transfers().total_bytes(), 0u);
+}
+
+TEST(AccRuntimeResilience, PermanentFaultFailsFast) {
+  FaultPlan plan;
+  plan.transfer_permanent = 1.0;
+  AccRuntime runtime(MachineModel::m2090(), with_plan(plan));
+  TypedBuffer host(ScalarKind::kDouble, 64);
+  runtime.data_enter(host, true, "a");
+  ExecContext ctx;
+  EXPECT_THROW((void)runtime.transfer(host, "a",
+                                      TransferDirection::kHostToDevice,
+                                      MemTransferStmt::Condition::kAlways,
+                                      std::nullopt, "t0", ctx, {}),
+               AccError);
+  EXPECT_EQ(runtime.resilience().transfer_retries, 0);  // no retry budget spent
+  EXPECT_EQ(runtime.fault_injector().stats().transfers_permanent, 1);
+}
+
+TEST(AccRuntimeResilience, CorruptionIsDetectedAndRepaired) {
+  FaultPlan plan;
+  plan.transfer_corrupt = 0.5;
+  plan.seed = 11;
+  AccRuntime runtime(MachineModel::m2090(), with_plan(plan));
+  TypedBuffer host(ScalarKind::kDouble, 128);
+  runtime.data_enter(host, true, "a");
+  BufferPtr device = runtime.device_buffer(host);
+  ASSERT_NE(device, nullptr);
+  ExecContext ctx;
+  for (int round = 0; round < 20; ++round) {
+    for (std::size_t i = 0; i < host.count(); ++i) {
+      host.set(i, static_cast<double>(round) + 0.5 * static_cast<double>(i));
+    }
+    TransferResult result =
+        runtime.transfer(host, "a", TransferDirection::kHostToDevice,
+                         MemTransferStmt::Condition::kAlways, std::nullopt,
+                         "t0", ctx, {});
+    ASSERT_TRUE(result.performed);
+    // Whatever was injected, the committed device image is byte-exact.
+    ASSERT_EQ(std::memcmp(host.data(), device->data(), host.size_bytes()), 0)
+        << "round " << round;
+  }
+  EXPECT_GT(runtime.fault_injector().stats().transfers_corrupted, 0);
+  EXPECT_GT(runtime.resilience().transfers_recovered, 0);
+  EXPECT_GT(runtime.profiler().seconds(ProfileCategory::kFaultRecovery), 0.0);
+}
+
+// ---- queue stalls ----
+
+TEST(AccRuntimeResilience, QueueStallSurfacesAsAsyncWait) {
+  FaultPlan plan;
+  plan.queue_stall = 1.0;
+  AccRuntime stalled(MachineModel::m2090(), with_plan(plan));
+  AccRuntime clean(MachineModel::m2090(), no_faults());
+  ExecContext ctx;
+  for (AccRuntime* runtime : {&stalled, &clean}) {
+    TypedBuffer host(ScalarKind::kDouble, 1024);
+    runtime->data_enter(host, true, "a");
+    (void)runtime->transfer(host, "a", TransferDirection::kHostToDevice,
+                            MemTransferStmt::Condition::kAlways, 3, "t0", ctx,
+                            {});
+    runtime->wait(3);
+  }
+  EXPECT_EQ(stalled.resilience().queue_stalls, 1);
+  EXPECT_GT(stalled.profiler().seconds(ProfileCategory::kAsyncWait),
+            clean.profiler().seconds(ProfileCategory::kAsyncWait));
+  // The stall is wait time, not billed transfer work.
+  EXPECT_DOUBLE_EQ(stalled.profiler().seconds(ProfileCategory::kMemTransfer),
+                   clean.profiler().seconds(ProfileCategory::kMemTransfer));
+}
+
+// ---- OOM degradation (tentpole + satellite test) ----
+
+TEST(AccRuntimeResilience, OomEvictsParkedPoolEntries) {
+  AccRuntime runtime(MachineModel::m2090(), no_faults());
+  runtime.device_memory().set_capacity(2048);
+  TypedBuffer a(ScalarKind::kDouble, 256);  // 2048 bytes
+  TypedBuffer b(ScalarKind::kDouble, 256);  // 2048 bytes
+  runtime.data_enter(a, true, "a");
+  runtime.data_exit(a, "a");  // parked in the pool
+  // b does not fit next to parked a: the runtime must evict, then succeed.
+  BufferPtr device = runtime.data_enter(b, true, "b");
+  ASSERT_NE(device, nullptr);
+  EXPECT_FALSE(runtime.is_host_fallback(b));
+  EXPECT_EQ(runtime.resilience().oom_evictions, 1);
+  EXPECT_EQ(runtime.resilience().oom_evicted_bytes, 2048);
+  EXPECT_EQ(runtime.resilience().host_fallbacks, 0);
+  EXPECT_GT(runtime.profiler().seconds(ProfileCategory::kFaultRecovery), 0.0);
+}
+
+TEST(AccRuntimeResilience, OomFallsBackToHostWhenEvictionInsufficient) {
+  AccRuntime runtime(MachineModel::m2090(), no_faults());
+  runtime.device_memory().set_capacity(64);
+  TypedBuffer a(ScalarKind::kDouble, 256);  // 2048 bytes: can never fit
+  BufferPtr device = runtime.data_enter(a, true, "a");
+  ASSERT_NE(device, nullptr);
+  EXPECT_EQ(device.get(), &a);  // aliases host memory
+  EXPECT_TRUE(runtime.is_host_fallback(a));
+  EXPECT_EQ(runtime.resilience().host_fallbacks, 1);
+  ASSERT_FALSE(runtime.diags().diagnostics().empty());
+  EXPECT_NE(runtime.diags().dump().find("falling back to host"),
+            std::string::npos)
+      << runtime.diags().dump();
+
+  // Transfers against the alias are no-ops; exit releases the mapping.
+  ExecContext ctx;
+  TransferResult result =
+      runtime.transfer(a, "a", TransferDirection::kHostToDevice,
+                       MemTransferStmt::Condition::kAlways, std::nullopt, "t0",
+                       ctx, {});
+  EXPECT_FALSE(result.performed);
+  EXPECT_EQ(runtime.profiler().transfers().total_bytes(), 0u);
+  runtime.data_exit(a, "a");
+  EXPECT_FALSE(runtime.is_host_fallback(a));
+  EXPECT_EQ(runtime.device_memory().bytes_in_use(), 0u);
+}
+
+constexpr const char* kTwoRegionProgram = R"(
+extern double a[];
+extern double b[];
+void main(void) {
+  int i;
+#pragma acc data copy(a)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 256; i++) {
+      a[i] = a[i] * 2.0 + 1.0;
+    }
+  }
+#pragma acc data copy(b)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 256; i++) {
+      b[i] = b[i] + 3.0;
+    }
+  }
+}
+)";
+
+void bind_two_region(Interpreter& interp) {
+  BufferPtr a = interp.bind_buffer("a", ScalarKind::kDouble, 256);
+  BufferPtr b = interp.bind_buffer("b", ScalarKind::kDouble, 256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    a->set(i, 0.125 * static_cast<double>(i % 13));
+    b->set(i, static_cast<double>(i % 7));
+  }
+}
+
+/// Run kTwoRegionProgram on a runtime with `capacity` device bytes and check
+/// the final host state against the all-host reference.
+void check_two_region_under_capacity(std::size_t capacity,
+                                     long expected_fallbacks) {
+  LoweredProgram low = lowered(kTwoRegionProgram);
+  AccRuntime runtime(MachineModel::m2090(), no_faults());
+  runtime.device_memory().set_capacity(capacity);
+  Interpreter interp(*low.program, low.sema, runtime);
+  bind_two_region(interp);
+  interp.run();
+
+  EXPECT_EQ(runtime.resilience().host_fallbacks, expected_fallbacks);
+  BufferPtr a = interp.buffer("a");
+  BufferPtr b = interp.buffer("b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  for (std::size_t i = 0; i < 256; ++i) {
+    double ref_a = 0.125 * static_cast<double>(i % 13) * 2.0 + 1.0;
+    double ref_b = static_cast<double>(i % 7) + 3.0;
+    ASSERT_DOUBLE_EQ(a->get(i), ref_a) << "a[" << i << "]";
+    ASSERT_DOUBLE_EQ(b->get(i), ref_b) << "b[" << i << "]";
+  }
+}
+
+TEST(OomDegradationTest, WorkingSetOverCapacityStaysCorrect) {
+  // 2560 bytes: the two 2048-byte buffers never fit together, but only one
+  // region is active at a time — evicting the parked first buffer makes room
+  // for the second, so no run degrades to the host.
+  check_two_region_under_capacity(2560, /*expected_fallbacks=*/0);
+}
+
+TEST(OomDegradationTest, TinyDeviceFallsBackToHostAndStaysCorrect) {
+  // 64 bytes: nothing fits; every region runs degraded against host memory.
+  check_two_region_under_capacity(64, /*expected_fallbacks=*/2);
+}
+
+TEST(OomDegradationTest, InjectedAllocFailureDegradesGracefully) {
+  FaultPlan plan;
+  plan.alloc_fail = 1.0;  // every device allocation fails
+  LoweredProgram low = lowered(kTwoRegionProgram);
+  RunResult run = run_lowered(*low.program, low.sema, bind_two_region, false,
+                              nullptr, with_plan(plan));
+  ASSERT_TRUE(run.ok) << run.error;
+  EXPECT_EQ(run.runtime->resilience().host_fallbacks, 2);
+  BufferPtr a = run.interp->buffer("a");
+  for (std::size_t i = 0; i < 256; ++i) {
+    ASSERT_DOUBLE_EQ(a->get(i), 0.125 * static_cast<double>(i % 13) * 2.0 + 1.0);
+  }
+}
+
+// ---- kernel watchdog ----
+
+constexpr const char* kBusyKernelProgram = R"(
+extern double a[];
+void main(void) {
+  int i;
+  int j;
+#pragma acc data copy(a)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 64; i++) {
+      for (j = 0; j < 50; j++) {
+        a[i] = a[i] + 1.0;
+      }
+    }
+  }
+}
+)";
+
+void bind_busy(Interpreter& interp) {
+  interp.bind_buffer("a", ScalarKind::kDouble, 64);
+}
+
+TEST(WatchdogTest, RunawayChunkKilledWithStructuredTimeout) {
+  LoweredProgram low = lowered(kBusyKernelProgram);
+  AccRuntime runtime(MachineModel::m2090(), no_faults());
+  InterpOptions options;
+  options.watchdog_chunk_statements = 40;  // far below the per-chunk work
+  Interpreter interp(*low.program, low.sema, runtime, options);
+  bind_busy(interp);
+  try {
+    interp.run();
+    FAIL() << "expected AccError";
+  } catch (const AccError& e) {
+    EXPECT_EQ(e.code(), AccErrorCode::kKernelTimeout);
+    EXPECT_NE(std::string(e.what()).find("watchdog"), std::string::npos)
+        << e.what();
+  }
+  // The partial work the killed launch performed is billed, not lost.
+  EXPECT_GT(runtime.profiler().seconds(ProfileCategory::kKernelExec), 0.0);
+}
+
+TEST(WatchdogTest, GenerousBudgetDoesNotFire) {
+  LoweredProgram low = lowered(kBusyKernelProgram);
+  AccRuntime runtime(MachineModel::m2090(), no_faults());
+  InterpOptions options;
+  options.watchdog_chunk_statements = 100'000;
+  Interpreter interp(*low.program, low.sema, runtime, options);
+  bind_busy(interp);
+  EXPECT_NO_THROW(interp.run());
+}
+
+TEST(WatchdogTest, InjectedHangIsKilledDeterministically) {
+  LoweredProgram low = lowered(kBusyKernelProgram);
+  FaultPlan plan;
+  plan.kernel_hang = 1.0;
+  for (int threads : {1, 8}) {
+    RunResult run = run_lowered(*low.program, low.sema, bind_busy, false,
+                                nullptr, with_plan(plan, threads));
+    EXPECT_FALSE(run.ok);
+    ASSERT_TRUE(run.error_code.has_value()) << run.error;
+    EXPECT_EQ(*run.error_code, AccErrorCode::kKernelTimeout) << run.error;
+    EXPECT_EQ(run.runtime->fault_injector().stats().kernels_hung, 1);
+  }
+}
+
+TEST(WatchdogTest, InjectedKernelFaultIsStructured) {
+  LoweredProgram low = lowered(kBusyKernelProgram);
+  FaultPlan plan;
+  plan.kernel_fault = 1.0;
+  RunResult run = run_lowered(*low.program, low.sema, bind_busy, false,
+                              nullptr, with_plan(plan));
+  EXPECT_FALSE(run.ok);
+  ASSERT_TRUE(run.error_code.has_value()) << run.error;
+  EXPECT_EQ(*run.error_code, AccErrorCode::kKernelFault) << run.error;
+  EXPECT_NE(run.error.find("Kernel-Fault"), std::string::npos) << run.error;
+}
+
+// ---- disabled faults = zero impact ----
+
+TEST(FaultOverheadTest, DisabledPlanLeavesRunUntouched) {
+  const BenchmarkDef* def = find_benchmark("JACOBI");
+  ASSERT_NE(def, nullptr);
+  LoweredProgram low = lowered(def->unoptimized_source);
+  RunResult first = run_lowered(*low.program, low.sema, def->bind_inputs,
+                                false, nullptr, no_faults());
+  RunResult second = run_lowered(*low.program, low.sema, def->bind_inputs,
+                                 false, nullptr, no_faults());
+  ASSERT_TRUE(first.ok) << first.error;
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_FALSE(first.runtime->fault_injector().enabled());
+  EXPECT_DOUBLE_EQ(first.runtime->total_time(), second.runtime->total_time());
+  EXPECT_EQ(first.runtime->profiler().seconds(ProfileCategory::kFaultRecovery),
+            0.0);
+  EXPECT_EQ(first.runtime->resilience().transfer_retries, 0);
+  EXPECT_EQ(first.runtime->resilience().queue_stalls, 0);
+  EXPECT_TRUE(first.runtime->diags().diagnostics().empty());
+}
+
+// ---- soak: randomized schedules over benchmark programs ----
+
+void expect_buffers_identical(const SemaInfo& sema, RunResult& expected,
+                              RunResult& actual, const std::string& context) {
+  for (const std::string& var : sema.buffers) {
+    const Value* a = expected.interp->env().find(var);
+    const Value* b = actual.interp->env().find(var);
+    ASSERT_EQ(a != nullptr, b != nullptr) << context << ": " << var;
+    if (a == nullptr || !a->is_buffer() || a->as_buffer() == nullptr) continue;
+    ASSERT_TRUE(b->is_buffer() && b->as_buffer() != nullptr)
+        << context << ": " << var;
+    const TypedBuffer& lhs = *a->as_buffer();
+    const TypedBuffer& rhs = *b->as_buffer();
+    ASSERT_EQ(lhs.size_bytes(), rhs.size_bytes()) << context << ": " << var;
+    EXPECT_EQ(std::memcmp(lhs.data(), rhs.data(), lhs.size_bytes()), 0)
+        << context << ": buffer '" << var << "' diverged";
+  }
+}
+
+class FaultSoakTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FaultSoakTest, SeededSchedulesRecoverBitIdenticalOrFailStructured) {
+  const BenchmarkDef* def = find_benchmark(GetParam());
+  ASSERT_NE(def, nullptr);
+  LoweredProgram low = lowered(def->unoptimized_source);
+  RunResult baseline = run_lowered(*low.program, low.sema, def->bind_inputs,
+                                   false, nullptr, no_faults());
+  ASSERT_TRUE(baseline.ok) << baseline.error;
+
+  int recovered_runs = 0;
+  int structured_failures = 0;
+  for (std::uint64_t round = 0; round < 7; ++round) {
+    // Mostly recoverable faults plus a small unrecoverable tail, so the soak
+    // exercises both the retry/degrade paths and the structured-error path.
+    FaultPlan plan;
+    plan.alloc_fail = 0.02;
+    plan.transfer_transient = 0.08;
+    plan.transfer_corrupt = 0.05;
+    plan.queue_stall = 0.15;
+    plan.transfer_permanent = 0.002;
+    plan.kernel_hang = 0.002;
+    plan.kernel_fault = 0.002;
+    plan.seed = round * 977 + 13;
+    std::string context = std::string(GetParam()) + " seed " +
+                          std::to_string(plan.seed);
+
+    RunResult run = run_lowered(*low.program, low.sema, def->bind_inputs,
+                                false, nullptr, with_plan(plan));
+    if (run.ok) {
+      // Recovery succeeded: results must be bit-identical to fault-free.
+      expect_buffers_identical(low.sema, baseline, run, context);
+      EXPECT_TRUE(def->check_output(*run.interp)) << context;
+      const ResilienceStats& r = run.runtime->resilience();
+      if (r.transfers_recovered > 0 || r.host_fallbacks > 0 ||
+          r.oom_evictions > 0) {
+        ++recovered_runs;
+      }
+    } else {
+      // A failed run must carry a structured error naming the fault, never
+      // an uncaught abort.
+      ASSERT_TRUE(run.error_code.has_value())
+          << context << ": unstructured failure: " << run.error;
+      EXPECT_FALSE(run.error.empty()) << context;
+      EXPECT_FALSE(run.runtime->diags().diagnostics().empty() &&
+                   *run.error_code != AccErrorCode::kKernelTimeout &&
+                   *run.error_code != AccErrorCode::kKernelFault)
+          << context;
+      ++structured_failures;
+    }
+  }
+  // With these rates every schedule injects *something*: the soak is vacuous
+  // if no run ever exercised a recovery or failure path.
+  EXPECT_GT(recovered_runs + structured_failures, 0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, FaultSoakTest,
+                         ::testing::Values("JACOBI", "SPMUL", "HOTSPOT"));
+
+// ---- faulted runs stay deterministic across thread counts ----
+
+TEST(FaultDeterminismTest, ScheduleIndependentOfThreadCount) {
+  const BenchmarkDef* def = find_benchmark("JACOBI");
+  ASSERT_NE(def, nullptr);
+  LoweredProgram low = lowered(def->unoptimized_source);
+  FaultPlan plan;
+  plan.transfer_transient = 0.1;
+  plan.transfer_corrupt = 0.05;
+  plan.queue_stall = 0.2;
+  plan.seed = 321;
+
+  RunResult serial = run_lowered(*low.program, low.sema, def->bind_inputs,
+                                 false, nullptr, with_plan(plan, 1));
+  RunResult parallel = run_lowered(*low.program, low.sema, def->bind_inputs,
+                                   false, nullptr, with_plan(plan, 8));
+  ASSERT_EQ(serial.ok, parallel.ok) << serial.error << " / " << parallel.error;
+  const FaultStats& fa = serial.runtime->fault_injector().stats();
+  const FaultStats& fb = parallel.runtime->fault_injector().stats();
+  EXPECT_EQ(fa.transfers_transient, fb.transfers_transient);
+  EXPECT_EQ(fa.transfers_corrupted, fb.transfers_corrupted);
+  EXPECT_EQ(fa.queue_stalls, fb.queue_stalls);
+  EXPECT_EQ(serial.runtime->resilience().transfer_retries,
+            parallel.runtime->resilience().transfer_retries);
+  if (serial.ok) {
+    expect_buffers_identical(low.sema, serial, parallel, "JACOBI threads");
+    EXPECT_DOUBLE_EQ(serial.runtime->total_time(),
+                     parallel.runtime->total_time());
+  }
+}
+
+}  // namespace
+}  // namespace miniarc

@@ -35,7 +35,7 @@ RunResult run_instrumented(const std::string& source, const InputBinder& bind,
   if (sema_out != nullptr) *sema_out = prepared.sema;
   RunResult run = run_lowered(*prepared.program, prepared.sema, bind,
                               /*enable_checker=*/true, /*hook=*/nullptr,
-                              threads);
+                              ExecutorOptions{threads});
   EXPECT_TRUE(run.ok) << run.error;
   return run;
 }
@@ -296,7 +296,14 @@ void main(void) {
   options.max_statements = 10'000;
   Interpreter interp(*low.program, low.sema, runtime, options);
   interp.bind_buffer("a", ScalarKind::kDouble, 64);
-  EXPECT_THROW(interp.run(), InterpError);
+  // Budget exhaustion inside a kernel now surfaces as a structured watchdog
+  // timeout rather than a bare InterpError.
+  try {
+    interp.run();
+    FAIL() << "expected AccError";
+  } catch (const AccError& e) {
+    EXPECT_EQ(e.code(), AccErrorCode::kKernelTimeout);
+  }
 }
 
 }  // namespace

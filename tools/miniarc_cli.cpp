@@ -13,6 +13,8 @@
 //
 // verify options: --options "verificationOptions=complement=0,kernels=..."
 //                 --margin 1e-6   --min-check 1e-32
+// fault injection: --faults "transient=0.05,corrupt=0.02,..." --fault-seed 42
+//                  (see src/faults/fault_plan.h; also via MINIARC_FAULTS)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,6 +35,7 @@ struct CliOptions {
   std::size_t buffer_size = 256;
   VerificationConfig verification;
   bool naive_checks = false;
+  std::optional<FaultPlan> faults;
 };
 
 [[noreturn]] void usage() {
@@ -40,8 +43,53 @@ struct CliOptions {
                "usage: miniarc <translate|run|verify|check|bench> FILE "
                "[--set NAME=VALUE]... [--size N]\n"
                "               [--options verificationOptions=...] "
-               "[--margin X] [--min-check X] [--naive-checks]\n");
+               "[--margin X] [--min-check X] [--naive-checks]\n"
+               "               [--faults SPEC] [--fault-seed N]\n");
   std::exit(2);
+}
+
+/// Executor configuration shared by every command (thread count from
+/// MINIARC_THREADS, fault plan from --faults/--fault-seed or MINIARC_FAULTS).
+ExecutorOptions exec_options(const CliOptions& options) {
+  ExecutorOptions exec;
+  exec.faults = options.faults;
+  return exec;
+}
+
+/// Render structured runtime state after a (possibly failed) run: the
+/// runtime's diagnostics and, when injection was armed, a fault/resilience
+/// summary.
+void print_resilience(AccRuntime& runtime) {
+  if (!runtime.diags().diagnostics().empty()) {
+    std::fprintf(stderr, "%s\n", runtime.diags().dump().c_str());
+  }
+  if (!runtime.fault_injector().enabled()) return;
+  const FaultStats& f = runtime.fault_injector().stats();
+  const ResilienceStats& r = runtime.resilience();
+  std::printf(
+      "faults injected: alloc=%ld transient=%ld permanent=%ld corrupt=%ld "
+      "stall=%ld hang=%ld fault=%ld\n",
+      f.allocs_failed, f.transfers_transient, f.transfers_permanent,
+      f.transfers_corrupted, f.queue_stalls, f.kernels_hung,
+      f.kernels_faulted);
+  std::printf(
+      "resilience: retries=%ld recovered=%ld failed=%ld evictions=%ld "
+      "(%ld B) host-fallbacks=%ld stalls=%ld underflows=%ld\n",
+      r.transfer_retries, r.transfers_recovered, r.transfers_failed,
+      r.oom_evictions, r.oom_evicted_bytes, r.host_fallbacks, r.queue_stalls,
+      r.refcount_underflows);
+}
+
+/// Report a failed run: structured AccErrors get their full rendering.
+int report_runtime_error(AccRuntime& runtime, const std::exception& e) {
+  const auto* acc = dynamic_cast<const AccError*>(&e);
+  if (acc != nullptr) {
+    std::fprintf(stderr, "miniarc: %s\n", acc->describe().c_str());
+  } else {
+    std::fprintf(stderr, "miniarc: runtime error: %s\n", e.what());
+  }
+  print_resilience(runtime);
+  return 1;
 }
 
 std::string read_file(const std::string& path) {
@@ -60,13 +108,40 @@ CliOptions parse_args(int argc, char** argv) {
   if (argc < 3) usage();
   options.command = argv[1];
   options.file = argv[2];
+  std::optional<long> fault_seed;
   for (int i = 3; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) usage();
       return argv[++i];
     };
-    if (arg == "--set") {
+    // Accept both "--flag value" and "--flag=value" for the fault flags.
+    auto flag_value = [&](const char* flag) -> std::optional<std::string> {
+      std::string prefix = std::string(flag) + "=";
+      if (arg == flag) return next();
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (auto spec = flag_value("--faults"); spec.has_value()) {
+      std::string error;
+      std::optional<FaultPlan> plan = FaultPlan::parse(*spec, &error);
+      if (!plan.has_value()) {
+        std::fprintf(stderr, "miniarc: invalid --faults spec: %s\n",
+                     error.c_str());
+        std::exit(2);
+      }
+      options.faults = *plan;
+    } else if (auto seed = flag_value("--fault-seed"); seed.has_value()) {
+      std::optional<long> parsed = parse_env_long(*seed);
+      if (!parsed.has_value() || *parsed < 0) {
+        std::fprintf(stderr,
+                     "miniarc: --fault-seed expects a non-negative integer, "
+                     "got '%s'\n",
+                     seed->c_str());
+        std::exit(2);
+      }
+      fault_seed = *parsed;
+    } else if (arg == "--set") {
       std::string kv = next();
       std::size_t eq = kv.find('=');
       if (eq == std::string::npos) usage();
@@ -92,6 +167,11 @@ CliOptions parse_args(int argc, char** argv) {
     } else {
       usage();
     }
+  }
+  if (fault_seed.has_value()) {
+    // --fault-seed without --faults re-seeds the MINIARC_FAULTS plan.
+    if (!options.faults.has_value()) options.faults = fault_plan_from_env();
+    options.faults->seed = static_cast<std::uint64_t>(*fault_seed);
   }
   return options;
 }
@@ -139,20 +219,20 @@ int cmd_run(const CliOptions& options, Program& program,
     std::fprintf(stderr, "%s", diags.dump().c_str());
     return 1;
   }
-  AccRuntime runtime;
+  AccRuntime runtime(MachineModel::m2090(), exec_options(options));
   Interpreter interp(*lowered.program, lowered.sema, runtime);
   bind_externs(interp, *lowered.program, options);
   try {
     interp.run();
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "miniarc: runtime error: %s\n", e.what());
-    return 1;
+    return report_runtime_error(runtime, e);
   }
   std::printf("kernels: %zu   host statements: %ld   device statements: %ld\n",
               lowered.kernel_names.size(), interp.host_statements(),
               interp.device_statements());
   std::printf("virtual time: %.3f us\n%s", runtime.total_time() * 1e6,
               runtime.profiler().breakdown().c_str());
+  print_resilience(runtime);
   return 0;
 }
 
@@ -164,7 +244,7 @@ int cmd_verify(const CliOptions& options, Program& program,
     std::fprintf(stderr, "%s", diags.dump().c_str());
     return 1;
   }
-  AccRuntime runtime;
+  AccRuntime runtime(MachineModel::m2090(), exec_options(options));
   runtime.set_allocation_pooling(false);
   Interpreter interp(*prepared.program, prepared.sema, runtime);
   interp.set_compare_hook(&verifier);
@@ -172,8 +252,7 @@ int cmd_verify(const CliOptions& options, Program& program,
   try {
     interp.run();
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "miniarc: runtime error: %s\n", e.what());
-    return 1;
+    return report_runtime_error(runtime, e);
   }
   for (const auto& verdict : verifier.report().verdicts) {
     std::printf("%-20s %-6s compared=%ld mismatches=%ld%s\n",
@@ -197,7 +276,7 @@ int cmd_check(const CliOptions& options, Program& program,
     std::fprintf(stderr, "%s", diags.dump().c_str());
     return 1;
   }
-  AccRuntime runtime;
+  AccRuntime runtime(MachineModel::m2090(), exec_options(options));
   runtime.checker().set_enabled(true);
   InterpOptions interp_options;
   interp_options.enable_checker = true;
@@ -207,8 +286,7 @@ int cmd_check(const CliOptions& options, Program& program,
   try {
     interp.run();
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "miniarc: runtime error: %s\n", e.what());
-    return 1;
+    return report_runtime_error(runtime, e);
   }
 
   const RuntimeChecker& checker = runtime.checker();
@@ -247,9 +325,11 @@ int cmd_bench(const CliOptions& options) {
       return 1;
     }
     RunResult run = run_lowered(*lowered.program, lowered.sema,
-                                benchmark->bind_inputs, false);
+                                benchmark->bind_inputs, false,
+                                /*hook=*/nullptr, exec_options(options));
     if (!run.ok) {
       std::fprintf(stderr, "miniarc: %s\n", run.error.c_str());
+      print_resilience(*run.runtime);
       return 1;
     }
     std::printf("%s %-11s correct=%s time=%.3f us transfers=%zu B (%zu ops)\n",
