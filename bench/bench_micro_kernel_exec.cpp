@@ -3,7 +3,11 @@
 //   - serial execution with slot-resolved scalar access (the default),
 //   - serial execution with name-map scalar access (the pre-slot baseline,
 //     InterpOptions::kernel_slot_resolution = false),
-//   - parallel execution across 2/4/8 executor threads.
+//   - parallel execution across 2/4/8 executor threads,
+//   - serial execution with the transactional write-set snapshot armed (a
+//     generous per-chunk watchdog arms recovery without ever firing, so each
+//     launch pays the pre-launch snapshot memcpy; expected within 5% of the
+//     unarmed serial baseline — unarmed runs skip the snapshot entirely).
 // Every variant's output buffer is checked bit-identical against the serial
 // slot-mode reference — the determinism contract the executor guarantees.
 //
@@ -68,11 +72,17 @@ void bind_inputs(Interpreter& interp) {
   }
 }
 
-std::vector<double> run_once(int threads, bool slot_resolution) {
+std::vector<double> run_once(int threads, bool slot_resolution,
+                             bool armed_snapshots = false) {
   const LoweredProgram& low = lowered_kernel();
   AccRuntime runtime(MachineModel::m2090(), ExecutorOptions{threads});
   InterpOptions options;
   options.kernel_slot_resolution = slot_resolution;
+  if (armed_snapshots) {
+    // A watchdog too generous to ever fire still arms kernel recovery, so
+    // every launch snapshots its write set before running.
+    options.watchdog_chunk_statements = options.max_statements;
+  }
   Interpreter interp(*low.program, low.sema, runtime, options);
   bind_inputs(interp);
   interp.run();
@@ -98,11 +108,13 @@ void check_reference(const std::vector<double>& got, const char* what) {
 }
 
 void run_benchmark(benchmark::State& state, int threads,
-                   bool slot_resolution, const char* what) {
+                   bool slot_resolution, const char* what,
+                   bool armed_snapshots = false) {
   for (auto _ : state) {
-    benchmark::DoNotOptimize(run_once(threads, slot_resolution));
+    benchmark::DoNotOptimize(
+        run_once(threads, slot_resolution, armed_snapshots));
   }
-  check_reference(run_once(threads, slot_resolution), what);
+  check_reference(run_once(threads, slot_resolution, armed_snapshots), what);
   state.SetItemsProcessed(state.iterations() * kIterations);
 }
 
@@ -115,6 +127,11 @@ void BM_KernelExec_Serial_NameMap(benchmark::State& state) {
   run_benchmark(state, 1, false, "serial/name-map");
 }
 BENCHMARK(BM_KernelExec_Serial_NameMap)->Unit(benchmark::kMillisecond);
+
+void BM_KernelExec_Serial_Snapshot(benchmark::State& state) {
+  run_benchmark(state, 1, true, "serial/snapshot", /*armed_snapshots=*/true);
+}
+BENCHMARK(BM_KernelExec_Serial_Snapshot)->Unit(benchmark::kMillisecond);
 
 void BM_KernelExec_Parallel_Slots(benchmark::State& state) {
   run_benchmark(state, static_cast<int>(state.range(0)), true,

@@ -171,6 +171,7 @@ StmtPtr clone_stmt(const Stmt& stmt) {
       out->reductions = k.reductions;
       out->scalar_args = k.scalar_args;
       out->falsely_shared = k.falsely_shared;
+      out->write_set = k.write_set;
       out->stash_scalar_results = k.stash_scalar_results;
       return out;
     }

@@ -336,6 +336,12 @@ class KernelLaunchStmt final : public Stmt {
   /// executes these with per-worker register caches and dumps them back in
   /// reverse worker order at kernel end (§IV-B's latent/active error model).
   std::vector<std::string> falsely_shared;
+  /// Device buffers this kernel may write (non-private), from the def/use
+  /// summary threaded through lowering. The transactional executor snapshots
+  /// exactly these before a launch so a faulted/hung/corrupting attempt can
+  /// be rolled back; the interpreter re-derives the set from `accesses` when
+  /// a launch was built without lowering (hand-assembled test IR).
+  std::vector<std::string> write_set;
   /// Kernel verification mode: scalar results are stashed for comparison
   /// instead of overwriting the host's (reference) values.
   bool stash_scalar_results = false;

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "faults/fault_plan.h"
+#include "runtime/circuit_breaker.h"
 
 namespace miniarc {
 
@@ -57,6 +58,9 @@ struct ExecutorOptions {
   /// Fault plan for the runtime built on this executor. nullopt = resolve
   /// from MINIARC_FAULTS / MINIARC_FAULT_SEED (unset ⇒ injection disabled).
   std::optional<FaultPlan> faults;
+  /// Kernel circuit-breaker configuration for the runtime built on this
+  /// executor. nullopt = resolve from MINIARC_BREAKER (unset ⇒ defaults).
+  std::optional<BreakerConfig> breaker;
 };
 
 /// `threads` if positive, else the MINIARC_THREADS environment variable,

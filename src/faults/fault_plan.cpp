@@ -11,7 +11,8 @@ namespace miniarc {
 bool FaultPlan::any() const {
   return alloc_fail > 0.0 || transfer_transient > 0.0 ||
          transfer_permanent > 0.0 || transfer_corrupt > 0.0 ||
-         queue_stall > 0.0 || kernel_hang > 0.0 || kernel_fault > 0.0;
+         queue_stall > 0.0 || kernel_hang > 0.0 || kernel_fault > 0.0 ||
+         kernel_corrupt > 0.0;
 }
 
 std::optional<FaultPlan> FaultPlan::parse(const std::string& spec,
@@ -64,10 +65,12 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& spec,
       plan.kernel_hang = rate;
     } else if (key == "fault") {
       plan.kernel_fault = rate;
+    } else if (key == "kcorrupt") {
+      plan.kernel_corrupt = rate;
     } else {
       return fail("unknown fault key '" + key +
                   "' (expected alloc, transient, permanent, corrupt, stall, "
-                  "hang, fault, or seed)");
+                  "hang, fault, kcorrupt, or seed)");
     }
   }
   return plan;
@@ -183,6 +186,11 @@ KernelFaultDecision FaultInjector::next_kernel_fault(
   } else if (draw(plan_.kernel_fault)) {
     decision.kind = KernelFaultDecision::Kind::kFault;
     ++stats_.kernels_faulted;
+  } else if (draw(plan_.kernel_corrupt)) {
+    // Drawn last so plans without kcorrupt consume the same stream prefix as
+    // before the mode existed (existing seeded schedules stay stable).
+    decision.kind = KernelFaultDecision::Kind::kCorrupt;
+    ++stats_.kernels_corrupted;
   } else {
     return decision;
   }

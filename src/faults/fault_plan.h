@@ -42,13 +42,18 @@ struct FaultPlan {
   double kernel_hang = 0.0;
   /// One kernel chunk raises a device fault immediately.
   double kernel_fault = 0.0;
+  /// The launch completes but silently corrupts one byte of its write set;
+  /// the post-kernel integrity check catches it (an ECC-style detection) and
+  /// the transactional executor rolls the write set back.
+  double kernel_corrupt = 0.0;
   std::uint64_t seed = 1;
 
   /// True if any injection rate is positive.
   [[nodiscard]] bool any() const;
 
   /// Parse "alloc=0.1,transient=0.05,permanent=0,corrupt=0.02,stall=0.1,"
-  /// "hang=0.01,fault=0.01,seed=42" (any subset of keys, any order).
+  /// "hang=0.01,fault=0.01,kcorrupt=0.01,seed=42" (any subset of keys, any
+  /// order).
   /// Returns nullopt — and sets `*error` when given — on unknown keys,
   /// malformed numbers, or rates outside [0, 1].
   static std::optional<FaultPlan> parse(const std::string& spec,
@@ -71,7 +76,7 @@ enum class TransferFaultKind : std::uint8_t {
 [[nodiscard]] const char* to_string(TransferFaultKind kind);
 
 struct KernelFaultDecision {
-  enum class Kind : std::uint8_t { kNone, kHang, kFault };
+  enum class Kind : std::uint8_t { kNone, kHang, kFault, kCorrupt };
   Kind kind = Kind::kNone;
   /// Chunk index the fault lands on (decided on the host thread before
   /// dispatch, so the schedule is identical for every thread count).
@@ -88,6 +93,7 @@ struct FaultStats {
   long queue_stalls = 0;
   long kernels_hung = 0;
   long kernels_faulted = 0;
+  long kernels_corrupted = 0;
 };
 
 /// Deterministic per-runtime fault source. Every decision advances one

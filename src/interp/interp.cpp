@@ -4,12 +4,18 @@
 
 #include "interp/eval_ops.h"
 #include "interp/intrinsics.h"
+#include "support/env.h"
 
 namespace miniarc {
 
 Interpreter::Interpreter(const Program& program, const SemaInfo& sema,
                          AccRuntime& runtime, InterpOptions options)
     : program_(program), sema_(sema), runtime_(runtime), options_(options) {
+  // Kernel retry budget: explicit option wins; -1 defers to the environment
+  // (same strict-validation behavior as MINIARC_THREADS / MINIARC_FAULTS).
+  kernel_retries_ = options_.kernel_retries >= 0
+                        ? options_.kernel_retries
+                        : env_int_or("MINIARC_KERNEL_RETRIES", 2, 0, 64);
   // Annotate the AST with dense variable slots (the kernel hot path indexes
   // vectors instead of hashing names). The pass is deterministic and
   // idempotent, so re-annotating a shared program is safe; it runs here so

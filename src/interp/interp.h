@@ -57,8 +57,17 @@ struct InterpOptions {
   /// Watchdog: per-chunk statement budget for one kernel launch. A chunk
   /// exceeding it is killed with a structured AccError{kKernelTimeout}
   /// naming the kernel. 0 = inherit whatever remains of `max_statements`
-  /// at launch (the pre-watchdog behavior).
+  /// at launch (the pre-watchdog behavior). Watchdog kills feed the same
+  /// rollback/retry/failover ladder as injected kernel faults.
   long watchdog_chunk_statements = 0;
+  /// Kernel retry budget: device re-dispatches (after a write-set rollback)
+  /// a faulted/hung/corrupting launch gets before failing over. -1 =
+  /// resolve from MINIARC_KERNEL_RETRIES (unset ⇒ 2).
+  int kernel_retries = -1;
+  /// When the retry budget exhausts (or the circuit breaker is open),
+  /// complete the launch by serial host execution instead of failing. Off
+  /// (`--no-failover`): exhausted retries raise the structured AccError.
+  bool host_failover = true;
 };
 
 class Interpreter {
@@ -133,12 +142,17 @@ class Interpreter {
   // dispatches chunks through the runtime's persistent GangWorkerExecutor
   // (each chunk evaluated by a re-entrant KernelEval), then merges worker
   // statement counters and combines reductions/dump-backs in chunk order.
+  // Transactional when recovery is armed: the device write set is
+  // snapshotted before dispatch, faulted attempts are rolled back and
+  // retried, and exhausted retries fail over to serial host execution.
   void exec_kernel(const KernelLaunchStmt& stmt);  // interp/kernel_exec.cpp
 
   const Program& program_;
   const SemaInfo& sema_;
   AccRuntime& runtime_;
   InterpOptions options_;
+  /// options_.kernel_retries after MINIARC_KERNEL_RETRIES resolution.
+  int kernel_retries_ = 2;
   SlotTable slots_;
   /// Slot → declared-as-floating-scalar (assignment coercion on the kernel
   /// hot path without a var_types hash lookup).

@@ -27,8 +27,32 @@
 // falsely-shared state are dispatched with allow_parallel=false: their whole
 // point is modeling a *serial-schedule* race resolution (last/first worker
 // wins deterministically), which a real thread interleaving would destroy.
+//
+// Transactional execution (DESIGN.md §4 recovery ladder): when recovery is
+// armed (a fault plan or watchdog is active) the launch's device write set —
+// computed by the def/use summary and threaded through lowering — is
+// snapshotted before dispatch. A faulted, hung, or corrupting attempt is
+// rolled back (write set restored) and re-dispatched up to the retry budget,
+// with backoff billed to Fault-Recovery; exhausted retries fail over to
+// serial host execution of the same chunk schedule, so results stay
+// bit-identical to a clean device run. A per-device circuit breaker watches
+// launch outcomes and, once open, demotes launches straight to the host.
+//
+// Determinism of recovery billing: which chunks completed before a parallel
+// attempt aborted depends on thread scheduling, so worker statement counters
+// of a rolled-back attempt are DISCARDED and a synthetic, deterministic cost
+// billed instead (the watchdog budget for timeouts, the full-run count for
+// post-join corruption, launch overhead alone for immediate faults). Every
+// recovery decision — fault draws, rollbacks, retries, breaker transitions —
+// happens on the host thread in program order, so a fixed (plan, seed,
+// threads) triple reproduces the exact same recovery schedule.
 #include <algorithm>
+#include <cstring>
 #include <limits>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "ast/visitor.h"
 #include "device/acc_error.h"
@@ -108,6 +132,20 @@ Value reduce(ReductionOp op, const Value& a, const Value& b) {
   }
   return a;
 }
+
+/// Statement cost billed for an injected hang before the watchdog kills it.
+/// Capped so a hang on a launch with no explicit watchdog — whose per-chunk
+/// budget is the whole remaining global budget — does not consume the budget
+/// the retries and the host failover still need.
+constexpr long kInjectedHangBurnCap = 100'000;
+
+/// One buffer of the kernel's device write set (what a rollback restores and
+/// a host failover commits back).
+struct WriteSetEntry {
+  std::string name;
+  BufferPtr host;
+  BufferPtr device;
+};
 
 }  // namespace
 
@@ -228,12 +266,13 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
       induction.empty() ? -1 : slots_.lookup(induction);
   const Stmt& chunk_body = loop != nullptr ? loop->body() : stmt.body();
 
-  auto init_worker = [&](KernelWorkerState& worker) {
-    worker.prepare(ctx);
+  auto init_worker = [&](KernelWorkerState& worker,
+                         const KernelLaunchCtx& launch_ctx) {
+    worker.prepare(launch_ctx);
     auto seed_scalar = [&](const std::string& name) {
       const Value* bound = env_.find(name);
       if (bound != nullptr) {
-        worker.set_scalar(ctx, slots_.lookup(name), name, *bound);
+        worker.set_scalar(launch_ctx, slots_.lookup(name), name, *bound);
       }
     };
     for (const auto& name : stmt.firstprivate_vars) seed_scalar(name);
@@ -243,7 +282,7 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
     // dump-back below finds the last worker that actually wrote.
     for (const auto& name : accumulator_shared) seed_scalar(name);
     for (const auto& red : stmt.reductions) {
-      worker.set_scalar(ctx, slots_.lookup(red.var), red.var,
+      worker.set_scalar(launch_ctx, slots_.lookup(red.var), red.var,
                         reduction_identity(red.op));
     }
     for (const auto& name : stmt.private_vars) {
@@ -258,7 +297,7 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
                    bound->as_buffer() != nullptr) {
           count = bound->as_buffer()->count();
         }
-        worker.set_buffer(ctx, slots_.lookup(name), name,
+        worker.set_buffer(launch_ctx, slots_.lookup(name), name,
                           std::make_shared<TypedBuffer>(
                               type->second.scalar(), count));
       }
@@ -271,7 +310,7 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
   // ever touch their own state plus the read-only launch context.
   std::vector<WorkerChunk> chunks = partition_iterations(lo, hi, total_workers);
   std::vector<KernelWorkerState> workers(chunks.size());
-  for (auto& worker : workers) init_worker(worker);
+  for (auto& worker : workers) init_worker(worker, ctx);
 
   // Falsely-shared kernels require the serial chunk schedule (see the file
   // comment). Everything else may fan out across the persistent pool — but
@@ -288,16 +327,8 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
     }
     allow_parallel = it->second;
   }
-  // Injected kernel faults are decided on the host thread before dispatch,
-  // so the fault schedule is identical for every executor thread count.
-  KernelFaultDecision injected;
-  if (runtime_.fault_injector().enabled()) {
-    injected = runtime_.fault_injector().next_kernel_fault(chunks.size());
-  }
 
   // ---- merge per-worker statement counters (exact billing) ----
-  // Runs on the failure path too: partial work a dying launch performed is
-  // real device time and must stay visible to the profiler.
   auto merge_and_bill = [&] {
     long executed = 0;
     for (const auto& worker : workers) executed += worker.statements;
@@ -313,42 +344,266 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
     return executed;
   };
 
-  try {
-    runtime_.executor().execute_chunks(
-        chunks, allow_parallel,
-        [&](std::size_t index, const WorkerChunk& chunk) {
-          if (injected.kind != KernelFaultDecision::Kind::kNone &&
-              index == injected.chunk) {
-            if (injected.kind == KernelFaultDecision::Kind::kFault) {
-              throw AccError(AccErrorCode::kKernelFault,
-                             "kernel '" + stmt.kernel_name() + "' chunk " +
-                                 std::to_string(index) +
-                                 " raised a device fault (injected)",
-                             stmt.location(), stmt.kernel_name(),
-                             stmt.config.async_queue);
-            }
-            // Injected hang: the chunk burns its whole statement budget
-            // before the watchdog kills it.
-            workers[index].statements = ctx.worker_statement_limit;
-            throw AccError(AccErrorCode::kKernelTimeout,
-                           "kernel '" + stmt.kernel_name() + "' chunk " +
-                               std::to_string(index) +
-                               " exceeded the watchdog budget of " +
-                               std::to_string(ctx.worker_statement_limit) +
-                               " statements (injected hang)",
-                           stmt.location(), stmt.kernel_name(),
-                           stmt.config.async_queue);
-          }
-          KernelEval eval(ctx, workers[index]);
-          eval.run_chunk(chunk_body, induction_slot, induction, chunk.begin,
-                         chunk.end);
-        });
-  } catch (...) {
-    merge_and_bill();
-    throw;
+  // ---- device write set (what a rollback restores) ----
+  // Lowering threads the def/use summary into stmt.write_set; hand-built IR
+  // (unit tests) may leave it empty, in which case the launch's access list
+  // carries the same information.
+  std::vector<WriteSetEntry> write_set;
+  {
+    std::vector<std::string> names = stmt.write_set;
+    if (names.empty()) {
+      for (const auto& access : stmt.accesses) {
+        if (access.is_buffer && access.written) names.push_back(access.name);
+      }
+    }
+    for (const auto& name : names) {
+      if (stmt.is_private(name)) continue;
+      BufferPtr host = resolve_buffer(name, stmt.location());
+      BufferPtr device = runtime_.device_buffer(*host);
+      if (device != nullptr) {
+        write_set.push_back({name, std::move(host), std::move(device)});
+      }
+    }
   }
 
-  merge_and_bill();
+  // ---- host failover: serial replay of the same chunk schedule ----
+  // Host copies may be stale (device-resident data), so they are refreshed
+  // from the device first, the chunks replayed serially against HOST
+  // storage, the write set committed back to the device, and the host bytes
+  // restored. Post-state is exactly that of a device launch — device copies
+  // updated, host copies stale — and because the replay uses the identical
+  // chunk partition, reduction combining and dump-backs (the common
+  // post-join code below) stay bit-identical to a clean device run.
+  auto run_host_failover = [&] {
+    struct SavedHost {
+      TypedBuffer* buffer;
+      std::vector<std::byte> bytes;
+    };
+    std::vector<SavedHost> saved;
+    KernelLaunchCtx host_ctx = ctx;
+    long remaining = options_.max_statements - total_budget_used_;
+    if (remaining < 0) remaining = 0;
+    // The host run is the ladder's last rung: no per-chunk watchdog (a
+    // genuinely long-running kernel must be able to complete here); only
+    // the global statement budget still applies.
+    host_ctx.worker_statement_limit = remaining;
+    for (const auto& access : stmt.accesses) {
+      if (!access.is_buffer || stmt.is_private(access.name)) continue;
+      BufferPtr host = resolve_buffer(access.name, stmt.location());
+      BufferPtr device = runtime_.device_buffer(*host);
+      // Host-fallback aliases are already host storage; running on them
+      // directly matches degraded-launch semantics.
+      if (device == nullptr || runtime_.is_host_fallback(*host)) continue;
+      saved.push_back(
+          {host.get(), {host->data(), host->data() + host->size_bytes()}});
+      std::memcpy(host->data(), device->data(), host->size_bytes());
+      runtime_.bill_fault_recovery(
+          runtime_.model().pcie.transfer_seconds(host->size_bytes()));
+      if (host_ctx.use_slots) {
+        int slot = slots_.lookup(access.name);
+        if (slot >= 0) {
+          host_ctx.device_buffers[static_cast<std::size_t>(slot)] = host;
+        }
+      } else {
+        host_ctx.device_buffers_by_name[access.name] = host;
+      }
+    }
+    for (auto& worker : workers) {
+      worker = KernelWorkerState{};
+      init_worker(worker, host_ctx);
+    }
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      KernelEval eval(host_ctx, workers[i]);
+      eval.run_chunk(chunk_body, induction_slot, induction, chunks[i].begin,
+                     chunks[i].end);
+    }
+    long executed = 0;
+    for (const auto& worker : workers) executed += worker.statements;
+    host_statements_ += executed;
+    total_budget_used_ += executed;
+    runtime_.bill_host_statements(static_cast<std::size_t>(executed));
+    // Commit the results to the device, then restore the host bytes.
+    for (const auto& entry : write_set) {
+      if (runtime_.is_host_fallback(*entry.host)) continue;
+      std::memcpy(entry.device->data(), entry.host->data(),
+                  entry.device->size_bytes());
+      runtime_.bill_fault_recovery(
+          runtime_.model().pcie.transfer_seconds(entry.device->size_bytes()));
+    }
+    for (const auto& s : saved) {
+      std::memcpy(s.buffer->data(), s.bytes.data(), s.bytes.size());
+    }
+    runtime_.on_host_failover();
+  };
+
+  // ---- transactional dispatch: snapshot → attempt → rollback/retry ----
+  // Snapshots are skipped entirely when nothing can fault (no plan armed,
+  // no watchdog): the fault-free hot path pays one enabled() branch.
+  const bool recovery_armed = runtime_.fault_injector().enabled() ||
+                              options_.watchdog_chunk_statements > 0;
+  bool device_done = false;
+  int rollbacks = 0;
+
+  if (options_.host_failover && runtime_.breaker().should_demote()) {
+    // Breaker open: the device is misbehaving — skip it entirely.
+    runtime_.diags().note(stmt.location(),
+                          "circuit breaker open: kernel '" +
+                              stmt.kernel_name() +
+                              "' demoted to host execution");
+    run_host_failover();
+  } else {
+    std::vector<std::vector<std::byte>> snapshot;
+    std::size_t write_set_bytes = 0;
+    if (recovery_armed) {
+      snapshot.reserve(write_set.size());
+      for (const auto& entry : write_set) {
+        snapshot.emplace_back(
+            entry.device->data(),
+            entry.device->data() + entry.device->size_bytes());
+        write_set_bytes += entry.device->size_bytes();
+      }
+      runtime_.bill_fault_recovery(runtime_.snapshot_seconds(write_set_bytes));
+    }
+    auto rollback = [&] {
+      for (std::size_t i = 0; i < write_set.size(); ++i) {
+        std::memcpy(write_set[i].device->data(), snapshot[i].data(),
+                    snapshot[i].size());
+      }
+      runtime_.on_kernel_rollback(write_set_bytes);
+      ++rollbacks;
+    };
+
+    std::optional<AccError> failure;
+    const int max_attempts = kernel_retries_ + 1;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      if (attempt > 0) {
+        // Fresh worker states: the rolled-back attempt may have partially
+        // mutated private buffers and register caches.
+        for (auto& worker : workers) {
+          worker = KernelWorkerState{};
+          init_worker(worker, ctx);
+        }
+        runtime_.on_kernel_retry(attempt - 1);
+      }
+      // Injected kernel faults are decided on the host thread before
+      // dispatch (one draw per attempt), so the fault schedule is identical
+      // for every executor thread count.
+      KernelFaultDecision injected;
+      if (runtime_.fault_injector().enabled()) {
+        injected = runtime_.fault_injector().next_kernel_fault(chunks.size());
+      }
+      try {
+        runtime_.executor().execute_chunks(
+            chunks, allow_parallel,
+            [&](std::size_t index, const WorkerChunk& chunk) {
+              if (injected.kind != KernelFaultDecision::Kind::kNone &&
+                  injected.kind != KernelFaultDecision::Kind::kCorrupt &&
+                  index == injected.chunk) {
+                if (injected.kind == KernelFaultDecision::Kind::kFault) {
+                  throw AccError(AccErrorCode::kKernelFault,
+                                 "kernel '" + stmt.kernel_name() + "' chunk " +
+                                     std::to_string(index) +
+                                     " raised a device fault (injected)",
+                                 stmt.location(), stmt.kernel_name(),
+                                 stmt.config.async_queue);
+                }
+                // Injected hang: the chunk spins until the watchdog kills
+                // it (the burned time is billed deterministically below).
+                throw AccError(AccErrorCode::kKernelTimeout,
+                               "kernel '" + stmt.kernel_name() + "' chunk " +
+                                   std::to_string(index) +
+                                   " exceeded the watchdog budget of " +
+                                   std::to_string(ctx.worker_statement_limit) +
+                                   " statements (injected hang)",
+                               stmt.location(), stmt.kernel_name(),
+                               stmt.config.async_queue);
+              }
+              KernelEval eval(ctx, workers[index]);
+              eval.run_chunk(chunk_body, induction_slot, induction,
+                             chunk.begin, chunk.end);
+            });
+        if (injected.kind == KernelFaultDecision::Kind::kCorrupt &&
+            write_set_bytes > 0) {
+          // Silent corruption: the launch completed but scribbled on its
+          // write set. The post-kernel integrity check (an ECC-style
+          // detection) converts it into a rollback like any other fault.
+          for (const auto& entry : write_set) {
+            if (entry.device->size_bytes() == 0) continue;
+            runtime_.fault_injector().corrupt_bytes(
+                entry.device->data(), entry.device->size_bytes());
+            break;
+          }
+          throw AccError(AccErrorCode::kKernelFault,
+                         "kernel '" + stmt.kernel_name() +
+                             "' write set failed the post-kernel integrity "
+                             "check (injected silent corruption)",
+                         stmt.location(), stmt.kernel_name(),
+                         stmt.config.async_queue);
+        }
+        device_done = true;
+        break;
+      } catch (const AccError& err) {
+        // Only kernel faults/timeouts with recovery armed are retryable;
+        // in particular a global-statement-budget blowout without a
+        // watchdog is a runaway program, not a device fault.
+        if (!recovery_armed ||
+            (err.code() != AccErrorCode::kKernelFault &&
+             err.code() != AccErrorCode::kKernelTimeout)) {
+          merge_and_bill();
+          throw;
+        }
+        // Deterministic recovery billing (see the file comment): discard
+        // the racy per-worker counters and bill a synthetic device cost.
+        long burn = 0;
+        if (err.code() == AccErrorCode::kKernelTimeout) {
+          burn = injected.kind == KernelFaultDecision::Kind::kHang
+                     ? std::min(ctx.worker_statement_limit,
+                                kInjectedHangBurnCap)
+                     : ctx.worker_statement_limit;
+        } else if (injected.kind == KernelFaultDecision::Kind::kCorrupt) {
+          // Corrupting attempts complete every chunk first, so the counters
+          // are deterministic — the whole run is charged as recovery work.
+          for (const auto& worker : workers) burn += worker.statements;
+        }
+        total_budget_used_ += burn;
+        runtime_.bill_fault_recovery(runtime_.model().kernel.kernel_seconds(
+            static_cast<std::size_t>(burn), stmt.config.num_gangs,
+            stmt.config.num_workers));
+        rollback();
+        runtime_.breaker().record_fault();
+        failure = err;
+      } catch (...) {
+        // Program errors (out-of-bounds, unbound variables) are bugs, not
+        // device faults: partial work stays billed and no retry happens.
+        merge_and_bill();
+        throw;
+      }
+    }
+
+    if (device_done) {
+      merge_and_bill();
+      runtime_.breaker().record_success();
+      if (rollbacks > 0) {
+        runtime_.on_kernel_recovered();
+        runtime_.diags().note(stmt.location(),
+                              "kernel '" + stmt.kernel_name() +
+                                  "' recovered after " +
+                                  std::to_string(rollbacks) + " rollback" +
+                                  (rollbacks == 1 ? "" : "s"));
+      }
+    } else if (options_.host_failover) {
+      runtime_.diags().note(
+          stmt.location(),
+          "kernel '" + stmt.kernel_name() + "' retries exhausted after " +
+              std::to_string(rollbacks) +
+              " faulted attempts; failing over to host execution");
+      run_host_failover();
+    } else {
+      runtime_.diags().error(stmt.location(), failure->what());
+      throw *failure;
+    }
+  }
+
   if (total_budget_used_ > options_.max_statements) {
     throw InterpError("statement budget exhausted (possible runaway loop)");
   }

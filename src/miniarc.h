@@ -47,6 +47,7 @@
 #include "device/stream.h"
 #include "device/virtual_clock.h"
 #include "runtime/acc_runtime.h"
+#include "runtime/circuit_breaker.h"
 #include "runtime/coherence.h"
 #include "runtime/present_table.h"
 #include "runtime/profiler.h"

@@ -13,13 +13,25 @@ namespace {
 constexpr int kMaxTransferAttempts = 4;
 /// First backoff interval; doubles per retry (10 µs, 20 µs, 40 µs).
 constexpr double kBackoffBaseSeconds = 10e-6;
+/// First kernel-retry backoff interval; doubles per retry. Longer than the
+/// transfer backoff — a faulted launch usually means the device needs a
+/// moment (ECC scrub, context recovery) before a re-dispatch is worthwhile.
+constexpr double kKernelBackoffBaseSeconds = 20e-6;
+/// Device-to-device DMA used for write-set snapshots/restores: fixed launch
+/// latency plus on-device bandwidth (an order of magnitude faster than the
+/// PCIe link — the snapshot never leaves the card).
+constexpr double kSnapshotLatencySeconds = 2e-6;
+constexpr double kSnapshotBytesPerSecond = 120e9;
 }  // namespace
 
 AccRuntime::AccRuntime(MachineModel model, ExecutorOptions executor_options)
     : model_(model),
       executor_(executor_options),
       faults_(executor_options.faults.has_value() ? *executor_options.faults
-                                                  : fault_plan_from_env()) {
+                                                  : fault_plan_from_env()),
+      breaker_(executor_options.breaker.has_value()
+                   ? *executor_options.breaker
+                   : breaker_config_from_env()) {
   dev_mem_.set_fault_injector(&faults_);
 }
 
@@ -294,6 +306,35 @@ void AccRuntime::bill_compare(std::size_t elements) {
   profiler_.add(ProfileCategory::kResultComp, cost);
 }
 
+void AccRuntime::bill_fault_recovery(double seconds) {
+  // Recovery actions are synchronous host-side work: no queue involvement,
+  // no stall draws — the billed time is deterministic for a fixed schedule.
+  clock_.advance(seconds);
+  profiler_.add(ProfileCategory::kFaultRecovery, seconds);
+}
+
+double AccRuntime::snapshot_seconds(std::size_t bytes) const {
+  return kSnapshotLatencySeconds +
+         static_cast<double>(bytes) / kSnapshotBytesPerSecond;
+}
+
+void AccRuntime::on_kernel_rollback(std::size_t bytes) {
+  ++resilience_.kernel_rollbacks;
+  resilience_.kernel_rollback_bytes += static_cast<long>(bytes);
+  bill_fault_recovery(snapshot_seconds(bytes));
+}
+
+void AccRuntime::on_kernel_retry(int attempt) {
+  ++resilience_.kernel_retries;
+  int shift = attempt < 16 ? attempt : 16;
+  bill_fault_recovery(kKernelBackoffBaseSeconds *
+                      static_cast<double>(1L << shift));
+}
+
+void AccRuntime::on_kernel_recovered() { ++resilience_.kernels_recovered; }
+
+void AccRuntime::on_host_failover() { ++resilience_.host_failovers; }
+
 void AccRuntime::bill_runtime_check() {
   constexpr double kCheckCost = 40e-9;  // one hash-table lookup + branch
   clock_.advance(kCheckCost);
@@ -313,6 +354,7 @@ void AccRuntime::reset() {
   profiler_.reset();
   checker_.clear();
   faults_.reset();
+  breaker_.reset();
   diags_.clear();
   resilience_ = {};
   pending_async_work_.clear();

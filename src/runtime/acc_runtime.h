@@ -18,6 +18,7 @@
 #include "device/stream.h"
 #include "device/virtual_clock.h"
 #include "faults/fault_plan.h"
+#include "runtime/circuit_breaker.h"
 #include "runtime/present_table.h"
 #include "runtime/profiler.h"
 #include "runtime/runtime_checker.h"
@@ -49,6 +50,17 @@ struct ResilienceStats {
   long queue_stalls = 0;
   /// data_exit calls without a matching data_enter (diagnosed, not fatal).
   long refcount_underflows = 0;
+  /// Kernel write-set restores performed after a faulted/hung/corrupting
+  /// launch attempt (the transactional executor's rollbacks).
+  long kernel_rollbacks = 0;
+  long kernel_rollback_bytes = 0;
+  /// Kernel re-dispatches after a rollback (bounded by the retry budget).
+  long kernel_retries = 0;
+  /// Launches that completed on the device after at least one rollback.
+  long kernels_recovered = 0;
+  /// Launches completed by serial host execution (retries exhausted, or the
+  /// circuit breaker demoted them without a device attempt).
+  long host_failovers = 0;
 };
 
 class AccRuntime {
@@ -119,6 +131,25 @@ class AccRuntime {
   void bill_compare(std::size_t elements);
   void bill_runtime_check();
 
+  // ---- transactional kernel execution (driven by the interpreter) ----
+  /// Synchronous fault-recovery work (write-set snapshots, rollbacks, retry
+  /// backoff, failover sync copies): advances the clock and bills the
+  /// Fault-Recovery category, keeping the component accounting a partition.
+  void bill_fault_recovery(double seconds);
+  /// Modeled device-to-device DMA time for snapshotting / restoring `bytes`
+  /// of a kernel's write set.
+  [[nodiscard]] double snapshot_seconds(std::size_t bytes) const;
+  /// One write-set restore performed: counts the rollback and bills the
+  /// restore DMA.
+  void on_kernel_rollback(std::size_t bytes);
+  /// One re-dispatch after a rollback: bills exponential virtual-clock
+  /// backoff (`attempt` counts from 0 for the first retry).
+  void on_kernel_retry(int attempt);
+  /// A launch completed on the device after at least one rollback.
+  void on_kernel_recovered();
+  /// A launch completed by serial host execution.
+  void on_host_failover();
+
   // ---- configuration ----
   /// Device allocation pooling (default on; the kernel verifier turns it off
   /// so per-kernel alloc/free costs appear in the Figure-3 breakdown).
@@ -142,6 +173,9 @@ class AccRuntime {
   /// Seeded fault source (disabled unless a plan was armed via
   /// ExecutorOptions::faults or MINIARC_FAULTS).
   [[nodiscard]] FaultInjector& fault_injector() { return faults_; }
+  /// Per-device circuit breaker over kernel launch outcomes (configured via
+  /// ExecutorOptions::breaker or MINIARC_BREAKER).
+  [[nodiscard]] KernelCircuitBreaker& breaker() { return breaker_; }
   /// Runtime diagnostics: structured failures, degradation warnings,
   /// recovery notes.
   [[nodiscard]] DiagnosticEngine& diags() { return diags_; }
@@ -180,6 +214,7 @@ class AccRuntime {
   Profiler profiler_;
   RuntimeChecker checker_;
   FaultInjector faults_;
+  KernelCircuitBreaker breaker_;
   DiagnosticEngine diags_;
   ResilienceStats resilience_;
 

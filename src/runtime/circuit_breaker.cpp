@@ -1,0 +1,173 @@
+#include "runtime/circuit_breaker.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/env.h"
+#include "support/str.h"
+
+namespace miniarc {
+
+std::optional<BreakerConfig> BreakerConfig::parse(const std::string& spec,
+                                                  std::string* error) {
+  auto fail = [&](std::string message) -> std::optional<BreakerConfig> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+
+  BreakerConfig config;
+  for (const std::string& entry : split_trimmed(spec, ',')) {
+    std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return fail("expected key=value, got '" + entry + "'");
+    }
+    std::string key(trim(entry.substr(0, eq)));
+    std::string value(trim(entry.substr(eq + 1)));
+    std::optional<long> parsed = parse_env_long(value);
+    if (!parsed.has_value() || *parsed < 1 || *parsed > 1024) {
+      return fail("value for '" + key + "' must be an integer in [1, 1024], "
+                  "got '" + value + "'");
+    }
+    int v = static_cast<int>(*parsed);
+    if (key == "window") {
+      config.window = v;
+    } else if (key == "threshold") {
+      config.threshold = v;
+    } else if (key == "probe") {
+      config.probe_after = v;
+    } else {
+      return fail("unknown breaker key '" + key +
+                  "' (expected window, threshold, or probe)");
+    }
+  }
+  if (config.threshold > config.window) {
+    return fail("threshold (" + std::to_string(config.threshold) +
+                ") must not exceed window (" + std::to_string(config.window) +
+                ")");
+  }
+  return config;
+}
+
+const BreakerConfig& breaker_config_from_env() {
+  static const BreakerConfig config = [] {
+    BreakerConfig resolved;
+    const char* spec = std::getenv("MINIARC_BREAKER");
+    if (spec != nullptr && spec[0] != '\0') {
+      std::string error;
+      std::optional<BreakerConfig> parsed = BreakerConfig::parse(spec, &error);
+      if (parsed.has_value()) {
+        resolved = *parsed;
+      } else {
+        std::fprintf(stderr,
+                     "miniarc: ignoring invalid MINIARC_BREAKER='%s' (%s); "
+                     "using window=%d,threshold=%d,probe=%d\n",
+                     spec, error.c_str(), resolved.window, resolved.threshold,
+                     resolved.probe_after);
+      }
+    }
+    return resolved;
+  }();
+  return config;
+}
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+KernelCircuitBreaker::KernelCircuitBreaker(BreakerConfig config)
+    : config_(config) {
+  if (config_.window < 1) config_.window = 1;
+  if (config_.threshold < 1) config_.threshold = 1;
+  if (config_.threshold > config_.window) config_.threshold = config_.window;
+  if (config_.probe_after < 1) config_.probe_after = 1;
+  ring_.assign(static_cast<std::size_t>(config_.window), 0);
+}
+
+void KernelCircuitBreaker::clear_window() {
+  ring_.assign(static_cast<std::size_t>(config_.window), 0);
+  ring_pos_ = 0;
+  ring_filled_ = 0;
+  faults_in_window_ = 0;
+}
+
+void KernelCircuitBreaker::open() {
+  state_ = BreakerState::kOpen;
+  demotions_since_open_ = 0;
+  probe_in_flight_ = false;
+  clear_window();
+  ++stats_.opens;
+}
+
+void KernelCircuitBreaker::push_outcome(bool fault) {
+  std::size_t pos = static_cast<std::size_t>(ring_pos_);
+  if (ring_filled_ == config_.window) {
+    faults_in_window_ -= ring_[pos];
+  } else {
+    ++ring_filled_;
+  }
+  ring_[pos] = fault ? 1 : 0;
+  if (fault) ++faults_in_window_;
+  ring_pos_ = (ring_pos_ + 1) % config_.window;
+}
+
+bool KernelCircuitBreaker::should_demote() {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return false;
+    case BreakerState::kHalfOpen:
+      // This launch is the probe: admit it and let its outcome decide.
+      probe_in_flight_ = true;
+      ++stats_.probes;
+      return false;
+    case BreakerState::kOpen:
+      ++stats_.demotions;
+      if (++demotions_since_open_ >= config_.probe_after) {
+        state_ = BreakerState::kHalfOpen;
+      }
+      return true;
+  }
+  return false;
+}
+
+void KernelCircuitBreaker::record_success() {
+  ++stats_.successes_recorded;
+  if (state_ == BreakerState::kHalfOpen) {
+    // Probe succeeded: the device is healthy again.
+    state_ = BreakerState::kClosed;
+    probe_in_flight_ = false;
+    demotions_since_open_ = 0;
+    clear_window();
+    ++stats_.closes;
+    return;
+  }
+  push_outcome(false);
+}
+
+void KernelCircuitBreaker::record_fault() {
+  ++stats_.faults_recorded;
+  if (state_ == BreakerState::kHalfOpen) {
+    // Probe faulted: back to open, restart the demotion countdown.
+    open();
+    return;
+  }
+  push_outcome(true);
+  if (state_ == BreakerState::kClosed &&
+      faults_in_window_ >= config_.threshold) {
+    open();
+  }
+}
+
+void KernelCircuitBreaker::reset() {
+  state_ = BreakerState::kClosed;
+  demotions_since_open_ = 0;
+  probe_in_flight_ = false;
+  clear_window();
+  stats_ = {};
+}
+
+}  // namespace miniarc

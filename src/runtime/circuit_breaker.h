@@ -1,0 +1,101 @@
+// Per-device circuit breaker over kernel launch outcomes.
+//
+// The transactional kernel executor (interp/kernel_exec.cpp) reports every
+// *device* launch attempt here: a success closes over time, a fault (injected
+// chunk fault, injected/genuine watchdog kill, post-kernel corruption) counts
+// against a sliding window of recent attempts. Once `threshold` of the last
+// `window` attempts faulted the breaker OPENS and the runtime stops paying
+// for doomed device retries: subsequent launches are demoted straight to
+// serial host execution (the recovery ladder's last rung) until `probe_after`
+// demotions have passed, at which point the breaker goes HALF-OPEN and the
+// next launch probes the device — success re-admits it (CLOSED), another
+// fault re-opens. Graceful degradation instead of cascading retry storms.
+//
+// Everything here is driven from the host thread in program order, so breaker
+// behavior is deterministic for a fixed (plan, seed, threads) tuple.
+// Configured via ExecutorOptions::breaker or the MINIARC_BREAKER environment
+// variable ("window=8,threshold=4,probe=4").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace miniarc {
+
+struct BreakerConfig {
+  /// Sliding window of most recent device launch attempts considered.
+  int window = 8;
+  /// Faults within the window that open the breaker.
+  int threshold = 4;
+  /// Demoted launches to skip while open before half-open probes the device.
+  int probe_after = 4;
+
+  /// Parse "window=8,threshold=4,probe=4" (any subset of keys, any order).
+  /// Returns nullopt — and sets `*error` when given — on unknown keys,
+  /// malformed numbers, or values outside [1, 1024] (threshold additionally
+  /// capped at window).
+  static std::optional<BreakerConfig> parse(const std::string& spec,
+                                            std::string* error = nullptr);
+};
+
+/// Config from the MINIARC_BREAKER environment variable. Unset ⇒ defaults;
+/// malformed ⇒ one stderr warning and the defaults (matching MINIARC_FAULTS
+/// behavior). Read once per process.
+[[nodiscard]] const BreakerConfig& breaker_config_from_env();
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+[[nodiscard]] const char* to_string(BreakerState state);
+
+class KernelCircuitBreaker {
+ public:
+  explicit KernelCircuitBreaker(BreakerConfig config = {});
+
+  [[nodiscard]] BreakerState state() const { return state_; }
+  [[nodiscard]] const BreakerConfig& config() const { return config_; }
+
+  /// Consulted once per kernel launch, before any device attempt. True ⇒
+  /// skip the device entirely and run the launch on the host. Advances the
+  /// open → half-open bookkeeping; in half-open the next launch is the probe
+  /// (returns false) and its outcome decides the new state.
+  [[nodiscard]] bool should_demote();
+
+  /// Record the outcome of one device launch attempt (retries report each
+  /// attempt individually, so a launch that faults N times before recovering
+  /// weighs N against the window).
+  void record_success();
+  void record_fault();
+
+  struct Stats {
+    long faults_recorded = 0;
+    long successes_recorded = 0;
+    long opens = 0;      // closed/half-open → open transitions
+    long closes = 0;     // half-open → closed transitions (probe succeeded)
+    long demotions = 0;  // launches sent straight to host while open
+    long probes = 0;     // half-open device attempts admitted
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Back to closed with an empty window and zeroed counters.
+  void reset();
+
+ private:
+  void push_outcome(bool fault);
+  void open();
+  void clear_window();
+
+  BreakerConfig config_;
+  BreakerState state_ = BreakerState::kClosed;
+  /// Ring buffer of the last `window` attempt outcomes (1 = fault).
+  std::vector<std::uint8_t> ring_;
+  int ring_pos_ = 0;
+  int ring_filled_ = 0;
+  int faults_in_window_ = 0;
+  int demotions_since_open_ = 0;
+  bool probe_in_flight_ = false;
+  Stats stats_;
+};
+
+}  // namespace miniarc

@@ -144,6 +144,17 @@ std::vector<KernelAccess> to_kernel_accesses(const AccessMap& map) {
   return out;
 }
 
+std::vector<std::string> device_write_set(
+    const AccessMap& map, const std::set<std::string>& worker_local) {
+  std::vector<std::string> out;
+  for (const auto& [name, info] : map) {
+    if (!info.is_buffer || !info.written) continue;
+    if (worker_local.contains(name)) continue;
+    out.push_back(name);
+  }
+  return out;
+}
+
 void merge_access(AccessMap& into, const AccessMap& from) {
   for (const auto& [name, info] : from) {
     auto& target = into[name];

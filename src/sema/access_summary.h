@@ -7,6 +7,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,12 @@ void accumulate_expr_reads(const Expr& expr, const SemaInfo& sema,
 /// Convert a summary to the KernelAccess list stored on lowered kernels.
 [[nodiscard]] std::vector<KernelAccess> to_kernel_accesses(
     const AccessMap& map);
+
+/// Buffers the summarized region may write, excluding `worker_local` names
+/// (private copies): the device write set a transactional kernel launch must
+/// snapshot before dispatch. Deterministically ordered (AccessMap is sorted).
+[[nodiscard]] std::vector<std::string> device_write_set(
+    const AccessMap& map, const std::set<std::string>& worker_local);
 
 /// Merge `from` into `into` (union of reads/writes; partial_write stays true
 /// only while all writes are partial).

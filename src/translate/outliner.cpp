@@ -301,6 +301,10 @@ class Outliner {
       launch->config.num_workers = options_.default_num_workers;
     }
     launch->accesses = to_kernel_accesses(accesses);
+    // Device write set from the same def/use summary (private copies are
+    // worker-local storage, never device-visible): what the transactional
+    // executor must snapshot to make the launch roll-backable.
+    launch->write_set = device_write_set(accesses, private_set);
     launch->private_vars.assign(private_set.begin(), private_set.end());
     launch->firstprivate_vars.assign(firstprivate_set.begin(),
                                      firstprivate_set.end());

@@ -17,11 +17,12 @@ int OptimizationOutcome::incorrect_iterations() const {
 
 RunResult run_lowered(const Program& lowered, const SemaInfo& sema,
                       const InputBinder& bind_inputs, bool enable_checker,
-                      CompareHook* hook, ExecutorOptions exec_options) {
+                      CompareHook* hook, ExecutorOptions exec_options,
+                      InterpOptions interp_options) {
   RunResult result;
   result.runtime =
       std::make_unique<AccRuntime>(MachineModel::m2090(), exec_options);
-  InterpOptions options;
+  InterpOptions options = interp_options;
   options.enable_checker = enable_checker;
   result.runtime->checker().set_enabled(enable_checker);
   result.interp = std::make_unique<Interpreter>(lowered, sema,

@@ -96,11 +96,15 @@ struct RunResult {
   /// runtime's DiagnosticEngine holds the full report.
   std::optional<AccErrorCode> error_code;
 };
+/// `interp_options` seeds the interpreter configuration (watchdog, kernel
+/// retry budget, host failover); its enable_checker field is overridden by
+/// the `enable_checker` argument.
 [[nodiscard]] RunResult run_lowered(const Program& lowered,
                                     const SemaInfo& sema,
                                     const InputBinder& bind_inputs,
                                     bool enable_checker,
                                     CompareHook* hook = nullptr,
-                                    ExecutorOptions exec_options = {});
+                                    ExecutorOptions exec_options = {},
+                                    InterpOptions interp_options = {});
 
 }  // namespace miniarc

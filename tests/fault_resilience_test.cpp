@@ -1,8 +1,8 @@
 // Fault injection and resilience: seeded FaultPlan/FaultInjector behavior,
 // structured AccError propagation, transfer retry/backoff, OOM degradation
-// (pool eviction + host fallback), queue stalls, the kernel watchdog, and a
-// soak suite running benchmarks under randomized fault schedules (`ctest -L
-// faults`).
+// (pool eviction + host fallback), queue stalls, the kernel watchdog and its
+// rollback/retry/failover ladder, and soak suites running benchmarks under
+// randomized fault schedules (`ctest -L faults -L resilience`).
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -32,7 +32,7 @@ TEST(FaultPlanTest, ParsesFullSpec) {
   std::string error;
   auto plan = FaultPlan::parse(
       "alloc=0.1, transient=0.05,permanent=0.01,corrupt=0.02, stall=0.3,"
-      "hang=0.001,fault=0.002,seed=42",
+      "hang=0.001,fault=0.002,kcorrupt=0.003,seed=42",
       &error);
   ASSERT_TRUE(plan.has_value()) << error;
   EXPECT_DOUBLE_EQ(plan->alloc_fail, 0.1);
@@ -42,6 +42,7 @@ TEST(FaultPlanTest, ParsesFullSpec) {
   EXPECT_DOUBLE_EQ(plan->queue_stall, 0.3);
   EXPECT_DOUBLE_EQ(plan->kernel_hang, 0.001);
   EXPECT_DOUBLE_EQ(plan->kernel_fault, 0.002);
+  EXPECT_DOUBLE_EQ(plan->kernel_corrupt, 0.003);
   EXPECT_EQ(plan->seed, 42u);
   EXPECT_TRUE(plan->any());
 }
@@ -439,11 +440,39 @@ void bind_busy(Interpreter& interp) {
   interp.bind_buffer("a", ScalarKind::kDouble, 64);
 }
 
-TEST(WatchdogTest, RunawayChunkKilledWithStructuredTimeout) {
+TEST(WatchdogTest, RunawayChunkRecoversViaHostFailover) {
+  // A genuine watchdog kill rides the same ladder as injected kernel faults:
+  // the re-dispatches time out identically, so the launch completes on the
+  // host (which runs without the per-chunk watchdog) and the run succeeds.
   LoweredProgram low = lowered(kBusyKernelProgram);
   AccRuntime runtime(MachineModel::m2090(), no_faults());
   InterpOptions options;
   options.watchdog_chunk_statements = 40;  // far below the per-chunk work
+  options.kernel_retries = 2;
+  Interpreter interp(*low.program, low.sema, runtime, options);
+  bind_busy(interp);
+  interp.run();
+  const ResilienceStats& r = runtime.resilience();
+  EXPECT_EQ(r.kernel_rollbacks, 3);  // initial attempt + 2 retries, all killed
+  EXPECT_EQ(r.kernel_retries, 2);
+  EXPECT_EQ(r.host_failovers, 1);
+  EXPECT_EQ(r.kernels_recovered, 0);  // never completed on the device
+  // The burned attempts and the failover copies are billed to Fault-Recovery.
+  EXPECT_GT(runtime.profiler().seconds(ProfileCategory::kFaultRecovery), 0.0);
+  BufferPtr a = interp.buffer("a");
+  ASSERT_NE(a, nullptr);
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_DOUBLE_EQ(a->get(i), 50.0) << "a[" << i << "]";
+  }
+}
+
+TEST(WatchdogTest, RunawayChunkFailsStructuredWithoutFailover) {
+  LoweredProgram low = lowered(kBusyKernelProgram);
+  AccRuntime runtime(MachineModel::m2090(), no_faults());
+  InterpOptions options;
+  options.watchdog_chunk_statements = 40;
+  options.kernel_retries = 1;
+  options.host_failover = false;
   Interpreter interp(*low.program, low.sema, runtime, options);
   bind_busy(interp);
   try {
@@ -454,8 +483,9 @@ TEST(WatchdogTest, RunawayChunkKilledWithStructuredTimeout) {
     EXPECT_NE(std::string(e.what()).find("watchdog"), std::string::npos)
         << e.what();
   }
-  // The partial work the killed launch performed is billed, not lost.
-  EXPECT_GT(runtime.profiler().seconds(ProfileCategory::kKernelExec), 0.0);
+  EXPECT_EQ(runtime.resilience().kernel_rollbacks, 2);
+  EXPECT_EQ(runtime.resilience().host_failovers, 0);
+  EXPECT_FALSE(runtime.diags().diagnostics().empty());
 }
 
 TEST(WatchdogTest, GenerousBudgetDoesNotFire) {
@@ -468,30 +498,44 @@ TEST(WatchdogTest, GenerousBudgetDoesNotFire) {
   EXPECT_NO_THROW(interp.run());
 }
 
-TEST(WatchdogTest, InjectedHangIsKilledDeterministically) {
+TEST(WatchdogTest, InjectedHangRecoversDeterministically) {
+  // Every attempt hangs (rate 1.0), so the launch exhausts its retries and
+  // fails over — with an identical recovery schedule for any thread count.
   LoweredProgram low = lowered(kBusyKernelProgram);
   FaultPlan plan;
   plan.kernel_hang = 1.0;
+  InterpOptions options;
+  options.kernel_retries = 2;
   for (int threads : {1, 8}) {
     RunResult run = run_lowered(*low.program, low.sema, bind_busy, false,
-                                nullptr, with_plan(plan, threads));
-    EXPECT_FALSE(run.ok);
-    ASSERT_TRUE(run.error_code.has_value()) << run.error;
-    EXPECT_EQ(*run.error_code, AccErrorCode::kKernelTimeout) << run.error;
-    EXPECT_EQ(run.runtime->fault_injector().stats().kernels_hung, 1);
+                                nullptr, with_plan(plan, threads), options);
+    ASSERT_TRUE(run.ok) << run.error;
+    EXPECT_EQ(run.runtime->fault_injector().stats().kernels_hung, 3);
+    EXPECT_EQ(run.runtime->resilience().kernel_rollbacks, 3);
+    EXPECT_EQ(run.runtime->resilience().host_failovers, 1);
+    BufferPtr a = run.interp->buffer("a");
+    ASSERT_NE(a, nullptr);
+    for (std::size_t i = 0; i < 64; ++i) {
+      ASSERT_DOUBLE_EQ(a->get(i), 50.0) << "threads " << threads;
+    }
   }
 }
 
-TEST(WatchdogTest, InjectedKernelFaultIsStructured) {
+TEST(WatchdogTest, InjectedKernelFaultIsStructuredWithoutFailover) {
   LoweredProgram low = lowered(kBusyKernelProgram);
   FaultPlan plan;
   plan.kernel_fault = 1.0;
+  InterpOptions options;
+  options.kernel_retries = 0;
+  options.host_failover = false;
   RunResult run = run_lowered(*low.program, low.sema, bind_busy, false,
-                              nullptr, with_plan(plan));
+                              nullptr, with_plan(plan), options);
   EXPECT_FALSE(run.ok);
   ASSERT_TRUE(run.error_code.has_value()) << run.error;
   EXPECT_EQ(*run.error_code, AccErrorCode::kKernelFault) << run.error;
   EXPECT_NE(run.error.find("Kernel-Fault"), std::string::npos) << run.error;
+  EXPECT_EQ(run.runtime->resilience().kernel_rollbacks, 1);
+  EXPECT_EQ(run.runtime->resilience().host_failovers, 0);
 }
 
 // ---- disabled faults = zero impact ----
@@ -557,6 +601,7 @@ TEST_P(FaultSoakTest, SeededSchedulesRecoverBitIdenticalOrFailStructured) {
     plan.transfer_permanent = 0.002;
     plan.kernel_hang = 0.002;
     plan.kernel_fault = 0.002;
+    plan.kernel_corrupt = 0.002;
     plan.seed = round * 977 + 13;
     std::string context = std::string(GetParam()) + " seed " +
                           std::to_string(plan.seed);
@@ -569,7 +614,8 @@ TEST_P(FaultSoakTest, SeededSchedulesRecoverBitIdenticalOrFailStructured) {
       EXPECT_TRUE(def->check_output(*run.interp)) << context;
       const ResilienceStats& r = run.runtime->resilience();
       if (r.transfers_recovered > 0 || r.host_fallbacks > 0 ||
-          r.oom_evictions > 0) {
+          r.oom_evictions > 0 || r.kernels_recovered > 0 ||
+          r.host_failovers > 0) {
         ++recovered_runs;
       }
     } else {
@@ -591,6 +637,61 @@ TEST_P(FaultSoakTest, SeededSchedulesRecoverBitIdenticalOrFailStructured) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Benchmarks, FaultSoakTest,
+                         ::testing::Values("JACOBI", "SPMUL", "HOTSPOT"));
+
+// ---- soak: kernel-fault recovery matrix (tentpole acceptance) ----
+//
+// Aggressive kernel fault rates with failover enabled: every run must
+// complete, and every completed run must be bit-identical to the fault-free
+// baseline — whether it recovered by rollback+retry, by host failover, or
+// by breaker demotion — for 1 and 8 executor threads alike.
+
+class KernelRecoverySoakTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(KernelRecoverySoakTest, RecoveredRunsBitIdenticalToFaultFree) {
+  const BenchmarkDef* def = find_benchmark(GetParam());
+  ASSERT_NE(def, nullptr);
+  LoweredProgram low = lowered(def->unoptimized_source);
+  RunResult baseline = run_lowered(*low.program, low.sema, def->bind_inputs,
+                                   false, nullptr, no_faults());
+  ASSERT_TRUE(baseline.ok) << baseline.error;
+
+  long rollbacks = 0;
+  long recovered = 0;
+  long failovers = 0;
+  for (std::uint64_t round = 0; round < 5; ++round) {
+    FaultPlan plan;
+    plan.kernel_hang = 0.05;
+    plan.kernel_fault = 0.05;
+    plan.kernel_corrupt = 0.05;
+    plan.seed = round * 4099 + 7;
+    InterpOptions options;
+    // round 0 forces a failover on the first fault; later rounds mostly
+    // recover on the device.
+    options.kernel_retries = static_cast<int>(round % 3);
+    for (int threads : {1, 8}) {
+      std::string context = std::string(GetParam()) + " seed " +
+                            std::to_string(plan.seed) + " retries " +
+                            std::to_string(options.kernel_retries) +
+                            " threads " + std::to_string(threads);
+      RunResult run = run_lowered(*low.program, low.sema, def->bind_inputs,
+                                  false, nullptr, with_plan(plan, threads),
+                                  options);
+      ASSERT_TRUE(run.ok) << context << ": " << run.error;
+      expect_buffers_identical(low.sema, baseline, run, context);
+      EXPECT_TRUE(def->check_output(*run.interp)) << context;
+      const ResilienceStats& r = run.runtime->resilience();
+      rollbacks += r.kernel_rollbacks;
+      recovered += r.kernels_recovered;
+      failovers += r.host_failovers;
+    }
+  }
+  // With these rates the matrix must exercise both recovery modes.
+  EXPECT_GT(rollbacks, 0) << GetParam();
+  EXPECT_GT(recovered + failovers, 0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, KernelRecoverySoakTest,
                          ::testing::Values("JACOBI", "SPMUL", "HOTSPOT"));
 
 // ---- faulted runs stay deterministic across thread counts ----

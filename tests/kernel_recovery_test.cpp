@@ -1,0 +1,415 @@
+// Transactional kernel execution: write-set computation through lowering,
+// snapshot/rollback semantics, bounded retry with host failover, the
+// MINIARC_KERNEL_RETRIES knob, and the per-device circuit breaker (config
+// parsing, state machine, and demotion of launches on a misbehaving device).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "ast/visitor.h"
+#include "miniarc.h"
+#include "tests/test_util.h"
+
+namespace miniarc {
+namespace {
+
+using test::lowered;
+
+ExecutorOptions with_plan(FaultPlan plan, int threads = 0) {
+  ExecutorOptions options;
+  options.threads = threads;
+  options.faults = plan;
+  return options;
+}
+
+const KernelLaunchStmt* find_launch(const Program& program) {
+  const KernelLaunchStmt* launch = nullptr;
+  for (const auto& func : program.functions) {
+    walk_stmts(func->body(), [&](const Stmt& s) {
+      if (s.kind() == StmtKind::kKernelLaunch && launch == nullptr) {
+        launch = &s.as<KernelLaunchStmt>();
+      }
+    });
+  }
+  return launch;
+}
+
+// ---- write set threaded through lowering ----
+
+TEST(WriteSetTest, LoweringRecordsWrittenDeviceBuffers) {
+  LoweredProgram low = lowered(R"(
+extern double src[];
+extern double dst[];
+void main(void) {
+  int i;
+#pragma acc data copyin(src) copy(dst)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 32; i++) {
+      dst[i] = src[i] * 2.0;
+    }
+  }
+}
+)");
+  const KernelLaunchStmt* launch = find_launch(*low.program);
+  ASSERT_NE(launch, nullptr);
+  ASSERT_EQ(launch->write_set.size(), 1u);
+  EXPECT_EQ(launch->write_set[0], "dst");  // src is read-only
+}
+
+TEST(WriteSetTest, PrivateBuffersExcluded) {
+  LoweredProgram low = lowered(R"(
+extern double a[];
+void main(void) {
+  int i;
+  double tmp[4];
+#pragma acc data copy(a)
+  {
+#pragma acc kernels loop gang worker private(tmp)
+    for (i = 0; i < 32; i++) {
+      tmp[0] = a[i];
+      a[i] = tmp[0] + 1.0;
+    }
+  }
+}
+)");
+  const KernelLaunchStmt* launch = find_launch(*low.program);
+  ASSERT_NE(launch, nullptr);
+  ASSERT_EQ(launch->write_set.size(), 1u);
+  EXPECT_EQ(launch->write_set[0], "a");  // tmp is worker-local storage
+}
+
+// ---- rollback and failover ----
+
+constexpr const char* kScaleProgram = R"(
+extern double a[];
+void main(void) {
+  int i;
+#pragma acc data copy(a)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 128; i++) {
+      a[i] = a[i] * 3.0 + 1.0;
+    }
+  }
+}
+)";
+
+void bind_scale(Interpreter& interp) {
+  BufferPtr a = interp.bind_buffer("a", ScalarKind::kDouble, 128);
+  for (std::size_t i = 0; i < 128; ++i) {
+    a->set(i, 0.5 * static_cast<double>(i));
+  }
+}
+
+TEST(KernelRollbackTest, FailedLaunchLeavesDeviceWriteSetUntouched) {
+  // Every attempt completes and then corrupts its write set; with no retries
+  // and no failover the launch fails — but the rollback must have restored
+  // the device image, undoing both the corruption and the legitimate writes.
+  FaultPlan plan;
+  plan.kernel_corrupt = 1.0;
+  InterpOptions options;
+  options.kernel_retries = 0;
+  options.host_failover = false;
+  LoweredProgram low = lowered(kScaleProgram);
+  RunResult run = run_lowered(*low.program, low.sema, bind_scale, false,
+                              nullptr, with_plan(plan), options);
+  ASSERT_FALSE(run.ok);
+  ASSERT_TRUE(run.error_code.has_value()) << run.error;
+  EXPECT_EQ(*run.error_code, AccErrorCode::kKernelFault);
+  EXPECT_NE(run.error.find("integrity"), std::string::npos) << run.error;
+  EXPECT_EQ(run.runtime->fault_injector().stats().kernels_corrupted, 1);
+  EXPECT_EQ(run.runtime->resilience().kernel_rollbacks, 1);
+  EXPECT_GT(run.runtime->resilience().kernel_rollback_bytes, 0);
+
+  // The error propagated before the region's copyout, so the host buffer
+  // still holds the inputs — and the rolled-back device copy must match it.
+  BufferPtr host = run.interp->buffer("a");
+  ASSERT_NE(host, nullptr);
+  BufferPtr device = run.runtime->device_buffer(*host);
+  ASSERT_NE(device, nullptr);
+  for (std::size_t i = 0; i < 128; ++i) {
+    ASSERT_DOUBLE_EQ(host->get(i), 0.5 * static_cast<double>(i));
+  }
+  EXPECT_EQ(std::memcmp(device->data(), host->data(), host->size_bytes()), 0);
+}
+
+TEST(KernelRollbackTest, ZeroRetriesFailOverToHostAndStayCorrect) {
+  // Acceptance: with a zero retry budget the first fault goes straight to
+  // host failover and the run still produces the fault-free results.
+  FaultPlan plan;
+  plan.kernel_fault = 1.0;
+  InterpOptions options;
+  options.kernel_retries = 0;
+  LoweredProgram low = lowered(kScaleProgram);
+  for (int threads : {1, 8}) {
+    RunResult run = run_lowered(*low.program, low.sema, bind_scale, false,
+                                nullptr, with_plan(plan, threads), options);
+    ASSERT_TRUE(run.ok) << run.error;
+    const ResilienceStats& r = run.runtime->resilience();
+    EXPECT_EQ(r.kernel_rollbacks, 1);
+    EXPECT_EQ(r.kernel_retries, 0);
+    EXPECT_EQ(r.host_failovers, 1);
+    EXPECT_GT(run.runtime->profiler().seconds(ProfileCategory::kFaultRecovery),
+              0.0);
+    BufferPtr a = run.interp->buffer("a");
+    ASSERT_NE(a, nullptr);
+    for (std::size_t i = 0; i < 128; ++i) {
+      ASSERT_DOUBLE_EQ(a->get(i), 0.5 * static_cast<double>(i) * 3.0 + 1.0)
+          << "threads " << threads;
+    }
+  }
+}
+
+TEST(KernelRollbackTest, CorruptionRecoveredByFailoverMatchesFaultFree) {
+  LoweredProgram low = lowered(kScaleProgram);
+  RunResult clean = run_lowered(*low.program, low.sema, bind_scale, false,
+                                nullptr, with_plan(FaultPlan{}));
+  ASSERT_TRUE(clean.ok) << clean.error;
+
+  FaultPlan plan;
+  plan.kernel_corrupt = 1.0;
+  InterpOptions options;
+  options.kernel_retries = 1;
+  RunResult run = run_lowered(*low.program, low.sema, bind_scale, false,
+                              nullptr, with_plan(plan), options);
+  ASSERT_TRUE(run.ok) << run.error;
+  EXPECT_EQ(run.runtime->fault_injector().stats().kernels_corrupted, 2);
+  EXPECT_EQ(run.runtime->resilience().kernel_rollbacks, 2);
+  EXPECT_EQ(run.runtime->resilience().kernel_retries, 1);
+  EXPECT_EQ(run.runtime->resilience().host_failovers, 1);
+  BufferPtr expected = clean.interp->buffer("a");
+  BufferPtr actual = run.interp->buffer("a");
+  ASSERT_NE(expected, nullptr);
+  ASSERT_NE(actual, nullptr);
+  EXPECT_EQ(std::memcmp(expected->data(), actual->data(),
+                        expected->size_bytes()),
+            0);
+}
+
+TEST(KernelRetriesEnvTest, ResolvedFromEnvironmentWhenUnsetInOptions) {
+  ::setenv("MINIARC_KERNEL_RETRIES", "0", 1);
+  FaultPlan plan;
+  plan.kernel_fault = 1.0;
+  LoweredProgram low = lowered(kScaleProgram);
+  RunResult run = run_lowered(*low.program, low.sema, bind_scale, false,
+                              nullptr, with_plan(plan));  // kernel_retries=-1
+  ::unsetenv("MINIARC_KERNEL_RETRIES");
+  ASSERT_TRUE(run.ok) << run.error;
+  // Zero retries from the env: one faulted attempt, then failover.
+  EXPECT_EQ(run.runtime->fault_injector().stats().kernels_faulted, 1);
+  EXPECT_EQ(run.runtime->resilience().kernel_retries, 0);
+  EXPECT_EQ(run.runtime->resilience().host_failovers, 1);
+}
+
+TEST(KernelRetriesEnvTest, MalformedEnvFallsBackToDefault) {
+  ::setenv("MINIARC_KERNEL_RETRIES", "many", 1);
+  FaultPlan plan;
+  plan.kernel_fault = 1.0;
+  LoweredProgram low = lowered(kScaleProgram);
+  RunResult run = run_lowered(*low.program, low.sema, bind_scale, false,
+                              nullptr, with_plan(plan));
+  ::unsetenv("MINIARC_KERNEL_RETRIES");
+  ASSERT_TRUE(run.ok) << run.error;
+  // Default budget of 2: three faulted device attempts, then failover.
+  EXPECT_EQ(run.runtime->fault_injector().stats().kernels_faulted, 3);
+  EXPECT_EQ(run.runtime->resilience().kernel_retries, 2);
+  EXPECT_EQ(run.runtime->resilience().host_failovers, 1);
+}
+
+// ---- breaker config parsing ----
+
+TEST(BreakerConfigTest, ParsesFullSpec) {
+  std::string error;
+  auto config = BreakerConfig::parse("window=16, threshold=6,probe=3", &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  EXPECT_EQ(config->window, 16);
+  EXPECT_EQ(config->threshold, 6);
+  EXPECT_EQ(config->probe_after, 3);
+}
+
+TEST(BreakerConfigTest, RejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(BreakerConfig::parse("bogus=3", &error).has_value());
+  EXPECT_NE(error.find("unknown breaker key"), std::string::npos) << error;
+  EXPECT_FALSE(BreakerConfig::parse("window=0", &error).has_value());
+  EXPECT_FALSE(BreakerConfig::parse("window=abc", &error).has_value());
+  EXPECT_FALSE(BreakerConfig::parse("window", &error).has_value());
+  EXPECT_NE(error.find("key=value"), std::string::npos) << error;
+  // threshold must fit inside the window.
+  EXPECT_FALSE(BreakerConfig::parse("window=4,threshold=8", &error).has_value());
+  EXPECT_NE(error.find("threshold"), std::string::npos) << error;
+}
+
+// ---- breaker state machine ----
+
+TEST(CircuitBreakerTest, OpensAfterThresholdFaultsInWindow) {
+  KernelCircuitBreaker breaker(BreakerConfig{4, 2, 2});
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_FALSE(breaker.should_demote());
+  breaker.record_fault();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.record_fault();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.stats().opens, 1);
+}
+
+TEST(CircuitBreakerTest, SlidingWindowForgetsOldFaults) {
+  KernelCircuitBreaker breaker(BreakerConfig{4, 2, 2});
+  breaker.record_fault();
+  // Three successes push the fault toward the edge of the 4-wide window...
+  breaker.record_success();
+  breaker.record_success();
+  breaker.record_success();
+  // ...and the next outcome evicts it, so this fault is 1-of-4, not 2-of-4.
+  breaker.record_fault();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.record_fault();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerTest, OpenDemotesThenProbesHalfOpen) {
+  KernelCircuitBreaker breaker(BreakerConfig{4, 2, 2});
+  breaker.record_fault();
+  breaker.record_fault();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  // probe_after=2 demotions while open, then half-open.
+  EXPECT_TRUE(breaker.should_demote());
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_TRUE(breaker.should_demote());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.stats().demotions, 2);
+  // Half-open: the next launch is admitted as the probe.
+  EXPECT_FALSE(breaker.should_demote());
+  EXPECT_EQ(breaker.stats().probes, 1);
+  // Probe succeeds → closed with a fresh window.
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.stats().closes, 1);
+  breaker.record_fault();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);  // window was cleared
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopens) {
+  KernelCircuitBreaker breaker(BreakerConfig{4, 2, 1});
+  breaker.record_fault();
+  breaker.record_fault();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_TRUE(breaker.should_demote());  // 1 demotion → half-open
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.should_demote());
+  breaker.record_fault();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.stats().opens, 2);
+}
+
+TEST(CircuitBreakerTest, ResetRestoresClosed) {
+  KernelCircuitBreaker breaker(BreakerConfig{4, 1, 1});
+  breaker.record_fault();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  breaker.reset();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_FALSE(breaker.should_demote());
+  EXPECT_EQ(breaker.stats().opens, 0);
+}
+
+// ---- breaker integration: demotion across a launch sequence ----
+
+constexpr const char* kSixLaunchProgram = R"(
+extern double a[];
+void main(void) {
+  int t;
+  int i;
+#pragma acc data copy(a)
+  {
+    for (t = 0; t < 6; t++) {
+#pragma acc kernels loop gang worker
+      for (i = 0; i < 64; i++) {
+        a[i] = a[i] + 1.0;
+      }
+    }
+  }
+}
+)";
+
+void bind_six(Interpreter& interp) {
+  interp.bind_buffer("a", ScalarKind::kDouble, 64);
+}
+
+TEST(CircuitBreakerTest, OpenBreakerDemotesLaunchesDeterministically) {
+  // Every device attempt faults (rate 1.0) with a zero retry budget, under a
+  // window=4/threshold=2/probe=2 breaker. Launch-by-launch:
+  //   1: closed, device fault → failover            (1 fault in window)
+  //   2: closed, device fault → OPEN → failover
+  //   3: open → demotion 1
+  //   4: open → demotion 2 → half-open
+  //   5: half-open probe admitted, faults → reopen → failover
+  //   6: open → demotion 1
+  FaultPlan plan;
+  plan.kernel_fault = 1.0;
+  InterpOptions options;
+  options.kernel_retries = 0;
+  LoweredProgram low = lowered(kSixLaunchProgram);
+  std::vector<double> total_times;
+  for (int threads : {1, 8}) {
+    ExecutorOptions exec = with_plan(plan, threads);
+    exec.breaker = BreakerConfig{4, 2, 2};
+    RunResult run = run_lowered(*low.program, low.sema, bind_six, false,
+                                nullptr, exec, options);
+    ASSERT_TRUE(run.ok) << run.error;
+    const ResilienceStats& r = run.runtime->resilience();
+    EXPECT_EQ(run.runtime->fault_injector().stats().kernels_faulted, 3);
+    EXPECT_EQ(r.kernel_rollbacks, 3);
+    EXPECT_EQ(r.host_failovers, 6);
+    const KernelCircuitBreaker::Stats& b = run.runtime->breaker().stats();
+    EXPECT_EQ(b.faults_recorded, 3);
+    EXPECT_EQ(b.opens, 2);
+    EXPECT_EQ(b.demotions, 3);
+    EXPECT_EQ(b.probes, 1);
+    EXPECT_EQ(run.runtime->breaker().state(), BreakerState::kOpen);
+    BufferPtr a = run.interp->buffer("a");
+    ASSERT_NE(a, nullptr);
+    for (std::size_t i = 0; i < 64; ++i) {
+      ASSERT_DOUBLE_EQ(a->get(i), 6.0) << "threads " << threads;
+    }
+    total_times.push_back(run.runtime->total_time());
+  }
+  // Recovery billing is synthetic and host-ordered: the virtual timeline is
+  // identical for any executor thread count.
+  EXPECT_DOUBLE_EQ(total_times[0], total_times[1]);
+}
+
+TEST(CircuitBreakerTest, NoFailoverDisablesDemotion) {
+  // With --no-failover semantics there is no host to demote to: the breaker
+  // still records faults but launches keep going to the device, and the
+  // first exhausted retry budget surfaces the structured error.
+  FaultPlan plan;
+  plan.kernel_fault = 1.0;
+  InterpOptions options;
+  options.kernel_retries = 0;
+  options.host_failover = false;
+  LoweredProgram low = lowered(kSixLaunchProgram);
+  ExecutorOptions exec = with_plan(plan);
+  exec.breaker = BreakerConfig{4, 1, 1};
+  RunResult run = run_lowered(*low.program, low.sema, bind_six, false,
+                              nullptr, exec, options);
+  ASSERT_FALSE(run.ok);
+  ASSERT_TRUE(run.error_code.has_value()) << run.error;
+  EXPECT_EQ(*run.error_code, AccErrorCode::kKernelFault);
+  EXPECT_EQ(run.runtime->resilience().host_failovers, 0);
+  EXPECT_EQ(run.runtime->breaker().stats().demotions, 0);
+}
+
+TEST(BreakerEnvTest, DefaultsWhenUnset) {
+  // The process-wide env config is read at most once; with MINIARC_BREAKER
+  // unset in the test environment it must be the documented defaults.
+  const BreakerConfig& config = breaker_config_from_env();
+  EXPECT_EQ(config.window, 8);
+  EXPECT_EQ(config.threshold, 4);
+  EXPECT_EQ(config.probe_after, 4);
+}
+
+}  // namespace
+}  // namespace miniarc

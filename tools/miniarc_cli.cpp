@@ -15,6 +15,9 @@
 //                 --margin 1e-6   --min-check 1e-32
 // fault injection: --faults "transient=0.05,corrupt=0.02,..." --fault-seed 42
 //                  (see src/faults/fault_plan.h; also via MINIARC_FAULTS)
+// kernel recovery: --kernel-retries N (also MINIARC_KERNEL_RETRIES),
+//                  --no-failover, --breaker "window=8,threshold=4,probe=4"
+//                  (also MINIARC_BREAKER)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -36,6 +39,11 @@ struct CliOptions {
   VerificationConfig verification;
   bool naive_checks = false;
   std::optional<FaultPlan> faults;
+  /// Kernel retry budget (-1 = MINIARC_KERNEL_RETRIES, default 2).
+  int kernel_retries = -1;
+  /// Serial host execution when device recovery exhausts (--no-failover).
+  bool host_failover = true;
+  std::optional<BreakerConfig> breaker;
 };
 
 [[noreturn]] void usage() {
@@ -44,16 +52,30 @@ struct CliOptions {
                "[--set NAME=VALUE]... [--size N]\n"
                "               [--options verificationOptions=...] "
                "[--margin X] [--min-check X] [--naive-checks]\n"
-               "               [--faults SPEC] [--fault-seed N]\n");
+               "               [--faults SPEC] [--fault-seed N] "
+               "[--kernel-retries N] [--no-failover]\n"
+               "               [--breaker window=W,threshold=T,probe=P]\n");
   std::exit(2);
 }
 
 /// Executor configuration shared by every command (thread count from
-/// MINIARC_THREADS, fault plan from --faults/--fault-seed or MINIARC_FAULTS).
+/// MINIARC_THREADS, fault plan from --faults/--fault-seed or MINIARC_FAULTS,
+/// breaker config from --breaker or MINIARC_BREAKER).
 ExecutorOptions exec_options(const CliOptions& options) {
   ExecutorOptions exec;
   exec.faults = options.faults;
+  exec.breaker = options.breaker;
   return exec;
+}
+
+/// Interpreter configuration shared by every command (kernel retry budget
+/// from --kernel-retries or MINIARC_KERNEL_RETRIES, failover policy from
+/// --no-failover).
+InterpOptions interp_options(const CliOptions& options) {
+  InterpOptions interp;
+  interp.kernel_retries = options.kernel_retries;
+  interp.host_failover = options.host_failover;
+  return interp;
 }
 
 /// Render structured runtime state after a (possibly failed) run: the
@@ -68,16 +90,29 @@ void print_resilience(AccRuntime& runtime) {
   const ResilienceStats& r = runtime.resilience();
   std::printf(
       "faults injected: alloc=%ld transient=%ld permanent=%ld corrupt=%ld "
-      "stall=%ld hang=%ld fault=%ld\n",
+      "stall=%ld hang=%ld fault=%ld kcorrupt=%ld\n",
       f.allocs_failed, f.transfers_transient, f.transfers_permanent,
       f.transfers_corrupted, f.queue_stalls, f.kernels_hung,
-      f.kernels_faulted);
+      f.kernels_faulted, f.kernels_corrupted);
   std::printf(
       "resilience: retries=%ld recovered=%ld failed=%ld evictions=%ld "
       "(%ld B) host-fallbacks=%ld stalls=%ld underflows=%ld\n",
       r.transfer_retries, r.transfers_recovered, r.transfers_failed,
       r.oom_evictions, r.oom_evicted_bytes, r.host_fallbacks, r.queue_stalls,
       r.refcount_underflows);
+  std::printf(
+      "kernel recovery: rollbacks=%ld (%ld B) retries=%ld recovered=%ld "
+      "host-failovers=%ld\n",
+      r.kernel_rollbacks, r.kernel_rollback_bytes, r.kernel_retries,
+      r.kernels_recovered, r.host_failovers);
+  const KernelCircuitBreaker& breaker = runtime.breaker();
+  const KernelCircuitBreaker::Stats& b = breaker.stats();
+  std::printf(
+      "breaker: state=%s opens=%ld closes=%ld demotions=%ld probes=%ld "
+      "(window=%d threshold=%d probe=%d)\n",
+      to_string(breaker.state()), b.opens, b.closes, b.demotions, b.probes,
+      breaker.config().window, breaker.config().threshold,
+      breaker.config().probe_after);
 }
 
 /// Report a failed run: structured AccErrors get their full rendering.
@@ -141,6 +176,28 @@ CliOptions parse_args(int argc, char** argv) {
         std::exit(2);
       }
       fault_seed = *parsed;
+    } else if (auto retries = flag_value("--kernel-retries");
+               retries.has_value()) {
+      std::optional<long> parsed = parse_env_long(*retries);
+      if (!parsed.has_value() || *parsed < 0 || *parsed > 64) {
+        std::fprintf(stderr,
+                     "miniarc: --kernel-retries expects an integer in "
+                     "[0, 64], got '%s'\n",
+                     retries->c_str());
+        std::exit(2);
+      }
+      options.kernel_retries = static_cast<int>(*parsed);
+    } else if (arg == "--no-failover") {
+      options.host_failover = false;
+    } else if (auto spec = flag_value("--breaker"); spec.has_value()) {
+      std::string error;
+      std::optional<BreakerConfig> config = BreakerConfig::parse(*spec, &error);
+      if (!config.has_value()) {
+        std::fprintf(stderr, "miniarc: invalid --breaker spec: %s\n",
+                     error.c_str());
+        std::exit(2);
+      }
+      options.breaker = *config;
     } else if (arg == "--set") {
       std::string kv = next();
       std::size_t eq = kv.find('=');
@@ -220,7 +277,8 @@ int cmd_run(const CliOptions& options, Program& program,
     return 1;
   }
   AccRuntime runtime(MachineModel::m2090(), exec_options(options));
-  Interpreter interp(*lowered.program, lowered.sema, runtime);
+  Interpreter interp(*lowered.program, lowered.sema, runtime,
+                     interp_options(options));
   bind_externs(interp, *lowered.program, options);
   try {
     interp.run();
@@ -246,7 +304,8 @@ int cmd_verify(const CliOptions& options, Program& program,
   }
   AccRuntime runtime(MachineModel::m2090(), exec_options(options));
   runtime.set_allocation_pooling(false);
-  Interpreter interp(*prepared.program, prepared.sema, runtime);
+  Interpreter interp(*prepared.program, prepared.sema, runtime,
+                     interp_options(options));
   interp.set_compare_hook(&verifier);
   bind_externs(interp, *prepared.program, options);
   try {
@@ -278,10 +337,10 @@ int cmd_check(const CliOptions& options, Program& program,
   }
   AccRuntime runtime(MachineModel::m2090(), exec_options(options));
   runtime.checker().set_enabled(true);
-  InterpOptions interp_options;
-  interp_options.enable_checker = true;
+  InterpOptions check_options = interp_options(options);
+  check_options.enable_checker = true;
   Interpreter interp(*prepared.program, prepared.sema, runtime,
-                     interp_options);
+                     check_options);
   bind_externs(interp, *prepared.program, options);
   try {
     interp.run();
@@ -326,7 +385,8 @@ int cmd_bench(const CliOptions& options) {
     }
     RunResult run = run_lowered(*lowered.program, lowered.sema,
                                 benchmark->bind_inputs, false,
-                                /*hook=*/nullptr, exec_options(options));
+                                /*hook=*/nullptr, exec_options(options),
+                                interp_options(options));
     if (!run.ok) {
       std::fprintf(stderr, "miniarc: %s\n", run.error.c_str());
       print_resilience(*run.runtime);

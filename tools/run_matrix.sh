@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Resilience test matrix: runs the faults/resilience-labelled tests under
+# three build configurations —
+#
+#   plain  : default flags, MINIARC_THREADS=8
+#   asan   : -fsanitize=address,undefined     (MINIARC_SANITIZE=address)
+#   tsan   : -fsanitize=thread, MINIARC_THREADS=8 (MINIARC_SANITIZE=thread)
+#
+# Usage: tools/run_matrix.sh [plain|asan|tsan]...   (default: all three)
+#
+# Build directories (build-matrix-*) are created next to the repo root and
+# reused across runs. Exits non-zero on the first failing configuration.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+LABELS="faults|resilience"
+CONFIGS=("$@")
+if [ ${#CONFIGS[@]} -eq 0 ]; then CONFIGS=(plain asan tsan); fi
+
+run_config() {
+  local name="$1" sanitize="$2"
+  local build_dir="$REPO_ROOT/build-matrix-$name"
+  echo "=== [$name] configure (MINIARC_SANITIZE='$sanitize') ==="
+  cmake -S "$REPO_ROOT" -B "$build_dir" -G Ninja \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMINIARC_SANITIZE="$sanitize" >/dev/null
+  echo "=== [$name] build ==="
+  cmake --build "$build_dir" -j >/dev/null
+  echo "=== [$name] ctest -L '$LABELS' (MINIARC_THREADS=8) ==="
+  MINIARC_THREADS=8 ctest --test-dir "$build_dir" -L "$LABELS" \
+    --output-on-failure -j "$(nproc)"
+}
+
+for config in "${CONFIGS[@]}"; do
+  case "$config" in
+    plain) run_config plain "" ;;
+    asan)  run_config asan address ;;
+    tsan)  run_config tsan thread ;;
+    *) echo "unknown config '$config' (expected plain, asan, tsan)" >&2
+       exit 2 ;;
+  esac
+done
+echo "=== resilience matrix passed: ${CONFIGS[*]} ==="
