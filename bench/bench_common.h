@@ -2,15 +2,78 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "benchsuite/benchmark_registry.h"
 #include "parser/parser.h"
+#include "trace/json.h"
 #include "translate/pipeline.h"
 #include "verify/interactive_optimizer.h"
 
 namespace miniarc::bench {
+
+inline constexpr const char* kBenchSchema = "miniarc-bench/v1";
+
+/// Machine-readable companion to a harness's printed table: named rows of
+/// metric→value pairs, exported as schema "miniarc-bench/v1" JSON when the
+/// MINIARC_BENCH_ARTIFACTS environment variable names a directory
+/// (tools/run_matrix.sh sets it to collect per-config artifacts). Rows and
+/// metrics keep insertion order, and numbers go through the observability
+/// layer's JsonWriter, so identical measurements produce identical bytes.
+class BenchArtifact {
+ public:
+  explicit BenchArtifact(std::string name) : name_(std::move(name)) {}
+
+  void add(const std::string& row, const std::string& metric, double value) {
+    for (auto& [label, metrics] : rows_) {
+      if (label == row) {
+        metrics.emplace_back(metric, value);
+        return;
+      }
+    }
+    rows_.push_back({row, {{metric, value}}});
+  }
+
+  /// Write <dir>/<name>.json; returns the path, or empty when
+  /// MINIARC_BENCH_ARTIFACTS is unset (export disabled).
+  std::string write() const {
+    const char* dir = std::getenv("MINIARC_BENCH_ARTIFACTS");
+    if (dir == nullptr || *dir == '\0') return {};
+    std::string path = std::string(dir) + "/" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write artifact '%s'\n",
+                   path.c_str());
+      return {};
+    }
+    JsonWriter json(out);
+    json.begin_object();
+    json.field("schema", kBenchSchema);
+    json.field("name", name_);
+    json.key("rows");
+    json.begin_array();
+    for (const auto& [label, metrics] : rows_) {
+      json.begin_object();
+      json.field("label", label);
+      for (const auto& [metric, value] : metrics) json.field(metric, value);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    json.finish();
+    return path;
+  }
+
+ private:
+  using Row = std::pair<std::string, std::vector<std::pair<std::string, double>>>;
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 inline ProgramPtr parse_or_die(const std::string& source,
                                const std::string& what) {

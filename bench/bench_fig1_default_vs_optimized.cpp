@@ -22,6 +22,8 @@ int main() {
               "opt bytes", "data ratio");
   print_rule();
 
+  BenchArtifact artifact("fig1_default_vs_optimized");
+
   for (const auto& benchmark : benchmark_suite()) {
     ProgramPtr unopt =
         parse_or_die(benchmark.unoptimized_source, benchmark.name);
@@ -53,8 +55,15 @@ int main() {
     std::printf("%-10s %14.6f %14.6f %12.1f | %14.0f %14.0f %12.1f\n",
                 benchmark.name.c_str(), naive_time, tuned_time, time_ratio,
                 naive_bytes, tuned_bytes, data_ratio);
+    artifact.add(benchmark.name, "naive_seconds", naive_time);
+    artifact.add(benchmark.name, "optimized_seconds", tuned_time);
+    artifact.add(benchmark.name, "time_ratio", time_ratio);
+    artifact.add(benchmark.name, "naive_bytes", naive_bytes);
+    artifact.add(benchmark.name, "optimized_bytes", tuned_bytes);
+    artifact.add(benchmark.name, "data_ratio", data_ratio);
   }
   print_rule();
+  artifact.write();
   std::printf(
       "Paper shape: every benchmark except EP pays a large penalty under the\n"
       "default scheme (1x for compute-bound EP up to orders of magnitude for\n"

@@ -7,7 +7,15 @@
 //   - serial execution with the transactional write-set snapshot armed (a
 //     generous per-chunk watchdog arms recovery without ever firing, so each
 //     launch pays the pre-launch snapshot memcpy; expected within 5% of the
-//     unarmed serial baseline — unarmed runs skip the snapshot entirely).
+//     unarmed serial baseline — unarmed runs skip the snapshot entirely),
+//   - serial execution with the trace recorder enabled (every launch/chunk/
+//     transfer event buffered and lane-merged).
+//
+// Serial_Slots doubles as the disabled-tracing overhead guard: with tracing
+// off every hook is one predicted-false branch, so the number must stay
+// within 5% of bench/baselines/bench_micro_kernel_exec.json (the pre-trace
+// baseline). BENCH_trace_overhead.json at the repo root records a measured
+// comparison.
 // Every variant's output buffer is checked bit-identical against the serial
 // slot-mode reference — the determinism contract the executor guarantees.
 //
@@ -73,9 +81,16 @@ void bind_inputs(Interpreter& interp) {
 }
 
 std::vector<double> run_once(int threads, bool slot_resolution,
-                             bool armed_snapshots = false) {
+                             bool armed_snapshots = false,
+                             bool traced = false) {
   const LoweredProgram& low = lowered_kernel();
-  AccRuntime runtime(MachineModel::m2090(), ExecutorOptions{threads});
+  ExecutorOptions exec{threads};
+  if (traced) {
+    TraceOptions trace;
+    trace.enabled = true;
+    exec.trace = trace;
+  }
+  AccRuntime runtime(MachineModel::m2090(), exec);
   InterpOptions options;
   options.kernel_slot_resolution = slot_resolution;
   if (armed_snapshots) {
@@ -109,12 +124,13 @@ void check_reference(const std::vector<double>& got, const char* what) {
 
 void run_benchmark(benchmark::State& state, int threads,
                    bool slot_resolution, const char* what,
-                   bool armed_snapshots = false) {
+                   bool armed_snapshots = false, bool traced = false) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        run_once(threads, slot_resolution, armed_snapshots));
+        run_once(threads, slot_resolution, armed_snapshots, traced));
   }
-  check_reference(run_once(threads, slot_resolution, armed_snapshots), what);
+  check_reference(run_once(threads, slot_resolution, armed_snapshots, traced),
+                  what);
   state.SetItemsProcessed(state.iterations() * kIterations);
 }
 
@@ -132,6 +148,12 @@ void BM_KernelExec_Serial_Snapshot(benchmark::State& state) {
   run_benchmark(state, 1, true, "serial/snapshot", /*armed_snapshots=*/true);
 }
 BENCHMARK(BM_KernelExec_Serial_Snapshot)->Unit(benchmark::kMillisecond);
+
+void BM_KernelExec_Serial_Traced(benchmark::State& state) {
+  run_benchmark(state, 1, true, "serial/traced", /*armed_snapshots=*/false,
+                /*traced=*/true);
+}
+BENCHMARK(BM_KernelExec_Serial_Traced)->Unit(benchmark::kMillisecond);
 
 void BM_KernelExec_Parallel_Slots(benchmark::State& state) {
   run_benchmark(state, static_cast<int>(state.range(0)), true,

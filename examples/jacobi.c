@@ -1,0 +1,42 @@
+// JACOBI — 2-D 5-point Jacobi iteration, the paper's running example
+// (Listing 4, transfer-optimized). The scratch grid `b` is GPU-only data:
+// malloc'd, never read on the host, kept device-resident by create(b).
+//
+// Run it through the CLI (extern scalars bind from --set, extern buffers
+// from --size; a 16x16 grid needs 256 buffer elements):
+//
+//   miniarc run   examples/jacobi.c --set N=16 --set ITER=4 --size 256
+//   miniarc check examples/jacobi.c --set N=16 --set ITER=4 --size 256
+//   miniarc run   examples/jacobi.c --set N=16 --set ITER=4 --size 256 \
+//                 --trace trace.json --report-json report.json
+extern int N;
+extern int ITER;
+extern double a[];
+
+void main(void) {
+  int k;
+  int i;
+  int j;
+  double tj;
+  double* b = (double*)malloc(N * N * sizeof(double));
+
+  #pragma acc data copy(a) create(b)
+  {
+    for (k = 0; k < ITER; k++) {
+      #pragma acc kernels loop gang worker
+      for (i = 1; i < N - 1; i++) {
+        for (j = 1; j < N - 1; j++) {
+          tj = a[(i - 1) * N + j] + a[(i + 1) * N + j] +
+               a[i * N + j - 1] + a[i * N + j + 1];
+          b[i * N + j] = 0.25 * tj;
+        }
+      }
+      #pragma acc kernels loop gang worker
+      for (i = 1; i < N - 1; i++) {
+        for (j = 1; j < N - 1; j++) {
+          a[i * N + j] = b[i * N + j];
+        }
+      }
+    }
+  }
+}

@@ -34,6 +34,7 @@
 
 #include "faults/fault_plan.h"
 #include "runtime/circuit_breaker.h"
+#include "trace/trace.h"
 
 namespace miniarc {
 
@@ -61,6 +62,9 @@ struct ExecutorOptions {
   /// Kernel circuit-breaker configuration for the runtime built on this
   /// executor. nullopt = resolve from MINIARC_BREAKER (unset ⇒ defaults).
   std::optional<BreakerConfig> breaker;
+  /// Trace recording for the runtime built on this executor. nullopt =
+  /// resolve from MINIARC_TRACE (unset ⇒ tracing disabled).
+  std::optional<TraceOptions> trace;
 };
 
 /// `threads` if positive, else the MINIARC_THREADS environment variable,

@@ -312,6 +312,73 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
   std::vector<KernelWorkerState> workers(chunks.size());
   for (auto& worker : workers) init_worker(worker, ctx);
 
+  // ---- trace instrumentation ----
+  // Worker-side chunk events go into per-chunk lanes (indexed by chunk, not
+  // pool thread) and are merged after the join in chunk order, so the trace
+  // is byte-identical for any thread count. Lanes of rolled-back attempts
+  // are discarded: which chunks completed before a parallel abort is
+  // schedule-dependent.
+  TraceRecorder& trace = runtime_.trace();
+  const bool trace_on = trace.enabled();
+  const MachineModel& machine = runtime_.model();
+  auto chunk_seconds = [&](long statements) {
+    if (host_fallback) {
+      return machine.host.host_seconds(static_cast<std::size_t>(statements));
+    }
+    return machine.kernel.kernel_seconds(static_cast<std::size_t>(statements),
+                                         stmt.config.num_gangs,
+                                         stmt.config.num_workers) -
+           machine.kernel.kernel_seconds(0, stmt.config.num_gangs,
+                                         stmt.config.num_workers);
+  };
+  auto recovery_event = [&](TraceEventKind kind, double dur,
+                            std::string detail, long long bytes = -1,
+                            long long value = -1) {
+    if (!trace_on) return;
+    TraceEvent event;
+    event.kind = kind;
+    event.track = kTraceTrackRecovery;
+    event.ts = runtime_.clock().now();
+    event.dur = dur;
+    event.name = stmt.kernel_name();
+    event.detail = std::move(detail);
+    event.site = stmt.location().valid() ? stmt.location().str()
+                                         : std::string();
+    event.bytes = bytes;
+    event.value = value;
+    trace.record(std::move(event));
+  };
+  auto launch_event = [&](double ts, double dur, const char* detail,
+                          long executed) {
+    if (!trace_on) return;
+    TraceEvent event;
+    event.kind = TraceEventKind::kKernelLaunch;
+    event.track = kTraceTrackRuntime;
+    event.ts = ts;
+    event.dur = dur;
+    event.name = stmt.kernel_name();
+    event.detail = detail;
+    event.site = stmt.location().valid() ? stmt.location().str()
+                                         : std::string();
+    event.value = executed;
+    trace.record(std::move(event));
+  };
+  // Breaker transitions are detected by comparing the state around each
+  // breaker call (all on the host thread, in program order).
+  auto breaker_event = [&](BreakerState before, const char* cause) {
+    BreakerState after = runtime_.breaker().state();
+    if (!trace_on || after == before) return;
+    TraceEvent event;
+    event.kind = TraceEventKind::kBreakerTransition;
+    event.track = kTraceTrackRecovery;
+    event.ts = runtime_.clock().now();
+    event.name = stmt.kernel_name();
+    event.detail =
+        std::string(to_string(before)) + " -> " + to_string(after);
+    event.site = cause;
+    trace.record(std::move(event));
+  };
+
   // Falsely-shared kernels require the serial chunk schedule (see the file
   // comment). Everything else may fan out across the persistent pool — but
   // only when the chunk-disjointness analysis proves that no two chunks
@@ -374,7 +441,9 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
   // updated, host copies stale — and because the replay uses the identical
   // chunk partition, reduction combining and dump-backs (the common
   // post-join code below) stay bit-identical to a clean device run.
-  auto run_host_failover = [&] {
+  auto run_host_failover = [&](const char* reason) {
+    double failover_start = runtime_.clock().now();
+    recovery_event(TraceEventKind::kRecoveryFailover, 0.0, reason);
     struct SavedHost {
       TypedBuffer* buffer;
       std::vector<std::byte> bytes;
@@ -416,12 +485,27 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
       KernelEval eval(host_ctx, workers[i]);
       eval.run_chunk(chunk_body, induction_slot, induction, chunks[i].begin,
                      chunks[i].end);
+      if (trace_on) {
+        TraceEvent event;
+        event.kind = TraceEventKind::kKernelChunk;
+        event.track = kTraceTrackWorkerBase + chunks[i].worker_id;
+        event.ts = failover_start;
+        event.dur = machine.host.host_seconds(
+            static_cast<std::size_t>(workers[i].statements));
+        event.name = stmt.kernel_name();
+        event.detail = "host-replay";
+        event.value = workers[i].statements;
+        trace.record(std::move(event));
+      }
     }
     long executed = 0;
     for (const auto& worker : workers) executed += worker.statements;
     host_statements_ += executed;
     total_budget_used_ += executed;
     runtime_.bill_host_statements(static_cast<std::size_t>(executed));
+    launch_event(failover_start,
+                 machine.host.host_seconds(static_cast<std::size_t>(executed)),
+                 reason, executed);
     // Commit the results to the device, then restore the host bytes.
     for (const auto& entry : write_set) {
       if (runtime_.is_host_fallback(*entry.host)) continue;
@@ -444,13 +528,16 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
   bool device_done = false;
   int rollbacks = 0;
 
-  if (options_.host_failover && runtime_.breaker().should_demote()) {
+  BreakerState demote_before = runtime_.breaker().state();
+  bool demote = options_.host_failover && runtime_.breaker().should_demote();
+  breaker_event(demote_before, "demote-check");
+  if (demote) {
     // Breaker open: the device is misbehaving — skip it entirely.
     runtime_.diags().note(stmt.location(),
                           "circuit breaker open: kernel '" +
                               stmt.kernel_name() +
                               "' demoted to host execution");
-    run_host_failover();
+    run_host_failover("breaker-demoted");
   } else {
     std::vector<std::vector<std::byte>> snapshot;
     std::size_t write_set_bytes = 0;
@@ -462,7 +549,11 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
             entry.device->data() + entry.device->size_bytes());
         write_set_bytes += entry.device->size_bytes();
       }
-      runtime_.bill_fault_recovery(runtime_.snapshot_seconds(write_set_bytes));
+      double snapshot_cost = runtime_.snapshot_seconds(write_set_bytes);
+      runtime_.bill_fault_recovery(snapshot_cost);
+      recovery_event(TraceEventKind::kRecoverySnapshot, snapshot_cost,
+                     "write-set",
+                     static_cast<long long>(write_set_bytes));
     }
     auto rollback = [&] {
       for (std::size_t i = 0; i < write_set.size(); ++i) {
@@ -471,9 +562,14 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
       }
       runtime_.on_kernel_rollback(write_set_bytes);
       ++rollbacks;
+      recovery_event(TraceEventKind::kRecoveryRollback, 0.0, "restore",
+                     static_cast<long long>(write_set_bytes), rollbacks);
     };
 
     std::optional<AccError> failure;
+    // Start-of-dispatch clock value of the most recent attempt (the
+    // successful one, on the success path below).
+    double attempt_start = runtime_.clock().now();
     const int max_attempts = kernel_retries_ + 1;
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
       if (attempt > 0) {
@@ -484,6 +580,8 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
           init_worker(worker, ctx);
         }
         runtime_.on_kernel_retry(attempt - 1);
+        recovery_event(TraceEventKind::kRecoveryRetry, 0.0,
+                       "attempt " + std::to_string(attempt + 1), -1, attempt);
       }
       // Injected kernel faults are decided on the host thread before
       // dispatch (one draw per attempt), so the fault schedule is identical
@@ -491,7 +589,24 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
       KernelFaultDecision injected;
       if (runtime_.fault_injector().enabled()) {
         injected = runtime_.fault_injector().next_kernel_fault(chunks.size());
+        if (trace_on && injected.kind != KernelFaultDecision::Kind::kNone) {
+          const char* kind_label =
+              injected.kind == KernelFaultDecision::Kind::kHang ? "hang"
+              : injected.kind == KernelFaultDecision::Kind::kFault
+                  ? "fault"
+                  : "kcorrupt";
+          TraceEvent event;
+          event.kind = TraceEventKind::kFaultInjected;
+          event.track = kTraceTrackRuntime;
+          event.ts = runtime_.clock().now();
+          event.name = stmt.kernel_name();
+          event.detail = kind_label;
+          event.value = static_cast<long long>(injected.chunk);
+          trace.record(std::move(event));
+        }
       }
+      attempt_start = runtime_.clock().now();
+      if (trace_on) trace.begin_workers(chunks.size());
       try {
         runtime_.executor().execute_chunks(
             chunks, allow_parallel,
@@ -521,6 +636,21 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
               KernelEval eval(ctx, workers[index]);
               eval.run_chunk(chunk_body, induction_slot, induction,
                              chunk.begin, chunk.end);
+              if (trace_on) {
+                // Per-chunk lane: written only by the thread running this
+                // chunk, merged in chunk order after the join. The chunk's
+                // own timestamp/cost are synthesized from the cost model —
+                // the virtual clock only advances on the host thread.
+                TraceEvent event;
+                event.kind = TraceEventKind::kKernelChunk;
+                event.track = kTraceTrackWorkerBase + chunk.worker_id;
+                event.ts = attempt_start;
+                event.dur = chunk_seconds(workers[index].statements);
+                event.name = stmt.kernel_name();
+                event.detail = "chunk " + std::to_string(index);
+                event.value = workers[index].statements;
+                trace.worker_record(index, std::move(event));
+              }
             });
         if (injected.kind == KernelFaultDecision::Kind::kCorrupt &&
             write_set_bytes > 0) {
@@ -540,9 +670,13 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
                          stmt.location(), stmt.kernel_name(),
                          stmt.config.async_queue);
         }
+        if (trace_on) trace.merge_workers();
         device_done = true;
         break;
       } catch (const AccError& err) {
+        // Which chunks ran before a parallel abort is schedule-dependent:
+        // drop the attempt's lanes so the trace stays deterministic.
+        if (trace_on) trace.discard_workers();
         // Only kernel faults/timeouts with recovery armed are retryable;
         // in particular a global-statement-budget blowout without a
         // watchdog is a runaway program, not a device fault.
@@ -570,19 +704,35 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
             static_cast<std::size_t>(burn), stmt.config.num_gangs,
             stmt.config.num_workers));
         rollback();
+        BreakerState before_fault = runtime_.breaker().state();
         runtime_.breaker().record_fault();
+        breaker_event(before_fault, "launch-fault");
         failure = err;
       } catch (...) {
         // Program errors (out-of-bounds, unbound variables) are bugs, not
         // device faults: partial work stays billed and no retry happens.
+        if (trace_on) trace.discard_workers();
         merge_and_bill();
         throw;
       }
     }
 
     if (device_done) {
-      merge_and_bill();
+      long executed = merge_and_bill();
+      launch_event(attempt_start,
+                   host_fallback
+                       ? machine.host.host_seconds(
+                             static_cast<std::size_t>(executed))
+                       : machine.kernel.kernel_seconds(
+                             static_cast<std::size_t>(executed),
+                             stmt.config.num_gangs, stmt.config.num_workers),
+                   host_fallback      ? "degraded-host"
+                   : rollbacks > 0    ? "device-recovered"
+                                      : "device",
+                   executed);
+      BreakerState before_success = runtime_.breaker().state();
       runtime_.breaker().record_success();
+      breaker_event(before_success, "launch-success");
       if (rollbacks > 0) {
         runtime_.on_kernel_recovered();
         runtime_.diags().note(stmt.location(),
@@ -597,7 +747,7 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
           "kernel '" + stmt.kernel_name() + "' retries exhausted after " +
               std::to_string(rollbacks) +
               " faulted attempts; failing over to host execution");
-      run_host_failover();
+      run_host_failover("host-failover");
     } else {
       runtime_.diags().error(stmt.location(), failure->what());
       throw *failure;

@@ -54,6 +54,12 @@
 #include "runtime/runtime_checker.h"
 #include "runtime/transfer_engine.h"
 
+// Observability: structured tracing, metrics rollups, run reports.
+#include "trace/json.h"
+#include "trace/metrics.h"
+#include "trace/report.h"
+#include "trace/trace.h"
+
 // Execution.
 #include "interp/interp.h"
 

@@ -33,6 +33,34 @@ AccRuntime::AccRuntime(MachineModel model, ExecutorOptions executor_options)
                    ? *executor_options.breaker
                    : breaker_config_from_env()) {
   dev_mem_.set_fault_injector(&faults_);
+  trace_.configure(executor_options.trace.has_value()
+                       ? *executor_options.trace
+                       : trace_options_from_env());
+  checker_.set_trace(&trace_, &clock_);
+}
+
+void AccRuntime::trace_event(TraceEventKind kind, double ts, double dur,
+                             std::string name, std::string detail,
+                             std::string site, long long bytes,
+                             long long value, std::optional<int> queue) {
+  TraceEvent event;
+  event.kind = kind;
+  event.track = kind == TraceEventKind::kRecoverySnapshot ||
+                        kind == TraceEventKind::kRecoveryRollback ||
+                        kind == TraceEventKind::kRecoveryRetry ||
+                        kind == TraceEventKind::kRecoveryFailover ||
+                        kind == TraceEventKind::kBreakerTransition
+                    ? kTraceTrackRecovery
+                    : kTraceTrackRuntime;
+  event.ts = ts;
+  event.dur = dur;
+  event.name = std::move(name);
+  event.detail = std::move(detail);
+  event.site = std::move(site);
+  event.bytes = bytes;
+  event.value = value;
+  event.queue = queue.value_or(-1);
+  trace_.record(std::move(event));
 }
 
 BufferPtr AccRuntime::data_enter(const TypedBuffer& host,
@@ -59,6 +87,22 @@ BufferPtr AccRuntime::data_enter(const TypedBuffer& host,
     // coherent for the lifetime of the mapping.
     checker_.tracker().set_state(host, DeviceSide::kDevice,
                                  CoherenceState::kNotStale);
+  }
+  if (trace_.enabled()) {
+    if (result.host_fallback) {
+      trace_event(TraceEventKind::kPresentMiss, clock_.now(), 0.0, var,
+                  "host-fallback", loc.valid() ? loc.str() : std::string(),
+                  static_cast<long long>(host.size_bytes()));
+    } else if (result.brought_in || result.newly_allocated) {
+      trace_event(TraceEventKind::kPresentMiss, clock_.now(), 0.0, var,
+                  result.newly_allocated ? "alloc" : "revive",
+                  loc.valid() ? loc.str() : std::string(),
+                  static_cast<long long>(host.size_bytes()));
+    } else {
+      trace_event(TraceEventKind::kPresentHit, clock_.now(), 0.0, var, {},
+                  loc.valid() ? loc.str() : std::string(),
+                  static_cast<long long>(host.size_bytes()));
+    }
   }
   return result.device;
 }
@@ -101,6 +145,12 @@ PresentTable::EnterResult AccRuntime::degraded_enter(const TypedBuffer& host,
     double cost = static_cast<double>(evicted.buffers) *
                   model_.dev_mem.free_seconds();
     bill(ProfileCategory::kFaultRecovery, cost, std::nullopt);
+    if (trace_.enabled()) {
+      trace_event(TraceEventKind::kPresentEvict, clock_.now(), cost, name,
+                  "oom-evict", loc.valid() ? loc.str() : std::string(),
+                  static_cast<long long>(evicted.bytes),
+                  static_cast<long long>(evicted.buffers));
+    }
     diags_.note(loc, "device OOM allocating '" + name + "': evicted " +
                          std::to_string(evicted.buffers) +
                          " pooled buffer(s), " +
@@ -139,7 +189,14 @@ void AccRuntime::bill(ProfileCategory category, double seconds,
     // work: the extra time surfaces as Async-Wait residual at the next
     // wait(), keeping the per-category components a partition of the total.
     double stall = faults_.enabled() ? faults_.stall_seconds(seconds) : 0.0;
-    if (stall > 0.0) ++resilience_.queue_stalls;
+    if (stall > 0.0) {
+      ++resilience_.queue_stalls;
+      if (trace_.enabled()) {
+        trace_event(TraceEventKind::kFaultInjected, clock_.now(), stall,
+                    "queue " + std::to_string(*async_queue), "stall", {}, -1,
+                    -1, async_queue);
+      }
+    }
     streams_.enqueue(*async_queue, clock_.now(), seconds + stall);
     pending_async_work_[*async_queue] += seconds;
   } else {
@@ -198,12 +255,21 @@ TransferResult AccRuntime::resilient_copy(TypedBuffer& host,
   TransferFaultKind fault = faults_.enabled() ? faults_.next_transfer_fault()
                                               : TransferFaultKind::kNone;
   double wire = model_.pcie.transfer_seconds(host.size_bytes());
+  const char* dir_label =
+      direction == TransferDirection::kHostToDevice ? "H2D" : "D2H";
   for (int attempt = 1; attempt <= kMaxTransferAttempts; ++attempt) {
     if (fault == TransferFaultKind::kNone) {
       TransferEngine::CopyOutcome ok =
           TransferEngine::copy_verified(host, device, direction, nullptr);
       profiler_.add_transfer(direction, ok.bytes);
-      bill(ProfileCategory::kMemTransfer, jittered(wire), async_queue);
+      double t0 = clock_.now();
+      double cost = jittered(wire);
+      bill(ProfileCategory::kMemTransfer, cost, async_queue);
+      if (trace_.enabled()) {
+        trace_event(TraceEventKind::kTransfer, t0, cost, var, dir_label,
+                    loc.valid() ? loc.str() : std::string(),
+                    static_cast<long long>(ok.bytes), attempt, async_queue);
+      }
       if (attempt > 1) {
         ++resilience_.transfers_recovered;
         diags_.note(loc, "transfer of '" + var + "' recovered after " +
@@ -211,6 +277,11 @@ TransferResult AccRuntime::resilient_copy(TypedBuffer& host,
                              " faulted attempt(s)");
       }
       return {true, ok.bytes};
+    }
+    if (trace_.enabled()) {
+      trace_event(TraceEventKind::kFaultInjected, clock_.now(), 0.0, var,
+                  to_string(fault), loc.valid() ? loc.str() : std::string(),
+                  -1, attempt, async_queue);
     }
     if (fault == TransferFaultKind::kPermanent) break;
 
@@ -259,8 +330,14 @@ TransferResult AccRuntime::scratch_transfer(const TypedBuffer& host,
                           ? TransferEngine::copy(scratch, *device, direction)
                           : scratch.size_bytes();
   profiler_.add_transfer(direction, bytes);
+  double t0 = clock_.now();
   double cost = jittered(model_.pcie.transfer_seconds(bytes));
   bill(ProfileCategory::kMemTransfer, cost, async_queue);
+  if (trace_.enabled()) {
+    trace_event(TraceEventKind::kTransfer, t0, cost, "(scratch)",
+                direction == TransferDirection::kHostToDevice ? "H2D" : "D2H",
+                {}, static_cast<long long>(bytes), -1, async_queue);
+  }
   return {true, bytes};
 }
 
@@ -356,6 +433,7 @@ void AccRuntime::reset() {
   faults_.reset();
   breaker_.reset();
   diags_.clear();
+  trace_.clear();
   resilience_ = {};
   pending_async_work_.clear();
 }

@@ -23,6 +23,7 @@
 #include "runtime/profiler.h"
 #include "runtime/runtime_checker.h"
 #include "support/diagnostics.h"
+#include "trace/trace.h"
 
 namespace miniarc {
 
@@ -179,6 +180,12 @@ class AccRuntime {
   /// Runtime diagnostics: structured failures, degradation warnings,
   /// recovery notes.
   [[nodiscard]] DiagnosticEngine& diags() { return diags_; }
+  /// Structured event recorder (disabled unless armed via
+  /// ExecutorOptions::trace or MINIARC_TRACE). Every hook below and in the
+  /// interpreter guards on trace().enabled(), so a disabled recorder costs
+  /// one branch per site.
+  [[nodiscard]] TraceRecorder& trace() { return trace_; }
+  [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
   [[nodiscard]] const ResilienceStats& resilience() const {
     return resilience_;
   }
@@ -190,6 +197,14 @@ class AccRuntime {
   void reset();
 
  private:
+  /// Record one event on the runtime or recovery track (routed by kind).
+  /// Callers guard on trace_.enabled() so disabled tracing never pays for
+  /// the string arguments.
+  void trace_event(TraceEventKind kind, double ts, double dur,
+                   std::string name, std::string detail = {},
+                   std::string site = {}, long long bytes = -1,
+                   long long value = -1,
+                   std::optional<int> queue = std::nullopt);
   [[nodiscard]] double jittered(double seconds);
   void bill(ProfileCategory category, double seconds,
             std::optional<int> async_queue);
@@ -216,6 +231,7 @@ class AccRuntime {
   FaultInjector faults_;
   KernelCircuitBreaker breaker_;
   DiagnosticEngine diags_;
+  TraceRecorder trace_;
   ResilienceStats resilience_;
 
   double jitter_amplitude_ = 0.0;

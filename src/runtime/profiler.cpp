@@ -15,41 +15,55 @@ const char* to_string(ProfileCategory category) {
     case ProfileCategory::kKernelExec: return "Kernel Exec";
     case ProfileCategory::kRuntimeCheck: return "Runtime Check";
     case ProfileCategory::kFaultRecovery: return "Fault-Recovery";
+    case ProfileCategory::kCount: break;
   }
   return "?";
 }
 
 void Profiler::add_transfer(TransferDirection direction, std::size_t bytes) {
   if (direction == TransferDirection::kHostToDevice) {
-    transfers_.h2d_bytes += bytes;
-    ++transfers_.h2d_count;
+    h2d_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    h2d_count_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    transfers_.d2h_bytes += bytes;
-    ++transfers_.d2h_count;
+    d2h_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    d2h_count_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+TransferTotals Profiler::transfers() const {
+  TransferTotals totals;
+  totals.h2d_bytes = h2d_bytes_.load(std::memory_order_relaxed);
+  totals.d2h_bytes = d2h_bytes_.load(std::memory_order_relaxed);
+  totals.h2d_count = h2d_count_.load(std::memory_order_relaxed);
+  totals.d2h_count = d2h_count_.load(std::memory_order_relaxed);
+  return totals;
 }
 
 double Profiler::total_seconds() const {
   double total = 0.0;
-  for (double s : seconds_) total += s;
+  for (const auto& s : seconds_) total += s.load(std::memory_order_relaxed);
   return total;
 }
 
 std::string Profiler::breakdown() const {
   std::ostringstream os;
   for (std::size_t i = 0; i < kProfileCategoryCount; ++i) {
-    os << to_string(static_cast<ProfileCategory>(i)) << ": " << seconds_[i]
-       << " s\n";
+    os << to_string(static_cast<ProfileCategory>(i)) << ": "
+       << seconds_[i].load(std::memory_order_relaxed) << " s\n";
   }
-  os << "H2D: " << transfers_.h2d_bytes << " B in " << transfers_.h2d_count
-     << " ops; D2H: " << transfers_.d2h_bytes << " B in "
-     << transfers_.d2h_count << " ops\n";
+  TransferTotals totals = transfers();
+  os << "H2D: " << totals.h2d_bytes << " B in " << totals.h2d_count
+     << " ops; D2H: " << totals.d2h_bytes << " B in " << totals.d2h_count
+     << " ops\n";
   return os.str();
 }
 
 void Profiler::reset() {
-  seconds_.fill(0.0);
-  transfers_ = {};
+  for (auto& s : seconds_) s.store(0.0, std::memory_order_relaxed);
+  h2d_bytes_.store(0, std::memory_order_relaxed);
+  d2h_bytes_.store(0, std::memory_order_relaxed);
+  h2d_count_.store(0, std::memory_order_relaxed);
+  d2h_count_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace miniarc

@@ -1,9 +1,17 @@
 // Virtual-time profiler. Accumulates per-category time (the Figure 3
 // breakdown categories) and exact transfer byte/operation counts (the
 // Figure 1 transferred-data series).
+//
+// Thread safety: kernel chunk functions running on the executor pool may
+// bill concurrently (host-fallback chunks, future per-chunk billing), so
+// every accumulator is atomic — seconds via a compare-exchange loop (no
+// fetch_add for doubles pre-C++20 on all targets), counters via fetch_add.
+// Reads (seconds(), transfers()) take relaxed snapshots; call them from the
+// host thread after the executor joined for exact totals.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -24,8 +32,12 @@ enum class ProfileCategory : std::uint8_t {
   /// Time spent recovering from injected/real faults: transfer retries with
   /// backoff, re-copies after corruption, OOM eviction passes.
   kFaultRecovery,
+  /// Sentinel — keep last. kProfileCategoryCount derives from it so adding
+  /// a category cannot silently desynchronize the array sizes.
+  kCount,
 };
-inline constexpr std::size_t kProfileCategoryCount = 9;
+inline constexpr std::size_t kProfileCategoryCount =
+    static_cast<std::size_t>(ProfileCategory::kCount);
 
 [[nodiscard]] const char* to_string(ProfileCategory category);
 
@@ -46,17 +58,24 @@ struct TransferTotals {
 class Profiler {
  public:
   void add(ProfileCategory category, double seconds) {
-    seconds_[static_cast<std::size_t>(category)] += seconds;
+    std::atomic<double>& cell = seconds_[static_cast<std::size_t>(category)];
+    double current = cell.load(std::memory_order_relaxed);
+    while (!cell.compare_exchange_weak(current, current + seconds,
+                                       std::memory_order_relaxed)) {
+    }
   }
   void add_transfer(TransferDirection direction, std::size_t bytes);
 
   [[nodiscard]] double seconds(ProfileCategory category) const {
-    return seconds_[static_cast<std::size_t>(category)];
+    return seconds_[static_cast<std::size_t>(category)].load(
+        std::memory_order_relaxed);
   }
   /// Sum across all categories (the program's virtual execution time when
   /// each category is billed on the host timeline).
   [[nodiscard]] double total_seconds() const;
-  [[nodiscard]] const TransferTotals& transfers() const { return transfers_; }
+  /// Snapshot of the transfer counters (by value: the internal counters are
+  /// atomics).
+  [[nodiscard]] TransferTotals transfers() const;
 
   /// Multi-line human-readable breakdown.
   [[nodiscard]] std::string breakdown() const;
@@ -64,8 +83,11 @@ class Profiler {
   void reset();
 
  private:
-  std::array<double, kProfileCategoryCount> seconds_{};
-  TransferTotals transfers_;
+  std::array<std::atomic<double>, kProfileCategoryCount> seconds_{};
+  std::atomic<std::size_t> h2d_bytes_{0};
+  std::atomic<std::size_t> d2h_bytes_{0};
+  std::atomic<std::size_t> h2d_count_{0};
+  std::atomic<std::size_t> d2h_count_{0};
 };
 
 }  // namespace miniarc

@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "device/virtual_clock.h"
+#include "trace/trace.h"
+
 namespace miniarc {
 
 const char* to_string(FindingKind kind) {
@@ -73,6 +76,16 @@ void RuntimeChecker::record(FindingKind kind, const std::string& var,
   finding.direction = direction;
   finding.loop_iterations = ctx.loop_iterations;
   finding.location = loc;
+  if (trace_ != nullptr && trace_->enabled() && clock_ != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kCoherenceFinding;
+    event.track = kTraceTrackRuntime;
+    event.ts = clock_->now();
+    event.name = var;
+    event.detail = to_string(kind);
+    event.site = label;
+    trace_->record(std::move(event));
+  }
   findings_.push_back(std::move(finding));
 }
 

@@ -66,11 +66,22 @@ struct SiteStats {
   bool first_occurrence_redundant = false;
 };
 
+class TraceRecorder;
+class VirtualClock;
+
 class RuntimeChecker {
  public:
   /// When disabled, every event is a no-op except coherence bookkeeping.
   void set_enabled(bool enabled) { enabled_ = enabled; }
   [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Mirror every recorded finding into `trace` as a coherence-finding
+  /// event, timestamped from `clock` (both owned by the AccRuntime that
+  /// owns this checker; either nullptr disables mirroring).
+  void set_trace(TraceRecorder* trace, const VirtualClock* clock) {
+    trace_ = trace;
+    clock_ = clock;
+  }
 
   // ---- events from the instrumented program ----
   void check_read(const TypedBuffer& buffer, const std::string& var,
@@ -115,6 +126,8 @@ class RuntimeChecker {
                   TransferDirection direction);
 
   bool enabled_ = false;
+  TraceRecorder* trace_ = nullptr;
+  const VirtualClock* clock_ = nullptr;
   CoherenceTracker tracker_;
   std::vector<Finding> findings_;
   std::vector<SiteStats> sites_;

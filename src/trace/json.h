@@ -1,0 +1,119 @@
+// Minimal JSON support for the observability layer: a deterministic
+// streaming writer (the trace exporter and run-report builder must produce
+// byte-identical output for identical inputs — see DESIGN.md §5's
+// determinism contract) and a small DOM parser used by the schema
+// validators and tests. Deliberately tiny: no external dependencies, no
+// incremental parsing, strings must be valid UTF-8 already.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace miniarc {
+
+/// Render `value` exactly as the JsonWriter would: shortest round-trip form
+/// for finite doubles (via std::to_chars), "0" for NaN/Inf (JSON has no
+/// representation for them; billing values are always finite).
+[[nodiscard]] std::string json_number(double value);
+
+/// Escape `text` for embedding in a JSON string literal (without the
+/// surrounding quotes).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Streaming JSON writer with automatic comma/nesting management. Usage:
+///
+///   JsonWriter json(os);
+///   json.begin_object();
+///   json.key("name"); json.value("JACOBI");
+///   json.key("rows"); json.begin_array(); ... json.end_array();
+///   json.end_object();
+///
+/// Output is deterministic: same call sequence ⇒ same bytes. The writer
+/// never emits whitespace except a single trailing newline from finish().
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view name);
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(double number);
+  void value(long long number);
+  void value(unsigned long long number);
+  void value(int number) { value(static_cast<long long>(number)); }
+  void value(long number) { value(static_cast<long long>(number)); }
+  void value(std::size_t number) {
+    value(static_cast<unsigned long long>(number));
+  }
+  void value(bool boolean);
+  void value_null();
+  /// Emit a pre-formatted JSON token verbatim (used for fixed-precision
+  /// timestamps the double formatter cannot express).
+  void raw_value(std::string_view token);
+  /// Emit the final newline. No writer call is valid afterwards.
+  void finish();
+
+  // Convenience single-call fields.
+  template <typename T>
+  void field(std::string_view name, T&& v) {
+    key(name);
+    value(std::forward<T>(v));
+  }
+
+ private:
+  void separator();
+
+  std::ostream& os_;
+  /// Nesting stack: true = object (expects keys), false = array.
+  std::vector<bool> stack_;
+  /// Parallel stack flag: has the current container emitted an element yet?
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+/// Tiny JSON DOM for validation and tests. Numbers are stored as doubles
+/// (adequate for schema checks; exact byte comparison happens on raw text).
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// Parse one complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). Returns nullopt — and sets `*error` to a
+/// position-annotated message when given — on malformed input.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text,
+                                                  std::string* error = nullptr);
+
+}  // namespace miniarc

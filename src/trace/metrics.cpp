@@ -1,0 +1,116 @@
+#include "trace/metrics.h"
+
+#include <algorithm>
+#include <map>
+
+namespace miniarc {
+
+const KernelRollup* TraceMetrics::kernel(const std::string& name) const {
+  for (const auto& rollup : kernels) {
+    if (rollup.name == name) return &rollup;
+  }
+  return nullptr;
+}
+
+const VariableRollup* TraceMetrics::variable(const std::string& name) const {
+  for (const auto& rollup : variables) {
+    if (rollup.name == name) return &rollup;
+  }
+  return nullptr;
+}
+
+TraceMetrics aggregate_trace(const std::vector<TraceEvent>& events) {
+  // std::map: rollups come out sorted by name, part of the determinism
+  // contract for the run report.
+  std::map<std::string, KernelRollup> kernels;
+  std::map<std::string, VariableRollup> variables;
+
+  auto kernel = [&](const std::string& name) -> KernelRollup& {
+    KernelRollup& rollup = kernels[name];
+    rollup.name = name;
+    return rollup;
+  };
+  auto variable = [&](const std::string& name) -> VariableRollup& {
+    VariableRollup& rollup = variables[name];
+    rollup.name = name;
+    return rollup;
+  };
+
+  for (const TraceEvent& event : events) {
+    switch (event.kind) {
+      case TraceEventKind::kKernelLaunch: {
+        KernelRollup& rollup = kernel(event.name);
+        ++rollup.launches;
+        if (event.detail == "host-failover" ||
+            event.detail == "breaker-demoted") {
+          ++rollup.host_launches;
+        }
+        if (event.value > 0) rollup.statements += event.value;
+        rollup.seconds += event.dur;
+        break;
+      }
+      case TraceEventKind::kKernelChunk:
+        ++kernel(event.name).chunks;
+        break;
+      case TraceEventKind::kTransfer: {
+        VariableRollup& rollup = variable(event.name);
+        long long bytes = event.bytes > 0 ? event.bytes : 0;
+        if (event.detail == "H2D") {
+          rollup.h2d_bytes += bytes;
+          ++rollup.h2d_count;
+        } else {
+          rollup.d2h_bytes += bytes;
+          ++rollup.d2h_count;
+        }
+        break;
+      }
+      case TraceEventKind::kPresentHit:
+        ++variable(event.name).present_hits;
+        break;
+      case TraceEventKind::kPresentMiss:
+        ++variable(event.name).present_misses;
+        break;
+      case TraceEventKind::kPresentEvict:
+        if (!event.name.empty()) {
+          variable(event.name).evictions +=
+              event.value > 0 ? event.value : 1;
+        }
+        break;
+      case TraceEventKind::kFaultInjected:
+        if (!event.name.empty() &&
+            (event.detail == "hang" || event.detail == "fault" ||
+             event.detail == "kcorrupt")) {
+          ++kernel(event.name).faults_injected;
+        }
+        break;
+      case TraceEventKind::kRecoveryRollback:
+        ++kernel(event.name).rollbacks;
+        break;
+      case TraceEventKind::kRecoveryRetry:
+        ++kernel(event.name).retries;
+        break;
+      case TraceEventKind::kRecoveryFailover:
+        ++kernel(event.name).failovers;
+        break;
+      case TraceEventKind::kCoherenceFinding:
+      case TraceEventKind::kVerifyCompare:
+      case TraceEventKind::kRecoverySnapshot:
+      case TraceEventKind::kBreakerTransition:
+      case TraceEventKind::kCount:
+        break;
+    }
+  }
+
+  TraceMetrics metrics;
+  metrics.kernels.reserve(kernels.size());
+  for (auto& [name, rollup] : kernels) {
+    metrics.kernels.push_back(std::move(rollup));
+  }
+  metrics.variables.reserve(variables.size());
+  for (auto& [name, rollup] : variables) {
+    metrics.variables.push_back(std::move(rollup));
+  }
+  return metrics;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,58 @@
+// Metrics aggregation over a recorded trace: the per-kernel and
+// per-variable rollups the interactive workflow reads (Kerncap-style
+// isolated per-kernel data; Cudagrind-style per-variable transfer volumes).
+// Pure function of the event stream, so the rollups inherit the trace's
+// determinism contract.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace miniarc {
+
+/// One kernel's aggregate behaviour across the run.
+struct KernelRollup {
+  std::string name;
+  long launches = 0;
+  /// Launches that completed on the host (failover or breaker demotion).
+  long host_launches = 0;
+  long chunks = 0;
+  long statements = 0;
+  /// Summed launch durations (virtual seconds).
+  double seconds = 0.0;
+  long faults_injected = 0;
+  long rollbacks = 0;
+  long retries = 0;
+  long failovers = 0;
+};
+
+/// One variable's aggregate data movement and residency behaviour.
+struct VariableRollup {
+  std::string name;
+  long long h2d_bytes = 0;
+  long long d2h_bytes = 0;
+  long h2d_count = 0;
+  long d2h_count = 0;
+  long present_hits = 0;
+  long present_misses = 0;
+  long evictions = 0;
+};
+
+struct TraceMetrics {
+  /// Sorted by kernel name.
+  std::vector<KernelRollup> kernels;
+  /// Sorted by variable name.
+  std::vector<VariableRollup> variables;
+
+  [[nodiscard]] const KernelRollup* kernel(const std::string& name) const;
+  [[nodiscard]] const VariableRollup* variable(const std::string& name) const;
+};
+
+/// Fold an event stream into rollups. Events the aggregator does not
+/// understand are ignored (forward compatibility with new kinds).
+[[nodiscard]] TraceMetrics aggregate_trace(
+    const std::vector<TraceEvent>& events);
+
+}  // namespace miniarc

@@ -1,0 +1,452 @@
+#include "trace/report.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "device/acc_error.h"
+#include "trace/json.h"
+
+namespace miniarc {
+
+RunReport build_run_report(AccRuntime& runtime, std::string command,
+                           std::string program) {
+  RunReport report;
+  report.command = std::move(command);
+  report.program = std::move(program);
+
+  const Profiler& profiler = runtime.profiler();
+  report.total_seconds = profiler.total_seconds();
+  for (std::size_t i = 0; i < kProfileCategoryCount; ++i) {
+    report.category_seconds[i] =
+        profiler.seconds(static_cast<ProfileCategory>(i));
+  }
+  report.transfers = profiler.transfers();
+
+  report.faults_enabled = runtime.fault_injector().enabled();
+  report.faults = runtime.fault_injector().stats();
+  report.resilience = runtime.resilience();
+  report.breaker_state = runtime.breaker().state();
+  report.breaker = runtime.breaker().stats();
+  report.breaker_config = runtime.breaker().config();
+
+  for (const Diagnostic& diag : runtime.diags().diagnostics()) {
+    report.diagnostics.push_back(diag.str());
+  }
+
+  const TraceRecorder& trace = runtime.trace();
+  report.trace_events = trace.events().size();
+  report.trace_dropped = trace.dropped();
+  if (trace.enabled()) report.metrics = aggregate_trace(trace.events());
+  return report;
+}
+
+void set_run_error(RunReport& report, const std::exception& error) {
+  report.ok = false;
+  const auto* acc = dynamic_cast<const AccError*>(&error);
+  if (acc != nullptr) {
+    report.error = acc->describe();
+    report.error_code = to_string(acc->code());
+  } else {
+    report.error = std::string("runtime error: ") + error.what();
+  }
+}
+
+std::string render_error_text(const RunReport& report) {
+  if (report.ok) return {};
+  return "miniarc: " + report.error + "\n";
+}
+
+std::string render_resilience_text(const RunReport& report) {
+  if (!report.faults_enabled) return {};
+  char buffer[512];
+  std::string out;
+  const FaultStats& f = report.faults;
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "faults injected: alloc=%ld transient=%ld permanent=%ld corrupt=%ld "
+      "stall=%ld hang=%ld fault=%ld kcorrupt=%ld\n",
+      f.allocs_failed, f.transfers_transient, f.transfers_permanent,
+      f.transfers_corrupted, f.queue_stalls, f.kernels_hung,
+      f.kernels_faulted, f.kernels_corrupted);
+  out += buffer;
+  const ResilienceStats& r = report.resilience;
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "resilience: retries=%ld recovered=%ld failed=%ld evictions=%ld "
+      "(%ld B) host-fallbacks=%ld stalls=%ld underflows=%ld\n",
+      r.transfer_retries, r.transfers_recovered, r.transfers_failed,
+      r.oom_evictions, r.oom_evicted_bytes, r.host_fallbacks, r.queue_stalls,
+      r.refcount_underflows);
+  out += buffer;
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "kernel recovery: rollbacks=%ld (%ld B) retries=%ld recovered=%ld "
+      "host-failovers=%ld\n",
+      r.kernel_rollbacks, r.kernel_rollback_bytes, r.kernel_retries,
+      r.kernels_recovered, r.host_failovers);
+  out += buffer;
+  const KernelCircuitBreaker::Stats& b = report.breaker;
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "breaker: state=%s opens=%ld closes=%ld demotions=%ld probes=%ld "
+      "(window=%d threshold=%d probe=%d)\n",
+      to_string(report.breaker_state), b.opens, b.closes, b.demotions,
+      b.probes, report.breaker_config.window, report.breaker_config.threshold,
+      report.breaker_config.probe_after);
+  out += buffer;
+  return out;
+}
+
+std::string render_verification_text(const RunReport& report) {
+  char buffer[512];
+  std::string out;
+  for (const RunReport::Verification& verdict : report.verification) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "%-20s %-6s compared=%ld mismatches=%ld%s\n",
+                  verdict.kernel.c_str(), verdict.passed ? "PASS" : "FAIL",
+                  verdict.elements_compared, verdict.mismatches,
+                  verdict.checksum_failed ? " [checksum failed]" : "");
+    out += buffer;
+  }
+  for (const std::string& sample : report.verification_samples) {
+    out += "  " + sample + "\n";
+  }
+  return out;
+}
+
+void write_run_report_json(const RunReport& report, std::ostream& os) {
+  JsonWriter json(os);
+  json.begin_object();
+  json.field("schema", kRunReportSchema);
+  json.field("command", report.command);
+  json.field("program", report.program);
+  json.field("ok", report.ok);
+  json.field("error", report.error);
+  json.field("error_code", report.error_code);
+
+  json.key("profile");
+  json.begin_object();
+  json.field("total_seconds", report.total_seconds);
+  json.key("categories");
+  json.begin_object();
+  for (std::size_t i = 0; i < kProfileCategoryCount; ++i) {
+    json.field(to_string(static_cast<ProfileCategory>(i)),
+               report.category_seconds[i]);
+  }
+  json.end_object();
+  json.key("transfers");
+  json.begin_object();
+  json.field("h2d_bytes", report.transfers.h2d_bytes);
+  json.field("d2h_bytes", report.transfers.d2h_bytes);
+  json.field("h2d_count", report.transfers.h2d_count);
+  json.field("d2h_count", report.transfers.d2h_count);
+  json.end_object();
+  json.field("host_statements", static_cast<long long>(report.host_statements));
+  json.field("device_statements",
+             static_cast<long long>(report.device_statements));
+  json.end_object();
+
+  json.key("faults");
+  json.begin_object();
+  json.field("enabled", report.faults_enabled);
+  json.key("injected");
+  json.begin_object();
+  json.field("alloc", static_cast<long long>(report.faults.allocs_failed));
+  json.field("transient",
+             static_cast<long long>(report.faults.transfers_transient));
+  json.field("permanent",
+             static_cast<long long>(report.faults.transfers_permanent));
+  json.field("corrupt",
+             static_cast<long long>(report.faults.transfers_corrupted));
+  json.field("stall", static_cast<long long>(report.faults.queue_stalls));
+  json.field("hang", static_cast<long long>(report.faults.kernels_hung));
+  json.field("fault", static_cast<long long>(report.faults.kernels_faulted));
+  json.field("kcorrupt",
+             static_cast<long long>(report.faults.kernels_corrupted));
+  json.end_object();
+  json.key("resilience");
+  json.begin_object();
+  const ResilienceStats& r = report.resilience;
+  json.field("transfer_retries", static_cast<long long>(r.transfer_retries));
+  json.field("transfers_recovered",
+             static_cast<long long>(r.transfers_recovered));
+  json.field("transfers_failed", static_cast<long long>(r.transfers_failed));
+  json.field("oom_evictions", static_cast<long long>(r.oom_evictions));
+  json.field("oom_evicted_bytes",
+             static_cast<long long>(r.oom_evicted_bytes));
+  json.field("host_fallbacks", static_cast<long long>(r.host_fallbacks));
+  json.field("queue_stalls", static_cast<long long>(r.queue_stalls));
+  json.field("refcount_underflows",
+             static_cast<long long>(r.refcount_underflows));
+  json.field("kernel_rollbacks", static_cast<long long>(r.kernel_rollbacks));
+  json.field("kernel_rollback_bytes",
+             static_cast<long long>(r.kernel_rollback_bytes));
+  json.field("kernel_retries", static_cast<long long>(r.kernel_retries));
+  json.field("kernels_recovered",
+             static_cast<long long>(r.kernels_recovered));
+  json.field("host_failovers", static_cast<long long>(r.host_failovers));
+  json.end_object();
+  json.key("breaker");
+  json.begin_object();
+  json.field("state", to_string(report.breaker_state));
+  json.field("faults_recorded",
+             static_cast<long long>(report.breaker.faults_recorded));
+  json.field("successes_recorded",
+             static_cast<long long>(report.breaker.successes_recorded));
+  json.field("opens", static_cast<long long>(report.breaker.opens));
+  json.field("closes", static_cast<long long>(report.breaker.closes));
+  json.field("demotions", static_cast<long long>(report.breaker.demotions));
+  json.field("probes", static_cast<long long>(report.breaker.probes));
+  json.key("config");
+  json.begin_object();
+  json.field("window", report.breaker_config.window);
+  json.field("threshold", report.breaker_config.threshold);
+  json.field("probe_after", report.breaker_config.probe_after);
+  json.end_object();
+  json.end_object();
+  json.end_object();
+
+  json.key("diagnostics");
+  json.begin_array();
+  for (const std::string& diag : report.diagnostics) json.value(diag);
+  json.end_array();
+
+  json.key("trace");
+  json.begin_object();
+  json.field("events", report.trace_events);
+  json.field("dropped", report.trace_dropped);
+  json.key("kernels");
+  json.begin_array();
+  for (const KernelRollup& k : report.metrics.kernels) {
+    json.begin_object();
+    json.field("name", k.name);
+    json.field("launches", static_cast<long long>(k.launches));
+    json.field("host_launches", static_cast<long long>(k.host_launches));
+    json.field("chunks", static_cast<long long>(k.chunks));
+    json.field("statements", static_cast<long long>(k.statements));
+    json.field("seconds", k.seconds);
+    json.field("faults_injected", static_cast<long long>(k.faults_injected));
+    json.field("rollbacks", static_cast<long long>(k.rollbacks));
+    json.field("retries", static_cast<long long>(k.retries));
+    json.field("failovers", static_cast<long long>(k.failovers));
+    json.end_object();
+  }
+  json.end_array();
+  json.key("variables");
+  json.begin_array();
+  for (const VariableRollup& v : report.metrics.variables) {
+    json.begin_object();
+    json.field("name", v.name);
+    json.field("h2d_bytes", v.h2d_bytes);
+    json.field("d2h_bytes", v.d2h_bytes);
+    json.field("h2d_count", static_cast<long long>(v.h2d_count));
+    json.field("d2h_count", static_cast<long long>(v.d2h_count));
+    json.field("present_hits", static_cast<long long>(v.present_hits));
+    json.field("present_misses", static_cast<long long>(v.present_misses));
+    json.field("evictions", static_cast<long long>(v.evictions));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  json.key("verification");
+  json.begin_array();
+  for (const RunReport::Verification& verdict : report.verification) {
+    json.begin_object();
+    json.field("kernel", verdict.kernel);
+    json.field("passed", verdict.passed);
+    json.field("elements_compared",
+               static_cast<long long>(verdict.elements_compared));
+    json.field("mismatches", static_cast<long long>(verdict.mismatches));
+    json.field("checksum_failed", verdict.checksum_failed);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("verification_samples");
+  json.begin_array();
+  for (const std::string& sample : report.verification_samples) {
+    json.value(sample);
+  }
+  json.end_array();
+
+  json.key("checker");
+  json.begin_object();
+  json.field("enabled", report.checker_enabled);
+  json.field("static_checks", report.static_checks);
+  json.field("hoisted_checks", report.hoisted_checks);
+  json.field("dynamic_checks", static_cast<long long>(report.dynamic_checks));
+  json.key("findings");
+  json.begin_array();
+  for (const std::string& finding : report.findings) json.value(finding);
+  json.end_array();
+  json.key("suggestions");
+  json.begin_array();
+  for (const std::string& suggestion : report.suggestions) {
+    json.value(suggestion);
+  }
+  json.end_array();
+  json.end_object();
+
+  json.end_object();
+  json.finish();
+}
+
+namespace {
+
+bool check(bool condition, const char* what, std::string* error) {
+  if (condition) return true;
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+bool require(const JsonValue& object, const char* key, JsonValue::Kind kind,
+             std::string* error) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) {
+    if (error != nullptr) {
+      *error = std::string("missing required key '") + key + "'";
+    }
+    return false;
+  }
+  if (value->kind != kind) {
+    if (error != nullptr) {
+      *error = std::string("key '") + key + "' has the wrong type";
+    }
+    return false;
+  }
+  return true;
+}
+
+bool all_strings(const JsonValue& array, const char* key, std::string* error) {
+  for (const JsonValue& element : array.array) {
+    if (element.kind != JsonValue::Kind::kString) {
+      if (error != nullptr) {
+        *error = std::string("array '") + key + "' holds a non-string";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool validate_run_report(const std::string& json_text, std::string* error) {
+  std::optional<JsonValue> parsed = parse_json(json_text, error);
+  if (!parsed.has_value()) return false;
+  const JsonValue& root = *parsed;
+  if (!check(root.kind == JsonValue::Kind::kObject, "report is not an object",
+             error)) {
+    return false;
+  }
+
+  const JsonValue* schema = root.find("schema");
+  if (!check(schema != nullptr && schema->kind == JsonValue::Kind::kString,
+             "missing 'schema' string", error)) {
+    return false;
+  }
+  if (schema->string != kRunReportSchema) {
+    if (error != nullptr) {
+      *error = "unexpected schema '" + schema->string + "' (want '" +
+               kRunReportSchema + "')";
+    }
+    return false;
+  }
+
+  using Kind = JsonValue::Kind;
+  if (!require(root, "command", Kind::kString, error)) return false;
+  if (!require(root, "program", Kind::kString, error)) return false;
+  if (!require(root, "ok", Kind::kBool, error)) return false;
+  if (!require(root, "error", Kind::kString, error)) return false;
+  if (!require(root, "error_code", Kind::kString, error)) return false;
+  if (!require(root, "profile", Kind::kObject, error)) return false;
+  if (!require(root, "faults", Kind::kObject, error)) return false;
+  if (!require(root, "diagnostics", Kind::kArray, error)) return false;
+  if (!require(root, "trace", Kind::kObject, error)) return false;
+  if (!require(root, "verification", Kind::kArray, error)) return false;
+  if (!require(root, "verification_samples", Kind::kArray, error)) {
+    return false;
+  }
+  if (!require(root, "checker", Kind::kObject, error)) return false;
+
+  const JsonValue& profile = *root.find("profile");
+  if (!require(profile, "total_seconds", Kind::kNumber, error)) return false;
+  if (!require(profile, "categories", Kind::kObject, error)) return false;
+  if (!require(profile, "transfers", Kind::kObject, error)) return false;
+  if (!require(profile, "host_statements", Kind::kNumber, error)) return false;
+  if (!require(profile, "device_statements", Kind::kNumber, error)) {
+    return false;
+  }
+  const JsonValue& categories = *profile.find("categories");
+  for (std::size_t i = 0; i < kProfileCategoryCount; ++i) {
+    const char* name = to_string(static_cast<ProfileCategory>(i));
+    const JsonValue* value = categories.find(name);
+    if (value == nullptr || value->kind != Kind::kNumber) {
+      if (error != nullptr) {
+        *error = std::string("profile category '") + name +
+                 "' missing or non-numeric";
+      }
+      return false;
+    }
+  }
+  const JsonValue& transfers = *profile.find("transfers");
+  for (const char* key :
+       {"h2d_bytes", "d2h_bytes", "h2d_count", "d2h_count"}) {
+    if (!require(transfers, key, Kind::kNumber, error)) return false;
+  }
+
+  const JsonValue& faults = *root.find("faults");
+  if (!require(faults, "enabled", Kind::kBool, error)) return false;
+  if (!require(faults, "injected", Kind::kObject, error)) return false;
+  if (!require(faults, "resilience", Kind::kObject, error)) return false;
+  if (!require(faults, "breaker", Kind::kObject, error)) return false;
+  const JsonValue& breaker = *faults.find("breaker");
+  if (!require(breaker, "state", Kind::kString, error)) return false;
+  if (!require(breaker, "config", Kind::kObject, error)) return false;
+
+  if (!all_strings(*root.find("diagnostics"), "diagnostics", error)) {
+    return false;
+  }
+
+  const JsonValue& trace = *root.find("trace");
+  if (!require(trace, "events", Kind::kNumber, error)) return false;
+  if (!require(trace, "dropped", Kind::kNumber, error)) return false;
+  if (!require(trace, "kernels", Kind::kArray, error)) return false;
+  if (!require(trace, "variables", Kind::kArray, error)) return false;
+  for (const JsonValue& kernel : trace.find("kernels")->array) {
+    if (!check(kernel.kind == Kind::kObject, "trace kernel is not an object",
+               error)) {
+      return false;
+    }
+    if (!require(kernel, "name", Kind::kString, error)) return false;
+    if (!require(kernel, "launches", Kind::kNumber, error)) return false;
+  }
+  for (const JsonValue& variable : trace.find("variables")->array) {
+    if (!check(variable.kind == Kind::kObject,
+               "trace variable is not an object", error)) {
+      return false;
+    }
+    if (!require(variable, "name", Kind::kString, error)) return false;
+    if (!require(variable, "h2d_bytes", Kind::kNumber, error)) return false;
+  }
+
+  for (const JsonValue& verdict : root.find("verification")->array) {
+    if (!check(verdict.kind == Kind::kObject,
+               "verification entry is not an object", error)) {
+      return false;
+    }
+    if (!require(verdict, "kernel", Kind::kString, error)) return false;
+    if (!require(verdict, "passed", Kind::kBool, error)) return false;
+  }
+
+  const JsonValue& checker = *root.find("checker");
+  if (!require(checker, "enabled", Kind::kBool, error)) return false;
+  if (!require(checker, "findings", Kind::kArray, error)) return false;
+  if (!require(checker, "suggestions", Kind::kArray, error)) return false;
+  if (!all_strings(*checker.find("findings"), "findings", error)) return false;
+
+  return true;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,105 @@
+// Machine-readable run reports (schema "miniarc-run-report/v1").
+//
+// One RunReport unifies everything a run produced: the Profiler category
+// breakdown and TransferTotals, the FaultInjector's injection counters, the
+// runtime's ResilienceStats, circuit-breaker state, runtime diagnostics,
+// per-kernel / per-variable trace rollups, and the optional verification /
+// coherence-checker results. The CLI renders BOTH its human-readable text
+// and its --report-json output from this one struct, so the two can never
+// drift; the bench harnesses and tools/run_matrix.sh consume the JSON.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/acc_runtime.h"
+#include "trace/metrics.h"
+
+namespace miniarc {
+
+inline constexpr const char* kRunReportSchema = "miniarc-run-report/v1";
+
+struct RunReport {
+  // ---- provenance ----
+  std::string command;  // "run", "verify", "check", "bench", ...
+  std::string program;  // file or benchmark name
+
+  // ---- outcome ----
+  bool ok = true;
+  std::string error;       // human-readable failure (empty when ok)
+  std::string error_code;  // AccErrorCode name for structured failures
+
+  // ---- profile ----
+  double total_seconds = 0.0;
+  std::array<double, kProfileCategoryCount> category_seconds{};
+  TransferTotals transfers;
+  long host_statements = 0;
+  long device_statements = 0;
+
+  // ---- faults & resilience ----
+  bool faults_enabled = false;
+  FaultStats faults;
+  ResilienceStats resilience;
+  BreakerState breaker_state = BreakerState::kClosed;
+  KernelCircuitBreaker::Stats breaker;
+  BreakerConfig breaker_config;
+
+  // ---- diagnostics ----
+  std::vector<std::string> diagnostics;
+
+  // ---- trace rollups ----
+  TraceMetrics metrics;
+  std::size_t trace_events = 0;
+  std::size_t trace_dropped = 0;
+
+  // ---- kernel verification (verify command) ----
+  struct Verification {
+    std::string kernel;
+    bool passed = true;
+    long elements_compared = 0;
+    long mismatches = 0;
+    bool checksum_failed = false;
+  };
+  std::vector<Verification> verification;
+  std::vector<std::string> verification_samples;
+
+  // ---- coherence checker (check command) ----
+  bool checker_enabled = false;
+  int static_checks = 0;
+  int hoisted_checks = 0;
+  long dynamic_checks = 0;
+  std::vector<std::string> findings;
+  std::vector<std::string> suggestions;
+};
+
+/// Snapshot `runtime` (profiler, faults, resilience, breaker, diagnostics,
+/// trace rollups) into a report. Verification/checker sections are filled
+/// by the caller.
+[[nodiscard]] RunReport build_run_report(AccRuntime& runtime,
+                                         std::string command,
+                                         std::string program);
+
+/// Record a failed run on the report (AccErrors keep their structured code).
+void set_run_error(RunReport& report, const std::exception& error);
+
+// ---- rendering (the CLI's single source of truth) ----
+/// "miniarc: <error>" line for a failed run (empty string when ok).
+[[nodiscard]] std::string render_error_text(const RunReport& report);
+/// The fault/resilience/kernel-recovery/breaker summary block (empty string
+/// when fault injection was not armed).
+[[nodiscard]] std::string render_resilience_text(const RunReport& report);
+/// Kernel-verification verdict lines plus mismatch samples.
+[[nodiscard]] std::string render_verification_text(const RunReport& report);
+
+/// Serialize as schema "miniarc-run-report/v1" JSON (one line + newline;
+/// deterministic).
+void write_run_report_json(const RunReport& report, std::ostream& os);
+
+/// Validate that `json_text` is a well-formed, schema-conforming run
+/// report. On failure returns false and sets `*error` when given.
+[[nodiscard]] bool validate_run_report(const std::string& json_text,
+                                       std::string* error = nullptr);
+
+}  // namespace miniarc

@@ -1,0 +1,206 @@
+#include "trace/trace.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <ostream>
+#include <utility>
+
+#include "trace/json.h"
+
+namespace miniarc {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kKernelLaunch: return "kernel-launch";
+    case TraceEventKind::kKernelChunk: return "kernel-chunk";
+    case TraceEventKind::kTransfer: return "transfer";
+    case TraceEventKind::kPresentHit: return "present-hit";
+    case TraceEventKind::kPresentMiss: return "present-miss";
+    case TraceEventKind::kPresentEvict: return "present-evict";
+    case TraceEventKind::kCoherenceFinding: return "coherence-finding";
+    case TraceEventKind::kVerifyCompare: return "verify-compare";
+    case TraceEventKind::kFaultInjected: return "fault-injected";
+    case TraceEventKind::kRecoverySnapshot: return "recovery-snapshot";
+    case TraceEventKind::kRecoveryRollback: return "recovery-rollback";
+    case TraceEventKind::kRecoveryRetry: return "recovery-retry";
+    case TraceEventKind::kRecoveryFailover: return "recovery-failover";
+    case TraceEventKind::kBreakerTransition: return "breaker-transition";
+    case TraceEventKind::kCount: break;
+  }
+  return "?";
+}
+
+const TraceOptions& trace_options_from_env() {
+  static const TraceOptions options = [] {
+    TraceOptions result;
+    const char* value = std::getenv("MINIARC_TRACE");
+    result.enabled = value != nullptr && value[0] != '\0';
+    return result;
+  }();
+  return options;
+}
+
+const std::string& trace_path_from_env() {
+  static const std::string path = [] {
+    const char* value = std::getenv("MINIARC_TRACE");
+    return std::string(value != nullptr ? value : "");
+  }();
+  return path;
+}
+
+void TraceRecorder::configure(const TraceOptions& options) {
+  options_ = options;
+  enabled_ = options.enabled && options.max_events > 0;
+  clear();
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  if (!enabled_) return;
+  if (events_.size() >= options_.max_events) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::begin_workers(std::size_t lanes) {
+  if (!enabled_) return;
+  lanes_.assign(lanes, {});
+}
+
+void TraceRecorder::worker_record(std::size_t lane, TraceEvent event) {
+  if (!enabled_ || lane >= lanes_.size()) return;
+  lanes_[lane].push_back(std::move(event));
+}
+
+void TraceRecorder::merge_workers() {
+  if (!enabled_) return;
+  for (auto& lane : lanes_) {
+    for (auto& event : lane) {
+      if (events_.size() >= options_.max_events) {
+        ++dropped_;
+        continue;
+      }
+      events_.push_back(std::move(event));
+    }
+  }
+  lanes_.clear();
+}
+
+void TraceRecorder::discard_workers() { lanes_.clear(); }
+
+void TraceRecorder::clear() {
+  events_.clear();
+  lanes_.clear();
+  dropped_ = 0;
+}
+
+namespace {
+
+/// Microsecond timestamp with nanosecond resolution, formatted
+/// deterministically ("12.345"). Chrome trace `ts`/`dur` are microseconds.
+std::string trace_us(double seconds) {
+  long long ns = std::llround(seconds * 1e9);
+  if (ns < 0) ns = 0;
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%lld.%03lld", ns / 1000, ns % 1000);
+  return buffer;
+}
+
+const char* track_category(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kKernelLaunch:
+    case TraceEventKind::kKernelChunk: return "kernel";
+    case TraceEventKind::kTransfer: return "transfer";
+    case TraceEventKind::kPresentHit:
+    case TraceEventKind::kPresentMiss:
+    case TraceEventKind::kPresentEvict: return "present";
+    case TraceEventKind::kCoherenceFinding: return "coherence";
+    case TraceEventKind::kVerifyCompare: return "verify";
+    case TraceEventKind::kFaultInjected: return "fault";
+    case TraceEventKind::kRecoverySnapshot:
+    case TraceEventKind::kRecoveryRollback:
+    case TraceEventKind::kRecoveryRetry:
+    case TraceEventKind::kRecoveryFailover: return "recovery";
+    case TraceEventKind::kBreakerTransition: return "breaker";
+    case TraceEventKind::kCount: break;
+  }
+  return "?";
+}
+
+std::string track_name(int track) {
+  if (track == kTraceTrackRuntime) return "runtime";
+  if (track == kTraceTrackRecovery) return "recovery";
+  return "worker " + std::to_string(track - kTraceTrackWorkerBase);
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  JsonWriter json(os);
+  json.begin_object();
+  json.field("displayTimeUnit", "ms");
+  json.key("traceEvents");
+  json.begin_array();
+
+  // Track metadata first, in ascending track order (std::map keeps the
+  // export deterministic regardless of event order).
+  std::map<int, bool> tracks;
+  for (const auto& event : events_) tracks[event.track] = true;
+  for (const auto& [track, unused] : tracks) {
+    (void)unused;
+    json.begin_object();
+    json.field("ph", "M");
+    json.field("pid", 0);
+    json.field("tid", track);
+    json.field("name", "thread_name");
+    json.key("args");
+    json.begin_object();
+    json.field("name", track_name(track));
+    json.end_object();
+    json.end_object();
+  }
+
+  for (const auto& event : events_) {
+    json.begin_object();
+    bool instant = event.dur <= 0.0;
+    json.field("ph", instant ? "i" : "X");
+    json.field("pid", 0);
+    json.field("tid", event.track);
+    json.key("name");
+    if (event.detail.empty()) {
+      json.value(event.name);
+    } else {
+      json.value(event.name + " [" + event.detail + "]");
+    }
+    json.field("cat", track_category(event.kind));
+    // Fixed-precision µs timestamps ("12.345") — deterministic bytes, ns
+    // resolution, exactly what Perfetto expects.
+    json.key("ts");
+    json.raw_value(trace_us(event.ts));
+    if (instant) {
+      json.field("s", "t");  // thread-scoped instant marker
+    } else {
+      json.key("dur");
+      json.raw_value(trace_us(event.dur));
+    }
+    json.key("args");
+    json.begin_object();
+    json.field("kind", to_string(event.kind));
+    if (!event.name.empty()) json.field("name", event.name);
+    if (!event.detail.empty()) json.field("detail", event.detail);
+    if (!event.site.empty()) json.field("site", event.site);
+    if (event.bytes >= 0) json.field("bytes", event.bytes);
+    if (event.value >= 0) json.field("value", event.value);
+    if (event.queue >= 0) json.field("queue", event.queue);
+    json.end_object();
+    json.end_object();
+  }
+
+  json.end_array();
+  json.end_object();
+  json.finish();
+}
+
+}  // namespace miniarc

@@ -1,0 +1,161 @@
+// Structured per-event tracing on the virtual clock — the substrate the
+// interactive workflow's feedback (per-kernel times, per-transfer volumes,
+// coherence verdicts, recovery ladders) is recorded on and exported from.
+//
+// Design (DESIGN.md §5):
+//  - Every event is timestamped with VIRTUAL time (device/virtual_clock.h):
+//    the trace describes the simulated system, never the interpreter.
+//  - Host-thread events append to one bounded buffer in program order.
+//    Kernel chunks executed on the gang/worker pool record into per-chunk
+//    WORKER LANES — each lane written by exactly one pool thread, made
+//    visible by the executor's join — and merge_workers() folds the lanes
+//    into the main buffer in chunk-index order. Trace content and order are
+//    therefore byte-identical for any executor thread count; rolled-back
+//    kernel attempts discard their lanes so the trace stays deterministic
+//    under injected faults too.
+//  - The buffer is bounded (TraceOptions::max_events); events beyond the cap
+//    are counted in dropped(), never silently lost.
+//  - When disabled (the default), every hook compiles down to one branch on
+//    enabled() — the bench_micro_kernel_exec overhead guard enforces <5%.
+//
+// Export: write_chrome_trace() emits the Chrome/Perfetto trace-event JSON
+// format (load the file at https://ui.perfetto.dev), one track per
+// (gang,worker) id plus a runtime track and a recovery track.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace miniarc {
+
+enum class TraceEventKind : std::uint8_t {
+  /// One kernel launch completing (device, recovered, host-failover, or
+  /// host-fallback); value = executed device statements.
+  kKernelLaunch,
+  /// One gang/worker chunk of a launch; value = chunk statements, detail =
+  /// iteration range.
+  kKernelChunk,
+  /// One executed H2D/D2H transfer; detail = "H2D"/"D2H", site = transfer
+  /// site label, bytes/queue filled.
+  kTransfer,
+  /// data_enter found a live or pooled device copy.
+  kPresentHit,
+  /// data_enter allocated (or degraded) a new device mapping.
+  kPresentMiss,
+  /// OOM eviction pass over the present-table pool; value = buffers freed.
+  kPresentEvict,
+  /// Coherence-checker verdict (missing/redundant/incorrect transfer...);
+  /// detail = finding kind, site = site label.
+  kCoherenceFinding,
+  /// Kernel-verification comparison; value = elements compared, detail =
+  /// "pass" or "fail", bytes = mismatches.
+  kVerifyCompare,
+  /// An injected fault fired; detail = fault kind (transient, permanent,
+  /// corrupt, stall, hang, fault, kcorrupt, alloc-oom).
+  kFaultInjected,
+  /// Pre-launch write-set snapshot (recovery armed).
+  kRecoverySnapshot,
+  /// Write-set rollback after a faulted attempt.
+  kRecoveryRollback,
+  /// Device re-dispatch after a rollback; value = retry ordinal.
+  kRecoveryRetry,
+  /// Serial host execution completing a launch (retries exhausted or
+  /// breaker demotion; detail says which).
+  kRecoveryFailover,
+  /// Circuit-breaker state change; detail = "closed->open" etc.
+  kBreakerTransition,
+  kCount,
+};
+
+[[nodiscard]] const char* to_string(TraceEventKind kind);
+
+/// Perfetto track ids. Worker tracks are kTraceTrackWorkerBase + the
+/// linearized (gang, worker) id — deterministic, unlike pool-thread ids.
+inline constexpr int kTraceTrackRuntime = 0;
+inline constexpr int kTraceTrackRecovery = 1;
+inline constexpr int kTraceTrackWorkerBase = 2;
+
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kKernelLaunch;
+  int track = kTraceTrackRuntime;
+  /// Virtual-clock start time (seconds) and duration (0 = instant event).
+  double ts = 0.0;
+  double dur = 0.0;
+  /// Primary subject: kernel name or variable name.
+  std::string name;
+  /// Kind-specific qualifier (direction, fault kind, verdict, transition).
+  std::string detail;
+  /// Stable site label ("update0", "main_kernel0:q:in") when one exists.
+  std::string site;
+  long long bytes = -1;  // -1 = not applicable
+  long long value = -1;  // kind-specific counter (statements, attempts, ...)
+  int queue = -1;        // async queue id, -1 = sync
+};
+
+struct TraceOptions {
+  bool enabled = false;
+  /// Hard cap on buffered events; the excess is counted, not stored.
+  std::size_t max_events = 1u << 20;
+};
+
+/// TraceOptions from the MINIARC_TRACE environment variable: set and
+/// non-empty ⇒ enabled (the value is the export path, see
+/// trace_path_from_env). Read once per process.
+[[nodiscard]] const TraceOptions& trace_options_from_env();
+
+/// The MINIARC_TRACE value itself (empty = unset): the Chrome-trace export
+/// path the CLI writes when no --trace flag overrides it.
+[[nodiscard]] const std::string& trace_path_from_env();
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  explicit TraceRecorder(const TraceOptions& options) { configure(options); }
+
+  /// (Re)arm the recorder; clears any buffered events.
+  void configure(const TraceOptions& options);
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Append one event (host thread only). Dropped once the buffer is full.
+  void record(TraceEvent event);
+
+  // ---- worker lanes (one kernel dispatch) ----
+  /// Host thread, before dispatch: open `lanes` per-chunk lanes.
+  void begin_workers(std::size_t lanes);
+  /// Record into lane `lane` — called by whichever pool thread runs that
+  /// chunk; lanes are touched by exactly one thread per dispatch and the
+  /// executor's join publishes them to the host thread.
+  void worker_record(std::size_t lane, TraceEvent event);
+  /// Host thread, after the join of a SUCCESSFUL attempt: fold the lanes
+  /// into the main buffer in lane order.
+  void merge_workers();
+  /// Host thread, after a rolled-back attempt: drop the lanes (which chunks
+  /// completed before the abort is thread-schedule-dependent, so keeping
+  /// them would break trace determinism).
+  void discard_workers();
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t max_events() const { return options_.max_events; }
+  /// Drop all buffered events and the drop counter; keeps configuration.
+  void clear();
+
+  /// Chrome/Perfetto trace-event JSON ("traceEvents" array of "X"/"i"
+  /// phases plus thread_name metadata per track). Deterministic: identical
+  /// event sequences produce identical bytes.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  TraceOptions options_;
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+  std::vector<std::vector<TraceEvent>> lanes_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace miniarc

@@ -218,6 +218,21 @@ void KernelVerifier::on_compare(const ResultCompareStmt& stmt,
 
   interp.runtime().bill_compare(compare_elements);
 
+  TraceRecorder& trace = interp.runtime().trace();
+  if (trace.enabled()) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kVerifyCompare;
+    event.track = kTraceTrackRuntime;
+    event.ts = interp.runtime().clock().now();
+    event.name = stmt.kernel_name();
+    event.detail = verdict.mismatches == 0 && !verdict.checksum_failed
+                       ? "pass"
+                       : "fail";
+    event.bytes = static_cast<long long>(compare_elements);
+    event.value = verdict.mismatches;
+    trace.record(std::move(event));
+  }
+
   // A kernel inside a host loop is compared once per invocation; aggregate
   // into one verdict per kernel.
   for (auto& existing : report_.verdicts) {

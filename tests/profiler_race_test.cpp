@@ -1,0 +1,106 @@
+// Profiler thread safety: kernel chunk functions on the executor pool may
+// bill time and transfer bytes concurrently. Every accumulator is atomic
+// (seconds via a compare-exchange loop, counters via fetch_add), so
+// concurrent add()/add_transfer() must produce exact totals and run clean
+// under TSan (ctest -L observability with MINIARC_SANITIZE=thread).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "device/gang_worker_executor.h"
+#include "runtime/profiler.h"
+
+namespace miniarc {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kAddsPerThread = 10000;
+
+// Integer-valued doubles: every partial sum is exactly representable, so
+// any lost update shows up as an exact-count mismatch, not rounding noise.
+TEST(ProfilerRaceTest, ConcurrentAddsAreExact) {
+  Profiler profiler;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&profiler] {
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        profiler.add(ProfileCategory::kKernelExec, 1.0);
+        profiler.add(ProfileCategory::kFaultRecovery, 1.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(profiler.seconds(ProfileCategory::kKernelExec),
+            static_cast<double>(kThreads) * kAddsPerThread);
+  EXPECT_EQ(profiler.seconds(ProfileCategory::kFaultRecovery),
+            static_cast<double>(kThreads) * kAddsPerThread);
+  EXPECT_EQ(profiler.total_seconds(),
+            2.0 * static_cast<double>(kThreads) * kAddsPerThread);
+}
+
+TEST(ProfilerRaceTest, ConcurrentTransferCountsAreExact) {
+  Profiler profiler;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&profiler] {
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        profiler.add_transfer(TransferDirection::kHostToDevice, 8);
+        profiler.add_transfer(TransferDirection::kDeviceToHost, 16);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const TransferTotals totals = profiler.transfers();
+  const std::size_t ops = static_cast<std::size_t>(kThreads) * kAddsPerThread;
+  EXPECT_EQ(totals.h2d_count, ops);
+  EXPECT_EQ(totals.d2h_count, ops);
+  EXPECT_EQ(totals.h2d_bytes, ops * 8);
+  EXPECT_EQ(totals.d2h_bytes, ops * 16);
+  EXPECT_EQ(totals.total_bytes(), ops * 24);
+  EXPECT_EQ(totals.total_count(), ops * 2);
+}
+
+// The real billing path: chunk functions on the persistent gang/worker pool
+// billing into one shared profiler.
+TEST(ProfilerRaceTest, ExecutorChunksBillConcurrently) {
+  Profiler profiler;
+  ExecutorOptions options;
+  options.threads = kThreads;
+  GangWorkerExecutor executor(options);
+
+  constexpr long kIterations = 1 << 14;
+  executor.execute(0, kIterations, /*num_gangs=*/16, /*num_workers=*/4,
+                   /*allow_parallel=*/true, [&](const WorkerChunk& chunk) {
+                     for (long i = chunk.begin; i < chunk.end; ++i) {
+                       profiler.add(ProfileCategory::kKernelExec, 1.0);
+                     }
+                     profiler.add_transfer(TransferDirection::kHostToDevice,
+                                           static_cast<std::size_t>(
+                                               chunk.end - chunk.begin));
+                   });
+
+  EXPECT_EQ(profiler.seconds(ProfileCategory::kKernelExec),
+            static_cast<double>(kIterations));
+  EXPECT_EQ(profiler.transfers().h2d_bytes,
+            static_cast<std::size_t>(kIterations));
+}
+
+// The sentinel contract: the category array and its name table stay in sync
+// by construction.
+TEST(ProfilerCategoryTest, SentinelDerivesCount) {
+  EXPECT_EQ(kProfileCategoryCount,
+            static_cast<std::size_t>(ProfileCategory::kCount));
+  for (std::size_t i = 0; i < kProfileCategoryCount; ++i) {
+    const char* name = to_string(static_cast<ProfileCategory>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?") << "category " << i << " has no name";
+  }
+}
+
+}  // namespace
+}  // namespace miniarc

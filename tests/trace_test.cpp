@@ -1,0 +1,299 @@
+// Structured tracing and run reports (DESIGN.md §5): Chrome-trace export
+// well-formedness, run-report schema validation, the byte-identical
+// determinism contract across repeated runs and executor thread counts
+// (with and without injected faults), bounded-buffer drop accounting, and
+// rollup/profiler consistency.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "tests/test_util.h"
+#include "trace/json.h"
+#include "trace/metrics.h"
+#include "trace/report.h"
+#include "trace/trace.h"
+#include "verify/interactive_optimizer.h"
+
+namespace miniarc {
+namespace {
+
+using test::lowered;
+
+// Jacobi-style sweep: two kernels per iteration, a host-seeded grid `a`
+// (one H2D, one D2H) and a device-resident scratch grid `b`.
+constexpr const char* kSource = R"(
+extern int N;
+extern double a[];
+
+void main(void) {
+  int k;
+  int i;
+  double* b = (double*)malloc(N * sizeof(double));
+
+  #pragma acc data copy(a) create(b)
+  {
+    for (k = 0; k < 4; k++) {
+      #pragma acc kernels loop gang worker
+      for (i = 1; i < N - 1; i++) {
+        b[i] = 0.5 * (a[i - 1] + a[i + 1]);
+      }
+      #pragma acc kernels loop gang worker
+      for (i = 1; i < N - 1; i++) {
+        a[i] = b[i];
+      }
+    }
+  }
+}
+)";
+
+constexpr std::size_t kElements = 64;
+
+void bind_inputs(Interpreter& interp) {
+  interp.bind_scalar("N", Value::of_int(static_cast<std::int64_t>(kElements)));
+  BufferPtr a = interp.bind_buffer("a", ScalarKind::kDouble, kElements);
+  for (std::size_t i = 0; i < a->count(); ++i) {
+    a->set(i, static_cast<double>(i % 7) * 0.5);
+  }
+}
+
+/// A fault mix that exercises the whole recovery ladder but (with the
+/// default retry budget + host failover) always completes the run.
+FaultPlan armed_plan() {
+  std::string error;
+  auto plan = FaultPlan::parse("hang=0.3,transient=0.2,fault=0.1,seed=7",
+                               &error);
+  EXPECT_TRUE(plan.has_value()) << error;
+  return *plan;
+}
+
+RunResult run_traced(int threads, std::optional<FaultPlan> faults = {},
+                     std::size_t max_events = 1u << 20) {
+  LoweredProgram low = lowered(kSource);
+  ExecutorOptions exec;
+  exec.threads = threads;
+  exec.faults = std::move(faults);
+  TraceOptions trace;
+  trace.enabled = true;
+  trace.max_events = max_events;
+  exec.trace = trace;
+  RunResult run = run_lowered(*low.program, low.sema, bind_inputs,
+                              /*enable_checker=*/false, /*hook=*/nullptr,
+                              exec);
+  EXPECT_TRUE(run.ok) << run.error;
+  return run;
+}
+
+std::string chrome_trace_text(const RunResult& run) {
+  std::ostringstream os;
+  run.runtime->trace().write_chrome_trace(os);
+  return os.str();
+}
+
+std::string report_text(RunResult& run) {
+  RunReport report = build_run_report(*run.runtime, "run", "trace_test");
+  report.host_statements = run.interp->host_statements();
+  report.device_statements = run.interp->device_statements();
+  std::ostringstream os;
+  write_run_report_json(report, os);
+  return os.str();
+}
+
+std::set<TraceEventKind> recorded_kinds(const RunResult& run) {
+  std::set<TraceEventKind> kinds;
+  for (const TraceEvent& event : run.runtime->trace().events()) {
+    kinds.insert(event.kind);
+  }
+  return kinds;
+}
+
+// ---- export well-formedness ----
+
+TEST(TraceExportTest, ChromeTraceParsesWithExpectedStructure) {
+  RunResult run = run_traced(1);
+  std::string text = chrome_trace_text(run);
+
+  std::string error;
+  auto doc = parse_json(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_TRUE(doc->is_object());
+
+  const JsonValue* unit = doc->find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->string, "ms");
+
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->array.empty());
+
+  std::set<std::string> kinds;
+  std::set<std::string> phases;
+  for (const JsonValue& event : events->array) {
+    ASSERT_TRUE(event.is_object());
+    const JsonValue* ph = event.find("ph");
+    ASSERT_NE(ph, nullptr);
+    phases.insert(ph->string);
+    ASSERT_NE(event.find("pid"), nullptr);
+    ASSERT_NE(event.find("tid"), nullptr);
+    ASSERT_NE(event.find("name"), nullptr);
+    if (ph->string == "M") continue;  // thread_name metadata
+    const JsonValue* args = event.find("args");
+    ASSERT_NE(args, nullptr);
+    const JsonValue* kind = args->find("kind");
+    ASSERT_NE(kind, nullptr);
+    kinds.insert(kind->string);
+  }
+  EXPECT_TRUE(phases.count("M"));
+  EXPECT_TRUE(phases.count("X"));
+  // The jacobi run must surface launches, chunks, transfers, and
+  // present-table traffic.
+  EXPECT_TRUE(kinds.count("kernel-launch")) << text.substr(0, 400);
+  EXPECT_TRUE(kinds.count("kernel-chunk"));
+  EXPECT_TRUE(kinds.count("transfer"));
+  EXPECT_TRUE(kinds.count("present-miss"));
+}
+
+TEST(TraceExportTest, RunReportValidatesAgainstSchema) {
+  RunResult run = run_traced(1);
+  std::string json = report_text(run);
+
+  std::string error;
+  EXPECT_TRUE(validate_run_report(json, &error)) << error;
+
+  // Negative cases: garbage, empty object, wrong schema tag.
+  EXPECT_FALSE(validate_run_report("not json", &error));
+  EXPECT_FALSE(validate_run_report("{}", &error));
+  std::string tampered = json;
+  std::size_t pos = tampered.find(kRunReportSchema);
+  ASSERT_NE(pos, std::string::npos);
+  tampered.replace(pos, std::string(kRunReportSchema).size(),
+                   "miniarc-run-report/v0");
+  EXPECT_FALSE(validate_run_report(tampered, &error));
+}
+
+// ---- determinism contract ----
+
+TEST(TraceDeterminismTest, RepeatedRunsAreByteIdentical) {
+  RunResult first = run_traced(1);
+  RunResult second = run_traced(1);
+  EXPECT_EQ(chrome_trace_text(first), chrome_trace_text(second));
+  EXPECT_EQ(report_text(first), report_text(second));
+}
+
+TEST(TraceDeterminismTest, ThreadCountDoesNotChangeTheTrace) {
+  RunResult serial = run_traced(1);
+  RunResult parallel = run_traced(8);
+  EXPECT_EQ(chrome_trace_text(serial), chrome_trace_text(parallel));
+  EXPECT_EQ(report_text(serial), report_text(parallel));
+}
+
+TEST(TraceDeterminismTest, ThreadCountDoesNotChangeTheTraceUnderFaults) {
+  RunResult serial = run_traced(1, armed_plan());
+  RunResult parallel = run_traced(8, armed_plan());
+  EXPECT_EQ(chrome_trace_text(serial), chrome_trace_text(parallel));
+  EXPECT_EQ(report_text(serial), report_text(parallel));
+}
+
+TEST(TraceDeterminismTest, FaultAndRecoveryEventsAreRecorded) {
+  RunResult run = run_traced(1, armed_plan());
+  std::set<TraceEventKind> kinds = recorded_kinds(run);
+  EXPECT_TRUE(kinds.count(TraceEventKind::kFaultInjected));
+  EXPECT_TRUE(kinds.count(TraceEventKind::kRecoverySnapshot));
+  EXPECT_TRUE(kinds.count(TraceEventKind::kRecoveryRollback));
+  EXPECT_TRUE(kinds.count(TraceEventKind::kRecoveryRetry));
+
+  // The recovery ladder's counters must agree with the runtime's.
+  const ResilienceStats& stats = run.runtime->resilience();
+  TraceMetrics metrics = aggregate_trace(run.runtime->trace().events());
+  long rollbacks = 0;
+  long retries = 0;
+  for (const KernelRollup& kernel : metrics.kernels) {
+    rollbacks += kernel.rollbacks;
+    retries += kernel.retries;
+  }
+  EXPECT_EQ(rollbacks, stats.kernel_rollbacks);
+  EXPECT_EQ(retries, stats.kernel_retries);
+}
+
+// ---- bounded buffer ----
+
+TEST(TraceBufferTest, OverflowIsCountedNotSilent) {
+  RunResult run = run_traced(1, std::nullopt, /*max_events=*/4);
+  const TraceRecorder& trace = run.runtime->trace();
+  EXPECT_LE(trace.events().size(), 4u);
+  EXPECT_GT(trace.dropped(), 0u);
+
+  // The exporter and the report stay well-formed on a truncated buffer.
+  std::string error;
+  EXPECT_TRUE(parse_json(chrome_trace_text(run), &error).has_value()) << error;
+  std::string json = report_text(run);
+  EXPECT_TRUE(validate_run_report(json, &error)) << error;
+  auto doc = parse_json(json);
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* trace_section = doc->find("trace");
+  ASSERT_NE(trace_section, nullptr);
+  const JsonValue* dropped = trace_section->find("dropped");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_GT(dropped->number, 0.0);
+}
+
+// ---- rollup consistency ----
+
+TEST(TraceMetricsTest, RollupsAgreeWithProfilerAndInterpreter) {
+  RunResult run = run_traced(1);
+  TraceMetrics metrics = aggregate_trace(run.runtime->trace().events());
+
+  // 4 sweeps x 2 kernels, all on the device.
+  long launches = 0;
+  long statements = 0;
+  for (const KernelRollup& kernel : metrics.kernels) {
+    launches += kernel.launches;
+    statements += kernel.statements;
+    EXPECT_EQ(kernel.host_launches, 0) << kernel.name;
+    EXPECT_GT(kernel.chunks, 0) << kernel.name;
+    EXPECT_GT(kernel.seconds, 0.0) << kernel.name;
+  }
+  EXPECT_EQ(launches, 8);
+  EXPECT_EQ(statements, run.interp->device_statements());
+
+  // Per-variable transfer volumes must sum to the profiler's totals.
+  const TransferTotals totals = run.runtime->profiler().transfers();
+  long long h2d_bytes = 0;
+  long long d2h_bytes = 0;
+  long h2d_count = 0;
+  long d2h_count = 0;
+  for (const VariableRollup& var : metrics.variables) {
+    h2d_bytes += var.h2d_bytes;
+    d2h_bytes += var.d2h_bytes;
+    h2d_count += var.h2d_count;
+    d2h_count += var.d2h_count;
+  }
+  EXPECT_EQ(static_cast<std::size_t>(h2d_bytes), totals.h2d_bytes);
+  EXPECT_EQ(static_cast<std::size_t>(d2h_bytes), totals.d2h_bytes);
+  EXPECT_EQ(static_cast<std::size_t>(h2d_count), totals.h2d_count);
+  EXPECT_EQ(static_cast<std::size_t>(d2h_count), totals.d2h_count);
+
+  // `a` moves both ways; the scratch grid `b` never crosses the bus.
+  const VariableRollup* a = metrics.variable("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->h2d_bytes, static_cast<long long>(kElements * sizeof(double)));
+  EXPECT_EQ(a->d2h_bytes, static_cast<long long>(kElements * sizeof(double)));
+  const VariableRollup* b = metrics.variable("b");
+  if (b != nullptr) {
+    EXPECT_EQ(b->h2d_bytes, 0);
+    EXPECT_EQ(b->d2h_bytes, 0);
+  }
+}
+
+TEST(TraceRecorderTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder recorder;
+  EXPECT_FALSE(recorder.enabled());
+  recorder.record(TraceEvent{});
+  EXPECT_TRUE(recorder.events().empty());
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace miniarc

@@ -5,6 +5,7 @@
 //   miniarc verify FILE.c [OPTS]        kernel verification (§III-A)
 //   miniarc check FILE.c                memory-transfer verification (§III-B)
 //   miniarc bench NAME                  run one suite benchmark by name
+//   miniarc report-validate FILE.json   schema-check a run report
 //
 // Programs use `extern` declarations for inputs/outputs; the CLI binds every
 // extern scalar to a value from `--set NAME=VALUE` (default 64) and every
@@ -18,6 +19,8 @@
 // kernel recovery: --kernel-retries N (also MINIARC_KERNEL_RETRIES),
 //                  --no-failover, --breaker "window=8,threshold=4,probe=4"
 //                  (also MINIARC_BREAKER)
+// observability:   --trace FILE (Chrome/Perfetto trace; also MINIARC_TRACE),
+//                  --report-json FILE (machine-readable run report)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -44,17 +47,22 @@ struct CliOptions {
   /// Serial host execution when device recovery exhausts (--no-failover).
   bool host_failover = true;
   std::optional<BreakerConfig> breaker;
+  /// Chrome/Perfetto trace export path (--trace; MINIARC_TRACE fallback).
+  std::string trace_path;
+  /// Machine-readable run-report path (--report-json).
+  std::string report_path;
 };
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: miniarc <translate|run|verify|check|bench> FILE "
-               "[--set NAME=VALUE]... [--size N]\n"
+               "usage: miniarc <translate|run|verify|check|bench|"
+               "report-validate> FILE [--set NAME=VALUE]... [--size N]\n"
                "               [--options verificationOptions=...] "
                "[--margin X] [--min-check X] [--naive-checks]\n"
                "               [--faults SPEC] [--fault-seed N] "
                "[--kernel-retries N] [--no-failover]\n"
-               "               [--breaker window=W,threshold=T,probe=P]\n");
+               "               [--breaker window=W,threshold=T,probe=P]\n"
+               "               [--trace FILE] [--report-json FILE]\n");
   std::exit(2);
 }
 
@@ -65,6 +73,14 @@ ExecutorOptions exec_options(const CliOptions& options) {
   ExecutorOptions exec;
   exec.faults = options.faults;
   exec.breaker = options.breaker;
+  // --trace and --report-json both need recorded events (the report embeds
+  // the per-kernel/per-variable rollups). Leaving `trace` unset defers to
+  // MINIARC_TRACE inside the runtime.
+  if (!options.trace_path.empty() || !options.report_path.empty()) {
+    TraceOptions trace;
+    trace.enabled = true;
+    exec.trace = trace;
+  }
   return exec;
 }
 
@@ -78,53 +94,62 @@ InterpOptions interp_options(const CliOptions& options) {
   return interp;
 }
 
-/// Render structured runtime state after a (possibly failed) run: the
-/// runtime's diagnostics and, when injection was armed, a fault/resilience
-/// summary.
-void print_resilience(AccRuntime& runtime) {
-  if (!runtime.diags().diagnostics().empty()) {
-    std::fprintf(stderr, "%s\n", runtime.diags().dump().c_str());
-  }
-  if (!runtime.fault_injector().enabled()) return;
-  const FaultStats& f = runtime.fault_injector().stats();
-  const ResilienceStats& r = runtime.resilience();
-  std::printf(
-      "faults injected: alloc=%ld transient=%ld permanent=%ld corrupt=%ld "
-      "stall=%ld hang=%ld fault=%ld kcorrupt=%ld\n",
-      f.allocs_failed, f.transfers_transient, f.transfers_permanent,
-      f.transfers_corrupted, f.queue_stalls, f.kernels_hung,
-      f.kernels_faulted, f.kernels_corrupted);
-  std::printf(
-      "resilience: retries=%ld recovered=%ld failed=%ld evictions=%ld "
-      "(%ld B) host-fallbacks=%ld stalls=%ld underflows=%ld\n",
-      r.transfer_retries, r.transfers_recovered, r.transfers_failed,
-      r.oom_evictions, r.oom_evicted_bytes, r.host_fallbacks, r.queue_stalls,
-      r.refcount_underflows);
-  std::printf(
-      "kernel recovery: rollbacks=%ld (%ld B) retries=%ld recovered=%ld "
-      "host-failovers=%ld\n",
-      r.kernel_rollbacks, r.kernel_rollback_bytes, r.kernel_retries,
-      r.kernels_recovered, r.host_failovers);
-  const KernelCircuitBreaker& breaker = runtime.breaker();
-  const KernelCircuitBreaker::Stats& b = breaker.stats();
-  std::printf(
-      "breaker: state=%s opens=%ld closes=%ld demotions=%ld probes=%ld "
-      "(window=%d threshold=%d probe=%d)\n",
-      to_string(breaker.state()), b.opens, b.closes, b.demotions, b.probes,
-      breaker.config().window, breaker.config().threshold,
-      breaker.config().probe_after);
+/// The Chrome-trace export path: --trace wins, MINIARC_TRACE is the
+/// fallback (matching how the runtime decides whether to record).
+std::string trace_output_path(const CliOptions& options) {
+  return options.trace_path.empty() ? trace_path_from_env()
+                                    : options.trace_path;
 }
 
-/// Report a failed run: structured AccErrors get their full rendering.
-int report_runtime_error(AccRuntime& runtime, const std::exception& e) {
-  const auto* acc = dynamic_cast<const AccError*>(&e);
-  if (acc != nullptr) {
-    std::fprintf(stderr, "miniarc: %s\n", acc->describe().c_str());
-  } else {
-    std::fprintf(stderr, "miniarc: runtime error: %s\n", e.what());
+/// Finish a run: print the unified text rendering (error line and
+/// diagnostics to stderr, fault/resilience summary to stdout) and write the
+/// --trace / --report-json artifacts. Every byte comes from the same
+/// RunReport that --report-json serializes, so text and JSON can never
+/// drift. Artifacts are written for failed runs too — a failed run's trace
+/// is exactly the one worth inspecting.
+void emit_run_outputs(const CliOptions& options, AccRuntime& runtime,
+                      const RunReport& report) {
+  std::fputs(render_error_text(report).c_str(), stderr);
+  if (!report.diagnostics.empty()) {
+    std::fprintf(stderr, "%s\n", runtime.diags().dump().c_str());
   }
-  print_resilience(runtime);
-  return 1;
+  std::fputs(render_resilience_text(report).c_str(), stdout);
+  std::string trace_path = trace_output_path(options);
+  if (!trace_path.empty() && runtime.trace().enabled()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "miniarc: cannot write trace '%s'\n",
+                   trace_path.c_str());
+    } else {
+      runtime.trace().write_chrome_trace(out);
+    }
+  }
+  if (!options.report_path.empty()) {
+    std::ofstream out(options.report_path);
+    if (!out) {
+      std::fprintf(stderr, "miniarc: cannot write report '%s'\n",
+                   options.report_path.c_str());
+    } else {
+      write_run_report_json(report, out);
+    }
+  }
+}
+
+/// Run the interpreter and snapshot the runtime into a report; failures are
+/// recorded on the report instead of propagating.
+RunReport run_to_report(Interpreter& interp, AccRuntime& runtime,
+                        const char* command, const std::string& program) {
+  RunReport report;
+  try {
+    interp.run();
+    report = build_run_report(runtime, command, program);
+  } catch (const std::exception& e) {
+    report = build_run_report(runtime, command, program);
+    set_run_error(report, e);
+  }
+  report.host_statements = interp.host_statements();
+  report.device_statements = interp.device_statements();
+  return report;
 }
 
 std::string read_file(const std::string& path) {
@@ -198,6 +223,10 @@ CliOptions parse_args(int argc, char** argv) {
         std::exit(2);
       }
       options.breaker = *config;
+    } else if (auto path = flag_value("--trace"); path.has_value()) {
+      options.trace_path = *path;
+    } else if (auto path = flag_value("--report-json"); path.has_value()) {
+      options.report_path = *path;
     } else if (arg == "--set") {
       std::string kv = next();
       std::size_t eq = kv.find('=');
@@ -280,18 +309,17 @@ int cmd_run(const CliOptions& options, Program& program,
   Interpreter interp(*lowered.program, lowered.sema, runtime,
                      interp_options(options));
   bind_externs(interp, *lowered.program, options);
-  try {
-    interp.run();
-  } catch (const std::exception& e) {
-    return report_runtime_error(runtime, e);
+  RunReport report = run_to_report(interp, runtime, "run", options.file);
+  if (report.ok) {
+    std::printf(
+        "kernels: %zu   host statements: %ld   device statements: %ld\n",
+        lowered.kernel_names.size(), report.host_statements,
+        report.device_statements);
+    std::printf("virtual time: %.3f us\n%s", report.total_seconds * 1e6,
+                runtime.profiler().breakdown().c_str());
   }
-  std::printf("kernels: %zu   host statements: %ld   device statements: %ld\n",
-              lowered.kernel_names.size(), interp.host_statements(),
-              interp.device_statements());
-  std::printf("virtual time: %.3f us\n%s", runtime.total_time() * 1e6,
-              runtime.profiler().breakdown().c_str());
-  print_resilience(runtime);
-  return 0;
+  emit_run_outputs(options, runtime, report);
+  return report.ok ? 0 : 1;
 }
 
 int cmd_verify(const CliOptions& options, Program& program,
@@ -308,20 +336,21 @@ int cmd_verify(const CliOptions& options, Program& program,
                      interp_options(options));
   interp.set_compare_hook(&verifier);
   bind_externs(interp, *prepared.program, options);
-  try {
-    interp.run();
-  } catch (const std::exception& e) {
-    return report_runtime_error(runtime, e);
-  }
+  RunReport report = run_to_report(interp, runtime, "verify", options.file);
   for (const auto& verdict : verifier.report().verdicts) {
-    std::printf("%-20s %-6s compared=%ld mismatches=%ld%s\n",
-                verdict.kernel.c_str(), verdict.passed() ? "PASS" : "FAIL",
-                verdict.elements_compared, verdict.mismatches,
-                verdict.checksum_failed ? " [checksum failed]" : "");
+    report.verification.push_back({verdict.kernel, verdict.passed(),
+                                   verdict.elements_compared,
+                                   verdict.mismatches,
+                                   verdict.checksum_failed});
   }
   for (const auto& sample : verifier.report().samples) {
-    std::printf("  %s\n", sample.message().c_str());
+    report.verification_samples.push_back(sample.message());
   }
+  if (report.ok) {
+    std::fputs(render_verification_text(report).c_str(), stdout);
+  }
+  emit_run_outputs(options, runtime, report);
+  if (!report.ok) return 1;
   return verifier.report().all_passed() ? 0 : 1;
 }
 
@@ -342,24 +371,34 @@ int cmd_check(const CliOptions& options, Program& program,
   Interpreter interp(*prepared.program, prepared.sema, runtime,
                      check_options);
   bind_externs(interp, *prepared.program, options);
-  try {
-    interp.run();
-  } catch (const std::exception& e) {
-    return report_runtime_error(runtime, e);
-  }
+  RunReport report = run_to_report(interp, runtime, "check", options.file);
 
   const RuntimeChecker& checker = runtime.checker();
-  std::printf("%d static checks (%d hoisted), %ld dynamic checks\n",
-              prepared.instrumentation.static_checks,
-              prepared.instrumentation.hoisted_checks,
-              checker.dynamic_check_count());
-  std::printf("%s", render_findings(checker.findings()).c_str());
-  std::printf("\nsuggestions:\n");
-  for (const Suggestion& s :
-       derive_suggestions(checker.site_stats(), checker.findings())) {
-    std::printf("- %s\n", s.message().c_str());
+  report.checker_enabled = true;
+  report.static_checks = prepared.instrumentation.static_checks;
+  report.hoisted_checks = prepared.instrumentation.hoisted_checks;
+  report.dynamic_checks = checker.dynamic_check_count();
+  for (const auto& finding : checker.findings()) {
+    report.findings.push_back(finding.message());
   }
-  return 0;
+  std::vector<Suggestion> suggestions =
+      derive_suggestions(checker.site_stats(), checker.findings());
+  for (const Suggestion& s : suggestions) {
+    report.suggestions.push_back(s.message());
+  }
+
+  if (report.ok) {
+    std::printf("%d static checks (%d hoisted), %ld dynamic checks\n",
+                report.static_checks, report.hoisted_checks,
+                report.dynamic_checks);
+    std::printf("%s", render_findings(checker.findings()).c_str());
+    std::printf("\nsuggestions:\n");
+    for (const std::string& s : report.suggestions) {
+      std::printf("- %s\n", s.c_str());
+    }
+  }
+  emit_run_outputs(options, runtime, report);
+  return report.ok ? 0 : 1;
 }
 
 int cmd_bench(const CliOptions& options) {
@@ -387,9 +426,13 @@ int cmd_bench(const CliOptions& options) {
                                 benchmark->bind_inputs, false,
                                 /*hook=*/nullptr, exec_options(options),
                                 interp_options(options));
+    std::string variant =
+        benchmark->name + (optimized ? " (optimized)" : " (naive)");
+    RunReport report = build_run_report(*run.runtime, "bench", variant);
     if (!run.ok) {
-      std::fprintf(stderr, "miniarc: %s\n", run.error.c_str());
-      print_resilience(*run.runtime);
+      report.ok = false;
+      report.error = run.error;
+      emit_run_outputs(options, *run.runtime, report);
       return 1;
     }
     std::printf("%s %-11s correct=%s time=%.3f us transfers=%zu B (%zu ops)\n",
@@ -399,7 +442,22 @@ int cmd_bench(const CliOptions& options) {
                 run.runtime->total_time() * 1e6,
                 run.runtime->profiler().transfers().total_bytes(),
                 run.runtime->profiler().transfers().total_count());
+    // One artifact path, two variants: the optimized run (the paper's
+    // endpoint) wins; its report carries the variant name in `program`.
+    if (optimized) emit_run_outputs(options, *run.runtime, report);
   }
+  return 0;
+}
+
+int cmd_report_validate(const CliOptions& options) {
+  std::string text = read_file(options.file);
+  std::string error;
+  if (!validate_run_report(text, &error)) {
+    std::fprintf(stderr, "miniarc: invalid run report '%s': %s\n",
+                 options.file.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("%s: valid %s\n", options.file.c_str(), kRunReportSchema);
   return 0;
 }
 
@@ -408,6 +466,9 @@ int cmd_bench(const CliOptions& options) {
 int main(int argc, char** argv) {
   CliOptions options = parse_args(argc, argv);
   if (options.command == "bench") return cmd_bench(options);
+  if (options.command == "report-validate") {
+    return cmd_report_validate(options);
+  }
 
   DiagnosticEngine diags;
   ProgramPtr program = parse_mini_c(read_file(options.file), diags);

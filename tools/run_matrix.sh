@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
-# Resilience test matrix: runs the faults/resilience-labelled tests under
-# three build configurations —
+# Resilience/observability test matrix: runs the faults, resilience,
+# observability, and parallel-labelled tests under three build
+# configurations —
 #
 #   plain  : default flags, MINIARC_THREADS=8
 #   asan   : -fsanitize=address,undefined     (MINIARC_SANITIZE=address)
 #   tsan   : -fsanitize=thread, MINIARC_THREADS=8 (MINIARC_SANITIZE=thread)
+#
+# After each configuration's tests, the CLI runs examples/jacobi.c with
+# faults armed and exports a Chrome trace plus a run report into
+# build-matrix-<name>/artifacts/, then schema-validates the report with
+# `miniarc report-validate`.
 #
 # Usage: tools/run_matrix.sh [plain|asan|tsan]...   (default: all three)
 #
@@ -13,7 +19,7 @@
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-LABELS="faults|resilience"
+LABELS="faults|resilience|observability|parallel"
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then CONFIGS=(plain asan tsan); fi
 
@@ -29,6 +35,17 @@ run_config() {
   echo "=== [$name] ctest -L '$LABELS' (MINIARC_THREADS=8) ==="
   MINIARC_THREADS=8 ctest --test-dir "$build_dir" -L "$LABELS" \
     --output-on-failure -j "$(nproc)"
+
+  echo "=== [$name] trace + run-report artifacts ==="
+  local artifacts="$build_dir/artifacts"
+  mkdir -p "$artifacts"
+  MINIARC_THREADS=8 "$build_dir/tools/miniarc" run \
+    "$REPO_ROOT/examples/jacobi.c" \
+    --set N=16 --set ITER=4 --size 256 \
+    --faults "hang=0.3,transient=0.2,fault=0.1" --fault-seed 7 \
+    --trace "$artifacts/jacobi-trace.json" \
+    --report-json "$artifacts/jacobi-report.json" >/dev/null
+  "$build_dir/tools/miniarc" report-validate "$artifacts/jacobi-report.json"
 }
 
 for config in "${CONFIGS[@]}"; do
@@ -40,4 +57,4 @@ for config in "${CONFIGS[@]}"; do
        exit 2 ;;
   esac
 done
-echo "=== resilience matrix passed: ${CONFIGS[*]} ==="
+echo "=== resilience/observability matrix passed: ${CONFIGS[*]} ==="
