@@ -1,0 +1,45 @@
+// JACOBI (naive) — the same 2-D 5-point Jacobi iteration as jacobi.c, but
+// before any transfer optimization: no data region, so every kernel launch
+// pays default copy-in/copy-out for both grids. This is the starting point
+// of the EXPERIMENTS.md advise → fix → report-diff walkthrough:
+//
+//   miniarc advise examples/jacobi_naive.c --set N=16 --set ITER=4 --size 256
+//
+// ranks the redundant transfers, and after applying the top recommendation
+// (the data region in jacobi.c):
+//
+//   miniarc run examples/jacobi_naive.c --set N=16 --set ITER=4 --size 256 \
+//               --report-json naive.json
+//   miniarc run examples/jacobi.c       --set N=16 --set ITER=4 --size 256 \
+//               --report-json opt.json
+//   miniarc report-diff naive.json opt.json
+//
+// shows the transfer bytes and virtual seconds the fix saved.
+extern int N;
+extern int ITER;
+extern double a[];
+
+void main(void) {
+  int k;
+  int i;
+  int j;
+  double tj;
+  double* b = (double*)malloc(N * N * sizeof(double));
+
+  for (k = 0; k < ITER; k++) {
+    #pragma acc kernels loop gang worker
+    for (i = 1; i < N - 1; i++) {
+      for (j = 1; j < N - 1; j++) {
+        tj = a[(i - 1) * N + j] + a[(i + 1) * N + j] +
+             a[i * N + j - 1] + a[i * N + j + 1];
+        b[i * N + j] = 0.25 * tj;
+      }
+    }
+    #pragma acc kernels loop gang worker
+    for (i = 1; i < N - 1; i++) {
+      for (j = 1; j < N - 1; j++) {
+        a[i * N + j] = b[i * N + j];
+      }
+    }
+  }
+}

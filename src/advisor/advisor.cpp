@@ -1,0 +1,458 @@
+#include "advisor/advisor.h"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "trace/json.h"
+
+namespace miniarc {
+
+const char* to_string(AdviceKind kind) {
+  switch (kind) {
+    case AdviceKind::kRemoveTransfer: return "remove-transfer";
+    case AdviceKind::kHoistTransfer: return "hoist-before-loop";
+    case AdviceKind::kDeferTransfer: return "defer-after-loop";
+    case AdviceKind::kWarmupRedundancy: return "warmup-redundancy";
+    case AdviceKind::kVerifyMayRedundant: return "verify-may-redundant";
+    case AdviceKind::kInvestigateIncorrect: return "investigate-incorrect";
+    case AdviceKind::kInvestigateMissing: return "investigate-missing";
+    case AdviceKind::kSerialFallback: return "serial-fallback";
+    case AdviceKind::kChunkImbalance: return "chunk-imbalance";
+    case AdviceKind::kEvictionThrash: return "eviction-thrash";
+    case AdviceKind::kZeroCopyDegradation: return "zero-copy-degradation";
+    case AdviceKind::kResilienceHotspot: return "resilience-hotspot";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Measured cost of one site's recorded transfers (trace events matched on
+/// source anchor + variable + direction), optionally skipping the first
+/// execution (the one a hoist/defer keeps) or keeping ONLY the first (the
+/// one a warm-up elimination removes).
+struct SiteCost {
+  long matched = 0;
+  double seconds = 0.0;
+  long long bytes = 0;
+};
+
+enum class CostWindow { kAll, kSkipFirst, kFirstOnly };
+
+SiteCost site_cost(const std::vector<TraceEvent>& events,
+                   const SiteStats& site, CostWindow window) {
+  const char* dir =
+      site.direction == TransferDirection::kHostToDevice ? "H2D" : "D2H";
+  std::string anchor = site.location.valid() ? site.location.str()
+                                             : std::string();
+  SiteCost cost;
+  long seen = 0;
+  for (const TraceEvent& event : events) {
+    if (event.kind != TraceEventKind::kTransfer) continue;
+    if (event.name != site.var || event.detail != dir ||
+        event.site != anchor) {
+      continue;
+    }
+    ++seen;
+    if (window == CostWindow::kSkipFirst && seen == 1) continue;
+    if (window == CostWindow::kFirstOnly && seen > 1) break;
+    ++cost.matched;
+    cost.seconds += event.dur;
+    if (event.bytes > 0) cost.bytes += event.bytes;
+  }
+  return cost;
+}
+
+/// Source anchor of a kernel's partition-gate event (empty if none traced).
+std::string gate_anchor(const std::vector<TraceEvent>& events,
+                        const std::string& kernel) {
+  for (const TraceEvent& event : events) {
+    if (event.kind == TraceEventKind::kPartitionGate &&
+        event.name == kernel) {
+      return event.site;
+    }
+  }
+  return {};
+}
+
+std::string seconds_str(double seconds) { return json_number(seconds); }
+
+}  // namespace
+
+AdvisorReport advise(const std::vector<TraceEvent>& events,
+                     const TraceMetrics& metrics,
+                     const std::vector<SiteStats>& sites,
+                     const std::vector<Finding>& findings,
+                     double total_seconds, const AdvisorOptions& options) {
+  AdvisorReport report;
+  report.total_seconds = total_seconds;
+  report.timeline = metrics.timeline;
+  report.latency = metrics.latency;
+  std::vector<Recommendation>& out = report.recommendations;
+
+  // ---- transfer sites (coherence checker statistics) ----
+  for (const SiteStats& site : sites) {
+    if (site.occurrences == 0) continue;
+    Recommendation rec;
+    rec.subject = site.var;
+    rec.site = site.label;
+    rec.location = site.location.valid() ? site.location.str()
+                                         : std::string();
+
+    if (site.incorrect > 0) {
+      rec.kind = AdviceKind::kInvestigateIncorrect;
+      rec.severity_class = kSeverityCorrectness;
+      rec.evidence = std::to_string(site.incorrect) + " of " +
+                     std::to_string(site.occurrences) +
+                     " executions copied stale data";
+      rec.action = "A transfer in the opposite direction is missing "
+                   "earlier; fix coherence before optimizing.";
+      out.push_back(std::move(rec));
+      continue;
+    }
+
+    int flagged = site.redundant + site.may_redundant;
+    if (flagged == 0) continue;
+    bool from_may_dead = site.may_redundant > 0;
+
+    auto describe = [&](const SiteCost& cost, const char* scope) {
+      std::ostringstream os;
+      os << site.redundant << " redundant";
+      if (site.may_redundant > 0) {
+        os << " + " << site.may_redundant << " may-redundant";
+      }
+      os << " of " << site.occurrences << " executions; " << cost.matched
+         << " traced transfer(s) " << scope << " cost "
+         << seconds_str(cost.seconds) << " s, " << cost.bytes << " bytes";
+      return os.str();
+    };
+
+    if (site.redundant == site.occurrences) {
+      SiteCost cost = site_cost(events, site, CostWindow::kAll);
+      rec.kind = AdviceKind::kRemoveTransfer;
+      rec.severity_class = kSeveritySavings;
+      rec.seconds_saved = cost.seconds;
+      rec.bytes_saved = cost.bytes;
+      rec.evidence = describe(cost, "eliminated");
+      rec.action = "Every execution was redundant; delete the transfer (or "
+                   "its update directive).";
+      out.push_back(std::move(rec));
+      continue;
+    }
+    if (flagged == site.occurrences && from_may_dead) {
+      SiteCost cost = site_cost(events, site, CostWindow::kAll);
+      rec.kind = AdviceKind::kVerifyMayRedundant;
+      rec.severity_class = kSeverityVerify;
+      rec.seconds_saved = cost.seconds;
+      rec.bytes_saved = cost.bytes;
+      rec.evidence = describe(cost, "eliminated if verified");
+      rec.action = "The target data is may-dead; verify the copied values "
+                   "are never read, then delete the transfer.";
+      out.push_back(std::move(rec));
+      continue;
+    }
+    if (flagged >= site.occurrences - 1 && site.occurrences > 1 &&
+        !site.first_occurrence_redundant) {
+      SiteCost cost = site_cost(events, site, CostWindow::kSkipFirst);
+      bool h2d = site.direction == TransferDirection::kHostToDevice;
+      rec.kind = h2d ? AdviceKind::kHoistTransfer : AdviceKind::kDeferTransfer;
+      rec.severity_class = kSeveritySavings;
+      rec.seconds_saved = cost.seconds;
+      rec.bytes_saved = cost.bytes;
+      rec.evidence = describe(cost, "after the first eliminated");
+      rec.action = h2d ? "Redundant after the first execution; one `update "
+                         "device` before the enclosing loop suffices."
+                       : "Redundant after the first execution; defer one "
+                         "copy-out until the enclosing loop finishes.";
+      out.push_back(std::move(rec));
+      continue;
+    }
+    if (site.first_occurrence_redundant && site.redundant < site.occurrences) {
+      SiteCost cost = site_cost(events, site, CostWindow::kFirstOnly);
+      rec.kind = AdviceKind::kWarmupRedundancy;
+      rec.severity_class = kSeverityWarmup;
+      rec.seconds_saved = cost.seconds;
+      rec.bytes_saved = cost.bytes;
+      rec.evidence = describe(cost, "(first execution only) eliminated");
+      rec.action = "Only the warm-up execution was redundant; the steady "
+                   "state needs the transfer. Low priority.";
+      out.push_back(std::move(rec));
+      continue;
+    }
+    rec.kind = AdviceKind::kVerifyMayRedundant;
+    rec.severity_class = kSeverityVerify;
+    rec.evidence = describe(site_cost(events, site, CostWindow::kAll),
+                            "involved");
+    rec.action = "Partially redundant with no clean hoist/defer pattern; "
+                 "inspect the access pattern before editing.";
+    out.push_back(std::move(rec));
+  }
+
+  // ---- missing / may-missing accesses (findings, not sites) ----
+  std::set<std::string> missing_vars;
+  for (const Finding& finding : findings) {
+    if (finding.kind != FindingKind::kMissingTransfer) continue;
+    if (!missing_vars.insert(finding.var).second) continue;
+    Recommendation rec;
+    rec.kind = AdviceKind::kInvestigateMissing;
+    rec.severity_class = kSeverityCorrectness;
+    rec.subject = finding.var;
+    rec.site = finding.label;
+    rec.location = finding.location.valid() ? finding.location.str()
+                                            : std::string();
+    rec.evidence = "an access of '" + finding.var + "' observed stale data";
+    rec.action = "A memory transfer is missing before the access; add it "
+                 "before trusting any results.";
+    out.push_back(std::move(rec));
+  }
+
+  // ---- per-kernel advisories (trace rollups) ----
+  for (const KernelRollup& kernel : metrics.kernels) {
+    if (!kernel.partition.empty() && kernel.partition != "parallel" &&
+        kernel.partition != "serial-single-chunk") {
+      Recommendation rec;
+      rec.kind = AdviceKind::kSerialFallback;
+      rec.severity_class = kSeveritySavings;
+      rec.subject = kernel.name;
+      rec.location = gate_anchor(events, kernel.name);
+      rec.stake_seconds = kernel.seconds;
+      rec.evidence = "partition gate verdict '" + kernel.partition + "'; " +
+                     std::to_string(kernel.launches) +
+                     " launch(es) ran serially, " +
+                     seconds_str(kernel.seconds) + " s total";
+      rec.action =
+          kernel.partition == "serial-falsely-shared"
+              ? "Chunks share written scalars; privatize them (or mark the "
+                "reduction) so the launch can run in parallel."
+              : "The chunk-disjointness analysis could not prove the "
+                "iteration space safe; restructure the accesses (or assert "
+                "independence) to unlock parallel chunks.";
+      out.push_back(std::move(rec));
+    }
+    if (kernel.chunks > kernel.launches && kernel.chunk_seconds > 0.0) {
+      double mean = kernel.chunk_seconds / static_cast<double>(kernel.chunks);
+      if (mean > 0.0 &&
+          kernel.max_chunk_seconds > options.imbalance_threshold * mean) {
+        Recommendation rec;
+        rec.kind = AdviceKind::kChunkImbalance;
+        rec.severity_class = kSeverityVerify;
+        rec.subject = kernel.name;
+        rec.location = gate_anchor(events, kernel.name);
+        rec.stake_seconds = kernel.max_chunk_seconds - mean;
+        rec.evidence = "slowest chunk " +
+                       seconds_str(kernel.max_chunk_seconds) +
+                       " s vs mean " + seconds_str(mean) + " s over " +
+                       std::to_string(kernel.chunks) + " chunks";
+        rec.action = "One chunk dominates the launch; rebalance the "
+                     "gang/worker split or the iteration partitioning.";
+        out.push_back(std::move(rec));
+      }
+    }
+    if (kernel.recovery_seconds > 0.0) {
+      Recommendation rec;
+      rec.kind = AdviceKind::kResilienceHotspot;
+      rec.severity_class = kSeverityVerify;
+      rec.subject = kernel.name;
+      rec.stake_seconds = kernel.recovery_seconds;
+      rec.evidence = seconds_str(kernel.recovery_seconds) +
+                     " s of fault recovery (" +
+                     std::to_string(kernel.rollbacks) + " rollback(s), " +
+                     std::to_string(kernel.retries) + " retr" +
+                     (kernel.retries == 1 ? "y" : "ies") + ", " +
+                     std::to_string(kernel.failovers) + " failover(s))";
+      rec.action = "Fault recovery dominates this kernel; shrink its write "
+                   "set (cheaper snapshots) or raise the retry budget only "
+                   "if the device is expected to stay flaky.";
+      out.push_back(std::move(rec));
+    }
+  }
+
+  // ---- per-variable advisories (present-table behaviour) ----
+  for (const VariableRollup& variable : metrics.variables) {
+    if (variable.evictions >= options.eviction_thrash_min) {
+      Recommendation rec;
+      rec.kind = AdviceKind::kEvictionThrash;
+      rec.severity_class = kSeverityVerify;
+      rec.subject = variable.name;
+      rec.stake_seconds = variable.eviction_seconds;
+      rec.evidence = std::to_string(variable.evictions) +
+                     " eviction pass(es), " +
+                     seconds_str(variable.eviction_seconds) + " s";
+      rec.action = "Allocations for this variable repeatedly evict the "
+                   "device pool; widen data regions or shrink the working "
+                   "set to stop the thrash.";
+      out.push_back(std::move(rec));
+    }
+    if (variable.host_fallbacks > 0) {
+      Recommendation rec;
+      rec.kind = AdviceKind::kZeroCopyDegradation;
+      rec.severity_class = kSeverityVerify;
+      rec.subject = variable.name;
+      rec.evidence = std::to_string(variable.host_fallbacks) +
+                     " host-fallback mapping(s) after failed device "
+                     "allocation";
+      rec.action = "The variable ran degraded (device accesses hit host "
+                   "memory); reduce device memory pressure so it gets a "
+                   "real device copy.";
+      out.push_back(std::move(rec));
+    }
+  }
+
+  // Deterministic ranking: correctness first, then projected savings, then
+  // time at stake, with full lexical tie-breaks.
+  std::sort(out.begin(), out.end(),
+            [](const Recommendation& a, const Recommendation& b) {
+              if (a.severity_class != b.severity_class) {
+                return a.severity_class < b.severity_class;
+              }
+              if (a.seconds_saved != b.seconds_saved) {
+                return a.seconds_saved > b.seconds_saved;
+              }
+              if (a.stake_seconds != b.stake_seconds) {
+                return a.stake_seconds > b.stake_seconds;
+              }
+              if (a.bytes_saved != b.bytes_saved) {
+                return a.bytes_saved > b.bytes_saved;
+              }
+              if (a.kind != b.kind) {
+                return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+              }
+              if (a.subject != b.subject) return a.subject < b.subject;
+              return a.site < b.site;
+            });
+  if (options.top > 0 && out.size() > options.top) out.resize(options.top);
+
+  for (const Recommendation& rec : out) {
+    report.projected_seconds_saved += rec.seconds_saved;
+    report.projected_bytes_saved += rec.bytes_saved;
+  }
+  return report;
+}
+
+std::string render_advice_text(const AdvisorReport& report) {
+  std::ostringstream os;
+  os << "advisor: " << report.recommendations.size()
+     << " recommendation(s) for " << report.program << " (total "
+     << seconds_str(report.total_seconds) << " s)\n";
+
+  const TimelineAttribution& t = report.timeline;
+  os << "timeline: span=" << seconds_str(t.span_seconds)
+     << "s kernel=" << seconds_str(t.kernel_seconds)
+     << "s h2d=" << seconds_str(t.h2d_seconds)
+     << "s d2h=" << seconds_str(t.d2h_seconds)
+     << "s recovery=" << seconds_str(t.recovery_seconds)
+     << "s idle=" << seconds_str(t.idle_seconds) << "s\n";
+  double busy = t.busy_seconds;
+  if (busy > 0.0) {
+    const char* critical = "kernel";
+    double worst = t.kernel_seconds;
+    if (t.h2d_seconds > worst) { critical = "h2d"; worst = t.h2d_seconds; }
+    if (t.d2h_seconds > worst) { critical = "d2h"; worst = t.d2h_seconds; }
+    if (t.recovery_seconds > worst) {
+      critical = "recovery";
+      worst = t.recovery_seconds;
+    }
+    os << "critical path: " << critical << " ("
+       << seconds_str(worst / busy * 100.0) << "% of busy time)\n";
+  }
+
+  if (!report.latency.empty()) {
+    os << "latency (s): kind count total p50 p90 p99 max\n";
+    for (const LatencyStats& l : report.latency) {
+      os << "  " << l.kind << " " << l.count << " "
+         << seconds_str(l.total_seconds) << " " << seconds_str(l.p50_seconds)
+         << " " << seconds_str(l.p90_seconds) << " "
+         << seconds_str(l.p99_seconds) << " " << seconds_str(l.max_seconds)
+         << "\n";
+    }
+  }
+
+  if (report.recommendations.empty()) {
+    os << "no recommendations: no redundancy, imbalance, or hotspot "
+          "detected.\n";
+    return os.str();
+  }
+  os << "projected savings if all transfer edits apply: "
+     << seconds_str(report.projected_seconds_saved) << " s, "
+     << report.projected_bytes_saved << " bytes\n";
+  int rank = 0;
+  for (const Recommendation& rec : report.recommendations) {
+    os << ++rank << ". [" << to_string(rec.kind) << "] " << rec.subject;
+    if (!rec.site.empty()) os << " at site " << rec.site;
+    if (!rec.location.empty()) os << " (" << rec.location << ")";
+    os << "\n";
+    if (rec.seconds_saved > 0.0 || rec.bytes_saved > 0) {
+      os << "   saves " << seconds_str(rec.seconds_saved) << " s, "
+         << rec.bytes_saved << " bytes\n";
+    } else if (rec.stake_seconds > 0.0) {
+      os << "   at stake " << seconds_str(rec.stake_seconds) << " s\n";
+    }
+    os << "   evidence: " << rec.evidence << "\n";
+    os << "   action: " << rec.action << "\n";
+  }
+  return os.str();
+}
+
+void write_advice_json(const AdvisorReport& report, std::ostream& os) {
+  JsonWriter json(os);
+  json.begin_object();
+  json.field("schema", kAdviceSchema);
+  json.field("program", report.program);
+  json.field("total_seconds", report.total_seconds);
+  json.field("projected_seconds_saved", report.projected_seconds_saved);
+  json.field("projected_bytes_saved", report.projected_bytes_saved);
+
+  json.key("timeline");
+  json.begin_object();
+  const TimelineAttribution& t = report.timeline;
+  json.field("span_seconds", t.span_seconds);
+  json.field("kernel_seconds", t.kernel_seconds);
+  json.field("h2d_seconds", t.h2d_seconds);
+  json.field("d2h_seconds", t.d2h_seconds);
+  json.field("recovery_seconds", t.recovery_seconds);
+  json.field("other_seconds", t.other_seconds);
+  json.field("busy_seconds", t.busy_seconds);
+  json.field("idle_seconds", t.idle_seconds);
+  json.end_object();
+
+  json.key("latency");
+  json.begin_array();
+  for (const LatencyStats& l : report.latency) {
+    json.begin_object();
+    json.field("kind", l.kind);
+    json.field("count", static_cast<long long>(l.count));
+    json.field("total_seconds", l.total_seconds);
+    json.field("min_seconds", l.min_seconds);
+    json.field("max_seconds", l.max_seconds);
+    json.field("p50_seconds", l.p50_seconds);
+    json.field("p90_seconds", l.p90_seconds);
+    json.field("p99_seconds", l.p99_seconds);
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("recommendations");
+  json.begin_array();
+  for (const Recommendation& rec : report.recommendations) {
+    json.begin_object();
+    json.field("kind", to_string(rec.kind));
+    json.field("severity_class", rec.severity_class);
+    json.field("subject", rec.subject);
+    json.field("site", rec.site);
+    json.field("location", rec.location);
+    json.field("seconds_saved", rec.seconds_saved);
+    json.field("bytes_saved", rec.bytes_saved);
+    json.field("stake_seconds", rec.stake_seconds);
+    json.field("evidence", rec.evidence);
+    json.field("action", rec.action);
+    json.end_object();
+  }
+  json.end_array();
+
+  json.end_object();
+  json.finish();
+}
+
+}  // namespace miniarc

@@ -1,0 +1,125 @@
+// Trace-driven optimization advisor — the "what should I fix first?" half
+// of the paper's interactive loop. Consumes one traced, checker-instrumented
+// run (the event stream, its rollups, the coherence checker's per-site
+// statistics and findings) and emits a deterministic, ranked, source-
+// anchored recommendation list:
+//   - redundant / may-redundant transfer eliminations with projected
+//     virtual-time and byte savings (warm-up-only redundancy is kept apart
+//     from steady-state redundancy via the first-occurrence flag),
+//   - per-kernel serial-fallback and chunk-imbalance reports (which kernels
+//     failed the partition-safety gate, and what the serial time costs),
+//   - present-table eviction-thrash and zero-copy-degradation hotspots,
+//   - resilience hotspots (retry/rollback/failover time billed per kernel),
+// plus the virtual-timeline critical-path attribution and per-event-kind
+// latency percentiles the ranking is read against.
+//
+// Everything is a pure function of its inputs, so advisor output inherits
+// the trace determinism contract: byte-identical for any executor thread
+// count, with or without an armed fault plan (same seed).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime_checker.h"
+#include "trace/metrics.h"
+
+namespace miniarc {
+
+inline constexpr const char* kAdviceSchema = "miniarc-advice/v1";
+
+enum class AdviceKind : std::uint8_t {
+  /// Every execution of the transfer was redundant: delete it.
+  kRemoveTransfer,
+  /// H2D redundant after the first execution: hoist before the loop.
+  kHoistTransfer,
+  /// D2H redundant after the first execution: defer until after the loop.
+  kDeferTransfer,
+  /// Only the FIRST execution was redundant (cold present-table, warm-up
+  /// effect): low priority, the steady state already pays for itself.
+  kWarmupRedundancy,
+  /// Redundancy depends on may-dead data: verify before editing.
+  kVerifyMayRedundant,
+  /// A transfer copied stale data: correctness, fix before optimizing.
+  kInvestigateIncorrect,
+  /// An access observed stale data: a transfer is missing.
+  kInvestigateMissing,
+  /// The kernel failed the partition-safety gate and ran serially.
+  kSerialFallback,
+  /// One chunk dominates the launch: gang/worker split is imbalanced.
+  kChunkImbalance,
+  /// The variable was evicted from the device pool repeatedly (OOM thrash).
+  kEvictionThrash,
+  /// The variable degraded to a host-fallback alias: every "device" access
+  /// is host memory.
+  kZeroCopyDegradation,
+  /// Fault-recovery time (snapshot/rollback/retry/failover) billed against
+  /// the kernel is significant.
+  kResilienceHotspot,
+};
+
+[[nodiscard]] const char* to_string(AdviceKind kind);
+
+/// Ranking buckets (primary sort key, ascending).
+inline constexpr int kSeverityCorrectness = 0;  // fix before optimizing
+inline constexpr int kSeveritySavings = 1;      // quantified/likely wins
+inline constexpr int kSeverityVerify = 2;       // needs user verification
+inline constexpr int kSeverityWarmup = 3;       // warm-up-only effects
+
+struct Recommendation {
+  AdviceKind kind = AdviceKind::kRemoveTransfer;
+  int severity_class = kSeveritySavings;
+  /// Variable or kernel the recommendation is about.
+  std::string subject;
+  /// Checker site label ("update0", "main_kernel0:q:in") when one exists.
+  std::string site;
+  /// Source anchor "line:col" when one exists.
+  std::string location;
+  /// Projected saving if the edit is applied (transfer eliminations only).
+  double seconds_saved = 0.0;
+  long long bytes_saved = 0;
+  /// Virtual time at stake for advisories without a clean projection
+  /// (serial time, imbalance slack, eviction passes, recovery billing).
+  double stake_seconds = 0.0;
+  std::string evidence;
+  std::string action;
+};
+
+struct AdvisorOptions {
+  /// Keep only the first N recommendations after ranking (0 = all).
+  std::size_t top = 0;
+  /// Flag a kernel when max chunk > threshold * mean chunk.
+  double imbalance_threshold = 1.5;
+  /// Flag a variable at this many evictions.
+  long eviction_thrash_min = 2;
+};
+
+struct AdvisorReport {
+  std::string program;
+  double total_seconds = 0.0;
+  /// Sum over recommendations (after the --top cut).
+  double projected_seconds_saved = 0.0;
+  long long projected_bytes_saved = 0;
+  TimelineAttribution timeline;
+  std::vector<LatencyStats> latency;
+  std::vector<Recommendation> recommendations;
+};
+
+/// Analyze one run. `events` is the recorded trace, `metrics` its rollups
+/// (aggregate_trace(events)), `sites`/`findings` the coherence checker's
+/// output, `total_seconds` the run's virtual total.
+[[nodiscard]] AdvisorReport advise(const std::vector<TraceEvent>& events,
+                                   const TraceMetrics& metrics,
+                                   const std::vector<SiteStats>& sites,
+                                   const std::vector<Finding>& findings,
+                                   double total_seconds,
+                                   const AdvisorOptions& options = {});
+
+/// Human-readable rendering (deterministic bytes; numbers via json_number).
+[[nodiscard]] std::string render_advice_text(const AdvisorReport& report);
+
+/// Serialize as schema "miniarc-advice/v1" JSON (one line + newline).
+void write_advice_json(const AdvisorReport& report, std::ostream& os);
+
+}  // namespace miniarc

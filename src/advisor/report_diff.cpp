@@ -1,0 +1,258 @@
+#include "advisor/report_diff.h"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "trace/json.h"
+#include "trace/report.h"
+
+namespace miniarc {
+
+std::optional<DiffThresholds> DiffThresholds::parse(const std::string& spec,
+                                                    std::string* error) {
+  DiffThresholds thresholds;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+
+    std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      if (error != nullptr) {
+        *error = "malformed threshold '" + entry + "' (want metric=limit)";
+      }
+      return std::nullopt;
+    }
+    DiffThreshold threshold;
+    threshold.metric = entry.substr(0, eq);
+    std::string value = entry.substr(eq + 1);
+    if (!value.empty() && value.back() == '%') {
+      threshold.relative = true;
+      value.pop_back();
+    }
+    try {
+      std::size_t consumed = 0;
+      threshold.limit = std::stod(value, &consumed);
+      if (consumed != value.size()) throw std::invalid_argument(value);
+    } catch (const std::exception&) {
+      if (error != nullptr) {
+        *error = "malformed threshold limit '" + entry + "'";
+      }
+      return std::nullopt;
+    }
+    if (threshold.limit < 0.0) {
+      if (error != nullptr) {
+        *error = "negative threshold limit '" + entry + "'";
+      }
+      return std::nullopt;
+    }
+    thresholds.entries.push_back(std::move(threshold));
+  }
+  return thresholds;
+}
+
+namespace {
+
+/// Flattened metric view of one run report. Missing fields read as 0 so
+/// reports from older schema revisions stay diffable.
+struct ReportMetrics {
+  std::string program;
+  std::map<std::string, double> values;
+};
+
+double number_at(const JsonValue* object, const char* key) {
+  if (object == nullptr) return 0.0;
+  const JsonValue* value = object->find(key);
+  if (value == nullptr || value->kind != JsonValue::Kind::kNumber) return 0.0;
+  return value->number;
+}
+
+std::optional<ReportMetrics> extract(const std::string& json_text,
+                                     const char* which, std::string* error) {
+  std::string parse_error;
+  std::optional<JsonValue> parsed = parse_json(json_text, &parse_error);
+  if (!parsed.has_value() || parsed->kind != JsonValue::Kind::kObject) {
+    if (error != nullptr) {
+      *error = std::string(which) + ": not a JSON object" +
+               (parse_error.empty() ? "" : " (" + parse_error + ")");
+    }
+    return std::nullopt;
+  }
+  const JsonValue& root = *parsed;
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+      schema->string != kRunReportSchema) {
+    if (error != nullptr) {
+      *error = std::string(which) + ": not a '" + kRunReportSchema +
+               "' document";
+    }
+    return std::nullopt;
+  }
+
+  ReportMetrics metrics;
+  const JsonValue* program = root.find("program");
+  if (program != nullptr && program->kind == JsonValue::Kind::kString) {
+    metrics.program = program->string;
+  }
+
+  const JsonValue* profile = root.find("profile");
+  metrics.values["total_seconds"] = number_at(profile, "total_seconds");
+  const JsonValue* transfers =
+      profile != nullptr ? profile->find("transfers") : nullptr;
+  double h2d_bytes = number_at(transfers, "h2d_bytes");
+  double d2h_bytes = number_at(transfers, "d2h_bytes");
+  double h2d_count = number_at(transfers, "h2d_count");
+  double d2h_count = number_at(transfers, "d2h_count");
+  metrics.values["h2d_bytes"] = h2d_bytes;
+  metrics.values["d2h_bytes"] = d2h_bytes;
+  metrics.values["transfer_bytes"] = h2d_bytes + d2h_bytes;
+  metrics.values["h2d_count"] = h2d_count;
+  metrics.values["d2h_count"] = d2h_count;
+  metrics.values["transfer_count"] = h2d_count + d2h_count;
+  const JsonValue* categories =
+      profile != nullptr ? profile->find("categories") : nullptr;
+  metrics.values["fault_recovery_seconds"] =
+      number_at(categories, "Fault-Recovery");
+
+  const JsonValue* faults = root.find("faults");
+  const JsonValue* resilience =
+      faults != nullptr ? faults->find("resilience") : nullptr;
+  metrics.values["kernel_rollbacks"] =
+      number_at(resilience, "kernel_rollbacks");
+  metrics.values["kernel_retries"] = number_at(resilience, "kernel_retries");
+  metrics.values["host_failovers"] = number_at(resilience, "host_failovers");
+  metrics.values["transfer_retries"] =
+      number_at(resilience, "transfer_retries");
+
+  const JsonValue* checker = root.find("checker");
+  const JsonValue* findings =
+      checker != nullptr ? checker->find("findings") : nullptr;
+  metrics.values["findings"] =
+      findings != nullptr && findings->kind == JsonValue::Kind::kArray
+          ? static_cast<double>(findings->array.size())
+          : 0.0;
+
+  const JsonValue* trace = root.find("trace");
+  const JsonValue* kernels =
+      trace != nullptr ? trace->find("kernels") : nullptr;
+  if (kernels != nullptr && kernels->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& kernel : kernels->array) {
+      const JsonValue* name = kernel.find("name");
+      if (name == nullptr || name->kind != JsonValue::Kind::kString) continue;
+      metrics.values["kernel_seconds:" + name->string] =
+          number_at(&kernel, "seconds");
+    }
+  }
+  return metrics;
+}
+
+/// A threshold gates a metric on exact match or family prefix
+/// ("kernel_seconds" gates "kernel_seconds:jacobi0").
+bool matches(const DiffThreshold& threshold, const std::string& metric) {
+  if (metric == threshold.metric) return true;
+  return metric.size() > threshold.metric.size() + 1 &&
+         metric.compare(0, threshold.metric.size(), threshold.metric) == 0 &&
+         metric[threshold.metric.size()] == ':';
+}
+
+bool violates(const DiffThreshold& threshold, double before, double after) {
+  double delta = after - before;
+  if (delta <= 0.0) return false;
+  if (!threshold.relative) return delta > threshold.limit;
+  // Relative limit against the before-value; any increase from zero is a
+  // violation (no baseline to be relative to).
+  if (before <= 0.0) return true;
+  return delta > threshold.limit / 100.0 * before;
+}
+
+}  // namespace
+
+std::optional<ReportDelta> diff_run_reports(const std::string& a_json,
+                                            const std::string& b_json,
+                                            const DiffThresholds& thresholds,
+                                            std::string* error) {
+  std::optional<ReportMetrics> a = extract(a_json, "report A", error);
+  if (!a.has_value()) return std::nullopt;
+  std::optional<ReportMetrics> b = extract(b_json, "report B", error);
+  if (!b.has_value()) return std::nullopt;
+
+  ReportDelta delta;
+  delta.program_a = a->program;
+  delta.program_b = b->program;
+
+  // Union of metric names; std::map keeps the delta list deterministic
+  // (scalar names sort before "kernel_seconds:*" only by chance, so the
+  // renderers rely on the name itself, not on grouping).
+  std::map<std::string, std::pair<double, double>> merged;
+  for (const auto& [name, value] : a->values) merged[name].first = value;
+  for (const auto& [name, value] : b->values) merged[name].second = value;
+
+  for (const auto& [name, pair] : merged) {
+    MetricDelta metric;
+    metric.metric = name;
+    metric.before = pair.first;
+    metric.after = pair.second;
+    for (const DiffThreshold& threshold : thresholds.entries) {
+      if (matches(threshold, name) &&
+          violates(threshold, metric.before, metric.after)) {
+        metric.violated = true;
+        delta.violation = true;
+        break;
+      }
+    }
+    delta.metrics.push_back(std::move(metric));
+  }
+  return delta;
+}
+
+std::string render_report_diff_text(const ReportDelta& delta) {
+  std::ostringstream os;
+  os << "report-diff: " << delta.program_a << " -> " << delta.program_b
+     << "\n";
+  for (const MetricDelta& metric : delta.metrics) {
+    if (metric.before == 0.0 && metric.after == 0.0 && !metric.violated) {
+      continue;  // keep the table readable; zero/zero rows say nothing
+    }
+    os << "  " << metric.metric << ": " << json_number(metric.before)
+       << " -> " << json_number(metric.after) << " (";
+    double d = metric.delta();
+    if (d > 0.0) os << "+";
+    os << json_number(d) << ")";
+    if (metric.violated) os << " REGRESSION";
+    os << "\n";
+  }
+  os << (delta.violation ? "verdict: REGRESSION (threshold exceeded)\n"
+                         : "verdict: ok\n");
+  return os.str();
+}
+
+void write_report_diff_json(const ReportDelta& delta, std::ostream& os) {
+  JsonWriter json(os);
+  json.begin_object();
+  json.field("schema", kReportDiffSchema);
+  json.field("program_a", delta.program_a);
+  json.field("program_b", delta.program_b);
+  json.field("violation", delta.violation);
+  json.key("metrics");
+  json.begin_array();
+  for (const MetricDelta& metric : delta.metrics) {
+    json.begin_object();
+    json.field("metric", metric.metric);
+    json.field("before", metric.before);
+    json.field("after", metric.after);
+    json.field("delta", metric.delta());
+    json.field("violated", metric.violated);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.finish();
+}
+
+}  // namespace miniarc

@@ -1,0 +1,73 @@
+// Run-report diffing: compare two "miniarc-run-report/v1" files (a
+// before/after pair around one optimization edit, or two configs of the
+// same program) and render the delta — transfer counts and bytes,
+// per-kernel virtual seconds, coherence finding counts, fault-recovery
+// time, resilience counters — with configurable regression thresholds.
+// The CLI's `report-diff` subcommand exits nonzero when a threshold is
+// violated, so the diff doubles as a CI regression gate.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace miniarc {
+
+inline constexpr const char* kReportDiffSchema = "miniarc-report-diff/v1";
+
+/// One regression gate: `metric` may be an exact delta name
+/// ("total_seconds", "kernel_seconds:jacobi0") or a family prefix
+/// ("kernel_seconds" gates every kernel). An INCREASE beyond the limit is a
+/// violation; decreases never are.
+struct DiffThreshold {
+  std::string metric;
+  double limit = 0.0;
+  /// true: limit is a percentage of the before-value ("5%"); false: an
+  /// absolute delta ("1024").
+  bool relative = false;
+};
+
+struct DiffThresholds {
+  std::vector<DiffThreshold> entries;
+
+  /// Parse a comma-separated spec: "total_seconds=5%,h2d_bytes=0". Returns
+  /// nullopt and sets `*error` on a malformed spec.
+  [[nodiscard]] static std::optional<DiffThresholds> parse(
+      const std::string& spec, std::string* error = nullptr);
+};
+
+struct MetricDelta {
+  std::string metric;
+  double before = 0.0;
+  double after = 0.0;
+  /// A threshold matched this metric and the increase exceeded its limit.
+  bool violated = false;
+
+  [[nodiscard]] double delta() const { return after - before; }
+};
+
+struct ReportDelta {
+  std::string program_a;
+  std::string program_b;
+  /// Deterministic order: scalar metrics first, then per-kernel seconds
+  /// sorted by kernel name.
+  std::vector<MetricDelta> metrics;
+  bool violation = false;
+};
+
+/// Diff two run-report JSON documents. Metrics absent from one side are
+/// treated as 0 (older reports stay comparable). Returns nullopt and sets
+/// `*error` when either document fails to parse or carries the wrong
+/// schema.
+[[nodiscard]] std::optional<ReportDelta> diff_run_reports(
+    const std::string& a_json, const std::string& b_json,
+    const DiffThresholds& thresholds, std::string* error = nullptr);
+
+/// Human-readable delta table (deterministic bytes).
+[[nodiscard]] std::string render_report_diff_text(const ReportDelta& delta);
+
+/// Serialize as schema "miniarc-report-diff/v1" JSON (one line + newline).
+void write_report_diff_json(const ReportDelta& delta, std::ostream& os);
+
+}  // namespace miniarc

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "ast/decl.h"
@@ -173,6 +174,9 @@ class Interpreter {
   /// (interp/partition_safety.h); AST nodes are stable for the
   /// interpreter's lifetime.
   std::unordered_map<const KernelLaunchStmt*, bool> partition_safe_;
+  /// Launch sites whose partition-gate verdict was already traced (the
+  /// gate event is emitted once per site, on the first launch).
+  std::unordered_set<const KernelLaunchStmt*> partition_traced_;
 };
 
 }  // namespace miniarc

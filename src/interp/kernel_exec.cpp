@@ -333,12 +333,12 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
   };
   auto recovery_event = [&](TraceEventKind kind, double dur,
                             std::string detail, long long bytes = -1,
-                            long long value = -1) {
+                            long long value = -1, double ts = -1.0) {
     if (!trace_on) return;
     TraceEvent event;
     event.kind = kind;
     event.track = kTraceTrackRecovery;
-    event.ts = runtime_.clock().now();
+    event.ts = ts >= 0.0 ? ts : runtime_.clock().now();
     event.dur = dur;
     event.name = stmt.kernel_name();
     event.detail = std::move(detail);
@@ -384,15 +384,38 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
   // only when the chunk-disjointness analysis proves that no two chunks
   // touch the same buffer element (computed-index kernels like BFS fall
   // back to serial, where the chunk order resolves overlaps
-  // deterministically).
+  // deterministically). The verdict is traced for the advisor; when tracing
+  // is on the analysis runs regardless of thread count so the gate event —
+  // like everything else in the trace — is byte-identical for any
+  // MINIARC_THREADS.
   bool allow_parallel = false;
-  if (stmt.falsely_shared.empty() && loop != nullptr && chunks.size() > 1 &&
-      runtime_.executor().threads() > 1) {
+  const char* partition_verdict = nullptr;
+  if (loop == nullptr) {
+    partition_verdict = "serial-no-loop";
+  } else if (!stmt.falsely_shared.empty()) {
+    partition_verdict = "serial-falsely-shared";
+  } else if (chunks.size() <= 1) {
+    partition_verdict = "serial-single-chunk";
+  } else if (trace_on || runtime_.executor().threads() > 1) {
     auto [it, inserted] = partition_safe_.try_emplace(&stmt, false);
     if (inserted) {
       it->second = partition_accesses_disjoint(stmt, *loop, sema_);
     }
-    allow_parallel = it->second;
+    partition_verdict = it->second ? "parallel" : "serial-unprovable";
+    allow_parallel = it->second && runtime_.executor().threads() > 1;
+  }
+  if (trace_on && partition_verdict != nullptr &&
+      partition_traced_.insert(&stmt).second) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kPartitionGate;
+    event.track = kTraceTrackRuntime;
+    event.ts = runtime_.clock().now();
+    event.name = stmt.kernel_name();
+    event.detail = partition_verdict;
+    event.site = stmt.location().valid() ? stmt.location().str()
+                                         : std::string();
+    event.value = static_cast<long long>(chunks.size());
+    trace.record(std::move(event));
   }
 
   // ---- merge per-worker statement counters (exact billing) ----
@@ -443,7 +466,6 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
   // post-join code below) stay bit-identical to a clean device run.
   auto run_host_failover = [&](const char* reason) {
     double failover_start = runtime_.clock().now();
-    recovery_event(TraceEventKind::kRecoveryFailover, 0.0, reason);
     struct SavedHost {
       TypedBuffer* buffer;
       std::vector<std::byte> bytes;
@@ -518,6 +540,12 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
       std::memcpy(s.buffer->data(), s.bytes.data(), s.bytes.size());
     }
     runtime_.on_host_failover();
+    // Recorded with the whole ladder's measured span (device refresh + host
+    // replay + write-set commit) so the advisor can bill failover cost to
+    // the kernel.
+    recovery_event(TraceEventKind::kRecoveryFailover,
+                   runtime_.clock().now() - failover_start, reason, -1,
+                   executed, failover_start);
   };
 
   // ---- transactional dispatch: snapshot → attempt → rollback/retry ----
@@ -555,15 +583,19 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
                      "write-set",
                      static_cast<long long>(write_set_bytes));
     }
-    auto rollback = [&] {
+    auto rollback = [&](double burn_seconds) {
       for (std::size_t i = 0; i < write_set.size(); ++i) {
         std::memcpy(write_set[i].device->data(), snapshot[i].data(),
                     snapshot[i].size());
       }
       runtime_.on_kernel_rollback(write_set_bytes);
       ++rollbacks;
-      recovery_event(TraceEventKind::kRecoveryRollback, 0.0, "restore",
-                     static_cast<long long>(write_set_bytes), rollbacks);
+      // dur carries everything the doomed attempt cost: the synthetic burn
+      // billed for the faulted dispatch plus the write-set restore DMA.
+      recovery_event(TraceEventKind::kRecoveryRollback,
+                     burn_seconds + runtime_.snapshot_seconds(write_set_bytes),
+                     "restore", static_cast<long long>(write_set_bytes),
+                     rollbacks);
     };
 
     std::optional<AccError> failure;
@@ -579,8 +611,8 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
           worker = KernelWorkerState{};
           init_worker(worker, ctx);
         }
-        runtime_.on_kernel_retry(attempt - 1);
-        recovery_event(TraceEventKind::kRecoveryRetry, 0.0,
+        double backoff = runtime_.on_kernel_retry(attempt - 1);
+        recovery_event(TraceEventKind::kRecoveryRetry, backoff,
                        "attempt " + std::to_string(attempt + 1), -1, attempt);
       }
       // Injected kernel faults are decided on the host thread before
@@ -700,10 +732,11 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
           for (const auto& worker : workers) burn += worker.statements;
         }
         total_budget_used_ += burn;
-        runtime_.bill_fault_recovery(runtime_.model().kernel.kernel_seconds(
+        double burn_seconds = runtime_.model().kernel.kernel_seconds(
             static_cast<std::size_t>(burn), stmt.config.num_gangs,
-            stmt.config.num_workers));
-        rollback();
+            stmt.config.num_workers);
+        runtime_.bill_fault_recovery(burn_seconds);
+        rollback(burn_seconds);
         BreakerState before_fault = runtime_.breaker().state();
         runtime_.breaker().record_fault();
         breaker_event(before_fault, "launch-fault");

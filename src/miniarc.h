@@ -60,6 +60,10 @@
 #include "trace/report.h"
 #include "trace/trace.h"
 
+// Trace-driven optimization advisor and run-report diffing.
+#include "advisor/advisor.h"
+#include "advisor/report_diff.h"
+
 // Execution.
 #include "interp/interp.h"
 

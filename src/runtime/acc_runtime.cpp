@@ -401,11 +401,12 @@ void AccRuntime::on_kernel_rollback(std::size_t bytes) {
   bill_fault_recovery(snapshot_seconds(bytes));
 }
 
-void AccRuntime::on_kernel_retry(int attempt) {
+double AccRuntime::on_kernel_retry(int attempt) {
   ++resilience_.kernel_retries;
   int shift = attempt < 16 ? attempt : 16;
-  bill_fault_recovery(kKernelBackoffBaseSeconds *
-                      static_cast<double>(1L << shift));
+  double backoff = kKernelBackoffBaseSeconds * static_cast<double>(1L << shift);
+  bill_fault_recovery(backoff);
+  return backoff;
 }
 
 void AccRuntime::on_kernel_recovered() { ++resilience_.kernels_recovered; }

@@ -144,8 +144,9 @@ class AccRuntime {
   /// restore DMA.
   void on_kernel_rollback(std::size_t bytes);
   /// One re-dispatch after a rollback: bills exponential virtual-clock
-  /// backoff (`attempt` counts from 0 for the first retry).
-  void on_kernel_retry(int attempt);
+  /// backoff (`attempt` counts from 0 for the first retry). Returns the
+  /// billed backoff seconds (the trace records it on the retry event).
+  double on_kernel_retry(int attempt);
   /// A launch completed on the device after at least one rollback.
   void on_kernel_recovered();
   /// A launch completed by serial host execution.

@@ -91,7 +91,8 @@ void RuntimeChecker::record(FindingKind kind, const std::string& var,
 
 SiteStats& RuntimeChecker::site(const std::string& label,
                                 const std::string& var,
-                                TransferDirection direction) {
+                                TransferDirection direction,
+                                SourceLocation loc) {
   for (auto& s : sites_) {
     if (s.label == label && s.var == var) return s;
   }
@@ -99,6 +100,7 @@ SiteStats& RuntimeChecker::site(const std::string& label,
   stats.label = label;
   stats.var = var;
   stats.direction = direction;
+  stats.location = loc;
   sites_.push_back(std::move(stats));
   return sites_.back();
 }
@@ -164,7 +166,7 @@ void RuntimeChecker::on_transfer(const TypedBuffer& buffer,
     DeviceSide target = direction == TransferDirection::kHostToDevice
                             ? DeviceSide::kDevice
                             : DeviceSide::kHost;
-    SiteStats& stats = site(label, var, direction);
+    SiteStats& stats = site(label, var, direction, loc);
     bool first = stats.occurrences == 0;
     ++stats.occurrences;
 

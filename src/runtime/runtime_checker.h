@@ -64,6 +64,9 @@ struct SiteStats {
   /// Was the site's first dynamic execution redundant? (If not, but all
   /// later ones were, the transfer wants to be *deferred*, not deleted.)
   bool first_occurrence_redundant = false;
+  /// Source anchor of the site (first dynamic occurrence). The advisor keys
+  /// its trace lookups and recommendation anchors on this.
+  SourceLocation location;
 };
 
 class TraceRecorder;
@@ -123,7 +126,7 @@ class RuntimeChecker {
               TransferDirection direction, const ExecContext& ctx,
               SourceLocation loc);
   SiteStats& site(const std::string& label, const std::string& var,
-                  TransferDirection direction);
+                  TransferDirection direction, SourceLocation loc);
 
   bool enabled_ = false;
   TraceRecorder* trace_ = nullptr;

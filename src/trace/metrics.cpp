@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 namespace miniarc {
 
@@ -19,11 +20,53 @@ const VariableRollup* TraceMetrics::variable(const std::string& name) const {
   return nullptr;
 }
 
+const LatencyStats* TraceMetrics::latency_for(const std::string& kind) const {
+  for (const auto& stats : latency) {
+    if (stats.kind == kind) return &stats;
+  }
+  return nullptr;
+}
+
+namespace {
+
+using Interval = std::pair<double, double>;
+
+/// Total length covered by the union of the intervals (merging overlaps).
+double union_seconds(std::vector<Interval>& intervals) {
+  if (intervals.empty()) return 0.0;
+  std::sort(intervals.begin(), intervals.end());
+  double covered = 0.0;
+  double start = intervals.front().first;
+  double end = intervals.front().second;
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].first > end) {
+      covered += end - start;
+      start = intervals[i].first;
+      end = intervals[i].second;
+    } else {
+      end = std::max(end, intervals[i].second);
+    }
+  }
+  return covered + (end - start);
+}
+
+/// Nearest-rank percentile over an ascending-sorted duration list.
+double percentile(const std::vector<double>& sorted, double pct) {
+  std::size_t rank = static_cast<std::size_t>(
+      pct / 100.0 * static_cast<double>(sorted.size()) + 0.999999);
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
 TraceMetrics aggregate_trace(const std::vector<TraceEvent>& events) {
   // std::map: rollups come out sorted by name, part of the determinism
   // contract for the run report.
   std::map<std::string, KernelRollup> kernels;
   std::map<std::string, VariableRollup> variables;
+  std::map<std::string, std::vector<double>> durations;
 
   auto kernel = [&](const std::string& name) -> KernelRollup& {
     KernelRollup& rollup = kernels[name];
@@ -36,7 +79,31 @@ TraceMetrics aggregate_trace(const std::vector<TraceEvent>& events) {
     return rollup;
   };
 
+  // Timeline interval pools (class overlap within a pool is merged away).
+  std::vector<Interval> kernel_iv;
+  std::vector<Interval> h2d_iv;
+  std::vector<Interval> d2h_iv;
+  std::vector<Interval> recovery_iv;
+  std::vector<Interval> other_iv;
+  std::vector<Interval> busy_iv;
+  double span_min = 0.0;
+  double span_max = 0.0;
+  bool span_seen = false;
+
+  auto add_interval = [&](std::vector<Interval>& pool, const TraceEvent& e) {
+    if (e.dur <= 0.0) return;
+    pool.emplace_back(e.ts, e.ts + e.dur);
+    busy_iv.emplace_back(e.ts, e.ts + e.dur);
+  };
+
   for (const TraceEvent& event : events) {
+    double end = event.ts + (event.dur > 0.0 ? event.dur : 0.0);
+    if (!span_seen || event.ts < span_min) span_min = event.ts;
+    if (!span_seen || end > span_max) span_max = end;
+    span_seen = true;
+    durations[to_string(event.kind)].push_back(event.dur > 0.0 ? event.dur
+                                                               : 0.0);
+
     switch (event.kind) {
       case TraceEventKind::kKernelLaunch: {
         KernelRollup& rollup = kernel(event.name);
@@ -47,10 +114,25 @@ TraceMetrics aggregate_trace(const std::vector<TraceEvent>& events) {
         }
         if (event.value > 0) rollup.statements += event.value;
         rollup.seconds += event.dur;
+        add_interval(kernel_iv, event);
         break;
       }
-      case TraceEventKind::kKernelChunk:
-        ++kernel(event.name).chunks;
+      case TraceEventKind::kKernelChunk: {
+        // Chunks overlap their launch span; they feed the imbalance rollup
+        // but not the timeline (the launch interval already covers them).
+        KernelRollup& rollup = kernel(event.name);
+        ++rollup.chunks;
+        if (event.dur > 0.0) {
+          rollup.chunk_seconds += event.dur;
+          rollup.max_chunk_seconds =
+              std::max(rollup.max_chunk_seconds, event.dur);
+        }
+        break;
+      }
+      case TraceEventKind::kPartitionGate:
+        if (kernel(event.name).partition.empty()) {
+          kernel(event.name).partition = event.detail;
+        }
         break;
       case TraceEventKind::kTransfer: {
         VariableRollup& rollup = variable(event.name);
@@ -58,23 +140,30 @@ TraceMetrics aggregate_trace(const std::vector<TraceEvent>& events) {
         if (event.detail == "H2D") {
           rollup.h2d_bytes += bytes;
           ++rollup.h2d_count;
+          add_interval(h2d_iv, event);
         } else {
           rollup.d2h_bytes += bytes;
           ++rollup.d2h_count;
+          add_interval(d2h_iv, event);
         }
         break;
       }
       case TraceEventKind::kPresentHit:
         ++variable(event.name).present_hits;
         break;
-      case TraceEventKind::kPresentMiss:
-        ++variable(event.name).present_misses;
+      case TraceEventKind::kPresentMiss: {
+        VariableRollup& rollup = variable(event.name);
+        ++rollup.present_misses;
+        if (event.detail == "host-fallback") ++rollup.host_fallbacks;
         break;
+      }
       case TraceEventKind::kPresentEvict:
         if (!event.name.empty()) {
-          variable(event.name).evictions +=
-              event.value > 0 ? event.value : 1;
+          VariableRollup& rollup = variable(event.name);
+          rollup.evictions += event.value > 0 ? event.value : 1;
+          if (event.dur > 0.0) rollup.eviction_seconds += event.dur;
         }
+        add_interval(other_iv, event);
         break;
       case TraceEventKind::kFaultInjected:
         if (!event.name.empty() &&
@@ -82,19 +171,37 @@ TraceMetrics aggregate_trace(const std::vector<TraceEvent>& events) {
              event.detail == "kcorrupt")) {
           ++kernel(event.name).faults_injected;
         }
+        add_interval(recovery_iv, event);
         break;
-      case TraceEventKind::kRecoveryRollback:
-        ++kernel(event.name).rollbacks;
+      case TraceEventKind::kRecoverySnapshot:
+        if (!event.name.empty()) {
+          kernel(event.name).recovery_seconds += event.dur;
+        }
+        add_interval(recovery_iv, event);
         break;
-      case TraceEventKind::kRecoveryRetry:
-        ++kernel(event.name).retries;
+      case TraceEventKind::kRecoveryRollback: {
+        KernelRollup& rollup = kernel(event.name);
+        ++rollup.rollbacks;
+        rollup.recovery_seconds += event.dur;
+        add_interval(recovery_iv, event);
         break;
-      case TraceEventKind::kRecoveryFailover:
-        ++kernel(event.name).failovers;
+      }
+      case TraceEventKind::kRecoveryRetry: {
+        KernelRollup& rollup = kernel(event.name);
+        ++rollup.retries;
+        rollup.recovery_seconds += event.dur;
+        add_interval(recovery_iv, event);
         break;
+      }
+      case TraceEventKind::kRecoveryFailover: {
+        KernelRollup& rollup = kernel(event.name);
+        ++rollup.failovers;
+        rollup.recovery_seconds += event.dur;
+        add_interval(recovery_iv, event);
+        break;
+      }
       case TraceEventKind::kCoherenceFinding:
       case TraceEventKind::kVerifyCompare:
-      case TraceEventKind::kRecoverySnapshot:
       case TraceEventKind::kBreakerTransition:
       case TraceEventKind::kCount:
         break;
@@ -110,6 +217,37 @@ TraceMetrics aggregate_trace(const std::vector<TraceEvent>& events) {
   for (auto& [name, rollup] : variables) {
     metrics.variables.push_back(std::move(rollup));
   }
+
+  metrics.latency.reserve(durations.size());
+  for (auto& [kind, durs] : durations) {
+    std::sort(durs.begin(), durs.end());
+    LatencyStats stats;
+    stats.kind = kind;
+    stats.count = static_cast<long>(durs.size());
+    for (double d : durs) stats.total_seconds += d;
+    stats.min_seconds = durs.front();
+    stats.max_seconds = durs.back();
+    stats.p50_seconds = percentile(durs, 50.0);
+    stats.p90_seconds = percentile(durs, 90.0);
+    stats.p99_seconds = percentile(durs, 99.0);
+    metrics.latency.push_back(std::move(stats));
+  }
+
+  if (span_seen) {
+    metrics.timeline.span_seconds = span_max - span_min;
+    metrics.timeline.kernel_seconds = union_seconds(kernel_iv);
+    metrics.timeline.h2d_seconds = union_seconds(h2d_iv);
+    metrics.timeline.d2h_seconds = union_seconds(d2h_iv);
+    metrics.timeline.recovery_seconds = union_seconds(recovery_iv);
+    metrics.timeline.other_seconds = union_seconds(other_iv);
+    metrics.timeline.busy_seconds = union_seconds(busy_iv);
+    metrics.timeline.idle_seconds =
+        metrics.timeline.span_seconds - metrics.timeline.busy_seconds;
+    if (metrics.timeline.idle_seconds < 0.0) {
+      metrics.timeline.idle_seconds = 0.0;
+    }
+  }
+
   return metrics;
 }
 

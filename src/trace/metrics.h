@@ -1,8 +1,9 @@
 // Metrics aggregation over a recorded trace: the per-kernel and
 // per-variable rollups the interactive workflow reads (Kerncap-style
-// isolated per-kernel data; Cudagrind-style per-variable transfer volumes).
-// Pure function of the event stream, so the rollups inherit the trace's
-// determinism contract.
+// isolated per-kernel data; Cudagrind-style per-variable transfer volumes),
+// plus the latency histograms and virtual-timeline attribution the advisor
+// builds its critical-path analysis on. Pure function of the event stream,
+// so everything here inherits the trace's determinism contract.
 #pragma once
 
 #include <string>
@@ -22,6 +23,18 @@ struct KernelRollup {
   long statements = 0;
   /// Summed launch durations (virtual seconds).
   double seconds = 0.0;
+  /// Summed chunk durations and the largest single chunk — the imbalance
+  /// signal is max_chunk * chunks vs chunk_seconds.
+  double chunk_seconds = 0.0;
+  double max_chunk_seconds = 0.0;
+  /// Fault-recovery time billed against this kernel: snapshot DMA, rollback
+  /// burn + restore, retry backoff, failover replay.
+  double recovery_seconds = 0.0;
+  /// Partition-safety verdict for the launch site: "parallel" or a
+  /// serial-fallback reason ("serial-unprovable", "serial-falsely-shared",
+  /// "serial-no-loop", "serial-single-chunk"). Empty if no gate event was
+  /// recorded (tracing enabled mid-run).
+  std::string partition;
   long faults_injected = 0;
   long rollbacks = 0;
   long retries = 0;
@@ -37,7 +50,43 @@ struct VariableRollup {
   long d2h_count = 0;
   long present_hits = 0;
   long present_misses = 0;
+  /// Present misses that degraded to a host-fallback alias (zero-copy
+  /// degradation; every "device" access is really host memory).
+  long host_fallbacks = 0;
   long evictions = 0;
+  /// Eviction-pass time attributed to misses on this variable.
+  double eviction_seconds = 0.0;
+};
+
+/// Duration distribution for one event kind (nearest-rank percentiles over
+/// the recorded `dur` values, virtual seconds).
+struct LatencyStats {
+  std::string kind;
+  long count = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p90_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+/// Wall-clock (virtual) attribution over the trace span: per-class
+/// union-of-intervals coverage, so overlapping events in one class are not
+/// double-counted. Classes can still overlap each other (async transfers
+/// under a kernel), so the parts may sum past busy_seconds.
+struct TimelineAttribution {
+  /// max(ts + dur) - min(ts) over all events.
+  double span_seconds = 0.0;
+  double kernel_seconds = 0.0;
+  double h2d_seconds = 0.0;
+  double d2h_seconds = 0.0;
+  double recovery_seconds = 0.0;
+  double other_seconds = 0.0;
+  /// Union over every class — time at least one modeled activity covered.
+  double busy_seconds = 0.0;
+  /// span - busy: trace time no recorded activity accounts for.
+  double idle_seconds = 0.0;
 };
 
 struct TraceMetrics {
@@ -45,9 +94,13 @@ struct TraceMetrics {
   std::vector<KernelRollup> kernels;
   /// Sorted by variable name.
   std::vector<VariableRollup> variables;
+  /// Sorted by kind name; only kinds that occurred.
+  std::vector<LatencyStats> latency;
+  TimelineAttribution timeline;
 
   [[nodiscard]] const KernelRollup* kernel(const std::string& name) const;
   [[nodiscard]] const VariableRollup* variable(const std::string& name) const;
+  [[nodiscard]] const LatencyStats* latency_for(const std::string& kind) const;
 };
 
 /// Fold an event stream into rollups. Events the aggregator does not

@@ -37,7 +37,12 @@ RunReport build_run_report(AccRuntime& runtime, std::string command,
   const TraceRecorder& trace = runtime.trace();
   report.trace_events = trace.events().size();
   report.trace_dropped = trace.dropped();
+  report.trace_max_events = trace.max_events();
   if (trace.enabled()) report.metrics = aggregate_trace(trace.events());
+
+  if (runtime.checker().enabled()) {
+    report.checker_sites = runtime.checker().site_stats();
+  }
   return report;
 }
 
@@ -216,6 +221,7 @@ void write_run_report_json(const RunReport& report, std::ostream& os) {
   json.begin_object();
   json.field("events", report.trace_events);
   json.field("dropped", report.trace_dropped);
+  json.field("max_events", report.trace_max_events);
   json.key("kernels");
   json.begin_array();
   for (const KernelRollup& k : report.metrics.kernels) {
@@ -226,6 +232,10 @@ void write_run_report_json(const RunReport& report, std::ostream& os) {
     json.field("chunks", static_cast<long long>(k.chunks));
     json.field("statements", static_cast<long long>(k.statements));
     json.field("seconds", k.seconds);
+    json.field("chunk_seconds", k.chunk_seconds);
+    json.field("max_chunk_seconds", k.max_chunk_seconds);
+    json.field("recovery_seconds", k.recovery_seconds);
+    json.field("partition", k.partition);
     json.field("faults_injected", static_cast<long long>(k.faults_injected));
     json.field("rollbacks", static_cast<long long>(k.rollbacks));
     json.field("retries", static_cast<long long>(k.retries));
@@ -244,10 +254,39 @@ void write_run_report_json(const RunReport& report, std::ostream& os) {
     json.field("d2h_count", static_cast<long long>(v.d2h_count));
     json.field("present_hits", static_cast<long long>(v.present_hits));
     json.field("present_misses", static_cast<long long>(v.present_misses));
+    json.field("host_fallbacks", static_cast<long long>(v.host_fallbacks));
     json.field("evictions", static_cast<long long>(v.evictions));
+    json.field("eviction_seconds", v.eviction_seconds);
     json.end_object();
   }
   json.end_array();
+  json.key("latency");
+  json.begin_array();
+  for (const LatencyStats& l : report.metrics.latency) {
+    json.begin_object();
+    json.field("kind", l.kind);
+    json.field("count", static_cast<long long>(l.count));
+    json.field("total_seconds", l.total_seconds);
+    json.field("min_seconds", l.min_seconds);
+    json.field("max_seconds", l.max_seconds);
+    json.field("p50_seconds", l.p50_seconds);
+    json.field("p90_seconds", l.p90_seconds);
+    json.field("p99_seconds", l.p99_seconds);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("timeline");
+  json.begin_object();
+  const TimelineAttribution& t = report.metrics.timeline;
+  json.field("span_seconds", t.span_seconds);
+  json.field("kernel_seconds", t.kernel_seconds);
+  json.field("h2d_seconds", t.h2d_seconds);
+  json.field("d2h_seconds", t.d2h_seconds);
+  json.field("recovery_seconds", t.recovery_seconds);
+  json.field("other_seconds", t.other_seconds);
+  json.field("busy_seconds", t.busy_seconds);
+  json.field("idle_seconds", t.idle_seconds);
+  json.end_object();
   json.end_object();
 
   json.key("verification");
@@ -284,6 +323,25 @@ void write_run_report_json(const RunReport& report, std::ostream& os) {
   json.begin_array();
   for (const std::string& suggestion : report.suggestions) {
     json.value(suggestion);
+  }
+  json.end_array();
+  json.key("sites");
+  json.begin_array();
+  for (const SiteStats& site : report.checker_sites) {
+    json.begin_object();
+    json.field("label", site.label);
+    json.field("var", site.var);
+    json.field("direction", site.direction == TransferDirection::kHostToDevice
+                                ? "H2D"
+                                : "D2H");
+    json.field("occurrences", site.occurrences);
+    json.field("redundant", site.redundant);
+    json.field("may_redundant", site.may_redundant);
+    json.field("incorrect", site.incorrect);
+    json.field("first_occurrence_redundant", site.first_occurrence_redundant);
+    json.field("location", site.location.valid() ? site.location.str()
+                                                 : std::string());
+    json.end_object();
   }
   json.end_array();
   json.end_object();
@@ -412,8 +470,26 @@ bool validate_run_report(const std::string& json_text, std::string* error) {
   const JsonValue& trace = *root.find("trace");
   if (!require(trace, "events", Kind::kNumber, error)) return false;
   if (!require(trace, "dropped", Kind::kNumber, error)) return false;
+  if (!require(trace, "max_events", Kind::kNumber, error)) return false;
   if (!require(trace, "kernels", Kind::kArray, error)) return false;
   if (!require(trace, "variables", Kind::kArray, error)) return false;
+  if (!require(trace, "latency", Kind::kArray, error)) return false;
+  if (!require(trace, "timeline", Kind::kObject, error)) return false;
+  for (const JsonValue& stats : trace.find("latency")->array) {
+    if (!check(stats.kind == Kind::kObject, "latency entry is not an object",
+               error)) {
+      return false;
+    }
+    if (!require(stats, "kind", Kind::kString, error)) return false;
+    if (!require(stats, "count", Kind::kNumber, error)) return false;
+    if (!require(stats, "p99_seconds", Kind::kNumber, error)) return false;
+  }
+  const JsonValue& timeline = *trace.find("timeline");
+  for (const char* key :
+       {"span_seconds", "kernel_seconds", "h2d_seconds", "d2h_seconds",
+        "recovery_seconds", "busy_seconds", "idle_seconds"}) {
+    if (!require(timeline, key, Kind::kNumber, error)) return false;
+  }
   for (const JsonValue& kernel : trace.find("kernels")->array) {
     if (!check(kernel.kind == Kind::kObject, "trace kernel is not an object",
                error)) {
@@ -444,8 +520,67 @@ bool validate_run_report(const std::string& json_text, std::string* error) {
   if (!require(checker, "enabled", Kind::kBool, error)) return false;
   if (!require(checker, "findings", Kind::kArray, error)) return false;
   if (!require(checker, "suggestions", Kind::kArray, error)) return false;
+  if (!require(checker, "sites", Kind::kArray, error)) return false;
   if (!all_strings(*checker.find("findings"), "findings", error)) return false;
+  for (const JsonValue& site : checker.find("sites")->array) {
+    if (!check(site.kind == Kind::kObject, "checker site is not an object",
+               error)) {
+      return false;
+    }
+    if (!require(site, "label", Kind::kString, error)) return false;
+    if (!require(site, "var", Kind::kString, error)) return false;
+    if (!require(site, "direction", Kind::kString, error)) return false;
+    if (!require(site, "occurrences", Kind::kNumber, error)) return false;
+    if (!require(site, "first_occurrence_redundant", Kind::kBool, error)) {
+      return false;
+    }
+    if (!require(site, "location", Kind::kString, error)) return false;
+  }
 
+  return true;
+}
+
+bool validate_bench_artifact(const std::string& json_text,
+                             std::string* error) {
+  std::optional<JsonValue> parsed = parse_json(json_text, error);
+  if (!parsed.has_value()) return false;
+  const JsonValue& root = *parsed;
+  using Kind = JsonValue::Kind;
+  if (!check(root.kind == Kind::kObject, "artifact is not an object", error)) {
+    return false;
+  }
+
+  const JsonValue* schema = root.find("schema");
+  if (!check(schema != nullptr && schema->kind == Kind::kString,
+             "missing 'schema' string", error)) {
+    return false;
+  }
+  if (schema->string != kBenchArtifactSchema) {
+    if (error != nullptr) {
+      *error = "unexpected schema '" + schema->string + "' (want '" +
+               kBenchArtifactSchema + "')";
+    }
+    return false;
+  }
+
+  if (!require(root, "name", Kind::kString, error)) return false;
+  if (!require(root, "rows", Kind::kArray, error)) return false;
+  for (const JsonValue& row : root.find("rows")->array) {
+    if (!check(row.kind == Kind::kObject, "bench row is not an object",
+               error)) {
+      return false;
+    }
+    if (!require(row, "label", Kind::kString, error)) return false;
+    for (const auto& [key, value] : row.object) {
+      if (key == "label") continue;
+      if (value.kind != Kind::kNumber) {
+        if (error != nullptr) {
+          *error = "bench row metric '" + key + "' is not a number";
+        }
+        return false;
+      }
+    }
+  }
   return true;
 }
 

@@ -20,6 +20,7 @@
 namespace miniarc {
 
 inline constexpr const char* kRunReportSchema = "miniarc-run-report/v1";
+inline constexpr const char* kBenchArtifactSchema = "miniarc-bench/v1";
 
 struct RunReport {
   // ---- provenance ----
@@ -53,6 +54,9 @@ struct RunReport {
   TraceMetrics metrics;
   std::size_t trace_events = 0;
   std::size_t trace_dropped = 0;
+  /// Buffer cap the recorder ran with (context for `trace_dropped`: raise
+  /// the cap to recover the dropped tail).
+  std::size_t trace_max_events = 0;
 
   // ---- kernel verification (verify command) ----
   struct Verification {
@@ -72,6 +76,10 @@ struct RunReport {
   long dynamic_checks = 0;
   std::vector<std::string> findings;
   std::vector<std::string> suggestions;
+  /// Per-site transfer statistics (sorted by the checker's site key); the
+  /// advisor keys its savings projections on these. Carries the
+  /// first_occurrence_redundant warm-up flag per site.
+  std::vector<SiteStats> checker_sites;
 };
 
 /// Snapshot `runtime` (profiler, faults, resilience, breaker, diagnostics,
@@ -101,5 +109,10 @@ void write_run_report_json(const RunReport& report, std::ostream& os);
 /// report. On failure returns false and sets `*error` when given.
 [[nodiscard]] bool validate_run_report(const std::string& json_text,
                                        std::string* error = nullptr);
+
+/// Validate that `json_text` is a well-formed "miniarc-bench/v1" artifact:
+/// {schema, name, rows: [{label: string, <metric>: number...}]}.
+[[nodiscard]] bool validate_bench_artifact(const std::string& json_text,
+                                           std::string* error = nullptr);
 
 }  // namespace miniarc

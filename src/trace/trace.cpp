@@ -26,6 +26,7 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kRecoveryRetry: return "recovery-retry";
     case TraceEventKind::kRecoveryFailover: return "recovery-failover";
     case TraceEventKind::kBreakerTransition: return "breaker-transition";
+    case TraceEventKind::kPartitionGate: return "partition-gate";
     case TraceEventKind::kCount: break;
   }
   return "?";
@@ -124,6 +125,7 @@ const char* track_category(TraceEventKind kind) {
     case TraceEventKind::kRecoveryRetry:
     case TraceEventKind::kRecoveryFailover: return "recovery";
     case TraceEventKind::kBreakerTransition: return "breaker";
+    case TraceEventKind::kPartitionGate: return "kernel";
     case TraceEventKind::kCount: break;
   }
   return "?";

@@ -67,6 +67,11 @@ enum class TraceEventKind : std::uint8_t {
   kRecoveryFailover,
   /// Circuit-breaker state change; detail = "closed->open" etc.
   kBreakerTransition,
+  /// Partition-safety verdict for one kernel launch statement (first launch
+  /// only); detail = "parallel" or a serial-fallback reason
+  /// ("serial-unprovable", "serial-falsely-shared", "serial-no-loop",
+  /// "serial-single-chunk"), value = chunk count.
+  kPartitionGate,
   kCount,
 };
 

@@ -1,0 +1,560 @@
+// Trace-driven optimization advisor and run-report diffing (DESIGN.md §5):
+// determinism of `advise` output across executor thread counts (with and
+// without an armed fault plan), the advise → fix → report-diff workflow on
+// the naive/optimized Jacobi pair, regression-threshold gating, bench
+// artifact schema validation, and the new rollup/latency/timeline metrics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "advisor/advisor.h"
+#include "advisor/report_diff.h"
+#include "tests/test_util.h"
+#include "trace/json.h"
+#include "trace/metrics.h"
+#include "trace/report.h"
+#include "verify/interactive_optimizer.h"
+#include "verify/transfer_verifier.h"
+
+namespace miniarc {
+namespace {
+
+constexpr int kN = 16;
+constexpr int kIter = 4;
+
+// The paper's running example, before the data-region fix: every kernel
+// launch pays default copy-in/copy-out for both grids, so the checker flags
+// redundant transfers on the GPU-private scratch grid and across sweeps.
+constexpr const char* kNaiveJacobi = R"(
+extern int N;
+extern int ITER;
+extern double a[];
+
+void main(void) {
+  int k;
+  int i;
+  int j;
+  double tj;
+  double* b = (double*)malloc(N * N * sizeof(double));
+
+  for (k = 0; k < ITER; k++) {
+    #pragma acc kernels loop gang worker
+    for (i = 1; i < N - 1; i++) {
+      for (j = 1; j < N - 1; j++) {
+        tj = a[(i - 1) * N + j] + a[(i + 1) * N + j] +
+             a[i * N + j - 1] + a[i * N + j + 1];
+        b[i * N + j] = 0.25 * tj;
+      }
+    }
+    #pragma acc kernels loop gang worker
+    for (i = 1; i < N - 1; i++) {
+      for (j = 1; j < N - 1; j++) {
+        a[i * N + j] = b[i * N + j];
+      }
+    }
+  }
+}
+)";
+
+// The same program after applying the advisor's transfer eliminations: one
+// data region keeps both grids resident for the whole sweep loop.
+constexpr const char* kOptimizedJacobi = R"(
+extern int N;
+extern int ITER;
+extern double a[];
+
+void main(void) {
+  int k;
+  int i;
+  int j;
+  double tj;
+  double* b = (double*)malloc(N * N * sizeof(double));
+
+  #pragma acc data copy(a) create(b)
+  {
+    for (k = 0; k < ITER; k++) {
+      #pragma acc kernels loop gang worker
+      for (i = 1; i < N - 1; i++) {
+        for (j = 1; j < N - 1; j++) {
+          tj = a[(i - 1) * N + j] + a[(i + 1) * N + j] +
+               a[i * N + j - 1] + a[i * N + j + 1];
+          b[i * N + j] = 0.25 * tj;
+        }
+      }
+      #pragma acc kernels loop gang worker
+      for (i = 1; i < N - 1; i++) {
+        for (j = 1; j < N - 1; j++) {
+          a[i * N + j] = b[i * N + j];
+        }
+      }
+    }
+  }
+}
+)";
+
+void bind_jacobi(Interpreter& interp) {
+  interp.bind_scalar("N", Value::of_int(kN));
+  interp.bind_scalar("ITER", Value::of_int(kIter));
+  BufferPtr a = interp.bind_buffer("a", ScalarKind::kDouble,
+                                   static_cast<std::size_t>(kN) * kN);
+  for (std::size_t i = 0; i < a->count(); ++i) {
+    a->set(i, static_cast<double>(i % 11) * 0.25);
+  }
+}
+
+FaultPlan armed_plan() {
+  std::string error;
+  auto plan =
+      FaultPlan::parse("hang=0.3,transient=0.2,fault=0.1,seed=7", &error);
+  EXPECT_TRUE(plan.has_value()) << error;
+  return *plan;
+}
+
+struct AdviseOutcome {
+  RunResult run;
+  AdvisorReport advice;
+  std::string text;
+  std::string json;
+};
+
+/// The `miniarc advise` pipeline as a library call: instrument for the
+/// coherence checker, run traced, analyze.
+AdviseOutcome run_advisor(const char* source, int threads,
+                          std::optional<FaultPlan> faults = {}) {
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_mini_c(source, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.dump();
+  TransferVerifier verifier;
+  TransferVerifier::Prepared prepared = verifier.prepare(*program, diags);
+  EXPECT_NE(prepared.program, nullptr) << diags.dump();
+
+  ExecutorOptions exec;
+  exec.threads = threads;
+  exec.faults = std::move(faults);
+  TraceOptions trace;
+  trace.enabled = true;
+  exec.trace = trace;
+
+  AdviseOutcome out;
+  out.run = run_lowered(*prepared.program, prepared.sema, bind_jacobi,
+                        /*enable_checker=*/true, /*hook=*/nullptr, exec);
+  EXPECT_TRUE(out.run.ok) << out.run.error;
+
+  const TraceRecorder& recorder = out.run.runtime->trace();
+  TraceMetrics metrics = aggregate_trace(recorder.events());
+  out.advice = advise(recorder.events(), metrics,
+                      out.run.runtime->checker().site_stats(),
+                      out.run.runtime->checker().findings(),
+                      out.run.runtime->total_time());
+  out.advice.program = "jacobi";
+  out.text = render_advice_text(out.advice);
+  std::ostringstream os;
+  write_advice_json(out.advice, os);
+  out.json = os.str();
+  return out;
+}
+
+/// One traced (un-instrumented) run rendered as a run-report JSON document.
+std::string report_json_for(const char* source, const std::string& name) {
+  LoweredProgram low = test::lowered(source);
+  ExecutorOptions exec;
+  exec.threads = 1;
+  TraceOptions trace;
+  trace.enabled = true;
+  exec.trace = trace;
+  RunResult run = run_lowered(*low.program, low.sema, bind_jacobi,
+                              /*enable_checker=*/false, /*hook=*/nullptr,
+                              exec);
+  EXPECT_TRUE(run.ok) << run.error;
+  RunReport report = build_run_report(*run.runtime, "run", name);
+  std::ostringstream os;
+  write_run_report_json(report, os);
+  return os.str();
+}
+
+double metric_value(const ReportDelta& delta, const std::string& name,
+                    bool after) {
+  for (const MetricDelta& metric : delta.metrics) {
+    if (metric.metric == name) return after ? metric.after : metric.before;
+  }
+  ADD_FAILURE() << "metric '" << name << "' missing from delta";
+  return 0.0;
+}
+
+// ---- determinism contract ----
+
+TEST(AdvisorDeterminismTest, OutputByteIdenticalAcrossThreadCounts) {
+  AdviseOutcome one = run_advisor(kNaiveJacobi, 1);
+  AdviseOutcome eight = run_advisor(kNaiveJacobi, 8);
+  EXPECT_EQ(one.text, eight.text);
+  EXPECT_EQ(one.json, eight.json);
+}
+
+TEST(AdvisorDeterminismTest, OutputByteIdenticalAcrossThreadsUnderFaults) {
+  AdviseOutcome one = run_advisor(kNaiveJacobi, 1, armed_plan());
+  AdviseOutcome eight = run_advisor(kNaiveJacobi, 8, armed_plan());
+  EXPECT_EQ(one.text, eight.text);
+  EXPECT_EQ(one.json, eight.json);
+}
+
+TEST(AdvisorDeterminismTest, RepeatedRunsIdentical) {
+  AdviseOutcome first = run_advisor(kNaiveJacobi, 2);
+  AdviseOutcome second = run_advisor(kNaiveJacobi, 2);
+  EXPECT_EQ(first.text, second.text);
+  EXPECT_EQ(first.json, second.json);
+}
+
+// ---- recommendation quality on the running example ----
+
+TEST(AdvisorTest, NaiveJacobiTopRecommendationEliminatesTransfers) {
+  AdviseOutcome outcome = run_advisor(kNaiveJacobi, 1);
+  ASSERT_FALSE(outcome.advice.recommendations.empty());
+  const Recommendation& top = outcome.advice.recommendations.front();
+  bool elimination = top.kind == AdviceKind::kRemoveTransfer ||
+                     top.kind == AdviceKind::kHoistTransfer ||
+                     top.kind == AdviceKind::kDeferTransfer;
+  EXPECT_TRUE(elimination) << to_string(top.kind);
+  EXPECT_GT(top.seconds_saved, 0.0);
+  EXPECT_GT(top.bytes_saved, 0);
+  EXPECT_FALSE(top.location.empty());
+  EXPECT_FALSE(top.site.empty());
+  EXPECT_GT(outcome.advice.projected_bytes_saved, 0);
+}
+
+TEST(AdvisorTest, OptimizedJacobiHasNoEliminationRecommendations) {
+  AdviseOutcome outcome = run_advisor(kOptimizedJacobi, 1);
+  for (const Recommendation& rec : outcome.advice.recommendations) {
+    EXPECT_NE(rec.kind, AdviceKind::kRemoveTransfer) << rec.subject;
+    EXPECT_NE(rec.kind, AdviceKind::kHoistTransfer) << rec.subject;
+    EXPECT_NE(rec.kind, AdviceKind::kInvestigateIncorrect) << rec.subject;
+    EXPECT_NE(rec.kind, AdviceKind::kInvestigateMissing) << rec.subject;
+  }
+}
+
+TEST(AdvisorTest, RankingIsSeverityOrderedAndTopCutApplies) {
+  AdviseOutcome outcome = run_advisor(kNaiveJacobi, 1);
+  const auto& recs = outcome.advice.recommendations;
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_LE(recs[i - 1].severity_class, recs[i].severity_class);
+  }
+
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_mini_c(kNaiveJacobi, diags);
+  TransferVerifier verifier;
+  auto prepared = verifier.prepare(*program, diags);
+  ExecutorOptions exec;
+  TraceOptions trace;
+  trace.enabled = true;
+  exec.trace = trace;
+  RunResult run = run_lowered(*prepared.program, prepared.sema, bind_jacobi,
+                              true, nullptr, exec);
+  ASSERT_TRUE(run.ok);
+  AdvisorOptions top_two;
+  top_two.top = 2;
+  AdvisorReport cut =
+      advise(run.runtime->trace().events(),
+             aggregate_trace(run.runtime->trace().events()),
+             run.runtime->checker().site_stats(),
+             run.runtime->checker().findings(), run.runtime->total_time(),
+             top_two);
+  EXPECT_LE(cut.recommendations.size(), 2u);
+  ASSERT_GE(recs.size(), cut.recommendations.size());
+  for (std::size_t i = 0; i < cut.recommendations.size(); ++i) {
+    EXPECT_EQ(cut.recommendations[i].subject, recs[i].subject);
+  }
+}
+
+// ---- advise → fix → report-diff workflow ----
+
+TEST(ReportDiffTest, OptimizedJacobiReducesTransferBytes) {
+  std::string naive = report_json_for(kNaiveJacobi, "jacobi-naive");
+  std::string optimized = report_json_for(kOptimizedJacobi, "jacobi-opt");
+
+  std::string error;
+  std::optional<ReportDelta> delta =
+      diff_run_reports(naive, optimized, DiffThresholds{}, &error);
+  ASSERT_TRUE(delta.has_value()) << error;
+  EXPECT_FALSE(delta->violation);
+  EXPECT_EQ(delta->program_a, "jacobi-naive");
+  EXPECT_EQ(delta->program_b, "jacobi-opt");
+
+  EXPECT_LT(metric_value(*delta, "h2d_bytes", true),
+            metric_value(*delta, "h2d_bytes", false));
+  EXPECT_LT(metric_value(*delta, "d2h_bytes", true),
+            metric_value(*delta, "d2h_bytes", false));
+  EXPECT_LT(metric_value(*delta, "transfer_count", true),
+            metric_value(*delta, "transfer_count", false));
+  EXPECT_LT(metric_value(*delta, "total_seconds", true),
+            metric_value(*delta, "total_seconds", false));
+}
+
+TEST(ReportDiffTest, ReverseDirectionViolatesThresholds) {
+  std::string naive = report_json_for(kNaiveJacobi, "jacobi-naive");
+  std::string optimized = report_json_for(kOptimizedJacobi, "jacobi-opt");
+
+  std::string error;
+  std::optional<DiffThresholds> thresholds =
+      DiffThresholds::parse("h2d_bytes=0,total_seconds=5%", &error);
+  ASSERT_TRUE(thresholds.has_value()) << error;
+
+  // optimized -> naive is a regression: bytes and time both increase.
+  std::optional<ReportDelta> delta =
+      diff_run_reports(optimized, naive, *thresholds, &error);
+  ASSERT_TRUE(delta.has_value()) << error;
+  EXPECT_TRUE(delta->violation);
+
+  std::string text = render_report_diff_text(*delta);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+
+  // The fixed direction passes the same gate.
+  delta = diff_run_reports(naive, optimized, *thresholds, &error);
+  ASSERT_TRUE(delta.has_value()) << error;
+  EXPECT_FALSE(delta->violation);
+}
+
+TEST(ReportDiffTest, PerKernelFamilyThresholdMatches) {
+  std::string naive = report_json_for(kNaiveJacobi, "a");
+  std::string optimized = report_json_for(kOptimizedJacobi, "b");
+  std::string error;
+  std::optional<DiffThresholds> thresholds =
+      DiffThresholds::parse("kernel_seconds=1%", &error);
+  ASSERT_TRUE(thresholds.has_value()) << error;
+  // Kernel compute is identical in both variants; the family gate passes in
+  // both directions even though the totals differ.
+  std::optional<ReportDelta> delta =
+      diff_run_reports(optimized, naive, *thresholds, &error);
+  ASSERT_TRUE(delta.has_value()) << error;
+  bool kernel_violation = false;
+  for (const MetricDelta& metric : delta->metrics) {
+    if (metric.violated) {
+      EXPECT_EQ(metric.metric.rfind("kernel_seconds", 0), 0u);
+      kernel_violation = true;
+    }
+  }
+  EXPECT_EQ(delta->violation, kernel_violation);
+}
+
+TEST(ReportDiffTest, ThresholdSpecParsing) {
+  std::string error;
+  auto ok = DiffThresholds::parse("total_seconds=5%,h2d_bytes=1024", &error);
+  ASSERT_TRUE(ok.has_value()) << error;
+  ASSERT_EQ(ok->entries.size(), 2u);
+  EXPECT_TRUE(ok->entries[0].relative);
+  EXPECT_DOUBLE_EQ(ok->entries[0].limit, 5.0);
+  EXPECT_FALSE(ok->entries[1].relative);
+  EXPECT_DOUBLE_EQ(ok->entries[1].limit, 1024.0);
+
+  EXPECT_FALSE(DiffThresholds::parse("garbage", &error).has_value());
+  EXPECT_FALSE(DiffThresholds::parse("x=abc", &error).has_value());
+  EXPECT_FALSE(DiffThresholds::parse("x=-1", &error).has_value());
+}
+
+TEST(ReportDiffTest, RejectsNonReportDocuments) {
+  std::string error;
+  EXPECT_FALSE(diff_run_reports("not json", "{}", {}, &error).has_value());
+  EXPECT_NE(error.find("report A"), std::string::npos);
+  EXPECT_FALSE(
+      diff_run_reports(R"({"schema":"other/v1"})", "{}", {}, &error)
+          .has_value());
+}
+
+TEST(ReportDiffTest, JsonRenderingIsSchemaTagged) {
+  std::string naive = report_json_for(kNaiveJacobi, "a");
+  std::string error;
+  std::optional<ReportDelta> delta =
+      diff_run_reports(naive, naive, DiffThresholds{}, &error);
+  ASSERT_TRUE(delta.has_value()) << error;
+  EXPECT_FALSE(delta->violation);
+  std::ostringstream os;
+  write_report_diff_json(*delta, os);
+  std::optional<JsonValue> doc = parse_json(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const JsonValue* schema = doc->find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->string, kReportDiffSchema);
+  const JsonValue* violation = doc->find("violation");
+  ASSERT_NE(violation, nullptr);
+  EXPECT_FALSE(violation->boolean);
+}
+
+// ---- bench artifact validation (report-validate satellite) ----
+
+TEST(BenchArtifactTest, ValidatesWellFormedArtifact) {
+  std::string text =
+      R"({"schema":"miniarc-bench/v1","name":"demo","rows":[)"
+      R"({"label":"naive","seconds":1.5,"bytes":2048}]})";
+  std::string error;
+  EXPECT_TRUE(validate_bench_artifact(text, &error)) << error;
+}
+
+TEST(BenchArtifactTest, RejectsMalformedArtifacts) {
+  std::string error;
+  EXPECT_FALSE(validate_bench_artifact("not json", &error));
+  EXPECT_FALSE(validate_bench_artifact(R"({"schema":"miniarc-bench/v2"})",
+                                       &error));
+  EXPECT_FALSE(validate_bench_artifact(
+      R"({"schema":"miniarc-bench/v1","name":"x"})", &error));
+  // A non-numeric metric cell.
+  EXPECT_FALSE(validate_bench_artifact(
+      R"({"schema":"miniarc-bench/v1","name":"x",)"
+      R"("rows":[{"label":"a","m":"fast"}]})",
+      &error));
+  EXPECT_NE(error.find("'m'"), std::string::npos);
+  // A row without its label.
+  EXPECT_FALSE(validate_bench_artifact(
+      R"({"schema":"miniarc-bench/v1","name":"x","rows":[{"m":1}]})",
+      &error));
+}
+
+// ---- new rollup / latency / timeline metrics ----
+
+TEST(AdvisorMetricsTest, PartitionVerdictRecordedPerKernel) {
+  AdviseOutcome outcome = run_advisor(kNaiveJacobi, 2);
+  TraceMetrics metrics =
+      aggregate_trace(outcome.run.runtime->trace().events());
+  ASSERT_FALSE(metrics.kernels.empty());
+  for (const KernelRollup& kernel : metrics.kernels) {
+    EXPECT_FALSE(kernel.partition.empty()) << kernel.name;
+    bool known = kernel.partition == "parallel" ||
+                 kernel.partition.rfind("serial-", 0) == 0;
+    EXPECT_TRUE(known) << kernel.partition;
+    EXPECT_GT(kernel.chunks, 0) << kernel.name;
+    EXPECT_GT(kernel.chunk_seconds, 0.0) << kernel.name;
+    EXPECT_GE(kernel.chunk_seconds, kernel.max_chunk_seconds) << kernel.name;
+  }
+}
+
+TEST(AdvisorMetricsTest, PartitionVerdictIdenticalAcrossThreadCounts) {
+  AdviseOutcome one = run_advisor(kNaiveJacobi, 1);
+  AdviseOutcome four = run_advisor(kNaiveJacobi, 4);
+  TraceMetrics m1 = aggregate_trace(one.run.runtime->trace().events());
+  TraceMetrics m4 = aggregate_trace(four.run.runtime->trace().events());
+  ASSERT_EQ(m1.kernels.size(), m4.kernels.size());
+  for (std::size_t i = 0; i < m1.kernels.size(); ++i) {
+    EXPECT_EQ(m1.kernels[i].partition, m4.kernels[i].partition)
+        << m1.kernels[i].name;
+  }
+}
+
+TEST(AdvisorMetricsTest, LatencyPercentilesAreOrdered) {
+  AdviseOutcome outcome = run_advisor(kNaiveJacobi, 1);
+  const AdvisorReport& advice = outcome.advice;
+  ASSERT_FALSE(advice.latency.empty());
+  for (const LatencyStats& stats : advice.latency) {
+    EXPECT_GT(stats.count, 0) << stats.kind;
+    EXPECT_LE(stats.min_seconds, stats.p50_seconds) << stats.kind;
+    EXPECT_LE(stats.p50_seconds, stats.p90_seconds) << stats.kind;
+    EXPECT_LE(stats.p90_seconds, stats.p99_seconds) << stats.kind;
+    EXPECT_LE(stats.p99_seconds, stats.max_seconds) << stats.kind;
+    EXPECT_GE(stats.total_seconds, 0.0) << stats.kind;
+  }
+  // Transfers definitely happened in the naive variant.
+  TraceMetrics metrics =
+      aggregate_trace(outcome.run.runtime->trace().events());
+  const LatencyStats* transfer = metrics.latency_for("transfer");
+  ASSERT_NE(transfer, nullptr);
+  EXPECT_GT(transfer->total_seconds, 0.0);
+}
+
+TEST(AdvisorMetricsTest, TimelineAttributionIsConsistent) {
+  AdviseOutcome outcome = run_advisor(kNaiveJacobi, 1);
+  const TimelineAttribution& t = outcome.advice.timeline;
+  EXPECT_GT(t.span_seconds, 0.0);
+  EXPECT_GT(t.kernel_seconds, 0.0);
+  EXPECT_GT(t.h2d_seconds, 0.0);
+  EXPECT_GT(t.d2h_seconds, 0.0);
+  EXPECT_LE(t.busy_seconds, t.span_seconds + 1e-12);
+  EXPECT_GE(t.busy_seconds, t.kernel_seconds);
+  EXPECT_GE(t.busy_seconds, t.h2d_seconds);
+  EXPECT_GE(t.busy_seconds, t.d2h_seconds);
+  EXPECT_NEAR(t.span_seconds, t.busy_seconds + t.idle_seconds, 1e-9);
+}
+
+TEST(AdvisorMetricsTest, FaultRunBillsRecoveryTimePerKernel) {
+  AdviseOutcome outcome = run_advisor(kNaiveJacobi, 1, armed_plan());
+  TraceMetrics metrics =
+      aggregate_trace(outcome.run.runtime->trace().events());
+  double recovery = 0.0;
+  long ladder = 0;
+  for (const KernelRollup& kernel : metrics.kernels) {
+    recovery += kernel.recovery_seconds;
+    ladder += kernel.rollbacks + kernel.retries + kernel.failovers;
+  }
+  // seed=7 with hang=0.3 exercises the ladder on this program.
+  ASSERT_GT(ladder, 0);
+  EXPECT_GT(recovery, 0.0);
+  bool hotspot = false;
+  for (const Recommendation& rec : outcome.advice.recommendations) {
+    if (rec.kind == AdviceKind::kResilienceHotspot) {
+      hotspot = true;
+      EXPECT_GT(rec.stake_seconds, 0.0);
+    }
+  }
+  EXPECT_TRUE(hotspot);
+}
+
+// ---- run-report surface for the new data ----
+
+TEST(AdvisorReportTest, RunReportCarriesSitesWithFirstOccurrenceFlag) {
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_mini_c(kNaiveJacobi, diags);
+  TransferVerifier verifier;
+  auto prepared = verifier.prepare(*program, diags);
+  ExecutorOptions exec;
+  TraceOptions trace;
+  trace.enabled = true;
+  exec.trace = trace;
+  RunResult run = run_lowered(*prepared.program, prepared.sema, bind_jacobi,
+                              true, nullptr, exec);
+  ASSERT_TRUE(run.ok) << run.error;
+  RunReport report = build_run_report(*run.runtime, "check", "jacobi");
+  report.checker_enabled = true;
+  ASSERT_FALSE(report.checker_sites.empty());
+
+  std::ostringstream os;
+  write_run_report_json(report, os);
+  std::string error;
+  EXPECT_TRUE(validate_run_report(os.str(), &error)) << error;
+
+  std::optional<JsonValue> doc = parse_json(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const JsonValue* sites = doc->find("checker")->find("sites");
+  ASSERT_NE(sites, nullptr);
+  ASSERT_EQ(sites->array.size(), report.checker_sites.size());
+  for (const JsonValue& site : sites->array) {
+    ASSERT_NE(site.find("first_occurrence_redundant"), nullptr);
+    EXPECT_EQ(site.find("first_occurrence_redundant")->kind,
+              JsonValue::Kind::kBool);
+    const JsonValue* direction = site.find("direction");
+    ASSERT_NE(direction, nullptr);
+    EXPECT_TRUE(direction->string == "H2D" || direction->string == "D2H");
+    ASSERT_NE(site.find("location"), nullptr);
+  }
+}
+
+TEST(AdvisorReportTest, RunReportCarriesMaxEventsAndNewRollupFields) {
+  std::string json = report_json_for(kNaiveJacobi, "jacobi");
+  std::string error;
+  EXPECT_TRUE(validate_run_report(json, &error)) << error;
+  std::optional<JsonValue> doc = parse_json(json, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const JsonValue* trace = doc->find("trace");
+  ASSERT_NE(trace, nullptr);
+  const JsonValue* max_events = trace->find("max_events");
+  ASSERT_NE(max_events, nullptr);
+  EXPECT_GT(max_events->number, 0.0);
+  ASSERT_NE(trace->find("latency"), nullptr);
+  ASSERT_NE(trace->find("timeline"), nullptr);
+  for (const JsonValue& kernel : trace->find("kernels")->array) {
+    ASSERT_NE(kernel.find("partition"), nullptr);
+    ASSERT_NE(kernel.find("recovery_seconds"), nullptr);
+    ASSERT_NE(kernel.find("chunk_seconds"), nullptr);
+  }
+  for (const JsonValue& variable : trace->find("variables")->array) {
+    ASSERT_NE(variable.find("host_fallbacks"), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace miniarc

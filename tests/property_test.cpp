@@ -7,11 +7,17 @@
 //   - verification-mode execution leaves host state identical to the pure
 //     sequential run (no error propagation, §III-A);
 //   - transfer byte accounting is conserved (ledger equals buffer sizes ×
-//     operations).
+//     operations);
+//   - the JSON layer round-trips: JsonWriter output re-parses to an equal
+//     document for arbitrary value trees.
 #include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
 
 #include "benchsuite/benchmark_registry.h"
 #include "tests/test_util.h"
+#include "trace/json.h"
 #include "verify/kernel_verifier.h"
 #include "verify/transfer_verifier.h"
 
@@ -136,6 +142,198 @@ INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuitePropertyTest,
                                            "EP", "HOTSPOT", "JACOBI",
                                            "KMEANS", "LUD", "NW", "SPMUL",
                                            "SRAD"));
+
+// ---- JSON round-trip property ----
+
+JsonValue random_json(std::mt19937& rng, int depth);
+
+std::string random_json_string(std::mt19937& rng) {
+  // Printable ASCII plus the characters json_escape must handle.
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789 _-\"\\\n\t/<>{}[]:,";
+  std::uniform_int_distribution<int> length(0, 12);
+  std::uniform_int_distribution<int> pick(
+      0, static_cast<int>(sizeof(kAlphabet)) - 2);
+  std::string text;
+  int n = length(rng);
+  for (int i = 0; i < n; ++i) text.push_back(kAlphabet[pick(rng)]);
+  return text;
+}
+
+double random_json_number(std::mt19937& rng) {
+  // Mix of magnitudes the observability layer actually emits: exact
+  // integers, sub-second durations, byte counts, and a few awkward doubles
+  // that exercise the shortest-round-trip formatter.
+  switch (std::uniform_int_distribution<int>(0, 4)(rng)) {
+    case 0:
+      return std::uniform_int_distribution<long long>(-1000000, 1000000)(rng);
+    case 1:
+      return std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    case 2:
+      return std::uniform_real_distribution<double>(-1e12, 1e12)(rng);
+    case 3:
+      return 0.1 * std::uniform_int_distribution<int>(-30, 30)(rng);
+    default:
+      return std::ldexp(
+          std::uniform_int_distribution<long long>(0, 1LL << 52)(rng),
+          std::uniform_int_distribution<int>(-60, 10)(rng));
+  }
+}
+
+JsonValue random_json(std::mt19937& rng, int depth) {
+  JsonValue value;
+  // Leaves only at the depth limit; containers more likely near the root.
+  int max_kind = depth > 0 ? 5 : 3;
+  switch (std::uniform_int_distribution<int>(0, max_kind)(rng)) {
+    case 0:
+      value.kind = JsonValue::Kind::kNull;
+      break;
+    case 1:
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = std::uniform_int_distribution<int>(0, 1)(rng) == 1;
+      break;
+    case 2:
+      value.kind = JsonValue::Kind::kNumber;
+      value.number = random_json_number(rng);
+      break;
+    case 3:
+      value.kind = JsonValue::Kind::kString;
+      value.string = random_json_string(rng);
+      break;
+    case 4: {
+      value.kind = JsonValue::Kind::kArray;
+      int n = std::uniform_int_distribution<int>(0, 4)(rng);
+      for (int i = 0; i < n; ++i) {
+        value.array.push_back(random_json(rng, depth - 1));
+      }
+      break;
+    }
+    default: {
+      value.kind = JsonValue::Kind::kObject;
+      int n = std::uniform_int_distribution<int>(0, 4)(rng);
+      for (int i = 0; i < n; ++i) {
+        value.object.emplace_back(random_json_string(rng),
+                                  random_json(rng, depth - 1));
+      }
+      break;
+    }
+  }
+  return value;
+}
+
+void write_json_value(JsonWriter& json, const JsonValue& value) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull:
+      json.value_null();
+      break;
+    case JsonValue::Kind::kBool:
+      json.value(value.boolean);
+      break;
+    case JsonValue::Kind::kNumber:
+      json.value(value.number);
+      break;
+    case JsonValue::Kind::kString:
+      json.value(value.string);
+      break;
+    case JsonValue::Kind::kArray:
+      json.begin_array();
+      for (const JsonValue& element : value.array) {
+        write_json_value(json, element);
+      }
+      json.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      json.begin_object();
+      for (const auto& [key, member] : value.object) {
+        json.key(key);
+        write_json_value(json, member);
+      }
+      json.end_object();
+      break;
+  }
+}
+
+::testing::AssertionResult json_equal(const JsonValue& a, const JsonValue& b) {
+  if (a.kind != b.kind) {
+    return ::testing::AssertionFailure() << "kind mismatch";
+  }
+  switch (a.kind) {
+    case JsonValue::Kind::kNull:
+      return ::testing::AssertionSuccess();
+    case JsonValue::Kind::kBool:
+      if (a.boolean != b.boolean) {
+        return ::testing::AssertionFailure() << "bool mismatch";
+      }
+      return ::testing::AssertionSuccess();
+    case JsonValue::Kind::kNumber:
+      // The writer emits shortest-round-trip doubles, so re-parsing must
+      // recover the exact bit pattern, not an approximation.
+      if (a.number != b.number) {
+        return ::testing::AssertionFailure()
+               << "number mismatch: " << json_number(a.number) << " vs "
+               << json_number(b.number);
+      }
+      return ::testing::AssertionSuccess();
+    case JsonValue::Kind::kString:
+      if (a.string != b.string) {
+        return ::testing::AssertionFailure()
+               << "string mismatch: \"" << a.string << "\" vs \"" << b.string
+               << "\"";
+      }
+      return ::testing::AssertionSuccess();
+    case JsonValue::Kind::kArray: {
+      if (a.array.size() != b.array.size()) {
+        return ::testing::AssertionFailure() << "array size mismatch";
+      }
+      for (std::size_t i = 0; i < a.array.size(); ++i) {
+        auto element = json_equal(a.array[i], b.array[i]);
+        if (!element) return element;
+      }
+      return ::testing::AssertionSuccess();
+    }
+    case JsonValue::Kind::kObject: {
+      if (a.object.size() != b.object.size()) {
+        return ::testing::AssertionFailure() << "object size mismatch";
+      }
+      for (std::size_t i = 0; i < a.object.size(); ++i) {
+        if (a.object[i].first != b.object[i].first) {
+          return ::testing::AssertionFailure()
+                 << "key mismatch: \"" << a.object[i].first << "\" vs \""
+                 << b.object[i].first << "\"";
+        }
+        auto member = json_equal(a.object[i].second, b.object[i].second);
+        if (!member) return member;
+      }
+      return ::testing::AssertionSuccess();
+    }
+  }
+  return ::testing::AssertionFailure() << "unreachable";
+}
+
+TEST(JsonRoundTripTest, RandomDocumentsSurviveWriteParse) {
+  std::mt19937 rng(0x5eed01);
+  for (int trial = 0; trial < 200; ++trial) {
+    JsonValue original = random_json(rng, 4);
+    std::ostringstream os;
+    JsonWriter json(os);
+    write_json_value(json, original);
+    json.finish();
+
+    std::string error;
+    std::optional<JsonValue> reparsed = parse_json(os.str(), &error);
+    ASSERT_TRUE(reparsed.has_value())
+        << "trial " << trial << ": " << error << "\n" << os.str();
+    EXPECT_TRUE(json_equal(original, *reparsed))
+        << "trial " << trial << "\n" << os.str();
+
+    // Writing the re-parsed document is byte-identical (determinism).
+    std::ostringstream os2;
+    JsonWriter json2(os2);
+    write_json_value(json2, *reparsed);
+    json2.finish();
+    EXPECT_EQ(os.str(), os2.str()) << "trial " << trial;
+  }
+}
 
 TEST(SoundAliasModeTest, RespectingAliasesAvoidsWrongSuggestions) {
   // Extension over the paper: with the sound alias policy, LUD's aliased

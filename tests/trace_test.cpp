@@ -237,6 +237,12 @@ TEST(TraceBufferTest, OverflowIsCountedNotSilent) {
   const JsonValue* dropped = trace_section->find("dropped");
   ASSERT_NE(dropped, nullptr);
   EXPECT_GT(dropped->number, 0.0);
+
+  // The report names the cap that caused the truncation, so a reader can
+  // tell how to re-run with a bigger buffer.
+  const JsonValue* max_events = trace_section->find("max_events");
+  ASSERT_NE(max_events, nullptr);
+  EXPECT_DOUBLE_EQ(max_events->number, 4.0);
 }
 
 // ---- rollup consistency ----

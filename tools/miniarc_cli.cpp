@@ -4,8 +4,13 @@
 //   miniarc run FILE.c                  run on the simulated GPU, print profile
 //   miniarc verify FILE.c [OPTS]        kernel verification (§III-A)
 //   miniarc check FILE.c                memory-transfer verification (§III-B)
+//   miniarc advise FILE.c               ranked optimization recommendations
 //   miniarc bench NAME                  run one suite benchmark by name
-//   miniarc report-validate FILE.json   schema-check a run report
+//   miniarc report-validate FILE.json   schema-check a run report or bench
+//                                       artifact (dispatch on "schema")
+//   miniarc report-diff A.json B.json   delta between two run reports;
+//                                       --fail-on METRIC=LIMIT[,...] exits 3
+//                                       on a regression
 //
 // Programs use `extern` declarations for inputs/outputs; the CLI binds every
 // extern scalar to a value from `--set NAME=VALUE` (default 64) and every
@@ -21,6 +26,8 @@
 //                  (also MINIARC_BREAKER)
 // observability:   --trace FILE (Chrome/Perfetto trace; also MINIARC_TRACE),
 //                  --report-json FILE (machine-readable run report)
+// advisor:         --advise-json FILE (machine-readable advice), --top N
+// report-diff:     --json (JSON delta to stdout), --fail-on SPEC
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -37,6 +44,8 @@ using namespace miniarc;
 struct CliOptions {
   std::string command;
   std::string file;
+  /// Second positional file (report-diff only).
+  std::string file2;
   std::vector<std::pair<std::string, double>> sets;
   std::size_t buffer_size = 256;
   VerificationConfig verification;
@@ -51,18 +60,32 @@ struct CliOptions {
   std::string trace_path;
   /// Machine-readable run-report path (--report-json).
   std::string report_path;
+  /// Machine-readable advice path (--advise-json, advise command).
+  std::string advise_json_path;
+  /// Keep only the top-N recommendations (--top, 0 = all).
+  std::size_t advise_top = 0;
+  /// Trace ring cap override (--trace-max-events, 0 = TraceOptions default).
+  std::size_t trace_max_events = 0;
+  /// Regression thresholds for report-diff (--fail-on).
+  std::string fail_on;
+  /// report-diff renders JSON to stdout instead of text (--json).
+  bool diff_json = false;
 };
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: miniarc <translate|run|verify|check|bench|"
+               "usage: miniarc <translate|run|verify|check|advise|bench|"
                "report-validate> FILE [--set NAME=VALUE]... [--size N]\n"
                "               [--options verificationOptions=...] "
                "[--margin X] [--min-check X] [--naive-checks]\n"
                "               [--faults SPEC] [--fault-seed N] "
                "[--kernel-retries N] [--no-failover]\n"
                "               [--breaker window=W,threshold=T,probe=P]\n"
-               "               [--trace FILE] [--report-json FILE]\n");
+               "               [--trace FILE] [--report-json FILE] "
+               "[--trace-max-events N]\n"
+               "               [--advise-json FILE] [--top N]\n"
+               "       miniarc report-diff A.json B.json [--json] "
+               "[--fail-on METRIC=LIMIT[,...]]\n");
   std::exit(2);
 }
 
@@ -80,6 +103,9 @@ ExecutorOptions exec_options(const CliOptions& options) {
     TraceOptions trace;
     trace.enabled = true;
     exec.trace = trace;
+  }
+  if (options.trace_max_events > 0 && exec.trace.has_value()) {
+    exec.trace->max_events = options.trace_max_events;
   }
   return exec;
 }
@@ -112,6 +138,13 @@ void emit_run_outputs(const CliOptions& options, AccRuntime& runtime,
   std::fputs(render_error_text(report).c_str(), stderr);
   if (!report.diagnostics.empty()) {
     std::fprintf(stderr, "%s\n", runtime.diags().dump().c_str());
+  }
+  if (report.trace_dropped > 0) {
+    std::fprintf(stderr,
+                 "miniarc: warning: trace buffer full, dropped %zu event(s) "
+                 "(max_events=%zu); rollups and advice cover only the "
+                 "recorded prefix\n",
+                 report.trace_dropped, report.trace_max_events);
   }
   std::fputs(render_resilience_text(report).c_str(), stdout);
   std::string trace_path = trace_output_path(options);
@@ -168,8 +201,14 @@ CliOptions parse_args(int argc, char** argv) {
   if (argc < 3) usage();
   options.command = argv[1];
   options.file = argv[2];
+  int first_flag = 3;
+  if (options.command == "report-diff") {
+    if (argc < 4 || argv[3][0] == '-') usage();
+    options.file2 = argv[3];
+    first_flag = 4;
+  }
   std::optional<long> fault_seed;
-  for (int i = 3; i < argc; ++i) {
+  for (int i = first_flag; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) usage();
@@ -227,6 +266,32 @@ CliOptions parse_args(int argc, char** argv) {
       options.trace_path = *path;
     } else if (auto path = flag_value("--report-json"); path.has_value()) {
       options.report_path = *path;
+    } else if (auto path = flag_value("--advise-json"); path.has_value()) {
+      options.advise_json_path = *path;
+    } else if (auto top = flag_value("--top"); top.has_value()) {
+      std::optional<long> parsed = parse_env_long(*top);
+      if (!parsed.has_value() || *parsed < 0) {
+        std::fprintf(stderr,
+                     "miniarc: --top expects a non-negative integer, got "
+                     "'%s'\n",
+                     top->c_str());
+        std::exit(2);
+      }
+      options.advise_top = static_cast<std::size_t>(*parsed);
+    } else if (auto cap = flag_value("--trace-max-events"); cap.has_value()) {
+      std::optional<long> parsed = parse_env_long(*cap);
+      if (!parsed.has_value() || *parsed < 1) {
+        std::fprintf(stderr,
+                     "miniarc: --trace-max-events expects a positive "
+                     "integer, got '%s'\n",
+                     cap->c_str());
+        std::exit(2);
+      }
+      options.trace_max_events = static_cast<std::size_t>(*parsed);
+    } else if (auto spec = flag_value("--fail-on"); spec.has_value()) {
+      options.fail_on = *spec;
+    } else if (arg == "--json") {
+      options.diff_json = true;
     } else if (arg == "--set") {
       std::string kv = next();
       std::size_t eq = kv.find('=');
@@ -401,6 +466,103 @@ int cmd_check(const CliOptions& options, Program& program,
   return report.ok ? 0 : 1;
 }
 
+int cmd_advise(const CliOptions& options, Program& program,
+               DiagnosticEngine& diags) {
+  // Same instrumented pipeline as `check` — the advisor needs the coherence
+  // checker's per-site statistics — plus a force-enabled trace recorder:
+  // savings projections are priced from the recorded transfer events.
+  InstrumentationOptions instrumentation;
+  instrumentation.optimize_placement = !options.naive_checks;
+  TransferVerifier verifier(instrumentation);
+  auto prepared = verifier.prepare(program, diags);
+  if (prepared.program == nullptr) {
+    std::fprintf(stderr, "%s", diags.dump().c_str());
+    return 1;
+  }
+  ExecutorOptions exec = exec_options(options);
+  if (!exec.trace.has_value()) {
+    TraceOptions trace;
+    trace.enabled = true;
+    exec.trace = trace;
+    if (options.trace_max_events > 0) {
+      exec.trace->max_events = options.trace_max_events;
+    }
+  }
+  AccRuntime runtime(MachineModel::m2090(), exec);
+  runtime.checker().set_enabled(true);
+  InterpOptions advise_options = interp_options(options);
+  advise_options.enable_checker = true;
+  Interpreter interp(*prepared.program, prepared.sema, runtime,
+                     advise_options);
+  bind_externs(interp, *prepared.program, options);
+  RunReport report = run_to_report(interp, runtime, "advise", options.file);
+
+  const RuntimeChecker& checker = runtime.checker();
+  report.checker_enabled = true;
+  report.static_checks = prepared.instrumentation.static_checks;
+  report.hoisted_checks = prepared.instrumentation.hoisted_checks;
+  report.dynamic_checks = checker.dynamic_check_count();
+  for (const auto& finding : checker.findings()) {
+    report.findings.push_back(finding.message());
+  }
+
+  AdvisorOptions advisor_options;
+  advisor_options.top = options.advise_top;
+  AdvisorReport advice =
+      advise(runtime.trace().events(), report.metrics, checker.site_stats(),
+             checker.findings(), report.total_seconds, advisor_options);
+  advice.program = options.file;
+
+  if (report.ok) {
+    std::fputs(render_advice_text(advice).c_str(), stdout);
+  }
+  if (!options.advise_json_path.empty()) {
+    std::ofstream out(options.advise_json_path);
+    if (!out) {
+      std::fprintf(stderr, "miniarc: cannot write advice '%s'\n",
+                   options.advise_json_path.c_str());
+    } else {
+      write_advice_json(advice, out);
+    }
+  }
+  emit_run_outputs(options, runtime, report);
+  return report.ok ? 0 : 1;
+}
+
+int cmd_report_diff(const CliOptions& options) {
+  std::string a_text = read_file(options.file);
+  std::string b_text = read_file(options.file2);
+  DiffThresholds thresholds;
+  if (!options.fail_on.empty()) {
+    std::string error;
+    std::optional<DiffThresholds> parsed =
+        DiffThresholds::parse(options.fail_on, &error);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "miniarc: invalid --fail-on spec: %s\n",
+                   error.c_str());
+      return 2;
+    }
+    thresholds = *parsed;
+  }
+  std::string error;
+  std::optional<ReportDelta> delta =
+      diff_run_reports(a_text, b_text, thresholds, &error);
+  if (!delta.has_value()) {
+    std::fprintf(stderr, "miniarc: %s\n", error.c_str());
+    return 1;
+  }
+  if (options.diff_json) {
+    std::ostringstream out;
+    write_report_diff_json(*delta, out);
+    std::fputs(out.str().c_str(), stdout);
+  } else {
+    std::fputs(render_report_diff_text(*delta).c_str(), stdout);
+  }
+  // Exit 3 distinguishes "regression found" from usage (2) and I/O (1)
+  // errors, so scripts can gate on it.
+  return delta->violation ? 3 : 0;
+}
+
 int cmd_bench(const CliOptions& options) {
   const BenchmarkDef* benchmark = find_benchmark(options.file);
   if (benchmark == nullptr) {
@@ -452,6 +614,21 @@ int cmd_bench(const CliOptions& options) {
 int cmd_report_validate(const CliOptions& options) {
   std::string text = read_file(options.file);
   std::string error;
+  // Dispatch on the document's own schema tag: bench artifacts and run
+  // reports share the one validation entry point.
+  std::optional<JsonValue> parsed = parse_json(text, &error);
+  const JsonValue* schema =
+      parsed.has_value() ? parsed->find("schema") : nullptr;
+  if (schema != nullptr && schema->kind == JsonValue::Kind::kString &&
+      schema->string == kBenchArtifactSchema) {
+    if (!validate_bench_artifact(text, &error)) {
+      std::fprintf(stderr, "miniarc: invalid bench artifact '%s': %s\n",
+                   options.file.c_str(), error.c_str());
+      return 1;
+    }
+    std::printf("%s: valid %s\n", options.file.c_str(), kBenchArtifactSchema);
+    return 0;
+  }
   if (!validate_run_report(text, &error)) {
     std::fprintf(stderr, "miniarc: invalid run report '%s': %s\n",
                  options.file.c_str(), error.c_str());
@@ -469,6 +646,7 @@ int main(int argc, char** argv) {
   if (options.command == "report-validate") {
     return cmd_report_validate(options);
   }
+  if (options.command == "report-diff") return cmd_report_diff(options);
 
   DiagnosticEngine diags;
   ProgramPtr program = parse_mini_c(read_file(options.file), diags);
@@ -483,5 +661,6 @@ int main(int argc, char** argv) {
   if (options.command == "run") return cmd_run(options, *program, diags);
   if (options.command == "verify") return cmd_verify(options, *program, diags);
   if (options.command == "check") return cmd_check(options, *program, diags);
+  if (options.command == "advise") return cmd_advise(options, *program, diags);
   usage();
 }

@@ -10,7 +10,11 @@
 # After each configuration's tests, the CLI runs examples/jacobi.c with
 # faults armed and exports a Chrome trace plus a run report into
 # build-matrix-<name>/artifacts/, then schema-validates the report with
-# `miniarc report-validate`.
+# `miniarc report-validate`. It then smoke-tests the advisor workflow:
+# `miniarc advise` on the naive Jacobi must be byte-identical across
+# MINIARC_THREADS=1 and 8, `miniarc report-diff naive opt` must pass a
+# regression gate (the optimization reduced transfer bytes), and the
+# reverse diff must trip the gate with exit code 3.
 #
 # Usage: tools/run_matrix.sh [plain|asan|tsan]...   (default: all three)
 #
@@ -46,6 +50,39 @@ run_config() {
     --trace "$artifacts/jacobi-trace.json" \
     --report-json "$artifacts/jacobi-report.json" >/dev/null
   "$build_dir/tools/miniarc" report-validate "$artifacts/jacobi-report.json"
+
+  echo "=== [$name] advise determinism (MINIARC_THREADS=1 vs 8) ==="
+  MINIARC_THREADS=1 "$build_dir/tools/miniarc" advise \
+    "$REPO_ROOT/examples/jacobi_naive.c" \
+    --set N=16 --set ITER=4 --size 256 \
+    --advise-json "$artifacts/advice-t1.json" >"$artifacts/advice-t1.txt"
+  MINIARC_THREADS=8 "$build_dir/tools/miniarc" advise \
+    "$REPO_ROOT/examples/jacobi_naive.c" \
+    --set N=16 --set ITER=4 --size 256 \
+    --advise-json "$artifacts/advice-t8.json" >"$artifacts/advice-t8.txt"
+  cmp "$artifacts/advice-t1.txt" "$artifacts/advice-t8.txt"
+  cmp "$artifacts/advice-t1.json" "$artifacts/advice-t8.json"
+
+  echo "=== [$name] report-diff regression gate ==="
+  "$build_dir/tools/miniarc" run "$REPO_ROOT/examples/jacobi_naive.c" \
+    --set N=16 --set ITER=4 --size 256 \
+    --report-json "$artifacts/jacobi-naive.json" >/dev/null
+  "$build_dir/tools/miniarc" run "$REPO_ROOT/examples/jacobi.c" \
+    --set N=16 --set ITER=4 --size 256 \
+    --report-json "$artifacts/jacobi-opt.json" >/dev/null
+  # The optimized variant must not regress the naive one on any gated metric.
+  "$build_dir/tools/miniarc" report-diff \
+    "$artifacts/jacobi-naive.json" "$artifacts/jacobi-opt.json" \
+    --fail-on "h2d_bytes=0,d2h_bytes=0,total_seconds=0" >/dev/null
+  # The reverse direction is a transfer regression: exit code 3, exactly.
+  local diff_status=0
+  "$build_dir/tools/miniarc" report-diff \
+    "$artifacts/jacobi-opt.json" "$artifacts/jacobi-naive.json" \
+    --fail-on "h2d_bytes=0" >/dev/null || diff_status=$?
+  if [ "$diff_status" -ne 3 ]; then
+    echo "expected report-diff to exit 3 on regression, got $diff_status" >&2
+    exit 1
+  fi
 }
 
 for config in "${CONFIGS[@]}"; do
