@@ -9,7 +9,10 @@
 //     launch pays the pre-launch snapshot memcpy; expected within 5% of the
 //     unarmed serial baseline — unarmed runs skip the snapshot entirely),
 //   - serial execution with the trace recorder enabled (every launch/chunk/
-//     transfer event buffered and lane-merged).
+//     transfer event buffered and lane-merged),
+//   - serial execution on the register-bytecode VM (src/bc/, the default
+//     engine; every other variant pins ExecEngine::kAst so its numbers stay
+//     comparable with the committed AST-walk baseline), ± tracing.
 //
 // Serial_Slots doubles as the disabled-tracing overhead guard: with tracing
 // off every hook is one predicted-false branch, so the number must stay
@@ -19,12 +22,20 @@
 // Every variant's output buffer is checked bit-identical against the serial
 // slot-mode reference — the determinism contract the executor guarantees.
 //
+// `bench_micro_kernel_exec --guard-bytecode-speedup [OUT.json]` runs the
+// bytecode speedup gate instead of the benchmarks: min-of-5 serial timings
+// of both engines, requiring bytecode ≥ 3x over the AST walk (the ctest
+// `bench_bytecode_speedup_guard`). BENCH_bytecode_speedup.json at the repo
+// root records a committed measurement.
+//
 // Reference numbers live in bench/baselines/bench_micro_kernel_exec.json
 // (regenerate with --benchmark_format=json).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "parser/parser.h"
@@ -82,7 +93,8 @@ void bind_inputs(Interpreter& interp) {
 
 std::vector<double> run_once(int threads, bool slot_resolution,
                              bool armed_snapshots = false,
-                             bool traced = false) {
+                             bool traced = false,
+                             ExecEngine engine = ExecEngine::kAst) {
   const LoweredProgram& low = lowered_kernel();
   ExecutorOptions exec{threads};
   if (traced) {
@@ -93,6 +105,7 @@ std::vector<double> run_once(int threads, bool slot_resolution,
   AccRuntime runtime(MachineModel::m2090(), exec);
   InterpOptions options;
   options.kernel_slot_resolution = slot_resolution;
+  options.exec_engine = engine;
   if (armed_snapshots) {
     // A watchdog too generous to ever fire still arms kernel recovery, so
     // every launch snapshots its write set before running.
@@ -124,13 +137,15 @@ void check_reference(const std::vector<double>& got, const char* what) {
 
 void run_benchmark(benchmark::State& state, int threads,
                    bool slot_resolution, const char* what,
-                   bool armed_snapshots = false, bool traced = false) {
+                   bool armed_snapshots = false, bool traced = false,
+                   ExecEngine engine = ExecEngine::kAst) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        run_once(threads, slot_resolution, armed_snapshots, traced));
+        run_once(threads, slot_resolution, armed_snapshots, traced, engine));
   }
-  check_reference(run_once(threads, slot_resolution, armed_snapshots, traced),
-                  what);
+  check_reference(
+      run_once(threads, slot_resolution, armed_snapshots, traced, engine),
+      what);
   state.SetItemsProcessed(state.iterations() * kIterations);
 }
 
@@ -155,6 +170,19 @@ void BM_KernelExec_Serial_Traced(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelExec_Serial_Traced)->Unit(benchmark::kMillisecond);
 
+void BM_KernelExec_Serial_Bytecode(benchmark::State& state) {
+  run_benchmark(state, 1, true, "serial/bytecode", /*armed_snapshots=*/false,
+                /*traced=*/false, ExecEngine::kBytecode);
+}
+BENCHMARK(BM_KernelExec_Serial_Bytecode)->Unit(benchmark::kMillisecond);
+
+void BM_KernelExec_Serial_Bytecode_Traced(benchmark::State& state) {
+  run_benchmark(state, 1, true, "serial/bytecode-traced",
+                /*armed_snapshots=*/false, /*traced=*/true,
+                ExecEngine::kBytecode);
+}
+BENCHMARK(BM_KernelExec_Serial_Bytecode_Traced)->Unit(benchmark::kMillisecond);
+
 void BM_KernelExec_Parallel_Slots(benchmark::State& state) {
   run_benchmark(state, static_cast<int>(state.range(0)), true,
                 "parallel/slots");
@@ -166,6 +194,82 @@ BENCHMARK(BM_KernelExec_Parallel_Slots)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// ---- bytecode speedup gate ----
+
+double min_seconds_of(int runs, ExecEngine engine) {
+  double best = 1e30;
+  for (int r = 0; r < runs; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    std::vector<double> out = run_once(1, true, false, false, engine);
+    auto stop = std::chrono::steady_clock::now();
+    check_reference(out, engine == ExecEngine::kBytecode ? "guard/bytecode"
+                                                         : "guard/ast");
+    double seconds = std::chrono::duration<double>(stop - start).count();
+    if (seconds < best) best = seconds;
+  }
+  return best;
+}
+
+/// --guard-bytecode-speedup [OUT.json]: fail (exit 1) unless the serial
+/// bytecode engine beats the serial AST walk by >= 3x; writes a
+/// miniarc-bench/v1 artifact with the measured times.
+int run_speedup_guard(const char* out_path) {
+  constexpr int kRuns = 5;
+  constexpr double kRequiredSpeedup = 3.0;
+  double ast = min_seconds_of(kRuns, ExecEngine::kAst);
+  double bytecode = min_seconds_of(kRuns, ExecEngine::kBytecode);
+  double speedup = ast / bytecode;
+  std::FILE* out = stdout;
+  if (out_path != nullptr) {
+    out = std::fopen(out_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write '%s'\n", out_path);
+      return 1;
+    }
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"schema\": \"miniarc-bench/v1\",\n"
+               "  \"name\": \"bytecode_speedup\",\n"
+               "  \"description\": \"Register-bytecode VM speedup gate: "
+               "BM_KernelExec_Serial_Bytecode must run the serial "
+               "bench_micro_kernel_exec kernel >= %.1fx faster than the AST "
+               "walker (BM_KernelExec_Serial_Slots). Min of %d runs each, "
+               "identical output buffers required.\",\n"
+               "  \"rows\": [\n"
+               "    {\n"
+               "      \"label\": \"serial_ast_walk\",\n"
+               "      \"real_time_ms\": %.3f\n"
+               "    },\n"
+               "    {\n"
+               "      \"label\": \"serial_bytecode\",\n"
+               "      \"real_time_ms\": %.3f,\n"
+               "      \"speedup_vs_ast\": %.2f,\n"
+               "      \"required_speedup\": %.1f\n"
+               "    }\n"
+               "  ]\n"
+               "}\n",
+               kRequiredSpeedup, kRuns, ast * 1e3, bytecode * 1e3, speedup,
+               kRequiredSpeedup);
+  if (out != stdout) std::fclose(out);
+  std::fprintf(stderr, "bytecode speedup: %.2fx (ast %.3f ms, bytecode %.3f ms)\n",
+               speedup, ast * 1e3, bytecode * 1e3);
+  if (speedup < kRequiredSpeedup) {
+    std::fprintf(stderr, "FAIL: below the required %.1fx\n", kRequiredSpeedup);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--guard-bytecode-speedup") == 0) {
+    return run_speedup_guard(argc >= 3 ? argv[2] : nullptr);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

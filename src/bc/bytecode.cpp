@@ -1,0 +1,270 @@
+#include "bc/bytecode.h"
+
+#include <bit>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace miniarc {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kHalt: return "halt";
+    case Op::kCount: return "count";
+    case Op::kLoadConst: return "load_const";
+    case Op::kMove: return "move";
+    case Op::kLoadSlot: return "load_slot";
+    case Op::kStoreSlot: return "store_slot";
+    case Op::kNewArray: return "new_array";
+    case Op::kResolveBuf: return "resolve_buf";
+    case Op::kIndex: return "index";
+    case Op::kLoadElem: return "load_elem";
+    case Op::kStoreElem: return "store_elem";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kRem: return "rem";
+    case Op::kLt: return "lt";
+    case Op::kLe: return "le";
+    case Op::kGt: return "gt";
+    case Op::kGe: return "ge";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kBitAnd: return "bitand";
+    case Op::kBitOr: return "bitor";
+    case Op::kBitXor: return "bitxor";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kNeg: return "neg";
+    case Op::kNot: return "not";
+    case Op::kBitNot: return "bitnot";
+    case Op::kTruthy: return "truthy";
+    case Op::kCastInt: return "cast_int";
+    case Op::kCastLong: return "cast_long";
+    case Op::kCastFloat: return "cast_float";
+    case Op::kCastDouble: return "cast_double";
+    case Op::kJump: return "jump";
+    case Op::kJumpIfFalse: return "jump_if_false";
+    case Op::kJumpIfTrue: return "jump_if_true";
+    case Op::kIntrin: return "intrin";
+    case Op::kLoadElem1: return "load_elem1";
+    case Op::kStoreElem1: return "store_elem1";
+  }
+  return "?";
+}
+
+// --------------------------------------------------------------------------
+// BcFrame arena
+// --------------------------------------------------------------------------
+
+namespace {
+constexpr std::size_t kArenaAlign = 64;
+
+std::size_t align_up(std::size_t n) {
+  return (n + kArenaAlign - 1) & ~(kArenaAlign - 1);
+}
+}  // namespace
+
+BcFrame::~BcFrame() { release(); }
+
+BcFrame::BcFrame(BcFrame&& other) noexcept
+    : pay(other.pay),
+      tag(other.tag),
+      buf(other.buf),
+      readable(other.readable),
+      written(other.written),
+      arena_(other.arena_),
+      regs_(other.regs_),
+      slots_(other.slots_) {
+  other.arena_ = nullptr;
+  other.pay = nullptr;
+  other.tag = nullptr;
+  other.buf = nullptr;
+  other.readable = nullptr;
+  other.written = nullptr;
+  other.regs_ = 0;
+  other.slots_ = 0;
+}
+
+BcFrame& BcFrame::operator=(BcFrame&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  pay = other.pay;
+  tag = other.tag;
+  buf = other.buf;
+  readable = other.readable;
+  written = other.written;
+  arena_ = other.arena_;
+  regs_ = other.regs_;
+  slots_ = other.slots_;
+  other.arena_ = nullptr;
+  other.pay = nullptr;
+  other.tag = nullptr;
+  other.buf = nullptr;
+  other.readable = nullptr;
+  other.written = nullptr;
+  other.regs_ = 0;
+  other.slots_ = 0;
+  return *this;
+}
+
+void BcFrame::release() {
+  std::free(arena_);
+  arena_ = nullptr;
+}
+
+void BcFrame::ensure(std::uint32_t num_regs, std::uint32_t num_slots) {
+  if (arena_ != nullptr && num_regs <= regs_ && num_slots <= slots_) return;
+  release();
+  regs_ = num_regs;
+  slots_ = num_slots;
+  std::size_t pay_bytes = align_up(std::size_t{num_regs} * sizeof(std::int64_t));
+  std::size_t buf_bytes = align_up(std::size_t{num_slots} * sizeof(TypedBuffer*));
+  std::size_t tag_bytes = align_up(num_regs);
+  std::size_t bit_bytes = align_up(num_slots);
+  std::size_t total = pay_bytes + buf_bytes + tag_bytes + 2 * bit_bytes;
+  if (total == 0) total = kArenaAlign;
+  arena_ = std::aligned_alloc(kArenaAlign, align_up(total));
+  auto* base = static_cast<std::byte*>(arena_);
+  pay = reinterpret_cast<std::int64_t*>(base);
+  buf = reinterpret_cast<TypedBuffer**>(base + pay_bytes);
+  tag = reinterpret_cast<std::uint8_t*>(base + pay_bytes + buf_bytes);
+  readable =
+      reinterpret_cast<std::uint8_t*>(base + pay_bytes + buf_bytes + tag_bytes);
+  written = readable + bit_bytes;
+}
+
+// --------------------------------------------------------------------------
+// Disassembler
+// --------------------------------------------------------------------------
+
+namespace {
+
+std::string reg_name(const CompiledKernel& kernel, std::uint16_t r) {
+  if (r < kernel.num_slots) {
+    return "s" + std::to_string(r) + "'" + kernel.slot_names[r] + "'";
+  }
+  if (r < kernel.num_slots + kernel.const_bits.size()) {
+    return "c" + std::to_string(r - kernel.num_slots);
+  }
+  return "r" + std::to_string(r);
+}
+
+std::string slot_label(const CompiledKernel& kernel, std::uint16_t slot) {
+  return "s" + std::to_string(slot) + "'" + kernel.slot_names[slot] + "'";
+}
+
+std::string double_text(double value) {
+  // Max-precision round-trip formatting, deterministic across runs.
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+void disassemble(const CompiledKernel& kernel, std::ostream& os) {
+  os << "kernel '" << kernel.kernel_name << "': " << kernel.num_slots
+     << " slots, " << kernel.num_regs << " regs, " << kernel.const_bits.size()
+     << " consts, " << kernel.code.size() << " instrs\n";
+  for (std::size_t i = 0; i < kernel.const_bits.size(); ++i) {
+    os << "  const[" << i << "] = ";
+    if (kernel.const_is_double[i] != 0) {
+      os << "double " << double_text(std::bit_cast<double>(kernel.const_bits[i]));
+    } else {
+      os << "int " << kernel.const_bits[i];
+    }
+    os << "\n";
+  }
+  for (std::size_t pc = 0; pc < kernel.code.size(); ++pc) {
+    const Instr& in = kernel.code[pc];
+    std::ostringstream line;
+    line << "  " << pc << ": " << to_string(in.op);
+    switch (in.op) {
+      case Op::kHalt:
+      case Op::kCount:
+        break;
+      case Op::kLoadConst:
+        line << " " << reg_name(kernel, in.a) << " <- const[" << in.imm << "]";
+        break;
+      case Op::kMove:
+        line << " " << reg_name(kernel, in.a) << " <- "
+             << reg_name(kernel, in.b);
+        break;
+      case Op::kLoadSlot:
+        line << " " << reg_name(kernel, in.a) << " <- "
+             << slot_label(kernel, in.b);
+        break;
+      case Op::kStoreSlot:
+        line << " " << slot_label(kernel, in.b) << " <- "
+             << reg_name(kernel, in.a);
+        if ((in.flags & kFlagCoerceFloat) != 0) line << " (coerce-float)";
+        break;
+      case Op::kNewArray:
+        line << " " << slot_label(kernel, in.c) << " <- "
+             << to_string(static_cast<ScalarKind>(in.flags)) << "[" << in.imm
+             << "]";
+        break;
+      case Op::kResolveBuf:
+        line << " " << slot_label(kernel, in.c);
+        break;
+      case Op::kIndex:
+        line << " " << reg_name(kernel, in.a)
+             << ((in.flags & kFlagIndexInit) != 0 ? " = " : " += ")
+             << reg_name(kernel, in.b) << " * " << in.imm << " ["
+             << slot_label(kernel, in.c) << "]";
+        break;
+      case Op::kLoadElem:
+      case Op::kLoadElem1:
+        line << " " << reg_name(kernel, in.a) << " <- "
+             << slot_label(kernel, in.c) << "[" << reg_name(kernel, in.b)
+             << "]";
+        break;
+      case Op::kStoreElem:
+      case Op::kStoreElem1:
+        line << " " << slot_label(kernel, in.c) << "[" << reg_name(kernel, in.b)
+             << "] <- " << reg_name(kernel, in.a);
+        break;
+      case Op::kAdd: case Op::kSub: case Op::kMul: case Op::kDiv:
+      case Op::kRem: case Op::kLt: case Op::kLe: case Op::kGt: case Op::kGe:
+      case Op::kEq: case Op::kNe: case Op::kBitAnd: case Op::kBitOr:
+      case Op::kBitXor: case Op::kShl: case Op::kShr:
+        line << " " << reg_name(kernel, in.a) << " <- "
+             << reg_name(kernel, in.b) << ", " << reg_name(kernel, in.c);
+        break;
+      case Op::kNeg: case Op::kNot: case Op::kBitNot: case Op::kTruthy:
+      case Op::kCastInt: case Op::kCastLong: case Op::kCastFloat:
+      case Op::kCastDouble:
+        line << " " << reg_name(kernel, in.a) << " <- "
+             << reg_name(kernel, in.b);
+        break;
+      case Op::kJump:
+        line << " -> " << in.imm;
+        break;
+      case Op::kJumpIfFalse:
+      case Op::kJumpIfTrue:
+        line << " " << reg_name(kernel, in.b) << " -> " << in.imm;
+        break;
+      case Op::kIntrin:
+        line << " " << reg_name(kernel, in.a) << " <- #" << in.c << "("
+             << reg_name(kernel, in.b) << " x" << in.imm << ")";
+        break;
+    }
+    std::string text = line.str();
+    os << text;
+    // Source-line anchor column (deterministic padding).
+    for (std::size_t pad = text.size(); pad < 46; ++pad) os << ' ';
+    const SourceLocation& loc = kernel.locs[pc];
+    if (loc.valid()) {
+      os << " ; line " << loc.line;
+    } else {
+      os << " ; -";
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace miniarc

@@ -1,0 +1,157 @@
+// Register bytecode for kernel bodies (DESIGN.md §7). The interpreter's hot
+// path — per-statement AST dispatch inside worker chunks — is replaced by a
+// compact fixed-width instruction stream over a flat register file:
+//
+//   - Registers [0, num_slots) mirror the sema/slot_resolution slots, so a
+//     scalar read/write is one indexed load/store plus a readable/written
+//     bit (the same bound-bit semantics KernelWorkerState keeps for
+//     reduction combining and falsely-shared dump-backs). Registers
+//     [num_slots, num_slots + const pool size) hold the folded constants,
+//     materialized once per chunk so the hot loop never pays a kLoadConst.
+//     Registers above that are expression temporaries. Operands read a slot
+//     or constant register directly whenever a dominance analysis proves the
+//     slot is definitely stored on every path (the unreadable-slot check is
+//     then dead); other reads still go through kLoadSlot.
+//   - A value is an int64 payload plus a 1-byte tag (int / double); doubles
+//     travel through std::bit_cast. Buffers never enter registers — any
+//     buffer-valued expression makes the compiler refuse the kernel, and
+//     the VM refuses a chunk whose sync-in finds a buffer-valued scalar.
+//   - Constants live in an SoA pool (payload + tag) folded at compile time;
+//     multi-dimensional array addressing is compiled to base+stride kIndex
+//     chains with strides resolved from the static dims.
+//
+// A CompiledKernel is immutable after compilation and shared by every worker
+// thread; all mutable per-chunk state lives in a BcFrame, one per chunk,
+// backed by a single aligned arena that is reused across chunks, retries,
+// and host-failover replays — no per-iteration heap traffic.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "device/buffer.h"
+#include "support/source_location.h"
+
+namespace miniarc {
+
+enum class Op : std::uint8_t {
+  kHalt = 0,    // end of one iteration of the chunk body
+  kCount,       // statement entry: bill one statement, watchdog check
+  kLoadConst,   // r[a] = const_pool[imm]
+  kMove,        // r[a] = r[b]
+  kLoadSlot,    // r[a] = slot b (throws if the slot is unreadable)
+  kStoreSlot,   // slot b = r[a]; kFlagCoerceFloat applies the declared-float
+                // assignment coercion
+  kNewArray,    // slot c = new worker-local buffer(kind=flags, count=imm)
+  kResolveBuf,  // require slot c to resolve to a buffer (local or device)
+  kIndex,       // acc r[a] = (init? 0 : r[a]) + int(r[b]) * imm, with the
+                // negative-index check against buffer slot c
+  kLoadElem,    // r[a] = buffer[slot c][r[b]] (bounds-checked)
+  kStoreElem,   // buffer[slot c][r[b]] = r[a] (bounds-checked)
+  // Binary arithmetic, same operand semantics as eval_ops.h: int mode iff
+  // both operands carry the int tag (kRem always via as_int). Order matches
+  // BinaryOp minus the short-circuit pair, which compiles to jumps.
+  kAdd, kSub, kMul, kDiv, kRem,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr,
+  kNeg,         // r[a] = -r[b] (int or double by tag)
+  kNot,         // r[a] = !truthy(r[b])
+  kBitNot,      // r[a] = ~int(r[b])
+  kTruthy,      // r[a] = truthy(r[b]) ? 1 : 0
+  kCastInt,     // r[a] = (int32)int(r[b])
+  kCastLong,    // r[a] = int(r[b])
+  kCastFloat,   // r[a] = (double)(float)double(r[b])
+  kCastDouble,  // r[a] = double(r[b])
+  kJump,        // pc = imm
+  kJumpIfFalse, // if (!truthy(r[b])) pc = imm
+  kJumpIfTrue,  // if (truthy(r[b])) pc = imm
+  kIntrin,      // r[a] = intrinsic c over args r[b] .. r[b + imm - 1]
+  // Fused unit-stride element access for the common 1-D case: the negative
+  // and bounds checks of a kIndex + kLoadElem/kStoreElem pair in one
+  // dispatch. New ops append here — the computed-goto label table in vm.cpp
+  // is indexed by this enum's order.
+  kLoadElem1,   // r[a] = buffer[slot c][int(r[b])] (negative + bounds check)
+  kStoreElem1,  // buffer[slot c][int(r[b])] = r[a] (negative + bounds check)
+};
+
+[[nodiscard]] const char* to_string(Op op);
+
+// Instr flags.
+inline constexpr std::uint8_t kFlagCoerceFloat = 1;  // kStoreSlot
+inline constexpr std::uint8_t kFlagIndexInit = 1;    // kIndex: start the acc
+
+/// Math intrinsics callable from compiled kernels (interp/intrinsics.cpp).
+enum class BcIntrin : std::uint16_t {
+  kSqrt, kFabs, kExp, kExp2, kLog, kLog2, kSin, kCos, kTan, kAtan,
+  kFloor, kCeil,                 // unary double
+  kPow, kFmin, kFmax, kFmod,     // binary double
+  kAbs,                          // unary int
+  kMin, kMax,                    // binary int
+};
+
+/// One fixed-width instruction (12 bytes). Operand meaning per Op above;
+/// kNewArray reuses `flags` for the element ScalarKind.
+struct Instr {
+  Op op = Op::kHalt;
+  std::uint8_t flags = 0;
+  std::uint16_t a = 0;
+  std::uint16_t b = 0;
+  std::uint16_t c = 0;
+  std::int32_t imm = 0;
+};
+static_assert(sizeof(Instr) == 12, "bytecode instructions are fixed-width");
+
+/// Immutable compilation result, shared across worker threads. `locs` is a
+/// cold parallel array: only error paths and the disassembler touch it.
+struct CompiledKernel {
+  std::string kernel_name;
+  std::vector<Instr> code;
+  std::vector<SourceLocation> locs;
+  // SoA constant pool: int64 payload (doubles via bit_cast) + tag.
+  std::vector<std::int64_t> const_bits;
+  std::vector<std::uint8_t> const_is_double;
+  std::uint32_t num_regs = 0;
+  std::uint32_t num_slots = 0;
+  /// Slot → name, copied from the SlotTable (disassembly + error text).
+  std::vector<std::string> slot_names;
+};
+
+/// Per-chunk mutable state: one aligned arena carved into the register file
+/// (payload + tag), the per-slot buffer pointer table, and the per-slot
+/// readable/written bits. Reused across chunks and launch retries — ensure()
+/// reallocates only on growth.
+class BcFrame {
+ public:
+  BcFrame() = default;
+  ~BcFrame();
+  BcFrame(const BcFrame&) = delete;
+  BcFrame& operator=(const BcFrame&) = delete;
+  BcFrame(BcFrame&& other) noexcept;
+  BcFrame& operator=(BcFrame&& other) noexcept;
+
+  /// Make the arena large enough for `num_regs` registers over `num_slots`
+  /// slots. Contents are unspecified afterwards (the VM re-initializes the
+  /// slot state at every chunk sync-in).
+  void ensure(std::uint32_t num_regs, std::uint32_t num_slots);
+
+  std::int64_t* pay = nullptr;     // [num_regs] value payloads
+  std::uint8_t* tag = nullptr;     // [num_regs] 0 = int, 1 = double
+  TypedBuffer** buf = nullptr;     // [num_slots] resolved buffer per slot
+  std::uint8_t* readable = nullptr;  // [num_slots]
+  std::uint8_t* written = nullptr;   // [num_slots]
+
+ private:
+  void release();
+
+  void* arena_ = nullptr;
+  std::uint32_t regs_ = 0;
+  std::uint32_t slots_ = 0;
+};
+
+/// Deterministic human-readable listing: header, constant pool, then one
+/// line per instruction with its source-line anchor.
+void disassemble(const CompiledKernel& kernel, std::ostream& os);
+
+}  // namespace miniarc

@@ -1,0 +1,886 @@
+#include "bc/compiler.h"
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "ast/decl.h"
+#include "ast/expr.h"
+#include "sema/sema.h"
+
+namespace miniarc {
+namespace {
+
+/// Thrown to unwind compilation; caught in compile_kernel_body.
+struct Reject {
+  std::string reason;
+};
+
+[[noreturn]] void reject(std::string reason) { throw Reject{std::move(reason)}; }
+
+/// A folded compile-time constant with Value's int/double semantics.
+struct ConstVal {
+  bool is_double = false;
+  std::int64_t i = 0;
+  double d = 0.0;
+
+  static ConstVal of_int(std::int64_t v) { return {false, v, 0.0}; }
+  static ConstVal of_double(double v) { return {true, 0, v}; }
+
+  [[nodiscard]] double as_double() const {
+    return is_double ? d : static_cast<double>(i);
+  }
+  [[nodiscard]] bool truthy() const { return is_double ? d != 0.0 : i != 0; }
+  [[nodiscard]] std::int64_t bits() const {
+    return is_double ? std::bit_cast<std::int64_t>(d) : i;
+  }
+};
+
+/// Value::as_int on a double is a static_cast, which is undefined for
+/// out-of-range magnitudes. Folding must not evaluate anything the AST
+/// engine would not, so a fold that needs as_int of a double succeeds only
+/// when the truncation is well-defined.
+std::optional<std::int64_t> safe_as_int(const ConstVal& v) {
+  if (!v.is_double) return v.i;
+  if (!(v.d >= -9223372036854775808.0 && v.d < 9223372036854775808.0)) {
+    return std::nullopt;
+  }
+  return static_cast<std::int64_t>(v.d);
+}
+
+struct IntrinInfo {
+  BcIntrin id;
+  int arity;
+};
+
+const IntrinInfo* intrin_info(const std::string& name) {
+  static const std::map<std::string, IntrinInfo> kTable = {
+      {"sqrt", {BcIntrin::kSqrt, 1}},  {"fabs", {BcIntrin::kFabs, 1}},
+      {"exp", {BcIntrin::kExp, 1}},    {"exp2", {BcIntrin::kExp2, 1}},
+      {"log", {BcIntrin::kLog, 1}},    {"log2", {BcIntrin::kLog2, 1}},
+      {"sin", {BcIntrin::kSin, 1}},    {"cos", {BcIntrin::kCos, 1}},
+      {"tan", {BcIntrin::kTan, 1}},    {"atan", {BcIntrin::kAtan, 1}},
+      {"floor", {BcIntrin::kFloor, 1}},{"ceil", {BcIntrin::kCeil, 1}},
+      {"pow", {BcIntrin::kPow, 2}},    {"fmin", {BcIntrin::kFmin, 2}},
+      {"fmax", {BcIntrin::kFmax, 2}},  {"fmod", {BcIntrin::kFmod, 2}},
+      {"abs", {BcIntrin::kAbs, 1}},    {"min", {BcIntrin::kMin, 2}},
+      {"max", {BcIntrin::kMax, 2}},
+  };
+  auto it = kTable.find(name);
+  return it == kTable.end() ? nullptr : &it->second;
+}
+
+class Compiler {
+ public:
+  /// Register numbering depends on the constant-pool size (constants live at
+  /// [num_slots, num_slots + pool size), temporaries above), so compilation
+  /// runs twice: a sizing pass with `reserved_consts` = 0 whose code is
+  /// discarded, then the final pass with the discovered pool size. Both
+  /// passes fold identically, so the pools match; `final_pass` arms a
+  /// defensive reject if they ever drift.
+  Compiler(const Stmt& body, const std::string& kernel_name,
+           const std::vector<std::string>& slot_names,
+           const std::vector<std::uint8_t>& slot_is_float, int induction_slot,
+           std::uint32_t reserved_consts, bool final_pass)
+      : body_(body),
+        slot_is_float_(slot_is_float),
+        reserved_consts_(reserved_consts),
+        final_pass_(final_pass) {
+    kernel_ = std::make_shared<CompiledKernel>();
+    kernel_->kernel_name = kernel_name;
+    kernel_->slot_names = slot_names;
+    kernel_->num_slots = static_cast<std::uint32_t>(slot_names.size());
+    temp_top_ = kernel_->num_slots + reserved_consts;
+    max_reg_ = temp_top_;
+    stored_.assign(kernel_->num_slots, 0);
+    // The VM seeds the induction slot before every iteration, so it is
+    // definitely stored from the first statement on.
+    if (induction_slot >= 0 &&
+        induction_slot < static_cast<int>(kernel_->num_slots)) {
+      stored_[static_cast<std::size_t>(induction_slot)] = 1;
+    }
+  }
+
+  std::shared_ptr<const CompiledKernel> run() {
+    compile_stmt(body_);
+    int halt_pc = emit(Op::kHalt, 0, 0, 0, 0, 0, body_.location());
+    for (int pc : exit_patches_) kernel_->code[static_cast<std::size_t>(pc)].imm = halt_pc;
+    kernel_->num_regs = max_reg_;
+    return kernel_;
+  }
+
+ private:
+  // ---- emission ----
+
+  int emit(Op op, std::uint8_t flags, std::uint16_t a, std::uint16_t b,
+           std::uint16_t c, std::int32_t imm, SourceLocation loc) {
+    kernel_->code.push_back(Instr{op, flags, a, b, c, imm});
+    kernel_->locs.push_back(loc);
+    return static_cast<int>(kernel_->code.size()) - 1;
+  }
+
+  [[nodiscard]] int here() const {
+    return static_cast<int>(kernel_->code.size());
+  }
+
+  void patch(int pc, int target) {
+    kernel_->code[static_cast<std::size_t>(pc)].imm = target;
+  }
+
+  std::uint16_t alloc_temp() {
+    if (temp_top_ >= 65535) reject("register file overflow");
+    std::uint16_t reg = static_cast<std::uint16_t>(temp_top_++);
+    if (temp_top_ > max_reg_) max_reg_ = temp_top_;
+    return reg;
+  }
+
+  std::int32_t add_const(const ConstVal& v) {
+    auto key = std::make_pair(v.is_double, v.bits());
+    auto it = const_index_.find(key);
+    if (it != const_index_.end()) return it->second;
+    auto index = static_cast<std::int32_t>(kernel_->const_bits.size());
+    kernel_->const_bits.push_back(v.bits());
+    kernel_->const_is_double.push_back(v.is_double ? 1 : 0);
+    const_index_.emplace(key, index);
+    return index;
+  }
+
+  std::uint16_t checked_slot(int slot, const std::string& name) {
+    if (slot < 0 || slot >= static_cast<int>(kernel_->num_slots)) {
+      reject("variable '" + name + "' has no resolved slot");
+    }
+    return static_cast<std::uint16_t>(slot);
+  }
+
+  /// Register holding `v`: the VM materializes the whole pool into
+  /// [num_slots, num_slots + pool size) once per chunk.
+  std::uint16_t const_reg(const ConstVal& v) {
+    std::int32_t index = add_const(v);
+    if (final_pass_ &&
+        static_cast<std::uint32_t>(index) >= reserved_consts_) {
+      reject("constant pool drift between passes");
+    }
+    return static_cast<std::uint16_t>(kernel_->num_slots +
+                                      static_cast<std::uint32_t>(index));
+  }
+
+  // ---- constant folding ----
+
+  std::optional<ConstVal> fold(const Expr& e) {
+    switch (e.kind()) {
+      case ExprKind::kIntLit:
+        return ConstVal::of_int(e.as<IntLit>().value());
+      case ExprKind::kFloatLit:
+        return ConstVal::of_double(e.as<FloatLit>().value());
+      case ExprKind::kSizeof:
+        return ConstVal::of_int(static_cast<std::int64_t>(
+            scalar_size(e.as<SizeofExpr>().target().scalar())));
+      case ExprKind::kUnary:
+        return fold_unary(e.as<Unary>());
+      case ExprKind::kBinary:
+        return fold_binary(e.as<Binary>());
+      case ExprKind::kCast:
+        return fold_cast(e.as<Cast>());
+      case ExprKind::kTernary: {
+        const auto& t = e.as<Ternary>();
+        auto cond = fold(t.cond());
+        if (!cond.has_value()) return std::nullopt;
+        return fold(cond->truthy() ? t.then_value() : t.else_value());
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  std::optional<ConstVal> fold_unary(const Unary& e) {
+    auto v = fold(e.operand());
+    if (!v.has_value()) return std::nullopt;
+    switch (e.op()) {
+      case UnaryOp::kNeg:
+        if (v->is_double) return ConstVal::of_double(-v->d);
+        if (v->i == std::numeric_limits<std::int64_t>::min()) {
+          return std::nullopt;
+        }
+        return ConstVal::of_int(-v->i);
+      case UnaryOp::kNot:
+        return ConstVal::of_int(v->truthy() ? 0 : 1);
+      case UnaryOp::kBitNot: {
+        auto i = safe_as_int(*v);
+        if (!i.has_value()) return std::nullopt;
+        return ConstVal::of_int(~*i);
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<ConstVal> fold_binary(const Binary& e) {
+    // Short-circuit pair: a constant-false && / constant-true || skips the
+    // rhs exactly as the AST engine would.
+    if (e.op() == BinaryOp::kAnd || e.op() == BinaryOp::kOr) {
+      auto lhs = fold(e.lhs());
+      if (!lhs.has_value()) return std::nullopt;
+      bool short_out = e.op() == BinaryOp::kAnd ? !lhs->truthy() : lhs->truthy();
+      if (short_out) {
+        return ConstVal::of_int(e.op() == BinaryOp::kAnd ? 0 : 1);
+      }
+      auto rhs = fold(e.rhs());
+      if (!rhs.has_value()) return std::nullopt;
+      return ConstVal::of_int(rhs->truthy() ? 1 : 0);
+    }
+    auto lv = fold(e.lhs());
+    if (!lv.has_value()) return std::nullopt;
+    auto rv = fold(e.rhs());
+    if (!rv.has_value()) return std::nullopt;
+    const ConstVal& l = *lv;
+    const ConstVal& r = *rv;
+    bool int_mode = !l.is_double && !r.is_double;
+    std::int64_t out = 0;
+    switch (e.op()) {
+      case BinaryOp::kAdd:
+        if (!int_mode) return ConstVal::of_double(l.as_double() + r.as_double());
+        if (__builtin_add_overflow(l.i, r.i, &out)) return std::nullopt;
+        return ConstVal::of_int(out);
+      case BinaryOp::kSub:
+        if (!int_mode) return ConstVal::of_double(l.as_double() - r.as_double());
+        if (__builtin_sub_overflow(l.i, r.i, &out)) return std::nullopt;
+        return ConstVal::of_int(out);
+      case BinaryOp::kMul:
+        if (!int_mode) return ConstVal::of_double(l.as_double() * r.as_double());
+        if (__builtin_mul_overflow(l.i, r.i, &out)) return std::nullopt;
+        return ConstVal::of_int(out);
+      case BinaryOp::kDiv:
+        if (!int_mode) return ConstVal::of_double(l.as_double() / r.as_double());
+        // Division by zero (a runtime error) and INT64_MIN/-1 (UB) are left
+        // to the runtime ops, which raise exactly what the AST engine does.
+        if (r.i == 0 ||
+            (l.i == std::numeric_limits<std::int64_t>::min() && r.i == -1)) {
+          return std::nullopt;
+        }
+        return ConstVal::of_int(l.i / r.i);
+      case BinaryOp::kRem: {
+        auto li = safe_as_int(l);
+        auto ri = safe_as_int(r);
+        if (!li.has_value() || !ri.has_value()) return std::nullopt;
+        if (*ri == 0 ||
+            (*li == std::numeric_limits<std::int64_t>::min() && *ri == -1)) {
+          return std::nullopt;
+        }
+        return ConstVal::of_int(*li % *ri);
+      }
+      case BinaryOp::kLt:
+        return ConstVal::of_int(int_mode ? l.i < r.i
+                                         : l.as_double() < r.as_double());
+      case BinaryOp::kLe:
+        return ConstVal::of_int(int_mode ? l.i <= r.i
+                                         : l.as_double() <= r.as_double());
+      case BinaryOp::kGt:
+        return ConstVal::of_int(int_mode ? l.i > r.i
+                                         : l.as_double() > r.as_double());
+      case BinaryOp::kGe:
+        return ConstVal::of_int(int_mode ? l.i >= r.i
+                                         : l.as_double() >= r.as_double());
+      case BinaryOp::kEq:
+        return ConstVal::of_int(int_mode ? l.i == r.i
+                                         : l.as_double() == r.as_double());
+      case BinaryOp::kNe:
+        return ConstVal::of_int(int_mode ? l.i != r.i
+                                         : l.as_double() != r.as_double());
+      case BinaryOp::kBitAnd:
+      case BinaryOp::kBitOr:
+      case BinaryOp::kBitXor: {
+        auto li = safe_as_int(l);
+        auto ri = safe_as_int(r);
+        if (!li.has_value() || !ri.has_value()) return std::nullopt;
+        if (e.op() == BinaryOp::kBitAnd) return ConstVal::of_int(*li & *ri);
+        if (e.op() == BinaryOp::kBitOr) return ConstVal::of_int(*li | *ri);
+        return ConstVal::of_int(*li ^ *ri);
+      }
+      case BinaryOp::kShl:
+      case BinaryOp::kShr: {
+        auto li = safe_as_int(l);
+        auto ri = safe_as_int(r);
+        if (!li.has_value() || !ri.has_value()) return std::nullopt;
+        if (*ri < 0 || *ri > 63) return std::nullopt;
+        if (e.op() == BinaryOp::kShl) {
+          return ConstVal::of_int(static_cast<std::int64_t>(
+              static_cast<std::uint64_t>(*li) << *ri));
+        }
+        return ConstVal::of_int(*li >> *ri);
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  std::optional<ConstVal> fold_cast(const Cast& e) {
+    if (e.target().is_pointer()) return std::nullopt;
+    auto v = fold(e.operand());
+    if (!v.has_value()) return std::nullopt;
+    switch (e.target().scalar()) {
+      case ScalarKind::kInt: {
+        auto i = safe_as_int(*v);
+        if (!i.has_value()) return std::nullopt;
+        return ConstVal::of_int(static_cast<std::int32_t>(*i));
+      }
+      case ScalarKind::kLong: {
+        auto i = safe_as_int(*v);
+        if (!i.has_value()) return std::nullopt;
+        return ConstVal::of_int(*i);
+      }
+      case ScalarKind::kFloat:
+        return ConstVal::of_double(
+            static_cast<double>(static_cast<float>(v->as_double())));
+      default:
+        return ConstVal::of_double(v->as_double());
+    }
+  }
+
+  // ---- expressions ----
+
+  /// Compile `e` into `dst`, a scratch temporary no other live expression
+  /// reads. May write `dst` several times along branches (ternary, &&, ||);
+  /// its final value is always e's value.
+  void expr_into(const Expr& e, std::uint16_t dst) {
+    if (auto folded = fold(e)) {
+      emit(Op::kLoadConst, 0, dst, 0, 0, add_const(*folded), e.location());
+      return;
+    }
+    switch (e.kind()) {
+      case ExprKind::kVarRef: {
+        if (e.type().is_buffer()) reject("buffer-valued expression");
+        const auto& ref = e.as<VarRef>();
+        std::uint16_t slot = checked_slot(ref.slot(), ref.name());
+        emit(Op::kLoadSlot, 0, dst, slot, 0, 0, e.location());
+        return;
+      }
+      case ExprKind::kArrayIndex: {
+        const auto& index = e.as<ArrayIndex>();
+        std::uint32_t mark = temp_top_;
+        ElemAddr addr = compile_index_chain(index, e.location());
+        temp_top_ = mark;
+        emit(addr.fused ? Op::kLoadElem1 : Op::kLoadElem, 0, dst, addr.idx,
+             addr.slot, 0, e.location());
+        return;
+      }
+      case ExprKind::kUnary: {
+        const auto& unary = e.as<Unary>();
+        std::uint32_t mark = temp_top_;
+        std::uint16_t src = expr_operand(unary.operand());
+        temp_top_ = mark;
+        Op op = unary.op() == UnaryOp::kNeg   ? Op::kNeg
+                : unary.op() == UnaryOp::kNot ? Op::kNot
+                                              : Op::kBitNot;
+        emit(op, 0, dst, src, 0, 0, e.location());
+        return;
+      }
+      case ExprKind::kBinary: {
+        const auto& binary = e.as<Binary>();
+        if (binary.op() == BinaryOp::kAnd || binary.op() == BinaryOp::kOr) {
+          compile_short_circuit(binary, dst);
+          return;
+        }
+        std::uint32_t mark = temp_top_;
+        std::uint16_t lhs = expr_operand(binary.lhs());
+        std::uint16_t rhs = expr_operand(binary.rhs());
+        temp_top_ = mark;
+        emit(binary_op(binary.op()), 0, dst, lhs, rhs, 0, e.location());
+        return;
+      }
+      case ExprKind::kCall: {
+        compile_call(e.as<Call>(), dst);
+        return;
+      }
+      case ExprKind::kCast: {
+        const auto& cast = e.as<Cast>();
+        if (cast.target().is_pointer()) reject("pointer cast");
+        if (cast.operand().type().is_buffer()) {
+          reject("buffer-valued expression");
+        }
+        std::uint32_t mark = temp_top_;
+        std::uint16_t src = expr_operand(cast.operand());
+        temp_top_ = mark;
+        Op op = Op::kCastDouble;
+        switch (cast.target().scalar()) {
+          case ScalarKind::kInt: op = Op::kCastInt; break;
+          case ScalarKind::kLong: op = Op::kCastLong; break;
+          case ScalarKind::kFloat: op = Op::kCastFloat; break;
+          default: break;
+        }
+        emit(op, 0, dst, src, 0, 0, e.location());
+        return;
+      }
+      case ExprKind::kTernary: {
+        const auto& ternary = e.as<Ternary>();
+        // A foldable condition selects one branch at compile time — the AST
+        // engine would evaluate only that branch too.
+        if (auto cond = fold(ternary.cond())) {
+          expr_into(cond->truthy() ? ternary.then_value()
+                                   : ternary.else_value(),
+                    dst);
+          return;
+        }
+        std::uint32_t mark = temp_top_;
+        std::uint16_t cond = expr_operand(ternary.cond());
+        temp_top_ = mark;
+        int jf = emit(Op::kJumpIfFalse, 0, 0, cond, 0, 0, e.location());
+        expr_into(ternary.then_value(), dst);
+        int jend = emit(Op::kJump, 0, 0, 0, 0, 0, e.location());
+        patch(jf, here());
+        expr_into(ternary.else_value(), dst);
+        patch(jend, here());
+        return;
+      }
+      default:
+        reject(std::string("expression kind ") +
+               std::to_string(static_cast<int>(e.kind())));
+    }
+  }
+
+  std::uint16_t expr_to_temp(const Expr& e) {
+    std::uint16_t dst = alloc_temp();
+    expr_into(e, dst);
+    return dst;
+  }
+
+  /// Compile `e` to a register the consuming instruction may READ but must
+  /// never write: a constant register when `e` folds, the slot register
+  /// itself when a dominating store proves the slot definitely initialized
+  /// (kLoadSlot's unreadable check is then dead code — the copy and the
+  /// check both disappear), a fresh temporary otherwise. Nothing inside an
+  /// expression writes a slot register, so the operand stays valid until
+  /// the instruction that consumes it.
+  std::uint16_t expr_operand(const Expr& e) {
+    if (auto folded = fold(e)) return const_reg(*folded);
+    if (e.kind() == ExprKind::kVarRef && !e.type().is_buffer()) {
+      const auto& ref = e.as<VarRef>();
+      std::uint16_t slot = checked_slot(ref.slot(), ref.name());
+      if (stored_[slot] != 0) return slot;
+    }
+    return expr_to_temp(e);
+  }
+
+  static Op binary_op(BinaryOp op) {
+    switch (op) {
+      case BinaryOp::kAdd: return Op::kAdd;
+      case BinaryOp::kSub: return Op::kSub;
+      case BinaryOp::kMul: return Op::kMul;
+      case BinaryOp::kDiv: return Op::kDiv;
+      case BinaryOp::kRem: return Op::kRem;
+      case BinaryOp::kLt: return Op::kLt;
+      case BinaryOp::kLe: return Op::kLe;
+      case BinaryOp::kGt: return Op::kGt;
+      case BinaryOp::kGe: return Op::kGe;
+      case BinaryOp::kEq: return Op::kEq;
+      case BinaryOp::kNe: return Op::kNe;
+      case BinaryOp::kBitAnd: return Op::kBitAnd;
+      case BinaryOp::kBitOr: return Op::kBitOr;
+      case BinaryOp::kBitXor: return Op::kBitXor;
+      case BinaryOp::kShl: return Op::kShl;
+      case BinaryOp::kShr: return Op::kShr;
+      default: reject("unsupported binary operator");
+    }
+  }
+
+  void compile_short_circuit(const Binary& e, std::uint16_t dst) {
+    expr_into(e.lhs(), dst);
+    bool is_and = e.op() == BinaryOp::kAnd;
+    int jshort = emit(is_and ? Op::kJumpIfFalse : Op::kJumpIfTrue, 0, 0, dst,
+                      0, 0, e.location());
+    expr_into(e.rhs(), dst);
+    emit(Op::kTruthy, 0, dst, dst, 0, 0, e.location());
+    int jend = emit(Op::kJump, 0, 0, 0, 0, 0, e.location());
+    patch(jshort, here());
+    emit(Op::kLoadConst, 0, dst, 0, 0,
+         add_const(ConstVal::of_int(is_and ? 0 : 1)), e.location());
+    patch(jend, here());
+  }
+
+  void compile_call(const Call& call, std::uint16_t dst) {
+    if (call.callee() == "malloc" || call.callee() == "free") {
+      reject("heap management");
+    }
+    if (!is_intrinsic(call.callee())) {
+      reject("user function call '" + call.callee() + "'");
+    }
+    const IntrinInfo* info = intrin_info(call.callee());
+    if (info == nullptr ||
+        call.args().size() != static_cast<std::size_t>(info->arity)) {
+      reject("intrinsic '" + call.callee() + "' arity");
+    }
+    std::uint32_t mark = temp_top_;
+    std::uint16_t base = 0;
+    // Argument registers are consecutive; each argument may use scratch
+    // temps above the whole block while it is compiled.
+    for (int i = 0; i < info->arity; ++i) {
+      std::uint16_t reg = alloc_temp();
+      if (i == 0) base = reg;
+    }
+    for (int i = 0; i < info->arity; ++i) {
+      expr_into(*call.args()[static_cast<std::size_t>(i)],
+                static_cast<std::uint16_t>(base + i));
+    }
+    temp_top_ = mark;
+    emit(Op::kIntrin, 0, dst, base, static_cast<std::uint16_t>(info->id),
+         info->arity, call.location());
+  }
+
+  struct ElemAddr {
+    std::uint16_t slot = 0;
+    /// Flat-index accumulator temp, or (fused) the single index operand.
+    std::uint16_t idx = 0;
+    /// Unit-stride 1-D access: use kLoadElem1/kStoreElem1, which do the
+    /// negative and bounds checks in one dispatch instead of a kIndex pair.
+    bool fused = false;
+  };
+
+  /// Emit resolve + addressing for `index`. `loc` is the statement location
+  /// for stores, the expression location for loads — exactly the loc the
+  /// AST engine passes to resolve/flat_index. The kResolveBuf stays a
+  /// separate preceding op so a missing device copy still errors before the
+  /// index expressions evaluate, as in the AST walk.
+  ElemAddr compile_index_chain(const ArrayIndex& index, SourceLocation loc) {
+    if (index.base().kind() != ExprKind::kVarRef) {
+      reject("buffer access through a non-variable expression");
+    }
+    const auto& ref = index.base().as<VarRef>();
+    std::uint16_t slot = checked_slot(ref.slot(), ref.name());
+    emit(Op::kResolveBuf, 0, 0, 0, slot, 0, loc);
+    const auto& dims = index.base().type().array_dims();
+    if (index.indices().size() == 1 && dims.size() <= 1) {
+      // Unit stride: the single index IS the flat index.
+      std::uint16_t idx = expr_operand(*index.indices()[0]);
+      return {slot, idx, true};
+    }
+    std::uint16_t acc = alloc_temp();
+    for (std::size_t d = 0; d < index.indices().size(); ++d) {
+      std::int64_t stride = 1;
+      for (std::size_t rest = d + 1; rest < dims.size(); ++rest) {
+        stride *= dims[rest];
+        if (stride <= 0 || stride > std::numeric_limits<std::int32_t>::max()) {
+          reject("array stride out of range");
+        }
+      }
+      std::uint32_t mark = temp_top_;
+      std::uint16_t idx = expr_operand(*index.indices()[d]);
+      temp_top_ = mark;
+      emit(Op::kIndex, d == 0 ? kFlagIndexInit : 0, acc, idx, slot,
+           static_cast<std::int32_t>(stride), loc);
+    }
+    return {slot, acc, false};
+  }
+
+  // ---- statements ----
+
+  struct LoopCtx {
+    std::vector<int> break_patches;
+    std::vector<int> continue_patches;
+    /// When >= 0, continue jumps straight here instead of being patched.
+    int continue_target = -1;
+  };
+
+  void compile_stmt(const Stmt& stmt) {
+    emit(Op::kCount, 0, 0, 0, 0, 0, stmt.location());
+    switch (stmt.kind()) {
+      case StmtKind::kDecl:
+        compile_decl(stmt.as<DeclStmt>());
+        return;
+      case StmtKind::kAssign: {
+        const auto& assign = stmt.as<AssignStmt>();
+        compile_assign(assign.lhs(), assign.op(), &assign.rhs(),
+                       stmt.location());
+        return;
+      }
+      case StmtKind::kIncDec: {
+        const auto& inc = stmt.as<IncDecStmt>();
+        compile_assign(inc.target(),
+                       inc.is_increment() ? AssignOp::kAdd : AssignOp::kSub,
+                       nullptr, stmt.location());
+        return;
+      }
+      case StmtKind::kExpr: {
+        // Evaluated for effect only; a foldable or definitely-stored operand
+        // compiles to nothing (neither can raise a runtime error).
+        std::uint32_t mark = temp_top_;
+        (void)expr_operand(stmt.as<ExprStmt>().expr());
+        temp_top_ = mark;
+        return;
+      }
+      case StmtKind::kIf: {
+        const auto& if_stmt = stmt.as<IfStmt>();
+        std::uint32_t mark = temp_top_;
+        std::uint16_t cond = expr_operand(if_stmt.cond());
+        temp_top_ = mark;
+        int jf = emit(Op::kJumpIfFalse, 0, 0, cond, 0, 0, stmt.location());
+        std::vector<std::uint8_t> before = stored_;
+        compile_stmt(if_stmt.then_body());
+        if (if_stmt.else_body() != nullptr) {
+          int jend = emit(Op::kJump, 0, 0, 0, 0, 0, stmt.location());
+          patch(jf, here());
+          std::vector<std::uint8_t> after_then = std::move(stored_);
+          stored_ = std::move(before);
+          compile_stmt(*if_stmt.else_body());
+          // After the if: definitely stored only when both arms stored it.
+          for (std::size_t i = 0; i < stored_.size(); ++i) {
+            stored_[i] = static_cast<std::uint8_t>(stored_[i] & after_then[i]);
+          }
+          patch(jend, here());
+        } else {
+          patch(jf, here());
+          stored_ = std::move(before);
+        }
+        return;
+      }
+      case StmtKind::kFor:
+        compile_for(stmt.as<ForStmt>());
+        return;
+      case StmtKind::kWhile: {
+        const auto& while_stmt = stmt.as<WhileStmt>();
+        // Body and exit only keep facts that held before the loop — the
+        // body may run zero times, and the back edge re-enters the
+        // condition with at least those facts.
+        std::vector<std::uint8_t> snapshot = stored_;
+        int cond_pc = here();
+        std::uint32_t mark = temp_top_;
+        std::uint16_t cond = expr_operand(while_stmt.cond());
+        temp_top_ = mark;
+        int jexit = emit(Op::kJumpIfFalse, 0, 0, cond, 0, 0, stmt.location());
+        loops_.push_back(LoopCtx{{}, {}, cond_pc});
+        compile_stmt(while_stmt.body());
+        LoopCtx ctx = std::move(loops_.back());
+        loops_.pop_back();
+        emit(Op::kJump, 0, 0, 0, 0, cond_pc, stmt.location());
+        patch(jexit, here());
+        for (int pc : ctx.break_patches) patch(pc, here());
+        stored_ = std::move(snapshot);
+        return;
+      }
+      case StmtKind::kCompound:
+        for (const auto& s : stmt.as<CompoundStmt>().stmts()) {
+          compile_stmt(*s);
+        }
+        return;
+      case StmtKind::kReturn:
+        // A kernel-body return ends the current iteration; any value is
+        // discarded without evaluation (KernelEval does the same).
+        exit_patches_.push_back(emit(Op::kJump, 0, 0, 0, 0, 0,
+                                     stmt.location()));
+        return;
+      case StmtKind::kBreak:
+        if (loops_.empty()) {
+          // Root-level break: the chunk runner discards the flow, ending
+          // the iteration.
+          exit_patches_.push_back(emit(Op::kJump, 0, 0, 0, 0, 0,
+                                       stmt.location()));
+        } else {
+          loops_.back().break_patches.push_back(
+              emit(Op::kJump, 0, 0, 0, 0, 0, stmt.location()));
+        }
+        return;
+      case StmtKind::kContinue:
+        if (loops_.empty()) {
+          exit_patches_.push_back(emit(Op::kJump, 0, 0, 0, 0, 0,
+                                       stmt.location()));
+        } else if (loops_.back().continue_target >= 0) {
+          emit(Op::kJump, 0, 0, 0, 0, loops_.back().continue_target,
+               stmt.location());
+        } else {
+          loops_.back().continue_patches.push_back(
+              emit(Op::kJump, 0, 0, 0, 0, 0, stmt.location()));
+        }
+        return;
+      case StmtKind::kAcc:
+        // Nested loop directives don't change sequential semantics; the
+        // body executes (and counts) like any other statement.
+        compile_stmt(stmt.as<AccStmt>().body());
+        return;
+      case StmtKind::kAccStandalone:
+        // openarc annotations: no-op at execution time (the count above is
+        // the whole effect).
+        return;
+      default:
+        reject(std::string(to_string(stmt.kind())));
+    }
+  }
+
+  void compile_decl(const DeclStmt& stmt) {
+    const VarDecl& decl = stmt.decl();
+    std::uint16_t slot = checked_slot(decl.slot(), decl.name());
+    if (decl.init() != nullptr) {
+      std::uint32_t mark = temp_top_;
+      std::uint16_t value = expr_operand(*decl.init());
+      temp_top_ = mark;
+      // Raw store: decl-init bypasses the declared-float coercion, exactly
+      // like KernelEval's set_scalar path.
+      emit(Op::kStoreSlot, 0, value, slot, 0, 0, stmt.location());
+      stored_[slot] = 1;
+      return;
+    }
+    if (decl.type().is_array()) {
+      std::int64_t count = decl.type().static_element_count();
+      if (count < 0 || count > std::numeric_limits<std::int32_t>::max()) {
+        reject("array size out of range");
+      }
+      emit(Op::kNewArray, static_cast<std::uint8_t>(decl.type().scalar()), 0,
+           0, slot, static_cast<std::int32_t>(count), stmt.location());
+      return;
+    }
+    ConstVal zero = is_floating(decl.type().scalar())
+                        ? ConstVal::of_double(0.0)
+                        : ConstVal::of_int(0);
+    emit(Op::kStoreSlot, 0, const_reg(zero), slot, 0, 0, stmt.location());
+    stored_[slot] = 1;
+  }
+
+  /// Shared by kAssign and kIncDec (rhs == nullptr means the constant 1).
+  void compile_assign(const Expr& lhs, AssignOp op, const Expr* rhs,
+                      SourceLocation loc) {
+    std::uint32_t mark = temp_top_;
+    // rhs first — its errors fire before any lhs resolution, as in
+    // do_assign(lhs, op, eval(rhs), loc).
+    std::uint16_t value;
+    if (rhs != nullptr) {
+      if (rhs->type().is_buffer()) reject("pointer assignment");
+      value = expr_operand(*rhs);
+    } else {
+      value = const_reg(ConstVal::of_int(1));
+    }
+
+    if (lhs.kind() == ExprKind::kVarRef) {
+      const auto& ref = lhs.as<VarRef>();
+      if (lhs.type().is_buffer()) reject("pointer assignment");
+      std::uint16_t slot = checked_slot(ref.slot(), ref.name());
+      std::uint16_t result = value;
+      if (op != AssignOp::kAssign) {
+        std::uint16_t old = slot;
+        if (stored_[slot] == 0) {
+          old = alloc_temp();
+          emit(Op::kLoadSlot, 0, old, slot, 0, 0, ref.location());
+        }
+        result = alloc_temp();
+        emit(assign_binary_op(op), 0, result, old, value, 0, loc);
+      }
+      std::uint8_t flags =
+          slot_is_float_[slot] != 0 ? kFlagCoerceFloat : 0;
+      emit(Op::kStoreSlot, flags, result, slot, 0, 0, loc);
+      stored_[slot] = 1;
+      temp_top_ = mark;
+      return;
+    }
+
+    if (lhs.kind() == ExprKind::kArrayIndex) {
+      const auto& index = lhs.as<ArrayIndex>();
+      ElemAddr addr = compile_index_chain(index, loc);
+      std::uint16_t result = value;
+      if (op != AssignOp::kAssign) {
+        std::uint16_t old = alloc_temp();
+        emit(addr.fused ? Op::kLoadElem1 : Op::kLoadElem, 0, old, addr.idx,
+             addr.slot, 0, loc);
+        result = alloc_temp();
+        emit(assign_binary_op(op), 0, result, old, value, 0, loc);
+      }
+      emit(addr.fused ? Op::kStoreElem1 : Op::kStoreElem, 0, result, addr.idx,
+           addr.slot, 0, loc);
+      temp_top_ = mark;
+      return;
+    }
+    reject("invalid assignment target");
+  }
+
+  static Op assign_binary_op(AssignOp op) {
+    switch (op) {
+      case AssignOp::kAdd: return Op::kAdd;
+      case AssignOp::kSub: return Op::kSub;
+      case AssignOp::kMul: return Op::kMul;
+      case AssignOp::kDiv: return Op::kDiv;
+      default: reject("unsupported compound assignment");
+    }
+  }
+
+  void compile_for(const ForStmt& stmt) {
+    // The init runs in the ENCLOSING loop context: KernelEval returns a
+    // non-normal init flow to its caller without entering the loop.
+    if (stmt.init() != nullptr) compile_stmt(*stmt.init());
+    // The init dominates everything in the loop, so its facts persist;
+    // facts from the body and step do not (the body may run zero times, a
+    // continue skips the rest of the body before the step runs).
+    std::vector<std::uint8_t> snapshot = stored_;
+    int cond_pc = here();
+    int jexit = -1;
+    if (stmt.cond() != nullptr) {
+      std::uint32_t mark = temp_top_;
+      std::uint16_t cond = expr_operand(*stmt.cond());
+      temp_top_ = mark;
+      jexit = emit(Op::kJumpIfFalse, 0, 0, cond, 0, 0, stmt.location());
+    }
+    // Body: break exits the loop, continue falls through to the step.
+    loops_.push_back(LoopCtx{});
+    compile_stmt(stmt.body());
+    LoopCtx body_ctx = std::move(loops_.back());
+    loops_.pop_back();
+    int step_pc = here();
+    for (int pc : body_ctx.continue_patches) patch(pc, step_pc);
+    stored_ = snapshot;
+    if (stmt.step() != nullptr) {
+      // Step context: KernelEval drops a step's break/continue flow and
+      // keeps looping, so both jump back to the condition.
+      loops_.push_back(LoopCtx{{}, {}, cond_pc});
+      std::size_t break_mark = loops_.size() - 1;
+      compile_stmt(*stmt.step());
+      LoopCtx step_ctx = std::move(loops_[break_mark]);
+      loops_.pop_back();
+      for (int pc : step_ctx.break_patches) patch(pc, cond_pc);
+    }
+    emit(Op::kJump, 0, 0, 0, 0, cond_pc, stmt.location());
+    int end_pc = here();
+    if (jexit >= 0) patch(jexit, end_pc);
+    for (int pc : body_ctx.break_patches) patch(pc, end_pc);
+    stored_ = std::move(snapshot);
+  }
+
+  const Stmt& body_;
+  const std::vector<std::uint8_t>& slot_is_float_;
+  std::uint32_t reserved_consts_ = 0;
+  bool final_pass_ = false;
+  std::shared_ptr<CompiledKernel> kernel_;
+  std::uint32_t temp_top_ = 0;
+  std::uint32_t max_reg_ = 0;
+  /// Per-slot "a store dominates this program point" bit, maintained
+  /// flow-sensitively (branch join = intersection, loops reset to the facts
+  /// that held on entry). When set, reads bypass kLoadSlot entirely.
+  std::vector<std::uint8_t> stored_;
+  std::vector<LoopCtx> loops_;
+  std::vector<int> exit_patches_;
+  std::map<std::pair<bool, std::int64_t>, std::int32_t> const_index_;
+};
+
+}  // namespace
+
+BcCompileResult compile_kernel_body(
+    const Stmt& chunk_body, const std::string& kernel_name,
+    const std::vector<std::string>& slot_names,
+    const std::vector<std::uint8_t>& slot_is_float, int induction_slot) {
+  if (slot_names.size() != slot_is_float.size()) {
+    return {nullptr, "slot table mismatch"};
+  }
+  if (slot_names.size() >= 65000) {
+    return {nullptr, "too many slots"};
+  }
+  try {
+    // Pass 1 sizes the constant pool; its code is discarded. Pass 2 emits
+    // the final code with constants at [num_slots, num_slots + pool size).
+    Compiler sizing_pass(chunk_body, kernel_name, slot_names, slot_is_float,
+                         induction_slot, 0, /*final_pass=*/false);
+    auto num_consts = static_cast<std::uint32_t>(
+        sizing_pass.run()->const_bits.size());
+    Compiler compiler(chunk_body, kernel_name, slot_names, slot_is_float,
+                      induction_slot, num_consts, /*final_pass=*/true);
+    return {compiler.run(), ""};
+  } catch (const Reject& r) {
+    return {nullptr, r.reason};
+  }
+}
+
+}  // namespace miniarc

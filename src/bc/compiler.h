@@ -1,0 +1,40 @@
+// AST → bytecode compiler for kernel chunk bodies. Compilation is refusal-
+// based: any construct whose runtime semantics the VM does not replicate
+// bit-for-bit (user calls, pointer assignment, buffer-valued expressions,
+// oversized register files) makes compile_kernel_body return a null kernel
+// plus a reason, and the launch falls back to the AST reference engine —
+// which raises the exact same runtime error the construct would have, or
+// simply executes it. Constant subexpressions are folded (with overflow /
+// division / shift guards so folding never evaluates what the AST engine
+// would not), and array addressing is lowered to base+stride kIndex chains
+// with strides resolved from the static dims at compile time.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/stmt.h"
+#include "bc/bytecode.h"
+
+namespace miniarc {
+
+struct BcCompileResult {
+  /// Null when the body was refused; `reason` says why.
+  std::shared_ptr<const CompiledKernel> kernel;
+  std::string reason;
+};
+
+/// Compile `chunk_body` (the partition loop's body, or the whole kernel body
+/// for loop-less kernels) against the program-wide slot numbering.
+/// `slot_names.size()` is the slot count; `slot_is_float` drives the
+/// declared-float assignment coercion, exactly as in KernelEval.
+/// `induction_slot` (-1 if none) is the slot the VM seeds before every
+/// iteration; the compiler treats it as definitely stored, so reads of it
+/// become direct slot-register operands.
+[[nodiscard]] BcCompileResult compile_kernel_body(
+    const Stmt& chunk_body, const std::string& kernel_name,
+    const std::vector<std::string>& slot_names,
+    const std::vector<std::uint8_t>& slot_is_float, int induction_slot = -1);
+
+}  // namespace miniarc

@@ -1,0 +1,673 @@
+#include "bc/vm.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "device/acc_error.h"
+#include "interp/interp.h"
+
+namespace miniarc {
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MINIARC_BC_COMPUTED_GOTO 1
+#else
+#define MINIARC_BC_COMPUTED_GOTO 0
+#endif
+
+// ---- register accessors (tag 0 = int, 1 = double; Value semantics) ----
+
+inline double rd(const std::int64_t* pay, const std::uint8_t* tag,
+                 unsigned r) {
+  return tag[r] != 0 ? std::bit_cast<double>(pay[r])
+                     : static_cast<double>(pay[r]);
+}
+
+inline std::int64_t ri(const std::int64_t* pay, const std::uint8_t* tag,
+                       unsigned r) {
+  return tag[r] != 0
+             ? static_cast<std::int64_t>(std::bit_cast<double>(pay[r]))
+             : pay[r];
+}
+
+inline bool rt(const std::int64_t* pay, const std::uint8_t* tag, unsigned r) {
+  return tag[r] != 0 ? std::bit_cast<double>(pay[r]) != 0.0 : pay[r] != 0;
+}
+
+inline void put_i(std::int64_t* pay, std::uint8_t* tag, unsigned r,
+                  std::int64_t v) {
+  pay[r] = v;
+  tag[r] = 0;
+}
+
+inline void put_d(std::int64_t* pay, std::uint8_t* tag, unsigned r, double v) {
+  pay[r] = std::bit_cast<std::int64_t>(v);
+  tag[r] = 1;
+}
+
+// ---- cold error exits (exact KernelEval message text and locations) ----
+
+[[noreturn]] void throw_watchdog(const KernelLaunchCtx& ctx) {
+  throw AccError(AccErrorCode::kKernelTimeout,
+                 "kernel '" + ctx.launch->kernel_name() +
+                     "' exceeded the watchdog budget of " +
+                     std::to_string(ctx.worker_statement_limit) +
+                     " statements per chunk (runaway loop?)",
+                 ctx.launch->location(), ctx.launch->kernel_name());
+}
+
+[[noreturn]] void throw_unbound(const CompiledKernel& kernel, std::size_t pc,
+                                unsigned slot) {
+  throw InterpError("kernel " + kernel.kernel_name +
+                    " reads unbound scalar '" + kernel.slot_names[slot] +
+                    "' at " + kernel.locs[pc].str());
+}
+
+[[noreturn]] void throw_no_device_copy(const CompiledKernel& kernel,
+                                       std::size_t pc, unsigned slot) {
+  throw InterpError("kernel " + kernel.kernel_name + " accesses buffer '" +
+                    kernel.slot_names[slot] + "' with no device copy at " +
+                    kernel.locs[pc].str());
+}
+
+[[noreturn]] void throw_negative_index(const CompiledKernel& kernel,
+                                       std::size_t pc, unsigned slot) {
+  throw InterpError("negative index on '" + kernel.slot_names[slot] +
+                    "' at " + kernel.locs[pc].str());
+}
+
+[[noreturn]] void throw_out_of_bounds(const CompiledKernel& kernel,
+                                      std::size_t pc, unsigned slot,
+                                      std::uint64_t flat, std::size_t count) {
+  throw InterpError("index " + std::to_string(flat) + " out of bounds for '" +
+                    kernel.slot_names[slot] + "' (" + std::to_string(count) +
+                    " elements) at " + kernel.locs[pc].str());
+}
+
+[[noreturn]] void throw_div_zero(const CompiledKernel& kernel,
+                                 std::size_t pc) {
+  throw InterpError("integer division by zero at " + kernel.locs[pc].str());
+}
+
+[[noreturn]] void throw_rem_zero(const CompiledKernel& kernel,
+                                 std::size_t pc) {
+  throw InterpError("remainder by zero at " + kernel.locs[pc].str());
+}
+
+/// Commits the locally-accumulated statement counter back to the worker on
+/// every exit (including exceptions), so billing and merge_and_bill see the
+/// exact count at the instruction that threw — identical to KernelEval's
+/// live increments.
+struct StatementBill {
+  KernelWorkerState& worker;
+  long count;
+  explicit StatementBill(KernelWorkerState& w) : worker(w), count(w.statements) {}
+  ~StatementBill() { worker.statements = count; }
+  StatementBill(const StatementBill&) = delete;
+  StatementBill& operator=(const StatementBill&) = delete;
+};
+
+/// One iteration of the chunk body: pc 0 until kHalt.
+void run_iteration(const CompiledKernel& kernel, const KernelLaunchCtx& ctx,
+                   KernelWorkerState& worker, BcFrame& frame,
+                   long& statements) {
+  const Instr* const code = kernel.code.data();
+  const std::int64_t* const cpool = kernel.const_bits.data();
+  const std::uint8_t* const ctag = kernel.const_is_double.data();
+  std::int64_t* const pay = frame.pay;
+  std::uint8_t* const tag = frame.tag;
+  TypedBuffer** const bufs = frame.buf;
+  std::uint8_t* const readable = frame.readable;
+  std::uint8_t* const written = frame.written;
+  const long limit = ctx.worker_statement_limit;
+  std::size_t pc = 0;
+
+#if MINIARC_BC_COMPUTED_GOTO
+#define VM_OP(name) lbl_##name
+#define VM_DISPATCH() goto* kLabels[static_cast<unsigned>(code[pc].op)]
+#define VM_NEXT()  \
+  do {             \
+    ++pc;          \
+    VM_DISPATCH(); \
+  } while (0)
+  static const void* const kLabels[] = {
+      &&lbl_kHalt,      &&lbl_kCount,       &&lbl_kLoadConst,
+      &&lbl_kMove,      &&lbl_kLoadSlot,    &&lbl_kStoreSlot,
+      &&lbl_kNewArray,  &&lbl_kResolveBuf,  &&lbl_kIndex,
+      &&lbl_kLoadElem,  &&lbl_kStoreElem,   &&lbl_kAdd,
+      &&lbl_kSub,       &&lbl_kMul,         &&lbl_kDiv,
+      &&lbl_kRem,       &&lbl_kLt,          &&lbl_kLe,
+      &&lbl_kGt,        &&lbl_kGe,          &&lbl_kEq,
+      &&lbl_kNe,        &&lbl_kBitAnd,      &&lbl_kBitOr,
+      &&lbl_kBitXor,    &&lbl_kShl,         &&lbl_kShr,
+      &&lbl_kNeg,       &&lbl_kNot,         &&lbl_kBitNot,
+      &&lbl_kTruthy,    &&lbl_kCastInt,     &&lbl_kCastLong,
+      &&lbl_kCastFloat, &&lbl_kCastDouble,  &&lbl_kJump,
+      &&lbl_kJumpIfFalse, &&lbl_kJumpIfTrue, &&lbl_kIntrin,
+      &&lbl_kLoadElem1, &&lbl_kStoreElem1,
+  };
+  VM_DISPATCH();
+#else
+#define VM_OP(name) case Op::name
+#define VM_DISPATCH() goto vm_dispatch
+#define VM_NEXT()  \
+  do {             \
+    ++pc;          \
+    VM_DISPATCH(); \
+  } while (0)
+vm_dispatch:
+  switch (code[pc].op) {
+#endif
+
+  VM_OP(kHalt) : { return; }
+
+  VM_OP(kCount) : {
+    if (++statements > limit) throw_watchdog(ctx);
+    VM_NEXT();
+  }
+
+  VM_OP(kLoadConst) : {
+    const Instr& in = code[pc];
+    pay[in.a] = cpool[in.imm];
+    tag[in.a] = ctag[in.imm];
+    VM_NEXT();
+  }
+
+  VM_OP(kMove) : {
+    const Instr& in = code[pc];
+    pay[in.a] = pay[in.b];
+    tag[in.a] = tag[in.b];
+    VM_NEXT();
+  }
+
+  VM_OP(kLoadSlot) : {
+    const Instr& in = code[pc];
+    if (readable[in.b] == 0) throw_unbound(kernel, pc, in.b);
+    pay[in.a] = pay[in.b];
+    tag[in.a] = tag[in.b];
+    VM_NEXT();
+  }
+
+  VM_OP(kStoreSlot) : {
+    const Instr& in = code[pc];
+    std::int64_t v = pay[in.a];
+    std::uint8_t t = tag[in.a];
+    if ((in.flags & kFlagCoerceFloat) != 0 && t == 0) {
+      v = std::bit_cast<std::int64_t>(static_cast<double>(v));
+      t = 1;
+    }
+    pay[in.b] = v;
+    tag[in.b] = t;
+    readable[in.b] = 1;
+    written[in.b] = 1;
+    VM_NEXT();
+  }
+
+  VM_OP(kNewArray) : {
+    const Instr& in = code[pc];
+    auto buffer = std::make_shared<TypedBuffer>(
+        static_cast<ScalarKind>(in.flags), static_cast<std::size_t>(in.imm));
+    bufs[in.c] = buffer.get();
+    worker.set_buffer(ctx, static_cast<int>(in.c), kernel.slot_names[in.c],
+                      std::move(buffer));
+    VM_NEXT();
+  }
+
+  VM_OP(kResolveBuf) : {
+    const Instr& in = code[pc];
+    if (bufs[in.c] == nullptr) throw_no_device_copy(kernel, pc, in.c);
+    VM_NEXT();
+  }
+
+  VM_OP(kIndex) : {
+    const Instr& in = code[pc];
+    std::int64_t i = ri(pay, tag, in.b);
+    // size_t accumulation exactly as KernelEval::flat_index: a negative
+    // index still wraps into the accumulator before its own check fires.
+    std::uint64_t acc = (in.flags & kFlagIndexInit) != 0
+                            ? 0
+                            : static_cast<std::uint64_t>(pay[in.a]);
+    acc += static_cast<std::uint64_t>(i) *
+           static_cast<std::uint64_t>(static_cast<std::int64_t>(in.imm));
+    pay[in.a] = static_cast<std::int64_t>(acc);
+    tag[in.a] = 0;
+    if (i < 0) throw_negative_index(kernel, pc, in.c);
+    VM_NEXT();
+  }
+
+  VM_OP(kLoadElem) : {
+    const Instr& in = code[pc];
+    const TypedBuffer* buffer = bufs[in.c];
+    auto flat = static_cast<std::uint64_t>(pay[in.b]);
+    if (flat >= buffer->count()) {
+      throw_out_of_bounds(kernel, pc, in.c, flat, buffer->count());
+    }
+    double v = buffer->get(static_cast<std::size_t>(flat));
+    if (is_integral(buffer->kind())) {
+      put_i(pay, tag, in.a, static_cast<std::int64_t>(v));
+    } else {
+      put_d(pay, tag, in.a, v);
+    }
+    VM_NEXT();
+  }
+
+  VM_OP(kStoreElem) : {
+    const Instr& in = code[pc];
+    TypedBuffer* buffer = bufs[in.c];
+    auto flat = static_cast<std::uint64_t>(pay[in.b]);
+    if (flat >= buffer->count()) {
+      throw_out_of_bounds(kernel, pc, in.c, flat, buffer->count());
+    }
+    buffer->set(static_cast<std::size_t>(flat), rd(pay, tag, in.a));
+    VM_NEXT();
+  }
+
+  VM_OP(kAdd) : {
+    const Instr& in = code[pc];
+    if ((tag[in.b] | tag[in.c]) == 0) {
+      put_i(pay, tag, in.a, pay[in.b] + pay[in.c]);
+    } else {
+      put_d(pay, tag, in.a, rd(pay, tag, in.b) + rd(pay, tag, in.c));
+    }
+    VM_NEXT();
+  }
+
+  VM_OP(kSub) : {
+    const Instr& in = code[pc];
+    if ((tag[in.b] | tag[in.c]) == 0) {
+      put_i(pay, tag, in.a, pay[in.b] - pay[in.c]);
+    } else {
+      put_d(pay, tag, in.a, rd(pay, tag, in.b) - rd(pay, tag, in.c));
+    }
+    VM_NEXT();
+  }
+
+  VM_OP(kMul) : {
+    const Instr& in = code[pc];
+    if ((tag[in.b] | tag[in.c]) == 0) {
+      put_i(pay, tag, in.a, pay[in.b] * pay[in.c]);
+    } else {
+      put_d(pay, tag, in.a, rd(pay, tag, in.b) * rd(pay, tag, in.c));
+    }
+    VM_NEXT();
+  }
+
+  VM_OP(kDiv) : {
+    const Instr& in = code[pc];
+    if ((tag[in.b] | tag[in.c]) == 0) {
+      if (pay[in.c] == 0) throw_div_zero(kernel, pc);
+      put_i(pay, tag, in.a, pay[in.b] / pay[in.c]);
+    } else {
+      put_d(pay, tag, in.a, rd(pay, tag, in.b) / rd(pay, tag, in.c));
+    }
+    VM_NEXT();
+  }
+
+  VM_OP(kRem) : {
+    const Instr& in = code[pc];
+    std::int64_t l = ri(pay, tag, in.b);
+    std::int64_t r = ri(pay, tag, in.c);
+    if (r == 0) throw_rem_zero(kernel, pc);
+    put_i(pay, tag, in.a, l % r);
+    VM_NEXT();
+  }
+
+  VM_OP(kLt) : {
+    const Instr& in = code[pc];
+    bool v = (tag[in.b] | tag[in.c]) == 0
+                 ? pay[in.b] < pay[in.c]
+                 : rd(pay, tag, in.b) < rd(pay, tag, in.c);
+    put_i(pay, tag, in.a, v ? 1 : 0);
+    VM_NEXT();
+  }
+
+  VM_OP(kLe) : {
+    const Instr& in = code[pc];
+    bool v = (tag[in.b] | tag[in.c]) == 0
+                 ? pay[in.b] <= pay[in.c]
+                 : rd(pay, tag, in.b) <= rd(pay, tag, in.c);
+    put_i(pay, tag, in.a, v ? 1 : 0);
+    VM_NEXT();
+  }
+
+  VM_OP(kGt) : {
+    const Instr& in = code[pc];
+    bool v = (tag[in.b] | tag[in.c]) == 0
+                 ? pay[in.b] > pay[in.c]
+                 : rd(pay, tag, in.b) > rd(pay, tag, in.c);
+    put_i(pay, tag, in.a, v ? 1 : 0);
+    VM_NEXT();
+  }
+
+  VM_OP(kGe) : {
+    const Instr& in = code[pc];
+    bool v = (tag[in.b] | tag[in.c]) == 0
+                 ? pay[in.b] >= pay[in.c]
+                 : rd(pay, tag, in.b) >= rd(pay, tag, in.c);
+    put_i(pay, tag, in.a, v ? 1 : 0);
+    VM_NEXT();
+  }
+
+  VM_OP(kEq) : {
+    const Instr& in = code[pc];
+    bool v = (tag[in.b] | tag[in.c]) == 0
+                 ? pay[in.b] == pay[in.c]
+                 : rd(pay, tag, in.b) == rd(pay, tag, in.c);
+    put_i(pay, tag, in.a, v ? 1 : 0);
+    VM_NEXT();
+  }
+
+  VM_OP(kNe) : {
+    const Instr& in = code[pc];
+    bool v = (tag[in.b] | tag[in.c]) == 0
+                 ? pay[in.b] != pay[in.c]
+                 : rd(pay, tag, in.b) != rd(pay, tag, in.c);
+    put_i(pay, tag, in.a, v ? 1 : 0);
+    VM_NEXT();
+  }
+
+  VM_OP(kBitAnd) : {
+    const Instr& in = code[pc];
+    put_i(pay, tag, in.a, ri(pay, tag, in.b) & ri(pay, tag, in.c));
+    VM_NEXT();
+  }
+
+  VM_OP(kBitOr) : {
+    const Instr& in = code[pc];
+    put_i(pay, tag, in.a, ri(pay, tag, in.b) | ri(pay, tag, in.c));
+    VM_NEXT();
+  }
+
+  VM_OP(kBitXor) : {
+    const Instr& in = code[pc];
+    put_i(pay, tag, in.a, ri(pay, tag, in.b) ^ ri(pay, tag, in.c));
+    VM_NEXT();
+  }
+
+  VM_OP(kShl) : {
+    const Instr& in = code[pc];
+    put_i(pay, tag, in.a, ri(pay, tag, in.b) << ri(pay, tag, in.c));
+    VM_NEXT();
+  }
+
+  VM_OP(kShr) : {
+    const Instr& in = code[pc];
+    put_i(pay, tag, in.a, ri(pay, tag, in.b) >> ri(pay, tag, in.c));
+    VM_NEXT();
+  }
+
+  VM_OP(kNeg) : {
+    const Instr& in = code[pc];
+    if (tag[in.b] != 0) {
+      put_d(pay, tag, in.a, -std::bit_cast<double>(pay[in.b]));
+    } else {
+      put_i(pay, tag, in.a, -pay[in.b]);
+    }
+    VM_NEXT();
+  }
+
+  VM_OP(kNot) : {
+    const Instr& in = code[pc];
+    put_i(pay, tag, in.a, rt(pay, tag, in.b) ? 0 : 1);
+    VM_NEXT();
+  }
+
+  VM_OP(kBitNot) : {
+    const Instr& in = code[pc];
+    put_i(pay, tag, in.a, ~ri(pay, tag, in.b));
+    VM_NEXT();
+  }
+
+  VM_OP(kTruthy) : {
+    const Instr& in = code[pc];
+    put_i(pay, tag, in.a, rt(pay, tag, in.b) ? 1 : 0);
+    VM_NEXT();
+  }
+
+  VM_OP(kCastInt) : {
+    const Instr& in = code[pc];
+    put_i(pay, tag, in.a,
+          static_cast<std::int32_t>(ri(pay, tag, in.b)));
+    VM_NEXT();
+  }
+
+  VM_OP(kCastLong) : {
+    const Instr& in = code[pc];
+    put_i(pay, tag, in.a, ri(pay, tag, in.b));
+    VM_NEXT();
+  }
+
+  VM_OP(kCastFloat) : {
+    const Instr& in = code[pc];
+    put_d(pay, tag, in.a,
+          static_cast<double>(static_cast<float>(rd(pay, tag, in.b))));
+    VM_NEXT();
+  }
+
+  VM_OP(kCastDouble) : {
+    const Instr& in = code[pc];
+    put_d(pay, tag, in.a, rd(pay, tag, in.b));
+    VM_NEXT();
+  }
+
+  VM_OP(kJump) : {
+    pc = static_cast<std::size_t>(code[pc].imm);
+    VM_DISPATCH();
+  }
+
+  VM_OP(kJumpIfFalse) : {
+    const Instr& in = code[pc];
+    if (!rt(pay, tag, in.b)) {
+      pc = static_cast<std::size_t>(in.imm);
+      VM_DISPATCH();
+    }
+    VM_NEXT();
+  }
+
+  VM_OP(kJumpIfTrue) : {
+    const Instr& in = code[pc];
+    if (rt(pay, tag, in.b)) {
+      pc = static_cast<std::size_t>(in.imm);
+      VM_DISPATCH();
+    }
+    VM_NEXT();
+  }
+
+  VM_OP(kIntrin) : {
+    const Instr& in = code[pc];
+    const unsigned b = in.b;
+    switch (static_cast<BcIntrin>(in.c)) {
+      case BcIntrin::kSqrt:
+        put_d(pay, tag, in.a, std::sqrt(rd(pay, tag, b)));
+        break;
+      case BcIntrin::kFabs:
+        put_d(pay, tag, in.a, std::fabs(rd(pay, tag, b)));
+        break;
+      case BcIntrin::kExp:
+        put_d(pay, tag, in.a, std::exp(rd(pay, tag, b)));
+        break;
+      case BcIntrin::kExp2:
+        put_d(pay, tag, in.a, std::exp2(rd(pay, tag, b)));
+        break;
+      case BcIntrin::kLog:
+        put_d(pay, tag, in.a, std::log(rd(pay, tag, b)));
+        break;
+      case BcIntrin::kLog2:
+        put_d(pay, tag, in.a, std::log2(rd(pay, tag, b)));
+        break;
+      case BcIntrin::kSin:
+        put_d(pay, tag, in.a, std::sin(rd(pay, tag, b)));
+        break;
+      case BcIntrin::kCos:
+        put_d(pay, tag, in.a, std::cos(rd(pay, tag, b)));
+        break;
+      case BcIntrin::kTan:
+        put_d(pay, tag, in.a, std::tan(rd(pay, tag, b)));
+        break;
+      case BcIntrin::kAtan:
+        put_d(pay, tag, in.a, std::atan(rd(pay, tag, b)));
+        break;
+      case BcIntrin::kFloor:
+        put_d(pay, tag, in.a, std::floor(rd(pay, tag, b)));
+        break;
+      case BcIntrin::kCeil:
+        put_d(pay, tag, in.a, std::ceil(rd(pay, tag, b)));
+        break;
+      case BcIntrin::kPow:
+        put_d(pay, tag, in.a,
+              std::pow(rd(pay, tag, b), rd(pay, tag, b + 1)));
+        break;
+      case BcIntrin::kFmin:
+        put_d(pay, tag, in.a,
+              std::fmin(rd(pay, tag, b), rd(pay, tag, b + 1)));
+        break;
+      case BcIntrin::kFmax:
+        put_d(pay, tag, in.a,
+              std::fmax(rd(pay, tag, b), rd(pay, tag, b + 1)));
+        break;
+      case BcIntrin::kFmod:
+        put_d(pay, tag, in.a,
+              std::fmod(rd(pay, tag, b), rd(pay, tag, b + 1)));
+        break;
+      case BcIntrin::kAbs: {
+        std::int64_t v = ri(pay, tag, b);
+        put_i(pay, tag, in.a, v < 0 ? -v : v);
+        break;
+      }
+      case BcIntrin::kMin:
+        put_i(pay, tag, in.a,
+              std::min(ri(pay, tag, b), ri(pay, tag, b + 1)));
+        break;
+      case BcIntrin::kMax:
+        put_i(pay, tag, in.a,
+              std::max(ri(pay, tag, b), ri(pay, tag, b + 1)));
+        break;
+    }
+    VM_NEXT();
+  }
+
+  VM_OP(kLoadElem1) : {
+    // Unit-stride 1-D access: the flat index IS the operand. Check order
+    // matches kIndex + kLoadElem (negative first, then bounds).
+    const Instr& in = code[pc];
+    const TypedBuffer* buffer = bufs[in.c];
+    std::int64_t i = ri(pay, tag, in.b);
+    if (i < 0) throw_negative_index(kernel, pc, in.c);
+    auto flat = static_cast<std::uint64_t>(i);
+    if (flat >= buffer->count()) {
+      throw_out_of_bounds(kernel, pc, in.c, flat, buffer->count());
+    }
+    double v = buffer->get(static_cast<std::size_t>(flat));
+    if (is_integral(buffer->kind())) {
+      put_i(pay, tag, in.a, static_cast<std::int64_t>(v));
+    } else {
+      put_d(pay, tag, in.a, v);
+    }
+    VM_NEXT();
+  }
+
+  VM_OP(kStoreElem1) : {
+    const Instr& in = code[pc];
+    TypedBuffer* buffer = bufs[in.c];
+    std::int64_t i = ri(pay, tag, in.b);
+    if (i < 0) throw_negative_index(kernel, pc, in.c);
+    auto flat = static_cast<std::uint64_t>(i);
+    if (flat >= buffer->count()) {
+      throw_out_of_bounds(kernel, pc, in.c, flat, buffer->count());
+    }
+    buffer->set(static_cast<std::size_t>(flat), rd(pay, tag, in.a));
+    VM_NEXT();
+  }
+
+#if !MINIARC_BC_COMPUTED_GOTO
+  }
+  throw InterpError("corrupt bytecode in kernel " + kernel.kernel_name);
+#endif
+
+#undef VM_OP
+#undef VM_DISPATCH
+#undef VM_NEXT
+}
+
+}  // namespace
+
+bool run_bytecode_chunk(const CompiledKernel& kernel,
+                        const KernelLaunchCtx& ctx, KernelWorkerState& worker,
+                        BcFrame& frame, int induction_slot, long begin,
+                        long end) {
+  // ---- refusal checks: nothing below mutates `worker` until they pass ----
+  if (!ctx.use_slots) return false;
+  if (kernel.num_slots != static_cast<std::uint32_t>(ctx.slot_count)) {
+    return false;
+  }
+  frame.ensure(kernel.num_regs, kernel.num_slots);
+  const std::size_t slots = kernel.num_slots;
+  if (slots > 0) {
+    std::memset(frame.readable, 0, slots);
+    std::memset(frame.written, 0, slots);
+  }
+  // Constants occupy registers [num_slots, num_slots + pool size); the
+  // compiler reads them in place, so materialize the pool once per chunk.
+  for (std::size_t c = 0; c < kernel.const_bits.size(); ++c) {
+    frame.pay[slots + c] = kernel.const_bits[c];
+    frame.tag[slots + c] = kernel.const_is_double[c];
+  }
+  // Sync-in: materialize each slot's read_scalar fallthrough (worker-bound →
+  // launch scalar arg → falsely-shared host global) as the register file's
+  // initial state. Valid because the launch context and host environment are
+  // frozen while chunks run; the worker's own writes live in the registers.
+  for (std::size_t s = 0; s < slots; ++s) {
+    const BufferPtr& local = worker.buffers[s];
+    frame.buf[s] = local != nullptr ? local.get() : ctx.device_buffers[s].get();
+    const Value* init = nullptr;
+    if (worker.bound[s] != 0) {
+      init = &worker.scalars[s];
+    } else if (ctx.has_scalar_arg[s] != 0) {
+      init = &ctx.scalar_args[s];
+    } else if (ctx.falsely_shared_slots[s] != 0 && ctx.host_env != nullptr) {
+      init = ctx.host_env->find((*ctx.slot_names)[s]);
+    }
+    if (init == nullptr) continue;
+    // A buffer-valued scalar has no register representation; refuse the
+    // chunk (the AST engine handles whatever the program does with it).
+    if (init->is_buffer()) return false;
+    if (init->is_double()) {
+      frame.pay[s] = std::bit_cast<std::int64_t>(init->as_double());
+      frame.tag[s] = 1;
+    } else {
+      frame.pay[s] = init->as_int();
+      frame.tag[s] = 0;
+    }
+    frame.readable[s] = 1;
+  }
+
+  StatementBill bill(worker);
+  for (long i = begin; i < end; ++i) {
+    if (induction_slot >= 0) {
+      frame.pay[induction_slot] = i;
+      frame.tag[induction_slot] = 0;
+      frame.readable[induction_slot] = 1;
+      frame.written[induction_slot] = 1;
+    }
+    run_iteration(kernel, ctx, worker, frame, bill.count);
+  }
+
+  // Sync-out: only slots the chunk actually wrote become worker-bound, so
+  // reduction combining and falsely-shared dump-backs observe the same
+  // map-presence semantics the AST engine produces.
+  for (std::size_t s = 0; s < slots; ++s) {
+    if (frame.written[s] == 0) continue;
+    worker.set_scalar(
+        ctx, static_cast<int>(s), (*ctx.slot_names)[s],
+        frame.tag[s] != 0
+            ? Value::of_double(std::bit_cast<double>(frame.pay[s]))
+            : Value::of_int(frame.pay[s]));
+  }
+  return true;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,27 @@
+// Bytecode dispatch loop for kernel worker chunks. Executes a CompiledKernel
+// against one KernelWorkerState with the exact observable semantics of
+// KernelEval::run_chunk — same values, same statement billing (live, so
+// watchdog kills and error-path billing match), same error messages at the
+// same source locations.
+#pragma once
+
+#include "bc/bytecode.h"
+#include "interp/kernel_eval.h"
+
+namespace miniarc {
+
+/// Run iterations [begin, end) of the chunk against `kernel`. Returns false —
+/// WITHOUT touching `worker` — when the chunk cannot be executed as bytecode
+/// (name-mode launch context, slot-count mismatch, a buffer-valued scalar in
+/// the initial slot state); the caller then falls back to KernelEval, which
+/// is the reference engine, so a refusal is always semantically safe.
+///
+/// `frame` is scratch state owned by the caller, reused across chunks,
+/// retries, and host-failover replays of the same launch.
+[[nodiscard]] bool run_bytecode_chunk(const CompiledKernel& kernel,
+                                      const KernelLaunchCtx& ctx,
+                                      KernelWorkerState& worker,
+                                      BcFrame& frame, int induction_slot,
+                                      long begin, long end);
+
+}  // namespace miniarc

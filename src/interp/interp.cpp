@@ -16,6 +16,16 @@ Interpreter::Interpreter(const Program& program, const SemaInfo& sema,
   kernel_retries_ = options_.kernel_retries >= 0
                         ? options_.kernel_retries
                         : env_int_or("MINIARC_KERNEL_RETRIES", 2, 0, 64);
+  // Kernel-body engine: explicit option wins; kDefault defers to MINIARC_EXEC
+  // with the same strict validation (unset ⇒ bytecode).
+  ExecEngine engine = options_.exec_engine;
+  if (engine == ExecEngine::kDefault) {
+    engine = env_choice_or("MINIARC_EXEC", "bytecode", {"ast", "bytecode"}) ==
+                     "ast"
+                 ? ExecEngine::kAst
+                 : ExecEngine::kBytecode;
+  }
+  exec_bytecode_ = engine == ExecEngine::kBytecode;
   // Annotate the AST with dense variable slots (the kernel hot path indexes
   // vectors instead of hashing names). The pass is deterministic and
   // idempotent, so re-annotating a shared program is safe; it runs here so

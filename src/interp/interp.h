@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <set>
 #include <stdexcept>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "ast/decl.h"
+#include "bc/compiler.h"
 #include "device/gang_worker_executor.h"
 #include "interp/env.h"
 #include "runtime/acc_runtime.h"
@@ -38,6 +40,19 @@ class CompareHook {
   virtual ~CompareHook() = default;
   virtual void on_compare(const ResultCompareStmt& stmt,
                           Interpreter& interp) = 0;
+};
+
+/// Kernel-body execution engine (DESIGN.md §7). `kAst` walks the lowered AST
+/// per statement (KernelEval, the reference engine); `kBytecode` compiles
+/// each launch site's chunk body once to register bytecode (src/bc/) and
+/// dispatches chunks over that, falling back to the AST walker per kernel
+/// (unsupported constructs) or per chunk (unrepresentable launch state).
+/// Results, traces, reports, and error messages are byte-identical either
+/// way.
+enum class ExecEngine : std::uint8_t {
+  kDefault,   ///< resolve from MINIARC_EXEC (unset ⇒ bytecode)
+  kAst,       ///< AST reference walker
+  kBytecode,  ///< register-bytecode VM
 };
 
 struct InterpOptions {
@@ -69,6 +84,8 @@ struct InterpOptions {
   /// complete the launch by serial host execution instead of failing. Off
   /// (`--no-failover`): exhausted retries raise the structured AccError.
   bool host_failover = true;
+  /// Kernel-body engine; kDefault resolves from MINIARC_EXEC (⇒ bytecode).
+  ExecEngine exec_engine = ExecEngine::kDefault;
 };
 
 class Interpreter {
@@ -115,6 +132,14 @@ class Interpreter {
   /// Slot numbering assigned at construction (sema/slot_resolution).
   [[nodiscard]] const SlotTable& slots() const { return slots_; }
 
+  /// True when kernel bodies run on the bytecode VM (options_.exec_engine
+  /// after MINIARC_EXEC resolution).
+  [[nodiscard]] bool bytecode_engine() const { return exec_bytecode_; }
+  /// Deterministic disassembly of every kernel launch site's compiled chunk
+  /// body, in program order; refused bodies print their fallback reason.
+  /// Compiles through the same cache the engine uses (`--dump-bytecode`).
+  void dump_bytecode(std::ostream& os);
+
  private:
   enum class Flow : std::uint8_t { kNormal, kBreak, kContinue, kReturn };
 
@@ -147,6 +172,10 @@ class Interpreter {
   // snapshotted before dispatch, faulted attempts are rolled back and
   // retried, and exhausted retries fail over to serial host execution.
   void exec_kernel(const KernelLaunchStmt& stmt);  // interp/kernel_exec.cpp
+  /// Launch site → compiled chunk body (or refusal), compiled on first
+  /// launch and cached for the interpreter's lifetime; the CompiledKernel is
+  /// immutable and shared by every worker thread.
+  const BcCompileResult& bytecode_for(const KernelLaunchStmt& stmt);
 
   const Program& program_;
   const SemaInfo& sema_;
@@ -154,6 +183,8 @@ class Interpreter {
   InterpOptions options_;
   /// options_.kernel_retries after MINIARC_KERNEL_RETRIES resolution.
   int kernel_retries_ = 2;
+  /// options_.exec_engine after MINIARC_EXEC resolution.
+  bool exec_bytecode_ = true;
   SlotTable slots_;
   /// Slot → declared-as-floating-scalar (assignment coercion on the kernel
   /// hot path without a var_types hash lookup).
@@ -177,6 +208,9 @@ class Interpreter {
   /// Launch sites whose partition-gate verdict was already traced (the
   /// gate event is emitted once per site, on the first launch).
   std::unordered_set<const KernelLaunchStmt*> partition_traced_;
+  /// Per-launch-site bytecode compilation results (see bytecode_for).
+  std::unordered_map<const KernelLaunchStmt*, BcCompileResult>
+      bytecode_cache_;
 };
 
 }  // namespace miniarc

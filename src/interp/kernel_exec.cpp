@@ -50,11 +50,13 @@
 #include <cstring>
 #include <limits>
 #include <optional>
+#include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "ast/visitor.h"
+#include "bc/vm.h"
 #include "device/acc_error.h"
 #include "interp/interp.h"
 #include "interp/kernel_eval.h"
@@ -63,51 +65,6 @@
 
 namespace miniarc {
 namespace {
-
-/// Canonical partitionable loop: `for (i = lo; i < hi; i++)` (or `<=`,
-/// or decl-init). Returns nullptr when the body has no such shape.
-const ForStmt* find_partition_loop(const Stmt& body) {
-  const Stmt* stmt = &body;
-  // Unwrap compounds holding a single statement and loop-directive wrappers.
-  for (;;) {
-    if (stmt->kind() == StmtKind::kCompound) {
-      const auto& stmts = stmt->as<CompoundStmt>().stmts();
-      if (stmts.size() != 1) return nullptr;
-      stmt = stmts[0].get();
-      continue;
-    }
-    if (stmt->kind() == StmtKind::kAcc) {
-      stmt = &stmt->as<AccStmt>().body();
-      continue;
-    }
-    break;
-  }
-  if (stmt->kind() != StmtKind::kFor) return nullptr;
-  const auto& loop = stmt->as<ForStmt>();
-  if (loop.induction_var().empty() || loop.cond() == nullptr) return nullptr;
-  if (loop.cond()->kind() != ExprKind::kBinary) return nullptr;
-  const auto& cond = loop.cond()->as<Binary>();
-  if (cond.op() != BinaryOp::kLt && cond.op() != BinaryOp::kLe) return nullptr;
-  if (cond.lhs().kind() != ExprKind::kVarRef ||
-      cond.lhs().as<VarRef>().name() != loop.induction_var()) {
-    return nullptr;
-  }
-  // Step must be i++ / i += 1.
-  if (loop.step() == nullptr) return nullptr;
-  if (loop.step()->kind() == StmtKind::kIncDec) {
-    if (!loop.step()->as<IncDecStmt>().is_increment()) return nullptr;
-  } else if (loop.step()->kind() == StmtKind::kAssign) {
-    const auto& step = loop.step()->as<AssignStmt>();
-    if (step.op() != AssignOp::kAdd ||
-        step.rhs().kind() != ExprKind::kIntLit ||
-        step.rhs().as<IntLit>().value() != 1) {
-      return nullptr;
-    }
-  } else {
-    return nullptr;
-  }
-  return &loop;
-}
 
 Value reduction_identity(ReductionOp op) {
   switch (op) {
@@ -148,6 +105,43 @@ struct WriteSetEntry {
 };
 
 }  // namespace
+
+const BcCompileResult& Interpreter::bytecode_for(const KernelLaunchStmt& stmt) {
+  auto it = bytecode_cache_.find(&stmt);
+  if (it != bytecode_cache_.end()) return it->second;
+  // Compile the same chunk body the dispatch below executes: the partition
+  // loop's body when the launch has one, the whole kernel body otherwise.
+  const ForStmt* loop = find_partition_loop(stmt.body());
+  const Stmt& chunk_body = loop != nullptr ? loop->body() : stmt.body();
+  // The engine gate only runs compiled kernels whose induction variable has
+  // a resolved slot (the VM seeds it each iteration), so the compiler may
+  // treat that slot as definitely stored.
+  std::string induction = loop != nullptr ? loop->induction_var() : "";
+  int induction_slot = induction.empty() ? -1 : slots_.lookup(induction);
+  BcCompileResult result = compile_kernel_body(
+      chunk_body, stmt.kernel_name(), slots_.names, slot_is_float_,
+      induction_slot);
+  return bytecode_cache_.emplace(&stmt, std::move(result)).first->second;
+}
+
+void Interpreter::dump_bytecode(std::ostream& os) {
+  bool first = true;
+  for (const auto& func : program_.functions) {
+    walk_stmts(func->body(), [&](const Stmt& s) {
+      if (s.kind() != StmtKind::kKernelLaunch) return;
+      const auto& launch = s.as<KernelLaunchStmt>();
+      if (!first) os << "\n";
+      first = false;
+      const BcCompileResult& result = bytecode_for(launch);
+      if (result.kernel != nullptr) {
+        disassemble(*result.kernel, os);
+      } else {
+        os << "kernel '" << launch.kernel_name() << "': not compiled ("
+           << result.reason << "); ast fallback\n";
+      }
+    });
+  }
+}
 
 void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
   // ---- collect openarc annotations for the verifier ----
@@ -311,6 +305,32 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
   std::vector<WorkerChunk> chunks = partition_iterations(lo, hi, total_workers);
   std::vector<KernelWorkerState> workers(chunks.size());
   for (auto& worker : workers) init_worker(worker, ctx);
+
+  // ---- kernel-body engine selection ----
+  // The bytecode VM needs the slot-indexed launch context and a resolvable
+  // induction slot; a kernel whose body refused compilation runs on the AST
+  // walker. Frames (register files) are per-chunk scratch, reused across
+  // retries and the host-failover replay — the failover executes the
+  // identical bytecode over the identical chunk schedule, just against host
+  // buffer storage via its own launch context.
+  const CompiledKernel* compiled = nullptr;
+  if (exec_bytecode_ && ctx.use_slots &&
+      (induction.empty() || induction_slot >= 0)) {
+    compiled = bytecode_for(stmt).kernel.get();
+  }
+  std::vector<BcFrame> frames(compiled != nullptr ? chunks.size() : 0);
+  // One chunk, either engine: a per-chunk VM refusal (unrepresentable launch
+  // state) falls back to KernelEval, which is the reference semantics.
+  auto run_chunk_with = [&](const KernelLaunchCtx& launch_ctx,
+                            std::size_t index, long begin, long end) {
+    if (compiled != nullptr &&
+        run_bytecode_chunk(*compiled, launch_ctx, workers[index],
+                           frames[index], induction_slot, begin, end)) {
+      return;
+    }
+    KernelEval eval(launch_ctx, workers[index]);
+    eval.run_chunk(chunk_body, induction_slot, induction, begin, end);
+  };
 
   // ---- trace instrumentation ----
   // Worker-side chunk events go into per-chunk lanes (indexed by chunk, not
@@ -504,9 +524,7 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
       init_worker(worker, host_ctx);
     }
     for (std::size_t i = 0; i < chunks.size(); ++i) {
-      KernelEval eval(host_ctx, workers[i]);
-      eval.run_chunk(chunk_body, induction_slot, induction, chunks[i].begin,
-                     chunks[i].end);
+      run_chunk_with(host_ctx, i, chunks[i].begin, chunks[i].end);
       if (trace_on) {
         TraceEvent event;
         event.kind = TraceEventKind::kKernelChunk;
@@ -665,9 +683,7 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
                                stmt.location(), stmt.kernel_name(),
                                stmt.config.async_queue);
               }
-              KernelEval eval(ctx, workers[index]);
-              eval.run_chunk(chunk_body, induction_slot, induction,
-                             chunk.begin, chunk.end);
+              run_chunk_with(ctx, index, chunk.begin, chunk.end);
               if (trace_on) {
                 // Per-chunk lane: written only by the thread running this
                 // chunk, merged in chunk order after the join. The chunk's

@@ -284,6 +284,49 @@ bool accumulate(const Expr& expr, int sign, const std::string& induction,
 
 }  // namespace
 
+const ForStmt* find_partition_loop(const Stmt& body) {
+  const Stmt* stmt = &body;
+  // Unwrap compounds holding a single statement and loop-directive wrappers.
+  for (;;) {
+    if (stmt->kind() == StmtKind::kCompound) {
+      const auto& stmts = stmt->as<CompoundStmt>().stmts();
+      if (stmts.size() != 1) return nullptr;
+      stmt = stmts[0].get();
+      continue;
+    }
+    if (stmt->kind() == StmtKind::kAcc) {
+      stmt = &stmt->as<AccStmt>().body();
+      continue;
+    }
+    break;
+  }
+  if (stmt->kind() != StmtKind::kFor) return nullptr;
+  const auto& loop = stmt->as<ForStmt>();
+  if (loop.induction_var().empty() || loop.cond() == nullptr) return nullptr;
+  if (loop.cond()->kind() != ExprKind::kBinary) return nullptr;
+  const auto& cond = loop.cond()->as<Binary>();
+  if (cond.op() != BinaryOp::kLt && cond.op() != BinaryOp::kLe) return nullptr;
+  if (cond.lhs().kind() != ExprKind::kVarRef ||
+      cond.lhs().as<VarRef>().name() != loop.induction_var()) {
+    return nullptr;
+  }
+  // Step must be i++ / i += 1.
+  if (loop.step() == nullptr) return nullptr;
+  if (loop.step()->kind() == StmtKind::kIncDec) {
+    if (!loop.step()->as<IncDecStmt>().is_increment()) return nullptr;
+  } else if (loop.step()->kind() == StmtKind::kAssign) {
+    const auto& step = loop.step()->as<AssignStmt>();
+    if (step.op() != AssignOp::kAdd ||
+        step.rhs().kind() != ExprKind::kIntLit ||
+        step.rhs().as<IntLit>().value() != 1) {
+      return nullptr;
+    }
+  } else {
+    return nullptr;
+  }
+  return &loop;
+}
+
 bool partition_accesses_disjoint(const KernelLaunchStmt& stmt,
                                  const ForStmt& loop, const SemaInfo& sema) {
   const std::string induction = loop.induction_var();

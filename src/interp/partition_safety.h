@@ -14,7 +14,16 @@ namespace miniarc {
 
 class ForStmt;
 class KernelLaunchStmt;
+class Stmt;
 struct SemaInfo;
+
+/// Canonical partitionable loop of a kernel body: `for (i = lo; i < hi; i++)`
+/// (or `<=`, or decl-init), possibly wrapped in single-statement compounds
+/// and loop directives. Returns nullptr when the body has no such shape —
+/// the launch then runs as a single chunk over the whole body. Shared by
+/// kernel dispatch (interp/kernel_exec.cpp) and the bytecode compiler cache,
+/// which must agree on what the per-iteration chunk body is.
+[[nodiscard]] const ForStmt* find_partition_loop(const Stmt& body);
 
 /// True if every access to a buffer the kernel body writes (or to any
 /// may-alias of one) is provably disjoint across iterations of the

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace miniarc {
 
@@ -31,6 +32,25 @@ int env_int_or(const char* name, int fallback, long min_value,
     return fallback;
   }
   return static_cast<int>(*parsed);
+}
+
+std::string env_choice_or(const char* name, const char* fallback,
+                          std::initializer_list<const char*> choices) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  for (const char* choice : choices) {
+    if (std::strcmp(raw, choice) == 0) return choice;
+  }
+  std::string expected;
+  for (const char* choice : choices) {
+    if (!expected.empty()) expected += ", ";
+    expected += choice;
+  }
+  std::fprintf(stderr,
+               "miniarc: ignoring invalid %s='%s' (expected one of: %s); "
+               "using default %s\n",
+               name, raw, expected.c_str(), fallback);
+  return fallback;
 }
 
 }  // namespace miniarc

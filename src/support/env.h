@@ -5,6 +5,7 @@
 // unchecked atoi would yield.
 #pragma once
 
+#include <initializer_list>
 #include <optional>
 #include <string>
 
@@ -21,5 +22,12 @@ namespace miniarc {
 /// then `fallback`.
 [[nodiscard]] int env_int_or(const char* name, int fallback, long min_value,
                              long max_value);
+
+/// Read environment variable `name` as one of `choices` (exact match).
+/// Unset or empty ⇒ `fallback`. Anything else ⇒ a one-line stderr warning
+/// naming the variable and the accepted values, then `fallback`.
+[[nodiscard]] std::string env_choice_or(
+    const char* name, const char* fallback,
+    std::initializer_list<const char*> choices);
 
 }  // namespace miniarc

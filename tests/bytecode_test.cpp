@@ -1,0 +1,425 @@
+// Bytecode engine differential suite (DESIGN.md §7): the register-bytecode
+// VM must be observably indistinguishable from the AST reference walker.
+// Every program here runs under both engines and the comparison is
+// byte-level — final buffer contents, machine-readable run reports, Chrome
+// trace exports, and error texts — across thread counts, armed fault plans,
+// the watchdog/rollback/retry/failover ladder, and the whole benchmark
+// suite (`ctest -L bytecode`).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchsuite/benchmark_registry.h"
+#include "miniarc.h"
+#include "tests/test_util.h"
+
+namespace miniarc {
+namespace {
+
+using test::lowered;
+
+// Same jacobi-style sweep as trace_test: two kernels per iteration, a
+// host-seeded grid (H2D + D2H) and a device-resident scratch grid.
+constexpr const char* kSource = R"(
+extern int N;
+extern double a[];
+
+void main(void) {
+  int k;
+  int i;
+  double* b = (double*)malloc(N * sizeof(double));
+
+  #pragma acc data copy(a) create(b)
+  {
+    for (k = 0; k < 4; k++) {
+      #pragma acc kernels loop gang worker
+      for (i = 1; i < N - 1; i++) {
+        b[i] = 0.5 * (a[i - 1] + a[i + 1]);
+      }
+      #pragma acc kernels loop gang worker
+      for (i = 1; i < N - 1; i++) {
+        a[i] = b[i];
+      }
+    }
+  }
+}
+)";
+
+constexpr std::size_t kElements = 64;
+
+void bind_inputs(Interpreter& interp) {
+  interp.bind_scalar("N", Value::of_int(static_cast<std::int64_t>(kElements)));
+  BufferPtr a = interp.bind_buffer("a", ScalarKind::kDouble, kElements);
+  for (std::size_t i = 0; i < a->count(); ++i) {
+    a->set(i, static_cast<double>(i % 7) * 0.5);
+  }
+}
+
+/// The fault mix trace_test soaks with: exercises the whole recovery ladder
+/// but (default retry budget + host failover) always completes the run.
+FaultPlan armed_plan() {
+  std::string error;
+  auto plan =
+      FaultPlan::parse("hang=0.3,transient=0.2,fault=0.1,seed=7", &error);
+  EXPECT_TRUE(plan.has_value()) << error;
+  return *plan;
+}
+
+InterpOptions engine_options(ExecEngine engine) {
+  InterpOptions options;
+  options.exec_engine = engine;
+  return options;
+}
+
+/// Everything observable about one run, rendered to comparable bytes.
+struct RunObservation {
+  bool ok = false;
+  std::string error;
+  std::string report;  // run-report JSON
+  std::string trace;   // Chrome trace text ("" when untraced)
+  /// Final host bytes of every named buffer, in name order.
+  std::string buffers;
+};
+
+RunObservation observe(const std::string& source, const InputBinder& bind,
+                       const std::vector<std::string>& buffer_names,
+                       ExecEngine engine, int threads, bool traced,
+                       std::optional<FaultPlan> faults = {},
+                       InterpOptions interp = {}) {
+  LoweredProgram low = lowered(source);
+  ExecutorOptions exec;
+  exec.threads = threads;
+  exec.faults = std::move(faults);
+  if (traced) {
+    TraceOptions trace;
+    trace.enabled = true;
+    exec.trace = trace;
+  }
+  interp.exec_engine = engine;
+  RunResult run = run_lowered(*low.program, low.sema, bind,
+                              /*enable_checker=*/false, /*hook=*/nullptr,
+                              exec, interp);
+  RunObservation obs;
+  obs.ok = run.ok;
+  obs.error = run.error;
+  RunReport report = build_run_report(*run.runtime, "run", "bytecode_test");
+  report.host_statements = run.interp->host_statements();
+  report.device_statements = run.interp->device_statements();
+  std::ostringstream report_os;
+  write_run_report_json(report, report_os);
+  obs.report = report_os.str();
+  if (traced) {
+    std::ostringstream trace_os;
+    run.runtime->trace().write_chrome_trace(trace_os);
+    obs.trace = trace_os.str();
+  }
+  for (const std::string& name : buffer_names) {
+    BufferPtr buffer = run.interp->buffer(name);
+    if (buffer == nullptr) continue;
+    obs.buffers += name + ":";
+    obs.buffers.append(reinterpret_cast<const char*>(buffer->data()),
+                       buffer->size_bytes());
+  }
+  return obs;
+}
+
+void expect_identical(const RunObservation& ast, const RunObservation& bc,
+                      const std::string& what) {
+  EXPECT_EQ(ast.ok, bc.ok) << what;
+  EXPECT_EQ(ast.error, bc.error) << what;
+  EXPECT_EQ(ast.report, bc.report) << what << ": run reports diverge";
+  EXPECT_EQ(ast.trace, bc.trace) << what << ": traces diverge";
+  EXPECT_EQ(ast.buffers, bc.buffers) << what << ": buffer bytes diverge";
+}
+
+// ---- engine selection ----
+
+TEST(BytecodeEngineSelectionTest, OptionOverridesEnvironment) {
+  auto [program, sema] = test::analyzed(kSource);
+  DiagnosticEngine diags;
+  LoweredProgram low = lower_program(*program, diags);
+  ASSERT_NE(low.program, nullptr);
+  AccRuntime runtime(MachineModel::m2090(), {});
+
+  ::setenv("MINIARC_EXEC", "ast", 1);
+  Interpreter from_env(*low.program, low.sema, runtime, {});
+  EXPECT_FALSE(from_env.bytecode_engine());
+  Interpreter forced(*low.program, low.sema, runtime,
+                     engine_options(ExecEngine::kBytecode));
+  EXPECT_TRUE(forced.bytecode_engine());
+
+  // Invalid values warn and fall back to the default (bytecode).
+  ::setenv("MINIARC_EXEC", "tree-walk", 1);
+  Interpreter invalid(*low.program, low.sema, runtime, {});
+  EXPECT_TRUE(invalid.bytecode_engine());
+
+  ::unsetenv("MINIARC_EXEC");
+  Interpreter unset(*low.program, low.sema, runtime, {});
+  EXPECT_TRUE(unset.bytecode_engine());
+}
+
+// ---- trace/report byte-identity across threads and fault plans ----
+
+TEST(BytecodeDifferentialTest, TraceAndReportByteIdentical) {
+  for (int threads : {1, 8}) {
+    for (bool armed : {false, true}) {
+      std::optional<FaultPlan> faults;
+      if (armed) faults = armed_plan();
+      RunObservation ast =
+          observe(kSource, bind_inputs, {"a"}, ExecEngine::kAst, threads,
+                  /*traced=*/true, faults);
+      RunObservation bc =
+          observe(kSource, bind_inputs, {"a"}, ExecEngine::kBytecode, threads,
+                  /*traced=*/true, faults);
+      ASSERT_TRUE(ast.ok) << ast.error;
+      expect_identical(ast, bc,
+                       "threads=" + std::to_string(threads) +
+                           " faults=" + (armed ? "armed" : "off"));
+    }
+  }
+}
+
+// ---- watchdog / recovery ladder ----
+
+// Same runaway shape the watchdog tests use: each iteration does 50 inner
+// steps, so even small chunks blow a tiny per-chunk budget.
+constexpr const char* kBusyKernelProgram = R"(
+extern double a[];
+void main(void) {
+  int i;
+  int j;
+#pragma acc data copy(a)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 64; i++) {
+      for (j = 0; j < 50; j++) {
+        a[i] = a[i] + 1.0;
+      }
+    }
+  }
+}
+)";
+
+void bind_busy(Interpreter& interp) {
+  interp.bind_buffer("a", ScalarKind::kDouble, 64);
+}
+
+TEST(BytecodeDifferentialTest, WatchdogFailoverIdentical) {
+  // A budget far below what a chunk needs: every device attempt is killed
+  // by the watchdog, retries exhaust, and the launch completes by serial
+  // host failover — under both engines, with byte-identical resilience
+  // accounting.
+  InterpOptions interp;
+  interp.watchdog_chunk_statements = 40;
+  interp.kernel_retries = 1;
+  RunObservation ast =
+      observe(kBusyKernelProgram, bind_busy, {"a"}, ExecEngine::kAst,
+              /*threads=*/2, /*traced=*/true, {}, interp);
+  RunObservation bc =
+      observe(kBusyKernelProgram, bind_busy, {"a"}, ExecEngine::kBytecode,
+              /*threads=*/2, /*traced=*/true, {}, interp);
+  ASSERT_TRUE(ast.ok) << ast.error;
+  // The ladder must actually have been exercised, not skipped.
+  EXPECT_NE(ast.report.find("\"host_failovers\":1"), std::string::npos)
+      << ast.report;
+  expect_identical(ast, bc, "watchdog failover");
+}
+
+TEST(BytecodeDifferentialTest, WatchdogNoFailoverErrorIdentical) {
+  InterpOptions interp;
+  interp.watchdog_chunk_statements = 40;
+  interp.kernel_retries = 1;
+  interp.host_failover = false;
+  RunObservation ast =
+      observe(kBusyKernelProgram, bind_busy, {"a"}, ExecEngine::kAst,
+              /*threads=*/1, /*traced=*/true, {}, interp);
+  RunObservation bc =
+      observe(kBusyKernelProgram, bind_busy, {"a"}, ExecEngine::kBytecode,
+              /*threads=*/1, /*traced=*/true, {}, interp);
+  EXPECT_FALSE(ast.ok);
+  EXPECT_NE(ast.error.find("watchdog budget"), std::string::npos) << ast.error;
+  expect_identical(ast, bc, "watchdog no-failover");
+}
+
+// ---- every example program ----
+
+/// Bind every extern like the CLI does, sized so the 2D examples fit:
+/// scalars get 16, buffers get 16*16 ramp-initialized elements.
+void bind_example_externs(Interpreter& interp, const Program& program,
+                          std::vector<std::string>& buffer_names) {
+  constexpr std::size_t kN = 16;
+  for (const auto& global : program.globals) {
+    if (!global->is_extern) continue;
+    if (global->type().is_buffer()) {
+      BufferPtr buffer =
+          interp.bind_buffer(global->name(), global->type().scalar(), kN * kN);
+      for (std::size_t i = 0; i < buffer->count(); ++i) {
+        buffer->set(i, static_cast<double>(i % 17) * 0.25);
+      }
+      buffer_names.push_back(global->name());
+    } else if (is_floating(global->type().scalar())) {
+      interp.bind_scalar(global->name(), Value::of_double(kN));
+    } else {
+      interp.bind_scalar(global->name(),
+                         Value::of_int(static_cast<std::int64_t>(kN)));
+    }
+  }
+}
+
+TEST(BytecodeDifferentialTest, EveryExampleProgramByteIdentical) {
+  std::vector<std::filesystem::path> sources;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(MINIARC_EXAMPLES_DIR)) {
+    if (entry.path().extension() == ".c") sources.push_back(entry.path());
+  }
+  std::sort(sources.begin(), sources.end());
+  ASSERT_FALSE(sources.empty());
+  for (const auto& path : sources) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::vector<std::string> buffer_names;
+    LoweredProgram probe = lowered(text.str());
+    // One pass to learn the extern buffer names, then the differential runs.
+    auto bind = [&](Interpreter& interp) {
+      std::vector<std::string> names;
+      bind_example_externs(interp, *probe.program, names);
+      if (buffer_names.empty()) buffer_names = names;
+    };
+    for (int threads : {1, 8}) {
+      RunObservation ast = observe(text.str(), bind, buffer_names,
+                                   ExecEngine::kAst, threads, /*traced=*/true);
+      RunObservation bc =
+          observe(text.str(), bind, buffer_names, ExecEngine::kBytecode,
+                  threads, /*traced=*/true);
+      ASSERT_TRUE(ast.ok) << path << ": " << ast.error;
+      expect_identical(ast, bc,
+                       path.filename().string() +
+                           " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+// ---- the full benchmark suite ----
+
+TEST(BytecodeDifferentialTest, BenchmarkSuiteReportsIdentical) {
+  for (const BenchmarkDef& benchmark : benchmark_suite()) {
+    for (bool optimized : {false, true}) {
+      const std::string& source =
+          optimized ? benchmark.optimized_source : benchmark.unoptimized_source;
+      RunObservation ast = observe(source, benchmark.bind_inputs, {},
+                                   ExecEngine::kAst, /*threads=*/1,
+                                   /*traced=*/false);
+      RunObservation bc = observe(source, benchmark.bind_inputs, {},
+                                  ExecEngine::kBytecode, /*threads=*/1,
+                                  /*traced=*/false);
+      ASSERT_TRUE(ast.ok) << benchmark.name << ": " << ast.error;
+      expect_identical(ast, bc, benchmark.name +
+                                    (optimized ? " (optimized)" : " (naive)"));
+
+      // The bytecode run must still satisfy the native reference checker.
+      LoweredProgram low = lowered(source);
+      RunResult run = run_lowered(*low.program, low.sema,
+                                  benchmark.bind_inputs,
+                                  /*enable_checker=*/false, /*hook=*/nullptr,
+                                  {}, engine_options(ExecEngine::kBytecode));
+      ASSERT_TRUE(run.ok) << benchmark.name << ": " << run.error;
+      EXPECT_TRUE(benchmark.check_output(*run.interp)) << benchmark.name;
+    }
+  }
+}
+
+// ---- disassembly ----
+
+TEST(BytecodeDumpTest, DisassemblyIsDeterministic) {
+  auto dump_once = [] {
+    DiagnosticEngine diags;
+    ProgramPtr program = parse_mini_c(kSource, diags);
+    LoweredProgram low = lower_program(*program, diags);
+    AccRuntime runtime(MachineModel::m2090(), {});
+    Interpreter interp(*low.program, low.sema, runtime, {});
+    std::ostringstream os;
+    interp.dump_bytecode(os);
+    return os.str();
+  };
+  std::string first = dump_once();
+  std::string second = dump_once();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("kernel 'main_kernel0'"), std::string::npos) << first;
+  EXPECT_NE(first.find("store_elem"), std::string::npos);
+  // Source-line anchors on the instruction lines.
+  EXPECT_NE(first.find("; line "), std::string::npos);
+}
+
+TEST(BytecodeDumpTest, UnsupportedBodyReportsAstFallback) {
+  // A user function call inside the kernel body: the compiler refuses it
+  // (and KernelEval rejects it at runtime, identically under both engines).
+  constexpr const char* source = R"(
+extern int N;
+extern double a[];
+
+double f(double x) { return x + 1.0; }
+
+void main(void) {
+  int i;
+  #pragma acc kernels loop gang worker
+  for (i = 0; i < N; i++) {
+    a[i] = f(a[i]);
+  }
+}
+)";
+  DiagnosticEngine diags;
+  ProgramPtr program = parse_mini_c(source, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.dump();
+  LoweredProgram low = lower_program(*program, diags);
+  ASSERT_NE(low.program, nullptr) << diags.dump();
+  AccRuntime runtime(MachineModel::m2090(), {});
+  Interpreter interp(*low.program, low.sema, runtime, {});
+  std::ostringstream os;
+  interp.dump_bytecode(os);
+  EXPECT_NE(os.str().find("not compiled (user function call 'f'); "
+                          "ast fallback"),
+            std::string::npos)
+      << os.str();
+
+  // Both engines surface the same runtime rejection.
+  auto bind = [](Interpreter& i) {
+    i.bind_scalar("N", Value::of_int(8));
+    i.bind_buffer("a", ScalarKind::kDouble, 8);
+  };
+  RunObservation ast = observe(source, bind, {"a"}, ExecEngine::kAst,
+                               /*threads=*/1, /*traced=*/false);
+  RunObservation bc = observe(source, bind, {"a"}, ExecEngine::kBytecode,
+                              /*threads=*/1, /*traced=*/false);
+  EXPECT_FALSE(ast.ok);
+  EXPECT_NE(ast.error.find("user function calls are not supported"),
+            std::string::npos)
+      << ast.error;
+  expect_identical(ast, bc, "user function fallback");
+}
+
+// ---- gate fallback (no slot resolution) ----
+
+TEST(BytecodeGateTest, SlotResolutionOffFallsBackToAstWalker) {
+  InterpOptions no_slots;
+  no_slots.kernel_slot_resolution = false;
+  RunObservation bc =
+      observe(kSource, bind_inputs, {"a"}, ExecEngine::kBytecode,
+              /*threads=*/1, /*traced=*/false, {}, no_slots);
+  ASSERT_TRUE(bc.ok) << bc.error;
+  RunObservation reference =
+      observe(kSource, bind_inputs, {"a"}, ExecEngine::kAst,
+              /*threads=*/1, /*traced=*/false);
+  EXPECT_EQ(bc.buffers, reference.buffers);
+}
+
+}  // namespace
+}  // namespace miniarc

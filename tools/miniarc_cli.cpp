@@ -24,6 +24,8 @@
 // kernel recovery: --kernel-retries N (also MINIARC_KERNEL_RETRIES),
 //                  --no-failover, --breaker "window=8,threshold=4,probe=4"
 //                  (also MINIARC_BREAKER)
+// kernel engine:   --exec ast|bytecode (also MINIARC_EXEC; default bytecode),
+//                  --dump-bytecode (disassemble compiled kernels, then exit)
 // observability:   --trace FILE (Chrome/Perfetto trace; also MINIARC_TRACE),
 //                  --report-json FILE (machine-readable run report)
 // advisor:         --advise-json FILE (machine-readable advice), --top N
@@ -55,6 +57,10 @@ struct CliOptions {
   int kernel_retries = -1;
   /// Serial host execution when device recovery exhausts (--no-failover).
   bool host_failover = true;
+  /// Kernel-body engine (--exec; MINIARC_EXEC fallback, default bytecode).
+  ExecEngine exec_engine = ExecEngine::kDefault;
+  /// Disassemble every compiled kernel body and exit (--dump-bytecode).
+  bool dump_bytecode = false;
   std::optional<BreakerConfig> breaker;
   /// Chrome/Perfetto trace export path (--trace; MINIARC_TRACE fallback).
   std::string trace_path;
@@ -81,6 +87,7 @@ struct CliOptions {
                "               [--faults SPEC] [--fault-seed N] "
                "[--kernel-retries N] [--no-failover]\n"
                "               [--breaker window=W,threshold=T,probe=P]\n"
+               "               [--exec ast|bytecode] [--dump-bytecode]\n"
                "               [--trace FILE] [--report-json FILE] "
                "[--trace-max-events N]\n"
                "               [--advise-json FILE] [--top N]\n"
@@ -117,6 +124,7 @@ InterpOptions interp_options(const CliOptions& options) {
   InterpOptions interp;
   interp.kernel_retries = options.kernel_retries;
   interp.host_failover = options.host_failover;
+  interp.exec_engine = options.exec_engine;
   return interp;
 }
 
@@ -253,6 +261,20 @@ CliOptions parse_args(int argc, char** argv) {
       options.kernel_retries = static_cast<int>(*parsed);
     } else if (arg == "--no-failover") {
       options.host_failover = false;
+    } else if (auto engine = flag_value("--exec"); engine.has_value()) {
+      if (*engine == "ast") {
+        options.exec_engine = ExecEngine::kAst;
+      } else if (*engine == "bytecode") {
+        options.exec_engine = ExecEngine::kBytecode;
+      } else {
+        std::fprintf(stderr,
+                     "miniarc: --exec expects one of: ast, bytecode, got "
+                     "'%s'\n",
+                     engine->c_str());
+        std::exit(2);
+      }
+    } else if (arg == "--dump-bytecode") {
+      options.dump_bytecode = true;
     } else if (auto spec = flag_value("--breaker"); spec.has_value()) {
       std::string error;
       std::optional<BreakerConfig> config = BreakerConfig::parse(*spec, &error);
@@ -373,6 +395,12 @@ int cmd_run(const CliOptions& options, Program& program,
   AccRuntime runtime(MachineModel::m2090(), exec_options(options));
   Interpreter interp(*lowered.program, lowered.sema, runtime,
                      interp_options(options));
+  if (options.dump_bytecode) {
+    std::ostringstream out;
+    interp.dump_bytecode(out);
+    std::fputs(out.str().c_str(), stdout);
+    return 0;
+  }
   bind_externs(interp, *lowered.program, options);
   RunReport report = run_to_report(interp, runtime, "run", options.file);
   if (report.ok) {

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Resilience/observability test matrix: runs the faults, resilience,
-# observability, and parallel-labelled tests under three build
-# configurations —
+# observability, parallel, and bytecode-labelled tests (the latter is the
+# ast-vs-bytecode differential suite) under three build configurations —
 #
 #   plain  : default flags, MINIARC_THREADS=8
 #   asan   : -fsanitize=address,undefined     (MINIARC_SANITIZE=address)
@@ -23,7 +23,7 @@
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-LABELS="faults|resilience|observability|parallel"
+LABELS="faults|resilience|observability|parallel|bytecode"
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then CONFIGS=(plain asan tsan); fi
 
