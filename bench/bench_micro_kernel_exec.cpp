@@ -28,6 +28,12 @@
 // `bench_bytecode_speedup_guard`). BENCH_bytecode_speedup.json at the repo
 // root records a committed measurement.
 //
+// `--guard-safepoint-overhead [OUT.json]` gates the run-budget safepoint
+// cost: a never-firing deterministic budget (vt + statement limits) must
+// stay within 2% of the unbudgeted serial bytecode run (the ctest
+// `bench_safepoint_overhead_guard`; BENCH_safepoint_overhead.json records
+// a committed measurement).
+//
 // Reference numbers live in bench/baselines/bench_micro_kernel_exec.json
 // (regenerate with --benchmark_format=json).
 #include <benchmark/benchmark.h>
@@ -94,7 +100,8 @@ void bind_inputs(Interpreter& interp) {
 std::vector<double> run_once(int threads, bool slot_resolution,
                              bool armed_snapshots = false,
                              bool traced = false,
-                             ExecEngine engine = ExecEngine::kAst) {
+                             ExecEngine engine = ExecEngine::kAst,
+                             const RunBudget* budget = nullptr) {
   const LoweredProgram& low = lowered_kernel();
   ExecutorOptions exec{threads};
   if (traced) {
@@ -102,6 +109,7 @@ std::vector<double> run_once(int threads, bool slot_resolution,
     trace.enabled = true;
     exec.trace = trace;
   }
+  if (budget != nullptr) exec.budget = *budget;
   AccRuntime runtime(MachineModel::m2090(), exec);
   InterpOptions options;
   options.kernel_slot_resolution = slot_resolution;
@@ -196,11 +204,12 @@ BENCHMARK(BM_KernelExec_Parallel_Slots)
 
 // ---- bytecode speedup gate ----
 
-double min_seconds_of(int runs, ExecEngine engine) {
+double min_seconds_of(int runs, ExecEngine engine,
+                      const RunBudget* budget = nullptr) {
   double best = 1e30;
   for (int r = 0; r < runs; ++r) {
     auto start = std::chrono::steady_clock::now();
-    std::vector<double> out = run_once(1, true, false, false, engine);
+    std::vector<double> out = run_once(1, true, false, false, engine, budget);
     auto stop = std::chrono::steady_clock::now();
     check_reference(out, engine == ExecEngine::kBytecode ? "guard/bytecode"
                                                          : "guard/ast");
@@ -261,11 +270,75 @@ int run_speedup_guard(const char* out_path) {
   return 0;
 }
 
+// ---- budget safepoint overhead gate ----
+
+/// --guard-safepoint-overhead [OUT.json]: fail (exit 1) unless arming a
+/// never-firing deterministic budget (huge virtual-time deadline + statement
+/// budget; no wall deadline, so no snapshots) costs < 2% on the serial
+/// bytecode engine. This is the price every budgeted run pays at the
+/// VM's amortized poll and the host safepoints.
+int run_safepoint_guard(const char* out_path) {
+  constexpr int kRuns = 7;
+  constexpr double kMaxOverhead = 0.02;
+  RunBudget budget;
+  budget.deadline_vt_seconds = 1e9;
+  budget.stmt_budget = 1L << 60;
+  double base = min_seconds_of(kRuns, ExecEngine::kBytecode);
+  double armed = min_seconds_of(kRuns, ExecEngine::kBytecode, &budget);
+  double overhead = armed / base - 1.0;
+  std::FILE* out = stdout;
+  if (out_path != nullptr) {
+    out = std::fopen(out_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write '%s'\n", out_path);
+      return 1;
+    }
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"schema\": \"miniarc-bench/v1\",\n"
+               "  \"name\": \"safepoint_overhead\",\n"
+               "  \"description\": \"Budget safepoint overhead gate: the "
+               "serial bytecode bench_micro_kernel_exec kernel with a "
+               "never-firing deterministic budget armed (vt deadline + "
+               "statement budget; no wall deadline, so no write-set "
+               "snapshots) must run within %.0f%% of the unbudgeted run. "
+               "Min of %d runs each, identical output buffers required.\",\n"
+               "  \"rows\": [\n"
+               "    {\n"
+               "      \"label\": \"serial_bytecode\",\n"
+               "      \"real_time_ms\": %.3f\n"
+               "    },\n"
+               "    {\n"
+               "      \"label\": \"serial_bytecode_budgeted\",\n"
+               "      \"real_time_ms\": %.3f,\n"
+               "      \"overhead_pct\": %.2f,\n"
+               "      \"max_overhead_pct\": %.1f\n"
+               "    }\n"
+               "  ]\n"
+               "}\n",
+               kMaxOverhead * 100.0, kRuns, base * 1e3, armed * 1e3,
+               overhead * 100.0, kMaxOverhead * 100.0);
+  if (out != stdout) std::fclose(out);
+  std::fprintf(stderr,
+               "safepoint overhead: %.2f%% (base %.3f ms, budgeted %.3f ms)\n",
+               overhead * 100.0, base * 1e3, armed * 1e3);
+  if (overhead > kMaxOverhead) {
+    std::fprintf(stderr, "FAIL: above the allowed %.1f%%\n",
+                 kMaxOverhead * 100.0);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "--guard-bytecode-speedup") == 0) {
     return run_speedup_guard(argc >= 3 ? argv[2] : nullptr);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--guard-safepoint-overhead") == 0) {
+    return run_safepoint_guard(argc >= 3 ? argv[2] : nullptr);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

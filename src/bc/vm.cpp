@@ -9,6 +9,7 @@
 
 #include "device/acc_error.h"
 #include "interp/interp.h"
+#include "support/budget.h"
 
 namespace miniarc {
 namespace {
@@ -57,6 +58,17 @@ inline void put_d(std::int64_t* pay, std::uint8_t* tag, unsigned r, double v) {
                      "' exceeded the watchdog budget of " +
                      std::to_string(ctx.worker_statement_limit) +
                      " statements per chunk (runaway loop?)",
+                 ctx.launch->location(), ctx.launch->kernel_name());
+}
+
+[[noreturn]] void throw_cancelled(const KernelLaunchCtx& ctx,
+                                  BudgetKind reason) {
+  throw AccError(reason == BudgetKind::kCancelled
+                     ? AccErrorCode::kCancelled
+                     : AccErrorCode::kBudgetExhausted,
+                 "kernel '" + ctx.launch->kernel_name() +
+                     "' cancelled at a chunk safepoint (" +
+                     std::string(to_string(reason)) + ")",
                  ctx.launch->location(), ctx.launch->kernel_name());
 }
 
@@ -124,6 +136,10 @@ void run_iteration(const CompiledKernel& kernel, const KernelLaunchCtx& ctx,
   std::uint8_t* const readable = frame.readable;
   std::uint8_t* const written = frame.written;
   const long limit = ctx.worker_statement_limit;
+  // Amortized cancel-token poll (BudgetGuard::poll_chunk): one predicted-
+  // false mask test per statement, the atomic load every 8192. Null when no
+  // budget is armed.
+  const BudgetGuard* const budget = ctx.budget;
   std::size_t pc = 0;
 
 #if MINIARC_BC_COMPUTED_GOTO
@@ -167,6 +183,9 @@ vm_dispatch:
 
   VM_OP(kCount) : {
     if (++statements > limit) throw_watchdog(ctx);
+    if (budget != nullptr && budget->poll_chunk(statements)) {
+      throw_cancelled(ctx, budget->token().reason());
+    }
     VM_NEXT();
   }
 

@@ -9,6 +9,8 @@ const char* to_string(AccErrorCode code) {
     case AccErrorCode::kTransferFailed: return "Transfer-Failed";
     case AccErrorCode::kKernelTimeout: return "Kernel-Timeout";
     case AccErrorCode::kKernelFault: return "Kernel-Fault";
+    case AccErrorCode::kBudgetExhausted: return "Budget-Exhausted";
+    case AccErrorCode::kCancelled: return "Cancelled";
   }
   return "?";
 }

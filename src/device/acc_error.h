@@ -32,6 +32,12 @@ enum class AccErrorCode : std::uint8_t {
   kKernelTimeout,
   /// A kernel chunk raised a device fault.
   kKernelFault,
+  /// A run budget (virtual-time/wall-clock deadline, memory ceiling,
+  /// statement or retry budget) was exhausted; the run wound down gracefully
+  /// and emitted a partial report.
+  kBudgetExhausted,
+  /// The run was cancelled by an external request_cancel().
+  kCancelled,
 };
 
 [[nodiscard]] const char* to_string(AccErrorCode code);

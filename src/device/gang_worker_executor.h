@@ -34,6 +34,7 @@
 
 #include "faults/fault_plan.h"
 #include "runtime/circuit_breaker.h"
+#include "support/budget.h"
 #include "trace/trace.h"
 
 namespace miniarc {
@@ -65,6 +66,9 @@ struct ExecutorOptions {
   /// Trace recording for the runtime built on this executor. nullopt =
   /// resolve from MINIARC_TRACE (unset ⇒ tracing disabled).
   std::optional<TraceOptions> trace;
+  /// Run budget for the runtime built on this executor. nullopt = resolve
+  /// from MINIARC_BUDGET_* (unset ⇒ unlimited).
+  std::optional<RunBudget> budget;
 };
 
 /// `threads` if positive, else the MINIARC_THREADS environment variable,

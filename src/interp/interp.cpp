@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "device/acc_error.h"
 #include "interp/eval_ops.h"
 #include "interp/intrinsics.h"
 #include "support/env.h"
@@ -26,6 +27,7 @@ Interpreter::Interpreter(const Program& program, const SemaInfo& sema,
                  : ExecEngine::kBytecode;
   }
   exec_bytecode_ = engine == ExecEngine::kBytecode;
+  budget_armed_ = runtime_.budget().armed();
   // Annotate the AST with dense variable slots (the kernel hot path indexes
   // vectors instead of hashing names). The pass is deterministic and
   // idempotent, so re-annotating a shared program is safe; it runs here so
@@ -75,6 +77,11 @@ void Interpreter::count_statement() {
   if (++total_budget_used_ > options_.max_statements) {
     throw InterpError("statement budget exhausted (possible runaway loop)");
   }
+  // Per-statement run-budget safepoint (host thread, program order:
+  // deterministic). Unarmed runs pay one predicted-false branch.
+  if (budget_armed_) {
+    runtime_.check_budget(total_budget_used_);
+  }
 }
 
 void Interpreter::flush_host_billing() {
@@ -108,10 +115,23 @@ void Interpreter::run() {
     }
   }
 
-  const FuncDecl& main = program_.main();
-  Flow flow = exec(main.body());
-  (void)flow;
-  flush_host_billing();
+  try {
+    const FuncDecl& main = program_.main();
+    Flow flow = exec(main.body());
+    (void)flow;
+    flush_host_billing();
+  } catch (const AccError& err) {
+    if (err.code() == AccErrorCode::kBudgetExhausted ||
+        err.code() == AccErrorCode::kCancelled) {
+      // Graceful wind-down: commit pending host billing so the partial
+      // report's virtual clock is exact, release device state, and record
+      // the termination. The error still propagates — callers see the
+      // structured failure and build the partial report from the runtime.
+      flush_host_billing();
+      runtime_.wind_down();
+    }
+    throw;
+  }
 }
 
 // --------------------------------------------------------------------------

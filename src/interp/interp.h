@@ -185,6 +185,9 @@ class Interpreter {
   int kernel_retries_ = 2;
   /// options_.exec_engine after MINIARC_EXEC resolution.
   bool exec_bytecode_ = true;
+  /// Cached runtime_.budget().armed(): with no budget the per-statement
+  /// safepoint is one predicted-false branch.
+  bool budget_armed_ = false;
   SlotTable slots_;
   /// Slot → declared-as-floating-scalar (assignment coercion on the kernel
   /// hot path without a var_types hash lookup).

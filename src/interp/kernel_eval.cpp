@@ -5,6 +5,7 @@
 #include "interp/interp.h"
 #include "interp/intrinsics.h"
 #include "sema/sema.h"
+#include "support/budget.h"
 
 namespace miniarc {
 
@@ -88,6 +89,20 @@ void KernelEval::count_statement() {
                        "' exceeded the watchdog budget of " +
                        std::to_string(ctx_.worker_statement_limit) +
                        " statements per chunk (runaway loop?)",
+                   ctx_.launch->location(), ctx_.launch->kernel_name());
+  }
+  // Amortized cancel-token poll — same safepoint the bytecode VM's kCount
+  // handler implements, so both engines abandon a cancelled launch at the
+  // same cadence (best-effort: only wall deadlines and external cancellation
+  // latch the token mid-dispatch).
+  if (ctx_.budget != nullptr && ctx_.budget->poll_chunk(worker_.statements)) {
+    BudgetKind reason = ctx_.budget->token().reason();
+    throw AccError(reason == BudgetKind::kCancelled
+                       ? AccErrorCode::kCancelled
+                       : AccErrorCode::kBudgetExhausted,
+                   "kernel '" + ctx_.launch->kernel_name() +
+                       "' cancelled at a chunk safepoint (" +
+                       std::string(to_string(reason)) + ")",
                    ctx_.launch->location(), ctx_.launch->kernel_name());
   }
 }

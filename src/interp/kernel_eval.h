@@ -32,6 +32,8 @@
 
 namespace miniarc {
 
+class BudgetGuard;
+
 /// Launch-wide kernel execution context. Built once per kernel launch by
 /// Interpreter::exec_kernel; read-only while worker chunks run.
 struct KernelLaunchCtx {
@@ -41,6 +43,12 @@ struct KernelLaunchCtx {
   /// Per-worker runaway guard: remaining statement budget at launch. A
   /// worker whose own statement count exceeds this throws InterpError.
   long worker_statement_limit = 0;
+  /// Run-budget guard when a budget is armed (null otherwise). Workers poll
+  /// its cancel token at the amortized statement-billing safepoint — a
+  /// best-effort check that only fires for wall-clock deadlines or external
+  /// cancellation (deterministic budgets cancel on the host thread between
+  /// launches).
+  const BudgetGuard* budget = nullptr;
   /// Host environment, consulted (read-only) when a falsely-shared scalar is
   /// read before the worker's first write — the register cache loading the
   /// shared device global.

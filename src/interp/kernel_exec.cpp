@@ -173,6 +173,11 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
       options_.watchdog_chunk_statements > 0
           ? std::min(remaining_budget, options_.watchdog_chunk_statements)
           : remaining_budget;
+  // Workers poll the cancel token at the statement-billing safepoint and at
+  // chunk boundaries; only wall-clock deadlines and external cancellation
+  // ever latch it mid-dispatch (deterministic budgets cancel on the host
+  // thread, where the clock and counters live).
+  ctx.budget = budget_armed_ ? &runtime_.budget() : nullptr;
   if (ctx.use_slots) ctx.prepare_slots();
 
   for (const auto& name : stmt.falsely_shared) {
@@ -568,9 +573,14 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
 
   // ---- transactional dispatch: snapshot → attempt → rollback/retry ----
   // Snapshots are skipped entirely when nothing can fault (no plan armed,
-  // no watchdog): the fault-free hot path pays one enabled() branch.
+  // no watchdog): the fault-free hot path pays one enabled() branch. A
+  // wall-clock deadline also arms them — it can cancel a launch mid-flight,
+  // and the abandoned write set must roll back so the wind-down leaves
+  // consistent device state. Deterministic budgets never cancel mid-launch
+  // and so never force the snapshot cost.
   const bool recovery_armed = runtime_.fault_injector().enabled() ||
-                              options_.watchdog_chunk_statements > 0;
+                              options_.watchdog_chunk_statements > 0 ||
+                              runtime_.budget().wall_armed();
   bool device_done = false;
   int rollbacks = 0;
 
@@ -661,6 +671,20 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
         runtime_.executor().execute_chunks(
             chunks, allow_parallel,
             [&](std::size_t index, const WorkerChunk& chunk) {
+              // Chunk-boundary safepoint (best-effort: wall deadline or
+              // external cancellation — see ctx.budget above).
+              if (ctx.budget != nullptr && ctx.budget->poll_boundary()) {
+                BudgetKind reason = ctx.budget->token().reason();
+                throw AccError(reason == BudgetKind::kCancelled
+                                   ? AccErrorCode::kCancelled
+                                   : AccErrorCode::kBudgetExhausted,
+                               "kernel '" + stmt.kernel_name() + "' chunk " +
+                                   std::to_string(index) +
+                                   " cancelled at a chunk boundary (" +
+                                   std::string(to_string(reason)) + ")",
+                               stmt.location(), stmt.kernel_name(),
+                               stmt.config.async_queue);
+              }
               if (injected.kind != KernelFaultDecision::Kind::kNone &&
                   injected.kind != KernelFaultDecision::Kind::kCorrupt &&
                   index == injected.chunk) {
@@ -725,6 +749,17 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
         // Which chunks ran before a parallel abort is schedule-dependent:
         // drop the attempt's lanes so the trace stays deterministic.
         if (trace_on) trace.discard_workers();
+        if (err.code() == AccErrorCode::kBudgetExhausted ||
+            err.code() == AccErrorCode::kCancelled) {
+          // Cancellation aborts the ladder: restore the write set from the
+          // snapshot (a wall-armed budget always has one), count the
+          // abandoned launch, and hand over to the wind-down — no retry, no
+          // failover, and no billing of the racy partial counters (the run
+          // is over; its report must not depend on the abort schedule).
+          if (recovery_armed) rollback(0.0);
+          runtime_.note_cancelled_launch();
+          throw;
+        }
         // Only kernel faults/timeouts with recovery armed are retryable;
         // in particular a global-statement-budget blowout without a
         // watchdog is a runaway program, not a device fault.
@@ -805,6 +840,14 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
 
   if (total_budget_used_ > options_.max_statements) {
     throw InterpError("statement budget exhausted (possible runaway loop)");
+  }
+  // Post-merge safepoint: the launch's device statements just landed in
+  // total_budget_used_ and its kernel time on the virtual clock, so the
+  // statement and virtual-time budgets observe them here — on the host
+  // thread, in program order, deterministically.
+  if (budget_armed_) {
+    runtime_.check_budget(total_budget_used_, stmt.location(),
+                          stmt.kernel_name());
   }
 
   // ---- reduction combining (chunk order ⇒ deterministic) ----

@@ -71,6 +71,7 @@
 // and the runtime fault/resilience plan.
 #include "faults/fault_injector.h"
 #include "faults/fault_plan.h"
+#include "support/budget.h"
 #include "support/env.h"
 
 // Interactive debugging & optimization (the paper's contribution).

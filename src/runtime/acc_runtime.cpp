@@ -1,6 +1,7 @@
 #include "runtime/acc_runtime.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 #include "device/acc_error.h"
@@ -37,6 +38,88 @@ AccRuntime::AccRuntime(MachineModel model, ExecutorOptions executor_options)
                        ? *executor_options.trace
                        : trace_options_from_env());
   checker_.set_trace(&trace_, &clock_);
+  budget_.configure(executor_options.budget.has_value()
+                        ? *executor_options.budget
+                        : run_budget_from_env());
+}
+
+void AccRuntime::check_budget(long statements_used, SourceLocation loc,
+                              const std::string& var) {
+  if (!budget_.armed()) return;
+  BudgetKind hit = budget_.check(clock_.now(), statements_used);
+  if (hit != BudgetKind::kNone) throw_budget(hit, loc, var);
+}
+
+void AccRuntime::throw_budget(BudgetKind kind, SourceLocation loc,
+                              const std::string& var,
+                              std::optional<int> queue) {
+  AccErrorCode code = kind == BudgetKind::kCancelled
+                          ? AccErrorCode::kCancelled
+                          : AccErrorCode::kBudgetExhausted;
+  char message[160];
+  switch (kind) {
+    case BudgetKind::kVirtualTime:
+      std::snprintf(message, sizeof(message),
+                    "run budget exhausted: virtual-time deadline of %g s "
+                    "reached",
+                    budget_.limits().deadline_vt_seconds);
+      break;
+    case BudgetKind::kWallClock:
+      std::snprintf(message, sizeof(message),
+                    "run budget exhausted: wall-clock deadline of %g ms "
+                    "reached (best-effort)",
+                    budget_.limits().deadline_wall_ms);
+      break;
+    case BudgetKind::kDeviceMemory:
+      std::snprintf(message, sizeof(message),
+                    "run budget exhausted: device-memory ceiling of %zu "
+                    "bytes exceeded",
+                    budget_.limits().mem_ceiling_bytes);
+      break;
+    case BudgetKind::kStatements:
+      std::snprintf(message, sizeof(message),
+                    "run budget exhausted: statement budget of %ld exceeded",
+                    budget_.limits().stmt_budget);
+      break;
+    case BudgetKind::kRetries:
+      std::snprintf(message, sizeof(message),
+                    "run budget exhausted: fault-recovery retry budget of "
+                    "%ld spent",
+                    budget_.limits().retry_budget);
+      break;
+    case BudgetKind::kCancelled:
+      std::snprintf(message, sizeof(message), "run cancelled by request");
+      break;
+    case BudgetKind::kNone:
+      std::snprintf(message, sizeof(message), "run budget exhausted");
+      break;
+  }
+  diags_.error(loc, message);
+  throw AccError(code, message, loc, var, queue);
+}
+
+void AccRuntime::wind_down() {
+  if (termination_.terminated) return;
+  termination_.terminated = true;
+  termination_.reason = budget_.token().reason();
+  termination_.best_effort = termination_.reason == BudgetKind::kWallClock;
+  termination_.virtual_seconds = clock_.now();
+  termination_.retries_used = budget_.retries_used();
+  termination_.pending_launches = cancelled_launches_;
+  for (const auto& [queue, work] : pending_async_work_) {
+    if (work > 0.0) ++termination_.pending_transfers;
+  }
+  PresentTable::EvictStats released = present_.release_all(dev_mem_);
+  termination_.released_buffers = released.buffers;
+  termination_.released_bytes = released.bytes;
+  if (trace_.enabled()) {
+    trace_event(termination_.reason == BudgetKind::kCancelled
+                    ? TraceEventKind::kCancelled
+                    : TraceEventKind::kBudgetExhausted,
+                clock_.now(), 0.0, "run", to_string(termination_.reason), {},
+                static_cast<long long>(released.bytes),
+                static_cast<long long>(released.buffers));
+  }
 }
 
 void AccRuntime::trace_event(TraceEventKind kind, double ts, double dur,
@@ -87,6 +170,12 @@ BufferPtr AccRuntime::data_enter(const TypedBuffer& host,
     // coherent for the lifetime of the mapping.
     checker_.tracker().set_state(host, DeviceSide::kDevice,
                                  CoherenceState::kNotStale);
+  }
+  // Memory-ceiling safepoint: the budget bounds bytes_in_use even when the
+  // device itself still has capacity (quota-bounded tenancy).
+  if (budget_.armed()) {
+    BudgetKind hit = budget_.check_memory(dev_mem_.bytes_in_use());
+    if (hit != BudgetKind::kNone) throw_budget(hit, loc, var);
   }
   if (trace_.enabled()) {
     if (result.host_fallback) {
@@ -211,6 +300,8 @@ TransferResult AccRuntime::transfer(TypedBuffer& host, const std::string& var,
                                     const std::string& label,
                                     const ExecContext& ctx,
                                     SourceLocation loc) {
+  // Transfer-begin safepoint (host thread, program order: deterministic).
+  check_budget(-1, loc, var);
   switch (condition) {
     case MemTransferStmt::Condition::kIfFreshAlloc:
       if (!present_.fresh_alloc(host)) return {};
@@ -254,13 +345,18 @@ TransferResult AccRuntime::resilient_copy(TypedBuffer& host,
                                           SourceLocation loc) {
   TransferFaultKind fault = faults_.enabled() ? faults_.next_transfer_fault()
                                               : TransferFaultKind::kNone;
+  // Per-attempt DMA safepoint: deterministic budgets throw at the
+  // transfer-begin check above before the token ever latches, so this only
+  // fires for wall-clock/external cancellations landing mid-retry-storm.
+  const CancelToken* cancel = budget_.armed() ? &budget_.token() : nullptr;
   double wire = model_.pcie.transfer_seconds(host.size_bytes());
   const char* dir_label =
       direction == TransferDirection::kHostToDevice ? "H2D" : "D2H";
   for (int attempt = 1; attempt <= kMaxTransferAttempts; ++attempt) {
     if (fault == TransferFaultKind::kNone) {
       TransferEngine::CopyOutcome ok =
-          TransferEngine::copy_verified(host, device, direction, nullptr);
+          TransferEngine::copy_verified(host, device, direction, nullptr,
+                                        cancel);
       profiler_.add_transfer(direction, ok.bytes);
       double t0 = clock_.now();
       double cost = jittered(wire);
@@ -292,7 +388,8 @@ TransferResult AccRuntime::resilient_copy(TypedBuffer& host,
     // time is recovery overhead, not useful transfer work.
     if (fault == TransferFaultKind::kCorrupt) {
       TransferEngine::CopyOutcome bad =
-          TransferEngine::copy_verified(host, device, direction, &faults_);
+          TransferEngine::copy_verified(host, device, direction, &faults_,
+                                        cancel);
       (void)bad;  // bad.verified is false by construction (one flipped byte)
       bill(ProfileCategory::kFaultRecovery, jittered(wire), async_queue);
     } else {
@@ -300,6 +397,12 @@ TransferResult AccRuntime::resilient_copy(TypedBuffer& host,
     }
     if (attempt == kMaxTransferAttempts) break;
 
+    // Transfer-retry safepoint: each recovery retry draws on the global
+    // retry budget before re-attempting.
+    if (budget_.armed()) {
+      BudgetKind hit = budget_.on_retry();
+      if (hit != BudgetKind::kNone) throw_budget(hit, loc, var, async_queue);
+    }
     ++resilience_.transfer_retries;
     double backoff = kBackoffBaseSeconds * static_cast<double>(1 << (attempt - 1));
     bill(ProfileCategory::kFaultRecovery, backoff, async_queue);
@@ -342,6 +445,8 @@ TransferResult AccRuntime::scratch_transfer(const TypedBuffer& host,
 }
 
 void AccRuntime::wait(std::optional<int> queue) {
+  // Queue-wait safepoint (host thread, program order: deterministic).
+  check_budget(-1, {}, {});
   double target = queue.has_value() ? streams_.ready_time(*queue)
                                     : streams_.max_ready_time();
   double raw_wait = clock_.advance_to(target);
@@ -402,6 +507,13 @@ void AccRuntime::on_kernel_rollback(std::size_t bytes) {
 }
 
 double AccRuntime::on_kernel_retry(int attempt) {
+  // Kernel-retry safepoint: the write set is already rolled back here, so a
+  // retry-budget hit propagates a clean budget error (no device state to
+  // restore).
+  if (budget_.armed()) {
+    BudgetKind hit = budget_.on_retry();
+    if (hit != BudgetKind::kNone) throw_budget(hit);
+  }
   ++resilience_.kernel_retries;
   int shift = attempt < 16 ? attempt : 16;
   double backoff = kKernelBackoffBaseSeconds * static_cast<double>(1L << shift);
@@ -436,6 +548,9 @@ void AccRuntime::reset() {
   diags_.clear();
   trace_.clear();
   resilience_ = {};
+  budget_.reset();
+  termination_ = {};
+  cancelled_launches_ = 0;
   pending_async_work_.clear();
 }
 

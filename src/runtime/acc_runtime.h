@@ -22,6 +22,7 @@
 #include "runtime/present_table.h"
 #include "runtime/profiler.h"
 #include "runtime/runtime_checker.h"
+#include "support/budget.h"
 #include "support/diagnostics.h"
 #include "trace/trace.h"
 
@@ -152,6 +153,38 @@ class AccRuntime {
   /// A launch completed by serial host execution.
   void on_host_failover();
 
+  // ---- run budgets & cooperative cancellation ----
+  /// Budget guard for this run (configured from ExecutorOptions::budget or
+  /// MINIARC_BUDGET_*). The interpreter and VM poll it at safepoints.
+  [[nodiscard]] BudgetGuard& budget() { return budget_; }
+  [[nodiscard]] const BudgetGuard& budget() const { return budget_; }
+  /// Host-thread safepoint: raises AccError{kBudgetExhausted} (or
+  /// kCancelled) when a budget is exhausted or a cancellation was
+  /// requested. `statements_used` feeds the statement budget; runtime-side
+  /// safepoints that don't track the count pass -1. Checks run in program
+  /// order on the host thread, so virtual-time/statement/memory/retry
+  /// cancellations are deterministic at any executor thread count.
+  void check_budget(long statements_used = -1, SourceLocation loc = {},
+                    const std::string& var = {});
+  /// Thread-safe external cancellation request; the run stops at the next
+  /// safepoint with AccErrorCode::kCancelled.
+  void request_cancel() {
+    budget_.token().request_cancel(BudgetKind::kCancelled);
+  }
+  /// A kernel launch was abandoned in flight by a cancellation (counted in
+  /// the termination record's pending_launches).
+  void note_cancelled_launch() { ++cancelled_launches_; }
+  /// Graceful wind-down after a budget/cancellation error: fills the
+  /// termination record, releases every device allocation and present-table
+  /// entry, and records the budget-exhausted/cancelled trace event. The
+  /// executor pool is already drained (execute_chunks joins before its
+  /// exception propagates). Idempotent.
+  void wind_down();
+  /// How the run ended; terminated == false for complete runs.
+  [[nodiscard]] const TerminationInfo& termination() const {
+    return termination_;
+  }
+
   // ---- configuration ----
   /// Device allocation pooling (default on; the kernel verifier turns it off
   /// so per-kernel alloc/free costs appear in the Figure-3 breakdown).
@@ -206,6 +239,11 @@ class AccRuntime {
                    std::string site = {}, long long bytes = -1,
                    long long value = -1,
                    std::optional<int> queue = std::nullopt);
+  /// Raise the structured budget error for `kind` (kCancelled maps to
+  /// AccErrorCode::kCancelled, everything else to kBudgetExhausted).
+  [[noreturn]] void throw_budget(BudgetKind kind, SourceLocation loc = {},
+                                 const std::string& var = {},
+                                 std::optional<int> queue = std::nullopt);
   [[nodiscard]] double jittered(double seconds);
   void bill(ProfileCategory category, double seconds,
             std::optional<int> async_queue);
@@ -234,6 +272,9 @@ class AccRuntime {
   DiagnosticEngine diags_;
   TraceRecorder trace_;
   ResilienceStats resilience_;
+  BudgetGuard budget_;
+  TerminationInfo termination_;
+  std::size_t cancelled_launches_ = 0;
 
   double jitter_amplitude_ = 0.0;
   std::uint64_t jitter_state_ = 0x9e3779b97f4a7c15ULL;

@@ -65,6 +65,19 @@ PresentTable::EvictStats PresentTable::evict_parked(
   return stats;
 }
 
+PresentTable::EvictStats PresentTable::release_all(
+    DeviceMemoryManager& memory) {
+  EvictStats stats;
+  for (auto& [host, entry] : entries_) {
+    if (entry.host_fallback) continue;
+    stats.bytes += entry.device->size_bytes();
+    ++stats.buffers;
+    memory.release(*entry.device);
+  }
+  entries_.clear();
+  return stats;
+}
+
 bool PresentTable::is_present(const TypedBuffer& host) const {
   auto it = entries_.find(&host);
   return it != entries_.end() && it->second.refcount > 0;

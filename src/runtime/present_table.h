@@ -71,6 +71,12 @@ class PresentTable {
   /// authoritative after region exit), so no writeback is needed.
   EvictStats evict_parked(DeviceMemoryManager& memory);
 
+  /// Budget wind-down: release *every* device buffer (parked or still
+  /// referenced) and empty the table. Host-fallback aliases are skipped (no
+  /// device allocation backs them). No writeback — a cancelled run's device
+  /// state is abandoned, only the accounting must return to zero.
+  EvictStats release_all(DeviceMemoryManager& memory);
+
   /// Enable/disable allocation pooling (default on).
   void set_pooling(bool pooling) { pooling_ = pooling; }
   [[nodiscard]] bool pooling() const { return pooling_; }

@@ -2,8 +2,11 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
+#include "device/acc_error.h"
 #include "faults/fault_plan.h"
+#include "support/budget.h"
 
 namespace miniarc {
 
@@ -14,7 +17,15 @@ std::size_t TransferEngine::copy(TypedBuffer& host, TypedBuffer& device,
 
 TransferEngine::CopyOutcome TransferEngine::copy_verified(
     TypedBuffer& host, TypedBuffer& device, TransferDirection direction,
-    FaultInjector* corruptor) {
+    FaultInjector* corruptor, const CancelToken* cancel) {
+  if (cancel != nullptr && cancel->cancelled()) {
+    BudgetKind reason = cancel->reason();
+    throw AccError(reason == BudgetKind::kCancelled
+                       ? AccErrorCode::kCancelled
+                       : AccErrorCode::kBudgetExhausted,
+                   std::string("transfer refused at a DMA safepoint (") +
+                       to_string(reason) + ")");
+  }
   if (host.size_bytes() != device.size_bytes()) {
     throw std::logic_error(
         "transfer between mismatched host/device buffer shapes");

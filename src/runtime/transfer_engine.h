@@ -11,6 +11,7 @@
 
 namespace miniarc {
 
+class CancelToken;
 class FaultInjector;
 
 class TransferEngine {
@@ -33,10 +34,14 @@ class TransferEngine {
   /// destination image is byte-corrupted after the DMA (modelling a flaky
   /// link); the post-copy compare then reports verified=false. The corrupted
   /// image is left in place — exactly what a real device would hold — so a
-  /// retry must actually re-copy.
+  /// retry must actually re-copy. When `cancel` is non-null and already
+  /// latched (wall-clock deadline or external request), the DMA is refused
+  /// with AccError before any bytes move — the per-attempt safepoint of a
+  /// budgeted run's retry storm.
   static CopyOutcome copy_verified(TypedBuffer& host, TypedBuffer& device,
                                    TransferDirection direction,
-                                   FaultInjector* corruptor);
+                                   FaultInjector* corruptor,
+                                   const CancelToken* cancel = nullptr);
 };
 
 }  // namespace miniarc

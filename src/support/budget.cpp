@@ -1,0 +1,109 @@
+#include "support/budget.h"
+
+#include <climits>
+
+#include "support/env.h"
+
+namespace miniarc {
+
+const char* to_string(BudgetKind kind) {
+  switch (kind) {
+    case BudgetKind::kNone: return "none";
+    case BudgetKind::kVirtualTime: return "virtual-time";
+    case BudgetKind::kWallClock: return "wall-clock";
+    case BudgetKind::kDeviceMemory: return "device-memory";
+    case BudgetKind::kStatements: return "statements";
+    case BudgetKind::kRetries: return "retries";
+    case BudgetKind::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+const RunBudget& run_budget_from_env() {
+  static const RunBudget budget = [] {
+    RunBudget b;
+    b.deadline_vt_seconds =
+        env_double_or("MINIARC_BUDGET_VT", 0.0, 0.0, 1e12);
+    b.deadline_wall_ms = env_double_or("MINIARC_BUDGET_MS", 0.0, 0.0, 1e12);
+    b.mem_ceiling_bytes = static_cast<std::size_t>(
+        env_long_or("MINIARC_BUDGET_MEM", 0, 0, LONG_MAX));
+    b.stmt_budget = env_long_or("MINIARC_BUDGET_STMTS", 0, 0, LONG_MAX);
+    b.retry_budget = env_long_or("MINIARC_BUDGET_RETRIES", -1, -1, LONG_MAX);
+    return b;
+  }();
+  return budget;
+}
+
+void BudgetGuard::configure(const RunBudget& budget) {
+  budget_ = budget;
+  armed_ = budget_.any();
+  token_.reset();
+  retries_used_ = 0;
+  wall_start_ = std::chrono::steady_clock::now();
+}
+
+BudgetKind BudgetGuard::check(double vt_now, long statements) {
+  BudgetKind latched = token_.reason();
+  if (latched != BudgetKind::kNone) return latched;
+  if (budget_.deadline_vt_seconds > 0.0 &&
+      vt_now >= budget_.deadline_vt_seconds) {
+    token_.request_cancel(BudgetKind::kVirtualTime);
+    return BudgetKind::kVirtualTime;
+  }
+  if (budget_.stmt_budget > 0 && statements >= 0 &&
+      statements > budget_.stmt_budget) {
+    token_.request_cancel(BudgetKind::kStatements);
+    return BudgetKind::kStatements;
+  }
+  // Rate-limit the steady_clock read on the per-statement path; the
+  // infrequent runtime-side safepoints (statements < 0) always poll.
+  if (wall_armed() && (statements < 0 || (statements & 4095) == 0) &&
+      poll_wall()) {
+    return BudgetKind::kWallClock;
+  }
+  return BudgetKind::kNone;
+}
+
+BudgetKind BudgetGuard::check_memory(std::size_t bytes_in_use) {
+  BudgetKind latched = token_.reason();
+  if (latched != BudgetKind::kNone) return latched;
+  if (budget_.mem_ceiling_bytes > 0 &&
+      bytes_in_use > budget_.mem_ceiling_bytes) {
+    token_.request_cancel(BudgetKind::kDeviceMemory);
+    return BudgetKind::kDeviceMemory;
+  }
+  return BudgetKind::kNone;
+}
+
+BudgetKind BudgetGuard::on_retry() {
+  ++retries_used_;
+  BudgetKind latched = token_.reason();
+  if (latched != BudgetKind::kNone) return latched;
+  if (budget_.retry_budget >= 0 && retries_used_ > budget_.retry_budget) {
+    token_.request_cancel(BudgetKind::kRetries);
+    return BudgetKind::kRetries;
+  }
+  return BudgetKind::kNone;
+}
+
+bool BudgetGuard::poll_slow() const {
+  if (token_.cancelled()) return true;
+  return wall_armed() && poll_wall();
+}
+
+bool BudgetGuard::poll_wall() const {
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - wall_start_)
+                          .count();
+  if (elapsed_ms < budget_.deadline_wall_ms) return false;
+  token_.request_cancel(BudgetKind::kWallClock);
+  return true;
+}
+
+void BudgetGuard::reset() {
+  token_.reset();
+  retries_used_ = 0;
+  wall_start_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace miniarc

@@ -1,0 +1,162 @@
+// Run budgets and cooperative cancellation. A RunBudget bounds a whole run
+// (virtual-time deadline, wall-clock deadline, device-memory ceiling,
+// total-statement budget, fault-recovery retry budget); a BudgetGuard turns
+// it into cheap safepoint checks threaded through the interpreter, the
+// bytecode VM, and the runtime.
+//
+// Determinism contract: the virtual-time, statement, memory-ceiling, and
+// retry budgets are checked only on the host thread, at safepoints that
+// execute in program order regardless of the executor thread count — so a
+// run cancelled by one of them produces byte-identical reports and traces
+// at 1 vs N threads. The wall-clock deadline (and an external
+// request_cancel() from another thread) is observed by worker-side polls
+// and is best-effort: the cancellation point depends on real time.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace miniarc {
+
+/// Which budget (or external request) ended the run. kNone means the run
+/// was not cancelled.
+enum class BudgetKind : std::uint8_t {
+  kNone = 0,
+  kVirtualTime,
+  kWallClock,
+  kDeviceMemory,
+  kStatements,
+  kRetries,
+  kCancelled,  // external request_cancel(), not a budget
+};
+
+[[nodiscard]] const char* to_string(BudgetKind kind);
+
+/// Limits for one run. Zero means unlimited for every field except
+/// retry_budget, where -1 is unlimited (0 is a real budget: "never retry").
+struct RunBudget {
+  double deadline_vt_seconds = 0.0;   // virtual-clock deadline
+  double deadline_wall_ms = 0.0;      // wall-clock deadline (best-effort)
+  std::size_t mem_ceiling_bytes = 0;  // device bytes_in_use ceiling
+  long stmt_budget = 0;               // host+device statements
+  long retry_budget = -1;             // transfer + kernel recovery retries
+
+  [[nodiscard]] bool any() const {
+    return deadline_vt_seconds > 0.0 || deadline_wall_ms > 0.0 ||
+           mem_ceiling_bytes > 0 || stmt_budget > 0 || retry_budget >= 0;
+  }
+};
+
+/// Budget knobs from MINIARC_BUDGET_{VT,MS,MEM,STMTS,RETRIES}, strictly
+/// validated (malformed values warn once on stderr and fall back to
+/// unlimited). Read once per process, like fault_plan_from_env().
+[[nodiscard]] const RunBudget& run_budget_from_env();
+
+/// One-shot, first-wins cancellation flag shared between the host thread
+/// and the executor workers. The reason is latched by the first
+/// request_cancel() and never changes until reset().
+class CancelToken {
+ public:
+  [[nodiscard]] bool cancelled() const {
+    return reason_.load(std::memory_order_relaxed) != 0;
+  }
+  [[nodiscard]] BudgetKind reason() const {
+    return static_cast<BudgetKind>(reason_.load(std::memory_order_relaxed));
+  }
+  /// Latch `kind` as the cancellation reason. Returns true if this call won
+  /// the race (the token was not yet cancelled).
+  bool request_cancel(BudgetKind kind) {
+    std::uint8_t expected = 0;
+    return reason_.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+  }
+  void reset() { reason_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint8_t> reason_{0};
+};
+
+/// Safepoint-side view of a RunBudget: the host thread calls check() /
+/// check_memory() / on_retry() in program order (deterministic); workers
+/// call poll_chunk() / poll_boundary() (best-effort, wall clock only).
+class BudgetGuard {
+ public:
+  /// Install the budget and stamp the wall-clock start. Called once at
+  /// runtime construction (and again by reset()).
+  void configure(const RunBudget& budget);
+
+  /// True when any budget is configured — or once an external
+  /// request_cancel() latched the token, so a cancellation on an otherwise
+  /// unbudgeted run is still observed at the host safepoints.
+  [[nodiscard]] bool armed() const { return armed_ || token_.cancelled(); }
+  /// True when a cancellation can arrive mid-dispatch (wall deadline) —
+  /// the executor arms write-set snapshots so such launches roll back.
+  [[nodiscard]] bool wall_armed() const {
+    return budget_.deadline_wall_ms > 0.0;
+  }
+  [[nodiscard]] const RunBudget& limits() const { return budget_; }
+  [[nodiscard]] const CancelToken& token() const { return token_; }
+  [[nodiscard]] CancelToken& token() { return token_; }
+  [[nodiscard]] long retries_used() const { return retries_used_; }
+
+  /// Host-thread safepoint: deterministic checks in a fixed order (latched
+  /// token, virtual-time deadline, statement budget), then a rate-limited
+  /// best-effort wall poll. `statements < 0` skips the statement check and
+  /// forces the wall poll (runtime-side safepoints: transfer/wait/enter).
+  /// Arms the token and returns the hit kind; kNone when within budget.
+  [[nodiscard]] BudgetKind check(double vt_now, long statements);
+
+  /// Host-thread safepoint after a device allocation. Deterministic.
+  [[nodiscard]] BudgetKind check_memory(std::size_t bytes_in_use);
+
+  /// Host-thread safepoint before a fault-recovery retry (transfer or
+  /// kernel). Counts the retry; returns kRetries when the budget is spent.
+  [[nodiscard]] BudgetKind on_retry();
+
+  /// Worker-side per-statement poll, amortized to one real check every 8192
+  /// statements. Inlined into the VM dispatch loop; with no budget armed the
+  /// caller's null check is the only cost.
+  [[nodiscard]] bool poll_chunk(long statements) const {
+    return (statements & 8191) == 0 && poll_slow();
+  }
+
+  /// Worker-side chunk-boundary poll: latched token or wall deadline.
+  [[nodiscard]] bool poll_boundary() const {
+    return token_.cancelled() || (wall_armed() && poll_wall());
+  }
+
+  /// Clear the token, retry count, and wall-clock start; keeps the limits.
+  void reset();
+
+ private:
+  [[nodiscard]] bool poll_slow() const;
+  /// Check the wall deadline against steady_clock; arms the token.
+  [[nodiscard]] bool poll_wall() const;
+
+  RunBudget budget_;
+  bool armed_ = false;
+  mutable CancelToken token_;
+  std::chrono::steady_clock::time_point wall_start_{};
+  long retries_used_ = 0;
+};
+
+/// How a cancelled run wound down; embedded in the partial run report's
+/// `termination` block. Plain data only — the support layer stays free of
+/// runtime/device dependencies.
+struct TerminationInfo {
+  bool terminated = false;
+  BudgetKind reason = BudgetKind::kNone;
+  /// Wall-clock cancellations are best-effort (the cancellation point is
+  /// timing-dependent); deterministic budgets leave this false.
+  bool best_effort = false;
+  double virtual_seconds = 0.0;  // virtual clock at wind-down
+  long retries_used = 0;
+  std::size_t pending_transfers = 0;  // async queues with unwaited work
+  std::size_t pending_launches = 0;   // launches cancelled in flight
+  std::size_t released_buffers = 0;   // device buffers freed by wind-down
+  std::size_t released_bytes = 0;
+};
+
+}  // namespace miniarc

@@ -1,6 +1,7 @@
 #include "support/env.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,6 +14,19 @@ std::optional<long> parse_env_long(const std::string& text) {
   errno = 0;
   long value = std::strtol(begin, &end, 10);
   if (end == begin || errno == ERANGE) return std::nullopt;
+  // Accept trailing whitespace only — anything else is garbage.
+  while (*end == ' ' || *end == '\t' || *end == '\n' || *end == '\r') ++end;
+  if (*end != '\0') return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_env_double(const std::string& text) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(begin, &end);
+  if (end == begin || errno == ERANGE) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;
   // Accept trailing whitespace only — anything else is garbage.
   while (*end == ' ' || *end == '\t' || *end == '\n' || *end == '\r') ++end;
   if (*end != '\0') return std::nullopt;
@@ -32,6 +46,36 @@ int env_int_or(const char* name, int fallback, long min_value,
     return fallback;
   }
   return static_cast<int>(*parsed);
+}
+
+long env_long_or(const char* name, long fallback, long min_value,
+                 long max_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  std::optional<long> parsed = parse_env_long(raw);
+  if (!parsed.has_value() || *parsed < min_value || *parsed > max_value) {
+    std::fprintf(stderr,
+                 "miniarc: ignoring invalid %s='%s' (expected an integer in "
+                 "[%ld, %ld]); using default %ld\n",
+                 name, raw, min_value, max_value, fallback);
+    return fallback;
+  }
+  return *parsed;
+}
+
+double env_double_or(const char* name, double fallback, double min_value,
+                     double max_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  std::optional<double> parsed = parse_env_double(raw);
+  if (!parsed.has_value() || *parsed < min_value || *parsed > max_value) {
+    std::fprintf(stderr,
+                 "miniarc: ignoring invalid %s='%s' (expected a number in "
+                 "[%g, %g]); using default %g\n",
+                 name, raw, min_value, max_value, fallback);
+    return fallback;
+  }
+  return *parsed;
 }
 
 std::string env_choice_or(const char* name, const char* fallback,

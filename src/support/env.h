@@ -16,12 +16,28 @@ namespace miniarc {
 /// trailing garbage, and out-of-range magnitudes all yield nullopt.
 [[nodiscard]] std::optional<long> parse_env_long(const std::string& text);
 
+/// Strict full-string floating-point parse, same acceptance rules as
+/// parse_env_long (surrounding whitespace only; NaN/inf rejected).
+[[nodiscard]] std::optional<double> parse_env_double(const std::string& text);
+
 /// Read environment variable `name` as an integer clamped-checked against
 /// [min_value, max_value]. Unset ⇒ `fallback`. Malformed or out-of-range ⇒
 /// a one-line stderr warning naming the variable and the accepted range,
 /// then `fallback`.
 [[nodiscard]] int env_int_or(const char* name, int fallback, long min_value,
                              long max_value);
+
+/// Like env_int_or but returns the full `long` range (used by the
+/// MINIARC_BUDGET_* knobs, whose ceilings exceed int).
+[[nodiscard]] long env_long_or(const char* name, long fallback, long min_value,
+                               long max_value);
+
+/// Read environment variable `name` as a double in [min_value, max_value].
+/// Unset ⇒ `fallback`. Malformed, NaN/inf, or out-of-range ⇒ a one-line
+/// stderr warning naming the variable and the accepted range, then
+/// `fallback`.
+[[nodiscard]] double env_double_or(const char* name, double fallback,
+                                   double min_value, double max_value);
 
 /// Read environment variable `name` as one of `choices` (exact match).
 /// Unset or empty ⇒ `fallback`. Anything else ⇒ a one-line stderr warning

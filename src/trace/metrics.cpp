@@ -203,6 +203,8 @@ TraceMetrics aggregate_trace(const std::vector<TraceEvent>& events) {
       case TraceEventKind::kCoherenceFinding:
       case TraceEventKind::kVerifyCompare:
       case TraceEventKind::kBreakerTransition:
+      case TraceEventKind::kBudgetExhausted:
+      case TraceEventKind::kCancelled:
       case TraceEventKind::kCount:
         break;
     }

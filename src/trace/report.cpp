@@ -23,6 +23,8 @@ RunReport build_run_report(AccRuntime& runtime, std::string command,
   }
   report.transfers = profiler.transfers();
 
+  report.termination = runtime.termination();
+
   report.faults_enabled = runtime.fault_injector().enabled();
   report.faults = runtime.fault_injector().stats();
   report.resilience = runtime.resilience();
@@ -103,6 +105,21 @@ std::string render_resilience_text(const RunReport& report) {
   return out;
 }
 
+std::string render_termination_text(const RunReport& report) {
+  if (!report.termination.terminated) return {};
+  const TerminationInfo& t = report.termination;
+  char buffer[256];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "partial run: %s (%s%s) at vt=%.9g s; released %zu device buffers "
+      "(%zu B), %zu launches abandoned, %zu transfers pending\n",
+      t.reason == BudgetKind::kCancelled ? "cancelled" : "budget exhausted",
+      to_string(t.reason), t.best_effort ? ", best-effort" : "",
+      t.virtual_seconds, t.released_buffers, t.released_bytes,
+      t.pending_launches, t.pending_transfers);
+  return buffer;
+}
+
 std::string render_verification_text(const RunReport& report) {
   char buffer[512];
   std::string out;
@@ -129,6 +146,27 @@ void write_run_report_json(const RunReport& report, std::ostream& os) {
   json.field("ok", report.ok);
   json.field("error", report.error);
   json.field("error_code", report.error_code);
+  if (report.termination.terminated) {
+    // Partial-run marker: present exactly when the run wound down early.
+    const TerminationInfo& t = report.termination;
+    json.key("termination");
+    json.begin_object();
+    json.field("reason", t.reason == BudgetKind::kCancelled
+                             ? "cancelled"
+                             : "budget-exhausted");
+    json.field("budget", to_string(t.reason));
+    json.field("best_effort", t.best_effort);
+    json.field("virtual_seconds", t.virtual_seconds);
+    json.field("retries_used", static_cast<long long>(t.retries_used));
+    json.field("pending_launches",
+               static_cast<long long>(t.pending_launches));
+    json.field("pending_transfers",
+               static_cast<long long>(t.pending_transfers));
+    json.field("released_buffers",
+               static_cast<long long>(t.released_buffers));
+    json.field("released_bytes", static_cast<long long>(t.released_bytes));
+    json.end_object();
+  }
 
   json.key("profile");
   json.begin_object();
@@ -428,6 +466,32 @@ bool validate_run_report(const std::string& json_text, std::string* error) {
   }
   if (!require(root, "checker", Kind::kObject, error)) return false;
 
+  // Optional partial-run marker; strict when present.
+  const JsonValue* termination = root.find("termination");
+  if (termination != nullptr) {
+    if (!check(termination->kind == Kind::kObject,
+               "'termination' is not an object", error)) {
+      return false;
+    }
+    if (!require(*termination, "reason", Kind::kString, error)) return false;
+    const JsonValue& reason = *termination->find("reason");
+    if (!check(reason.string == "budget-exhausted" ||
+                   reason.string == "cancelled",
+               "termination reason must be 'budget-exhausted' or 'cancelled'",
+               error)) {
+      return false;
+    }
+    if (!require(*termination, "budget", Kind::kString, error)) return false;
+    if (!require(*termination, "best_effort", Kind::kBool, error)) {
+      return false;
+    }
+    for (const char* key :
+         {"virtual_seconds", "retries_used", "pending_launches",
+          "pending_transfers", "released_buffers", "released_bytes"}) {
+      if (!require(*termination, key, Kind::kNumber, error)) return false;
+    }
+  }
+
   const JsonValue& profile = *root.find("profile");
   if (!require(profile, "total_seconds", Kind::kNumber, error)) return false;
   if (!require(profile, "categories", Kind::kObject, error)) return false;
@@ -538,6 +602,14 @@ bool validate_run_report(const std::string& json_text, std::string* error) {
   }
 
   return true;
+}
+
+bool run_report_is_partial(const std::string& json_text) {
+  std::optional<JsonValue> parsed = parse_json(json_text, nullptr);
+  if (!parsed.has_value() || parsed->kind != JsonValue::Kind::kObject) {
+    return false;
+  }
+  return parsed->find("termination") != nullptr;
 }
 
 bool validate_bench_artifact(const std::string& json_text,

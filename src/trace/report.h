@@ -31,6 +31,12 @@ struct RunReport {
   bool ok = true;
   std::string error;       // human-readable failure (empty when ok)
   std::string error_code;  // AccErrorCode name for structured failures
+  /// Set (terminated = true) when the run wound down on budget exhaustion
+  /// or cancellation; the report is then PARTIAL — its profile/trace cover
+  /// the prefix of the run that executed. Serialized as the optional
+  /// "termination" object; report-diff refuses to compare a partial report
+  /// against a complete one.
+  TerminationInfo termination;
 
   // ---- profile ----
   double total_seconds = 0.0;
@@ -100,15 +106,25 @@ void set_run_error(RunReport& report, const std::exception& error);
 [[nodiscard]] std::string render_resilience_text(const RunReport& report);
 /// Kernel-verification verdict lines plus mismatch samples.
 [[nodiscard]] std::string render_verification_text(const RunReport& report);
+/// "partial run: ..." wind-down summary (empty string when the run
+/// completed normally).
+[[nodiscard]] std::string render_termination_text(const RunReport& report);
 
 /// Serialize as schema "miniarc-run-report/v1" JSON (one line + newline;
 /// deterministic).
 void write_run_report_json(const RunReport& report, std::ostream& os);
 
 /// Validate that `json_text` is a well-formed, schema-conforming run
-/// report. On failure returns false and sets `*error` when given.
+/// report. On failure returns false and sets `*error` when given. Partial
+/// reports (optional "termination" object) are schema-valid; the object's
+/// own keys are checked when present.
 [[nodiscard]] bool validate_run_report(const std::string& json_text,
                                        std::string* error = nullptr);
+
+/// True when `json_text` parses as a JSON object carrying a "termination"
+/// block — i.e. a PARTIAL run report from a budget-exhausted or cancelled
+/// run. Malformed input returns false (validate_run_report reports why).
+[[nodiscard]] bool run_report_is_partial(const std::string& json_text);
 
 /// Validate that `json_text` is a well-formed "miniarc-bench/v1" artifact:
 /// {schema, name, rows: [{label: string, <metric>: number...}]}.

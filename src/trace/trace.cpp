@@ -27,6 +27,8 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kRecoveryFailover: return "recovery-failover";
     case TraceEventKind::kBreakerTransition: return "breaker-transition";
     case TraceEventKind::kPartitionGate: return "partition-gate";
+    case TraceEventKind::kBudgetExhausted: return "budget-exhausted";
+    case TraceEventKind::kCancelled: return "cancelled";
     case TraceEventKind::kCount: break;
   }
   return "?";
@@ -126,6 +128,8 @@ const char* track_category(TraceEventKind kind) {
     case TraceEventKind::kRecoveryFailover: return "recovery";
     case TraceEventKind::kBreakerTransition: return "breaker";
     case TraceEventKind::kPartitionGate: return "kernel";
+    case TraceEventKind::kBudgetExhausted:
+    case TraceEventKind::kCancelled: return "budget";
     case TraceEventKind::kCount: break;
   }
   return "?";

@@ -72,6 +72,12 @@ enum class TraceEventKind : std::uint8_t {
   /// ("serial-unprovable", "serial-falsely-shared", "serial-no-loop",
   /// "serial-single-chunk"), value = chunk count.
   kPartitionGate,
+  /// A run budget exhausted and the run wound down; detail = which budget
+  /// (to_string(BudgetKind)), bytes = device bytes released by the
+  /// wind-down, value = buffers released.
+  kBudgetExhausted,
+  /// The run was cancelled by external request; fields as kBudgetExhausted.
+  kCancelled,
   kCount,
 };
 

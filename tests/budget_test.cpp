@@ -1,0 +1,395 @@
+// Run budgets and cooperative cancellation (DESIGN.md "Run budgets &
+// cancellation"): BudgetGuard/CancelToken semantics, graceful wind-down
+// (no leaked device allocations, empty present table), the determinism
+// contract for virtual-time and statement budgets (byte-identical partial
+// reports and traces at 1 vs 8 threads, with and without armed faults,
+// including seeded-random cancel points across suite benchmarks), retry and
+// memory-ceiling budgets, external cancellation, and partial-report schema
+// validation.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "benchsuite/benchmark_registry.h"
+#include "support/budget.h"
+#include "tests/test_util.h"
+#include "trace/report.h"
+#include "verify/interactive_optimizer.h"
+
+namespace miniarc {
+namespace {
+
+using test::lowered;
+
+// Same Jacobi-style sweep trace_test.cpp uses: two kernels per iteration,
+// one H2D on entry, one D2H on exit, a device-resident scratch grid.
+constexpr const char* kSource = R"(
+extern int N;
+extern double a[];
+
+void main(void) {
+  int k;
+  int i;
+  double* b = (double*)malloc(N * sizeof(double));
+
+  #pragma acc data copy(a) create(b)
+  {
+    for (k = 0; k < 4; k++) {
+      #pragma acc kernels loop gang worker
+      for (i = 1; i < N - 1; i++) {
+        b[i] = 0.5 * (a[i - 1] + a[i + 1]);
+      }
+      #pragma acc kernels loop gang worker
+      for (i = 1; i < N - 1; i++) {
+        a[i] = b[i];
+      }
+    }
+  }
+}
+)";
+
+constexpr std::size_t kElements = 64;
+
+void bind_inputs(Interpreter& interp) {
+  interp.bind_scalar("N", Value::of_int(static_cast<std::int64_t>(kElements)));
+  BufferPtr a = interp.bind_buffer("a", ScalarKind::kDouble, kElements);
+  for (std::size_t i = 0; i < a->count(); ++i) {
+    a->set(i, static_cast<double>(i % 7) * 0.5);
+  }
+}
+
+FaultPlan armed_plan() {
+  std::string error;
+  auto plan =
+      FaultPlan::parse("hang=0.3,transient=0.2,fault=0.1,seed=7", &error);
+  EXPECT_TRUE(plan.has_value()) << error;
+  return *plan;
+}
+
+RunResult run_budgeted(RunBudget budget, int threads = 1,
+                       std::optional<FaultPlan> faults = {},
+                       bool trace = false) {
+  LoweredProgram low = lowered(kSource);
+  ExecutorOptions exec;
+  exec.threads = threads;
+  exec.faults = std::move(faults);
+  exec.budget = budget;
+  if (trace) {
+    TraceOptions options;
+    options.enabled = true;
+    exec.trace = options;
+  }
+  return run_lowered(*low.program, low.sema, bind_inputs,
+                     /*enable_checker=*/false, /*hook=*/nullptr, exec);
+}
+
+std::string report_text(RunResult& run) {
+  RunReport report = build_run_report(*run.runtime, "run", "budget_test");
+  report.host_statements = run.interp->host_statements();
+  report.device_statements = run.interp->device_statements();
+  if (!run.ok) report.ok = false;
+  std::ostringstream os;
+  write_run_report_json(report, os);
+  return os.str();
+}
+
+std::string chrome_trace_text(const RunResult& run) {
+  std::ostringstream os;
+  run.runtime->trace().write_chrome_trace(os);
+  return os.str();
+}
+
+/// The wind-down guarantees: nothing left on the device, present table
+/// empty, termination block filled with the expected reason.
+void expect_wound_down(RunResult& run, BudgetKind reason) {
+  EXPECT_FALSE(run.ok);
+  ASSERT_TRUE(run.error_code.has_value()) << run.error;
+  EXPECT_EQ(*run.error_code, reason == BudgetKind::kCancelled
+                                 ? AccErrorCode::kCancelled
+                                 : AccErrorCode::kBudgetExhausted)
+      << run.error;
+  const TerminationInfo& t = run.runtime->termination();
+  EXPECT_TRUE(t.terminated);
+  EXPECT_EQ(t.reason, reason);
+  EXPECT_EQ(run.runtime->present_table().size(), 0u);
+  EXPECT_EQ(run.runtime->device_memory().bytes_in_use(), 0u);
+}
+
+// ---- guard & token units ----
+
+TEST(CancelTokenTest, FirstRequestWinsAndReasonIsLatched) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), BudgetKind::kNone);
+  EXPECT_TRUE(token.request_cancel(BudgetKind::kWallClock));
+  EXPECT_FALSE(token.request_cancel(BudgetKind::kCancelled));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), BudgetKind::kWallClock);
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(BudgetGuardTest, UnarmedGuardIsInert) {
+  BudgetGuard guard;
+  guard.configure({});
+  EXPECT_FALSE(guard.armed());
+  EXPECT_EQ(guard.check(1e9, 1L << 40), BudgetKind::kNone);
+  EXPECT_EQ(guard.check_memory(1u << 30), BudgetKind::kNone);
+  EXPECT_FALSE(guard.poll_chunk(8192));
+}
+
+TEST(BudgetGuardTest, VirtualTimeDeadlineTripsAndLatches) {
+  BudgetGuard guard;
+  RunBudget budget;
+  budget.deadline_vt_seconds = 1.0;
+  guard.configure(budget);
+  EXPECT_TRUE(guard.armed());
+  EXPECT_EQ(guard.check(0.5, -1), BudgetKind::kNone);
+  EXPECT_EQ(guard.check(1.0, -1), BudgetKind::kVirtualTime);
+  EXPECT_TRUE(guard.token().cancelled());
+  EXPECT_EQ(guard.token().reason(), BudgetKind::kVirtualTime);
+  // Latched: subsequent checks keep returning the first reason.
+  EXPECT_EQ(guard.check(0.0, -1), BudgetKind::kVirtualTime);
+}
+
+TEST(BudgetGuardTest, StatementBudgetTripsOnlyPastTheLimit) {
+  BudgetGuard guard;
+  RunBudget budget;
+  budget.stmt_budget = 100;
+  guard.configure(budget);
+  EXPECT_EQ(guard.check(0.0, 100), BudgetKind::kNone);
+  EXPECT_EQ(guard.check(0.0, 101), BudgetKind::kStatements);
+}
+
+TEST(BudgetGuardTest, MemoryCeilingTrips) {
+  BudgetGuard guard;
+  RunBudget budget;
+  budget.mem_ceiling_bytes = 4096;
+  guard.configure(budget);
+  EXPECT_EQ(guard.check_memory(4096), BudgetKind::kNone);
+  EXPECT_EQ(guard.check_memory(4097), BudgetKind::kDeviceMemory);
+}
+
+TEST(BudgetGuardTest, RetryBudgetCountsAndTrips) {
+  BudgetGuard guard;
+  RunBudget budget;
+  budget.retry_budget = 1;
+  guard.configure(budget);
+  EXPECT_EQ(guard.on_retry(), BudgetKind::kNone);
+  EXPECT_EQ(guard.on_retry(), BudgetKind::kRetries);
+  EXPECT_EQ(guard.retries_used(), 2);
+}
+
+TEST(BudgetGuardTest, ExternalCancelArmsAnUnbudgetedGuard) {
+  BudgetGuard guard;
+  guard.configure({});
+  EXPECT_FALSE(guard.armed());
+  guard.token().request_cancel(BudgetKind::kCancelled);
+  EXPECT_TRUE(guard.armed());
+  EXPECT_EQ(guard.check(0.0, -1), BudgetKind::kCancelled);
+}
+
+// ---- graceful wind-down ----
+
+TEST(BudgetRunTest, StatementBudgetWindsDownCleanly) {
+  RunBudget budget;
+  budget.stmt_budget = 500;
+  RunResult run = run_budgeted(budget);
+  expect_wound_down(run, BudgetKind::kStatements);
+  const TerminationInfo& t = run.runtime->termination();
+  EXPECT_FALSE(t.best_effort);
+  EXPECT_GT(t.released_buffers, 0u);
+  EXPECT_GT(t.released_bytes, 0u);
+}
+
+TEST(BudgetRunTest, VirtualTimeDeadlineWindsDownCleanly) {
+  RunBudget budget;
+  budget.deadline_vt_seconds = 2e-5;
+  RunResult run = run_budgeted(budget);
+  expect_wound_down(run, BudgetKind::kVirtualTime);
+  EXPECT_GE(run.runtime->termination().virtual_seconds, 2e-5);
+}
+
+TEST(BudgetRunTest, MemoryCeilingCancelsDataEnter) {
+  RunBudget budget;
+  budget.mem_ceiling_bytes = 64;  // smaller than one 64-double grid
+  RunResult run = run_budgeted(budget);
+  expect_wound_down(run, BudgetKind::kDeviceMemory);
+}
+
+TEST(BudgetRunTest, RetryBudgetExhaustsUnderTransferFaults) {
+  std::string error;
+  auto faults = FaultPlan::parse("transient=1.0,seed=3", &error);
+  ASSERT_TRUE(faults.has_value()) << error;
+  RunBudget budget;
+  budget.retry_budget = 0;  // a real budget: the first retry is refused
+  RunResult run = run_budgeted(budget, /*threads=*/1, *faults);
+  expect_wound_down(run, BudgetKind::kRetries);
+  EXPECT_GE(run.runtime->termination().retries_used, 1);
+}
+
+TEST(BudgetRunTest, ExternalCancelStopsAnUnbudgetedRun) {
+  LoweredProgram low = lowered(kSource);
+  AccRuntime runtime(MachineModel::m2090(), {});
+  Interpreter interp(*low.program, low.sema, runtime);
+  bind_inputs(interp);
+  runtime.request_cancel();
+  try {
+    interp.run();
+    FAIL() << "expected a cancellation";
+  } catch (const AccError& err) {
+    EXPECT_EQ(err.code(), AccErrorCode::kCancelled);
+  }
+  EXPECT_TRUE(runtime.termination().terminated);
+  EXPECT_EQ(runtime.termination().reason, BudgetKind::kCancelled);
+  EXPECT_EQ(runtime.present_table().size(), 0u);
+  EXPECT_EQ(runtime.device_memory().bytes_in_use(), 0u);
+}
+
+TEST(BudgetRunTest, WallClockDeadlineIsBestEffort) {
+  RunBudget budget;
+  budget.deadline_wall_ms = 1e-4;  // expired by the first safepoint
+  RunResult run = run_budgeted(budget);
+  expect_wound_down(run, BudgetKind::kWallClock);
+  EXPECT_TRUE(run.runtime->termination().best_effort);
+}
+
+// ---- determinism contract ----
+
+TEST(BudgetDeterminismTest, VirtualTimePartialRunIsByteIdenticalAcrossThreads) {
+  RunBudget budget;
+  budget.deadline_vt_seconds = 2e-5;
+  RunResult one = run_budgeted(budget, 1, {}, /*trace=*/true);
+  RunResult eight = run_budgeted(budget, 8, {}, /*trace=*/true);
+  expect_wound_down(one, BudgetKind::kVirtualTime);
+  expect_wound_down(eight, BudgetKind::kVirtualTime);
+  EXPECT_EQ(report_text(one), report_text(eight));
+  EXPECT_EQ(chrome_trace_text(one), chrome_trace_text(eight));
+}
+
+TEST(BudgetDeterminismTest, VirtualTimePartialRunIsByteIdenticalUnderFaults) {
+  RunBudget budget;
+  budget.deadline_vt_seconds = 4e-5;
+  RunResult one = run_budgeted(budget, 1, armed_plan(), /*trace=*/true);
+  RunResult eight = run_budgeted(budget, 8, armed_plan(), /*trace=*/true);
+  expect_wound_down(one, BudgetKind::kVirtualTime);
+  expect_wound_down(eight, BudgetKind::kVirtualTime);
+  EXPECT_EQ(report_text(one), report_text(eight));
+  EXPECT_EQ(chrome_trace_text(one), chrome_trace_text(eight));
+}
+
+TEST(BudgetDeterminismTest, StatementBudgetIsByteIdenticalAcrossThreads) {
+  RunBudget budget;
+  budget.stmt_budget = 700;
+  RunResult one = run_budgeted(budget, 1, {}, /*trace=*/true);
+  RunResult eight = run_budgeted(budget, 8, {}, /*trace=*/true);
+  expect_wound_down(one, BudgetKind::kStatements);
+  expect_wound_down(eight, BudgetKind::kStatements);
+  EXPECT_EQ(report_text(one), report_text(eight));
+  EXPECT_EQ(chrome_trace_text(one), chrome_trace_text(eight));
+}
+
+/// Cancellation soak: seeded-random virtual-time cancel points across three
+/// suite benchmarks, each checked for clean wind-down and byte-identical
+/// partial reports at 1 vs 8 threads.
+TEST(BudgetSoakTest, SeededRandomCancelPointsAcrossBenchmarks) {
+  std::mt19937 rng(1234);
+  std::uniform_real_distribution<double> fraction(0.05, 0.95);
+  for (const char* name : {"JACOBI", "SPMUL", "HOTSPOT"}) {
+    const BenchmarkDef* benchmark = find_benchmark(name);
+    ASSERT_NE(benchmark, nullptr) << name;
+    LoweredProgram low = lowered(benchmark->unoptimized_source);
+
+    // Full-run virtual time first, to place the cancel points inside it.
+    RunResult full = run_lowered(*low.program, low.sema,
+                                 benchmark->bind_inputs, false);
+    ASSERT_TRUE(full.ok) << name << ": " << full.error;
+    double total = full.runtime->total_time();
+    ASSERT_GT(total, 0.0) << name;
+
+    for (int point = 0; point < 3; ++point) {
+      RunBudget budget;
+      budget.deadline_vt_seconds = total * fraction(rng);
+      std::string reports[2];
+      for (int threads : {1, 8}) {
+        ExecutorOptions exec;
+        exec.threads = threads;
+        exec.budget = budget;
+        RunResult run = run_lowered(*low.program, low.sema,
+                                    benchmark->bind_inputs, false,
+                                    /*hook=*/nullptr, exec);
+        expect_wound_down(run, BudgetKind::kVirtualTime);
+        reports[threads == 1 ? 0 : 1] = report_text(run);
+      }
+      EXPECT_EQ(reports[0], reports[1])
+          << name << " cancel point " << point << " diverged across threads";
+    }
+  }
+}
+
+// ---- partial-report schema ----
+
+TEST(BudgetReportTest, PartialReportValidatesAndIsDetected) {
+  RunBudget budget;
+  budget.stmt_budget = 500;
+  RunResult run = run_budgeted(budget);
+  expect_wound_down(run, BudgetKind::kStatements);
+  std::string partial = report_text(run);
+  std::string error;
+  EXPECT_TRUE(validate_run_report(partial, &error)) << error;
+  EXPECT_TRUE(run_report_is_partial(partial));
+
+  RunResult full = run_budgeted({});
+  ASSERT_TRUE(full.ok) << full.error;
+  std::string complete = report_text(full);
+  EXPECT_TRUE(validate_run_report(complete, &error)) << error;
+  EXPECT_FALSE(run_report_is_partial(complete));
+}
+
+TEST(BudgetReportTest, TerminationBlockCarriesTheBudgetThatTripped) {
+  RunBudget budget;
+  budget.deadline_vt_seconds = 2e-5;
+  RunResult run = run_budgeted(budget);
+  std::string text = report_text(run);
+  EXPECT_NE(text.find("\"termination\":{\"reason\":\"budget-exhausted\""),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"budget\":\"virtual-time\""), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"best_effort\":false"), std::string::npos) << text;
+}
+
+TEST(BudgetReportTest, MalformedTerminationBlockIsRejected) {
+  RunBudget budget;
+  budget.stmt_budget = 500;
+  RunResult run = run_budgeted(budget);
+  std::string text = report_text(run);
+  // Break the reason enum: the validator must notice.
+  std::size_t at = text.find("\"budget-exhausted\"");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 18, "\"out-of-cookies!!\"");
+  std::string error;
+  EXPECT_FALSE(validate_run_report(text, &error));
+  EXPECT_NE(error.find("termination"), std::string::npos) << error;
+}
+
+// ---- trace events ----
+
+TEST(BudgetTraceTest, WindDownEmitsABudgetExhaustedEvent) {
+  RunBudget budget;
+  budget.stmt_budget = 500;
+  RunResult run = run_budgeted(budget, 1, {}, /*trace=*/true);
+  bool found = false;
+  for (const TraceEvent& event : run.runtime->trace().events()) {
+    if (event.kind == TraceEventKind::kBudgetExhausted) {
+      found = true;
+      EXPECT_EQ(event.detail, "statements");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace miniarc

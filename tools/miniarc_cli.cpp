@@ -24,6 +24,10 @@
 // kernel recovery: --kernel-retries N (also MINIARC_KERNEL_RETRIES),
 //                  --no-failover, --breaker "window=8,threshold=4,probe=4"
 //                  (also MINIARC_BREAKER)
+// run budgets:     --deadline-vt S --deadline-ms MS --mem-ceiling BYTES
+//                  --stmt-budget N --retry-budget N (also MINIARC_BUDGET_*);
+//                  a budget-exhausted or cancelled run exits 4 and writes a
+//                  PARTIAL run report (with a "termination" block)
 // kernel engine:   --exec ast|bytecode (also MINIARC_EXEC; default bytecode),
 //                  --dump-bytecode (disassemble compiled kernels, then exit)
 // observability:   --trace FILE (Chrome/Perfetto trace; also MINIARC_TRACE),
@@ -53,6 +57,9 @@ struct CliOptions {
   VerificationConfig verification;
   bool naive_checks = false;
   std::optional<FaultPlan> faults;
+  /// Run budget (--deadline-vt/--deadline-ms/--mem-ceiling/--stmt-budget/
+  /// --retry-budget); all-unlimited defers to MINIARC_BUDGET_*.
+  RunBudget budget;
   /// Kernel retry budget (-1 = MINIARC_KERNEL_RETRIES, default 2).
   int kernel_retries = -1;
   /// Serial host execution when device recovery exhausts (--no-failover).
@@ -87,6 +94,9 @@ struct CliOptions {
                "               [--faults SPEC] [--fault-seed N] "
                "[--kernel-retries N] [--no-failover]\n"
                "               [--breaker window=W,threshold=T,probe=P]\n"
+               "               [--deadline-vt S] [--deadline-ms MS] "
+               "[--mem-ceiling BYTES]\n"
+               "               [--stmt-budget N] [--retry-budget N]\n"
                "               [--exec ast|bytecode] [--dump-bytecode]\n"
                "               [--trace FILE] [--report-json FILE] "
                "[--trace-max-events N]\n"
@@ -103,6 +113,8 @@ ExecutorOptions exec_options(const CliOptions& options) {
   ExecutorOptions exec;
   exec.faults = options.faults;
   exec.breaker = options.breaker;
+  // Only an explicitly-flagged budget overrides MINIARC_BUDGET_*.
+  if (options.budget.any()) exec.budget = options.budget;
   // --trace and --report-json both need recorded events (the report embeds
   // the per-kernel/per-variable rollups). Leaving `trace` unset defers to
   // MINIARC_TRACE inside the runtime.
@@ -155,6 +167,7 @@ void emit_run_outputs(const CliOptions& options, AccRuntime& runtime,
                  report.trace_dropped, report.trace_max_events);
   }
   std::fputs(render_resilience_text(report).c_str(), stdout);
+  std::fputs(render_termination_text(report).c_str(), stdout);
   std::string trace_path = trace_output_path(options);
   if (!trace_path.empty() && runtime.trace().enabled()) {
     std::ofstream out(trace_path);
@@ -174,6 +187,13 @@ void emit_run_outputs(const CliOptions& options, AccRuntime& runtime,
       write_run_report_json(report, out);
     }
   }
+}
+
+/// Exit code for a finished run: 0 ok, 4 when the run wound down on budget
+/// exhaustion or cancellation (a PARTIAL report was emitted), 1 otherwise.
+int run_exit_code(const RunReport& report) {
+  if (report.ok) return 0;
+  return report.termination.terminated ? 4 : 1;
 }
 
 /// Run the interpreter and snapshot the runtime into a report; failures are
@@ -261,6 +281,57 @@ CliOptions parse_args(int argc, char** argv) {
       options.kernel_retries = static_cast<int>(*parsed);
     } else if (arg == "--no-failover") {
       options.host_failover = false;
+    } else if (auto vt = flag_value("--deadline-vt"); vt.has_value()) {
+      std::optional<double> parsed = parse_env_double(*vt);
+      if (!parsed.has_value() || *parsed <= 0.0) {
+        std::fprintf(stderr,
+                     "miniarc: --deadline-vt expects a positive number of "
+                     "virtual seconds, got '%s'\n",
+                     vt->c_str());
+        std::exit(2);
+      }
+      options.budget.deadline_vt_seconds = *parsed;
+    } else if (auto ms = flag_value("--deadline-ms"); ms.has_value()) {
+      std::optional<double> parsed = parse_env_double(*ms);
+      if (!parsed.has_value() || *parsed <= 0.0) {
+        std::fprintf(stderr,
+                     "miniarc: --deadline-ms expects a positive number of "
+                     "wall-clock milliseconds, got '%s'\n",
+                     ms->c_str());
+        std::exit(2);
+      }
+      options.budget.deadline_wall_ms = *parsed;
+    } else if (auto mem = flag_value("--mem-ceiling"); mem.has_value()) {
+      std::optional<long> parsed = parse_env_long(*mem);
+      if (!parsed.has_value() || *parsed <= 0) {
+        std::fprintf(stderr,
+                     "miniarc: --mem-ceiling expects a positive byte count, "
+                     "got '%s'\n",
+                     mem->c_str());
+        std::exit(2);
+      }
+      options.budget.mem_ceiling_bytes = static_cast<std::size_t>(*parsed);
+    } else if (auto stmts = flag_value("--stmt-budget"); stmts.has_value()) {
+      std::optional<long> parsed = parse_env_long(*stmts);
+      if (!parsed.has_value() || *parsed <= 0) {
+        std::fprintf(stderr,
+                     "miniarc: --stmt-budget expects a positive statement "
+                     "count, got '%s'\n",
+                     stmts->c_str());
+        std::exit(2);
+      }
+      options.budget.stmt_budget = *parsed;
+    } else if (auto budget = flag_value("--retry-budget");
+               budget.has_value()) {
+      std::optional<long> parsed = parse_env_long(*budget);
+      if (!parsed.has_value() || *parsed < 0) {
+        std::fprintf(stderr,
+                     "miniarc: --retry-budget expects a non-negative retry "
+                     "count, got '%s'\n",
+                     budget->c_str());
+        std::exit(2);
+      }
+      options.budget.retry_budget = *parsed;
     } else if (auto engine = flag_value("--exec"); engine.has_value()) {
       if (*engine == "ast") {
         options.exec_engine = ExecEngine::kAst;
@@ -345,6 +416,23 @@ CliOptions parse_args(int argc, char** argv) {
     // --fault-seed without --faults re-seeds the MINIARC_FAULTS plan.
     if (!options.faults.has_value()) options.faults = fault_plan_from_env();
     options.faults->seed = static_cast<std::uint64_t>(*fault_seed);
+    if (!options.faults->any()) {
+      // A seed with no plan to seed would be silently ignored — refuse
+      // instead, so a typo'd invocation can't masquerade as a fault run.
+      std::fprintf(stderr,
+                   "miniarc: --fault-seed has no effect without a fault plan; "
+                   "pass --faults SPEC or set MINIARC_FAULTS\n");
+      std::exit(2);
+    }
+  }
+  if (options.breaker.has_value() && !options.host_failover) {
+    // Breaker demotion routes open-state launches to serial host execution;
+    // with --no-failover there is nowhere to demote to, so the two flags
+    // contradict each other.
+    std::fprintf(stderr,
+                 "miniarc: --breaker and --no-failover conflict: breaker "
+                 "demotion requires host failover; drop one of the flags\n");
+    std::exit(2);
   }
   return options;
 }
@@ -412,7 +500,7 @@ int cmd_run(const CliOptions& options, Program& program,
                 runtime.profiler().breakdown().c_str());
   }
   emit_run_outputs(options, runtime, report);
-  return report.ok ? 0 : 1;
+  return run_exit_code(report);
 }
 
 int cmd_verify(const CliOptions& options, Program& program,
@@ -443,7 +531,7 @@ int cmd_verify(const CliOptions& options, Program& program,
     std::fputs(render_verification_text(report).c_str(), stdout);
   }
   emit_run_outputs(options, runtime, report);
-  if (!report.ok) return 1;
+  if (!report.ok) return run_exit_code(report);
   return verifier.report().all_passed() ? 0 : 1;
 }
 
@@ -491,7 +579,7 @@ int cmd_check(const CliOptions& options, Program& program,
     }
   }
   emit_run_outputs(options, runtime, report);
-  return report.ok ? 0 : 1;
+  return run_exit_code(report);
 }
 
 int cmd_advise(const CliOptions& options, Program& program,
@@ -554,12 +642,27 @@ int cmd_advise(const CliOptions& options, Program& program,
     }
   }
   emit_run_outputs(options, runtime, report);
-  return report.ok ? 0 : 1;
+  return run_exit_code(report);
 }
 
 int cmd_report_diff(const CliOptions& options) {
   std::string a_text = read_file(options.file);
   std::string b_text = read_file(options.file2);
+  // A partial report covers only the prefix of a run that executed before
+  // its budget exhausted; diffing it against a complete run would report
+  // phantom regressions on every metric. Partial-vs-partial is fine.
+  bool a_partial = run_report_is_partial(a_text);
+  bool b_partial = run_report_is_partial(b_text);
+  if (a_partial != b_partial) {
+    std::fprintf(stderr,
+                 "miniarc: refusing to diff a partial run report against a "
+                 "complete one ('%s' is %s, '%s' is %s); compare two "
+                 "complete runs or two partial runs cancelled at the same "
+                 "budget\n",
+                 options.file.c_str(), a_partial ? "partial" : "complete",
+                 options.file2.c_str(), b_partial ? "partial" : "complete");
+    return 2;
+  }
   DiffThresholds thresholds;
   if (!options.fail_on.empty()) {
     std::string error;
@@ -623,7 +726,7 @@ int cmd_bench(const CliOptions& options) {
       report.ok = false;
       report.error = run.error;
       emit_run_outputs(options, *run.runtime, report);
-      return 1;
+      return run_exit_code(report);
     }
     std::printf("%s %-11s correct=%s time=%.3f us transfers=%zu B (%zu ops)\n",
                 benchmark->name.c_str(),

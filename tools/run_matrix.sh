@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Resilience/observability test matrix: runs the faults, resilience,
-# observability, parallel, and bytecode-labelled tests (the latter is the
-# ast-vs-bytecode differential suite) under three build configurations —
+# observability, parallel, bytecode, and budget-labelled tests (bytecode is
+# the ast-vs-bytecode differential suite; budget covers run budgets and
+# cooperative cancellation) under three build configurations —
 #
 #   plain  : default flags, MINIARC_THREADS=8
 #   asan   : -fsanitize=address,undefined     (MINIARC_SANITIZE=address)
@@ -14,7 +15,9 @@
 # `miniarc advise` on the naive Jacobi must be byte-identical across
 # MINIARC_THREADS=1 and 8, `miniarc report-diff naive opt` must pass a
 # regression gate (the optimization reduced transfer bytes), and the
-# reverse diff must trip the gate with exit code 3.
+# reverse diff must trip the gate with exit code 3. Finally a traced jacobi
+# run under a tight --deadline-vt must be cancelled with exit code 4 and
+# leave a schema-valid partial run report behind.
 #
 # Usage: tools/run_matrix.sh [plain|asan|tsan]...   (default: all three)
 #
@@ -23,7 +26,7 @@
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-LABELS="faults|resilience|observability|parallel|bytecode"
+LABELS="faults|resilience|observability|parallel|bytecode|budget"
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then CONFIGS=(plain asan tsan); fi
 
@@ -83,6 +86,23 @@ run_config() {
     echo "expected report-diff to exit 3 on regression, got $diff_status" >&2
     exit 1
   fi
+
+  echo "=== [$name] budget cancellation smoke (exit 4 + partial report) ==="
+  # A tight virtual-time deadline must cancel the traced run with exit code
+  # 4 — exactly — and still leave behind a schema-valid partial run report.
+  local budget_status=0
+  MINIARC_THREADS=8 "$build_dir/tools/miniarc" run \
+    "$REPO_ROOT/examples/jacobi.c" \
+    --set N=16 --set ITER=4 --size 256 \
+    --deadline-vt 0.00002 \
+    --trace "$artifacts/jacobi-cancelled-trace.json" \
+    --report-json "$artifacts/jacobi-partial.json" \
+    >/dev/null 2>&1 || budget_status=$?
+  if [ "$budget_status" -ne 4 ]; then
+    echo "expected budget-cancelled run to exit 4, got $budget_status" >&2
+    exit 1
+  fi
+  "$build_dir/tools/miniarc" report-validate "$artifacts/jacobi-partial.json"
 }
 
 for config in "${CONFIGS[@]}"; do
