@@ -455,4 +455,108 @@ void write_advice_json(const AdvisorReport& report, std::ostream& os) {
   json.finish();
 }
 
+namespace {
+
+bool advice_check(bool condition, const char* message, std::string* error) {
+  if (condition) return true;
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool advice_require(const JsonValue& object, const char* key,
+                    JsonValue::Kind kind, std::string* error) {
+  const JsonValue* member = object.find(key);
+  if (member != nullptr && member->kind == kind) return true;
+  if (error != nullptr) {
+    *error = std::string("field '") + key + "' missing or of wrong type";
+  }
+  return false;
+}
+
+bool known_advice_kind(const std::string& name) {
+  for (int i = 0; i <= static_cast<int>(AdviceKind::kResilienceHotspot); ++i) {
+    if (name == to_string(static_cast<AdviceKind>(i))) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool validate_advice(const std::string& json_text, std::string* error) {
+  std::optional<JsonValue> parsed = parse_json(json_text, error);
+  if (!parsed.has_value()) return false;
+  const JsonValue& root = *parsed;
+  using Kind = JsonValue::Kind;
+  if (!advice_check(root.kind == Kind::kObject, "advice is not an object",
+                    error)) {
+    return false;
+  }
+
+  const JsonValue* schema = root.find("schema");
+  if (!advice_check(schema != nullptr && schema->kind == Kind::kString,
+                    "missing 'schema' string", error)) {
+    return false;
+  }
+  if (schema->string != kAdviceSchema) {
+    if (error != nullptr) {
+      *error = "unexpected schema '" + schema->string + "' (want '" +
+               kAdviceSchema + "')";
+    }
+    return false;
+  }
+
+  if (!advice_require(root, "program", Kind::kString, error)) return false;
+  for (const char* key : {"total_seconds", "projected_seconds_saved",
+                          "projected_bytes_saved"}) {
+    if (!advice_require(root, key, Kind::kNumber, error)) return false;
+  }
+
+  if (!advice_require(root, "timeline", Kind::kObject, error)) return false;
+  const JsonValue& timeline = *root.find("timeline");
+  for (const char* key :
+       {"span_seconds", "kernel_seconds", "h2d_seconds", "d2h_seconds",
+        "recovery_seconds", "other_seconds", "busy_seconds", "idle_seconds"}) {
+    if (!advice_require(timeline, key, Kind::kNumber, error)) return false;
+  }
+
+  if (!advice_require(root, "latency", Kind::kArray, error)) return false;
+  for (const JsonValue& row : root.find("latency")->array) {
+    if (!advice_check(row.kind == Kind::kObject,
+                      "latency row is not an object", error)) {
+      return false;
+    }
+    if (!advice_require(row, "kind", Kind::kString, error)) return false;
+    for (const char* key :
+         {"count", "total_seconds", "min_seconds", "max_seconds",
+          "p50_seconds", "p90_seconds", "p99_seconds"}) {
+      if (!advice_require(row, key, Kind::kNumber, error)) return false;
+    }
+  }
+
+  if (!advice_require(root, "recommendations", Kind::kArray, error)) {
+    return false;
+  }
+  for (const JsonValue& rec : root.find("recommendations")->array) {
+    if (!advice_check(rec.kind == Kind::kObject,
+                      "recommendation is not an object", error)) {
+      return false;
+    }
+    for (const char* key : {"kind", "subject", "site", "location", "evidence",
+                            "action"}) {
+      if (!advice_require(rec, key, Kind::kString, error)) return false;
+    }
+    for (const char* key : {"severity_class", "seconds_saved", "bytes_saved",
+                            "stake_seconds"}) {
+      if (!advice_require(rec, key, Kind::kNumber, error)) return false;
+    }
+    const std::string& kind_name = rec.find("kind")->string;
+    if (!advice_check(known_advice_kind(kind_name),
+                      "recommendation 'kind' is not a known advice kind",
+                      error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace miniarc

@@ -122,4 +122,11 @@ struct AdvisorReport {
 /// Serialize as schema "miniarc-advice/v1" JSON (one line + newline).
 void write_advice_json(const AdvisorReport& report, std::ostream& os);
 
+/// Schema-check a miniarc-advice/v1 document (the write_advice_json shape):
+/// required top-level fields, timeline block, latency rows, and every
+/// recommendation's fields including a known `kind`. Returns false — and
+/// sets `*error` when given — on the first violation.
+[[nodiscard]] bool validate_advice(const std::string& json_text,
+                                   std::string* error = nullptr);
+
 }  // namespace miniarc

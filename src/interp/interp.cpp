@@ -5,6 +5,7 @@
 #include "device/acc_error.h"
 #include "interp/eval_ops.h"
 #include "interp/intrinsics.h"
+#include "service/compiled_program.h"
 #include "support/env.h"
 
 namespace miniarc {
@@ -12,28 +13,55 @@ namespace miniarc {
 Interpreter::Interpreter(const Program& program, const SemaInfo& sema,
                          AccRuntime& runtime, InterpOptions options)
     : program_(program), sema_(sema), runtime_(runtime), options_(options) {
+  init_engine_options();
+  // Annotate the AST with dense variable slots (the kernel hot path indexes
+  // vectors instead of hashing names). The pass is deterministic and
+  // idempotent, so re-annotating a shared program is safe; it runs here so
+  // every construction path — tests, tools, the optimizer loop — gets slots
+  // without threading a pass through each call site. (The shared
+  // CompiledProgram constructor skips this: its slots were resolved once at
+  // compile time, so concurrent interpreters never write to the shared AST.)
+  slots_ = resolve_slots(const_cast<Program&>(program_));
+  init_slot_types();
+}
+
+Interpreter::Interpreter(const CompiledProgram& compiled, AccRuntime& runtime,
+                         InterpOptions options)
+    : program_(*compiled.program),
+      sema_(compiled.sema),
+      runtime_(runtime),
+      options_(options),
+      shared_bytecode_(&compiled.bytecode) {
+  init_engine_options();
+  // The compiled program is immutable and shared: copy its slot table (the
+  // AST nodes already carry their annotations from compile time) instead of
+  // re-running the resolution pass, which writes to the shared AST.
+  slots_ = compiled.slots;
+  init_slot_types();
+}
+
+void Interpreter::init_engine_options() {
   // Kernel retry budget: explicit option wins; -1 defers to the environment
   // (same strict-validation behavior as MINIARC_THREADS / MINIARC_FAULTS).
   kernel_retries_ = options_.kernel_retries >= 0
                         ? options_.kernel_retries
                         : env_int_or("MINIARC_KERNEL_RETRIES", 2, 0, 64);
-  // Kernel-body engine: explicit option wins; kDefault defers to MINIARC_EXEC
-  // with the same strict validation (unset ⇒ bytecode).
+  // Kernel-body engine: explicit option wins; kDefault defers to
+  // MINIARC_EXEC. Unlike the warn-and-fall-back numeric knobs, an unknown
+  // engine name is REJECTED (exit 2): silently running the default engine
+  // would make a typo'd A/B comparison measure nothing.
   ExecEngine engine = options_.exec_engine;
   if (engine == ExecEngine::kDefault) {
-    engine = env_choice_or("MINIARC_EXEC", "bytecode", {"ast", "bytecode"}) ==
-                     "ast"
+    engine = env_choice_strict("MINIARC_EXEC", "bytecode",
+                               {"ast", "bytecode"}) == "ast"
                  ? ExecEngine::kAst
                  : ExecEngine::kBytecode;
   }
   exec_bytecode_ = engine == ExecEngine::kBytecode;
   budget_armed_ = runtime_.budget().armed();
-  // Annotate the AST with dense variable slots (the kernel hot path indexes
-  // vectors instead of hashing names). The pass is deterministic and
-  // idempotent, so re-annotating a shared program is safe; it runs here so
-  // every construction path — tests, tools, the optimizer loop — gets slots
-  // without threading a pass through each call site.
-  slots_ = resolve_slots(const_cast<Program&>(program_));
+}
+
+void Interpreter::init_slot_types() {
   slot_is_float_.assign(static_cast<std::size_t>(slots_.count()), 0);
   for (int slot = 0; slot < slots_.count(); ++slot) {
     auto type = sema_.var_types.find(slots_.names[static_cast<std::size_t>(slot)]);

@@ -24,6 +24,7 @@
 namespace miniarc {
 
 class Interpreter;
+struct CompiledProgram;
 
 /// Raised on runtime errors in the interpreted program (out-of-bounds
 /// access, unbound variable, missing device copy, statement budget blown).
@@ -93,6 +94,15 @@ class Interpreter {
   Interpreter(const Program& program, const SemaInfo& sema,
               AccRuntime& runtime, InterpOptions options = {});
 
+  /// Construct over an immutable, shareable CompiledProgram
+  /// (src/service/compiled_program.h). The compiled program's slot table
+  /// and precompiled bytecode are reused, and — unlike the constructor
+  /// above — the shared AST is never written to, so any number of
+  /// interpreters on any number of threads can execute one CompiledProgram
+  /// concurrently. `compiled` must outlive this interpreter.
+  Interpreter(const CompiledProgram& compiled, AccRuntime& runtime,
+              InterpOptions options = {});
+
   // ---- extern bindings (inputs) ----
   void bind_scalar(const std::string& name, Value value);
   /// Create and bind a zeroed host buffer; returns it for initialization.
@@ -142,6 +152,11 @@ class Interpreter {
 
  private:
   enum class Flow : std::uint8_t { kNormal, kBreak, kContinue, kReturn };
+
+  /// Shared constructor tails: engine/retry/budget knob resolution and the
+  /// slot → is-float table derived from sema.
+  void init_engine_options();
+  void init_slot_types();
 
   Flow exec(const Stmt& stmt);
   Flow exec_for(const ForStmt& stmt);
@@ -214,6 +229,11 @@ class Interpreter {
   /// Per-launch-site bytecode compilation results (see bytecode_for).
   std::unordered_map<const KernelLaunchStmt*, BcCompileResult>
       bytecode_cache_;
+  /// Precompiled launch-site bytecode from a shared CompiledProgram
+  /// (read-only; consulted before bytecode_cache_). Null for interpreters
+  /// constructed over a plain Program.
+  const std::unordered_map<const KernelLaunchStmt*, BcCompileResult>*
+      shared_bytecode_ = nullptr;
 };
 
 }  // namespace miniarc

@@ -107,6 +107,13 @@ struct WriteSetEntry {
 }  // namespace
 
 const BcCompileResult& Interpreter::bytecode_for(const KernelLaunchStmt& stmt) {
+  // A shared CompiledProgram carries every launch site precompiled; the
+  // lookup is read-only, so concurrent interpreters over one compiled
+  // program never race on a cache.
+  if (shared_bytecode_ != nullptr) {
+    auto shared = shared_bytecode_->find(&stmt);
+    if (shared != shared_bytecode_->end()) return shared->second;
+  }
   auto it = bytecode_cache_.find(&stmt);
   if (it != bytecode_cache_.end()) return it->second;
   // Compile the same chunk body the dispatch below executes: the partition

@@ -82,6 +82,13 @@
 #include "verify/transfer_verifier.h"
 #include "verify/verification_config.h"
 
+// Multi-tenant batch run service: shareable compiled programs, the
+// content-addressed compile cache, and the admission-controlled core.
+#include "service/compile_cache.h"
+#include "service/compiled_program.h"
+#include "service/service.h"
+#include "service/service_wire.h"
+
 // Benchmark suite (the paper's twelve OpenACC programs).
 #include "benchsuite/benchmark_registry.h"
 #include "benchsuite/inputs.h"

@@ -1,0 +1,79 @@
+#include "service/compile_cache.h"
+
+#include <utility>
+
+namespace miniarc {
+
+std::shared_ptr<const CompiledProgram> CompileCache::get_or_compile(
+    const std::string& source, CompileMode mode, std::string* error,
+    Outcome* outcome) {
+  std::string key = source_fingerprint(mode, source);
+  std::lock_guard<std::mutex> lock(mu_);
+
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.program->source == source) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      if (outcome != nullptr) *outcome = Outcome::kHit;
+      return it->second.program;
+    }
+    // Fingerprint collision with different bytes: compile fresh, leave the
+    // resident entry alone, and do not cache (the key is taken).
+    ++stats_.misses;
+    ++stats_.bypasses;
+    if (outcome != nullptr) *outcome = Outcome::kBypass;
+    return build_compiled_program(source, mode, error);
+  }
+
+  ++stats_.misses;
+  std::shared_ptr<const CompiledProgram> compiled =
+      build_compiled_program(source, mode, error);
+  if (compiled == nullptr) {
+    if (outcome != nullptr) *outcome = Outcome::kMiss;
+    return nullptr;
+  }
+  if (compiled->footprint_bytes > byte_ceiling_) {
+    // Caching it would immediately evict everything else and then itself;
+    // serve it uncached instead.
+    ++stats_.bypasses;
+    if (outcome != nullptr) *outcome = Outcome::kBypass;
+    return compiled;
+  }
+
+  lru_.push_front(key);
+  entries_.emplace(std::move(key), Entry{compiled, lru_.begin()});
+  stats_.bytes_in_use += compiled->footprint_bytes;
+  ++stats_.insertions;
+  evict_to_fit();
+  if (outcome != nullptr) *outcome = Outcome::kMiss;
+  return compiled;
+}
+
+void CompileCache::evict_to_fit() {
+  while (stats_.bytes_in_use > byte_ceiling_ && !lru_.empty()) {
+    const std::string& victim_key = lru_.back();
+    auto victim = entries_.find(victim_key);
+    stats_.bytes_in_use -= victim->second.program->footprint_bytes;
+    ++stats_.evictions;
+    entries_.erase(victim);
+    lru_.pop_back();
+  }
+}
+
+CompileCache::Stats CompileCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats snapshot = stats_;
+  snapshot.byte_ceiling = byte_ceiling_;
+  snapshot.entries = static_cast<long>(entries_.size());
+  return snapshot;
+}
+
+void CompileCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  stats_.bytes_in_use = 0;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,79 @@
+// Content-addressed compilation cache: (mode, source) fingerprint →
+// shared CompiledProgram. The burst workload the service must survive —
+// ACC-Saturator-style candidate enumeration, thousands of near-identical
+// advise-loop requests — makes compilation the shared, cacheable part of
+// a request; this cache makes the second and every later identical
+// request pay only for execution.
+//
+// Determinism: eviction is plain LRU over a byte-count ceiling (entry
+// sizes come from CompiledProgram::footprint_bytes, itself deterministic),
+// so a fixed sequence of lookups produces a fixed sequence of
+// hits/misses/evictions — asserted by tests and the run_matrix smoke.
+// Compilation happens under the cache lock: concurrent requests for the
+// same source compile it exactly once, and the hit/miss counters reflect
+// arrival order at the cache.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "service/compiled_program.h"
+
+namespace miniarc {
+
+class CompileCache {
+ public:
+  /// How a lookup was satisfied. kBypass: the program compiled fine but
+  /// was not cached (footprint above the ceiling, or a fingerprint
+  /// collision with a resident entry — compared by full source bytes).
+  enum class Outcome : std::uint8_t { kHit, kMiss, kBypass };
+
+  struct Stats {
+    long hits = 0;
+    long misses = 0;
+    long evictions = 0;
+    long insertions = 0;
+    /// Compiles that were not cached (oversized entry or collision).
+    long bypasses = 0;
+    std::size_t bytes_in_use = 0;
+    std::size_t byte_ceiling = 0;
+    long entries = 0;
+  };
+
+  explicit CompileCache(std::size_t byte_ceiling)
+      : byte_ceiling_(byte_ceiling) {}
+
+  /// Look up (mode, source); compile and insert on a miss. Returns null
+  /// and sets `*error` on compile failure (failures are never cached —
+  /// the next identical request recompiles and re-reports). `outcome`
+  /// (optional) reports how the lookup was satisfied.
+  [[nodiscard]] std::shared_ptr<const CompiledProgram> get_or_compile(
+      const std::string& source, CompileMode mode, std::string* error,
+      Outcome* outcome = nullptr);
+
+  [[nodiscard]] Stats stats() const;
+  void clear();
+
+ private:
+  /// Evict least-recently-used entries until bytes_in_use fits the
+  /// ceiling. Callers hold mu_.
+  void evict_to_fit();
+
+  struct Entry {
+    std::shared_ptr<const CompiledProgram> program;
+    /// Position in lru_ (front = most recently used).
+    std::list<std::string>::iterator lru_it;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t byte_ceiling_;
+  std::list<std::string> lru_;
+  std::unordered_map<std::string, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace miniarc

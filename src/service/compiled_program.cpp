@@ -1,0 +1,144 @@
+#include "service/compiled_program.h"
+
+#include <utility>
+
+#include "ast/visitor.h"
+#include "interp/partition_safety.h"
+#include "parser/parser.h"
+#include "support/diagnostics.h"
+#include "verify/transfer_verifier.h"
+
+namespace miniarc {
+
+const char* to_string(CompileMode mode) {
+  switch (mode) {
+    case CompileMode::kRun: return "run";
+    case CompileMode::kAdvise: return "advise";
+  }
+  return "run";
+}
+
+std::string source_fingerprint(CompileMode mode, std::string_view source) {
+  // FNV-1a 64 over the mode tag and the source bytes. Collisions are
+  // handled by the cache (full source comparison on lookup), so the
+  // fingerprint only has to be deterministic and well distributed.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  auto mix = [&hash](unsigned char byte) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  };
+  for (const char* tag = to_string(mode); *tag != '\0'; ++tag) {
+    mix(static_cast<unsigned char>(*tag));
+  }
+  mix(0);  // mode/source separator
+  for (char c : source) mix(static_cast<unsigned char>(c));
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
+std::shared_ptr<const CompiledProgram> build_compiled_program(
+    std::string source, CompileMode mode, std::string* error,
+    const LoweringOptions& options) {
+  auto fail = [error](const DiagnosticEngine& diags, const char* phase) {
+    if (error != nullptr) {
+      std::string dump = diags.dump();
+      // One line: the service's structured error field is line-oriented.
+      for (char& c : dump) {
+        if (c == '\n') c = ';';
+      }
+      while (!dump.empty() && (dump.back() == ';' || dump.back() == ' ')) {
+        dump.pop_back();
+      }
+      *error = std::string(phase) + ": " + dump;
+    }
+    return nullptr;
+  };
+
+  auto compiled = std::make_shared<CompiledProgram>();
+  compiled->source = std::move(source);
+  compiled->mode = mode;
+  compiled->fingerprint = source_fingerprint(mode, compiled->source);
+
+  DiagnosticEngine diags;
+  ProgramPtr parsed = parse_mini_c(compiled->source, diags);
+  if (diags.has_errors() || parsed == nullptr) return fail(diags, "parse");
+
+  if (mode == CompileMode::kAdvise) {
+    // The advisor joins the coherence checker's per-site statistics, so
+    // advise-mode programs lower through the instrumented pipeline.
+    TransferVerifier verifier;
+    TransferVerifier::Prepared prepared =
+        verifier.prepare(*parsed, diags, options);
+    if (prepared.program == nullptr) return fail(diags, "lower");
+    compiled->program = std::move(prepared.program);
+    compiled->sema = std::move(prepared.sema);
+    compiled->kernel_names = std::move(prepared.kernel_names);
+    compiled->static_checks = prepared.instrumentation.static_checks;
+    compiled->hoisted_checks = prepared.instrumentation.hoisted_checks;
+  } else {
+    LoweredProgram lowered = lower_program(*parsed, diags, options);
+    if (lowered.program == nullptr) return fail(diags, "lower");
+    compiled->program = std::move(lowered.program);
+    compiled->sema = std::move(lowered.sema);
+    compiled->kernel_names = std::move(lowered.kernel_names);
+  }
+
+  // The only two passes that write to the lowered AST run here, once;
+  // everything after this point treats the program as read-only.
+  compiled->slots = resolve_slots(*compiled->program);
+  compiled->slot_is_float.assign(
+      static_cast<std::size_t>(compiled->slots.count()), 0);
+  for (int slot = 0; slot < compiled->slots.count(); ++slot) {
+    auto type = compiled->sema.var_types.find(
+        compiled->slots.names[static_cast<std::size_t>(slot)]);
+    if (type != compiled->sema.var_types.end() &&
+        type->second.is_floating_scalar()) {
+      compiled->slot_is_float[static_cast<std::size_t>(slot)] = 1;
+    }
+  }
+
+  // Precompile every launch site's chunk body — the same decision
+  // Interpreter::bytecode_for makes lazily, hoisted to build time so the
+  // shared map is complete (and therefore never written) during execution.
+  std::size_t stmt_nodes = 0;
+  std::size_t bytecode_bytes = 0;
+  for (const auto& func : compiled->program->functions) {
+    walk_stmts(func->body(), [&](const Stmt& s) {
+      ++stmt_nodes;
+      if (s.kind() != StmtKind::kKernelLaunch) return;
+      const auto& launch = s.as<KernelLaunchStmt>();
+      const ForStmt* loop = find_partition_loop(launch.body());
+      const Stmt& chunk_body = loop != nullptr ? loop->body() : launch.body();
+      std::string induction = loop != nullptr ? loop->induction_var() : "";
+      int induction_slot =
+          induction.empty() ? -1 : compiled->slots.lookup(induction);
+      BcCompileResult result = compile_kernel_body(
+          chunk_body, launch.kernel_name(), compiled->slots.names,
+          compiled->slot_is_float, induction_slot);
+      if (result.kernel != nullptr) {
+        bytecode_bytes += result.kernel->code.size() * sizeof(Instr) +
+                          result.kernel->const_bits.size() *
+                              (sizeof(std::int64_t) + 1);
+      }
+      compiled->bytecode.emplace(&launch, std::move(result));
+    });
+  }
+
+  std::size_t name_bytes = 0;
+  for (const std::string& name : compiled->slots.names) {
+    name_bytes += name.size() + sizeof(std::string);
+  }
+  // Deterministic estimate: the source text is held twice (original +
+  // roughly proportional lowered AST, priced at a fixed 96 bytes per
+  // statement node), plus slot names and bytecode, plus a fixed base.
+  compiled->footprint_bytes = compiled->source.size() + stmt_nodes * 96 +
+                              name_bytes + bytecode_bytes + 1024;
+  return compiled;
+}
+
+}  // namespace miniarc

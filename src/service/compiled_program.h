@@ -1,0 +1,88 @@
+// CompiledProgram: the front half of the pipeline (lex → parse → sema →
+// lower → slot resolution → bytecode) packaged as one immutable,
+// shareable object. This is the in-process library API behind the batch
+// run service (src/service/service.h): compilation is the shared,
+// cacheable part of a request, execution is the isolated part, so the
+// service compiles a source once and executes the result against any
+// number of fully isolated AccRuntime instances concurrently.
+//
+// Immutability contract: every mutating pass runs at build time —
+// lowering clones the source AST, slot resolution annotates the clone,
+// and every kernel launch site's chunk body is compiled to bytecode
+// eagerly. After build_compiled_program returns, nothing writes to the
+// program: the interpreter constructor taking a CompiledProgram copies
+// the slot table instead of re-annotating, and its bytecode lookups hit
+// the precompiled map read-only. That is what makes one CompiledProgram
+// safe to execute from N threads at once (the service's cache-hit path,
+// exercised TSan-clean by tests/service_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/decl.h"
+#include "ast/stmt.h"
+#include "bc/compiler.h"
+#include "sema/sema.h"
+#include "sema/slot_resolution.h"
+#include "translate/pipeline.h"
+
+namespace miniarc {
+
+/// Which lowering pipeline produced the program. kRun is the plain
+/// lowering; kAdvise inserts the coherence-checker instrumentation the
+/// advisor's per-site statistics come from (the two produce different
+/// lowered ASTs, so they cache under different fingerprints).
+enum class CompileMode : std::uint8_t { kRun, kAdvise };
+
+[[nodiscard]] const char* to_string(CompileMode mode);
+
+struct CompiledProgram {
+  // ---- provenance ----
+  /// The exact source text this program was compiled from (kept so the
+  /// content-addressed cache can reject fingerprint collisions by
+  /// comparing bytes, not just hashes).
+  std::string source;
+  /// Content fingerprint of (mode, source): 16 hex digits, FNV-1a 64.
+  std::string fingerprint;
+  CompileMode mode = CompileMode::kRun;
+
+  // ---- lowered, immutable IR ----
+  ProgramPtr program;
+  SemaInfo sema;
+  std::vector<std::string> kernel_names;
+  /// Slot numbering resolved once at build time; the AST clone carries the
+  /// annotations, interpreters copy this table instead of re-resolving.
+  SlotTable slots;
+  /// Slot → declared-as-floating-scalar (input to the bytecode compiler).
+  std::vector<std::uint8_t> slot_is_float;
+  /// Every kernel launch site's chunk body, precompiled (or refused with a
+  /// reason — the AST engine runs those, exactly as in single-run mode).
+  std::unordered_map<const KernelLaunchStmt*, BcCompileResult> bytecode;
+
+  // ---- advise-mode instrumentation counters (zero in kRun mode) ----
+  int static_checks = 0;
+  int hoisted_checks = 0;
+
+  /// Deterministic size estimate used by the compile cache's byte-count
+  /// ceiling: source text, slot names, bytecode, and a fixed per-node
+  /// overhead for the lowered AST.
+  std::size_t footprint_bytes = 0;
+};
+
+/// Fingerprint of (mode, source) as the cache would compute it.
+[[nodiscard]] std::string source_fingerprint(CompileMode mode,
+                                             std::string_view source);
+
+/// Run the whole front half on `source`. Returns null and sets `*error`
+/// (one line, diagnostics joined) on lex/parse/sema failure. The result is
+/// immutable; share it freely across threads.
+[[nodiscard]] std::shared_ptr<const CompiledProgram> build_compiled_program(
+    std::string source, CompileMode mode, std::string* error,
+    const LoweringOptions& options = {});
+
+}  // namespace miniarc

@@ -1,0 +1,398 @@
+#include "service/service.h"
+
+#include <sstream>
+
+#include "advisor/advisor.h"
+#include "runtime/acc_runtime.h"
+#include "support/env.h"
+#include "trace/report.h"
+
+namespace miniarc {
+
+namespace {
+
+/// One line + trailing newline comes out of the JSON writers; the service
+/// embeds documents inside its response envelope, so strip the newline.
+std::string chomp(std::string text) {
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+    text.pop_back();
+  }
+  return text;
+}
+
+/// Bind every extern declaration the way the CLI does: scalars from the
+/// request's `sets` (default 64), buffers as deterministic ramps of
+/// `buffer_size` elements. Identical inputs are what make a request's
+/// report a pure function of (source, request knobs).
+void bind_request_externs(Interpreter& interp, const Program& program,
+                          const ServiceRequest& request) {
+  for (const auto& global : program.globals) {
+    if (!global->is_extern) continue;
+    double value = 64.0;
+    for (const auto& [name, v] : request.sets) {
+      if (name == global->name()) value = v;
+    }
+    if (global->type().is_buffer()) {
+      BufferPtr buffer = interp.bind_buffer(
+          global->name(), global->type().scalar(), request.buffer_size);
+      for (std::size_t i = 0; i < buffer->count(); ++i) {
+        buffer->set(i, static_cast<double>(i % 17) * 0.25);
+      }
+    } else if (is_floating(global->type().scalar())) {
+      interp.bind_scalar(global->name(), Value::of_double(value));
+    } else {
+      interp.bind_scalar(global->name(),
+                         Value::of_int(static_cast<std::int64_t>(value)));
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(ServiceStatus status) {
+  switch (status) {
+    case ServiceStatus::kOk: return "ok";
+    case ServiceStatus::kPartial: return "partial";
+    case ServiceStatus::kFailed: return "failed";
+    case ServiceStatus::kCompileError: return "compile-error";
+    case ServiceStatus::kBadRequest: return "bad-request";
+    case ServiceStatus::kShedBudget: return "shed-budget";
+    case ServiceStatus::kShedOverload: return "shed-overload";
+    case ServiceStatus::kShedShutdown: return "shed-shutdown";
+  }
+  return "failed";
+}
+
+bool is_shed(ServiceStatus status) {
+  return status == ServiceStatus::kShedBudget ||
+         status == ServiceStatus::kShedOverload ||
+         status == ServiceStatus::kShedShutdown;
+}
+
+std::string render_service_stats(const ServiceStats& stats) {
+  std::ostringstream os;
+  os << "miniarc serve: " << stats.submitted << " submitted, "
+     << stats.accepted << " accepted, " << stats.ok << " ok, "
+     << stats.partial << " partial, " << stats.failed << " failed, "
+     << stats.compile_errors << " compile errors, " << stats.bad_requests
+     << " bad requests, shed " << stats.shed_overload << " overload / "
+     << stats.shed_budget << " budget / " << stats.shed_shutdown
+     << " shutdown; cache " << stats.cache.hits << " hits / "
+     << stats.cache.misses << " misses / " << stats.cache.evictions
+     << " evictions (" << stats.cache.bytes_in_use << " B resident)";
+  return os.str();
+}
+
+ServiceResponse execute_service_request(
+    const ServiceRequest& request,
+    const std::shared_ptr<const CompiledProgram>& compiled) {
+  ServiceResponse response;
+  response.id = request.id;
+  response.source_hash = compiled->fingerprint;
+  const bool advise_mode = request.command == "advise";
+  const std::string program_name =
+      request.program_name.empty() ? request.id : request.program_name;
+
+  // Every knob is request-scoped and explicit: an unset optional becomes a
+  // disabled/default config, never the process-wide MINIARC_* fallback, so
+  // one tenant's environment can't shape another's run.
+  ExecutorOptions exec;
+  exec.threads = request.threads > 0 ? request.threads : 1;
+  exec.faults = request.faults.has_value() ? *request.faults : FaultPlan{};
+  exec.breaker =
+      request.breaker.has_value() ? *request.breaker : BreakerConfig{};
+  exec.budget = request.budget;
+  TraceOptions trace;
+  trace.enabled = true;  // reports embed the rollups
+  exec.trace = trace;
+
+  InterpOptions interp_options;
+  interp_options.kernel_retries =
+      request.kernel_retries >= 0 ? request.kernel_retries : 2;
+  interp_options.host_failover = request.host_failover;
+  interp_options.enable_checker = advise_mode;
+
+  AccRuntime runtime(MachineModel::m2090(), exec);
+  if (advise_mode) runtime.checker().set_enabled(true);
+  Interpreter interp(*compiled, runtime, interp_options);
+  bind_request_externs(interp, *compiled->program, request);
+
+  RunReport report;
+  try {
+    interp.run();
+    report = build_run_report(runtime, request.command, program_name);
+  } catch (const std::exception& e) {
+    report = build_run_report(runtime, request.command, program_name);
+    set_run_error(report, e);
+  }
+  report.host_statements = interp.host_statements();
+  report.device_statements = interp.device_statements();
+
+  if (advise_mode) {
+    const RuntimeChecker& checker = runtime.checker();
+    report.checker_enabled = true;
+    report.static_checks = compiled->static_checks;
+    report.hoisted_checks = compiled->hoisted_checks;
+    report.dynamic_checks = checker.dynamic_check_count();
+    for (const auto& finding : checker.findings()) {
+      report.findings.push_back(finding.message());
+    }
+    AdvisorReport advice =
+        advise(runtime.trace().events(), report.metrics, checker.site_stats(),
+               checker.findings(), report.total_seconds, AdvisorOptions{});
+    advice.program = program_name;
+    std::ostringstream advice_os;
+    write_advice_json(advice, advice_os);
+    response.advice_json = chomp(advice_os.str());
+  }
+
+  std::ostringstream report_os;
+  write_run_report_json(report, report_os);
+  response.report_json = chomp(report_os.str());
+
+  if (request.include_trace) {
+    std::ostringstream trace_os;
+    runtime.trace().write_chrome_trace(trace_os);
+    response.trace_json = chomp(trace_os.str());
+  }
+
+  if (report.ok) {
+    response.status = ServiceStatus::kOk;
+  } else if (report.termination.terminated) {
+    response.status = ServiceStatus::kPartial;
+    response.error = report.error;
+  } else {
+    response.status = ServiceStatus::kFailed;
+    response.error = report.error;
+  }
+  return response;
+}
+
+ServiceCore::ServiceCore(ServiceOptions options)
+    : options_(options),
+      cache_(options.cache_bytes > 0
+                 ? options.cache_bytes
+                 : static_cast<std::size_t>(env_long_or(
+                       "MINIARC_CACHE_BYTES", 16L << 20, 4096L, 1L << 40))) {
+  if (options_.jobs <= 0) {
+    options_.jobs = env_int_or("MINIARC_JOBS", 1, 1, 256);
+  }
+  if (options_.queue_depth == 0) {
+    options_.queue_depth = static_cast<std::size_t>(
+        env_long_or("MINIARC_QUEUE_DEPTH", 256, 1, 1 << 20));
+  }
+  if (options_.cache_bytes == 0) {
+    options_.cache_bytes = cache_.stats().byte_ceiling;
+  }
+  if (options_.autostart) start();
+}
+
+ServiceCore::~ServiceCore() { shutdown(true); }
+
+void ServiceCore::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_ || stopping_) return;
+  started_ = true;
+  workers_.reserve(static_cast<std::size_t>(options_.jobs));
+  for (int i = 0; i < options_.jobs; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ServiceStatus ServiceCore::admission_check(
+    const ServiceRequest& request) const {
+  if (request.command != "run" && request.command != "advise") {
+    return ServiceStatus::kBadRequest;
+  }
+  if (request.source.empty()) return ServiceStatus::kBadRequest;
+  // The RunBudget is the admission contract: a declared budget below the
+  // minimum feasible grant cannot be met — not even compilation and data
+  // setup fit — so the request is rejected up front rather than queued to
+  // die. The checks are request-intrinsic (no clock, no load), keeping
+  // shedding deterministic.
+  const RunBudget& budget = request.budget;
+  if (budget.deadline_vt_seconds > 0.0 &&
+      budget.deadline_vt_seconds < options_.min_deadline_vt_seconds) {
+    return ServiceStatus::kShedBudget;
+  }
+  if (budget.deadline_wall_ms > 0.0 &&
+      budget.deadline_wall_ms < options_.min_deadline_wall_ms) {
+    return ServiceStatus::kShedBudget;
+  }
+  if (budget.stmt_budget > 0 && budget.stmt_budget < options_.min_stmt_budget) {
+    return ServiceStatus::kShedBudget;
+  }
+  return ServiceStatus::kOk;
+}
+
+std::future<ServiceResponse> ServiceCore::submit(ServiceRequest request) {
+  std::promise<ServiceResponse> promise;
+  std::future<ServiceResponse> future = promise.get_future();
+
+  auto reject = [&](ServiceStatus status, std::string error) {
+    ServiceResponse response;
+    response.id = request.id;
+    response.status = status;
+    response.error = std::move(error);
+    promise.set_value(std::move(response));
+    return std::move(future);
+  };
+
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  if (!accepting_) {
+    ++stats_.shed_shutdown;
+    return reject(ServiceStatus::kShedShutdown,
+                  "service is shutting down; request not admitted");
+  }
+  ServiceStatus verdict = admission_check(request);
+  if (verdict == ServiceStatus::kBadRequest) {
+    ++stats_.bad_requests;
+    return reject(verdict,
+                  request.source.empty()
+                      ? "request has no source"
+                      : "unknown command '" + request.command +
+                            "' (expected run or advise)");
+  }
+  if (verdict == ServiceStatus::kShedBudget) {
+    ++stats_.shed_budget;
+    return reject(verdict,
+                  "declared budget is below the service's minimum grant; "
+                  "raise the deadline/statement budget or drop it");
+  }
+  if (queue_.size() >= options_.queue_depth) {
+    ++stats_.shed_overload;
+    return reject(ServiceStatus::kShedOverload,
+                  "admission queue is full (depth " +
+                      std::to_string(options_.queue_depth) +
+                      "); retry later");
+  }
+  ++stats_.accepted;
+  queue_.push_back(Job{std::move(request), std::move(promise)});
+  if (queue_.size() > stats_.max_queue_depth) {
+    stats_.max_queue_depth = queue_.size();
+  }
+  lock.unlock();
+  work_ready_.notify_one();
+  return future;
+}
+
+ServiceResponse ServiceCore::run_sync(ServiceRequest request) {
+  std::future<ServiceResponse> future = submit(std::move(request));
+  start();
+  return future.get();
+}
+
+void ServiceCore::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    ServiceResponse response = process(job.request);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      count_terminal(response.status);
+    }
+    job.promise.set_value(std::move(response));
+  }
+}
+
+ServiceResponse ServiceCore::process(const ServiceRequest& request) {
+  const CompileMode mode = request.command == "advise" ? CompileMode::kAdvise
+                                                       : CompileMode::kRun;
+  std::string error;
+  CompileCache::Outcome outcome = CompileCache::Outcome::kMiss;
+  std::shared_ptr<const CompiledProgram> compiled =
+      cache_.get_or_compile(request.source, mode, &error, &outcome);
+  if (compiled == nullptr) {
+    ServiceResponse response;
+    response.id = request.id;
+    response.status = ServiceStatus::kCompileError;
+    response.error = error;
+    response.source_hash = source_fingerprint(mode, request.source);
+    return response;
+  }
+  ServiceResponse response = execute_service_request(request, compiled);
+  response.cache_hit = outcome == CompileCache::Outcome::kHit;
+  return response;
+}
+
+void ServiceCore::count_terminal(ServiceStatus status) {
+  switch (status) {
+    case ServiceStatus::kOk:
+      ++stats_.completed;
+      ++stats_.ok;
+      break;
+    case ServiceStatus::kPartial:
+      ++stats_.completed;
+      ++stats_.partial;
+      break;
+    case ServiceStatus::kFailed:
+      ++stats_.completed;
+      ++stats_.failed;
+      break;
+    case ServiceStatus::kCompileError:
+      ++stats_.completed;
+      ++stats_.compile_errors;
+      break;
+    default:
+      break;  // sheds are counted at admission
+  }
+}
+
+void ServiceCore::shutdown(bool drain) {
+  std::vector<std::thread> workers;
+  std::deque<Job> shed;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    accepting_ = false;
+    if (stopping_ && workers_.empty()) return;
+    if (!drain) {
+      shed.swap(queue_);
+      stats_.shed_shutdown += static_cast<long>(shed.size());
+      // They were admitted; a drain=false shutdown revokes that.
+      stats_.accepted -= static_cast<long>(shed.size());
+    }
+    stopping_ = true;
+    workers.swap(workers_);
+  }
+  for (Job& job : shed) {
+    ServiceResponse response;
+    response.id = job.request.id;
+    response.status = ServiceStatus::kShedShutdown;
+    response.error = "service shut down before the request ran";
+    job.promise.set_value(std::move(response));
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers) worker.join();
+  // A never-started service with queued work would leave futures hanging;
+  // complete them as shutdown sheds.
+  std::deque<Job> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(queue_);
+    stats_.shed_shutdown += static_cast<long>(leftover.size());
+    stats_.accepted -= static_cast<long>(leftover.size());
+  }
+  for (Job& job : leftover) {
+    ServiceResponse response;
+    response.id = job.request.id;
+    response.status = ServiceStatus::kShedShutdown;
+    response.error = "service shut down before the request ran";
+    job.promise.set_value(std::move(response));
+  }
+}
+
+ServiceStats ServiceCore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats snapshot = stats_;
+  snapshot.cache = cache_.stats();
+  return snapshot;
+}
+
+}  // namespace miniarc

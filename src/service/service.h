@@ -1,0 +1,207 @@
+// The multi-tenant batch run service. ServiceCore accepts many run/advise
+// requests, shards them across a worker pool, and executes each against a
+// fully isolated AccRuntime — its own device memory, present table,
+// profiler, virtual clock, fault injector, circuit breaker, and budget
+// guard — so one tenant's injected faults, tripped breaker, or exhausted
+// budget never leaks into another's run (the Kerncap isolation model).
+// Compilation is the shared part: sources resolve through a
+// content-addressed CompileCache to immutable CompiledPrograms that any
+// number of concurrent requests execute.
+//
+// Admission control: the per-request RunBudget is the admission contract.
+// A bounded queue sheds overload, and a request whose declared budget is
+// below the service's minimum feasible grant is rejected up front with a
+// structured miniarc-service/v1 error instead of being queued to die.
+// Admission decisions are synchronous with submit() and depend only on
+// the request and the queue occupancy at that instant, so a fixed request
+// sequence submitted before start() produces a fixed accept/shed split —
+// the batch CLI (`miniarc serve`) submits the whole batch first for
+// exactly this reason.
+//
+// Shutdown: shutdown(drain=true) stops admission, runs everything already
+// queued, and joins the workers; drain=false completes queued requests
+// with a shed-shutdown response instead of running them.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "interp/interp.h"
+#include "runtime/circuit_breaker.h"
+#include "service/compile_cache.h"
+#include "support/budget.h"
+
+namespace miniarc {
+
+inline constexpr const char* kServiceSchema = "miniarc-service/v1";
+
+/// Terminal status of one request.
+enum class ServiceStatus : std::uint8_t {
+  kOk,            ///< ran to completion, report.ok
+  kPartial,       ///< budget exhausted / cancelled; PARTIAL report attached
+  kFailed,        ///< ran and failed (runtime error); report attached
+  kCompileError,  ///< front-end rejected the source
+  kBadRequest,    ///< malformed request (unknown command, empty source, ...)
+  kShedBudget,    ///< admission: declared budget below the minimum grant
+  kShedOverload,  ///< admission: bounded queue full
+  kShedShutdown,  ///< admission: service no longer accepting
+};
+
+[[nodiscard]] const char* to_string(ServiceStatus status);
+[[nodiscard]] bool is_shed(ServiceStatus status);
+
+struct ServiceRequest {
+  /// Client-assigned id, echoed on the response.
+  std::string id;
+  /// "run" or "advise".
+  std::string command = "run";
+  /// Label stamped into the run report's `program` field (defaults to the
+  /// id); identical requests must use identical labels for byte-identical
+  /// reports.
+  std::string program_name;
+  /// mini-C source text.
+  std::string source;
+  /// Extern scalar bindings (CLI --set equivalent) and buffer sizing.
+  std::vector<std::pair<std::string, double>> sets;
+  std::size_t buffer_size = 256;
+  /// Admission contract + in-run enforcement (empty = unlimited).
+  RunBudget budget;
+  /// Per-tenant fault plan / breaker config; unset = disabled/defaults
+  /// (the service never falls back to process-wide MINIARC_FAULTS).
+  std::optional<FaultPlan> faults;
+  std::optional<BreakerConfig> breaker;
+  int kernel_retries = -1;
+  bool host_failover = true;
+  /// Executor threads inside this request's runtime (chunk parallelism).
+  int threads = 1;
+  /// Attach the Chrome-trace JSON to the response.
+  bool include_trace = false;
+};
+
+struct ServiceResponse {
+  std::string id;
+  ServiceStatus status = ServiceStatus::kOk;
+  /// Structured one-line error (sheds, compile errors, run failures).
+  std::string error;
+  /// miniarc-run-report/v1 (one line, no trailing newline); empty for
+  /// sheds and compile errors.
+  std::string report_json;
+  /// miniarc-advice/v1 for advise requests.
+  std::string advice_json;
+  /// Chrome trace (include_trace only).
+  std::string trace_json;
+  /// Compilation provenance.
+  std::string source_hash;
+  bool cache_hit = false;
+};
+
+struct ServiceOptions {
+  /// Worker threads. 0 = MINIARC_JOBS (unset ⇒ 1).
+  int jobs = 0;
+  /// Bounded queue depth. 0 = MINIARC_QUEUE_DEPTH (unset ⇒ 256).
+  std::size_t queue_depth = 0;
+  /// Compile-cache byte ceiling. 0 = MINIARC_CACHE_BYTES (unset ⇒ 16 MiB).
+  std::size_t cache_bytes = 0;
+  /// Start the worker pool in the constructor. The batch CLI passes false
+  /// and calls start() after submitting the whole batch, making the
+  /// accept/shed split a pure function of the request sequence.
+  bool autostart = true;
+  // ---- admission floors (requests declaring less are shed up front) ----
+  double min_deadline_vt_seconds = 1e-9;
+  double min_deadline_wall_ms = 1.0;
+  long min_stmt_budget = 64;
+};
+
+struct ServiceStats {
+  long submitted = 0;
+  long accepted = 0;
+  long completed = 0;  // ok + partial + failed + compile errors
+  long ok = 0;
+  long partial = 0;
+  long failed = 0;
+  long compile_errors = 0;
+  long bad_requests = 0;
+  long shed_budget = 0;
+  long shed_overload = 0;
+  long shed_shutdown = 0;
+  std::size_t max_queue_depth = 0;
+  CompileCache::Stats cache;
+};
+
+/// Render the stats as the `miniarc serve` summary line (no trailing
+/// newline; deterministic).
+[[nodiscard]] std::string render_service_stats(const ServiceStats& stats);
+
+/// Execute one request in isolation against a freshly built runtime,
+/// using `compiled` (must match request.source/command). Exposed for the
+/// solo-baseline comparisons in tests; ServiceCore workers call this.
+[[nodiscard]] ServiceResponse execute_service_request(
+    const ServiceRequest& request,
+    const std::shared_ptr<const CompiledProgram>& compiled);
+
+class ServiceCore {
+ public:
+  explicit ServiceCore(ServiceOptions options = {});
+  ~ServiceCore();
+  ServiceCore(const ServiceCore&) = delete;
+  ServiceCore& operator=(const ServiceCore&) = delete;
+
+  /// Spin up the worker pool (idempotent).
+  void start();
+
+  /// Synchronous admission. Accepted requests resolve their future when a
+  /// worker finishes them; shed/bad requests resolve immediately with the
+  /// structured rejection.
+  [[nodiscard]] std::future<ServiceResponse> submit(ServiceRequest request);
+
+  /// Convenience: submit + start (if needed) + wait.
+  [[nodiscard]] ServiceResponse run_sync(ServiceRequest request);
+
+  /// Stop admission; drain (or shed) the queue; join the workers.
+  /// Idempotent. The destructor calls shutdown(true).
+  void shutdown(bool drain = true);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+  [[nodiscard]] CompileCache& cache() { return cache_; }
+
+ private:
+  struct Job {
+    ServiceRequest request;
+    std::promise<ServiceResponse> promise;
+  };
+
+  /// Request-intrinsic admission checks (command, source, budget floors).
+  /// Returns the shed/bad status, or kOk to admit.
+  [[nodiscard]] ServiceStatus admission_check(
+      const ServiceRequest& request) const;
+  void worker_loop();
+  /// Compile (through the cache) and execute one admitted request.
+  [[nodiscard]] ServiceResponse process(const ServiceRequest& request);
+  /// Account a finished request's terminal status. Holds mu_.
+  void count_terminal(ServiceStatus status);
+
+  ServiceOptions options_;
+  CompileCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<Job> queue_;
+  std::vector<std::thread> workers_;
+  bool accepting_ = true;
+  bool stopping_ = false;
+  bool started_ = false;
+  ServiceStats stats_;
+};
+
+}  // namespace miniarc

@@ -1,0 +1,245 @@
+#include "service/service_wire.h"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "trace/json.h"
+
+namespace miniarc {
+
+namespace {
+
+bool fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+bool expect_string(const JsonValue& v, const char* key, std::string* out,
+                   std::string* error) {
+  if (!v.is_string()) {
+    return fail(error, std::string("field '") + key + "' must be a string");
+  }
+  *out = v.string;
+  return true;
+}
+
+bool expect_bool(const JsonValue& v, const char* key, bool* out,
+                 std::string* error) {
+  if (!v.is_bool()) {
+    return fail(error, std::string("field '") + key + "' must be a boolean");
+  }
+  *out = v.boolean;
+  return true;
+}
+
+bool expect_number(const JsonValue& v, const char* key, double* out,
+                   std::string* error) {
+  if (!v.is_number() || !std::isfinite(v.number)) {
+    return fail(error,
+                std::string("field '") + key + "' must be a finite number");
+  }
+  *out = v.number;
+  return true;
+}
+
+bool expect_count(const JsonValue& v, const char* key, double lo, double hi,
+                  long* out, std::string* error) {
+  double d = 0.0;
+  if (!expect_number(v, key, &d, error)) return false;
+  if (d < lo || d > hi || d != std::floor(d)) {
+    return fail(error, std::string("field '") + key + "' out of range");
+  }
+  *out = static_cast<long>(d);
+  return true;
+}
+
+bool parse_budget(const JsonValue& v, RunBudget* budget, std::string* error) {
+  if (!v.is_object()) return fail(error, "field 'budget' must be an object");
+  for (const auto& [key, member] : v.object) {
+    if (key == "deadline_vt") {
+      if (!expect_number(member, "budget.deadline_vt",
+                         &budget->deadline_vt_seconds, error)) {
+        return false;
+      }
+      if (budget->deadline_vt_seconds < 0.0) {
+        return fail(error, "field 'budget.deadline_vt' must be >= 0");
+      }
+    } else if (key == "deadline_ms") {
+      if (!expect_number(member, "budget.deadline_ms",
+                         &budget->deadline_wall_ms, error)) {
+        return false;
+      }
+      if (budget->deadline_wall_ms < 0.0) {
+        return fail(error, "field 'budget.deadline_ms' must be >= 0");
+      }
+    } else if (key == "mem_ceiling") {
+      long bytes = 0;
+      if (!expect_count(member, "budget.mem_ceiling", 0.0, 1e15, &bytes,
+                        error)) {
+        return false;
+      }
+      budget->mem_ceiling_bytes = static_cast<std::size_t>(bytes);
+    } else if (key == "stmt_budget") {
+      if (!expect_count(member, "budget.stmt_budget", 0.0, 1e15,
+                        &budget->stmt_budget, error)) {
+        return false;
+      }
+    } else if (key == "retry_budget") {
+      if (!expect_count(member, "budget.retry_budget", -1.0, 1e9,
+                        &budget->retry_budget, error)) {
+        return false;
+      }
+    } else {
+      return fail(error, "unknown budget field '" + key + "'");
+    }
+  }
+  return true;
+}
+
+bool parse_sets(const JsonValue& v,
+                std::vector<std::pair<std::string, double>>* sets,
+                std::string* error) {
+  if (!v.is_object()) return fail(error, "field 'sets' must be an object");
+  for (const auto& [name, member] : v.object) {
+    double value = 0.0;
+    if (!expect_number(member, "sets value", &value, error)) return false;
+    sets->emplace_back(name, value);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_service_request(const std::string& json_text,
+                           ServiceRequest* request, std::string* error) {
+  std::string parse_error;
+  std::optional<JsonValue> doc = parse_json(json_text, &parse_error);
+  if (!doc.has_value()) {
+    return fail(error, "malformed request JSON: " + parse_error);
+  }
+  if (!doc->is_object()) {
+    return fail(error, "request must be a JSON object");
+  }
+
+  *request = ServiceRequest{};
+  for (const auto& [key, member] : doc->object) {
+    if (key == "id") {
+      if (!expect_string(member, "id", &request->id, error)) return false;
+    } else if (key == "command") {
+      if (!expect_string(member, "command", &request->command, error)) {
+        return false;
+      }
+    } else if (key == "program") {
+      if (!expect_string(member, "program", &request->program_name, error)) {
+        return false;
+      }
+    } else if (key == "source") {
+      if (!expect_string(member, "source", &request->source, error)) {
+        return false;
+      }
+    } else if (key == "sets") {
+      if (!parse_sets(member, &request->sets, error)) return false;
+    } else if (key == "size") {
+      long size = 0;
+      if (!expect_count(member, "size", 1.0, 1e9, &size, error)) return false;
+      request->buffer_size = static_cast<std::size_t>(size);
+    } else if (key == "budget") {
+      if (!parse_budget(member, &request->budget, error)) return false;
+    } else if (key == "faults") {
+      std::string spec;
+      if (!expect_string(member, "faults", &spec, error)) return false;
+      std::string spec_error;
+      std::optional<FaultPlan> plan = FaultPlan::parse(spec, &spec_error);
+      if (!plan.has_value()) {
+        return fail(error, "invalid faults spec: " + spec_error);
+      }
+      request->faults = *plan;
+    } else if (key == "breaker") {
+      std::string spec;
+      if (!expect_string(member, "breaker", &spec, error)) return false;
+      std::string spec_error;
+      std::optional<BreakerConfig> config =
+          BreakerConfig::parse(spec, &spec_error);
+      if (!config.has_value()) {
+        return fail(error, "invalid breaker spec: " + spec_error);
+      }
+      request->breaker = *config;
+    } else if (key == "kernel_retries") {
+      long retries = 0;
+      if (!expect_count(member, "kernel_retries", 0.0, 64.0, &retries,
+                        error)) {
+        return false;
+      }
+      request->kernel_retries = static_cast<int>(retries);
+    } else if (key == "no_failover") {
+      bool no_failover = false;
+      if (!expect_bool(member, "no_failover", &no_failover, error)) {
+        return false;
+      }
+      request->host_failover = !no_failover;
+    } else if (key == "threads") {
+      long threads = 0;
+      if (!expect_count(member, "threads", 1.0, 256.0, &threads, error)) {
+        return false;
+      }
+      request->threads = static_cast<int>(threads);
+    } else if (key == "include_trace") {
+      if (!expect_bool(member, "include_trace", &request->include_trace,
+                       error)) {
+        return false;
+      }
+    } else {
+      return fail(error, "unknown request field '" + key + "'");
+    }
+  }
+
+  if (request->id.empty()) return fail(error, "missing required field 'id'");
+  if (request->command != "run" && request->command != "advise") {
+    return fail(error, "field 'command' must be \"run\" or \"advise\"");
+  }
+  if (request->source.empty()) {
+    return fail(error, "missing required field 'source'");
+  }
+  if (request->program_name.empty()) request->program_name = request->id;
+  return true;
+}
+
+void write_service_response(const ServiceResponse& response,
+                            std::ostream& os) {
+  JsonWriter json(os);
+  json.begin_object();
+  json.field("schema", kServiceSchema);
+  json.field("id", response.id);
+  json.field("status", to_string(response.status));
+  if (!response.error.empty()) json.field("error", response.error);
+  if (!response.source_hash.empty()) {
+    json.field("source_hash", response.source_hash);
+    json.field("cache", response.cache_hit ? "hit" : "miss");
+  }
+  if (!response.report_json.empty()) {
+    json.key("report");
+    json.raw_value(response.report_json);
+  }
+  if (!response.advice_json.empty()) {
+    json.key("advice");
+    json.raw_value(response.advice_json);
+  }
+  if (!response.trace_json.empty()) {
+    json.key("trace");
+    json.raw_value(response.trace_json);
+  }
+  json.end_object();
+  json.finish();
+}
+
+ServiceResponse make_bad_request_response(std::string id, std::string error) {
+  ServiceResponse response;
+  response.id = std::move(id);
+  response.status = ServiceStatus::kBadRequest;
+  response.error = std::move(error);
+  return response;
+}
+
+}  // namespace miniarc

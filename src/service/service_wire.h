@@ -1,0 +1,49 @@
+// miniarc-service/v1 wire format: one JSON object per request in, one per
+// response out (newline-delimited on the CLI's stdin/stdout). The request
+// parser is an UNTRUSTED-INPUT boundary — it is strict (unknown keys,
+// wrong types, and out-of-range values are rejected with a one-line
+// error), and the underlying parse_json is hardened against truncation,
+// deep nesting, and other adversarial payloads (tests/property_test.cpp).
+//
+// Request:
+//   {"id": "r1", "command": "run"|"advise", "source": "...",
+//    "program": "label",                      // optional report label
+//    "sets": {"N": 16, "ITER": 4},            // optional extern scalars
+//    "size": 256,                             // optional buffer elements
+//    "budget": {"deadline_vt": S, "deadline_ms": MS, "mem_ceiling": B,
+//               "stmt_budget": N, "retry_budget": N},     // optional
+//    "faults": "transient=0.1,seed=7",        // optional FaultPlan spec
+//    "breaker": "window=8,threshold=4",       // optional BreakerConfig
+//    "kernel_retries": 2, "no_failover": true,
+//    "threads": 1, "include_trace": false}    // all optional
+//
+// Response:
+//   {"schema": "miniarc-service/v1", "id": "r1", "status": "ok"|...,
+//    "error": "...", "cache": "hit"|"miss"|"", "source_hash": "...",
+//    "report": {...miniarc-run-report/v1...},     // when the run happened
+//    "advice": {...miniarc-advice/v1...},         // advise requests
+//    "trace": {...chrome trace...}}               // include_trace
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "service/service.h"
+
+namespace miniarc {
+
+/// Parse one request document. Returns false and sets `*error` (one line)
+/// on malformed JSON, unknown keys, wrong types, or invalid specs.
+[[nodiscard]] bool parse_service_request(const std::string& json_text,
+                                         ServiceRequest* request,
+                                         std::string* error);
+
+/// Serialize a response (one line + trailing newline; deterministic).
+void write_service_response(const ServiceResponse& response,
+                            std::ostream& os);
+
+/// Build the structured rejection for an unparseable request line.
+[[nodiscard]] ServiceResponse make_bad_request_response(std::string id,
+                                                        std::string error);
+
+}  // namespace miniarc

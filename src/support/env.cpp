@@ -78,6 +78,19 @@ double env_double_or(const char* name, double fallback, double min_value,
   return *parsed;
 }
 
+namespace {
+
+std::string joined_choices(std::initializer_list<const char*> choices) {
+  std::string expected;
+  for (const char* choice : choices) {
+    if (!expected.empty()) expected += ", ";
+    expected += choice;
+  }
+  return expected;
+}
+
+}  // namespace
+
 std::string env_choice_or(const char* name, const char* fallback,
                           std::initializer_list<const char*> choices) {
   const char* raw = std::getenv(name);
@@ -85,16 +98,24 @@ std::string env_choice_or(const char* name, const char* fallback,
   for (const char* choice : choices) {
     if (std::strcmp(raw, choice) == 0) return choice;
   }
-  std::string expected;
-  for (const char* choice : choices) {
-    if (!expected.empty()) expected += ", ";
-    expected += choice;
-  }
   std::fprintf(stderr,
                "miniarc: ignoring invalid %s='%s' (expected one of: %s); "
                "using default %s\n",
-               name, raw, expected.c_str(), fallback);
+               name, raw, joined_choices(choices).c_str(), fallback);
   return fallback;
+}
+
+std::string env_choice_strict(const char* name, const char* fallback,
+                              std::initializer_list<const char*> choices) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  for (const char* choice : choices) {
+    if (std::strcmp(raw, choice) == 0) return choice;
+  }
+  std::fprintf(stderr,
+               "miniarc: invalid %s='%s' (expected one of: %s)\n", name, raw,
+               joined_choices(choices).c_str());
+  std::exit(2);
 }
 
 }  // namespace miniarc

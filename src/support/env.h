@@ -46,4 +46,13 @@ namespace miniarc {
     const char* name, const char* fallback,
     std::initializer_list<const char*> choices);
 
+/// Like env_choice_or but REJECTING: an unknown value prints a one-line
+/// stderr diagnostic naming the variable and the accepted values, then
+/// exits with status 2 (usage error). Used for knobs where a silent
+/// fallback would run the wrong engine entirely (MINIARC_EXEC): a typo'd
+/// value must not masquerade as a successful run on the default engine.
+[[nodiscard]] std::string env_choice_strict(
+    const char* name, const char* fallback,
+    std::initializer_list<const char*> choices);
+
 }  // namespace miniarc

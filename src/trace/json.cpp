@@ -140,9 +140,18 @@ namespace {
 
 /// Recursive-descent parser over a string_view with 1-based offsets in
 /// error messages.
+///
+/// Nesting is capped at kMaxJsonDepth: the parser recurses once per
+/// container level, so without a cap a request of a few hundred KB of '['
+/// bytes overflows the stack — this parser sits on the service's
+/// untrusted-input boundary (miniarc-service/v1 requests arrive over
+/// stdin). 192 levels is far beyond any document miniarc emits (reports
+/// nest < 8 deep) while keeping worst-case stack use to a few tens of KB.
 class JsonParser {
  public:
   explicit JsonParser(std::string_view text) : text_(text) {}
+
+  static constexpr int kMaxJsonDepth = 192;
 
   std::optional<JsonValue> parse(std::string* error) {
     JsonValue value;
@@ -186,8 +195,14 @@ class JsonParser {
     if (pos_ >= text_.size()) return fail("unexpected end of input");
     char c = text_[pos_];
     switch (c) {
-      case '{': return parse_object(out);
-      case '[': return parse_array(out);
+      case '{':
+      case '[': {
+        if (depth_ >= kMaxJsonDepth) return fail("nesting too deep");
+        ++depth_;
+        bool ok = c == '{' ? parse_object(out) : parse_array(out);
+        --depth_;
+        return ok;
+      }
       case '"': {
         out.kind = JsonValue::Kind::kString;
         return parse_string(out.string);
@@ -375,6 +390,8 @@ class JsonParser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  /// Current container nesting; parse_value rejects past kMaxJsonDepth.
+  int depth_ = 0;
   std::string error_;
 };
 

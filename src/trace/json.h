@@ -112,7 +112,11 @@ struct JsonValue {
 
 /// Parse one complete JSON document (trailing whitespace allowed, trailing
 /// garbage is an error). Returns nullopt — and sets `*error` to a
-/// position-annotated message when given — on malformed input.
+/// position-annotated message when given — on malformed input. Container
+/// nesting deeper than 192 levels is rejected (not a crash): the parser
+/// sits on the service's untrusted-input boundary, and unbounded recursion
+/// would let a short hostile document overflow the stack. Duplicate object
+/// keys are kept in arrival order; find() returns the first.
 [[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text,
                                                   std::string* error = nullptr);
 

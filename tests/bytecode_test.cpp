@@ -155,10 +155,16 @@ TEST(BytecodeEngineSelectionTest, OptionOverridesEnvironment) {
                      engine_options(ExecEngine::kBytecode));
   EXPECT_TRUE(forced.bytecode_engine());
 
-  // Invalid values warn and fall back to the default (bytecode).
+  // An unknown engine name is rejected with exit 2, not silently defaulted:
+  // a typo'd MINIARC_EXEC in an A/B comparison would otherwise measure the
+  // default engine against itself. An explicit --exec-style option bypasses
+  // the environment entirely and must stay usable under the bad value.
   ::setenv("MINIARC_EXEC", "tree-walk", 1);
-  Interpreter invalid(*low.program, low.sema, runtime, {});
-  EXPECT_TRUE(invalid.bytecode_engine());
+  EXPECT_EXIT(Interpreter(*low.program, low.sema, runtime, {}),
+              ::testing::ExitedWithCode(2), "invalid MINIARC_EXEC");
+  Interpreter forced_past_bad_env(*low.program, low.sema, runtime,
+                                  engine_options(ExecEngine::kAst));
+  EXPECT_FALSE(forced_past_bad_env.bytecode_engine());
 
   ::unsetenv("MINIARC_EXEC");
   Interpreter unset(*low.program, low.sema, runtime, {});

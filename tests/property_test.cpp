@@ -335,6 +335,102 @@ TEST(JsonRoundTripTest, RandomDocumentsSurviveWriteParse) {
   }
 }
 
+// ---- parse_json on hostile input ----
+//
+// parse_json sits on the service's untrusted-input boundary (every
+// miniarc-service/v1 request line goes through it), so it must degrade to
+// a structured error — never a crash — on truncated, deeply nested, or
+// mutated documents.
+
+TEST(JsonHostileInputTest, EveryTruncationFailsCleanly) {
+  std::mt19937 rng(0x5eed02);
+  for (int trial = 0; trial < 20; ++trial) {
+    JsonValue original = random_json(rng, 3);
+    std::ostringstream os;
+    JsonWriter json(os);
+    write_json_value(json, original);
+    json.finish();
+    std::string text = os.str();
+
+    // Any strict prefix of a container/string document is malformed; a
+    // prefix of a scalar document may itself be a valid scalar. Either way
+    // the parser must return, not crash, and failures must carry an error.
+    for (std::size_t cut = 0; cut < text.size(); ++cut) {
+      std::string error;
+      std::optional<JsonValue> parsed = parse_json(text.substr(0, cut), &error);
+      if (!parsed.has_value()) {
+        EXPECT_FALSE(error.empty()) << "cut " << cut;
+      }
+    }
+  }
+}
+
+TEST(JsonHostileInputTest, DeepNestingRejectedNotCrashed) {
+  // 192 levels parse; 193 is a structured error. Without the cap, the
+  // 200k-level document below would overflow the stack long before this
+  // assertion ran.
+  auto nested_array = [](int depth) {
+    return std::string(static_cast<std::size_t>(depth), '[') + "1" +
+           std::string(static_cast<std::size_t>(depth), ']');
+  };
+  EXPECT_TRUE(parse_json(nested_array(192)).has_value());
+
+  std::string error;
+  EXPECT_FALSE(parse_json(nested_array(193), &error).has_value());
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+
+  EXPECT_FALSE(parse_json(std::string(200000, '['), &error).has_value());
+
+  // Deep objects hit the same cap as deep arrays.
+  std::string deep_object;
+  for (int i = 0; i < 500; ++i) deep_object += "{\"k\":";
+  deep_object += "1";
+  for (int i = 0; i < 500; ++i) deep_object += "}";
+  EXPECT_FALSE(parse_json(deep_object, &error).has_value());
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+}
+
+TEST(JsonHostileInputTest, DuplicateKeysKeptInOrderFirstWins) {
+  std::optional<JsonValue> parsed =
+      parse_json(R"({"k": 1, "other": true, "k": 2})");
+  ASSERT_TRUE(parsed.has_value());
+  // The DOM keeps both members (exact byte comparison elsewhere depends on
+  // full fidelity); find() resolves reads to the first occurrence, so a
+  // smuggled duplicate can never override what a validator already checked.
+  ASSERT_EQ(parsed->object.size(), 3u);
+  const JsonValue* k = parsed->find("k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->number, 1.0);
+}
+
+TEST(JsonHostileInputTest, RandomByteMutationsNeverCrash) {
+  std::mt19937 rng(0x5eed03);
+  for (int trial = 0; trial < 100; ++trial) {
+    JsonValue original = random_json(rng, 3);
+    std::ostringstream os;
+    JsonWriter json(os);
+    write_json_value(json, original);
+    json.finish();
+    std::string text = os.str();
+    if (text.empty()) continue;
+
+    // Corrupt 1–4 random bytes (full byte range: embedded NULs, broken
+    // UTF-8, stray structural characters) and parse the wreckage.
+    std::uniform_int_distribution<std::size_t> pos(0, text.size() - 1);
+    std::uniform_int_distribution<int> byte(0, 255);
+    std::uniform_int_distribution<int> edits(1, 4);
+    std::string mutated = text;
+    for (int e = edits(rng); e > 0; --e) {
+      mutated[pos(rng)] = static_cast<char>(byte(rng));
+    }
+    std::string error;
+    std::optional<JsonValue> parsed = parse_json(mutated, &error);
+    if (!parsed.has_value()) {
+      EXPECT_FALSE(error.empty()) << mutated;
+    }
+  }
+}
+
 TEST(SoundAliasModeTest, RespectingAliasesAvoidsWrongSuggestions) {
   // Extension over the paper: with the sound alias policy, LUD's aliased
   // work arrays are never reported redundant, so the optimizer needs no

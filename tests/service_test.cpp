@@ -1,0 +1,539 @@
+// The multi-tenant batch run service (src/service/): compiled-program
+// immutability, content-addressed compile-cache determinism, admission
+// control, shutdown semantics — and the isolation soak: concurrent
+// tenants (including one injecting faults into a tripping breaker and one
+// exhausting its statement budget) must each produce reports and traces
+// byte-identical to the same request run alone on a fresh service. The
+// shared-program tests in this file are the TSan target for the
+// one-CompiledProgram-many-runtimes contract.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "miniarc.h"
+#include "tests/test_util.h"
+
+namespace miniarc {
+namespace {
+
+constexpr const char* kKernelSource = R"(
+extern double a[];
+void main(void) {
+  int i;
+#pragma acc data copy(a)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 8; i++) { a[i] = a[i] * 2.0 + 1.0; }
+  }
+}
+)";
+
+constexpr const char* kOtherSource = R"(
+extern double b[];
+void main(void) {
+  int i;
+#pragma acc data copy(b)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 8; i++) { b[i] = b[i] + 3.0; }
+  }
+}
+)";
+
+constexpr const char* kThirdSource = R"(
+extern double c[];
+void main(void) {
+  int i;
+#pragma acc data copy(c)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 8; i++) { c[i] = c[i] * c[i]; }
+  }
+}
+)";
+
+/// Host-side loop long enough that a 100-statement budget cancels it
+/// deterministically mid-run (the budget-exhausting tenant).
+constexpr const char* kLongHostSource = R"(
+extern double out[];
+void main(void) {
+  int i;
+  double s;
+  s = 0.0;
+  for (i = 0; i < 10000; i++) { s = s + 1.0; }
+  out[0] = s;
+}
+)";
+
+ServiceRequest basic_request(const std::string& id, const char* source) {
+  ServiceRequest request;
+  request.id = id;
+  request.source = source;
+  request.buffer_size = 8;
+  return request;
+}
+
+// ---- CompiledProgram ----
+
+TEST(CompiledProgramTest, BuildModesAndFingerprints) {
+  std::string error;
+  auto run = build_compiled_program(kKernelSource, CompileMode::kRun, &error);
+  ASSERT_NE(run, nullptr) << error;
+  auto advise =
+      build_compiled_program(kKernelSource, CompileMode::kAdvise, &error);
+  ASSERT_NE(advise, nullptr) << error;
+
+  EXPECT_EQ(run->source, kKernelSource);
+  EXPECT_EQ(run->fingerprint,
+            source_fingerprint(CompileMode::kRun, kKernelSource));
+  // The two modes lower different ASTs and must cache under distinct keys.
+  EXPECT_NE(run->fingerprint, advise->fingerprint);
+  EXPECT_EQ(run->kernel_names.size(), 1u);
+  EXPECT_FALSE(run->bytecode.empty());
+  EXPECT_GT(run->footprint_bytes, run->source.size());
+  // Advise-mode instrumentation is recorded on the program itself.
+  EXPECT_EQ(run->static_checks, 0);
+  EXPECT_GT(advise->static_checks, 0);
+
+  auto bad = build_compiled_program("not a program", CompileMode::kRun, &error);
+  EXPECT_EQ(bad, nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(CompiledProgramTest, SharedProgramExecutesCorrectly) {
+  std::string error;
+  auto compiled =
+      build_compiled_program(kKernelSource, CompileMode::kRun, &error);
+  ASSERT_NE(compiled, nullptr) << error;
+
+  AccRuntime runtime(MachineModel::m2090(), {});
+  Interpreter interp(*compiled, runtime, {});
+  EXPECT_TRUE(interp.bytecode_engine());
+  BufferPtr a = interp.bind_buffer("a", ScalarKind::kDouble, 8);
+  for (int i = 0; i < 8; ++i) a->set(i, static_cast<double>(i));
+  interp.run();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(a->get(i), static_cast<double>(i) * 2.0 + 1.0) << i;
+  }
+}
+
+// ---- CompileCache ----
+
+TEST(CompileCacheTest, HitMissEvictSequenceIsDeterministic) {
+  std::string error;
+  auto a = build_compiled_program(kKernelSource, CompileMode::kRun, &error);
+  auto b = build_compiled_program(kOtherSource, CompileMode::kRun, &error);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  // Room for exactly two resident programs (the three sources have nearly
+  // identical footprints): the third insertion must evict the LRU entry.
+  const std::size_t ceiling = a->footprint_bytes + b->footprint_bytes +
+                              b->footprint_bytes / 2;
+
+  auto run_scenario = [&](CompileCache::Stats* out) {
+    CompileCache cache(ceiling);
+    CompileCache::Outcome outcome;
+    auto lookup = [&](const char* source) {
+      auto program =
+          cache.get_or_compile(source, CompileMode::kRun, &error, &outcome);
+      EXPECT_NE(program, nullptr) << error;
+      return outcome;
+    };
+    EXPECT_EQ(lookup(kKernelSource), CompileCache::Outcome::kMiss);
+    EXPECT_EQ(lookup(kKernelSource), CompileCache::Outcome::kHit);
+    EXPECT_EQ(lookup(kOtherSource), CompileCache::Outcome::kMiss);
+    // Re-touching kKernelSource makes kOtherSource the LRU entry...
+    EXPECT_EQ(lookup(kKernelSource), CompileCache::Outcome::kHit);
+    // ...so the third program's insertion evicts kOtherSource...
+    EXPECT_EQ(lookup(kThirdSource), CompileCache::Outcome::kMiss);
+    EXPECT_EQ(lookup(kKernelSource), CompileCache::Outcome::kHit);
+    // ...and re-inserting kOtherSource evicts kThirdSource in turn.
+    EXPECT_EQ(lookup(kOtherSource), CompileCache::Outcome::kMiss);
+    *out = cache.stats();
+  };
+
+  CompileCache::Stats first;
+  run_scenario(&first);
+  EXPECT_EQ(first.hits, 3);
+  EXPECT_EQ(first.misses, 4);
+  EXPECT_EQ(first.evictions, 2);  // kOther evicted, then kThird evicted
+  EXPECT_EQ(first.insertions, 4);
+  EXPECT_EQ(first.bypasses, 0);
+  EXPECT_EQ(first.entries, 2);
+
+  // Determinism: the identical lookup sequence reproduces every counter.
+  CompileCache::Stats second;
+  run_scenario(&second);
+  EXPECT_EQ(first.hits, second.hits);
+  EXPECT_EQ(first.misses, second.misses);
+  EXPECT_EQ(first.evictions, second.evictions);
+  EXPECT_EQ(first.insertions, second.insertions);
+  EXPECT_EQ(first.bytes_in_use, second.bytes_in_use);
+}
+
+TEST(CompileCacheTest, OversizedProgramBypassesInsteadOfThrashing) {
+  CompileCache cache(64);  // smaller than any compiled program
+  std::string error;
+  CompileCache::Outcome outcome;
+  auto program = cache.get_or_compile(kKernelSource, CompileMode::kRun, &error,
+                                      &outcome);
+  ASSERT_NE(program, nullptr) << error;
+  EXPECT_EQ(outcome, CompileCache::Outcome::kBypass);
+  CompileCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.bypasses, 1);
+  EXPECT_EQ(stats.bytes_in_use, 0u);
+}
+
+TEST(CompileCacheTest, CompileFailuresAreNeverCached) {
+  CompileCache cache(1 << 20);
+  std::string error;
+  EXPECT_EQ(cache.get_or_compile("not a program", CompileMode::kRun, &error,
+                                 nullptr),
+            nullptr);
+  EXPECT_FALSE(error.empty());
+  // The second identical request recompiles (miss again, no poisoned hit).
+  error.clear();
+  EXPECT_EQ(cache.get_or_compile("not a program", CompileMode::kRun, &error,
+                                 nullptr),
+            nullptr);
+  CompileCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.entries, 0);
+}
+
+// ---- ServiceCore ----
+
+ServiceOptions sync_options(int jobs) {
+  ServiceOptions options;
+  options.jobs = jobs;
+  options.queue_depth = 64;
+  options.cache_bytes = 1 << 20;
+  options.autostart = false;
+  return options;
+}
+
+TEST(ServiceCoreTest, CacheHitReportIsByteIdenticalToColdCompile) {
+  ServiceCore core(sync_options(1));
+  ServiceRequest request = basic_request("tenant", kKernelSource);
+  request.include_trace = true;
+
+  ServiceResponse cold = core.run_sync(request);
+  ServiceResponse warm = core.run_sync(request);
+  ASSERT_EQ(cold.status, ServiceStatus::kOk) << cold.error;
+  ASSERT_EQ(warm.status, ServiceStatus::kOk) << warm.error;
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(cold.source_hash, warm.source_hash);
+  // The acceptance bar: executing a cached program yields the same bytes
+  // as executing a freshly compiled one.
+  EXPECT_EQ(cold.report_json, warm.report_json);
+  EXPECT_EQ(cold.trace_json, warm.trace_json);
+  EXPECT_FALSE(cold.report_json.empty());
+  EXPECT_FALSE(cold.trace_json.empty());
+}
+
+TEST(ServiceCoreTest, BadRequestsAndBudgetFloorsShedUpFront) {
+  ServiceCore core(sync_options(1));
+
+  ServiceRequest empty_source = basic_request("no-source", "");
+  EXPECT_EQ(core.run_sync(empty_source).status, ServiceStatus::kBadRequest);
+
+  ServiceRequest bad_command = basic_request("bad-cmd", kKernelSource);
+  bad_command.command = "compile";
+  EXPECT_EQ(core.run_sync(bad_command).status, ServiceStatus::kBadRequest);
+
+  // A statement budget below the floor cannot even cover data setup:
+  // rejected at admission, not queued to die.
+  ServiceRequest starved = basic_request("starved", kKernelSource);
+  starved.budget.stmt_budget = 8;
+  ServiceResponse shed = core.run_sync(starved);
+  EXPECT_EQ(shed.status, ServiceStatus::kShedBudget);
+  EXPECT_FALSE(shed.error.empty());
+  EXPECT_TRUE(is_shed(shed.status));
+
+  ServiceStats stats = core.stats();
+  EXPECT_EQ(stats.bad_requests, 2);
+  EXPECT_EQ(stats.shed_budget, 1);
+  EXPECT_EQ(stats.accepted, 0);
+}
+
+TEST(ServiceCoreTest, FloodShedsDeterministically) {
+  // Submit-before-start makes the accept/shed split a pure function of the
+  // request sequence: with depth 4, requests 0..3 are admitted and 4..9
+  // shed as overload — on every run.
+  for (int round = 0; round < 2; ++round) {
+    ServiceOptions options = sync_options(2);
+    options.queue_depth = 4;
+    ServiceCore core(options);
+    std::vector<std::future<ServiceResponse>> futures;
+    for (int i = 0; i < 10; ++i) {
+      futures.push_back(
+          core.submit(basic_request("flood-" + std::to_string(i),
+                                    kKernelSource)));
+    }
+    core.start();
+    for (int i = 0; i < 10; ++i) {
+      ServiceResponse response = futures[static_cast<std::size_t>(i)].get();
+      if (i < 4) {
+        EXPECT_EQ(response.status, ServiceStatus::kOk)
+            << "round " << round << " request " << i << ": " << response.error;
+      } else {
+        EXPECT_EQ(response.status, ServiceStatus::kShedOverload)
+            << "round " << round << " request " << i;
+      }
+    }
+    ServiceStats stats = core.stats();
+    EXPECT_EQ(stats.submitted, 10);
+    EXPECT_EQ(stats.accepted, 4);
+    EXPECT_EQ(stats.shed_overload, 6);
+    EXPECT_EQ(stats.max_queue_depth, 4u);
+  }
+}
+
+TEST(ServiceCoreTest, ShutdownDrainRunsQueuedWork) {
+  ServiceCore core(sync_options(2));
+  std::vector<std::future<ServiceResponse>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(
+        core.submit(basic_request("drain-" + std::to_string(i),
+                                  kKernelSource)));
+  }
+  core.start();
+  core.shutdown(/*drain=*/true);
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().status, ServiceStatus::kOk);
+  }
+  // Post-shutdown submissions are refused with a structured response.
+  ServiceResponse late = core.submit(basic_request("late", kKernelSource)).get();
+  EXPECT_EQ(late.status, ServiceStatus::kShedShutdown);
+  EXPECT_EQ(core.stats().shed_shutdown, 1);
+}
+
+TEST(ServiceCoreTest, ShutdownWithoutDrainShedsQueuedWork) {
+  ServiceCore core(sync_options(2));
+  std::vector<std::future<ServiceResponse>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(
+        core.submit(basic_request("shed-" + std::to_string(i),
+                                  kKernelSource)));
+  }
+  // Never started: drain=false resolves every queued future as a shutdown
+  // shed instead of leaving callers hanging.
+  core.shutdown(/*drain=*/false);
+  for (auto& future : futures) {
+    ServiceResponse response = future.get();
+    EXPECT_EQ(response.status, ServiceStatus::kShedShutdown);
+    EXPECT_FALSE(response.error.empty());
+  }
+  ServiceStats stats = core.stats();
+  EXPECT_EQ(stats.accepted, 0);  // admission revoked
+  EXPECT_EQ(stats.shed_shutdown, 3);
+}
+
+// ---- the isolation soak ----
+
+/// The eight-tenant mix: plain runs, a parallel-executor tenant, a
+/// fault-injecting tenant whose breaker trips, a budget-exhausting tenant,
+/// and an advise tenant. Every knob is request-scoped; ids double as
+/// report labels so solo and concurrent runs are comparable byte-for-byte.
+std::vector<ServiceRequest> soak_tenants() {
+  std::vector<ServiceRequest> tenants;
+  tenants.push_back(basic_request("soak-plain-a", kKernelSource));
+  tenants.push_back(basic_request("soak-plain-b", kOtherSource));
+  tenants.push_back(basic_request("soak-plain-c", kThirdSource));
+
+  ServiceRequest threaded = basic_request("soak-threads", kKernelSource);
+  threaded.threads = 4;
+  tenants.push_back(threaded);
+
+  ServiceRequest faulty = basic_request("soak-faults", kKernelSource);
+  faulty.faults = FaultPlan::parse("transient=0.6,seed=9");
+  faulty.kernel_retries = 3;
+  tenants.push_back(faulty);
+
+  ServiceRequest tripping = basic_request("soak-breaker", kOtherSource);
+  tripping.faults = FaultPlan::parse("fault=0.9,seed=4");
+  tripping.breaker = BreakerConfig::parse("window=2,threshold=2,probe=2");
+  tenants.push_back(tripping);
+
+  ServiceRequest exhausted = basic_request("soak-budget", kLongHostSource);
+  exhausted.budget.stmt_budget = 100;
+  tenants.push_back(exhausted);
+
+  ServiceRequest advised = basic_request("soak-advise", kKernelSource);
+  advised.command = "advise";
+  tenants.push_back(advised);
+
+  for (ServiceRequest& tenant : tenants) tenant.include_trace = true;
+  return tenants;
+}
+
+TEST(ServiceIsolationSoakTest, ConcurrentTenantsMatchSoloBaselines) {
+  std::vector<ServiceRequest> tenants = soak_tenants();
+
+  // Solo baselines: each request alone on a fresh, cold service.
+  std::vector<ServiceResponse> solo;
+  for (const ServiceRequest& tenant : tenants) {
+    ServiceCore fresh(sync_options(1));
+    solo.push_back(fresh.run_sync(tenant));
+  }
+  // The budget tenant's statement budget cancels it deterministically
+  // (PARTIAL report); whatever the fault/breaker tenants' outcomes, they
+  // must reproduce byte-for-byte under load — asserted in the loop below.
+  ASSERT_EQ(solo[6].status, ServiceStatus::kPartial) << solo[6].error;
+  ASSERT_FALSE(solo[7].advice_json.empty());
+
+  // Two concurrent rounds on an 8-worker service; every tenant must match
+  // its solo bytes despite sharing the process with a faulting tenant, a
+  // tripped breaker, and a cancelled run.
+  for (int round = 0; round < 2; ++round) {
+    ServiceCore core(sync_options(8));
+    std::vector<std::future<ServiceResponse>> futures;
+    for (const ServiceRequest& tenant : tenants) {
+      futures.push_back(core.submit(tenant));
+    }
+    core.start();
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      ServiceResponse crowded = futures[i].get();
+      EXPECT_EQ(crowded.status, solo[i].status)
+          << "round " << round << " tenant " << tenants[i].id;
+      EXPECT_EQ(crowded.report_json, solo[i].report_json)
+          << "round " << round << " tenant " << tenants[i].id;
+      EXPECT_EQ(crowded.trace_json, solo[i].trace_json)
+          << "round " << round << " tenant " << tenants[i].id;
+      EXPECT_EQ(crowded.advice_json, solo[i].advice_json)
+          << "round " << round << " tenant " << tenants[i].id;
+      EXPECT_EQ(crowded.error, solo[i].error)
+          << "round " << round << " tenant " << tenants[i].id;
+    }
+  }
+}
+
+// ---- shared CompiledProgram across threads (the TSan target) ----
+
+TEST(SharedProgramThreadsTest, EightThreadsDivergentFaultPlansByteIdentical) {
+  std::string error;
+  auto compiled =
+      build_compiled_program(kKernelSource, CompileMode::kRun, &error);
+  ASSERT_NE(compiled, nullptr) << error;
+
+  // Eight requests against the ONE compiled program, each with a divergent
+  // fault plan (different seed and rate ⇒ different retry/rollback
+  // schedules stressing different interpreter paths).
+  std::vector<ServiceRequest> requests;
+  for (int i = 0; i < 8; ++i) {
+    ServiceRequest request =
+        basic_request("shared-" + std::to_string(i), kKernelSource);
+    request.include_trace = true;
+    if (i % 2 == 1) {
+      request.faults = FaultPlan::parse(
+          "transient=0." + std::to_string(2 + i) + ",seed=" +
+          std::to_string(100 + i));
+      request.kernel_retries = 4;
+    }
+    requests.push_back(std::move(request));
+  }
+
+  // Solo baselines, serially, against the same shared program.
+  std::vector<ServiceResponse> solo;
+  for (const ServiceRequest& request : requests) {
+    solo.push_back(execute_service_request(request, compiled));
+  }
+
+  // All eight at once. Any write to the shared AST, slot table, or
+  // bytecode map is a data race TSan reports and a determinism bug these
+  // byte comparisons catch.
+  std::vector<ServiceResponse> concurrent(requests.size());
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    threads.emplace_back([&, i] {
+      concurrent[i] = execute_service_request(requests[i], compiled);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(concurrent[i].status, solo[i].status) << requests[i].id;
+    EXPECT_EQ(concurrent[i].report_json, solo[i].report_json)
+        << requests[i].id;
+    EXPECT_EQ(concurrent[i].trace_json, solo[i].trace_json) << requests[i].id;
+  }
+}
+
+// ---- wire format ----
+
+TEST(ServiceWireTest, ParsesFullRequestAndRejectsUnknownKeys) {
+  ServiceRequest request;
+  std::string error;
+  ASSERT_TRUE(parse_service_request(
+      R"({"id": "r1", "command": "advise", "source": "void main(void) {}",
+          "program": "label", "sets": {"N": 16}, "size": 32,
+          "budget": {"stmt_budget": 500, "retry_budget": 2},
+          "faults": "transient=0.1,seed=7",
+          "breaker": "window=8,threshold=4", "kernel_retries": 3,
+          "no_failover": true, "threads": 2, "include_trace": true})",
+      &request, &error))
+      << error;
+  EXPECT_EQ(request.id, "r1");
+  EXPECT_EQ(request.command, "advise");
+  EXPECT_EQ(request.program_name, "label");
+  ASSERT_EQ(request.sets.size(), 1u);
+  EXPECT_EQ(request.sets[0].first, "N");
+  EXPECT_EQ(request.buffer_size, 32u);
+  EXPECT_EQ(request.budget.stmt_budget, 500);
+  EXPECT_EQ(request.budget.retry_budget, 2);
+  ASSERT_TRUE(request.faults.has_value());
+  ASSERT_TRUE(request.breaker.has_value());
+  EXPECT_EQ(request.kernel_retries, 3);
+  EXPECT_FALSE(request.host_failover);
+  EXPECT_EQ(request.threads, 2);
+  EXPECT_TRUE(request.include_trace);
+
+  // Strict on the untrusted boundary: unknown keys, bad types, bad specs.
+  EXPECT_FALSE(parse_service_request(
+      R"({"id": "r", "source": "x", "surprise": 1})", &request, &error));
+  EXPECT_NE(error.find("unknown request field"), std::string::npos) << error;
+  EXPECT_FALSE(parse_service_request(R"({"id": "r", "source": 42})", &request,
+                                     &error));
+  EXPECT_FALSE(parse_service_request(
+      R"({"id": "r", "source": "x", "faults": "warp=1"})", &request, &error));
+  EXPECT_FALSE(parse_service_request(R"({"source": "x"})", &request, &error));
+  EXPECT_NE(error.find("'id'"), std::string::npos) << error;
+  EXPECT_FALSE(parse_service_request("[1, 2]", &request, &error));
+  EXPECT_FALSE(parse_service_request("{", &request, &error));
+}
+
+TEST(ServiceWireTest, ResponseEnvelopeEmbedsDocumentsVerbatim) {
+  ServiceCore core(sync_options(1));
+  ServiceRequest request = basic_request("wire", kKernelSource);
+  request.include_trace = true;
+  ServiceResponse response = core.run_sync(request);
+  ASSERT_EQ(response.status, ServiceStatus::kOk) << response.error;
+
+  std::ostringstream os;
+  write_service_response(response, os);
+  std::string line = os.str();
+  EXPECT_EQ(line.back(), '\n');
+
+  std::string error;
+  std::optional<JsonValue> doc = parse_json(line, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("schema")->string, kServiceSchema);
+  EXPECT_EQ(doc->find("id")->string, "wire");
+  EXPECT_EQ(doc->find("status")->string, "ok");
+  EXPECT_EQ(doc->find("cache")->string, "miss");
+  ASSERT_NE(doc->find("report"), nullptr);
+  EXPECT_TRUE(doc->find("report")->is_object());
+  ASSERT_NE(doc->find("trace"), nullptr);
+  // The embedded report is the exact run-report document: re-serialize the
+  // envelope's raw bytes region by validating the inner schema tag.
+  EXPECT_EQ(doc->find("report")->find("schema")->string, kRunReportSchema);
+}
+
+}  // namespace
+}  // namespace miniarc

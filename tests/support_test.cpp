@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "support/diagnostics.h"
+#include "support/env.h"
 #include "support/source_location.h"
 #include "support/str.h"
 
@@ -74,6 +77,30 @@ TEST(StrTest, JoinRoundTrips) {
 TEST(StrTest, StartsWith) {
   EXPECT_TRUE(starts_with("update0", "update"));
   EXPECT_FALSE(starts_with("upd", "update"));
+}
+
+// ---- strict choice knobs ----
+
+TEST(EnvChoiceStrictTest, UnsetAndValidValues) {
+  ::unsetenv("MINIARC_TEST_CHOICE");
+  EXPECT_EQ(env_choice_strict("MINIARC_TEST_CHOICE", "beta", {"alpha", "beta"}),
+            "beta");
+  ::setenv("MINIARC_TEST_CHOICE", "alpha", 1);
+  EXPECT_EQ(env_choice_strict("MINIARC_TEST_CHOICE", "beta", {"alpha", "beta"}),
+            "alpha");
+  ::unsetenv("MINIARC_TEST_CHOICE");
+}
+
+TEST(EnvChoiceStrictTest, UnknownValueExits2) {
+  // Unlike env_choice_or (warn and fall back), strict knobs refuse to run:
+  // a typo'd value silently running the default would invalidate whatever
+  // comparison the caller was setting up.
+  ::setenv("MINIARC_TEST_CHOICE", "gamma", 1);
+  EXPECT_EXIT(
+      (void)env_choice_strict("MINIARC_TEST_CHOICE", "beta", {"alpha", "beta"}),
+      ::testing::ExitedWithCode(2),
+      "invalid MINIARC_TEST_CHOICE='gamma' \\(expected one of: alpha, beta\\)");
+  ::unsetenv("MINIARC_TEST_CHOICE");
 }
 
 }  // namespace

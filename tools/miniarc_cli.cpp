@@ -11,6 +11,19 @@
 //   miniarc report-diff A.json B.json   delta between two run reports;
 //                                       --fail-on METRIC=LIMIT[,...] exits 3
 //                                       on a regression
+//   miniarc serve [--jobs N]            multi-tenant batch run service:
+//                                       reads miniarc-service/v1 requests
+//                                       (one JSON object per line) from
+//                                       stdin, executes them on an isolated
+//                                       per-request runtime through the
+//                                       shared compile cache, and writes one
+//                                       response per request — in input
+//                                       order — to stdout; summary line to
+//                                       stderr. --queue-depth N bounds
+//                                       admission, --cache-bytes N caps the
+//                                       compile cache (also MINIARC_JOBS,
+//                                       MINIARC_QUEUE_DEPTH,
+//                                       MINIARC_CACHE_BYTES)
 //
 // Programs use `extern` declarations for inputs/outputs; the CLI binds every
 // extern scalar to a value from `--set NAME=VALUE` (default 64) and every
@@ -37,6 +50,8 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <future>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -83,6 +98,12 @@ struct CliOptions {
   std::string fail_on;
   /// report-diff renders JSON to stdout instead of text (--json).
   bool diff_json = false;
+  /// serve: worker pool size / admission queue depth / compile-cache byte
+  /// ceiling (0 = the MINIARC_JOBS / MINIARC_QUEUE_DEPTH /
+  /// MINIARC_CACHE_BYTES environment fallbacks).
+  int serve_jobs = 0;
+  long serve_queue_depth = 0;
+  long serve_cache_bytes = 0;
 };
 
 [[noreturn]] void usage() {
@@ -102,7 +123,9 @@ struct CliOptions {
                "[--trace-max-events N]\n"
                "               [--advise-json FILE] [--top N]\n"
                "       miniarc report-diff A.json B.json [--json] "
-               "[--fail-on METRIC=LIMIT[,...]]\n");
+               "[--fail-on METRIC=LIMIT[,...]]\n"
+               "       miniarc serve [--jobs N] [--queue-depth N] "
+               "[--cache-bytes N]  (requests on stdin, one per line)\n");
   std::exit(2);
 }
 
@@ -226,8 +249,40 @@ std::string read_file(const std::string& path) {
 
 CliOptions parse_args(int argc, char** argv) {
   CliOptions options;
-  if (argc < 3) usage();
+  if (argc < 2) usage();
   options.command = argv[1];
+  // serve has no positional file: the requests arrive on stdin.
+  if (options.command == "serve") {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) usage();
+        return argv[++i];
+      };
+      auto positive_long = [&](const char* flag, long max) -> long {
+        std::optional<long> parsed = parse_env_long(next());
+        if (!parsed.has_value() || *parsed < 1 || *parsed > max) {
+          std::fprintf(stderr,
+                       "miniarc: %s expects an integer in [1, %ld], got an "
+                       "invalid value\n",
+                       flag, max);
+          std::exit(2);
+        }
+        return *parsed;
+      };
+      if (arg == "--jobs") {
+        options.serve_jobs = static_cast<int>(positive_long("--jobs", 256));
+      } else if (arg == "--queue-depth") {
+        options.serve_queue_depth = positive_long("--queue-depth", 1L << 20);
+      } else if (arg == "--cache-bytes") {
+        options.serve_cache_bytes = positive_long("--cache-bytes", 1L << 40);
+      } else {
+        usage();
+      }
+    }
+    return options;
+  }
+  if (argc < 3) usage();
   options.file = argv[2];
   int first_flag = 3;
   if (options.command == "report-diff") {
@@ -745,8 +800,8 @@ int cmd_bench(const CliOptions& options) {
 int cmd_report_validate(const CliOptions& options) {
   std::string text = read_file(options.file);
   std::string error;
-  // Dispatch on the document's own schema tag: bench artifacts and run
-  // reports share the one validation entry point.
+  // Dispatch on the document's own schema tag: bench artifacts, advice
+  // documents, and run reports share the one validation entry point.
   std::optional<JsonValue> parsed = parse_json(text, &error);
   const JsonValue* schema =
       parsed.has_value() ? parsed->find("schema") : nullptr;
@@ -760,6 +815,16 @@ int cmd_report_validate(const CliOptions& options) {
     std::printf("%s: valid %s\n", options.file.c_str(), kBenchArtifactSchema);
     return 0;
   }
+  if (schema != nullptr && schema->kind == JsonValue::Kind::kString &&
+      schema->string == kAdviceSchema) {
+    if (!validate_advice(text, &error)) {
+      std::fprintf(stderr, "miniarc: invalid advice '%s': %s\n",
+                   options.file.c_str(), error.c_str());
+      return 1;
+    }
+    std::printf("%s: valid %s\n", options.file.c_str(), kAdviceSchema);
+    return 0;
+  }
   if (!validate_run_report(text, &error)) {
     std::fprintf(stderr, "miniarc: invalid run report '%s': %s\n",
                  options.file.c_str(), error.c_str());
@@ -769,10 +834,61 @@ int cmd_report_validate(const CliOptions& options) {
   return 0;
 }
 
+int cmd_serve(const CliOptions& options) {
+  ServiceOptions service_options;
+  service_options.jobs = options.serve_jobs;
+  service_options.queue_depth =
+      static_cast<std::size_t>(options.serve_queue_depth);
+  service_options.cache_bytes =
+      static_cast<std::size_t>(options.serve_cache_bytes);
+  // Batch semantics: admit the whole batch before the workers start, so the
+  // accept/shed split is a pure function of the request sequence (a flooded
+  // queue sheds the same requests on every invocation).
+  service_options.autostart = false;
+  ServiceCore core(service_options);
+
+  // One request per line; blank lines skipped. Responses keep input order.
+  std::vector<ServiceResponse> rejected;  // parse failures, keyed by slot
+  std::vector<std::optional<std::future<ServiceResponse>>> pending;
+  std::string line;
+  long line_number = 0;
+  while (std::getline(std::cin, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    ServiceRequest request;
+    std::string error;
+    if (!parse_service_request(line, &request, &error)) {
+      rejected.push_back(make_bad_request_response(
+          "line-" + std::to_string(line_number), error));
+      pending.emplace_back(std::nullopt);
+      continue;
+    }
+    rejected.emplace_back();
+    pending.emplace_back(core.submit(std::move(request)));
+  }
+
+  core.start();
+  bool any_failed = false;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    ServiceResponse response =
+        pending[i].has_value() ? pending[i]->get() : std::move(rejected[i]);
+    if (response.status == ServiceStatus::kFailed ||
+        response.status == ServiceStatus::kCompileError ||
+        response.status == ServiceStatus::kBadRequest) {
+      any_failed = true;
+    }
+    write_service_response(response, std::cout);
+  }
+  core.shutdown(/*drain=*/true);
+  std::fprintf(stderr, "%s\n", render_service_stats(core.stats()).c_str());
+  return any_failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliOptions options = parse_args(argc, argv);
+  if (options.command == "serve") return cmd_serve(options);
   if (options.command == "bench") return cmd_bench(options);
   if (options.command == "report-validate") {
     return cmd_report_validate(options);

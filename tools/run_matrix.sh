@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Resilience/observability test matrix: runs the faults, resilience,
-# observability, parallel, bytecode, and budget-labelled tests (bytecode is
-# the ast-vs-bytecode differential suite; budget covers run budgets and
-# cooperative cancellation) under three build configurations —
+# observability, parallel, bytecode, budget, and service-labelled tests
+# (bytecode is the ast-vs-bytecode differential suite; budget covers run
+# budgets and cooperative cancellation; service covers the multi-tenant
+# batch run service, including the shared-CompiledProgram isolation soak
+# that the tsan configuration races for real) under three build
+# configurations —
 #
 #   plain  : default flags, MINIARC_THREADS=8
 #   asan   : -fsanitize=address,undefined     (MINIARC_SANITIZE=address)
@@ -26,7 +29,7 @@
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-LABELS="faults|resilience|observability|parallel|bytecode|budget"
+LABELS="faults|resilience|observability|parallel|bytecode|budget|service"
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then CONFIGS=(plain asan tsan); fi
 
@@ -65,6 +68,9 @@ run_config() {
     --advise-json "$artifacts/advice-t8.json" >"$artifacts/advice-t8.txt"
   cmp "$artifacts/advice-t1.txt" "$artifacts/advice-t8.txt"
   cmp "$artifacts/advice-t1.json" "$artifacts/advice-t8.json"
+  # report-validate dispatches on the schema tag; advice documents are
+  # first-class artifacts now.
+  "$build_dir/tools/miniarc" report-validate "$artifacts/advice-t1.json"
 
   echo "=== [$name] report-diff regression gate ==="
   "$build_dir/tools/miniarc" run "$REPO_ROOT/examples/jacobi_naive.c" \
@@ -103,6 +109,41 @@ run_config() {
     exit 1
   fi
   "$build_dir/tools/miniarc" report-validate "$artifacts/jacobi-partial.json"
+
+  echo "=== [$name] service flood smoke (deterministic accept/shed) ==="
+  # Six requests flood a depth-3 queue: `miniarc serve` admits the whole
+  # batch before starting its workers, so exactly the first three are
+  # accepted and the last three shed as overload — on every run. The fixed
+  # request file also exercises the compile cache (one source, so the
+  # second and third accepted requests are hits) and the per-request
+  # budget/admission floor (the final request declares an unsatisfiable
+  # statement budget and is shed up front, ahead of the queue check).
+  local src='extern double a[];\nvoid main(void) {\n  int i;\n#pragma acc kernels loop gang worker\n  for (i = 0; i < 8; i++) { a[i] = a[i] * 2.0; }\n}\n'
+  local flood="$artifacts/service-flood.jsonl"
+  {
+    printf '{"id": "starved", "source": "%s", "budget": {"stmt_budget": 4}}\n' "$src"
+    for i in 1 2 3 4 5 6; do
+      printf '{"id": "f%s", "source": "%s", "size": 8}\n' "$i" "$src"
+    done
+  } >"$flood"
+  for attempt in 1 2; do
+    "$build_dir/tools/miniarc" serve --jobs 2 --queue-depth 3 <"$flood" \
+      >"$artifacts/service-out-$attempt.jsonl" \
+      2>"$artifacts/service-stats-$attempt.txt"
+    local statuses
+    statuses=$(sed -e 's/.*"status":"//' -e 's/".*//' \
+      "$artifacts/service-out-$attempt.jsonl" | paste -sd, -)
+    if [ "$statuses" != "shed-budget,ok,ok,ok,shed-overload,shed-overload,shed-overload" ]; then
+      echo "unexpected service flood statuses (attempt $attempt): $statuses" >&2
+      exit 1
+    fi
+  done
+  # Byte-identical responses and stats line across the two floods.
+  cmp "$artifacts/service-out-1.jsonl" "$artifacts/service-out-2.jsonl"
+  cmp "$artifacts/service-stats-1.txt" "$artifacts/service-stats-2.txt"
+  grep -q "7 submitted, 3 accepted, 3 ok, .* shed 3 overload / 1 budget" \
+    "$artifacts/service-stats-1.txt"
+  grep -q '2 hits / 1 misses' "$artifacts/service-stats-1.txt"
 }
 
 for config in "${CONFIGS[@]}"; do
