@@ -12,14 +12,18 @@ std::shared_ptr<const CompiledProgram> CompileCache::get_or_compile(
 
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    if (it->second.program->source == source) {
+    if (it->second.program->mode == mode &&
+        it->second.program->source == source) {
       ++stats_.hits;
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       if (outcome != nullptr) *outcome = Outcome::kHit;
       return it->second.program;
     }
-    // Fingerprint collision with different bytes: compile fresh, leave the
-    // resident entry alone, and do not cache (the key is taken).
+    // Fingerprint collision — different bytes, or a (run, S)/(advise, S)
+    // hash collision for the same source: a hit would serve a program
+    // compiled in the wrong mode (missing or spurious checker
+    // instrumentation). Compile fresh, leave the resident entry alone, and
+    // do not cache (the key is taken).
     ++stats_.misses;
     ++stats_.bypasses;
     if (outcome != nullptr) *outcome = Outcome::kBypass;

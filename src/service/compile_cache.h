@@ -29,7 +29,9 @@ class CompileCache {
  public:
   /// How a lookup was satisfied. kBypass: the program compiled fine but
   /// was not cached (footprint above the ceiling, or a fingerprint
-  /// collision with a resident entry — compared by full source bytes).
+  /// collision with a resident entry — a hit requires the resident
+  /// entry's CompileMode and full source bytes to match, everything the
+  /// fingerprint encodes).
   enum class Outcome : std::uint8_t { kHit, kMiss, kBypass };
 
   struct Stats {

@@ -47,45 +47,12 @@ void bind_request_externs(Interpreter& interp, const Program& program,
   }
 }
 
-}  // namespace
-
-const char* to_string(ServiceStatus status) {
-  switch (status) {
-    case ServiceStatus::kOk: return "ok";
-    case ServiceStatus::kPartial: return "partial";
-    case ServiceStatus::kFailed: return "failed";
-    case ServiceStatus::kCompileError: return "compile-error";
-    case ServiceStatus::kBadRequest: return "bad-request";
-    case ServiceStatus::kShedBudget: return "shed-budget";
-    case ServiceStatus::kShedOverload: return "shed-overload";
-    case ServiceStatus::kShedShutdown: return "shed-shutdown";
-  }
-  return "failed";
-}
-
-bool is_shed(ServiceStatus status) {
-  return status == ServiceStatus::kShedBudget ||
-         status == ServiceStatus::kShedOverload ||
-         status == ServiceStatus::kShedShutdown;
-}
-
-std::string render_service_stats(const ServiceStats& stats) {
-  std::ostringstream os;
-  os << "miniarc serve: " << stats.submitted << " submitted, "
-     << stats.accepted << " accepted, " << stats.ok << " ok, "
-     << stats.partial << " partial, " << stats.failed << " failed, "
-     << stats.compile_errors << " compile errors, " << stats.bad_requests
-     << " bad requests, shed " << stats.shed_overload << " overload / "
-     << stats.shed_budget << " budget / " << stats.shed_shutdown
-     << " shutdown; cache " << stats.cache.hits << " hits / "
-     << stats.cache.misses << " misses / " << stats.cache.evictions
-     << " evictions (" << stats.cache.bytes_in_use << " B resident)";
-  return os.str();
-}
-
-ServiceResponse execute_service_request(
+/// The unguarded execution body; execute_service_request wraps it in the
+/// catch-all that turns any escape into a kFailed response.
+ServiceResponse execute_request_impl(
     const ServiceRequest& request,
-    const std::shared_ptr<const CompiledProgram>& compiled) {
+    const std::shared_ptr<const CompiledProgram>& compiled,
+    ExecEngine engine) {
   ServiceResponse response;
   response.id = request.id;
   response.source_hash = compiled->fingerprint;
@@ -111,6 +78,11 @@ ServiceResponse execute_service_request(
       request.kernel_retries >= 0 ? request.kernel_retries : 2;
   interp_options.host_failover = request.host_failover;
   interp_options.enable_checker = advise_mode;
+  // kDefault would make the interpreter read MINIARC_EXEC (and exit from a
+  // worker thread on an invalid value); the service resolves the engine
+  // once at startup, and a bare kDefault here means the documented default.
+  interp_options.exec_engine =
+      engine == ExecEngine::kDefault ? ExecEngine::kBytecode : engine;
 
   AccRuntime runtime(MachineModel::m2090(), exec);
   if (advise_mode) runtime.checker().set_enabled(true);
@@ -168,6 +140,70 @@ ServiceResponse execute_service_request(
   return response;
 }
 
+}  // namespace
+
+const char* to_string(ServiceStatus status) {
+  switch (status) {
+    case ServiceStatus::kOk: return "ok";
+    case ServiceStatus::kPartial: return "partial";
+    case ServiceStatus::kFailed: return "failed";
+    case ServiceStatus::kCompileError: return "compile-error";
+    case ServiceStatus::kBadRequest: return "bad-request";
+    case ServiceStatus::kShedBudget: return "shed-budget";
+    case ServiceStatus::kShedOverload: return "shed-overload";
+    case ServiceStatus::kShedShutdown: return "shed-shutdown";
+  }
+  return "failed";
+}
+
+bool is_shed(ServiceStatus status) {
+  return status == ServiceStatus::kShedBudget ||
+         status == ServiceStatus::kShedOverload ||
+         status == ServiceStatus::kShedShutdown;
+}
+
+std::string render_service_stats(const ServiceStats& stats) {
+  std::ostringstream os;
+  os << "miniarc serve: " << stats.submitted << " submitted, "
+     << stats.accepted << " accepted, " << stats.ok << " ok, "
+     << stats.partial << " partial, " << stats.failed << " failed, "
+     << stats.compile_errors << " compile errors, " << stats.bad_requests
+     << " bad requests, shed " << stats.shed_overload << " overload / "
+     << stats.shed_budget << " budget / " << stats.shed_shutdown
+     << " shutdown; cache " << stats.cache.hits << " hits / "
+     << stats.cache.misses << " misses / " << stats.cache.evictions
+     << " evictions (" << stats.cache.bytes_in_use << " B resident)";
+  return os.str();
+}
+
+ServiceResponse execute_service_request(
+    const ServiceRequest& request,
+    const std::shared_ptr<const CompiledProgram>& compiled,
+    ExecEngine engine) {
+  // Nothing may escape: a worker thread's promise (and with it the whole
+  // multi-tenant process — an exception leaving a thread is std::terminate)
+  // depends on every admitted request resolving to a response. bad_alloc
+  // from an oversized extern buffer, a throwing runtime/interpreter
+  // constructor, advise(), and report serialization all land here.
+  try {
+    return execute_request_impl(request, compiled, engine);
+  } catch (const std::exception& e) {
+    ServiceResponse response;
+    response.id = request.id;
+    response.source_hash = compiled->fingerprint;
+    response.status = ServiceStatus::kFailed;
+    response.error = std::string("internal error: ") + e.what();
+    return response;
+  } catch (...) {
+    ServiceResponse response;
+    response.id = request.id;
+    response.source_hash = compiled->fingerprint;
+    response.status = ServiceStatus::kFailed;
+    response.error = "internal error: unknown exception";
+    return response;
+  }
+}
+
 ServiceCore::ServiceCore(ServiceOptions options)
     : options_(options),
       cache_(options.cache_bytes > 0
@@ -184,6 +220,15 @@ ServiceCore::ServiceCore(ServiceOptions options)
   if (options_.cache_bytes == 0) {
     options_.cache_bytes = cache_.stats().byte_ceiling;
   }
+  if (options_.exec_engine == ExecEngine::kDefault) {
+    // Resolved once, here, on the caller's thread: an invalid MINIARC_EXEC
+    // fails at startup (exit 2, before any request is admitted) instead of
+    // aborting a worker mid-batch, and workers never read the environment.
+    options_.exec_engine = env_choice_strict("MINIARC_EXEC", "bytecode",
+                                             {"ast", "bytecode"}) == "ast"
+                               ? ExecEngine::kAst
+                               : ExecEngine::kBytecode;
+  }
   if (options_.autostart) start();
 }
 
@@ -199,27 +244,53 @@ void ServiceCore::start() {
   }
 }
 
-ServiceStatus ServiceCore::admission_check(
-    const ServiceRequest& request) const {
+ServiceStatus ServiceCore::admission_check(const ServiceRequest& request,
+                                           std::string* why) const {
   if (request.command != "run" && request.command != "advise") {
+    *why = "unknown command '" + request.command + "' (expected run or advise)";
     return ServiceStatus::kBadRequest;
   }
-  if (request.source.empty()) return ServiceStatus::kBadRequest;
+  if (request.source.empty()) {
+    *why = "request has no source";
+    return ServiceStatus::kBadRequest;
+  }
   // The RunBudget is the admission contract: a declared budget below the
   // minimum feasible grant cannot be met — not even compilation and data
   // setup fit — so the request is rejected up front rather than queued to
   // die. The checks are request-intrinsic (no clock, no load), keeping
   // shedding deterministic.
   const RunBudget& budget = request.budget;
+  const char* floor_message =
+      "declared budget is below the service's minimum grant; "
+      "raise the deadline/statement budget or drop it";
   if (budget.deadline_vt_seconds > 0.0 &&
       budget.deadline_vt_seconds < options_.min_deadline_vt_seconds) {
+    *why = floor_message;
     return ServiceStatus::kShedBudget;
   }
   if (budget.deadline_wall_ms > 0.0 &&
       budget.deadline_wall_ms < options_.min_deadline_wall_ms) {
+    *why = floor_message;
     return ServiceStatus::kShedBudget;
   }
   if (budget.stmt_budget > 0 && budget.stmt_budget < options_.min_stmt_budget) {
+    *why = floor_message;
+    return ServiceStatus::kShedBudget;
+  }
+  // Resource ceilings are the flip side of the same contract: a request
+  // declaring more threads or buffer elements than the service will ever
+  // grant is shed deterministically up front, instead of being admitted to
+  // exhaust the worker pool's threads or memory from inside a worker.
+  if (request.threads > options_.max_threads) {
+    *why = "declared threads (" + std::to_string(request.threads) +
+           ") exceed the per-request ceiling (" +
+           std::to_string(options_.max_threads) + ")";
+    return ServiceStatus::kShedBudget;
+  }
+  if (request.buffer_size > options_.max_buffer_elems) {
+    *why = "declared buffer size (" + std::to_string(request.buffer_size) +
+           " elements) exceeds the per-request ceiling (" +
+           std::to_string(options_.max_buffer_elems) + " elements)";
     return ServiceStatus::kShedBudget;
   }
   return ServiceStatus::kOk;
@@ -245,20 +316,15 @@ std::future<ServiceResponse> ServiceCore::submit(ServiceRequest request) {
     return reject(ServiceStatus::kShedShutdown,
                   "service is shutting down; request not admitted");
   }
-  ServiceStatus verdict = admission_check(request);
+  std::string why;
+  ServiceStatus verdict = admission_check(request, &why);
   if (verdict == ServiceStatus::kBadRequest) {
     ++stats_.bad_requests;
-    return reject(verdict,
-                  request.source.empty()
-                      ? "request has no source"
-                      : "unknown command '" + request.command +
-                            "' (expected run or advise)");
+    return reject(verdict, std::move(why));
   }
   if (verdict == ServiceStatus::kShedBudget) {
     ++stats_.shed_budget;
-    return reject(verdict,
-                  "declared budget is below the service's minimum grant; "
-                  "raise the deadline/statement budget or drop it");
+    return reject(verdict, std::move(why));
   }
   if (queue_.size() >= options_.queue_depth) {
     ++stats_.shed_overload;
@@ -293,7 +359,21 @@ void ServiceCore::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    ServiceResponse response = process(job.request);
+    // Backstop for the whole per-request path (cache compile included):
+    // an exception leaving this thread is std::terminate for every tenant,
+    // and an unresolved promise hangs the client forever.
+    ServiceResponse response;
+    try {
+      response = process(job.request);
+    } catch (const std::exception& e) {
+      response.id = job.request.id;
+      response.status = ServiceStatus::kFailed;
+      response.error = std::string("internal error: ") + e.what();
+    } catch (...) {
+      response.id = job.request.id;
+      response.status = ServiceStatus::kFailed;
+      response.error = "internal error: unknown exception";
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       count_terminal(response.status);
@@ -317,7 +397,8 @@ ServiceResponse ServiceCore::process(const ServiceRequest& request) {
     response.source_hash = source_fingerprint(mode, request.source);
     return response;
   }
-  ServiceResponse response = execute_service_request(request, compiled);
+  ServiceResponse response =
+      execute_service_request(request, compiled, options_.exec_engine);
   response.cache_hit = outcome == CompileCache::Outcome::kHit;
   return response;
 }

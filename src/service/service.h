@@ -52,7 +52,8 @@ enum class ServiceStatus : std::uint8_t {
   kFailed,        ///< ran and failed (runtime error); report attached
   kCompileError,  ///< front-end rejected the source
   kBadRequest,    ///< malformed request (unknown command, empty source, ...)
-  kShedBudget,    ///< admission: declared budget below the minimum grant
+  kShedBudget,    ///< admission: declared budget/resources outside the
+                  ///< grantable range (below a floor or above a ceiling)
   kShedOverload,  ///< admission: bounded queue full
   kShedShutdown,  ///< admission: service no longer accepting
 };
@@ -116,10 +117,22 @@ struct ServiceOptions {
   /// and calls start() after submitting the whole batch, making the
   /// accept/shed split a pure function of the request sequence.
   bool autostart = true;
+  /// Kernel-body engine used for every request. kDefault resolves
+  /// MINIARC_EXEC once in the constructor — strict, so an invalid host
+  /// value exits 2 at startup instead of killing a worker mid-batch —
+  /// and workers never read the environment per request.
+  ExecEngine exec_engine = ExecEngine::kDefault;
   // ---- admission floors (requests declaring less are shed up front) ----
   double min_deadline_vt_seconds = 1e-9;
   double min_deadline_wall_ms = 1.0;
   long min_stmt_budget = 64;
+  // ---- admission ceilings (requests declaring more are shed up front) ----
+  /// Executor threads one request may claim of the pool's host.
+  int max_threads = 64;
+  /// Elements per extern buffer (the wire `size` field); without a ceiling
+  /// a well-formed `size: 1e9` request allocates ~8 GB per extern inside a
+  /// worker instead of being shed deterministically at admission.
+  std::size_t max_buffer_elems = std::size_t{1} << 22;
 };
 
 struct ServiceStats {
@@ -143,11 +156,17 @@ struct ServiceStats {
 [[nodiscard]] std::string render_service_stats(const ServiceStats& stats);
 
 /// Execute one request in isolation against a freshly built runtime,
-/// using `compiled` (must match request.source/command). Exposed for the
+/// using `compiled` (must match request.source/command). `engine` is the
+/// already-resolved kernel-body engine (kDefault is treated as kBytecode;
+/// the environment is never consulted here, keeping a request a pure
+/// function of its own fields). No exception escapes: any throw — an
+/// oversized extern allocation, a throwing constructor, report
+/// serialization — resolves to a kFailed response. Exposed for the
 /// solo-baseline comparisons in tests; ServiceCore workers call this.
 [[nodiscard]] ServiceResponse execute_service_request(
     const ServiceRequest& request,
-    const std::shared_ptr<const CompiledProgram>& compiled);
+    const std::shared_ptr<const CompiledProgram>& compiled,
+    ExecEngine engine = ExecEngine::kBytecode);
 
 class ServiceCore {
  public:
@@ -181,10 +200,11 @@ class ServiceCore {
     std::promise<ServiceResponse> promise;
   };
 
-  /// Request-intrinsic admission checks (command, source, budget floors).
-  /// Returns the shed/bad status, or kOk to admit.
-  [[nodiscard]] ServiceStatus admission_check(
-      const ServiceRequest& request) const;
+  /// Request-intrinsic admission checks (command, source, budget floors,
+  /// resource ceilings). Returns the shed/bad status with `*why` set to
+  /// the structured error, or kOk to admit.
+  [[nodiscard]] ServiceStatus admission_check(const ServiceRequest& request,
+                                              std::string* why) const;
   void worker_loop();
   /// Compile (through the cache) and execute one admitted request.
   [[nodiscard]] ServiceResponse process(const ServiceRequest& request);

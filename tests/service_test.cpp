@@ -8,6 +8,9 @@
 // one-CompiledProgram-many-runtimes contract.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -256,10 +259,75 @@ TEST(ServiceCoreTest, BadRequestsAndBudgetFloorsShedUpFront) {
   EXPECT_FALSE(shed.error.empty());
   EXPECT_TRUE(is_shed(shed.status));
 
+  // Resource ceilings shed the same way: admission is the only place a
+  // well-formed but hostile threads/size declaration can be stopped
+  // before it exhausts the worker pool's threads or memory.
+  ServiceRequest greedy_threads = basic_request("greedy-threads",
+                                                kKernelSource);
+  greedy_threads.threads = 256;
+  ServiceResponse shed_threads = core.run_sync(greedy_threads);
+  EXPECT_EQ(shed_threads.status, ServiceStatus::kShedBudget);
+  EXPECT_NE(shed_threads.error.find("threads"), std::string::npos)
+      << shed_threads.error;
+
+  ServiceRequest greedy_size = basic_request("greedy-size", kKernelSource);
+  greedy_size.buffer_size = std::size_t{1} << 30;  // 8 GB of doubles
+  ServiceResponse shed_size = core.run_sync(greedy_size);
+  EXPECT_EQ(shed_size.status, ServiceStatus::kShedBudget);
+  EXPECT_NE(shed_size.error.find("buffer size"), std::string::npos)
+      << shed_size.error;
+
   ServiceStats stats = core.stats();
   EXPECT_EQ(stats.bad_requests, 2);
-  EXPECT_EQ(stats.shed_budget, 1);
+  EXPECT_EQ(stats.shed_budget, 3);
   EXPECT_EQ(stats.accepted, 0);
+}
+
+TEST(ServiceCoreTest, WorkerExceptionsResolveAsFailedResponses) {
+  // An admitted request whose execution throws — here an extern-buffer
+  // allocation far beyond any physical memory, admitted by raising the
+  // ceiling — must resolve its future as a structured failed response; an
+  // exception escaping a worker thread would std::terminate every tenant.
+  ServiceOptions options = sync_options(1);
+  options.max_buffer_elems = std::numeric_limits<std::size_t>::max();
+  ServiceCore core(options);
+  ServiceRequest oversized = basic_request("oversized", kKernelSource);
+  // 2^63 bytes of doubles: above vector::max_size, so the buffer's
+  // constructor throws length_error before touching the allocator (which
+  // keeps the test deterministic under ASan/TSan allocation limits too).
+  oversized.buffer_size = std::size_t{1} << 60;
+  ServiceResponse response = core.run_sync(oversized);
+  EXPECT_EQ(response.status, ServiceStatus::kFailed);
+  EXPECT_NE(response.error.find("internal error"), std::string::npos)
+      << response.error;
+  // The service survives the throw: the same worker keeps serving.
+  EXPECT_EQ(core.run_sync(basic_request("after", kKernelSource)).status,
+            ServiceStatus::kOk);
+  ServiceStats stats = core.stats();
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_EQ(stats.ok, 1);
+}
+
+TEST(ServiceCoreTest, ExecEngineResolvedOnceAtStartup) {
+  // The engine comes from ServiceOptions (MINIARC_EXEC resolved once in
+  // the constructor); a per-request environment read would hit the invalid
+  // value set below and exit(2) from a worker mid-batch.
+  ::setenv("MINIARC_EXEC", "ast", 1);
+  ServiceCore core(sync_options(1));
+  ::setenv("MINIARC_EXEC", "warp9", 1);
+  ServiceResponse response = core.run_sync(basic_request("env",
+                                                         kKernelSource));
+  EXPECT_EQ(response.status, ServiceStatus::kOk) << response.error;
+  ::unsetenv("MINIARC_EXEC");
+}
+
+TEST(ServiceCoreDeathTest, InvalidExecEngineFailsAtStartup) {
+  // Strict validation happens at construction, before any request is
+  // admitted — never from a worker thread with a batch in flight.
+  ::setenv("MINIARC_EXEC", "warp9", 1);
+  EXPECT_EXIT({ ServiceCore core(sync_options(1)); },
+              ::testing::ExitedWithCode(2), "invalid MINIARC_EXEC");
+  ::unsetenv("MINIARC_EXEC");
 }
 
 TEST(ServiceCoreTest, FloodShedsDeterministically) {
