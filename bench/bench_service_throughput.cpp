@@ -1,0 +1,378 @@
+// Service throughput harness + telemetry overhead gate.
+//
+// Default mode: push an N-tenant mixed batch through ServiceCore — plain
+// run tenants, advise tenants, fault-armed tenants (transient transfer
+// faults through the retry ladder), and budget-limited tenants that
+// terminate PARTIAL — using the batch admission protocol (submit
+// everything, then start()). Prints the wall-clock throughput and the
+// request latency percentiles read back from the service's own
+// MetricsRegistry (the virtual-time histogram is deterministic; the
+// wall-clock end-to-end histogram is best-effort), and exports a
+// miniarc-bench/v1 artifact ("service_throughput", plus an optional
+// positional OUT.json — BENCH_service_throughput.json at the repo root
+// records a committed measurement).
+//
+// `--guard-metrics-overhead [OUT.json]`: fail (exit 1) unless the full
+// per-request ServiceMetrics fold (submitted + admission + terminal +
+// rollup + wall-clock timing + cache-lookup counters against a live
+// registry) costs < 2% on top of the serial bytecode
+// execute_service_request path — the price every request pays for fleet
+// telemetry (the ctest `bench_metrics_overhead_guard`).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "miniarc.h"
+
+namespace {
+
+using namespace miniarc;
+using miniarc::bench::BenchArtifact;
+using miniarc::bench::print_rule;
+
+/// Compute-dense kernel (8192 x 24 fma-ish iterations) so one request's
+/// execution dwarfs service bookkeeping; shared by both modes.
+constexpr const char* kDenseSource = R"(
+extern double a[];
+extern double b[];
+void main(void) {
+  int i;
+#pragma acc data copy(a) copyin(b)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 8192; i++) {
+      double acc;
+      double scale;
+      int k;
+      acc = 0.0;
+      scale = 0.5;
+      for (k = 0; k < 24; k++) {
+        acc = acc + b[i] * scale + k * 0.25;
+        scale = scale * 1.0009765625 + 0.0001220703125;
+      }
+      a[i] = acc;
+    }
+  }
+}
+)";
+
+/// Lighter kernel for the mixed batch's run/advise/fault tenants.
+constexpr const char* kLightSource = R"(
+extern double a[];
+void main(void) {
+  int i;
+#pragma acc data copy(a)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 1024; i++) { a[i] = a[i] * 2.0 + 1.0; }
+  }
+}
+)";
+
+/// Host-side loop a small statement budget cancels mid-run (the
+/// budget-limited tenant class terminates PARTIAL deterministically).
+constexpr const char* kLongHostSource = R"(
+extern double out[];
+void main(void) {
+  int i;
+  double s;
+  s = 0.0;
+  for (i = 0; i < 20000; i++) { s = s + 1.0; }
+  out[0] = s;
+}
+)";
+
+ServiceRequest make_request(std::string id, const char* source,
+                            std::string command = "run") {
+  ServiceRequest request;
+  request.id = std::move(id);
+  request.command = std::move(command);
+  request.program_name = "tenant";
+  request.source = source;
+  request.buffer_size = 1024;
+  return request;
+}
+
+/// The mixed batch: `per_class` tenants of each of the four classes.
+std::vector<ServiceRequest> mixed_batch(int per_class) {
+  std::vector<ServiceRequest> batch;
+  for (int i = 0; i < per_class; ++i) {
+    batch.push_back(make_request("run-" + std::to_string(i), kLightSource));
+
+    batch.push_back(
+        make_request("advise-" + std::to_string(i), kLightSource, "advise"));
+
+    ServiceRequest faulty =
+        make_request("fault-" + std::to_string(i), kLightSource);
+    faulty.faults = FaultPlan::parse("transient=0.6,seed=9");
+    batch.push_back(std::move(faulty));
+
+    ServiceRequest budgeted =
+        make_request("budget-" + std::to_string(i), kLongHostSource);
+    budgeted.buffer_size = 8;
+    budgeted.budget.stmt_budget = 1000;
+    batch.push_back(std::move(budgeted));
+  }
+  return batch;
+}
+
+const MetricInfo* find_metric(const std::vector<MetricInfo>& snapshot,
+                              const char* name) {
+  for (const MetricInfo& info : snapshot) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+// ---- default mode: N-tenant mixed-batch throughput ----
+
+int run_throughput(const char* out_path) {
+  constexpr int kPerClass = 8;
+  constexpr int kJobs = 4;
+
+  ServiceOptions options;
+  options.jobs = kJobs;
+  options.queue_depth = 256;
+  options.autostart = false;
+  ServiceCore service(options);
+
+  std::vector<ServiceRequest> batch = mixed_batch(kPerClass);
+  std::vector<std::future<ServiceResponse>> futures;
+  futures.reserve(batch.size());
+  for (ServiceRequest& request : batch) {
+    futures.push_back(service.submit(std::move(request)));
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  service.start();
+  for (auto& future : futures) (void)future.get();
+  auto stop = std::chrono::steady_clock::now();
+  service.shutdown(true);
+
+  double wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  ServiceStats stats = service.stats();
+  long requests = stats.completed;
+  double per_second = wall_ms > 0.0 ? requests / (wall_ms / 1e3) : 0.0;
+
+  std::vector<MetricInfo> snapshot = service.metrics_registry().snapshot();
+  const MetricInfo* vt =
+      find_metric(snapshot, "miniarc_service_request_vt_seconds");
+  const MetricInfo* e2e = find_metric(snapshot, "miniarc_service_e2e_ms");
+  if (vt == nullptr || vt->histogram == nullptr || e2e == nullptr ||
+      e2e->histogram == nullptr) {
+    std::fprintf(stderr, "registry snapshot is missing the latency histograms\n");
+    return 1;
+  }
+  double vt_p50 = vt->histogram->percentile(0.50);
+  double vt_p99 = vt->histogram->percentile(0.99);
+  double e2e_p50 = e2e->histogram->percentile(0.50);
+  double e2e_p99 = e2e->histogram->percentile(0.99);
+
+  std::printf("Service throughput: %d-tenant mixed batch (%d workers)\n",
+              kPerClass * 4, kJobs);
+  print_rule('=');
+  std::printf("%-22s %10s\n", "measure", "value");
+  print_rule();
+  std::printf("%-22s %10ld\n", "requests completed", requests);
+  std::printf("%-22s %10ld\n", "ok", stats.ok);
+  std::printf("%-22s %10ld\n", "partial (budget)", stats.partial);
+  std::printf("%-22s %10ld\n", "failed", stats.failed);
+  std::printf("%-22s %10.2f\n", "wall ms", wall_ms);
+  std::printf("%-22s %10.1f\n", "requests / s", per_second);
+  std::printf("%-22s %10.2e\n", "request vt p50 (s)", vt_p50);
+  std::printf("%-22s %10.2e\n", "request vt p99 (s)", vt_p99);
+  std::printf("%-22s %10.2f\n", "request e2e p50 (ms)", e2e_p50);
+  std::printf("%-22s %10.2f\n", "request e2e p99 (ms)", e2e_p99);
+
+  if (stats.ok != 3 * kPerClass || stats.partial != kPerClass) {
+    std::fprintf(stderr,
+                 "unexpected terminal split: ok %ld (want %d), partial %ld "
+                 "(want %d)\n",
+                 stats.ok, 3 * kPerClass, stats.partial, kPerClass);
+    return 1;
+  }
+
+  BenchArtifact artifact("service_throughput");
+  artifact.add("mixed_batch", "requests", static_cast<double>(requests));
+  artifact.add("mixed_batch", "workers", static_cast<double>(kJobs));
+  artifact.add("mixed_batch", "wall_ms", wall_ms);
+  artifact.add("mixed_batch", "requests_per_s", per_second);
+  artifact.add("mixed_batch", "vt_p50_s", vt_p50);
+  artifact.add("mixed_batch", "vt_p99_s", vt_p99);
+  artifact.add("mixed_batch", "e2e_p50_ms", e2e_p50);
+  artifact.add("mixed_batch", "e2e_p99_ms", e2e_p99);
+  artifact.write();
+
+  if (out_path != nullptr) {
+    std::FILE* out = std::fopen(out_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write '%s'\n", out_path);
+      return 1;
+    }
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"schema\": \"miniarc-bench/v1\",\n"
+        "  \"name\": \"service_throughput\",\n"
+        "  \"description\": \"N-tenant mixed batch (%d run / %d advise / "
+        "%d fault-armed / %d budget-limited tenants, %d workers) through "
+        "ServiceCore under the batch admission protocol. Latency "
+        "percentiles are read back from the service's own MetricsRegistry: "
+        "request virtual-time is deterministic; end-to-end wall time is "
+        "best-effort.\",\n"
+        "  \"rows\": [\n"
+        "    {\n"
+        "      \"label\": \"mixed_batch\",\n"
+        "      \"requests\": %ld,\n"
+        "      \"workers\": %d,\n"
+        "      \"wall_ms\": %.3f,\n"
+        "      \"requests_per_s\": %.1f,\n"
+        "      \"vt_p50_s\": %g,\n"
+        "      \"vt_p99_s\": %g,\n"
+        "      \"e2e_p50_ms\": %g,\n"
+        "      \"e2e_p99_ms\": %g\n"
+        "    }\n"
+        "  ]\n"
+        "}\n",
+        kPerClass, kPerClass, kPerClass, kPerClass, kJobs, requests, kJobs,
+        wall_ms, per_second, vt_p50, vt_p99, e2e_p50, e2e_p99);
+    std::fclose(out);
+  }
+  return 0;
+}
+
+// ---- telemetry overhead gate ----
+
+/// One timed run: execute `count` serial bytecode requests; when `metrics`
+/// is non-null, also pay the full per-request fleet-telemetry fold each
+/// iteration (everything ServiceCore's admission + worker paths record).
+double run_batch_seconds(int count,
+                         const std::shared_ptr<const CompiledProgram>& compiled,
+                         const ServiceRequest& request,
+                         ServiceMetrics* metrics) {
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < count; ++i) {
+    ServiceResponse response =
+        execute_service_request(request, compiled, ExecEngine::kBytecode);
+    if (response.status != ServiceStatus::kOk) {
+      std::fprintf(stderr, "guard request failed: %s\n",
+                   response.error.c_str());
+      std::abort();
+    }
+    if (metrics != nullptr) {
+      metrics->record_submitted();
+      metrics->record_admission(ServiceStatus::kOk);
+      metrics->record_cache(CompileMode::kRun, CompileCache::Outcome::kHit);
+      metrics->record_terminal(response.status);
+      metrics->record_rollup(response.rollup);
+      metrics->record_timing(0.05, 1.25, 1.30);
+    }
+  }
+  auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+/// Interleaved min-of-N: alternating base/telemetry batches (after one
+/// warm-up of each) so frequency drift and cache warm-up hit both sides
+/// equally — sequential min-of-N swings +/-1.5% on this workload, which
+/// would drown a 2% gate in noise.
+void min_batch_seconds(int runs, int count,
+                       const std::shared_ptr<const CompiledProgram>& compiled,
+                       const ServiceRequest& request, ServiceMetrics& metrics,
+                       double* base, double* armed) {
+  *base = 1e30;
+  *armed = 1e30;
+  (void)run_batch_seconds(count, compiled, request, nullptr);
+  (void)run_batch_seconds(count, compiled, request, &metrics);
+  for (int r = 0; r < runs; ++r) {
+    double plain = run_batch_seconds(count, compiled, request, nullptr);
+    if (plain < *base) *base = plain;
+    double folded = run_batch_seconds(count, compiled, request, &metrics);
+    if (folded < *armed) *armed = folded;
+  }
+}
+
+/// --guard-metrics-overhead [OUT.json]: fail (exit 1) unless the full
+/// per-request ServiceMetrics fold stays < 2% of the serial bytecode
+/// execute_service_request path.
+int run_metrics_overhead_guard(const char* out_path) {
+  constexpr int kRuns = 7;
+  constexpr int kBatch = 8;
+  constexpr double kMaxOverhead = 0.02;
+
+  std::string error;
+  auto compiled =
+      build_compiled_program(kDenseSource, CompileMode::kRun, &error);
+  if (compiled == nullptr) {
+    std::fprintf(stderr, "guard compile failed: %s\n", error.c_str());
+    return 1;
+  }
+  ServiceRequest request = make_request("guard", kDenseSource);
+  request.buffer_size = 8192;
+
+  MetricsRegistry registry;
+  ServiceMetrics metrics(registry);
+
+  double base = 0.0;
+  double armed = 0.0;
+  min_batch_seconds(kRuns, kBatch, compiled, request, metrics, &base, &armed);
+  double overhead = armed / base - 1.0;
+
+  std::FILE* out = stdout;
+  if (out_path != nullptr) {
+    out = std::fopen(out_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write '%s'\n", out_path);
+      return 1;
+    }
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"schema\": \"miniarc-bench/v1\",\n"
+               "  \"name\": \"metrics_overhead\",\n"
+               "  \"description\": \"Fleet telemetry overhead gate: %d "
+               "serial bytecode execute_service_request calls with the full "
+               "per-request ServiceMetrics fold (submitted + admission + "
+               "cache + terminal + rollup + timing against a live sharded "
+               "MetricsRegistry) must run within %.0f%% of the same batch "
+               "without telemetry. Min of %d runs each.\",\n"
+               "  \"rows\": [\n"
+               "    {\n"
+               "      \"label\": \"serial_bytecode_requests\",\n"
+               "      \"real_time_ms\": %.3f\n"
+               "    },\n"
+               "    {\n"
+               "      \"label\": \"serial_bytecode_requests_telemetry\",\n"
+               "      \"real_time_ms\": %.3f,\n"
+               "      \"overhead_pct\": %.2f,\n"
+               "      \"max_overhead_pct\": %.1f\n"
+               "    }\n"
+               "  ]\n"
+               "}\n",
+               kBatch, kMaxOverhead * 100.0, kRuns, base * 1e3, armed * 1e3,
+               overhead * 100.0, kMaxOverhead * 100.0);
+  if (out != stdout) std::fclose(out);
+  std::fprintf(stderr,
+               "metrics fold overhead: %.2f%% (base %.3f ms, telemetry "
+               "%.3f ms)\n",
+               overhead * 100.0, base * 1e3, armed * 1e3);
+  if (overhead > kMaxOverhead) {
+    std::fprintf(stderr, "FAIL: above the allowed %.1f%%\n",
+                 kMaxOverhead * 100.0);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--guard-metrics-overhead") == 0) {
+    return run_metrics_overhead_guard(argc >= 3 ? argv[2] : nullptr);
+  }
+  return run_throughput(argc >= 2 ? argv[1] : nullptr);
+}

@@ -89,6 +89,14 @@
 #include "service/service.h"
 #include "service/service_wire.h"
 
+// Service telemetry: the metrics registry, Prometheus exposition, the
+// miniarc-service-metrics/v1 snapshot, and the fleet-level trace merger.
+#include "obs/atomic_file.h"
+#include "obs/fleet_trace.h"
+#include "obs/metrics_registry.h"
+#include "obs/prometheus.h"
+#include "obs/service_metrics.h"
+
 // Benchmark suite (the paper's twelve OpenACC programs).
 #include "benchsuite/benchmark_registry.h"
 #include "benchsuite/inputs.h"

@@ -1,0 +1,47 @@
+#include "obs/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace miniarc {
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::string& path, const std::string& content,
+                       std::string* error) {
+  // A fixed suffix (not a PID/timestamp) keeps repeated flushes from
+  // littering on failure; concurrent writers to one path are already
+  // serialized by the flusher thread that owns it.
+  std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return fail(error, "cannot open temp file '" + temp + "' for writing");
+    }
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      std::remove(temp.c_str());
+      return fail(error, "short write to temp file '" + temp + "'");
+    }
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    int saved = errno;
+    std::remove(temp.c_str());
+    return fail(error, "rename '" + temp + "' -> '" + path +
+                           "' failed: " + std::strerror(saved));
+  }
+  return true;
+}
+
+}  // namespace miniarc

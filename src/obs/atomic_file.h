@@ -1,0 +1,22 @@
+// Crash-safe file publication for the telemetry exporters: write to a
+// sibling temp file, flush, then rename() over the target. POSIX rename is
+// atomic within a filesystem, so a reader (a Prometheus scraper tailing
+// --metrics-out between flushes, or a human mid-drain) observes either the
+// previous complete document or the new complete document — never a
+// partially written one. tests/metrics_test.cpp hammers this with a
+// concurrent reader.
+#pragma once
+
+#include <string>
+
+namespace miniarc {
+
+/// Atomically replace `path` with `content`. Returns false — and sets
+/// `*error` to a one-line message when given — if the temp file cannot be
+/// written or the rename fails; the previous `path` content (if any) is
+/// left untouched in that case, and the temp file is removed.
+[[nodiscard]] bool write_file_atomic(const std::string& path,
+                                     const std::string& content,
+                                     std::string* error = nullptr);
+
+}  // namespace miniarc

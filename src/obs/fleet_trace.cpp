@@ -1,0 +1,71 @@
+#include "obs/fleet_trace.h"
+
+#include <map>
+#include <ostream>
+#include <utility>
+
+#include "trace/json.h"
+
+namespace miniarc {
+
+void FleetTraceBuilder::add_lane(std::string request_id,
+                                 std::vector<TraceEvent> events) {
+  lanes_.push_back(Lane{std::move(request_id), std::move(events)});
+}
+
+std::size_t FleetTraceBuilder::total_events() const {
+  std::size_t total = 0;
+  for (const auto& lane : lanes_) total += lane.events.size();
+  return total;
+}
+
+void FleetTraceBuilder::write_chrome_trace(std::ostream& os) const {
+  JsonWriter json(os);
+  json.begin_object();
+  json.field("displayTimeUnit", "ms");
+  json.key("traceEvents");
+  json.begin_array();
+
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    const Lane& lane = lanes_[i];
+    // pid 0 is the single-run export's process; fleet lanes start at 1.
+    int pid = static_cast<int>(i) + 1;
+
+    json.begin_object();
+    json.field("ph", "M");
+    json.field("pid", pid);
+    json.field("name", "process_name");
+    json.key("args");
+    json.begin_object();
+    json.field("name", lane.request_id);
+    json.end_object();
+    json.end_object();
+
+    json.begin_object();
+    json.field("ph", "M");
+    json.field("pid", pid);
+    json.field("name", "process_sort_index");
+    json.key("args");
+    json.begin_object();
+    json.field("sort_index", static_cast<long long>(i));
+    json.end_object();
+    json.end_object();
+
+    std::map<int, bool> tracks;
+    for (const auto& event : lane.events) tracks[event.track] = true;
+    for (const auto& [track, unused] : tracks) {
+      (void)unused;
+      write_chrome_track_metadata(json, pid, track);
+    }
+
+    for (const auto& event : lane.events) {
+      write_chrome_event(json, pid, event);
+    }
+  }
+
+  json.end_array();
+  json.end_object();
+  json.finish();
+}
+
+}  // namespace miniarc

@@ -1,0 +1,49 @@
+// Fleet-level trace merger: fold the per-request TraceRecorder streams a
+// `miniarc serve` batch produced into ONE Chrome/Perfetto trace with one
+// process lane per request (`--fleet-trace PATH`).
+//
+// Layout: each request becomes a Chrome "process" (pid = lane index + 1;
+// pid 0 stays reserved for single-run exports) named by the request id via
+// process_name metadata, ordered in the viewer by process_sort_index =
+// lane index. Within a lane the request's tracks (runtime / recovery /
+// worker N) appear exactly as in a single-run export — both paths share
+// write_chrome_event / write_chrome_track_metadata (trace/trace.h), so the
+// encodings cannot drift.
+//
+// Determinism: lane order is add_lane() call order; the service collects
+// responses in request-input order, so the merged trace is byte-identical
+// across runs and worker counts whenever the per-request traces are (which
+// the virtual clock guarantees).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace miniarc {
+
+class FleetTraceBuilder {
+ public:
+  /// Append one request's event stream as the next lane. `request_id`
+  /// becomes the lane's process name; events keep their per-request track
+  /// ids as Chrome thread ids within the lane.
+  void add_lane(std::string request_id, std::vector<TraceEvent> events);
+
+  [[nodiscard]] std::size_t lanes() const { return lanes_.size(); }
+  [[nodiscard]] std::size_t total_events() const;
+
+  /// Merged Chrome trace-event JSON. Deterministic: identical lane
+  /// sequences produce identical bytes.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  struct Lane {
+    std::string request_id;
+    std::vector<TraceEvent> events;
+  };
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace miniarc

@@ -1,0 +1,163 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace miniarc {
+
+std::size_t Counter::thread_shard() {
+  // Round-robin slot assignment: the first kShards distinct threads get
+  // distinct cache lines; later threads wrap (the service caps useful
+  // worker counts well below that before contention matters).
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+std::uint64_t Gauge::pack(double value) {
+  return std::bit_cast<std::uint64_t>(value);
+}
+
+double Gauge::unpack(std::uint64_t bits) {
+  return std::bit_cast<double>(bits);
+}
+
+Histogram::Histogram(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)),
+      buckets_(boundaries_.size() + 1) {}
+
+void Histogram::observe(double value) {
+  auto it = std::lower_bound(boundaries_.begin(), boundaries_.end(), value);
+  buckets_[static_cast<std::size_t>(it - boundaries_.begin())].inc();
+  sum_.add(value);
+}
+
+std::vector<long long> Histogram::bucket_counts() const {
+  std::vector<long long> counts;
+  counts.reserve(buckets_.size());
+  for (const Counter& bucket : buckets_) counts.push_back(bucket.value());
+  return counts;
+}
+
+long long Histogram::count() const {
+  long long total = 0;
+  for (const Counter& bucket : buckets_) total += bucket.value();
+  return total;
+}
+
+double Histogram::percentile(double q) const {
+  std::vector<long long> counts = bucket_counts();
+  long long total = 0;
+  for (long long c : counts) total += c;
+  if (total == 0) return 0.0;
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * total).
+  long long rank = static_cast<long long>(q * static_cast<double>(total));
+  if (static_cast<double>(rank) < q * static_cast<double>(total)) ++rank;
+  if (rank < 1) rank = 1;
+  long long cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) {
+      // The overflow bucket has no upper bound; clamp to the last boundary
+      // (documented in the header — a fleet percentile past the largest
+      // bucket reads "at least this much").
+      if (i >= boundaries_.size()) {
+        return boundaries_.empty() ? 0.0 : boundaries_.back();
+      }
+      return boundaries_[i];
+    }
+  }
+  return boundaries_.empty() ? 0.0 : boundaries_.back();
+}
+
+std::string format_labels(const MetricLabels& labels) {
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [key, value] : sorted) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += "=\"";
+    // Prometheus label-value escaping: backslash, quote, newline.
+    for (char c : value) {
+      if (c == '\\' || c == '"') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+  }
+  return out;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(std::string name,
+                                                        std::string help,
+                                                        MetricLabels labels,
+                                                        MetricScope scope) {
+  std::string key = format_labels(labels);
+  for (Entry& entry : entries_) {
+    if (entry.info.name == name && format_labels(entry.info.labels) == key) {
+      return entry;
+    }
+  }
+  Entry& entry = entries_.emplace_back();
+  entry.info.name = std::move(name);
+  entry.info.help = std::move(help);
+  entry.info.labels = std::move(labels);
+  entry.info.scope = scope;
+  return entry;
+}
+
+Counter& MetricsRegistry::counter(std::string name, std::string help,
+                                  MetricLabels labels, MetricScope scope) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = find_or_create(std::move(name), std::move(help),
+                                std::move(labels), scope);
+  entry.info.counter = &entry.counter_storage;
+  return entry.counter_storage;
+}
+
+Gauge& MetricsRegistry::gauge(std::string name, std::string help,
+                              MetricLabels labels, MetricScope scope) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = find_or_create(std::move(name), std::move(help),
+                                std::move(labels), scope);
+  entry.info.gauge = &entry.gauge_storage;
+  return entry.gauge_storage;
+}
+
+Histogram& MetricsRegistry::histogram(std::string name, std::string help,
+                                      std::vector<double> boundaries,
+                                      MetricLabels labels, MetricScope scope) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = find_or_create(std::move(name), std::move(help),
+                                std::move(labels), scope);
+  if (entry.histogram_storage == nullptr) {
+    entry.histogram_storage = &histograms_.emplace_back(std::move(boundaries));
+    entry.info.histogram = entry.histogram_storage;
+  }
+  return *entry.histogram_storage;
+}
+
+std::vector<MetricInfo> MetricsRegistry::snapshot() const {
+  std::vector<MetricInfo> infos;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    infos.reserve(entries_.size());
+    for (const Entry& entry : entries_) infos.push_back(entry.info);
+  }
+  std::sort(infos.begin(), infos.end(),
+            [](const MetricInfo& a, const MetricInfo& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return format_labels(a.labels) < format_labels(b.labels);
+            });
+  return infos;
+}
+
+}  // namespace miniarc

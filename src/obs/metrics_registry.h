@@ -1,0 +1,189 @@
+// Service-wide telemetry registry: named counters, gauges, and
+// fixed-boundary histograms, shared by every worker of the batch run
+// service (src/service/) and exported as Prometheus text exposition
+// (obs/prometheus.h) and as the miniarc-service-metrics/v1 JSON snapshot
+// (obs/service_metrics.h).
+//
+// Two contracts drive the design:
+//
+//  - Hot path is lock-free. Registration (name → instrument) takes a mutex
+//    once; the returned reference is stable for the registry's lifetime
+//    and every update on it is a relaxed atomic. Counters shard their cell
+//    across cache lines keyed by a per-thread slot, so N workers bumping
+//    one counter never bounce a single line (the
+//    bench_metrics_overhead_guard ctest gates the whole per-request fold
+//    at <2% of the serial bytecode path).
+//
+//  - Every instrument is tagged DETERMINISTIC or BEST-EFFORT at
+//    registration. Deterministic instruments hold values that are pure
+//    functions of the request sequence (admission outcomes, per-status
+//    counts, virtual-time durations, fault/recovery/breaker/termination
+//    counts): their snapshot serialization is byte-identical at 1 vs 8
+//    workers, with or without armed fault plans (ctest-enforced in
+//    tests/metrics_test.cpp). Best-effort instruments carry wall-clock
+//    durations, utilization, and anything schedule-dependent (compile-cache
+//    hit order under eviction pressure, live queue depth); they are
+//    reported but never compared.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace miniarc {
+
+/// Sorted key=value pairs qualifying one series within a metric family
+/// (Prometheus label semantics). Keep cardinality bounded: labels name
+/// closed enums (status, mode, outcome), never request ids.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Snapshot-classification of an instrument (see file comment).
+enum class MetricScope : std::uint8_t { kDeterministic, kBestEffort };
+
+/// Monotonic counter. inc() is a relaxed add on a per-thread shard;
+/// value() sums the shards (reads are snapshot-time only, so the O(shards)
+/// sum is off the hot path).
+class Counter {
+ public:
+  void inc(long long delta = 1) {
+    shards_[thread_shard()].cell.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] long long value() const {
+    long long sum = 0;
+    for (const Shard& shard : shards_) {
+      sum += shard.cell.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<long long> cell{0};
+  };
+  /// Stable small index per thread (assigned once, round-robin) so each
+  /// worker lands on its own cache line.
+  static std::size_t thread_shard();
+
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-write-wins instantaneous value (queue depth, worker count,
+/// uptime). set()/add() are atomic; no sharding — gauges are not hot.
+class Gauge {
+ public:
+  void set(double value) { bits_.store(pack(value), std::memory_order_relaxed); }
+  void add(double delta) {
+    std::uint64_t observed = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(observed, pack(unpack(observed) + delta),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return unpack(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  static std::uint64_t pack(double value);
+  static double unpack(std::uint64_t bits);
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-boundary histogram: `boundaries` are ascending bucket upper
+/// bounds; an implicit overflow bucket catches everything above the last
+/// one. observe() is a binary search plus two relaxed atomics. Percentile
+/// extraction is nearest-rank over the cumulative bucket counts and
+/// returns the containing bucket's upper bound (the overflow bucket clamps
+/// to the last boundary) — coarse, deterministic, and monotone in the
+/// data, which is all the fleet view needs.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> boundaries);
+
+  void observe(double value);
+
+  [[nodiscard]] const std::vector<double>& boundaries() const {
+    return boundaries_;
+  }
+  /// Per-bucket counts (boundaries().size() + 1 entries; last = overflow).
+  [[nodiscard]] std::vector<long long> bucket_counts() const;
+  [[nodiscard]] long long count() const;
+  [[nodiscard]] double sum() const {
+    return sum_.value();
+  }
+  /// Nearest-rank percentile (q in (0, 1]); 0.0 on an empty histogram.
+  [[nodiscard]] double percentile(double q) const;
+
+ private:
+  std::vector<double> boundaries_;
+  std::vector<Counter> buckets_;
+  Gauge sum_;
+
+  /// Counter reused as a shard-summed double accumulator is wrong for
+  /// fractional values, so sum_ is a Gauge (CAS add); Gauge with add() is
+  /// exact for the magnitudes involved and never on the per-statement path.
+};
+
+/// One registered instrument, as the exporters see it.
+struct MetricInfo {
+  std::string name;  ///< Prometheus family name ("miniarc_..._total").
+  std::string help;
+  MetricLabels labels;
+  MetricScope scope = MetricScope::kDeterministic;
+  const Counter* counter = nullptr;      ///< exactly one of these three
+  const Gauge* gauge = nullptr;          ///< is non-null, by kind
+  const Histogram* histogram = nullptr;
+};
+
+/// Thread-safe instrument directory. Lookups are (name, labels)-idempotent:
+/// asking twice returns the same instrument, so call sites register at
+/// construction and keep references. Instruments live as long as the
+/// registry (deque storage — growth never moves existing nodes).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string name, std::string help, MetricLabels labels = {},
+                   MetricScope scope = MetricScope::kDeterministic);
+  Gauge& gauge(std::string name, std::string help, MetricLabels labels = {},
+               MetricScope scope = MetricScope::kBestEffort);
+  Histogram& histogram(std::string name, std::string help,
+                       std::vector<double> boundaries, MetricLabels labels = {},
+                       MetricScope scope = MetricScope::kDeterministic);
+
+  /// Deterministically ordered view of every instrument: sorted by
+  /// (name, serialized labels). Safe to call while workers update values —
+  /// individual reads are atomic; cross-instrument consistency is not
+  /// promised (nor needed: the drain-time export runs after the join).
+  [[nodiscard]] std::vector<MetricInfo> snapshot() const;
+
+ private:
+  struct Entry {
+    MetricInfo info;
+    // Owned storage; MetricInfo points into these.
+    Counter counter_storage;
+    Gauge gauge_storage;
+    Histogram* histogram_storage = nullptr;
+  };
+
+  Entry& find_or_create(std::string name, std::string help,
+                        MetricLabels labels, MetricScope scope);
+
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;
+  std::deque<Histogram> histograms_;
+};
+
+/// Canonical 'k1="v1",k2="v2"' rendering (sorted by key) used for both the
+/// registry's identity test and the Prometheus exposition.
+[[nodiscard]] std::string format_labels(const MetricLabels& labels);
+
+}  // namespace miniarc

@@ -1,0 +1,160 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cstddef>
+#include <cstdlib>
+#include <ostream>
+
+#include "trace/json.h"
+
+namespace miniarc {
+
+namespace {
+
+const char* type_name(const MetricInfo& info) {
+  if (info.counter != nullptr) return "counter";
+  if (info.gauge != nullptr) return "gauge";
+  return "histogram";
+}
+
+void write_series(std::ostream& os, const std::string& name,
+                  const std::string& labels, double value) {
+  os << name;
+  if (!labels.empty()) os << '{' << labels << '}';
+  os << ' ' << json_number(value) << '\n';
+}
+
+/// The histogram's cumulative bucket series. `le` values render through
+/// json_number too, so boundary bytes match the JSON snapshot's.
+void write_histogram(std::ostream& os, const MetricInfo& info,
+                     const std::string& labels) {
+  const Histogram& histogram = *info.histogram;
+  std::vector<long long> counts = histogram.bucket_counts();
+  long long cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    std::string le = i < histogram.boundaries().size()
+                         ? json_number(histogram.boundaries()[i])
+                         : std::string("+Inf");
+    std::string bucket_labels = labels;
+    if (!bucket_labels.empty()) bucket_labels += ',';
+    bucket_labels += "le=\"" + le + "\"";
+    write_series(os, info.name + "_bucket", bucket_labels,
+                 static_cast<double>(cumulative));
+  }
+  write_series(os, info.name + "_sum", labels, histogram.sum());
+  write_series(os, info.name + "_count", labels,
+               static_cast<double>(cumulative));
+}
+
+}  // namespace
+
+void write_prometheus(const std::vector<MetricInfo>& metrics,
+                      std::ostream& os) {
+  // snapshot() is already (name, labels)-sorted; emit HELP/TYPE once per
+  // family, then every series of that family.
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const MetricInfo& info = metrics[i];
+    if (i == 0 || metrics[i - 1].name != info.name) {
+      os << "# HELP " << info.name << ' ' << info.help << '\n';
+      os << "# TYPE " << info.name << ' ' << type_name(info) << '\n';
+    }
+    std::string labels = format_labels(info.labels);
+    if (info.counter != nullptr) {
+      write_series(os, info.name, labels,
+                   static_cast<double>(info.counter->value()));
+    } else if (info.gauge != nullptr) {
+      write_series(os, info.name, labels, info.gauge->value());
+    } else if (info.histogram != nullptr) {
+      write_histogram(os, info, labels);
+    }
+  }
+}
+
+namespace {
+
+bool fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+bool metric_name_char(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+}  // namespace
+
+bool parse_prometheus(const std::string& text,
+                      std::vector<PrometheusSample>* samples,
+                      std::string* error) {
+  samples->clear();
+  std::size_t pos = 0;
+  long line_number = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      return fail(error, "missing trailing newline on the final line");
+    }
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_number;
+    std::string where = "line " + std::to_string(line_number) + ": ";
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Comment lines must be "# HELP <name> <text>" or "# TYPE <name>
+      // <counter|gauge|histogram>".
+      if (line.rfind("# HELP ", 0) == 0) continue;
+      if (line.rfind("# TYPE ", 0) == 0) {
+        if (line.find(" counter") == std::string::npos &&
+            line.find(" gauge") == std::string::npos &&
+            line.find(" histogram") == std::string::npos) {
+          return fail(error, where + "unknown TYPE");
+        }
+        continue;
+      }
+      return fail(error, where + "malformed comment line");
+    }
+    PrometheusSample sample;
+    std::size_t i = 0;
+    while (i < line.size() && metric_name_char(line[i], i == 0)) ++i;
+    if (i == 0) return fail(error, where + "missing metric name");
+    sample.name = line.substr(0, i);
+    if (i < line.size() && line[i] == '{') {
+      std::size_t close = line.find('}', i);
+      if (close == std::string::npos) {
+        return fail(error, where + "unterminated label set");
+      }
+      sample.labels = line.substr(i + 1, close - i - 1);
+      // Each label must be key="value" — verify the quoting pairs up.
+      long quotes = 0;
+      for (std::size_t j = 0; j < sample.labels.size(); ++j) {
+        if (sample.labels[j] == '"' &&
+            (j == 0 || sample.labels[j - 1] != '\\')) {
+          ++quotes;
+        }
+      }
+      if (quotes % 2 != 0 ||
+          (!sample.labels.empty() && sample.labels.find('=') == std::string::npos)) {
+        return fail(error, where + "malformed labels");
+      }
+      i = close + 1;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return fail(error, where + "missing value separator");
+    }
+    std::string value_text = line.substr(i + 1);
+    if (value_text.empty()) return fail(error, where + "missing sample value");
+    char* end = nullptr;
+    sample.value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str() || *end != '\0') {
+      return fail(error, where + "malformed sample value '" + value_text + "'");
+    }
+    samples->push_back(std::move(sample));
+  }
+  return true;
+}
+
+}  // namespace miniarc

@@ -1,0 +1,47 @@
+// Prometheus text-exposition (version 0.0.4) rendering of a
+// MetricsRegistry snapshot, plus the atomic-at-a-cadence file export the
+// service's flusher thread uses (`miniarc serve --metrics-out PATH`).
+//
+// Output shape per family (families sorted by name, series by labels, so
+// identical instrument values produce identical bytes):
+//
+//   # HELP miniarc_service_requests_total Terminal request statuses.
+//   # TYPE miniarc_service_requests_total counter
+//   miniarc_service_requests_total{status="ok"} 12
+//
+// Histograms expand to the standard cumulative _bucket{le=...} series plus
+// _sum and _count. Values render through the observability layer's
+// json_number (shortest round-trip), matching every other exporter in the
+// repo.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+
+namespace miniarc {
+
+/// Render `metrics` (a MetricsRegistry::snapshot()) as Prometheus text
+/// exposition. Deterministic for identical values.
+void write_prometheus(const std::vector<MetricInfo>& metrics,
+                      std::ostream& os);
+
+/// One decoded sample line from parse_prometheus (tests and the
+/// exposition's parse-back property check).
+struct PrometheusSample {
+  std::string name;    ///< series name, _bucket/_sum/_count suffixes kept
+  std::string labels;  ///< canonical label body, "" when unlabelled
+  double value = 0.0;
+};
+
+/// Minimal exposition parser: returns every sample line; HELP/TYPE comment
+/// lines are syntax-checked and skipped. Returns false and sets `*error`
+/// on any malformed line — the well-formedness half of the parse-back
+/// property test.
+[[nodiscard]] bool parse_prometheus(const std::string& text,
+                                    std::vector<PrometheusSample>* samples,
+                                    std::string* error = nullptr);
+
+}  // namespace miniarc

@@ -1,0 +1,509 @@
+#include "obs/service_metrics.h"
+
+#include <algorithm>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "trace/json.h"
+
+namespace miniarc {
+
+namespace {
+
+/// Virtual-time request durations: the advise-loop sweet spot is µs–ms of
+/// simulated device time; 10 s of virtual time is an outlier batch.
+std::vector<double> vt_boundaries() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0};
+}
+
+/// Wall-clock latencies (queue wait, execute, end-to-end), milliseconds.
+std::vector<double> wall_ms_boundaries() {
+  return {0.01, 0.1, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0};
+}
+
+const char* mode_label(CompileMode mode) {
+  return mode == CompileMode::kAdvise ? "advise" : "run";
+}
+
+const char* outcome_label(CompileCache::Outcome outcome) {
+  switch (outcome) {
+    case CompileCache::Outcome::kHit: return "hit";
+    case CompileCache::Outcome::kMiss: return "miss";
+    case CompileCache::Outcome::kBypass: return "bypass";
+  }
+  return "miss";
+}
+
+}  // namespace
+
+ServiceMetrics::ServiceMetrics(MetricsRegistry& registry)
+    : registry_(registry),
+      submitted_(registry.counter("miniarc_service_requests_submitted_total",
+                                  "Requests presented to admission.")),
+      admission_accepted_(registry.counter(
+          "miniarc_service_admission_total",
+          "Admission verdicts by outcome.", {{"outcome", "accepted"}})),
+      admission_shed_budget_(registry.counter(
+          "miniarc_service_admission_total",
+          "Admission verdicts by outcome.", {{"outcome", "shed-budget"}})),
+      admission_shed_overload_(registry.counter(
+          "miniarc_service_admission_total",
+          "Admission verdicts by outcome.", {{"outcome", "shed-overload"}})),
+      admission_shed_shutdown_(registry.counter(
+          "miniarc_service_admission_total",
+          "Admission verdicts by outcome.", {{"outcome", "shed-shutdown"}})),
+      admission_bad_request_(registry.counter(
+          "miniarc_service_admission_total",
+          "Admission verdicts by outcome.", {{"outcome", "bad-request"}})),
+      request_vt_seconds_(registry.histogram(
+          "miniarc_service_request_vt_seconds",
+          "Per-request virtual-time duration (deterministic).",
+          vt_boundaries())),
+      host_statements_(registry.counter(
+          "miniarc_service_host_statements_total",
+          "Host statements executed across all requests.")),
+      device_statements_(registry.counter(
+          "miniarc_service_device_statements_total",
+          "Device statements executed across all requests.")),
+      h2d_bytes_(registry.counter("miniarc_service_transfer_bytes_total",
+                                  "Transferred bytes by direction.",
+                                  {{"dir", "h2d"}})),
+      d2h_bytes_(registry.counter("miniarc_service_transfer_bytes_total",
+                                  "Transferred bytes by direction.",
+                                  {{"dir", "d2h"}})),
+      faults_injected_(registry.counter(
+          "miniarc_service_faults_injected_total",
+          "Seeded faults fired inside tenant runtimes.")),
+      recovery_transfer_retries_(registry.counter(
+          "miniarc_service_recovery_total", "Recovery-ladder actions by kind.",
+          {{"kind", "transfer-retry"}})),
+      recovery_transfers_recovered_(registry.counter(
+          "miniarc_service_recovery_total", "Recovery-ladder actions by kind.",
+          {{"kind", "transfer-recovered"}})),
+      recovery_kernel_rollbacks_(registry.counter(
+          "miniarc_service_recovery_total", "Recovery-ladder actions by kind.",
+          {{"kind", "kernel-rollback"}})),
+      recovery_kernel_retries_(registry.counter(
+          "miniarc_service_recovery_total", "Recovery-ladder actions by kind.",
+          {{"kind", "kernel-retry"}})),
+      recovery_kernels_recovered_(registry.counter(
+          "miniarc_service_recovery_total", "Recovery-ladder actions by kind.",
+          {{"kind", "kernel-recovered"}})),
+      recovery_host_failovers_(registry.counter(
+          "miniarc_service_recovery_total", "Recovery-ladder actions by kind.",
+          {{"kind", "host-failover"}})),
+      recovery_host_fallbacks_(registry.counter(
+          "miniarc_service_recovery_total", "Recovery-ladder actions by kind.",
+          {{"kind", "host-fallback"}})),
+      recovery_oom_evictions_(registry.counter(
+          "miniarc_service_recovery_total", "Recovery-ladder actions by kind.",
+          {{"kind", "oom-eviction"}})),
+      breaker_opens_(registry.counter(
+          "miniarc_service_breaker_transitions_total",
+          "Circuit-breaker transitions by kind.", {{"kind", "open"}})),
+      breaker_closes_(registry.counter(
+          "miniarc_service_breaker_transitions_total",
+          "Circuit-breaker transitions by kind.", {{"kind", "close"}})),
+      terminations_vt_(registry.counter(
+          "miniarc_service_budget_terminations_total",
+          "Budget wind-downs by exhausted budget.",
+          {{"reason", "virtual-time"}})),
+      terminations_wall_(registry.counter(
+          "miniarc_service_budget_terminations_total",
+          "Budget wind-downs by exhausted budget.",
+          {{"reason", "wall-clock"}})),
+      terminations_memory_(registry.counter(
+          "miniarc_service_budget_terminations_total",
+          "Budget wind-downs by exhausted budget.",
+          {{"reason", "device-memory"}})),
+      terminations_statements_(registry.counter(
+          "miniarc_service_budget_terminations_total",
+          "Budget wind-downs by exhausted budget.",
+          {{"reason", "statements"}})),
+      terminations_retries_(registry.counter(
+          "miniarc_service_budget_terminations_total",
+          "Budget wind-downs by exhausted budget.", {{"reason", "retries"}})),
+      terminations_cancelled_(registry.counter(
+          "miniarc_service_budget_terminations_total",
+          "Budget wind-downs by exhausted budget.",
+          {{"reason", "cancelled"}})),
+      queue_wait_ms_(registry.histogram(
+          "miniarc_service_queue_wait_ms",
+          "Wall milliseconds between admission and worker pickup.",
+          wall_ms_boundaries(), {}, MetricScope::kBestEffort)),
+      execute_ms_(registry.histogram(
+          "miniarc_service_execute_ms",
+          "Wall milliseconds a worker spent executing one request.",
+          wall_ms_boundaries(), {}, MetricScope::kBestEffort)),
+      e2e_ms_(registry.histogram(
+          "miniarc_service_e2e_ms",
+          "Wall milliseconds from admission to response.",
+          wall_ms_boundaries(), {}, MetricScope::kBestEffort)),
+      workers_(registry.gauge("miniarc_service_workers",
+                              "Worker threads in the pool.")),
+      queue_depth_peak_(registry.gauge(
+          "miniarc_service_queue_depth_peak",
+          "High-water mark of the admission queue.")),
+      worker_busy_ms_(registry.gauge(
+          "miniarc_service_worker_busy_ms",
+          "Accumulated wall milliseconds workers spent executing "
+          "(utilization numerator; divide by workers x uptime).")),
+      cache_bytes_in_use_(registry.gauge("miniarc_cache_bytes_in_use",
+                                         "Compile-cache resident bytes.")),
+      cache_entries_(registry.gauge("miniarc_cache_entries",
+                                    "Compile-cache resident entries.")) {
+  for (std::size_t s = 0; s < 8; ++s) {
+    terminal_[s] = &registry.counter(
+        "miniarc_service_requests_total", "Terminal request statuses.",
+        {{"status", to_string(static_cast<ServiceStatus>(s))}});
+  }
+  const CompileMode modes[2] = {CompileMode::kRun, CompileMode::kAdvise};
+  const CompileCache::Outcome outcomes[3] = {CompileCache::Outcome::kHit,
+                                             CompileCache::Outcome::kMiss,
+                                             CompileCache::Outcome::kBypass};
+  // Hit/miss arrival order at the cache is schedule-dependent under
+  // concurrent workers, so the whole family is best-effort.
+  for (int m = 0; m < 2; ++m) {
+    for (int o = 0; o < 3; ++o) {
+      cache_lookups_[m][o] = &registry.counter(
+          "miniarc_cache_lookups_total", "Compile-cache lookups.",
+          {{"mode", mode_label(modes[m])},
+           {"outcome", outcome_label(outcomes[o])}},
+          MetricScope::kBestEffort);
+    }
+  }
+}
+
+void ServiceMetrics::record_submitted() { submitted_.inc(); }
+
+void ServiceMetrics::record_admission(ServiceStatus verdict) {
+  switch (verdict) {
+    case ServiceStatus::kOk: admission_accepted_.inc(); break;
+    case ServiceStatus::kShedBudget: admission_shed_budget_.inc(); break;
+    case ServiceStatus::kShedOverload: admission_shed_overload_.inc(); break;
+    case ServiceStatus::kShedShutdown: admission_shed_shutdown_.inc(); break;
+    case ServiceStatus::kBadRequest: admission_bad_request_.inc(); break;
+    default: break;
+  }
+}
+
+void ServiceMetrics::record_terminal(ServiceStatus status) {
+  terminal_[static_cast<std::size_t>(status)]->inc();
+}
+
+void ServiceMetrics::record_rollup(const TenantRollup& rollup) {
+  if (!rollup.present) return;
+  request_vt_seconds_.observe(rollup.vt_seconds);
+  host_statements_.inc(rollup.host_statements);
+  device_statements_.inc(rollup.device_statements);
+  h2d_bytes_.inc(rollup.h2d_bytes);
+  d2h_bytes_.inc(rollup.d2h_bytes);
+  faults_injected_.inc(rollup.faults_injected);
+  recovery_transfer_retries_.inc(rollup.transfer_retries);
+  recovery_transfers_recovered_.inc(rollup.transfers_recovered);
+  recovery_kernel_rollbacks_.inc(rollup.kernel_rollbacks);
+  recovery_kernel_retries_.inc(rollup.kernel_retries);
+  recovery_kernels_recovered_.inc(rollup.kernels_recovered);
+  recovery_host_failovers_.inc(rollup.host_failovers);
+  recovery_host_fallbacks_.inc(rollup.host_fallbacks);
+  recovery_oom_evictions_.inc(rollup.oom_evictions);
+  breaker_opens_.inc(rollup.breaker_opens);
+  breaker_closes_.inc(rollup.breaker_closes);
+  if (rollup.terminated) {
+    if (rollup.termination_reason == "virtual-time") {
+      terminations_vt_.inc();
+    } else if (rollup.termination_reason == "wall-clock") {
+      terminations_wall_.inc();
+    } else if (rollup.termination_reason == "device-memory") {
+      terminations_memory_.inc();
+    } else if (rollup.termination_reason == "statements") {
+      terminations_statements_.inc();
+    } else if (rollup.termination_reason == "retries") {
+      terminations_retries_.inc();
+    } else if (rollup.termination_reason == "cancelled") {
+      terminations_cancelled_.inc();
+    }
+  }
+}
+
+void ServiceMetrics::record_timing(double queue_wait_ms, double execute_ms,
+                                   double e2e_ms) {
+  queue_wait_ms_.observe(queue_wait_ms);
+  execute_ms_.observe(execute_ms);
+  e2e_ms_.observe(e2e_ms);
+  worker_busy_ms_.add(execute_ms);
+}
+
+void ServiceMetrics::record_cache(CompileMode mode,
+                                  CompileCache::Outcome outcome) {
+  int m = mode == CompileMode::kAdvise ? 1 : 0;
+  int o = outcome == CompileCache::Outcome::kHit    ? 0
+          : outcome == CompileCache::Outcome::kMiss ? 1
+                                                    : 2;
+  cache_lookups_[m][o]->inc();
+}
+
+void ServiceMetrics::set_workers(int jobs) {
+  workers_.set(static_cast<double>(jobs));
+}
+
+void ServiceMetrics::set_queue_depth_peak(std::size_t depth) {
+  queue_depth_peak_.set(static_cast<double>(depth));
+}
+
+void ServiceMetrics::set_cache_residency(const CompileCache::Stats& stats) {
+  cache_bytes_in_use_.set(static_cast<double>(stats.bytes_in_use));
+  cache_entries_.set(static_cast<double>(stats.entries));
+}
+
+// ---- JSON snapshot ----
+
+namespace {
+
+void write_counter_entry(JsonWriter& json, const MetricInfo& info) {
+  json.begin_object();
+  json.field("name", info.name);
+  json.field("labels", format_labels(info.labels));
+  json.field("value", info.counter->value());
+  json.end_object();
+}
+
+void write_gauge_entry(JsonWriter& json, const MetricInfo& info) {
+  json.begin_object();
+  json.field("name", info.name);
+  json.field("labels", format_labels(info.labels));
+  json.field("value", info.gauge->value());
+  json.end_object();
+}
+
+void write_histogram_entry(JsonWriter& json, const MetricInfo& info) {
+  const Histogram& histogram = *info.histogram;
+  json.begin_object();
+  json.field("name", info.name);
+  json.field("labels", format_labels(info.labels));
+  json.key("boundaries");
+  json.begin_array();
+  for (double boundary : histogram.boundaries()) json.value(boundary);
+  json.end_array();
+  json.key("buckets");
+  json.begin_array();
+  long long total = 0;
+  for (long long count : histogram.bucket_counts()) {
+    json.value(count);
+    total += count;
+  }
+  json.end_array();
+  json.field("count", total);
+  json.field("sum", histogram.sum());
+  json.field("p50", histogram.percentile(0.50));
+  json.field("p90", histogram.percentile(0.90));
+  json.field("p99", histogram.percentile(0.99));
+  json.end_object();
+}
+
+/// One scope section: {"counters": [...], "gauges": [...],
+/// "histograms": [...]} (gauges omitted from the deterministic section —
+/// no deterministic gauge exists by construction, see metrics_registry.h).
+void write_scope_section(JsonWriter& json,
+                         const std::vector<MetricInfo>& metrics,
+                         MetricScope scope) {
+  json.begin_object();
+  json.key("counters");
+  json.begin_array();
+  for (const MetricInfo& info : metrics) {
+    if (info.scope == scope && info.counter != nullptr) {
+      write_counter_entry(json, info);
+    }
+  }
+  json.end_array();
+  if (scope == MetricScope::kBestEffort) {
+    json.key("gauges");
+    json.begin_array();
+    for (const MetricInfo& info : metrics) {
+      if (info.scope == scope && info.gauge != nullptr) {
+        write_gauge_entry(json, info);
+      }
+    }
+    json.end_array();
+  }
+  json.key("histograms");
+  json.begin_array();
+  for (const MetricInfo& info : metrics) {
+    if (info.scope == scope && info.histogram != nullptr) {
+      write_histogram_entry(json, info);
+    }
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace
+
+void write_service_metrics_json(const std::vector<MetricInfo>& metrics,
+                                std::ostream& os) {
+  JsonWriter json(os);
+  json.begin_object();
+  json.field("schema", kServiceMetricsSchema);
+  json.key("deterministic");
+  write_scope_section(json, metrics, MetricScope::kDeterministic);
+  json.key("best_effort");
+  write_scope_section(json, metrics, MetricScope::kBestEffort);
+  json.end_object();
+  json.finish();
+}
+
+std::string render_deterministic_subset(
+    const std::vector<MetricInfo>& metrics) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  write_scope_section(json, metrics, MetricScope::kDeterministic);
+  json.finish();
+  std::string text = os.str();
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+    text.pop_back();
+  }
+  return text;
+}
+
+// ---- validation (report-validate) ----
+
+namespace {
+
+using Kind = JsonValue::Kind;
+
+bool check(bool condition, const char* message, std::string* error) {
+  if (condition) return true;
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool require(const JsonValue& object, const char* key, Kind kind,
+             std::string* error) {
+  const JsonValue* value = object.find(key);
+  if (value != nullptr && value->kind == kind) return true;
+  if (error != nullptr) {
+    *error = std::string("missing or mistyped key '") + key + "'";
+  }
+  return false;
+}
+
+bool validate_series_array(const JsonValue& section, const char* key,
+                           std::string* error) {
+  if (!require(section, key, Kind::kArray, error)) return false;
+  for (const JsonValue& entry : section.find(key)->array) {
+    if (!check(entry.kind == Kind::kObject, "series entry is not an object",
+               error)) {
+      return false;
+    }
+    if (!require(entry, "name", Kind::kString, error)) return false;
+    if (!require(entry, "labels", Kind::kString, error)) return false;
+    if (!require(entry, "value", Kind::kNumber, error)) return false;
+  }
+  return true;
+}
+
+bool validate_histogram_array(const JsonValue& section, std::string* error) {
+  if (!require(section, "histograms", Kind::kArray, error)) return false;
+  for (const JsonValue& entry : section.find("histograms")->array) {
+    if (!check(entry.kind == Kind::kObject,
+               "histogram entry is not an object", error)) {
+      return false;
+    }
+    if (!require(entry, "name", Kind::kString, error)) return false;
+    if (!require(entry, "labels", Kind::kString, error)) return false;
+    if (!require(entry, "boundaries", Kind::kArray, error)) return false;
+    if (!require(entry, "buckets", Kind::kArray, error)) return false;
+    if (!require(entry, "count", Kind::kNumber, error)) return false;
+    if (!require(entry, "sum", Kind::kNumber, error)) return false;
+    if (!require(entry, "p50", Kind::kNumber, error)) return false;
+    if (!require(entry, "p90", Kind::kNumber, error)) return false;
+    if (!require(entry, "p99", Kind::kNumber, error)) return false;
+    const std::vector<JsonValue>& boundaries =
+        entry.find("boundaries")->array;
+    const std::vector<JsonValue>& buckets = entry.find("buckets")->array;
+    if (!check(buckets.size() == boundaries.size() + 1,
+               "histogram buckets must be boundaries + 1 (overflow)",
+               error)) {
+      return false;
+    }
+    double prev = 0.0;
+    bool first = true;
+    double total = 0.0;
+    for (const JsonValue& boundary : boundaries) {
+      if (!check(boundary.kind == Kind::kNumber,
+                 "histogram boundary is not a number", error)) {
+        return false;
+      }
+      if (!check(first || boundary.number > prev,
+                 "histogram boundaries must be strictly ascending", error)) {
+        return false;
+      }
+      prev = boundary.number;
+      first = false;
+    }
+    for (const JsonValue& bucket : buckets) {
+      if (!check(bucket.kind == Kind::kNumber && bucket.number >= 0,
+                 "histogram bucket count is not a non-negative number",
+                 error)) {
+        return false;
+      }
+      total += bucket.number;
+    }
+    if (!check(entry.find("count")->number == total,
+               "histogram count does not equal the bucket sum", error)) {
+      return false;
+    }
+    if (!check(entry.find("p50")->number <= entry.find("p90")->number &&
+                   entry.find("p90")->number <= entry.find("p99")->number,
+               "histogram percentiles are not monotone", error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool validate_scope_section(const JsonValue& root, const char* key,
+                            bool gauges, std::string* error) {
+  if (!require(root, key, Kind::kObject, error)) return false;
+  const JsonValue& section = *root.find(key);
+  if (!validate_series_array(section, "counters", error)) return false;
+  if (gauges) {
+    if (!validate_series_array(section, "gauges", error)) return false;
+  } else if (!check(section.find("gauges") == nullptr,
+                    "deterministic section must not carry gauges", error)) {
+    return false;
+  }
+  return validate_histogram_array(section, error);
+}
+
+}  // namespace
+
+bool validate_service_metrics(const std::string& json_text,
+                              std::string* error) {
+  std::optional<JsonValue> parsed = parse_json(json_text, error);
+  if (!parsed.has_value()) return false;
+  const JsonValue& root = *parsed;
+  if (!check(root.kind == Kind::kObject, "snapshot is not an object",
+             error)) {
+    return false;
+  }
+  const JsonValue* schema = root.find("schema");
+  if (!check(schema != nullptr && schema->kind == Kind::kString,
+             "missing 'schema' string", error)) {
+    return false;
+  }
+  if (schema->string != kServiceMetricsSchema) {
+    if (error != nullptr) {
+      *error = "unexpected schema '" + schema->string + "' (want '" +
+               kServiceMetricsSchema + "')";
+    }
+    return false;
+  }
+  if (!validate_scope_section(root, "deterministic", false, error)) {
+    return false;
+  }
+  return validate_scope_section(root, "best_effort", true, error);
+}
+
+}  // namespace miniarc

@@ -1,0 +1,138 @@
+// The batch run service's instrument bundle and its JSON snapshot format
+// ("miniarc-service-metrics/v1").
+//
+// ServiceMetrics registers every fleet-level instrument against one
+// MetricsRegistry at construction and exposes typed record_* hooks the
+// service layer calls on its hot path (all lock-free after construction).
+// The instruments split by MetricScope:
+//
+//  DETERMINISTIC — pure functions of the request sequence under the batch
+//  admission protocol (submit everything, then start()): submitted /
+//  admission-outcome / terminal-status counters, per-request virtual-time
+//  histogram, statement and transfer totals, seeded-fault and recovery
+//  counters, per-request breaker transitions, budget terminations. Their
+//  serialization is byte-identical at 1 vs 8 workers, with or without
+//  armed fault plans (ctest-enforced).
+//
+//  BEST-EFFORT — wall-clock queue-wait / execute / end-to-end histograms,
+//  worker-pool gauges, worker busy-time (utilization numerator), and the
+//  compile-cache lookup counters (hit/miss order under concurrent eviction
+//  pressure is schedule-dependent, so they can never be in the compared
+//  subset even though CompileCache::Stats itself is deterministic for a
+//  serial lookup sequence).
+//
+// The JSON snapshot (`miniarc serve --stats-json`) keeps the two scopes in
+// separate top-level sections so consumers — and the byte-identity test —
+// can compare the deterministic half and merely read the rest.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "service/service.h"
+
+namespace miniarc {
+
+inline constexpr const char* kServiceMetricsSchema =
+    "miniarc-service-metrics/v1";
+
+class ServiceMetrics {
+ public:
+  /// Registers every instrument (including all label combinations, so a
+  /// zero-traffic snapshot already carries the full deterministic shape).
+  explicit ServiceMetrics(MetricsRegistry& registry);
+
+  // ---- admission path (deterministic under the batch protocol) ----
+  void record_submitted();
+  /// Admission verdict: kOk = accepted; kShedBudget / kShedOverload /
+  /// kShedShutdown / kBadRequest increment their outcome counter.
+  void record_admission(ServiceStatus verdict);
+
+  // ---- terminal path ----
+  /// Per-status terminal counter (deterministic).
+  void record_terminal(ServiceStatus status);
+  /// Fold one finished request's deterministic rollup into the fleet
+  /// counters (vt histogram, statements, transfers, faults, recovery
+  /// ladder, breaker transitions, budget terminations).
+  void record_rollup(const TenantRollup& rollup);
+  /// Best-effort wall-clock latencies for one finished request; execute_ms
+  /// also accumulates the worker busy-time gauge.
+  void record_timing(double queue_wait_ms, double execute_ms, double e2e_ms);
+
+  // ---- compile cache (best-effort) ----
+  void record_cache(CompileMode mode, CompileCache::Outcome outcome);
+
+  // ---- pool shape (best-effort gauges) ----
+  void set_workers(int jobs);
+  void set_queue_depth_peak(std::size_t depth);
+  void set_cache_residency(const CompileCache::Stats& stats);
+
+  [[nodiscard]] MetricsRegistry& registry() { return registry_; }
+
+ private:
+  MetricsRegistry& registry_;
+
+  Counter& submitted_;
+  Counter& admission_accepted_;
+  Counter& admission_shed_budget_;
+  Counter& admission_shed_overload_;
+  Counter& admission_shed_shutdown_;
+  Counter& admission_bad_request_;
+  Counter* terminal_[8];  ///< indexed by ServiceStatus
+
+  Histogram& request_vt_seconds_;
+  Counter& host_statements_;
+  Counter& device_statements_;
+  Counter& h2d_bytes_;
+  Counter& d2h_bytes_;
+  Counter& faults_injected_;
+  Counter& recovery_transfer_retries_;
+  Counter& recovery_transfers_recovered_;
+  Counter& recovery_kernel_rollbacks_;
+  Counter& recovery_kernel_retries_;
+  Counter& recovery_kernels_recovered_;
+  Counter& recovery_host_failovers_;
+  Counter& recovery_host_fallbacks_;
+  Counter& recovery_oom_evictions_;
+  Counter& breaker_opens_;
+  Counter& breaker_closes_;
+  Counter& terminations_vt_;
+  Counter& terminations_wall_;
+  Counter& terminations_memory_;
+  Counter& terminations_statements_;
+  Counter& terminations_retries_;
+  Counter& terminations_cancelled_;
+
+  Histogram& queue_wait_ms_;
+  Histogram& execute_ms_;
+  Histogram& e2e_ms_;
+  Gauge& workers_;
+  Gauge& queue_depth_peak_;
+  Gauge& worker_busy_ms_;
+  Counter* cache_lookups_[2][3];  ///< [CompileMode][CompileCache::Outcome]
+  Gauge& cache_bytes_in_use_;
+  Gauge& cache_entries_;
+};
+
+/// Serialize a registry snapshot as one-line "miniarc-service-metrics/v1"
+/// JSON + newline: {"schema", "deterministic": {counters, histograms},
+/// "best_effort": {counters, gauges, histograms}}. Deterministic for
+/// identical instrument values.
+void write_service_metrics_json(const std::vector<MetricInfo>& metrics,
+                                std::ostream& os);
+
+/// The deterministic section alone, as a one-line JSON object (no
+/// newline): the byte-identity contract's unit of comparison — equal at
+/// 1 vs 8 workers ± armed faults for a fixed batch.
+[[nodiscard]] std::string render_deterministic_subset(
+    const std::vector<MetricInfo>& metrics);
+
+/// Validate that `json_text` is a well-formed miniarc-service-metrics/v1
+/// snapshot (schema tag, both scope sections, per-instrument shape,
+/// histogram bucket/boundary arity and count consistency).
+[[nodiscard]] bool validate_service_metrics(const std::string& json_text,
+                                            std::string* error = nullptr);
+
+}  // namespace miniarc

@@ -9,12 +9,15 @@ std::shared_ptr<const CompiledProgram> CompileCache::get_or_compile(
     Outcome* outcome) {
   std::string key = source_fingerprint(mode, source);
   std::lock_guard<std::mutex> lock(mu_);
+  ModeStats& mode_stats =
+      mode == CompileMode::kAdvise ? stats_.advise : stats_.run;
 
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     if (it->second.program->mode == mode &&
         it->second.program->source == source) {
       ++stats_.hits;
+      ++mode_stats.hits;
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       if (outcome != nullptr) *outcome = Outcome::kHit;
       return it->second.program;
@@ -26,11 +29,14 @@ std::shared_ptr<const CompiledProgram> CompileCache::get_or_compile(
     // do not cache (the key is taken).
     ++stats_.misses;
     ++stats_.bypasses;
+    ++mode_stats.misses;
+    ++mode_stats.bypasses;
     if (outcome != nullptr) *outcome = Outcome::kBypass;
     return build_compiled_program(source, mode, error);
   }
 
   ++stats_.misses;
+  ++mode_stats.misses;
   std::shared_ptr<const CompiledProgram> compiled =
       build_compiled_program(source, mode, error);
   if (compiled == nullptr) {
@@ -41,6 +47,7 @@ std::shared_ptr<const CompiledProgram> CompileCache::get_or_compile(
     // Caching it would immediately evict everything else and then itself;
     // serve it uncached instead.
     ++stats_.bypasses;
+    ++mode_stats.bypasses;
     if (outcome != nullptr) *outcome = Outcome::kBypass;
     return compiled;
   }
@@ -49,6 +56,7 @@ std::shared_ptr<const CompiledProgram> CompileCache::get_or_compile(
   entries_.emplace(std::move(key), Entry{compiled, lru_.begin()});
   stats_.bytes_in_use += compiled->footprint_bytes;
   ++stats_.insertions;
+  ++mode_stats.insertions;
   evict_to_fit();
   if (outcome != nullptr) *outcome = Outcome::kMiss;
   return compiled;
@@ -60,6 +68,12 @@ void CompileCache::evict_to_fit() {
     auto victim = entries_.find(victim_key);
     stats_.bytes_in_use -= victim->second.program->footprint_bytes;
     ++stats_.evictions;
+    // The eviction belongs to the mode being pushed OUT of the cache.
+    ModeStats& victim_stats = victim->second.program->mode ==
+                                      CompileMode::kAdvise
+                                  ? stats_.advise
+                                  : stats_.run;
+    ++victim_stats.evictions;
     entries_.erase(victim);
     lru_.pop_back();
   }

@@ -34,6 +34,18 @@ class CompileCache {
   /// fingerprint encodes).
   enum class Outcome : std::uint8_t { kHit, kMiss, kBypass };
 
+  /// Per-CompileMode slice of the lookup counters: a run-tenant burst and
+  /// an advise-loop burst hit the same cache, and the fleet view needs to
+  /// see which mode is churning it (advise entries carry checker
+  /// instrumentation, so their footprints — and eviction pressure — differ).
+  struct ModeStats {
+    long hits = 0;
+    long misses = 0;
+    long evictions = 0;
+    long insertions = 0;
+    long bypasses = 0;
+  };
+
   struct Stats {
     long hits = 0;
     long misses = 0;
@@ -44,6 +56,15 @@ class CompileCache {
     std::size_t bytes_in_use = 0;
     std::size_t byte_ceiling = 0;
     long entries = 0;
+    /// Per-mode split; every aggregate counter above equals run.x +
+    /// advise.x (asserted in tests/metrics_test.cpp). Evictions attribute
+    /// to the EVICTED entry's mode, not the inserting lookup's.
+    ModeStats run;
+    ModeStats advise;
+
+    [[nodiscard]] const ModeStats& by_mode(CompileMode mode) const {
+      return mode == CompileMode::kAdvise ? advise : run;
+    }
   };
 
   explicit CompileCache(std::size_t byte_ceiling)

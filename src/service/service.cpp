@@ -1,8 +1,13 @@
 #include "service/service.h"
 
+#include <chrono>
+#include <cstdlib>
 #include <sstream>
 
 #include "advisor/advisor.h"
+#include "obs/atomic_file.h"
+#include "obs/prometheus.h"
+#include "obs/service_metrics.h"
 #include "runtime/acc_runtime.h"
 #include "support/env.h"
 #include "trace/report.h"
@@ -137,6 +142,43 @@ ServiceResponse execute_request_impl(
     response.status = ServiceStatus::kFailed;
     response.error = report.error;
   }
+
+  // Deterministic per-tenant rollup: every field is a pure function of the
+  // request (virtual clock, seeded faults, per-request breaker), so
+  // embedding it in the wire response keeps `miniarc serve` output
+  // byte-identical across runs and worker counts.
+  TenantRollup& rollup = response.rollup;
+  rollup.present = true;
+  rollup.vt_seconds = report.total_seconds;
+  rollup.host_statements = report.host_statements;
+  rollup.device_statements = report.device_statements;
+  rollup.h2d_bytes = static_cast<long long>(report.transfers.h2d_bytes);
+  rollup.d2h_bytes = static_cast<long long>(report.transfers.d2h_bytes);
+  rollup.faults_injected =
+      report.faults.allocs_failed + report.faults.transfers_transient +
+      report.faults.transfers_permanent + report.faults.transfers_corrupted +
+      report.faults.queue_stalls + report.faults.kernels_hung +
+      report.faults.kernels_faulted + report.faults.kernels_corrupted;
+  rollup.transfer_retries = report.resilience.transfer_retries;
+  rollup.transfers_recovered = report.resilience.transfers_recovered;
+  rollup.kernel_rollbacks = report.resilience.kernel_rollbacks;
+  rollup.kernel_retries = report.resilience.kernel_retries;
+  rollup.kernels_recovered = report.resilience.kernels_recovered;
+  rollup.host_failovers = report.resilience.host_failovers;
+  rollup.host_fallbacks = report.resilience.host_fallbacks;
+  rollup.oom_evictions = report.resilience.oom_evictions;
+  rollup.breaker_opens = report.breaker.opens;
+  rollup.breaker_closes = report.breaker.closes;
+  rollup.terminated = report.termination.terminated;
+  if (report.termination.terminated) {
+    rollup.termination_reason = to_string(report.termination.reason);
+  }
+
+  if (request.collect_trace_events) {
+    // Last consumer of the recorder: the report rollups, the advisor, and
+    // the optional chrome export have all read it by now.
+    response.trace_events = runtime.trace().take_events();
+  }
   return response;
 }
 
@@ -172,7 +214,12 @@ std::string render_service_stats(const ServiceStats& stats) {
      << stats.shed_budget << " budget / " << stats.shed_shutdown
      << " shutdown; cache " << stats.cache.hits << " hits / "
      << stats.cache.misses << " misses / " << stats.cache.evictions
-     << " evictions (" << stats.cache.bytes_in_use << " B resident)";
+     << " evictions (" << stats.cache.bytes_in_use << " B resident)"
+     << "; by mode: run " << stats.cache.run.hits << "/"
+     << stats.cache.run.misses << "/" << stats.cache.run.bypasses
+     << ", advise " << stats.cache.advise.hits << "/"
+     << stats.cache.advise.misses << "/" << stats.cache.advise.bypasses
+     << " (hits/misses/bypasses)";
   return os.str();
 }
 
@@ -229,6 +276,17 @@ ServiceCore::ServiceCore(ServiceOptions options)
                                ? ExecEngine::kAst
                                : ExecEngine::kBytecode;
   }
+  if (options_.metrics_out.empty()) {
+    const char* path = std::getenv("MINIARC_METRICS_OUT");
+    if (path != nullptr) options_.metrics_out = path;
+  }
+  if (options_.metrics_interval_ms <= 0) {
+    options_.metrics_interval_ms =
+        env_long_or("MINIARC_METRICS_INTERVAL_MS", 1000, 10, 3600000);
+  }
+  registry_ = std::make_unique<MetricsRegistry>();
+  metrics_ = std::make_unique<ServiceMetrics>(*registry_);
+  metrics_->set_workers(options_.jobs);
   if (options_.autostart) start();
 }
 
@@ -241,6 +299,9 @@ void ServiceCore::start() {
   workers_.reserve(static_cast<std::size_t>(options_.jobs));
   for (int i = 0; i < options_.jobs; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
+  }
+  if (!options_.metrics_out.empty()) {
+    flusher_ = std::thread([this] { flusher_loop(); });
   }
 }
 
@@ -301,6 +362,11 @@ std::future<ServiceResponse> ServiceCore::submit(ServiceRequest request) {
   std::future<ServiceResponse> future = promise.get_future();
 
   auto reject = [&](ServiceStatus status, std::string error) {
+    // A rejection IS the request's terminal status; record both the
+    // admission outcome and the terminal counter so the registry's
+    // requests_total covers every submitted request.
+    metrics_->record_admission(status);
+    metrics_->record_terminal(status);
     ServiceResponse response;
     response.id = request.id;
     response.status = status;
@@ -311,6 +377,7 @@ std::future<ServiceResponse> ServiceCore::submit(ServiceRequest request) {
 
   std::unique_lock<std::mutex> lock(mu_);
   ++stats_.submitted;
+  metrics_->record_submitted();
   if (!accepting_) {
     ++stats_.shed_shutdown;
     return reject(ServiceStatus::kShedShutdown,
@@ -334,10 +401,13 @@ std::future<ServiceResponse> ServiceCore::submit(ServiceRequest request) {
                       "); retry later");
   }
   ++stats_.accepted;
-  queue_.push_back(Job{std::move(request), std::move(promise)});
+  metrics_->record_admission(ServiceStatus::kOk);
+  queue_.push_back(Job{std::move(request), std::move(promise),
+                       std::chrono::steady_clock::now()});
   if (queue_.size() > stats_.max_queue_depth) {
     stats_.max_queue_depth = queue_.size();
   }
+  metrics_->set_queue_depth_peak(stats_.max_queue_depth);
   lock.unlock();
   work_ready_.notify_one();
   return future;
@@ -359,6 +429,7 @@ void ServiceCore::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    const auto picked_up = std::chrono::steady_clock::now();
     // Backstop for the whole per-request path (cache compile included):
     // an exception leaving this thread is std::terminate for every tenant,
     // and an unresolved promise hangs the client forever.
@@ -374,6 +445,13 @@ void ServiceCore::worker_loop() {
       response.status = ServiceStatus::kFailed;
       response.error = "internal error: unknown exception";
     }
+    const auto finished = std::chrono::steady_clock::now();
+    using fp_ms = std::chrono::duration<double, std::milli>;
+    metrics_->record_terminal(response.status);
+    metrics_->record_rollup(response.rollup);
+    metrics_->record_timing(fp_ms(picked_up - job.enqueued).count(),
+                            fp_ms(finished - picked_up).count(),
+                            fp_ms(finished - job.enqueued).count());
     {
       std::lock_guard<std::mutex> lock(mu_);
       count_terminal(response.status);
@@ -389,6 +467,7 @@ ServiceResponse ServiceCore::process(const ServiceRequest& request) {
   CompileCache::Outcome outcome = CompileCache::Outcome::kMiss;
   std::shared_ptr<const CompiledProgram> compiled =
       cache_.get_or_compile(request.source, mode, &error, &outcome);
+  metrics_->record_cache(mode, outcome);
   if (compiled == nullptr) {
     ServiceResponse response;
     response.id = request.id;
@@ -443,6 +522,7 @@ void ServiceCore::shutdown(bool drain) {
     workers.swap(workers_);
   }
   for (Job& job : shed) {
+    metrics_->record_terminal(ServiceStatus::kShedShutdown);
     ServiceResponse response;
     response.id = job.request.id;
     response.status = ServiceStatus::kShedShutdown;
@@ -461,12 +541,43 @@ void ServiceCore::shutdown(bool drain) {
     stats_.accepted -= static_cast<long>(leftover.size());
   }
   for (Job& job : leftover) {
+    metrics_->record_terminal(ServiceStatus::kShedShutdown);
     ServiceResponse response;
     response.id = job.request.id;
     response.status = ServiceStatus::kShedShutdown;
     response.error = "service shut down before the request ran";
     job.promise.set_value(std::move(response));
   }
+  // Stop the flusher and publish one final exposition so the file always
+  // reflects the drained batch (flush errors are not fatal at shutdown —
+  // the registry, stats(), and the JSON snapshot remain available).
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    flusher_stop_ = true;
+  }
+  flush_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  (void)flush_metrics();
+}
+
+void ServiceCore::flusher_loop() {
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  const auto interval = std::chrono::milliseconds(options_.metrics_interval_ms);
+  while (!flusher_stop_) {
+    flush_cv_.wait_for(lock, interval, [this] { return flusher_stop_; });
+    if (flusher_stop_) return;  // the drain path writes the final snapshot
+    lock.unlock();
+    (void)flush_metrics();
+    lock.lock();
+  }
+}
+
+bool ServiceCore::flush_metrics(std::string* error) {
+  if (options_.metrics_out.empty()) return true;
+  metrics_->set_cache_residency(cache_.stats());
+  std::ostringstream os;
+  write_prometheus(registry_->snapshot(), os);
+  return write_file_atomic(options_.metrics_out, os.str(), error);
 }
 
 ServiceStats ServiceCore::stats() const {

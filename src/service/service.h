@@ -23,6 +23,7 @@
 // with a shed-shutdown response instead of running them.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -40,8 +41,12 @@
 #include "runtime/circuit_breaker.h"
 #include "service/compile_cache.h"
 #include "support/budget.h"
+#include "trace/trace.h"
 
 namespace miniarc {
+
+class MetricsRegistry;
+class ServiceMetrics;
 
 inline constexpr const char* kServiceSchema = "miniarc-service/v1";
 
@@ -87,6 +92,40 @@ struct ServiceRequest {
   int threads = 1;
   /// Attach the Chrome-trace JSON to the response.
   bool include_trace = false;
+  /// Hand the raw virtual-clock event stream back on the response
+  /// (ServiceResponse::trace_events) for the fleet-level trace merger
+  /// (`miniarc serve --fleet-trace`). Independent of include_trace.
+  bool collect_trace_events = false;
+};
+
+/// Per-tenant telemetry rollup embedded in each miniarc-service/v1
+/// response ("rollup" object). DETERMINISTIC fields only — the wire format
+/// must stay byte-identical across serve runs and worker counts, so every
+/// value here is a pure function of the request (virtual-time seconds,
+/// statement and transfer totals, seeded-fault and recovery counts,
+/// per-request breaker transitions, budget termination). Wall-clock
+/// latencies deliberately live only in the fleet MetricsRegistry.
+struct TenantRollup {
+  bool present = false;  ///< filled only when the request actually ran
+  double vt_seconds = 0.0;
+  long host_statements = 0;
+  long device_statements = 0;
+  long long h2d_bytes = 0;
+  long long d2h_bytes = 0;
+  long faults_injected = 0;
+  long transfer_retries = 0;
+  long transfers_recovered = 0;
+  long kernel_rollbacks = 0;
+  long kernel_retries = 0;
+  long kernels_recovered = 0;
+  long host_failovers = 0;
+  long host_fallbacks = 0;
+  long oom_evictions = 0;
+  long breaker_opens = 0;
+  long breaker_closes = 0;
+  bool terminated = false;
+  /// to_string(BudgetKind) when terminated; empty otherwise.
+  std::string termination_reason;
 };
 
 struct ServiceResponse {
@@ -104,6 +143,12 @@ struct ServiceResponse {
   /// Compilation provenance.
   std::string source_hash;
   bool cache_hit = false;
+  /// Deterministic per-tenant telemetry (present only for requests that
+  /// ran); embedded as the wire response's "rollup" object.
+  TenantRollup rollup;
+  /// Raw virtual-clock event stream (collect_trace_events only) — the
+  /// fleet trace merger's input, one lane per request.
+  std::vector<TraceEvent> trace_events;
 };
 
 struct ServiceOptions {
@@ -133,6 +178,14 @@ struct ServiceOptions {
   /// a well-formed `size: 1e9` request allocates ~8 GB per extern inside a
   /// worker instead of being shed deterministically at admission.
   std::size_t max_buffer_elems = std::size_t{1} << 22;
+  // ---- telemetry export ----
+  /// Prometheus text-exposition path, rewritten atomically every
+  /// metrics_interval_ms and once more at drain. Empty = MINIARC_METRICS_OUT
+  /// (unset ⇒ no exposition file; the registry still records).
+  std::string metrics_out;
+  /// Flush cadence in wall milliseconds. 0 = MINIARC_METRICS_INTERVAL_MS
+  /// (unset ⇒ 1000).
+  long metrics_interval_ms = 0;
 };
 
 struct ServiceStats {
@@ -194,10 +247,23 @@ class ServiceCore {
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
   [[nodiscard]] CompileCache& cache() { return cache_; }
 
+  /// The fleet telemetry registry (always live; the exposition file is
+  /// only written when metrics_out is set). Instrument updates are
+  /// lock-free; snapshot() is safe while workers run.
+  [[nodiscard]] MetricsRegistry& metrics_registry() { return *registry_; }
+
+  /// Render the current registry snapshot as Prometheus text exposition
+  /// and publish it atomically to options().metrics_out. No-op (returns
+  /// true) when no path is configured. The flusher thread calls this at
+  /// cadence; shutdown() calls it once more after the drain.
+  bool flush_metrics(std::string* error = nullptr);
+
  private:
   struct Job {
     ServiceRequest request;
     std::promise<ServiceResponse> promise;
+    /// Admission time (wall), for the best-effort queue-wait histogram.
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   /// Request-intrinsic admission checks (command, source, budget floors,
@@ -206,6 +272,9 @@ class ServiceCore {
   [[nodiscard]] ServiceStatus admission_check(const ServiceRequest& request,
                                               std::string* why) const;
   void worker_loop();
+  /// Periodic exposition writer (started with the pool when metrics_out is
+  /// configured; interruptible wait so shutdown never blocks a full tick).
+  void flusher_loop();
   /// Compile (through the cache) and execute one admitted request.
   [[nodiscard]] ServiceResponse process(const ServiceRequest& request);
   /// Account a finished request's terminal status. Holds mu_.
@@ -213,6 +282,8 @@ class ServiceCore {
 
   ServiceOptions options_;
   CompileCache cache_;
+  std::unique_ptr<MetricsRegistry> registry_;
+  std::unique_ptr<ServiceMetrics> metrics_;
 
   mutable std::mutex mu_;
   std::condition_variable work_ready_;
@@ -222,6 +293,11 @@ class ServiceCore {
   bool stopping_ = false;
   bool started_ = false;
   ServiceStats stats_;
+
+  std::thread flusher_;
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  bool flusher_stop_ = false;
 };
 
 }  // namespace miniarc

@@ -218,6 +218,33 @@ void write_service_response(const ServiceResponse& response,
     json.field("source_hash", response.source_hash);
     json.field("cache", response.cache_hit ? "hit" : "miss");
   }
+  if (response.rollup.present) {
+    // Deterministic per-tenant telemetry only (see TenantRollup): the wire
+    // format stays byte-identical across serve runs and worker counts.
+    const TenantRollup& rollup = response.rollup;
+    json.key("rollup");
+    json.begin_object();
+    json.field("vt_seconds", rollup.vt_seconds);
+    json.field("host_statements", rollup.host_statements);
+    json.field("device_statements", rollup.device_statements);
+    json.field("h2d_bytes", rollup.h2d_bytes);
+    json.field("d2h_bytes", rollup.d2h_bytes);
+    json.field("faults_injected", rollup.faults_injected);
+    json.field("transfer_retries", rollup.transfer_retries);
+    json.field("transfers_recovered", rollup.transfers_recovered);
+    json.field("kernel_rollbacks", rollup.kernel_rollbacks);
+    json.field("kernel_retries", rollup.kernel_retries);
+    json.field("kernels_recovered", rollup.kernels_recovered);
+    json.field("host_failovers", rollup.host_failovers);
+    json.field("host_fallbacks", rollup.host_fallbacks);
+    json.field("oom_evictions", rollup.oom_evictions);
+    json.field("breaker_opens", rollup.breaker_opens);
+    json.field("breaker_closes", rollup.breaker_closes);
+    if (rollup.terminated) {
+      json.field("terminated_by", rollup.termination_reason);
+    }
+    json.end_object();
+  }
   if (!response.report_json.empty()) {
     json.key("report");
     json.raw_value(response.report_json);

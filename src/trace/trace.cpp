@@ -143,6 +143,62 @@ std::string track_name(int track) {
 
 }  // namespace
 
+void write_chrome_track_metadata(JsonWriter& json, int pid, int track) {
+  json.begin_object();
+  json.field("ph", "M");
+  json.field("pid", pid);
+  json.field("tid", track);
+  json.field("name", "thread_name");
+  json.key("args");
+  json.begin_object();
+  json.field("name", track_name(track));
+  json.end_object();
+  json.end_object();
+}
+
+void write_chrome_event(JsonWriter& json, int pid, const TraceEvent& event) {
+  json.begin_object();
+  bool instant = event.dur <= 0.0;
+  json.field("ph", instant ? "i" : "X");
+  json.field("pid", pid);
+  json.field("tid", event.track);
+  json.key("name");
+  if (event.detail.empty()) {
+    json.value(event.name);
+  } else {
+    json.value(event.name + " [" + event.detail + "]");
+  }
+  json.field("cat", track_category(event.kind));
+  // Fixed-precision µs timestamps ("12.345") — deterministic bytes, ns
+  // resolution, exactly what Perfetto expects.
+  json.key("ts");
+  json.raw_value(trace_us(event.ts));
+  if (instant) {
+    json.field("s", "t");  // thread-scoped instant marker
+  } else {
+    json.key("dur");
+    json.raw_value(trace_us(event.dur));
+  }
+  json.key("args");
+  json.begin_object();
+  json.field("kind", to_string(event.kind));
+  if (!event.name.empty()) json.field("name", event.name);
+  if (!event.detail.empty()) json.field("detail", event.detail);
+  if (!event.site.empty()) json.field("site", event.site);
+  if (event.bytes >= 0) json.field("bytes", event.bytes);
+  if (event.value >= 0) json.field("value", event.value);
+  if (event.queue >= 0) json.field("queue", event.queue);
+  json.end_object();
+  json.end_object();
+}
+
+std::vector<TraceEvent> TraceRecorder::take_events() {
+  std::vector<TraceEvent> taken = std::move(events_);
+  events_.clear();
+  lanes_.clear();
+  return taken;
+}
+
 void TraceRecorder::write_chrome_trace(std::ostream& os) const {
   JsonWriter json(os);
   json.begin_object();
@@ -156,52 +212,11 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
   for (const auto& event : events_) tracks[event.track] = true;
   for (const auto& [track, unused] : tracks) {
     (void)unused;
-    json.begin_object();
-    json.field("ph", "M");
-    json.field("pid", 0);
-    json.field("tid", track);
-    json.field("name", "thread_name");
-    json.key("args");
-    json.begin_object();
-    json.field("name", track_name(track));
-    json.end_object();
-    json.end_object();
+    write_chrome_track_metadata(json, 0, track);
   }
 
   for (const auto& event : events_) {
-    json.begin_object();
-    bool instant = event.dur <= 0.0;
-    json.field("ph", instant ? "i" : "X");
-    json.field("pid", 0);
-    json.field("tid", event.track);
-    json.key("name");
-    if (event.detail.empty()) {
-      json.value(event.name);
-    } else {
-      json.value(event.name + " [" + event.detail + "]");
-    }
-    json.field("cat", track_category(event.kind));
-    // Fixed-precision µs timestamps ("12.345") — deterministic bytes, ns
-    // resolution, exactly what Perfetto expects.
-    json.key("ts");
-    json.raw_value(trace_us(event.ts));
-    if (instant) {
-      json.field("s", "t");  // thread-scoped instant marker
-    } else {
-      json.key("dur");
-      json.raw_value(trace_us(event.dur));
-    }
-    json.key("args");
-    json.begin_object();
-    json.field("kind", to_string(event.kind));
-    if (!event.name.empty()) json.field("name", event.name);
-    if (!event.detail.empty()) json.field("detail", event.detail);
-    if (!event.site.empty()) json.field("site", event.site);
-    if (event.bytes >= 0) json.field("bytes", event.bytes);
-    if (event.value >= 0) json.field("value", event.value);
-    if (event.queue >= 0) json.field("queue", event.queue);
-    json.end_object();
-    json.end_object();
+    write_chrome_event(json, 0, event);
   }
 
   json.end_array();

@@ -31,6 +31,8 @@
 
 namespace miniarc {
 
+class JsonWriter;
+
 enum class TraceEventKind : std::uint8_t {
   /// One kernel launch completing (device, recovered, host-failover, or
   /// host-fallback); value = executed device statements.
@@ -161,6 +163,11 @@ class TraceRecorder {
   /// event sequences produce identical bytes.
   void write_chrome_trace(std::ostream& os) const;
 
+  /// Move the buffered events out (used by the service to hand one
+  /// request's stream to the fleet-level merger without copying); the
+  /// recorder is left empty but armed.
+  [[nodiscard]] std::vector<TraceEvent> take_events();
+
  private:
   TraceOptions options_;
   bool enabled_ = false;
@@ -168,5 +175,17 @@ class TraceRecorder {
   std::vector<std::vector<TraceEvent>> lanes_;
   std::size_t dropped_ = 0;
 };
+
+// ---- Chrome trace-event building blocks ----
+// Shared by TraceRecorder::write_chrome_trace (one run, pid 0) and the
+// fleet-level merger (obs/fleet_trace.h: one pid lane per request), so the
+// two exports can never drift in event encoding.
+
+/// Emit the thread_name metadata record naming `track` under process `pid`.
+void write_chrome_track_metadata(JsonWriter& json, int pid, int track);
+
+/// Emit one event as a Chrome trace-event object ("X" duration or "i"
+/// instant) under process `pid`. Must be called inside an open JSON array.
+void write_chrome_event(JsonWriter& json, int pid, const TraceEvent& event);
 
 }  // namespace miniarc

@@ -1,0 +1,578 @@
+// Service telemetry (src/obs/): the sharded metrics registry, histogram
+// percentile semantics, Prometheus exposition and its parse-back property,
+// atomic file publication under a concurrent reader, the
+// miniarc-service-metrics/v1 snapshot validator, per-mode compile-cache
+// stats, the fleet-level trace merger — and the contract the whole layer
+// exists for: the DETERMINISTIC metric subset of a fixed batch is
+// byte-identical at 1 vs 8 workers, with and without armed fault plans.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "miniarc.h"
+#include "tests/test_util.h"
+
+namespace miniarc {
+namespace {
+
+constexpr const char* kKernelSource = R"(
+extern double a[];
+void main(void) {
+  int i;
+#pragma acc data copy(a)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 8; i++) { a[i] = a[i] * 2.0 + 1.0; }
+  }
+}
+)";
+
+constexpr const char* kOtherSource = R"(
+extern double b[];
+void main(void) {
+  int i;
+#pragma acc data copy(b)
+  {
+#pragma acc kernels loop gang worker
+    for (i = 0; i < 8; i++) { b[i] = b[i] + 3.0; }
+  }
+}
+)";
+
+/// Host-side loop a 1000-statement budget cancels mid-run.
+constexpr const char* kLongHostSource = R"(
+extern double out[];
+void main(void) {
+  int i;
+  double s;
+  s = 0.0;
+  for (i = 0; i < 10000; i++) { s = s + 1.0; }
+  out[0] = s;
+}
+)";
+
+std::string temp_path(const std::string& leaf) {
+  return (std::filesystem::temp_directory_path() / leaf).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// ---- MetricsRegistry ----
+
+TEST(MetricsRegistryTest, CounterSumsAcrossThreads) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 1000; ++i) counter.inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), 8000);
+  counter.inc(7);
+  EXPECT_EQ(counter.value(), 8007);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotentAndSnapshotSorted) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("miniarc_z_total", "z", {{"k", "1"}});
+  Counter& again = registry.counter("miniarc_z_total", "z", {{"k", "1"}});
+  EXPECT_EQ(&a, &again);
+  Counter& other = registry.counter("miniarc_z_total", "z", {{"k", "2"}});
+  EXPECT_NE(&a, &other);
+  registry.gauge("miniarc_a_gauge", "a");
+  registry.histogram("miniarc_m_hist", "m", {1.0, 2.0});
+
+  a.inc(5);
+  std::vector<MetricInfo> snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.size(), 4u);
+  // Sorted by (name, labels): gauge, histogram, then the two counter series.
+  EXPECT_EQ(snapshot[0].name, "miniarc_a_gauge");
+  EXPECT_EQ(snapshot[1].name, "miniarc_m_hist");
+  EXPECT_EQ(snapshot[2].name, "miniarc_z_total");
+  EXPECT_EQ(format_labels(snapshot[2].labels), "k=\"1\"");
+  EXPECT_EQ(format_labels(snapshot[3].labels), "k=\"2\"");
+  ASSERT_NE(snapshot[2].counter, nullptr);
+  EXPECT_EQ(snapshot[2].counter->value(), 5);
+}
+
+TEST(MetricsRegistryTest, FormatLabelsSortsAndEscapes) {
+  EXPECT_EQ(format_labels({}), "");
+  EXPECT_EQ(format_labels({{"b", "2"}, {"a", "1"}}), "a=\"1\",b=\"2\"");
+  EXPECT_EQ(format_labels({{"k", "a\"b\\c\nd"}}), "k=\"a\\\"b\\\\c\\nd\"");
+}
+
+// ---- Histogram ----
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  Histogram hist({0.1, 1.0, 10.0});
+  // Empty: percentile is defined as 0.0, not a crash or NaN.
+  EXPECT_EQ(hist.count(), 0);
+  EXPECT_EQ(hist.percentile(0.5), 0.0);
+  EXPECT_EQ(hist.percentile(1.0), 0.0);
+
+  // A single sample puts every percentile in its bucket.
+  hist.observe(0.05);
+  EXPECT_EQ(hist.percentile(0.01), 0.1);
+  EXPECT_EQ(hist.percentile(0.5), 0.1);
+  EXPECT_EQ(hist.percentile(1.0), 0.1);
+
+  // A value exactly on a boundary belongs to that boundary's bucket
+  // (Prometheus `le` semantics).
+  Histogram exact({0.1, 1.0, 10.0});
+  exact.observe(1.0);
+  EXPECT_EQ(exact.bucket_counts()[1], 1);
+  EXPECT_EQ(exact.percentile(0.5), 1.0);
+
+  // Overflow samples land in the implicit last bucket and percentiles
+  // clamp to the largest boundary ("at least this much").
+  Histogram overflow({0.1, 1.0, 10.0});
+  overflow.observe(1e6);
+  EXPECT_EQ(overflow.bucket_counts()[3], 1);
+  EXPECT_EQ(overflow.percentile(0.99), 10.0);
+}
+
+TEST(HistogramTest, PercentilesAreMonotoneAndCountsConsistent) {
+  Histogram hist({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 90; ++i) hist.observe(0.5);   // bucket le=1
+  for (int i = 0; i < 9; ++i) hist.observe(3.0);    // bucket le=4
+  hist.observe(100.0);                              // overflow
+  EXPECT_EQ(hist.count(), 100);
+  std::vector<long long> counts = hist.bucket_counts();
+  ASSERT_EQ(counts.size(), 5u);  // boundaries + overflow
+  EXPECT_EQ(counts[0], 90);
+  EXPECT_EQ(counts[2], 9);
+  EXPECT_EQ(counts[4], 1);
+  EXPECT_DOUBLE_EQ(hist.sum(), 90 * 0.5 + 9 * 3.0 + 100.0);
+  double p50 = hist.percentile(0.50);
+  double p90 = hist.percentile(0.90);
+  double p99 = hist.percentile(0.99);
+  EXPECT_EQ(p50, 1.0);
+  EXPECT_EQ(p90, 1.0);  // rank 90 is still within the first bucket
+  EXPECT_EQ(p99, 4.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_EQ(hist.percentile(1.0), 8.0);  // overflow clamps to last boundary
+}
+
+// ---- Prometheus exposition ----
+
+TEST(PrometheusTest, WriteParseRoundTripPreservesEveryValue) {
+  MetricsRegistry registry;
+  Counter& requests = registry.counter("miniarc_requests_total", "Requests.",
+                                       {{"status", "ok"}});
+  requests.inc(12);
+  registry.gauge("miniarc_workers", "Worker count.").set(4.0);
+  Histogram& hist =
+      registry.histogram("miniarc_latency_seconds", "Latency.", {0.1, 1.0});
+  hist.observe(0.05);
+  hist.observe(0.5);
+  hist.observe(99.0);
+
+  std::ostringstream os;
+  write_prometheus(registry.snapshot(), os);
+  std::string text = os.str();
+
+  // Deterministic: a second render is byte-identical.
+  std::ostringstream os2;
+  write_prometheus(registry.snapshot(), os2);
+  EXPECT_EQ(text, os2.str());
+
+  std::string error;
+  std::vector<PrometheusSample> samples;
+  ASSERT_TRUE(parse_prometheus(text, &samples, &error)) << error;
+
+  auto value_of = [&](const std::string& name,
+                      const std::string& labels) -> double {
+    for (const PrometheusSample& s : samples) {
+      if (s.name == name && s.labels == labels) return s.value;
+    }
+    ADD_FAILURE() << "missing sample " << name << "{" << labels << "}";
+    return -1.0;
+  };
+  EXPECT_EQ(value_of("miniarc_requests_total", "status=\"ok\""), 12.0);
+  EXPECT_EQ(value_of("miniarc_workers", ""), 4.0);
+  // Histogram buckets are cumulative and capped by +Inf == _count.
+  EXPECT_EQ(value_of("miniarc_latency_seconds_bucket", "le=\"0.1\""), 1.0);
+  EXPECT_EQ(value_of("miniarc_latency_seconds_bucket", "le=\"1\""), 2.0);
+  EXPECT_EQ(value_of("miniarc_latency_seconds_bucket", "le=\"+Inf\""), 3.0);
+  EXPECT_EQ(value_of("miniarc_latency_seconds_count", ""), 3.0);
+  EXPECT_DOUBLE_EQ(value_of("miniarc_latency_seconds_sum", ""),
+                   0.05 + 0.5 + 99.0);
+}
+
+TEST(PrometheusTest, ParserRejectsMalformedExposition) {
+  std::vector<PrometheusSample> samples;
+  std::string error;
+  EXPECT_FALSE(parse_prometheus("miniarc_x_total\n", &samples, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_prometheus("miniarc_x_total not_a_number\n", &samples));
+  EXPECT_FALSE(parse_prometheus("miniarc_x{le=\"0.1} 1\n", &samples));
+  EXPECT_FALSE(parse_prometheus("1bad_name 1\n", &samples));
+  // Missing trailing newline means a possibly truncated exposition.
+  EXPECT_FALSE(parse_prometheus("miniarc_x_total 1", &samples));
+  EXPECT_TRUE(parse_prometheus("", &samples));
+}
+
+// ---- atomic file publication ----
+
+TEST(AtomicFileTest, WritesAndReplacesContent) {
+  std::string path = temp_path("miniarc_metrics_test_atomic.txt");
+  std::filesystem::remove(path);
+  ASSERT_TRUE(write_file_atomic(path, "first\n"));
+  EXPECT_EQ(slurp(path), "first\n");
+  ASSERT_TRUE(write_file_atomic(path, "second\n"));
+  EXPECT_EQ(slurp(path), "second\n");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicFileTest, FailureReportsErrorAndLeavesTargetAlone) {
+  std::string error;
+  EXPECT_FALSE(write_file_atomic(
+      temp_path("miniarc_no_such_dir/deep/metrics.prom"), "x", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(AtomicFileTest, ConcurrentReaderNeverSeesPartialContent) {
+  std::string path = temp_path("miniarc_metrics_test_swap.txt");
+  const std::string a(8192, 'A');
+  const std::string b(8192, 'B');
+  ASSERT_TRUE(write_file_atomic(path, a));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::string got = slurp(path);
+      bool whole = got.size() == 8192 &&
+                   (got == a || got == b);
+      if (!whole) torn.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(write_file_atomic(path, (i % 2 == 0) ? b : a));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(torn.load(), 0);
+  std::filesystem::remove(path);
+}
+
+// ---- per-mode compile-cache stats ----
+
+TEST(CompileCacheModeStatsTest, AggregateEqualsRunPlusAdvise) {
+  CompileCache cache(1 << 20);
+  std::string error;
+  auto lookup = [&](const char* source, CompileMode mode) {
+    auto program = cache.get_or_compile(source, mode, &error, nullptr);
+    ASSERT_NE(program, nullptr) << error;
+  };
+  lookup(kKernelSource, CompileMode::kRun);     // run miss
+  lookup(kKernelSource, CompileMode::kRun);     // run hit
+  lookup(kKernelSource, CompileMode::kAdvise);  // advise miss (distinct key)
+  lookup(kKernelSource, CompileMode::kAdvise);  // advise hit
+  lookup(kOtherSource, CompileMode::kAdvise);   // advise miss
+
+  CompileCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.run.hits, 1);
+  EXPECT_EQ(stats.run.misses, 1);
+  EXPECT_EQ(stats.run.insertions, 1);
+  EXPECT_EQ(stats.advise.hits, 1);
+  EXPECT_EQ(stats.advise.misses, 2);
+  EXPECT_EQ(stats.advise.insertions, 2);
+  EXPECT_EQ(&stats.by_mode(CompileMode::kRun), &stats.run);
+  EXPECT_EQ(&stats.by_mode(CompileMode::kAdvise), &stats.advise);
+  // The documented invariant: every aggregate counter is the mode sum.
+  EXPECT_EQ(stats.hits, stats.run.hits + stats.advise.hits);
+  EXPECT_EQ(stats.misses, stats.run.misses + stats.advise.misses);
+  EXPECT_EQ(stats.insertions, stats.run.insertions + stats.advise.insertions);
+  EXPECT_EQ(stats.evictions, stats.run.evictions + stats.advise.evictions);
+  EXPECT_EQ(stats.bypasses, stats.run.bypasses + stats.advise.bypasses);
+}
+
+TEST(CompileCacheModeStatsTest, EvictionsAttributeToTheEvictedEntrysMode) {
+  std::string error;
+  auto run = build_compiled_program(kKernelSource, CompileMode::kRun, &error);
+  ASSERT_NE(run, nullptr) << error;
+  auto advise =
+      build_compiled_program(kOtherSource, CompileMode::kAdvise, &error);
+  ASSERT_NE(advise, nullptr) << error;
+  // Room for the advise entry xor the run entry, never both.
+  CompileCache cache(run->footprint_bytes + advise->footprint_bytes / 4);
+  auto lookup = [&](const char* source, CompileMode mode) {
+    auto program = cache.get_or_compile(source, mode, &error, nullptr);
+    ASSERT_NE(program, nullptr) << error;
+  };
+  lookup(kOtherSource, CompileMode::kAdvise);  // resident: advise
+  lookup(kKernelSource, CompileMode::kRun);    // evicts the ADVISE entry
+  CompileCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.advise.evictions, 1);  // attributed to the victim's mode
+  EXPECT_EQ(stats.run.evictions, 0);
+}
+
+// ---- miniarc-service-metrics/v1 snapshot + byte-identity contract ----
+
+/// Run one fixed mixed batch (plain runs, an advise, a seeded-fault
+/// tenant, a budget-terminated tenant, a bad request) through a fresh
+/// service with `jobs` workers and return the registry snapshot rendered
+/// two ways.
+struct BatchRender {
+  std::string deterministic;
+  std::string full_json;
+};
+
+BatchRender run_fixed_batch(int jobs, bool with_faults) {
+  ServiceOptions options;
+  options.jobs = jobs;
+  options.queue_depth = 64;
+  options.cache_bytes = 1 << 20;
+  options.autostart = false;
+  ServiceCore service(options);
+
+  auto make = [](const std::string& id, const char* source) {
+    ServiceRequest request;
+    request.id = id;
+    request.program_name = "tenant";
+    request.source = source;
+    request.buffer_size = 8;
+    return request;
+  };
+  std::vector<ServiceRequest> batch;
+  batch.push_back(make("run-0", kKernelSource));
+  batch.push_back(make("run-1", kOtherSource));
+  ServiceRequest advise = make("advise-0", kKernelSource);
+  advise.command = "advise";
+  batch.push_back(std::move(advise));
+  if (with_faults) {
+    ServiceRequest faulty = make("fault-0", kKernelSource);
+    faulty.faults = FaultPlan::parse("transient=0.6,seed=9");
+    batch.push_back(std::move(faulty));
+  }
+  ServiceRequest budgeted = make("budget-0", kLongHostSource);
+  budgeted.budget.stmt_budget = 1000;
+  batch.push_back(std::move(budgeted));
+  batch.push_back(make("bad-0", ""));  // admission: bad request
+
+  std::vector<std::future<ServiceResponse>> futures;
+  for (ServiceRequest& request : batch) {
+    futures.push_back(service.submit(std::move(request)));
+  }
+  service.start();
+  for (auto& future : futures) (void)future.get();
+  service.shutdown(true);
+
+  std::vector<MetricInfo> snapshot = service.metrics_registry().snapshot();
+  BatchRender render;
+  render.deterministic = render_deterministic_subset(snapshot);
+  std::ostringstream os;
+  write_service_metrics_json(snapshot, os);
+  render.full_json = os.str();
+  return render;
+}
+
+TEST(ServiceMetricsTest, DeterministicSubsetByteIdenticalAcrossWorkerCounts) {
+  BatchRender serial = run_fixed_batch(1, /*with_faults=*/false);
+  BatchRender pooled = run_fixed_batch(8, /*with_faults=*/false);
+  EXPECT_FALSE(serial.deterministic.empty());
+  EXPECT_EQ(serial.deterministic, pooled.deterministic);
+  // Re-running the same batch reproduces the subset exactly.
+  EXPECT_EQ(run_fixed_batch(1, false).deterministic, serial.deterministic);
+}
+
+TEST(ServiceMetricsTest, DeterministicSubsetByteIdenticalUnderArmedFaults) {
+  BatchRender serial = run_fixed_batch(1, /*with_faults=*/true);
+  BatchRender pooled = run_fixed_batch(8, /*with_faults=*/true);
+  EXPECT_EQ(serial.deterministic, pooled.deterministic);
+  // The armed plan actually fired (otherwise this asserts nothing).
+  EXPECT_NE(serial.deterministic.find("miniarc_service_faults_injected"),
+            std::string::npos);
+  EXPECT_NE(serial.deterministic,
+            run_fixed_batch(1, /*with_faults=*/false).deterministic);
+}
+
+TEST(ServiceMetricsTest, SubsetExcludesWallClockAndCacheOrderMetrics) {
+  BatchRender render = run_fixed_batch(2, /*with_faults=*/false);
+  // Deterministic section: request counts and virtual-time durations...
+  EXPECT_NE(render.deterministic.find("miniarc_service_requests_total"),
+            std::string::npos);
+  EXPECT_NE(render.deterministic.find("miniarc_service_request_vt_seconds"),
+            std::string::npos);
+  // ...but never wall-clock latencies, pool gauges, or cache lookups.
+  EXPECT_EQ(render.deterministic.find("miniarc_service_e2e_ms"),
+            std::string::npos);
+  EXPECT_EQ(render.deterministic.find("miniarc_service_queue_wait_ms"),
+            std::string::npos);
+  EXPECT_EQ(render.deterministic.find("miniarc_service_workers"),
+            std::string::npos);
+  EXPECT_EQ(render.deterministic.find("miniarc_cache_lookups_total"),
+            std::string::npos);
+  // The full snapshot carries them in the best-effort section.
+  EXPECT_NE(render.full_json.find("miniarc_service_e2e_ms"),
+            std::string::npos);
+  EXPECT_NE(render.full_json.find("miniarc_cache_lookups_total"),
+            std::string::npos);
+}
+
+TEST(ServiceMetricsTest, SnapshotValidatesAndRejectsMalformedDocuments) {
+  BatchRender render = run_fixed_batch(1, /*with_faults=*/true);
+  std::string error;
+  EXPECT_TRUE(validate_service_metrics(render.full_json, &error)) << error;
+
+  EXPECT_FALSE(validate_service_metrics("not json", &error));
+  EXPECT_FALSE(validate_service_metrics("{}", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(validate_service_metrics(
+      "{\"schema\":\"miniarc-service-metrics/v2\"}", &error));
+  EXPECT_FALSE(validate_service_metrics(
+      "{\"schema\":\"miniarc-service-metrics/v1\"}", &error));
+  // A gauge smuggled into the deterministic section is a contract break.
+  EXPECT_FALSE(validate_service_metrics(
+      R"({"schema":"miniarc-service-metrics/v1","deterministic":{"counters":[],"histograms":[],"gauges":[]},"best_effort":{"counters":[],"gauges":[],"histograms":[]}})",
+      &error));
+}
+
+TEST(ServiceMetricsTest, PrometheusExpositionOfLiveServiceParsesBack) {
+  ServiceOptions options;
+  options.jobs = 2;
+  options.autostart = false;
+  ServiceCore service(options);
+  ServiceRequest request;
+  request.id = "t";
+  request.source = kKernelSource;
+  request.buffer_size = 8;
+  std::future<ServiceResponse> future = service.submit(std::move(request));
+  service.start();
+  (void)future.get();
+  service.shutdown(true);
+
+  std::ostringstream os;
+  write_prometheus(service.metrics_registry().snapshot(), os);
+  std::vector<PrometheusSample> samples;
+  std::string error;
+  ASSERT_TRUE(parse_prometheus(os.str(), &samples, &error)) << error;
+  bool saw_ok = false;
+  for (const PrometheusSample& sample : samples) {
+    if (sample.name == "miniarc_service_requests_total" &&
+        sample.labels == "status=\"ok\"") {
+      saw_ok = true;
+      EXPECT_EQ(sample.value, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_ok);
+}
+
+// ---- fleet-level trace merger ----
+
+TraceEvent make_event(const char* name, double ts, double dur) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kKernelLaunch;
+  event.track = kTraceTrackRuntime;
+  event.ts = ts;
+  event.dur = dur;
+  event.name = name;
+  event.value = 42;
+  return event;
+}
+
+TEST(FleetTraceTest, LaneOrderIsAddOrderAndOutputDeterministic) {
+  auto build = [] {
+    FleetTraceBuilder fleet;
+    fleet.add_lane("zeta", {make_event("k0", 0.0, 1.0)});
+    fleet.add_lane("alpha", {make_event("k1", 0.5, 0.25),
+                             make_event("k2", 1.0, 0.0)});
+    return fleet;
+  };
+  FleetTraceBuilder fleet = build();
+  EXPECT_EQ(fleet.lanes(), 2u);
+  EXPECT_EQ(fleet.total_events(), 3u);
+
+  std::ostringstream os;
+  fleet.write_chrome_trace(os);
+  std::string text = os.str();
+  std::ostringstream os2;
+  build().write_chrome_trace(os2);
+  EXPECT_EQ(text, os2.str());
+
+  // Lane order is ADD order, not name order: "zeta" (pid 1) must be
+  // emitted before "alpha" (pid 2), with sort indices matching.
+  std::size_t zeta = text.find("\"zeta\"");
+  std::size_t alpha = text.find("\"alpha\"");
+  ASSERT_NE(zeta, std::string::npos);
+  ASSERT_NE(alpha, std::string::npos);
+  EXPECT_LT(zeta, alpha);
+  EXPECT_NE(text.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(text.find("process_sort_index"), std::string::npos);
+}
+
+TEST(FleetTraceTest, MergedServiceTraceByteIdenticalAcrossWorkerCounts) {
+  auto run_fleet = [](int jobs) {
+    ServiceOptions options;
+    options.jobs = jobs;
+    options.autostart = false;
+    ServiceCore service(options);
+    std::vector<ServiceRequest> batch;
+    for (int i = 0; i < 4; ++i) {
+      ServiceRequest request;
+      request.id = "tenant-" + std::to_string(i);
+      request.program_name = "tenant";
+      request.source = (i % 2 == 0) ? kKernelSource : kOtherSource;
+      request.buffer_size = 8;
+      request.collect_trace_events = true;
+      batch.push_back(std::move(request));
+    }
+    std::vector<std::string> ids;
+    std::vector<std::future<ServiceResponse>> futures;
+    for (ServiceRequest& request : batch) {
+      ids.push_back(request.id);
+      futures.push_back(service.submit(std::move(request)));
+    }
+    service.start();
+    FleetTraceBuilder fleet;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      ServiceResponse response = futures[i].get();
+      EXPECT_EQ(response.status, ServiceStatus::kOk);
+      EXPECT_FALSE(response.trace_events.empty());
+      fleet.add_lane(ids[i], std::move(response.trace_events));
+    }
+    service.shutdown(true);
+    std::ostringstream os;
+    fleet.write_chrome_trace(os);
+    return os.str();
+  };
+  std::string serial = run_fleet(1);
+  std::string pooled = run_fleet(4);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(FleetTraceTest, TakeEventsLeavesRecorderArmed) {
+  TraceOptions options;
+  options.enabled = true;
+  TraceRecorder recorder(options);
+  recorder.record(make_event("k0", 0.0, 1.0));
+  std::vector<TraceEvent> taken = recorder.take_events();
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0].name, "k0");
+  EXPECT_TRUE(recorder.events().empty());
+  EXPECT_TRUE(recorder.enabled());
+  recorder.record(make_event("k1", 1.0, 0.5));
+  EXPECT_EQ(recorder.events().size(), 1u);
+}
+
+}  // namespace
+}  // namespace miniarc

@@ -23,7 +23,18 @@
 //                                       admission, --cache-bytes N caps the
 //                                       compile cache (also MINIARC_JOBS,
 //                                       MINIARC_QUEUE_DEPTH,
-//                                       MINIARC_CACHE_BYTES)
+//                                       MINIARC_CACHE_BYTES). Telemetry:
+//                                       --metrics-out FILE (Prometheus
+//                                       exposition, rewritten atomically
+//                                       every --metrics-interval-ms and at
+//                                       drain), --stats-json FILE
+//                                       (miniarc-service-metrics/v1
+//                                       snapshot), --fleet-trace FILE
+//                                       (merged Chrome trace, one lane per
+//                                       request; also MINIARC_METRICS_OUT,
+//                                       MINIARC_METRICS_INTERVAL_MS,
+//                                       MINIARC_STATS_JSON,
+//                                       MINIARC_FLEET_TRACE)
 //
 // Programs use `extern` declarations for inputs/outputs; the CLI binds every
 // extern scalar to a value from `--set NAME=VALUE` (default 64) and every
@@ -48,6 +59,7 @@
 // advisor:         --advise-json FILE (machine-readable advice), --top N
 // report-diff:     --json (JSON delta to stdout), --fail-on SPEC
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <future>
@@ -104,6 +116,16 @@ struct CliOptions {
   int serve_jobs = 0;
   long serve_queue_depth = 0;
   long serve_cache_bytes = 0;
+  /// serve telemetry: Prometheus exposition path (--metrics-out;
+  /// MINIARC_METRICS_OUT fallback), flush cadence (--metrics-interval-ms;
+  /// MINIARC_METRICS_INTERVAL_MS fallback), miniarc-service-metrics/v1
+  /// snapshot path (--stats-json; MINIARC_STATS_JSON fallback), and the
+  /// fleet-level merged Chrome trace (--fleet-trace; MINIARC_FLEET_TRACE
+  /// fallback). Empty = not written.
+  std::string serve_metrics_out;
+  long serve_metrics_interval_ms = 0;
+  std::string serve_stats_json;
+  std::string serve_fleet_trace;
 };
 
 [[noreturn]] void usage() {
@@ -125,7 +147,10 @@ struct CliOptions {
                "       miniarc report-diff A.json B.json [--json] "
                "[--fail-on METRIC=LIMIT[,...]]\n"
                "       miniarc serve [--jobs N] [--queue-depth N] "
-               "[--cache-bytes N]  (requests on stdin, one per line)\n");
+               "[--cache-bytes N]  (requests on stdin, one per line)\n"
+               "                     [--metrics-out FILE] "
+               "[--metrics-interval-ms N] [--stats-json FILE] "
+               "[--fleet-trace FILE]\n");
   std::exit(2);
 }
 
@@ -276,9 +301,29 @@ CliOptions parse_args(int argc, char** argv) {
         options.serve_queue_depth = positive_long("--queue-depth", 1L << 20);
       } else if (arg == "--cache-bytes") {
         options.serve_cache_bytes = positive_long("--cache-bytes", 1L << 40);
+      } else if (arg == "--metrics-out") {
+        options.serve_metrics_out = next();
+      } else if (arg == "--metrics-interval-ms") {
+        options.serve_metrics_interval_ms =
+            positive_long("--metrics-interval-ms", 3600000);
+      } else if (arg == "--stats-json") {
+        options.serve_stats_json = next();
+      } else if (arg == "--fleet-trace") {
+        options.serve_fleet_trace = next();
       } else {
         usage();
       }
+    }
+    // Environment fallbacks for the telemetry sinks (--metrics-out and
+    // --metrics-interval-ms resolve inside ServiceCore so library users get
+    // them too; these two are CLI-only outputs).
+    if (options.serve_stats_json.empty()) {
+      const char* path = std::getenv("MINIARC_STATS_JSON");
+      if (path != nullptr) options.serve_stats_json = path;
+    }
+    if (options.serve_fleet_trace.empty()) {
+      const char* path = std::getenv("MINIARC_FLEET_TRACE");
+      if (path != nullptr) options.serve_fleet_trace = path;
     }
     return options;
   }
@@ -825,6 +870,17 @@ int cmd_report_validate(const CliOptions& options) {
     std::printf("%s: valid %s\n", options.file.c_str(), kAdviceSchema);
     return 0;
   }
+  if (schema != nullptr && schema->kind == JsonValue::Kind::kString &&
+      schema->string == kServiceMetricsSchema) {
+    if (!validate_service_metrics(text, &error)) {
+      std::fprintf(stderr, "miniarc: invalid service metrics '%s': %s\n",
+                   options.file.c_str(), error.c_str());
+      return 1;
+    }
+    std::printf("%s: valid %s\n", options.file.c_str(),
+                kServiceMetricsSchema);
+    return 0;
+  }
   if (!validate_run_report(text, &error)) {
     std::fprintf(stderr, "miniarc: invalid run report '%s': %s\n",
                  options.file.c_str(), error.c_str());
@@ -841,11 +897,14 @@ int cmd_serve(const CliOptions& options) {
       static_cast<std::size_t>(options.serve_queue_depth);
   service_options.cache_bytes =
       static_cast<std::size_t>(options.serve_cache_bytes);
+  service_options.metrics_out = options.serve_metrics_out;
+  service_options.metrics_interval_ms = options.serve_metrics_interval_ms;
   // Batch semantics: admit the whole batch before the workers start, so the
   // accept/shed split is a pure function of the request sequence (a flooded
   // queue sheds the same requests on every invocation).
   service_options.autostart = false;
   ServiceCore core(service_options);
+  const bool fleet_trace = !options.serve_fleet_trace.empty();
 
   // One request per line; blank lines skipped. Responses keep input order.
   std::vector<ServiceResponse> rejected;  // parse failures, keyed by slot
@@ -863,11 +922,13 @@ int cmd_serve(const CliOptions& options) {
       pending.emplace_back(std::nullopt);
       continue;
     }
+    request.collect_trace_events = fleet_trace;
     rejected.emplace_back();
     pending.emplace_back(core.submit(std::move(request)));
   }
 
   core.start();
+  FleetTraceBuilder fleet;
   bool any_failed = false;
   for (std::size_t i = 0; i < pending.size(); ++i) {
     ServiceResponse response =
@@ -877,9 +938,37 @@ int cmd_serve(const CliOptions& options) {
         response.status == ServiceStatus::kBadRequest) {
       any_failed = true;
     }
+    if (fleet_trace && !response.trace_events.empty()) {
+      // Lane order = response (input) order — deterministic across runs
+      // and worker counts, like everything else on the wire.
+      fleet.add_lane(response.id, std::move(response.trace_events));
+    }
     write_service_response(response, std::cout);
   }
   core.shutdown(/*drain=*/true);
+
+  if (fleet_trace) {
+    std::ostringstream trace_os;
+    fleet.write_chrome_trace(trace_os);
+    std::string error;
+    if (!write_file_atomic(options.serve_fleet_trace, trace_os.str(),
+                           &error)) {
+      std::fprintf(stderr, "miniarc: cannot write fleet trace: %s\n",
+                   error.c_str());
+      any_failed = true;
+    }
+  }
+  if (!options.serve_stats_json.empty()) {
+    std::ostringstream stats_os;
+    write_service_metrics_json(core.metrics_registry().snapshot(), stats_os);
+    std::string error;
+    if (!write_file_atomic(options.serve_stats_json, stats_os.str(),
+                           &error)) {
+      std::fprintf(stderr, "miniarc: cannot write stats snapshot: %s\n",
+                   error.c_str());
+      any_failed = true;
+    }
+  }
   std::fprintf(stderr, "%s\n", render_service_stats(core.stats()).c_str());
   return any_failed ? 1 : 0;
 }

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Resilience/observability test matrix: runs the faults, resilience,
-# observability, parallel, bytecode, budget, and service-labelled tests
-# (bytecode is the ast-vs-bytecode differential suite; budget covers run
-# budgets and cooperative cancellation; service covers the multi-tenant
+# observability, parallel, bytecode, budget, service, and metrics-labelled
+# tests (bytecode is the ast-vs-bytecode differential suite; budget covers
+# run budgets and cooperative cancellation; service covers the multi-tenant
 # batch run service, including the shared-CompiledProgram isolation soak
-# that the tsan configuration races for real) under three build
-# configurations —
+# that the tsan configuration races for real; metrics covers the fleet
+# telemetry registry and its deterministic-subset byte-identity contract)
+# under three build configurations —
 #
 #   plain  : default flags, MINIARC_THREADS=8
 #   asan   : -fsanitize=address,undefined     (MINIARC_SANITIZE=address)
@@ -29,7 +30,7 @@
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-LABELS="faults|resilience|observability|parallel|bytecode|budget|service"
+LABELS="faults|resilience|observability|parallel|bytecode|budget|service|metrics"
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then CONFIGS=(plain asan tsan); fi
 
@@ -144,6 +145,29 @@ run_config() {
   grep -q "7 submitted, 3 accepted, 3 ok, .* shed 3 overload / 1 budget" \
     "$artifacts/service-stats-1.txt"
   grep -q '2 hits / 1 misses' "$artifacts/service-stats-1.txt"
+
+  echo "=== [$name] serve telemetry smoke (metrics + snapshot + fleet trace) ==="
+  # The same flood with the telemetry exports armed: the Prometheus
+  # exposition must carry the fleet families, the miniarc-service-metrics/v1
+  # snapshot must schema-validate, and the fleet trace must merge one lane
+  # per request that ran.
+  "$build_dir/tools/miniarc" serve --jobs 2 --queue-depth 3 \
+    --metrics-out "$artifacts/service-metrics.prom" \
+    --stats-json "$artifacts/service-metrics.json" \
+    --fleet-trace "$artifacts/service-fleet-trace.json" <"$flood" \
+    >/dev/null 2>/dev/null
+  grep -q 'miniarc_service_requests_total{status="ok"} 3' \
+    "$artifacts/service-metrics.prom"
+  grep -q 'miniarc_service_admission_total{outcome="shed-overload"} 3' \
+    "$artifacts/service-metrics.prom"
+  grep -q 'miniarc_cache_lookups_total{mode="run",outcome="hit"} 2' \
+    "$artifacts/service-metrics.prom"
+  "$build_dir/tools/miniarc" report-validate "$artifacts/service-metrics.json"
+  # One merged lane per request that ran (3 accepted of the 7 submitted).
+  grep -c '"process_sort_index"' "$artifacts/service-fleet-trace.json" \
+    >/dev/null
+  [ "$(grep -o 'process_sort_index' "$artifacts/service-fleet-trace.json" \
+      | wc -l)" -eq 3 ]
 }
 
 for config in "${CONFIGS[@]}"; do
