@@ -34,10 +34,20 @@
 // `bench_safepoint_overhead_guard`; BENCH_safepoint_overhead.json records
 // a committed measurement).
 //
+// `--guard-profile-overhead [OUT.json]` gates the line profiler's
+// disabled-path cost: ProfileOptions present but not enabled must stay
+// within 2% of a run with no ProfileOptions at all on the serial bytecode
+// engine — the disabled path must remain the unprofiled template
+// instantiation plus one hoisted per-launch branch, never arena resets or
+// per-instruction counting (the ctest `bench_profile_overhead_guard`;
+// BENCH_profile_overhead.json records a committed measurement, including
+// the armed collection cost for reference).
+//
 // Reference numbers live in bench/baselines/bench_micro_kernel_exec.json
 // (regenerate with --benchmark_format=json).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -101,7 +111,8 @@ std::vector<double> run_once(int threads, bool slot_resolution,
                              bool armed_snapshots = false,
                              bool traced = false,
                              ExecEngine engine = ExecEngine::kAst,
-                             const RunBudget* budget = nullptr) {
+                             const RunBudget* budget = nullptr,
+                             const ProfileOptions* profile = nullptr) {
   const LoweredProgram& low = lowered_kernel();
   ExecutorOptions exec{threads};
   if (traced) {
@@ -110,6 +121,7 @@ std::vector<double> run_once(int threads, bool slot_resolution,
     exec.trace = trace;
   }
   if (budget != nullptr) exec.budget = *budget;
+  if (profile != nullptr) exec.profile = *profile;
   AccRuntime runtime(MachineModel::m2090(), exec);
   InterpOptions options;
   options.kernel_slot_resolution = slot_resolution;
@@ -205,11 +217,13 @@ BENCHMARK(BM_KernelExec_Parallel_Slots)
 // ---- bytecode speedup gate ----
 
 double min_seconds_of(int runs, ExecEngine engine,
-                      const RunBudget* budget = nullptr) {
+                      const RunBudget* budget = nullptr,
+                      const ProfileOptions* profile = nullptr) {
   double best = 1e30;
   for (int r = 0; r < runs; ++r) {
     auto start = std::chrono::steady_clock::now();
-    std::vector<double> out = run_once(1, true, false, false, engine, budget);
+    std::vector<double> out =
+        run_once(1, true, false, false, engine, budget, profile);
     auto stop = std::chrono::steady_clock::now();
     check_reference(out, engine == ExecEngine::kBytecode ? "guard/bytecode"
                                                          : "guard/ast");
@@ -331,6 +345,93 @@ int run_safepoint_guard(const char* out_path) {
   return 0;
 }
 
+// ---- line-profiler disabled-path overhead gate ----
+
+/// --guard-profile-overhead [OUT.json]: fail (exit 1) unless passing
+/// ProfileOptions with `enabled = false` costs < 2% versus passing no
+/// ProfileOptions at all on the serial bytecode engine. Both legs must run
+/// the unprofiled dispatch-loop instantiation; the gate catches any future
+/// change that makes mere option presence arm arenas or per-instruction
+/// counting. The armed run is measured too and recorded for reference (its
+/// collection cost is real and NOT gated here).
+int run_profile_guard(const char* out_path) {
+  constexpr int kRuns = 7;
+  constexpr double kMaxOverhead = 0.02;
+  ProfileOptions off;
+  off.enabled = false;
+  ProfileOptions on;
+  on.enabled = true;
+  // Interleave the legs (as the metrics guard does): frequency ramps and
+  // scheduler noise hit all three alike instead of biasing whichever leg
+  // happens to run while the machine is busy.
+  double base = 1e30;
+  double disabled = 1e30;
+  double armed = 1e30;
+  (void)min_seconds_of(1, ExecEngine::kBytecode);  // warm-up
+  for (int r = 0; r < kRuns; ++r) {
+    base = std::min(base, min_seconds_of(1, ExecEngine::kBytecode));
+    disabled = std::min(
+        disabled, min_seconds_of(1, ExecEngine::kBytecode, nullptr, &off));
+    armed = std::min(armed,
+                     min_seconds_of(1, ExecEngine::kBytecode, nullptr, &on));
+  }
+  double overhead = disabled / base - 1.0;
+  double armed_overhead = armed / base - 1.0;
+  std::FILE* out = stdout;
+  if (out_path != nullptr) {
+    out = std::fopen(out_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write '%s'\n", out_path);
+      return 1;
+    }
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"schema\": \"miniarc-bench/v1\",\n"
+               "  \"name\": \"profile_overhead\",\n"
+               "  \"description\": \"Line-profiler disabled-path overhead "
+               "gate: the serial bytecode bench_micro_kernel_exec kernel "
+               "with ProfileOptions present but disabled must run within "
+               "%.0f%% of the run with no ProfileOptions — the disabled "
+               "path stays the unprofiled dispatch instantiation plus one "
+               "hoisted per-launch branch. The armed row records the real "
+               "per-instruction collection cost for reference (ungated). "
+               "Min of %d runs each, identical output buffers required.\",\n"
+               "  \"rows\": [\n"
+               "    {\n"
+               "      \"label\": \"serial_bytecode\",\n"
+               "      \"real_time_ms\": %.3f\n"
+               "    },\n"
+               "    {\n"
+               "      \"label\": \"serial_bytecode_profile_disabled\",\n"
+               "      \"real_time_ms\": %.3f,\n"
+               "      \"overhead_pct\": %.2f,\n"
+               "      \"max_overhead_pct\": %.1f\n"
+               "    },\n"
+               "    {\n"
+               "      \"label\": \"serial_bytecode_profile_armed\",\n"
+               "      \"real_time_ms\": %.3f,\n"
+               "      \"overhead_pct\": %.2f\n"
+               "    }\n"
+               "  ]\n"
+               "}\n",
+               kMaxOverhead * 100.0, kRuns, base * 1e3, disabled * 1e3,
+               overhead * 100.0, kMaxOverhead * 100.0, armed * 1e3,
+               armed_overhead * 100.0);
+  if (out != stdout) std::fclose(out);
+  std::fprintf(stderr,
+               "profile disabled-path overhead: %.2f%% (base %.3f ms, "
+               "disabled %.3f ms, armed %.3f ms / %.2f%%)\n",
+               overhead * 100.0, base * 1e3, disabled * 1e3, armed * 1e3,
+               armed_overhead * 100.0);
+  if (overhead > kMaxOverhead) {
+    std::fprintf(stderr, "FAIL: above the allowed %.1f%%\n",
+                 kMaxOverhead * 100.0);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -339,6 +440,9 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "--guard-safepoint-overhead") == 0) {
     return run_safepoint_guard(argc >= 3 ? argv[2] : nullptr);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--guard-profile-overhead") == 0) {
+    return run_profile_guard(argc >= 3 ? argv[2] : nullptr);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -1,6 +1,7 @@
 #include "advisor/advisor.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <ostream>
 #include <set>
 #include <sstream>
@@ -23,6 +24,7 @@ const char* to_string(AdviceKind kind) {
     case AdviceKind::kEvictionThrash: return "eviction-thrash";
     case AdviceKind::kZeroCopyDegradation: return "zero-copy-degradation";
     case AdviceKind::kResilienceHotspot: return "resilience-hotspot";
+    case AdviceKind::kLineHotspot: return "line-hotspot";
   }
   return "?";
 }
@@ -85,7 +87,8 @@ AdvisorReport advise(const std::vector<TraceEvent>& events,
                      const TraceMetrics& metrics,
                      const std::vector<SiteStats>& sites,
                      const std::vector<Finding>& findings,
-                     double total_seconds, const AdvisorOptions& options) {
+                     double total_seconds, const AdvisorOptions& options,
+                     const ProfileSnapshot* profile) {
   AdvisorReport report;
   report.total_seconds = total_seconds;
   report.timeline = metrics.timeline;
@@ -300,6 +303,53 @@ AdvisorReport advise(const std::vector<TraceEvent>& events,
     }
   }
 
+  // ---- line hotspots (source-line profile) ----
+  // Lines carrying at least line_hotspot_fraction of the profiled virtual
+  // time, ranked by cost (ties: line then context), capped at
+  // line_hotspot_top. A pure function of the snapshot, which is itself
+  // deterministic, so the advice inherits the byte-identity contract.
+  if (profile != nullptr && profile->total_seconds > 0.0 &&
+      options.line_hotspot_top > 0) {
+    std::vector<const ProfileLine*> ranked;
+    ranked.reserve(profile->lines.size());
+    for (const ProfileLine& line : profile->lines) ranked.push_back(&line);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const ProfileLine* a, const ProfileLine* b) {
+                if (a->seconds != b->seconds) return a->seconds > b->seconds;
+                if (a->line != b->line) return a->line < b->line;
+                return a->context < b->context;
+              });
+    std::size_t emitted = 0;
+    for (const ProfileLine* line : ranked) {
+      if (emitted >= options.line_hotspot_top) break;
+      double share = line->seconds / profile->total_seconds;
+      if (share < options.line_hotspot_fraction) break;
+      Recommendation rec;
+      rec.kind = AdviceKind::kLineHotspot;
+      rec.severity_class = kSeveritySavings;
+      rec.subject = line->context;
+      rec.location = std::to_string(line->line);
+      rec.stake_seconds = line->seconds;
+      // Fixed two-decimal share: json_number's shortest round-trip is for
+      // machine consumers; a percentage in prose should read cleanly.
+      char share_text[32];
+      std::snprintf(share_text, sizeof(share_text), "%.2f", share * 100.0);
+      rec.evidence = "line " + std::to_string(line->line) + " in '" +
+                     line->context + "' cost " + seconds_str(line->seconds) +
+                     " s (" + share_text + "% of profiled time) over " +
+                     std::to_string(line->statements) + " statement(s)";
+      rec.action =
+          line->context == "host"
+              ? "The hottest work runs on the host; move this loop into an "
+                "acc parallel region (or widen an existing one to cover it)."
+              : "This kernel line dominates profiled time; simplify its "
+                "per-iteration work or hoist invariant subexpressions out "
+                "of the loop.";
+      out.push_back(std::move(rec));
+      ++emitted;
+    }
+  }
+
   // Deterministic ranking: correctness first, then projected savings, then
   // time at stake, with full lexical tie-breaks.
   std::sort(out.begin(), out.end(),
@@ -474,7 +524,7 @@ bool advice_require(const JsonValue& object, const char* key,
 }
 
 bool known_advice_kind(const std::string& name) {
-  for (int i = 0; i <= static_cast<int>(AdviceKind::kResilienceHotspot); ++i) {
+  for (int i = 0; i <= static_cast<int>(AdviceKind::kLineHotspot); ++i) {
     if (name == to_string(static_cast<AdviceKind>(i))) return true;
   }
   return false;

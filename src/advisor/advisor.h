@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/profile.h"
 #include "runtime/runtime_checker.h"
 #include "trace/metrics.h"
 
@@ -57,6 +58,9 @@ enum class AdviceKind : std::uint8_t {
   /// Fault-recovery time (snapshot/rollback/retry/failover) billed against
   /// the kernel is significant.
   kResilienceHotspot,
+  /// A profiled source line dominates the run's virtual time (line
+  /// profiler armed; ranked by per-line profiled cost).
+  kLineHotspot,
 };
 
 [[nodiscard]] const char* to_string(AdviceKind kind);
@@ -93,6 +97,10 @@ struct AdvisorOptions {
   double imbalance_threshold = 1.5;
   /// Flag a variable at this many evictions.
   long eviction_thrash_min = 2;
+  /// A profiled line becomes a hotspot at this share of profiled time.
+  double line_hotspot_fraction = 0.10;
+  /// At most this many line-hotspot recommendations (0 = none).
+  std::size_t line_hotspot_top = 3;
 };
 
 struct AdvisorReport {
@@ -108,13 +116,16 @@ struct AdvisorReport {
 
 /// Analyze one run. `events` is the recorded trace, `metrics` its rollups
 /// (aggregate_trace(events)), `sites`/`findings` the coherence checker's
-/// output, `total_seconds` the run's virtual total.
+/// output, `total_seconds` the run's virtual total. `profile`, when
+/// non-null, is the run's source-line profile; lines dominating the
+/// profiled virtual time become line-hotspot recommendations.
 [[nodiscard]] AdvisorReport advise(const std::vector<TraceEvent>& events,
                                    const TraceMetrics& metrics,
                                    const std::vector<SiteStats>& sites,
                                    const std::vector<Finding>& findings,
                                    double total_seconds,
-                                   const AdvisorOptions& options = {});
+                                   const AdvisorOptions& options = {},
+                                   const ProfileSnapshot* profile = nullptr);
 
 /// Human-readable rendering (deterministic bytes; numbers via json_number).
 [[nodiscard]] std::string render_advice_text(const AdvisorReport& report);

@@ -149,6 +149,30 @@ std::optional<ReportMetrics> extract(const std::string& json_text,
           number_at(&kernel, "seconds");
     }
   }
+
+  // Embedded source-line profile: per-line virtual seconds become the
+  // "profile.line:<context>:<line>" family, so `--fail-on profile.line=N%`
+  // gates every profiled line via the prefix match below.
+  const JsonValue* line_profile = root.find("line_profile");
+  const JsonValue* profile_lines =
+      line_profile != nullptr ? line_profile->find("lines") : nullptr;
+  if (profile_lines != nullptr &&
+      profile_lines->kind == JsonValue::Kind::kArray) {
+    metrics.values["profile.total_seconds"] =
+        number_at(line_profile, "total_seconds");
+    metrics.values["profile.total_statements"] =
+        number_at(line_profile, "total_statements");
+    for (const JsonValue& line : profile_lines->array) {
+      const JsonValue* context = line.find("context");
+      if (context == nullptr ||
+          context->kind != JsonValue::Kind::kString) {
+        continue;
+      }
+      long long line_no = static_cast<long long>(number_at(&line, "line"));
+      metrics.values["profile.line:" + context->string + ":" +
+                     std::to_string(line_no)] = number_at(&line, "seconds");
+    }
+  }
   return metrics;
 }
 

@@ -123,10 +123,14 @@ struct StatementBill {
   StatementBill& operator=(const StatementBill&) = delete;
 };
 
-/// One iteration of the chunk body: pc 0 until kHalt.
+/// One iteration of the chunk body: pc 0 until kHalt. `kProfile` folds the
+/// per-instruction hit counter into dispatch at compile time: the false
+/// instantiation carries no profiling code at all, so disabled profiling has
+/// zero dispatch-loop overhead.
+template <bool kProfile>
 void run_iteration(const CompiledKernel& kernel, const KernelLaunchCtx& ctx,
                    KernelWorkerState& worker, BcFrame& frame,
-                   long& statements) {
+                   long& statements, [[maybe_unused]] std::uint64_t* prof) {
   const Instr* const code = kernel.code.data();
   const std::int64_t* const cpool = kernel.const_bits.data();
   const std::uint8_t* const ctag = kernel.const_is_double.data();
@@ -144,7 +148,11 @@ void run_iteration(const CompiledKernel& kernel, const KernelLaunchCtx& ctx,
 
 #if MINIARC_BC_COMPUTED_GOTO
 #define VM_OP(name) lbl_##name
-#define VM_DISPATCH() goto* kLabels[static_cast<unsigned>(code[pc].op)]
+#define VM_DISPATCH()                                    \
+  do {                                                   \
+    if constexpr (kProfile) ++prof[pc];                  \
+    goto* kLabels[static_cast<unsigned>(code[pc].op)];   \
+  } while (0)
 #define VM_NEXT()  \
   do {             \
     ++pc;          \
@@ -176,6 +184,7 @@ void run_iteration(const CompiledKernel& kernel, const KernelLaunchCtx& ctx,
     VM_DISPATCH(); \
   } while (0)
 vm_dispatch:
+  if constexpr (kProfile) ++prof[pc];
   switch (code[pc].op) {
 #endif
 
@@ -617,7 +626,7 @@ vm_dispatch:
 bool run_bytecode_chunk(const CompiledKernel& kernel,
                         const KernelLaunchCtx& ctx, KernelWorkerState& worker,
                         BcFrame& frame, int induction_slot, long begin,
-                        long end) {
+                        long end, std::uint64_t* pc_hits) {
   // ---- refusal checks: nothing below mutates `worker` until they pass ----
   if (!ctx.use_slots) return false;
   if (kernel.num_slots != static_cast<std::uint32_t>(ctx.slot_count)) {
@@ -665,14 +674,28 @@ bool run_bytecode_chunk(const CompiledKernel& kernel,
   }
 
   StatementBill bill(worker);
-  for (long i = begin; i < end; ++i) {
-    if (induction_slot >= 0) {
-      frame.pay[induction_slot] = i;
-      frame.tag[induction_slot] = 0;
-      frame.readable[induction_slot] = 1;
-      frame.written[induction_slot] = 1;
+  // Profiled/unprofiled branch hoisted out of the iteration loop; each side
+  // calls its own template instantiation of the dispatch loop.
+  if (pc_hits != nullptr) {
+    for (long i = begin; i < end; ++i) {
+      if (induction_slot >= 0) {
+        frame.pay[induction_slot] = i;
+        frame.tag[induction_slot] = 0;
+        frame.readable[induction_slot] = 1;
+        frame.written[induction_slot] = 1;
+      }
+      run_iteration<true>(kernel, ctx, worker, frame, bill.count, pc_hits);
     }
-    run_iteration(kernel, ctx, worker, frame, bill.count);
+  } else {
+    for (long i = begin; i < end; ++i) {
+      if (induction_slot >= 0) {
+        frame.pay[induction_slot] = i;
+        frame.tag[induction_slot] = 0;
+        frame.readable[induction_slot] = 1;
+        frame.written[induction_slot] = 1;
+      }
+      run_iteration<false>(kernel, ctx, worker, frame, bill.count, nullptr);
+    }
   }
 
   // Sync-out: only slots the chunk actually wrote become worker-bound, so

@@ -18,10 +18,16 @@ namespace miniarc {
 ///
 /// `frame` is scratch state owned by the caller, reused across chunks,
 /// retries, and host-failover replays of the same launch.
+///
+/// `pc_hits`, when non-null, points at `kernel.code.size()` counters that are
+/// incremented once per executed instruction (the line profiler's per-chunk
+/// arena). The profiled and unprofiled paths are separate template
+/// instantiations, so passing nullptr costs nothing in the dispatch loop.
 [[nodiscard]] bool run_bytecode_chunk(const CompiledKernel& kernel,
                                       const KernelLaunchCtx& ctx,
                                       KernelWorkerState& worker,
                                       BcFrame& frame, int induction_slot,
-                                      long begin, long end);
+                                      long begin, long end,
+                                      std::uint64_t* pc_hits = nullptr);
 
 }  // namespace miniarc

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "faults/fault_plan.h"
+#include "obs/profile.h"
 #include "runtime/circuit_breaker.h"
 #include "support/budget.h"
 #include "trace/trace.h"
@@ -69,6 +70,11 @@ struct ExecutorOptions {
   /// Run budget for the runtime built on this executor. nullopt = resolve
   /// from MINIARC_BUDGET_* (unset ⇒ unlimited).
   std::optional<RunBudget> budget;
+  /// Source-line profiling for the runtime built on this executor. nullopt
+  /// (the default) = profiling disabled; there is no environment fallback —
+  /// the CLI arms it from --profile/--profile-out/MINIARC_PROFILE_OUT and
+  /// the service from each request's include_profile flag.
+  std::optional<ProfileOptions> profile;
 };
 
 /// `threads` if positive, else the MINIARC_THREADS environment variable,

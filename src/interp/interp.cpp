@@ -59,6 +59,7 @@ void Interpreter::init_engine_options() {
   }
   exec_bytecode_ = engine == ExecEngine::kBytecode;
   budget_armed_ = runtime_.budget().armed();
+  profile_armed_ = runtime_.line_profiler().enabled();
 }
 
 void Interpreter::init_slot_types() {
@@ -168,6 +169,12 @@ void Interpreter::run() {
 
 Interpreter::Flow Interpreter::exec(const Stmt& stmt) {
   count_statement();
+  // Host-side line attribution (program order on the host thread, so the
+  // profile needs no merging). Kernel bodies attribute per worker chunk in
+  // exec_kernel instead; this hook never sees them.
+  if (profile_armed_) {
+    runtime_.line_profiler().add_host(stmt.location().line);
+  }
   switch (stmt.kind()) {
     case StmtKind::kDecl: {
       const auto& decl = stmt.as<DeclStmt>().decl();

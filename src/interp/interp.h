@@ -203,6 +203,9 @@ class Interpreter {
   /// Cached runtime_.budget().armed(): with no budget the per-statement
   /// safepoint is one predicted-false branch.
   bool budget_armed_ = false;
+  /// Cached runtime_.line_profiler().enabled(): same one-branch discipline
+  /// for the host-statement line-attribution hook.
+  bool profile_armed_ = false;
   SlotTable slots_;
   /// Slot → declared-as-floating-scalar (assignment coercion on the kernel
   /// hot path without a var_types hash lookup).

@@ -4,6 +4,7 @@
 #include "interp/eval_ops.h"
 #include "interp/interp.h"
 #include "interp/intrinsics.h"
+#include "obs/profile.h"
 #include "sema/sema.h"
 #include "support/budget.h"
 
@@ -118,6 +119,9 @@ void KernelEval::unsupported(const char* what, SourceLocation loc) {
 
 KernelEval::Flow KernelEval::exec(const Stmt& stmt) {
   count_statement();
+  if (worker_.profile != nullptr) {
+    worker_.profile->add_stmt(stmt.location().line);
+  }
   switch (stmt.kind()) {
     case StmtKind::kDecl: {
       const auto& decl = stmt.as<DeclStmt>().decl();

@@ -33,6 +33,7 @@
 namespace miniarc {
 
 class BudgetGuard;
+struct ProfileFrame;
 
 /// Launch-wide kernel execution context. Built once per kernel launch by
 /// Interpreter::exec_kernel; read-only while worker chunks run.
@@ -86,6 +87,11 @@ struct KernelWorkerState {
   /// Statements this worker executed (merged into the interpreter's device
   /// counter after the join, keeping billing exact).
   long statements = 0;
+  /// Per-chunk line-profile arena, set by kernel_exec when profiling is
+  /// armed (null otherwise). Only this worker's chunk writes it; the host
+  /// thread commits frames in chunk order after the join, which is what
+  /// keeps profiles byte-identical across thread counts.
+  ProfileFrame* profile = nullptr;
 
   void prepare(const KernelLaunchCtx& ctx);
   void set_scalar(const KernelLaunchCtx& ctx, int slot,

@@ -61,6 +61,7 @@
 #include "interp/interp.h"
 #include "interp/kernel_eval.h"
 #include "interp/partition_safety.h"
+#include "obs/profile.h"
 #include "translate/default_memory.h"
 
 namespace miniarc {
@@ -331,17 +332,49 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
     compiled = bytecode_for(stmt).kernel.get();
   }
   std::vector<BcFrame> frames(compiled != nullptr ? chunks.size() : 0);
+
+  // ---- line-profile arenas ----
+  // One ProfileFrame per chunk, written only by the thread running that
+  // chunk (pc hit counters on the VM path, per-line statement counts on the
+  // AST path) and committed on the host thread in chunk order after a
+  // SUCCESSFUL attempt — the same discipline as trace lanes, so profiles are
+  // byte-identical for any thread count. Frames of rolled-back attempts are
+  // reset alongside their worker states, i.e. discarded.
+  LineProfiler& line_profiler = runtime_.line_profiler();
+  const bool profile_on = line_profiler.enabled();
+  const std::size_t profile_code_size =
+      compiled != nullptr ? compiled->code.size() : 0;
+  std::vector<ProfileFrame> profile_frames(profile_on ? chunks.size() : 0);
+  auto reset_profile_frames = [&] {
+    for (std::size_t i = 0; i < profile_frames.size(); ++i) {
+      profile_frames[i].reset(profile_code_size);
+      workers[i].profile = &profile_frames[i];
+    }
+  };
+  reset_profile_frames();
+
   // One chunk, either engine: a per-chunk VM refusal (unrepresentable launch
   // state) falls back to KernelEval, which is the reference semantics.
   auto run_chunk_with = [&](const KernelLaunchCtx& launch_ctx,
                             std::size_t index, long begin, long end) {
     if (compiled != nullptr &&
         run_bytecode_chunk(*compiled, launch_ctx, workers[index],
-                           frames[index], induction_slot, begin, end)) {
+                           frames[index], induction_slot, begin, end,
+                           profile_on ? profile_frames[index].pc_hits.data()
+                                      : nullptr)) {
       return;
     }
     KernelEval eval(launch_ctx, workers[index]);
     eval.run_chunk(chunk_body, induction_slot, induction, begin, end);
+  };
+  // Per-statement virtual cost a committed frame is priced at: the marginal
+  // device (or degraded-host) cost of one more statement.
+  auto commit_profile_frames = [&](double stmt_seconds) {
+    if (!profile_on) return;
+    for (const ProfileFrame& frame : profile_frames) {
+      line_profiler.commit_frame(stmt.kernel_name(), compiled, frame,
+                                 stmt_seconds);
+    }
   };
 
   // ---- trace instrumentation ----
@@ -535,6 +568,9 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
       worker = KernelWorkerState{};
       init_worker(worker, host_ctx);
     }
+    // The replay re-executes every chunk; drop whatever the faulted device
+    // attempts left in the arenas and attribute the serial replay instead.
+    reset_profile_frames();
     for (std::size_t i = 0; i < chunks.size(); ++i) {
       run_chunk_with(host_ctx, i, chunks[i].begin, chunks[i].end);
       if (trace_on) {
@@ -555,6 +591,7 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
     host_statements_ += executed;
     total_budget_used_ += executed;
     runtime_.bill_host_statements(static_cast<std::size_t>(executed));
+    commit_profile_frames(machine.host.host_seconds(1));
     launch_event(failover_start,
                  machine.host.host_seconds(static_cast<std::size_t>(executed)),
                  reason, executed);
@@ -646,6 +683,7 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
           worker = KernelWorkerState{};
           init_worker(worker, ctx);
         }
+        reset_profile_frames();
         double backoff = runtime_.on_kernel_retry(attempt - 1);
         recovery_event(TraceEventKind::kRecoveryRetry, backoff,
                        "attempt " + std::to_string(attempt + 1), -1, attempt);
@@ -810,6 +848,7 @@ void Interpreter::exec_kernel(const KernelLaunchStmt& stmt) {
 
     if (device_done) {
       long executed = merge_and_bill();
+      commit_profile_frames(chunk_seconds(1));
       launch_event(attempt_start,
                    host_fallback
                        ? machine.host.host_seconds(

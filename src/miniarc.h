@@ -94,6 +94,7 @@
 #include "obs/atomic_file.h"
 #include "obs/fleet_trace.h"
 #include "obs/metrics_registry.h"
+#include "obs/profile.h"
 #include "obs/prometheus.h"
 #include "obs/service_metrics.h"
 

@@ -1,0 +1,359 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "bc/bytecode.h"
+#include "trace/json.h"
+
+namespace miniarc {
+
+void ProfileFrame::reset(std::size_t code_size) {
+  pc_hits.assign(code_size, 0);
+  line_stmts.clear();
+}
+
+void LineProfiler::configure(const ProfileOptions& options,
+                             double host_stmt_seconds) {
+  enabled_ = options.enabled;
+  host_stmt_seconds_ = host_stmt_seconds;
+}
+
+void LineProfiler::commit_frame(const std::string& context,
+                                const CompiledKernel* kernel,
+                                const ProfileFrame& frame,
+                                double stmt_seconds) {
+  if (!enabled_) return;
+  if (kernel != nullptr && !frame.pc_hits.empty()) {
+    for (std::size_t pc = 0; pc < frame.pc_hits.size(); ++pc) {
+      std::uint64_t hits = frame.pc_hits[pc];
+      if (hits == 0) continue;
+      std::uint32_t line = kernel->locs[pc].line;
+      if (line == 0) continue;
+      Cost& cost = lines_[{line, context}];
+      if (kernel->code[pc].op == Op::kCount) {
+        // The statement-entry opcode IS the statement: normalize it to the
+        // "stmt" row the AST engines produce, so per-line statement counts
+        // agree across engines.
+        cost.statements += hits;
+        cost.seconds += static_cast<double>(hits) * stmt_seconds;
+        cost.ops["stmt"] += hits;
+      } else {
+        cost.ops[to_string(kernel->code[pc].op)] += hits;
+      }
+    }
+  }
+  for (const auto& [line, count] : frame.line_stmts) {
+    if (line == 0) continue;
+    Cost& cost = lines_[{line, context}];
+    cost.statements += count;
+    cost.seconds += static_cast<double>(count) * stmt_seconds;
+    cost.ops["stmt"] += count;
+  }
+}
+
+void LineProfiler::clear() {
+  lines_.clear();
+  host_lines_.clear();
+}
+
+ProfileSnapshot LineProfiler::snapshot() const {
+  // Merge the host counters into the (line, context) view; "host" sorts
+  // within each line like any kernel name, keeping one deterministic order.
+  std::map<std::pair<std::uint32_t, std::string>, Cost> merged = lines_;
+  for (const auto& [line, count] : host_lines_) {
+    Cost& cost = merged[{line, "host"}];
+    cost.statements += count;
+    cost.seconds += static_cast<double>(count) * host_stmt_seconds_;
+    cost.ops["stmt"] += count;
+  }
+
+  ProfileSnapshot snapshot;
+  snapshot.lines.reserve(merged.size());
+  for (const auto& [key, cost] : merged) {
+    ProfileLine out;
+    out.line = key.first;
+    out.context = key.second;
+    out.statements = cost.statements;
+    out.seconds = cost.seconds;
+    out.ops.assign(cost.ops.begin(), cost.ops.end());
+    snapshot.total_statements += cost.statements;
+    snapshot.total_seconds += cost.seconds;
+    snapshot.lines.push_back(std::move(out));
+  }
+  return snapshot;
+}
+
+void write_profile_object(JsonWriter& json, const ProfileSnapshot& snapshot,
+                          const std::string& program) {
+  json.begin_object();
+  json.field("schema", kProfileSchema);
+  json.field("program", program);
+  json.field("total_seconds", snapshot.total_seconds);
+  json.field("total_statements",
+             static_cast<unsigned long long>(snapshot.total_statements));
+  json.key("lines");
+  json.begin_array();
+  for (const ProfileLine& line : snapshot.lines) {
+    json.begin_object();
+    json.field("context", line.context);
+    json.field("line", static_cast<long long>(line.line));
+    json.field("statements", static_cast<unsigned long long>(line.statements));
+    json.field("seconds", line.seconds);
+    json.key("ops");
+    json.begin_array();
+    for (const auto& [op, count] : line.ops) {
+      json.begin_object();
+      json.field("op", op);
+      json.field("count", static_cast<unsigned long long>(count));
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+void write_profile_json(const ProfileSnapshot& snapshot,
+                        const std::string& program, std::ostream& os) {
+  JsonWriter json(os);
+  write_profile_object(json, snapshot, program);
+  json.finish();
+}
+
+namespace {
+
+bool profile_check(bool condition, const char* message, std::string* error) {
+  if (condition) return true;
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool profile_require(const JsonValue& object, const char* key,
+                     JsonValue::Kind kind, std::string* error) {
+  const JsonValue* member = object.find(key);
+  if (member != nullptr && member->kind == kind) return true;
+  if (error != nullptr) {
+    *error = std::string("field '") + key + "' missing or of wrong type";
+  }
+  return false;
+}
+
+}  // namespace
+
+bool validate_profile(const std::string& json_text, std::string* error) {
+  std::optional<JsonValue> parsed = parse_json(json_text, error);
+  if (!parsed.has_value()) return false;
+  return validate_profile_value(*parsed, error);
+}
+
+bool validate_profile_value(const JsonValue& root, std::string* error) {
+  using Kind = JsonValue::Kind;
+  if (!profile_check(root.kind == Kind::kObject, "profile is not an object",
+                     error)) {
+    return false;
+  }
+  const JsonValue* schema = root.find("schema");
+  if (!profile_check(schema != nullptr && schema->kind == Kind::kString,
+                     "missing 'schema' string", error)) {
+    return false;
+  }
+  if (schema->string != kProfileSchema) {
+    if (error != nullptr) {
+      *error = "unexpected schema '" + schema->string + "' (want '" +
+               kProfileSchema + "')";
+    }
+    return false;
+  }
+  if (!profile_require(root, "program", Kind::kString, error)) return false;
+  if (!profile_require(root, "total_seconds", Kind::kNumber, error)) {
+    return false;
+  }
+  if (!profile_require(root, "total_statements", Kind::kNumber, error)) {
+    return false;
+  }
+  if (!profile_require(root, "lines", Kind::kArray, error)) return false;
+  for (const JsonValue& line : root.find("lines")->array) {
+    if (!profile_check(line.kind == Kind::kObject,
+                       "profile line is not an object", error)) {
+      return false;
+    }
+    if (!profile_require(line, "context", Kind::kString, error)) return false;
+    for (const char* key : {"line", "statements", "seconds"}) {
+      if (!profile_require(line, key, Kind::kNumber, error)) return false;
+    }
+    const JsonValue* line_no = line.find("line");
+    if (!profile_check(line_no->number >= 1.0,
+                       "profile line number must be >= 1", error)) {
+      return false;
+    }
+    if (!profile_require(line, "ops", Kind::kArray, error)) return false;
+    for (const JsonValue& op : line.find("ops")->array) {
+      if (!profile_check(op.kind == Kind::kObject,
+                         "profile op row is not an object", error)) {
+        return false;
+      }
+      if (!profile_require(op, "op", Kind::kString, error)) return false;
+      if (!profile_require(op, "count", Kind::kNumber, error)) return false;
+    }
+  }
+  return true;
+}
+
+std::string render_collapsed_stacks(const ProfileSnapshot& snapshot,
+                                    const std::string& program) {
+  std::ostringstream os;
+  for (const ProfileLine& line : snapshot.lines) {
+    for (const auto& [op, count] : line.ops) {
+      os << program << ":" << line.line << ";" << line.context << ";" << op
+         << " " << count << "\n";
+    }
+  }
+  return os.str();
+}
+
+void write_speedscope_json(const ProfileSnapshot& snapshot,
+                           const std::string& program, std::ostream& os) {
+  // Frame table: one frame per context, one per program:line; samples are
+  // two-deep [context, program:line] stacks weighted by virtual seconds.
+  std::map<std::string, std::size_t> frame_index;
+  std::vector<std::string> frames;
+  auto frame = [&](const std::string& name) {
+    auto [it, inserted] = frame_index.try_emplace(name, frames.size());
+    if (inserted) frames.push_back(name);
+    return it->second;
+  };
+  std::vector<std::pair<std::size_t, std::size_t>> samples;
+  std::vector<double> weights;
+  for (const ProfileLine& line : snapshot.lines) {
+    std::size_t context_frame = frame(line.context);
+    std::size_t line_frame =
+        frame(program + ":" + std::to_string(line.line));
+    samples.emplace_back(context_frame, line_frame);
+    weights.push_back(line.seconds);
+  }
+
+  JsonWriter json(os);
+  json.begin_object();
+  json.field("$schema", "https://www.speedscope.app/file-format-schema.json");
+  json.key("shared");
+  json.begin_object();
+  json.key("frames");
+  json.begin_array();
+  for (const std::string& name : frames) {
+    json.begin_object();
+    json.field("name", name);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.key("profiles");
+  json.begin_array();
+  json.begin_object();
+  json.field("type", "sampled");
+  json.field("name", program);
+  json.field("unit", "seconds");
+  json.field("startValue", 0.0);
+  json.field("endValue", snapshot.total_seconds);
+  json.key("samples");
+  json.begin_array();
+  for (const auto& [context_frame, line_frame] : samples) {
+    json.begin_array();
+    json.value(static_cast<unsigned long long>(context_frame));
+    json.value(static_cast<unsigned long long>(line_frame));
+    json.end_array();
+  }
+  json.end_array();
+  json.key("weights");
+  json.begin_array();
+  for (double weight : weights) json.value(weight);
+  json.end_array();
+  json.end_object();
+  json.end_array();
+  json.field("exporter", "miniarc");
+  json.field("name", program);
+  json.end_object();
+  json.finish();
+}
+
+/// Fixed "%.3e" seconds for the heat column: shortest-round-trip doubles
+/// (json_number) overflow a terminal column; three significant decimals in
+/// scientific notation stay in 9 characters and are still deterministic.
+namespace {
+std::string heat_seconds(double seconds) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3e", seconds);
+  return buffer;
+}
+}  // namespace
+
+std::string render_annotated_source(const ProfileSnapshot& snapshot,
+                                    const std::string& source,
+                                    const std::string& program) {
+  // Aggregate per source line across contexts (one heat row per line).
+  struct LineHeat {
+    std::uint64_t statements = 0;
+    double seconds = 0.0;
+  };
+  std::map<std::uint32_t, LineHeat> heat;
+  for (const ProfileLine& line : snapshot.lines) {
+    LineHeat& h = heat[line.line];
+    h.statements += line.statements;
+    h.seconds += line.seconds;
+  }
+
+  std::ostringstream os;
+  os << "annotate: " << program << " (total "
+     << json_number(snapshot.total_seconds) << " s, "
+     << snapshot.total_statements << " statements)\n";
+  os << std::setw(14) << "vt(s)" << std::setw(12) << "stmts" << std::setw(8)
+     << "%" << "  | source\n";
+
+  std::istringstream lines(source);
+  std::string text;
+  std::uint32_t line_no = 0;
+  while (std::getline(lines, text)) {
+    ++line_no;
+    auto it = heat.find(line_no);
+    if (it == heat.end()) {
+      os << std::setw(14) << "." << std::setw(12) << "." << std::setw(8)
+         << "." << "  | " << text << "\n";
+      continue;
+    }
+    double percent = snapshot.total_seconds > 0.0
+                         ? it->second.seconds / snapshot.total_seconds * 100.0
+                         : 0.0;
+    // Fixed two-decimal percent: deterministic and readable.
+    std::ostringstream pct;
+    pct << std::fixed << std::setprecision(2) << percent;
+    os << std::setw(14) << heat_seconds(it->second.seconds) << std::setw(12)
+       << it->second.statements << std::setw(8) << pct.str() << "  | "
+       << text << "\n";
+  }
+
+  // Hotspot summary: contexts ranked by virtual seconds (ties broken by
+  // name), the same ranking the advisor's line hotspots use.
+  std::map<std::string, double> by_context;
+  for (const ProfileLine& line : snapshot.lines) {
+    by_context[line.context] += line.seconds;
+  }
+  std::vector<std::pair<std::string, double>> ranked(by_context.begin(),
+                                                     by_context.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  os << "contexts:";
+  for (const auto& [context, seconds] : ranked) {
+    os << " " << context << "=" << heat_seconds(seconds) << "s";
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace miniarc

@@ -1,0 +1,156 @@
+// Deterministic source-line profiler (DESIGN.md §11) — the third telemetry
+// pillar after event traces and fleet metrics. Attribution is exact, not
+// sampled: the bytecode VM counts every dispatched instruction against the
+// instruction's source line (CompiledKernel::locs), the AST engines count
+// every executed statement against its statement location, and virtual-time
+// cost per line is the statement count times the engine's marginal
+// per-statement cost from the machine model. The profile therefore inherits
+// the trace determinism contract: per-chunk ProfileFrames are committed in
+// chunk order after the join, frames of rolled-back attempts are discarded,
+// and the serialized profile is byte-identical for any executor thread
+// count, with or without an armed fault plan (same seed).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace miniarc {
+
+struct CompiledKernel;
+class JsonWriter;
+struct JsonValue;
+
+inline constexpr const char* kProfileSchema = "miniarc-profile/v1";
+
+struct ProfileOptions {
+  bool enabled = false;
+};
+
+/// Per-chunk accumulation arena. One frame per worker chunk, written only by
+/// the thread running that chunk, committed (or discarded) on the host
+/// thread after the join — the same lane discipline as trace worker lanes.
+struct ProfileFrame {
+  /// Bytecode path: executions per instruction, indexed like
+  /// CompiledKernel::code (the VM bumps a raw pointer into this).
+  std::vector<std::uint64_t> pc_hits;
+  /// AST path (engine --exec ast, or a per-chunk VM refusal): executed
+  /// statements per source line.
+  std::map<std::uint32_t, std::uint64_t> line_stmts;
+
+  /// Size pc_hits for `code_size` instructions and zero both accumulators.
+  void reset(std::size_t code_size);
+  void add_stmt(std::uint32_t line) { ++line_stmts[line]; }
+};
+
+/// One profiled source line within one context ("host" or a kernel name).
+struct ProfileLine {
+  std::string context;
+  std::uint32_t line = 0;
+  /// Committed statement executions ("stmt" rows; rolled-back attempts are
+  /// never counted).
+  std::uint64_t statements = 0;
+  /// Virtual-time cost: statements × the engine's marginal per-statement
+  /// seconds (host model for host lines and failover replays, kernel model
+  /// for device launches).
+  double seconds = 0.0;
+  /// Opcode breakdown: "stmt" for statement entries (both engines), plus the
+  /// bytecode mnemonics of every other dispatched instruction.
+  std::vector<std::pair<std::string, std::uint64_t>> ops;
+};
+
+struct ProfileSnapshot {
+  double total_seconds = 0.0;
+  std::uint64_t total_statements = 0;
+  /// Sorted by (line, context): the order every serialization uses.
+  std::vector<ProfileLine> lines;
+};
+
+/// Run-wide accumulator owned by AccRuntime. All mutation happens on the
+/// host thread (host statements in program order, committed chunk frames in
+/// chunk order), so no synchronization is needed and iteration order — and
+/// therefore every export — is deterministic.
+class LineProfiler {
+ public:
+  /// Arm the profiler. `host_stmt_seconds` is the host model's marginal
+  /// per-statement cost, used to price host-side lines.
+  void configure(const ProfileOptions& options, double host_stmt_seconds);
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// One executed host statement at `line` (ignores line 0 = unknown).
+  void add_host(std::uint32_t line) {
+    if (line != 0) ++host_lines_[line];
+  }
+
+  /// Commit one chunk's frame under kernel context `context`:
+  /// `stmt_seconds` is the launch's marginal per-statement cost. `kernel`
+  /// maps pc_hits back to lines/opcodes and may be null when the chunk ran
+  /// on the AST engine (only line_stmts is read then). The bytecode kCount
+  /// opcode — the per-statement entry — is normalized to the "stmt" row, so
+  /// both engines agree on per-line statement counts.
+  void commit_frame(const std::string& context, const CompiledKernel* kernel,
+                    const ProfileFrame& frame, double stmt_seconds);
+
+  /// Drop accumulated data (configuration survives; mirrors trace().clear()).
+  void clear();
+
+  [[nodiscard]] ProfileSnapshot snapshot() const;
+
+ private:
+  struct Cost {
+    std::uint64_t statements = 0;
+    double seconds = 0.0;
+    std::map<std::string, std::uint64_t> ops;
+  };
+
+  bool enabled_ = false;
+  double host_stmt_seconds_ = 0.0;
+  /// (line, context) → cost; std::map keys the deterministic export order.
+  std::map<std::pair<std::uint32_t, std::string>, Cost> lines_;
+  std::map<std::uint32_t, std::uint64_t> host_lines_;
+};
+
+/// Serialize as a standalone schema "miniarc-profile/v1" document
+/// (one line + newline).
+void write_profile_json(const ProfileSnapshot& snapshot,
+                        const std::string& program, std::ostream& os);
+
+/// Write the same document inline into an enclosing JsonWriter (the
+/// run-report's "line_profile" section embeds the full tagged document).
+void write_profile_object(JsonWriter& json, const ProfileSnapshot& snapshot,
+                          const std::string& program);
+
+/// Schema-check a miniarc-profile/v1 document (the write_profile_json
+/// shape). Returns false — and sets `*error` when given — on the first
+/// violation.
+[[nodiscard]] bool validate_profile(const std::string& json_text,
+                                    std::string* error = nullptr);
+
+/// Same check against an already-parsed document — the run-report validator
+/// applies it to the embedded "line_profile" section.
+[[nodiscard]] bool validate_profile_value(const JsonValue& root,
+                                          std::string* error = nullptr);
+
+/// Collapsed-stack export for flame-graph tooling: one
+/// `<program>:<line>;<context>;<op> <count>` line per op row, in snapshot
+/// order (deterministic bytes).
+[[nodiscard]] std::string render_collapsed_stacks(
+    const ProfileSnapshot& snapshot, const std::string& program);
+
+/// speedscope.app JSON export: a "sampled" profile whose samples are
+/// [context, program:line] stacks weighted by per-line virtual seconds.
+void write_speedscope_json(const ProfileSnapshot& snapshot,
+                           const std::string& program, std::ostream& os);
+
+/// Annotated-source heat view: every source line prefixed with virtual
+/// seconds, statement count, and percentage of the profiled total
+/// (aggregated across contexts), followed by a per-context hotspot summary.
+/// Deterministic bytes.
+[[nodiscard]] std::string render_annotated_source(
+    const ProfileSnapshot& snapshot, const std::string& source,
+    const std::string& program);
+
+}  // namespace miniarc

@@ -123,21 +123,41 @@ bool parse_prometheus(const std::string& text,
     if (i == 0) return fail(error, where + "missing metric name");
     sample.name = line.substr(0, i);
     if (i < line.size() && line[i] == '{') {
-      std::size_t close = line.find('}', i);
+      // Find the closing brace with full quote/escape state. Neither
+      // find('}') nor counting quotes whose predecessor isn't '\' is
+      // correct against the writer's own output: a label value may contain
+      // '}' (the exposition format never escapes braces), and a value
+      // ending in an escaped backslash (`...\\"`) puts a '\' right before
+      // a real closing quote. The only valid escapes inside a quoted value
+      // are \\ \" \n — exactly what format_labels emits.
+      std::size_t start = ++i;
+      std::size_t close = std::string::npos;
+      bool in_quotes = false;
+      bool escaped = false;
+      bool bad_escape = false;
+      for (; i < line.size(); ++i) {
+        char c = line[i];
+        if (escaped) {
+          if (c != '\\' && c != '"' && c != 'n') bad_escape = true;
+          escaped = false;
+        } else if (in_quotes && c == '\\') {
+          escaped = true;
+        } else if (c == '"') {
+          in_quotes = !in_quotes;
+        } else if (!in_quotes && c == '}') {
+          close = i;
+          break;
+        }
+      }
       if (close == std::string::npos) {
         return fail(error, where + "unterminated label set");
       }
-      sample.labels = line.substr(i + 1, close - i - 1);
-      // Each label must be key="value" — verify the quoting pairs up.
-      long quotes = 0;
-      for (std::size_t j = 0; j < sample.labels.size(); ++j) {
-        if (sample.labels[j] == '"' &&
-            (j == 0 || sample.labels[j - 1] != '\\')) {
-          ++quotes;
-        }
+      if (bad_escape) {
+        return fail(error, where + "invalid escape in label value");
       }
-      if (quotes % 2 != 0 ||
-          (!sample.labels.empty() && sample.labels.find('=') == std::string::npos)) {
+      sample.labels = line.substr(start, close - start);
+      if (!sample.labels.empty() &&
+          sample.labels.find('=') == std::string::npos) {
         return fail(error, where + "malformed labels");
       }
       i = close + 1;

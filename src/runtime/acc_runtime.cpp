@@ -41,6 +41,12 @@ AccRuntime::AccRuntime(MachineModel model, ExecutorOptions executor_options)
   budget_.configure(executor_options.budget.has_value()
                         ? *executor_options.budget
                         : run_budget_from_env());
+  if (executor_options.profile.has_value()) {
+    // Host lines are priced at the host model's marginal per-statement cost
+    // (the same linear model bill_host_statements charges in bulk).
+    line_profiler_.configure(*executor_options.profile,
+                             model_.host.host_seconds(1));
+  }
 }
 
 void AccRuntime::check_budget(long statements_used, SourceLocation loc,
@@ -547,6 +553,7 @@ void AccRuntime::reset() {
   breaker_.reset();
   diags_.clear();
   trace_.clear();
+  line_profiler_.clear();
   resilience_ = {};
   budget_.reset();
   termination_ = {};

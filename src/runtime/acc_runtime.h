@@ -220,6 +220,13 @@ class AccRuntime {
   /// one branch per site.
   [[nodiscard]] TraceRecorder& trace() { return trace_; }
   [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
+  /// Deterministic source-line profiler (disabled unless armed via
+  /// ExecutorOptions::profile). Hooks guard on line_profiler().enabled(), so
+  /// a disabled profiler costs one branch per site.
+  [[nodiscard]] LineProfiler& line_profiler() { return line_profiler_; }
+  [[nodiscard]] const LineProfiler& line_profiler() const {
+    return line_profiler_;
+  }
   [[nodiscard]] const ResilienceStats& resilience() const {
     return resilience_;
   }
@@ -271,6 +278,7 @@ class AccRuntime {
   KernelCircuitBreaker breaker_;
   DiagnosticEngine diags_;
   TraceRecorder trace_;
+  LineProfiler line_profiler_;
   ResilienceStats resilience_;
   BudgetGuard budget_;
   TerminationInfo termination_;

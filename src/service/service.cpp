@@ -77,6 +77,7 @@ ServiceResponse execute_request_impl(
   TraceOptions trace;
   trace.enabled = true;  // reports embed the rollups
   exec.trace = trace;
+  if (request.include_profile) exec.profile = ProfileOptions{true};
 
   InterpOptions interp_options;
   interp_options.kernel_retries =
@@ -116,7 +117,9 @@ ServiceResponse execute_request_impl(
     }
     AdvisorReport advice =
         advise(runtime.trace().events(), report.metrics, checker.site_stats(),
-               checker.findings(), report.total_seconds, AdvisorOptions{});
+               checker.findings(), report.total_seconds, AdvisorOptions{},
+               report.line_profile.has_value() ? &*report.line_profile
+                                               : nullptr);
     advice.program = program_name;
     std::ostringstream advice_os;
     write_advice_json(advice, advice_os);

@@ -92,6 +92,9 @@ struct ServiceRequest {
   int threads = 1;
   /// Attach the Chrome-trace JSON to the response.
   bool include_trace = false;
+  /// Arm the source-line profiler for this request; the embedded run report
+  /// then carries the "line_profile" section (miniarc-profile/v1).
+  bool include_profile = false;
   /// Hand the raw virtual-clock event stream back on the response
   /// (ServiceResponse::trace_events) for the fleet-level trace merger
   /// (`miniarc serve --fleet-trace`). Independent of include_trace.

@@ -190,6 +190,11 @@ bool parse_service_request(const std::string& json_text,
                        error)) {
         return false;
       }
+    } else if (key == "include_profile") {
+      if (!expect_bool(member, "include_profile", &request->include_profile,
+                       error)) {
+        return false;
+      }
     } else {
       return fail(error, "unknown request field '" + key + "'");
     }

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "device/acc_error.h"
+#include "obs/profile.h"
 #include "trace/json.h"
 
 namespace miniarc {
@@ -22,6 +23,10 @@ RunReport build_run_report(AccRuntime& runtime, std::string command,
         profiler.seconds(static_cast<ProfileCategory>(i));
   }
   report.transfers = profiler.transfers();
+
+  if (runtime.line_profiler().enabled()) {
+    report.line_profile = runtime.line_profiler().snapshot();
+  }
 
   report.termination = runtime.termination();
 
@@ -189,6 +194,11 @@ void write_run_report_json(const RunReport& report, std::ostream& os) {
   json.field("device_statements",
              static_cast<long long>(report.device_statements));
   json.end_object();
+
+  if (report.line_profile.has_value()) {
+    json.key("line_profile");
+    write_profile_object(json, *report.line_profile, report.program);
+  }
 
   json.key("faults");
   json.begin_object();
@@ -516,6 +526,14 @@ bool validate_run_report(const std::string& json_text, std::string* error) {
   for (const char* key :
        {"h2d_bytes", "d2h_bytes", "h2d_count", "d2h_count"}) {
     if (!require(transfers, key, Kind::kNumber, error)) return false;
+  }
+
+  // Optional embedded line profile; a full miniarc-profile/v1 document,
+  // strict when present.
+  const JsonValue* line_profile = root.find("line_profile");
+  if (line_profile != nullptr &&
+      !validate_profile_value(*line_profile, error)) {
+    return false;
   }
 
   const JsonValue& faults = *root.find("faults");

@@ -11,9 +11,11 @@
 
 #include <array>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/profile.h"
 #include "runtime/acc_runtime.h"
 #include "trace/metrics.h"
 
@@ -44,6 +46,12 @@ struct RunReport {
   TransferTotals transfers;
   long host_statements = 0;
   long device_statements = 0;
+
+  // ---- source-line profile (DESIGN.md §11) ----
+  /// Present when the line profiler was armed; serialized as the optional
+  /// "line_profile" section — a full embedded miniarc-profile/v1 document,
+  /// so the same validator covers it standalone and in-report.
+  std::optional<ProfileSnapshot> line_profile;
 
   // ---- faults & resilience ----
   bool faults_enabled = false;

@@ -213,6 +213,45 @@ TEST(PrometheusTest, WriteParseRoundTripPreservesEveryValue) {
                    0.05 + 0.5 + 99.0);
 }
 
+TEST(PrometheusTest, RoundTripSurvivesHostileLabelValues) {
+  // Every writer-escapable byte plus the ones the exposition format leaves
+  // alone: '}' and ',' inside a quoted value, a value that ENDS in an
+  // escaped backslash (the closing quote's predecessor is '\'), embedded
+  // newlines, and an empty value. The old parser truncated at the quoted
+  // '}' and miscounted the \\" ending as an escaped quote.
+  const std::vector<std::string> hostile = {
+      "a}b",   "x\\y",  "trailing\\", "quo\"te", "line\nbreak",
+      "c,d=e", "{all}", "",           "\\\"",    "}{",
+  };
+  MetricsRegistry registry;
+  for (std::size_t i = 0; i < hostile.size(); ++i) {
+    registry
+        .counter("miniarc_hostile_total", "Hostile labels.",
+                 {{"k", hostile[i]}})
+        .inc(static_cast<long long>(i + 1));
+  }
+  std::ostringstream os;
+  write_prometheus(registry.snapshot(), os);
+
+  std::string error;
+  std::vector<PrometheusSample> samples;
+  ASSERT_TRUE(parse_prometheus(os.str(), &samples, &error)) << error;
+  ASSERT_EQ(samples.size(), hostile.size());
+  // The parsed label body must round-trip the writer's escaping exactly,
+  // and every per-series value must land on the right sample.
+  for (std::size_t i = 0; i < hostile.size(); ++i) {
+    std::string expected = format_labels({{"k", hostile[i]}});
+    bool found = false;
+    for (const PrometheusSample& s : samples) {
+      if (s.labels != expected) continue;
+      found = true;
+      EXPECT_EQ(s.name, "miniarc_hostile_total");
+      EXPECT_EQ(s.value, static_cast<double>(i + 1));
+    }
+    EXPECT_TRUE(found) << "no sample with labels " << expected;
+  }
+}
+
 TEST(PrometheusTest, ParserRejectsMalformedExposition) {
   std::vector<PrometheusSample> samples;
   std::string error;
@@ -486,6 +525,28 @@ TraceEvent make_event(const char* name, double ts, double dur) {
   event.name = name;
   event.value = 42;
   return event;
+}
+
+TEST(FleetTraceTest, EmptyBatchEmitsWellFormedChromeTrace) {
+  // An all-shed (or empty-stdin) `serve --fleet-trace` batch adds no lanes;
+  // the export must still be a well-formed Chrome trace with an empty
+  // traceEvents array, not a truncated or invalid document.
+  FleetTraceBuilder fleet;
+  EXPECT_EQ(fleet.lanes(), 0u);
+  EXPECT_EQ(fleet.total_events(), 0u);
+  std::ostringstream os;
+  fleet.write_chrome_trace(os);
+  EXPECT_EQ(os.str(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+  std::string error;
+  EXPECT_TRUE(parse_json(os.str(), &error).has_value()) << error;
+
+  // A lane whose run recorded nothing (e.g. a kernel-free program) still
+  // gets its process metadata, and the document stays parseable.
+  fleet.add_lane("quiet", {});
+  std::ostringstream os2;
+  fleet.write_chrome_trace(os2);
+  EXPECT_TRUE(parse_json(os2.str(), &error).has_value()) << error;
+  EXPECT_NE(os2.str().find("\"quiet\""), std::string::npos);
 }
 
 TEST(FleetTraceTest, LaneOrderIsAddOrderAndOutputDeterministic) {

@@ -1,0 +1,408 @@
+// Deterministic source-line profiler (DESIGN.md §11): byte-identical
+// serialized profiles across executor thread counts — with and without an
+// armed fault plan — engine agreement (AST vs bytecode statement counts),
+// rollback-discard accounting, the miniarc-profile/v1 validator, the
+// embedded run-report section, and the export renderers (collapsed stacks,
+// speedscope, annotated source).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "miniarc.h"
+#include "tests/test_util.h"
+
+namespace miniarc {
+namespace {
+
+using test::lowered;
+
+constexpr const char* kJacobiProgram = R"(
+extern double a[];
+extern double b[];
+void main(void) {
+  int k;
+  int i;
+#pragma acc data copy(a) copyin(b)
+  {
+    for (k = 0; k < 4; k++) {
+#pragma acc kernels loop gang worker
+      for (i = 1; i < 127; i++) {
+        a[i] = 0.5 * (b[i - 1] + b[i + 1]);
+      }
+#pragma acc kernels loop gang worker
+      for (i = 0; i < 128; i++) {
+        b[i] = a[i] + 1.0;
+      }
+    }
+  }
+}
+)";
+
+void bind_jacobi(Interpreter& interp) {
+  BufferPtr a = interp.bind_buffer("a", ScalarKind::kDouble, 128);
+  BufferPtr b = interp.bind_buffer("b", ScalarKind::kDouble, 128);
+  for (std::size_t i = 0; i < 128; ++i) {
+    a->set(i, 0.25 * static_cast<double>(i));
+    b->set(i, static_cast<double>(i % 7));
+  }
+}
+
+/// Run kJacobiProgram with the profiler armed and return the run plus the
+/// serialized miniarc-profile/v1 document.
+struct ProfiledRun {
+  RunResult run;
+  ProfileSnapshot snapshot;
+  std::string json;
+};
+
+ProfiledRun run_profiled(int threads, std::optional<FaultPlan> faults = {},
+                         ExecEngine engine = ExecEngine::kDefault,
+                         int kernel_retries = -1,
+                         std::optional<BreakerConfig> breaker = {}) {
+  ExecutorOptions exec;
+  exec.threads = threads;
+  exec.faults = faults;
+  exec.breaker = breaker;
+  ProfileOptions profile;
+  profile.enabled = true;
+  exec.profile = profile;
+  InterpOptions interp;
+  interp.exec_engine = engine;
+  interp.kernel_retries = kernel_retries;
+  LoweredProgram low = lowered(kJacobiProgram);
+  ProfiledRun result;
+  result.run = run_lowered(*low.program, low.sema, bind_jacobi,
+                           /*enable_checker=*/false, /*hook=*/nullptr, exec,
+                           interp);
+  EXPECT_TRUE(result.run.ok) << result.run.error;
+  result.snapshot = result.run.runtime->line_profiler().snapshot();
+  std::ostringstream os;
+  write_profile_json(result.snapshot, "jacobi", os);
+  result.json = os.str();
+  return result;
+}
+
+/// Faults draw once per launch ATTEMPT on the host thread, so the schedule
+/// is fixed by (plan, seed) alone. Mild plan: a fault rate high enough to
+/// fire at seed 42, paired with a deep retry budget and a breaker that
+/// never opens (threshold == window == max) so every recovery stays on the
+/// device. Heavy plan: most attempts fault under the DEFAULT breaker and
+/// retry budget, so launches demote/exhaust and replay on the host.
+FaultPlan mild_plan() {
+  FaultPlan plan;
+  plan.kernel_fault = 0.3;
+  plan.seed = 42;
+  return plan;
+}
+
+/// Breaker that never opens: 1024 faults within a 1024-attempt window can't
+/// accumulate in these short runs.
+BreakerConfig lenient_breaker() {
+  BreakerConfig config;
+  config.window = 1024;
+  config.threshold = 1024;
+  return config;
+}
+
+FaultPlan heavy_plan() {
+  FaultPlan plan;
+  plan.kernel_fault = 0.4;
+  plan.seed = 42;
+  return plan;
+}
+
+/// (context, line) → (statements, seconds), for cross-engine comparison.
+std::map<std::pair<std::string, std::uint32_t>,
+         std::pair<std::uint64_t, double>>
+line_table(const ProfileSnapshot& snapshot) {
+  std::map<std::pair<std::string, std::uint32_t>,
+           std::pair<std::uint64_t, double>>
+      table;
+  for (const ProfileLine& line : snapshot.lines) {
+    table[{line.context, line.line}] = {line.statements, line.seconds};
+  }
+  return table;
+}
+
+// ---- determinism across thread counts ----
+
+TEST(ProfileDeterminismTest, ByteIdenticalAcrossThreadCounts) {
+  ProfiledRun serial = run_profiled(1);
+  ProfiledRun parallel = run_profiled(8);
+  EXPECT_GT(serial.snapshot.total_statements, 0u);
+  EXPECT_GT(serial.snapshot.total_seconds, 0.0);
+  EXPECT_EQ(serial.json, parallel.json);
+  // Non-vacuous: the parallel run actually dispatched chunks concurrently.
+  EXPECT_GT(parallel.run.runtime->executor().parallel_dispatches(), 0u);
+}
+
+TEST(ProfileDeterminismTest, ByteIdenticalAcrossThreadCountsUnderFaults) {
+  // A deep retry budget keeps every recovery on the device (no failover),
+  // so rolled-back attempts are the ONLY difference from a clean run.
+  ProfiledRun serial =
+      run_profiled(1, mild_plan(), ExecEngine::kDefault, 16, lenient_breaker());
+  ProfiledRun parallel =
+      run_profiled(8, mild_plan(), ExecEngine::kDefault, 16, lenient_breaker());
+  // The plan must actually have fired and recovered, or this test is the
+  // clean-run test again.
+  EXPECT_GT(serial.run.runtime->resilience().kernel_rollbacks, 0);
+  EXPECT_GT(serial.run.runtime->resilience().kernels_recovered, 0);
+  EXPECT_EQ(serial.run.runtime->resilience().host_failovers, 0);
+  EXPECT_EQ(serial.json, parallel.json);
+  // And the faulted profile matches the clean one byte for byte: rolled-back
+  // attempts never commit, so recovery is invisible to line attribution.
+  ProfiledRun clean = run_profiled(1);
+  EXPECT_EQ(serial.json, clean.json);
+}
+
+TEST(ProfileDeterminismTest, FailoverRunsStayByteIdenticalAcrossThreads) {
+  // The default retry budget lets some launches exhaust and replay on the
+  // host. The replay is serial and deterministic, so the profile still
+  // cannot depend on the thread count — though it legitimately differs
+  // from the clean profile (replayed lines are repriced at host cost).
+  ProfiledRun serial = run_profiled(1, heavy_plan());
+  ProfiledRun parallel = run_profiled(8, heavy_plan());
+  EXPECT_GT(serial.run.runtime->resilience().host_failovers, 0);
+  EXPECT_EQ(serial.json, parallel.json);
+}
+
+TEST(ProfileDeterminismTest, RepeatedRunsAreByteIdentical) {
+  EXPECT_EQ(run_profiled(4).json, run_profiled(4).json);
+}
+
+// ---- engine agreement ----
+
+TEST(ProfileEngineTest, AstAndBytecodeAgreeOnStatementCountsAndSeconds) {
+  ProfiledRun bytecode = run_profiled(1, {}, ExecEngine::kBytecode);
+  ProfiledRun ast = run_profiled(1, {}, ExecEngine::kAst);
+  auto bc_lines = line_table(bytecode.snapshot);
+  auto ast_lines = line_table(ast.snapshot);
+  // The AST engine records only statements; the bytecode engine records
+  // statements (normalized from kCount) plus opcode rows. Per-line
+  // statement counts and virtual-seconds cost must agree exactly; the
+  // bytecode table may strictly extend the AST one with op-only lines
+  // (expression continuations that hold instructions but no statement).
+  for (const auto& [key, ast_cost] : ast_lines) {
+    auto it = bc_lines.find(key);
+    ASSERT_NE(it, bc_lines.end())
+        << key.first << ":" << key.second << " missing from bytecode";
+    EXPECT_EQ(it->second.first, ast_cost.first)
+        << key.first << ":" << key.second;
+    EXPECT_EQ(it->second.second, ast_cost.second)
+        << key.first << ":" << key.second;
+  }
+  for (const auto& [key, bc_cost] : bc_lines) {
+    if (ast_lines.count(key) != 0) continue;
+    EXPECT_EQ(bc_cost.first, 0u)
+        << key.first << ":" << key.second
+        << ": bytecode-only line must carry no statements";
+  }
+  EXPECT_EQ(bytecode.snapshot.total_statements,
+            ast.snapshot.total_statements);
+  EXPECT_EQ(bytecode.snapshot.total_seconds, ast.snapshot.total_seconds);
+}
+
+// ---- rollback-discard accounting ----
+
+TEST(ProfileAccountingTest, KernelStatementsMatchCommittedDeviceBilling) {
+  // With recovery on-device (deep retry budget), every rolled-back
+  // attempt's frame is discarded, so the profile's kernel-context statement
+  // total must equal the interpreter's committed device_statements — the
+  // same merge-and-bill the run report and budgets use.
+  ProfiledRun faulted =
+      run_profiled(1, mild_plan(), ExecEngine::kDefault, 16, lenient_breaker());
+  EXPECT_GT(faulted.run.runtime->resilience().kernel_rollbacks, 0);
+  std::uint64_t kernel_statements = 0;
+  std::uint64_t host_statements = 0;
+  for (const ProfileLine& line : faulted.snapshot.lines) {
+    if (line.context == "host") {
+      host_statements += line.statements;
+    } else {
+      kernel_statements += line.statements;
+    }
+  }
+  EXPECT_EQ(static_cast<long>(kernel_statements),
+            faulted.run.interp->device_statements());
+  EXPECT_EQ(static_cast<long>(host_statements),
+            faulted.run.interp->host_statements());
+  EXPECT_EQ(kernel_statements + host_statements,
+            faulted.snapshot.total_statements);
+}
+
+TEST(ProfileAccountingTest, FailoverReplayStaysUnderKernelContext) {
+  // When retries exhaust and the launch replays serially on the host, the
+  // replayed statements stay attributed to the KERNEL context (the line is
+  // still a kernel line) but are billed as host statements by the
+  // interpreter and priced at host cost. The grand total is conserved:
+  // profile total == committed host + device billing.
+  ProfiledRun faulted = run_profiled(1, heavy_plan());
+  EXPECT_GT(faulted.run.runtime->resilience().host_failovers, 0);
+  std::uint64_t kernel_statements = 0;
+  for (const ProfileLine& line : faulted.snapshot.lines) {
+    if (line.context != "host") kernel_statements += line.statements;
+  }
+  EXPECT_EQ(static_cast<long>(faulted.snapshot.total_statements),
+            faulted.run.interp->host_statements() +
+                faulted.run.interp->device_statements());
+  // Replayed work inflates the kernel-context total past committed device
+  // billing — by exactly the replayed statement count.
+  EXPECT_GT(static_cast<long>(kernel_statements),
+            faulted.run.interp->device_statements());
+}
+
+TEST(ProfileAccountingTest, DisabledProfilerRecordsNothing) {
+  LoweredProgram low = lowered(kJacobiProgram);
+  RunResult run = run_lowered(*low.program, low.sema, bind_jacobi, false);
+  ASSERT_TRUE(run.ok) << run.error;
+  EXPECT_FALSE(run.runtime->line_profiler().enabled());
+  ProfileSnapshot snapshot = run.runtime->line_profiler().snapshot();
+  EXPECT_EQ(snapshot.total_statements, 0u);
+  EXPECT_TRUE(snapshot.lines.empty());
+}
+
+// ---- validator ----
+
+TEST(ProfileValidateTest, AcceptsSerializedProfile) {
+  ProfiledRun run = run_profiled(1);
+  std::string error;
+  EXPECT_TRUE(validate_profile(run.json, &error)) << error;
+}
+
+TEST(ProfileValidateTest, RejectsMalformedDocuments) {
+  std::string error;
+  EXPECT_FALSE(validate_profile("not json", &error));
+  EXPECT_FALSE(validate_profile("[]", &error));
+  EXPECT_FALSE(validate_profile(R"({"schema":"wrong/v1"})", &error));
+  // Right tag, missing sections.
+  EXPECT_FALSE(validate_profile(R"({"schema":"miniarc-profile/v1"})", &error));
+  // Line number must be >= 1 (0 = unknown is never serialized).
+  EXPECT_FALSE(validate_profile(
+      R"({"schema":"miniarc-profile/v1","program":"p","total_seconds":1,)"
+      R"("total_statements":1,"lines":[{"context":"host","line":0,)"
+      R"("statements":1,"seconds":1,"ops":[]}]})",
+      &error));
+  EXPECT_NE(error.find("line"), std::string::npos) << error;
+  // Lines must be an array of objects with string contexts.
+  EXPECT_FALSE(validate_profile(
+      R"({"schema":"miniarc-profile/v1","program":"p","total_seconds":0,)"
+      R"("total_statements":0,"lines":{}})",
+      &error));
+  EXPECT_FALSE(validate_profile(
+      R"({"schema":"miniarc-profile/v1","program":"p","total_seconds":1,)"
+      R"("total_statements":1,"lines":[{"context":7,"line":1,)"
+      R"("statements":1,"seconds":1,"ops":[]}]})",
+      &error));
+  // Minimal valid document for contrast.
+  EXPECT_TRUE(validate_profile(
+      R"({"schema":"miniarc-profile/v1","program":"p","total_seconds":0,)"
+      R"("total_statements":0,"lines":[]})",
+      &error))
+      << error;
+}
+
+// ---- run-report embedding ----
+
+TEST(ProfileReportTest, RunReportEmbedsValidatedProfileSection) {
+  ProfiledRun profiled = run_profiled(2);
+  RunReport report =
+      build_run_report(*profiled.run.runtime, "run", "jacobi");
+  ASSERT_TRUE(report.line_profile.has_value());
+  std::ostringstream os;
+  write_run_report_json(report, os);
+  std::string error;
+  EXPECT_TRUE(validate_run_report(os.str(), &error)) << error;
+  EXPECT_NE(os.str().find("\"line_profile\""), std::string::npos);
+  // The embedded section is a complete tagged document.
+  EXPECT_NE(os.str().find("\"schema\":\"miniarc-profile/v1\""),
+            std::string::npos);
+}
+
+TEST(ProfileReportTest, ReportWithoutProfilerOmitsSection) {
+  LoweredProgram low = lowered(kJacobiProgram);
+  RunResult run = run_lowered(*low.program, low.sema, bind_jacobi, false);
+  ASSERT_TRUE(run.ok) << run.error;
+  RunReport report = build_run_report(*run.runtime, "run", "jacobi");
+  EXPECT_FALSE(report.line_profile.has_value());
+  std::ostringstream os;
+  write_run_report_json(report, os);
+  std::string error;
+  EXPECT_TRUE(validate_run_report(os.str(), &error)) << error;
+  EXPECT_EQ(os.str().find("\"line_profile\""), std::string::npos);
+}
+
+TEST(ProfileReportTest, ValidatorRejectsCorruptEmbeddedProfile) {
+  ProfiledRun profiled = run_profiled(1);
+  RunReport report =
+      build_run_report(*profiled.run.runtime, "run", "jacobi");
+  ASSERT_TRUE(report.line_profile.has_value());
+  std::ostringstream os;
+  write_run_report_json(report, os);
+  // Corrupt the embedded section's schema tag; the report validator must
+  // notice (it applies the profile validator to the section).
+  std::string text = os.str();
+  std::size_t pos = text.find("miniarc-profile/v1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 18, "miniarc-corrupt/v9");
+  std::string error;
+  EXPECT_FALSE(validate_run_report(text, &error));
+}
+
+// ---- exports ----
+
+TEST(ProfileExportTest, CollapsedStacksShapeAndDeterminism) {
+  ProfiledRun run = run_profiled(2);
+  std::string collapsed = render_collapsed_stacks(run.snapshot, "jacobi");
+  EXPECT_EQ(collapsed, render_collapsed_stacks(run.snapshot, "jacobi"));
+  // Every line is "program:line;context;op count".
+  std::istringstream lines(collapsed);
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) {
+    ++rows;
+    EXPECT_EQ(line.rfind("jacobi:", 0), 0u) << line;
+    EXPECT_NE(line.find(';'), std::string::npos) << line;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+  EXPECT_GT(rows, 0u);
+  EXPECT_NE(collapsed.find(";host;stmt "), std::string::npos);
+}
+
+TEST(ProfileExportTest, SpeedscopeExportIsValidJson) {
+  ProfiledRun run = run_profiled(2);
+  std::ostringstream os;
+  write_speedscope_json(run.snapshot, "jacobi", os);
+  std::string error;
+  std::optional<JsonValue> doc = parse_json(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const JsonValue* shared = doc->find("shared");
+  ASSERT_NE(shared, nullptr);
+  ASSERT_NE(shared->find("frames"), nullptr);
+  const JsonValue* profiles = doc->find("profiles");
+  ASSERT_NE(profiles, nullptr);
+  ASSERT_EQ(profiles->kind, JsonValue::Kind::kArray);
+  ASSERT_FALSE(profiles->array.empty());
+  std::ostringstream os2;
+  write_speedscope_json(run.snapshot, "jacobi", os2);
+  EXPECT_EQ(os.str(), os2.str());
+}
+
+TEST(ProfileExportTest, AnnotatedSourceMarksHotLinesDeterministically) {
+  ProfiledRun run = run_profiled(2);
+  std::string annotated =
+      render_annotated_source(run.snapshot, kJacobiProgram, "jacobi");
+  EXPECT_EQ(annotated,
+            render_annotated_source(run.snapshot, kJacobiProgram, "jacobi"));
+  EXPECT_NE(annotated.find("annotate: jacobi"), std::string::npos);
+  EXPECT_NE(annotated.find("| source"), std::string::npos);
+  EXPECT_NE(annotated.find("contexts:"), std::string::npos);
+  // The kernel body line must be hot; the extern declarations cold.
+  EXPECT_NE(annotated.find("a[i] = 0.5 * (b[i - 1] + b[i + 1]);"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace miniarc

@@ -5,6 +5,9 @@
 //   miniarc verify FILE.c [OPTS]        kernel verification (§III-A)
 //   miniarc check FILE.c                memory-transfer verification (§III-B)
 //   miniarc advise FILE.c               ranked optimization recommendations
+//   miniarc annotate FILE.c             per-line heat view: run under the
+//                                       line profiler, then print the source
+//                                       with vt/stmt/% columns
 //   miniarc bench NAME                  run one suite benchmark by name
 //   miniarc report-validate FILE.json   schema-check a run report or bench
 //                                       artifact (dispatch on "schema")
@@ -55,7 +58,13 @@
 // kernel engine:   --exec ast|bytecode (also MINIARC_EXEC; default bytecode),
 //                  --dump-bytecode (disassemble compiled kernels, then exit)
 // observability:   --trace FILE (Chrome/Perfetto trace; also MINIARC_TRACE),
-//                  --report-json FILE (machine-readable run report)
+//                  --report-json FILE (machine-readable run report),
+//                  --profile (arm the line profiler; embeds a
+//                  miniarc-profile/v1 section in --report-json),
+//                  --profile-out FILE (standalone export: .json =
+//                  speedscope, else collapsed stacks; also
+//                  MINIARC_PROFILE_OUT), --profile-json FILE
+//                  (miniarc-profile/v1 document)
 // advisor:         --advise-json FILE (machine-readable advice), --top N
 // report-diff:     --json (JSON delta to stdout), --fail-on SPEC
 #include <cstdio>
@@ -106,6 +115,17 @@ struct CliOptions {
   std::size_t advise_top = 0;
   /// Trace ring cap override (--trace-max-events, 0 = TraceOptions default).
   std::size_t trace_max_events = 0;
+  /// Arm the line profiler (--profile; implied by --profile-out and by the
+  /// annotate command). The profile embeds into --report-json.
+  bool profile = false;
+  /// Standalone line-profile export (--profile-out; MINIARC_PROFILE_OUT is
+  /// the fallback, resolved once in parse_args — the runtime never reads the
+  /// environment for this). A ".json" suffix selects speedscope JSON,
+  /// anything else collapsed stacks.
+  std::string profile_out;
+  /// Standalone miniarc-profile/v1 document (--profile-json), the shape
+  /// report-validate checks; also arms the profiler.
+  std::string profile_json;
   /// Regression thresholds for report-diff (--fail-on).
   std::string fail_on;
   /// report-diff renders JSON to stdout instead of text (--json).
@@ -130,8 +150,8 @@ struct CliOptions {
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: miniarc <translate|run|verify|check|advise|bench|"
-               "report-validate> FILE [--set NAME=VALUE]... [--size N]\n"
+               "usage: miniarc <translate|run|verify|check|advise|annotate|"
+               "bench|report-validate> FILE [--set NAME=VALUE]... [--size N]\n"
                "               [--options verificationOptions=...] "
                "[--margin X] [--min-check X] [--naive-checks]\n"
                "               [--faults SPEC] [--fault-seed N] "
@@ -144,6 +164,8 @@ struct CliOptions {
                "               [--trace FILE] [--report-json FILE] "
                "[--trace-max-events N]\n"
                "               [--advise-json FILE] [--top N]\n"
+               "               [--profile] [--profile-out FILE] "
+               "[--profile-json FILE]\n"
                "       miniarc report-diff A.json B.json [--json] "
                "[--fail-on METRIC=LIMIT[,...]]\n"
                "       miniarc serve [--jobs N] [--queue-depth N] "
@@ -173,6 +195,16 @@ ExecutorOptions exec_options(const CliOptions& options) {
   }
   if (options.trace_max_events > 0 && exec.trace.has_value()) {
     exec.trace->max_events = options.trace_max_events;
+  }
+  // The line profiler is armed explicitly (--profile), by an export path
+  // (--profile-out / MINIARC_PROFILE_OUT — already folded into profile_out
+  // by parse_args), or by the annotate command, which is meaningless
+  // without it.
+  if (options.profile || !options.profile_out.empty() ||
+      !options.profile_json.empty() || options.command == "annotate") {
+    ProfileOptions profile;
+    profile.enabled = true;
+    exec.profile = profile;
   }
   return exec;
 }
@@ -233,6 +265,28 @@ void emit_run_outputs(const CliOptions& options, AccRuntime& runtime,
                    options.report_path.c_str());
     } else {
       write_run_report_json(report, out);
+    }
+  }
+  if (!options.profile_out.empty() && report.line_profile.has_value()) {
+    std::ofstream out(options.profile_out);
+    if (!out) {
+      std::fprintf(stderr, "miniarc: cannot write profile '%s'\n",
+                   options.profile_out.c_str());
+    } else if (options.profile_out.size() >= 5 &&
+               options.profile_out.compare(options.profile_out.size() - 5, 5,
+                                           ".json") == 0) {
+      write_speedscope_json(*report.line_profile, report.program, out);
+    } else {
+      out << render_collapsed_stacks(*report.line_profile, report.program);
+    }
+  }
+  if (!options.profile_json.empty() && report.line_profile.has_value()) {
+    std::ofstream out(options.profile_json);
+    if (!out) {
+      std::fprintf(stderr, "miniarc: cannot write profile '%s'\n",
+                   options.profile_json.c_str());
+    } else {
+      write_profile_json(*report.line_profile, report.program, out);
     }
   }
 }
@@ -459,6 +513,12 @@ CliOptions parse_args(int argc, char** argv) {
       options.trace_path = *path;
     } else if (auto path = flag_value("--report-json"); path.has_value()) {
       options.report_path = *path;
+    } else if (arg == "--profile") {
+      options.profile = true;
+    } else if (auto path = flag_value("--profile-out"); path.has_value()) {
+      options.profile_out = *path;
+    } else if (auto path = flag_value("--profile-json"); path.has_value()) {
+      options.profile_json = *path;
     } else if (auto path = flag_value("--advise-json"); path.has_value()) {
       options.advise_json_path = *path;
     } else if (auto top = flag_value("--top"); top.has_value()) {
@@ -524,6 +584,13 @@ CliOptions parse_args(int argc, char** argv) {
                    "pass --faults SPEC or set MINIARC_FAULTS\n");
       std::exit(2);
     }
+  }
+  if (options.profile_out.empty()) {
+    // Resolve MINIARC_PROFILE_OUT here, once: the runtime deliberately has
+    // no environment fallback for profiling (unlike MINIARC_TRACE), so the
+    // CLI is the only place the variable is read.
+    const char* path = std::getenv("MINIARC_PROFILE_OUT");
+    if (path != nullptr) options.profile_out = path;
   }
   if (options.breaker.has_value() && !options.host_failover) {
     // Breaker demotion routes open-state launches to serial host execution;
@@ -598,6 +665,32 @@ int cmd_run(const CliOptions& options, Program& program,
         report.device_statements);
     std::printf("virtual time: %.3f us\n%s", report.total_seconds * 1e6,
                 runtime.profiler().breakdown().c_str());
+  }
+  emit_run_outputs(options, runtime, report);
+  return run_exit_code(report);
+}
+
+/// `miniarc annotate` — run under the line profiler and print the program
+/// source with per-line heat columns (virtual seconds, statements, % of the
+/// profiled total). The same run honors --report-json / --profile-out, so
+/// one invocation can produce the human view and the machine artifacts.
+int cmd_annotate(const CliOptions& options, Program& program,
+                 DiagnosticEngine& diags) {
+  LoweredProgram lowered = lower_program(program, diags);
+  if (lowered.program == nullptr) {
+    std::fprintf(stderr, "%s", diags.dump().c_str());
+    return 1;
+  }
+  AccRuntime runtime(MachineModel::m2090(), exec_options(options));
+  Interpreter interp(*lowered.program, lowered.sema, runtime,
+                     interp_options(options));
+  bind_externs(interp, *lowered.program, options);
+  RunReport report = run_to_report(interp, runtime, "annotate", options.file);
+  if (report.ok && report.line_profile.has_value()) {
+    std::fputs(render_annotated_source(*report.line_profile,
+                                       read_file(options.file), options.file)
+                   .c_str(),
+               stdout);
   }
   emit_run_outputs(options, runtime, report);
   return run_exit_code(report);
@@ -726,7 +819,9 @@ int cmd_advise(const CliOptions& options, Program& program,
   advisor_options.top = options.advise_top;
   AdvisorReport advice =
       advise(runtime.trace().events(), report.metrics, checker.site_stats(),
-             checker.findings(), report.total_seconds, advisor_options);
+             checker.findings(), report.total_seconds, advisor_options,
+             report.line_profile.has_value() ? &*report.line_profile
+                                             : nullptr);
   advice.program = options.file;
 
   if (report.ok) {
@@ -871,6 +966,16 @@ int cmd_report_validate(const CliOptions& options) {
     return 0;
   }
   if (schema != nullptr && schema->kind == JsonValue::Kind::kString &&
+      schema->string == kProfileSchema) {
+    if (!validate_profile(text, &error)) {
+      std::fprintf(stderr, "miniarc: invalid profile '%s': %s\n",
+                   options.file.c_str(), error.c_str());
+      return 1;
+    }
+    std::printf("%s: valid %s\n", options.file.c_str(), kProfileSchema);
+    return 0;
+  }
+  if (schema != nullptr && schema->kind == JsonValue::Kind::kString &&
       schema->string == kServiceMetricsSchema) {
     if (!validate_service_metrics(text, &error)) {
       std::fprintf(stderr, "miniarc: invalid service metrics '%s': %s\n",
@@ -998,5 +1103,8 @@ int main(int argc, char** argv) {
   if (options.command == "verify") return cmd_verify(options, *program, diags);
   if (options.command == "check") return cmd_check(options, *program, diags);
   if (options.command == "advise") return cmd_advise(options, *program, diags);
+  if (options.command == "annotate") {
+    return cmd_annotate(options, *program, diags);
+  }
   usage();
 }

@@ -19,9 +19,12 @@
 # `miniarc advise` on the naive Jacobi must be byte-identical across
 # MINIARC_THREADS=1 and 8, `miniarc report-diff naive opt` must pass a
 # regression gate (the optimization reduced transfer bytes), and the
-# reverse diff must trip the gate with exit code 3. Finally a traced jacobi
-# run under a tight --deadline-vt must be cancelled with exit code 4 and
-# leave a schema-valid partial run report behind.
+# reverse diff must trip the gate with exit code 3. The profile smoke
+# annotates a traced fault-injected run (byte-identical across thread
+# counts), schema-validates the miniarc-profile/v1 document, and greps the
+# collapsed-stack export. Finally a traced jacobi run under a tight
+# --deadline-vt must be cancelled with exit code 4 and leave a schema-valid
+# partial run report behind.
 #
 # Usage: tools/run_matrix.sh [plain|asan|tsan]...   (default: all three)
 #
@@ -93,6 +96,33 @@ run_config() {
     echo "expected report-diff to exit 3 on regression, got $diff_status" >&2
     exit 1
   fi
+
+  echo "=== [$name] profile smoke (annotate + schema + collapsed stacks) ==="
+  # A traced, fault-injected annotate run: the heat view must render and be
+  # byte-identical across MINIARC_THREADS=1 and 8 (faults armed — recovery
+  # is invisible to line attribution), the standalone miniarc-profile/v1
+  # document must schema-validate, and the collapsed-stack export must carry
+  # per-line statement rows for flame-graph tooling.
+  MINIARC_THREADS=1 "$build_dir/tools/miniarc" annotate \
+    "$REPO_ROOT/examples/jacobi_naive.c" \
+    --set N=16 --set ITER=4 --size 256 \
+    --faults "fault=0.2,transient=0.1" --fault-seed 7 \
+    --trace "$artifacts/jacobi-profile-trace.json" \
+    --profile-json "$artifacts/jacobi-profile.json" \
+    --profile-out "$artifacts/jacobi-profile.folded" \
+    >"$artifacts/jacobi-annotate-t1.txt"
+  MINIARC_THREADS=8 "$build_dir/tools/miniarc" annotate \
+    "$REPO_ROOT/examples/jacobi_naive.c" \
+    --set N=16 --set ITER=4 --size 256 \
+    --faults "fault=0.2,transient=0.1" --fault-seed 7 \
+    --profile-json "$artifacts/jacobi-profile-t8.json" \
+    >"$artifacts/jacobi-annotate-t8.txt"
+  cmp "$artifacts/jacobi-annotate-t1.txt" "$artifacts/jacobi-annotate-t8.txt"
+  cmp "$artifacts/jacobi-profile.json" "$artifacts/jacobi-profile-t8.json"
+  "$build_dir/tools/miniarc" report-validate "$artifacts/jacobi-profile.json"
+  grep -q '^contexts: ' "$artifacts/jacobi-annotate-t1.txt"
+  grep -Eq '^[^ ]+jacobi_naive\.c:[0-9]+;[^;]+;stmt [0-9]+$' \
+    "$artifacts/jacobi-profile.folded"
 
   echo "=== [$name] budget cancellation smoke (exit 4 + partial report) ==="
   # A tight virtual-time deadline must cancel the traced run with exit code
